@@ -1,0 +1,114 @@
+/// Ablation — DDNS policy spectrum (DESIGN.md choice #5, paper §8):
+/// run the SAME network under the four DHCP→DNS policies and measure what
+/// each leaks: identifier exposure (does the §5 pipeline identify it?),
+/// dynamics exposure (does the §4 heuristic flag it?), and the lingering
+/// behaviour. Demonstrates that hashing removes identifiers but not
+/// dynamics, and static-generic removes both — the paper's mitigation
+/// argument, quantified.
+
+#include "bench_common.hpp"
+#include "core/mitigation.hpp"
+
+using namespace rdns;
+
+namespace {
+
+struct Outcome {
+  std::size_t dynamic_blocks = 0;
+  std::size_t identified = 0;
+  std::uint64_t name_leaks = 0;
+  std::size_t distinct_ptrs = 0;
+};
+
+Outcome run_policy(dhcp::DdnsPolicy policy) {
+  sim::OrgSpec org;
+  org.name = "subject";
+  org.type = sim::OrgType::Academic;
+  org.suffix = dns::DnsName::must_parse("subject-university.edu");
+  org.announced = {net::Prefix::must_parse("10.75.0.0/16")};
+  sim::SegmentSpec seg;
+  seg.label = "wifi";
+  seg.prefix = net::Prefix::must_parse("10.75.64.0/23");
+  seg.schedule = sim::ScheduleKind::OfficeWorker;
+  seg.user_count = 150;
+  seg.named_device_frac = 0.85;
+  seg.ddns_policy = policy;
+  org.segments = {seg};
+  org.seed = 2024;
+
+  sim::World world;
+  sim::Organization& subject = world.add_org(std::move(org));
+  world.start(util::CivilDate{2021, 1, 1}, util::CivilDate{2021, 1, 31});
+
+  core::DynamicityDetector detector;
+  core::PtrCorpus corpus;
+  struct Tee final : scan::SnapshotSink {
+    std::vector<scan::SnapshotSink*> sinks;
+    void on_row(const util::CivilDate& d, net::Ipv4Addr a, const dns::DnsName& n) override {
+      for (auto* s : sinks) s->on_row(d, a, n);
+    }
+    void on_sweep_end(const util::CivilDate& d) override {
+      for (auto* s : sinks) s->on_sweep_end(d);
+    }
+  } tee;
+  tee.sinks = {&detector, &corpus};
+  scan::SweepDriver driver{world, 14, 1};
+  (void)driver.run(util::CivilDate{2021, 1, 2}, util::CivilDate{2021, 1, 30}, tee);
+
+  Outcome outcome;
+  core::DynamicityConfig dyn;
+  dyn.min_days_over = 5;
+  const auto dynamicity = detector.analyze(dyn);
+  outcome.dynamic_blocks = dynamicity.dynamic_count;
+
+  core::PtrCorpus dynamic_corpus;
+  dynamic_corpus.restrict_to(dynamicity.dynamic_blocks());
+  for (const auto& [hostname, entry] : corpus.entries()) dynamic_corpus.add_entry(entry);
+  core::LeakConfig leak;
+  leak.min_unique_names = 20;
+  outcome.identified = core::identify_leaking_networks(dynamic_corpus, leak).identified.size();
+  outcome.distinct_ptrs = corpus.distinct_hostnames();
+
+  const auto audit = core::audit_organization(subject);
+  outcome.name_leaks = audit.owner_name_leaks;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("A1", "Ablation — the DDNS policy spectrum (§8 mitigations)");
+  bench::paper_note("carry-over leaks identifiers AND dynamics; hashing hides identifiers "
+                    "but not dynamics; static-generic/none hide both");
+
+  std::printf("\n%-22s %14s %12s %12s %14s\n", "policy", "dynamic /24s", "identified",
+              "name leaks", "distinct PTRs");
+
+  bench::ShapeChecks checks;
+  Outcome carry, hashed, generic, none;
+  for (const auto policy :
+       {dhcp::DdnsPolicy::CarryOverClientId, dhcp::DdnsPolicy::HashedClientId,
+        dhcp::DdnsPolicy::StaticGeneric, dhcp::DdnsPolicy::None}) {
+    const Outcome outcome = run_policy(policy);
+    std::printf("%-22s %14zu %12zu %12llu %14zu\n", dhcp::to_string(policy),
+                outcome.dynamic_blocks, outcome.identified,
+                static_cast<unsigned long long>(outcome.name_leaks), outcome.distinct_ptrs);
+    switch (policy) {
+      case dhcp::DdnsPolicy::CarryOverClientId: carry = outcome; break;
+      case dhcp::DdnsPolicy::HashedClientId: hashed = outcome; break;
+      case dhcp::DdnsPolicy::StaticGeneric: generic = outcome; break;
+      case dhcp::DdnsPolicy::None: none = outcome; break;
+    }
+  }
+
+  checks.expect(carry.dynamic_blocks > 0 && carry.identified == 1 && carry.name_leaks > 0,
+                "carry-over: dynamic, identified, leaking names");
+  checks.expect(hashed.dynamic_blocks > 0 && hashed.identified == 0 && hashed.name_leaks == 0,
+                "hashed: still dynamic (presence observable) but no identifiers");
+  checks.expect(generic.dynamic_blocks == 0 && generic.identified == 0 &&
+                    generic.name_leaks == 0,
+                "static-generic: neither dynamic nor leaking");
+  checks.expect(none.dynamic_blocks == 0 && none.distinct_ptrs == 0,
+                "none: nothing published at all");
+  return checks.exit_code();
+}

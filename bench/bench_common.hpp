@@ -1,0 +1,84 @@
+#pragma once
+/// \file bench_common.hpp
+/// Shared helpers for the experiment benches. Each bench regenerates one
+/// table or figure of the paper: it builds the appropriate synthetic world,
+/// runs the measurement + analysis pipeline, prints the paper's rows/series
+/// (figures as ASCII charts) and a paper-vs-measured shape comparison.
+///
+/// Absolute numbers intentionally differ from the paper: the substrate is a
+/// scaled-down simulator, not the Internet. EXPERIMENTS.md records the
+/// shape checks.
+
+#include <cstdio>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "scan/campaign.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/strings.hpp"
+
+namespace rdns::bench {
+
+inline void heading(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void paper_note(const std::string& text) {
+  std::printf("paper:    %s\n", text.c_str());
+}
+
+inline void measured_note(const std::string& text) {
+  std::printf("measured: %s\n", text.c_str());
+}
+
+/// Pass/fail shape check with a visible verdict (also drives exit codes).
+class ShapeChecks {
+ public:
+  void expect(bool ok, const std::string& what) {
+    std::printf("  [%s] %s\n", ok ? "SHAPE-OK" : "SHAPE-MISMATCH", what.c_str());
+    if (!ok) ++failures_;
+  }
+
+  [[nodiscard]] int exit_code() const noexcept { return failures_ == 0 ? 0 : 1; }
+  [[nodiscard]] int failures() const noexcept { return failures_; }
+
+ private:
+  int failures_ = 0;
+};
+
+/// The standard campaign setup shared by the Table 3/4/5 and Fig. 6/7
+/// benches: the paper world plus the reactive engine over a scaled-down
+/// campaign window.
+struct CampaignRun {
+  std::unique_ptr<sim::World> world;
+  std::unique_ptr<scan::SupplementalCampaign> campaign;
+};
+
+inline CampaignRun run_paper_campaign(std::uint64_t seed, double population_scale,
+                                      util::CivilDate from, util::CivilDate to,
+                                      bool with_dns_faults = false) {
+  core::WorldScale scale;
+  scale.population = population_scale;
+  CampaignRun run;
+  run.world = core::make_paper_world(seed, scale);
+  if (with_dns_faults) {
+    // Mild transient failures on every org's servers (Fig. 6 taxonomy).
+    for (auto& org : run.world->orgs()) {
+      org->dns().set_faults(dns::FaultPolicy{0.004, 0.002});
+    }
+  }
+  // The world must start before the campaign window to let populations
+  // settle in (the paper's networks were in steady state when probed).
+  run.world->start(util::add_days(from, -1), util::add_days(to, 1));
+  scan::CampaignWindow window;
+  window.from = from;
+  window.to = to;
+  run.campaign = std::make_unique<scan::SupplementalCampaign>(
+      *run.world, scan::paper_targets(*run.world), window);
+  run.campaign->run();
+  return run;
+}
+
+}  // namespace rdns::bench

@@ -1,0 +1,126 @@
+/// F10 — Fig. 10: Academic-C in detail — educational buildings vs student
+/// housing, observed through BOTH collection regimes (Rapid7-like weekly
+/// from late 2019, OpenINTEL-like daily from 2020-02-17). Paper shape:
+/// stable pre-pandemic level (weekly data), a Carnaval dip in late Feb
+/// 2020, a clear education/housing crossover in March 2020 (employees home,
+/// students studying from their campus rooms), dips at the autumn break and
+/// Christmas, and the two data sets overlaying each other.
+
+#include "bench_common.hpp"
+#include "core/longitudinal.hpp"
+
+using namespace rdns;
+
+namespace {
+
+/// Education vs housing classifier derived from the org's numbering plan.
+std::optional<std::string> classify(const sim::Organization& org, net::Ipv4Addr a) {
+  for (const auto& segment : org.spec().segments) {
+    if (segment.prefix.contains(a)) {
+      return segment.venue == sim::PresenceVenue::Housing ? "housing" : "education";
+    }
+  }
+  for (const auto& range : org.spec().static_ranges) {
+    if (range.prefix.contains(a)) return "education";  // static infra = edu buildings
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("F10", "Fig. 10 — Academic-C: education buildings vs student housing");
+  bench::paper_note("March-2020 crossover (education falls below housing); Carnaval dip "
+                    "Feb 2020; autumn-break and Christmas dips; Rapid7 (weekly) and "
+                    "OpenINTEL (daily) curves overlay");
+
+  core::WorldScale scale;
+  scale.population = 0.15;
+  auto world = core::make_paper_world(10, scale, /*dhcp_tick=*/300);
+  const util::CivilDate from{2019, 11, 1};
+  const util::CivilDate to{2021, 1, 31};
+  world->start(from, to);
+  sim::Organization* academic_c = world->org_by_name("Academic-C");
+
+  // Weekly (Rapid7-like) from Nov 2019; daily (OpenINTEL-like) from
+  // 2020-02-17. Interleave chronologically so the clock never rewinds.
+  core::DailyCountSink weekly{[&](net::Ipv4Addr a) { return classify(*academic_c, a); }};
+  core::DailyCountSink daily{[&](net::Ipv4Addr a) { return classify(*academic_c, a); }};
+  scan::SweepDriver weekly_driver{*world, 14, 7, /*second_hour=*/21};
+  scan::SweepDriver daily_driver{*world, 15, 1, /*second_hour=*/22};
+  const util::CivilDate daily_start{2020, 2, 17};
+  for (util::CivilDate week = from; !(to < week); week = util::add_days(week, 7)) {
+    (void)weekly_driver.run(week, week, weekly);
+    const util::CivilDate d_from = week < daily_start ? daily_start : week;
+    const util::CivilDate d_to = util::add_days(week, 6);
+    if (!(d_to < d_from)) (void)daily_driver.run(d_from, d_to, daily);
+  }
+
+  std::map<std::string, core::PercentSeries> daily_series, weekly_series;
+  for (const auto& [name, counts] : daily.counts()) {
+    daily_series[name] = core::percent_of_max(name, counts);
+  }
+  for (const auto& [name, counts] : weekly.counts()) {
+    weekly_series[name] = core::percent_of_max(name, counts);
+  }
+
+  std::vector<util::Series> chart;
+  for (const auto& [name, s] : daily_series) {
+    util::Series line{name + " (daily)", {}};
+    for (std::size_t i = 0; i < s.percent.size(); i += 7) line.values.push_back(s.percent[i]);
+    chart.push_back(std::move(line));
+  }
+  util::ChartOptions opts;
+  opts.height = 14;
+  opts.title = "OpenINTEL-like daily series, % of max (weekly samples)";
+  std::printf("\n%s\n", util::render_line_chart(chart, opts).c_str());
+
+  const auto value_on = [](const core::PercentSeries& s, const util::CivilDate& d) {
+    for (std::size_t i = 0; i < s.dates.size(); ++i) {
+      if (!(s.dates[i] < d)) return s.percent[i];
+    }
+    return s.percent.empty() ? 0.0 : s.percent.back();
+  };
+
+  const auto crossover =
+      core::find_crossover(daily_series.at("education"), daily_series.at("housing"), 5);
+  if (crossover) {
+    std::printf("education/housing crossover detected on: %s\n",
+                util::format_date(*crossover).c_str());
+  } else {
+    std::printf("no crossover detected\n");
+  }
+
+  bench::ShapeChecks checks;
+  checks.expect(crossover.has_value(), "a crossover exists");
+  if (crossover) {
+    checks.expect(util::CivilDate{2020, 3, 1} < *crossover &&
+                      *crossover < util::CivilDate{2020, 5, 1},
+                  "crossover falls in March/April 2020");
+  }
+  const auto& wedu = weekly_series.at("education");
+  checks.expect(value_on(wedu, {2019, 12, 1}) > 70.0,
+                "pre-pandemic education level is high and stable (Rapid7 extends "
+                "visibility into 2019)");
+  checks.expect(value_on(wedu, {2019, 12, 27}) < value_on(wedu, {2019, 12, 13}),
+                "the 2019 Christmas break is visible in the weekly data");
+  checks.expect(value_on(wedu, {2020, 2, 25}) < value_on(wedu, {2020, 2, 11}),
+                "the Carnaval dip in late February 2020 is visible");
+  // The two data sets agree where they overlap (post 2020-02-17).
+  const auto& dedu = daily_series.at("education");
+  double max_gap = 0;
+  int compared = 0;
+  for (std::size_t i = 0; i < wedu.dates.size(); ++i) {
+    if (wedu.dates[i] < daily_start) continue;
+    const double dv = value_on(dedu, wedu.dates[i]);
+    max_gap = std::max(max_gap, std::abs(dv - wedu.percent[i]));
+    ++compared;
+  }
+  checks.expect(compared > 10 && max_gap < 35.0,
+                "weekly and daily curves largely overlay where both exist");
+  // Housing dips over the 2020 Christmas break too.
+  const auto& dhou = daily_series.at("housing");
+  checks.expect(value_on(dhou, {2020, 12, 27}) < value_on(dhou, {2020, 12, 10}),
+                "housing empties over the 2020 Christmas break");
+  return checks.exit_code();
+}

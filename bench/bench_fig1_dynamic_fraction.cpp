@@ -1,0 +1,114 @@
+/// F1 — Fig. 1 + §4.2: identify dynamic /24s with the Section 4.1
+/// heuristic, report the §4.2 headline counts (paper: 6,151,219 /24s seen,
+/// 134,451 dynamic), and plot the distribution of the fraction of dynamic
+/// /24s per announced prefix (paper: generally a small subset — numbering
+/// plans concentrate dynamics in specific subprefixes).
+///
+/// Includes the DESIGN.md ablation: sweeping the X (change %) and Y (days)
+/// thresholds against simulator ground truth, which the paper did not have.
+
+#include <algorithm>
+#include <map>
+
+#include "bench_common.hpp"
+
+using namespace rdns;
+
+int main() {
+  bench::heading("F1", "Fig. 1 — fraction of dynamic /24s per announced prefix");
+  bench::paper_note("6,151,219 /24s with PTRs; 134,451 dynamic (2.2%); per announced prefix "
+                    "the dynamic fraction is small (medians near zero)");
+
+  core::WorldScale scale;
+  scale.population = 0.4;
+  auto world = core::make_internet_world(77, 60, scale, 300);
+  world->start(util::CivilDate{2021, 1, 1}, util::CivilDate{2021, 3, 31});
+
+  core::PipelineConfig config;
+  config.from = util::CivilDate{2021, 1, 2};
+  config.to = util::CivilDate{2021, 3, 30};
+  config.leak.min_unique_names = 25;
+  const auto report = core::run_identification_pipeline(*world, config);
+
+  bench::measured_note(util::format(
+      "%zu /24s with PTRs; %zu dynamic (%.2f%%) over %zu daily sweeps",
+      report.dynamicity.total_slash24_seen, report.dynamicity.dynamic_count,
+      100.0 * static_cast<double>(report.dynamicity.dynamic_count) /
+          static_cast<double>(std::max<std::size_t>(report.dynamicity.total_slash24_seen, 1)),
+      report.sweeps));
+
+  // Distribution of fractions by announced prefix length (the Fig. 1 axes).
+  std::map<int, std::vector<double>> by_length;
+  for (const auto& entry : report.rollup) {
+    by_length[entry.announced.length()].push_back(entry.fraction() * 100.0);
+  }
+  std::printf("\n%-6s %8s %10s %10s %10s\n", "Prefix", "#nets", "min%", "median%", "max%");
+  for (auto& [length, fractions] : by_length) {
+    std::sort(fractions.begin(), fractions.end());
+    std::printf("/%-5d %8zu %9.2f%% %9.2f%% %9.2f%%\n", length, fractions.size(),
+                fractions.front(), fractions[fractions.size() / 2], fractions.back());
+  }
+
+  bench::ShapeChecks checks;
+  checks.expect(report.dynamicity.dynamic_count > 0, "dynamic /24s exist");
+  const double overall = static_cast<double>(report.dynamicity.dynamic_count) /
+                         static_cast<double>(report.dynamicity.total_slash24_seen);
+  checks.expect(overall < 0.25, "dynamic /24s are a minority of all /24s seen");
+  double max_fraction = 0;
+  for (const auto& entry : report.rollup) max_fraction = std::max(max_fraction, entry.fraction());
+  checks.expect(max_fraction <= 0.30,
+                "even the most dynamic network keeps dynamics to a subset of its space");
+
+  // ---- Ablation: X/Y threshold sweep against ground truth -----------------
+  std::printf("\nAblation — §4.1 thresholds vs simulator ground truth\n");
+  std::printf("(ground truth: a /24 is truly dynamic iff it lies in a CarryOver/Hashed\n");
+  std::printf(" DHCP pool; the paper validated against its campus IT department)\n");
+  net::PrefixSet truly_dynamic;
+  for (auto& org : world->orgs()) {
+    for (auto& segment : org->segments()) {
+      if (segment.spec.ddns_policy == dhcp::DdnsPolicy::CarryOverClientId ||
+          segment.spec.ddns_policy == dhcp::DdnsPolicy::HashedClientId) {
+        truly_dynamic.add(segment.spec.prefix);
+      }
+    }
+  }
+
+  // The first world's clock is already past the window, so replay the same
+  // seed into a fresh world and collect a detector we can re-analyze with
+  // different thresholds.
+  core::DynamicityDetector detector;
+  auto world2 = core::make_internet_world(77, 60, scale, 300);
+  world2->start(util::CivilDate{2021, 1, 1}, util::CivilDate{2021, 3, 31});
+  scan::SweepDriver driver2{*world2, 14, 1};
+  driver2.run(config.from, config.to, detector);
+
+  std::printf("%6s %4s %10s %10s %10s\n", "X%", "Y", "flagged", "precision", "recall");
+  for (const double x : {5.0, 10.0, 20.0}) {
+    for (const int y : {3, 7, 14}) {
+      core::DynamicityConfig dc;
+      dc.change_threshold_pct = x;
+      dc.min_days_over = y;
+      const auto result = detector.analyze(dc);
+      std::size_t tp = 0, fp = 0, truth_total = 0;
+      for (const auto& block : result.blocks) {
+        if (!block.dynamic) continue;
+        (truly_dynamic.overlaps(block.block) ? tp : fp) += 1;
+      }
+      // Recall denominator: truly dynamic /24s that ever showed >10 addrs.
+      for (const auto& block : result.blocks) {
+        if (truly_dynamic.overlaps(block.block)) ++truth_total;
+      }
+      const double precision = tp + fp == 0 ? 1.0 : static_cast<double>(tp) / (tp + fp);
+      const double recall =
+          truth_total == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(truth_total);
+      std::printf("%6.1f %4d %10zu %9.2f%% %9.2f%%\n", x, y, tp + fp, 100 * precision,
+                  100 * recall);
+      if (x == 10.0 && y == 7) {
+        checks.expect(precision > 0.95,
+                      "paper thresholds (X=10, Y=7) give high precision (validated as "
+                      "all-true-positives on the paper's campus)");
+      }
+    }
+  }
+  return checks.exit_code();
+}

@@ -1,0 +1,102 @@
+/// F9 — Fig. 9: longitudinal rDNS entry presence through the COVID-19
+/// pandemic for the three academic networks and enterprises B and C.
+/// Paper shape: sharp drops at lockdowns; Academic-A tracks its campus
+/// risk-level reports; Academic-B recovers to ~pre-pandemic levels by
+/// September 2021 with a Christmas dip at the end; Enterprise-B/C show
+/// their big decreases in March/April 2021, B partially recovering around
+/// May 2021.
+
+#include "bench_common.hpp"
+#include "core/longitudinal.hpp"
+
+using namespace rdns;
+
+int main() {
+  bench::heading("F9", "Fig. 9 — daily rDNS entries as % of each network's max, 2020-2021");
+  bench::paper_note("lockdown drops; Academic-B back to ~95% then 100% by Sep 2021; "
+                    "Enterprise-B/C drop in Mar/Apr 2021; Christmas dips");
+
+  core::WorldScale scale;
+  scale.population = 0.12;  // two simulated years: keep populations small
+  auto world = core::make_paper_world(9, scale, /*dhcp_tick=*/300);
+  const util::CivilDate from{2020, 2, 1};
+  const util::CivilDate to{2021, 12, 31};
+  world->start(from, to);
+
+  // Classify addresses to their owning campaign network.
+  core::DailyCountSink sink{[&world](net::Ipv4Addr a) -> std::optional<std::string> {
+    const sim::Organization* org = world->org_of(a);
+    if (org == nullptr) return std::nullopt;
+    const auto& name = org->name();
+    if (name == "Academic-A" || name == "Academic-B" || name == "Academic-C" ||
+        name == "Enterprise-B" || name == "Enterprise-C") {
+      return name;
+    }
+    return std::nullopt;
+  }};
+  scan::SweepDriver driver{*world, 14, 1, /*second_hour=*/21};
+  const auto stats = driver.run(util::add_days(from, 1), to, sink);
+  std::printf("daily sweeps: %llu\n", static_cast<unsigned long long>(stats.sweeps));
+
+  std::map<std::string, core::PercentSeries> series;
+  for (const auto& [name, counts] : sink.counts()) {
+    series[name] = core::percent_of_max(name, counts);
+  }
+
+  // Monthly medians for the table; the chart shows the full series.
+  const auto value_on = [](const core::PercentSeries& s, const util::CivilDate& d) {
+    for (std::size_t i = 0; i < s.dates.size(); ++i) {
+      if (!(s.dates[i] < d)) return s.percent[i];
+    }
+    return s.percent.empty() ? 0.0 : s.percent.back();
+  };
+
+  std::vector<util::Series> chart;
+  for (const auto& [name, s] : series) {
+    util::Series line{name, {}};
+    // Downsample to weekly for the ASCII chart.
+    for (std::size_t i = 0; i < s.percent.size(); i += 7) line.values.push_back(s.percent[i]);
+    chart.push_back(std::move(line));
+  }
+  util::ChartOptions opts;
+  opts.height = 14;
+  opts.width = 72;
+  opts.title = "entries as % of per-network max (weekly samples, Feb 2020 .. Dec 2021)";
+  std::printf("\n%s\n", util::render_line_chart(chart, opts).c_str());
+
+  std::printf("%-14s", "network");
+  const std::vector<util::CivilDate> probe_dates = {
+      {2020, 2, 15}, {2020, 4, 15}, {2020, 10, 1}, {2021, 2, 1},
+      {2021, 4, 1},  {2021, 6, 1},  {2021, 10, 1}, {2021, 12, 28}};
+  for (const auto& d : probe_dates) std::printf("%9s", util::format_date(d).substr(2, 5).c_str());
+  std::printf("\n");
+  for (const auto& [name, s] : series) {
+    std::printf("%-14s", name.c_str());
+    for (const auto& d : probe_dates) std::printf("%8.0f%%", value_on(s, d));
+    std::printf("\n");
+  }
+
+  bench::ShapeChecks checks;
+  checks.expect(series.size() == 5, "all five networks have series");
+  const auto& aa = series.at("Academic-A");
+  const auto& ab = series.at("Academic-B");
+  const auto& eb = series.at("Enterprise-B");
+  const auto& ec = series.at("Enterprise-C");
+  checks.expect(value_on(aa, {2020, 4, 15}) < value_on(aa, {2020, 2, 20}),
+                "Academic-A drops at the first lockdown");
+  checks.expect(value_on(aa, {2020, 9, 25}) < value_on(aa, {2020, 9, 5}),
+                "Academic-A drops again on the September campus high-risk alert");
+  checks.expect(value_on(ab, {2021, 10, 1}) > 80.0,
+                "Academic-B back near pre-pandemic levels by autumn 2021");
+  checks.expect(value_on(ab, {2021, 12, 28}) < value_on(ab, {2021, 12, 10}),
+                "Academic-B dips over the Christmas break");
+  checks.expect(value_on(eb, {2021, 4, 1}) < value_on(eb, {2021, 2, 15}),
+                "Enterprise-B decreases in March/April 2021");
+  checks.expect(value_on(eb, {2021, 6, 1}) > value_on(eb, {2021, 4, 1}),
+                "Enterprise-B partially recovers around May 2021");
+  checks.expect(value_on(ec, {2021, 4, 15}) < value_on(ec, {2021, 2, 15}),
+                "Enterprise-C decreases in March/April 2021");
+  checks.expect(value_on(ec, {2021, 6, 1}) < value_on(eb, {2021, 6, 1}),
+                "Enterprise-C stays lower than Enterprise-B through spring 2021");
+  return checks.exit_code();
+}

@@ -1,0 +1,159 @@
+/// Microbenchmarks (google-benchmark) for the hot paths of the substrate:
+/// DNS wire codec, DHCP handshakes, dynamic updates through the bridge,
+/// lease DB operations, the scan permutation, ping routing and the analysis
+/// primitives. These guard the performance envelope that lets experiment
+/// benches simulate weeks of Internet measurement in seconds.
+
+#include <benchmark/benchmark.h>
+
+#include "core/names.hpp"
+#include "core/terms.hpp"
+#include "dhcp/client.hpp"
+#include "dhcp/ddns.hpp"
+#include "dns/resolver.hpp"
+#include "dns/update.hpp"
+#include "dns/wire.hpp"
+#include "net/arpa.hpp"
+#include "scan/permutation.hpp"
+#include "sim/world.hpp"
+
+namespace {
+
+using namespace rdns;
+
+dns::Message sample_response() {
+  dns::Message query = dns::make_ptr_query(7, net::Ipv4Addr::must_parse("10.10.128.7"));
+  dns::Message response = dns::make_response(query, dns::Rcode::NoError);
+  response.answers.push_back(dns::make_ptr(
+      query.questions[0].qname, dns::DnsName::must_parse("brians-iphone.wifi.bayfield.edu"),
+      300));
+  return response;
+}
+
+void BM_DnsWireEncode(benchmark::State& state) {
+  const dns::Message m = sample_response();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::encode(m));
+  }
+}
+BENCHMARK(BM_DnsWireEncode);
+
+void BM_DnsWireDecode(benchmark::State& state) {
+  const auto wire = dns::encode(sample_response());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::decode(wire));
+  }
+}
+BENCHMARK(BM_DnsWireDecode);
+
+void BM_DnsServerQuery(benchmark::State& state) {
+  dns::AuthoritativeServer server;
+  dns::Zone& zone = server.add_zone(
+      dns::DnsName::must_parse("128.10.in-addr.arpa"),
+      dns::SoaRdata{dns::DnsName::must_parse("ns1.x.edu"), dns::DnsName::must_parse("h.x.edu")});
+  for (std::uint32_t i = 1; i < 200; ++i) {
+    zone.add(dns::make_ptr(
+        dns::DnsName::must_parse(net::to_arpa(net::Ipv4Addr{0x0A800000u + i})),
+        dns::DnsName::must_parse("host-" + std::to_string(i) + ".x.edu")));
+  }
+  dns::LoopbackTransport transport{server};
+  dns::StubResolver resolver{transport};
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        resolver.lookup_ptr(net::Ipv4Addr{0x0A800001u + (i++ % 199)}, 0));
+  }
+}
+BENCHMARK(BM_DnsServerQuery);
+
+void BM_DnsDynamicUpdate(benchmark::State& state) {
+  dns::AuthoritativeServer server;
+  server.add_zone(
+      dns::DnsName::must_parse("128.10.in-addr.arpa"),
+      dns::SoaRdata{dns::DnsName::must_parse("ns1.x.edu"), dns::DnsName::must_parse("h.x.edu")});
+  const dns::DnsName target = dns::DnsName::must_parse("brians-iphone.wifi.x.edu");
+  std::uint16_t id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.handle(dns::make_ptr_replace(
+        ++id, dns::DnsName::must_parse("128.10.in-addr.arpa"),
+        net::Ipv4Addr::must_parse("10.128.1.7"), target, 300)));
+  }
+}
+BENCHMARK(BM_DnsDynamicUpdate);
+
+void BM_DhcpHandshakeWire(benchmark::State& state) {
+  dhcp::DhcpServerConfig config;
+  config.server_id = net::Ipv4Addr::must_parse("10.0.0.0");
+  dhcp::AddressPool pool;
+  pool.add_prefix(net::Prefix::must_parse("10.0.0.0/20"));
+  dhcp::DhcpServer server{config, std::move(pool)};
+  util::Rng rng{1};
+  util::SimTime now = 0;
+  for (auto _ : state) {
+    dhcp::ClientIdentity id;
+    id.mac = net::Mac::random(net::MacVendor::Apple, rng);
+    id.host_name = "Brian's iPhone";
+    dhcp::DhcpClient client{id, rng.next()};
+    now += 10;
+    benchmark::DoNotOptimize(client.join(server, now));
+    client.leave(server, now + 5, true);
+  }
+}
+BENCHMARK(BM_DhcpHandshakeWire);
+
+void BM_HostnameSanitize(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dhcp::sanitize_hostname("Brian's iPhone 12 Pro Max"));
+  }
+}
+BENCHMARK(BM_HostnameSanitize);
+
+void BM_ScanPermutation(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    scan::ScanPermutation perm{n, 42};
+    std::uint64_t sum = 0;
+    while (const auto v = perm.next()) sum += *v;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ScanPermutation)->Arg(256)->Arg(65536);
+
+void BM_WorldPing(benchmark::State& state) {
+  sim::World world;
+  sim::OrgSpec org;
+  org.name = "bench";
+  org.suffix = dns::DnsName::must_parse("bench.edu");
+  org.announced = {net::Prefix::must_parse("10.50.0.0/16")};
+  org.static_ranges = {{net::Prefix::must_parse("10.50.0.0/24"),
+                        sim::StaticRangeSpec::Style::GenericNames, 1.0, 1.0}};
+  org.seed = 5;
+  world.add_org(std::move(org));
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.ping(net::Ipv4Addr{0x0A320000u + (i++ & 0xFFFF)}, 1000));
+  }
+}
+BENCHMARK(BM_WorldPing);
+
+void BM_TermExtraction(benchmark::State& state) {
+  const std::string hostname = "brians-galaxy-note9.housing.bayfield-university.edu";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::extract_terms(hostname));
+  }
+}
+BENCHMARK(BM_TermExtraction);
+
+void BM_GivenNameMatch(benchmark::State& state) {
+  const auto terms = core::extract_terms("brians-galaxy-note9.housing.bayfield.edu");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::match_given_names(terms));
+  }
+}
+BENCHMARK(BM_GivenNameMatch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

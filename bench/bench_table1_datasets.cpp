@@ -1,0 +1,88 @@
+/// T1 — Table 1: statistics of the full-address-space rDNS data sets.
+/// Paper: Rapid7 Sonar (weekly, 2019-10-01..2021-01-01, 77G responses,
+/// 1,381M unique PTRs) and OpenINTEL (daily, 2020-02-17..2021-12-01, 396G
+/// responses, 1,356M unique PTRs). We regenerate both collection regimes
+/// over the synthetic Internet and print the same columns.
+
+#include <unordered_set>
+
+#include "bench_common.hpp"
+#include "scan/rdns_snapshot.hpp"
+
+using namespace rdns;
+
+namespace {
+
+struct UniquePtrSink final : public scan::SnapshotSink {
+  std::unordered_set<std::string> unique_ptrs;
+  std::uint64_t rows = 0;
+  void on_row(const util::CivilDate&, net::Ipv4Addr, const dns::DnsName& ptr) override {
+    ++rows;
+    unique_ptrs.insert(ptr.to_canonical_string());
+  }
+};
+
+}  // namespace
+
+int main() {
+  bench::heading("T1", "Table 1 — full-address-space rDNS data set statistics");
+  bench::paper_note("Rapid7 Sonar  2019-10-01..2021-01-01 weekly: 77G responses, 1,381M unique PTRs");
+  bench::paper_note("OpenINTEL     2020-02-17..2021-12-01 daily:  396G responses, 1,356M unique PTRs");
+  std::printf("(synthetic Internet, scaled: windows shortened to keep the bench fast)\n\n");
+
+  core::WorldScale scale;
+  scale.population = 0.35;
+  auto world = core::make_internet_world(20220101, 48, scale, /*dhcp_tick=*/300);
+  const util::CivilDate start{2021, 1, 1};
+  const util::CivilDate weekly_end{2021, 3, 26};
+  const util::CivilDate daily_start{2021, 1, 15};  // the later-starting daily feed
+  const util::CivilDate daily_end{2021, 3, 26};
+  world->start(start, util::add_days(daily_end, 1));
+
+  // Rapid7-style weekly sweeps and OpenINTEL-style daily sweeps interleave
+  // on the same world; both observe the same PTR churn at different
+  // cadences. Rapid7 sweeps Mondays at 06:00; OpenINTEL daily at 14:00.
+  UniquePtrSink rapid7, openintel;
+  scan::SweepDriver weekly{*world, 6, 7};
+  scan::SweepDriver daily{*world, 14, 1};
+
+  // Drive both interleaved, chunked by week so the clock never rewinds.
+  scan::SweepStats weekly_stats{}, daily_stats{};
+  for (util::CivilDate week = start; !(weekly_end < week); week = util::add_days(week, 7)) {
+    const auto ws = weekly.run(week, week, rapid7);
+    weekly_stats.sweeps += ws.sweeps;
+    weekly_stats.total_rows += ws.total_rows;
+    const util::CivilDate day_from = week < daily_start ? daily_start : week;
+    const util::CivilDate day_to = util::add_days(week, 6);
+    if (!(day_to < day_from)) {
+      const auto ds = daily.run(day_from, day_to, openintel);
+      daily_stats.sweeps += ds.sweeps;
+      daily_stats.total_rows += ds.total_rows;
+    }
+  }
+
+  std::printf("%-12s %-12s %-12s %8s %16s %14s\n", "Source", "Start", "End", "Sweeps",
+              "Total responses", "Unique PTRs");
+  std::printf("%-12s %-12s %-12s %8llu %16s %14s\n", "Rapid7-like",
+              util::format_date(start).c_str(), util::format_date(weekly_end).c_str(),
+              static_cast<unsigned long long>(weekly_stats.sweeps),
+              util::with_commas(static_cast<std::int64_t>(weekly_stats.total_rows)).c_str(),
+              util::with_commas(static_cast<std::int64_t>(rapid7.unique_ptrs.size())).c_str());
+  std::printf("%-12s %-12s %-12s %8llu %16s %14s\n", "OpenINTEL-like",
+              util::format_date(daily_start).c_str(), util::format_date(daily_end).c_str(),
+              static_cast<unsigned long long>(daily_stats.sweeps),
+              util::with_commas(static_cast<std::int64_t>(daily_stats.total_rows)).c_str(),
+              util::with_commas(static_cast<std::int64_t>(openintel.unique_ptrs.size())).c_str());
+
+  bench::ShapeChecks checks;
+  checks.expect(daily_stats.sweeps > 4 * weekly_stats.sweeps,
+                "daily collection produces many more sweeps than weekly");
+  checks.expect(daily_stats.total_rows > weekly_stats.total_rows,
+                "daily collection accumulates more responses (396G > 77G in the paper)");
+  const double ratio = static_cast<double>(rapid7.unique_ptrs.size()) /
+                       static_cast<double>(openintel.unique_ptrs.size());
+  checks.expect(ratio > 0.5 && ratio < 2.0,
+                "unique PTR counts are the same order of magnitude for both feeds "
+                "(1,381M vs 1,356M in the paper)");
+  return checks.exit_code();
+}

@@ -1,0 +1,72 @@
+/// T2 — Table 2: the reactive measurement back-off schedule, regenerated
+/// from the implementation, plus the cost/resolution ablation DESIGN.md
+/// calls out (probes spent per tracked client vs removal-detection delay).
+
+#include "bench_common.hpp"
+#include "scan/reactive.hpp"
+
+using namespace rdns;
+
+int main() {
+  bench::heading("T2", "Table 2 — reactive measurement back-off schedule");
+  bench::paper_note("12x in 1st hour @5min; 6x in 2nd hour @10min; 3x in 3rd hour @20min; "
+                    "2x in 4th hour @30min; then 60-min intervals until offline");
+
+  // Regenerate the schedule rows from BackoffSchedule itself.
+  struct Row {
+    int count;
+    util::SimTime interval;
+    const char* label;
+  };
+  std::vector<Row> rows;
+  int i = 0;
+  while (i < 40) {
+    const util::SimTime interval = scan::BackoffSchedule::interval_after(i);
+    int count = 0;
+    while (scan::BackoffSchedule::interval_after(i) == interval && i < 40) {
+      ++count;
+      ++i;
+    }
+    rows.push_back({count, interval, ""});
+  }
+  static const char* kLabels[] = {"1st hour", "2nd hour", "3rd hour", "4th hour",
+                                  "until client goes offline"};
+  std::printf("%-10s %-28s %s\n", "# probes", "interval", "phase");
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::printf("%-10d every %2lld minutes %12s %s\n", rows[r].count,
+                static_cast<long long>(rows[r].interval / 60), "",
+                r < 5 ? kLabels[r] : "(steady state)");
+  }
+
+  bench::ShapeChecks checks;
+  checks.expect(rows.size() >= 5, "five phases present");
+  checks.expect(rows[0].count == 12 && rows[0].interval == 5 * util::kMinute, "phase 1 exact");
+  checks.expect(rows[1].count == 6 && rows[1].interval == 10 * util::kMinute, "phase 2 exact");
+  checks.expect(rows[2].count == 3 && rows[2].interval == 20 * util::kMinute, "phase 3 exact");
+  checks.expect(rows[3].count == 2 && rows[3].interval == 30 * util::kMinute, "phase 4 exact");
+  checks.expect(rows[4].interval == 60 * util::kMinute, "steady state hourly");
+  checks.expect(scan::BackoffSchedule::offset_of(23) == 4 * util::kHour,
+                "phases sum to exactly four hours");
+
+  // ---- Ablation: schedule cost vs detection resolution --------------------
+  std::printf("\nAblation — probe budget vs worst-case removal-detection delay for a\n");
+  std::printf("client present for H hours (probes = ICMP probes until offline detected):\n");
+  std::printf("%8s %18s %26s\n", "present", "probes (Table 2)", "probes (flat 5-min)");
+  for (const int hours : {1, 2, 4, 8, 16}) {
+    int probes = 0;
+    util::SimTime t = 0;
+    while (t < hours * util::kHour) {
+      t += scan::BackoffSchedule::interval_after(probes);
+      ++probes;
+    }
+    const int flat = hours * 12;
+    std::printf("%7dh %18d %26d\n", hours, probes, flat);
+    if (hours == 16) {
+      checks.expect(probes < flat / 4,
+                    "back-off cuts probe volume >4x vs flat 5-min polling on long sessions");
+    }
+  }
+  std::printf("detection gap is bounded by the current interval: 5min early, 60min in\n");
+  std::printf("steady state — the source of Fig. 7a's 5-minute and 60-minute peaks.\n");
+  return checks.exit_code();
+}

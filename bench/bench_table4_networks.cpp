@@ -1,0 +1,54 @@
+/// T4 — Table 4: the nine targeted networks, their targeted address space
+/// and ICMP responsiveness. Paper shape: Academic-A 48%, Academic-B ~0%
+/// (two PTR-less hosts), Academic-C 33%, Enterprise-A 58.7%, Enterprise-B/C
+/// 0% (ingress ping blocking), ISP-A 34.9%, ISP-B 0.3%, ISP-C 1.7%.
+
+#include <map>
+
+#include "bench_common.hpp"
+
+using namespace rdns;
+
+int main() {
+  bench::heading("T4", "Table 4 — targeted networks and ICMP responsiveness");
+  bench::paper_note("A-A 48% | A-B 0% | A-C 33% | E-A 58.7% | E-B 0% | E-C 0% | "
+                    "I-A 34.9% | I-B 0.3% | I-C 1.7%");
+
+  const auto run = bench::run_paper_campaign(2, 0.35, util::CivilDate{2021, 10, 25},
+                                             util::CivilDate{2021, 11, 7});
+  auto rows = run.campaign->network_rows();
+
+  std::printf("\n%-14s %-11s %-20s %14s %10s\n", "Network", "Type", "Targeted space",
+              "Addrs observed", "Observed");
+  std::map<std::string, double> observed;
+  for (const auto& row : rows) {
+    const sim::Organization* org = run.world->org_by_name(row.name);
+    std::string space;
+    const auto& targets = org->spec().measurement_targets.empty()
+                              ? org->spec().announced
+                              : org->spec().measurement_targets;
+    for (const auto& p : targets) {
+      if (!space.empty()) space += ", ";
+      space += "/" + std::to_string(p.length());
+    }
+    std::printf("%-14s %-11s %-20s %14llu %9.1f%%\n", row.name.c_str(), row.type.c_str(),
+                space.c_str(), static_cast<unsigned long long>(row.addresses_observed),
+                row.percent_observed);
+    observed[row.name] = row.percent_observed;
+  }
+
+  bench::ShapeChecks checks;
+  checks.expect(observed.at("Enterprise-B") == 0.0, "Enterprise-B blocks pings entirely");
+  checks.expect(observed.at("Enterprise-C") == 0.0, "Enterprise-C blocks pings entirely");
+  checks.expect(observed.at("Academic-B") < 0.1,
+                "Academic-B nearly silent (two allowlisted hosts only)");
+  checks.expect(observed.at("Academic-A") > 5.0, "Academic-A clearly responsive");
+  checks.expect(observed.at("Academic-C") > 5.0, "Academic-C clearly responsive");
+  checks.expect(observed.at("Enterprise-A") > observed.at("ISP-B"),
+                "pingable enterprise beats CPE-filtered ISP");
+  checks.expect(observed.at("ISP-B") < 1.0, "ISP-B responsiveness is tiny (paper: 0.3%)");
+  checks.expect(observed.at("ISP-C") < 5.0, "ISP-C responsiveness is low (paper: 1.7%)");
+  checks.expect(observed.at("ISP-A") > observed.at("ISP-C"),
+                "ISP-A the most responsive of the ISPs (paper: 34.9%)");
+  return checks.exit_code();
+}

@@ -1,0 +1,66 @@
+/// \file brian_tracker.cpp
+/// Case study §7.1 "Life of Brian(s)" as a runnable scenario: follow
+/// devices whose dynamically published hostnames contain a given name
+/// across two weeks on a campus network, using nothing but outside
+/// measurements (hourly ICMP + reactive rDNS).
+///
+/// Usage: brian_tracker [given-name]   (default: brian)
+
+#include <cstdio>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "core/tracking.hpp"
+#include "scan/campaign.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rdns;
+  const std::string needle = argc > 1 ? argv[1] : "brian";
+
+  std::printf("Tracking devices named after '%s' on Academic-A...\n\n", needle.c_str());
+
+  core::WorldScale scale;
+  scale.population = 0.25;
+  auto world = core::make_paper_world(/*seed=*/123, scale);
+  const util::CivilDate from{2021, 11, 15};
+  const util::CivilDate to{2021, 11, 30};  // covers Thanksgiving + Cyber Monday
+  world->start(util::add_days(from, -1), util::add_days(to, 1));
+
+  const sim::Organization* target = world->org_by_name("Academic-A");
+  scan::SupplementalCampaign campaign{*world,
+                                      {{"Academic-A", target->spec().measurement_targets}},
+                                      scan::CampaignWindow{from, to}};
+  campaign.run();
+
+  const auto segments =
+      core::segments_matching(campaign.engine().groups(), needle, "Academic-A");
+  if (segments.empty()) {
+    std::printf("No hostnames containing '%s' observed. Try 'brian' or another top-50 "
+                "given name.\n",
+                needle.c_str());
+    return 0;
+  }
+
+  std::printf("Observed %zu presence periods across these hostnames:\n", segments.size());
+  const auto first_seen = core::first_seen_dates(segments);
+  for (const auto& [hostname, date] : first_seen) {
+    std::printf("  %-28s first seen %s\n", hostname.c_str(),
+                util::format_date(date).c_str());
+  }
+
+  const auto grid = core::build_weekly_grid(segments, from, 3, 12);
+  for (std::size_t week = 0; week < grid.weeks.size(); ++week) {
+    std::printf("\nWeek of %s (Mon..Sun, 2h slots; glyph = IP address):\n",
+                util::format_date(
+                    util::add_days(grid.first_monday, static_cast<std::int64_t>(week) * 7))
+                    .c_str());
+    std::printf("%s", util::render_presence_grid(grid.hostnames, grid.weeks[week], "").c_str());
+  }
+
+  std::printf(
+      "\nEverything above was inferred from PUBLIC reverse DNS (plus pings).\n"
+      "Anyone on the Internet can do this — that is the paper's point.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+/// \file campus_tracker.cpp
+/// The §8 escalation demonstrated: with building-level subnet knowledge, an
+/// outside observer turns reverse-DNS churn into a MOVEMENT TRACE — a
+/// person followed around campus as they go from lecture to lecture,
+/// without a single packet ever touching their device beyond probes.
+///
+/// Usage: campus_tracker [given-name]   (default: emma)
+
+#include <cstdio>
+#include <string>
+
+#include "core/geotrack.hpp"
+#include "core/pipeline.hpp"
+#include "scan/campaign.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rdns;
+  const std::string needle = argc > 1 ? argv[1] : "emma";
+
+  std::printf("Geotemporal tracking on Academic-A (building-level subnets known)...\n\n");
+
+  core::WorldScale scale;
+  scale.population = 0.25;
+  auto world = core::make_paper_world(/*seed=*/202, scale);
+  const util::CivilDate from{2021, 11, 1};
+  const util::CivilDate to{2021, 11, 5};
+  world->start(util::add_days(from, -1), util::add_days(to, 1));
+
+  const sim::Organization* campus = world->org_by_name("Academic-A");
+  scan::SupplementalCampaign campaign{*world,
+                                      {{"Academic-A", campus->spec().measurement_targets}},
+                                      scan::CampaignWindow{from, to}};
+  campaign.run();
+
+  // Building knowledge straight from the numbering plan (the paper used a
+  // posteriori knowledge; Zhang et al. show it can be inferred remotely).
+  core::BuildingMap buildings;
+  for (const auto& segment : campus->spec().segments) {
+    buildings.add(segment.prefix, segment.label);
+  }
+
+  const auto traces =
+      core::build_traces(campaign.engine().groups(), buildings, needle);
+  if (traces.empty()) {
+    std::printf("no '%s'-named devices observed this week; try another top-50 name\n",
+                needle.c_str());
+    return 0;
+  }
+
+  for (const auto& trace : traces) {
+    std::printf("%s — %zu presence periods, %zu buildings, %zu transitions\n",
+                trace.hostname.c_str(), trace.visits.size(), trace.distinct_buildings(),
+                trace.transitions());
+    for (const auto& visit : trace.visits) {
+      std::printf("  %s .. %s  %-14s (%s)\n",
+                  util::format_date_time(visit.from).c_str(),
+                  util::format_date_time(visit.to).substr(11).c_str(),
+                  visit.building.c_str(), visit.address.to_string().c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Every row above was derived from publicly queryable reverse DNS.\n"
+      "This is the paper's §8 warning realized: numbering plans + dynamic\n"
+      "PTR records = building-level tracking from anywhere on the Internet.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+/// \file heist_planner.cpp
+/// Case study §7.3 "When to stage a heist?" as a runnable scenario: infer
+/// a building's occupancy rhythm from outside, via reverse DNS — even when
+/// the network blocks ICMP — and recommend the quietest hour.
+
+#include <cstdio>
+
+#include "core/heist.hpp"
+#include "core/pipeline.hpp"
+#include "scan/campaign.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace rdns;
+  std::printf("Planning a (hypothetical!) heist against Academic-A...\n");
+
+  core::WorldScale scale;
+  scale.population = 0.25;
+  auto world = core::make_paper_world(/*seed=*/321, scale);
+  const util::CivilDate from{2021, 11, 1};
+  const util::CivilDate to{2021, 11, 7};
+  world->start(util::add_days(from, -1), util::add_days(to, 1));
+
+  // The valuables are in an educational building: probe the staff/wifi
+  // ranges of Academic-A's numbering plan, not the dorms.
+  scan::SupplementalCampaign campaign{
+      *world,
+      {{"Academic-A",
+        {net::Prefix::must_parse("10.10.136.0/21"), net::Prefix::must_parse("10.10.144.0/22")}}},
+      scan::CampaignWindow{from, to}};
+  campaign.run();
+
+  const auto analysis = core::analyze_heist_window(
+      campaign.engine().hourly_activity(), util::to_sim_time(from),
+      util::to_sim_time(to) + util::kDay);
+
+  util::Series icmp{"ICMP", {}}, rdns{"rDNS", {}};
+  for (const auto v : analysis.icmp_per_hour) icmp.values.push_back(static_cast<double>(v));
+  for (const auto v : analysis.rdns_per_hour) rdns.values.push_back(static_cast<double>(v));
+  util::ChartOptions opts;
+  opts.title = "activity per hour over one week";
+  opts.height = 10;
+  std::printf("\n%s\n", util::render_line_chart({icmp, rdns}, opts).c_str());
+
+  std::printf("Weekday rDNS activity by hour of day (lower = fewer people):\n");
+  std::vector<std::pair<std::string, double>> bars;
+  for (int h = 0; h < 24; h += 2) {
+    bars.emplace_back(util::format("%02d:00", h),
+                      analysis.weekday_profile[static_cast<std::size_t>(h)]);
+  }
+  util::ChartOptions bar_opts;
+  bar_opts.width = 40;
+  std::printf("%s\n", util::render_bar_chart(bars, bar_opts).c_str());
+
+  std::printf("=> Quietest weekday hour: %02d:00 (the paper's data hinted at ~6AM)\n\n",
+              analysis.quietest_hour);
+  std::printf(
+      "Note: the same inference works against networks that block ICMP —\n"
+      "reverse DNS is queryable by anyone, from anywhere.\n");
+  return 0;
+}

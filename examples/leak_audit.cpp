@@ -1,0 +1,52 @@
+/// \file leak_audit.cpp
+/// The defensive scenario (§8): a network operator audits their OWN reverse
+/// zones for privacy leaks before an outsider finds them, then compares
+/// DDNS policies as mitigations.
+
+#include <cstdio>
+
+#include "core/mitigation.hpp"
+#include "core/pipeline.hpp"
+
+int main() {
+  using namespace rdns;
+  std::printf("Auditing reverse zones for privacy leaks (operator view)...\n\n");
+
+  core::WorldScale scale;
+  scale.population = 0.3;
+  auto world = core::make_paper_world(/*seed=*/777, scale);
+  world->start(util::CivilDate{2021, 11, 1}, util::CivilDate{2021, 11, 3});
+  // Mid-afternoon: clients are on the network, records are published.
+  world->run_until(util::to_sim_time(util::CivilDate{2021, 11, 2}) + 14 * util::kHour);
+
+  for (const char* name : {"Academic-A", "ISP-B"}) {
+    const sim::Organization* org = world->org_by_name(name);
+    const auto report = core::audit_organization(*org);
+    std::printf("=== %s (%s) ===\n", name, sim::to_string(org->type()));
+    std::printf("records audited: %llu | findings: %zu | owner-name leaks: %llu | "
+                "device-model leaks: %llu\n",
+                static_cast<unsigned long long>(report.records_audited),
+                report.findings.size(),
+                static_cast<unsigned long long>(report.owner_name_leaks),
+                static_cast<unsigned long long>(report.device_model_leaks));
+    int shown = 0;
+    for (const auto& finding : report.findings) {
+      if (finding.severity < core::LeakSeverity::OwnerName) continue;
+      if (shown++ >= 5) break;
+      std::printf("  [%-24s] %-16s %s\n", core::to_string(finding.severity),
+                  finding.address.to_string().c_str(), finding.hostname.c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("Mitigation options (per the paper's §8 discussion):\n");
+  for (const auto policy :
+       {dhcp::DdnsPolicy::CarryOverClientId, dhcp::DdnsPolicy::HashedClientId,
+        dhcp::DdnsPolicy::StaticGeneric, dhcp::DdnsPolicy::None}) {
+    const auto assessment = core::assess_policy(policy);
+    std::printf("- %-22s identifiers-leak=%s dynamics-exposed=%s\n  %s\n",
+                dhcp::to_string(policy), assessment.leaks_identifiers ? "YES" : "no",
+                assessment.exposes_dynamics ? "YES" : "no", assessment.advice.c_str());
+  }
+  return 0;
+}

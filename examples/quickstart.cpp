@@ -1,0 +1,56 @@
+/// \file quickstart.cpp
+/// Quickstart: build a small synthetic Internet, run daily rDNS sweeps for
+/// a month, and run the paper's identification pipeline (Sections 4-5) to
+/// find networks that leak privacy-sensitive client identifiers through
+/// reverse DNS.
+
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace rdns;
+
+  // 1. A synthetic Internet: 24 organizations with a realistic mix of
+  //    DDNS policies (carry-over leakers, static-generic, router-only).
+  core::WorldScale scale;
+  scale.population = 0.5;
+  auto world = core::make_internet_world(/*seed=*/42, /*org_count=*/24, scale);
+  world->start(util::CivilDate{2021, 1, 1}, util::CivilDate{2021, 2, 7});
+
+  // 2-3. Daily full-space PTR sweeps + the identification pipeline.
+  core::PipelineConfig config;
+  config.from = util::CivilDate{2021, 1, 2};
+  config.to = util::CivilDate{2021, 2, 6};
+  config.dynamicity.min_days_over = 5;     // scaled-down window
+  config.leak.min_unique_names = 20;       // scaled-down populations
+  const core::PipelineReport report = core::run_identification_pipeline(*world, config);
+
+  std::printf("Sweeps: %zu (rows: %s)\n", report.sweeps,
+              util::with_commas(static_cast<std::int64_t>(report.sweep_rows)).c_str());
+  std::printf("/24 blocks with PTRs: %zu, dynamic: %zu\n",
+              report.dynamicity.total_slash24_seen, report.dynamicity.dynamic_count);
+  std::printf("Identified leaking networks: %zu\n", report.leaks.identified.size());
+  for (const auto& suffix : report.leaks.identified) {
+    const auto& stats = report.leaks.suffixes.at(suffix);
+    std::printf("  %-32s records=%llu unique-names=%zu ratio=%.2f type=%s\n", suffix.c_str(),
+                static_cast<unsigned long long>(stats.records), stats.unique_names.size(),
+                stats.ratio(), core::to_string(core::classify_suffix(suffix)));
+  }
+
+  std::printf("\nTop given-name matches (filtered):\n");
+  int shown = 0;
+  for (const auto& [name, count] : report.leaks.filtered_matches_per_name) {
+    if (shown++ >= 8) break;
+    std::printf("  %-12s %llu\n", name.c_str(), static_cast<unsigned long long>(count));
+  }
+
+  std::printf("\nDevice terms co-occurring with names (filtered total: %llu)\n",
+              static_cast<unsigned long long>(report.cooccurrence.total_filtered));
+  std::printf("World events: joins=%llu leaves=%llu renewals=%llu\n",
+              static_cast<unsigned long long>(world->stats().joins),
+              static_cast<unsigned long long>(world->stats().leaves),
+              static_cast<unsigned long long>(world->stats().renewals));
+  return 0;
+}

@@ -1,0 +1,59 @@
+/// \file wfh_monitor.cpp
+/// Case study §7.2 "Working from Home" as a runnable scenario: observe an
+/// organization's work-from-home compliance from the outside, using only
+/// daily full-space rDNS snapshots (no ICMP, no privileged access).
+
+#include <cstdio>
+
+#include "core/longitudinal.hpp"
+#include "core/pipeline.hpp"
+#include "scan/rdns_snapshot.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace rdns;
+  std::printf("Monitoring pandemic work-from-home dynamics via daily rDNS snapshots...\n");
+
+  core::WorldScale scale;
+  scale.population = 0.12;
+  auto world = core::make_paper_world(/*seed=*/555, scale, /*dhcp_tick=*/300);
+  const util::CivilDate from{2020, 2, 1};
+  const util::CivilDate to{2020, 7, 31};
+  world->start(from, to);
+
+  // Count daily PTR entries for two networks of interest — one of which
+  // (Enterprise-B) blocks ICMP entirely and is still observable this way.
+  core::DailyCountSink sink{[&world](net::Ipv4Addr a) -> std::optional<std::string> {
+    const sim::Organization* org = world->org_of(a);
+    if (org == nullptr) return std::nullopt;
+    if (org->name() == "Academic-A" || org->name() == "Enterprise-B") return org->name();
+    return std::nullopt;
+  }};
+  scan::SweepDriver driver{*world, 14, 1, /*second_hour=*/21};
+  const auto stats = driver.run(util::add_days(from, 1), to, sink);
+  std::printf("ingested %llu daily sweeps\n\n",
+              static_cast<unsigned long long>(stats.sweeps));
+
+  std::vector<util::Series> chart;
+  for (const auto& [name, counts] : sink.counts()) {
+    const auto series = core::percent_of_max(name, counts);
+    util::Series line{name, {}};
+    for (std::size_t i = 0; i < series.percent.size(); i += 3) {
+      line.values.push_back(series.percent[i]);
+    }
+    chart.push_back(std::move(line));
+    std::printf("%-14s max daily entries: %llu\n", name.c_str(),
+                static_cast<unsigned long long>(series.max_count));
+  }
+
+  util::ChartOptions opts;
+  opts.title = "daily rDNS entries as % of max, Feb..Jul 2020 (3-day samples)";
+  opts.height = 12;
+  std::printf("\n%s\n", util::render_line_chart(chart, opts).c_str());
+  std::printf(
+      "The mid-March cliff is the first lockdown: employees and students left,\n"
+      "their DHCP leases lapsed, and the DDNS coupling withdrew their PTR\n"
+      "records — visible to the whole Internet at daily granularity.\n");
+  return 0;
+}

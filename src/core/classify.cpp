@@ -1,0 +1,69 @@
+#include "core/classify.hpp"
+
+#include "util/strings.hpp"
+
+namespace rdns::core {
+
+const char* to_string(NetworkType t) noexcept {
+  switch (t) {
+    case NetworkType::Academic: return "academic";
+    case NetworkType::Isp: return "isp";
+    case NetworkType::Enterprise: return "enterprise";
+    case NetworkType::Government: return "government";
+    case NetworkType::Other: return "other";
+  }
+  return "?";
+}
+
+NetworkType classify_suffix(const std::string& suffix) {
+  using util::contains;
+  using util::ends_with;
+  const std::string s = util::to_lower(suffix);
+
+  // Regex-equivalent rules from the paper: .edu and .ac => academic,
+  // .gov => government.
+  if (ends_with(s, ".edu") || contains(s, ".edu.") || contains(s, ".ac.") ||
+      ends_with(s, ".ac")) {
+    return NetworkType::Academic;
+  }
+  if (ends_with(s, ".gov") || contains(s, ".gov.")) return NetworkType::Government;
+
+  // Stand-ins for the paper's manual inspection.
+  static const char* kAcademicWords[] = {"university", "college", "institute", "school",
+                                         "campus", "research"};
+  for (const auto* w : kAcademicWords) {
+    if (contains(s, w)) return NetworkType::Academic;
+  }
+  static const char* kIspWords[] = {"isp",   "telecom", "broadband", "cable", "fiber",
+                                    "fibre", "dsl",     "wireless",  "net",   "telco",
+                                    "communications", "online"};
+  for (const auto* w : kIspWords) {
+    if (contains(s, w)) return NetworkType::Isp;
+  }
+  static const char* kEnterpriseWords[] = {"corp", "inc", "gmbh", "llc", "company",
+                                           "industries", "solutions", "systems", "tech",
+                                           "consulting", "manufacturing"};
+  for (const auto* w : kEnterpriseWords) {
+    if (contains(s, w)) return NetworkType::Enterprise;
+  }
+  return NetworkType::Other;
+}
+
+double TypeBreakdown::percent(NetworkType t) const noexcept {
+  if (total == 0) return 0.0;
+  const auto it = counts.find(t);
+  return it == counts.end() ? 0.0
+                            : 100.0 * static_cast<double>(it->second) /
+                                  static_cast<double>(total);
+}
+
+TypeBreakdown classify_all(const std::vector<std::string>& suffixes) {
+  TypeBreakdown breakdown;
+  for (const auto& suffix : suffixes) {
+    breakdown.counts[classify_suffix(suffix)] += 1;
+    ++breakdown.total;
+  }
+  return breakdown;
+}
+
+}  // namespace rdns::core

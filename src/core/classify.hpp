@@ -1,0 +1,36 @@
+#pragma once
+/// \file classify.hpp
+/// Section 5.2 network-type classification of identified suffixes: regex-
+/// style matching for academic (.edu / .ac.) and government (.gov), keyword
+/// heuristics standing in for the paper's manual inspection of ISP and
+/// enterprise networks, `other` as the fallback.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rdns::core {
+
+enum class NetworkType : int {
+  Academic = 0,
+  Isp,
+  Enterprise,
+  Government,
+  Other,
+};
+
+[[nodiscard]] const char* to_string(NetworkType t) noexcept;
+
+/// Classify a hostname suffix (registered domain).
+[[nodiscard]] NetworkType classify_suffix(const std::string& suffix);
+
+struct TypeBreakdown {
+  std::map<NetworkType, std::size_t> counts;
+  std::size_t total = 0;
+
+  [[nodiscard]] double percent(NetworkType t) const noexcept;
+};
+
+[[nodiscard]] TypeBreakdown classify_all(const std::vector<std::string>& suffixes);
+
+}  // namespace rdns::core

@@ -1,0 +1,78 @@
+#include "core/cooccur.hpp"
+
+#include <unordered_set>
+
+#include "core/names.hpp"
+#include "util/stats.hpp"
+
+namespace rdns::core {
+
+const std::vector<std::string>& device_terms() {
+  // Fig. 3 x-axis, paper order.
+  static const std::vector<std::string> kTerms = {
+      "ipad",    "air",     "laptop", "phone",  "dell", "desktop", "iphone",
+      "mbp",     "android", "macbook","galaxy", "lenovo","chrome", "roku",
+  };
+  return kTerms;
+}
+
+CooccurrenceResult count_device_terms(const PtrCorpus& corpus,
+                                      const std::vector<std::string>& identified_suffixes) {
+  static const std::unordered_set<std::string> kDeviceTerms = [] {
+    std::unordered_set<std::string> s;
+    for (const auto& t : device_terms()) s.insert(t);
+    return s;
+  }();
+  const std::unordered_set<std::string> identified(identified_suffixes.begin(),
+                                                   identified_suffixes.end());
+
+  CooccurrenceResult result;
+  for (const auto& term : device_terms()) {
+    result.all_matches[term] = 0;
+    result.filtered_matches[term] = 0;
+  }
+  for (const auto& [hostname, entry] : corpus.entries()) {
+    const auto terms = extract_terms(hostname);
+    if (looks_router_level(terms)) continue;
+    if (match_given_names(terms).empty()) continue;  // co-occurrence with names
+    const bool in_identified = identified.count(entry.suffix) > 0;
+    for (const auto& term : terms) {
+      if (kDeviceTerms.count(term) == 0) continue;
+      result.all_matches[term] += 1;
+      ++result.total_all;
+      if (in_identified) {
+        result.filtered_matches[term] += 1;
+        ++result.total_filtered;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> frequent_cooccurring_terms(
+    const PtrCorpus& corpus, std::int64_t min_count) {
+  util::Counter counter;
+  for (const auto& [hostname, entry] : corpus.entries()) {
+    const auto terms = extract_terms(hostname);
+    if (looks_router_level(terms)) continue;
+    const auto matched = match_given_names(terms);
+    if (matched.empty()) continue;
+    std::unordered_set<std::string> matched_set;
+    for (const auto& name : matched) {
+      matched_set.insert(name);
+      matched_set.insert(name + "s");  // the possessive form as it appears
+    }
+    for (const auto& term : terms) {
+      if (term.size() < 3) continue;
+      if (matched_set.count(term) > 0) continue;  // the name itself
+      counter.add(term);
+    }
+  }
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  for (const auto& [term, count] : counter.most_common()) {
+    if (count >= min_count) out.emplace_back(term, count);
+  }
+  return out;
+}
+
+}  // namespace rdns::core

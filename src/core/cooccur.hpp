@@ -1,0 +1,38 @@
+#pragma once
+/// \file cooccur.hpp
+/// Section 5.2 / Fig. 3: terms that co-appear in hostnames alongside given
+/// names — device makes and models (iphone, galaxy, mbp, ...), the evidence
+/// that DHCP clients send device names to the server.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/terms.hpp"
+
+namespace rdns::core {
+
+/// The device-indicative terms the paper selected for Fig. 3.
+[[nodiscard]] const std::vector<std::string>& device_terms();
+
+struct CooccurrenceResult {
+  /// term -> number of name-matched hostnames containing it (blue bars).
+  std::map<std::string, std::uint64_t> all_matches;
+  /// same, restricted to identified suffixes (red bars).
+  std::map<std::string, std::uint64_t> filtered_matches;
+  std::uint64_t total_all = 0;       ///< Fig. 3 "total" column
+  std::uint64_t total_filtered = 0;
+};
+
+/// Count device-term occurrences among hostnames that match given names,
+/// before and after restricting to the identified suffixes.
+[[nodiscard]] CooccurrenceResult count_device_terms(
+    const PtrCorpus& corpus, const std::vector<std::string>& identified_suffixes);
+
+/// The discovery direction: terms occurring at least `min_count` times in
+/// name-matched hostnames (the paper's "common terms that occur a hundred
+/// times or more" pre-selection).
+[[nodiscard]] std::vector<std::pair<std::string, std::int64_t>> frequent_cooccurring_terms(
+    const PtrCorpus& corpus, std::int64_t min_count);
+
+}  // namespace rdns::core

@@ -1,0 +1,98 @@
+#include "core/dynamicity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rdns::core {
+
+void DynamicityDetector::on_row(const util::CivilDate& /*date*/, net::Ipv4Addr address,
+                                const dns::DnsName& /*ptr*/) {
+  today_[address.value() & 0xFFFFFF00u].set(address.octet(3));
+}
+
+void DynamicityDetector::on_sweep_end(const util::CivilDate& /*date*/) {
+  for (const auto& [block, bits] : today_) {
+    auto& counts = history_[block];
+    counts.resize(days_, 0);  // pad days before this block first appeared
+    counts.push_back(static_cast<std::uint16_t>(bits.count()));
+  }
+  today_.clear();
+  ++days_;
+}
+
+DynamicityResult DynamicityDetector::analyze(const DynamicityConfig& config) const {
+  DynamicityResult result;
+  result.total_slash24_seen = history_.size();
+  for (const auto& [block, counts_raw] : history_) {
+    // Pad trailing days (block disappeared before the last sweep).
+    std::vector<std::uint16_t> counts = counts_raw;
+    counts.resize(days_, 0);
+
+    // Step 1: period max; discard quiet blocks.
+    std::uint32_t max_daily = 0;
+    for (const auto c : counts) max_daily = std::max<std::uint32_t>(max_daily, c);
+    if (max_daily <= static_cast<std::uint32_t>(config.min_daily_addresses)) continue;
+
+    // Steps 2-3: day-by-day change percentage against the period max.
+    int days_over = 0;
+    for (std::size_t i = 1; i < counts.size(); ++i) {
+      const double diff = std::abs(static_cast<double>(counts[i]) - counts[i - 1]);
+      const double change_pct = 100.0 * diff / static_cast<double>(max_daily);
+      if (change_pct > config.change_threshold_pct) ++days_over;
+    }
+
+    BlockStats stats;
+    stats.block = net::Prefix{net::Ipv4Addr{block}, 24};
+    stats.max_daily = max_daily;
+    stats.days_over_threshold = days_over;
+    stats.dynamic = days_over >= config.min_days_over;
+    if (stats.dynamic) ++result.dynamic_count;
+    result.blocks.push_back(stats);
+  }
+  std::sort(result.blocks.begin(), result.blocks.end(),
+            [](const BlockStats& a, const BlockStats& b) { return a.block < b.block; });
+  return result;
+}
+
+std::vector<net::Prefix> DynamicityResult::dynamic_blocks() const {
+  std::vector<net::Prefix> out;
+  out.reserve(dynamic_count);
+  for (const auto& b : blocks) {
+    if (b.dynamic) out.push_back(b.block);
+  }
+  return out;
+}
+
+std::vector<PrefixDynamicity> rollup_to_announced(
+    const std::vector<net::Prefix>& dynamic_slash24s,
+    const std::vector<net::Prefix>& announced) {
+  net::MostSpecificMatcher matcher;
+  for (const auto& p : announced) matcher.add(p);
+
+  std::unordered_map<std::uint32_t, PrefixDynamicity> by_network;
+  for (const auto& p : announced) {
+    PrefixDynamicity d;
+    d.announced = p;
+    d.total_slash24s = p.slash24_count();
+    by_network.emplace(p.network().value() ^ static_cast<std::uint32_t>(p.length() << 1),
+                       d);
+  }
+  for (const auto& block : dynamic_slash24s) {
+    const auto covering = matcher.match(block);
+    if (!covering) continue;
+    const auto key =
+        covering->network().value() ^ static_cast<std::uint32_t>(covering->length() << 1);
+    const auto it = by_network.find(key);
+    if (it != by_network.end()) ++it->second.dynamic_slash24s;
+  }
+
+  std::vector<PrefixDynamicity> out;
+  out.reserve(by_network.size());
+  for (const auto& [key, d] : by_network) out.push_back(d);
+  std::sort(out.begin(), out.end(), [](const PrefixDynamicity& a, const PrefixDynamicity& b) {
+    return a.announced < b.announced;
+  });
+  return out;
+}
+
+}  // namespace rdns::core

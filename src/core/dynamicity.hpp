@@ -1,0 +1,85 @@
+#pragma once
+/// \file dynamicity.hpp
+/// Section 4.1: identifying networks that expose dynamic behaviour through
+/// rDNS. The heuristic, verbatim from the paper:
+///
+///   Step 1: per /24 and day, count unique addresses with a PTR; discard
+///           /24s never exceeding 10 addresses/day; record the period max.
+///   Step 2: compute day-by-day absolute differences, divided by the max
+///           ("change percentage").
+///   Step 3: label a /24 dynamic if the change percentage exceeds X% on at
+///           least Y days (paper: X = 10, Y = 7 over three months).
+///
+/// The detector ingests daily sweeps as a SnapshotSink; analyze() runs the
+/// heuristic afterwards. rollup_to_announced() produces Fig. 1's view.
+
+#include <bitset>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/prefix.hpp"
+#include "net/prefix_set.hpp"
+#include "scan/rdns_snapshot.hpp"
+
+namespace rdns::core {
+
+struct DynamicityConfig {
+  double change_threshold_pct = 10.0;  ///< X
+  int min_days_over = 7;               ///< Y
+  int min_daily_addresses = 10;        ///< step-1 discard threshold
+};
+
+/// Per-/24 outcome.
+struct BlockStats {
+  net::Prefix block;          ///< the /24
+  std::uint32_t max_daily = 0;
+  int days_over_threshold = 0;
+  bool dynamic = false;
+};
+
+struct DynamicityResult {
+  std::vector<BlockStats> blocks;       ///< /24s that passed step 1
+  std::size_t total_slash24_seen = 0;   ///< every /24 with >= 1 PTR
+  std::size_t dynamic_count = 0;
+
+  [[nodiscard]] std::vector<net::Prefix> dynamic_blocks() const;
+};
+
+class DynamicityDetector final : public scan::SnapshotSink {
+ public:
+  void on_row(const util::CivilDate& date, net::Ipv4Addr address,
+              const dns::DnsName& ptr) override;
+  void on_sweep_end(const util::CivilDate& date) override;
+
+  /// Run the heuristic over everything ingested so far.
+  [[nodiscard]] DynamicityResult analyze(const DynamicityConfig& config = {}) const;
+
+  [[nodiscard]] std::size_t days_ingested() const noexcept { return days_; }
+
+ private:
+  // Current day: /24 -> bitmap of low octets seen.
+  std::unordered_map<std::uint32_t, std::bitset<256>> today_;
+  // History: /24 -> per-day unique-address counts (index = sweep ordinal).
+  std::unordered_map<std::uint32_t, std::vector<std::uint16_t>> history_;
+  std::size_t days_ = 0;
+};
+
+/// Fig. 1: the fraction of each announced prefix's /24s that are dynamic.
+struct PrefixDynamicity {
+  net::Prefix announced;
+  std::uint64_t dynamic_slash24s = 0;
+  std::uint64_t total_slash24s = 0;
+
+  [[nodiscard]] double fraction() const noexcept {
+    return total_slash24s == 0
+               ? 0.0
+               : static_cast<double>(dynamic_slash24s) / static_cast<double>(total_slash24s);
+  }
+};
+
+[[nodiscard]] std::vector<PrefixDynamicity> rollup_to_announced(
+    const std::vector<net::Prefix>& dynamic_slash24s,
+    const std::vector<net::Prefix>& announced);
+
+}  // namespace rdns::core

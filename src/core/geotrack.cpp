@@ -1,0 +1,62 @@
+#include "core/geotrack.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "core/tracking.hpp"
+
+namespace rdns::core {
+
+void BuildingMap::add(const net::Prefix& prefix, const std::string& building) {
+  entries_.emplace_back(prefix, building);
+  // Most-specific first, so overlapping knowledge resolves sensibly.
+  std::sort(entries_.begin(), entries_.end(),
+            [](const auto& a, const auto& b) { return a.first.length() > b.first.length(); });
+}
+
+std::optional<std::string> BuildingMap::building_of(net::Ipv4Addr address) const {
+  for (const auto& [prefix, building] : entries_) {
+    if (prefix.contains(address)) return building;
+  }
+  return std::nullopt;
+}
+
+std::size_t MovementTrace::transitions() const noexcept {
+  std::size_t n = 0;
+  for (std::size_t i = 1; i < visits.size(); ++i) {
+    n += visits[i].building != visits[i - 1].building;
+  }
+  return n;
+}
+
+std::size_t MovementTrace::distinct_buildings() const {
+  std::set<std::string> buildings;
+  for (const auto& visit : visits) buildings.insert(visit.building);
+  return buildings.size();
+}
+
+std::vector<MovementTrace> build_traces(const std::vector<scan::GroupSummary>& groups,
+                                        const BuildingMap& buildings,
+                                        const std::string& needle) {
+  const auto segments = segments_matching(groups, needle);
+
+  std::map<std::string, MovementTrace> by_hostname;
+  for (const auto& segment : segments) {
+    const auto building = buildings.building_of(segment.address);
+    if (!building) continue;  // presence outside the known map
+    auto& trace = by_hostname[segment.hostname];
+    trace.hostname = segment.hostname;
+    trace.visits.push_back(BuildingVisit{*building, segment.from, segment.to, segment.address});
+  }
+
+  std::vector<MovementTrace> traces;
+  traces.reserve(by_hostname.size());
+  for (auto& [hostname, trace] : by_hostname) {
+    std::sort(trace.visits.begin(), trace.visits.end(),
+              [](const BuildingVisit& a, const BuildingVisit& b) { return a.from < b.from; });
+    traces.push_back(std::move(trace));
+  }
+  return traces;
+}
+
+}  // namespace rdns::core

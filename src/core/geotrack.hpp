@@ -1,0 +1,64 @@
+#pragma once
+/// \file geotrack.hpp
+/// Section 8's escalation, made concrete: "given recent findings that
+/// hostnames can encode building locations, it appears feasible that for
+/// some networks, rDNS data can be used to geotemporally track users at the
+/// building level" — and §7.1's "one could track, from virtually anywhere
+/// on the Internet, a Brian around campus as he goes from lecture to
+/// lecture."
+///
+/// Given knowledge of building-level subnet assignments (a numbering plan,
+/// as inferable per Zhang et al. [28] or known a posteriori as in the
+/// paper's case studies), measurement groups become a movement trace: each
+/// presence period maps to the building whose prefix contains its address.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/prefix.hpp"
+#include "scan/reactive.hpp"
+
+namespace rdns::core {
+
+/// Building-level subnet knowledge: prefix -> building label.
+class BuildingMap {
+ public:
+  void add(const net::Prefix& prefix, const std::string& building);
+
+  /// Building containing the address, if known.
+  [[nodiscard]] std::optional<std::string> building_of(net::Ipv4Addr address) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  std::vector<std::pair<net::Prefix, std::string>> entries_;
+};
+
+/// One stop of a movement trace.
+struct BuildingVisit {
+  std::string building;
+  util::SimTime from = 0;
+  util::SimTime to = 0;
+  net::Ipv4Addr address;
+};
+
+/// A tracked hostname's movement trace, in time order.
+struct MovementTrace {
+  std::string hostname;
+  std::vector<BuildingVisit> visits;
+
+  /// Number of building-to-building transitions.
+  [[nodiscard]] std::size_t transitions() const noexcept;
+  /// Distinct buildings visited.
+  [[nodiscard]] std::size_t distinct_buildings() const;
+};
+
+/// Build movement traces for every hostname containing `needle` from
+/// measurement groups, using building knowledge. Groups whose address is in
+/// no known building are dropped (off-map presence).
+[[nodiscard]] std::vector<MovementTrace> build_traces(
+    const std::vector<scan::GroupSummary>& groups, const BuildingMap& buildings,
+    const std::string& needle);
+
+}  // namespace rdns::core

@@ -1,0 +1,67 @@
+#include "core/heist.hpp"
+
+namespace rdns::core {
+
+HeistAnalysis analyze_heist_window(const std::map<std::int64_t, scan::HourlyActivity>& hourly,
+                                   util::SimTime from, util::SimTime to) {
+  HeistAnalysis analysis;
+  analysis.from = from;
+  const std::int64_t first_hour = from / util::kHour;
+  const std::int64_t last_hour = to / util::kHour;
+  if (last_hour <= first_hour) return analysis;
+
+  const auto n = static_cast<std::size_t>(last_hour - first_hour);
+  analysis.icmp_per_hour.assign(n, 0);
+  analysis.rdns_per_hour.assign(n, 0);
+
+  std::vector<double> sums(24, 0.0);
+  std::vector<int> samples(24, 0);
+
+  for (std::int64_t h = first_hour; h < last_hour; ++h) {
+    const auto it = hourly.find(h);
+    const std::uint64_t icmp = it == hourly.end() ? 0 : it->second.icmp_ok;
+    const std::uint64_t rdns = it == hourly.end() ? 0 : it->second.rdns_ok;
+    const auto idx = static_cast<std::size_t>(h - first_hour);
+    analysis.icmp_per_hour[idx] = icmp;
+    analysis.rdns_per_hour[idx] = rdns;
+
+    const util::SimTime t = h * util::kHour;
+    if (!util::is_weekend(util::weekday_of(t))) {
+      const int hour_of_day = static_cast<int>((t % util::kDay) / util::kHour);
+      sums[static_cast<std::size_t>(hour_of_day)] += static_cast<double>(rdns);
+      samples[static_cast<std::size_t>(hour_of_day)] += 1;
+    }
+  }
+
+  analysis.weekday_profile.assign(24, 0.0);
+  double min_value = -1.0;
+  for (int hour = 0; hour < 24; ++hour) {
+    const auto i = static_cast<std::size_t>(hour);
+    analysis.weekday_profile[i] = samples[i] == 0 ? 0.0 : sums[i] / samples[i];
+    if (min_value < 0.0 || analysis.weekday_profile[i] < min_value) {
+      min_value = analysis.weekday_profile[i];
+    }
+  }
+  // The profile often has a whole run of minimal (quiet) hours overnight.
+  // Recommend the END of the longest minimal run (circularly): by then the
+  // venue has been quiet the longest — the paper's data "hint at
+  // approximately 6AM", i.e. just before people return.
+  const auto is_min = [&](int hour) {
+    return analysis.weekday_profile[static_cast<std::size_t>(hour)] <= min_value + 1e-9;
+  };
+  int best_len = -1;
+  for (int start = 0; start < 24; ++start) {
+    if (!is_min(start)) continue;
+    int len = 0;
+    while (len < 24 && is_min((start + len) % 24)) ++len;
+    const int run_end = (start + len - 1) % 24;
+    // Prefer longer runs; among equal runs prefer the later morning end.
+    if (len > best_len) {
+      best_len = len;
+      analysis.quietest_hour = run_end;
+    }
+  }
+  return analysis;
+}
+
+}  // namespace rdns::core

@@ -1,0 +1,36 @@
+#pragma once
+/// \file heist.hpp
+/// Section 7.3 "When to stage a heist?": find the time window with the
+/// fewest active clients from outside observations. Consumes the reactive
+/// engine's hourly activity counters (successful ICMP responses and rDNS
+/// lookups per hour) and produces the Fig. 11 week series plus a
+/// quietest-hour recommendation.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "scan/reactive.hpp"
+#include "util/time.hpp"
+
+namespace rdns::core {
+
+struct HeistAnalysis {
+  /// One entry per hour in [from, to), aligned series.
+  std::vector<std::uint64_t> icmp_per_hour;
+  std::vector<std::uint64_t> rdns_per_hour;
+  util::SimTime from = 0;
+
+  /// Mean rDNS activity per hour-of-day (0..23), weekdays only.
+  std::vector<double> weekday_profile;
+
+  /// The recommended heist hour: weekday hour-of-day with minimal rDNS
+  /// activity (the paper's data "hint at approximately 6AM").
+  int quietest_hour = 0;
+};
+
+[[nodiscard]] HeistAnalysis analyze_heist_window(
+    const std::map<std::int64_t, scan::HourlyActivity>& hourly, util::SimTime from,
+    util::SimTime to);
+
+}  // namespace rdns::core

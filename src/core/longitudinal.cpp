@@ -1,0 +1,71 @@
+#include "core/longitudinal.hpp"
+
+#include <algorithm>
+
+namespace rdns::core {
+
+DailyCountSink::DailyCountSink(SeriesClassifier classifier)
+    : classifier_(std::move(classifier)) {}
+
+void DailyCountSink::on_row(const util::CivilDate& /*date*/, net::Ipv4Addr address,
+                            const dns::DnsName& /*ptr*/) {
+  const auto series = classifier_(address);
+  if (series) ++today_[*series];
+}
+
+void DailyCountSink::on_sweep_end(const util::CivilDate& date) {
+  const std::int64_t day = util::days_from_civil(date);
+  for (const auto& [series, count] : today_) counts_[series][day] = count;
+  today_.clear();
+  dates_.push_back(date);
+}
+
+PercentSeries percent_of_max(const std::string& name,
+                             const std::map<std::int64_t, std::uint64_t>& daily_counts) {
+  PercentSeries series;
+  series.name = name;
+  for (const auto& [day, count] : daily_counts) {
+    series.max_count = std::max(series.max_count, count);
+  }
+  for (const auto& [day, count] : daily_counts) {
+    series.dates.push_back(util::civil_from_days(day));
+    series.percent.push_back(series.max_count == 0
+                                 ? 0.0
+                                 : 100.0 * static_cast<double>(count) /
+                                       static_cast<double>(series.max_count));
+  }
+  return series;
+}
+
+std::optional<util::CivilDate> find_crossover(const PercentSeries& falling,
+                                              const PercentSeries& rising, int hold_days) {
+  // Align on common dates (the series may have different sweep cadences).
+  std::map<std::int64_t, double> f, r;
+  for (std::size_t i = 0; i < falling.dates.size(); ++i) {
+    f[util::days_from_civil(falling.dates[i])] = falling.percent[i];
+  }
+  for (std::size_t i = 0; i < rising.dates.size(); ++i) {
+    r[util::days_from_civil(rising.dates[i])] = rising.percent[i];
+  }
+  std::vector<std::pair<std::int64_t, bool>> above;  // day -> rising > falling
+  for (const auto& [day, fv] : f) {
+    const auto it = r.find(day);
+    if (it != r.end()) above.emplace_back(day, it->second > fv);
+  }
+  for (std::size_t i = 0; i + 1 < above.size(); ++i) {
+    if (above[i].second || !above[i + 1].second) continue;  // want below -> above
+    // Check the hold window.
+    bool held = true;
+    for (std::size_t k = i + 1; k < above.size() && k <= i + static_cast<std::size_t>(hold_days);
+         ++k) {
+      if (!above[k].second) {
+        held = false;
+        break;
+      }
+    }
+    if (held) return util::civil_from_days(above[i + 1].first);
+  }
+  return std::nullopt;
+}
+
+}  // namespace rdns::core

@@ -1,0 +1,67 @@
+#pragma once
+/// \file longitudinal.hpp
+/// Section 7.2 "Working from Home": longitudinal daily PTR-entry counts per
+/// series (a network, or a subnet role such as "student housing"), reported
+/// as percentages of the series maximum (Figs. 9 and 10).
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scan/rdns_snapshot.hpp"
+
+namespace rdns::core {
+
+/// Assigns an address to a named series (or drops it).
+using SeriesClassifier = std::function<std::optional<std::string>(net::Ipv4Addr)>;
+
+/// Snapshot sink counting, per series and sweep date, the number of PTR
+/// entries (the paper "calculate[s] the total number of PTR records on any
+/// given day").
+class DailyCountSink final : public scan::SnapshotSink {
+ public:
+  explicit DailyCountSink(SeriesClassifier classifier);
+
+  void on_row(const util::CivilDate& date, net::Ipv4Addr address,
+              const dns::DnsName& ptr) override;
+  void on_sweep_end(const util::CivilDate& date) override;
+
+  /// series -> (day index since epoch -> count).
+  [[nodiscard]] const std::map<std::string, std::map<std::int64_t, std::uint64_t>>& counts()
+      const noexcept {
+    return counts_;
+  }
+
+  /// The observed sweep dates, ascending.
+  [[nodiscard]] const std::vector<util::CivilDate>& sweep_dates() const noexcept {
+    return dates_;
+  }
+
+ private:
+  SeriesClassifier classifier_;
+  std::map<std::string, std::map<std::int64_t, std::uint64_t>> counts_;
+  std::map<std::string, std::uint64_t> today_;
+  std::vector<util::CivilDate> dates_;
+};
+
+/// A series resampled to percent-of-max (the Fig. 9/10 y-axis).
+struct PercentSeries {
+  std::string name;
+  std::vector<util::CivilDate> dates;
+  std::vector<double> percent;   ///< same length as dates
+  std::uint64_t max_count = 0;
+};
+
+[[nodiscard]] PercentSeries percent_of_max(
+    const std::string& name, const std::map<std::int64_t, std::uint64_t>& daily_counts);
+
+/// Detect the crossover date between two percent series (Fig. 10's March
+/// 2020 education/housing crossover): the first date where `rising` moves
+/// strictly above `falling` and stays above for `hold_days` samples.
+[[nodiscard]] std::optional<util::CivilDate> find_crossover(const PercentSeries& falling,
+                                                            const PercentSeries& rising,
+                                                            int hold_days = 5);
+
+}  // namespace rdns::core

@@ -1,0 +1,99 @@
+#include "core/mitigation.hpp"
+
+#include <unordered_set>
+
+#include "core/cooccur.hpp"
+#include "core/names.hpp"
+
+namespace rdns::core {
+
+const char* to_string(LeakSeverity s) noexcept {
+  switch (s) {
+    case LeakSeverity::Info: return "info";
+    case LeakSeverity::DeviceModel: return "device-model";
+    case LeakSeverity::OwnerName: return "owner-name";
+    case LeakSeverity::NameAndDevice: return "owner-name+device-model";
+  }
+  return "?";
+}
+
+void StreamAuditor::inspect(net::Ipv4Addr address, const std::string& hostname) {
+  static const std::unordered_set<std::string> kDeviceTerms = [] {
+    std::unordered_set<std::string> s;
+    for (const auto& t : device_terms()) s.insert(t);
+    return s;
+  }();
+
+  ++report_.records_audited;
+  const auto terms = extract_terms(hostname);
+  if (looks_router_level(terms)) return;
+
+  LeakFinding finding;
+  finding.address = address;
+  finding.hostname = hostname;
+  finding.matched_names = match_given_names(terms);
+  for (const auto& t : terms) {
+    if (kDeviceTerms.count(t) > 0) finding.matched_device_terms.push_back(t);
+  }
+  if (finding.matched_names.empty() && finding.matched_device_terms.empty()) return;
+
+  if (!finding.matched_names.empty() && !finding.matched_device_terms.empty()) {
+    finding.severity = LeakSeverity::NameAndDevice;
+  } else if (!finding.matched_names.empty()) {
+    finding.severity = LeakSeverity::OwnerName;
+  } else {
+    finding.severity = LeakSeverity::DeviceModel;
+  }
+  if (!finding.matched_names.empty()) ++report_.owner_name_leaks;
+  if (!finding.matched_device_terms.empty()) ++report_.device_model_leaks;
+  report_.findings.push_back(std::move(finding));
+}
+
+AuditReport audit_organization(const sim::Organization& org) {
+  StreamAuditor auditor;
+  org.for_each_ptr([&auditor](net::Ipv4Addr a, const dns::DnsName& ptr) {
+    auditor.inspect(a, ptr.to_canonical_string());
+  });
+  // Forward zones leak the same identifiers through A-record owner names
+  // (the paper's §10 note that forward DNS is dynamically updated too).
+  org.for_each_a([&auditor](const dns::DnsName& owner, net::Ipv4Addr a) {
+    auditor.inspect(a, owner.to_canonical_string());
+  });
+  return auditor.report();
+}
+
+PolicyAssessment assess_policy(dhcp::DdnsPolicy policy) {
+  PolicyAssessment a;
+  a.policy = policy;
+  switch (policy) {
+    case dhcp::DdnsPolicy::None:
+      a.leaks_identifiers = false;
+      a.exposes_dynamics = false;
+      a.advice = "No DHCP-to-DNS coupling: nothing leaks. Consider whether reverse "
+                 "records are needed at all for client ranges.";
+      break;
+    case dhcp::DdnsPolicy::StaticGeneric:
+      a.leaks_identifiers = false;
+      a.exposes_dynamics = false;
+      a.advice = "Fixed-form records hide both identity and client churn; the Section "
+                 "4.1 validation confirmed such ranges are not flagged as dynamic.";
+      break;
+    case dhcp::DdnsPolicy::CarryOverClientId:
+      a.leaks_identifiers = true;
+      a.exposes_dynamics = true;
+      a.advice = "Client-provided Host Names reach the global DNS: owner names and "
+                 "device models become publicly queryable and record churn exposes "
+                 "presence. Block Host Name propagation from DHCP to DNS.";
+      break;
+    case dhcp::DdnsPolicy::HashedClientId:
+      a.leaks_identifiers = false;
+      a.exposes_dynamics = true;
+      a.advice = "Hashing removes identifiers but records still appear and disappear "
+                 "with clients, so network dynamics remain observable (and a stable "
+                 "hash still allows per-device linking within the network).";
+      break;
+  }
+  return a;
+}
+
+}  // namespace rdns::core

@@ -1,0 +1,69 @@
+#pragma once
+/// \file mitigation.hpp
+/// Section 8, turned into operator-facing tooling: audit a network's
+/// published reverse zones for privacy leaks, and evaluate mitigation
+/// policies (blocking Host Name propagation, hashing, generic names).
+
+#include <string>
+#include <vector>
+
+#include "core/classify.hpp"
+#include "core/terms.hpp"
+#include "dhcp/ddns.hpp"
+#include "sim/org.hpp"
+
+namespace rdns::core {
+
+/// Severity of one finding.
+enum class LeakSeverity : int {
+  Info = 0,       ///< dynamic record, no identifier leaked
+  DeviceModel,    ///< device make/model visible (iphone, galaxy, ...)
+  OwnerName,      ///< a person's given name visible
+  NameAndDevice,  ///< both — the "brians-iphone" worst case
+};
+
+[[nodiscard]] const char* to_string(LeakSeverity s) noexcept;
+
+struct LeakFinding {
+  net::Ipv4Addr address;
+  std::string hostname;
+  std::vector<std::string> matched_names;
+  std::vector<std::string> matched_device_terms;
+  LeakSeverity severity = LeakSeverity::Info;
+};
+
+struct AuditReport {
+  std::uint64_t records_audited = 0;
+  std::vector<LeakFinding> findings;
+  std::uint64_t owner_name_leaks = 0;
+  std::uint64_t device_model_leaks = 0;
+
+  [[nodiscard]] bool clean() const noexcept { return findings.empty(); }
+};
+
+/// Audit every PTR record an organization currently publishes. This is the
+/// defensive counterpart of Section 5: a network operator can run it
+/// against their own zones before an outsider does it for them.
+[[nodiscard]] AuditReport audit_organization(const sim::Organization& org);
+
+/// Audit a raw (address, hostname) stream — e.g. a zone file export.
+class StreamAuditor {
+ public:
+  void inspect(net::Ipv4Addr address, const std::string& hostname);
+  [[nodiscard]] const AuditReport& report() const noexcept { return report_; }
+
+ private:
+  AuditReport report_;
+};
+
+/// Mitigation advice for a DDNS policy (the §8 discussion, encoded).
+struct PolicyAssessment {
+  dhcp::DdnsPolicy policy;
+  bool leaks_identifiers = false;  ///< owner names / device models exposed
+  bool exposes_dynamics = false;   ///< record churn reveals client presence
+  std::string advice;
+};
+
+[[nodiscard]] PolicyAssessment assess_policy(dhcp::DdnsPolicy policy);
+
+}  // namespace rdns::core

@@ -1,0 +1,98 @@
+#include "core/names.hpp"
+
+#include <unordered_set>
+
+namespace rdns::core {
+
+const std::vector<std::string>& top_given_names() {
+  static const std::vector<std::string> kNames = {
+      "jacob",    "michael",   "emma",        "william", "ethan",   "olivia",  "matthew",
+      "emily",    "daniel",    "noah",        "joshua",  "isabella","alexander","joseph",
+      "james",    "andrew",    "sophia",      "christopher","anthony","david", "madison",
+      "logan",    "benjamin",  "ryan",        "abigail", "john",    "elijah",  "mason",
+      "samuel",   "dylan",     "nicholas",    "jayden",  "liam",    "elizabeth","christian",
+      "gabriel",  "tyler",     "jonathan",    "nathan",  "jordan",  "hannah",  "aiden",
+      "jackson",  "alexis",    "caleb",       "lucas",   "angel",   "brandon", "brian",
+      "ava",
+  };
+  return kNames;
+}
+
+std::vector<std::string> match_given_names(const std::vector<std::string>& terms) {
+  static const std::unordered_set<std::string> kNames = [] {
+    std::unordered_set<std::string> s;
+    for (const auto& n : top_given_names()) s.insert(n);
+    return s;
+  }();
+  std::vector<std::string> matched;
+  for (const auto& term : terms) {
+    if (term.size() < 3) continue;  // "shorter terms ... add a lot of noise"
+    if (kNames.count(term) > 0) {
+      matched.push_back(term);
+      continue;
+    }
+    // Possessive form: brians -> brian.
+    if (term.back() == 's') {
+      const std::string base = term.substr(0, term.size() - 1);
+      if (base.size() >= 3 && kNames.count(base) > 0) matched.push_back(base);
+    }
+  }
+  return matched;
+}
+
+std::map<std::string, std::uint64_t> count_name_matches(const PtrCorpus& corpus) {
+  // Fig. 2 counts occurrences of matching PTR records, so popular names —
+  // whose sanitized hostnames collide across many devices ("jacobs-iphone")
+  // — are weighted by how often they were observed, not deduplicated.
+  std::map<std::string, std::uint64_t> counts;
+  for (const auto& [hostname, entry] : corpus.entries()) {
+    for (const auto& name : match_given_names(extract_terms(hostname))) {
+      counts[name] += entry.observations;
+    }
+  }
+  return counts;
+}
+
+LeakResult identify_leaking_networks(const PtrCorpus& corpus, const LeakConfig& config) {
+  LeakResult result;
+
+  for (const auto& [hostname, entry] : corpus.entries()) {
+    const auto terms = extract_terms(hostname);
+    // Step 2: drop router-level records.
+    if (looks_router_level(terms)) continue;
+    // Step 3: given-name matching.
+    const auto matched = match_given_names(terms);
+    if (matched.empty()) continue;
+
+    // Step 4: per-suffix aggregation over matched records.
+    auto& stats = result.suffixes[entry.suffix];
+    stats.suffix = entry.suffix;
+    ++stats.records;
+    for (const auto& name : matched) {
+      stats.unique_names.insert(name);
+      result.matches_per_name[name] += entry.observations;
+    }
+  }
+
+  // Steps 5-6: selection.
+  for (auto& [suffix, stats] : result.suffixes) {
+    stats.identified = stats.unique_names.size() >= config.min_unique_names &&
+                       stats.ratio() >= config.min_ratio;
+    if (stats.identified) result.identified.push_back(suffix);
+  }
+
+  // Fig. 2 red bars: matches inside identified networks only.
+  std::unordered_set<std::string> identified_set(result.identified.begin(),
+                                                 result.identified.end());
+  for (const auto& [hostname, entry] : corpus.entries()) {
+    if (identified_set.count(entry.suffix) == 0) continue;
+    const auto terms = extract_terms(hostname);
+    if (looks_router_level(terms)) continue;
+    for (const auto& name : match_given_names(terms)) {
+      result.filtered_matches_per_name[name] += entry.observations;
+    }
+  }
+  return result;
+}
+
+}  // namespace rdns::core

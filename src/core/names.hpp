@@ -1,0 +1,73 @@
+#pragma once
+/// \file names.hpp
+/// Section 5.1 given-name matching and network identification:
+///
+///   (1) start from the dynamic networks (Section 4 heuristic);
+///   (2) exclude rDNS entries with generic router-level terms;
+///   (3) match the remaining PTR records against a list of given names;
+///   (4) per hostname suffix: #records, #uniquely matched names, ratio;
+///   (5) select suffixes with >= `min_unique_names` unique matches;
+///   (6) require ratio >= `min_ratio`.
+///
+/// The city-name false-positive problem (Jackson, Charlotte, ...) is
+/// handled exactly as in the paper: not by enumeration, but by requiring
+/// many UNIQUE given-name matches per suffix.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/terms.hpp"
+
+namespace rdns::core {
+
+/// The analyst's given-name list: top-50 US newborn names 2000-2020 by SSA
+/// popularity (the Fig. 2 x-axis).
+[[nodiscard]] const std::vector<std::string>& top_given_names();
+
+/// Match terms against the given-name list. A term matches a name if it
+/// equals the name or its possessive form ("brians" -> brian). Terms
+/// shorter than 3 characters never match.
+[[nodiscard]] std::vector<std::string> match_given_names(const std::vector<std::string>& terms);
+
+struct LeakConfig {
+  std::size_t min_unique_names = 50;  ///< paper step 5
+  double min_ratio = 0.1;             ///< paper step 6
+};
+
+/// Per-suffix aggregation (step 4).
+struct SuffixStats {
+  std::string suffix;
+  std::uint64_t records = 0;  ///< distinct matched hostnames under the suffix
+  std::set<std::string> unique_names;
+  bool identified = false;
+
+  [[nodiscard]] double ratio() const noexcept {
+    return records == 0 ? 0.0
+                        : static_cast<double>(unique_names.size()) /
+                              static_cast<double>(records);
+  }
+};
+
+struct LeakResult {
+  /// Suffix -> stats for every suffix with at least one name match.
+  std::map<std::string, SuffixStats> suffixes;
+  /// The identified networks (suffixes passing steps 5-6), sorted.
+  std::vector<std::string> identified;
+  /// Fig. 2 series: per given name, the number of matching hostnames.
+  std::map<std::string, std::uint64_t> matches_per_name;
+  /// Same, restricted to identified networks (the red bars).
+  std::map<std::string, std::uint64_t> filtered_matches_per_name;
+};
+
+/// Run steps 2-6 over a corpus (which should already be restricted to
+/// dynamic blocks for step 1).
+[[nodiscard]] LeakResult identify_leaking_networks(const PtrCorpus& corpus,
+                                                   const LeakConfig& config = {});
+
+/// Count name matches per given name over any corpus (Fig. 2 "all matches"
+/// baseline, computed over the unrestricted corpus).
+[[nodiscard]] std::map<std::string, std::uint64_t> count_name_matches(const PtrCorpus& corpus);
+
+}  // namespace rdns::core

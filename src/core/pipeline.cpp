@@ -1,0 +1,530 @@
+#include "core/pipeline.hpp"
+
+#include <cmath>
+
+#include "scan/rdns_snapshot.hpp"
+
+namespace rdns::core {
+
+namespace {
+
+using dhcp::DdnsPolicy;
+using dhcp::RemovalBehavior;
+using net::Ipv4Addr;
+using net::Prefix;
+using sim::OrgSpec;
+using sim::OrgType;
+using sim::PresenceVenue;
+using sim::ScheduleKind;
+using sim::ScriptedUser;
+using sim::SegmentSpec;
+using sim::StaticRangeSpec;
+
+[[nodiscard]] int scaled(int n, double factor) {
+  return std::max(1, static_cast<int>(std::lround(n * factor)));
+}
+
+[[nodiscard]] Prefix p(const char* text) { return Prefix::must_parse(text); }
+
+SegmentSpec segment(const char* label, PresenceVenue venue, const char* prefix,
+                    ScheduleKind schedule, int users, double scale,
+                    std::uint32_t lease = 3600,
+                    DdnsPolicy policy = DdnsPolicy::CarryOverClientId) {
+  SegmentSpec s;
+  s.label = label;
+  s.venue = venue;
+  s.prefix = p(prefix);
+  s.schedule = schedule;
+  s.user_count = scaled(users, scale);
+  s.lease_seconds = lease;
+  s.ddns_policy = policy;
+  return s;
+}
+
+// ------------------------------------------------------------ paper world --
+
+/// Static-range fill proportional to the population scale, keeping the
+/// static:dynamic record ratio invariant across WorldScale (the Fig. 9/10
+/// longitudinal shapes depend on that ratio).
+[[nodiscard]] double sfill(double fill, double scale) {
+  return fill * std::min(1.0, scale);
+}
+
+OrgSpec academic_a(double scale) {
+  OrgSpec o;
+  o.name = "Academic-A";
+  o.type = OrgType::Academic;
+  o.suffix = dns::DnsName::must_parse("bayfield-university.edu");
+  o.announced = {p("10.10.0.0/16")};
+  o.measurement_targets = {p("10.10.0.0/20"), p("10.10.128.0/19")};
+  // The campus wifi is split into building-level subnets (science building,
+  // library, lecture halls) and students roam between them — the paper's §8
+  // building-level geotemporal tracking surface. Users are homed to the
+  // science building; roaming reassigns each presence interval.
+  o.segments = {
+      segment("housing", PresenceVenue::Housing, "10.10.128.0/21",
+              ScheduleKind::ResidentStudent, 520, scale),
+      segment("sci-building", PresenceVenue::Campus, "10.10.136.0/22", ScheduleKind::Student,
+              380, scale),
+      segment("library", PresenceVenue::Campus, "10.10.140.0/23", ScheduleKind::Student, 0,
+              scale),
+      segment("lecture-halls", PresenceVenue::Campus, "10.10.142.0/23", ScheduleKind::Student,
+              0, scale),
+      segment("staff", PresenceVenue::Campus, "10.10.144.0/22", ScheduleKind::OfficeWorker, 150,
+              scale),
+  };
+  o.segments[0].always_on_count = scaled(25, scale);
+  o.students_roam = true;
+  o.static_ranges = {
+      {p("10.10.0.0/20"), StaticRangeSpec::Style::GenericNames, sfill(0.5, scale), 0.8},
+      {p("10.10.16.0/22"), StaticRangeSpec::Style::RouterNames, sfill(0.3, scale), 0.9},
+  };
+
+  // The Brians of Fig. 8: two or three residents sharing a popular name.
+  ScriptedUser brian1;
+  brian1.given_name = "brian";
+  brian1.schedule = ScheduleKind::ResidentStudent;
+  brian1.segment = 0;
+  brian1.devices = {
+      {sim::DeviceKind::GenericPhone, "Brian's Phone", std::nullopt, 0.95},
+      {sim::DeviceKind::MacbookPro, "Brians-MBP", std::nullopt, 0.75},
+      {sim::DeviceKind::MacbookAir, "Brians-Air", std::nullopt, 0.6},
+  };
+  ScriptedUser brian2;
+  brian2.given_name = "brian";
+  brian2.schedule = ScheduleKind::ResidentStudent;
+  brian2.segment = 0;
+  brian2.devices = {
+      {sim::DeviceKind::Ipad, "Brian's iPad", std::nullopt, 0.7},
+      // Bought in the Black Friday / Cyber Monday sales (first seen on
+      // Cyber Monday 2021, the Monday after Thanksgiving).
+      {sim::DeviceKind::GalaxyPhone, "Brians-Galaxy-Note9", util::CivilDate{2021, 11, 29},
+       0.95},
+  };
+  o.scripted_users = {brian1, brian2};
+  // Academic-A's IPAM also maintains the forward zone (the paper's §10
+  // future-work angle: forward DNS is dynamically updated too).
+  o.forward_updates = true;
+
+  // Campus COVID risk-level reports (Fig. 9's red marks): sharp drops when
+  // moderate/high risk was reported, sharp recoveries on low-risk reports.
+  // Unlike Academic-C (whose residents stayed and studied from their
+  // rooms, Fig. 10), Academic-A sent students home: lockdowns and campus
+  // alerts empty both the buildings AND the dorms.
+  o.covid = sim::CovidTimeline::standard();
+  o.covid.add_phase({util::CivilDate{2020, 3, 16}, util::CivilDate{2020, 6, 1}, 0.15, 0.45,
+                     1.0, "first lockdown: students sent home"});
+  o.covid.add_phase({util::CivilDate{2020, 6, 1}, util::CivilDate{2020, 9, 1}, 0.45, 0.7,
+                     1.0, "summer 2020 partial reopening"});
+  o.covid.add_phase({util::CivilDate{2020, 9, 14}, util::CivilDate{2020, 10, 5}, 0.08, 0.35,
+                     1.0, "campus alert: high risk"});
+  o.covid.add_phase({util::CivilDate{2020, 10, 5}, util::CivilDate{2020, 10, 15}, 0.55, 0.8,
+                     1.0, "campus report: low risk"});
+  o.covid.add_phase({util::CivilDate{2020, 10, 15}, util::CivilDate{2021, 1, 11}, 0.25, 0.6,
+                     1.0, "second wave"});
+  o.covid.add_phase({util::CivilDate{2021, 1, 11}, util::CivilDate{2021, 2, 8}, 0.1, 0.4,
+                     1.0, "campus alert: moderate risk"});
+  o.covid.add_phase({util::CivilDate{2021, 2, 8}, util::CivilDate{2021, 3, 1}, 0.5, 0.8,
+                     1.0, "campus report: low risk"});
+  o.seed = 0xACAD0A;
+  return o;
+}
+
+OrgSpec academic_b(double scale) {
+  OrgSpec o;
+  o.name = "Academic-B";
+  o.type = OrgType::Academic;
+  o.suffix = dns::DnsName::must_parse("norfield-institute.edu");
+  o.announced = {p("10.11.0.0/16")};
+  o.measurement_targets = {p("10.11.0.0/20"), p("10.11.64.0/20")};
+  o.segments = {
+      segment("wifi", PresenceVenue::Campus, "10.11.64.0/21", ScheduleKind::Student, 420, scale),
+      segment("staff", PresenceVenue::Campus, "10.11.72.0/22", ScheduleKind::OfficeWorker, 160,
+              scale),
+  };
+  o.static_ranges = {
+      {p("10.11.0.0/20"), StaticRangeSpec::Style::GenericNames, sfill(0.4, scale), 0.0}};
+  // Blocks pings on ingress except two hosts — which have no PTR records
+  // (Table 4: "the two hosts responding to ICMP did not have a
+  // corresponding rDNS entry").
+  o.blocks_icmp = true;
+  o.icmp_allowlist = {Ipv4Addr::must_parse("10.11.250.10"), Ipv4Addr::must_parse("10.11.250.11")};
+  o.seed = 0xACAD0B;
+  return o;
+}
+
+OrgSpec academic_c(double scale) {
+  OrgSpec o;
+  o.name = "Academic-C";
+  o.type = OrgType::Academic;
+  o.suffix = dns::DnsName::must_parse("twensel-university.nl");
+  o.announced = {p("10.12.0.0/16")};
+  o.measurement_targets = {p("10.12.0.0/20"), p("10.12.64.0/20"), p("10.12.128.0/21")};
+  // Longer leases: Academic-C's records linger longer in Fig. 7b.
+  o.segments = {
+      segment("eduroam", PresenceVenue::Campus, "10.12.64.0/21", ScheduleKind::Student, 420,
+              scale, 7200),
+      segment("staff", PresenceVenue::Campus, "10.12.72.0/22", ScheduleKind::OfficeWorker, 180,
+              scale, 7200),
+      segment("campus-housing", PresenceVenue::Housing, "10.12.128.0/21",
+              ScheduleKind::ResidentStudent, 460, scale, 7200),
+  };
+  o.segments[2].always_on_count = scaled(20, scale);
+  // Educational buildings carry a large static base (the paper: "more
+  // address space assigned to educational buildings, with more static
+  // hosts online").
+  o.static_ranges = {
+      {p("10.12.0.0/20"), StaticRangeSpec::Style::GenericNames, sfill(0.6, scale), 0.8},
+      {p("10.12.16.0/21"), StaticRangeSpec::Style::RouterNames, sfill(0.25, scale), 0.9},
+  };
+  o.seed = 0xACAD0C;
+  return o;
+}
+
+OrgSpec enterprise_a(double scale) {
+  OrgSpec o;
+  o.name = "Enterprise-A";
+  o.type = OrgType::Enterprise;
+  o.suffix = dns::DnsName::must_parse("harborline-systems.com");
+  o.announced = {p("10.20.0.0/17"), p("10.20.192.0/19")};
+  o.measurement_targets = {p("10.20.0.0/20"), p("10.20.192.0/20")};
+  o.segments = {
+      segment("corp", PresenceVenue::Campus, "10.20.0.0/21", ScheduleKind::OfficeWorker, 380,
+              scale),
+      segment("byod", PresenceVenue::Campus, "10.20.8.0/22", ScheduleKind::OfficeWorker, 140,
+              scale),
+  };
+  o.static_ranges = {
+      {p("10.20.192.0/20"), StaticRangeSpec::Style::GenericNames, sfill(0.55, scale), 0.9}};
+  o.seed = 0xE17A;
+  return o;
+}
+
+OrgSpec enterprise_b(double scale) {
+  OrgSpec o;
+  o.name = "Enterprise-B";
+  o.type = OrgType::Enterprise;
+  o.suffix = dns::DnsName::must_parse("grandmesa-industries.com");
+  o.announced = {p("10.21.0.0/16"), p("10.22.0.0/16"), p("10.23.0.0/16")};
+  o.measurement_targets = {p("10.21.0.0/21"), p("10.22.0.0/21")};
+  o.segments = {
+      segment("corp", PresenceVenue::Campus, "10.21.0.0/21", ScheduleKind::OfficeWorker, 320,
+              scale),
+      segment("office", PresenceVenue::Campus, "10.22.0.0/21", ScheduleKind::OfficeWorker, 220,
+              scale),
+  };
+  o.static_ranges = {
+      {p("10.23.0.0/20"), StaticRangeSpec::Style::GenericNames, sfill(0.5, scale), 0.0}};
+  o.blocks_icmp = true;  // Table 4: zero addresses observed
+  // Fig. 9: Enterprise-B's big decrease comes in March/April 2021 (a later
+  // national lockdown), with a partial recovery around May 2021.
+  o.covid = sim::CovidTimeline{};
+  o.covid.add_phase({util::CivilDate{2020, 3, 20}, util::CivilDate{2020, 9, 1}, 0.75, 1.0, 1.0,
+                     "mild 2020 measures"});
+  o.covid.add_phase({util::CivilDate{2021, 3, 1}, util::CivilDate{2021, 5, 5}, 0.2, 1.0, 1.0,
+                     "hard 2021 lockdown"});
+  o.covid.add_phase({util::CivilDate{2021, 5, 5}, util::CivilDate{2021, 9, 1}, 0.55, 1.0, 1.0,
+                     "partial recovery"});
+  o.covid.add_phase({util::CivilDate{2021, 9, 1}, util::CivilDate{2022, 1, 1}, 0.8, 1.0, 1.0,
+                     "autumn 2021"});
+  o.seed = 0xE17B;
+  return o;
+}
+
+OrgSpec enterprise_c(double scale) {
+  OrgSpec o;
+  o.name = "Enterprise-C";
+  o.type = OrgType::Enterprise;
+  o.suffix = dns::DnsName::must_parse("pinewood-consulting.com");
+  o.announced = {p("10.24.1.0/24"), p("10.24.2.0/24"), p("10.24.3.0/24"), p("10.24.4.0/24"),
+                 p("10.24.5.0/24")};
+  o.measurement_targets = o.announced;
+  o.segments = {
+      segment("office", PresenceVenue::Campus, "10.24.1.0/24", ScheduleKind::OfficeWorker, 60,
+              scale),
+      segment("wifi", PresenceVenue::Campus, "10.24.2.0/24", ScheduleKind::OfficeWorker, 50,
+              scale),
+  };
+  o.static_ranges = {
+      {p("10.24.5.0/24"), StaticRangeSpec::Style::GenericNames, sfill(0.4, scale), 0.0}};
+  o.blocks_icmp = true;
+  // Fig. 9: Enterprise-C drops in March/April 2021 and stays low longer
+  // than Enterprise-B.
+  o.covid = sim::CovidTimeline{};
+  o.covid.add_phase({util::CivilDate{2020, 3, 20}, util::CivilDate{2020, 9, 1}, 0.8, 1.0, 1.0,
+                     "mild 2020 measures"});
+  o.covid.add_phase({util::CivilDate{2021, 3, 10}, util::CivilDate{2021, 8, 1}, 0.25, 1.0, 1.0,
+                     "hard 2021 lockdown, slow exit"});
+  o.covid.add_phase({util::CivilDate{2021, 8, 1}, util::CivilDate{2022, 1, 1}, 0.65, 1.0, 1.0,
+                     "late recovery"});
+  o.seed = 0xE17C;
+  return o;
+}
+
+OrgSpec isp_a(double scale) {
+  OrgSpec o;
+  o.name = "ISP-A";
+  o.type = OrgType::Isp;
+  o.suffix = dns::DnsName::must_parse("lakeshore-broadband.net");
+  o.announced = {p("10.30.4.0/22"), p("10.30.8.0/22"), p("10.30.12.0/22")};
+  o.measurement_targets = o.announced;
+  o.segments = {
+      segment("pool", PresenceVenue::Home, "10.30.4.0/22", ScheduleKind::HomeResident, 300,
+              scale),
+      segment("dsl", PresenceVenue::Home, "10.30.8.0/22", ScheduleKind::HomeResident, 260,
+              scale),
+  };
+  o.segments[0].always_on_count = scaled(40, scale);
+  o.seed = 0x15A;
+  return o;
+}
+
+OrgSpec isp_b(double scale) {
+  OrgSpec o;
+  o.name = "ISP-B";
+  o.type = OrgType::Isp;
+  o.suffix = dns::DnsName::must_parse("plainsnet.net");
+  o.announced = {p("10.31.0.0/16"), p("10.32.0.0/17"), p("10.32.128.0/18")};
+  o.measurement_targets = o.announced;
+  o.segments = {
+      segment("dyn", PresenceVenue::Home, "10.31.0.0/21", ScheduleKind::HomeResident, 520,
+              scale),
+      segment("cable", PresenceVenue::Home, "10.32.0.0/21", ScheduleKind::HomeResident, 300,
+              scale),
+  };
+  // Table 4: 0.3% responsive — customer CPEs drop probes.
+  o.segments[0].ping_response_scale = 0.012;
+  o.segments[1].ping_response_scale = 0.012;
+  o.seed = 0x15B;
+  return o;
+}
+
+OrgSpec isp_c(double scale) {
+  OrgSpec o;
+  o.name = "ISP-C";
+  o.type = OrgType::Isp;
+  o.suffix = dns::DnsName::must_parse("riverbend-online.net");
+  o.announced = {p("10.33.0.0/16")};
+  o.measurement_targets = {p("10.33.0.0/16")};
+  o.segments = {
+      segment("pool", PresenceVenue::Home, "10.33.0.0/21", ScheduleKind::HomeResident, 560,
+              scale),
+  };
+  o.segments[0].ping_response_scale = 0.15;  // Table 4: 1.7% of the /16
+  o.seed = 0x15C;
+  return o;
+}
+
+}  // namespace
+
+std::unique_ptr<sim::World> make_paper_world(std::uint64_t seed, WorldScale scale,
+                                             util::SimTime dhcp_tick) {
+  sim::WorldConfig config;
+  config.seed = seed;
+  config.dhcp_tick_seconds = dhcp_tick;
+  auto world = std::make_unique<sim::World>(config);
+  const double s = scale.population;
+  for (auto spec : {academic_a(s), academic_b(s), academic_c(s), enterprise_a(s),
+                    enterprise_b(s), enterprise_c(s), isp_a(s), isp_b(s), isp_c(s)}) {
+    spec.seed = util::mix64(spec.seed ^ seed);
+    world->add_org(std::move(spec));
+  }
+  return world;
+}
+
+// ---------------------------------------------------------- internet world --
+
+namespace {
+
+const std::vector<std::string>& org_stems() {
+  static const std::vector<std::string> kStems = {
+      "cedar",   "harbor",  "willow", "granite", "summit",  "prairie", "redwood",
+      "mesa",    "aurora",  "keystone","cascade", "alder",  "birch",   "juniper",
+      "onyx",    "cobalt",  "merit",  "beacon",  "orchard", "quarry",  "lagoon",
+      "bluff",   "canyon",  "delta",  "ember",   "fjord",   "glade",   "hollow",
+      "islet",   "jasper",  "knoll",  "larch",   "marsh",   "nook",    "oasis",
+      "pebble",  "quill",   "ridge",  "sable",   "thicket", "umber",   "vale",
+  };
+  return kStems;
+}
+
+struct InternetOrgPlan {
+  OrgType type = OrgType::Other;
+  DdnsPolicy policy = DdnsPolicy::None;
+  bool router_only = false;
+  bool blocks_icmp = false;
+  int users = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<sim::World> make_internet_world(std::uint64_t seed, int org_count,
+                                                WorldScale scale, util::SimTime dhcp_tick) {
+  if (org_count < 1 || org_count > 180) {
+    throw std::invalid_argument("make_internet_world: org_count must be in [1, 180]");
+  }
+  sim::WorldConfig config;
+  config.seed = seed;
+  config.dhcp_tick_seconds = dhcp_tick;
+  auto world = std::make_unique<sim::World>(config);
+  util::Rng rng{util::mix64(seed ^ 0x17E12E7)};
+
+  // Policy mixes are stratified deterministically (every k-th org of a
+  // type leaks) so that small worlds still carry the intended composition;
+  // the paper's Fig. 4 breakdown is an emergent property of this mix.
+  int academic_n = 0, isp_n = 0, enterprise_n = 0, government_n = 0;
+  for (int i = 0; i < org_count; ++i) {
+    InternetOrgPlan plan;
+    const double roll = rng.uniform();
+    if (roll < 0.30) {
+      plan.type = OrgType::Academic;
+      plan.policy = (academic_n++ % 4 != 3) ? DdnsPolicy::CarryOverClientId
+                                            : DdnsPolicy::StaticGeneric;
+      plan.users = static_cast<int>(rng.uniform_int(140, 420));
+    } else if (roll < 0.55) {
+      plan.type = OrgType::Isp;
+      plan.policy = (isp_n++ % 4 == 1) ? DdnsPolicy::CarryOverClientId
+                                       : DdnsPolicy::StaticGeneric;
+      plan.users = static_cast<int>(rng.uniform_int(160, 450));
+    } else if (roll < 0.75) {
+      plan.type = OrgType::Enterprise;
+      plan.policy = (enterprise_n++ % 3 == 1) ? DdnsPolicy::CarryOverClientId
+                                              : DdnsPolicy::StaticGeneric;
+      plan.blocks_icmp = rng.chance(0.4);
+      plan.users = static_cast<int>(rng.uniform_int(80, 240));
+    } else if (roll < 0.80) {
+      plan.type = OrgType::Government;
+      plan.policy = (government_n++ % 5 == 1) ? DdnsPolicy::CarryOverClientId
+                                              : DdnsPolicy::StaticGeneric;
+      plan.users = static_cast<int>(rng.uniform_int(70, 180));
+    } else {
+      // Transit/hosting networks: router-level names only, no dynamics —
+      // the Fig. 2 "all matches" background and city-name confusion source.
+      plan.type = OrgType::Other;
+      plan.router_only = true;
+    }
+
+    OrgSpec o;
+    const std::string stem =
+        org_stems()[static_cast<std::size_t>(i) % org_stems().size()] +
+        (i >= static_cast<int>(org_stems().size()) ? std::to_string(i / org_stems().size())
+                                                   : std::string{});
+    const int slot = 40 + i;
+    const std::string base = "10." + std::to_string(slot) + ".";
+    o.announced = {Prefix::must_parse(base + "0.0/16")};
+    o.type = plan.type;
+    o.blocks_icmp = plan.blocks_icmp;
+    o.seed = rng.next();
+
+    switch (plan.type) {
+      case OrgType::Academic: {
+        o.name = stem + "-university";
+        o.suffix = dns::DnsName::must_parse(
+            rng.chance(0.7) ? stem + "-university.edu" : stem + "-college.ac.uk");
+        o.segments = {
+            segment("wifi", PresenceVenue::Campus, (base + "64.0/22").c_str(),
+                    ScheduleKind::Student, plan.users * 6 / 10, scale.population, 3600,
+                    plan.policy),
+            segment("housing", PresenceVenue::Housing, (base + "128.0/22").c_str(),
+                    ScheduleKind::ResidentStudent, plan.users * 4 / 10, scale.population, 3600,
+                    plan.policy),
+        };
+        o.static_ranges = {
+            {Prefix::must_parse(base + "0.0/20"), StaticRangeSpec::Style::GenericNames, 0.4,
+             0.7}};
+        break;
+      }
+      case OrgType::Isp: {
+        o.name = stem + "-isp";
+        o.suffix = dns::DnsName::must_parse(rng.chance(0.5) ? stem + "-broadband.net"
+                                                            : stem + "-telecom.net");
+        o.segments = {
+            segment("pool", PresenceVenue::Home, (base + "0.0/21").c_str(),
+                    ScheduleKind::HomeResident, plan.users, scale.population, 3600, plan.policy),
+        };
+        break;
+      }
+      case OrgType::Enterprise: {
+        o.name = stem + "-corp";
+        o.suffix = dns::DnsName::must_parse(rng.chance(0.5) ? stem + "-corp.com"
+                                                            : stem + "-systems.com");
+        o.segments = {
+            segment("corp", PresenceVenue::Campus, (base + "0.0/22").c_str(),
+                    ScheduleKind::OfficeWorker, plan.users, scale.population, 3600, plan.policy),
+        };
+        o.static_ranges = {
+            {Prefix::must_parse(base + "192.0/20"), StaticRangeSpec::Style::GenericNames, 0.4,
+             0.6}};
+        break;
+      }
+      case OrgType::Government: {
+        o.name = stem + "-agency";
+        o.suffix = dns::DnsName::must_parse(stem + "-agency.gov");
+        o.segments = {
+            segment("office", PresenceVenue::Campus, (base + "0.0/22").c_str(),
+                    ScheduleKind::OfficeWorker, plan.users, scale.population, 3600, plan.policy),
+        };
+        break;
+      }
+      case OrgType::Other: {
+        o.name = stem + "-transit";
+        o.suffix = dns::DnsName::must_parse(stem + "-transit.org");
+        o.static_ranges = {
+            {Prefix::must_parse(base + "0.0/19"), StaticRangeSpec::Style::RouterNames, 0.35,
+             0.9}};
+        break;
+      }
+    }
+    world->add_org(std::move(o));
+  }
+  return world;
+}
+
+// ------------------------------------------------------------- pipeline --
+
+PipelineReport run_identification_pipeline(sim::World& world, const PipelineConfig& config) {
+  // Two sinks over the same sweep stream: the /24 dynamicity detector and
+  // the PTR corpus (unrestricted — the Fig. 2 "all matches" baseline needs
+  // the whole corpus; step-1 restriction happens logically in names.cpp by
+  // passing a filtered corpus).
+  struct Tee final : public scan::SnapshotSink {
+    std::vector<scan::SnapshotSink*> sinks;
+    void on_row(const util::CivilDate& d, net::Ipv4Addr a, const dns::DnsName& n) override {
+      for (auto* s : sinks) s->on_row(d, a, n);
+    }
+    void on_sweep_end(const util::CivilDate& d) override {
+      for (auto* s : sinks) s->on_sweep_end(d);
+    }
+  };
+
+  DynamicityDetector detector;
+  PtrCorpus full_corpus;
+  Tee tee;
+  tee.sinks = {&detector, &full_corpus};
+
+  scan::SweepDriver driver{world, config.sweep_hour, /*every_days=*/1};
+  const auto sweep_stats = driver.run(config.from, config.to, tee);
+
+  PipelineReport report;
+  report.sweep_rows = sweep_stats.total_rows;
+  report.sweeps = sweep_stats.sweeps;
+  report.dynamicity = detector.analyze(config.dynamicity);
+  report.rollup =
+      rollup_to_announced(report.dynamicity.dynamic_blocks(), world.announced_prefixes());
+
+  // Section 5 runs on the dynamic blocks only (step 1); we re-filter the
+  // full corpus through a restricted one.
+  PtrCorpus dynamic_corpus;
+  dynamic_corpus.restrict_to(report.dynamicity.dynamic_blocks());
+  for (const auto& [hostname, entry] : full_corpus.entries()) {
+    dynamic_corpus.add_entry(entry);  // preserves observation weights
+  }
+  report.leaks = identify_leaking_networks(dynamic_corpus, config.leak);
+  // Fig. 2's blue bars count matches over ALL records, dynamic or not.
+  report.leaks.matches_per_name = count_name_matches(full_corpus);
+  report.cooccurrence = count_device_terms(dynamic_corpus, report.leaks.identified);
+  report.types = classify_all(report.leaks.identified);
+  return report;
+}
+
+}  // namespace rdns::core

@@ -1,0 +1,76 @@
+#pragma once
+/// \file pipeline.hpp
+/// End-to-end orchestration of the paper's identification pipeline
+/// (Sections 4-5) plus the canonical world recipes used by the benches,
+/// examples and integration tests:
+///
+///   make_paper_world()    — the nine campaign networks of Table 4
+///                           (three academic, three enterprise, three ISP),
+///                           including the scripted Brians of Fig. 8;
+///   make_internet_world() — a wider synthetic Internet with a mixture of
+///                           exposing and non-exposing networks for the
+///                           Section 4/5 identification experiments.
+
+#include <memory>
+
+#include "core/classify.hpp"
+#include "core/cooccur.hpp"
+#include "core/dynamicity.hpp"
+#include "core/names.hpp"
+#include "sim/world.hpp"
+
+namespace rdns::core {
+
+/// Scales population sizes in the recipes (1.0 = the defaults documented in
+/// DESIGN.md; benches use smaller factors to trade fidelity for speed).
+struct WorldScale {
+  double population = 1.0;
+};
+
+/// The nine-network world of the supplemental measurement (Table 4):
+///   Academic-A  /16, campus housing, the Brians (Fig. 8)
+///   Academic-B  /16, blocks ICMP except two PTR-less hosts
+///   Academic-C  /16, the authors' institution: education vs housing
+///               subnets (Fig. 10), longer leases (Fig. 7b)
+///   Enterprise-A /17 + /19, pingable
+///   Enterprise-B 3x/16, blocks ICMP
+///   Enterprise-C 5x/24, blocks ICMP
+///   ISP-A 3x/22; ISP-B /16+/17+/18 (0.3% responsive); ISP-C /16 (1.7%)
+[[nodiscard]] std::unique_ptr<sim::World> make_paper_world(std::uint64_t seed,
+                                                           WorldScale scale = {},
+                                                           util::SimTime dhcp_tick = 60);
+
+/// A synthetic Internet of `org_count` organizations with a realistic
+/// policy mix: carry-over leakers (mostly academic), static-generic
+/// networks, ISP pools with fixed-form names, router-only transit networks
+/// (the city-name false-positive source) and ping-blocking enterprises.
+[[nodiscard]] std::unique_ptr<sim::World> make_internet_world(std::uint64_t seed,
+                                                              int org_count,
+                                                              WorldScale scale = {},
+                                                              util::SimTime dhcp_tick = 300);
+
+/// One-stop identification pipeline over a date window: daily sweeps feed
+/// the dynamicity detector and the PTR corpus; then the Section 4 heuristic
+/// and Section 5 filtering run.
+struct PipelineConfig {
+  util::CivilDate from{2021, 1, 1};
+  util::CivilDate to{2021, 3, 31};
+  int sweep_hour = 14;  ///< snapshot local time
+  DynamicityConfig dynamicity;
+  LeakConfig leak;
+};
+
+struct PipelineReport {
+  DynamicityResult dynamicity;
+  std::vector<PrefixDynamicity> rollup;  ///< Fig. 1 raw data
+  LeakResult leaks;                      ///< Fig. 2 + identified networks
+  CooccurrenceResult cooccurrence;       ///< Fig. 3
+  TypeBreakdown types;                   ///< Fig. 4
+  std::uint64_t sweep_rows = 0;
+  std::size_t sweeps = 0;
+};
+
+[[nodiscard]] PipelineReport run_identification_pipeline(sim::World& world,
+                                                         const PipelineConfig& config);
+
+}  // namespace rdns::core

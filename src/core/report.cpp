@@ -1,0 +1,110 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace rdns::core {
+
+std::string render_markdown_report(const PipelineReport& report, const ReportOptions& options) {
+  std::ostringstream out;
+  out << "# " << options.title << "\n\n";
+
+  // ---- headline -----------------------------------------------------------
+  out << "## Summary\n\n";
+  out << "| metric | value |\n|---|---|\n";
+  out << "| sweeps analyzed | " << report.sweeps << " |\n";
+  out << "| rows ingested | "
+      << util::with_commas(static_cast<std::int64_t>(report.sweep_rows)) << " |\n";
+  out << "| /24 blocks with PTR records | " << report.dynamicity.total_slash24_seen << " |\n";
+  out << "| dynamic /24 blocks (§4.1 heuristic) | " << report.dynamicity.dynamic_count
+      << " |\n";
+  out << "| networks leaking client identifiers (§5) | " << report.leaks.identified.size()
+      << " |\n\n";
+
+  // ---- identified networks ------------------------------------------------
+  out << "## Identified networks\n\n";
+  if (report.leaks.identified.empty()) {
+    out << "No network met the identification criteria. Either the data set is\n"
+           "clean, or the thresholds (unique-name count / ratio) are too strict\n"
+           "for its size.\n\n";
+  } else {
+    out << "| suffix | type | matched records | unique given names | ratio |\n";
+    out << "|---|---|---|---|---|\n";
+    std::size_t listed = 0;
+    for (const auto& suffix : report.leaks.identified) {
+      if (options.max_listed_networks > 0 && listed++ >= options.max_listed_networks) break;
+      const auto& stats = report.leaks.suffixes.at(suffix);
+      out << "| `" << suffix << "` | " << to_string(classify_suffix(suffix)) << " | "
+          << stats.records << " | " << stats.unique_names.size() << " | "
+          << util::format("%.2f", stats.ratio()) << " |\n";
+    }
+    out << "\n";
+    out << "Type breakdown: ";
+    bool first = true;
+    for (const auto type :
+         {NetworkType::Academic, NetworkType::Isp, NetworkType::Enterprise,
+          NetworkType::Government, NetworkType::Other}) {
+      if (!first) out << ", ";
+      first = false;
+      out << to_string(type) << " " << util::format("%.1f%%", report.types.percent(type));
+    }
+    out << ".\n\n";
+  }
+
+  // ---- given names ---------------------------------------------------------
+  out << "## Given-name matches\n\n";
+  std::vector<std::pair<std::string, std::uint64_t>> top(
+      report.leaks.filtered_matches_per_name.begin(),
+      report.leaks.filtered_matches_per_name.end());
+  std::sort(top.begin(), top.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (top.empty()) {
+    out << "No given-name matches inside identified networks.\n\n";
+  } else {
+    out << "Top names observed in identified networks (all-data counts in "
+           "parentheses):\n\n";
+    std::size_t listed = 0;
+    for (const auto& [name, count] : top) {
+      if (options.max_listed_names > 0 && listed++ >= options.max_listed_names) break;
+      const auto all_it = report.leaks.matches_per_name.find(name);
+      const std::uint64_t all = all_it == report.leaks.matches_per_name.end() ? 0 : all_it->second;
+      out << "- **" << name << "**: " << count << " (" << all << ")\n";
+    }
+    out << "\n";
+  }
+
+  // ---- device terms ----------------------------------------------------------
+  out << "## Device make/model terms co-occurring with names\n\n";
+  if (report.cooccurrence.total_filtered == 0) {
+    out << "None observed.\n\n";
+  } else {
+    out << "| term | identified networks | all data |\n|---|---|---|\n";
+    for (const auto& term : device_terms()) {
+      const auto filtered = report.cooccurrence.filtered_matches.at(term);
+      if (filtered == 0) continue;
+      out << "| " << term << " | " << filtered << " | "
+          << report.cooccurrence.all_matches.at(term) << " |\n";
+    }
+    out << "\n";
+  }
+
+  if (options.include_methodology) {
+    out << "## Methodology\n\n"
+        << "This report applies the pipeline of *Saving Brian's Privacy: the Perils\n"
+        << "of Privacy Exposure through Reverse DNS* (IMC 2022): /24 blocks whose\n"
+        << "daily unique-PTR counts change by more than 10% of their period maximum\n"
+        << "on enough days are marked dynamic; PTR records inside dynamic blocks are\n"
+        << "matched against the top-50 US given names after filtering router-level\n"
+        << "terms; suffixes with many unique name matches and a sufficient\n"
+        << "names-to-records ratio are flagged as exposing networks. Flagged\n"
+        << "networks publish client identifiers — often `owner-name + device model`\n"
+        << "(e.g. `brians-iphone`) — in the globally queryable reverse DNS.\n\n"
+        << "Mitigation: block Host Name propagation from DHCP to DNS, or publish\n"
+        << "hashed/fixed-form names (see the paper's Section 8).\n";
+  }
+  return out.str();
+}
+
+}  // namespace rdns::core

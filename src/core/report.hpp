@@ -1,0 +1,26 @@
+#pragma once
+/// \file report.hpp
+/// Markdown report generation from pipeline results — what the CLI's
+/// `analyze` subcommand hands to a human: the §4/§5 findings of a sweep
+/// data set, one section per analysis, with the paper's terminology.
+
+#include <string>
+
+#include "core/pipeline.hpp"
+
+namespace rdns::core {
+
+struct ReportOptions {
+  std::string title = "Reverse-DNS privacy exposure report";
+  /// Cap per-section listings (0 = unlimited).
+  std::size_t max_listed_networks = 25;
+  std::size_t max_listed_names = 15;
+  bool include_methodology = true;
+};
+
+/// Render a PipelineReport (the §4 dynamicity + §5 identification results)
+/// as a self-contained markdown document.
+[[nodiscard]] std::string render_markdown_report(const PipelineReport& report,
+                                                 const ReportOptions& options = {});
+
+}  // namespace rdns::core

@@ -1,0 +1,76 @@
+#include "core/terms.hpp"
+
+#include "util/strings.hpp"
+
+namespace rdns::core {
+
+std::vector<std::string> extract_terms(const std::string& hostname) {
+  return util::alpha_terms(hostname);
+}
+
+const std::vector<std::string>& generic_router_terms() {
+  static const std::vector<std::string> kTerms = {
+      "north", "south", "east",   "west",   "core",   "edge",   "border",
+      "agg",   "dist",  "rtr",    "router", "gw",     "gateway","sw",
+      "switch","vlan",  "uplink", "downlink","transit","peer",  "eth",
+      "gig",   "tenge", "pos",    "serial", "bundle", "ae",     "lo",
+      "loopback",
+  };
+  return kTerms;
+}
+
+bool looks_router_level(const std::vector<std::string>& terms) {
+  static const std::unordered_set<std::string> kSet = [] {
+    std::unordered_set<std::string> s;
+    for (const auto& t : generic_router_terms()) s.insert(t);
+    return s;
+  }();
+  for (const auto& t : terms) {
+    if (kSet.count(t) > 0) return true;
+  }
+  return false;
+}
+
+void PtrCorpus::restrict_to(const std::vector<net::Prefix>& blocks) {
+  filtered_ = true;
+  for (const auto& b : blocks) filter_.add(b);
+}
+
+void PtrCorpus::on_row(const util::CivilDate& /*date*/, net::Ipv4Addr address,
+                       const dns::DnsName& ptr) {
+  if (filtered_ && !filter_.contains(address)) return;
+  ++observations_;
+  std::string key = ptr.to_canonical_string();
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++it->second.observations;
+    return;
+  }
+  PtrEntry entry;
+  entry.hostname = key;
+  entry.suffix = ptr.registered_domain().to_canonical_string();
+  entry.first_ip = address;
+  entry.observations = 1;
+  entries_.emplace(std::move(key), std::move(entry));
+}
+
+void PtrCorpus::add_entry(const PtrEntry& entry) {
+  if (filtered_ && !filter_.contains(entry.first_ip)) return;
+  observations_ += entry.observations;
+  const auto it = entries_.find(entry.hostname);
+  if (it != entries_.end()) {
+    it->second.observations += entry.observations;
+    return;
+  }
+  entries_.emplace(entry.hostname, entry);
+}
+
+util::Counter PtrCorpus::term_frequencies() const {
+  util::Counter counter;
+  for (const auto& [hostname, entry] : entries_) {
+    for (const auto& term : extract_terms(hostname)) counter.add(term);
+  }
+  return counter;
+}
+
+}  // namespace rdns::core

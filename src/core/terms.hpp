@@ -1,0 +1,81 @@
+#pragma once
+/// \file terms.hpp
+/// Section 5.1 term machinery: extracting alphabetic terms from PTR
+/// hostnames, hostname-suffix (TLD+1) indexing, the analyst's generic
+/// router-term exclusion list, and the PTR corpus the leak-identification
+/// steps run over.
+///
+/// Note: the generic-term list here belongs to the ANALYST, mirroring the
+/// paper's manually curated list; it is intentionally independent from the
+/// simulator's generator vocabulary (rdns::sim) the way the paper's list is
+/// independent from the real Internet.
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dns/name.hpp"
+#include "net/prefix_set.hpp"
+#include "scan/rdns_snapshot.hpp"
+#include "util/stats.hpp"
+
+namespace rdns::core {
+
+/// Alphabetic terms of a hostname, lowercased: "Brians-iPhone-12.x.edu" ->
+/// {"brians","iphone","x","edu"} (the §5.1 extraction regex).
+[[nodiscard]] std::vector<std::string> extract_terms(const std::string& hostname);
+
+/// Generic router/location-level terms ("less likely to be used in client
+/// hostname prefixes", §5.1); terms shorter than 3 characters are ignored
+/// by matching anyway ("we considered terms of three or more characters").
+[[nodiscard]] const std::vector<std::string>& generic_router_terms();
+
+/// True if a hostname looks router-level: any of its non-suffix terms is a
+/// generic router term.
+[[nodiscard]] bool looks_router_level(const std::vector<std::string>& terms);
+
+/// One distinct PTR hostname with aggregates from the sweep corpus.
+struct PtrEntry {
+  std::string hostname;       ///< canonical (lowercase) full PTR target
+  std::string suffix;         ///< registered domain (TLD+1 index key)
+  net::Ipv4Addr first_ip;     ///< first address it was seen at
+  std::uint64_t observations = 0;  ///< (address, day) observations
+};
+
+/// Corpus of distinct PTR hostnames collected from full-space sweeps,
+/// optionally restricted to a set of (dynamic) /24 blocks.
+class PtrCorpus final : public scan::SnapshotSink {
+ public:
+  PtrCorpus() = default;
+
+  /// Restrict ingestion to addresses inside `blocks` (e.g. the dynamic /24s
+  /// from the Section 4 heuristic). Without a filter everything is kept.
+  void restrict_to(const std::vector<net::Prefix>& blocks);
+
+  void on_row(const util::CivilDate& date, net::Ipv4Addr address,
+              const dns::DnsName& ptr) override;
+
+  /// Inject a pre-aggregated entry (re-filtering corpora), honouring the
+  /// address restriction and preserving the observation weight.
+  void add_entry(const PtrEntry& entry);
+
+  [[nodiscard]] const std::unordered_map<std::string, PtrEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t distinct_hostnames() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::uint64_t total_observations() const noexcept { return observations_; }
+
+  /// Term frequencies over distinct hostnames (the "Extracting Common
+  /// Terms" step).
+  [[nodiscard]] util::Counter term_frequencies() const;
+
+ private:
+  bool filtered_ = false;
+  net::PrefixSet filter_;
+  std::unordered_map<std::string, PtrEntry> entries_;
+  std::uint64_t observations_ = 0;
+};
+
+}  // namespace rdns::core

@@ -1,0 +1,51 @@
+#include "core/timing.hpp"
+
+namespace rdns::core {
+
+FunnelCounts build_funnel(const std::vector<scan::GroupSummary>& groups) {
+  FunnelCounts funnel;
+  funnel.all_groups = groups.size();
+  for (const auto& g : groups) {
+    if (!g.successful()) continue;
+    ++funnel.successful;
+    if (!g.reverted) continue;
+    ++funnel.reverted;
+    if (g.reliable) ++funnel.reliable;
+  }
+  return funnel;
+}
+
+std::vector<const scan::GroupSummary*> usable_groups(
+    const std::vector<scan::GroupSummary>& groups) {
+  std::vector<const scan::GroupSummary*> usable;
+  for (const auto& g : groups) {
+    if (g.successful() && g.reverted && g.reliable) usable.push_back(&g);
+  }
+  return usable;
+}
+
+util::Histogram linger_histogram(const std::vector<const scan::GroupSummary*>& usable,
+                                 double max_minutes, double bin_minutes) {
+  util::Histogram histogram{0.0, max_minutes, bin_minutes};
+  for (const auto* g : usable) histogram.add(g->linger_minutes());
+  return histogram;
+}
+
+std::map<std::string, util::EmpiricalCdf> linger_cdfs(
+    const std::vector<const scan::GroupSummary*>& usable) {
+  std::map<std::string, util::EmpiricalCdf> cdfs;
+  for (const auto* g : usable) cdfs[g->network].add(g->linger_minutes());
+  return cdfs;
+}
+
+double fraction_within_minutes(const std::vector<const scan::GroupSummary*>& usable,
+                               double minutes) {
+  if (usable.empty()) return 0.0;
+  std::size_t within = 0;
+  for (const auto* g : usable) {
+    if (g->linger_minutes() <= minutes) ++within;
+  }
+  return static_cast<double>(within) / static_cast<double>(usable.size());
+}
+
+}  // namespace rdns::core

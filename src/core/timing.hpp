@@ -1,0 +1,56 @@
+#pragma once
+/// \file timing.hpp
+/// Section 6.2 timing analysis over supplemental-measurement groups:
+/// the Table 5 funnel (all → successful → PTR reverted → reliable), the
+/// Fig. 7a lingering-minutes histogram and the Fig. 7b per-network CDFs.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "scan/reactive.hpp"
+#include "util/stats.hpp"
+
+namespace rdns::core {
+
+/// Table 5 shape.
+struct FunnelCounts {
+  std::uint64_t all_groups = 0;
+  std::uint64_t successful = 0;
+  std::uint64_t reverted = 0;
+  std::uint64_t reliable = 0;
+
+  [[nodiscard]] double fraction_successful() const noexcept {
+    return all_groups == 0 ? 0 : static_cast<double>(successful) / all_groups;
+  }
+  [[nodiscard]] double fraction_reverted() const noexcept {
+    return successful == 0 ? 0 : static_cast<double>(reverted) / successful;
+  }
+  [[nodiscard]] double fraction_reliable() const noexcept {
+    return reverted == 0 ? 0 : static_cast<double>(reliable) / reverted;
+  }
+};
+
+[[nodiscard]] FunnelCounts build_funnel(const std::vector<scan::GroupSummary>& groups);
+
+/// The usable groups: successful, reverted and reliable (Table 5 bottom).
+[[nodiscard]] std::vector<const scan::GroupSummary*> usable_groups(
+    const std::vector<scan::GroupSummary>& groups);
+
+/// Fig. 7a: histogram of lingering minutes (last ICMP -> PTR gone) over
+/// usable groups, `bin_minutes`-wide bins covering [0, max_minutes).
+[[nodiscard]] util::Histogram linger_histogram(
+    const std::vector<const scan::GroupSummary*>& usable, double max_minutes = 180.0,
+    double bin_minutes = 5.0);
+
+/// Fig. 7b: per-network empirical CDFs of lingering minutes.
+[[nodiscard]] std::map<std::string, util::EmpiricalCdf> linger_cdfs(
+    const std::vector<const scan::GroupSummary*>& usable);
+
+/// Headline number: the fraction of usable groups whose PTR was observed
+/// gone within `minutes` of the last ICMP response (the paper's "9 out of
+/// 10 cases ... 60 minutes or less").
+[[nodiscard]] double fraction_within_minutes(
+    const std::vector<const scan::GroupSummary*>& usable, double minutes);
+
+}  // namespace rdns::core

@@ -1,0 +1,98 @@
+#include "core/tracking.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace rdns::core {
+
+std::vector<PresenceSegment> segments_matching(const std::vector<scan::GroupSummary>& groups,
+                                               const std::string& needle,
+                                               const std::string& network) {
+  const std::string lowered_needle = util::to_lower(needle);
+  std::vector<PresenceSegment> segments;
+  for (const auto& g : groups) {
+    if (g.first_ptr.empty()) continue;
+    if (!network.empty() && g.network != network) continue;
+    if (!util::contains(g.first_ptr, lowered_needle)) continue;
+
+    PresenceSegment seg;
+    seg.full_ptr = g.first_ptr;
+    const auto dot = g.first_ptr.find('.');
+    seg.hostname = dot == std::string::npos ? g.first_ptr : g.first_ptr.substr(0, dot);
+    seg.address = g.address;
+    seg.from = g.started;
+    // Presence ends when the client stopped answering; fall back to the
+    // PTR-removal observation, then to the last thing we know.
+    if (g.offline_detected != 0) {
+      seg.to = g.offline_detected;
+    } else if (g.ptr_observed_gone != 0) {
+      seg.to = g.ptr_observed_gone;
+    } else {
+      seg.to = std::max(g.last_icmp_ok, g.started);
+    }
+    if (seg.to > seg.from) segments.push_back(std::move(seg));
+  }
+  return segments;
+}
+
+WeeklyGrid build_weekly_grid(const std::vector<PresenceSegment>& segments,
+                             const util::CivilDate& start, int num_weeks, int slots_per_day) {
+  WeeklyGrid grid;
+  grid.slots_per_day = slots_per_day;
+
+  // Snap to the Monday on or before `start` (Fig. 8 weeks run Mon..Sun).
+  const int wd = static_cast<int>(util::weekday_of(start));
+  grid.first_monday = util::add_days(start, -wd);
+
+  // Row labels: distinct hostnames, sorted.
+  std::vector<std::string> names;
+  for (const auto& seg : segments) names.push_back(seg.hostname);
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  grid.hostnames = names;
+
+  // Address palette.
+  std::map<std::uint32_t, int> palette;
+  for (const auto& seg : segments) {
+    if (palette.emplace(seg.address.value(), static_cast<int>(palette.size()) + 1).second) {
+      grid.addresses.push_back(seg.address);
+    }
+  }
+
+  const util::SimTime t0 = util::to_sim_time(grid.first_monday);
+  const util::SimTime slot_len = util::kDay / slots_per_day;
+  const int slots_per_week = slots_per_day * 7;
+  grid.weeks.assign(static_cast<std::size_t>(num_weeks),
+                    std::vector<std::vector<int>>(
+                        names.size(), std::vector<int>(static_cast<std::size_t>(slots_per_week), 0)));
+
+  for (const auto& seg : segments) {
+    const auto row_it = std::lower_bound(names.begin(), names.end(), seg.hostname);
+    const auto row = static_cast<std::size_t>(row_it - names.begin());
+    const int color = palette[seg.address.value()];
+    const std::int64_t first_slot = (seg.from - t0) / slot_len;
+    const std::int64_t last_slot = (seg.to - 1 - t0) / slot_len;
+    for (std::int64_t s = first_slot; s <= last_slot; ++s) {
+      if (s < 0) continue;
+      const std::int64_t week = s / slots_per_week;
+      if (week >= num_weeks) break;
+      grid.weeks[static_cast<std::size_t>(week)][row]
+                [static_cast<std::size_t>(s % slots_per_week)] = color;
+    }
+  }
+  return grid;
+}
+
+std::map<std::string, util::CivilDate> first_seen_dates(
+    const std::vector<PresenceSegment>& segments) {
+  std::map<std::string, util::CivilDate> first;
+  for (const auto& seg : segments) {
+    const util::CivilDate date = util::to_civil_date(seg.from);
+    const auto it = first.find(seg.hostname);
+    if (it == first.end() || date < it->second) first[seg.hostname] = date;
+  }
+  return first;
+}
+
+}  // namespace rdns::core

@@ -1,0 +1,56 @@
+#pragma once
+/// \file tracking.hpp
+/// Section 7.1 "Life of Brian(s)": following specific clients over time by
+/// the given name embedded in their dynamically added hostnames. Builds
+/// per-hostname presence segments from measurement groups and lays them out
+/// as the Fig. 8 weekly grid (rows = hostnames, columns = time slots,
+/// cell value = an index identifying the IP address, for the figure's
+/// colour coding).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "scan/reactive.hpp"
+#include "util/time.hpp"
+
+namespace rdns::core {
+
+/// One observed presence period of a hostname at an address.
+struct PresenceSegment {
+  std::string hostname;   ///< first label of the PTR ("brians-ipad")
+  std::string full_ptr;
+  net::Ipv4Addr address;
+  util::SimTime from = 0;
+  util::SimTime to = 0;
+};
+
+/// Extract presence segments whose hostname contains `needle` (lowercase
+/// substring match, e.g. "brian"), optionally restricted to one network.
+[[nodiscard]] std::vector<PresenceSegment> segments_matching(
+    const std::vector<scan::GroupSummary>& groups, const std::string& needle,
+    const std::string& network = "");
+
+/// Fig. 8 layout.
+struct WeeklyGrid {
+  std::vector<std::string> hostnames;          ///< row labels, sorted
+  /// cells[week][row][slot]: 0 = absent, k > 0 = present at address #k.
+  std::vector<std::vector<std::vector<int>>> weeks;
+  util::CivilDate first_monday;                ///< start of week 0
+  int slots_per_day = 12;                      ///< 2-hour slots by default
+  /// Address palette: index (1-based) -> address.
+  std::vector<net::Ipv4Addr> addresses;
+};
+
+/// Build the grid covering `num_weeks` weeks starting at the Monday on or
+/// before `start`.
+[[nodiscard]] WeeklyGrid build_weekly_grid(const std::vector<PresenceSegment>& segments,
+                                           const util::CivilDate& start, int num_weeks,
+                                           int slots_per_day = 12);
+
+/// First date a hostname was ever observed (Fig. 8's Cyber Monday finding:
+/// brians-galaxy-note9 appearing for the first time).
+[[nodiscard]] std::map<std::string, util::CivilDate> first_seen_dates(
+    const std::vector<PresenceSegment>& segments);
+
+}  // namespace rdns::core

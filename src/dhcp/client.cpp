@@ -1,0 +1,67 @@
+#include "dhcp/client.hpp"
+
+namespace rdns::dhcp {
+
+DhcpClient::DhcpClient(ClientIdentity identity, std::uint64_t xid_seed)
+    : identity_(std::move(identity)), rng_(xid_seed) {}
+
+std::optional<DhcpMessage> DhcpClient::exchange(DhcpServer& server, const DhcpMessage& request,
+                                                util::SimTime now) {
+  const auto reply_wire = server.handle_wire(encode(request), now);
+  if (!reply_wire) return std::nullopt;
+  try {
+    return decode(*reply_wire);
+  } catch (const DhcpWireError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<net::Ipv4Addr> DhcpClient::join(DhcpServer& server, util::SimTime now) {
+  const auto xid = static_cast<std::uint32_t>(rng_.next());
+
+  const auto offer = exchange(server, make_discover(xid, identity_), now);
+  if (!offer || offer->message_type() != MessageType::Offer) return std::nullopt;
+  const auto server_id = offer->server_identifier();
+  if (!server_id) return std::nullopt;
+
+  const auto ack =
+      exchange(server, make_request(xid, identity_, offer->yiaddr, *server_id), now);
+  if (!ack || ack->message_type() != MessageType::Ack) return std::nullopt;
+
+  state_ = ClientState::Bound;
+  address_ = ack->yiaddr;
+  server_id_ = *server_id;
+  const std::uint32_t lease = ack->lease_time().value_or(3600);
+  t1_ = now + lease / 2;
+  expiry_ = now + lease;
+  return address_;
+}
+
+bool DhcpClient::maybe_renew(DhcpServer& server, util::SimTime now) {
+  if (state_ != ClientState::Bound) return false;
+  if (now < t1_) return true;  // not due yet
+
+  const auto xid = static_cast<std::uint32_t>(rng_.next());
+  const auto ack = exchange(server, make_renew(xid, identity_, address_), now);
+  if (!ack || ack->message_type() != MessageType::Ack) {
+    // NAK or silence: binding is gone.
+    state_ = ClientState::Init;
+    return false;
+  }
+  const std::uint32_t lease = ack->lease_time().value_or(3600);
+  t1_ = now + lease / 2;
+  expiry_ = now + lease;
+  return true;
+}
+
+void DhcpClient::leave(DhcpServer& server, util::SimTime now, bool clean) {
+  if (state_ != ClientState::Bound) return;
+  if (clean) {
+    const auto xid = static_cast<std::uint32_t>(rng_.next());
+    // RELEASE gets no reply; we only need the side effect.
+    (void)server.handle_wire(encode(make_release(xid, identity_, address_, server_id_)), now);
+  }
+  state_ = ClientState::Init;
+}
+
+}  // namespace rdns::dhcp

@@ -1,0 +1,69 @@
+#pragma once
+/// \file client.hpp
+/// DHCP client state machine used by simulated devices. Exchanges with the
+/// server happen in wire form (encode → server → decode), so every join,
+/// renewal and release exercises the RFC 2131 codec.
+///
+/// The client models the behaviours whose privacy consequences the paper
+/// studies:
+///   - it sends its device name in the Host Name option (option 12), the
+///     suspected source of "brians-iphone" PTR records (Section 5.2);
+///   - it may send a Client FQDN option (option 81), including the N flag;
+///   - it releases its lease cleanly only some of the time — "release
+///     messages are not always sent, as clients can go out of range, or
+///     users can unplug devices" (Section 2.1).
+
+#include <cstdint>
+#include <optional>
+
+#include "dhcp/message.hpp"
+#include "dhcp/server.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace rdns::dhcp {
+
+enum class ClientState : std::uint8_t {
+  Init = 0,
+  Bound,
+};
+
+class DhcpClient {
+ public:
+  DhcpClient(ClientIdentity identity, std::uint64_t xid_seed);
+
+  /// Full DISCOVER→OFFER→REQUEST→ACK handshake against `server`.
+  /// Returns the bound address, or nullopt if the exchange failed.
+  std::optional<net::Ipv4Addr> join(DhcpServer& server, util::SimTime now);
+
+  /// Renew if past T1 (half the lease time). Returns true if still bound
+  /// afterwards (renewal succeeded or was not yet due).
+  bool maybe_renew(DhcpServer& server, util::SimTime now);
+
+  /// Leave the network. With `clean`, sends RELEASE; otherwise just goes
+  /// silent and lets the lease expire server-side.
+  void leave(DhcpServer& server, util::SimTime now, bool clean);
+
+  [[nodiscard]] ClientState state() const noexcept { return state_; }
+  [[nodiscard]] std::optional<net::Ipv4Addr> address() const noexcept {
+    return state_ == ClientState::Bound ? std::optional{address_} : std::nullopt;
+  }
+  [[nodiscard]] const ClientIdentity& identity() const noexcept { return identity_; }
+  [[nodiscard]] util::SimTime renewal_due() const noexcept { return t1_; }
+
+ private:
+  /// One wire round-trip; nullopt if the server did not reply.
+  [[nodiscard]] static std::optional<DhcpMessage> exchange(DhcpServer& server,
+                                                           const DhcpMessage& request,
+                                                           util::SimTime now);
+
+  ClientIdentity identity_;
+  util::Rng rng_;
+  ClientState state_ = ClientState::Init;
+  net::Ipv4Addr address_;
+  net::Ipv4Addr server_id_;
+  util::SimTime t1_ = 0;       ///< renewal due time
+  util::SimTime expiry_ = 0;
+};
+
+}  // namespace rdns::dhcp

@@ -1,0 +1,144 @@
+#include "dhcp/ddns.hpp"
+
+#include "dns/update.hpp"
+#include "dns/wire.hpp"
+#include "net/arpa.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace rdns::dhcp {
+
+const char* to_string(DdnsPolicy p) noexcept {
+  switch (p) {
+    case DdnsPolicy::None: return "none";
+    case DdnsPolicy::StaticGeneric: return "static-generic";
+    case DdnsPolicy::CarryOverClientId: return "carry-over-client-id";
+    case DdnsPolicy::HashedClientId: return "hashed-client-id";
+  }
+  return "?";
+}
+
+std::string sanitize_hostname(std::string_view host_name) {
+  std::string out;
+  out.reserve(host_name.size());
+  bool pending_hyphen = false;
+  for (char c : host_name) {
+    char lowered = c;
+    if (c >= 'A' && c <= 'Z') lowered = static_cast<char>(c - 'A' + 'a');
+    const bool valid = (lowered >= 'a' && lowered <= 'z') || (lowered >= '0' && lowered <= '9');
+    if (valid) {
+      if (pending_hyphen && !out.empty()) out.push_back('-');
+      pending_hyphen = false;
+      out.push_back(lowered);
+    } else if (c == '\'' || c == '\xE2' || c == '\x80' || c == '\x99') {
+      // Apostrophes (ASCII and the bytes of U+2019) vanish: Brian's -> brians.
+    } else {
+      // Every other separator becomes a single hyphen.
+      pending_hyphen = true;
+    }
+  }
+  if (out.size() > 63) out.resize(63);
+  while (!out.empty() && out.back() == '-') out.pop_back();
+  return out;
+}
+
+std::string hashed_label(const net::Mac& mac) {
+  const std::uint64_t h = util::mix64(mac.key() ^ 0xB121A2D0C0FFEEULL);
+  return util::format("h-%012llx", static_cast<unsigned long long>(h & 0xFFFFFFFFFFFFULL));
+}
+
+std::string generic_label(net::Ipv4Addr a) {
+  return util::format("host-%u-%u-%u-%u", a.octet(0), a.octet(1), a.octet(2), a.octet(3));
+}
+
+DdnsBridge::DdnsBridge(DdnsConfig config, dns::Transport& transport, std::uint64_t id_seed)
+    : config_(std::move(config)),
+      transport_(&transport),
+      next_id_(static_cast<std::uint16_t>(util::mix64(id_seed))) {}
+
+std::optional<dns::DnsName> DdnsBridge::published_name(const Lease& lease) const {
+  switch (config_.policy) {
+    case DdnsPolicy::None:
+      return std::nullopt;
+    case DdnsPolicy::StaticGeneric:
+      // Static names are pre-populated; lease events never change them.
+      return std::nullopt;
+    case DdnsPolicy::CarryOverClientId: {
+      std::string label = sanitize_hostname(lease.host_name);
+      if (label.empty()) label = generic_label(lease.address);
+      return config_.domain_suffix.prepend(label);
+    }
+    case DdnsPolicy::HashedClientId:
+      return config_.domain_suffix.prepend(hashed_label(lease.mac));
+  }
+  return std::nullopt;
+}
+
+void DdnsBridge::send_update(const dns::Message& update) {
+  const auto wire = dns::encode(update);
+  const auto response_wire = transport_->exchange(wire, 0);
+  if (!response_wire) {
+    ++stats_.update_failures;
+    return;
+  }
+  try {
+    const dns::Message response = dns::decode(*response_wire);
+    if (response.flags.rcode != dns::Rcode::NoError) ++stats_.update_failures;
+  } catch (const dns::WireError&) {
+    ++stats_.update_failures;
+  }
+}
+
+void DdnsBridge::on_lease_bound(const Lease& lease, util::SimTime /*now*/) {
+  if (config_.honor_no_update_flag && lease.client_fqdn && lease.client_fqdn->empty()) {
+    // Convention from the client layer: an empty Client FQDN string models
+    // the N flag ("do not update DNS on my behalf").
+    ++stats_.suppressed_by_client_flag;
+    return;
+  }
+  const auto name = published_name(lease);
+  if (!name) return;
+  send_update(dns::make_ptr_replace(next_id_++, config_.reverse_zone, lease.address, *name,
+                                    config_.ttl));
+  ++stats_.ptr_added;
+  if (!config_.forward_zone.is_root()) {
+    dns::UpdateBuilder builder{next_id_++, config_.forward_zone};
+    builder.delete_rrset(*name, dns::RrType::A);
+    builder.add(dns::make_a(*name, lease.address, config_.ttl));
+    send_update(builder.build());
+    ++stats_.a_added;
+  }
+}
+
+void DdnsBridge::on_lease_end(const Lease& lease, LeaseEndReason /*reason*/, util::SimTime /*now*/) {
+  if (config_.policy == DdnsPolicy::None || config_.policy == DdnsPolicy::StaticGeneric) return;
+  if (config_.honor_no_update_flag && lease.client_fqdn && lease.client_fqdn->empty()) return;
+  if (!config_.forward_zone.is_root()) {
+    if (const auto name = published_name(lease)) {
+      dns::UpdateBuilder builder{next_id_++, config_.forward_zone};
+      builder.delete_rrset(*name, dns::RrType::A);
+      send_update(builder.build());
+      ++stats_.a_removed;
+    }
+  }
+  if (config_.removal == RemovalBehavior::RemovePtr) {
+    send_update(dns::make_ptr_delete(next_id_++, config_.reverse_zone, lease.address));
+    ++stats_.ptr_removed;
+  } else {
+    const dns::DnsName generic =
+        config_.generic_suffix.prepend(generic_label(lease.address));
+    send_update(dns::make_ptr_replace(next_id_++, config_.reverse_zone, lease.address, generic,
+                                      config_.ttl));
+    ++stats_.ptr_reverted;
+  }
+}
+
+void DdnsBridge::populate_static(net::Ipv4Addr first, net::Ipv4Addr last, util::SimTime /*now*/) {
+  for (std::uint64_t v = first.value(); v <= last.value(); ++v) {
+    const net::Ipv4Addr a{static_cast<std::uint32_t>(v)};
+    const dns::DnsName generic = config_.generic_suffix.prepend(generic_label(a));
+    send_update(dns::make_ptr_replace(next_id_++, config_.reverse_zone, a, generic, config_.ttl));
+  }
+}
+
+}  // namespace rdns::dhcp

@@ -1,0 +1,123 @@
+#pragma once
+/// \file ddns.hpp
+/// The DHCP→DNS bridge: the practice this paper is about.
+///
+/// When a lease is granted, networks that link DHCP and DNS (often through
+/// IPAM products — Section 8 lists Bluecat, Infoblox, etc.) automatically
+/// add a PTR record for the allocated address; when the lease ends the
+/// record is removed or reverted. If the PTR is derived from the
+/// client-provided Host Name ("Brian's iPhone"), the owner's name and the
+/// device make/model leak into the globally queryable reverse DNS.
+///
+/// The bridge implements the policy spectrum discussed in the paper:
+///   - None:             no DNS coupling (nothing leaks, nothing is dynamic)
+///   - StaticGeneric:    fixed-form records like host-1-2-3-4.dynamic.x.edu
+///                       (the "83 further prefixes" of the §4.1 validation:
+///                       dynamic DHCP, static rDNS — not dynamicity-exposing)
+///   - CarryOverClientId:sanitized client Host Name becomes the PTR target
+///                       (the exposing configuration the paper studies)
+///   - HashedClientId:   the §8 mitigation — "using some sort of hash seems
+///                       prudent" — stable per client but meaningless
+///
+/// Updates are sent as RFC 2136 messages through a dns::Transport, so the
+/// full DNS wire path is exercised on every lease event.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "dhcp/lease.hpp"
+#include "dns/name.hpp"
+#include "dns/server.hpp"
+#include "net/ipv4.hpp"
+
+namespace rdns::dhcp {
+
+enum class DdnsPolicy : std::uint8_t {
+  None = 0,
+  StaticGeneric,
+  CarryOverClientId,
+  HashedClientId,
+};
+
+[[nodiscard]] const char* to_string(DdnsPolicy p) noexcept;
+
+/// What happens to the PTR when a lease ends.
+enum class RemovalBehavior : std::uint8_t {
+  RemovePtr = 0,     ///< delete the PTR RRset (address has no reverse name)
+  RevertToGeneric,   ///< replace with the generic fixed-form name
+};
+
+struct DdnsConfig {
+  DdnsPolicy policy = DdnsPolicy::CarryOverClientId;
+  RemovalBehavior removal = RemovalBehavior::RemovePtr;
+  /// Origin of the reverse zone the bridge updates (e.g. 10.131.in-addr.arpa).
+  dns::DnsName reverse_zone;
+  /// Origin of a forward zone to keep in sync (empty = reverse only).
+  /// The paper's future work points at forward DNS "which can also be
+  /// dynamically updated by DHCP servers" (§10): when set, the bridge adds
+  /// an A record at the published name on bind and removes it on lease end.
+  dns::DnsName forward_zone;
+  /// Suffix appended to client labels: brians-iphone.<suffix>.
+  dns::DnsName domain_suffix;
+  /// Suffix for generic names: host-1-2-3-4.<generic_suffix>.
+  dns::DnsName generic_suffix;
+  std::uint32_t ttl = 300;
+  /// Honour the RFC 4702 "N" flag (client asks server not to update DNS).
+  bool honor_no_update_flag = false;
+};
+
+struct DdnsStats {
+  std::uint64_t ptr_added = 0;
+  std::uint64_t ptr_removed = 0;
+  std::uint64_t ptr_reverted = 0;
+  std::uint64_t a_added = 0;
+  std::uint64_t a_removed = 0;
+  std::uint64_t suppressed_by_client_flag = 0;
+  std::uint64_t update_failures = 0;
+};
+
+/// Sanitize a DHCP Host Name into a DNS label, the way DHCP servers and
+/// IPAM systems do before publishing: lowercase, apostrophes dropped,
+/// spaces and other separators collapsed to hyphens, invalid characters
+/// removed, length clamped to 63. "Brian's iPhone" -> "brians-iphone".
+[[nodiscard]] std::string sanitize_hostname(std::string_view host_name);
+
+/// Stable, meaningless label for the HashedClientId policy: "h-" + 12 hex
+/// digits derived from the client MAC.
+[[nodiscard]] std::string hashed_label(const net::Mac& mac);
+
+/// Fixed-form generic label for an address: "host-10-131-4-27".
+[[nodiscard]] std::string generic_label(net::Ipv4Addr a);
+
+class DdnsBridge {
+ public:
+  DdnsBridge(DdnsConfig config, dns::Transport& transport, std::uint64_t id_seed = 0xDD5EED);
+
+  /// Lease became bound (ACK sent). Adds/updates the PTR per policy.
+  void on_lease_bound(const Lease& lease, util::SimTime now);
+
+  /// Lease ended (release or expiry). Removes/reverts the PTR per policy.
+  void on_lease_end(const Lease& lease, LeaseEndReason reason, util::SimTime now);
+
+  /// Pre-populate static generic PTRs for every address in [first, last]
+  /// (used by StaticGeneric networks and by static infrastructure ranges).
+  void populate_static(net::Ipv4Addr first, net::Ipv4Addr last, util::SimTime now);
+
+  /// The name the bridge would publish for this lease (empty optional if
+  /// the policy publishes nothing).
+  [[nodiscard]] std::optional<dns::DnsName> published_name(const Lease& lease) const;
+
+  [[nodiscard]] const DdnsConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const DdnsStats& stats() const noexcept { return stats_; }
+
+ private:
+  void send_update(const dns::Message& update);
+
+  DdnsConfig config_;
+  dns::Transport* transport_;
+  std::uint16_t next_id_;
+  DdnsStats stats_;
+};
+
+}  // namespace rdns::dhcp

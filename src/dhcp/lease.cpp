@@ -1,0 +1,104 @@
+#include "dhcp/lease.hpp"
+
+namespace rdns::dhcp {
+
+const char* to_string(LeaseState s) noexcept {
+  switch (s) {
+    case LeaseState::Offered: return "offered";
+    case LeaseState::Bound: return "bound";
+    case LeaseState::Released: return "released";
+    case LeaseState::Expired: return "expired";
+  }
+  return "?";
+}
+
+void LeaseDb::upsert(const Lease& lease) {
+  const auto it = by_addr_.find(lease.address);
+  if (it != by_addr_.end()) {
+    // Remove a stale MAC binding if ownership changes.
+    const auto mac_it = by_mac_.find(it->second.mac);
+    if (mac_it != by_mac_.end() && mac_it->second == lease.address) by_mac_.erase(mac_it);
+  }
+  by_addr_[lease.address] = lease;
+  by_mac_[lease.mac] = lease.address;
+  expiry_queue_.push(ExpiryEntry{lease.expiry, lease.address.value()});
+}
+
+const Lease* LeaseDb::by_address(net::Ipv4Addr a) const noexcept {
+  const auto it = by_addr_.find(a);
+  return it == by_addr_.end() ? nullptr : &it->second;
+}
+
+const Lease* LeaseDb::by_mac(const net::Mac& m) const noexcept {
+  const auto it = by_mac_.find(m);
+  return it == by_mac_.end() ? nullptr : by_address(it->second);
+}
+
+bool LeaseDb::bind(net::Ipv4Addr a, util::SimTime now, util::SimTime expiry) {
+  const auto it = by_addr_.find(a);
+  if (it == by_addr_.end()) return false;
+  it->second.state = LeaseState::Bound;
+  it->second.start = now;
+  it->second.expiry = expiry;
+  expiry_queue_.push(ExpiryEntry{expiry, a.value()});
+  return true;
+}
+
+bool LeaseDb::renew(net::Ipv4Addr a, util::SimTime new_expiry) {
+  const auto it = by_addr_.find(a);
+  if (it == by_addr_.end() || it->second.state != LeaseState::Bound) return false;
+  it->second.expiry = new_expiry;
+  expiry_queue_.push(ExpiryEntry{new_expiry, a.value()});
+  return true;
+}
+
+std::optional<Lease> LeaseDb::release(net::Ipv4Addr a) {
+  const auto it = by_addr_.find(a);
+  if (it == by_addr_.end() || it->second.state != LeaseState::Bound) return std::nullopt;
+  it->second.state = LeaseState::Released;
+  return it->second;
+}
+
+std::vector<Lease> LeaseDb::expire_due(util::SimTime now) {
+  std::vector<Lease> expired;
+  while (!expiry_queue_.empty() && expiry_queue_.top().expiry <= now) {
+    const ExpiryEntry entry = expiry_queue_.top();
+    expiry_queue_.pop();
+    const auto it = by_addr_.find(net::Ipv4Addr{entry.address});
+    if (it == by_addr_.end()) continue;           // already erased
+    Lease& lease = it->second;
+    if (lease.expiry != entry.expiry) continue;   // stale queue entry (renewed)
+    if (lease.state != LeaseState::Bound && lease.state != LeaseState::Offered) continue;
+    // Return the pre-expiry state (callers distinguish lapsed offers from
+    // expired bindings); the stored lease is marked Expired.
+    const Lease before = lease;
+    lease.state = LeaseState::Expired;
+    expired.push_back(before);
+  }
+  return expired;
+}
+
+void LeaseDb::erase(net::Ipv4Addr a) {
+  const auto it = by_addr_.find(a);
+  if (it == by_addr_.end()) return;
+  const auto mac_it = by_mac_.find(it->second.mac);
+  if (mac_it != by_mac_.end() && mac_it->second == a) by_mac_.erase(mac_it);
+  by_addr_.erase(it);
+}
+
+std::size_t LeaseDb::bound_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [addr, lease] : by_addr_) {
+    if (lease.state == LeaseState::Bound) ++n;
+  }
+  return n;
+}
+
+std::vector<Lease> LeaseDb::all() const {
+  std::vector<Lease> out;
+  out.reserve(by_addr_.size());
+  for (const auto& [addr, lease] : by_addr_) out.push_back(lease);
+  return out;
+}
+
+}  // namespace rdns::dhcp

@@ -1,0 +1,97 @@
+#pragma once
+/// \file lease.hpp
+/// Lease records and the lease database. The paper's timing findings hinge
+/// on exactly this machinery: leases that expire (often after an hour)
+/// versus leases released early by clients sending RELEASE (Section 6.2,
+/// Fig. 7a peaks at ~5 minutes and at hourly multiples).
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/mac.hpp"
+#include "util/time.hpp"
+
+namespace rdns::dhcp {
+
+enum class LeaseState : std::uint8_t {
+  Offered = 0,  ///< OFFER sent, awaiting REQUEST
+  Bound,        ///< ACKed, active
+  Released,     ///< client sent RELEASE
+  Expired,      ///< lease time ran out without renewal
+};
+
+[[nodiscard]] const char* to_string(LeaseState s) noexcept;
+
+/// Why a lease ended (drives the DDNS bridge's record removal timing).
+enum class LeaseEndReason : std::uint8_t {
+  Release = 0,  ///< clean RELEASE from the client
+  Expiry,       ///< lease timer ran out
+};
+
+struct Lease {
+  net::Ipv4Addr address;
+  net::Mac mac;
+  std::string host_name;  ///< client-provided Host Name (may be empty)
+  std::optional<std::string> client_fqdn;
+  util::SimTime start = 0;
+  util::SimTime expiry = 0;
+  LeaseState state = LeaseState::Offered;
+
+  [[nodiscard]] bool active_at(util::SimTime t) const noexcept {
+    return state == LeaseState::Bound && t < expiry;
+  }
+};
+
+/// Lease database with O(1) lookups by address and by client MAC and an
+/// expiry queue for `expire_due`.
+class LeaseDb {
+ public:
+  /// Insert or overwrite the lease for an address.
+  void upsert(const Lease& lease);
+
+  [[nodiscard]] const Lease* by_address(net::Ipv4Addr a) const noexcept;
+  [[nodiscard]] const Lease* by_mac(const net::Mac& m) const noexcept;
+
+  /// Mark Bound (commit an offer); returns false if no lease at `a`.
+  bool bind(net::Ipv4Addr a, util::SimTime now, util::SimTime expiry);
+
+  /// Extend a bound lease.
+  bool renew(net::Ipv4Addr a, util::SimTime new_expiry);
+
+  /// Mark released; returns the lease if it was bound.
+  std::optional<Lease> release(net::Ipv4Addr a);
+
+  /// Pop all leases whose expiry is <= now and are still Bound/Offered;
+  /// marks them Expired in the database and returns copies carrying their
+  /// pre-expiry state (Bound vs Offered).
+  [[nodiscard]] std::vector<Lease> expire_due(util::SimTime now);
+
+  /// Remove the lease record entirely (after the server processed its end).
+  void erase(net::Ipv4Addr a);
+
+  [[nodiscard]] std::size_t size() const noexcept { return by_addr_.size(); }
+  [[nodiscard]] std::size_t bound_count() const noexcept;
+
+  /// Snapshot of all leases (tests/inspection).
+  [[nodiscard]] std::vector<Lease> all() const;
+
+ private:
+  struct ExpiryEntry {
+    util::SimTime expiry;
+    std::uint32_t address;
+    bool operator>(const ExpiryEntry& other) const noexcept {
+      return expiry > other.expiry;
+    }
+  };
+
+  std::unordered_map<net::Ipv4Addr, Lease> by_addr_;
+  std::unordered_map<net::Mac, net::Ipv4Addr> by_mac_;
+  std::priority_queue<ExpiryEntry, std::vector<ExpiryEntry>, std::greater<>> expiry_queue_;
+};
+
+}  // namespace rdns::dhcp

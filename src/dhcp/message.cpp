@@ -1,0 +1,195 @@
+#include "dhcp/message.hpp"
+
+#include "util/strings.hpp"
+
+namespace rdns::dhcp {
+
+namespace {
+
+constexpr std::size_t kFixedHeaderSize = 236;  // through the file field
+constexpr std::array<std::uint8_t, 4> kMagicCookie = {99, 130, 83, 99};
+
+void push_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void push_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+[[nodiscard]] std::uint32_t read_u32(std::span<const std::uint8_t> w, std::size_t pos) {
+  return (static_cast<std::uint32_t>(w[pos]) << 24) |
+         (static_cast<std::uint32_t>(w[pos + 1]) << 16) |
+         (static_cast<std::uint32_t>(w[pos + 2]) << 8) | static_cast<std::uint32_t>(w[pos + 3]);
+}
+
+}  // namespace
+
+std::optional<MessageType> DhcpMessage::message_type() const noexcept {
+  const Option* o = find_option(options, OptionCode::MessageType);
+  if (o == nullptr || o->data.size() != 1) return std::nullopt;
+  return static_cast<MessageType>(o->data[0]);
+}
+
+std::optional<std::string> DhcpMessage::host_name() const noexcept {
+  const Option* o = find_option(options, OptionCode::HostName);
+  if (o == nullptr || o->data.empty()) return std::nullopt;
+  return o->as_string();
+}
+
+std::optional<ClientFqdn> DhcpMessage::client_fqdn() const noexcept {
+  const Option* o = find_option(options, OptionCode::ClientFqdn);
+  if (o == nullptr) return std::nullopt;
+  try {
+    return ClientFqdn::from_option(*o);
+  } catch (const OptionError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<net::Ipv4Addr> DhcpMessage::requested_ip() const noexcept {
+  const Option* o = find_option(options, OptionCode::RequestedIpAddress);
+  if (o == nullptr || o->data.size() != 4) return std::nullopt;
+  return o->as_ipv4();
+}
+
+std::optional<std::uint32_t> DhcpMessage::lease_time() const noexcept {
+  const Option* o = find_option(options, OptionCode::IpAddressLeaseTime);
+  if (o == nullptr || o->data.size() != 4) return std::nullopt;
+  return o->as_u32();
+}
+
+std::optional<net::Ipv4Addr> DhcpMessage::server_identifier() const noexcept {
+  const Option* o = find_option(options, OptionCode::ServerIdentifier);
+  if (o == nullptr || o->data.size() != 4) return std::nullopt;
+  return o->as_ipv4();
+}
+
+std::string DhcpMessage::summary() const {
+  const auto type = message_type();
+  const auto name = host_name();
+  return util::format("%s xid=%08x chaddr=%s yiaddr=%s%s%s",
+                      type ? to_string(*type) : "(no type)", xid, chaddr.to_string().c_str(),
+                      yiaddr.to_string().c_str(), name ? " hostname=" : "",
+                      name ? name->c_str() : "");
+}
+
+std::vector<std::uint8_t> encode(const DhcpMessage& m) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kFixedHeaderSize + 64);
+  out.push_back(static_cast<std::uint8_t>(m.op));
+  out.push_back(m.htype);
+  out.push_back(m.hlen);
+  out.push_back(m.hops);
+  push_u32(out, m.xid);
+  push_u16(out, m.secs);
+  push_u16(out, m.flags);
+  push_u32(out, m.ciaddr.value());
+  push_u32(out, m.yiaddr.value());
+  push_u32(out, m.siaddr.value());
+  push_u32(out, m.giaddr.value());
+  // chaddr: 16 octets, first hlen meaningful.
+  for (std::size_t i = 0; i < 16; ++i) {
+    out.push_back(i < 6 ? m.chaddr.bytes()[i] : 0);
+  }
+  out.insert(out.end(), 64, 0);   // sname (unused)
+  out.insert(out.end(), 128, 0);  // file (unused)
+  out.insert(out.end(), kMagicCookie.begin(), kMagicCookie.end());
+  encode_options(m.options, out);
+  return out;
+}
+
+DhcpMessage decode(std::span<const std::uint8_t> wire) {
+  if (wire.size() < kFixedHeaderSize + kMagicCookie.size() + 1) {
+    throw DhcpWireError("decode: message too short");
+  }
+  DhcpMessage m;
+  m.op = static_cast<Op>(wire[0]);
+  if (m.op != Op::BootRequest && m.op != Op::BootReply) {
+    throw DhcpWireError("decode: bad op field");
+  }
+  m.htype = wire[1];
+  m.hlen = wire[2];
+  m.hops = wire[3];
+  m.xid = read_u32(wire, 4);
+  m.secs = static_cast<std::uint16_t>((wire[8] << 8) | wire[9]);
+  m.flags = static_cast<std::uint16_t>((wire[10] << 8) | wire[11]);
+  m.ciaddr = net::Ipv4Addr{read_u32(wire, 12)};
+  m.yiaddr = net::Ipv4Addr{read_u32(wire, 16)};
+  m.siaddr = net::Ipv4Addr{read_u32(wire, 20)};
+  m.giaddr = net::Ipv4Addr{read_u32(wire, 24)};
+  std::array<std::uint8_t, 6> mac_bytes{};
+  for (std::size_t i = 0; i < 6; ++i) mac_bytes[i] = wire[28 + i];
+  m.chaddr = net::Mac{mac_bytes};
+  for (std::size_t i = 0; i < kMagicCookie.size(); ++i) {
+    if (wire[kFixedHeaderSize + i] != kMagicCookie[i]) {
+      throw DhcpWireError("decode: missing magic cookie");
+    }
+  }
+  try {
+    m.options = decode_options(wire.subspan(kFixedHeaderSize + kMagicCookie.size()));
+  } catch (const OptionError& e) {
+    throw DhcpWireError(std::string{"decode: "} + e.what());
+  }
+  return m;
+}
+
+namespace {
+void append_identity(DhcpMessage& m, const ClientIdentity& id) {
+  if (!id.host_name.empty()) m.options.push_back(Option::host_name(id.host_name));
+  if (id.fqdn) m.options.push_back(id.fqdn->to_option());
+}
+}  // namespace
+
+DhcpMessage make_discover(std::uint32_t xid, const ClientIdentity& id) {
+  DhcpMessage m;
+  m.op = Op::BootRequest;
+  m.xid = xid;
+  m.flags = 0x8000;  // broadcast
+  m.chaddr = id.mac;
+  m.options.push_back(Option::message_type(MessageType::Discover));
+  append_identity(m, id);
+  return m;
+}
+
+DhcpMessage make_request(std::uint32_t xid, const ClientIdentity& id, net::Ipv4Addr requested,
+                         net::Ipv4Addr server_id) {
+  DhcpMessage m;
+  m.op = Op::BootRequest;
+  m.xid = xid;
+  m.chaddr = id.mac;
+  m.options.push_back(Option::message_type(MessageType::Request));
+  m.options.push_back(Option::requested_ip(requested));
+  m.options.push_back(Option::server_identifier(server_id));
+  append_identity(m, id);
+  return m;
+}
+
+DhcpMessage make_renew(std::uint32_t xid, const ClientIdentity& id, net::Ipv4Addr current) {
+  DhcpMessage m;
+  m.op = Op::BootRequest;
+  m.xid = xid;
+  m.ciaddr = current;
+  m.chaddr = id.mac;
+  m.options.push_back(Option::message_type(MessageType::Request));
+  append_identity(m, id);
+  return m;
+}
+
+DhcpMessage make_release(std::uint32_t xid, const ClientIdentity& id, net::Ipv4Addr current,
+                         net::Ipv4Addr server_id) {
+  DhcpMessage m;
+  m.op = Op::BootRequest;
+  m.xid = xid;
+  m.ciaddr = current;
+  m.chaddr = id.mac;
+  m.options.push_back(Option::message_type(MessageType::Release));
+  m.options.push_back(Option::server_identifier(server_id));
+  return m;
+}
+
+}  // namespace rdns::dhcp

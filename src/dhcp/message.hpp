@@ -1,0 +1,88 @@
+#pragma once
+/// \file message.hpp
+/// DHCP messages (RFC 2131 §2): the fixed BOOTP-derived header plus the
+/// options field introduced by the magic cookie. Wire encode/decode is
+/// faithful so the client↔server exchange in the simulator runs over real
+/// DHCP bytes.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dhcp/options.hpp"
+#include "net/ipv4.hpp"
+#include "net/mac.hpp"
+
+namespace rdns::dhcp {
+
+/// op field values.
+enum class Op : std::uint8_t {
+  BootRequest = 1,
+  BootReply = 2,
+};
+
+struct DhcpMessage {
+  Op op = Op::BootRequest;
+  std::uint8_t htype = 1;  ///< Ethernet
+  std::uint8_t hlen = 6;
+  std::uint8_t hops = 0;
+  std::uint32_t xid = 0;   ///< transaction id
+  std::uint16_t secs = 0;
+  std::uint16_t flags = 0; ///< bit 15 = broadcast
+  net::Ipv4Addr ciaddr;    ///< client's current address (renew/release)
+  net::Ipv4Addr yiaddr;    ///< "your" address (server -> client)
+  net::Ipv4Addr siaddr;
+  net::Ipv4Addr giaddr;
+  net::Mac chaddr;         ///< client hardware address
+  std::vector<Option> options;
+
+  bool operator==(const DhcpMessage&) const = default;
+
+  // -- option lookups -------------------------------------------------------
+  [[nodiscard]] std::optional<MessageType> message_type() const noexcept;
+  [[nodiscard]] std::optional<std::string> host_name() const noexcept;
+  [[nodiscard]] std::optional<ClientFqdn> client_fqdn() const noexcept;
+  [[nodiscard]] std::optional<net::Ipv4Addr> requested_ip() const noexcept;
+  [[nodiscard]] std::optional<std::uint32_t> lease_time() const noexcept;
+  [[nodiscard]] std::optional<net::Ipv4Addr> server_identifier() const noexcept;
+
+  /// One-line summary for logs.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Raised on malformed wire input.
+class DhcpWireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Encode to wire bytes (fixed header, zeroed sname/file, magic cookie,
+/// options).
+[[nodiscard]] std::vector<std::uint8_t> encode(const DhcpMessage& m);
+
+/// Decode from wire bytes; throws DhcpWireError on malformed input.
+[[nodiscard]] DhcpMessage decode(std::span<const std::uint8_t> wire);
+
+// -- message builders (client side) -----------------------------------------
+
+struct ClientIdentity {
+  net::Mac mac;
+  /// Host Name option payload, e.g. "Brians-iPhone"; empty = do not send.
+  std::string host_name;
+  /// Client FQDN option; nullopt = do not send.
+  std::optional<ClientFqdn> fqdn;
+};
+
+[[nodiscard]] DhcpMessage make_discover(std::uint32_t xid, const ClientIdentity& id);
+[[nodiscard]] DhcpMessage make_request(std::uint32_t xid, const ClientIdentity& id,
+                                       net::Ipv4Addr requested, net::Ipv4Addr server_id);
+/// Renewing REQUEST (unicast, ciaddr filled, no server id / requested ip).
+[[nodiscard]] DhcpMessage make_renew(std::uint32_t xid, const ClientIdentity& id,
+                                     net::Ipv4Addr current);
+[[nodiscard]] DhcpMessage make_release(std::uint32_t xid, const ClientIdentity& id,
+                                       net::Ipv4Addr current, net::Ipv4Addr server_id);
+
+}  // namespace rdns::dhcp

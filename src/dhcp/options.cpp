@@ -1,0 +1,185 @@
+#include "dhcp/options.hpp"
+
+namespace rdns::dhcp {
+
+const char* to_string(MessageType t) noexcept {
+  switch (t) {
+    case MessageType::Discover: return "DISCOVER";
+    case MessageType::Offer: return "OFFER";
+    case MessageType::Request: return "REQUEST";
+    case MessageType::Decline: return "DECLINE";
+    case MessageType::Ack: return "ACK";
+    case MessageType::Nak: return "NAK";
+    case MessageType::Release: return "RELEASE";
+    case MessageType::Inform: return "INFORM";
+  }
+  return "?";
+}
+
+namespace {
+void push_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+}  // namespace
+
+Option Option::message_type(MessageType t) {
+  return Option{OptionCode::MessageType, {static_cast<std::uint8_t>(t)}};
+}
+
+Option Option::host_name(std::string_view name) {
+  if (name.empty() || name.size() > 255) {
+    throw OptionError("host_name: length must be 1..255");
+  }
+  return Option{OptionCode::HostName,
+                std::vector<std::uint8_t>(name.begin(), name.end())};
+}
+
+Option Option::requested_ip(net::Ipv4Addr a) {
+  Option o{OptionCode::RequestedIpAddress, {}};
+  push_u32(o.data, a.value());
+  return o;
+}
+
+Option Option::lease_time(std::uint32_t seconds) {
+  Option o{OptionCode::IpAddressLeaseTime, {}};
+  push_u32(o.data, seconds);
+  return o;
+}
+
+Option Option::server_identifier(net::Ipv4Addr a) {
+  Option o{OptionCode::ServerIdentifier, {}};
+  push_u32(o.data, a.value());
+  return o;
+}
+
+Option Option::renewal_time(std::uint32_t seconds) {
+  Option o{OptionCode::RenewalTime, {}};
+  push_u32(o.data, seconds);
+  return o;
+}
+
+MessageType Option::as_message_type() const {
+  if (code != OptionCode::MessageType || data.size() != 1) {
+    throw OptionError("as_message_type: not a 1-octet option 53");
+  }
+  return static_cast<MessageType>(data[0]);
+}
+
+std::string Option::as_string() const {
+  return std::string{data.begin(), data.end()};
+}
+
+net::Ipv4Addr Option::as_ipv4() const {
+  return net::Ipv4Addr{as_u32()};
+}
+
+std::uint32_t Option::as_u32() const {
+  if (data.size() != 4) throw OptionError("as_u32: option payload is not 4 octets");
+  return (static_cast<std::uint32_t>(data[0]) << 24) |
+         (static_cast<std::uint32_t>(data[1]) << 16) |
+         (static_cast<std::uint32_t>(data[2]) << 8) | static_cast<std::uint32_t>(data[3]);
+}
+
+Option ClientFqdn::to_option() const {
+  Option o{OptionCode::ClientFqdn, {}};
+  std::uint8_t flags = 0;
+  if (server_updates) flags |= 0x01;   // S
+  if (server_override) flags |= 0x02;  // O
+  if (canonical_wire) flags |= 0x04;   // E
+  if (no_server_update) flags |= 0x08; // N
+  o.data.push_back(flags);
+  o.data.push_back(0);  // RCODE1 (deprecated, must be 0)
+  o.data.push_back(0);  // RCODE2 (deprecated, must be 0)
+  if (canonical_wire) {
+    // DNS wire encoding of the (non-compressed) name.
+    std::size_t start = 0;
+    const std::string& s = fqdn;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+      if (i == s.size() || s[i] == '.') {
+        const std::size_t len = i - start;
+        if (len > 63) throw OptionError("ClientFqdn: label exceeds 63 octets");
+        if (len > 0) {
+          o.data.push_back(static_cast<std::uint8_t>(len));
+          o.data.insert(o.data.end(), s.begin() + static_cast<std::ptrdiff_t>(start),
+                        s.begin() + static_cast<std::ptrdiff_t>(i));
+        }
+        start = i + 1;
+      }
+    }
+    o.data.push_back(0);
+  } else {
+    o.data.insert(o.data.end(), fqdn.begin(), fqdn.end());
+  }
+  if (o.data.size() > 255) throw OptionError("ClientFqdn: option exceeds 255 octets");
+  return o;
+}
+
+ClientFqdn ClientFqdn::from_option(const Option& option) {
+  if (option.code != OptionCode::ClientFqdn || option.data.size() < 3) {
+    throw OptionError("ClientFqdn: malformed option 81");
+  }
+  ClientFqdn f;
+  const std::uint8_t flags = option.data[0];
+  f.server_updates = (flags & 0x01) != 0;
+  f.server_override = (flags & 0x02) != 0;
+  f.canonical_wire = (flags & 0x04) != 0;
+  f.no_server_update = (flags & 0x08) != 0;
+  std::size_t pos = 3;
+  if (f.canonical_wire) {
+    std::string name;
+    while (pos < option.data.size()) {
+      const std::uint8_t len = option.data[pos++];
+      if (len == 0) break;
+      if (len > 63 || pos + len > option.data.size()) {
+        throw OptionError("ClientFqdn: malformed wire-encoded name");
+      }
+      if (!name.empty()) name.push_back('.');
+      name.append(reinterpret_cast<const char*>(option.data.data() + pos), len);
+      pos += len;
+    }
+    f.fqdn = std::move(name);
+  } else {
+    f.fqdn.assign(option.data.begin() + 3, option.data.end());
+  }
+  return f;
+}
+
+void encode_options(const std::vector<Option>& options, std::vector<std::uint8_t>& out) {
+  for (const auto& o : options) {
+    if (o.code == OptionCode::Pad || o.code == OptionCode::End) continue;
+    if (o.data.size() > 255) throw OptionError("encode_options: option exceeds 255 octets");
+    out.push_back(static_cast<std::uint8_t>(o.code));
+    out.push_back(static_cast<std::uint8_t>(o.data.size()));
+    out.insert(out.end(), o.data.begin(), o.data.end());
+  }
+  out.push_back(static_cast<std::uint8_t>(OptionCode::End));
+}
+
+std::vector<Option> decode_options(std::span<const std::uint8_t> wire) {
+  std::vector<Option> out;
+  std::size_t pos = 0;
+  while (pos < wire.size()) {
+    const auto code = static_cast<OptionCode>(wire[pos++]);
+    if (code == OptionCode::Pad) continue;
+    if (code == OptionCode::End) return out;
+    if (pos >= wire.size()) throw OptionError("decode_options: truncated option header");
+    const std::uint8_t len = wire[pos++];
+    if (pos + len > wire.size()) throw OptionError("decode_options: truncated option payload");
+    out.push_back(Option{code, std::vector<std::uint8_t>(wire.begin() + static_cast<std::ptrdiff_t>(pos),
+                                                         wire.begin() + static_cast<std::ptrdiff_t>(pos + len))});
+    pos += len;
+  }
+  throw OptionError("decode_options: missing End option");
+}
+
+const Option* find_option(const std::vector<Option>& options, OptionCode code) noexcept {
+  for (const auto& o : options) {
+    if (o.code == code) return &o;
+  }
+  return nullptr;
+}
+
+}  // namespace rdns::dhcp

@@ -1,0 +1,111 @@
+#pragma once
+/// \file options.hpp
+/// DHCP options (RFC 2132) in TLV wire form. The two options at the heart
+/// of the paper are:
+///   - option 12, Host Name: "commonly used by DHCP servers to identify
+///     hosts and also to update the address of the host in local name
+///     services" — and, in the exposing configurations we study, carried
+///     over into global reverse DNS;
+///   - option 81, Client FQDN (RFC 4702): lets a client ask the server to
+///     update (or not update) DNS on its behalf.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace rdns::dhcp {
+
+/// Option codes used in this implementation (subset of RFC 2132 / IANA).
+enum class OptionCode : std::uint8_t {
+  Pad = 0,
+  SubnetMask = 1,
+  Router = 3,
+  DomainNameServer = 6,
+  HostName = 12,
+  DomainName = 15,
+  RequestedIpAddress = 50,
+  IpAddressLeaseTime = 51,
+  MessageType = 53,
+  ServerIdentifier = 54,
+  ParameterRequestList = 55,
+  RenewalTime = 58,    ///< T1
+  RebindingTime = 59,  ///< T2
+  ClientIdentifier = 61,
+  ClientFqdn = 81,
+  End = 255,
+};
+
+/// DHCP message types (option 53 values, RFC 2132 §9.6).
+enum class MessageType : std::uint8_t {
+  Discover = 1,
+  Offer = 2,
+  Request = 3,
+  Decline = 4,
+  Ack = 5,
+  Nak = 6,
+  Release = 7,
+  Inform = 8,
+};
+
+[[nodiscard]] const char* to_string(MessageType t) noexcept;
+
+/// Raised on malformed option data.
+class OptionError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A raw option: code + payload.
+struct Option {
+  OptionCode code = OptionCode::Pad;
+  std::vector<std::uint8_t> data;
+
+  bool operator==(const Option&) const = default;
+
+  // -- typed constructors ---------------------------------------------------
+  [[nodiscard]] static Option message_type(MessageType t);
+  [[nodiscard]] static Option host_name(std::string_view name);
+  [[nodiscard]] static Option requested_ip(net::Ipv4Addr a);
+  [[nodiscard]] static Option lease_time(std::uint32_t seconds);
+  [[nodiscard]] static Option server_identifier(net::Ipv4Addr a);
+  [[nodiscard]] static Option renewal_time(std::uint32_t seconds);
+
+  // -- typed accessors (throw OptionError on size mismatch) ----------------
+  [[nodiscard]] MessageType as_message_type() const;
+  [[nodiscard]] std::string as_string() const;
+  [[nodiscard]] net::Ipv4Addr as_ipv4() const;
+  [[nodiscard]] std::uint32_t as_u32() const;
+};
+
+/// Client FQDN option payload (RFC 4702 §2).
+struct ClientFqdn {
+  // Flag bits.
+  bool server_updates = false;  ///< S: client asks server to do the A update
+  bool server_override = false; ///< O: set by servers only
+  bool no_server_update = false;///< N: client asks server NOT to update DNS
+  bool canonical_wire = true;   ///< E: domain name in DNS wire encoding
+
+  std::string fqdn;  ///< presentation form (possibly a partial name)
+
+  [[nodiscard]] Option to_option() const;
+  [[nodiscard]] static ClientFqdn from_option(const Option& option);
+
+  bool operator==(const ClientFqdn&) const = default;
+};
+
+/// Serialize options (terminated by End) into `out`.
+void encode_options(const std::vector<Option>& options, std::vector<std::uint8_t>& out);
+
+/// Parse options until End; throws OptionError on truncation.
+[[nodiscard]] std::vector<Option> decode_options(std::span<const std::uint8_t> wire);
+
+/// Find an option by code.
+[[nodiscard]] const Option* find_option(const std::vector<Option>& options,
+                                        OptionCode code) noexcept;
+
+}  // namespace rdns::dhcp

@@ -1,0 +1,66 @@
+#include "dhcp/pool.hpp"
+
+#include <algorithm>
+
+namespace rdns::dhcp {
+
+void AddressPool::add_range(net::Ipv4Addr first, net::Ipv4Addr last) {
+  if (first > last) std::swap(first, last);
+  for (std::uint64_t v = first.value(); v <= last.value(); ++v) {
+    const net::Ipv4Addr a{static_cast<std::uint32_t>(v)};
+    if (members_.insert(a).second) addresses_.push_back(a);
+  }
+  std::sort(addresses_.begin(), addresses_.end());
+}
+
+void AddressPool::add_prefix(const net::Prefix& p) {
+  if (p.length() >= 31) {
+    add_range(p.first(), p.last());
+  } else {
+    add_range(p.first() + 1, p.last() - 1);  // skip network & broadcast
+  }
+}
+
+std::optional<net::Ipv4Addr> AddressPool::allocate(const net::Mac& mac,
+                                                   std::optional<net::Ipv4Addr> requested) {
+  // 1. Sticky binding: same client gets the same address when possible.
+  const auto aff = affinity_.find(mac);
+  if (aff != affinity_.end() && is_free(aff->second)) {
+    allocated_.insert(aff->second);
+    return aff->second;
+  }
+  // 2. Honour an explicit request when the address is ours and free.
+  if (requested && is_free(*requested)) {
+    allocated_.insert(*requested);
+    affinity_[mac] = *requested;
+    return *requested;
+  }
+  // 3. Rotating first-free scan (avoids quadratic behaviour under churn).
+  const std::size_t n = addresses_.size();
+  for (std::size_t step = 0; step < n; ++step) {
+    const std::size_t i = (next_hint_ + step) % n;
+    const net::Ipv4Addr a = addresses_[i];
+    if (allocated_.find(a) == allocated_.end()) {
+      allocated_.insert(a);
+      affinity_[mac] = a;
+      next_hint_ = (i + 1) % n;
+      return a;
+    }
+  }
+  return std::nullopt;
+}
+
+void AddressPool::release(net::Ipv4Addr a, const net::Mac& mac) {
+  allocated_.erase(a);
+  affinity_[mac] = a;  // keep the affinity so a returning client re-binds
+}
+
+bool AddressPool::contains(net::Ipv4Addr a) const noexcept {
+  return members_.find(a) != members_.end();
+}
+
+bool AddressPool::is_free(net::Ipv4Addr a) const noexcept {
+  return contains(a) && allocated_.find(a) == allocated_.end();
+}
+
+}  // namespace rdns::dhcp

@@ -1,0 +1,56 @@
+#pragma once
+/// \file pool.hpp
+/// Dynamic address pools. Pools hand out addresses from configured ranges,
+/// prefer a client's previous address (sticky bindings — RFC 2131 §4.3.1),
+/// and track utilization.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/mac.hpp"
+#include "net/prefix.hpp"
+
+namespace rdns::dhcp {
+
+class AddressPool {
+ public:
+  AddressPool() = default;
+
+  /// Add a range [first, last] (inclusive) to the pool.
+  void add_range(net::Ipv4Addr first, net::Ipv4Addr last);
+
+  /// Add all usable host addresses of a prefix (network and broadcast
+  /// excluded for prefixes shorter than /31).
+  void add_prefix(const net::Prefix& p);
+
+  /// Allocate an address for `mac`, preferring its remembered previous
+  /// address, then `requested` if free, then the lowest free address.
+  /// Returns nullopt when the pool is exhausted.
+  [[nodiscard]] std::optional<net::Ipv4Addr> allocate(
+      const net::Mac& mac, std::optional<net::Ipv4Addr> requested = std::nullopt);
+
+  /// Return an address to the pool (remembers the mac->address affinity).
+  void release(net::Ipv4Addr a, const net::Mac& mac);
+
+  [[nodiscard]] bool contains(net::Ipv4Addr a) const noexcept;
+  [[nodiscard]] bool is_free(net::Ipv4Addr a) const noexcept;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return addresses_.size(); }
+  [[nodiscard]] std::size_t allocated_count() const noexcept { return allocated_.size(); }
+  [[nodiscard]] std::size_t free_count() const noexcept {
+    return capacity() - allocated_count();
+  }
+
+ private:
+  std::vector<net::Ipv4Addr> addresses_;           // sorted, unique
+  std::unordered_set<net::Ipv4Addr> members_;      // for contains()
+  std::unordered_set<net::Ipv4Addr> allocated_;
+  std::unordered_map<net::Mac, net::Ipv4Addr> affinity_;
+  std::size_t next_hint_ = 0;  // rotating scan start for lowest-free search
+};
+
+}  // namespace rdns::dhcp

@@ -1,0 +1,167 @@
+#include "dhcp/server.hpp"
+
+namespace rdns::dhcp {
+
+DhcpServer::DhcpServer(DhcpServerConfig config, AddressPool pool)
+    : config_(config), pool_(std::move(pool)) {}
+
+void DhcpServer::add_observer(LeaseObserver observer) {
+  observers_.push_back(std::move(observer));
+}
+
+void DhcpServer::notify_bound(const Lease& lease, util::SimTime now) {
+  for (const auto& obs : observers_) {
+    if (obs.on_bound) obs.on_bound(lease, now);
+  }
+}
+
+void DhcpServer::notify_end(const Lease& lease, LeaseEndReason reason, util::SimTime now) {
+  for (const auto& obs : observers_) {
+    if (obs.on_end) obs.on_end(lease, reason, now);
+  }
+}
+
+void DhcpServer::fill_identity(Lease& lease, const DhcpMessage& m) {
+  if (const auto name = m.host_name()) lease.host_name = *name;
+  if (const auto fqdn = m.client_fqdn()) {
+    // Convention: N flag (no_server_update) is modelled as an empty string.
+    lease.client_fqdn = fqdn->no_server_update ? std::string{} : fqdn->fqdn;
+  }
+}
+
+DhcpMessage DhcpServer::make_reply(const DhcpMessage& request, MessageType type,
+                                   net::Ipv4Addr yiaddr) const {
+  DhcpMessage reply;
+  reply.op = Op::BootReply;
+  reply.xid = request.xid;
+  reply.flags = request.flags;
+  reply.chaddr = request.chaddr;
+  reply.yiaddr = yiaddr;
+  reply.siaddr = config_.server_id;
+  reply.options.push_back(Option::message_type(type));
+  reply.options.push_back(Option::server_identifier(config_.server_id));
+  if (type != MessageType::Nak) {
+    reply.options.push_back(Option::lease_time(config_.lease_seconds));
+    reply.options.push_back(Option::renewal_time(config_.lease_seconds / 2));
+  }
+  return reply;
+}
+
+std::optional<DhcpMessage> DhcpServer::handle(const DhcpMessage& request, util::SimTime now) {
+  tick(now);  // fold due expirations into the request path
+  const auto type = request.message_type();
+  if (!type) return std::nullopt;  // option 53 is mandatory
+  switch (*type) {
+    case MessageType::Discover:
+      ++stats_.discovers;
+      return on_discover(request, now);
+    case MessageType::Request:
+      ++stats_.requests;
+      return on_request(request, now);
+    case MessageType::Release:
+      ++stats_.releases;
+      on_release(request, now);
+      return std::nullopt;  // RELEASE is not answered (RFC 2131 §4.4.6)
+    default:
+      return std::nullopt;  // DECLINE/INFORM not modelled
+  }
+}
+
+std::optional<std::vector<std::uint8_t>> DhcpServer::handle_wire(
+    std::span<const std::uint8_t> wire, util::SimTime now) {
+  DhcpMessage request;
+  try {
+    request = decode(wire);
+  } catch (const DhcpWireError&) {
+    return std::nullopt;  // drop undecodable datagrams
+  }
+  const auto reply = handle(request, now);
+  if (!reply) return std::nullopt;
+  return encode(*reply);
+}
+
+std::optional<DhcpMessage> DhcpServer::on_discover(const DhcpMessage& m, util::SimTime now) {
+  // If the client already holds a bound lease, re-offer the same address.
+  if (const Lease* existing = leases_.by_mac(m.chaddr);
+      existing != nullptr && existing->state == LeaseState::Bound) {
+    ++stats_.offers;
+    return make_reply(m, MessageType::Offer, existing->address);
+  }
+
+  const auto address = pool_.allocate(m.chaddr, m.requested_ip());
+  if (!address) {
+    ++stats_.pool_exhausted;
+    return std::nullopt;  // silence; client will retry elsewhere
+  }
+  Lease lease;
+  lease.address = *address;
+  lease.mac = m.chaddr;
+  lease.start = now;
+  lease.expiry = now + config_.offer_hold_seconds;
+  lease.state = LeaseState::Offered;
+  fill_identity(lease, m);
+  leases_.upsert(lease);
+  ++stats_.offers;
+  return make_reply(m, MessageType::Offer, *address);
+}
+
+std::optional<DhcpMessage> DhcpServer::on_request(const DhcpMessage& m, util::SimTime now) {
+  // RENEWING/REBINDING: ciaddr carries the address, no Requested IP option.
+  if (m.ciaddr.value() != 0) {
+    const Lease* lease = leases_.by_address(m.ciaddr);
+    if (lease == nullptr || !(lease->mac == m.chaddr) || lease->state != LeaseState::Bound) {
+      ++stats_.naks;
+      return make_reply(m, MessageType::Nak, net::Ipv4Addr{});
+    }
+    leases_.renew(m.ciaddr, now + config_.lease_seconds);
+    ++stats_.acks;
+    // Renewal does not re-fire on_bound: the PTR is already in place.
+    return make_reply(m, MessageType::Ack, m.ciaddr);
+  }
+
+  // SELECTING: must name us and the offered address.
+  const auto server_id = m.server_identifier();
+  const auto requested = m.requested_ip();
+  if (!requested || (server_id && !(*server_id == config_.server_id))) {
+    ++stats_.naks;
+    return make_reply(m, MessageType::Nak, net::Ipv4Addr{});
+  }
+  const Lease* offered = leases_.by_address(*requested);
+  if (offered == nullptr || !(offered->mac == m.chaddr)) {
+    ++stats_.naks;
+    return make_reply(m, MessageType::Nak, net::Ipv4Addr{});
+  }
+  Lease updated = *offered;
+  fill_identity(updated, m);  // REQUEST may carry fresher identity options
+  updated.state = LeaseState::Bound;
+  updated.start = now;
+  updated.expiry = now + config_.lease_seconds;
+  leases_.upsert(updated);
+  ++stats_.acks;
+  notify_bound(updated, now);
+  return make_reply(m, MessageType::Ack, *requested);
+}
+
+void DhcpServer::on_release(const DhcpMessage& m, util::SimTime now) {
+  if (m.ciaddr.value() == 0) return;
+  const auto released = leases_.release(m.ciaddr);
+  if (!released) return;
+  pool_.release(released->address, released->mac);
+  leases_.erase(released->address);
+  notify_end(*released, LeaseEndReason::Release, now);
+}
+
+void DhcpServer::tick(util::SimTime now) {
+  for (const Lease& lease : leases_.expire_due(now)) {
+    pool_.release(lease.address, lease.mac);
+    leases_.erase(lease.address);
+    // Lapsed offers have no DNS state to clean up (the bridge only acts on
+    // bound leases), so only bound leases fire the end event.
+    if (lease.state == LeaseState::Bound) {
+      ++stats_.expirations;
+      notify_end(lease, LeaseEndReason::Expiry, now);
+    }
+  }
+}
+
+}  // namespace rdns::dhcp

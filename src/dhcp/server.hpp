@@ -1,0 +1,91 @@
+#pragma once
+/// \file server.hpp
+/// DHCP server state machine (RFC 2131 §4.3): DISCOVER→OFFER,
+/// REQUEST→ACK/NAK, RELEASE, lease expiry. Lease lifecycle events are
+/// published to observers — the DdnsBridge subscribes to them, which is how
+/// client identifiers end up in the global reverse DNS.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dhcp/lease.hpp"
+#include "dhcp/message.hpp"
+#include "dhcp/pool.hpp"
+#include "util/time.hpp"
+
+namespace rdns::dhcp {
+
+struct DhcpServerConfig {
+  net::Ipv4Addr server_id;
+  /// Lease duration granted to clients. The paper observes that an hour
+  /// "is often set ... for a fast turn-over rate" (Section 6.2).
+  std::uint32_t lease_seconds = 3600;
+  /// How long an un-REQUESTed OFFER holds the address.
+  std::uint32_t offer_hold_seconds = 60;
+};
+
+struct DhcpServerStats {
+  std::uint64_t discovers = 0;
+  std::uint64_t offers = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t acks = 0;
+  std::uint64_t naks = 0;
+  std::uint64_t releases = 0;
+  std::uint64_t expirations = 0;
+  std::uint64_t pool_exhausted = 0;
+};
+
+/// Lease lifecycle callbacks.
+struct LeaseObserver {
+  std::function<void(const Lease&, util::SimTime)> on_bound;
+  std::function<void(const Lease&, LeaseEndReason, util::SimTime)> on_end;
+};
+
+class DhcpServer {
+ public:
+  DhcpServer(DhcpServerConfig config, AddressPool pool);
+
+  /// Subscribe to lease events (e.g. the DdnsBridge).
+  void add_observer(LeaseObserver observer);
+
+  /// Handle a client message in parsed form; nullopt = no reply (RELEASE,
+  /// or a drop).
+  [[nodiscard]] std::optional<DhcpMessage> handle(const DhcpMessage& request, util::SimTime now);
+
+  /// Handle a client message in wire form; the simulator uses this path so
+  /// DHCP bytes are round-tripped on every exchange.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> handle_wire(
+      std::span<const std::uint8_t> wire, util::SimTime now);
+
+  /// Process lease expirations up to `now`. Call periodically (the
+  /// simulator ticks once per simulated minute).
+  void tick(util::SimTime now);
+
+  [[nodiscard]] const DhcpServerConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const DhcpServerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const LeaseDb& leases() const noexcept { return leases_; }
+  [[nodiscard]] const AddressPool& pool() const noexcept { return pool_; }
+
+ private:
+  [[nodiscard]] std::optional<DhcpMessage> on_discover(const DhcpMessage& m, util::SimTime now);
+  [[nodiscard]] std::optional<DhcpMessage> on_request(const DhcpMessage& m, util::SimTime now);
+  void on_release(const DhcpMessage& m, util::SimTime now);
+
+  [[nodiscard]] DhcpMessage make_reply(const DhcpMessage& request, MessageType type,
+                                       net::Ipv4Addr yiaddr) const;
+  void notify_bound(const Lease& lease, util::SimTime now);
+  void notify_end(const Lease& lease, LeaseEndReason reason, util::SimTime now);
+  /// Copy identity options from the client message into the lease.
+  static void fill_identity(Lease& lease, const DhcpMessage& m);
+
+  DhcpServerConfig config_;
+  AddressPool pool_;
+  LeaseDb leases_;
+  std::vector<LeaseObserver> observers_;
+  DhcpServerStats stats_;
+};
+
+}  // namespace rdns::dhcp

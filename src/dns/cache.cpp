@@ -1,0 +1,118 @@
+#include "dns/cache.hpp"
+
+#include <algorithm>
+
+#include "net/arpa.hpp"
+
+namespace rdns::dns {
+
+std::optional<DnsCache::Entry> DnsCache::lookup(const DnsName& qname, RrType qtype,
+                                                util::SimTime now) {
+  const Key key{qname.to_canonical_string(), static_cast<std::uint16_t>(qtype)};
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (it->second.entry.expires <= now) {
+    lru_.erase(it->second.lru_position);
+    entries_.erase(it);
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  touch(key, it->second);
+  if (it->second.entry.status == LookupStatus::Ok) {
+    ++stats_.hits;
+  } else {
+    ++stats_.negative_hits;
+  }
+  return it->second.entry;
+}
+
+void DnsCache::touch(const Key& key, Slot& slot) {
+  lru_.erase(slot.lru_position);
+  lru_.push_front(key);
+  slot.lru_position = lru_.begin();
+}
+
+void DnsCache::insert(const Key& key, Entry entry) {
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.entry = std::move(entry);
+    touch(key, it->second);
+    return;
+  }
+  if (entries_.size() >= capacity_ && !lru_.empty()) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Slot{std::move(entry), lru_.begin()});
+  ++stats_.insertions;
+}
+
+void DnsCache::insert_positive(const DnsName& qname, RrType qtype,
+                               std::vector<ResourceRecord> answers, util::SimTime now) {
+  std::uint32_t ttl = 0xFFFFFFFFu;
+  for (const auto& rr : answers) ttl = std::min(ttl, rr.ttl);
+  if (answers.empty()) ttl = 0;
+  Entry entry;
+  entry.status = LookupStatus::Ok;
+  entry.answers = std::move(answers);
+  entry.expires = now + ttl;
+  insert(Key{qname.to_canonical_string(), static_cast<std::uint16_t>(qtype)},
+         std::move(entry));
+}
+
+void DnsCache::insert_negative(const DnsName& qname, RrType qtype, LookupStatus status,
+                               std::uint32_t negative_ttl, util::SimTime now) {
+  Entry entry;
+  entry.status = status;
+  entry.expires = now + negative_ttl;
+  insert(Key{qname.to_canonical_string(), static_cast<std::uint16_t>(qtype)},
+         std::move(entry));
+}
+
+void DnsCache::flush() {
+  entries_.clear();
+  lru_.clear();
+}
+
+CachingResolver::CachingResolver(Transport& upstream, std::size_t capacity,
+                                 std::uint32_t default_negative_ttl)
+    : cache_(capacity), upstream_(upstream), default_negative_ttl_(default_negative_ttl) {}
+
+LookupResult CachingResolver::lookup_ptr(net::Ipv4Addr address, util::SimTime now) {
+  return lookup(DnsName::must_parse(net::to_arpa(address)), RrType::PTR, now);
+}
+
+LookupResult CachingResolver::lookup(const DnsName& qname, RrType qtype, util::SimTime now) {
+  if (const auto cached = cache_.lookup(qname, qtype, now)) {
+    LookupResult result;
+    result.status = cached->status;
+    result.answers = cached->answers;
+    for (const auto& rr : cached->answers) {
+      if (const auto* ptr = std::get_if<PtrRdata>(&rr.rdata)) {
+        result.ptr = ptr->ptrdname;
+        break;
+      }
+    }
+    return result;
+  }
+
+  LookupResult result = upstream_.lookup(qname, qtype, now);
+  if (result.status == LookupStatus::Ok) {
+    cache_.insert_positive(qname, qtype, result.answers, now);
+  } else if (result.status == LookupStatus::NxDomain ||
+             result.status == LookupStatus::NoData) {
+    // RFC 2308: the negative TTL derives from the SOA in the authority
+    // section; our StubResolver does not surface it, so the configured
+    // default (the common 300s of our reverse zones) applies.
+    cache_.insert_negative(qname, qtype, result.status, default_negative_ttl_, now);
+  }
+  // Transient errors (SERVFAIL/timeout) are not cached.
+  return result;
+}
+
+}  // namespace rdns::dns

@@ -1,0 +1,66 @@
+#include "dns/message.hpp"
+
+#include "net/arpa.hpp"
+#include "util/strings.hpp"
+
+namespace rdns::dns {
+
+const char* to_string(Rcode r) noexcept {
+  switch (r) {
+    case Rcode::NoError: return "NOERROR";
+    case Rcode::FormErr: return "FORMERR";
+    case Rcode::ServFail: return "SERVFAIL";
+    case Rcode::NxDomain: return "NXDOMAIN";
+    case Rcode::NotImp: return "NOTIMP";
+    case Rcode::Refused: return "REFUSED";
+    case Rcode::NotZone: return "NOTZONE";
+  }
+  return "RCODE?";
+}
+
+std::string Message::to_string() const {
+  std::string out = util::format(
+      ";; id %u, %s, opcode %u, rcode %s%s%s%s\n", id, flags.qr ? "response" : "query",
+      static_cast<unsigned>(flags.opcode), dns::to_string(flags.rcode), flags.aa ? ", aa" : "",
+      flags.tc ? ", tc" : "", flags.rd ? ", rd" : "");
+  out += ";; QUESTION\n";
+  for (const auto& q : questions) {
+    out += util::format(";  %s %s %s\n", q.qname.to_string().c_str(), dns::to_string(q.qclass),
+                        dns::to_string(q.qtype));
+  }
+  const auto section = [&out](const char* header, const std::vector<ResourceRecord>& rrs) {
+    if (rrs.empty()) return;
+    out += util::format(";; %s\n", header);
+    for (const auto& rr : rrs) out += rr.to_string() + "\n";
+  };
+  section("ANSWER", answers);
+  section("AUTHORITY", authority);
+  section("ADDITIONAL", additional);
+  return out;
+}
+
+Message make_query(std::uint16_t id, const DnsName& qname, RrType qtype) {
+  Message m;
+  m.id = id;
+  m.flags.rd = false;  // the study queries authoritative servers directly
+  m.questions.push_back(Question{qname, qtype, RrClass::IN});
+  return m;
+}
+
+Message make_ptr_query(std::uint16_t id, net::Ipv4Addr address) {
+  return make_query(id, DnsName::must_parse(net::to_arpa(address)), RrType::PTR);
+}
+
+Message make_response(const Message& query, Rcode rcode, bool authoritative) {
+  Message m;
+  m.id = query.id;
+  m.flags.qr = true;
+  m.flags.opcode = query.flags.opcode;
+  m.flags.aa = authoritative;
+  m.flags.rd = query.flags.rd;
+  m.flags.rcode = rcode;
+  m.questions = query.questions;
+  return m;
+}
+
+}  // namespace rdns::dns

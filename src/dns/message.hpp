@@ -1,0 +1,80 @@
+#pragma once
+/// \file message.hpp
+/// DNS messages (RFC 1035 §4): header, question and RR sections, plus
+/// helpers to build the queries/responses the scanners and servers exchange.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dns/rr.hpp"
+
+namespace rdns::dns {
+
+/// Header OPCODEs (subset).
+enum class Opcode : std::uint8_t {
+  Query = 0,
+  Update = 5,  ///< RFC 2136 dynamic update
+};
+
+/// Response codes (subset).
+enum class Rcode : std::uint8_t {
+  NoError = 0,
+  FormErr = 1,
+  ServFail = 2,
+  NxDomain = 3,
+  NotImp = 4,
+  Refused = 5,
+  NotZone = 10,
+};
+
+[[nodiscard]] const char* to_string(Rcode r) noexcept;
+
+/// A question entry (QNAME/QTYPE/QCLASS).
+struct Question {
+  DnsName qname;
+  RrType qtype = RrType::A;
+  RrClass qclass = RrClass::IN;
+
+  bool operator==(const Question&) const = default;
+};
+
+/// Parsed header flags.
+struct Flags {
+  bool qr = false;  ///< response?
+  Opcode opcode = Opcode::Query;
+  bool aa = false;  ///< authoritative answer
+  bool tc = false;  ///< truncated
+  bool rd = false;  ///< recursion desired
+  bool ra = false;  ///< recursion available
+  Rcode rcode = Rcode::NoError;
+
+  bool operator==(const Flags&) const = default;
+};
+
+/// A full message. In update messages (RFC 2136) the sections are reused:
+/// question = zone, answer = prerequisites, authority = updates.
+struct Message {
+  std::uint16_t id = 0;
+  Flags flags;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authority;
+  std::vector<ResourceRecord> additional;
+
+  bool operator==(const Message&) const = default;
+
+  /// Multi-line presentation (dig-like) for logging and golden tests.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A standard query for (qname, qtype).
+[[nodiscard]] Message make_query(std::uint16_t id, const DnsName& qname, RrType qtype);
+
+/// A PTR query for the reverse name of an IPv4 address.
+[[nodiscard]] Message make_ptr_query(std::uint16_t id, net::Ipv4Addr address);
+
+/// Start a response to `query`: copies id/opcode/question, sets qr (and aa).
+[[nodiscard]] Message make_response(const Message& query, Rcode rcode, bool authoritative = true);
+
+}  // namespace rdns::dns

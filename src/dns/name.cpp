@@ -1,0 +1,167 @@
+#include "dns/name.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace rdns::dns {
+
+namespace {
+
+constexpr std::size_t kMaxLabel = 63;
+constexpr std::size_t kMaxName = 255;
+
+[[nodiscard]] char ascii_lower(char c) noexcept {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+[[nodiscard]] int ilabel_cmp(std::string_view a, std::string_view b) noexcept {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const char ca = ascii_lower(a[i]);
+    const char cb = ascii_lower(b[i]);
+    if (ca != cb) return ca < cb ? -1 : 1;
+  }
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  return 0;
+}
+
+/// Common public second-level suffixes under which organizations register,
+/// so that registered_domain("uni.ac.uk") behaves like the paper's TLD+1
+/// indexing would want. Deliberately small: covers what the simulator emits.
+[[nodiscard]] bool is_public_second_level(std::string_view second, std::string_view tld) noexcept {
+  using rdns::util::iequals;
+  if (iequals(tld, "uk") || iequals(tld, "jp") || iequals(tld, "nz") || iequals(tld, "za")) {
+    return iequals(second, "ac") || iequals(second, "co") || iequals(second, "gov") ||
+           iequals(second, "edu") || iequals(second, "net") || iequals(second, "org");
+  }
+  if (iequals(tld, "au") || iequals(tld, "br") || iequals(tld, "cn") || iequals(tld, "in")) {
+    return iequals(second, "edu") || iequals(second, "com") || iequals(second, "gov") ||
+           iequals(second, "net") || iequals(second, "org") || iequals(second, "ac");
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_valid_label(std::string_view label) noexcept {
+  if (label.empty() || label.size() > kMaxLabel) return false;
+  for (char c : label) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+                    c == '-' || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+DnsName::DnsName(std::vector<std::string> labels) : labels_(std::move(labels)) {
+  std::size_t total = 1;  // root label
+  for (const auto& l : labels_) {
+    if (!is_valid_label(l)) {
+      throw std::invalid_argument("DnsName: invalid label: '" + l + "'");
+    }
+    total += l.size() + 1;
+  }
+  if (total > kMaxName) throw std::invalid_argument("DnsName: name exceeds 255 octets");
+}
+
+std::optional<DnsName> DnsName::parse(std::string_view text) {
+  if (text.empty() || text == ".") return DnsName{};
+  if (text.back() == '.') text.remove_suffix(1);
+  std::vector<std::string> labels;
+  std::size_t start = 0;
+  std::size_t total = 1;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '.') {
+      const std::string_view label = text.substr(start, i - start);
+      if (!is_valid_label(label)) return std::nullopt;
+      total += label.size() + 1;
+      if (total > kMaxName) return std::nullopt;
+      labels.emplace_back(label);
+      start = i + 1;
+    }
+  }
+  return DnsName{std::move(labels)};
+}
+
+DnsName DnsName::must_parse(std::string_view text) {
+  auto n = parse(text);
+  if (!n) throw std::invalid_argument("DnsName: malformed name: " + std::string{text});
+  return *std::move(n);
+}
+
+std::size_t DnsName::wire_length() const noexcept {
+  std::size_t total = 1;
+  for (const auto& l : labels_) total += l.size() + 1;
+  return total;
+}
+
+std::string DnsName::to_string() const {
+  if (labels_.empty()) return ".";
+  return util::join(labels_, ".");
+}
+
+std::string DnsName::to_canonical_string() const { return util::to_lower(to_string()); }
+
+bool DnsName::ends_with(const DnsName& suffix) const noexcept {
+  if (suffix.labels_.size() > labels_.size()) return false;
+  const std::size_t offset = labels_.size() - suffix.labels_.size();
+  for (std::size_t i = 0; i < suffix.labels_.size(); ++i) {
+    if (ilabel_cmp(labels_[offset + i], suffix.labels_[i]) != 0) return false;
+  }
+  return true;
+}
+
+DnsName DnsName::suffix(std::size_t n) const {
+  if (n > labels_.size()) throw std::out_of_range("DnsName::suffix: n exceeds label count");
+  return DnsName{std::vector<std::string>(labels_.begin() + static_cast<std::ptrdiff_t>(n),
+                                          labels_.end())};
+}
+
+DnsName DnsName::prepend(std::string_view label) const {
+  std::vector<std::string> labels;
+  labels.reserve(labels_.size() + 1);
+  labels.emplace_back(label);
+  labels.insert(labels.end(), labels_.begin(), labels_.end());
+  return DnsName{std::move(labels)};
+}
+
+DnsName DnsName::concat(const DnsName& other) const {
+  std::vector<std::string> labels = labels_;
+  labels.insert(labels.end(), other.labels_.begin(), other.labels_.end());
+  return DnsName{std::move(labels)};
+}
+
+DnsName DnsName::registered_domain() const {
+  if (labels_.size() <= 2) return *this;
+  const std::string& tld = labels_.back();
+  const std::string& second = labels_[labels_.size() - 2];
+  const std::size_t keep = is_public_second_level(second, tld) ? 3 : 2;
+  if (labels_.size() <= keep) return *this;
+  return suffix(labels_.size() - keep);
+}
+
+bool DnsName::equals(const DnsName& other) const noexcept {
+  if (labels_.size() != other.labels_.size()) return false;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (ilabel_cmp(labels_[i], other.labels_[i]) != 0) return false;
+  }
+  return true;
+}
+
+std::strong_ordering DnsName::operator<=>(const DnsName& other) const noexcept {
+  // Compare label-wise from the right (DNSSEC canonical order), so that a
+  // zone's names sort with the apex first and children grouped together.
+  const std::size_t na = labels_.size();
+  const std::size_t nb = other.labels_.size();
+  const std::size_t n = std::min(na, nb);
+  for (std::size_t i = 1; i <= n; ++i) {
+    const int c = ilabel_cmp(labels_[na - i], other.labels_[nb - i]);
+    if (c != 0) return c < 0 ? std::strong_ordering::less : std::strong_ordering::greater;
+  }
+  if (na != nb) return na < nb ? std::strong_ordering::less : std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+}  // namespace rdns::dns

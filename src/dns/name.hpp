@@ -1,0 +1,88 @@
+#pragma once
+/// \file name.hpp
+/// DNS domain names (RFC 1035 §2.3). Names are sequences of labels, stored
+/// without the trailing root label, compared ASCII-case-insensitively (DNS
+/// is case-preserving but case-insensitive).
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rdns::dns {
+
+class DnsName {
+ public:
+  DnsName() = default;
+
+  /// From labels; each label must be 1..63 octets (throws otherwise).
+  explicit DnsName(std::vector<std::string> labels);
+
+  /// Parse dotted text ("www.Example.COM", optional trailing dot).
+  /// Empty string or "." yields the root (empty) name. Returns nullopt for
+  /// malformed names (empty interior label, label > 63, total > 255).
+  [[nodiscard]] static std::optional<DnsName> parse(std::string_view text);
+
+  /// Parse or throw std::invalid_argument.
+  [[nodiscard]] static DnsName must_parse(std::string_view text);
+
+  [[nodiscard]] const std::vector<std::string>& labels() const noexcept { return labels_; }
+  [[nodiscard]] bool is_root() const noexcept { return labels_.empty(); }
+  [[nodiscard]] std::size_t label_count() const noexcept { return labels_.size(); }
+
+  /// Total encoded length in octets (sum of 1+len per label, +1 root).
+  [[nodiscard]] std::size_t wire_length() const noexcept;
+
+  /// Dotted text form, original case preserved; root renders as ".".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Lowercased dotted form (canonical for comparisons/maps).
+  [[nodiscard]] std::string to_canonical_string() const;
+
+  /// True if `this` ends with `suffix` (whole labels, case-insensitive).
+  /// Every name ends with the root name.
+  [[nodiscard]] bool ends_with(const DnsName& suffix) const noexcept;
+
+  /// Name with the first `n` labels removed (n <= label_count()).
+  [[nodiscard]] DnsName suffix(std::size_t n) const;
+
+  /// `label` prepended to this name; label must be a valid DNS label.
+  [[nodiscard]] DnsName prepend(std::string_view label) const;
+
+  /// Concatenate: this.labels ++ other.labels.
+  [[nodiscard]] DnsName concat(const DnsName& other) const;
+
+  /// The registered-domain approximation the paper uses to index networks:
+  /// TLD+1 for ordinary names ("cs.uni.edu" -> "uni.edu"), TLD+2 when the
+  /// TLD+1 is a common public second-level label ("x.ac.uk" -> "x.ac.uk"
+  /// stays, i.e. "foo.ac.uk" for "bar.foo.ac.uk"). Root/TLD-only names
+  /// return themselves.
+  [[nodiscard]] DnsName registered_domain() const;
+
+  /// Case-insensitive equality.
+  [[nodiscard]] bool equals(const DnsName& other) const noexcept;
+
+  bool operator==(const DnsName& other) const noexcept { return equals(other); }
+  /// Canonical (lowercase, label-wise from the right) ordering, suitable
+  /// for zone storage.
+  std::strong_ordering operator<=>(const DnsName& other) const noexcept;
+
+ private:
+  std::vector<std::string> labels_;
+};
+
+/// Validate a single label: 1..63 chars, LDH (letters/digits/hyphen/underscore).
+/// Underscore is tolerated because real-world PTR data contains it.
+[[nodiscard]] bool is_valid_label(std::string_view label) noexcept;
+
+}  // namespace rdns::dns
+
+template <>
+struct std::hash<rdns::dns::DnsName> {
+  [[nodiscard]] std::size_t operator()(const rdns::dns::DnsName& n) const noexcept {
+    return std::hash<std::string>{}(n.to_canonical_string());
+  }
+};

@@ -1,0 +1,95 @@
+#include "dns/resolver.hpp"
+
+#include "dns/wire.hpp"
+#include "net/arpa.hpp"
+#include "util/rng.hpp"
+
+namespace rdns::dns {
+
+const char* to_string(LookupStatus s) noexcept {
+  switch (s) {
+    case LookupStatus::Ok: return "OK";
+    case LookupStatus::NxDomain: return "NXDOMAIN";
+    case LookupStatus::NoData: return "NODATA";
+    case LookupStatus::ServFail: return "SERVFAIL";
+    case LookupStatus::Timeout: return "TIMEOUT";
+    case LookupStatus::Refused: return "REFUSED";
+    case LookupStatus::Malformed: return "MALFORMED";
+  }
+  return "?";
+}
+
+StubResolver::StubResolver(Transport& transport, int retries, std::uint64_t id_seed)
+    : transport_(&transport),
+      retries_(retries),
+      next_id_(static_cast<std::uint16_t>(util::mix64(id_seed))) {}
+
+LookupResult StubResolver::lookup_ptr(net::Ipv4Addr address, util::SimTime now) {
+  return lookup(DnsName::must_parse(net::to_arpa(address)), RrType::PTR, now);
+}
+
+LookupResult StubResolver::lookup(const DnsName& qname, RrType qtype, util::SimTime now) {
+  LookupResult result;
+  const std::uint16_t id = next_id_++;
+  const Message query = make_query(id, qname, qtype);
+  const auto query_wire = encode(query);
+
+  for (int attempt = 0; attempt <= retries_; ++attempt) {
+    ++result.attempts;
+    ++stats_.queries_sent;
+    const auto response_wire = transport_->exchange(query_wire, now);
+    if (!response_wire) continue;  // timeout: retry
+
+    Message response;
+    try {
+      response = decode(*response_wire);
+    } catch (const WireError&) {
+      result.status = LookupStatus::Malformed;
+      ++stats_.other;
+      return result;
+    }
+    if (response.id != id || !response.flags.qr) {
+      // Mismatched transaction: treat as lost and retry.
+      continue;
+    }
+    switch (response.flags.rcode) {
+      case Rcode::NoError:
+        if (response.answers.empty()) {
+          result.status = LookupStatus::NoData;
+          ++stats_.other;
+        } else {
+          result.status = LookupStatus::Ok;
+          result.answers = response.answers;
+          for (const auto& rr : response.answers) {
+            if (const auto* ptr = std::get_if<PtrRdata>(&rr.rdata)) {
+              result.ptr = ptr->ptrdname;
+              break;
+            }
+          }
+          ++stats_.ok;
+        }
+        return result;
+      case Rcode::NxDomain:
+        result.status = LookupStatus::NxDomain;
+        ++stats_.nxdomain;
+        return result;
+      case Rcode::ServFail:
+        result.status = LookupStatus::ServFail;
+        ++stats_.servfail;
+        return result;
+      case Rcode::Refused:
+        result.status = LookupStatus::Refused;
+        ++stats_.other;
+        return result;
+      default:
+        result.status = LookupStatus::Malformed;
+        ++stats_.other;
+        return result;
+    }
+  }
+  result.status = LookupStatus::Timeout;
+  ++stats_.timeout;
+  return result;
+}
+
+}  // namespace rdns::dns

@@ -1,0 +1,74 @@
+#pragma once
+/// \file resolver.hpp
+/// Stub resolver used by the measurement tooling. Mirrors the paper's
+/// custom dnspython wrapper (Section 6.1): queries the authoritative server
+/// for the address directly (no cache), classifies outcomes into the error
+/// taxonomy of Fig. 6, and rate limiting is left to the caller (scanners).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "dns/message.hpp"
+#include "dns/server.hpp"
+#include "net/ipv4.hpp"
+#include "util/time.hpp"
+
+namespace rdns::dns {
+
+/// Outcome classification (Fig. 6 taxonomy).
+enum class LookupStatus : std::uint8_t {
+  Ok = 0,
+  NxDomain,
+  NoData,        ///< name exists, no PTR (rare in reverse zones)
+  ServFail,      ///< "name server failure"
+  Timeout,       ///< no response after retries
+  Refused,
+  Malformed,     ///< undecodable response
+};
+
+[[nodiscard]] const char* to_string(LookupStatus s) noexcept;
+[[nodiscard]] constexpr bool is_error(LookupStatus s) noexcept { return s != LookupStatus::Ok; }
+
+struct LookupResult {
+  LookupStatus status = LookupStatus::Timeout;
+  /// First PTR target when status == Ok.
+  std::optional<DnsName> ptr;
+  /// All answer records (for multi-RR answers).
+  std::vector<ResourceRecord> answers;
+  int attempts = 0;
+};
+
+/// Resolver statistics, accumulated across lookups.
+struct ResolverStats {
+  std::uint64_t queries_sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t nxdomain = 0;
+  std::uint64_t servfail = 0;
+  std::uint64_t timeout = 0;
+  std::uint64_t other = 0;
+};
+
+class StubResolver {
+ public:
+  /// `retries` = additional attempts after a timeout (a real stub retries
+  /// lost UDP datagrams).
+  explicit StubResolver(Transport& transport, int retries = 1, std::uint64_t id_seed = 0x1D5EED);
+
+  /// Look up the PTR for an address.
+  [[nodiscard]] LookupResult lookup_ptr(net::Ipv4Addr address, util::SimTime now);
+
+  /// Generic lookup.
+  [[nodiscard]] LookupResult lookup(const DnsName& qname, RrType qtype, util::SimTime now);
+
+  [[nodiscard]] const ResolverStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+ private:
+  Transport* transport_;
+  int retries_;
+  std::uint16_t next_id_;
+  ResolverStats stats_;
+};
+
+}  // namespace rdns::dns

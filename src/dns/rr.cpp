@@ -1,0 +1,92 @@
+#include "dns/rr.hpp"
+
+#include "util/strings.hpp"
+
+namespace rdns::dns {
+
+const char* to_string(RrType t) noexcept {
+  switch (t) {
+    case RrType::A: return "A";
+    case RrType::NS: return "NS";
+    case RrType::CNAME: return "CNAME";
+    case RrType::SOA: return "SOA";
+    case RrType::PTR: return "PTR";
+    case RrType::TXT: return "TXT";
+    case RrType::AAAA: return "AAAA";
+    case RrType::ANY: return "ANY";
+  }
+  return "TYPE?";
+}
+
+const char* to_string(RrClass c) noexcept {
+  switch (c) {
+    case RrClass::IN: return "IN";
+    case RrClass::NONE: return "NONE";
+    case RrClass::ANY: return "ANY";
+  }
+  return "CLASS?";
+}
+
+RrType rdata_type(const Rdata& rdata) noexcept {
+  struct Visitor {
+    RrType operator()(const ARdata&) const noexcept { return RrType::A; }
+    RrType operator()(const NsRdata&) const noexcept { return RrType::NS; }
+    RrType operator()(const CnameRdata&) const noexcept { return RrType::CNAME; }
+    RrType operator()(const SoaRdata&) const noexcept { return RrType::SOA; }
+    RrType operator()(const PtrRdata&) const noexcept { return RrType::PTR; }
+    RrType operator()(const TxtRdata&) const noexcept { return RrType::TXT; }
+    RrType operator()(const RawRdata& r) const noexcept { return static_cast<RrType>(r.type); }
+  };
+  return std::visit(Visitor{}, rdata);
+}
+
+std::string ResourceRecord::to_string() const {
+  std::string out = name.to_string() + " " + std::to_string(ttl) + " " +
+                    dns::to_string(klass) + " " + dns::to_string(type()) + " ";
+  struct Visitor {
+    std::string operator()(const ARdata& r) const { return r.address.to_string(); }
+    std::string operator()(const NsRdata& r) const { return r.nsdname.to_string(); }
+    std::string operator()(const CnameRdata& r) const { return r.cname.to_string(); }
+    std::string operator()(const SoaRdata& r) const {
+      return util::format("%s %s %u %u %u %u %u", r.mname.to_string().c_str(),
+                          r.rname.to_string().c_str(), r.serial, r.refresh, r.retry, r.expire,
+                          r.minimum);
+    }
+    std::string operator()(const PtrRdata& r) const { return r.ptrdname.to_string(); }
+    std::string operator()(const TxtRdata& r) const {
+      std::string s;
+      for (const auto& part : r.strings) {
+        if (!s.empty()) s += " ";
+        s += "\"" + part + "\"";
+      }
+      return s;
+    }
+    std::string operator()(const RawRdata& r) const {
+      return util::format("\\# %zu", r.data.size());
+    }
+  };
+  return out + std::visit(Visitor{}, rdata);
+}
+
+ResourceRecord make_ptr(const DnsName& owner, const DnsName& target, std::uint32_t ttl) {
+  return ResourceRecord{owner, RrClass::IN, ttl, PtrRdata{target}};
+}
+
+ResourceRecord make_a(const DnsName& owner, net::Ipv4Addr address, std::uint32_t ttl) {
+  return ResourceRecord{owner, RrClass::IN, ttl, ARdata{address}};
+}
+
+ResourceRecord make_soa(const DnsName& owner, SoaRdata soa, std::uint32_t ttl) {
+  return ResourceRecord{owner, RrClass::IN, ttl, std::move(soa)};
+}
+
+ResourceRecord make_ns(const DnsName& owner, const DnsName& nsdname, std::uint32_t ttl) {
+  return ResourceRecord{owner, RrClass::IN, ttl, NsRdata{nsdname}};
+}
+
+ResourceRecord make_txt(const DnsName& owner, std::vector<std::string> strings,
+                        std::uint32_t ttl) {
+  return ResourceRecord{owner, RrClass::IN, ttl, TxtRdata{std::move(strings)}};
+}
+
+}  // namespace rdns::dns

@@ -1,0 +1,114 @@
+#pragma once
+/// \file rr.hpp
+/// Resource records (RFC 1035 §3.2). The study revolves around PTR records;
+/// A/NS/SOA/TXT are implemented because real reverse zones carry them and
+/// the dynamic-update path manipulates SOA serials.
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "dns/name.hpp"
+#include "net/ipv4.hpp"
+
+namespace rdns::dns {
+
+/// RR TYPE codes (subset; values per IANA registry).
+enum class RrType : std::uint16_t {
+  A = 1,
+  NS = 2,
+  CNAME = 5,
+  SOA = 6,
+  PTR = 12,
+  TXT = 16,
+  AAAA = 28,
+  ANY = 255,  ///< QTYPE only
+};
+
+/// CLASS codes. NONE and ANY appear in dynamic updates (RFC 2136).
+enum class RrClass : std::uint16_t {
+  IN = 1,
+  NONE = 254,
+  ANY = 255,
+};
+
+[[nodiscard]] const char* to_string(RrType t) noexcept;
+[[nodiscard]] const char* to_string(RrClass c) noexcept;
+
+struct ARdata {
+  net::Ipv4Addr address;
+  bool operator==(const ARdata&) const = default;
+};
+
+struct NsRdata {
+  DnsName nsdname;
+  bool operator==(const NsRdata&) const = default;
+};
+
+struct CnameRdata {
+  DnsName cname;
+  bool operator==(const CnameRdata&) const = default;
+};
+
+struct SoaRdata {
+  DnsName mname;   ///< primary name server
+  DnsName rname;   ///< responsible mailbox
+  std::uint32_t serial = 0;
+  std::uint32_t refresh = 7200;
+  std::uint32_t retry = 900;
+  std::uint32_t expire = 1209600;
+  std::uint32_t minimum = 300;  ///< negative-caching TTL
+  bool operator==(const SoaRdata&) const = default;
+};
+
+struct PtrRdata {
+  DnsName ptrdname;  ///< the hostname an address reverse-maps to
+  bool operator==(const PtrRdata&) const = default;
+};
+
+struct TxtRdata {
+  std::vector<std::string> strings;
+  bool operator==(const TxtRdata&) const = default;
+};
+
+/// Uninterpreted RDATA (unknown types round-trip through the wire codec).
+struct RawRdata {
+  std::uint16_t type = 0;
+  std::vector<std::uint8_t> data;
+  bool operator==(const RawRdata&) const = default;
+};
+
+using Rdata = std::variant<ARdata, NsRdata, CnameRdata, SoaRdata, PtrRdata, TxtRdata, RawRdata>;
+
+/// RR TYPE implied by an Rdata alternative.
+[[nodiscard]] RrType rdata_type(const Rdata& rdata) noexcept;
+
+/// A complete resource record.
+struct ResourceRecord {
+  DnsName name;
+  RrClass klass = RrClass::IN;
+  std::uint32_t ttl = 3600;
+  Rdata rdata;
+
+  [[nodiscard]] RrType type() const noexcept { return rdata_type(rdata); }
+
+  /// "name TTL IN TYPE rdata" presentation form (for logs and goldens).
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const ResourceRecord&) const = default;
+};
+
+/// Convenience constructors.
+[[nodiscard]] ResourceRecord make_ptr(const DnsName& owner, const DnsName& target,
+                                      std::uint32_t ttl = 3600);
+[[nodiscard]] ResourceRecord make_a(const DnsName& owner, net::Ipv4Addr address,
+                                    std::uint32_t ttl = 3600);
+[[nodiscard]] ResourceRecord make_soa(const DnsName& owner, SoaRdata soa,
+                                      std::uint32_t ttl = 3600);
+[[nodiscard]] ResourceRecord make_ns(const DnsName& owner, const DnsName& nsdname,
+                                     std::uint32_t ttl = 3600);
+[[nodiscard]] ResourceRecord make_txt(const DnsName& owner, std::vector<std::string> strings,
+                                      std::uint32_t ttl = 3600);
+
+}  // namespace rdns::dns

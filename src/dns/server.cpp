@@ -1,0 +1,145 @@
+#include "dns/server.hpp"
+
+#include "dns/wire.hpp"
+
+namespace rdns::dns {
+
+AuthoritativeServer::AuthoritativeServer(FaultPolicy faults, std::uint64_t fault_seed)
+    : faults_(faults), fault_rng_(fault_seed) {}
+
+Zone& AuthoritativeServer::add_zone(DnsName origin, SoaRdata soa) {
+  zones_.push_back(std::make_unique<Zone>(std::move(origin), std::move(soa)));
+  return *zones_.back();
+}
+
+Zone* AuthoritativeServer::find_zone(const DnsName& name) noexcept {
+  Zone* best = nullptr;
+  for (const auto& zone : zones_) {
+    if (name.ends_with(zone->origin())) {
+      if (best == nullptr || zone->origin().label_count() > best->origin().label_count()) {
+        best = zone.get();
+      }
+    }
+  }
+  return best;
+}
+
+const Zone* AuthoritativeServer::find_zone(const DnsName& name) const noexcept {
+  return const_cast<AuthoritativeServer*>(this)->find_zone(name);
+}
+
+std::vector<Zone*> AuthoritativeServer::zones() noexcept {
+  std::vector<Zone*> out;
+  out.reserve(zones_.size());
+  for (const auto& z : zones_) out.push_back(z.get());
+  return out;
+}
+
+std::vector<const Zone*> AuthoritativeServer::zones() const {
+  std::vector<const Zone*> out;
+  out.reserve(zones_.size());
+  for (const auto& z : zones_) out.push_back(z.get());
+  return out;
+}
+
+std::optional<Message> AuthoritativeServer::handle(const Message& request) {
+  ++stats_.queries;
+  if (faults_.timeout_probability > 0 && fault_rng_.chance(faults_.timeout_probability)) {
+    ++stats_.timeouts_injected;
+    return std::nullopt;
+  }
+  if (faults_.servfail_probability > 0 && fault_rng_.chance(faults_.servfail_probability)) {
+    ++stats_.servfail_injected;
+    return make_response(request, Rcode::ServFail);
+  }
+  if (request.flags.opcode == Opcode::Update) {
+    ++stats_.updates;
+    return apply_update(request);
+  }
+  return answer_query(request);
+}
+
+Message AuthoritativeServer::answer_query(const Message& query) {
+  if (query.questions.size() != 1) {
+    ++stats_.refused;
+    return make_response(query, Rcode::FormErr, /*authoritative=*/false);
+  }
+  const Question& q = query.questions.front();
+  const Zone* zone = find_zone(q.qname);
+  if (zone == nullptr) {
+    ++stats_.refused;
+    return make_response(query, Rcode::Refused, /*authoritative=*/false);
+  }
+
+  auto answers = zone->find(q.qname, q.qtype);
+  if (!answers.empty()) {
+    Message response = make_response(query, Rcode::NoError);
+    response.answers = std::move(answers);
+    ++stats_.answered;
+    return response;
+  }
+
+  // Name exists but not with this type -> NODATA (NOERROR, SOA in
+  // authority); name absent -> NXDOMAIN (also with SOA, RFC 2308).
+  const bool exists = zone->has_name(q.qname);
+  Message response = make_response(query, exists ? Rcode::NoError : Rcode::NxDomain);
+  response.authority.push_back(make_soa(zone->origin(), zone->soa(), zone->soa().minimum));
+  if (exists) {
+    ++stats_.nodata;
+  } else {
+    ++stats_.nxdomain;
+  }
+  return response;
+}
+
+Message AuthoritativeServer::apply_update(const Message& update) {
+  // RFC 2136 layout: question = zone (qtype SOA), authority = update RRs.
+  if (update.questions.size() != 1 || update.questions.front().qtype != RrType::SOA) {
+    return make_response(update, Rcode::FormErr);
+  }
+  Zone* zone = find_zone(update.questions.front().qname);
+  if (zone == nullptr || !(zone->origin() == update.questions.front().qname)) {
+    return make_response(update, Rcode::NotZone);
+  }
+  // Validate owners first (RFC 2136 §3.4.1: check before any mutation).
+  for (const auto& rr : update.authority) {
+    if (!zone->contains(rr.name)) return make_response(update, Rcode::NotZone);
+  }
+  for (const auto& rr : update.authority) {
+    if (rr.klass == RrClass::IN) {
+      zone->add(rr);
+    } else if (rr.klass == RrClass::ANY) {
+      if (rr.type() == RrType::ANY) {
+        zone->remove_all(rr.name);
+      } else {
+        zone->remove(rr.name, rr.type());
+      }
+    } else if (rr.klass == RrClass::NONE) {
+      // Match irrespective of TTL: delete any record with same name/type/rdata.
+      for (const auto& existing : zone->find(rr.name, rr.type())) {
+        if (existing.rdata == rr.rdata) {
+          zone->remove_exact(existing);
+          break;
+        }
+      }
+    } else {
+      return make_response(update, Rcode::FormErr);
+    }
+  }
+  return make_response(update, Rcode::NoError);
+}
+
+std::optional<std::vector<std::uint8_t>> LoopbackTransport::exchange(
+    std::span<const std::uint8_t> query_wire, util::SimTime /*now*/) {
+  Message query;
+  try {
+    query = decode(query_wire);
+  } catch (const WireError&) {
+    return std::nullopt;  // a real server would drop an unparseable datagram
+  }
+  const auto response = server_->handle(query);
+  if (!response) return std::nullopt;
+  return encode(*response);
+}
+
+}  // namespace rdns::dns

@@ -1,0 +1,104 @@
+#pragma once
+/// \file server.hpp
+/// Authoritative name server hosting one or more zones, plus the in-process
+/// transport the resolver speaks to it through.
+///
+/// Fault injection models the failure modes the paper observed during its
+/// supplemental measurement (Fig. 6): next to normal answers, "name server
+/// failures, timeouts, and NXDOMAIN responses".
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dns/message.hpp"
+#include "dns/zone.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace rdns::dns {
+
+/// Probabilities of transient failures, evaluated per query.
+struct FaultPolicy {
+  double servfail_probability = 0.0;
+  double timeout_probability = 0.0;
+
+  [[nodiscard]] static FaultPolicy none() noexcept { return {}; }
+};
+
+/// Query-handling statistics (per server).
+struct ServerStats {
+  std::uint64_t queries = 0;
+  std::uint64_t answered = 0;
+  std::uint64_t nxdomain = 0;
+  std::uint64_t nodata = 0;
+  std::uint64_t servfail_injected = 0;
+  std::uint64_t timeouts_injected = 0;
+  std::uint64_t refused = 0;
+  std::uint64_t updates = 0;
+};
+
+/// Byte-level transport: what a UDP socket would be. The simulator wires a
+/// resolver to a server through this, round-tripping RFC 1035 wire format.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Send a query; nullopt models a timeout / dropped datagram.
+  [[nodiscard]] virtual std::optional<std::vector<std::uint8_t>> exchange(
+      std::span<const std::uint8_t> query_wire, util::SimTime now) = 0;
+};
+
+class AuthoritativeServer {
+ public:
+  explicit AuthoritativeServer(FaultPolicy faults = FaultPolicy::none(),
+                               std::uint64_t fault_seed = 0xFA017);
+
+  /// Host a zone; returns a stable reference for later mutation. The server
+  /// owns the zone.
+  Zone& add_zone(DnsName origin, SoaRdata soa);
+
+  /// Zone whose origin best matches (longest suffix of) `name`.
+  [[nodiscard]] Zone* find_zone(const DnsName& name) noexcept;
+  [[nodiscard]] const Zone* find_zone(const DnsName& name) const noexcept;
+
+  /// Answer a parsed message (query or RFC 2136 update). Returns nullopt
+  /// when fault injection decides this query is lost (timeout).
+  [[nodiscard]] std::optional<Message> handle(const Message& request);
+
+  [[nodiscard]] const ServerStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+  void set_faults(FaultPolicy faults) noexcept { faults_ = faults; }
+  [[nodiscard]] const FaultPolicy& faults() const noexcept { return faults_; }
+
+  [[nodiscard]] std::size_t zone_count() const noexcept { return zones_.size(); }
+  [[nodiscard]] std::vector<Zone*> zones() noexcept;
+  [[nodiscard]] std::vector<const Zone*> zones() const;
+
+ private:
+  [[nodiscard]] Message answer_query(const Message& query);
+  [[nodiscard]] Message apply_update(const Message& update);
+
+  std::vector<std::unique_ptr<Zone>> zones_;
+  FaultPolicy faults_;
+  util::Rng fault_rng_;
+  ServerStats stats_;
+};
+
+/// Transport bound to one server: encodes/decodes through the wire codec so
+/// the binary format is on the hot path.
+class LoopbackTransport final : public Transport {
+ public:
+  explicit LoopbackTransport(AuthoritativeServer& server) noexcept : server_(&server) {}
+
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> exchange(
+      std::span<const std::uint8_t> query_wire, util::SimTime now) override;
+
+ private:
+  AuthoritativeServer* server_;
+};
+
+}  // namespace rdns::dns

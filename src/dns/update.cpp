@@ -1,0 +1,58 @@
+#include "dns/update.hpp"
+
+#include "net/arpa.hpp"
+
+namespace rdns::dns {
+
+UpdateBuilder::UpdateBuilder(std::uint16_t id, DnsName zone_origin) {
+  message_.id = id;
+  message_.flags.opcode = Opcode::Update;
+  message_.questions.push_back(Question{std::move(zone_origin), RrType::SOA, RrClass::IN});
+}
+
+UpdateBuilder& UpdateBuilder::add(const ResourceRecord& rr) {
+  ResourceRecord r = rr;
+  r.klass = RrClass::IN;
+  message_.authority.push_back(std::move(r));
+  return *this;
+}
+
+UpdateBuilder& UpdateBuilder::delete_rrset(const DnsName& name, RrType type) {
+  ResourceRecord r;
+  r.name = name;
+  r.klass = RrClass::ANY;
+  r.ttl = 0;
+  r.rdata = RawRdata{static_cast<std::uint16_t>(type), {}};
+  message_.authority.push_back(std::move(r));
+  return *this;
+}
+
+UpdateBuilder& UpdateBuilder::delete_name(const DnsName& name) {
+  return delete_rrset(name, RrType::ANY);
+}
+
+UpdateBuilder& UpdateBuilder::delete_exact(const ResourceRecord& rr) {
+  ResourceRecord r = rr;
+  r.klass = RrClass::NONE;
+  r.ttl = 0;
+  message_.authority.push_back(std::move(r));
+  return *this;
+}
+
+Message make_ptr_replace(std::uint16_t id, const DnsName& zone_origin, net::Ipv4Addr address,
+                         const DnsName& target, std::uint32_t ttl) {
+  const DnsName owner = DnsName::must_parse(net::to_arpa(address));
+  UpdateBuilder b{id, zone_origin};
+  b.delete_rrset(owner, RrType::PTR);
+  b.add(make_ptr(owner, target, ttl));
+  return b.build();
+}
+
+Message make_ptr_delete(std::uint16_t id, const DnsName& zone_origin, net::Ipv4Addr address) {
+  const DnsName owner = DnsName::must_parse(net::to_arpa(address));
+  UpdateBuilder b{id, zone_origin};
+  b.delete_rrset(owner, RrType::PTR);
+  return b.build();
+}
+
+}  // namespace rdns::dns

@@ -1,0 +1,46 @@
+#pragma once
+/// \file update.hpp
+/// RFC 2136 dynamic update construction. The DHCP→DNS bridge (the practice
+/// the paper studies) issues these against the reverse zone whenever a lease
+/// is granted or ends.
+
+#include <cstdint>
+
+#include "dns/message.hpp"
+
+namespace rdns::dns {
+
+/// Builder for an UPDATE message targeting one zone.
+class UpdateBuilder {
+ public:
+  UpdateBuilder(std::uint16_t id, DnsName zone_origin);
+
+  /// "Add to an RRset" (RFC 2136 §2.5.1): class IN record.
+  UpdateBuilder& add(const ResourceRecord& rr);
+
+  /// "Delete an RRset" (§2.5.2): class ANY, TTL 0, empty RDATA.
+  UpdateBuilder& delete_rrset(const DnsName& name, RrType type);
+
+  /// "Delete all RRsets from a name" (§2.5.3).
+  UpdateBuilder& delete_name(const DnsName& name);
+
+  /// "Delete an RR from an RRset" (§2.5.4): class NONE, TTL 0.
+  UpdateBuilder& delete_exact(const ResourceRecord& rr);
+
+  [[nodiscard]] Message build() const { return message_; }
+
+ private:
+  Message message_;
+};
+
+/// Convenience: an update replacing the PTR RRset at the reverse name of
+/// `address` with a single PTR to `target`.
+[[nodiscard]] Message make_ptr_replace(std::uint16_t id, const DnsName& zone_origin,
+                                       net::Ipv4Addr address, const DnsName& target,
+                                       std::uint32_t ttl);
+
+/// Convenience: an update deleting the PTR RRset at the reverse name.
+[[nodiscard]] Message make_ptr_delete(std::uint16_t id, const DnsName& zone_origin,
+                                      net::Ipv4Addr address);
+
+}  // namespace rdns::dns

@@ -1,0 +1,85 @@
+#pragma once
+/// \file wire.hpp
+/// RFC 1035 §4.1 binary wire format: header, questions, resource records,
+/// and §4.1.4 name compression. The in-process transport between resolver
+/// and authoritative server round-trips every message through this codec so
+/// the format is exercised on the main measurement path, not just in tests.
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "dns/message.hpp"
+
+namespace rdns::dns {
+
+/// Raised by the decoder on malformed input (truncation, bad pointers,
+/// compression loops, label overruns).
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Encode a message; names in all sections are compressed.
+[[nodiscard]] std::vector<std::uint8_t> encode(const Message& message);
+
+/// Decode a message; throws WireError on malformed input.
+[[nodiscard]] Message decode(std::span<const std::uint8_t> wire);
+
+/// Encoder with an explicit compression dictionary; exposed for tests and
+/// for incremental encoding.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void bytes(std::span<const std::uint8_t> data);
+
+  /// Write a (possibly compressed) domain name.
+  void name(const DnsName& n);
+  /// Write a name without using or adding compression targets (RFC 3597
+  /// asks this of unknown-type RDATA).
+  void name_uncompressed(const DnsName& n);
+
+  void question(const Question& q);
+  void rr(const ResourceRecord& r);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& buffer() const noexcept { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
+
+ private:
+  void rdata(const Rdata& rd);
+
+  std::vector<std::uint8_t> buf_;
+  // canonical name suffix -> offset of its first encoding
+  std::vector<std::pair<std::string, std::uint16_t>> targets_;
+};
+
+/// Decoder cursor.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> wire) : wire_(wire) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::vector<std::uint8_t> bytes(std::size_t n);
+
+  [[nodiscard]] DnsName name();
+  [[nodiscard]] Question question();
+  [[nodiscard]] ResourceRecord rr();
+
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] bool at_end() const noexcept { return pos_ == wire_.size(); }
+
+ private:
+  void require(std::size_t n) const;
+  [[nodiscard]] DnsName name_at(std::size_t& pos, int depth) const;
+  [[nodiscard]] Rdata rdata(RrType type, std::uint16_t rdlength);
+
+  std::span<const std::uint8_t> wire_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace rdns::dns

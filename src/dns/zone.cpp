@@ -1,0 +1,115 @@
+#include "dns/zone.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rdns::dns {
+
+Zone::Zone(DnsName origin, SoaRdata soa) : origin_(std::move(origin)), soa_(std::move(soa)) {
+  add(make_ns(origin_, soa_.mname));
+}
+
+bool Zone::contains(const DnsName& name) const noexcept { return name.ends_with(origin_); }
+
+void Zone::bump_serial() noexcept { ++soa_.serial; }
+
+void Zone::add(const ResourceRecord& rr) {
+  if (!contains(rr.name)) {
+    throw std::invalid_argument("Zone::add: owner " + rr.name.to_string() + " outside zone " +
+                                origin_.to_string());
+  }
+  auto& rrs = records_[rr.name];
+  if (std::find(rrs.begin(), rrs.end(), rr) != rrs.end()) return;  // exact duplicate
+  rrs.push_back(rr);
+  ++record_count_;
+  bump_serial();
+}
+
+std::size_t Zone::remove(const DnsName& name, RrType type) {
+  const auto it = records_.find(name);
+  if (it == records_.end()) return 0;
+  auto& rrs = it->second;
+  const auto new_end = std::remove_if(rrs.begin(), rrs.end(),
+                                      [type](const ResourceRecord& r) { return r.type() == type; });
+  const auto removed = static_cast<std::size_t>(rrs.end() - new_end);
+  rrs.erase(new_end, rrs.end());
+  if (rrs.empty()) records_.erase(it);
+  if (removed > 0) {
+    record_count_ -= removed;
+    bump_serial();
+  }
+  return removed;
+}
+
+bool Zone::remove_exact(const ResourceRecord& rr) {
+  const auto it = records_.find(rr.name);
+  if (it == records_.end()) return false;
+  auto& rrs = it->second;
+  const auto pos = std::find(rrs.begin(), rrs.end(), rr);
+  if (pos == rrs.end()) return false;
+  rrs.erase(pos);
+  if (rrs.empty()) records_.erase(it);
+  --record_count_;
+  bump_serial();
+  return true;
+}
+
+std::size_t Zone::remove_all(const DnsName& name) {
+  const auto it = records_.find(name);
+  if (it == records_.end()) return 0;
+  const std::size_t removed = it->second.size();
+  records_.erase(it);
+  record_count_ -= removed;
+  bump_serial();
+  return removed;
+}
+
+std::vector<ResourceRecord> Zone::find(const DnsName& name, RrType type) const {
+  std::vector<ResourceRecord> out;
+  if (type == RrType::SOA && name == origin_) {
+    out.push_back(make_soa(origin_, soa_));
+    return out;
+  }
+  const auto it = records_.find(name);
+  if (it == records_.end()) return out;
+  for (const auto& rr : it->second) {
+    if (type == RrType::ANY || rr.type() == type) out.push_back(rr);
+  }
+  return out;
+}
+
+bool Zone::has_name(const DnsName& name) const noexcept {
+  if (name == origin_) return true;  // apex always has the SOA
+  return records_.find(name) != records_.end();
+}
+
+std::vector<ResourceRecord> Zone::dump() const {
+  std::vector<ResourceRecord> out;
+  out.reserve(record_count_ + 1);
+  out.push_back(make_soa(origin_, soa_));
+  for (const auto& [name, rrs] : records_) {
+    out.insert(out.end(), rrs.begin(), rrs.end());
+  }
+  return out;
+}
+
+void Zone::for_each(const std::function<void(const ResourceRecord&)>& fn) const {
+  for (const auto& [name, rrs] : records_) {
+    for (const auto& rr : rrs) fn(rr);
+  }
+}
+
+std::vector<DnsName> Zone::names_with_type(RrType type) const {
+  std::vector<DnsName> out;
+  for (const auto& [name, rrs] : records_) {
+    for (const auto& rr : rrs) {
+      if (rr.type() == type) {
+        out.push_back(name);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rdns::dns

@@ -1,0 +1,79 @@
+#pragma once
+/// \file zone.hpp
+/// An authoritative zone: an origin (apex) name, an SOA, and a sorted store
+/// of resource records. Reverse zones (x.y.z.in-addr.arpa) are ordinary
+/// zones whose owners are arpa names and whose data is mostly PTR records;
+/// the DHCP→DNS bridge mutates them through this API.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "dns/rr.hpp"
+
+namespace rdns::dns {
+
+class Zone {
+ public:
+  /// Create a zone with the given apex and SOA. An NS record for
+  /// `soa.mname` is added automatically (real zones must have one).
+  Zone(DnsName origin, SoaRdata soa);
+
+  [[nodiscard]] const DnsName& origin() const noexcept { return origin_; }
+  [[nodiscard]] const SoaRdata& soa() const noexcept { return soa_; }
+
+  /// True if `name` falls inside this zone (is the apex or below it).
+  [[nodiscard]] bool contains(const DnsName& name) const noexcept;
+
+  /// Add a record (owner must be in the zone; throws otherwise). Exact
+  /// duplicates are ignored. Bumps the SOA serial.
+  void add(const ResourceRecord& rr);
+
+  /// Remove all records at `name` with type `type`; returns removed count.
+  /// Bumps the serial if anything was removed.
+  std::size_t remove(const DnsName& name, RrType type);
+
+  /// Remove one exact record (owner, type, rdata); returns whether removed.
+  bool remove_exact(const ResourceRecord& rr);
+
+  /// Remove every record at `name`; returns removed count.
+  std::size_t remove_all(const DnsName& name);
+
+  /// Records at `name` with `type` (empty if none). Type ANY returns all.
+  [[nodiscard]] std::vector<ResourceRecord> find(const DnsName& name, RrType type) const;
+
+  /// True if any record exists at `name` (drives NXDOMAIN vs NODATA).
+  [[nodiscard]] bool has_name(const DnsName& name) const noexcept;
+
+  /// Number of records in the zone (excluding the synthesized SOA).
+  [[nodiscard]] std::size_t record_count() const noexcept { return record_count_; }
+
+  /// Number of distinct owner names with data.
+  [[nodiscard]] std::size_t name_count() const noexcept { return records_.size(); }
+
+  [[nodiscard]] std::uint32_t serial() const noexcept { return soa_.serial; }
+
+  /// Set the SOA serial explicitly (zone loads/transfers carry their own).
+  void set_serial(std::uint32_t serial) noexcept { soa_.serial = serial; }
+
+  /// All records, in canonical owner order (for dumps and audits).
+  [[nodiscard]] std::vector<ResourceRecord> dump() const;
+
+  /// Iterate owner names with at least one record of `type`.
+  [[nodiscard]] std::vector<DnsName> names_with_type(RrType type) const;
+
+  /// Apply `fn` to every stored record without copying (bulk snapshots).
+  void for_each(const std::function<void(const ResourceRecord&)>& fn) const;
+
+ private:
+  void bump_serial() noexcept;
+
+  DnsName origin_;
+  SoaRdata soa_;
+  std::map<DnsName, std::vector<ResourceRecord>> records_;
+  std::size_t record_count_ = 0;
+};
+
+}  // namespace rdns::dns

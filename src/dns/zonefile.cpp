@@ -1,0 +1,320 @@
+#include "dns/zonefile.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace rdns::dns {
+
+namespace {
+
+/// Tokenizer that understands ;-comments, "quoted strings" and
+/// ( ) line continuations.
+class Tokenizer {
+ public:
+  explicit Tokenizer(const std::string& text) : text_(text) {}
+
+  /// The tokens of the next logical record line (continuations folded).
+  /// `leading_blank` reports whether the physical line began with
+  /// whitespace (the "repeat previous owner" convention). Returns false at
+  /// end of input.
+  bool next_line(std::vector<std::string>& tokens, bool& leading_blank, std::size_t& line_no) {
+    tokens.clear();
+    int depth = 0;
+    bool have_line = false;
+    while (pos_ < text_.size()) {
+      if (!have_line) {
+        line_no = line_;
+        leading_blank = pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t');
+        have_line = true;
+      }
+      // Scan one physical line.
+      while (pos_ < text_.size() && text_[pos_] != '\n') {
+        const char c = text_[pos_];
+        if (c == ';') {  // comment to end of line
+          while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+          break;
+        }
+        if (c == ' ' || c == '\t' || c == '\r') {
+          ++pos_;
+          continue;
+        }
+        if (c == '(') {
+          ++depth;
+          ++pos_;
+          continue;
+        }
+        if (c == ')') {
+          if (depth == 0) throw ZoneFileError(line_, "unbalanced ')'");
+          --depth;
+          ++pos_;
+          continue;
+        }
+        if (c == '"') {
+          ++pos_;
+          std::string token;
+          while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\n') throw ZoneFileError(line_, "unterminated string");
+            token.push_back(text_[pos_++]);
+          }
+          if (pos_ >= text_.size()) throw ZoneFileError(line_, "unterminated string");
+          ++pos_;  // closing quote
+          tokens.push_back("\"" + token);  // marker for string tokens
+          continue;
+        }
+        std::string token;
+        while (pos_ < text_.size() && !std::isspace(static_cast<unsigned char>(text_[pos_])) &&
+               text_[pos_] != ';' && text_[pos_] != '(' && text_[pos_] != ')') {
+          token.push_back(text_[pos_++]);
+        }
+        tokens.push_back(std::move(token));
+      }
+      // Physical line ended.
+      if (pos_ < text_.size()) {
+        ++pos_;  // consume '\n'
+        ++line_;
+      }
+      if (depth > 0) continue;          // inside ( ... ): keep folding
+      if (!tokens.empty()) return true;  // a complete logical line
+      have_line = false;                 // blank/comment-only line: skip
+    }
+    if (depth > 0) throw ZoneFileError(line_, "unbalanced '('");
+    return !tokens.empty();
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+[[nodiscard]] bool is_string_token(const std::string& t) {
+  return !t.empty() && t[0] == '"';
+}
+
+[[nodiscard]] bool parse_u32(const std::string& t, std::uint32_t& out) {
+  if (t.empty() || is_string_token(t)) return false;
+  const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), out);
+  return ec == std::errc{} && ptr == t.data() + t.size();
+}
+
+[[nodiscard]] bool is_class_token(const std::string& t) {
+  return util::iequals(t, "IN") || util::iequals(t, "CH") || util::iequals(t, "HS");
+}
+
+[[nodiscard]] int type_of_token(const std::string& t) {
+  static const std::pair<const char*, RrType> kTypes[] = {
+      {"A", RrType::A},     {"NS", RrType::NS},   {"CNAME", RrType::CNAME},
+      {"SOA", RrType::SOA}, {"PTR", RrType::PTR}, {"TXT", RrType::TXT},
+  };
+  for (const auto& [name, type] : kTypes) {
+    if (util::iequals(t, name)) return static_cast<int>(type);
+  }
+  return -1;
+}
+
+/// Resolve a possibly-relative name against the current origin.
+[[nodiscard]] DnsName resolve_name(const std::string& token, const DnsName& origin,
+                                   std::size_t line) {
+  if (token == "@") return origin;
+  const bool absolute = !token.empty() && token.back() == '.';
+  auto parsed = DnsName::parse(token);
+  if (!parsed) throw ZoneFileError(line, "malformed name: " + token);
+  if (absolute) return *parsed;
+  return parsed->concat(origin);
+}
+
+}  // namespace
+
+std::string to_zone_file(const Zone& zone) {
+  std::ostringstream out;
+  const std::string origin = zone.origin().to_canonical_string() + ".";
+  out << "$ORIGIN " << origin << "\n";
+  out << "$TTL 3600\n";
+
+  const auto owner_text = [&zone](const DnsName& name) -> std::string {
+    if (name == zone.origin()) return "@";
+    // Render relative to the origin when possible.
+    const std::size_t origin_labels = zone.origin().label_count();
+    if (name.ends_with(zone.origin()) && name.label_count() > origin_labels) {
+      std::vector<std::string> labels(
+          name.labels().begin(),
+          name.labels().begin() +
+              static_cast<std::ptrdiff_t>(name.label_count() - origin_labels));
+      return util::join(labels, ".");
+    }
+    return name.to_canonical_string() + ".";
+  };
+
+  for (const auto& rr : zone.dump()) {
+    out << owner_text(rr.name) << "\t" << rr.ttl << "\tIN\t" << dns::to_string(rr.type())
+        << "\t";
+    struct Visitor {
+      std::ostream& os;
+      void operator()(const ARdata& r) { os << r.address.to_string(); }
+      void operator()(const NsRdata& r) { os << r.nsdname.to_canonical_string() << "."; }
+      void operator()(const CnameRdata& r) { os << r.cname.to_canonical_string() << "."; }
+      void operator()(const SoaRdata& r) {
+        os << r.mname.to_canonical_string() << ". " << r.rname.to_canonical_string() << ". ("
+           << r.serial << " " << r.refresh << " " << r.retry << " " << r.expire << " "
+           << r.minimum << ")";
+      }
+      void operator()(const PtrRdata& r) { os << r.ptrdname.to_canonical_string() << "."; }
+      void operator()(const TxtRdata& r) {
+        for (std::size_t i = 0; i < r.strings.size(); ++i) {
+          if (i > 0) os << " ";
+          os << "\"" << r.strings[i] << "\"";
+        }
+      }
+      void operator()(const RawRdata& r) { os << "\\# " << r.data.size(); }
+    };
+    std::visit(Visitor{out}, rr.rdata);
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::vector<ResourceRecord> parse_zone_file(const std::string& text,
+                                            const DnsName& default_origin) {
+  std::vector<ResourceRecord> records;
+  Tokenizer tokenizer{text};
+  DnsName origin = default_origin;
+  std::uint32_t default_ttl = 3600;
+  DnsName previous_owner;
+  bool have_owner = false;
+
+  std::vector<std::string> tokens;
+  bool leading_blank = false;
+  std::size_t line = 0;
+  while (tokenizer.next_line(tokens, leading_blank, line)) {
+    // Directives.
+    if (util::iequals(tokens[0], "$ORIGIN")) {
+      if (tokens.size() != 2) throw ZoneFileError(line, "$ORIGIN needs one argument");
+      origin = resolve_name(tokens[1], origin, line);
+      continue;
+    }
+    if (util::iequals(tokens[0], "$TTL")) {
+      if (tokens.size() != 2 || !parse_u32(tokens[1], default_ttl)) {
+        throw ZoneFileError(line, "$TTL needs a numeric argument");
+      }
+      continue;
+    }
+    if (tokens[0].size() > 1 && tokens[0][0] == '$') {
+      throw ZoneFileError(line, "unsupported directive: " + tokens[0]);
+    }
+
+    // Owner handling: leading whitespace repeats the previous owner.
+    std::size_t i = 0;
+    DnsName owner;
+    if (leading_blank) {
+      if (!have_owner) throw ZoneFileError(line, "record without a previous owner");
+      owner = previous_owner;
+    } else {
+      owner = resolve_name(tokens[i++], origin, line);
+    }
+    previous_owner = owner;
+    have_owner = true;
+
+    // Optional TTL and/or class, in either order.
+    std::uint32_t ttl = default_ttl;
+    RrClass klass = RrClass::IN;
+    for (int pass = 0; pass < 2 && i < tokens.size(); ++pass) {
+      std::uint32_t maybe_ttl = 0;
+      if (parse_u32(tokens[i], maybe_ttl)) {
+        ttl = maybe_ttl;
+        ++i;
+      } else if (is_class_token(tokens[i])) {
+        ++i;  // only IN is modelled
+      }
+    }
+    if (i >= tokens.size()) throw ZoneFileError(line, "missing record type");
+    const int type_int = type_of_token(tokens[i]);
+    if (type_int < 0) throw ZoneFileError(line, "unsupported record type: " + tokens[i]);
+    ++i;
+    const auto type = static_cast<RrType>(type_int);
+
+    const auto need = [&](std::size_t n) {
+      if (tokens.size() - i < n) throw ZoneFileError(line, "truncated RDATA");
+    };
+    ResourceRecord rr;
+    rr.name = owner;
+    rr.ttl = ttl;
+    rr.klass = klass;
+    switch (type) {
+      case RrType::A: {
+        need(1);
+        const auto a = net::Ipv4Addr::parse(tokens[i]);
+        if (!a) throw ZoneFileError(line, "malformed A address: " + tokens[i]);
+        rr.rdata = ARdata{*a};
+        break;
+      }
+      case RrType::NS:
+        need(1);
+        rr.rdata = NsRdata{resolve_name(tokens[i], origin, line)};
+        break;
+      case RrType::CNAME:
+        need(1);
+        rr.rdata = CnameRdata{resolve_name(tokens[i], origin, line)};
+        break;
+      case RrType::PTR:
+        need(1);
+        rr.rdata = PtrRdata{resolve_name(tokens[i], origin, line)};
+        break;
+      case RrType::SOA: {
+        need(7);
+        SoaRdata soa;
+        soa.mname = resolve_name(tokens[i], origin, line);
+        soa.rname = resolve_name(tokens[i + 1], origin, line);
+        std::uint32_t values[5];
+        for (int v = 0; v < 5; ++v) {
+          if (!parse_u32(tokens[i + 2 + static_cast<std::size_t>(v)], values[v])) {
+            throw ZoneFileError(line, "malformed SOA numeric field");
+          }
+        }
+        soa.serial = values[0];
+        soa.refresh = values[1];
+        soa.retry = values[2];
+        soa.expire = values[3];
+        soa.minimum = values[4];
+        rr.rdata = std::move(soa);
+        break;
+      }
+      case RrType::TXT: {
+        need(1);
+        TxtRdata txt;
+        for (; i < tokens.size(); ++i) {
+          txt.strings.push_back(is_string_token(tokens[i]) ? tokens[i].substr(1) : tokens[i]);
+        }
+        rr.rdata = std::move(txt);
+        break;
+      }
+      default:
+        throw ZoneFileError(line, "unsupported record type");
+    }
+    records.push_back(std::move(rr));
+  }
+  return records;
+}
+
+Zone parse_zone(const std::string& text, const DnsName& default_origin) {
+  const auto records = parse_zone_file(text, default_origin);
+  const ResourceRecord* soa_rr = nullptr;
+  for (const auto& rr : records) {
+    if (rr.type() == RrType::SOA) {
+      if (soa_rr != nullptr) throw ZoneFileError(0, "zone has more than one SOA");
+      soa_rr = &rr;
+    }
+  }
+  if (soa_rr == nullptr) throw ZoneFileError(0, "zone has no SOA record");
+  Zone zone{soa_rr->name, std::get<SoaRdata>(soa_rr->rdata)};
+  for (const auto& rr : records) {
+    if (rr.type() == RrType::SOA) continue;
+    zone.add(rr);  // duplicates of the auto-added apex NS are ignored
+  }
+  // Loading records bumped the serial; a loaded zone carries the file's.
+  zone.set_serial(std::get<SoaRdata>(soa_rr->rdata).serial);
+  return zone;
+}
+
+}  // namespace rdns::dns

@@ -1,0 +1,51 @@
+#pragma once
+/// \file zonefile.hpp
+/// RFC 1035 §5 master-file (zone file) serialization and parsing — the
+/// interchange format operators actually hold their reverse zones in.
+/// The leak auditor consumes these (see examples/zone_audit), so a network
+/// operator can audit a `dig AXFR` / IPAM export without running anything
+/// else from this library.
+///
+/// Supported subset: $ORIGIN and $TTL directives, comments (;), relative
+/// and absolute owner names, blank owner repetition, optional TTL/class in
+/// either order, record types A, NS, CNAME, SOA, PTR, TXT. Parenthesized
+/// multi-line SOA values are supported.
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dns/zone.hpp"
+
+namespace rdns::dns {
+
+class ZoneFileError : public std::runtime_error {
+ public:
+  ZoneFileError(std::size_t line, const std::string& message)
+      : std::runtime_error("zone file line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Serialize a zone to master-file text ($ORIGIN + $TTL + records, SOA
+/// first, owners relative to the origin where possible).
+[[nodiscard]] std::string to_zone_file(const Zone& zone);
+
+/// Parse master-file text into records. `default_origin` seeds $ORIGIN
+/// resolution when the file does not begin with a $ORIGIN directive.
+/// Returns the records in file order (including the SOA if present).
+/// Throws ZoneFileError with a line number on malformed input.
+[[nodiscard]] std::vector<ResourceRecord> parse_zone_file(
+    const std::string& text, const DnsName& default_origin = DnsName{});
+
+/// Parse a full zone: requires exactly one SOA record; every owner must be
+/// within the SOA's owner (the zone origin).
+[[nodiscard]] Zone parse_zone(const std::string& text,
+                              const DnsName& default_origin = DnsName{});
+
+}  // namespace rdns::dns

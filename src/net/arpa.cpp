@@ -1,0 +1,55 @@
+#include "net/arpa.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace rdns::net {
+
+std::string to_arpa(Ipv4Addr a) {
+  return std::to_string(a.octet(3)) + "." + std::to_string(a.octet(2)) + "." +
+         std::to_string(a.octet(1)) + "." + std::to_string(a.octet(0)) + ".in-addr.arpa";
+}
+
+std::optional<Ipv4Addr> from_arpa(std::string_view name) noexcept {
+  std::string lowered = util::to_lower(name);
+  if (!lowered.empty() && lowered.back() == '.') lowered.pop_back();
+  constexpr std::string_view kSuffix = ".in-addr.arpa";
+  if (!util::ends_with(lowered, kSuffix)) return std::nullopt;
+  const std::string_view quad{lowered.data(), lowered.size() - kSuffix.size()};
+
+  const auto parts = util::split(quad, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint8_t octets[4];
+  for (int i = 0; i < 4; ++i) {
+    const std::string& part = parts[static_cast<std::size_t>(i)];
+    if (part.empty() || part.size() > 3) return std::nullopt;
+    unsigned value = 0;
+    for (char c : part) {
+      if (c < '0' || c > '9') return std::nullopt;
+      value = value * 10 + static_cast<unsigned>(c - '0');
+    }
+    if (value > 255) return std::nullopt;
+    // arpa names are reversed: first label is the LAST octet.
+    octets[3 - i] = static_cast<std::uint8_t>(value);
+  }
+  return Ipv4Addr{octets[0], octets[1], octets[2], octets[3]};
+}
+
+std::string arpa_zone_for(const Prefix& p) {
+  const Ipv4Addr a = p.network();
+  switch (p.length()) {
+    case 24:
+      return std::to_string(a.octet(2)) + "." + std::to_string(a.octet(1)) + "." +
+             std::to_string(a.octet(0)) + ".in-addr.arpa";
+    case 16:
+      return std::to_string(a.octet(1)) + "." + std::to_string(a.octet(0)) + ".in-addr.arpa";
+    case 8:
+      return std::to_string(a.octet(0)) + ".in-addr.arpa";
+    default:
+      throw std::invalid_argument("arpa_zone_for: only /8, /16, /24 zone cuts supported, got " +
+                                  p.to_string());
+  }
+}
+
+}  // namespace rdns::net

@@ -1,0 +1,29 @@
+#pragma once
+/// \file arpa.hpp
+/// in-addr.arpa conversions (RFC 1035 §3.5). A PTR query for 93.184.216.34
+/// asks for the name 34.216.184.93.in-addr.arpa. (paper Example 1).
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/ipv4.hpp"
+#include "net/prefix.hpp"
+
+namespace rdns::net {
+
+/// Reverse-DNS query name for an address: "34.216.184.93.in-addr.arpa".
+/// (No trailing dot; DNS names in this library are stored without the root
+/// label and compared case-insensitively.)
+[[nodiscard]] std::string to_arpa(Ipv4Addr a);
+
+/// Parse "d.c.b.a.in-addr.arpa" (case-insensitive, optional trailing dot)
+/// back to an address; nullopt if the name is not a full 4-octet arpa name.
+[[nodiscard]] std::optional<Ipv4Addr> from_arpa(std::string_view name) noexcept;
+
+/// The in-addr.arpa zone apex for a /24, /16 or /8 prefix, e.g.
+/// 192.0.2.0/24 -> "2.0.192.in-addr.arpa". These are the natural reverse
+/// zone cuts; other lengths throw std::invalid_argument.
+[[nodiscard]] std::string arpa_zone_for(const Prefix& p);
+
+}  // namespace rdns::net

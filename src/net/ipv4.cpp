@@ -1,0 +1,42 @@
+#include "net/ipv4.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace rdns::net {
+
+std::string Ipv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", octet(0), octet(1), octet(2), octet(3));
+  return buf;
+}
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) noexcept {
+  std::uint32_t octets[4] = {0, 0, 0, 0};
+  int octet_index = 0;
+  int digits = 0;
+  for (char c : text) {
+    if (c >= '0' && c <= '9') {
+      if (++digits > 3) return std::nullopt;
+      octets[octet_index] = octets[octet_index] * 10 + static_cast<std::uint32_t>(c - '0');
+      if (octets[octet_index] > 255) return std::nullopt;
+    } else if (c == '.') {
+      if (digits == 0 || octet_index == 3) return std::nullopt;
+      ++octet_index;
+      digits = 0;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (octet_index != 3 || digits == 0) return std::nullopt;
+  return Ipv4Addr{static_cast<std::uint8_t>(octets[0]), static_cast<std::uint8_t>(octets[1]),
+                  static_cast<std::uint8_t>(octets[2]), static_cast<std::uint8_t>(octets[3])};
+}
+
+Ipv4Addr Ipv4Addr::must_parse(std::string_view text) {
+  const auto a = parse(text);
+  if (!a) throw std::invalid_argument("Ipv4Addr: malformed address: " + std::string{text});
+  return *a;
+}
+
+}  // namespace rdns::net

@@ -1,0 +1,69 @@
+#pragma once
+/// \file ipv4.hpp
+/// IPv4 address value type. The study is IPv4-only (Section 8 notes that
+/// IPv6-scale scanning is out of scope), so the whole library works in terms
+/// of this 32-bit value type.
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rdns::net {
+
+/// An IPv4 address; internally host byte order for cheap arithmetic.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() noexcept = default;
+  constexpr explicit Ipv4Addr(std::uint32_t value) noexcept : value_(value) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d) noexcept
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) | (std::uint32_t{c} << 8) | d) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const noexcept {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  /// Dotted-quad text form ("93.184.216.34").
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parse dotted-quad; nullopt on malformed input.
+  [[nodiscard]] static std::optional<Ipv4Addr> parse(std::string_view text) noexcept;
+
+  /// Parse or throw std::invalid_argument; for literals in tests/benches.
+  [[nodiscard]] static Ipv4Addr must_parse(std::string_view text);
+
+  [[nodiscard]] constexpr Ipv4Addr operator+(std::uint32_t n) const noexcept {
+    return Ipv4Addr{value_ + n};
+  }
+  [[nodiscard]] constexpr Ipv4Addr operator-(std::uint32_t n) const noexcept {
+    return Ipv4Addr{value_ - n};
+  }
+  Ipv4Addr& operator++() noexcept {
+    ++value_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Ipv4Addr&) const noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// The enclosing /24 network address (low octet zeroed). The paper's
+/// dynamicity heuristic groups PTR observations by /24 (Section 4.1).
+[[nodiscard]] constexpr Ipv4Addr slash24_of(Ipv4Addr a) noexcept {
+  return Ipv4Addr{a.value() & 0xFFFFFF00u};
+}
+
+}  // namespace rdns::net
+
+template <>
+struct std::hash<rdns::net::Ipv4Addr> {
+  [[nodiscard]] std::size_t operator()(const rdns::net::Ipv4Addr& a) const noexcept {
+    // Fibonacci hashing spreads sequential addresses across buckets.
+    return static_cast<std::size_t>(a.value()) * 0x9E3779B97F4A7C15ULL;
+  }
+};

@@ -1,0 +1,107 @@
+#include "net/mac.hpp"
+
+#include <cstdio>
+#include <vector>
+
+namespace rdns::net {
+
+namespace {
+
+/// Representative OUIs per vendor class (one well-known block each).
+struct OuiEntry {
+  std::array<std::uint8_t, 3> oui;
+  MacVendor vendor;
+};
+
+constexpr OuiEntry kOuiTable[] = {
+    {{0xF0, 0x18, 0x98}, MacVendor::Apple},   {{0x8C, 0x85, 0x90}, MacVendor::Apple},
+    {{0x5C, 0x0A, 0x5B}, MacVendor::Samsung}, {{0x78, 0x25, 0xAD}, MacVendor::Samsung},
+    {{0xD4, 0xBE, 0xD9}, MacVendor::Dell},    {{0x18, 0xDB, 0xF2}, MacVendor::Dell},
+    {{0x54, 0xE1, 0xAD}, MacVendor::Lenovo},  {{0x3C, 0x28, 0x6D}, MacVendor::Google},
+    {{0xAC, 0x3A, 0x7A}, MacVendor::Roku},    {{0x34, 0x13, 0xE8}, MacVendor::Intel},
+};
+
+}  // namespace
+
+const char* to_string(MacVendor v) noexcept {
+  switch (v) {
+    case MacVendor::Unknown: return "unknown";
+    case MacVendor::Apple: return "apple";
+    case MacVendor::Samsung: return "samsung";
+    case MacVendor::Dell: return "dell";
+    case MacVendor::Lenovo: return "lenovo";
+    case MacVendor::Google: return "google";
+    case MacVendor::Roku: return "roku";
+    case MacVendor::Intel: return "intel";
+    case MacVendor::Randomized: return "randomized";
+  }
+  return "?";
+}
+
+std::string Mac::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", bytes_[0], bytes_[1], bytes_[2],
+                bytes_[3], bytes_[4], bytes_[5]);
+  return buf;
+}
+
+std::optional<Mac> Mac::parse(std::string_view text) noexcept {
+  std::array<std::uint8_t, 6> bytes{};
+  std::size_t pos = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (pos + 2 > text.size()) return std::nullopt;
+    unsigned value = 0;
+    for (int d = 0; d < 2; ++d) {
+      const char c = text[pos++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned>(c - 'A' + 10);
+      else return std::nullopt;
+    }
+    bytes[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(value);
+    if (i < 5) {
+      if (pos >= text.size() || text[pos] != ':') return std::nullopt;
+      ++pos;
+    }
+  }
+  if (pos != text.size()) return std::nullopt;
+  return Mac{bytes};
+}
+
+MacVendor Mac::vendor() const noexcept {
+  if (locally_administered()) return MacVendor::Randomized;
+  for (const auto& entry : kOuiTable) {
+    if (entry.oui[0] == bytes_[0] && entry.oui[1] == bytes_[1] && entry.oui[2] == bytes_[2]) {
+      return entry.vendor;
+    }
+  }
+  return MacVendor::Unknown;
+}
+
+Mac Mac::random(MacVendor vendor, util::Rng& rng) noexcept {
+  std::array<std::uint8_t, 6> bytes{};
+  if (vendor == MacVendor::Randomized) {
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    bytes[0] = static_cast<std::uint8_t>((bytes[0] | 0x02) & 0xFE);  // local, unicast
+  } else {
+    // Pick an OUI matching the vendor (first match if several).
+    std::array<std::uint8_t, 3> oui{0x02, 0x00, 0x00};
+    std::vector<const OuiEntry*> candidates;
+    for (const auto& entry : kOuiTable) {
+      if (entry.vendor == vendor) candidates.push_back(&entry);
+    }
+    if (!candidates.empty()) {
+      oui = candidates[rng.index(candidates.size())]->oui;
+    }
+    bytes[0] = oui[0];
+    bytes[1] = oui[1];
+    bytes[2] = oui[2];
+    for (std::size_t i = 3; i < 6; ++i) {
+      bytes[i] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+  }
+  return Mac{bytes};
+}
+
+}  // namespace rdns::net

@@ -1,0 +1,80 @@
+#pragma once
+/// \file mac.hpp
+/// MAC (EUI-48) addresses. DHCP identifies clients by their hardware
+/// address (`chaddr`); devices in the simulator each carry one, and the OUI
+/// tag lets the DDNS bridge model vendor-specific client behaviour.
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/rng.hpp"
+
+namespace rdns::net {
+
+/// Rough vendor classes used by the simulator (not a full OUI database).
+enum class MacVendor : std::uint8_t {
+  Unknown = 0,
+  Apple,
+  Samsung,
+  Dell,
+  Lenovo,
+  Google,
+  Roku,
+  Intel,
+  Randomized,  ///< locally administered (privacy/randomized MAC)
+};
+
+[[nodiscard]] const char* to_string(MacVendor v) noexcept;
+
+class Mac {
+ public:
+  constexpr Mac() noexcept = default;
+  constexpr explicit Mac(const std::array<std::uint8_t, 6>& bytes) noexcept : bytes_(bytes) {}
+
+  [[nodiscard]] constexpr const std::array<std::uint8_t, 6>& bytes() const noexcept {
+    return bytes_;
+  }
+
+  /// "aa:bb:cc:dd:ee:ff".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parse colon-separated hex; nullopt on malformed input.
+  [[nodiscard]] static std::optional<Mac> parse(std::string_view text) noexcept;
+
+  /// True if the locally administered bit is set (randomized MACs).
+  [[nodiscard]] constexpr bool locally_administered() const noexcept {
+    return (bytes_[0] & 0x02) != 0;
+  }
+
+  /// Vendor class from the OUI (first three bytes).
+  [[nodiscard]] MacVendor vendor() const noexcept;
+
+  /// Generate a MAC with the OUI of `vendor` and random NIC bytes.
+  [[nodiscard]] static Mac random(MacVendor vendor, util::Rng& rng) noexcept;
+
+  /// 64-bit key for maps (top 16 bits zero).
+  [[nodiscard]] constexpr std::uint64_t key() const noexcept {
+    std::uint64_t k = 0;
+    for (const auto b : bytes_) k = (k << 8) | b;
+    return k;
+  }
+
+  constexpr auto operator<=>(const Mac&) const noexcept = default;
+
+ private:
+  std::array<std::uint8_t, 6> bytes_{};
+};
+
+}  // namespace rdns::net
+
+template <>
+struct std::hash<rdns::net::Mac> {
+  [[nodiscard]] std::size_t operator()(const rdns::net::Mac& m) const noexcept {
+    return static_cast<std::size_t>(m.key() * 0x9E3779B97F4A7C15ULL);
+  }
+};

@@ -1,0 +1,57 @@
+#include "net/prefix.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace rdns::net {
+
+std::vector<Prefix> Prefix::slash24s() const {
+  std::vector<Prefix> out;
+  if (length_ >= 24) {
+    out.emplace_back(slash24_of(addr_), 24);
+    return out;
+  }
+  out.reserve(static_cast<std::size_t>(slash24_count()));
+  const std::uint32_t step = 1u << 8;  // one /24
+  const std::uint32_t start = addr_.value();
+  const std::uint64_t n = slash24_count();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.emplace_back(Ipv4Addr{start + static_cast<std::uint32_t>(i) * step}, 24);
+  }
+  return out;
+}
+
+std::pair<Prefix, Prefix> Prefix::split() const {
+  if (length_ >= 32) throw std::logic_error("Prefix::split: cannot split a /32");
+  const int child_len = length_ + 1;
+  const Prefix lo{addr_, child_len};
+  const Prefix hi{Ipv4Addr{addr_.value() | (1u << (32 - child_len))}, child_len};
+  return {lo, hi};
+}
+
+std::string Prefix::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(length_);
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) noexcept {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4Addr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  const std::string_view len_text = text.substr(slash + 1);
+  int len = -1;
+  const auto [ptr, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), len);
+  if (ec != std::errc{} || ptr != len_text.data() + len_text.size() || len < 0 || len > 32) {
+    return std::nullopt;
+  }
+  return Prefix{*addr, len};
+}
+
+Prefix Prefix::must_parse(std::string_view text) {
+  const auto p = parse(text);
+  if (!p) throw std::invalid_argument("Prefix: malformed prefix: " + std::string{text});
+  return *p;
+}
+
+}  // namespace rdns::net

@@ -1,0 +1,85 @@
+#pragma once
+/// \file prefix.hpp
+/// CIDR prefixes. Used for numbering plans (which subprefixes of an
+/// announced block are dynamic), scanner target lists, blocklists, and the
+/// Fig. 1 roll-up of dynamic /24s to announced prefixes.
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace rdns::net {
+
+/// An IPv4 CIDR prefix (network address + prefix length 0..32).
+class Prefix {
+ public:
+  constexpr Prefix() noexcept = default;
+
+  /// Construct; host bits of `addr` are zeroed.
+  constexpr Prefix(Ipv4Addr addr, int length) noexcept
+      : length_(length), addr_(Ipv4Addr{addr.value() & mask_for(length)}) {}
+
+  [[nodiscard]] constexpr Ipv4Addr network() const noexcept { return addr_; }
+  [[nodiscard]] constexpr int length() const noexcept { return length_; }
+
+  /// Netmask as a 32-bit value.
+  [[nodiscard]] static constexpr std::uint32_t mask_for(int length) noexcept {
+    return length <= 0 ? 0u : (length >= 32 ? 0xFFFFFFFFu : ~((1u << (32 - length)) - 1));
+  }
+
+  /// First address (== network()).
+  [[nodiscard]] constexpr Ipv4Addr first() const noexcept { return addr_; }
+  /// Last address (broadcast for subnets).
+  [[nodiscard]] constexpr Ipv4Addr last() const noexcept {
+    return Ipv4Addr{addr_.value() | ~mask_for(length_)};
+  }
+
+  /// Number of addresses covered (2^(32-len)); 2^32 saturates to max.
+  [[nodiscard]] constexpr std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  [[nodiscard]] constexpr bool contains(Ipv4Addr a) const noexcept {
+    return (a.value() & mask_for(length_)) == addr_.value();
+  }
+  [[nodiscard]] constexpr bool contains(const Prefix& other) const noexcept {
+    return other.length_ >= length_ && contains(other.addr_);
+  }
+
+  /// Number of /24 blocks covered; prefixes longer than /24 report 1
+  /// (they fall inside a single /24).
+  [[nodiscard]] constexpr std::uint64_t slash24_count() const noexcept {
+    return length_ >= 24 ? 1 : (std::uint64_t{1} << (24 - length_));
+  }
+
+  /// Enumerate the /24 subprefixes (or the single covering /24).
+  [[nodiscard]] std::vector<Prefix> slash24s() const;
+
+  /// Split into the two child prefixes of length+1. Requires length < 32.
+  [[nodiscard]] std::pair<Prefix, Prefix> split() const;
+
+  /// Text form "a.b.c.d/len".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parse "a.b.c.d/len"; nullopt on malformed input.
+  [[nodiscard]] static std::optional<Prefix> parse(std::string_view text) noexcept;
+  [[nodiscard]] static Prefix must_parse(std::string_view text);
+
+  constexpr auto operator<=>(const Prefix&) const noexcept = default;
+
+ private:
+  int length_ = 0;
+  Ipv4Addr addr_;
+};
+
+/// The /24 containing an address, as a Prefix.
+[[nodiscard]] constexpr Prefix slash24_prefix_of(Ipv4Addr a) noexcept {
+  return Prefix{slash24_of(a), 24};
+}
+
+}  // namespace rdns::net

@@ -1,0 +1,87 @@
+#include "net/prefix_set.hpp"
+
+namespace rdns::net {
+
+void PrefixSet::add(const Prefix& p) { add_range(p.first(), p.last()); }
+
+void PrefixSet::add_range(Ipv4Addr first, Ipv4Addr last) {
+  std::uint32_t lo = first.value();
+  std::uint32_t hi = last.value();
+  if (lo > hi) std::swap(lo, hi);
+
+  // Find all ranges that overlap or are adjacent to [lo, hi] and merge.
+  auto it = ranges_.lower_bound(lo);
+  if (it != ranges_.begin()) {
+    auto prev = std::prev(it);
+    // prev starts before lo; merge if it overlaps [lo,hi] or abuts it.
+    // (prev->second >= lo covers overlap incl. prev->second == UINT32_MAX;
+    // the second test covers exact adjacency without overflow.)
+    if (prev->second >= lo || prev->second + 1 == lo) it = prev;
+  }
+  while (it != ranges_.end() && (hi == 0xFFFFFFFFu || it->first <= hi + 1)) {
+    lo = std::min(lo, it->first);
+    hi = std::max(hi, it->second);
+    it = ranges_.erase(it);
+  }
+  ranges_.emplace(lo, hi);
+}
+
+bool PrefixSet::contains(Ipv4Addr a) const noexcept {
+  const std::uint32_t v = a.value();
+  auto it = ranges_.upper_bound(v);
+  if (it == ranges_.begin()) return false;
+  --it;
+  return v >= it->first && v <= it->second;
+}
+
+bool PrefixSet::overlaps(const Prefix& p) const noexcept {
+  const std::uint32_t lo = p.first().value();
+  const std::uint32_t hi = p.last().value();
+  auto it = ranges_.upper_bound(hi);
+  if (it == ranges_.begin()) return false;
+  --it;
+  return it->second >= lo;
+}
+
+std::uint64_t PrefixSet::address_count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [lo, hi] : ranges_) total += std::uint64_t{hi} - lo + 1;
+  return total;
+}
+
+std::vector<std::pair<Ipv4Addr, Ipv4Addr>> PrefixSet::ranges() const {
+  std::vector<std::pair<Ipv4Addr, Ipv4Addr>> out;
+  out.reserve(ranges_.size());
+  for (const auto& [lo, hi] : ranges_) out.emplace_back(Ipv4Addr{lo}, Ipv4Addr{hi});
+  return out;
+}
+
+void MostSpecificMatcher::add(const Prefix& p) {
+  auto& bucket = by_length_[static_cast<std::size_t>(p.length())];
+  if (bucket.emplace(p.network().value(), p).second) ++count_;
+}
+
+std::optional<Prefix> MostSpecificMatcher::match(Ipv4Addr a) const noexcept {
+  for (int len = 32; len >= 0; --len) {
+    const auto& bucket = by_length_[static_cast<std::size_t>(len)];
+    if (bucket.empty()) continue;
+    const std::uint32_t key = a.value() & Prefix::mask_for(len);
+    const auto it = bucket.find(key);
+    if (it != bucket.end()) return it->second;
+  }
+  return std::nullopt;
+}
+
+std::optional<Prefix> MostSpecificMatcher::match(const Prefix& p) const noexcept {
+  // Most-specific announced prefix that covers ALL of p.
+  for (int len = p.length(); len >= 0; --len) {
+    const auto& bucket = by_length_[static_cast<std::size_t>(len)];
+    if (bucket.empty()) continue;
+    const std::uint32_t key = p.network().value() & Prefix::mask_for(len);
+    const auto it = bucket.find(key);
+    if (it != bucket.end()) return it->second;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rdns::net

@@ -1,0 +1,65 @@
+#pragma once
+/// \file prefix_set.hpp
+/// A set of disjoint IPv4 ranges built from CIDR prefixes, with O(log n)
+/// membership tests. Two uses mirror the paper's tooling:
+///   - ZMap-style blocklists (opt-out honoring, Section 9), and
+///   - mapping a /24 back to the most-specific announced covering prefix
+///     (Fig. 1) via `MostSpecificMatcher`.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/prefix.hpp"
+
+namespace rdns::net {
+
+/// Disjoint-interval set over the IPv4 space.
+class PrefixSet {
+ public:
+  void add(const Prefix& p);
+  void add_range(Ipv4Addr first, Ipv4Addr last);
+
+  [[nodiscard]] bool contains(Ipv4Addr a) const noexcept;
+  /// True if any address of `p` is in the set.
+  [[nodiscard]] bool overlaps(const Prefix& p) const noexcept;
+
+  [[nodiscard]] bool empty() const noexcept { return ranges_.empty(); }
+  [[nodiscard]] std::size_t range_count() const noexcept { return ranges_.size(); }
+
+  /// Total number of addresses covered.
+  [[nodiscard]] std::uint64_t address_count() const noexcept;
+
+  /// The merged, disjoint [first,last] ranges in ascending order.
+  [[nodiscard]] std::vector<std::pair<Ipv4Addr, Ipv4Addr>> ranges() const;
+
+ private:
+  // key = range start, value = range end (inclusive); ranges are disjoint
+  // and non-adjacent (adjacent ranges are coalesced on insert).
+  std::map<std::uint32_t, std::uint32_t> ranges_;
+};
+
+/// Longest-prefix matcher over a static table of announced prefixes.
+/// `match` returns the most-specific prefix covering an address, mirroring
+/// mapping dynamic /24s "back to the most-specific announced, covering
+/// prefix" (Section 4.2).
+class MostSpecificMatcher {
+ public:
+  void add(const Prefix& p);
+
+  /// Most-specific covering prefix, if any.
+  [[nodiscard]] std::optional<Prefix> match(Ipv4Addr a) const noexcept;
+  [[nodiscard]] std::optional<Prefix> match(const Prefix& p) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+
+ private:
+  // Prefixes bucketed by length, longest first at query time.
+  std::vector<std::map<std::uint32_t, Prefix>> by_length_ =
+      std::vector<std::map<std::uint32_t, Prefix>>(33);
+  std::size_t count_ = 0;
+};
+
+}  // namespace rdns::net

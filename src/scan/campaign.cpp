@@ -1,0 +1,75 @@
+#include "scan/campaign.hpp"
+
+#include "util/strings.hpp"
+
+namespace rdns::scan {
+
+SupplementalCampaign::SupplementalCampaign(sim::World& world,
+                                           std::vector<ReactiveEngine::Target> targets)
+    : SupplementalCampaign(world, std::move(targets), CampaignWindow{},
+                           ReactiveEngine::Config{}) {}
+
+SupplementalCampaign::SupplementalCampaign(sim::World& world,
+                                           std::vector<ReactiveEngine::Target> targets,
+                                           CampaignWindow window)
+    : SupplementalCampaign(world, std::move(targets), window, ReactiveEngine::Config{}) {}
+
+SupplementalCampaign::SupplementalCampaign(sim::World& world,
+                                           std::vector<ReactiveEngine::Target> targets,
+                                           CampaignWindow window, ReactiveEngine::Config config)
+    : world_(&world), engine_(world, std::move(targets), config), window_(window) {}
+
+void SupplementalCampaign::run() {
+  const util::SimTime from = util::to_sim_time(window_.from);
+  const util::SimTime to = util::to_sim_time(window_.to) + util::kDay - 1;
+  engine_.run(from, to);
+}
+
+CampaignTotals SupplementalCampaign::totals() const {
+  CampaignTotals t;
+  t.icmp_responses = engine_.icmp_responses();
+  t.rdns_responses = engine_.rdns_ok();
+  for (const auto& [name, obs] : engine_.networks()) {
+    t.icmp_unique_ips += obs.icmp_responsive.size();
+    t.rdns_unique_ips += obs.rdns_with_ptr.size();
+    t.rdns_unique_ptrs += obs.unique_ptrs.size();
+  }
+  return t;
+}
+
+std::vector<NetworkRow> SupplementalCampaign::network_rows() const {
+  std::vector<NetworkRow> rows;
+  for (const auto& [name, obs] : engine_.networks()) {
+    NetworkRow row;
+    row.name = name;
+    if (const sim::Organization* org =
+            const_cast<sim::World*>(world_)->org_by_name(name)) {
+      row.type = sim::to_string(org->type());
+    }
+    row.target_size = obs.target_addresses;
+    row.addresses_observed = obs.icmp_responsive.size();
+    row.percent_observed = obs.target_addresses == 0
+                               ? 0.0
+                               : 100.0 * static_cast<double>(row.addresses_observed) /
+                                     static_cast<double>(obs.target_addresses);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<ReactiveEngine::Target> paper_targets(const sim::World& world) {
+  std::vector<ReactiveEngine::Target> targets;
+  for (const auto& org : world.orgs()) {
+    const auto& name = org->name();
+    // The campaign targets the paper-style anonymized networks only.
+    if (name.rfind("Academic-", 0) == 0 || name.rfind("Enterprise-", 0) == 0 ||
+        name.rfind("ISP-", 0) == 0) {
+      const auto& spec = org->spec();
+      targets.push_back(ReactiveEngine::Target{
+          name, spec.measurement_targets.empty() ? spec.announced : spec.measurement_targets});
+    }
+  }
+  return targets;
+}
+
+}  // namespace rdns::scan

@@ -1,0 +1,66 @@
+#pragma once
+/// \file campaign.hpp
+/// The supplemental measurement campaign: wires a ReactiveEngine to a set
+/// of target networks over a date window and summarizes the outcome in the
+/// shape of the paper's Tables 3 and 4.
+
+#include <string>
+#include <vector>
+
+#include "scan/reactive.hpp"
+
+namespace rdns::scan {
+
+struct CampaignWindow {
+  util::CivilDate from{2021, 10, 25};
+  util::CivilDate to{2021, 12, 5};  ///< inclusive
+};
+
+/// Table 3 shape: measurement totals.
+struct CampaignTotals {
+  std::uint64_t icmp_responses = 0;
+  std::uint64_t icmp_unique_ips = 0;
+  std::uint64_t rdns_responses = 0;
+  std::uint64_t rdns_unique_ips = 0;
+  std::uint64_t rdns_unique_ptrs = 0;
+};
+
+/// Table 4 shape: one row per targeted network.
+struct NetworkRow {
+  std::string name;
+  std::string type;           ///< org type string
+  std::uint64_t target_size = 0;
+  std::uint64_t addresses_observed = 0;  ///< ICMP-responsive uniques
+  double percent_observed = 0.0;
+};
+
+class SupplementalCampaign {
+ public:
+  SupplementalCampaign(sim::World& world, std::vector<ReactiveEngine::Target> targets,
+                       CampaignWindow window, ReactiveEngine::Config config);
+  SupplementalCampaign(sim::World& world, std::vector<ReactiveEngine::Target> targets,
+                       CampaignWindow window);
+  SupplementalCampaign(sim::World& world, std::vector<ReactiveEngine::Target> targets);
+
+  /// Run the full campaign (drives the world clock).
+  void run();
+
+  [[nodiscard]] ReactiveEngine& engine() noexcept { return engine_; }
+  [[nodiscard]] const ReactiveEngine& engine() const noexcept { return engine_; }
+
+  [[nodiscard]] CampaignTotals totals() const;
+  [[nodiscard]] std::vector<NetworkRow> network_rows() const;
+  [[nodiscard]] const CampaignWindow& window() const noexcept { return window_; }
+
+ private:
+  sim::World* world_;
+  ReactiveEngine engine_;
+  CampaignWindow window_;
+};
+
+/// Builds the paper's 9-network target list from a world created by
+/// make_paper_world() (see sim/world recipes in the benches): three
+/// academic, three enterprise, three ISP networks.
+[[nodiscard]] std::vector<ReactiveEngine::Target> paper_targets(const sim::World& world);
+
+}  // namespace rdns::scan

@@ -1,0 +1,61 @@
+#include "scan/csv_replay.hpp"
+
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/log.hpp"
+
+namespace rdns::scan {
+
+ReplayStats replay_csv(std::istream& in, SnapshotSink& sink) {
+  ReplayStats stats;
+  util::CsvReader reader{in};
+  util::CsvRow row;
+  bool have_date = false;
+  util::CivilDate current_date;
+
+  while (reader.next(row)) {
+    if (row.size() < 3) {
+      ++stats.skipped;
+      continue;
+    }
+    util::CivilDate date;
+    try {
+      date = util::parse_date(row[0]);
+    } catch (const std::invalid_argument&) {
+      // Tolerate a header row or malformed dates.
+      ++stats.skipped;
+      continue;
+    }
+    const auto address = net::Ipv4Addr::parse(row[1]);
+    const auto ptr = dns::DnsName::parse(row[2]);
+    if (!address || !ptr || ptr->is_root()) {
+      ++stats.skipped;
+      continue;
+    }
+    if (have_date && date != current_date) {
+      sink.on_sweep_end(current_date);
+      ++stats.sweeps;
+    }
+    current_date = date;
+    have_date = true;
+    sink.on_row(date, *address, *ptr);
+    ++stats.rows;
+  }
+  if (have_date) {
+    sink.on_sweep_end(current_date);
+    ++stats.sweeps;
+  }
+  if (stats.skipped > 0) {
+    util::log_info("replay_csv: skipped " + std::to_string(stats.skipped) +
+                   " malformed rows");
+  }
+  return stats;
+}
+
+ReplayStats replay_csv_text(const std::string& text, SnapshotSink& sink) {
+  std::istringstream in{text};
+  return replay_csv(in, sink);
+}
+
+}  // namespace rdns::scan

@@ -1,0 +1,32 @@
+#pragma once
+/// \file csv_replay.hpp
+/// Replay recorded sweep data through the analysis pipeline. The scanners
+/// write `(date, ip, ptr)` CSV rows (the same schema as the OpenINTEL and
+/// Rapid7 data sets the paper used); this module reads them back and feeds
+/// any SnapshotSink — so the Section 4/5 analyses run unchanged on
+/// real-world exports without a simulator in sight.
+
+#include <iosfwd>
+#include <string>
+
+#include "scan/rdns_snapshot.hpp"
+
+namespace rdns::scan {
+
+struct ReplayStats {
+  std::uint64_t rows = 0;
+  std::uint64_t skipped = 0;  ///< malformed rows (logged, not fatal)
+  std::uint64_t sweeps = 0;   ///< distinct dates seen (in order)
+};
+
+/// Stream CSV rows into `sink`. Rows must be ordered by date (as the
+/// scanners write them); a change of date emits on_sweep_end for the
+/// previous date. A trailing on_sweep_end is emitted at end of input.
+/// Rows that fail to parse are counted in `skipped` and dropped — real
+/// measurement data always contains junk.
+ReplayStats replay_csv(std::istream& in, SnapshotSink& sink);
+
+/// Convenience: replay from an in-memory document.
+ReplayStats replay_csv_text(const std::string& text, SnapshotSink& sink);
+
+}  // namespace rdns::scan

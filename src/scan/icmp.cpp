@@ -1,0 +1,53 @@
+#include "scan/icmp.hpp"
+
+#include <cmath>
+
+#include "scan/permutation.hpp"
+
+namespace rdns::scan {
+
+IcmpScanner::IcmpScanner(sim::World& world, IcmpScanConfig config)
+    : world_(&world), config_(config) {}
+
+IcmpSweepResult IcmpScanner::sweep(const std::vector<net::Prefix>& targets) {
+  IcmpSweepResult result;
+  result.started = world_->now();
+
+  // Flatten targets into one index space for the permutation.
+  std::uint64_t total = 0;
+  std::vector<std::pair<std::uint64_t, net::Prefix>> offsets;  // start index -> prefix
+  offsets.reserve(targets.size());
+  for (const auto& p : targets) {
+    offsets.emplace_back(total, p);
+    total += p.size();
+  }
+  if (total == 0) return result;
+
+  ScanPermutation perm{total, config_.seed ^ (0x9E3779B9ULL * ++sweep_counter_)};
+  const util::SimTime now = world_->now();
+  while (const auto index = perm.next()) {
+    // Map the flat index back to an address (offsets are ascending).
+    std::size_t lo = 0, hi = offsets.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi + 1) / 2;
+      if (offsets[mid].first <= *index) lo = mid;
+      else hi = mid - 1;
+    }
+    const net::Ipv4Addr addr =
+        offsets[lo].second.first() + static_cast<std::uint32_t>(*index - offsets[lo].first);
+    if (blocklist_.contains(addr)) {
+      ++result.blocklisted_skipped;
+      continue;
+    }
+    ++result.probes_sent;
+    if (world_->ping(addr, now)) result.responsive.push_back(addr);
+  }
+  result.duration =
+      static_cast<util::SimTime>(std::ceil(static_cast<double>(result.probes_sent) /
+                                           config_.rate_pps));
+  total_probes_ += result.probes_sent;
+  total_responses_ += result.responsive.size();
+  return result;
+}
+
+}  // namespace rdns::scan

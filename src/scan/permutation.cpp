@@ -1,0 +1,47 @@
+#include "scan/permutation.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace rdns::scan {
+
+namespace {
+[[nodiscard]] std::uint64_t next_pow2(std::uint64_t n) noexcept {
+  std::uint64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+ScanPermutation::ScanPermutation(std::uint64_t n, std::uint64_t seed) : n_(n) {
+  if (n == 0) throw std::invalid_argument("ScanPermutation: n must be > 0");
+  modulus_ = next_pow2(n < 4 ? 4 : n);
+  util::Rng rng{seed};
+  // Hull-Dobell full-period conditions for modulus 2^k:
+  //   increment odd; multiplier ≡ 1 (mod 4).
+  multiplier_ = (static_cast<std::uint64_t>(rng.next()) & (modulus_ - 1) & ~3ULL) | 1ULL;
+  if (modulus_ > 4) multiplier_ |= 4ULL;  // avoid the degenerate multiplier 1
+  increment_ = (static_cast<std::uint64_t>(rng.next()) & (modulus_ - 1)) | 1ULL;
+  start_ = static_cast<std::uint64_t>(rng.next()) & (modulus_ - 1);
+  state_ = start_;
+}
+
+std::optional<std::uint64_t> ScanPermutation::next() noexcept {
+  while (produced_ < n_) {
+    const std::uint64_t value = state_;
+    state_ = (state_ * multiplier_ + increment_) & (modulus_ - 1);
+    if (value < n_) {
+      ++produced_;
+      return value;
+    }
+  }
+  return std::nullopt;
+}
+
+void ScanPermutation::reset() noexcept {
+  state_ = start_;
+  produced_ = 0;
+}
+
+}  // namespace rdns::scan

@@ -1,0 +1,37 @@
+#pragma once
+/// \file permutation.hpp
+/// ZMap-style address-space permutation. ZMap visits targets in a random
+/// order derived from a cyclic group so that probe load spreads across
+/// networks; we reproduce the behaviour with a full-period LCG (Hull-Dobell
+/// conditions) over the next power of two, skipping out-of-range values.
+/// Every value in [0, n) is produced exactly once per cycle.
+
+#include <cstdint>
+#include <optional>
+
+namespace rdns::scan {
+
+class ScanPermutation {
+ public:
+  /// Permutation of [0, n); `seed` varies the visit order.
+  ScanPermutation(std::uint64_t n, std::uint64_t seed);
+
+  /// Next index, or nullopt once all n values have been produced.
+  [[nodiscard]] std::optional<std::uint64_t> next() noexcept;
+
+  /// Restart the cycle (same order).
+  void reset() noexcept;
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return n_; }
+
+ private:
+  std::uint64_t n_;
+  std::uint64_t modulus_;    ///< power of two >= n
+  std::uint64_t multiplier_; ///< a ≡ 1 (mod 4)
+  std::uint64_t increment_;  ///< odd
+  std::uint64_t start_;
+  std::uint64_t state_;
+  std::uint64_t produced_ = 0;
+};
+
+}  // namespace rdns::scan

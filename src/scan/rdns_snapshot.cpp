@@ -1,0 +1,117 @@
+#include "scan/rdns_snapshot.hpp"
+
+#include <unordered_set>
+
+#include "util/strings.hpp"
+
+namespace rdns::scan {
+
+void CsvSnapshotSink::on_row(const util::CivilDate& date, net::Ipv4Addr address,
+                             const dns::DnsName& ptr) {
+  writer_.row(util::format_date(date), address.to_string(), ptr.to_canonical_string());
+}
+
+std::uint64_t sweep_bulk(const sim::World& world, const util::CivilDate& date,
+                         SnapshotSink& sink) {
+  std::uint64_t rows = 0;
+  world.snapshot_ptrs([&](net::Ipv4Addr a, const dns::DnsName& ptr) {
+    sink.on_row(date, a, ptr);
+    ++rows;
+  });
+  sink.on_sweep_end(date);
+  return rows;
+}
+
+std::uint64_t sweep_wire(sim::World& world, const util::CivilDate& date, SnapshotSink& sink,
+                         dns::ResolverStats* stats_out) {
+  dns::StubResolver resolver{world, /*retries=*/1};
+  std::uint64_t rows = 0;
+  for (const auto& prefix : world.announced_prefixes()) {
+    for (std::uint64_t v = prefix.first().value(); v <= prefix.last().value(); ++v) {
+      const net::Ipv4Addr a{static_cast<std::uint32_t>(v)};
+      const auto result = resolver.lookup_ptr(a, world.now());
+      if (result.status == dns::LookupStatus::Ok && result.ptr) {
+        sink.on_row(date, a, *result.ptr);
+        ++rows;
+      }
+    }
+  }
+  if (stats_out != nullptr) *stats_out = resolver.stats();
+  sink.on_sweep_end(date);
+  return rows;
+}
+
+SweepDriver::SweepDriver(sim::World& world, int hour_of_day, int every_days, int second_hour)
+    : world_(&world),
+      hour_of_day_(hour_of_day),
+      every_days_(every_days),
+      second_hour_(second_hour) {}
+
+namespace {
+
+/// De-duplicates by address within one sweep (union-of-instants mode) and
+/// defers on_sweep_end to the driver.
+class UnionPass final : public SnapshotSink {
+ public:
+  UnionPass(SnapshotSink& inner) : inner_(&inner) {}
+
+  void on_row(const util::CivilDate& date, net::Ipv4Addr address,
+              const dns::DnsName& ptr) override {
+    if (!seen_.insert(address).second) return;
+    inner_->on_row(date, address, ptr);
+    ++rows_;
+  }
+
+  void finish(const util::CivilDate& date) {
+    inner_->on_sweep_end(date);
+    seen_.clear();
+  }
+
+  [[nodiscard]] std::uint64_t rows() const noexcept { return rows_; }
+
+ private:
+  SnapshotSink* inner_;
+  std::unordered_set<net::Ipv4Addr> seen_;
+  std::uint64_t rows_ = 0;
+};
+
+/// A sink wrapper suppressing on_sweep_end from the inner bulk passes.
+class NoEndSink final : public SnapshotSink {
+ public:
+  explicit NoEndSink(SnapshotSink& inner) : inner_(&inner) {}
+  void on_row(const util::CivilDate& date, net::Ipv4Addr address,
+              const dns::DnsName& ptr) override {
+    inner_->on_row(date, address, ptr);
+  }
+
+ private:
+  SnapshotSink* inner_;
+};
+
+}  // namespace
+
+SweepStats SweepDriver::run(const util::CivilDate& from, const util::CivilDate& to,
+                            SnapshotSink& sink) {
+  SweepStats stats;
+  for (util::CivilDate date = from; !(to < date); date = util::add_days(date, every_days_)) {
+    const util::SimTime at = util::to_sim_time(date) + hour_of_day_ * util::kHour;
+    if (at < world_->now()) continue;  // never rewind the clock
+    world_->run_until(at);
+    if (second_hour_ < 0) {
+      stats.total_rows += sweep_bulk(*world_, date, sink);
+    } else {
+      UnionPass unioned{sink};
+      NoEndSink pass{unioned};
+      const std::uint64_t before = unioned.rows();
+      (void)sweep_bulk(*world_, date, pass);
+      world_->run_until(util::to_sim_time(date) + second_hour_ * util::kHour);
+      (void)sweep_bulk(*world_, date, pass);
+      unioned.finish(date);
+      stats.total_rows += unioned.rows() - before;
+    }
+    ++stats.sweeps;
+  }
+  return stats;
+}
+
+}  // namespace rdns::scan

@@ -1,0 +1,87 @@
+#pragma once
+/// \file rdns_snapshot.hpp
+/// Full-address-space reverse DNS sweeps, modelled on the two data sets the
+/// paper uses (Section 3): OpenINTEL (daily snapshots) and Rapid7 Project
+/// Sonar (one weekday per week). Rows carry the same schema as those data
+/// sets: (date, address, PTR hostname).
+///
+/// Two sweep paths exist:
+///   - the bulk path reads the zones directly (what a full sweep observes,
+///     in O(records) instead of O(address space)); used by long campaigns;
+///   - the wire path issues real PTR queries for every address through the
+///     resolver, exercising the full DNS codec; tests assert both paths
+///     agree, and short sweeps can afford it.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dns/resolver.hpp"
+#include "sim/world.hpp"
+#include "util/csv.hpp"
+#include "util/time.hpp"
+
+namespace rdns::scan {
+
+/// Receives sweep output. `on_row` is called once per (address, PTR) pair;
+/// `on_sweep_end` once per completed sweep.
+class SnapshotSink {
+ public:
+  virtual ~SnapshotSink() = default;
+  virtual void on_row(const util::CivilDate& date, net::Ipv4Addr address,
+                      const dns::DnsName& ptr) = 0;
+  virtual void on_sweep_end(const util::CivilDate& /*date*/) {}
+};
+
+/// Forwards rows to a CSV stream (date, ip, ptr) — the on-disk format.
+class CsvSnapshotSink final : public SnapshotSink {
+ public:
+  explicit CsvSnapshotSink(std::ostream& out) : writer_(out) {}
+  void on_row(const util::CivilDate& date, net::Ipv4Addr address,
+              const dns::DnsName& ptr) override;
+
+ private:
+  util::CsvWriter writer_;
+};
+
+/// Summary statistics across sweeps (Table 1 columns).
+struct SweepStats {
+  std::uint64_t sweeps = 0;
+  std::uint64_t total_rows = 0;       ///< "# responses"
+  std::uint64_t unique_ptrs = 0;      ///< filled by UniquePtrTracker
+};
+
+/// Performs one full sweep at the world's current time via the bulk path.
+std::uint64_t sweep_bulk(const sim::World& world, const util::CivilDate& date,
+                         SnapshotSink& sink);
+
+/// Performs one full sweep by issuing a wire-format PTR query per address
+/// of every announced prefix. Returns rows emitted.
+std::uint64_t sweep_wire(sim::World& world, const util::CivilDate& date, SnapshotSink& sink,
+                         dns::ResolverStats* stats_out = nullptr);
+
+/// Drives a periodic sweep campaign: advances the world to `hour_of_day` on
+/// each sweep date and invokes the bulk sweep.
+///
+/// Real full-space sweeps take many hours, so a single day's sweep observes
+/// records that exist at *different times of day*. Passing `second_hour`
+/// (e.g. 21) makes each sweep the union of two instants — records present
+/// at either moment are reported once — which is what lets daily snapshots
+/// see both office-hours clients and evening/residential clients, as
+/// OpenINTEL and Rapid7 do.
+class SweepDriver {
+ public:
+  /// `every_days` = 1 reproduces OpenINTEL, 7 reproduces Rapid7 Sonar.
+  SweepDriver(sim::World& world, int hour_of_day, int every_days, int second_hour = -1);
+
+  /// Sweep from `from` to `to` inclusive; returns per-campaign stats.
+  SweepStats run(const util::CivilDate& from, const util::CivilDate& to, SnapshotSink& sink);
+
+ private:
+  sim::World* world_;
+  int hour_of_day_;
+  int every_days_;
+  int second_hour_;
+};
+
+}  // namespace rdns::scan

@@ -1,0 +1,273 @@
+#include "scan/reactive.hpp"
+
+namespace rdns::scan {
+
+using util::SimTime;
+using util::kMinute;
+
+SimTime BackoffSchedule::interval_after(int probes_done) noexcept {
+  if (probes_done < 12) return 5 * kMinute;   // 1st hour
+  if (probes_done < 18) return 10 * kMinute;  // 2nd hour
+  if (probes_done < 21) return 20 * kMinute;  // 3rd hour
+  if (probes_done < 23) return 30 * kMinute;  // 4th hour
+  return 60 * kMinute;                        // steady state
+}
+
+SimTime BackoffSchedule::offset_of(int i) noexcept {
+  SimTime t = 0;
+  for (int k = 0; k < i; ++k) t += interval_after(k);
+  return t;
+}
+
+ReactiveEngine::ReactiveEngine(sim::World& world, std::vector<Target> targets)
+    : ReactiveEngine(world, std::move(targets), Config{}) {}
+
+ReactiveEngine::ReactiveEngine(sim::World& world, std::vector<Target> targets, Config config)
+    : world_(&world),
+      targets_(std::move(targets)),
+      config_(config),
+      icmp_(world, IcmpScanConfig{config.icmp_rate_pps, 256.0, config.seed}),
+      resolver_(world, /*retries=*/0, config.seed ^ 0x12D5),
+      rdns_bucket_(config.rdns_rate_pps, config.rdns_rate_pps) {
+  for (const auto& target : targets_) {
+    auto& obs = networks_[target.network];
+    for (const auto& p : target.prefixes) obs.target_addresses += p.size();
+  }
+}
+
+void ReactiveEngine::schedule(SimTime t, ActionKind kind, net::Ipv4Addr address) {
+  actions_.push(Action{t, next_seq_++, kind, address});
+}
+
+void ReactiveEngine::run(SimTime from, SimTime to) {
+  end_time_ = to;
+  schedule(from, ActionKind::Sweep, net::Ipv4Addr{});
+  while (!actions_.empty() && actions_.top().time <= to) {
+    const Action action = actions_.top();
+    actions_.pop();
+    world_->run_until(action.time);
+    switch (action.kind) {
+      case ActionKind::Sweep:
+        do_sweep();
+        break;
+      case ActionKind::Probe:
+        do_probe(action.address);
+        break;
+      case ActionKind::SpotRdns:
+        do_spot_rdns(action.address);
+        break;
+    }
+  }
+  world_->run_until(to);
+  flush_hour();
+}
+
+void ReactiveEngine::flush_hour() {
+  if (current_hour_ < 0) return;
+  auto& activity = hourly_[current_hour_];
+  activity.icmp_ok += hour_icmp_addrs_.size();
+  activity.rdns_ok += hour_rdns_addrs_.size();
+  hour_icmp_addrs_.clear();
+  hour_rdns_addrs_.clear();
+}
+
+void ReactiveEngine::note_hourly(net::Ipv4Addr address, SimTime now, bool is_rdns) {
+  const std::int64_t hour = now / util::kHour;
+  if (hour != current_hour_) {
+    flush_hour();
+    current_hour_ = hour;
+  }
+  (is_rdns ? hour_rdns_addrs_ : hour_icmp_addrs_).insert(address);
+}
+
+void ReactiveEngine::open_group(net::Ipv4Addr address) {
+  GroupSummary group;
+  group.group_id = groups_.size() + 1;
+  group.address = address;
+  if (const sim::Organization* org = world_->org_of(address)) group.network = org->name();
+  group.started = world_->now();
+  group.last_icmp_ok = world_->now();
+  group.icmp_ok = 1;
+
+  Tracked tracked;
+  tracked.group_index = groups_.size();
+  groups_.push_back(std::move(group));
+  tracked_.emplace(address, tracked);
+  networks_[groups_.back().network].groups += 1;
+
+  // Spot rDNS lookup to record the PTR value (Fig. 5, phase 1), then the
+  // first reactive ping five minutes in.
+  schedule(world_->now(), ActionKind::SpotRdns, address);
+  schedule(world_->now() + BackoffSchedule::interval_after(0), ActionKind::Probe, address);
+}
+
+void ReactiveEngine::do_sweep() {
+  const SimTime now = world_->now();
+  for (const auto& target : targets_) {
+    const IcmpSweepResult result = icmp_.sweep(target.prefixes);
+    icmp_probes_ += result.probes_sent;
+    icmp_responses_ += result.responsive.size();
+    auto& obs = networks_[target.network];
+    for (const net::Ipv4Addr addr : result.responsive) {
+      obs.icmp_responsive.insert(addr);
+      note_hourly(addr, now, /*is_rdns=*/false);
+      if (tracked_.find(addr) == tracked_.end()) open_group(addr);
+    }
+  }
+  if (now + config_.sweep_interval <= end_time_) {
+    schedule(now + config_.sweep_interval, ActionKind::Sweep, net::Ipv4Addr{});
+  }
+}
+
+dns::LookupResult ReactiveEngine::lookup(net::Ipv4Addr address, GroupSummary& group) {
+  // Rate-limit lookups to the authoritative servers (§6.1). The bucket is
+  // sized so back-off-paced probes essentially never wait, but bulk misuse
+  // would.
+  SimTime now = world_->now();
+  if (!rdns_bucket_.try_acquire(now)) {
+    now = rdns_bucket_.next_available(now);
+    world_->run_until(now);
+    (void)rdns_bucket_.try_acquire(now);
+  }
+  const auto result = resolver_.lookup_ptr(address, now);
+  ++rdns_lookups_;
+  auto& day = daily_errors_[util::day_index(now)];
+  ++day.lookups;
+  switch (result.status) {
+    case dns::LookupStatus::Ok: {
+      ++rdns_ok_;
+      ++group.rdns_ok;
+      note_hourly(address, now, /*is_rdns=*/true);
+      auto& obs = networks_[group.network];
+      obs.rdns_with_ptr.insert(address);
+      if (result.ptr) obs.unique_ptrs.insert(result.ptr->to_canonical_string());
+      break;
+    }
+    case dns::LookupStatus::NxDomain:
+      ++group.rdns_nxdomain;
+      ++day.nxdomain;
+      break;
+    case dns::LookupStatus::ServFail:
+      ++group.rdns_servfail;
+      ++day.servfail;
+      break;
+    case dns::LookupStatus::Timeout:
+      ++group.rdns_timeout;
+      ++day.timeout;
+      break;
+    default:
+      ++day.servfail;  // fold rare outcomes into server failures
+      break;
+  }
+  return result;
+}
+
+void ReactiveEngine::do_spot_rdns(net::Ipv4Addr address) {
+  const auto it = tracked_.find(address);
+  if (it == tracked_.end()) return;
+  Tracked& tracked = it->second;
+  GroupSummary& group = groups_[tracked.group_index];
+  const auto result = lookup(address, group);
+  if (result.status == dns::LookupStatus::Ok && result.ptr) {
+    group.first_ptr = result.ptr->to_canonical_string();
+    group.last_ptr = group.first_ptr;
+    group.spot_rdns_ok = true;
+    return;
+  }
+  // The PTR may simply not have been added yet (phase-1 NXDOMAIN nuance,
+  // §6.2); retry a couple of times.
+  if (++tracked.spot_attempts <= config_.spot_retries) {
+    schedule(world_->now() + 5 * kMinute, ActionKind::SpotRdns, address);
+  }
+}
+
+void ReactiveEngine::close_group(net::Ipv4Addr address, Tracked& tracked) {
+  groups_[tracked.group_index].closed = true;
+  tracked_.erase(address);
+}
+
+void ReactiveEngine::do_probe(net::Ipv4Addr address) {
+  const auto it = tracked_.find(address);
+  if (it == tracked_.end()) return;
+  Tracked& tracked = it->second;
+  GroupSummary& group = groups_[tracked.group_index];
+  const SimTime now = world_->now();
+
+  // Give up on groups that never resolve (client returned, or the PTR
+  // never reverts).
+  if (group.offline_detected != 0 && now - group.offline_detected > config_.max_follow) {
+    close_group(address, tracked);
+    return;
+  }
+
+  const bool alive = world_->ping(address, now);
+  ++icmp_probes_;
+
+  if (tracked.phase == Phase::Online) {
+    if (alive) {
+      ++icmp_responses_;
+      ++group.icmp_ok;
+      group.last_icmp_ok = now;
+      note_hourly(address, now, /*is_rdns=*/false);
+      ++tracked.probes_in_phase;
+      schedule(now + BackoffSchedule::interval_after(tracked.probes_in_phase), ActionKind::Probe,
+               address);
+    } else {
+      ++group.icmp_fail;
+      group.offline_detected = now;
+      // The gap that detected the disappearance bounds the timing error.
+      group.reliable =
+          BackoffSchedule::interval_after(tracked.probes_in_phase) <= config_.reliable_gap;
+      tracked.phase = Phase::Follow;
+      tracked.probes_in_phase = 0;
+      // Begin reactive rDNS follow-up immediately (Fig. 5, phase 3).
+      do_follow_lookup(address, tracked, group);
+    }
+    return;
+  }
+
+  // Follow phase: ping and rDNS both follow the back-off schedule.
+  if (alive) {
+    // The client answers again: the "offline" inference was a blip (a
+    // napping phone missing one probe). The group's timing can no longer
+    // be trusted — close it unresolved; the next hourly sweep re-detects
+    // the client and opens a fresh group. This is the main source of the
+    // paper's inconclusive groups (Table 5: only 9.3% successful).
+    ++icmp_responses_;
+    note_hourly(address, now, /*is_rdns=*/false);
+    close_group(address, tracked);
+    return;
+  }
+  ++group.icmp_fail;
+  do_follow_lookup(address, tracked, group);
+}
+
+void ReactiveEngine::do_follow_lookup(net::Ipv4Addr address, Tracked& tracked,
+                                      GroupSummary& group) {
+  const auto result = lookup(address, group);
+  const SimTime now = world_->now();
+  if (result.status == dns::LookupStatus::Ok && result.ptr) {
+    const std::string ptr = result.ptr->to_canonical_string();
+    if (!group.last_ptr.empty() && ptr != group.last_ptr) {
+      // PTR changed under us: reverted to a generic name or reassigned.
+      group.ptr_observed_gone = now;
+      group.reverted = group.spot_rdns_ok;
+      close_group(address, tracked);
+      return;
+    }
+    group.last_ptr = ptr;
+  } else if (result.status == dns::LookupStatus::NxDomain) {
+    if (group.spot_rdns_ok) {
+      group.ptr_observed_gone = now;
+      group.reverted = true;
+    }
+    close_group(address, tracked);
+    return;
+  }
+  // Errors and unchanged PTRs continue along the back-off schedule.
+  ++tracked.probes_in_phase;
+  schedule(now + BackoffSchedule::interval_after(tracked.probes_in_phase), ActionKind::Probe,
+           address);
+}
+
+}  // namespace rdns::scan

@@ -1,0 +1,209 @@
+#pragma once
+/// \file reactive.hpp
+/// The paper's supplemental measurement (Section 6.1, Fig. 5): an hourly
+/// ICMP sweep detects clients joining; a reactive prober then follows each
+/// client with the Table 2 back-off schedule; once the client goes silent,
+/// reactive rDNS lookups (same back-off) watch for the PTR being removed or
+/// reverted. Every (address, activity period) becomes a measurement group;
+/// timing analysis (Table 5, Fig. 7) runs over the group summaries.
+
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dns/resolver.hpp"
+#include "net/prefix.hpp"
+#include "scan/icmp.hpp"
+#include "sim/world.hpp"
+#include "util/time.hpp"
+#include "util/token_bucket.hpp"
+
+namespace rdns::scan {
+
+/// Table 2: "12 times in the 1st hour at 5-minute intervals, 6 times in the
+/// 2nd hour at 10-minute intervals, 3 times in the 3rd hour at 20-minute
+/// intervals, 2 times in the 4th hour at 30-minute intervals, until client
+/// goes offline once at 60-minute intervals".
+struct BackoffSchedule {
+  /// Interval to wait after having completed `probes_done` probes in the
+  /// current phase.
+  [[nodiscard]] static util::SimTime interval_after(int probes_done) noexcept;
+
+  /// Cumulative offset of probe `i` (0-based) from the phase start.
+  [[nodiscard]] static util::SimTime offset_of(int i) noexcept;
+};
+
+/// One measurement group: an address/activity-period pair (Section 6.1).
+struct GroupSummary {
+  std::uint64_t group_id = 0;
+  net::Ipv4Addr address;
+  std::string network;          ///< organization name
+
+  util::SimTime started = 0;          ///< first responsive ICMP (client seen)
+  util::SimTime last_icmp_ok = 0;
+  util::SimTime offline_detected = 0; ///< first failed reactive ping (0 = never)
+  util::SimTime ptr_observed_gone = 0;///< first rDNS showing removal/change
+
+  std::string first_ptr;  ///< PTR at join (spot lookup), empty if none
+  std::string last_ptr;   ///< most recent PTR value observed
+
+  int icmp_ok = 0;
+  int icmp_fail = 0;
+  int rdns_ok = 0;
+  int rdns_nxdomain = 0;
+  int rdns_servfail = 0;
+  int rdns_timeout = 0;
+
+  bool spot_rdns_ok = false;  ///< join-time PTR captured
+  bool closed = false;        ///< lifecycle resolved (or given up)
+  bool reverted = false;      ///< PTR present at join, gone/changed at end
+  bool reliable = false;      ///< offline detected within a short ping gap
+
+  /// Minutes between the last responsive ICMP probe and the rDNS probe
+  /// that observed the PTR gone (Fig. 7's x-axis). Only meaningful for
+  /// reverted groups.
+  [[nodiscard]] double linger_minutes() const noexcept {
+    return static_cast<double>(ptr_observed_gone - last_icmp_ok) / 60.0;
+  }
+
+  /// Table 5 "successful responses": complete join→present→leave→gone
+  /// lifecycle with the key lookups answered.
+  [[nodiscard]] bool successful() const noexcept {
+    return closed && spot_rdns_ok && icmp_ok >= 1 && offline_detected != 0 &&
+           ptr_observed_gone != 0;
+  }
+};
+
+/// Per-network aggregates (Tables 3/4).
+struct NetworkObservation {
+  std::uint64_t target_addresses = 0;
+  std::unordered_set<net::Ipv4Addr> icmp_responsive;
+  std::unordered_set<net::Ipv4Addr> rdns_with_ptr;
+  std::unordered_set<std::string> unique_ptrs;
+  std::uint64_t groups = 0;
+};
+
+/// Daily DNS-outcome counters (Fig. 6).
+struct DailyErrorCounts {
+  std::uint64_t lookups = 0;
+  std::uint64_t nxdomain = 0;
+  std::uint64_t servfail = 0;
+  std::uint64_t timeout = 0;
+};
+
+/// Hourly activity (Fig. 11): the number of ACTIVE CLIENTS INFERRED per
+/// hour — unique addresses with at least one successful ICMP response, and
+/// unique addresses whose PTR was successfully observed. The rDNS counts
+/// pan out lower "due to the reactive nature of the rDNS measurement"
+/// (lookups only fire around client transitions).
+struct HourlyActivity {
+  std::uint64_t icmp_ok = 0;  ///< unique ICMP-responsive addresses
+  std::uint64_t rdns_ok = 0;  ///< unique addresses with a PTR observed
+};
+
+class ReactiveEngine {
+ public:
+  struct Target {
+    std::string network;  ///< must match the org name in the world
+    std::vector<net::Prefix> prefixes;
+  };
+
+  struct Config {
+    util::SimTime sweep_interval = util::kHour;
+    double icmp_rate_pps = 10000.0;
+    double rdns_rate_pps = 100.0;    ///< "we rate-limit requests" (§6.1)
+    util::SimTime max_follow = 6 * util::kHour;  ///< give up on a group after this
+    int spot_retries = 2;            ///< extra join-time PTR attempts
+    util::SimTime reliable_gap = 30 * util::kMinute;
+    std::uint64_t seed = 0xF00D5EED;
+  };
+
+  ReactiveEngine(sim::World& world, std::vector<Target> targets, Config config);
+  ReactiveEngine(sim::World& world, std::vector<Target> targets);  ///< default Config
+
+  /// Run the campaign over [from, to] (absolute simulated times). Drives
+  /// the world clock.
+  void run(util::SimTime from, util::SimTime to);
+
+  [[nodiscard]] const std::vector<GroupSummary>& groups() const noexcept { return groups_; }
+  [[nodiscard]] const std::map<std::string, NetworkObservation>& networks() const noexcept {
+    return networks_;
+  }
+  [[nodiscard]] const std::map<std::int64_t, DailyErrorCounts>& daily_errors() const noexcept {
+    return daily_errors_;
+  }
+  [[nodiscard]] const std::map<std::int64_t, HourlyActivity>& hourly_activity() const noexcept {
+    return hourly_;
+  }
+
+  [[nodiscard]] std::uint64_t icmp_responses() const noexcept { return icmp_responses_; }
+  [[nodiscard]] std::uint64_t icmp_probes() const noexcept { return icmp_probes_; }
+  [[nodiscard]] std::uint64_t rdns_lookups() const noexcept { return rdns_lookups_; }
+  [[nodiscard]] std::uint64_t rdns_ok() const noexcept { return rdns_ok_; }
+
+ private:
+  enum class Phase { Online, Follow };
+  struct Tracked {
+    std::size_t group_index;
+    Phase phase = Phase::Online;
+    int probes_in_phase = 0;
+    int spot_attempts = 0;
+  };
+  enum class ActionKind { Sweep, Probe, SpotRdns };
+  struct Action {
+    util::SimTime time;
+    std::uint64_t seq;
+    ActionKind kind;
+    net::Ipv4Addr address;
+  };
+  struct Later {
+    bool operator()(const Action& a, const Action& b) const noexcept {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  void schedule(util::SimTime t, ActionKind kind, net::Ipv4Addr address);
+  void do_sweep();
+  void do_probe(net::Ipv4Addr address);
+  void do_spot_rdns(net::Ipv4Addr address);
+  /// Issue one rate-limited PTR lookup and update counters; returns result.
+  dns::LookupResult lookup(net::Ipv4Addr address, GroupSummary& group);
+  void open_group(net::Ipv4Addr address);
+  void close_group(net::Ipv4Addr address, Tracked& tracked);
+  /// Follow-phase rDNS step: watches for the PTR being removed/changed and
+  /// schedules the next probe.
+  void do_follow_lookup(net::Ipv4Addr address, Tracked& tracked, GroupSummary& group);
+  /// Per-hour unique-address accounting (Fig. 11 series).
+  void note_hourly(net::Ipv4Addr address, util::SimTime now, bool is_rdns);
+  void flush_hour();
+
+  sim::World* world_;
+  std::vector<Target> targets_;
+  Config config_;
+  IcmpScanner icmp_;
+  dns::StubResolver resolver_;
+  util::TokenBucket rdns_bucket_;
+
+  std::priority_queue<Action, std::vector<Action>, Later> actions_;
+  std::uint64_t next_seq_ = 0;
+  util::SimTime end_time_ = 0;
+
+  std::unordered_map<net::Ipv4Addr, Tracked> tracked_;
+  std::int64_t current_hour_ = -1;
+  std::unordered_set<net::Ipv4Addr> hour_icmp_addrs_;
+  std::unordered_set<net::Ipv4Addr> hour_rdns_addrs_;
+  std::vector<GroupSummary> groups_;
+  std::map<std::string, NetworkObservation> networks_;
+  std::map<std::int64_t, DailyErrorCounts> daily_errors_;
+  std::map<std::int64_t, HourlyActivity> hourly_;
+  std::uint64_t icmp_responses_ = 0;
+  std::uint64_t icmp_probes_ = 0;
+  std::uint64_t rdns_lookups_ = 0;
+  std::uint64_t rdns_ok_ = 0;
+};
+
+}  // namespace rdns::scan

@@ -1,0 +1,89 @@
+#include "sim/device.hpp"
+
+namespace rdns::sim {
+
+namespace {
+[[nodiscard]] const DeviceProfile& profile_for(DeviceKind kind) {
+  for (const auto& p : device_profiles()) {
+    if (p.kind == kind) return p;
+  }
+  static const DeviceProfile kFallback{};
+  return kFallback;
+}
+
+[[nodiscard]] dhcp::ClientIdentity make_identity(const Device::Init& init, util::Rng& rng) {
+  dhcp::ClientIdentity id;
+  id.mac = init.mac;
+  const DeviceProfile& profile = profile_for(init.kind);
+  if (!init.host_name.empty() && rng.chance(profile.sends_host_name)) {
+    id.host_name = init.host_name;
+  }
+  return id;
+}
+}  // namespace
+
+Device::Device(const Init& init)
+    : id_(init.id),
+      kind_(init.kind),
+      owner_(init.owner_given_name),
+      host_name_(init.host_name),
+      mac_(init.mac),
+      probe_reliability_(init.probe_reliability),
+      clean_release_(init.clean_release),
+      participation_(init.participation),
+      first_active_(init.first_active),
+      client_([&] {
+        util::Rng rng{init.seed};
+        return dhcp::DhcpClient{make_identity(init, rng), rng.next()};
+      }()) {
+  util::Rng rng{util::mix64(init.seed ^ 0x9E37)};
+  responds_to_ping_ = rng.chance(init.responds_to_ping);
+}
+
+bool Device::exists_on(const util::CivilDate& date) const noexcept {
+  return !first_active_ || !(date < *first_active_);
+}
+
+Device::Init make_device_init(std::uint64_t id, DeviceKind kind, const std::string& owner,
+                              bool use_owner_name, util::Rng& rng) {
+  const DeviceProfile* profile = nullptr;
+  for (const auto& p : device_profiles()) {
+    if (p.kind == kind) {
+      profile = &p;
+      break;
+    }
+  }
+  static const DeviceProfile kFallback{};
+  if (profile == nullptr) profile = &kFallback;
+
+  Device::Init init;
+  init.id = id;
+  init.kind = kind;
+  init.owner_given_name = (profile->personal && use_owner_name) ? owner : std::string{};
+  init.host_name = make_host_name(kind, owner, profile->personal && use_owner_name, rng);
+  init.mac = net::Mac::random(profile->vendor, rng);
+  init.responds_to_ping = profile->responds_to_ping;
+  init.probe_reliability = profile->probe_reliability;
+  init.clean_release = profile->clean_release;
+  // Phones nearly always travel with their owner; other devices less so.
+  switch (kind) {
+    case DeviceKind::Iphone:
+    case DeviceKind::GalaxyPhone:
+    case DeviceKind::AndroidPhone:
+    case DeviceKind::GenericPhone:
+      init.participation = 0.95;
+      break;
+    case DeviceKind::Roku:
+    case DeviceKind::Printer:
+    case DeviceKind::StaticServer:
+      init.participation = 1.0;
+      break;
+    default:
+      init.participation = 0.65;
+      break;
+  }
+  init.seed = rng.next();
+  return init;
+}
+
+}  // namespace rdns::sim

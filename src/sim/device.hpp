@@ -1,0 +1,97 @@
+#pragma once
+/// \file device.hpp
+/// A simulated client device: identity (MAC, DHCP Host Name), behavioural
+/// knobs (ping responsiveness, clean-release probability), and its DHCP
+/// client. Devices are owned by users; the World drives their join/leave
+/// events from the owner's schedule.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "dhcp/client.hpp"
+#include "sim/namegen.hpp"
+#include "util/time.hpp"
+
+namespace rdns::sim {
+
+class Device {
+ public:
+  struct Init {
+    std::uint64_t id = 0;
+    DeviceKind kind = DeviceKind::Iphone;
+    std::string owner_given_name;  ///< empty for ownerless devices
+    std::string host_name;         ///< DHCP option 12 payload; may be empty
+    net::Mac mac;
+    double responds_to_ping = 0.8;
+    double probe_reliability = 0.9;
+    double clean_release = 0.35;
+    /// Probability the device accompanies its owner on any given presence
+    /// interval (phones ~always, laptops less).
+    double participation = 1.0;
+    /// The device does not exist before this date (Fig. 8: the
+    /// galaxy-note9 bought on Cyber Monday).
+    std::optional<util::CivilDate> first_active;
+    std::uint64_t seed = 0;
+  };
+
+  explicit Device(const Init& init);
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  [[nodiscard]] DeviceKind kind() const noexcept { return kind_; }
+  [[nodiscard]] const std::string& owner() const noexcept { return owner_; }
+  [[nodiscard]] const std::string& host_name() const noexcept { return host_name_; }
+  [[nodiscard]] const net::Mac& mac() const noexcept { return mac_; }
+  [[nodiscard]] double participation() const noexcept { return participation_; }
+  [[nodiscard]] bool exists_on(const util::CivilDate& date) const noexcept;
+
+  /// Host-level ping behaviour (the network may still filter; that is the
+  /// organization's ingress policy, applied by the World). Decided once per
+  /// device: a host either runs a firewall or does not.
+  [[nodiscard]] bool responds_to_ping() const noexcept { return responds_to_ping_; }
+
+  /// Probability each individual probe is answered while online (sleeping
+  /// phones miss probes).
+  [[nodiscard]] double probe_reliability() const noexcept { return probe_reliability_; }
+
+  /// Per-leave decision: does the device send DHCP RELEASE this time?
+  [[nodiscard]] bool decide_clean_release(util::Rng& rng) const noexcept {
+    return rng.chance(clean_release_);
+  }
+  /// Per-interval decision: does the device accompany its owner?
+  [[nodiscard]] bool decide_participation(util::Rng& rng) const noexcept {
+    return rng.chance(participation_);
+  }
+
+  [[nodiscard]] dhcp::DhcpClient& client() noexcept { return client_; }
+  [[nodiscard]] const dhcp::DhcpClient& client() const noexcept { return client_; }
+
+  // -- runtime state (managed by the World) ---------------------------------
+  bool online = false;
+  util::SimTime online_since = 0;
+  /// Segment the device is currently bound to. Roaming students join a
+  /// different (building) segment per presence interval — the §8
+  /// geotemporal-tracking surface.
+  std::size_t active_segment = 0;
+
+ private:
+  std::uint64_t id_;
+  DeviceKind kind_;
+  std::string owner_;
+  std::string host_name_;
+  net::Mac mac_;
+  bool responds_to_ping_;
+  double probe_reliability_;
+  double clean_release_;
+  double participation_;
+  std::optional<util::CivilDate> first_active_;
+  dhcp::DhcpClient client_;
+};
+
+/// Build a Device::Init for a sampled device kind.
+[[nodiscard]] Device::Init make_device_init(std::uint64_t id, DeviceKind kind,
+                                            const std::string& owner, bool use_owner_name,
+                                            util::Rng& rng);
+
+}  // namespace rdns::sim

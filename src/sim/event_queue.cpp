@@ -1,0 +1,54 @@
+#include "sim/event_queue.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace rdns::sim {
+
+void EventQueue::schedule(util::SimTime t, Callback cb) {
+  if (t < now_) throw std::logic_error("EventQueue::schedule: time is in the past");
+  queue_.push(Entry{t, next_seq_++, std::move(cb)});
+}
+
+void EventQueue::schedule_repeating(util::SimTime first, util::SimTime interval,
+                                    std::function<bool()> cb) {
+  if (interval <= 0) throw std::invalid_argument("schedule_repeating: interval must be > 0");
+  // Self-rescheduling wrapper; captures *this via pointer, safe because the
+  // queue owns the callback and outlives it.
+  auto wrapper = std::make_shared<std::function<void()>>();
+  *wrapper = [this, interval, cb = std::move(cb), wrapper]() {
+    if (cb()) schedule(now_ + interval, *wrapper);
+  };
+  schedule(first, *wrapper);
+}
+
+void EventQueue::run_until(util::SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    // Copy out before pop; the callback may schedule new events.
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    now_ = entry.time;
+    ++executed_;
+    entry.callback();
+  }
+  if (t > now_) now_ = t;
+}
+
+bool EventQueue::run_next() {
+  if (queue_.empty()) return false;
+  Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  now_ = entry.time;
+  ++executed_;
+  entry.callback();
+  return true;
+}
+
+void EventQueue::warp_to(util::SimTime t) {
+  if (!queue_.empty() && queue_.top().time < t) {
+    throw std::logic_error("EventQueue::warp_to: events pending before target time");
+  }
+  if (t > now_) now_ = t;
+}
+
+}  // namespace rdns::sim

@@ -1,0 +1,60 @@
+#pragma once
+/// \file event_queue.hpp
+/// Discrete-event core: a time-ordered queue of callbacks plus the
+/// simulation clock. Ties are broken by insertion order so runs are fully
+/// deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace rdns::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` at absolute simulated time `t` (must be >= now()).
+  void schedule(util::SimTime t, Callback cb);
+
+  /// Schedule `cb` every `interval` seconds starting at `first`, until it
+  /// returns false.
+  void schedule_repeating(util::SimTime first, util::SimTime interval,
+                          std::function<bool()> cb);
+
+  /// Run all events with time <= t; afterwards now() == t.
+  void run_until(util::SimTime t);
+
+  /// Run a single event if one is pending; returns false when empty.
+  bool run_next();
+
+  [[nodiscard]] util::SimTime now() const noexcept { return now_; }
+  /// Jump the clock forward without running events (initialization only;
+  /// throws std::logic_error if events are pending before `t`).
+  void warp_to(util::SimTime t);
+
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Entry {
+    util::SimTime time;
+    std::uint64_t seq;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  util::SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace rdns::sim

@@ -1,0 +1,227 @@
+#include "sim/namegen.hpp"
+
+#include <unordered_map>
+
+#include "util/strings.hpp"
+
+namespace rdns::sim {
+
+const char* to_string(DeviceKind k) noexcept {
+  switch (k) {
+    case DeviceKind::Iphone: return "iphone";
+    case DeviceKind::Ipad: return "ipad";
+    case DeviceKind::MacbookAir: return "macbook-air";
+    case DeviceKind::MacbookPro: return "macbook-pro";
+    case DeviceKind::Macbook: return "macbook";
+    case DeviceKind::GalaxyPhone: return "galaxy-phone";
+    case DeviceKind::AndroidPhone: return "android-phone";
+    case DeviceKind::GenericPhone: return "phone";
+    case DeviceKind::DellLaptop: return "dell-laptop";
+    case DeviceKind::LenovoLaptop: return "lenovo-laptop";
+    case DeviceKind::WindowsLaptop: return "windows-laptop";
+    case DeviceKind::WindowsDesktop: return "windows-desktop";
+    case DeviceKind::Chromebook: return "chromebook";
+    case DeviceKind::Roku: return "roku";
+    case DeviceKind::Printer: return "printer";
+    case DeviceKind::StaticServer: return "server";
+    case DeviceKind::kCount: break;
+  }
+  return "?";
+}
+
+const char* device_term(DeviceKind k) noexcept {
+  switch (k) {
+    case DeviceKind::Iphone: return "iphone";
+    case DeviceKind::Ipad: return "ipad";
+    case DeviceKind::MacbookAir: return "air";
+    case DeviceKind::MacbookPro: return "mbp";
+    case DeviceKind::Macbook: return "macbook";
+    case DeviceKind::GalaxyPhone: return "galaxy";
+    case DeviceKind::AndroidPhone: return "android";
+    case DeviceKind::GenericPhone: return "phone";
+    case DeviceKind::DellLaptop: return "dell";
+    case DeviceKind::LenovoLaptop: return "lenovo";
+    case DeviceKind::WindowsLaptop: return "laptop";
+    case DeviceKind::WindowsDesktop: return "desktop";
+    case DeviceKind::Chromebook: return "chrome";
+    case DeviceKind::Roku: return "roku";
+    default: return "";
+  }
+}
+
+const std::vector<DeviceProfile>& device_profiles() {
+  using V = net::MacVendor;
+  static const std::vector<DeviceProfile> kProfiles = {
+      // kind                      weight personal sendsHN ping  reliab release vendor
+      {DeviceKind::Iphone,         0.26,  true,    0.97,   0.55, 0.80,  0.45,   V::Apple},
+      {DeviceKind::Ipad,           0.07,  true,    0.95,   0.50, 0.78,  0.40,   V::Apple},
+      {DeviceKind::MacbookAir,     0.07,  true,    0.95,   0.80, 0.92,  0.50,   V::Apple},
+      {DeviceKind::MacbookPro,     0.08,  true,    0.95,   0.80, 0.92,  0.50,   V::Apple},
+      {DeviceKind::Macbook,        0.03,  true,    0.95,   0.80, 0.92,  0.50,   V::Apple},
+      {DeviceKind::GalaxyPhone,    0.10,  true,    0.90,   0.45, 0.78,  0.35,   V::Samsung},
+      {DeviceKind::AndroidPhone,   0.08,  true,    0.85,   0.40, 0.75,  0.30,   V::Samsung},
+      {DeviceKind::GenericPhone,   0.05,  true,    0.90,   0.45, 0.78,  0.35,   V::Unknown},
+      {DeviceKind::DellLaptop,     0.05,  true,    0.90,   0.85, 0.93,  0.30,   V::Dell},
+      {DeviceKind::LenovoLaptop,   0.04,  true,    0.90,   0.85, 0.93,  0.30,   V::Lenovo},
+      {DeviceKind::WindowsLaptop,  0.07,  true,    0.95,   0.85, 0.93,  0.30,   V::Intel},
+      {DeviceKind::WindowsDesktop, 0.05,  true,    0.95,   0.90, 0.98,  0.20,   V::Intel},
+      {DeviceKind::Chromebook,     0.03,  true,    0.90,   0.70, 0.85,  0.40,   V::Google},
+      {DeviceKind::Roku,           0.02,  false,   0.90,   0.60, 0.97,  0.05,   V::Roku},
+  };
+  return kProfiles;
+}
+
+const std::vector<std::string>& given_names() {
+  // Top 50 given names for US newborns 2000-2020 by popularity, as used on
+  // the Fig. 2 x-axis of the paper (48 listed there + the next two ranks).
+  static const std::vector<std::string> kNames = {
+      "jacob",    "michael",   "emma",        "william", "ethan",   "olivia",  "matthew",
+      "emily",    "daniel",    "noah",        "joshua",  "isabella","alexander","joseph",
+      "james",    "andrew",    "sophia",      "christopher","anthony","david", "madison",
+      "logan",    "benjamin",  "ryan",        "abigail", "john",    "elijah",  "mason",
+      "samuel",   "dylan",     "nicholas",    "jayden",  "liam",    "elizabeth","christian",
+      "gabriel",  "tyler",     "jonathan",    "nathan",  "jordan",  "hannah",  "aiden",
+      "jackson",  "alexis",    "caleb",       "lucas",   "angel",   "brandon", "brian",
+      "ava",
+  };
+  return kNames;
+}
+
+int given_name_rank(const std::string& lower_name) noexcept {
+  static const std::unordered_map<std::string, int> kRanks = [] {
+    std::unordered_map<std::string, int> m;
+    const auto& names = given_names();
+    for (std::size_t i = 0; i < names.size(); ++i) m.emplace(names[i], static_cast<int>(i));
+    return m;
+  }();
+  const auto it = kRanks.find(lower_name);
+  return it == kRanks.end() ? -1 : it->second;
+}
+
+const std::vector<std::string>& city_names() {
+  static const std::vector<std::string> kCities = {
+      // Cities that are also given names (the §5.1 confusion source):
+      "jackson", "charlotte", "austin", "madison", "jordan",
+      // Ordinary city names / airport-style codes:
+      "dallas", "denver", "seattle", "boston", "chicago", "phoenix", "atlanta",
+      "houston", "miami", "portland", "omaha", "tucson", "memphis", "fresno",
+      "nyc", "lax", "ord", "iad", "sea",
+  };
+  return kCities;
+}
+
+const std::vector<std::string>& generic_router_terms() {
+  static const std::vector<std::string> kTerms = {
+      "north", "south", "east", "west", "core", "edge", "border", "agg",
+      "dist", "gw", "rtr", "sw", "ae", "eth", "vlan", "uplink", "transit", "peer",
+  };
+  return kTerms;
+}
+
+std::string sample_given_name(util::Rng& rng) {
+  // Zipf s=0.6 over the 50 ranks: popular names dominate but the tail is
+  // still visible, mirroring the SSA distribution shape.
+  static const util::ZipfSampler kSampler{given_names().size(), 0.6};
+  return given_names()[kSampler.sample(rng)];
+}
+
+DeviceKind sample_device_kind(util::Rng& rng) {
+  static const std::vector<double> kWeights = [] {
+    std::vector<double> w;
+    for (const auto& p : device_profiles()) w.push_back(p.weight);
+    return w;
+  }();
+  return device_profiles()[rng.weighted_index(kWeights)].kind;
+}
+
+namespace {
+
+[[nodiscard]] std::string capitalize(const std::string& lower) {
+  std::string out = lower;
+  if (!out.empty() && out[0] >= 'a' && out[0] <= 'z') {
+    out[0] = static_cast<char>(out[0] - 'a' + 'A');
+  }
+  return out;
+}
+
+[[nodiscard]] std::string random_hex(util::Rng& rng, int digits) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(static_cast<std::size_t>(digits));
+  for (int i = 0; i < digits; ++i) out.push_back(kHex[rng.index(16)]);
+  return out;
+}
+
+[[nodiscard]] std::string random_serial(util::Rng& rng, int length) {
+  static const char* kAlnum = "ABCDEFGHJKLMNPQRSTUVWXYZ0123456789";
+  std::string out;
+  out.reserve(static_cast<std::size_t>(length));
+  for (int i = 0; i < length; ++i) out.push_back(kAlnum[rng.index(34)]);
+  return out;
+}
+
+}  // namespace
+
+std::string make_host_name(DeviceKind kind, const std::string& owner, bool use_owner_name,
+                           util::Rng& rng) {
+  const std::string name = capitalize(owner);
+  const bool personal = use_owner_name && !owner.empty();
+  switch (kind) {
+    case DeviceKind::Iphone:
+      return personal ? name + "'s iPhone" : "iPhone-" + random_serial(rng, 6);
+    case DeviceKind::Ipad:
+      return personal ? name + "'s iPad" : "iPad-" + random_serial(rng, 6);
+    case DeviceKind::MacbookAir:
+      return personal ? name + "s-Air" : "MacBook-Air-" + random_serial(rng, 4);
+    case DeviceKind::MacbookPro:
+      return personal ? name + "s-MBP" : "MacBook-Pro-" + random_serial(rng, 4);
+    case DeviceKind::Macbook:
+      return personal ? name + "s-MacBook" : "MacBook-" + random_serial(rng, 4);
+    case DeviceKind::GalaxyPhone: {
+      static const char* kModels[] = {"s10", "s21", "note9", "note10", "a52"};
+      const char* model = kModels[rng.index(5)];
+      return personal ? name + "s-Galaxy-" + capitalize(model)
+                      : std::string{"Galaxy-"} + capitalize(model);
+    }
+    case DeviceKind::AndroidPhone:
+      // Some users rename their phone; default Android names are opaque.
+      return personal && rng.chance(0.4) ? name + "s-Android"
+                                         : "android-" + random_hex(rng, 16);
+    case DeviceKind::GenericPhone:
+      return personal ? name + "'s Phone" : "Phone-" + random_serial(rng, 6);
+    case DeviceKind::DellLaptop: {
+      static const char* kModels[] = {"Latitude", "XPS", "Inspiron"};
+      return personal ? name + "s-Dell-" + kModels[rng.index(3)]
+                      : "Dell-" + std::string{kModels[rng.index(3)]} + "-" + random_serial(rng, 4);
+    }
+    case DeviceKind::LenovoLaptop:
+      return personal ? name + "s-Lenovo-ThinkPad" : "Lenovo-" + random_serial(rng, 6);
+    case DeviceKind::WindowsLaptop:
+      // Windows suggests LAPTOP-<serial>, but plenty of users rename.
+      return personal && rng.chance(0.45) ? name + "s-Laptop"
+                                          : "LAPTOP-" + random_serial(rng, 7);
+    case DeviceKind::WindowsDesktop:
+      return personal && rng.chance(0.35) ? name + "s-Desktop"
+                                          : "DESKTOP-" + random_serial(rng, 7);
+    case DeviceKind::Chromebook:
+      return personal ? name + "s-Chromebook" : "chrome-" + random_hex(rng, 8);
+    case DeviceKind::Roku:
+      return "Roku-" + random_serial(rng, 6);
+    case DeviceKind::Printer:
+      return "printer-" + random_hex(rng, 4);
+    case DeviceKind::StaticServer:
+      return "srv-" + random_hex(rng, 4);
+    case DeviceKind::kCount:
+      break;
+  }
+  return "device-" + random_hex(rng, 6);
+}
+
+std::string make_router_name(util::Rng& rng) {
+  const std::string& city = rng.pick(city_names());
+  const std::string& role = rng.pick(generic_router_terms());
+  return util::format("et-%zu-%zu-%zu.%s%zu.%s", rng.index(4), rng.index(2), rng.index(8),
+                      role.c_str(), rng.index(4) + 1, city.c_str());
+}
+
+}  // namespace rdns::sim

@@ -1,0 +1,105 @@
+#pragma once
+/// \file namegen.hpp
+/// Corpora and generators for the synthetic Internet's hostnames:
+///   - the top-50 US given names (2000-2020, per SSA popularity) that the
+///     paper matches PTR records against (they are the x-axis of Fig. 2);
+///   - device-type terms (the co-occurring terms of Fig. 3: ipad, air,
+///     laptop, phone, dell, desktop, iphone, mbp, android, macbook, galaxy,
+///     lenovo, chrome, roku);
+///   - router-level hostname generation with city names and generic
+///     direction/role terms (the §5.1 false-positive source: city names
+///     like Jackson or Charlotte overlap with given names);
+///   - device Host Name formation ("Brian's iPhone", "DESKTOP-4F2K9QX", ...).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/mac.hpp"
+#include "util/rng.hpp"
+
+namespace rdns::sim {
+
+/// Device archetypes in the population. The mix mirrors the terms the
+/// paper observed co-appearing with given names (Fig. 3).
+enum class DeviceKind : std::uint8_t {
+  Iphone = 0,
+  Ipad,
+  MacbookAir,
+  MacbookPro,   ///< "mbp"
+  Macbook,
+  GalaxyPhone,  ///< e.g. galaxy-note9
+  AndroidPhone, ///< generic android-<hex> (no owner name)
+  GenericPhone, ///< "Brian's Phone"
+  DellLaptop,
+  LenovoLaptop,
+  WindowsLaptop,
+  WindowsDesktop,
+  Chromebook,
+  Roku,
+  Printer,
+  StaticServer,
+  kCount,
+};
+
+[[nodiscard]] const char* to_string(DeviceKind k) noexcept;
+
+/// The Fig. 3 keyword this device kind contributes to hostnames (e.g.
+/// Iphone -> "iphone"); empty for kinds without a device-type term.
+[[nodiscard]] const char* device_term(DeviceKind k) noexcept;
+
+/// Behavioural and naming profile of a device kind.
+struct DeviceProfile {
+  DeviceKind kind = DeviceKind::Iphone;
+  double weight = 1.0;            ///< prevalence in the population
+  bool personal = true;           ///< hostname can carry the owner's name
+  double sends_host_name = 1.0;   ///< probability the DHCP client sends opt 12
+  double responds_to_ping = 0.8;  ///< host-level ping responsiveness (firewall)
+  /// Per-probe answer probability while online (phones sleep and miss
+  /// probes; this produces the noisy groups of the paper's Table 5 funnel).
+  double probe_reliability = 0.9;
+  double clean_release = 0.35;    ///< probability of DHCP RELEASE on leave
+  net::MacVendor vendor = net::MacVendor::Unknown;
+};
+
+/// The built-in population mix.
+[[nodiscard]] const std::vector<DeviceProfile>& device_profiles();
+
+/// Top-50 US given names, most popular first (paper Fig. 2 x-axis).
+[[nodiscard]] const std::vector<std::string>& given_names();
+
+/// Rank of a (lowercased) given name in given_names(); -1 if absent.
+[[nodiscard]] int given_name_rank(const std::string& lower_name) noexcept;
+
+/// City names used in router-level hostnames; includes cities that double
+/// as given names (jackson, charlotte, austin, madison, jordan).
+[[nodiscard]] const std::vector<std::string>& city_names();
+
+/// Generic router-level terms (direction/role words the paper's §5.1
+/// filtering step excludes: north, south, core, edge, ...).
+[[nodiscard]] const std::vector<std::string>& generic_router_terms();
+
+/// Sample a given name by SSA-like popularity (Zipf over the top-50).
+[[nodiscard]] std::string sample_given_name(util::Rng& rng);
+
+/// Sample a device kind from the population mix.
+[[nodiscard]] DeviceKind sample_device_kind(util::Rng& rng);
+
+/// The raw Host Name a device of `kind` owned by `owner` announces via
+/// DHCP option 12. Examples:
+///   Iphone + "Brian"       -> "Brian's iPhone"
+///   GalaxyPhone + "Brian"  -> "Brians-Galaxy-Note9" (model varies)
+///   WindowsDesktop         -> "DESKTOP-4F2K9QX" (ownerless)
+///   AndroidPhone           -> "android-3fa9c14b2d17e05a"
+/// `use_owner_name` selects between the personal and anonymous form for
+/// kinds that support both.
+[[nodiscard]] std::string make_host_name(DeviceKind kind, const std::string& owner,
+                                         bool use_owner_name, util::Rng& rng);
+
+/// A router-level hostname label sequence, e.g. "et-0-0-1.cr2.jackson"
+/// (to be concatenated with the operator's suffix). These populate the
+/// static infrastructure ranges and are what the §5.1 city-name guard must
+/// not confuse with client devices.
+[[nodiscard]] std::string make_router_name(util::Rng& rng);
+
+}  // namespace rdns::sim

@@ -1,0 +1,264 @@
+#include "sim/org.hpp"
+
+#include <stdexcept>
+
+#include "net/arpa.hpp"
+
+namespace rdns::sim {
+
+namespace {
+
+/// The /16-aligned reverse-zone cuts covering a prefix.
+[[nodiscard]] std::vector<net::Prefix> covering_slash16s(const net::Prefix& p) {
+  std::vector<net::Prefix> out;
+  if (p.length() >= 16) {
+    out.emplace_back(p.network(), 16);
+    return out;
+  }
+  const std::uint64_t count = std::uint64_t{1} << (16 - p.length());
+  for (std::uint64_t i = 0; i < count; ++i) {
+    out.emplace_back(net::Ipv4Addr{p.network().value() + static_cast<std::uint32_t>(i << 16)},
+                     16);
+  }
+  return out;
+}
+
+[[nodiscard]] bool is_phone(DeviceKind k) noexcept {
+  return k == DeviceKind::Iphone || k == DeviceKind::GalaxyPhone ||
+         k == DeviceKind::AndroidPhone || k == DeviceKind::GenericPhone;
+}
+
+[[nodiscard]] DeviceKind sample_phone_kind(util::Rng& rng) {
+  static const std::vector<DeviceKind> kKinds = {DeviceKind::Iphone, DeviceKind::GalaxyPhone,
+                                                 DeviceKind::AndroidPhone,
+                                                 DeviceKind::GenericPhone};
+  static const std::vector<double> kWeights = {0.52, 0.22, 0.16, 0.10};
+  return kKinds[rng.weighted_index(kWeights)];
+}
+
+[[nodiscard]] DeviceKind sample_companion_kind(util::Rng& rng) {
+  DeviceKind k = sample_device_kind(rng);
+  // Companions are the non-phone fleet (tablets, laptops, desktops, ...).
+  for (int guard = 0; guard < 64 && is_phone(k); ++guard) k = sample_device_kind(rng);
+  return k;
+}
+
+}  // namespace
+
+Organization::Organization(OrgSpec spec)
+    : spec_(std::move(spec)),
+      rng_(util::mix64(spec_.seed ^ 0x0A6A71Au)),
+      dns_(spec_.dns_faults, util::mix64(spec_.seed ^ 0xD45F)) {
+  build_zones();
+  build_segments();
+  build_static_ranges();
+  build_population();
+}
+
+void Organization::build_zones() {
+  dns::SoaRdata soa;
+  soa.mname = spec_.suffix.prepend("ns1");
+  soa.rname = spec_.suffix.prepend("hostmaster");
+  soa.serial = 2021102700;
+  std::unordered_set<std::uint32_t> seen;
+  for (const auto& prefix : spec_.announced) {
+    for (const auto& p16 : covering_slash16s(prefix)) {
+      if (!seen.insert(p16.network().value()).second) continue;
+      dns_.add_zone(dns::DnsName::must_parse(net::arpa_zone_for(p16)), soa);
+    }
+  }
+  if (spec_.forward_updates) {
+    dns_.add_zone(spec_.suffix, soa);
+  }
+}
+
+void Organization::build_segments() {
+  for (const auto& seg_spec : spec_.segments) {
+    if (seg_spec.prefix.length() < 16) {
+      throw std::invalid_argument("Organization: segment prefix must be /16 or longer: " +
+                                  seg_spec.prefix.to_string());
+    }
+    Segment segment;
+    segment.spec = seg_spec;
+
+    dhcp::AddressPool pool;
+    pool.add_prefix(seg_spec.prefix);
+
+    dhcp::DhcpServerConfig server_config;
+    server_config.server_id = seg_spec.prefix.first();
+    server_config.lease_seconds = seg_spec.lease_seconds;
+    segment.dhcp = std::make_unique<dhcp::DhcpServer>(server_config, std::move(pool));
+
+    dhcp::DdnsConfig ddns;
+    ddns.policy = seg_spec.ddns_policy;
+    ddns.removal = seg_spec.removal;
+    ddns.reverse_zone = dns::DnsName::must_parse(
+        net::arpa_zone_for(net::Prefix{seg_spec.prefix.network(), 16}));
+    if (spec_.forward_updates) ddns.forward_zone = spec_.suffix;
+    ddns.domain_suffix = spec_.suffix.prepend(seg_spec.label);
+    ddns.generic_suffix = spec_.suffix.prepend("dynamic");
+    segment.bridge = std::make_unique<dhcp::DdnsBridge>(ddns, transport_, rng_.next());
+
+    dhcp::DdnsBridge* bridge = segment.bridge.get();
+    dhcp::LeaseObserver observer;
+    observer.on_bound = [bridge](const dhcp::Lease& lease, util::SimTime now) {
+      bridge->on_lease_bound(lease, now);
+    };
+    observer.on_end = [bridge](const dhcp::Lease& lease, dhcp::LeaseEndReason reason,
+                               util::SimTime now) {
+      bridge->on_lease_end(lease, reason, now);
+    };
+    segment.dhcp->add_observer(std::move(observer));
+
+    // StaticGeneric segments publish their fixed-form names up front (the
+    // "dynamic DHCP but static rDNS" configuration from the §4.1
+    // validation).
+    if (seg_spec.ddns_policy == dhcp::DdnsPolicy::StaticGeneric) {
+      segment.bridge->populate_static(seg_spec.prefix.first() + 1, seg_spec.prefix.last() - 1, 0);
+    }
+
+    segments_.push_back(std::move(segment));
+  }
+}
+
+void Organization::build_static_ranges() {
+  for (const auto& range : spec_.static_ranges) {
+    dns::Zone* zone = dns_.find_zone(
+        dns::DnsName::must_parse(net::arpa_zone_for(net::Prefix{range.prefix.network(), 16})));
+    if (zone == nullptr) {
+      throw std::invalid_argument("Organization: static range " + range.prefix.to_string() +
+                                  " outside announced space");
+    }
+    for (std::uint64_t v = range.prefix.first().value() + 1; v < range.prefix.last().value();
+         ++v) {
+      if (!rng_.chance(range.fill)) continue;
+      const net::Ipv4Addr a{static_cast<std::uint32_t>(v)};
+      dns::DnsName target;
+      if (range.style == StaticRangeSpec::Style::RouterNames) {
+        target = dns::DnsName::must_parse(make_router_name(rng_)).concat(spec_.suffix);
+      } else {
+        target = spec_.suffix.prepend("static").prepend(dhcp::generic_label(a));
+      }
+      zone->add(dns::make_ptr(dns::DnsName::must_parse(net::to_arpa(a)), target, 86400));
+      if (rng_.chance(range.pingable)) static_pingable_.insert(a);
+    }
+  }
+}
+
+void Organization::build_population() {
+  // Scripted users first so their device ids (and MAC/seed streams) are
+  // stable regardless of population sizes.
+  for (const auto& su : spec_.scripted_users) {
+    if (su.segment >= segments_.size()) {
+      throw std::invalid_argument("Organization: scripted user references missing segment");
+    }
+    User user;
+    user.given_name = su.given_name;
+    user.schedule = su.schedule;
+    user.segment = su.segment;
+    user.rng = rng_.fork(rng_.next());
+    for (const auto& d : su.devices) {
+      Device::Init init = make_device_init(next_device_id_++, d.kind, su.given_name,
+                                           /*use_owner_name=*/true, rng_);
+      init.host_name = d.host_name;  // exact scripted Host Name
+      init.first_active = d.first_active;
+      init.participation = d.participation;
+      // Case-study devices are dependably observable (the paper could only
+      // tell Brian's story because his devices answered probes).
+      init.responds_to_ping = 1.0;
+      init.probe_reliability = 0.93;
+      user.devices.push_back(std::make_unique<Device>(init));
+    }
+    users_.push_back(std::move(user));
+  }
+
+  for (std::size_t si = 0; si < segments_.size(); ++si) {
+    const SegmentSpec& seg = segments_[si].spec;
+    for (int i = 0; i < seg.user_count; ++i) {
+      User user;
+      user.given_name = sample_given_name(rng_);
+      user.schedule = seg.schedule;
+      user.segment = si;
+      user.rng = rng_.fork(rng_.next());
+      const bool uses_name = rng_.chance(seg.named_device_frac);
+
+      // Everyone carries a phone; companions are optional.
+      std::vector<DeviceKind> kinds{sample_phone_kind(rng_)};
+      if (rng_.chance(0.7)) kinds.push_back(sample_companion_kind(rng_));
+      if (rng_.chance(0.3)) kinds.push_back(sample_companion_kind(rng_));
+      if (rng_.chance(0.1)) kinds.push_back(sample_companion_kind(rng_));
+
+      for (const DeviceKind kind : kinds) {
+        Device::Init init =
+            make_device_init(next_device_id_++, kind, user.given_name, uses_name, rng_);
+        init.responds_to_ping *= seg.ping_response_scale;
+        if (seg.clean_release_override >= 0.0) {
+          init.clean_release = seg.clean_release_override;
+        }
+        user.devices.push_back(std::make_unique<Device>(init));
+      }
+      users_.push_back(std::move(user));
+    }
+
+    // Always-on devices (media boxes, printers) on the dynamic range.
+    static const std::vector<DeviceKind> kAlwaysOnKinds = {
+        DeviceKind::Roku, DeviceKind::Printer, DeviceKind::StaticServer};
+    for (int i = 0; i < seg.always_on_count; ++i) {
+      User user;
+      user.schedule = ScheduleKind::AlwaysOn;
+      user.segment = si;
+      user.rng = rng_.fork(rng_.next());
+      const DeviceKind kind = kAlwaysOnKinds[rng_.index(kAlwaysOnKinds.size())];
+      Device::Init init = make_device_init(next_device_id_++, kind, "", false, rng_);
+      init.responds_to_ping *= seg.ping_response_scale;
+      user.devices.push_back(std::make_unique<Device>(init));
+      users_.push_back(std::move(user));
+    }
+  }
+}
+
+std::size_t Organization::device_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& user : users_) n += user.devices.size();
+  return n;
+}
+
+bool Organization::icmp_reaches(net::Ipv4Addr a) const noexcept {
+  if (!spec_.blocks_icmp) return true;
+  for (const auto& allowed : spec_.icmp_allowlist) {
+    if (allowed == a) return true;
+  }
+  return false;
+}
+
+void Organization::for_each_ptr(
+    const std::function<void(net::Ipv4Addr, const dns::DnsName&)>& fn) const {
+  for (const dns::Zone* zone : static_cast<const dns::AuthoritativeServer&>(dns_).zones()) {
+    zone->for_each([&fn](const dns::ResourceRecord& rr) {
+      if (const auto* ptr = std::get_if<dns::PtrRdata>(&rr.rdata)) {
+        if (const auto a = net::from_arpa(rr.name.to_string())) fn(*a, ptr->ptrdname);
+      }
+    });
+  }
+}
+
+void Organization::for_each_a(
+    const std::function<void(const dns::DnsName&, net::Ipv4Addr)>& fn) const {
+  for (const dns::Zone* zone : dns_.zones()) {
+    zone->for_each([&fn](const dns::ResourceRecord& rr) {
+      if (const auto* a = std::get_if<dns::ARdata>(&rr.rdata)) fn(rr.name, a->address);
+    });
+  }
+}
+
+std::size_t Organization::ptr_count() const noexcept {
+  std::size_t n = 0;
+  for (const dns::Zone* zone : static_cast<const dns::AuthoritativeServer&>(dns_).zones()) {
+    zone->for_each([&n](const dns::ResourceRecord& rr) {
+      if (rr.type() == dns::RrType::PTR) ++n;
+    });
+  }
+  return n;
+}
+
+}  // namespace rdns::sim

@@ -1,0 +1,173 @@
+#pragma once
+/// \file org.hpp
+/// Simulated organizations: an announced address block with a numbering
+/// plan (static infrastructure ranges, dynamic client segments), an
+/// authoritative DNS server hosting the reverse zones, per-segment DHCP
+/// servers wired to DDNS bridges, and a population of users and devices.
+///
+/// This mirrors the paper's §4.1 validation network: "a single /16 prefix
+/// with a numbering plan in which some subprefixes are used for dynamic
+/// allocations whereas other subprefixes contain static allocations".
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "dhcp/ddns.hpp"
+#include "dhcp/server.hpp"
+#include "dns/server.hpp"
+#include "sim/device.hpp"
+#include "sim/policy.hpp"
+#include "util/rng.hpp"
+
+namespace rdns::sim {
+
+/// A dynamic client segment of the numbering plan.
+struct SegmentSpec {
+  std::string label = "wifi";           ///< subdomain for published names
+  PresenceVenue venue = PresenceVenue::Campus;
+  net::Prefix prefix;                   ///< addresses served by this segment
+  ScheduleKind schedule = ScheduleKind::OfficeWorker;
+  int user_count = 0;
+  int always_on_count = 0;              ///< roku/printer-style always-on devices
+  dhcp::DdnsPolicy ddns_policy = dhcp::DdnsPolicy::CarryOverClientId;
+  dhcp::RemovalBehavior removal = dhcp::RemovalBehavior::RemovePtr;
+  std::uint32_t lease_seconds = 3600;
+  /// Fraction of personal devices whose Host Name carries the owner's name.
+  double named_device_frac = 0.75;
+  /// Scales host-level ping responsiveness (ISP-B's 0.3% responsiveness).
+  double ping_response_scale = 1.0;
+  /// If >= 0, forces every device's clean-DHCP-RELEASE probability (the
+  /// release-behaviour ablation; default -1 keeps per-device profiles).
+  double clean_release_override = -1.0;
+};
+
+/// A statically numbered range (no DHCP, no dynamicity).
+struct StaticRangeSpec {
+  enum class Style { RouterNames, GenericNames };
+  net::Prefix prefix;
+  Style style = Style::GenericNames;
+  double fill = 0.5;           ///< fraction of addresses with a PTR
+  double pingable = 0.7;       ///< fraction of filled addresses answering pings
+};
+
+/// A hand-authored user for case studies (the Brians of Fig. 8).
+struct ScriptedUser {
+  std::string given_name;
+  ScheduleKind schedule = ScheduleKind::ResidentStudent;
+  std::size_t segment = 0;
+  struct Dev {
+    DeviceKind kind = DeviceKind::Iphone;
+    std::string host_name;  ///< exact DHCP Host Name, e.g. "Brian's iPad"
+    std::optional<util::CivilDate> first_active;
+    double participation = 0.9;
+  };
+  std::vector<Dev> devices;
+};
+
+struct OrgSpec {
+  std::string name;        ///< e.g. "Academic-A" (paper-style anonymized)
+  OrgType type = OrgType::Academic;
+  dns::DnsName suffix;     ///< registered domain, e.g. bayfield-university.edu
+  std::vector<net::Prefix> announced;
+  /// Address space a supplemental measurement should probe ("For large
+  /// networks, we dig a little deeper to observe which IP subnet ...
+  /// contains the most dynamically assigned hosts, and target this address
+  /// space only", §6.1). Empty = the full announced space.
+  std::vector<net::Prefix> measurement_targets;
+  std::vector<SegmentSpec> segments;
+  std::vector<StaticRangeSpec> static_ranges;
+  std::vector<ScriptedUser> scripted_users;
+  bool blocks_icmp = false;
+  std::vector<net::Ipv4Addr> icmp_allowlist;  ///< respond despite blocking
+  /// Keep a forward zone (<suffix>) in sync with leases as well — the
+  /// paper's §10 future-work observation that forward DNS "can also be
+  /// dynamically updated by DHCP servers".
+  bool forward_updates = false;
+  /// Students roam across the org's Campus segments, one (building) segment
+  /// per presence interval — §8's "track a Brian around campus as he goes
+  /// from lecture to lecture" when building-level subnet assignments are
+  /// known.
+  bool students_roam = false;
+  /// Transient failure behaviour of the org's authoritative servers (the
+  /// Fig. 6 error taxonomy: SERVFAIL, timeouts).
+  dns::FaultPolicy dns_faults;
+  CovidTimeline covid = CovidTimeline::standard();
+  std::uint64_t seed = 1;
+};
+
+/// A user with their personal device fleet.
+struct User {
+  std::string given_name;  ///< empty if unnamed
+  ScheduleKind schedule = ScheduleKind::OfficeWorker;
+  std::size_t segment = 0;
+  util::Rng rng;           ///< per-user decision stream
+  std::vector<std::unique_ptr<Device>> devices;
+};
+
+class Organization {
+ public:
+  /// Builds zones, DHCP servers, bridges, static PTRs and the population.
+  explicit Organization(OrgSpec spec);
+
+  Organization(const Organization&) = delete;
+  Organization& operator=(const Organization&) = delete;
+
+  struct Segment {
+    SegmentSpec spec;
+    std::unique_ptr<dhcp::DhcpServer> dhcp;
+    std::unique_ptr<dhcp::DdnsBridge> bridge;
+  };
+
+  [[nodiscard]] const OrgSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const std::string& name() const noexcept { return spec_.name; }
+  [[nodiscard]] OrgType type() const noexcept { return spec_.type; }
+
+  [[nodiscard]] dns::AuthoritativeServer& dns() noexcept { return dns_; }
+  [[nodiscard]] dns::Transport& dns_transport() noexcept { return transport_; }
+
+  [[nodiscard]] std::vector<Segment>& segments() noexcept { return segments_; }
+  [[nodiscard]] std::vector<User>& users() noexcept { return users_; }
+  [[nodiscard]] const std::vector<User>& users() const noexcept { return users_; }
+
+  /// Total devices across all users.
+  [[nodiscard]] std::size_t device_count() const noexcept;
+
+  /// ICMP ingress policy: can probes reach `a` at all?
+  [[nodiscard]] bool icmp_reaches(net::Ipv4Addr a) const noexcept;
+
+  /// Statically numbered hosts that answer pings.
+  [[nodiscard]] bool static_host_pingable(net::Ipv4Addr a) const noexcept {
+    return static_pingable_.count(a) > 0;
+  }
+
+  /// Apply `fn` to every PTR record currently in the org's zones
+  /// (bulk-snapshot path used by the full-space sweeps).
+  void for_each_ptr(const std::function<void(net::Ipv4Addr, const dns::DnsName&)>& fn) const;
+
+  /// Apply `fn` to every forward A record (owner name, address) — present
+  /// only when the org maintains a forward zone (spec().forward_updates).
+  void for_each_a(const std::function<void(const dns::DnsName&, net::Ipv4Addr)>& fn) const;
+
+  /// Total PTR records currently published.
+  [[nodiscard]] std::size_t ptr_count() const noexcept;
+
+ private:
+  void build_zones();
+  void build_segments();
+  void build_static_ranges();
+  void build_population();
+
+  OrgSpec spec_;
+  util::Rng rng_;
+  dns::AuthoritativeServer dns_;
+  dns::LoopbackTransport transport_{dns_};
+  std::vector<Segment> segments_;
+  std::vector<User> users_;
+  std::unordered_set<net::Ipv4Addr> static_pingable_;
+  std::uint64_t next_device_id_ = 1;
+};
+
+}  // namespace rdns::sim

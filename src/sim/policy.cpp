@@ -1,0 +1,135 @@
+#include "sim/policy.hpp"
+
+namespace rdns::sim {
+
+using util::CivilDate;
+
+const char* to_string(OrgType t) noexcept {
+  switch (t) {
+    case OrgType::Academic: return "academic";
+    case OrgType::Isp: return "isp";
+    case OrgType::Enterprise: return "enterprise";
+    case OrgType::Government: return "government";
+    case OrgType::Other: return "other";
+  }
+  return "?";
+}
+
+const char* to_string(ScheduleKind k) noexcept {
+  switch (k) {
+    case ScheduleKind::OfficeWorker: return "office-worker";
+    case ScheduleKind::Student: return "student";
+    case ScheduleKind::ResidentStudent: return "resident-student";
+    case ScheduleKind::HomeResident: return "home-resident";
+    case ScheduleKind::AlwaysOn: return "always-on";
+  }
+  return "?";
+}
+
+namespace {
+[[nodiscard]] bool in_range(const CivilDate& d, const CivilDate& from,
+                            const CivilDate& to) noexcept {
+  return !(d < from) && d < to;
+}
+}  // namespace
+
+bool HolidayCalendar::is_thanksgiving_break(const CivilDate& date) noexcept {
+  if (date.month != 11) return false;
+  const CivilDate thanks = util::thanksgiving(date.year);
+  // Wednesday before through the Sunday after (travel days included).
+  const auto day = util::days_from_civil(date);
+  const auto t = util::days_from_civil(thanks);
+  return day >= t - 1 && day <= t + 3;
+}
+
+bool HolidayCalendar::is_christmas_break(const CivilDate& date) noexcept {
+  return (date.month == 12 && date.day >= 21) || (date.month == 1 && date.day <= 3);
+}
+
+bool HolidayCalendar::is_fall_break(const CivilDate& date) noexcept {
+  // Dutch-style autumn holiday week (visible at the end of October in
+  // Fig. 10).
+  return date.month == 10 && date.day >= 19 && date.day <= 27;
+}
+
+bool HolidayCalendar::is_carnaval(const CivilDate& date) noexcept {
+  // The Carnaval dip the paper spots in Rapid7 data in late February 2020.
+  return date.year == 2020 && date.month == 2 && date.day >= 22 && date.day <= 26;
+}
+
+bool HolidayCalendar::is_summer_break(const CivilDate& date) noexcept {
+  return date.month == 7 || (date.month == 8 && date.day <= 20);
+}
+
+double HolidayCalendar::presence_factor(ScheduleKind kind, PresenceVenue venue,
+                                        const CivilDate& date) noexcept {
+  const bool travel_break = is_thanksgiving_break(date) || is_christmas_break(date) ||
+                            is_fall_break(date) || is_carnaval(date);
+  switch (kind) {
+    case ScheduleKind::OfficeWorker:
+      if (is_christmas_break(date)) return 0.25;
+      if (travel_break) return 0.6;
+      return 1.0;
+    case ScheduleKind::Student:
+      if (travel_break) return 0.1;
+      if (is_summer_break(date)) return 0.15;
+      return 1.0;
+    case ScheduleKind::ResidentStudent:
+      // Residents leave campus over breaks (Fig. 8: Brians disappear over
+      // Thanksgiving weekend).
+      if (travel_break) return 0.15;
+      if (is_summer_break(date)) return 0.3;
+      return 1.0;
+    case ScheduleKind::HomeResident:
+      // Home presence rises a little on breaks.
+      return venue == PresenceVenue::Home && travel_break ? 1.1 : 1.0;
+    case ScheduleKind::AlwaysOn:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+CovidTimeline CovidTimeline::standard() {
+  std::vector<CovidPhase> phases;
+  // Pre-pandemic: no phases needed (factor defaults to 1).
+  // First lockdown: offices/education empty out, housing residents stay in
+  // (and are in their rooms all day), home daytime presence jumps.
+  phases.push_back({CivilDate{2020, 3, 16}, CivilDate{2020, 6, 1}, 0.15, 1.35, 1.5,
+                    "first lockdown"});
+  // Cautious summer 2020 reopening.
+  phases.push_back({CivilDate{2020, 6, 1}, CivilDate{2020, 9, 1}, 0.45, 1.15, 1.3,
+                    "summer 2020 partial reopening"});
+  // Autumn 2020 second wave.
+  phases.push_back({CivilDate{2020, 9, 1}, CivilDate{2020, 10, 15}, 0.6, 1.1, 1.25,
+                    "autumn 2020"});
+  phases.push_back({CivilDate{2020, 10, 15}, CivilDate{2021, 3, 1}, 0.25, 1.3, 1.45,
+                    "second wave restrictions"});
+  // Spring 2021: slow loosening.
+  phases.push_back({CivilDate{2021, 3, 1}, CivilDate{2021, 6, 15}, 0.45, 1.2, 1.3,
+                    "spring 2021"});
+  phases.push_back({CivilDate{2021, 6, 15}, CivilDate{2021, 9, 1}, 0.7, 1.1, 1.15,
+                    "summer 2021"});
+  // Autumn 2021: mostly back (Fig. 9: Academic-B returns to pre-pandemic
+  // levels by September 2021).
+  phases.push_back({CivilDate{2021, 9, 1}, CivilDate{2021, 11, 25}, 0.95, 1.0, 1.05,
+                    "autumn 2021 reopening"});
+  phases.push_back({CivilDate{2021, 11, 25}, CivilDate{2022, 1, 15}, 0.7, 1.1, 1.2,
+                    "winter 2021 wave"});
+  return CovidTimeline{std::move(phases)};
+}
+
+double CovidTimeline::factor(PresenceVenue venue, const CivilDate& date) const noexcept {
+  double f = 1.0;
+  for (const auto& phase : phases_) {
+    if (in_range(date, phase.from, phase.to)) {
+      switch (venue) {
+        case PresenceVenue::Campus: f = phase.campus_factor; break;
+        case PresenceVenue::Housing: f = phase.housing_factor; break;
+        case PresenceVenue::Home: f = phase.home_factor; break;
+      }
+    }
+  }
+  return f;
+}
+
+}  // namespace rdns::sim

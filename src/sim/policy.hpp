@@ -1,0 +1,97 @@
+#pragma once
+/// \file policy.hpp
+/// Behavioural policy layers: the holiday calendar and the COVID-19
+/// timeline. These produce the longitudinal shapes of the paper's case
+/// studies — the March-2020 crossover between education buildings and
+/// student housing (Fig. 10), the lockdown dips and recoveries (Fig. 9),
+/// Thanksgiving emptying campus housing (Fig. 8), Christmas breaks and the
+/// February-2020 Carnaval dip.
+
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace rdns::sim {
+
+/// Organization categories (the paper's Fig. 4 classification).
+enum class OrgType : std::uint8_t {
+  Academic = 0,
+  Isp,
+  Enterprise,
+  Government,
+  Other,
+};
+
+[[nodiscard]] const char* to_string(OrgType t) noexcept;
+
+/// User schedule archetypes.
+enum class ScheduleKind : std::uint8_t {
+  OfficeWorker = 0,  ///< enterprise/government/academic staff: 9-to-5-ish
+  Student,           ///< commuting student: lecture blocks on weekdays
+  ResidentStudent,   ///< campus housing: evenings/nights + weekends
+  HomeResident,      ///< ISP subscriber: evenings + weekends at home
+  AlwaysOn,          ///< infrastructure-ish devices on dynamic ranges
+};
+
+[[nodiscard]] const char* to_string(ScheduleKind k) noexcept;
+
+/// Where presence physically happens; decides which COVID factor applies.
+enum class PresenceVenue : std::uint8_t {
+  Campus = 0,  ///< education buildings / offices
+  Housing,     ///< on-campus housing
+  Home,        ///< residential ISP
+};
+
+/// Static holiday calendar (US + the Dutch breaks visible in Fig. 10).
+class HolidayCalendar {
+ public:
+  /// Multiplier on the probability of on-venue presence; 1 = normal.
+  /// Resident students and office workers travel over breaks (factor < 1);
+  /// home residents are if anything more present (factor >= 1).
+  [[nodiscard]] static double presence_factor(ScheduleKind kind, PresenceVenue venue,
+                                              const util::CivilDate& date) noexcept;
+
+  [[nodiscard]] static bool is_thanksgiving_break(const util::CivilDate& date) noexcept;
+  [[nodiscard]] static bool is_christmas_break(const util::CivilDate& date) noexcept;
+  [[nodiscard]] static bool is_fall_break(const util::CivilDate& date) noexcept;
+  [[nodiscard]] static bool is_carnaval(const util::CivilDate& date) noexcept;
+  [[nodiscard]] static bool is_summer_break(const util::CivilDate& date) noexcept;
+};
+
+/// One phase of an organization's COVID-19 response.
+struct CovidPhase {
+  util::CivilDate from;
+  util::CivilDate to;  ///< exclusive
+  double campus_factor = 1.0;   ///< education buildings / offices
+  double housing_factor = 1.0;  ///< on-campus housing occupancy & in-room time
+  double home_factor = 1.0;     ///< residential daytime boost (>1 = WFH)
+  std::string label;
+};
+
+/// A piecewise-constant policy timeline. Phases may overlap earlier ones;
+/// the LAST matching phase wins, so org-specific overlays can be appended
+/// on top of the standard timeline.
+class CovidTimeline {
+ public:
+  CovidTimeline() = default;
+  explicit CovidTimeline(std::vector<CovidPhase> phases) : phases_(std::move(phases)) {}
+
+  /// The default pandemic arc used by most simulated organizations.
+  [[nodiscard]] static CovidTimeline standard();
+
+  /// A timeline with no pandemic at all (ablation / pre-2020 periods).
+  [[nodiscard]] static CovidTimeline none() { return CovidTimeline{}; }
+
+  void add_phase(CovidPhase phase) { phases_.push_back(std::move(phase)); }
+
+  /// Presence factor for a venue on a date (1.0 outside all phases).
+  [[nodiscard]] double factor(PresenceVenue venue, const util::CivilDate& date) const noexcept;
+
+  [[nodiscard]] const std::vector<CovidPhase>& phases() const noexcept { return phases_; }
+
+ private:
+  std::vector<CovidPhase> phases_;
+};
+
+}  // namespace rdns::sim

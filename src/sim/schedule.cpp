@@ -1,0 +1,134 @@
+#include "sim/schedule.hpp"
+
+#include <algorithm>
+
+namespace rdns::sim {
+
+using util::SimTime;
+using util::kHour;
+using util::kMinute;
+
+namespace {
+
+constexpr double clamp01(double v) noexcept { return v < 0 ? 0 : (v > 1 ? 1 : v); }
+
+[[nodiscard]] SimTime jittered(util::Rng& rng, double hours_mean, double hours_stddev) {
+  const double h = rng.normal(hours_mean, hours_stddev);
+  return static_cast<SimTime>(h * 3600.0);
+}
+
+void office_worker(DayPlan& plan, const util::CivilDate& date, double p, util::Rng& rng) {
+  const bool weekend = util::is_weekend(util::weekday_of(date));
+  const double present_p = weekend ? 0.04 : clamp01(0.9 * p);
+  if (!rng.chance(present_p)) return;
+  const SimTime start = jittered(rng, 8.5, 0.6);
+  const SimTime end = jittered(rng, 17.25, 0.8);
+  if (end > start + 30 * kMinute) plan.intervals.push_back({start, end});
+}
+
+void student(DayPlan& plan, const util::CivilDate& date, double p, util::Rng& rng) {
+  const bool weekend = util::is_weekend(util::weekday_of(date));
+  const double present_p = weekend ? 0.05 : clamp01(0.85 * p);
+  if (!rng.chance(present_p)) return;
+  const int blocks = 1 + static_cast<int>(rng.chance(0.55));
+  SimTime cursor = jittered(rng, 8.75, 0.7);
+  for (int b = 0; b < blocks; ++b) {
+    const SimTime length = jittered(rng, 2.2, 0.6);
+    if (length < 30 * kMinute) continue;
+    const SimTime end = cursor + length;
+    if (end > 19 * kHour) break;
+    plan.intervals.push_back({cursor, end});
+    cursor = end + jittered(rng, 1.2, 0.4);  // lunch / travel gap
+  }
+}
+
+void resident_student(DayPlan& plan, const util::CivilDate& date, double housing_factor,
+                      double holiday_factor, util::Rng& rng) {
+  // Occupancy: most residents are around every evening; breaks empty the
+  // dorms, lockdowns keep residents in their rooms longer.
+  const double present_p = clamp01(0.93 * holiday_factor * std::min(housing_factor, 1.1));
+  if (!rng.chance(present_p)) return;
+  // Overnight block: evening until the next morning.
+  const SimTime evening = jittered(rng, 17.5, 1.3);
+  const SimTime morning = 24 * kHour + jittered(rng, 8.5, 1.0);
+  plan.intervals.push_back({evening, morning});
+  // Daytime in-room presence: common on weekends, and on weekdays when
+  // classes are remote (housing_factor > 1 encodes lockdown).
+  const bool weekend = util::is_weekend(util::weekday_of(date));
+  const double daytime_p = weekend ? 0.55 : clamp01((housing_factor - 1.0) * 1.8);
+  if (rng.chance(daytime_p)) {
+    const SimTime start = jittered(rng, 10.0, 1.0);
+    const SimTime end = jittered(rng, 16.5, 1.0);
+    if (end > start + kHour) plan.intervals.push_back({start, end});
+  }
+}
+
+void home_resident(DayPlan& plan, const util::CivilDate& date, double home_factor,
+                   double holiday_factor, util::Rng& rng) {
+  const bool weekend = util::is_weekend(util::weekday_of(date));
+  const double base_p = weekend ? 0.95 : 0.9;
+  if (!rng.chance(clamp01(base_p * holiday_factor))) return;
+  if (weekend) {
+    const SimTime start = jittered(rng, 9.5, 1.2);
+    const SimTime end = jittered(rng, 23.8, 0.8);
+    if (end > start + kHour) plan.intervals.push_back({start, end});
+  } else {
+    const SimTime start = jittered(rng, 18.0, 0.8);
+    const SimTime end = jittered(rng, 23.5, 0.7);
+    if (end > start + 30 * kMinute) plan.intervals.push_back({start, end});
+    // Work-from-home daytime block during the pandemic.
+    const double wfh_p = clamp01((home_factor - 1.0) * 1.6);
+    if (rng.chance(wfh_p)) {
+      const SimTime ws = jittered(rng, 8.75, 0.5);
+      const SimTime we = jittered(rng, 17.0, 0.7);
+      if (we > ws + kHour) plan.intervals.push_back({ws, we});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Interval> normalize_intervals(std::vector<Interval> intervals) {
+  std::vector<Interval> cleaned;
+  for (auto& iv : intervals) {
+    if (iv.start < 0) iv.start = 0;
+    if (iv.end > iv.start) cleaned.push_back(iv);
+  }
+  std::sort(cleaned.begin(), cleaned.end(),
+            [](const Interval& a, const Interval& b) { return a.start < b.start; });
+  std::vector<Interval> merged;
+  for (const auto& iv : cleaned) {
+    if (!merged.empty() && iv.start <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, iv.end);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  return merged;
+}
+
+DayPlan plan_day(ScheduleKind kind, const util::CivilDate& date, const PlanContext& ctx,
+                 util::Rng& rng) {
+  DayPlan plan;
+  switch (kind) {
+    case ScheduleKind::OfficeWorker:
+      office_worker(plan, date, ctx.covid_factor * ctx.holiday_factor, rng);
+      break;
+    case ScheduleKind::Student:
+      student(plan, date, ctx.covid_factor * ctx.holiday_factor, rng);
+      break;
+    case ScheduleKind::ResidentStudent:
+      resident_student(plan, date, ctx.covid_factor, ctx.holiday_factor, rng);
+      break;
+    case ScheduleKind::HomeResident:
+      home_resident(plan, date, ctx.covid_factor, ctx.holiday_factor, rng);
+      break;
+    case ScheduleKind::AlwaysOn:
+      plan.intervals.push_back({0, 24 * kHour});
+      break;
+  }
+  plan.intervals = normalize_intervals(std::move(plan.intervals));
+  return plan;
+}
+
+}  // namespace rdns::sim

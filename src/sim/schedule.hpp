@@ -1,0 +1,57 @@
+#pragma once
+/// \file schedule.hpp
+/// Presence-interval generation. For each (user, day) the planner produces
+/// the intervals during which the user is at the venue — and therefore
+/// during which their devices join the venue's network. Intervals may run
+/// past midnight (resident students' overnight presence); the World
+/// schedules the absolute join/leave events.
+
+#include <vector>
+
+#include "sim/policy.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace rdns::sim {
+
+/// One presence interval, in seconds relative to the day's midnight.
+/// `end` may exceed 24h (overnight stay).
+struct Interval {
+  util::SimTime start = 0;
+  util::SimTime end = 0;
+
+  [[nodiscard]] util::SimTime duration() const noexcept { return end - start; }
+};
+
+/// A user's plan for a single civil day.
+struct DayPlan {
+  std::vector<Interval> intervals;  ///< disjoint, ascending
+
+  [[nodiscard]] bool present() const noexcept { return !intervals.empty(); }
+};
+
+/// Inputs that modulate a day's plan.
+struct PlanContext {
+  double covid_factor = 1.0;    ///< CovidTimeline::factor for the venue
+  double holiday_factor = 1.0;  ///< HolidayCalendar::presence_factor
+};
+
+/// Generate the presence plan for a schedule kind on a date.
+///
+/// Archetype summaries (all times jittered per user/day):
+///   OfficeWorker:    weekdays ~08:30-17:15, present with p = 0.9*f
+///   Student:         weekday lecture blocks (1-2 of 1.5-3h between
+///                    08:45-17:30), p = 0.85*f
+///   ResidentStudent: overnight ~17:30-08:30(+1d) daily, p = 0.93*f_housing;
+///                    extra daytime in-room hours when classes are remote
+///   HomeResident:    weekday evenings ~18:00-23:30, long weekend blocks;
+///                    daytime presence added when home_factor > 1 (WFH)
+///   AlwaysOn:        00:00-24:00 every day
+[[nodiscard]] DayPlan plan_day(ScheduleKind kind, const util::CivilDate& date,
+                               const PlanContext& ctx, util::Rng& rng);
+
+/// Clamp/merge helper used by the planner (exposed for tests): sorts
+/// intervals, merges overlaps, drops empty ones.
+[[nodiscard]] std::vector<Interval> normalize_intervals(std::vector<Interval> intervals);
+
+}  // namespace rdns::sim

@@ -1,0 +1,267 @@
+#include "sim/world.hpp"
+
+#include "dns/wire.hpp"
+#include "net/arpa.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace rdns::sim {
+
+using util::SimTime;
+
+World::World(WorldConfig config) : config_(config), rng_(config.seed) {}
+
+World::~World() = default;
+
+Organization& World::add_org(OrgSpec spec) {
+  if (started_) throw std::logic_error("World::add_org: world already started");
+  orgs_.push_back(std::make_unique<Organization>(std::move(spec)));
+  const std::size_t index = orgs_.size() - 1;
+  suffix_to_org_[orgs_.back()->spec().suffix.to_canonical_string()] = index;
+  for (const auto& prefix : orgs_.back()->spec().announced) {
+    matcher_.add(prefix);
+    prefix_to_org_[prefix.network().value()] = index;
+    // Claim every covered /16 for fast routing; overlap means two orgs
+    // share a /16, which the builder must not produce.
+    const std::uint32_t first16 = prefix.network().value() & 0xFFFF0000u;
+    const std::uint32_t count = prefix.length() >= 16 ? 1u : (1u << (16 - prefix.length()));
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint32_t key = first16 + (i << 16);
+      const auto [it, inserted] = slash16_to_org_.emplace(key, index);
+      if (!inserted && it->second != index) {
+        throw std::invalid_argument("World::add_org: /16 " +
+                                    net::Ipv4Addr{key}.to_string() + " shared by two orgs");
+      }
+    }
+  }
+  return *orgs_.back();
+}
+
+void World::start(const util::CivilDate& first_day, const util::CivilDate& last_day) {
+  if (started_) throw std::logic_error("World::start called twice");
+  started_ = true;
+  last_day_ = last_day;
+  const SimTime t0 = util::to_sim_time(first_day);
+  queue_.warp_to(t0);
+
+  // DHCP expiry sweeps: one repeating event serving all segments.
+  queue_.schedule_repeating(t0 + config_.dhcp_tick_seconds, config_.dhcp_tick_seconds, [this] {
+    const SimTime now = queue_.now();
+    for (const auto& org : orgs_) {
+      for (auto& segment : org->segments()) segment.dhcp->tick(now);
+    }
+    return util::to_civil_date(now) <= last_day_ || !online_.empty();
+  });
+
+  // Daily planning event at each midnight.
+  queue_.schedule_repeating(t0, util::kDay, [this] {
+    const util::CivilDate today = util::to_civil_date(queue_.now());
+    if (last_day_ < today) return false;
+    plan_calendar_day(today);
+    return true;
+  });
+}
+
+void World::run_until(SimTime t) { queue_.run_until(t); }
+
+void World::plan_calendar_day(const util::CivilDate& date) {
+  ++stats_.days_planned;
+  const SimTime midnight = util::to_sim_time(date);
+  for (const auto& org_ptr : orgs_) {
+    Organization& org = *org_ptr;
+    for (User& user : org.users()) {
+      for (const auto& device_ptr : user.devices) {
+        plan_device_day(org, user, *device_ptr, date, midnight);
+      }
+    }
+  }
+}
+
+void World::plan_device_day(Organization& org, User& user, Device& device,
+                            const util::CivilDate& date, SimTime midnight) {
+  if (!device.exists_on(date)) return;
+
+  const auto& segment_spec = org.segments()[user.segment].spec;
+  PlanContext ctx;
+  ctx.covid_factor = org.spec().covid.factor(segment_spec.venue, date);
+  ctx.holiday_factor = HolidayCalendar::presence_factor(user.schedule, segment_spec.venue, date);
+
+  // Roaming students pick a (building) segment per interval among the
+  // org's Campus segments; everyone else stays on their home segment.
+  std::vector<std::size_t> campus_segments;
+  if (org.spec().students_roam && user.schedule == ScheduleKind::Student) {
+    for (std::size_t i = 0; i < org.segments().size(); ++i) {
+      if (org.segments()[i].spec.venue == PresenceVenue::Campus &&
+          org.segments()[i].spec.schedule == ScheduleKind::Student) {
+        campus_segments.push_back(i);
+      }
+    }
+  }
+
+  const DayPlan plan = sim::plan_day(user.schedule, date, ctx, user.rng);
+  for (const Interval& interval : plan.intervals) {
+    if (!device.decide_participation(user.rng)) continue;
+    // Small per-device offsets: the phone wakes when its owner arrives, the
+    // laptop a few minutes later.
+    const SimTime jitter = user.rng.uniform_int(0, 8 * util::kMinute);
+    const SimTime join_at = midnight + interval.start + jitter;
+    const SimTime leave_at = midnight + interval.end + user.rng.uniform_int(0, 4 * util::kMinute);
+    if (leave_at <= join_at) continue;
+
+    const std::size_t segment =
+        campus_segments.empty() ? user.segment
+                                : campus_segments[user.rng.index(campus_segments.size())];
+    Organization* org_p = &org;
+    User* user_p = &user;
+    Device* device_p = &device;
+    queue_.schedule(join_at, [this, org_p, user_p, device_p, segment] {
+      handle_join(*org_p, *user_p, *device_p, segment);
+    });
+    queue_.schedule(leave_at, [this, org_p, user_p, device_p] {
+      handle_leave(*org_p, *user_p, *device_p);
+    });
+  }
+}
+
+void World::handle_join(Organization& org, User& user, Device& device, std::size_t segment_index) {
+  if (device.online) return;  // already on the network (overlapping plans)
+  auto& segment = org.segments()[segment_index];
+  const auto address = device.client().join(*segment.dhcp, queue_.now());
+  if (!address) {
+    ++stats_.join_failures;
+    return;
+  }
+  device.online = true;
+  device.online_since = queue_.now();
+  device.active_segment = segment_index;
+  online_[*address] = &device;
+  ++stats_.joins;
+  schedule_renewal(org, user, device);
+}
+
+void World::schedule_renewal(Organization& org, User& user, Device& device) {
+  const SimTime due = device.client().renewal_due();
+  if (due <= queue_.now()) return;
+  Organization* org_p = &org;
+  User* user_p = &user;
+  Device* device_p = &device;
+  queue_.schedule(due, [this, org_p, user_p, device_p] {
+    if (!device_p->online) return;
+    auto& segment = org_p->segments()[device_p->active_segment];
+    const bool still_bound = device_p->client().maybe_renew(*segment.dhcp, queue_.now());
+    if (still_bound) {
+      ++stats_.renewals;
+      schedule_renewal(*org_p, *user_p, *device_p);
+    } else {
+      // Lost the binding (server restart, NAK); drop offline quietly.
+      if (const auto addr = device_p->client().address()) online_.erase(*addr);
+      device_p->online = false;
+    }
+  });
+}
+
+void World::handle_leave(Organization& org, User& user, Device& device) {
+  if (!device.online) return;
+  const auto address = device.client().address();
+  auto& segment = org.segments()[device.active_segment];
+  const bool clean = device.decide_clean_release(user.rng);
+  device.client().leave(*segment.dhcp, queue_.now(), clean);
+  device.online = false;
+  if (address) {
+    const auto it = online_.find(*address);
+    if (it != online_.end() && it->second == &device) online_.erase(it);
+  }
+  ++stats_.leaves;
+}
+
+bool World::ping(net::Ipv4Addr a, util::SimTime t) const noexcept {
+  const Organization* org = org_of(a);
+  if (org == nullptr || !org->icmp_reaches(a)) return false;
+  if (org->static_host_pingable(a)) {
+    // Static infrastructure answers almost every probe.
+    return probe_hash_chance(a, t, 0.995);
+  }
+  const auto it = online_.find(a);
+  if (it == online_.end()) return false;
+  const Device& device = *it->second;
+  if (!device.online || !device.responds_to_ping()) return false;
+  return probe_hash_chance(a, t, device.probe_reliability());
+}
+
+bool World::probe_hash_chance(net::Ipv4Addr a, util::SimTime t, double p) noexcept {
+  const std::uint64_t h =
+      util::mix64((std::uint64_t{a.value()} << 32) ^ static_cast<std::uint64_t>(t) ^
+                  0x1C4B5A9E2F7D3081ULL);
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < p;
+}
+
+std::optional<std::vector<std::uint8_t>> World::exchange(
+    std::span<const std::uint8_t> query_wire, SimTime now) {
+  // Route by QNAME. A real scanner resolves the delegation; our routing
+  // table plays the role of the in-addr.arpa delegation tree.
+  dns::Message query;
+  try {
+    query = dns::decode(query_wire);
+  } catch (const dns::WireError&) {
+    return std::nullopt;
+  }
+  if (query.questions.size() != 1) return std::nullopt;
+  const dns::DnsName& qname = query.questions.front().qname;
+  const auto address = net::from_arpa(qname.to_string());
+  if (!address) {
+    // Forward query: route by the registered-domain suffix of the qname.
+    const auto it = suffix_to_org_.find(qname.registered_domain().to_canonical_string());
+    if (it == suffix_to_org_.end()) {
+      return dns::encode(dns::make_response(query, dns::Rcode::Refused, false));
+    }
+    return orgs_[it->second]->dns_transport().exchange(query_wire, now);
+  }
+  Organization* org = org_of(*address);
+  if (org == nullptr) {
+    // Unannounced space: no authoritative server to ask -> timeout.
+    return std::nullopt;
+  }
+  return org->dns_transport().exchange(query_wire, now);
+}
+
+void World::snapshot_ptrs(
+    const std::function<void(net::Ipv4Addr, const dns::DnsName&)>& fn) const {
+  for (const auto& org : orgs_) org->for_each_ptr(fn);
+}
+
+std::vector<net::Prefix> World::announced_prefixes() const {
+  std::vector<net::Prefix> out;
+  for (const auto& org : orgs_) {
+    out.insert(out.end(), org->spec().announced.begin(), org->spec().announced.end());
+  }
+  return out;
+}
+
+Organization* World::org_of(net::Ipv4Addr a) noexcept {
+  // Fast path: one hash lookup by /16 plus a short membership check.
+  const auto it = slash16_to_org_.find(a.value() & 0xFFFF0000u);
+  if (it == slash16_to_org_.end()) return nullptr;
+  Organization* org = orgs_[it->second].get();
+  for (const auto& prefix : org->spec().announced) {
+    if (prefix.contains(a)) return org;
+  }
+  return nullptr;
+}
+
+const Organization* World::org_of(net::Ipv4Addr a) const noexcept {
+  return const_cast<World*>(this)->org_of(a);
+}
+
+Organization* World::org_by_name(const std::string& name) noexcept {
+  for (const auto& org : orgs_) {
+    if (org->name() == name) return org.get();
+  }
+  return nullptr;
+}
+
+const Device* World::device_at(net::Ipv4Addr a) const noexcept {
+  const auto it = online_.find(a);
+  return it == online_.end() ? nullptr : it->second;
+}
+
+}  // namespace rdns::sim

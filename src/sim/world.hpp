@@ -1,0 +1,127 @@
+#pragma once
+/// \file world.hpp
+/// The simulated Internet: a set of organizations, a shared event queue,
+/// and the measurement surface (ICMP pings and DNS queries) scanners probe.
+///
+/// The World schedules, per device and day, the join/leave/renew events
+/// that drive the DHCP servers, whose DDNS bridges in turn mutate the
+/// reverse zones. Scanners advance simulated time via run_until() and then
+/// observe the world at that instant, which is exactly what real scanning
+/// does: sample externally visible state at probe times.
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/server.hpp"
+#include "net/prefix_set.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/org.hpp"
+#include "sim/schedule.hpp"
+
+namespace rdns::sim {
+
+struct WorldConfig {
+  /// Interval between DHCP lease-expiry sweeps. 60 s gives minute-accurate
+  /// PTR removal; 300 s is cheaper for multi-year longitudinal runs (and
+  /// still finer than the 5-minute probe truncation).
+  util::SimTime dhcp_tick_seconds = 60;
+  std::uint64_t seed = 0xB0B5EEDULL;
+};
+
+struct WorldStats {
+  std::uint64_t joins = 0;
+  std::uint64_t join_failures = 0;
+  std::uint64_t leaves = 0;
+  std::uint64_t renewals = 0;
+  std::uint64_t days_planned = 0;
+};
+
+/// Routes DNS queries to the owning organization's authoritative server.
+/// This is the "global DNS" from an outside measurement point of view.
+class World final : public dns::Transport {
+ public:
+  explicit World(WorldConfig config = {});
+  ~World() override;
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Add an organization (before start()).
+  Organization& add_org(OrgSpec spec);
+
+  /// Begin simulation: schedules daily planning and DHCP ticks for the
+  /// period [first_day, last_day] (inclusive).
+  void start(const util::CivilDate& first_day, const util::CivilDate& last_day);
+
+  /// Advance simulated time, running all due events.
+  void run_until(util::SimTime t);
+
+  [[nodiscard]] util::SimTime now() const noexcept { return queue_.now(); }
+  [[nodiscard]] EventQueue& queue() noexcept { return queue_; }
+
+  // -- measurement surface ---------------------------------------------------
+
+  /// An ICMP echo probe at simulated time `t`: true if something answers.
+  /// Applies organization ingress policy, device online state, host-level
+  /// responsiveness and per-probe flakiness. Deterministic in (a, t): the
+  /// response is derived from a hash, not from shared RNG state, so probe
+  /// ordering cannot perturb the simulation.
+  [[nodiscard]] bool ping(net::Ipv4Addr a, util::SimTime t) const noexcept;
+
+  /// DNS over the simulated Internet: routes the query (by its arpa QNAME)
+  /// to the owning org's authoritative server, wire-format both ways.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> exchange(
+      std::span<const std::uint8_t> query_wire, util::SimTime now) override;
+
+  /// Bulk PTR snapshot across all orgs (the full-address-space sweep fast
+  /// path; equivalent to querying every address — see tests).
+  void snapshot_ptrs(const std::function<void(net::Ipv4Addr, const dns::DnsName&)>& fn) const;
+
+  /// Union of all announced prefixes (scanner target lists).
+  [[nodiscard]] std::vector<net::Prefix> announced_prefixes() const;
+
+  [[nodiscard]] Organization* org_of(net::Ipv4Addr a) noexcept;
+  [[nodiscard]] const Organization* org_of(net::Ipv4Addr a) const noexcept;
+  [[nodiscard]] std::vector<std::unique_ptr<Organization>>& orgs() noexcept { return orgs_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<Organization>>& orgs() const noexcept {
+    return orgs_;
+  }
+  [[nodiscard]] Organization* org_by_name(const std::string& name) noexcept;
+
+  [[nodiscard]] const WorldStats& stats() const noexcept { return stats_; }
+
+  /// Device currently bound to an address (nullptr if none) — ground truth
+  /// for validating the heuristics, which the paper did not have.
+  [[nodiscard]] const Device* device_at(net::Ipv4Addr a) const noexcept;
+
+ private:
+  [[nodiscard]] static bool probe_hash_chance(net::Ipv4Addr a, util::SimTime t,
+                                              double p) noexcept;
+  void plan_calendar_day(const util::CivilDate& date);
+  void plan_device_day(Organization& org, User& user, Device& device,
+                       const util::CivilDate& date, util::SimTime midnight);
+  void handle_join(Organization& org, User& user, Device& device, std::size_t segment);
+  void handle_leave(Organization& org, User& user, Device& device);
+  void schedule_renewal(Organization& org, User& user, Device& device);
+
+  WorldConfig config_;
+  EventQueue queue_;
+  util::Rng rng_;
+  std::vector<std::unique_ptr<Organization>> orgs_;
+  net::MostSpecificMatcher matcher_;            // announced prefix -> org index
+  std::unordered_map<std::uint32_t, std::size_t> prefix_to_org_;
+  // Fast routing: /16 of address -> org index (orgs own whole /16s by
+  // construction; add_org rejects overlaps).
+  std::unordered_map<std::uint32_t, std::size_t> slash16_to_org_;
+  // Forward-DNS routing: canonical org suffix -> org index.
+  std::unordered_map<std::string, std::size_t> suffix_to_org_;
+  std::unordered_map<net::Ipv4Addr, Device*> online_;
+  util::CivilDate last_day_{2100, 1, 1};
+  bool started_ = false;
+  WorldStats stats_;
+};
+
+}  // namespace rdns::sim

@@ -1,0 +1,191 @@
+#include "util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace rdns::util {
+
+namespace {
+
+constexpr const char* kGlyphs = "*o+x#@%&";
+
+double transform(double v, bool log_scale) {
+  if (!log_scale) return v;
+  return v <= 0 ? 0.0 : std::log10(1.0 + v);
+}
+
+struct Range {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+Range value_range(const std::vector<Series>& series, bool log_scale) {
+  Range r{0.0, 0.0};
+  bool any = false;
+  for (const auto& s : series) {
+    for (double v : s.values) {
+      const double t = transform(v, log_scale);
+      if (!any) {
+        r.lo = r.hi = t;
+        any = true;
+      } else {
+        r.lo = std::min(r.lo, t);
+        r.hi = std::max(r.hi, t);
+      }
+    }
+  }
+  if (!any) return Range{0.0, 1.0};
+  if (r.hi == r.lo) r.hi = r.lo + 1.0;
+  // Anchor linear charts at zero for honest proportions.
+  if (!log_scale && r.lo > 0.0) r.lo = 0.0;
+  return r;
+}
+
+}  // namespace
+
+std::string render_line_chart(const std::vector<Series>& series, const ChartOptions& opts) {
+  std::string out;
+  if (!opts.title.empty()) out += opts.title + "\n";
+  if (series.empty()) return out + "(no data)\n";
+
+  std::size_t n = 0;
+  for (const auto& s : series) n = std::max(n, s.values.size());
+  if (n == 0) return out + "(no data)\n";
+
+  const int h = std::max(4, opts.height);
+  const int w = std::max(16, opts.width);
+  const Range r = value_range(series, opts.log_scale);
+
+  std::vector<std::string> grid(static_cast<std::size_t>(h), std::string(static_cast<std::size_t>(w), ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const auto& vals = series[si].values;
+    const char glyph = kGlyphs[si % 8];
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      const int x = vals.size() <= 1
+                        ? 0
+                        : static_cast<int>(std::llround(static_cast<double>(i) * (w - 1) /
+                                                        static_cast<double>(vals.size() - 1)));
+      const double t = transform(vals[i], opts.log_scale);
+      const double frac = (t - r.lo) / (r.hi - r.lo);
+      const int y = static_cast<int>(std::llround(frac * (h - 1)));
+      const int row = h - 1 - std::clamp(y, 0, h - 1);
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(std::clamp(x, 0, w - 1))] = glyph;
+    }
+  }
+
+  const double display_hi = opts.log_scale ? std::pow(10.0, r.hi) - 1.0 : r.hi;
+  const double display_lo = opts.log_scale ? std::pow(10.0, r.lo) - 1.0 : r.lo;
+  out += format("%12.6g +", display_hi);
+  out += std::string(static_cast<std::size_t>(w), '-') + "\n";
+  for (const auto& row : grid) out += "             |" + row + "\n";
+  out += format("%12.6g +", display_lo);
+  out += std::string(static_cast<std::size_t>(w), '-') + "\n";
+
+  out += "  legend:";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out += format(" [%c] %s", kGlyphs[si % 8], series[si].label.c_str());
+  }
+  out += "\n";
+  if (!opts.y_label.empty()) out += "  y: " + opts.y_label + (opts.log_scale ? " (log)" : "") + "\n";
+  return out;
+}
+
+std::string render_bar_chart(const std::vector<std::pair<std::string, double>>& bars,
+                             const ChartOptions& opts) {
+  std::string out;
+  if (!opts.title.empty()) out += opts.title + "\n";
+  if (bars.empty()) return out + "(no data)\n";
+
+  std::size_t label_w = 0;
+  double hi = 0.0;
+  for (const auto& [label, v] : bars) {
+    label_w = std::max(label_w, label.size());
+    hi = std::max(hi, transform(v, opts.log_scale));
+  }
+  if (hi <= 0.0) hi = 1.0;
+  const int w = std::max(16, opts.width);
+
+  for (const auto& [label, v] : bars) {
+    const double t = transform(v, opts.log_scale);
+    const int len = static_cast<int>(std::llround(t / hi * w));
+    out += format("  %-*s |%s %.6g\n", static_cast<int>(label_w), label.c_str(),
+                  std::string(static_cast<std::size_t>(std::max(0, len)), '#').c_str(), v);
+  }
+  return out;
+}
+
+std::string render_paired_bars(const std::vector<std::string>& labels,
+                               const std::vector<double>& first, const std::vector<double>& second,
+                               const std::string& first_label, const std::string& second_label,
+                               const ChartOptions& opts) {
+  std::string out;
+  if (!opts.title.empty()) out += opts.title + "\n";
+  const std::size_t n = std::min({labels.size(), first.size(), second.size()});
+  if (n == 0) return out + "(no data)\n";
+
+  std::size_t label_w = 0;
+  double hi = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    label_w = std::max(label_w, labels[i].size());
+    hi = std::max({hi, transform(first[i], opts.log_scale), transform(second[i], opts.log_scale)});
+  }
+  if (hi <= 0.0) hi = 1.0;
+  const int w = std::max(16, opts.width);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const int len1 =
+        static_cast<int>(std::llround(transform(first[i], opts.log_scale) / hi * w));
+    const int len2 =
+        static_cast<int>(std::llround(transform(second[i], opts.log_scale) / hi * w));
+    out += format("  %-*s A|%s %.6g\n", static_cast<int>(label_w), labels[i].c_str(),
+                  std::string(static_cast<std::size_t>(std::max(0, len1)), '#').c_str(), first[i]);
+    out += format("  %-*s B|%s %.6g\n", static_cast<int>(label_w), "",
+                  std::string(static_cast<std::size_t>(std::max(0, len2)), '=').c_str(), second[i]);
+  }
+  out += "  A(#): " + first_label + "   B(=): " + second_label +
+         (opts.log_scale ? "   [bar length: log scale]" : "") + "\n";
+  return out;
+}
+
+std::string render_presence_grid(const std::vector<std::string>& row_labels,
+                                 const std::vector<std::vector<int>>& cells,
+                                 const std::string& title) {
+  static constexpr const char* kStates = " .:#@+o*";
+  std::string out;
+  if (!title.empty()) out += title + "\n";
+  std::size_t label_w = 0;
+  for (const auto& l : row_labels) label_w = std::max(label_w, l.size());
+  for (std::size_t r = 0; r < cells.size(); ++r) {
+    const std::string label = r < row_labels.size() ? row_labels[r] : "";
+    out += format("  %-*s |", static_cast<int>(label_w), label.c_str());
+    for (int state : cells[r]) {
+      out.push_back(kStates[std::clamp(state, 0, 7)]);
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+std::string render_histogram(const std::vector<std::int64_t>& bins, double bin_lo,
+                             double bin_width, const ChartOptions& opts) {
+  std::string out;
+  if (!opts.title.empty()) out += opts.title + "\n";
+  if (bins.empty()) return out + "(no data)\n";
+  std::int64_t hi = 1;
+  for (auto b : bins) hi = std::max(hi, b);
+  const int w = std::max(16, opts.width);
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    const double t = transform(static_cast<double>(bins[i]), opts.log_scale);
+    const double thi = transform(static_cast<double>(hi), opts.log_scale);
+    const int len = thi > 0 ? static_cast<int>(std::llround(t / thi * w)) : 0;
+    out += format("  [%8.6g,%8.6g) |%s %lld\n", bin_lo + bin_width * static_cast<double>(i),
+                  bin_lo + bin_width * static_cast<double>(i + 1),
+                  std::string(static_cast<std::size_t>(std::max(0, len)), '#').c_str(),
+                  static_cast<long long>(bins[i]));
+  }
+  return out;
+}
+
+}  // namespace rdns::util

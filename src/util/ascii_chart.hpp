@@ -1,0 +1,53 @@
+#pragma once
+/// \file ascii_chart.hpp
+/// Terminal-friendly chart rendering for the bench harness. Each paper
+/// figure is regenerated as data plus an ASCII rendering so `bench_*`
+/// binaries are self-contained (no plotting dependencies).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rdns::util {
+
+/// A named series of y-values sharing an implicit x grid.
+struct Series {
+  std::string label;
+  std::vector<double> values;
+};
+
+/// Options shared by chart renderers.
+struct ChartOptions {
+  int width = 72;        ///< plot area width in characters
+  int height = 16;       ///< plot area height in rows (line charts)
+  bool log_scale = false;///< log10 y-axis (zeros clamped to the axis floor)
+  std::string y_label;
+  std::string title;
+};
+
+/// Render one or more series as an overlaid line chart. Each series is
+/// drawn with its own glyph; a legend is appended.
+[[nodiscard]] std::string render_line_chart(const std::vector<Series>& series,
+                                            const ChartOptions& opts);
+
+/// Render a horizontal bar chart (one bar per labelled value).
+[[nodiscard]] std::string render_bar_chart(const std::vector<std::pair<std::string, double>>& bars,
+                                           const ChartOptions& opts);
+
+/// Render paired bars (e.g. Fig. 2/3 "all matches" vs "filtered matches").
+[[nodiscard]] std::string render_paired_bars(
+    const std::vector<std::string>& labels, const std::vector<double>& first,
+    const std::vector<double>& second, const std::string& first_label,
+    const std::string& second_label, const ChartOptions& opts);
+
+/// Render a presence grid (Fig. 8): rows = entities, columns = time slots,
+/// cell glyph chosen by a small integer state (0 = absent).
+[[nodiscard]] std::string render_presence_grid(const std::vector<std::string>& row_labels,
+                                               const std::vector<std::vector<int>>& cells,
+                                               const std::string& title);
+
+/// Render a histogram (counts per bin) vertically scaled to `height`.
+[[nodiscard]] std::string render_histogram(const std::vector<std::int64_t>& bins, double bin_lo,
+                                           double bin_width, const ChartOptions& opts);
+
+}  // namespace rdns::util

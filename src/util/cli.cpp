@@ -1,0 +1,145 @@
+#include "util/cli.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace rdns::util {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+CliParser& CliParser::option(const std::string& name, const std::string& help,
+                             std::optional<std::string> default_value) {
+  options_[name] = OptionSpec{help, std::move(default_value), false};
+  return *this;
+}
+
+CliParser& CliParser::flag(const std::string& name, const std::string& help) {
+  options_[name] = OptionSpec{help, std::nullopt, true};
+  return *this;
+}
+
+CliParser& CliParser::positional(const std::string& name, const std::string& help,
+                                 std::optional<std::string> default_value) {
+  positionals_.push_back(PositionalSpec{name, help, std::move(default_value)});
+  return *this;
+}
+
+void CliParser::parse(const std::vector<std::string>& args) {
+  values_.clear();
+  flags_.clear();
+  std::vector<std::string> positional_values;
+  bool options_done = false;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (!options_done && arg == "--") {
+      options_done = true;
+      continue;
+    }
+    if (!options_done && arg.rfind("--", 0) == 0) {
+      std::string name = arg.substr(2);
+      std::optional<std::string> inline_value;
+      const auto eq = name.find('=');
+      if (eq != std::string::npos) {
+        inline_value = name.substr(eq + 1);
+        name = name.substr(0, eq);
+      }
+      const auto it = options_.find(name);
+      if (it == options_.end()) throw CliError("unknown option --" + name);
+      if (it->second.is_flag) {
+        if (inline_value) throw CliError("flag --" + name + " takes no value");
+        flags_[name] = true;
+      } else if (inline_value) {
+        values_[name] = *inline_value;
+      } else {
+        if (i + 1 >= args.size()) throw CliError("option --" + name + " needs a value");
+        values_[name] = args[++i];
+      }
+      continue;
+    }
+    positional_values.push_back(arg);
+  }
+
+  if (positional_values.size() > positionals_.size()) {
+    throw CliError("unexpected argument: " + positional_values[positionals_.size()]);
+  }
+  for (std::size_t i = 0; i < positionals_.size(); ++i) {
+    if (i < positional_values.size()) {
+      values_[positionals_[i].name] = positional_values[i];
+    } else if (positionals_[i].default_value) {
+      values_[positionals_[i].name] = *positionals_[i].default_value;
+    } else {
+      throw CliError("missing required argument <" + positionals_[i].name + ">");
+    }
+  }
+  for (const auto& [name, spec] : options_) {
+    if (!spec.is_flag && values_.find(name) == values_.end() && spec.default_value) {
+      values_[name] = *spec.default_value;
+    }
+  }
+}
+
+std::string CliParser::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) throw CliError("no value for --" + name);
+  return it->second;
+}
+
+std::optional<std::string> CliParser::get_optional(const std::string& name) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? std::nullopt : std::optional{it->second};
+}
+
+bool CliParser::get_flag(const std::string& name) const {
+  const auto it = flags_.find(name);
+  return it != flags_.end() && it->second;
+}
+
+int CliParser::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  int out = 0;
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || ptr != v.data() + v.size()) {
+    throw CliError("--" + name + " expects an integer, got '" + v + "'");
+  }
+  return out;
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  try {
+    std::size_t used = 0;
+    const double out = std::stod(v, &used);
+    if (used != v.size()) throw std::invalid_argument{""};
+    return out;
+  } catch (const std::exception&) {
+    throw CliError("--" + name + " expects a number, got '" + v + "'");
+  }
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream out;
+  out << "usage: " << program_;
+  for (const auto& [name, spec] : options_) {
+    out << " [--" << name << (spec.is_flag ? "" : " <v>") << "]";
+  }
+  for (const auto& pos : positionals_) {
+    out << (pos.default_value ? " [" : " <") << pos.name << (pos.default_value ? "]" : ">");
+  }
+  out << "\n";
+  if (!description_.empty()) out << "  " << description_ << "\n";
+  for (const auto& [name, spec] : options_) {
+    out << "  --" << name << (spec.is_flag ? "" : " <v>") << "  " << spec.help;
+    if (spec.default_value) out << " (default: " << *spec.default_value << ")";
+    out << "\n";
+  }
+  for (const auto& pos : positionals_) {
+    out << "  <" << pos.name << ">  " << pos.help;
+    if (pos.default_value) out << " (default: " << *pos.default_value << ")";
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace rdns::util

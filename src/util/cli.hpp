@@ -1,0 +1,69 @@
+#pragma once
+/// \file cli.hpp
+/// A small command-line argument parser for the tools: long options with
+/// values (--from 2021-01-01), boolean flags (--verbose), positional
+/// arguments, and generated usage text. No external dependencies.
+
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rdns::util {
+
+class CliError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Declarative option table + parse result.
+class CliParser {
+ public:
+  explicit CliParser(std::string program, std::string description = "");
+
+  /// Declare --name <value> with an optional default.
+  CliParser& option(const std::string& name, const std::string& help,
+                    std::optional<std::string> default_value = std::nullopt);
+
+  /// Declare a boolean --name flag.
+  CliParser& flag(const std::string& name, const std::string& help);
+
+  /// Declare a positional argument (required unless a default is given).
+  CliParser& positional(const std::string& name, const std::string& help,
+                        std::optional<std::string> default_value = std::nullopt);
+
+  /// Parse argv (excluding the program name). Throws CliError on unknown
+  /// options, missing values or missing required positionals. "--" ends
+  /// option processing.
+  void parse(const std::vector<std::string>& args);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] std::optional<std::string> get_optional(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+  [[nodiscard]] int get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct OptionSpec {
+    std::string help;
+    std::optional<std::string> default_value;
+    bool is_flag = false;
+  };
+  struct PositionalSpec {
+    std::string name;
+    std::string help;
+    std::optional<std::string> default_value;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, OptionSpec> options_;
+  std::vector<PositionalSpec> positionals_;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> flags_;
+};
+
+}  // namespace rdns::util

@@ -1,0 +1,113 @@
+#include "util/csv.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rdns::util {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quoting = field.find_first_of(",\"\r\n") != std::string_view::npos;
+  if (!needs_quoting) return std::string{field};
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string csv_line(const CsvRow& row) {
+  std::string out;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out.append(csv_escape(row[i]));
+  }
+  return out;
+}
+
+CsvRow csv_parse_line(std::string_view line) {
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else {
+      if (c == '"' && field.empty()) {
+        in_quotes = true;
+      } else if (c == ',') {
+        row.push_back(std::move(field));
+        field.clear();
+      } else if (c == '\r') {
+        // Tolerate CRLF endings.
+      } else {
+        field.push_back(c);
+      }
+    }
+    ++i;
+  }
+  if (in_quotes) throw std::invalid_argument("csv_parse_line: unterminated quoted field");
+  row.push_back(std::move(field));
+  return row;
+}
+
+void CsvWriter::write_row(const CsvRow& row) {
+  out_ << csv_line(row) << '\n';
+  ++rows_;
+}
+
+bool CsvReader::next(CsvRow& row) {
+  std::string line;
+  while (std::getline(in_, line)) {
+    // A quoted field may span lines; accumulate until quotes balance.
+    std::size_t quotes = 0;
+    for (char c : line) quotes += (c == '"');
+    while (quotes % 2 == 1) {
+      std::string more;
+      if (!std::getline(in_, more)) {
+        throw std::invalid_argument("CsvReader: unterminated quoted field at end of input");
+      }
+      line.push_back('\n');
+      line.append(more);
+      for (char c : more) quotes += (c == '"');
+    }
+    if (trim_blank(line)) continue;
+    row = csv_parse_line(line);
+    return true;
+  }
+  return false;
+}
+
+bool CsvReader::trim_blank(const std::string& line) {
+  for (char c : line) {
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;
+}
+
+std::vector<CsvRow> csv_parse(std::string_view text) {
+  std::istringstream in{std::string{text}};
+  CsvReader reader{in};
+  std::vector<CsvRow> rows;
+  CsvRow row;
+  while (reader.next(row)) rows.push_back(row);
+  return rows;
+}
+
+}  // namespace rdns::util

@@ -1,0 +1,78 @@
+#pragma once
+/// \file csv.hpp
+/// Minimal RFC 4180-style CSV reading and writing.
+///
+/// Both ZMap and the paper's custom rDNS tool "write the results as CSV
+/// files to disk" (Section 6.1); our scanners do the same, and the analysis
+/// pipeline can be fed from CSVs so it also works on real measurement data.
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rdns::util {
+
+/// One parsed CSV row.
+using CsvRow = std::vector<std::string>;
+
+/// Escape and quote a field if needed (embedded comma, quote or newline).
+[[nodiscard]] std::string csv_escape(std::string_view field);
+
+/// Serialize a row (no trailing newline).
+[[nodiscard]] std::string csv_line(const CsvRow& row);
+
+/// Parse a single CSV line (handles quoted fields and doubled quotes).
+/// Throws std::invalid_argument on unterminated quotes.
+[[nodiscard]] CsvRow csv_parse_line(std::string_view line);
+
+/// Streaming writer over any std::ostream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_row(const CsvRow& row);
+
+  /// Convenience variadic form: writer.row("a", 1, 2.5);
+  template <typename... Ts>
+  void row(const Ts&... fields) {
+    CsvRow r;
+    r.reserve(sizeof...(fields));
+    (r.push_back(to_field(fields)), ...);
+    write_row(r);
+  }
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  static std::string to_field(const std::string& s) { return s; }
+  static std::string to_field(std::string_view s) { return std::string{s}; }
+  static std::string to_field(const char* s) { return s; }
+  template <typename T>
+  static std::string to_field(const T& v) {
+    return std::to_string(v);
+  }
+
+  std::ostream& out_;
+  std::size_t rows_ = 0;
+};
+
+/// Streaming reader over any std::istream.
+class CsvReader {
+ public:
+  explicit CsvReader(std::istream& in) : in_(in) {}
+
+  /// Read the next row; returns false at end of input. Skips blank lines.
+  [[nodiscard]] bool next(CsvRow& row);
+
+ private:
+  /// True if the line is blank (only whitespace).
+  [[nodiscard]] static bool trim_blank(const std::string& line);
+
+  std::istream& in_;
+};
+
+/// Parse an entire CSV document held in memory.
+[[nodiscard]] std::vector<CsvRow> csv_parse(std::string_view text);
+
+}  // namespace rdns::util

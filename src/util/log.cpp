@@ -1,0 +1,37 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace rdns::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+
+[[nodiscard]] const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() noexcept { return static_cast<LogLevel>(g_level.load()); }
+
+void log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < g_level.load()) return;
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+void log_debug(const std::string& message) { log(LogLevel::Debug, message); }
+void log_info(const std::string& message) { log(LogLevel::Info, message); }
+void log_warn(const std::string& message) { log(LogLevel::Warn, message); }
+void log_error(const std::string& message) { log(LogLevel::Error, message); }
+
+}  // namespace rdns::util

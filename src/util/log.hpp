@@ -1,0 +1,25 @@
+#pragma once
+/// \file log.hpp
+/// Tiny leveled logger. Library code logs sparingly (scanners note campaign
+/// milestones); benches and examples set the level they want. Default level
+/// is Warn so test output stays clean.
+
+#include <string>
+
+namespace rdns::util {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-wide minimum level.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Log a pre-formatted message (appends a newline) to stderr.
+void log(LogLevel level, const std::string& message);
+
+void log_debug(const std::string& message);
+void log_info(const std::string& message);
+void log_warn(const std::string& message);
+void log_error(const std::string& message);
+
+}  // namespace rdns::util

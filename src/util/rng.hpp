@@ -1,0 +1,101 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation.
+///
+/// Every stochastic decision in the simulator flows through `Rng` so that
+/// whole experiments are reproducible from a single seed. The generator is
+/// xoshiro256** seeded via SplitMix64 (the construction its authors
+/// recommend); both are tiny, fast and well studied.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rdns::util {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Mix a 64-bit value (stateless); handy for deriving per-entity seeds.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+/// Deterministic RNG (xoshiro256**). Not cryptographic; not thread-safe —
+/// use one instance per logical stream.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5EEDBA5EULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept;
+
+  /// Derive an independent child generator; `tag` separates streams that
+  /// share a parent seed (e.g. one stream per organization).
+  [[nodiscard]] Rng fork(std::uint64_t tag) const noexcept;
+
+  [[nodiscard]] std::uint64_t next() noexcept;
+
+  // UniformRandomBitGenerator interface, so std::shuffle et al. work.
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept { return ~0ULL; }
+  result_type operator()() noexcept { return next(); }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Bernoulli trial.
+  [[nodiscard]] bool chance(double p) noexcept;
+
+  /// Approximately normal variate (sum of uniforms; adequate for jitter).
+  [[nodiscard]] double normal(double mean, double stddev) noexcept;
+
+  /// Exponential variate with the given mean (> 0).
+  [[nodiscard]] double exponential(double mean) noexcept;
+
+  /// Pick an index in [0, n) — n must be > 0.
+  [[nodiscard]] std::size_t index(std::size_t n) noexcept;
+
+  /// Pick an element by const reference; v must be non-empty.
+  template <typename T>
+  [[nodiscard]] const T& pick(const std::vector<T>& v) noexcept {
+    return v[index(v.size())];
+  }
+
+  /// Sample an index according to non-negative weights (sum must be > 0).
+  [[nodiscard]] std::size_t weighted_index(const std::vector<double>& weights) noexcept;
+
+ private:
+  std::uint64_t s_[4]{};
+};
+
+/// Zipf-like sampler over ranks 0..n-1: p(rank) proportional to 1/(rank+1)^s.
+/// Used for given-name popularity (a few names dominate, mirroring the SSA
+/// distribution the paper matches against).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+  /// Probability mass of a rank.
+  [[nodiscard]] double pmf(std::size_t rank) const noexcept;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace rdns::util

@@ -1,0 +1,128 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rdns::util {
+
+void Counter::add(const std::string& key, std::int64_t n) {
+  counts_[key] += n;
+  total_ += n;
+}
+
+std::int64_t Counter::count(const std::string& key) const noexcept {
+  const auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> Counter::most_common(std::size_t limit) const {
+  std::vector<std::pair<std::string, std::int64_t>> out(counts_.begin(), counts_.end());
+  std::stable_sort(out.begin(), out.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (limit > 0 && out.size() > limit) out.resize(limit);
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, double bin_width) : lo_(lo), width_(bin_width) {
+  if (!(hi > lo) || !(bin_width > 0)) {
+    throw std::invalid_argument("Histogram: requires hi > lo and bin_width > 0");
+  }
+  const auto n = static_cast<std::size_t>(std::ceil((hi - lo) / bin_width));
+  bins_.assign(n, 0);
+}
+
+void Histogram::add(double value, std::int64_t n) {
+  total_ += n;
+  if (value < lo_) {
+    underflow_ += n;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((value - lo_) / width_);
+  if (idx >= bins_.size()) {
+    overflow_ += n;
+    return;
+  }
+  bins_[idx] += n;
+}
+
+double Histogram::bin_lo(std::size_t i) const noexcept { return lo_ + width_ * static_cast<double>(i); }
+
+std::optional<std::size_t> Histogram::mode_bin() const noexcept {
+  std::optional<std::size_t> best;
+  std::int64_t best_count = 0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i] > best_count) {
+      best_count = bins_[i];
+      best = i;
+    }
+  }
+  return best;
+}
+
+void EmpiricalCdf::add_all(const std::vector<double>& values) {
+  samples_.insert(samples_.end(), values.begin(), values.end());
+  sorted_ = false;
+}
+
+void EmpiricalCdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalCdf::at(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::percentile(double p) const {
+  if (samples_.empty()) throw std::logic_error("EmpiricalCdf::percentile on empty CDF");
+  ensure_sorted();
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(samples_.size())));
+  return samples_[rank == 0 ? 0 : rank - 1];
+}
+
+std::vector<double> EmpiricalCdf::evaluate(const std::vector<double>& xs) const {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back(at(x));
+  return out;
+}
+
+double mean(const std::vector<double>& xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+std::optional<double> correlation(const std::vector<double>& xs,
+                                  const std::vector<double>& ys) noexcept {
+  if (xs.size() != ys.size() || xs.size() < 2) return std::nullopt;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) return std::nullopt;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace rdns::util

@@ -1,0 +1,101 @@
+#pragma once
+/// \file stats.hpp
+/// Descriptive statistics used by the analysis pipeline and the benches:
+/// counters, fixed-bin histograms (Fig. 7a), empirical CDFs (Fig. 7b) and
+/// simple moments/percentiles.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rdns::util {
+
+/// Frequency counter over string keys (e.g. terms in hostnames).
+class Counter {
+ public:
+  void add(const std::string& key, std::int64_t n = 1);
+
+  [[nodiscard]] std::int64_t count(const std::string& key) const noexcept;
+  [[nodiscard]] std::int64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t distinct() const noexcept { return counts_.size(); }
+
+  /// Entries sorted by descending count (ties broken by key).
+  [[nodiscard]] std::vector<std::pair<std::string, std::int64_t>> most_common(
+      std::size_t limit = 0) const;
+
+  [[nodiscard]] const std::map<std::string, std::int64_t>& items() const noexcept {
+    return counts_;
+  }
+
+ private:
+  std::map<std::string, std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+/// Fixed-width-bin histogram over doubles.
+class Histogram {
+ public:
+  /// Bins of width `bin_width` covering [lo, hi); values outside are
+  /// accumulated in underflow/overflow.
+  Histogram(double lo, double hi, double bin_width);
+
+  void add(double value, std::int64_t n = 1);
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return bins_.size(); }
+  [[nodiscard]] std::int64_t bin(std::size_t i) const { return bins_.at(i); }
+  [[nodiscard]] double bin_lo(std::size_t i) const noexcept;
+  [[nodiscard]] std::int64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::int64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::int64_t total() const noexcept { return total_; }
+  /// Index of the fullest bin, if any data landed in range.
+  [[nodiscard]] std::optional<std::size_t> mode_bin() const noexcept;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::int64_t> bins_;
+  std::int64_t underflow_ = 0;
+  std::int64_t overflow_ = 0;
+  std::int64_t total_ = 0;
+};
+
+/// Empirical CDF over collected samples.
+class EmpiricalCdf {
+ public:
+  void add(double value) {
+    samples_.push_back(value);
+    sorted_ = false;
+  }
+  void add_all(const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+
+  /// Fraction of samples <= x. Returns 0 for an empty CDF.
+  [[nodiscard]] double at(double x) const;
+
+  /// p-th percentile (p in [0,100]) by nearest-rank. Requires samples.
+  [[nodiscard]] double percentile(double p) const;
+
+  /// Evaluate the CDF at each of `xs` (convenience for plotting).
+  [[nodiscard]] std::vector<double> evaluate(const std::vector<double>& xs) const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Mean of a sample (0 for empty).
+[[nodiscard]] double mean(const std::vector<double>& xs) noexcept;
+
+/// Population standard deviation (0 for size < 2).
+[[nodiscard]] double stddev(const std::vector<double>& xs) noexcept;
+
+/// Pearson correlation of two equally sized samples; nullopt if undefined.
+[[nodiscard]] std::optional<double> correlation(const std::vector<double>& xs,
+                                                const std::vector<double>& ys) noexcept;
+
+}  // namespace rdns::util

@@ -1,0 +1,51 @@
+#pragma once
+/// \file strings.hpp
+/// Small string utilities shared across modules. All functions are ASCII
+/// oriented — DNS hostnames and the paper's term analysis are ASCII domains.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rdns::util {
+
+/// Lowercase an ASCII string.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// ASCII case-insensitive equality.
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b) noexcept;
+
+/// Split on a delimiter character. Keeps empty fields ("a..b" -> {a,"",b}).
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split, dropping empty fields.
+[[nodiscard]] std::vector<std::string> split_nonempty(std::string_view s, char delim);
+
+/// Join with a delimiter.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts, std::string_view delim);
+
+/// Strip leading/trailing whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix) noexcept;
+
+/// True if `needle` occurs in `haystack` (case-sensitive).
+[[nodiscard]] bool contains(std::string_view haystack, std::string_view needle) noexcept;
+
+/// Extract maximal runs of alphabetic characters, lowercased.
+/// This is the paper's Section 5.1 "Extracting Common Terms" regex
+/// ([a-zA-Z]+) applied to a hostname: "brians-iphone-12.ex.edu" ->
+/// {"brians","iphone","ex","edu"}.
+[[nodiscard]] std::vector<std::string> alpha_terms(std::string_view s);
+
+/// Replace every occurrence of `from` with `to`.
+[[nodiscard]] std::string replace_all(std::string s, std::string_view from, std::string_view to);
+
+/// printf-style formatting into a std::string.
+[[nodiscard]] std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Human-readable count with thousands separators: 1234567 -> "1,234,567".
+[[nodiscard]] std::string with_commas(std::int64_t n);
+
+}  // namespace rdns::util

@@ -1,0 +1,141 @@
+#include "util/time.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace rdns::util {
+
+const char* to_string(Weekday d) noexcept {
+  switch (d) {
+    case Weekday::Monday: return "Monday";
+    case Weekday::Tuesday: return "Tuesday";
+    case Weekday::Wednesday: return "Wednesday";
+    case Weekday::Thursday: return "Thursday";
+    case Weekday::Friday: return "Friday";
+    case Weekday::Saturday: return "Saturday";
+    case Weekday::Sunday: return "Sunday";
+  }
+  return "?";
+}
+
+const char* to_short_string(Weekday d) noexcept {
+  switch (d) {
+    case Weekday::Monday: return "Mon";
+    case Weekday::Tuesday: return "Tue";
+    case Weekday::Wednesday: return "Wed";
+    case Weekday::Thursday: return "Thu";
+    case Weekday::Friday: return "Fri";
+    case Weekday::Saturday: return "Sat";
+    case Weekday::Sunday: return "Sun";
+  }
+  return "?";
+}
+
+std::int64_t days_from_civil(const CivilDate& d) noexcept {
+  // Howard Hinnant's algorithm (public domain), shifts the year so that
+  // March is the first month, making leap-day handling uniform.
+  std::int64_t y = d.year;
+  const int m = d.month;
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);              // [0, 399]
+  const unsigned doy = (153u * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d.day - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;             // [0, 146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+CivilDate civil_from_days(std::int64_t z) noexcept {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);           // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;  // [0, 399]
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);           // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                                // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;                        // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                             // [1, 12]
+  return CivilDate{static_cast<int>(y + (m <= 2)), static_cast<int>(m), static_cast<int>(d)};
+}
+
+SimTime to_sim_time(const CivilDate& d) noexcept { return days_from_civil(d) * kDay; }
+
+SimTime to_sim_time(const CivilDateTime& dt) noexcept {
+  return to_sim_time(dt.date) + dt.hour * kHour + dt.minute * kMinute + dt.second;
+}
+
+CivilDate to_civil_date(SimTime t) noexcept { return civil_from_days(day_index(t)); }
+
+CivilDateTime to_civil_date_time(SimTime t) noexcept {
+  CivilDateTime dt;
+  dt.date = to_civil_date(t);
+  const SimTime s = seconds_into_day(t);
+  dt.hour = static_cast<int>(s / kHour);
+  dt.minute = static_cast<int>((s % kHour) / kMinute);
+  dt.second = static_cast<int>(s % kMinute);
+  return dt;
+}
+
+Weekday weekday_of(const CivilDate& d) noexcept {
+  // 1970-01-01 was a Thursday; ISO numbering has Monday = 0, Thursday = 3.
+  const std::int64_t z = days_from_civil(d);
+  const std::int64_t wd = ((z % 7) + 7 + 3) % 7;
+  return static_cast<Weekday>(wd);
+}
+
+Weekday weekday_of(SimTime t) noexcept { return weekday_of(to_civil_date(t)); }
+
+std::string format_date(const CivilDate& d) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02d", d.year, d.month, d.day);
+  return buf;
+}
+
+std::string format_date(SimTime t) { return format_date(to_civil_date(t)); }
+
+std::string format_date_time(SimTime t) {
+  const CivilDateTime dt = to_civil_date_time(t);
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02d %02d:%02d:%02d", dt.date.year, dt.date.month,
+                dt.date.day, dt.hour, dt.minute, dt.second);
+  return buf;
+}
+
+CivilDate parse_date(const std::string& s) {
+  int y = 0, m = 0, d = 0;
+  char extra = 0;
+  if (std::sscanf(s.c_str(), "%d-%d-%d%c", &y, &m, &d, &extra) != 3 || m < 1 || m > 12 || d < 1 ||
+      d > 31) {
+    throw std::invalid_argument("parse_date: malformed date: " + s);
+  }
+  return CivilDate{y, m, d};
+}
+
+SimTime parse_date_time(const std::string& s) {
+  int y = 0, mo = 0, d = 0, h = 0, mi = 0, se = 0;
+  char extra = 0;
+  if (std::sscanf(s.c_str(), "%d-%d-%d %d:%d:%d%c", &y, &mo, &d, &h, &mi, &se, &extra) != 6 ||
+      mo < 1 || mo > 12 || d < 1 || d > 31 || h < 0 || h > 23 || mi < 0 || mi > 59 || se < 0 ||
+      se > 59) {
+    throw std::invalid_argument("parse_date_time: malformed date-time: " + s);
+  }
+  return to_sim_time(CivilDateTime{CivilDate{y, mo, d}, h, mi, se});
+}
+
+CivilDate add_days(const CivilDate& d, std::int64_t n) noexcept {
+  return civil_from_days(days_from_civil(d) + n);
+}
+
+std::int64_t days_between(const CivilDate& a, const CivilDate& b) noexcept {
+  return days_from_civil(b) - days_from_civil(a);
+}
+
+CivilDate thanksgiving(int year) noexcept {
+  // Fourth Thursday of November.
+  CivilDate nov1{year, 11, 1};
+  const int wd = static_cast<int>(weekday_of(nov1));  // Monday = 0 .. Sunday = 6
+  const int thursday = static_cast<int>(Weekday::Thursday);
+  const int first_thursday = 1 + ((thursday - wd) + 7) % 7;
+  return CivilDate{year, 11, first_thursday + 21};
+}
+
+}  // namespace rdns::util

@@ -1,0 +1,130 @@
+#pragma once
+/// \file time.hpp
+/// Simulated-time primitives: a simulation clock measured in seconds since
+/// the Unix epoch, plus civil (calendar) date/time conversions.
+///
+/// The whole system runs on simulated time; nothing in the library reads the
+/// wall clock. Civil conversions use Howard Hinnant's days-from-civil
+/// algorithm, valid over the full range we care about (the study period
+/// 2019-10-01 .. 2021-12-31 and far beyond).
+
+#include <cstdint>
+#include <string>
+#include <compare>
+
+namespace rdns::util {
+
+/// Seconds since the Unix epoch (1970-01-01T00:00:00Z), in simulated time.
+using SimTime = std::int64_t;
+
+/// Convenient duration constants (seconds).
+inline constexpr SimTime kSecond = 1;
+inline constexpr SimTime kMinute = 60;
+inline constexpr SimTime kHour = 3600;
+inline constexpr SimTime kDay = 86400;
+inline constexpr SimTime kWeek = 7 * kDay;
+
+[[nodiscard]] constexpr SimTime minutes(std::int64_t n) noexcept { return n * kMinute; }
+[[nodiscard]] constexpr SimTime hours(std::int64_t n) noexcept { return n * kHour; }
+[[nodiscard]] constexpr SimTime days(std::int64_t n) noexcept { return n * kDay; }
+
+/// Day of week. Numbering follows ISO 8601 (Monday first) because the
+/// paper's figures (e.g. Fig. 8) lay weeks out Mon..Sun.
+enum class Weekday : int {
+  Monday = 0,
+  Tuesday = 1,
+  Wednesday = 2,
+  Thursday = 3,
+  Friday = 4,
+  Saturday = 5,
+  Sunday = 6,
+};
+
+[[nodiscard]] const char* to_string(Weekday d) noexcept;
+[[nodiscard]] const char* to_short_string(Weekday d) noexcept;
+[[nodiscard]] constexpr bool is_weekend(Weekday d) noexcept {
+  return d == Weekday::Saturday || d == Weekday::Sunday;
+}
+
+/// A calendar date (proleptic Gregorian).
+struct CivilDate {
+  int year = 1970;
+  int month = 1;  ///< 1..12
+  int day = 1;    ///< 1..31
+
+  auto operator<=>(const CivilDate&) const = default;
+};
+
+/// A calendar date plus time-of-day.
+struct CivilDateTime {
+  CivilDate date;
+  int hour = 0;    ///< 0..23
+  int minute = 0;  ///< 0..59
+  int second = 0;  ///< 0..59
+
+  auto operator<=>(const CivilDateTime&) const = default;
+};
+
+/// Days since the epoch for a civil date (may be negative).
+[[nodiscard]] std::int64_t days_from_civil(const CivilDate& d) noexcept;
+
+/// Inverse of days_from_civil.
+[[nodiscard]] CivilDate civil_from_days(std::int64_t days) noexcept;
+
+/// SimTime (midnight) for a civil date.
+[[nodiscard]] SimTime to_sim_time(const CivilDate& d) noexcept;
+
+/// SimTime for a civil date-time.
+[[nodiscard]] SimTime to_sim_time(const CivilDateTime& dt) noexcept;
+
+/// Civil date containing a SimTime.
+[[nodiscard]] CivilDate to_civil_date(SimTime t) noexcept;
+
+/// Civil date-time for a SimTime.
+[[nodiscard]] CivilDateTime to_civil_date_time(SimTime t) noexcept;
+
+/// Day of week for a civil date.
+[[nodiscard]] Weekday weekday_of(const CivilDate& d) noexcept;
+
+/// Day of week containing a SimTime.
+[[nodiscard]] Weekday weekday_of(SimTime t) noexcept;
+
+/// Truncate a timestamp down to a multiple of `granularity` seconds.
+/// The paper's supplemental measurement merges ICMP and rDNS data on
+/// five-minute truncated timestamps (Section 6.1).
+[[nodiscard]] constexpr SimTime truncate(SimTime t, SimTime granularity) noexcept {
+  return (t / granularity) * granularity;
+}
+
+/// Midnight of the day containing `t`.
+[[nodiscard]] constexpr SimTime start_of_day(SimTime t) noexcept { return truncate(t, kDay); }
+
+/// Number of whole days since the epoch for `t`.
+[[nodiscard]] constexpr std::int64_t day_index(SimTime t) noexcept { return t / kDay; }
+
+/// Seconds elapsed since midnight.
+[[nodiscard]] constexpr SimTime seconds_into_day(SimTime t) noexcept { return t % kDay; }
+
+/// Format as "YYYY-MM-DD".
+[[nodiscard]] std::string format_date(const CivilDate& d);
+[[nodiscard]] std::string format_date(SimTime t);
+
+/// Format as "YYYY-MM-DD HH:MM:SS".
+[[nodiscard]] std::string format_date_time(SimTime t);
+
+/// Parse "YYYY-MM-DD"; throws std::invalid_argument on malformed input.
+[[nodiscard]] CivilDate parse_date(const std::string& s);
+
+/// Parse "YYYY-MM-DD HH:MM:SS"; throws std::invalid_argument on malformed input.
+[[nodiscard]] SimTime parse_date_time(const std::string& s);
+
+/// Iterate dates: date + n days.
+[[nodiscard]] CivilDate add_days(const CivilDate& d, std::int64_t n) noexcept;
+
+/// Whole days from `a` to `b` (positive when b is later).
+[[nodiscard]] std::int64_t days_between(const CivilDate& a, const CivilDate& b) noexcept;
+
+/// US Thanksgiving (4th Thursday of November) for a given year.
+[[nodiscard]] CivilDate thanksgiving(int year) noexcept;
+
+}  // namespace rdns::util

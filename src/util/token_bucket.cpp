@@ -1,0 +1,41 @@
+#include "util/token_bucket.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rdns::util {
+
+TokenBucket::TokenBucket(double rate_per_second, double burst, SimTime start) noexcept
+    : rate_(std::max(rate_per_second, 1e-9)),
+      burst_(std::max(burst, 1.0)),
+      tokens_(burst_),
+      last_(start) {}
+
+void TokenBucket::refill(SimTime now) noexcept {
+  if (now <= last_) return;
+  tokens_ = std::min(burst_, tokens_ + rate_ * static_cast<double>(now - last_));
+  last_ = now;
+}
+
+bool TokenBucket::try_acquire(SimTime now, double n) noexcept {
+  refill(now);
+  if (tokens_ + 1e-12 >= n) {
+    tokens_ -= n;
+    return true;
+  }
+  return false;
+}
+
+SimTime TokenBucket::next_available(SimTime now, double n) noexcept {
+  refill(now);
+  if (tokens_ + 1e-12 >= n) return now;
+  const double deficit = n - tokens_;
+  return now + static_cast<SimTime>(std::ceil(deficit / rate_));
+}
+
+double TokenBucket::tokens(SimTime now) noexcept {
+  refill(now);
+  return tokens_;
+}
+
+}  // namespace rdns::util

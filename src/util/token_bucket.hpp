@@ -1,0 +1,40 @@
+#pragma once
+/// \file token_bucket.hpp
+/// Token-bucket rate limiter operating on simulated time.
+///
+/// The paper rate-limits both its ZMap ICMP probes and its rDNS lookups to
+/// authoritative servers (Sections 6.1, 9); scanners in `rdns::scan` consult
+/// a TokenBucket before emitting each probe.
+
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace rdns::util {
+
+class TokenBucket {
+ public:
+  /// `rate_per_second` tokens accrue per simulated second, up to `burst`.
+  /// The bucket starts full.
+  TokenBucket(double rate_per_second, double burst, SimTime start = 0) noexcept;
+
+  /// Try to consume `n` tokens at simulated time `now`; returns whether the
+  /// probe may be sent. `now` must be monotone non-decreasing across calls.
+  [[nodiscard]] bool try_acquire(SimTime now, double n = 1.0) noexcept;
+
+  /// Earliest simulated time at which `n` tokens will be available.
+  [[nodiscard]] SimTime next_available(SimTime now, double n = 1.0) noexcept;
+
+  [[nodiscard]] double tokens(SimTime now) noexcept;
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+
+ private:
+  void refill(SimTime now) noexcept;
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  SimTime last_;
+};
+
+}  // namespace rdns::util

@@ -1,0 +1,193 @@
+/// Tests for the Section 4.1 dynamicity heuristic on hand-crafted snapshot
+/// streams, where ground truth is exact.
+
+#include "core/dynamicity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rdns::core {
+namespace {
+
+using util::CivilDate;
+
+/// Feed `days` sweeps; `counts_fn(day)` gives the number of addresses with
+/// a PTR in the block 10.0.0.0/24 that day.
+void feed_block(DynamicityDetector& detector, int days,
+                const std::function<int(int)>& counts_fn,
+                std::uint32_t base = 0x0A000000) {
+  for (int d = 0; d < days; ++d) {
+    const CivilDate date = util::add_days(CivilDate{2021, 1, 1}, d);
+    const int count = counts_fn(d);
+    for (int i = 0; i < count; ++i) {
+      detector.on_row(date, net::Ipv4Addr{base + static_cast<std::uint32_t>(i) + 1},
+                      dns::DnsName::must_parse("h.x.edu"));
+    }
+    detector.on_sweep_end(date);
+  }
+}
+
+TEST(Dynamicity, StableBlockIsNotDynamic) {
+  DynamicityDetector detector;
+  feed_block(detector, 30, [](int) { return 50; });
+  const auto result = detector.analyze();
+  ASSERT_EQ(result.blocks.size(), 1u);
+  EXPECT_FALSE(result.blocks[0].dynamic);
+  EXPECT_EQ(result.blocks[0].max_daily, 50u);
+  EXPECT_EQ(result.blocks[0].days_over_threshold, 0);
+  EXPECT_EQ(result.dynamic_count, 0u);
+}
+
+TEST(Dynamicity, OscillatingBlockIsDynamic) {
+  DynamicityDetector detector;
+  // Weekday/weekend style oscillation: 50 vs 10 -> |diff| = 40, max = 50,
+  // change 80% on every transition.
+  feed_block(detector, 30, [](int d) { return (d % 7 < 5) ? 50 : 10; });
+  const auto result = detector.analyze();
+  ASSERT_EQ(result.blocks.size(), 1u);
+  EXPECT_TRUE(result.blocks[0].dynamic);
+  EXPECT_GE(result.blocks[0].days_over_threshold, 7);
+}
+
+TEST(Dynamicity, QuietBlockDiscardedByStep1) {
+  DynamicityDetector detector;
+  // Never more than 10 addresses -> step 1 discards regardless of churn.
+  feed_block(detector, 30, [](int d) { return d % 2 == 0 ? 10 : 1; });
+  const auto result = detector.analyze();
+  EXPECT_TRUE(result.blocks.empty());
+  EXPECT_EQ(result.total_slash24_seen, 1u);
+}
+
+TEST(Dynamicity, ExactlyElevenAddressesPassesStep1) {
+  DynamicityDetector detector;
+  feed_block(detector, 30, [](int d) { return d % 2 == 0 ? 11 : 1; });
+  const auto result = detector.analyze();
+  ASSERT_EQ(result.blocks.size(), 1u);
+  EXPECT_TRUE(result.blocks[0].dynamic);
+}
+
+TEST(Dynamicity, ThresholdYDaysBoundary) {
+  DynamicityDetector detector;
+  // Exactly 6 change days: one short of the default Y = 7.
+  feed_block(detector, 30, [](int d) { return (d >= 1 && d <= 6) ? (d % 2 ? 60 : 20) : 20; });
+  DynamicityConfig config;
+  auto result = detector.analyze(config);
+  ASSERT_EQ(result.blocks.size(), 1u);
+  EXPECT_EQ(result.blocks[0].days_over_threshold, 6);
+  EXPECT_FALSE(result.blocks[0].dynamic);
+  config.min_days_over = 6;
+  result = detector.analyze(config);
+  EXPECT_TRUE(result.blocks[0].dynamic);
+}
+
+TEST(Dynamicity, ChangePercentageUsesPeriodMax) {
+  DynamicityDetector detector;
+  // Daily wobble of 5 around 50 with a single spike to 250: the spike
+  // raises the max so the wobble (5/250 = 2%) stays under X = 10%.
+  feed_block(detector, 30, [](int d) { return d == 15 ? 250 : (d % 2 ? 55 : 50); });
+  const auto result = detector.analyze();
+  ASSERT_EQ(result.blocks.size(), 1u);
+  // Only the two spike transitions cross the threshold.
+  EXPECT_EQ(result.blocks[0].days_over_threshold, 2);
+  EXPECT_FALSE(result.blocks[0].dynamic);
+}
+
+TEST(Dynamicity, BlockAppearingMidPeriodIsPadded) {
+  DynamicityDetector detector;
+  // Block absent for the first 10 days, then oscillates.
+  feed_block(detector, 10, [](int) { return 0; });
+  feed_block(detector, 20, [](int d) { return d % 2 ? 40 : 5; });
+  const auto result = detector.analyze();
+  ASSERT_EQ(result.blocks.size(), 1u);
+  EXPECT_TRUE(result.blocks[0].dynamic);
+  EXPECT_EQ(detector.days_ingested(), 30u);
+}
+
+TEST(Dynamicity, SeparatesBlocks) {
+  DynamicityDetector detector;
+  for (int d = 0; d < 20; ++d) {
+    const CivilDate date = util::add_days(CivilDate{2021, 1, 1}, d);
+    // Block A oscillates; block B stays flat.
+    const int a_count = d % 2 ? 40 : 5;
+    for (int i = 0; i < a_count; ++i) {
+      detector.on_row(date, net::Ipv4Addr{0x0A000001u + static_cast<std::uint32_t>(i)},
+                      dns::DnsName::must_parse("h.x.edu"));
+    }
+    for (int i = 0; i < 30; ++i) {
+      detector.on_row(date, net::Ipv4Addr{0x0A000101u + static_cast<std::uint32_t>(i)},
+                      dns::DnsName::must_parse("h.x.edu"));
+    }
+    detector.on_sweep_end(date);
+  }
+  const auto result = detector.analyze();
+  ASSERT_EQ(result.blocks.size(), 2u);
+  EXPECT_EQ(result.dynamic_count, 1u);
+  EXPECT_EQ(result.dynamic_blocks()[0].to_string(), "10.0.0.0/24");
+}
+
+TEST(Dynamicity, DuplicateAddressesCountOnce) {
+  DynamicityDetector detector;
+  const CivilDate date{2021, 1, 1};
+  for (int i = 0; i < 5; ++i) {
+    detector.on_row(date, net::Ipv4Addr{0x0A000001u}, dns::DnsName::must_parse("h.x.edu"));
+  }
+  detector.on_sweep_end(date);
+  const auto result = detector.analyze(DynamicityConfig{10.0, 1, 0});
+  ASSERT_EQ(result.blocks.size(), 1u);
+  EXPECT_EQ(result.blocks[0].max_daily, 1u);
+}
+
+/// Parameterized threshold sweep: higher X admits fewer dynamic blocks
+/// (monotonicity property of step 3).
+class ThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThresholdSweep, MonotoneInX) {
+  DynamicityDetector detector;
+  feed_block(detector, 60, [](int d) { return 30 + (d % 3) * 10; });
+  DynamicityConfig lo_config;
+  lo_config.change_threshold_pct = GetParam();
+  DynamicityConfig hi_config = lo_config;
+  hi_config.change_threshold_pct = GetParam() + 20.0;
+  const auto lo = detector.analyze(lo_config);
+  const auto hi = detector.analyze(hi_config);
+  ASSERT_EQ(lo.blocks.size(), 1u);
+  EXPECT_GE(lo.blocks[0].days_over_threshold, hi.blocks[0].days_over_threshold);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdSweep, ::testing::Values(1.0, 5.0, 10.0, 25.0));
+
+TEST(Rollup, FractionsPerAnnouncedPrefix) {
+  const std::vector<net::Prefix> dynamic = {
+      net::Prefix::must_parse("10.0.0.0/24"),
+      net::Prefix::must_parse("10.0.1.0/24"),
+      net::Prefix::must_parse("10.1.0.0/24"),
+      net::Prefix::must_parse("192.168.0.0/24"),  // not covered by any announcement
+  };
+  const std::vector<net::Prefix> announced = {
+      net::Prefix::must_parse("10.0.0.0/16"),
+      net::Prefix::must_parse("10.1.0.0/16"),
+  };
+  const auto rollup = rollup_to_announced(dynamic, announced);
+  ASSERT_EQ(rollup.size(), 2u);
+  EXPECT_EQ(rollup[0].dynamic_slash24s, 2u);
+  EXPECT_EQ(rollup[0].total_slash24s, 256u);
+  EXPECT_NEAR(rollup[0].fraction(), 2.0 / 256.0, 1e-12);
+  EXPECT_EQ(rollup[1].dynamic_slash24s, 1u);
+}
+
+TEST(Rollup, MostSpecificAnnouncementWins) {
+  const std::vector<net::Prefix> dynamic = {net::Prefix::must_parse("10.0.0.0/24")};
+  const std::vector<net::Prefix> announced = {
+      net::Prefix::must_parse("10.0.0.0/8"),
+      net::Prefix::must_parse("10.0.0.0/20"),
+  };
+  const auto rollup = rollup_to_announced(dynamic, announced);
+  ASSERT_EQ(rollup.size(), 2u);
+  // Sorted: /8 before /20. The /20 (more specific) got the block.
+  EXPECT_EQ(rollup[0].announced.length(), 8);
+  EXPECT_EQ(rollup[0].dynamic_slash24s, 0u);
+  EXPECT_EQ(rollup[1].announced.length(), 20);
+  EXPECT_EQ(rollup[1].dynamic_slash24s, 1u);
+}
+
+}  // namespace
+}  // namespace rdns::core

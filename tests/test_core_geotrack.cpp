@@ -1,0 +1,113 @@
+/// Tests for building-level geotemporal tracking (§8): the building map,
+/// trace construction from groups, and the end-to-end roaming integration
+/// (students changing buildings produce multi-building traces).
+
+#include "core/geotrack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "scan/campaign.hpp"
+
+namespace rdns::core {
+namespace {
+
+using util::CivilDate;
+using util::kHour;
+
+TEST(BuildingMap, MostSpecificWins) {
+  BuildingMap map;
+  map.add(net::Prefix::must_parse("10.10.0.0/16"), "campus");
+  map.add(net::Prefix::must_parse("10.10.140.0/23"), "library");
+  EXPECT_EQ(map.building_of(net::Ipv4Addr::must_parse("10.10.140.7")), "library");
+  EXPECT_EQ(map.building_of(net::Ipv4Addr::must_parse("10.10.1.1")), "campus");
+  EXPECT_FALSE(map.building_of(net::Ipv4Addr::must_parse("10.99.0.1")).has_value());
+}
+
+scan::GroupSummary visit(const char* ip, const char* host, int day, int hour, int hours) {
+  scan::GroupSummary g;
+  g.address = net::Ipv4Addr::must_parse(ip);
+  g.network = "Academic-A";
+  g.started = util::to_sim_time(CivilDate{2021, 11, day}) + hour * kHour;
+  g.last_icmp_ok = g.started + hours * kHour;
+  g.offline_detected = g.last_icmp_ok + 300;
+  g.ptr_observed_gone = g.offline_detected + 600;
+  g.first_ptr = std::string{host} + ".wifi.bayfield-university.edu";
+  g.last_ptr = g.first_ptr;
+  g.spot_rdns_ok = true;
+  g.closed = true;
+  g.reverted = true;
+  g.reliable = true;
+  g.icmp_ok = 3;
+  return g;
+}
+
+TEST(Traces, OrderedVisitsWithTransitions) {
+  BuildingMap map;
+  map.add(net::Prefix::must_parse("10.10.136.0/22"), "sci-building");
+  map.add(net::Prefix::must_parse("10.10.140.0/23"), "library");
+  map.add(net::Prefix::must_parse("10.10.142.0/23"), "lecture-halls");
+
+  std::vector<scan::GroupSummary> groups;
+  groups.push_back(visit("10.10.140.5", "emmas-iphone", 1, 13, 2));   // library, later
+  groups.push_back(visit("10.10.136.9", "emmas-iphone", 1, 9, 2));    // sci, first
+  groups.push_back(visit("10.10.142.3", "emmas-iphone", 2, 9, 1));    // lecture, next day
+  groups.push_back(visit("10.10.136.9", "liams-mbp", 1, 9, 2));       // other person
+  groups.push_back(visit("10.99.0.1", "emmas-ipad", 1, 9, 2));        // off-map
+
+  const auto traces = build_traces(groups, map, "emma");
+  ASSERT_EQ(traces.size(), 1u);  // emmas-ipad dropped (unknown building)
+  const auto& trace = traces[0];
+  EXPECT_EQ(trace.hostname, "emmas-iphone");
+  ASSERT_EQ(trace.visits.size(), 3u);
+  EXPECT_EQ(trace.visits[0].building, "sci-building");   // time-sorted
+  EXPECT_EQ(trace.visits[1].building, "library");
+  EXPECT_EQ(trace.visits[2].building, "lecture-halls");
+  EXPECT_EQ(trace.transitions(), 2u);
+  EXPECT_EQ(trace.distinct_buildings(), 3u);
+}
+
+TEST(Traces, EmptyWhenNameAbsent) {
+  BuildingMap map;
+  map.add(net::Prefix::must_parse("10.10.136.0/22"), "sci");
+  EXPECT_TRUE(build_traces({}, map, "brian").empty());
+}
+
+/// End-to-end: roaming students on Academic-A produce multi-building traces
+/// observable from the outside.
+TEST(Roaming, StudentsVisitMultipleBuildings) {
+  WorldScale scale;
+  scale.population = 0.2;
+  auto world = make_paper_world(/*seed=*/55, scale);
+  const CivilDate from{2021, 11, 1};
+  const CivilDate to{2021, 11, 5};
+  world->start(util::add_days(from, -1), util::add_days(to, 1));
+
+  const sim::Organization* campus = world->org_by_name("Academic-A");
+  ASSERT_TRUE(campus->spec().students_roam);
+  scan::SupplementalCampaign campaign{*world,
+                                      {{"Academic-A", campus->spec().measurement_targets}},
+                                      scan::CampaignWindow{from, to}};
+  campaign.run();
+
+  BuildingMap buildings;
+  for (const auto& segment : campus->spec().segments) {
+    buildings.add(segment.prefix, segment.label);
+  }
+
+  // Across all observed people, someone must have been seen in more than
+  // one building over a school week.
+  std::size_t multi_building_traces = 0;
+  std::size_t total_traces = 0;
+  for (const auto& name : top_given_names()) {
+    for (const auto& trace : build_traces(campaign.engine().groups(), buildings, name)) {
+      ++total_traces;
+      multi_building_traces += trace.distinct_buildings() > 1;
+    }
+  }
+  EXPECT_GT(total_traces, 5u);
+  EXPECT_GT(multi_building_traces, 0u);
+}
+
+}  // namespace
+}  // namespace rdns::core

@@ -1,0 +1,102 @@
+/// Tests for the operator-facing mitigation tooling (Section 8): the leak
+/// auditor severity model and the policy assessments.
+
+#include "core/mitigation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/world.hpp"
+
+namespace rdns::core {
+namespace {
+
+TEST(StreamAuditor, SeveritiesByContent) {
+  StreamAuditor auditor;
+  auditor.inspect(net::Ipv4Addr::must_parse("10.0.0.1"), "brians-iphone.wifi.x.edu");
+  auditor.inspect(net::Ipv4Addr::must_parse("10.0.0.2"), "laptop-4f2k.wifi.x.edu");
+  auditor.inspect(net::Ipv4Addr::must_parse("10.0.0.3"), "emmas-box.wifi.x.edu");
+  auditor.inspect(net::Ipv4Addr::must_parse("10.0.0.4"), "host-10-0-0-4.dyn.x.edu");
+  const auto& report = auditor.report();
+  EXPECT_EQ(report.records_audited, 4u);
+  ASSERT_EQ(report.findings.size(), 3u);
+  EXPECT_EQ(report.findings[0].severity, LeakSeverity::NameAndDevice);
+  EXPECT_EQ(report.findings[1].severity, LeakSeverity::DeviceModel);
+  EXPECT_EQ(report.findings[2].severity, LeakSeverity::OwnerName);
+  EXPECT_EQ(report.owner_name_leaks, 2u);
+  EXPECT_EQ(report.device_model_leaks, 2u);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(StreamAuditor, RouterRecordsAreNotFindings) {
+  StreamAuditor auditor;
+  auditor.inspect(net::Ipv4Addr::must_parse("10.0.0.1"), "et-0-0-1.core1.jackson.isp.net");
+  EXPECT_TRUE(auditor.report().clean());
+  EXPECT_EQ(auditor.report().records_audited, 1u);
+}
+
+TEST(StreamAuditor, SeverityStrings) {
+  EXPECT_STREQ(to_string(LeakSeverity::OwnerName), "owner-name");
+  EXPECT_STREQ(to_string(LeakSeverity::NameAndDevice), "owner-name+device-model");
+}
+
+sim::OrgSpec org_with_policy(dhcp::DdnsPolicy policy) {
+  sim::OrgSpec o;
+  o.name = "audit-me";
+  o.type = sim::OrgType::Academic;
+  o.suffix = dns::DnsName::must_parse("audit.edu");
+  o.announced = {net::Prefix::must_parse("10.95.0.0/16")};
+  sim::SegmentSpec seg;
+  seg.label = "wifi";
+  seg.prefix = net::Prefix::must_parse("10.95.64.0/24");
+  seg.schedule = sim::ScheduleKind::OfficeWorker;
+  seg.user_count = 30;
+  seg.ddns_policy = policy;
+  seg.named_device_frac = 1.0;
+  o.segments = {seg};
+  o.seed = 31337;
+  return o;
+}
+
+TEST(AuditOrganization, CarryOverOrgHasFindingsHashedOrgIsClean) {
+  using util::CivilDate;
+  sim::World world;
+  sim::Organization& leaky = world.add_org(org_with_policy(dhcp::DdnsPolicy::CarryOverClientId));
+  sim::OrgSpec hashed_spec = org_with_policy(dhcp::DdnsPolicy::HashedClientId);
+  hashed_spec.name = "hashed";
+  hashed_spec.announced = {net::Prefix::must_parse("10.96.0.0/16")};
+  hashed_spec.segments[0].prefix = net::Prefix::must_parse("10.96.64.0/24");
+  sim::Organization& hashed = world.add_org(std::move(hashed_spec));
+  world.start(CivilDate{2021, 11, 1}, CivilDate{2021, 11, 3});
+  world.run_until(util::to_sim_time(CivilDate{2021, 11, 2}) + 12 * util::kHour);
+
+  const auto leaky_report = audit_organization(leaky);
+  EXPECT_GT(leaky_report.records_audited, 0u);
+  EXPECT_GT(leaky_report.owner_name_leaks + leaky_report.device_model_leaks, 0u);
+
+  const auto hashed_report = audit_organization(hashed);
+  EXPECT_GT(hashed_report.records_audited, 0u);
+  EXPECT_EQ(hashed_report.owner_name_leaks, 0u);
+  EXPECT_EQ(hashed_report.device_model_leaks, 0u);
+}
+
+TEST(PolicyAssessment, MatchesSection8Discussion) {
+  const auto carry = assess_policy(dhcp::DdnsPolicy::CarryOverClientId);
+  EXPECT_TRUE(carry.leaks_identifiers);
+  EXPECT_TRUE(carry.exposes_dynamics);
+
+  const auto hashed = assess_policy(dhcp::DdnsPolicy::HashedClientId);
+  EXPECT_FALSE(hashed.leaks_identifiers);
+  EXPECT_TRUE(hashed.exposes_dynamics);  // churn still visible
+
+  const auto generic = assess_policy(dhcp::DdnsPolicy::StaticGeneric);
+  EXPECT_FALSE(generic.leaks_identifiers);
+  EXPECT_FALSE(generic.exposes_dynamics);
+
+  const auto none = assess_policy(dhcp::DdnsPolicy::None);
+  EXPECT_FALSE(none.leaks_identifiers);
+  EXPECT_FALSE(none.exposes_dynamics);
+  EXPECT_FALSE(none.advice.empty());
+}
+
+}  // namespace
+}  // namespace rdns::core

@@ -1,0 +1,220 @@
+/// Tests for the Section 6/7 analyses over synthetic group summaries:
+/// the Table 5 funnel, Fig. 7 lingering distributions, Fig. 8 presence
+/// grids (incl. the Cyber Monday first-appearance), and the Fig. 11 heist
+/// profile.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/heist.hpp"
+#include "core/timing.hpp"
+#include "core/tracking.hpp"
+
+namespace rdns::core {
+namespace {
+
+using scan::GroupSummary;
+using util::CivilDate;
+using util::kHour;
+using util::kMinute;
+
+GroupSummary group(const char* ip, const char* network, util::SimTime start,
+                   double linger_minutes, bool ok = true, bool reliable = true) {
+  GroupSummary g;
+  g.address = net::Ipv4Addr::must_parse(ip);
+  g.network = network;
+  g.started = start;
+  g.last_icmp_ok = start + 2 * kHour;
+  g.offline_detected = g.last_icmp_ok + 5 * kMinute;
+  g.first_ptr = "brians-iphone.wifi.x.edu";
+  g.last_ptr = g.first_ptr;
+  g.icmp_ok = 10;
+  g.spot_rdns_ok = ok;
+  g.closed = ok;
+  if (ok) {
+    g.ptr_observed_gone = g.last_icmp_ok + static_cast<util::SimTime>(linger_minutes * 60);
+    g.reverted = true;
+    g.reliable = reliable;
+  }
+  return g;
+}
+
+TEST(Funnel, CountsEachStage) {
+  std::vector<GroupSummary> groups;
+  groups.push_back(group("10.0.0.1", "A", 0, 5));                  // fully usable
+  groups.push_back(group("10.0.0.2", "A", 0, 60, true, false));    // unreliable
+  groups.push_back(group("10.0.0.3", "A", 0, 0, /*ok=*/false));    // incomplete
+  GroupSummary never_gone = group("10.0.0.4", "A", 0, 5);
+  never_gone.ptr_observed_gone = 0;
+  never_gone.reverted = false;
+  groups.push_back(never_gone);  // successful() is false without a terminal observation
+
+  const auto funnel = build_funnel(groups);
+  EXPECT_EQ(funnel.all_groups, 4u);
+  EXPECT_EQ(funnel.successful, 2u);
+  EXPECT_EQ(funnel.reverted, 2u);
+  EXPECT_EQ(funnel.reliable, 1u);
+  EXPECT_DOUBLE_EQ(funnel.fraction_reverted(), 1.0);
+  EXPECT_DOUBLE_EQ(funnel.fraction_reliable(), 0.5);
+
+  const auto usable = usable_groups(groups);
+  ASSERT_EQ(usable.size(), 1u);
+  EXPECT_EQ(usable[0]->address.to_string(), "10.0.0.1");
+}
+
+TEST(Funnel, EmptyInput) {
+  const auto funnel = build_funnel({});
+  EXPECT_EQ(funnel.all_groups, 0u);
+  EXPECT_DOUBLE_EQ(funnel.fraction_successful(), 0.0);
+}
+
+TEST(Linger, HistogramPeaks) {
+  std::vector<GroupSummary> groups;
+  // A 5-minute release peak and a 60-minute expiry peak (Fig. 7a shape).
+  for (int i = 0; i < 30; ++i) groups.push_back(group("10.0.0.1", "A", i, 5.0));
+  for (int i = 0; i < 50; ++i) groups.push_back(group("10.0.0.2", "A", i, 60.0));
+  const auto usable = usable_groups(groups);
+  const auto histogram = linger_histogram(usable, 180.0, 5.0);
+  ASSERT_TRUE(histogram.mode_bin().has_value());
+  EXPECT_EQ(*histogram.mode_bin(), 12u);  // [60, 65)
+  EXPECT_EQ(histogram.bin(1), 30);        // [5, 10)
+  EXPECT_EQ(histogram.total(), 80);
+}
+
+TEST(Linger, PerNetworkCdfsSeparate) {
+  std::vector<GroupSummary> groups;
+  for (int i = 0; i < 20; ++i) groups.push_back(group("10.0.0.1", "Academic-A", i, 10.0));
+  for (int i = 0; i < 20; ++i) groups.push_back(group("10.1.0.1", "Academic-C", i, 110.0));
+  const auto cdfs = linger_cdfs(usable_groups(groups));
+  ASSERT_EQ(cdfs.size(), 2u);
+  EXPECT_DOUBLE_EQ(cdfs.at("Academic-A").at(60.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdfs.at("Academic-C").at(60.0), 0.0);  // longer lease lingers
+}
+
+TEST(Linger, FractionWithinMinutes) {
+  std::vector<GroupSummary> groups;
+  for (int i = 0; i < 9; ++i) groups.push_back(group("10.0.0.1", "A", i, 30.0));
+  groups.push_back(group("10.0.0.2", "A", 99, 120.0));
+  const auto usable = usable_groups(groups);
+  // The paper's headline: 9 out of 10 within 60 minutes.
+  EXPECT_DOUBLE_EQ(fraction_within_minutes(usable, 60.0), 0.9);
+  EXPECT_DOUBLE_EQ(fraction_within_minutes({}, 60.0), 0.0);
+}
+
+GroupSummary brian_group(const char* ip, const char* host, const CivilDate& date, int hour,
+                         int hours_present) {
+  GroupSummary g;
+  g.address = net::Ipv4Addr::must_parse(ip);
+  g.network = "Academic-A";
+  g.started = util::to_sim_time(date) + hour * kHour;
+  g.last_icmp_ok = g.started + hours_present * kHour;
+  g.offline_detected = g.last_icmp_ok + 5 * kMinute;
+  g.ptr_observed_gone = g.offline_detected + 10 * kMinute;
+  g.first_ptr = std::string{host} + ".housing.bayfield-university.edu";
+  g.last_ptr = g.first_ptr;
+  g.spot_rdns_ok = true;
+  g.closed = true;
+  g.reverted = true;
+  g.reliable = true;
+  g.icmp_ok = 5;
+  return g;
+}
+
+TEST(Tracking, SegmentsFilterByNameAndNetwork) {
+  std::vector<GroupSummary> groups;
+  groups.push_back(brian_group("10.10.128.1", "brians-mbp", {2021, 11, 1}, 18, 12));
+  groups.push_back(brian_group("10.10.128.2", "emmas-ipad", {2021, 11, 1}, 18, 12));
+  GroupSummary other_net = brian_group("10.12.0.1", "brians-air", {2021, 11, 1}, 18, 12);
+  other_net.network = "Academic-C";
+  groups.push_back(other_net);
+
+  const auto segments = segments_matching(groups, "brian", "Academic-A");
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].hostname, "brians-mbp");
+  EXPECT_EQ(segments_matching(groups, "brian").size(), 2u);
+  EXPECT_EQ(segments_matching(groups, "emma").size(), 1u);
+}
+
+TEST(Tracking, WeeklyGridLayout) {
+  std::vector<GroupSummary> groups;
+  // Monday 2021-11-01, 18:00-22:00.
+  groups.push_back(brian_group("10.10.128.1", "brians-mbp", {2021, 11, 1}, 18, 4));
+  // Tuesday, different device on a different address.
+  groups.push_back(brian_group("10.10.128.2", "brians-ipad", {2021, 11, 2}, 10, 2));
+  const auto segments = segments_matching(groups, "brian");
+  const auto grid = build_weekly_grid(segments, CivilDate{2021, 11, 1}, 1, 12);
+
+  ASSERT_EQ(grid.hostnames.size(), 2u);
+  EXPECT_EQ(grid.hostnames[0], "brians-ipad");  // sorted
+  ASSERT_EQ(grid.weeks.size(), 1u);
+  EXPECT_EQ(grid.first_monday, (CivilDate{2021, 11, 1}));
+
+  // brians-mbp row (index 1), Monday 18:00 -> slot 9 (2h slots).
+  const auto& mbp_row = grid.weeks[0][1];
+  EXPECT_NE(mbp_row[9], 0);
+  EXPECT_EQ(mbp_row[5], 0);  // Monday 10:00: absent
+  // brians-ipad: Tuesday 10:00 -> slot 12 + 5.
+  const auto& ipad_row = grid.weeks[0][0];
+  EXPECT_NE(ipad_row[17], 0);
+  // Different devices on different addresses get different colours.
+  EXPECT_NE(mbp_row[9], ipad_row[17]);
+  EXPECT_EQ(grid.addresses.size(), 2u);
+}
+
+TEST(Tracking, GridSnapsToMonday) {
+  const auto grid = build_weekly_grid({}, CivilDate{2021, 11, 4} /* Thursday */, 1, 12);
+  EXPECT_EQ(grid.first_monday, (CivilDate{2021, 11, 1}));
+}
+
+TEST(Tracking, FirstSeenDatesFindCyberMondayPurchase) {
+  std::vector<GroupSummary> groups;
+  for (int d = 0; d < 10; ++d) {
+    groups.push_back(brian_group("10.10.128.1", "brians-mbp",
+                                 util::add_days(CivilDate{2021, 11, 20}, d), 18, 4));
+  }
+  // The Galaxy Note 9 appears on Cyber Monday afternoon.
+  groups.push_back(brian_group("10.10.128.3", "brians-galaxy-note9", {2021, 11, 29}, 14, 6));
+  const auto segments = segments_matching(groups, "brian");
+  const auto first_seen = first_seen_dates(segments);
+  EXPECT_EQ(first_seen.at("brians-galaxy-note9"), (CivilDate{2021, 11, 29}));
+  EXPECT_EQ(first_seen.at("brians-mbp"), (CivilDate{2021, 11, 20}));
+}
+
+TEST(Heist, FindsQuietestWeekdayHour) {
+  std::map<std::int64_t, scan::HourlyActivity> hourly;
+  const util::SimTime from = util::to_sim_time(CivilDate{2021, 11, 1});  // a Monday
+  const util::SimTime to = from + 7 * util::kDay;
+  for (util::SimTime t = from; t < to; t += kHour) {
+    const int hod = static_cast<int>((t % util::kDay) / kHour);
+    // Diurnal curve with a 6 AM minimum.
+    const std::uint64_t level = 100 + static_cast<std::uint64_t>(
+                                          80.0 * -std::cos((hod - 18) * 3.14159 / 12.0));
+    scan::HourlyActivity a;
+    a.rdns_ok = hod == 6 ? 5 : level;
+    a.icmp_ok = a.rdns_ok * 2;
+    hourly[t / kHour] = a;
+  }
+  const auto analysis = analyze_heist_window(hourly, from, to);
+  EXPECT_EQ(analysis.quietest_hour, 6);
+  EXPECT_EQ(analysis.icmp_per_hour.size(), 24u * 7u);
+  // ICMP counts exceed rDNS counts, as in Fig. 11.
+  EXPECT_GT(analysis.icmp_per_hour[12], analysis.rdns_per_hour[12]);
+}
+
+TEST(Heist, EmptyWindow) {
+  const auto analysis = analyze_heist_window({}, 100, 100);
+  EXPECT_TRUE(analysis.icmp_per_hour.empty());
+}
+
+TEST(Heist, MissingHoursCountAsZero) {
+  std::map<std::int64_t, scan::HourlyActivity> hourly;
+  const util::SimTime from = util::to_sim_time(CivilDate{2021, 11, 1});
+  hourly[(from + 13 * kHour) / kHour] = scan::HourlyActivity{10, 5};
+  const auto analysis = analyze_heist_window(hourly, from, from + util::kDay);
+  EXPECT_EQ(analysis.rdns_per_hour[13], 5u);
+  EXPECT_EQ(analysis.rdns_per_hour[12], 0u);
+}
+
+}  // namespace
+}  // namespace rdns::core

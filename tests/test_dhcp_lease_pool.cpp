@@ -1,0 +1,162 @@
+/// Tests for the lease database (expiry ordering, state transitions) and
+/// address pools (sticky bindings, exhaustion).
+
+#include <gtest/gtest.h>
+
+#include "dhcp/lease.hpp"
+#include "dhcp/pool.hpp"
+#include "util/rng.hpp"
+
+namespace rdns::dhcp {
+namespace {
+
+net::Mac mac(int i) {
+  std::array<std::uint8_t, 6> b{0x02, 0, 0, 0, 0, static_cast<std::uint8_t>(i)};
+  return net::Mac{b};
+}
+
+Lease make_lease(const char* ip, int mac_id, util::SimTime start, util::SimTime expiry,
+                 LeaseState state = LeaseState::Bound) {
+  Lease l;
+  l.address = net::Ipv4Addr::must_parse(ip);
+  l.mac = mac(mac_id);
+  l.host_name = "Device-" + std::to_string(mac_id);
+  l.start = start;
+  l.expiry = expiry;
+  l.state = state;
+  return l;
+}
+
+TEST(LeaseDb, UpsertAndLookups) {
+  LeaseDb db;
+  db.upsert(make_lease("10.0.0.1", 1, 0, 3600));
+  EXPECT_NE(db.by_address(net::Ipv4Addr::must_parse("10.0.0.1")), nullptr);
+  EXPECT_NE(db.by_mac(mac(1)), nullptr);
+  EXPECT_EQ(db.by_mac(mac(1))->address, net::Ipv4Addr::must_parse("10.0.0.1"));
+  EXPECT_EQ(db.by_address(net::Ipv4Addr::must_parse("10.0.0.2")), nullptr);
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(LeaseDb, ExpireDueInOrder) {
+  LeaseDb db;
+  db.upsert(make_lease("10.0.0.1", 1, 0, 100));
+  db.upsert(make_lease("10.0.0.2", 2, 0, 200));
+  db.upsert(make_lease("10.0.0.3", 3, 0, 300));
+  auto expired = db.expire_due(150);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].address.to_string(), "10.0.0.1");
+  EXPECT_EQ(expired[0].state, LeaseState::Bound);  // pre-expiry state returned
+  // The stored lease is now Expired.
+  EXPECT_EQ(db.by_address(net::Ipv4Addr::must_parse("10.0.0.1"))->state, LeaseState::Expired);
+  expired = db.expire_due(500);
+  EXPECT_EQ(expired.size(), 2u);
+}
+
+TEST(LeaseDb, RenewDefeatsStaleExpiryEntries) {
+  LeaseDb db;
+  db.upsert(make_lease("10.0.0.1", 1, 0, 100));
+  EXPECT_TRUE(db.renew(net::Ipv4Addr::must_parse("10.0.0.1"), 500));
+  EXPECT_TRUE(db.expire_due(100).empty());  // stale heap entry skipped
+  const auto expired = db.expire_due(500);
+  ASSERT_EQ(expired.size(), 1u);
+}
+
+TEST(LeaseDb, ReleaseOnlyWhenBound) {
+  LeaseDb db;
+  db.upsert(make_lease("10.0.0.1", 1, 0, 100, LeaseState::Offered));
+  EXPECT_FALSE(db.release(net::Ipv4Addr::must_parse("10.0.0.1")).has_value());
+  EXPECT_TRUE(db.bind(net::Ipv4Addr::must_parse("10.0.0.1"), 10, 3610));
+  const auto released = db.release(net::Ipv4Addr::must_parse("10.0.0.1"));
+  ASSERT_TRUE(released.has_value());
+  EXPECT_EQ(released->state, LeaseState::Released);
+  // Released leases do not later "expire".
+  EXPECT_TRUE(db.expire_due(10000).empty());
+}
+
+TEST(LeaseDb, EraseCleansIndexes) {
+  LeaseDb db;
+  db.upsert(make_lease("10.0.0.1", 1, 0, 100));
+  db.erase(net::Ipv4Addr::must_parse("10.0.0.1"));
+  EXPECT_EQ(db.by_address(net::Ipv4Addr::must_parse("10.0.0.1")), nullptr);
+  EXPECT_EQ(db.by_mac(mac(1)), nullptr);
+  EXPECT_EQ(db.size(), 0u);
+}
+
+TEST(LeaseDb, AddressReassignmentUpdatesMacIndex) {
+  LeaseDb db;
+  db.upsert(make_lease("10.0.0.1", 1, 0, 100));
+  db.upsert(make_lease("10.0.0.1", 2, 0, 200));  // new owner
+  EXPECT_EQ(db.by_mac(mac(1)), nullptr);
+  ASSERT_NE(db.by_mac(mac(2)), nullptr);
+}
+
+TEST(LeaseDb, BoundCount) {
+  LeaseDb db;
+  db.upsert(make_lease("10.0.0.1", 1, 0, 100, LeaseState::Offered));
+  db.upsert(make_lease("10.0.0.2", 2, 0, 100));
+  EXPECT_EQ(db.bound_count(), 1u);
+  EXPECT_EQ(db.all().size(), 2u);
+}
+
+TEST(LeaseDb, ActiveAt) {
+  const Lease l = make_lease("10.0.0.1", 1, 0, 100);
+  EXPECT_TRUE(l.active_at(50));
+  EXPECT_FALSE(l.active_at(100));
+}
+
+TEST(Pool, AllocatesAllAddressesOnce) {
+  AddressPool pool;
+  pool.add_range(net::Ipv4Addr::must_parse("10.0.0.1"), net::Ipv4Addr::must_parse("10.0.0.4"));
+  std::set<std::string> seen;
+  for (int i = 0; i < 4; ++i) {
+    const auto a = pool.allocate(mac(i));
+    ASSERT_TRUE(a.has_value());
+    seen.insert(a->to_string());
+  }
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_FALSE(pool.allocate(mac(99)).has_value());  // exhausted
+  EXPECT_EQ(pool.free_count(), 0u);
+}
+
+TEST(Pool, StickyBindingAcrossRelease) {
+  AddressPool pool;
+  pool.add_range(net::Ipv4Addr::must_parse("10.0.0.1"), net::Ipv4Addr::must_parse("10.0.0.10"));
+  const auto first = pool.allocate(mac(1));
+  ASSERT_TRUE(first.has_value());
+  pool.release(*first, mac(1));
+  // Other clients churn through the pool...
+  for (int i = 2; i < 6; ++i) (void)pool.allocate(mac(i));
+  // ...but the returning client gets its old address back.
+  EXPECT_EQ(pool.allocate(mac(1)), first);
+}
+
+TEST(Pool, HonoursRequestedAddress) {
+  AddressPool pool;
+  pool.add_prefix(net::Prefix::must_parse("10.0.0.0/28"));
+  const auto requested = net::Ipv4Addr::must_parse("10.0.0.9");
+  EXPECT_EQ(pool.allocate(mac(1), requested), requested);
+  // A second client cannot take the same address.
+  EXPECT_NE(pool.allocate(mac(2), requested), requested);
+}
+
+TEST(Pool, AddPrefixSkipsNetworkAndBroadcast) {
+  AddressPool pool;
+  pool.add_prefix(net::Prefix::must_parse("10.0.0.0/29"));
+  EXPECT_EQ(pool.capacity(), 6u);
+  EXPECT_FALSE(pool.contains(net::Ipv4Addr::must_parse("10.0.0.0")));
+  EXPECT_FALSE(pool.contains(net::Ipv4Addr::must_parse("10.0.0.7")));
+  EXPECT_TRUE(pool.contains(net::Ipv4Addr::must_parse("10.0.0.1")));
+}
+
+TEST(Pool, ReleaseMakesAddressReusable) {
+  AddressPool pool;
+  pool.add_range(net::Ipv4Addr::must_parse("10.0.0.1"), net::Ipv4Addr::must_parse("10.0.0.1"));
+  const auto a = pool.allocate(mac(1));
+  ASSERT_TRUE(a.has_value());
+  EXPECT_FALSE(pool.allocate(mac(2)).has_value());
+  pool.release(*a, mac(1));
+  EXPECT_TRUE(pool.allocate(mac(2)).has_value());
+}
+
+}  // namespace
+}  // namespace rdns::dhcp

@@ -1,0 +1,110 @@
+/// Tests for the RFC 2131 message wire format and the client-side builders.
+
+#include "dhcp/message.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace rdns::dhcp {
+namespace {
+
+ClientIdentity test_identity() {
+  util::Rng rng{1};
+  ClientIdentity id;
+  id.mac = net::Mac::random(net::MacVendor::Apple, rng);
+  id.host_name = "Brian's iPhone";
+  return id;
+}
+
+TEST(DhcpWire, DiscoverRoundTrip) {
+  const DhcpMessage m = make_discover(0xDEADBEEF, test_identity());
+  const DhcpMessage decoded = decode(encode(m));
+  EXPECT_EQ(decoded, m);
+  EXPECT_EQ(decoded.xid, 0xDEADBEEFu);
+  EXPECT_EQ(decoded.message_type(), MessageType::Discover);
+  EXPECT_EQ(decoded.host_name(), "Brian's iPhone");
+  EXPECT_EQ(decoded.flags & 0x8000, 0x8000);  // broadcast bit
+}
+
+TEST(DhcpWire, FixedHeaderFields) {
+  DhcpMessage m = make_discover(42, test_identity());
+  m.secs = 7;
+  m.hops = 2;
+  m.ciaddr = net::Ipv4Addr::must_parse("10.0.0.1");
+  m.yiaddr = net::Ipv4Addr::must_parse("10.0.0.2");
+  m.siaddr = net::Ipv4Addr::must_parse("10.0.0.3");
+  m.giaddr = net::Ipv4Addr::must_parse("10.0.0.4");
+  const DhcpMessage decoded = decode(encode(m));
+  EXPECT_EQ(decoded, m);
+}
+
+TEST(DhcpWire, MagicCookieEnforced) {
+  auto wire = encode(make_discover(1, test_identity()));
+  wire[236] = 0;  // corrupt the cookie
+  EXPECT_THROW((void)decode(wire), DhcpWireError);
+}
+
+TEST(DhcpWire, RejectsShortMessages) {
+  EXPECT_THROW((void)decode(std::vector<std::uint8_t>(100, 0)), DhcpWireError);
+}
+
+TEST(DhcpWire, RejectsBadOp) {
+  auto wire = encode(make_discover(1, test_identity()));
+  wire[0] = 9;
+  EXPECT_THROW((void)decode(wire), DhcpWireError);
+}
+
+TEST(Builders, RequestCarriesSelection) {
+  const auto m = make_request(5, test_identity(), net::Ipv4Addr::must_parse("10.0.0.9"),
+                              net::Ipv4Addr::must_parse("10.0.0.1"));
+  EXPECT_EQ(m.message_type(), MessageType::Request);
+  EXPECT_EQ(m.requested_ip(), net::Ipv4Addr::must_parse("10.0.0.9"));
+  EXPECT_EQ(m.server_identifier(), net::Ipv4Addr::must_parse("10.0.0.1"));
+  EXPECT_EQ(m.host_name(), "Brian's iPhone");  // identity re-sent on REQUEST
+}
+
+TEST(Builders, RenewUsesCiaddr) {
+  const auto m = make_renew(6, test_identity(), net::Ipv4Addr::must_parse("10.0.0.9"));
+  EXPECT_EQ(m.ciaddr, net::Ipv4Addr::must_parse("10.0.0.9"));
+  EXPECT_FALSE(m.requested_ip().has_value());
+  EXPECT_FALSE(m.server_identifier().has_value());
+}
+
+TEST(Builders, ReleaseOmitsIdentity) {
+  // RELEASE does not need to re-announce the Host Name.
+  const auto m = make_release(7, test_identity(), net::Ipv4Addr::must_parse("10.0.0.9"),
+                              net::Ipv4Addr::must_parse("10.0.0.1"));
+  EXPECT_EQ(m.message_type(), MessageType::Release);
+  EXPECT_FALSE(m.host_name().has_value());
+}
+
+TEST(Builders, ClientFqdnOptionFlows) {
+  ClientIdentity id = test_identity();
+  ClientFqdn fqdn;
+  fqdn.no_server_update = true;
+  fqdn.fqdn = "brians-iphone";
+  id.fqdn = fqdn;
+  const auto decoded = decode(encode(make_discover(8, id)));
+  ASSERT_TRUE(decoded.client_fqdn().has_value());
+  EXPECT_TRUE(decoded.client_fqdn()->no_server_update);
+}
+
+TEST(Summary, MentionsTypeAndHostname) {
+  const std::string s = make_discover(9, test_identity()).summary();
+  EXPECT_NE(s.find("DISCOVER"), std::string::npos);
+  EXPECT_NE(s.find("Brian's iPhone"), std::string::npos);
+}
+
+TEST(Accessors, MissingOptionsYieldNullopt) {
+  DhcpMessage m;
+  EXPECT_FALSE(m.message_type().has_value());
+  EXPECT_FALSE(m.host_name().has_value());
+  EXPECT_FALSE(m.client_fqdn().has_value());
+  EXPECT_FALSE(m.requested_ip().has_value());
+  EXPECT_FALSE(m.lease_time().has_value());
+  EXPECT_FALSE(m.server_identifier().has_value());
+}
+
+}  // namespace
+}  // namespace rdns::dhcp

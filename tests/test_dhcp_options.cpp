@@ -1,0 +1,107 @@
+/// Tests for DHCP options: TLV codec, typed accessors and the RFC 4702
+/// Client FQDN option (flags, wire-encoded names).
+
+#include "dhcp/options.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rdns::dhcp {
+namespace {
+
+TEST(Options, TypedConstructors) {
+  EXPECT_EQ(Option::message_type(MessageType::Discover).as_message_type(),
+            MessageType::Discover);
+  EXPECT_EQ(Option::host_name("Brians-iPhone").as_string(), "Brians-iPhone");
+  EXPECT_EQ(Option::requested_ip(net::Ipv4Addr::must_parse("10.0.0.7")).as_ipv4(),
+            net::Ipv4Addr::must_parse("10.0.0.7"));
+  EXPECT_EQ(Option::lease_time(3600).as_u32(), 3600u);
+}
+
+TEST(Options, HostNameBounds) {
+  EXPECT_THROW((void)Option::host_name(""), OptionError);
+  EXPECT_THROW((void)Option::host_name(std::string(256, 'a')), OptionError);
+  EXPECT_NO_THROW((void)Option::host_name(std::string(255, 'a')));
+}
+
+TEST(Options, AccessorTypeChecks) {
+  const Option o{OptionCode::HostName, {1, 2, 3}};
+  EXPECT_THROW((void)o.as_message_type(), OptionError);
+  EXPECT_THROW((void)o.as_u32(), OptionError);
+}
+
+TEST(Options, EncodeDecodeRoundTrip) {
+  std::vector<Option> options = {
+      Option::message_type(MessageType::Request),
+      Option::host_name("Brian's iPhone"),
+      Option::requested_ip(net::Ipv4Addr::must_parse("10.10.128.9")),
+      Option::lease_time(3600),
+      Option::server_identifier(net::Ipv4Addr::must_parse("10.10.128.0")),
+  };
+  std::vector<std::uint8_t> wire;
+  encode_options(options, wire);
+  EXPECT_EQ(wire.back(), 255);  // End option
+  const auto decoded = decode_options(wire);
+  EXPECT_EQ(decoded, options);
+}
+
+TEST(Options, DecodeSkipsPadRequiresEnd) {
+  std::vector<std::uint8_t> wire = {0, 0, 53, 1, 1, 255};
+  const auto decoded = decode_options(wire);
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0].as_message_type(), MessageType::Discover);
+  EXPECT_THROW((void)decode_options(std::vector<std::uint8_t>{53, 1, 1}), OptionError);
+}
+
+TEST(Options, DecodeRejectsTruncation) {
+  EXPECT_THROW((void)decode_options(std::vector<std::uint8_t>{53}), OptionError);
+  EXPECT_THROW((void)decode_options(std::vector<std::uint8_t>{53, 4, 1, 255}), OptionError);
+}
+
+TEST(Options, FindOption) {
+  std::vector<Option> options = {Option::message_type(MessageType::Ack)};
+  EXPECT_NE(find_option(options, OptionCode::MessageType), nullptr);
+  EXPECT_EQ(find_option(options, OptionCode::HostName), nullptr);
+}
+
+TEST(ClientFqdn, WireEncodedRoundTrip) {
+  ClientFqdn f;
+  f.server_updates = true;
+  f.fqdn = "brians-iphone.wifi.x.edu";
+  const Option o = f.to_option();
+  const ClientFqdn decoded = ClientFqdn::from_option(o);
+  EXPECT_EQ(decoded, f);
+}
+
+TEST(ClientFqdn, AsciiFormRoundTrip) {
+  ClientFqdn f;
+  f.canonical_wire = false;
+  f.fqdn = "brians-iphone";
+  EXPECT_EQ(ClientFqdn::from_option(f.to_option()), f);
+}
+
+TEST(ClientFqdn, FlagBits) {
+  ClientFqdn f;
+  f.no_server_update = true;  // the RFC 4702 "N" bit
+  f.server_updates = false;
+  f.fqdn = "x";
+  const Option o = f.to_option();
+  EXPECT_EQ(o.data[0] & 0x08, 0x08);
+  EXPECT_EQ(o.data[0] & 0x01, 0x00);
+  EXPECT_TRUE(ClientFqdn::from_option(o).no_server_update);
+}
+
+TEST(ClientFqdn, RejectsMalformed) {
+  EXPECT_THROW((void)ClientFqdn::from_option(Option{OptionCode::ClientFqdn, {1}}),
+               OptionError);
+  ClientFqdn f;
+  f.fqdn = std::string(70, 'a');  // label > 63 in wire form
+  EXPECT_THROW((void)f.to_option(), OptionError);
+}
+
+TEST(MessageTypeNames, Strings) {
+  EXPECT_STREQ(to_string(MessageType::Discover), "DISCOVER");
+  EXPECT_STREQ(to_string(MessageType::Release), "RELEASE");
+}
+
+}  // namespace
+}  // namespace rdns::dhcp

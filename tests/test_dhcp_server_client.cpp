@@ -1,0 +1,203 @@
+/// Integration tests for the DHCP server and client state machines: the
+/// full wire-level handshake, renewals, releases, expiry, and lease-event
+/// observation (what the DDNS bridge subscribes to).
+
+#include <gtest/gtest.h>
+
+#include "dhcp/client.hpp"
+#include "dhcp/server.hpp"
+#include "util/rng.hpp"
+
+namespace rdns::dhcp {
+namespace {
+
+DhcpServer make_server(std::uint32_t lease_seconds = 3600) {
+  DhcpServerConfig config;
+  config.server_id = net::Ipv4Addr::must_parse("10.0.0.0");
+  config.lease_seconds = lease_seconds;
+  AddressPool pool;
+  pool.add_prefix(net::Prefix::must_parse("10.0.0.0/28"));
+  return DhcpServer{config, std::move(pool)};
+}
+
+ClientIdentity identity(int i, const std::string& host_name = "Brians-MBP") {
+  util::Rng rng{static_cast<std::uint64_t>(i) + 100};
+  ClientIdentity id;
+  id.mac = net::Mac::random(net::MacVendor::Apple, rng);
+  id.host_name = host_name;
+  return id;
+}
+
+TEST(Handshake, DiscoverOfferRequestAck) {
+  DhcpServer server = make_server();
+  DhcpClient client{identity(1), 7};
+  const auto address = client.join(server, 1000);
+  ASSERT_TRUE(address.has_value());
+  EXPECT_EQ(client.state(), ClientState::Bound);
+  EXPECT_EQ(server.stats().discovers, 1u);
+  EXPECT_EQ(server.stats().offers, 1u);
+  EXPECT_EQ(server.stats().acks, 1u);
+  const Lease* lease = server.leases().by_address(*address);
+  ASSERT_NE(lease, nullptr);
+  EXPECT_EQ(lease->state, LeaseState::Bound);
+  EXPECT_EQ(lease->host_name, "Brians-MBP");
+  EXPECT_EQ(lease->expiry, 1000 + 3600);
+}
+
+TEST(Handshake, ObserverSeesBindWithHostName) {
+  DhcpServer server = make_server();
+  std::vector<std::string> bound_names;
+  LeaseObserver obs;
+  obs.on_bound = [&](const Lease& lease, util::SimTime) {
+    bound_names.push_back(lease.host_name);
+  };
+  server.add_observer(std::move(obs));
+  DhcpClient client{identity(2, "Brian's iPhone"), 8};
+  ASSERT_TRUE(client.join(server, 0).has_value());
+  ASSERT_EQ(bound_names.size(), 1u);
+  EXPECT_EQ(bound_names[0], "Brian's iPhone");
+}
+
+TEST(Renewal, ExtendsLease) {
+  DhcpServer server = make_server(1000);
+  DhcpClient client{identity(3), 9};
+  const auto address = client.join(server, 0);
+  ASSERT_TRUE(address.has_value());
+  EXPECT_EQ(client.renewal_due(), 500);
+  EXPECT_TRUE(client.maybe_renew(server, 400));  // not due: no-op, still bound
+  EXPECT_TRUE(client.maybe_renew(server, 600));  // renews
+  EXPECT_EQ(server.leases().by_address(*address)->expiry, 1600);
+  EXPECT_EQ(client.renewal_due(), 1100);
+}
+
+TEST(Renewal, NakAfterServerForgot) {
+  DhcpServer server = make_server(100);
+  DhcpClient client{identity(4), 10};
+  ASSERT_TRUE(client.join(server, 0).has_value());
+  // Let the lease expire server-side, then try to renew.
+  server.tick(1000);
+  EXPECT_FALSE(client.maybe_renew(server, 1001));
+  EXPECT_EQ(client.state(), ClientState::Init);
+  EXPECT_GE(server.stats().naks, 1u);
+}
+
+TEST(Release, CleanLeaveFiresEndEvent) {
+  DhcpServer server = make_server();
+  std::vector<LeaseEndReason> reasons;
+  LeaseObserver obs;
+  obs.on_end = [&](const Lease&, LeaseEndReason reason, util::SimTime) {
+    reasons.push_back(reason);
+  };
+  server.add_observer(std::move(obs));
+  DhcpClient client{identity(5), 11};
+  const auto address = client.join(server, 0);
+  ASSERT_TRUE(address.has_value());
+  client.leave(server, 100, /*clean=*/true);
+  ASSERT_EQ(reasons.size(), 1u);
+  EXPECT_EQ(reasons[0], LeaseEndReason::Release);
+  EXPECT_EQ(server.leases().by_address(*address), nullptr);
+  // The address is back in the pool.
+  EXPECT_EQ(server.pool().free_count(), server.pool().capacity());
+}
+
+TEST(Expiry, SilentLeaveExpiresAtLeaseEnd) {
+  DhcpServer server = make_server(3600);
+  std::vector<std::pair<LeaseEndReason, util::SimTime>> ends;
+  LeaseObserver obs;
+  obs.on_end = [&](const Lease&, LeaseEndReason reason, util::SimTime t) {
+    ends.emplace_back(reason, t);
+  };
+  server.add_observer(std::move(obs));
+  DhcpClient client{identity(6), 12};
+  ASSERT_TRUE(client.join(server, 0).has_value());
+  client.leave(server, 600, /*clean=*/false);  // vanishes without RELEASE
+  server.tick(3599);
+  EXPECT_TRUE(ends.empty());
+  server.tick(3600);
+  ASSERT_EQ(ends.size(), 1u);
+  EXPECT_EQ(ends[0].first, LeaseEndReason::Expiry);
+  EXPECT_EQ(ends[0].second, 3600);
+}
+
+TEST(Expiry, LapsedOfferDoesNotFireEndEvent) {
+  DhcpServer server = make_server();
+  int end_events = 0;
+  LeaseObserver obs;
+  obs.on_end = [&](const Lease&, LeaseEndReason, util::SimTime) { ++end_events; };
+  server.add_observer(std::move(obs));
+  // DISCOVER only; never REQUEST.
+  const auto offer = server.handle(make_discover(77, identity(7)), 0);
+  ASSERT_TRUE(offer.has_value());
+  server.tick(10000);
+  EXPECT_EQ(end_events, 0);
+}
+
+TEST(Server, ReOffersSameAddressToBoundClient) {
+  DhcpServer server = make_server();
+  DhcpClient client{identity(8), 13};
+  const auto address = client.join(server, 0);
+  ASSERT_TRUE(address.has_value());
+  const auto offer = server.handle(make_discover(88, identity(8)), 10);
+  ASSERT_TRUE(offer.has_value());
+  EXPECT_EQ(offer->yiaddr, *address);
+}
+
+TEST(Server, NaksForeignRequest) {
+  DhcpServer server = make_server();
+  const auto response = server.handle(
+      make_request(99, identity(9), net::Ipv4Addr::must_parse("10.0.0.5"),
+                   net::Ipv4Addr::must_parse("10.0.0.0")),
+      0);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->message_type(), MessageType::Nak);
+}
+
+TEST(Server, IgnoresRequestForOtherServer) {
+  DhcpServer server = make_server();
+  DhcpClient client{identity(10), 14};
+  ASSERT_TRUE(client.join(server, 0).has_value());
+  const auto response = server.handle(
+      make_request(100, identity(11), net::Ipv4Addr::must_parse("10.0.0.1"),
+                   net::Ipv4Addr::must_parse("192.0.2.1")),  // someone else's server-id
+      0);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->message_type(), MessageType::Nak);
+}
+
+TEST(Server, SilentWhenPoolExhausted) {
+  DhcpServerConfig config;
+  config.server_id = net::Ipv4Addr::must_parse("10.0.0.0");
+  AddressPool pool;
+  pool.add_range(net::Ipv4Addr::must_parse("10.0.0.1"), net::Ipv4Addr::must_parse("10.0.0.1"));
+  DhcpServer server{config, std::move(pool)};
+  DhcpClient first{identity(12), 15};
+  ASSERT_TRUE(first.join(server, 0).has_value());
+  DhcpClient second{identity(13), 16};
+  EXPECT_FALSE(second.join(server, 1).has_value());
+  EXPECT_EQ(server.stats().pool_exhausted, 1u);
+}
+
+TEST(Server, DropsUndecodableDatagrams) {
+  DhcpServer server = make_server();
+  const std::vector<std::uint8_t> junk(300, 0xAB);
+  EXPECT_FALSE(server.handle_wire(junk, 0).has_value());
+}
+
+TEST(Server, RequestIdentityOverridesDiscover) {
+  // Some clients send the Host Name only on REQUEST; the lease must carry
+  // the freshest identity.
+  DhcpServer server = make_server();
+  ClientIdentity bare = identity(14, "");
+  const auto offer = server.handle(make_discover(1, bare), 0);
+  ASSERT_TRUE(offer.has_value());
+  ClientIdentity named = bare;
+  named.host_name = "Emmas-Galaxy-S21";
+  const auto ack =
+      server.handle(make_request(1, named, offer->yiaddr, *offer->server_identifier()), 1);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->message_type(), MessageType::Ack);
+  EXPECT_EQ(server.leases().by_address(offer->yiaddr)->host_name, "Emmas-Galaxy-S21");
+}
+
+}  // namespace
+}  // namespace rdns::dhcp

@@ -1,0 +1,154 @@
+/// Tests for the DNS cache and caching resolver — including the property
+/// the paper's methodology rests on: cached lookups serve STALE reverse
+/// state for up to a TTL after the authoritative zone changed.
+
+#include "dns/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dns/update.hpp"
+#include "net/arpa.hpp"
+
+namespace rdns::dns {
+namespace {
+
+SoaRdata test_soa() {
+  SoaRdata soa;
+  soa.mname = DnsName::must_parse("ns1.x.edu");
+  soa.rname = DnsName::must_parse("hostmaster.x.edu");
+  return soa;
+}
+
+DnsName owner(const char* ip) {
+  return DnsName::must_parse(net::to_arpa(net::Ipv4Addr::must_parse(ip)));
+}
+
+TEST(DnsCache, PositiveHitUntilTtl) {
+  DnsCache cache;
+  cache.insert_positive(owner("10.128.0.1"), RrType::PTR,
+                        {make_ptr(owner("10.128.0.1"), DnsName::must_parse("h.x.edu"), 60)},
+                        /*now=*/1000);
+  EXPECT_TRUE(cache.lookup(owner("10.128.0.1"), RrType::PTR, 1059).has_value());
+  EXPECT_FALSE(cache.lookup(owner("10.128.0.1"), RrType::PTR, 1060).has_value());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(DnsCache, NegativeEntries) {
+  DnsCache cache;
+  cache.insert_negative(owner("10.128.0.2"), RrType::PTR, LookupStatus::NxDomain, 300, 0);
+  const auto entry = cache.lookup(owner("10.128.0.2"), RrType::PTR, 299);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->status, LookupStatus::NxDomain);
+  EXPECT_EQ(cache.stats().negative_hits, 1u);
+  EXPECT_FALSE(cache.lookup(owner("10.128.0.2"), RrType::PTR, 300).has_value());
+}
+
+TEST(DnsCache, KeyIncludesType) {
+  DnsCache cache;
+  cache.insert_positive(owner("10.128.0.1"), RrType::PTR,
+                        {make_ptr(owner("10.128.0.1"), DnsName::must_parse("h.x.edu"), 60)}, 0);
+  EXPECT_FALSE(cache.lookup(owner("10.128.0.1"), RrType::A, 10).has_value());
+}
+
+TEST(DnsCache, LruEvictionAtCapacity) {
+  DnsCache cache{3};
+  for (int i = 0; i < 3; ++i) {
+    const auto name = owner(("10.128.0." + std::to_string(i + 1)).c_str());
+    cache.insert_positive(name, RrType::PTR, {make_ptr(name, DnsName::must_parse("h.x.edu"), 600)},
+                          0);
+  }
+  // Touch the first entry so the second becomes LRU.
+  (void)cache.lookup(owner("10.128.0.1"), RrType::PTR, 1);
+  const auto fourth = owner("10.128.0.4");
+  cache.insert_positive(fourth, RrType::PTR, {make_ptr(fourth, DnsName::must_parse("h.x.edu"), 600)},
+                        1);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.lookup(owner("10.128.0.1"), RrType::PTR, 2).has_value());
+  EXPECT_FALSE(cache.lookup(owner("10.128.0.2"), RrType::PTR, 2).has_value());  // evicted
+}
+
+TEST(DnsCache, FlushEmpties) {
+  DnsCache cache;
+  cache.insert_positive(owner("10.128.0.1"), RrType::PTR,
+                        {make_ptr(owner("10.128.0.1"), DnsName::must_parse("h.x.edu"), 600)}, 0);
+  cache.flush();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+class CachingResolverFixture : public ::testing::Test {
+ protected:
+  CachingResolverFixture()
+      : zone_(server_.add_zone(DnsName::must_parse("128.10.in-addr.arpa"), test_soa())),
+        transport_(server_),
+        resolver_(transport_, 1000, /*default_negative_ttl=*/300) {
+    zone_.add(make_ptr(owner("10.128.1.7"), DnsName::must_parse("brians-mbp.x.edu"), 300));
+  }
+
+  AuthoritativeServer server_;
+  Zone& zone_;
+  LoopbackTransport transport_;
+  CachingResolver resolver_;
+};
+
+TEST_F(CachingResolverFixture, SecondLookupServedFromCache) {
+  const auto a = net::Ipv4Addr::must_parse("10.128.1.7");
+  const auto first = resolver_.lookup_ptr(a, 0);
+  EXPECT_EQ(first.status, LookupStatus::Ok);
+  const auto queries_after_first = server_.stats().queries;
+  const auto second = resolver_.lookup_ptr(a, 10);
+  EXPECT_EQ(second.status, LookupStatus::Ok);
+  EXPECT_EQ(second.ptr->to_canonical_string(), "brians-mbp.x.edu");
+  EXPECT_EQ(server_.stats().queries, queries_after_first);  // no upstream query
+  EXPECT_EQ(resolver_.cache_stats().hits, 1u);
+}
+
+TEST_F(CachingResolverFixture, ServesStaleAnswerAfterRemoval) {
+  // THE methodological point (§6.1): through a cache, the PTR looks alive
+  // for up to its TTL after the authoritative record was removed.
+  const auto a = net::Ipv4Addr::must_parse("10.128.1.7");
+  ASSERT_EQ(resolver_.lookup_ptr(a, 0).status, LookupStatus::Ok);
+
+  // The DHCP lease ends and the bridge removes the PTR at t=60.
+  (void)server_.handle(make_ptr_delete(1, DnsName::must_parse("128.10.in-addr.arpa"), a));
+
+  // Direct (paper-style) measurement sees the removal immediately...
+  StubResolver direct{transport_};
+  EXPECT_EQ(direct.lookup_ptr(a, 61).status, LookupStatus::NxDomain);
+  // ...while the cached path still claims the client is there.
+  EXPECT_EQ(resolver_.lookup_ptr(a, 61).status, LookupStatus::Ok);
+  EXPECT_EQ(resolver_.lookup_ptr(a, 299).status, LookupStatus::Ok);
+  // Only after the TTL does the cache learn the truth.
+  EXPECT_EQ(resolver_.lookup_ptr(a, 301).status, LookupStatus::NxDomain);
+}
+
+TEST_F(CachingResolverFixture, NegativeCachingHidesNewClients) {
+  // The phase-1 mirror image: an NXDOMAIN cached before the client joined
+  // hides the new PTR for the negative TTL.
+  const auto a = net::Ipv4Addr::must_parse("10.128.1.8");
+  ASSERT_EQ(resolver_.lookup_ptr(a, 0).status, LookupStatus::NxDomain);
+
+  zone_.add(make_ptr(owner("10.128.1.8"), DnsName::must_parse("emmas-ipad.x.edu"), 300));
+  EXPECT_EQ(resolver_.lookup_ptr(a, 100).status, LookupStatus::NxDomain);  // stale negative
+  EXPECT_EQ(resolver_.lookup_ptr(a, 301).status, LookupStatus::Ok);
+}
+
+TEST_F(CachingResolverFixture, TransientErrorsNotCached) {
+  server_.set_faults(FaultPolicy{1.0, 0.0});  // always SERVFAIL
+  const auto a = net::Ipv4Addr::must_parse("10.128.1.7");
+  EXPECT_EQ(resolver_.lookup_ptr(a, 1000).status, LookupStatus::ServFail);
+  server_.set_faults(FaultPolicy::none());
+  EXPECT_EQ(resolver_.lookup_ptr(a, 1001).status, LookupStatus::Ok);  // retried upstream
+}
+
+TEST_F(CachingResolverFixture, FlushForcesRefetch) {
+  const auto a = net::Ipv4Addr::must_parse("10.128.1.7");
+  ASSERT_EQ(resolver_.lookup_ptr(a, 0).status, LookupStatus::Ok);
+  (void)server_.handle(make_ptr_delete(2, DnsName::must_parse("128.10.in-addr.arpa"), a));
+  resolver_.flush();
+  EXPECT_EQ(resolver_.lookup_ptr(a, 1).status, LookupStatus::NxDomain);
+}
+
+}  // namespace
+}  // namespace rdns::dns

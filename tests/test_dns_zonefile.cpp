@@ -1,0 +1,149 @@
+/// Tests for the RFC 1035 master-file codec: serialization round trips,
+/// directive handling, relative names, multi-line SOA, error reporting.
+
+#include "dns/zonefile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/arpa.hpp"
+
+namespace rdns::dns {
+namespace {
+
+SoaRdata test_soa() {
+  SoaRdata soa;
+  soa.mname = DnsName::must_parse("ns1.x.edu");
+  soa.rname = DnsName::must_parse("hostmaster.x.edu");
+  soa.serial = 2021112901;
+  return soa;
+}
+
+TEST(ZoneFile, SerializeContainsOriginAndRecords) {
+  Zone zone{DnsName::must_parse("128.10.in-addr.arpa"), test_soa()};
+  zone.add(make_ptr(DnsName::must_parse("7.1.128.10.in-addr.arpa"),
+                    DnsName::must_parse("brians-iphone.wifi.x.edu"), 300));
+  const std::string text = to_zone_file(zone);
+  EXPECT_NE(text.find("$ORIGIN 128.10.in-addr.arpa."), std::string::npos);
+  EXPECT_NE(text.find("SOA"), std::string::npos);
+  EXPECT_NE(text.find("7.1"), std::string::npos);  // relative owner
+  EXPECT_NE(text.find("brians-iphone.wifi.x.edu."), std::string::npos);
+}
+
+TEST(ZoneFile, RoundTripPreservesZone) {
+  Zone zone{DnsName::must_parse("128.10.in-addr.arpa"), test_soa()};
+  for (std::uint32_t i = 1; i <= 20; ++i) {
+    zone.add(make_ptr(
+        DnsName::must_parse(net::to_arpa(net::Ipv4Addr{0x0A800100u + i})),
+        DnsName::must_parse("host-" + std::to_string(i) + ".wifi.x.edu"), 300));
+  }
+  zone.add(make_txt(DnsName::must_parse("128.10.in-addr.arpa"), {"managed by", "ipam"}));
+
+  const Zone reparsed = parse_zone(to_zone_file(zone));
+  EXPECT_EQ(reparsed.origin(), zone.origin());
+  EXPECT_EQ(reparsed.soa().serial, zone.soa().serial);
+  EXPECT_EQ(reparsed.soa().minimum, zone.soa().minimum);
+  // Every PTR survives with its target.
+  for (std::uint32_t i = 1; i <= 20; ++i) {
+    const auto records = reparsed.find(
+        DnsName::must_parse(net::to_arpa(net::Ipv4Addr{0x0A800100u + i})), RrType::PTR);
+    ASSERT_EQ(records.size(), 1u) << i;
+    EXPECT_EQ(std::get<PtrRdata>(records[0].rdata).ptrdname.to_canonical_string(),
+              "host-" + std::to_string(i) + ".wifi.x.edu");
+  }
+  const auto txt = reparsed.find(reparsed.origin(), RrType::TXT);
+  ASSERT_EQ(txt.size(), 1u);
+  EXPECT_EQ(std::get<TxtRdata>(txt[0].rdata).strings,
+            (std::vector<std::string>{"managed by", "ipam"}));
+}
+
+TEST(ZoneFile, ParsesHandWrittenFile) {
+  const std::string text = R"(
+$ORIGIN 128.10.in-addr.arpa.
+$TTL 900
+@   IN SOA ns1.x.edu. hostmaster.x.edu. (
+        2021112901 ; serial
+        7200       ; refresh
+        900        ; retry
+        1209600    ; expire
+        300 )      ; minimum
+    IN NS ns1.x.edu.
+7.1 IN PTR brians-iphone.wifi.x.edu.
+8.1 300 IN PTR emmas-ipad.wifi.x.edu.
+9.1 IN 600 PTR host-9.dyn.x.edu.   ; class before TTL
+)";
+  const auto records = parse_zone_file(text);
+  ASSERT_EQ(records.size(), 5u);
+  EXPECT_EQ(records[0].type(), RrType::SOA);
+  EXPECT_EQ(std::get<SoaRdata>(records[0].rdata).serial, 2021112901u);
+  EXPECT_EQ(records[2].name.to_canonical_string(), "7.1.128.10.in-addr.arpa");
+  EXPECT_EQ(records[2].ttl, 900u);   // $TTL default
+  EXPECT_EQ(records[3].ttl, 300u);   // explicit TTL
+  EXPECT_EQ(records[4].ttl, 600u);   // TTL after class
+}
+
+TEST(ZoneFile, BlankOwnerRepeatsPrevious) {
+  const std::string text =
+      "$ORIGIN x.edu.\n"
+      "host1 IN A 192.0.2.1\n"
+      "      IN TXT \"same owner\"\n";
+  const auto records = parse_zone_file(text);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].name, records[0].name);
+}
+
+TEST(ZoneFile, AtSignIsOrigin) {
+  const auto records = parse_zone_file("$ORIGIN x.edu.\n@ IN A 192.0.2.1\n");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].name.to_canonical_string(), "x.edu");
+}
+
+TEST(ZoneFile, DefaultOriginParameter) {
+  const auto records =
+      parse_zone_file("www IN A 192.0.2.1\n", DnsName::must_parse("x.edu"));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].name.to_canonical_string(), "www.x.edu");
+}
+
+TEST(ZoneFile, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_zone_file("$ORIGIN x.edu.\nhost1 IN A not-an-ip\n");
+    FAIL() << "expected ZoneFileError";
+  } catch (const ZoneFileError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(ZoneFile, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_zone_file("$TTL abc\n"), ZoneFileError);
+  EXPECT_THROW((void)parse_zone_file("$BOGUS x\n"), ZoneFileError);
+  EXPECT_THROW((void)parse_zone_file("h IN WKS 1.2.3.4\n", DnsName::must_parse("x.edu")),
+               ZoneFileError);
+  EXPECT_THROW((void)parse_zone_file("h IN A\n", DnsName::must_parse("x.edu")), ZoneFileError);
+  EXPECT_THROW((void)parse_zone_file("h IN TXT \"unterminated\n", DnsName::must_parse("x.edu")),
+               ZoneFileError);
+  EXPECT_THROW((void)parse_zone_file("h IN SOA a. b. (1 2 3 4\n", DnsName::must_parse("x.edu")),
+               ZoneFileError);
+  EXPECT_THROW((void)parse_zone_file("  IN A 192.0.2.1\n"), ZoneFileError);  // no owner yet
+}
+
+TEST(ZoneFile, ParseZoneRequiresExactlyOneSoa) {
+  EXPECT_THROW((void)parse_zone("x IN A 192.0.2.1\n", DnsName::must_parse("x.edu")),
+               ZoneFileError);
+  const std::string two_soas =
+      "$ORIGIN x.edu.\n"
+      "@ IN SOA ns1.x.edu. h.x.edu. (1 2 3 4 5)\n"
+      "@ IN SOA ns2.x.edu. h.x.edu. (1 2 3 4 5)\n";
+  EXPECT_THROW((void)parse_zone(two_soas), ZoneFileError);
+}
+
+TEST(ZoneFile, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "; a reverse zone export\n"
+      "\n"
+      "$ORIGIN x.edu.\n"
+      "h IN A 192.0.2.1 ; trailing comment\n";
+  EXPECT_EQ(parse_zone_file(text).size(), 1u);
+}
+
+}  // namespace
+}  // namespace rdns::dns

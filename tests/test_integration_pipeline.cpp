@@ -1,0 +1,213 @@
+/// End-to-end integration tests: a small synthetic Internet goes through
+/// the full Section 4-5 identification pipeline, and the paper world's
+/// structural guarantees are checked (the campaign networks, the Brians,
+/// ICMP policies).
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "core/mitigation.hpp"
+
+namespace rdns::core {
+namespace {
+
+using util::CivilDate;
+using util::kHour;
+
+TEST(Pipeline, FindsTheLeakerAndIgnoresTheQuietOrgs) {
+  sim::World world;
+
+  // One carry-over leaker.
+  sim::OrgSpec leaker;
+  leaker.name = "leaker";
+  leaker.type = sim::OrgType::Academic;
+  leaker.suffix = dns::DnsName::must_parse("leaky-university.edu");
+  leaker.announced = {net::Prefix::must_parse("10.70.0.0/16")};
+  sim::SegmentSpec seg;
+  seg.label = "wifi";
+  seg.prefix = net::Prefix::must_parse("10.70.64.0/23");
+  seg.schedule = sim::ScheduleKind::OfficeWorker;
+  seg.user_count = 120;
+  seg.named_device_frac = 0.9;
+  leaker.segments = {seg};
+  leaker.seed = 1;
+  world.add_org(std::move(leaker));
+
+  // One static-generic org (dynamic DHCP, static rDNS: must NOT appear).
+  sim::OrgSpec quiet;
+  quiet.name = "quiet";
+  quiet.type = sim::OrgType::Isp;
+  quiet.suffix = dns::DnsName::must_parse("quiet-broadband.net");
+  quiet.announced = {net::Prefix::must_parse("10.71.0.0/16")};
+  sim::SegmentSpec qseg = seg;
+  qseg.prefix = net::Prefix::must_parse("10.71.64.0/23");
+  qseg.schedule = sim::ScheduleKind::HomeResident;
+  qseg.ddns_policy = dhcp::DdnsPolicy::StaticGeneric;
+  quiet.segments = {qseg};
+  quiet.seed = 2;
+  world.add_org(std::move(quiet));
+
+  // One router-only transit org (the city-name decoy).
+  sim::OrgSpec transit;
+  transit.name = "transit";
+  transit.type = sim::OrgType::Other;
+  transit.suffix = dns::DnsName::must_parse("decoy-transit.org");
+  transit.announced = {net::Prefix::must_parse("10.72.0.0/16")};
+  transit.static_ranges = {{net::Prefix::must_parse("10.72.0.0/22"),
+                            sim::StaticRangeSpec::Style::RouterNames, 0.5, 0.9}};
+  transit.seed = 3;
+  world.add_org(std::move(transit));
+
+  world.start(CivilDate{2021, 1, 1}, CivilDate{2021, 1, 31});
+
+  PipelineConfig config;
+  config.from = CivilDate{2021, 1, 2};
+  config.to = CivilDate{2021, 1, 30};
+  config.dynamicity.min_days_over = 5;
+  config.leak.min_unique_names = 20;
+  const PipelineReport report = run_identification_pipeline(world, config);
+
+  // The carry-over academic is identified; nothing else is.
+  ASSERT_EQ(report.leaks.identified.size(), 1u);
+  EXPECT_EQ(report.leaks.identified[0], "leaky-university.edu");
+  EXPECT_EQ(report.types.counts.at(NetworkType::Academic), 1u);
+
+  // Dynamic /24s exist and sit inside the leaker's announcement.
+  EXPECT_GT(report.dynamicity.dynamic_count, 0u);
+  for (const auto& block : report.dynamicity.dynamic_blocks()) {
+    EXPECT_TRUE(net::Prefix::must_parse("10.70.64.0/23").contains(block))
+        << block.to_string();
+  }
+
+  // Fig. 1 shape: the dynamic fraction of the announced /16 is small.
+  for (const auto& rollup : report.rollup) {
+    EXPECT_LE(rollup.fraction(), 0.05);
+  }
+
+  // Fig. 2 shape: filtering strictly reduces match counts.
+  std::uint64_t all = 0, filtered = 0;
+  for (const auto& [name, count] : report.leaks.matches_per_name) all += count;
+  for (const auto& [name, count] : report.leaks.filtered_matches_per_name) filtered += count;
+  EXPECT_GT(all, 0u);
+  EXPECT_LE(filtered, all);
+
+  // Fig. 3 shape: device terms co-occur with names in the identified net.
+  EXPECT_GT(report.cooccurrence.total_filtered, 0u);
+}
+
+TEST(Pipeline, MitigationDefeatsIdentification) {
+  // Same org twice, once carry-over and once hashed: the pipeline must
+  // identify the former and not the latter.
+  for (const auto policy :
+       {dhcp::DdnsPolicy::CarryOverClientId, dhcp::DdnsPolicy::HashedClientId}) {
+    sim::World world;
+    sim::OrgSpec org;
+    org.name = "subject";
+    org.type = sim::OrgType::Academic;
+    org.suffix = dns::DnsName::must_parse("subject-university.edu");
+    org.announced = {net::Prefix::must_parse("10.73.0.0/16")};
+    sim::SegmentSpec seg;
+    seg.label = "wifi";
+    seg.prefix = net::Prefix::must_parse("10.73.64.0/23");
+    seg.schedule = sim::ScheduleKind::OfficeWorker;
+    seg.user_count = 120;
+    seg.named_device_frac = 0.9;
+    seg.ddns_policy = policy;
+    org.segments = {seg};
+    org.seed = 4;
+    world.add_org(std::move(org));
+    world.start(CivilDate{2021, 1, 1}, CivilDate{2021, 1, 31});
+
+    PipelineConfig config;
+    config.from = CivilDate{2021, 1, 2};
+    config.to = CivilDate{2021, 1, 30};
+    config.dynamicity.min_days_over = 5;
+    config.leak.min_unique_names = 20;
+    const PipelineReport report = run_identification_pipeline(world, config);
+
+    if (policy == dhcp::DdnsPolicy::CarryOverClientId) {
+      EXPECT_EQ(report.leaks.identified.size(), 1u);
+    } else {
+      // Hashing: the network is still *dynamic* (churn visible) but leaks
+      // no names, so the Section 5 filter rejects it.
+      EXPECT_GT(report.dynamicity.dynamic_count, 0u);
+      EXPECT_TRUE(report.leaks.identified.empty());
+    }
+  }
+}
+
+TEST(PaperWorld, HasTheNineCampaignNetworks) {
+  auto world = make_paper_world(7, WorldScale{0.2});
+  const std::vector<std::string> expected = {"Academic-A",   "Academic-B",   "Academic-C",
+                                             "Enterprise-A", "Enterprise-B", "Enterprise-C",
+                                             "ISP-A",        "ISP-B",        "ISP-C"};
+  for (const auto& name : expected) {
+    EXPECT_NE(world->org_by_name(name), nullptr) << name;
+  }
+  // Table 4 ICMP policies.
+  EXPECT_FALSE(world->org_by_name("Academic-A")->spec().blocks_icmp);
+  EXPECT_TRUE(world->org_by_name("Academic-B")->spec().blocks_icmp);
+  EXPECT_TRUE(world->org_by_name("Enterprise-B")->spec().blocks_icmp);
+  EXPECT_TRUE(world->org_by_name("Enterprise-C")->spec().blocks_icmp);
+  // Academic-C uses longer leases (Fig. 7b's lingering difference).
+  EXPECT_GT(world->org_by_name("Academic-C")->segments()[0].spec.lease_seconds,
+            world->org_by_name("Academic-A")->segments()[0].spec.lease_seconds);
+}
+
+TEST(PaperWorld, BriansExistWithScriptedDevices) {
+  auto world = make_paper_world(7, WorldScale{0.2});
+  const sim::Organization* academic_a = world->org_by_name("Academic-A");
+  ASSERT_NE(academic_a, nullptr);
+  std::set<std::string> brian_hostnames;
+  for (const auto& user : academic_a->users()) {
+    if (user.given_name != "brian") continue;
+    for (const auto& device : user.devices) brian_hostnames.insert(device->host_name());
+  }
+  // The five Fig. 8 devices.
+  EXPECT_TRUE(brian_hostnames.count("Brian's Phone"));
+  EXPECT_TRUE(brian_hostnames.count("Brians-MBP"));
+  EXPECT_TRUE(brian_hostnames.count("Brians-Air"));
+  EXPECT_TRUE(brian_hostnames.count("Brian's iPad"));
+  EXPECT_TRUE(brian_hostnames.count("Brians-Galaxy-Note9"));
+}
+
+TEST(PaperWorld, GalaxyNote9DoesNotExistBeforeCyberMonday) {
+  auto world = make_paper_world(7, WorldScale{0.2});
+  const sim::Organization* academic_a = world->org_by_name("Academic-A");
+  for (const auto& user : academic_a->users()) {
+    for (const auto& device : user.devices) {
+      if (device->host_name() == "Brians-Galaxy-Note9") {
+        EXPECT_FALSE(device->exists_on(CivilDate{2021, 11, 28}));
+        EXPECT_TRUE(device->exists_on(CivilDate{2021, 11, 29}));  // Cyber Monday
+        return;
+      }
+    }
+  }
+  FAIL() << "scripted galaxy-note9 not found";
+}
+
+TEST(InternetWorld, PolicyMixIsStratified) {
+  auto world = make_internet_world(11, 40, WorldScale{0.1});
+  int carry = 0, generic = 0, router_only = 0;
+  for (const auto& org : world->orgs()) {
+    if (org->segments().empty()) {
+      ++router_only;
+    } else if (org->segments()[0].spec.ddns_policy == dhcp::DdnsPolicy::CarryOverClientId) {
+      ++carry;
+    } else {
+      ++generic;
+    }
+  }
+  EXPECT_GT(carry, 3);
+  EXPECT_GT(generic, 3);
+  EXPECT_GT(router_only, 0);
+  EXPECT_EQ(carry + generic + router_only, 40);
+}
+
+TEST(InternetWorld, RejectsBadOrgCount) {
+  EXPECT_THROW((void)make_internet_world(1, 0), std::invalid_argument);
+  EXPECT_THROW((void)make_internet_world(1, 500), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rdns::core

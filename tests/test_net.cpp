@@ -1,0 +1,222 @@
+/// Tests for the net module: IPv4 addresses, CIDR prefixes, prefix sets,
+/// MAC addresses and in-addr.arpa conversion.
+
+#include <gtest/gtest.h>
+
+#include "net/arpa.hpp"
+#include "net/ipv4.hpp"
+#include "net/mac.hpp"
+#include "net/prefix.hpp"
+#include "net/prefix_set.hpp"
+#include "util/rng.hpp"
+
+namespace rdns::net {
+namespace {
+
+TEST(Ipv4, ParseAndFormat) {
+  const auto a = Ipv4Addr::parse("93.184.216.34");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->to_string(), "93.184.216.34");
+  EXPECT_EQ(a->octet(0), 93);
+  EXPECT_EQ(a->octet(3), 34);
+  EXPECT_EQ(a->value(), 0x5DB8D822u);
+}
+
+TEST(Ipv4, ParseRejectsMalformed) {
+  for (const char* bad : {"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "1.2.3.x", "1..2.3",
+                          ".1.2.3", "1.2.3.4.", "01.2.3.4567"}) {
+    EXPECT_FALSE(Ipv4Addr::parse(bad).has_value()) << bad;
+  }
+}
+
+TEST(Ipv4, MustParseThrows) {
+  EXPECT_THROW((void)Ipv4Addr::must_parse("nope"), std::invalid_argument);
+  EXPECT_EQ(Ipv4Addr::must_parse("0.0.0.0").value(), 0u);
+  EXPECT_EQ(Ipv4Addr::must_parse("255.255.255.255").value(), 0xFFFFFFFFu);
+}
+
+/// Format/parse round trip over a spread of the address space.
+class Ipv4RoundTrip : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(Ipv4RoundTrip, Survives) {
+  const Ipv4Addr a{GetParam()};
+  EXPECT_EQ(Ipv4Addr::parse(a.to_string()), a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Ipv4RoundTrip,
+                         ::testing::Values(0u, 1u, 0xFFu, 0x0A0A8001u, 0x7F000001u,
+                                           0xC0A80101u, 0xFFFFFFFFu, 0x5DB8D822u));
+
+TEST(Ipv4, ArithmeticAndSlash24) {
+  const Ipv4Addr a = Ipv4Addr::must_parse("10.1.2.3");
+  EXPECT_EQ((a + 1).to_string(), "10.1.2.4");
+  EXPECT_EQ((a - 4).to_string(), "10.1.1.255");
+  EXPECT_EQ(slash24_of(a).to_string(), "10.1.2.0");
+}
+
+TEST(Prefix, BasicProperties) {
+  const Prefix p = Prefix::must_parse("10.20.0.0/16");
+  EXPECT_EQ(p.length(), 16);
+  EXPECT_EQ(p.size(), 65536u);
+  EXPECT_EQ(p.first().to_string(), "10.20.0.0");
+  EXPECT_EQ(p.last().to_string(), "10.20.255.255");
+  EXPECT_EQ(p.slash24_count(), 256u);
+  EXPECT_EQ(p.to_string(), "10.20.0.0/16");
+}
+
+TEST(Prefix, HostBitsZeroed) {
+  const Prefix p{Ipv4Addr::must_parse("10.1.2.3"), 24};
+  EXPECT_EQ(p.network().to_string(), "10.1.2.0");
+}
+
+TEST(Prefix, Contains) {
+  const Prefix p = Prefix::must_parse("192.168.4.0/22");
+  EXPECT_TRUE(p.contains(Ipv4Addr::must_parse("192.168.7.255")));
+  EXPECT_FALSE(p.contains(Ipv4Addr::must_parse("192.168.8.0")));
+  EXPECT_TRUE(p.contains(Prefix::must_parse("192.168.5.0/24")));
+  EXPECT_FALSE(p.contains(Prefix::must_parse("192.168.0.0/21")));
+}
+
+TEST(Prefix, SplitAndSlash24s) {
+  const Prefix p = Prefix::must_parse("10.0.0.0/23");
+  const auto [lo, hi] = p.split();
+  EXPECT_EQ(lo.to_string(), "10.0.0.0/24");
+  EXPECT_EQ(hi.to_string(), "10.0.1.0/24");
+  EXPECT_EQ(p.slash24s().size(), 2u);
+  EXPECT_EQ(Prefix::must_parse("10.0.0.0/26").slash24s().size(), 1u);
+  EXPECT_THROW((void)Prefix::must_parse("1.2.3.4/32").split(), std::logic_error);
+}
+
+TEST(Prefix, ParseRejectsMalformed) {
+  for (const char* bad : {"10.0.0.0", "10.0.0.0/33", "10.0.0.0/-1", "10.0.0.0/x", "x/24"}) {
+    EXPECT_FALSE(Prefix::parse(bad).has_value()) << bad;
+  }
+  EXPECT_TRUE(Prefix::parse("0.0.0.0/0").has_value());
+}
+
+TEST(PrefixSet, MembershipAndMerge) {
+  PrefixSet set;
+  set.add(Prefix::must_parse("10.0.0.0/24"));
+  set.add(Prefix::must_parse("10.0.1.0/24"));  // adjacent: must coalesce
+  EXPECT_EQ(set.range_count(), 1u);
+  EXPECT_TRUE(set.contains(Ipv4Addr::must_parse("10.0.0.0")));
+  EXPECT_TRUE(set.contains(Ipv4Addr::must_parse("10.0.1.255")));
+  EXPECT_FALSE(set.contains(Ipv4Addr::must_parse("10.0.2.0")));
+  EXPECT_EQ(set.address_count(), 512u);
+}
+
+TEST(PrefixSet, OverlappingInserts) {
+  PrefixSet set;
+  set.add(Prefix::must_parse("10.0.0.0/22"));
+  set.add(Prefix::must_parse("10.0.1.0/24"));  // inside existing
+  EXPECT_EQ(set.range_count(), 1u);
+  EXPECT_EQ(set.address_count(), 1024u);
+  set.add(Prefix::must_parse("10.0.2.0/23"));  // overlapping the tail
+  EXPECT_EQ(set.address_count(), 1024u);
+}
+
+TEST(PrefixSet, Overlaps) {
+  PrefixSet set;
+  set.add(Prefix::must_parse("172.16.4.0/24"));
+  EXPECT_TRUE(set.overlaps(Prefix::must_parse("172.16.4.128/25")));
+  EXPECT_TRUE(set.overlaps(Prefix::must_parse("172.16.0.0/16")));
+  EXPECT_FALSE(set.overlaps(Prefix::must_parse("172.16.5.0/24")));
+}
+
+TEST(PrefixSet, EdgeOfAddressSpace) {
+  PrefixSet set;
+  set.add(Prefix::must_parse("255.255.255.0/24"));
+  EXPECT_TRUE(set.contains(Ipv4Addr::must_parse("255.255.255.255")));
+  set.add(Prefix::must_parse("0.0.0.0/24"));
+  EXPECT_TRUE(set.contains(Ipv4Addr{0}));
+  EXPECT_EQ(set.range_count(), 2u);
+}
+
+TEST(MostSpecificMatcher, LongestPrefixWins) {
+  MostSpecificMatcher m;
+  m.add(Prefix::must_parse("10.0.0.0/8"));
+  m.add(Prefix::must_parse("10.20.0.0/16"));
+  m.add(Prefix::must_parse("10.20.30.0/24"));
+  EXPECT_EQ(m.match(Ipv4Addr::must_parse("10.20.30.1"))->length(), 24);
+  EXPECT_EQ(m.match(Ipv4Addr::must_parse("10.20.99.1"))->length(), 16);
+  EXPECT_EQ(m.match(Ipv4Addr::must_parse("10.99.0.1"))->length(), 8);
+  EXPECT_FALSE(m.match(Ipv4Addr::must_parse("11.0.0.1")).has_value());
+  EXPECT_EQ(m.size(), 3u);
+}
+
+TEST(MostSpecificMatcher, PrefixQueryNeedsFullCoverage) {
+  MostSpecificMatcher m;
+  m.add(Prefix::must_parse("10.20.30.0/24"));
+  m.add(Prefix::must_parse("10.20.0.0/16"));
+  // A /24 inside the /16 but not inside the /24 matches the /16.
+  EXPECT_EQ(m.match(Prefix::must_parse("10.20.31.0/24"))->length(), 16);
+  EXPECT_EQ(m.match(Prefix::must_parse("10.20.30.0/24"))->length(), 24);
+}
+
+TEST(Mac, FormatAndParse) {
+  const auto m = Mac::parse("f0:18:98:ab:cd:ef");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->to_string(), "f0:18:98:ab:cd:ef");
+  EXPECT_EQ(m->vendor(), MacVendor::Apple);
+  EXPECT_FALSE(m->locally_administered());
+}
+
+TEST(Mac, ParseRejectsMalformed) {
+  for (const char* bad : {"", "f0:18:98:ab:cd", "f0:18:98:ab:cd:ef:00", "g0:18:98:ab:cd:ef",
+                          "f0-18-98-ab-cd-ef"}) {
+    EXPECT_FALSE(Mac::parse(bad).has_value()) << bad;
+  }
+}
+
+TEST(Mac, RandomVendorOui) {
+  util::Rng rng{7};
+  const Mac apple = Mac::random(MacVendor::Apple, rng);
+  EXPECT_EQ(apple.vendor(), MacVendor::Apple);
+  const Mac randomized = Mac::random(MacVendor::Randomized, rng);
+  EXPECT_TRUE(randomized.locally_administered());
+  EXPECT_EQ(randomized.vendor(), MacVendor::Randomized);
+}
+
+TEST(Mac, KeyIsStable) {
+  util::Rng rng{9};
+  const Mac m = Mac::random(MacVendor::Dell, rng);
+  EXPECT_EQ(m.key(), Mac::parse(m.to_string())->key());
+}
+
+TEST(Arpa, PaperExample) {
+  // Example 1 from the paper: 93.184.216.34.
+  EXPECT_EQ(to_arpa(Ipv4Addr::must_parse("93.184.216.34")),
+            "34.216.184.93.in-addr.arpa");
+}
+
+TEST(Arpa, ParseVariants) {
+  const auto a = from_arpa("34.216.184.93.in-addr.arpa");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->to_string(), "93.184.216.34");
+  EXPECT_TRUE(from_arpa("34.216.184.93.IN-ADDR.ARPA.").has_value());
+  EXPECT_FALSE(from_arpa("216.184.93.in-addr.arpa").has_value());  // only 3 octets
+  EXPECT_FALSE(from_arpa("256.1.1.1.in-addr.arpa").has_value());
+  EXPECT_FALSE(from_arpa("host.example.com").has_value());
+}
+
+/// to_arpa / from_arpa round trip.
+class ArpaRoundTrip : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ArpaRoundTrip, Survives) {
+  const Ipv4Addr a{GetParam()};
+  EXPECT_EQ(from_arpa(to_arpa(a)), a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ArpaRoundTrip,
+                         ::testing::Values(0u, 0x0A0A8001u, 0xFFFFFFFFu, 0x01020304u));
+
+TEST(Arpa, ZoneCuts) {
+  EXPECT_EQ(arpa_zone_for(Prefix::must_parse("192.0.2.0/24")), "2.0.192.in-addr.arpa");
+  EXPECT_EQ(arpa_zone_for(Prefix::must_parse("10.131.0.0/16")), "131.10.in-addr.arpa");
+  EXPECT_EQ(arpa_zone_for(Prefix::must_parse("10.0.0.0/8")), "10.in-addr.arpa");
+  EXPECT_THROW((void)arpa_zone_for(Prefix::must_parse("10.0.0.0/20")),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rdns::net

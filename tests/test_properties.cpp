@@ -1,0 +1,316 @@
+/// Model-based property tests: long random operation sequences checked
+/// against simple reference models — PrefixSet vs a std::set of addresses,
+/// AddressPool vs exhaustive invariants, LeaseDb vs a map model, and DNS
+/// wire round trips over randomly generated messages.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "dhcp/ddns.hpp"
+#include "dhcp/lease.hpp"
+#include "dhcp/pool.hpp"
+#include "dns/wire.hpp"
+#include "dns/zonefile.hpp"
+#include "net/arpa.hpp"
+#include "net/prefix_set.hpp"
+#include "util/rng.hpp"
+
+namespace rdns {
+namespace {
+
+// ------------------------------------------------------------- PrefixSet --
+
+class PrefixSetModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrefixSetModel, MatchesNaiveSetOverRandomInserts) {
+  util::Rng rng{GetParam()};
+  net::PrefixSet set;
+  std::set<std::uint32_t> model;
+
+  // Work inside a small universe so collisions/merges are frequent.
+  constexpr std::uint32_t kBase = 0x0A000000;
+  for (int op = 0; op < 120; ++op) {
+    const int length = static_cast<int>(rng.uniform_int(24, 30));
+    const std::uint32_t offset = static_cast<std::uint32_t>(rng.uniform_int(0, 4096));
+    const net::Prefix p{net::Ipv4Addr{kBase + offset * 4}, length};
+    set.add(p);
+    for (std::uint64_t v = p.first().value(); v <= p.last().value(); ++v) {
+      model.insert(static_cast<std::uint32_t>(v));
+    }
+  }
+  EXPECT_EQ(set.address_count(), model.size());
+  // Membership agrees on a sample of addresses in and around the universe.
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint32_t v = kBase + static_cast<std::uint32_t>(rng.uniform_int(0, 20000));
+    EXPECT_EQ(set.contains(net::Ipv4Addr{v}), model.count(v) > 0) << v;
+  }
+  // Ranges are disjoint, sorted and non-adjacent.
+  const auto ranges = set.ranges();
+  for (std::size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_GT(ranges[i].first.value(), ranges[i - 1].second.value() + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefixSetModel, ::testing::Values(1, 2, 3, 4, 5));
+
+// ------------------------------------------------------------------ Pool --
+
+class PoolModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PoolModel, NeverDoubleAllocatesUnderChurn) {
+  util::Rng rng{GetParam()};
+  dhcp::AddressPool pool;
+  pool.add_prefix(net::Prefix::must_parse("10.0.0.0/26"));  // 62 usable
+
+  std::map<std::uint64_t, net::Ipv4Addr> held;  // mac key -> address
+  std::vector<net::Mac> macs;
+  for (int i = 0; i < 100; ++i) {
+    macs.push_back(net::Mac::random(net::MacVendor::Apple, rng));
+  }
+
+  for (int op = 0; op < 2000; ++op) {
+    const net::Mac& mac = macs[rng.index(macs.size())];
+    const auto it = held.find(mac.key());
+    if (it == held.end()) {
+      const auto got = pool.allocate(mac);
+      if (got) {
+        // No other client may hold this address.
+        for (const auto& [k, a] : held) EXPECT_NE(a, *got);
+        held.emplace(mac.key(), *got);
+      } else {
+        EXPECT_EQ(held.size(), pool.capacity());  // only fails when full
+      }
+    } else {
+      pool.release(it->second, mac);
+      held.erase(it);
+    }
+    EXPECT_EQ(pool.allocated_count(), held.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PoolModel, ::testing::Values(11, 12, 13));
+
+// --------------------------------------------------------------- LeaseDb --
+
+class LeaseDbModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LeaseDbModel, ExpiryMatchesReferenceModel) {
+  util::Rng rng{GetParam()};
+  dhcp::LeaseDb db;
+  // Reference: address -> (expiry, bound?) for live leases.
+  std::map<std::uint32_t, std::pair<util::SimTime, bool>> model;
+
+  util::SimTime now = 0;
+  for (int op = 0; op < 3000; ++op) {
+    now += rng.uniform_int(1, 50);
+    const auto roll = rng.uniform();
+    const std::uint32_t addr_v = 0x0A000000u + static_cast<std::uint32_t>(rng.uniform_int(0, 40));
+    const net::Ipv4Addr addr{addr_v};
+    if (roll < 0.45) {
+      // Bind (fresh lease).
+      dhcp::Lease lease;
+      lease.address = addr;
+      std::array<std::uint8_t, 6> b{2, 0, 0, 0, 0, static_cast<std::uint8_t>(addr_v & 0xFF)};
+      lease.mac = net::Mac{b};
+      lease.start = now;
+      lease.expiry = now + rng.uniform_int(10, 400);
+      lease.state = dhcp::LeaseState::Bound;
+      db.upsert(lease);
+      model[addr_v] = {lease.expiry, true};
+    } else if (roll < 0.65) {
+      // Renew if live.
+      const auto it = model.find(addr_v);
+      if (it != model.end() && it->second.second) {
+        const util::SimTime new_expiry = now + rng.uniform_int(10, 400);
+        EXPECT_TRUE(db.renew(addr, new_expiry));
+        it->second.first = new_expiry;
+      } else {
+        EXPECT_FALSE(db.renew(addr, now + 100));
+      }
+    } else if (roll < 0.8) {
+      // Release if bound.
+      const auto it = model.find(addr_v);
+      const bool expect_release = it != model.end() && it->second.second;
+      EXPECT_EQ(db.release(addr).has_value(), expect_release);
+      if (expect_release) {
+        db.erase(addr);
+        model.erase(it);
+      }
+    } else {
+      // Advance the clock and expire.
+      const auto expired = db.expire_due(now);
+      std::set<std::uint32_t> expired_addrs;
+      for (const auto& lease : expired) {
+        expired_addrs.insert(lease.address.value());
+        db.erase(lease.address);
+      }
+      std::set<std::uint32_t> model_expired;
+      for (auto it = model.begin(); it != model.end();) {
+        if (it->second.first <= now) {
+          model_expired.insert(it->first);
+          it = model.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      EXPECT_EQ(expired_addrs, model_expired) << "at t=" << now;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LeaseDbModel, ::testing::Values(21, 22, 23, 24));
+
+// ------------------------------------------------------------- DNS wire --
+
+dns::DnsName random_name(util::Rng& rng, int max_labels) {
+  static const char* kLabels[] = {"brians-iphone", "wifi", "x",    "edu",  "in-addr",
+                                  "arpa",          "10",   "128",  "host", "dyn",
+                                  "a-very-long-label-with-dashes", "b"};
+  std::vector<std::string> labels;
+  const int n = 1 + static_cast<int>(rng.index(static_cast<std::size_t>(max_labels)));
+  for (int i = 0; i < n; ++i) labels.emplace_back(kLabels[rng.index(12)]);
+  return dns::DnsName{std::move(labels)};
+}
+
+dns::ResourceRecord random_rr(util::Rng& rng) {
+  dns::ResourceRecord rr;
+  rr.name = random_name(rng, 5);
+  rr.ttl = static_cast<std::uint32_t>(rng.uniform_int(0, 86400));
+  switch (rng.index(6)) {
+    case 0:
+      rr.rdata = dns::ARdata{net::Ipv4Addr{static_cast<std::uint32_t>(rng.next())}};
+      break;
+    case 1: rr.rdata = dns::NsRdata{random_name(rng, 3)}; break;
+    case 2: rr.rdata = dns::CnameRdata{random_name(rng, 4)}; break;
+    case 3: {
+      dns::SoaRdata soa;
+      soa.mname = random_name(rng, 3);
+      soa.rname = random_name(rng, 3);
+      soa.serial = static_cast<std::uint32_t>(rng.next());
+      rr.rdata = std::move(soa);
+      break;
+    }
+    case 4: rr.rdata = dns::PtrRdata{random_name(rng, 5)}; break;
+    default: {
+      dns::TxtRdata txt;
+      const auto parts = 1 + rng.index(3);
+      for (std::size_t i = 0; i < parts; ++i) txt.strings.push_back("txt-part");
+      rr.rdata = std::move(txt);
+      break;
+    }
+  }
+  return rr;
+}
+
+class WireRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WireRoundTrip, RandomMessagesSurvive) {
+  util::Rng rng{GetParam()};
+  for (int iteration = 0; iteration < 60; ++iteration) {
+    dns::Message m;
+    m.id = static_cast<std::uint16_t>(rng.next());
+    m.flags.qr = rng.chance(0.5);
+    m.flags.aa = rng.chance(0.5);
+    m.flags.rd = rng.chance(0.5);
+    m.flags.rcode = rng.chance(0.3) ? dns::Rcode::NxDomain : dns::Rcode::NoError;
+    const auto n_questions = rng.index(3);
+    for (std::size_t i = 0; i < n_questions; ++i) {
+      m.questions.push_back(
+          dns::Question{random_name(rng, 5), dns::RrType::PTR, dns::RrClass::IN});
+    }
+    const auto n_answers = rng.index(6);
+    for (std::size_t i = 0; i < n_answers; ++i) m.answers.push_back(random_rr(rng));
+    const auto n_auth = rng.index(3);
+    for (std::size_t i = 0; i < n_auth; ++i) m.authority.push_back(random_rr(rng));
+
+    const auto wire = dns::encode(m);
+    const dns::Message decoded = dns::decode(wire);
+    ASSERT_EQ(decoded, m);
+    // Encoding the decoded message must also round trip (idempotence at
+    // the message level, even if compression differs).
+    ASSERT_EQ(dns::decode(dns::encode(decoded)), m);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireRoundTrip, ::testing::Values(31, 32, 33, 34, 35, 36));
+
+}  // namespace
+}  // namespace rdns
+
+// ----------------------------------------------------- zone file / labels --
+
+namespace rdns {
+namespace {
+
+class ZoneFileRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ZoneFileRoundTrip, RandomZonesSurvive) {
+  util::Rng rng{GetParam()};
+  dns::SoaRdata soa;
+  soa.mname = dns::DnsName::must_parse("ns1.x.edu");
+  soa.rname = dns::DnsName::must_parse("hostmaster.x.edu");
+  soa.serial = static_cast<std::uint32_t>(rng.next());
+  dns::Zone zone{dns::DnsName::must_parse("128.10.in-addr.arpa"), soa};
+
+  static const char* kTargets[] = {"brians-iphone.wifi.x.edu", "emmas-ipad.wifi.x.edu",
+                                   "host-1.dyn.x.edu",         "srv.x.edu"};
+  const int n = 5 + static_cast<int>(rng.index(40));
+  for (int i = 0; i < n; ++i) {
+    const net::Ipv4Addr a{0x0A800000u + static_cast<std::uint32_t>(rng.uniform_int(1, 4000))};
+    const auto owner = dns::DnsName::must_parse(net::to_arpa(a));
+    switch (rng.index(3)) {
+      case 0:
+        zone.add(dns::make_ptr(owner, dns::DnsName::must_parse(kTargets[rng.index(4)]),
+                               static_cast<std::uint32_t>(rng.uniform_int(60, 86400))));
+        break;
+      case 1:
+        zone.add(dns::make_txt(owner, {"note", "x"}));
+        break;
+      default:
+        zone.add(dns::make_ns(owner, dns::DnsName::must_parse("ns2.x.edu")));
+        break;
+    }
+  }
+
+  const dns::Zone reparsed = dns::parse_zone(dns::to_zone_file(zone));
+  EXPECT_EQ(reparsed.origin(), zone.origin());
+  EXPECT_EQ(reparsed.serial(), zone.serial());
+  EXPECT_EQ(reparsed.record_count(), zone.record_count());
+  // Every record survives exactly.
+  zone.for_each([&reparsed](const dns::ResourceRecord& rr) {
+    const auto found = reparsed.find(rr.name, rr.type());
+    EXPECT_NE(std::find(found.begin(), found.end(), rr), found.end())
+        << rr.to_string();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZoneFileRoundTrip, ::testing::Values(41, 42, 43, 44));
+
+/// Whatever a device announces as its Host Name, the sanitizer must emit
+/// something publishable: a valid DNS label or the empty string.
+class SanitizerTotal : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SanitizerTotal, AlwaysYieldsValidLabelOrEmpty) {
+  util::Rng rng{GetParam()};
+  for (int i = 0; i < 500; ++i) {
+    std::string raw;
+    const auto len = rng.index(80);
+    for (std::size_t c = 0; c < len; ++c) {
+      raw.push_back(static_cast<char>(rng.uniform_int(1, 255)));
+    }
+    const std::string label = rdns::dhcp::sanitize_hostname(raw);
+    EXPECT_TRUE(label.empty() || dns::is_valid_label(label))
+        << "input bytes produced invalid label: " << label;
+    if (!label.empty()) {
+      EXPECT_NE(label.front(), '-');
+      EXPECT_NE(label.back(), '-');
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SanitizerTotal, ::testing::Values(51, 52, 53));
+
+}  // namespace
+}  // namespace rdns

@@ -1,0 +1,211 @@
+/// Tests for the reactive measurement engine (Section 6.1 mechanics): group
+/// lifecycle, the PTR-reverted detection, linger timing, flap tolerance and
+/// the aggregate counters the figures are built from.
+
+#include <gtest/gtest.h>
+
+#include "scan/campaign.hpp"
+#include "scan/reactive.hpp"
+
+namespace rdns::scan {
+namespace {
+
+using util::CivilDate;
+using util::kHour;
+using util::kMinute;
+
+/// An org whose devices are reliably pingable and follow office schedules,
+/// so the engine's phase machinery is exercised deterministically enough.
+sim::OrgSpec office_org(double clean_release_override = -1.0) {
+  sim::OrgSpec o;
+  o.name = "Academic-T";
+  o.type = sim::OrgType::Academic;
+  o.suffix = dns::DnsName::must_parse("reactive-test.edu");
+  o.announced = {net::Prefix::must_parse("10.91.0.0/16")};
+  o.measurement_targets = {net::Prefix::must_parse("10.91.64.0/24")};
+  sim::SegmentSpec seg;
+  seg.label = "wifi";
+  seg.prefix = net::Prefix::must_parse("10.91.64.0/24");
+  seg.schedule = sim::ScheduleKind::OfficeWorker;
+  seg.user_count = 25;
+  seg.lease_seconds = 3600;
+  o.segments = {seg};
+  o.seed = 4242;
+  (void)clean_release_override;
+  return o;
+}
+
+class ReactiveFixture : public ::testing::Test {
+ protected:
+  ReactiveFixture() {
+    world_ = std::make_unique<sim::World>();
+    world_->add_org(office_org());
+    world_->start(CivilDate{2021, 11, 1}, CivilDate{2021, 11, 5});
+  }
+
+  ReactiveEngine::Config config() {
+    ReactiveEngine::Config c;
+    c.seed = 99;
+    return c;
+  }
+
+  std::unique_ptr<sim::World> world_;
+};
+
+TEST_F(ReactiveFixture, CampaignProducesUsableGroups) {
+  ReactiveEngine engine{*world_,
+                        {{"Academic-T", {net::Prefix::must_parse("10.91.64.0/24")}}},
+                        config()};
+  engine.run(util::to_sim_time(CivilDate{2021, 11, 1}),
+             util::to_sim_time(CivilDate{2021, 11, 4}));
+
+  ASSERT_GT(engine.groups().size(), 10u);
+
+  std::size_t successful = 0, reverted = 0;
+  for (const auto& g : engine.groups()) {
+    EXPECT_EQ(g.network, "Academic-T");
+    if (g.successful()) {
+      ++successful;
+      EXPECT_FALSE(g.first_ptr.empty());
+      EXPECT_GT(g.ptr_observed_gone, g.started);
+      EXPECT_GE(g.last_icmp_ok, g.started);
+    }
+    reverted += g.reverted;
+  }
+  EXPECT_GT(successful, 0u);
+  EXPECT_GE(reverted, successful);  // reverted is implied by successful here
+
+  // The engine observed real hostnames from the DDNS coupling.
+  const auto& obs = engine.networks().at("Academic-T");
+  EXPECT_GT(obs.unique_ptrs.size(), 5u);
+  EXPECT_EQ(obs.target_addresses, 256u);
+  EXPECT_GT(obs.icmp_responsive.size(), 0u);
+}
+
+TEST_F(ReactiveFixture, LingerMinutesBoundedByLeaseMechanics) {
+  ReactiveEngine engine{*world_,
+                        {{"Academic-T", {net::Prefix::must_parse("10.91.64.0/24")}}},
+                        config()};
+  engine.run(util::to_sim_time(CivilDate{2021, 11, 1}),
+             util::to_sim_time(CivilDate{2021, 11, 4}));
+  for (const auto& g : engine.groups()) {
+    if (!g.successful() || !g.reverted) continue;
+    const double linger = g.linger_minutes();
+    EXPECT_GE(linger, 0.0);
+    // With 1h leases, removal can trail the last ICMP response by at most
+    // ~1h of lease remainder plus ~1h of probe gap plus slack.
+    EXPECT_LE(linger, 150.0) << "group " << g.group_id;
+  }
+}
+
+TEST_F(ReactiveFixture, HourlyActivityFollowsDiurnalPattern) {
+  ReactiveEngine engine{*world_,
+                        {{"Academic-T", {net::Prefix::must_parse("10.91.64.0/24")}}},
+                        config()};
+  const util::SimTime from = util::to_sim_time(CivilDate{2021, 11, 1});
+  engine.run(from, util::to_sim_time(CivilDate{2021, 11, 4}));
+
+  // Office network: 4 AM quieter than 1 PM (summed across days).
+  std::uint64_t night = 0, day = 0;
+  for (const auto& [hour, activity] : engine.hourly_activity()) {
+    const util::SimTime t = hour * kHour;
+    const int hod = static_cast<int>((t % util::kDay) / kHour);
+    if (hod == 4) night += activity.icmp_ok;
+    if (hod == 13) day += activity.icmp_ok;
+  }
+  EXPECT_GT(day, night);
+}
+
+TEST_F(ReactiveFixture, DailyErrorCountersTrackLookups) {
+  ReactiveEngine engine{*world_,
+                        {{"Academic-T", {net::Prefix::must_parse("10.91.64.0/24")}}},
+                        config()};
+  engine.run(util::to_sim_time(CivilDate{2021, 11, 1}),
+             util::to_sim_time(CivilDate{2021, 11, 3}));
+  std::uint64_t lookups = 0;
+  for (const auto& [day, counts] : engine.daily_errors()) lookups += counts.lookups;
+  EXPECT_EQ(lookups, engine.rdns_lookups());
+  EXPECT_GT(lookups, 0u);
+}
+
+TEST(Reactive, FaultyServersShowUpInErrorCounters) {
+  sim::World world;
+  sim::OrgSpec o = office_org();
+  o.dns_faults = dns::FaultPolicy{0.10, 0.05};
+  world.add_org(std::move(o));
+  world.start(CivilDate{2021, 11, 1}, CivilDate{2021, 11, 3});
+
+  ReactiveEngine::Config c;
+  c.seed = 77;
+  ReactiveEngine engine{world, {{"Academic-T", {net::Prefix::must_parse("10.91.64.0/24")}}}, c};
+  engine.run(util::to_sim_time(CivilDate{2021, 11, 1}),
+             util::to_sim_time(CivilDate{2021, 11, 3}));
+  std::uint64_t servfail = 0, timeout = 0;
+  for (const auto& [day, counts] : engine.daily_errors()) {
+    servfail += counts.servfail;
+    timeout += counts.timeout;
+  }
+  EXPECT_GT(servfail, 0u);
+  EXPECT_GT(timeout, 0u);
+}
+
+TEST(Reactive, PingBlockedNetworkYieldsNoGroups) {
+  sim::World world;
+  sim::OrgSpec o = office_org();
+  o.name = "Enterprise-T";
+  o.blocks_icmp = true;
+  world.add_org(std::move(o));
+  world.start(CivilDate{2021, 11, 1}, CivilDate{2021, 11, 3});
+
+  ReactiveEngine engine{world, {{"Enterprise-T", {net::Prefix::must_parse("10.91.64.0/24")}}}};
+  // Stop the campaign mid-afternoon so clients are still on the network.
+  engine.run(util::to_sim_time(CivilDate{2021, 11, 1}),
+             util::to_sim_time(CivilDate{2021, 11, 2}) + 14 * kHour);
+  EXPECT_TRUE(engine.groups().empty());
+  EXPECT_EQ(engine.icmp_responses(), 0u);
+  // ... yet the PTR records are still there for anyone who queries rDNS
+  // (the paper's key observation about Enterprise-B/C).
+  std::size_t ptrs = 0;
+  world.snapshot_ptrs([&](net::Ipv4Addr, const dns::DnsName&) { ++ptrs; });
+  EXPECT_GT(ptrs, 0u);
+}
+
+TEST(Campaign, PaperTargetsFilterByName) {
+  sim::World world;
+  world.add_org(office_org());  // named Academic-T: matches "Academic-"
+  sim::OrgSpec other = office_org();
+  other.name = "background-org";
+  other.announced = {net::Prefix::must_parse("10.92.0.0/16")};
+  other.measurement_targets.clear();
+  other.segments[0].prefix = net::Prefix::must_parse("10.92.64.0/24");
+  world.add_org(std::move(other));
+  const auto targets = paper_targets(world);
+  ASSERT_EQ(targets.size(), 1u);
+  EXPECT_EQ(targets[0].network, "Academic-T");
+  // measurement_targets (not announced) drive the probing.
+  ASSERT_EQ(targets[0].prefixes.size(), 1u);
+  EXPECT_EQ(targets[0].prefixes[0].to_string(), "10.91.64.0/24");
+}
+
+TEST(Campaign, TotalsAndRowsConsistent) {
+  sim::World world;
+  world.add_org(office_org());
+  world.start(CivilDate{2021, 11, 1}, CivilDate{2021, 11, 3});
+  CampaignWindow window;
+  window.from = CivilDate{2021, 11, 1};
+  window.to = CivilDate{2021, 11, 2};
+  SupplementalCampaign campaign{world, paper_targets(world), window};
+  campaign.run();
+  const auto totals = campaign.totals();
+  EXPECT_GT(totals.icmp_responses, 0u);
+  EXPECT_GT(totals.rdns_unique_ptrs, 0u);
+  const auto rows = campaign.network_rows();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].name, "Academic-T");
+  EXPECT_EQ(rows[0].type, "academic");
+  EXPECT_GT(rows[0].percent_observed, 0.0);
+  EXPECT_LE(rows[0].percent_observed, 100.0);
+}
+
+}  // namespace
+}  // namespace rdns::scan

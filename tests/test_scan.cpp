@@ -1,0 +1,196 @@
+/// Tests for the scanning substrate: the ZMap-style permutation, the ICMP
+/// sweep scanner with blocklisting, the Table 2 back-off schedule, and the
+/// full-space snapshot drivers.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "scan/icmp.hpp"
+#include "scan/permutation.hpp"
+#include "scan/rdns_snapshot.hpp"
+#include "scan/reactive.hpp"
+
+namespace rdns::scan {
+namespace {
+
+using util::CivilDate;
+using util::kHour;
+using util::kMinute;
+
+/// Full-coverage property: every index appears exactly once per cycle.
+class PermutationCoverage : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PermutationCoverage, VisitsEachIndexOnce) {
+  const std::uint64_t n = GetParam();
+  ScanPermutation perm{n, 0xBADC0FFEE};
+  std::set<std::uint64_t> seen;
+  while (const auto v = perm.next()) {
+    EXPECT_LT(*v, n);
+    EXPECT_TRUE(seen.insert(*v).second) << "duplicate " << *v;
+  }
+  EXPECT_EQ(seen.size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PermutationCoverage,
+                         ::testing::Values(1, 2, 3, 7, 64, 100, 255, 256, 1000, 65536));
+
+TEST(Permutation, OrderVariesWithSeed) {
+  ScanPermutation a{1000, 1}, b{1000, 2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += (*a.next() == *b.next());
+  }
+  EXPECT_LT(same, 20);
+}
+
+TEST(Permutation, OrderIsNotSequential) {
+  ScanPermutation perm{4096, 99};
+  int sequential = 0;
+  auto prev = *perm.next();
+  for (int i = 0; i < 500; ++i) {
+    const auto v = *perm.next();
+    sequential += (v == prev + 1);
+    prev = v;
+  }
+  EXPECT_LT(sequential, 25);  // random-looking order, unlike a linear sweep
+}
+
+TEST(Permutation, ResetReplaysSameOrder) {
+  ScanPermutation perm{100, 5};
+  std::vector<std::uint64_t> first;
+  while (const auto v = perm.next()) first.push_back(*v);
+  perm.reset();
+  std::vector<std::uint64_t> second;
+  while (const auto v = perm.next()) second.push_back(*v);
+  EXPECT_EQ(first, second);
+}
+
+TEST(Permutation, RejectsZero) {
+  EXPECT_THROW(ScanPermutation(0, 1), std::invalid_argument);
+}
+
+/// Table 2, verbatim.
+TEST(Backoff, MatchesTable2) {
+  // 12 probes at 5-minute intervals (1st hour).
+  for (int i = 0; i < 12; ++i) EXPECT_EQ(BackoffSchedule::interval_after(i), 5 * kMinute);
+  // 6 at 10 minutes (2nd hour).
+  for (int i = 12; i < 18; ++i) EXPECT_EQ(BackoffSchedule::interval_after(i), 10 * kMinute);
+  // 3 at 20 minutes (3rd hour).
+  for (int i = 18; i < 21; ++i) EXPECT_EQ(BackoffSchedule::interval_after(i), 20 * kMinute);
+  // 2 at 30 minutes (4th hour).
+  for (int i = 21; i < 23; ++i) EXPECT_EQ(BackoffSchedule::interval_after(i), 30 * kMinute);
+  // Then hourly.
+  EXPECT_EQ(BackoffSchedule::interval_after(23), 60 * kMinute);
+  EXPECT_EQ(BackoffSchedule::interval_after(100), 60 * kMinute);
+}
+
+TEST(Backoff, HourBoundariesLineUp) {
+  EXPECT_EQ(BackoffSchedule::offset_of(12), 1 * kHour);
+  EXPECT_EQ(BackoffSchedule::offset_of(18), 2 * kHour);
+  EXPECT_EQ(BackoffSchedule::offset_of(21), 3 * kHour);
+  EXPECT_EQ(BackoffSchedule::offset_of(23), 4 * kHour);
+}
+
+sim::OrgSpec tiny_org() {
+  sim::OrgSpec o;
+  o.name = "scan-target";
+  o.type = sim::OrgType::Academic;
+  o.suffix = dns::DnsName::must_parse("scan.edu");
+  o.announced = {net::Prefix::must_parse("10.90.0.0/16")};
+  sim::SegmentSpec seg;
+  seg.label = "wifi";
+  seg.prefix = net::Prefix::must_parse("10.90.64.0/25");
+  seg.schedule = sim::ScheduleKind::AlwaysOn;  // deterministic presence
+  seg.user_count = 0;
+  seg.always_on_count = 10;
+  o.segments = {seg};
+  o.static_ranges = {{net::Prefix::must_parse("10.90.0.0/28"),
+                      sim::StaticRangeSpec::Style::GenericNames, 1.0, 1.0}};
+  o.seed = 777;
+  return o;
+}
+
+TEST(IcmpScanner, FindsStaticHosts) {
+  sim::World world;
+  world.add_org(tiny_org());
+  world.start(CivilDate{2021, 11, 1}, CivilDate{2021, 11, 2});
+  world.run_until(util::to_sim_time(CivilDate{2021, 11, 1}) + 12 * kHour);
+
+  IcmpScanner scanner{world};
+  const auto result = scanner.sweep({net::Prefix::must_parse("10.90.0.0/24")});
+  EXPECT_EQ(result.probes_sent, 256u);
+  EXPECT_GE(result.responsive.size(), 10u);  // 14 static hosts, ~99.5% reliable
+  EXPECT_GT(result.duration, 0);
+}
+
+TEST(IcmpScanner, BlocklistHonoursOptOut) {
+  sim::World world;
+  world.add_org(tiny_org());
+  world.start(CivilDate{2021, 11, 1}, CivilDate{2021, 11, 2});
+  world.run_until(util::to_sim_time(CivilDate{2021, 11, 1}) + 12 * kHour);
+
+  IcmpScanner scanner{world};
+  scanner.blocklist(net::Prefix::must_parse("10.90.0.0/28"));
+  const auto result = scanner.sweep({net::Prefix::must_parse("10.90.0.0/24")});
+  EXPECT_EQ(result.blocklisted_skipped, 16u);
+  EXPECT_EQ(result.probes_sent, 240u);
+  for (const auto addr : result.responsive) {
+    EXPECT_FALSE(net::Prefix::must_parse("10.90.0.0/28").contains(addr));
+  }
+}
+
+TEST(SnapshotSweep, BulkAndWireAgree) {
+  sim::World world;
+  world.add_org(tiny_org());
+  world.start(CivilDate{2021, 11, 1}, CivilDate{2021, 11, 2});
+  world.run_until(util::to_sim_time(CivilDate{2021, 11, 1}) + 12 * kHour);
+
+  struct CollectSink final : SnapshotSink {
+    std::map<std::string, std::string> rows;
+    void on_row(const CivilDate&, net::Ipv4Addr a, const dns::DnsName& ptr) override {
+      rows[a.to_string()] = ptr.to_canonical_string();
+    }
+  };
+  CollectSink bulk, wire;
+  const auto bulk_rows = sweep_bulk(world, CivilDate{2021, 11, 1}, bulk);
+  dns::ResolverStats stats;
+  const auto wire_rows = sweep_wire(world, CivilDate{2021, 11, 1}, wire, &stats);
+  EXPECT_EQ(bulk_rows, wire_rows);
+  EXPECT_EQ(bulk.rows, wire.rows);
+  EXPECT_GT(stats.queries_sent, 0u);
+}
+
+TEST(SweepDriver, DailyVersusWeeklyCadence) {
+  sim::World world;
+  world.add_org(tiny_org());
+  world.start(CivilDate{2021, 11, 1}, CivilDate{2021, 11, 30});
+
+  struct CountSink final : SnapshotSink {
+    int sweeps = 0;
+    void on_row(const CivilDate&, net::Ipv4Addr, const dns::DnsName&) override {}
+    void on_sweep_end(const CivilDate&) override { ++sweeps; }
+  };
+  CountSink daily;
+  SweepDriver daily_driver{world, 14, 1};
+  const auto stats = daily_driver.run(CivilDate{2021, 11, 1}, CivilDate{2021, 11, 14}, daily);
+  EXPECT_EQ(stats.sweeps, 14u);
+  EXPECT_EQ(daily.sweeps, 14);
+
+  CountSink weekly;
+  SweepDriver weekly_driver{world, 15, 7};
+  const auto wstats =
+      weekly_driver.run(CivilDate{2021, 11, 15}, CivilDate{2021, 11, 29}, weekly);
+  EXPECT_EQ(wstats.sweeps, 3u);
+}
+
+TEST(CsvSnapshotSink, WritesSchema) {
+  std::ostringstream out;
+  CsvSnapshotSink sink{out};
+  sink.on_row(CivilDate{2021, 11, 1}, net::Ipv4Addr::must_parse("10.90.0.1"),
+              dns::DnsName::must_parse("brians-mbp.wifi.scan.edu"));
+  EXPECT_EQ(out.str(), "2021-11-01,10.90.0.1,brians-mbp.wifi.scan.edu\n");
+}
+
+}  // namespace
+}  // namespace rdns::scan

@@ -1,0 +1,263 @@
+/// Tests for the simulation primitives: event queue, name/device corpora,
+/// schedules and the policy layers (holidays, COVID timeline).
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+#include "sim/namegen.hpp"
+#include "sim/policy.hpp"
+#include "sim/schedule.hpp"
+
+namespace rdns::sim {
+namespace {
+
+using util::CivilDate;
+using util::kHour;
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  q.run_until(25);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.now(), 25);
+  q.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) q.schedule(10, [&order, i] { order.push_back(i); });
+  q.run_until(10);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsMayScheduleEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(10, [&] {
+    ++fired;
+    q.schedule(q.now() + 5, [&] { ++fired; });
+  });
+  q.run_until(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.executed(), 2u);
+}
+
+TEST(EventQueue, RejectsPastScheduling) {
+  EventQueue q;
+  q.run_until(100);
+  EXPECT_THROW(q.schedule(50, [] {}), std::logic_error);
+}
+
+TEST(EventQueue, RepeatingUntilFalse) {
+  EventQueue q;
+  int ticks = 0;
+  q.schedule_repeating(10, 10, [&] { return ++ticks < 3; });
+  q.run_until(1000);
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(EventQueue, WarpRequiresNoPendingEvents) {
+  EventQueue q;
+  q.schedule(10, [] {});
+  EXPECT_THROW(q.warp_to(50), std::logic_error);
+  q.run_until(10);
+  q.warp_to(50);
+  EXPECT_EQ(q.now(), 50);
+}
+
+TEST(NameGen, TopNamesIncludePaperExamples) {
+  const auto& names = given_names();
+  EXPECT_EQ(names.size(), 50u);
+  EXPECT_EQ(names[0], "jacob");  // most popular 2000-2020
+  EXPECT_GE(given_name_rank("brian"), 0);
+  EXPECT_GE(given_name_rank("jackson"), 0);  // the city-collision name
+  EXPECT_EQ(given_name_rank("notaname"), -1);
+}
+
+TEST(NameGen, ZipfSamplingFavoursTopNames) {
+  util::Rng rng{3};
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[sample_given_name(rng)];
+  EXPECT_GT(counts["jacob"], counts["ava"]);
+}
+
+TEST(NameGen, HostNamesEmbedOwnerAndDevice) {
+  util::Rng rng{4};
+  EXPECT_EQ(make_host_name(DeviceKind::Iphone, "brian", true, rng), "Brian's iPhone");
+  const std::string galaxy = make_host_name(DeviceKind::GalaxyPhone, "brian", true, rng);
+  EXPECT_EQ(galaxy.rfind("Brians-Galaxy-", 0), 0u);
+  const std::string desktop = make_host_name(DeviceKind::WindowsDesktop, "brian", false, rng);
+  EXPECT_EQ(desktop.rfind("DESKTOP-", 0), 0u);
+  EXPECT_EQ(desktop.find("rian"), std::string::npos);  // ownerless form
+  const std::string anon = make_host_name(DeviceKind::Iphone, "brian", false, rng);
+  EXPECT_EQ(anon.find("rian"), std::string::npos);
+}
+
+TEST(NameGen, DeviceTermsMatchFig3Vocabulary) {
+  EXPECT_STREQ(device_term(DeviceKind::MacbookPro), "mbp");
+  EXPECT_STREQ(device_term(DeviceKind::MacbookAir), "air");
+  EXPECT_STREQ(device_term(DeviceKind::GalaxyPhone), "galaxy");
+  EXPECT_STREQ(device_term(DeviceKind::Chromebook), "chrome");
+}
+
+TEST(NameGen, RouterNamesUseCitiesAndRoles) {
+  util::Rng rng{5};
+  bool found_known_term = false;
+  for (int i = 0; i < 20; ++i) {
+    const std::string name = make_router_name(rng);
+    for (const auto& city : city_names()) {
+      if (name.find(city) != std::string::npos) found_known_term = true;
+    }
+  }
+  EXPECT_TRUE(found_known_term);
+}
+
+TEST(NameGen, ProfilesCoverAllWeightedKinds) {
+  util::Rng rng{6};
+  std::set<DeviceKind> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(sample_device_kind(rng));
+  EXPECT_GE(seen.size(), 10u);
+}
+
+TEST(Holidays, ThanksgivingBreakWindow) {
+  EXPECT_TRUE(HolidayCalendar::is_thanksgiving_break(CivilDate{2021, 11, 25}));
+  EXPECT_TRUE(HolidayCalendar::is_thanksgiving_break(CivilDate{2021, 11, 28}));
+  EXPECT_FALSE(HolidayCalendar::is_thanksgiving_break(CivilDate{2021, 11, 29}));  // Cyber Monday
+  EXPECT_FALSE(HolidayCalendar::is_thanksgiving_break(CivilDate{2021, 11, 22}));
+}
+
+TEST(Holidays, ResidentsLeaveOverBreaks) {
+  const double normal = HolidayCalendar::presence_factor(
+      ScheduleKind::ResidentStudent, PresenceVenue::Housing, CivilDate{2021, 11, 15});
+  const double thanksgiving = HolidayCalendar::presence_factor(
+      ScheduleKind::ResidentStudent, PresenceVenue::Housing, CivilDate{2021, 11, 26});
+  EXPECT_EQ(normal, 1.0);
+  EXPECT_LT(thanksgiving, 0.3);
+}
+
+TEST(Holidays, ChristmasAndCarnaval) {
+  EXPECT_TRUE(HolidayCalendar::is_christmas_break(CivilDate{2020, 12, 25}));
+  EXPECT_TRUE(HolidayCalendar::is_christmas_break(CivilDate{2021, 1, 2}));
+  EXPECT_FALSE(HolidayCalendar::is_christmas_break(CivilDate{2021, 1, 10}));
+  EXPECT_TRUE(HolidayCalendar::is_carnaval(CivilDate{2020, 2, 24}));
+  EXPECT_FALSE(HolidayCalendar::is_carnaval(CivilDate{2021, 2, 24}));  // 2020 only
+}
+
+TEST(Covid, StandardTimelineShapesCampusPresence) {
+  const CovidTimeline timeline = CovidTimeline::standard();
+  const double before = timeline.factor(PresenceVenue::Campus, CivilDate{2020, 2, 1});
+  const double lockdown = timeline.factor(PresenceVenue::Campus, CivilDate{2020, 4, 1});
+  const double autumn21 = timeline.factor(PresenceVenue::Campus, CivilDate{2021, 10, 1});
+  EXPECT_EQ(before, 1.0);
+  EXPECT_LT(lockdown, 0.25);
+  EXPECT_GT(autumn21, 0.85);
+}
+
+TEST(Covid, HousingAndHomeBoostDuringLockdown) {
+  const CovidTimeline timeline = CovidTimeline::standard();
+  EXPECT_GT(timeline.factor(PresenceVenue::Housing, CivilDate{2020, 4, 1}), 1.0);
+  EXPECT_GT(timeline.factor(PresenceVenue::Home, CivilDate{2020, 4, 1}), 1.0);
+}
+
+TEST(Covid, LaterPhaseOverridesEarlier) {
+  CovidTimeline timeline = CovidTimeline::standard();
+  timeline.add_phase({CivilDate{2020, 4, 1}, CivilDate{2020, 4, 10}, 0.9, 1.0, 1.0,
+                      "campus-specific reopening overlay"});
+  EXPECT_DOUBLE_EQ(timeline.factor(PresenceVenue::Campus, CivilDate{2020, 4, 5}), 0.9);
+  EXPECT_LT(timeline.factor(PresenceVenue::Campus, CivilDate{2020, 4, 15}), 0.25);
+}
+
+TEST(Schedule, NormalizeMergesAndSorts) {
+  const auto merged = normalize_intervals({{100, 200}, {150, 300}, {400, 350}, {500, 600}});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].start, 100);
+  EXPECT_EQ(merged[0].end, 300);
+  EXPECT_EQ(merged[1].start, 500);
+}
+
+/// Weekday office presence must dwarf weekend presence.
+TEST(Schedule, OfficeWorkerWeekdayVsWeekend) {
+  util::Rng rng{7};
+  int weekday_present = 0, weekend_present = 0;
+  const PlanContext ctx;
+  for (int i = 0; i < 500; ++i) {
+    // 2021-11-01 is a Monday, 2021-11-06 a Saturday.
+    weekday_present += plan_day(ScheduleKind::OfficeWorker, CivilDate{2021, 11, 1}, ctx, rng)
+                           .present();
+    weekend_present += plan_day(ScheduleKind::OfficeWorker, CivilDate{2021, 11, 6}, ctx, rng)
+                           .present();
+  }
+  EXPECT_GT(weekday_present, 400);
+  EXPECT_LT(weekend_present, 50);
+}
+
+TEST(Schedule, OfficeHoursAreDaytime) {
+  util::Rng rng{8};
+  const PlanContext ctx;
+  for (int i = 0; i < 200; ++i) {
+    const auto plan = plan_day(ScheduleKind::OfficeWorker, CivilDate{2021, 11, 2}, ctx, rng);
+    for (const auto& iv : plan.intervals) {
+      EXPECT_GT(iv.start, 5 * kHour);
+      EXPECT_LT(iv.end, 22 * kHour);
+      EXPECT_GT(iv.duration(), 30 * util::kMinute);
+    }
+  }
+}
+
+TEST(Schedule, ResidentStudentStaysOvernight) {
+  util::Rng rng{9};
+  const PlanContext ctx;
+  int overnight = 0;
+  for (int i = 0; i < 300; ++i) {
+    const auto plan =
+        plan_day(ScheduleKind::ResidentStudent, CivilDate{2021, 11, 2}, ctx, rng);
+    for (const auto& iv : plan.intervals) {
+      if (iv.end > 24 * kHour) ++overnight;
+    }
+  }
+  EXPECT_GT(overnight, 200);  // most nights are slept in the dorm
+}
+
+TEST(Schedule, CovidFactorSuppressesStudents) {
+  util::Rng rng{10};
+  PlanContext open, closed;
+  closed.covid_factor = 0.1;
+  int open_days = 0, closed_days = 0;
+  for (int i = 0; i < 400; ++i) {
+    open_days += plan_day(ScheduleKind::Student, CivilDate{2021, 11, 3}, open, rng).present();
+    closed_days +=
+        plan_day(ScheduleKind::Student, CivilDate{2021, 11, 3}, closed, rng).present();
+  }
+  EXPECT_GT(open_days, 4 * closed_days);
+}
+
+TEST(Schedule, HomeResidentWfhBlockUnderHighHomeFactor) {
+  util::Rng rng{11};
+  PlanContext wfh;
+  wfh.covid_factor = 1.5;  // lockdown home boost
+  int daytime_present = 0;
+  for (int i = 0; i < 300; ++i) {
+    const auto plan =
+        plan_day(ScheduleKind::HomeResident, CivilDate{2021, 11, 3}, wfh, rng);
+    for (const auto& iv : plan.intervals) {
+      if (iv.start < 12 * kHour && iv.end > 12 * kHour) ++daytime_present;
+    }
+  }
+  EXPECT_GT(daytime_present, 100);
+}
+
+TEST(Schedule, AlwaysOnCoversFullDay) {
+  util::Rng rng{12};
+  const auto plan = plan_day(ScheduleKind::AlwaysOn, CivilDate{2021, 11, 3}, PlanContext{}, rng);
+  ASSERT_EQ(plan.intervals.size(), 1u);
+  EXPECT_EQ(plan.intervals[0].start, 0);
+  EXPECT_EQ(plan.intervals[0].end, 24 * kHour);
+}
+
+}  // namespace
+}  // namespace rdns::sim

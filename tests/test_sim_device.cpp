@@ -1,0 +1,151 @@
+/// Tests for the device model: identity construction, activation dates,
+/// participation/release decisions, and — at the world level — that a
+/// device's PTR stays stable across DHCP renewals during one presence
+/// interval (no mid-session flicker, which would corrupt Fig. 8).
+
+#include <gtest/gtest.h>
+
+#include "dns/resolver.hpp"
+#include "sim/device.hpp"
+#include "sim/world.hpp"
+
+namespace rdns::sim {
+namespace {
+
+using util::CivilDate;
+using util::kHour;
+
+TEST(Device, InitCarriesIdentity) {
+  util::Rng rng{1};
+  Device::Init init = make_device_init(7, DeviceKind::Iphone, "brian", true, rng);
+  EXPECT_EQ(init.id, 7u);
+  EXPECT_EQ(init.owner_given_name, "brian");
+  EXPECT_EQ(init.host_name, "Brian's iPhone");
+  EXPECT_EQ(init.mac.vendor(), net::MacVendor::Apple);
+  Device device{init};
+  EXPECT_EQ(device.id(), 7u);
+  EXPECT_EQ(device.owner(), "brian");
+  EXPECT_EQ(device.host_name(), "Brian's iPhone");
+}
+
+TEST(Device, OwnerlessWhenNameUnused) {
+  util::Rng rng{2};
+  const Device::Init init = make_device_init(8, DeviceKind::Iphone, "brian", false, rng);
+  EXPECT_TRUE(init.owner_given_name.empty());
+  EXPECT_EQ(init.host_name.find("rian"), std::string::npos);
+}
+
+TEST(Device, PhonesParticipateMoreThanLaptops) {
+  util::Rng rng{3};
+  const auto phone = make_device_init(1, DeviceKind::Iphone, "a", true, rng);
+  const auto laptop = make_device_init(2, DeviceKind::MacbookPro, "a", true, rng);
+  EXPECT_GT(phone.participation, laptop.participation);
+}
+
+TEST(Device, ExistsOnRespectsFirstActive) {
+  util::Rng rng{4};
+  Device::Init init = make_device_init(9, DeviceKind::GalaxyPhone, "brian", true, rng);
+  init.first_active = CivilDate{2021, 11, 29};
+  const Device device{init};
+  EXPECT_FALSE(device.exists_on(CivilDate{2021, 11, 28}));
+  EXPECT_TRUE(device.exists_on(CivilDate{2021, 11, 29}));
+  EXPECT_TRUE(device.exists_on(CivilDate{2021, 12, 1}));
+}
+
+TEST(Device, DecisionProbabilitiesAreRespected) {
+  util::Rng rng{5};
+  Device::Init init = make_device_init(10, DeviceKind::Iphone, "a", true, rng);
+  init.clean_release = 1.0;
+  init.participation = 0.0;
+  const Device device{init};
+  util::Rng decide{6};
+  EXPECT_TRUE(device.decide_clean_release(decide));
+  EXPECT_FALSE(device.decide_participation(decide));
+}
+
+TEST(Device, PingResponseDecidedOncePerDevice) {
+  // With responds_to_ping = 1 every instance answers; with 0 none does.
+  util::Rng rng{7};
+  Device::Init yes = make_device_init(11, DeviceKind::WindowsDesktop, "a", false, rng);
+  yes.probe_reliability = 1.0;
+  yes.responds_to_ping = 1.0;
+  EXPECT_TRUE(Device{yes}.responds_to_ping());
+  Device::Init no = yes;
+  no.responds_to_ping = 0.0;
+  no.seed = rng.next();
+  EXPECT_FALSE(Device{no}.responds_to_ping());
+}
+
+TEST(WorldRenewals, PtrStableAcrossOnePresenceInterval) {
+  // A device present for many hours renews its lease repeatedly; its PTR
+  // must stay identical throughout (the bridge only acts on bind/end).
+  OrgSpec spec;
+  spec.name = "renew-test";
+  spec.type = OrgType::Academic;
+  spec.suffix = dns::DnsName::must_parse("renew.edu");
+  spec.announced = {net::Prefix::must_parse("10.83.0.0/16")};
+  SegmentSpec seg;
+  seg.label = "wifi";
+  seg.prefix = net::Prefix::must_parse("10.83.64.0/24");
+  seg.schedule = ScheduleKind::AlwaysOn;  // online all day => many renewals
+  seg.user_count = 0;
+  seg.always_on_count = 8;
+  seg.lease_seconds = 3600;
+  spec.segments = {seg};
+  spec.seed = 3131;
+
+  World world;
+  world.add_org(std::move(spec));
+  world.start(CivilDate{2021, 11, 1}, CivilDate{2021, 11, 3});
+  world.run_until(util::to_sim_time(CivilDate{2021, 11, 1}) + 2 * kHour);
+
+  // Capture each online device's PTR...
+  dns::StubResolver resolver{world};
+  std::map<std::string, std::string> before;
+  world.snapshot_ptrs([&](net::Ipv4Addr a, const dns::DnsName& ptr) {
+    before[a.to_string()] = ptr.to_canonical_string();
+  });
+  ASSERT_FALSE(before.empty());
+  const auto renewals_before = world.stats().renewals;
+
+  // ...ten hours (and many renewals) later, they are unchanged.
+  world.run_until(util::to_sim_time(CivilDate{2021, 11, 1}) + 12 * kHour);
+  EXPECT_GT(world.stats().renewals, renewals_before + 8);
+  std::map<std::string, std::string> after;
+  world.snapshot_ptrs([&](net::Ipv4Addr a, const dns::DnsName& ptr) {
+    after[a.to_string()] = ptr.to_canonical_string();
+  });
+  EXPECT_EQ(before, after);
+}
+
+TEST(WorldStats, JoinsBalanceLeavesOverClosedInterval) {
+  OrgSpec spec;
+  spec.name = "balance-test";
+  spec.type = OrgType::Enterprise;
+  spec.suffix = dns::DnsName::must_parse("balance-corp.com");
+  spec.announced = {net::Prefix::must_parse("10.84.0.0/16")};
+  SegmentSpec seg;
+  seg.label = "corp";
+  seg.prefix = net::Prefix::must_parse("10.84.64.0/24");
+  seg.schedule = ScheduleKind::OfficeWorker;
+  seg.user_count = 25;
+  spec.segments = {seg};
+  spec.seed = 777;
+
+  World world;
+  world.add_org(std::move(spec));
+  world.start(CivilDate{2021, 11, 1}, CivilDate{2021, 11, 5});
+  // Run well past the last planned day: everything joined must have left.
+  world.run_until(util::to_sim_time(CivilDate{2021, 11, 7}));
+  EXPECT_GT(world.stats().joins, 0u);
+  EXPECT_EQ(world.stats().joins, world.stats().leaves);
+  // And no PTRs remain in the dynamic range.
+  std::size_t dynamic_ptrs = 0;
+  world.snapshot_ptrs([&](net::Ipv4Addr a, const dns::DnsName&) {
+    dynamic_ptrs += net::Prefix::must_parse("10.84.64.0/24").contains(a);
+  });
+  EXPECT_EQ(dynamic_ptrs, 0u);
+}
+
+}  // namespace
+}  // namespace rdns::sim

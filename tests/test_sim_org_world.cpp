@@ -1,0 +1,313 @@
+/// Integration tests for Organization and World: numbering plans, DNS/DHCP
+/// wiring, the measurement surface (ping + PTR queries), and — crucially —
+/// that a client joining a network makes its hostname appear in the global
+/// reverse DNS and leaving makes it disappear (the paper's core mechanism).
+
+#include <gtest/gtest.h>
+
+#include "dns/resolver.hpp"
+#include "net/arpa.hpp"
+#include "sim/world.hpp"
+
+namespace rdns::sim {
+namespace {
+
+using util::CivilDate;
+using util::kDay;
+using util::kHour;
+
+OrgSpec small_academic(const char* slash16, dhcp::DdnsPolicy policy) {
+  OrgSpec o;
+  o.name = "test-academic";
+  o.type = OrgType::Academic;
+  o.suffix = dns::DnsName::must_parse("testu.edu");
+  o.announced = {net::Prefix::must_parse(std::string{slash16} + ".0.0/16")};
+  SegmentSpec seg;
+  seg.label = "wifi";
+  seg.venue = PresenceVenue::Campus;
+  seg.prefix = net::Prefix::must_parse(std::string{slash16} + ".64.0/24");
+  seg.schedule = ScheduleKind::OfficeWorker;
+  seg.user_count = 20;
+  seg.ddns_policy = policy;
+  o.segments = {seg};
+  o.static_ranges = {{net::Prefix::must_parse(std::string{slash16} + ".0.0/26"),
+                      StaticRangeSpec::Style::GenericNames, 1.0, 1.0}};
+  o.seed = 1234;
+  return o;
+}
+
+TEST(Organization, BuildsZonesAndPopulation) {
+  Organization org{small_academic("10.80", dhcp::DdnsPolicy::CarryOverClientId)};
+  EXPECT_EQ(org.dns().zone_count(), 1u);
+  EXPECT_EQ(org.users().size(), 20u);
+  EXPECT_GE(org.device_count(), 20u);   // at least one device each
+  EXPECT_GT(org.ptr_count(), 50u);      // static range pre-populated
+}
+
+TEST(Organization, StaticRangePingable) {
+  Organization org{small_academic("10.80", dhcp::DdnsPolicy::CarryOverClientId)};
+  EXPECT_TRUE(org.static_host_pingable(net::Ipv4Addr::must_parse("10.80.0.1")));
+  EXPECT_FALSE(org.static_host_pingable(net::Ipv4Addr::must_parse("10.80.64.1")));
+}
+
+TEST(Organization, IcmpPolicy) {
+  OrgSpec spec = small_academic("10.80", dhcp::DdnsPolicy::CarryOverClientId);
+  spec.blocks_icmp = true;
+  spec.icmp_allowlist = {net::Ipv4Addr::must_parse("10.80.0.1")};
+  Organization org{std::move(spec)};
+  EXPECT_TRUE(org.icmp_reaches(net::Ipv4Addr::must_parse("10.80.0.1")));
+  EXPECT_FALSE(org.icmp_reaches(net::Ipv4Addr::must_parse("10.80.0.2")));
+}
+
+TEST(Organization, ScriptedUsersGetExactHostNames) {
+  OrgSpec spec = small_academic("10.80", dhcp::DdnsPolicy::CarryOverClientId);
+  ScriptedUser brian;
+  brian.given_name = "brian";
+  brian.segment = 0;
+  brian.devices = {{DeviceKind::MacbookPro, "Brians-MBP", std::nullopt, 1.0}};
+  spec.scripted_users = {brian};
+  Organization org{std::move(spec)};
+  // Scripted users come first.
+  ASSERT_FALSE(org.users().empty());
+  ASSERT_EQ(org.users()[0].devices.size(), 1u);
+  EXPECT_EQ(org.users()[0].devices[0]->host_name(), "Brians-MBP");
+}
+
+TEST(Organization, RejectsBadSpecs) {
+  OrgSpec spec = small_academic("10.80", dhcp::DdnsPolicy::CarryOverClientId);
+  spec.segments[0].prefix = net::Prefix::must_parse("10.80.0.0/8");
+  EXPECT_THROW(Organization{std::move(spec)}, std::invalid_argument);
+
+  OrgSpec spec2 = small_academic("10.80", dhcp::DdnsPolicy::CarryOverClientId);
+  ScriptedUser bad;
+  bad.segment = 9;
+  spec2.scripted_users = {bad};
+  EXPECT_THROW(Organization{std::move(spec2)}, std::invalid_argument);
+}
+
+class WorldFixture : public ::testing::Test {
+ protected:
+  WorldFixture() {
+    world_.add_org(small_academic("10.80", dhcp::DdnsPolicy::CarryOverClientId));
+    world_.start(CivilDate{2021, 11, 1}, CivilDate{2021, 11, 14});
+  }
+
+  World world_;
+};
+
+TEST_F(WorldFixture, RoutesDnsByArpaName) {
+  dns::StubResolver resolver{world_};
+  // Static range address resolves.
+  const auto result =
+      resolver.lookup_ptr(net::Ipv4Addr::must_parse("10.80.0.5"), world_.now());
+  EXPECT_EQ(result.status, dns::LookupStatus::Ok);
+  // Unannounced space times out (no delegation).
+  const auto nowhere =
+      resolver.lookup_ptr(net::Ipv4Addr::must_parse("172.16.0.1"), world_.now());
+  EXPECT_EQ(nowhere.status, dns::LookupStatus::Timeout);
+}
+
+TEST_F(WorldFixture, JoinPublishesPtrLeaveRemovesIt) {
+  // Drive to midweek noon: office workers are in.
+  const util::SimTime noon = util::to_sim_time(CivilDate{2021, 11, 3}) + 12 * kHour;
+  world_.run_until(noon);
+  ASSERT_GT(world_.stats().joins, 0u);
+
+  // Find an online device via ground truth and check its PTR.
+  dns::StubResolver resolver{world_};
+  std::size_t online_with_ptr = 0;
+  for (std::uint32_t low = 1; low < 255; ++low) {
+    const net::Ipv4Addr a = net::Ipv4Addr::must_parse("10.80.64.0") + low;
+    const Device* device = world_.device_at(a);
+    if (device == nullptr) continue;
+    const auto result = resolver.lookup_ptr(a, world_.now());
+    ASSERT_EQ(result.status, dns::LookupStatus::Ok) << a.to_string();
+    ++online_with_ptr;
+  }
+  EXPECT_GT(online_with_ptr, 0u);
+
+  // Advance to 3am: everyone has left and leases expired; client PTRs gone.
+  const util::SimTime night = util::to_sim_time(CivilDate{2021, 11, 4}) + 3 * kHour;
+  world_.run_until(night);
+  for (std::uint32_t low = 1; low < 255; ++low) {
+    const net::Ipv4Addr a = net::Ipv4Addr::must_parse("10.80.64.0") + low;
+    EXPECT_EQ(world_.device_at(a), nullptr);
+    const auto result = resolver.lookup_ptr(a, world_.now());
+    EXPECT_EQ(result.status, dns::LookupStatus::NxDomain) << a.to_string();
+  }
+}
+
+TEST_F(WorldFixture, PingReflectsPresenceAndPolicy) {
+  const util::SimTime noon = util::to_sim_time(CivilDate{2021, 11, 3}) + 12 * kHour;
+  world_.run_until(noon);
+  // Static hosts answer (highly reliably).
+  int static_hits = 0;
+  for (int i = 0; i < 20; ++i) {
+    static_hits += world_.ping(net::Ipv4Addr::must_parse("10.80.0.5"), noon + i);
+  }
+  EXPECT_GT(static_hits, 15);
+  // Unoccupied pool addresses never answer.
+  EXPECT_FALSE(world_.ping(net::Ipv4Addr::must_parse("10.80.64.250"), noon));
+  // Unannounced space never answers.
+  EXPECT_FALSE(world_.ping(net::Ipv4Addr::must_parse("192.0.2.1"), noon));
+}
+
+TEST_F(WorldFixture, PingIsDeterministicInAddressAndTime) {
+  const util::SimTime t = util::to_sim_time(CivilDate{2021, 11, 3}) + 12 * kHour;
+  world_.run_until(t);
+  const auto a = net::Ipv4Addr::must_parse("10.80.0.5");
+  EXPECT_EQ(world_.ping(a, t), world_.ping(a, t));
+}
+
+TEST_F(WorldFixture, SnapshotMatchesWireSweep) {
+  // The bulk snapshot fast path must agree with issuing one PTR query per
+  // address through the full wire stack.
+  const util::SimTime noon = util::to_sim_time(CivilDate{2021, 11, 3}) + 12 * kHour;
+  world_.run_until(noon);
+
+  std::map<std::string, std::string> bulk;
+  world_.snapshot_ptrs([&](net::Ipv4Addr a, const dns::DnsName& ptr) {
+    bulk[a.to_string()] = ptr.to_canonical_string();
+  });
+
+  dns::StubResolver resolver{world_};
+  std::map<std::string, std::string> wire;
+  for (const auto& prefix : world_.announced_prefixes()) {
+    // Only the /24s that can have data (static /26 + the pool /24).
+    for (const auto block :
+         {net::Prefix::must_parse("10.80.0.0/24"), net::Prefix::must_parse("10.80.64.0/24")}) {
+      (void)prefix;
+      for (std::uint64_t v = block.first().value(); v <= block.last().value(); ++v) {
+        const net::Ipv4Addr a{static_cast<std::uint32_t>(v)};
+        const auto result = resolver.lookup_ptr(a, world_.now());
+        if (result.status == dns::LookupStatus::Ok && result.ptr) {
+          wire[a.to_string()] = result.ptr->to_canonical_string();
+        }
+      }
+    }
+    break;
+  }
+  EXPECT_EQ(bulk, wire);
+}
+
+TEST_F(WorldFixture, StickyAddressesAcrossDays) {
+  // The same device should keep getting the same IP (pool affinity), which
+  // is what makes Fig. 8's colour-coding per device meaningful.
+  const CivilDate day1{2021, 11, 3};
+  world_.run_until(util::to_sim_time(day1) + 12 * kHour);
+  std::map<std::uint64_t, net::Ipv4Addr> day1_addresses;
+  for (std::uint32_t low = 1; low < 255; ++low) {
+    const net::Ipv4Addr a = net::Ipv4Addr::must_parse("10.80.64.0") + low;
+    if (const Device* d = world_.device_at(a)) day1_addresses.emplace(d->id(), a);
+  }
+  ASSERT_FALSE(day1_addresses.empty());
+
+  const CivilDate day2{2021, 11, 4};
+  world_.run_until(util::to_sim_time(day2) + 12 * kHour);
+  std::size_t matched = 0, total = 0;
+  for (std::uint32_t low = 1; low < 255; ++low) {
+    const net::Ipv4Addr a = net::Ipv4Addr::must_parse("10.80.64.0") + low;
+    if (const Device* d = world_.device_at(a)) {
+      const auto it = day1_addresses.find(d->id());
+      if (it != day1_addresses.end()) {
+        ++total;
+        matched += (it->second == a);
+      }
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_EQ(matched, total);  // all returning devices re-bound to their address
+}
+
+TEST(World, RejectsOverlappingOrgs) {
+  World world;
+  world.add_org(small_academic("10.80", dhcp::DdnsPolicy::CarryOverClientId));
+  OrgSpec overlap = small_academic("10.80", dhcp::DdnsPolicy::StaticGeneric);
+  overlap.name = "other";
+  EXPECT_THROW(world.add_org(std::move(overlap)), std::invalid_argument);
+}
+
+TEST(World, OrgLookupHelpers) {
+  World world;
+  world.add_org(small_academic("10.80", dhcp::DdnsPolicy::CarryOverClientId));
+  EXPECT_NE(world.org_of(net::Ipv4Addr::must_parse("10.80.1.1")), nullptr);
+  EXPECT_EQ(world.org_of(net::Ipv4Addr::must_parse("10.81.1.1")), nullptr);
+  EXPECT_NE(world.org_by_name("test-academic"), nullptr);
+  EXPECT_EQ(world.org_by_name("nope"), nullptr);
+}
+
+TEST(World, StartTwiceThrows) {
+  World world;
+  world.add_org(small_academic("10.80", dhcp::DdnsPolicy::CarryOverClientId));
+  world.start(CivilDate{2021, 1, 1}, CivilDate{2021, 1, 2});
+  EXPECT_THROW(world.start(CivilDate{2021, 1, 1}, CivilDate{2021, 1, 2}), std::logic_error);
+  EXPECT_THROW(world.add_org(small_academic("10.81", dhcp::DdnsPolicy::None)),
+               std::logic_error);
+}
+
+TEST(World, HashedPolicyWorldLeaksNoNames) {
+  World world;
+  world.add_org(small_academic("10.80", dhcp::DdnsPolicy::HashedClientId));
+  world.start(CivilDate{2021, 11, 1}, CivilDate{2021, 11, 5});
+  world.run_until(util::to_sim_time(CivilDate{2021, 11, 3}) + 12 * kHour);
+  world.snapshot_ptrs([](net::Ipv4Addr, const dns::DnsName& ptr) {
+    const std::string name = ptr.to_canonical_string();
+    // Dynamic entries are hashed; static entries are host-... generic.
+    EXPECT_TRUE(name.rfind("h-", 0) == 0 || name.rfind("host-", 0) == 0) << name;
+  });
+}
+
+}  // namespace
+}  // namespace rdns::sim
+
+namespace rdns::sim {
+namespace {
+
+TEST(ForwardDns, WorldRoutesForwardQueriesToOrgZones) {
+  using util::CivilDate;
+  OrgSpec spec;
+  spec.name = "fwd-test";
+  spec.type = OrgType::Academic;
+  spec.suffix = dns::DnsName::must_parse("fwd-test.edu");
+  spec.announced = {net::Prefix::must_parse("10.82.0.0/16")};
+  SegmentSpec seg;
+  seg.label = "wifi";
+  seg.prefix = net::Prefix::must_parse("10.82.64.0/24");
+  seg.schedule = ScheduleKind::OfficeWorker;
+  seg.user_count = 15;
+  seg.named_device_frac = 1.0;
+  spec.segments = {seg};
+  spec.forward_updates = true;
+  spec.seed = 808;
+
+  World world;
+  world.add_org(std::move(spec));
+  world.start(CivilDate{2021, 11, 1}, CivilDate{2021, 11, 4});
+  world.run_until(util::to_sim_time(CivilDate{2021, 11, 2}) + 12 * util::kHour);
+
+  // Find an online device via ground truth, then resolve its published
+  // forward name THROUGH the world, wire format and all.
+  dns::StubResolver resolver{world};
+  int forward_hits = 0;
+  for (std::uint32_t low = 1; low < 255; ++low) {
+    const net::Ipv4Addr a = net::Ipv4Addr::must_parse("10.82.64.0") + low;
+    if (world.device_at(a) == nullptr) continue;
+    const auto ptr = resolver.lookup_ptr(a, world.now());
+    ASSERT_EQ(ptr.status, dns::LookupStatus::Ok);
+    const auto forward = resolver.lookup(*ptr.ptr, dns::RrType::A, world.now());
+    ASSERT_EQ(forward.status, dns::LookupStatus::Ok) << ptr.ptr->to_string();
+    ASSERT_FALSE(forward.answers.empty());
+    EXPECT_EQ(std::get<dns::ARdata>(forward.answers[0].rdata).address, a);
+    ++forward_hits;
+  }
+  EXPECT_GT(forward_hits, 0);
+
+  // Queries for unknown suffixes are refused.
+  EXPECT_EQ(resolver.lookup(dns::DnsName::must_parse("nope.example.org"), dns::RrType::A,
+                            world.now())
+                .status,
+            dns::LookupStatus::Refused);
+}
+
+}  // namespace
+}  // namespace rdns::sim

@@ -1,0 +1,117 @@
+/// Tests for the CLI argument parser and the markdown report renderer.
+
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "util/cli.hpp"
+
+namespace rdns::util {
+namespace {
+
+CliParser make_parser() {
+  CliParser cli{"tool", "a test tool"};
+  cli.option("from", "start date", "2021-01-01")
+      .option("count", "a number")
+      .flag("verbose", "talk more")
+      .positional("input", "input file")
+      .positional("output", "output file", "out.csv");
+  return cli;
+}
+
+TEST(Cli, DefaultsApply) {
+  CliParser cli = make_parser();
+  cli.parse({"in.csv"});
+  EXPECT_EQ(cli.get("from"), "2021-01-01");
+  EXPECT_EQ(cli.get("input"), "in.csv");
+  EXPECT_EQ(cli.get("output"), "out.csv");
+  EXPECT_FALSE(cli.get_flag("verbose"));
+  EXPECT_FALSE(cli.get_optional("count").has_value());
+}
+
+TEST(Cli, OptionsFlagsPositionals) {
+  CliParser cli = make_parser();
+  cli.parse({"--from", "2021-06-01", "--verbose", "--count=42", "a.csv", "b.csv"});
+  EXPECT_EQ(cli.get("from"), "2021-06-01");
+  EXPECT_TRUE(cli.get_flag("verbose"));
+  EXPECT_EQ(cli.get_int("count"), 42);
+  EXPECT_EQ(cli.get("input"), "a.csv");
+  EXPECT_EQ(cli.get("output"), "b.csv");
+}
+
+TEST(Cli, DoubleDashEndsOptions) {
+  CliParser cli = make_parser();
+  cli.parse({"--", "--from"});  // "--from" becomes a positional
+  EXPECT_EQ(cli.get("input"), "--from");
+}
+
+TEST(Cli, Errors) {
+  EXPECT_THROW(make_parser().parse({"--bogus", "x", "in"}), CliError);
+  EXPECT_THROW(make_parser().parse({"--from"}), CliError);            // missing value
+  EXPECT_THROW(make_parser().parse({}), CliError);                    // missing positional
+  EXPECT_THROW(make_parser().parse({"a", "b", "c"}), CliError);       // too many
+  EXPECT_THROW(make_parser().parse({"--verbose=yes", "in"}), CliError);
+
+  CliParser cli = make_parser();
+  cli.parse({"--count", "nope", "in"});
+  EXPECT_THROW((void)cli.get_int("count"), CliError);
+  EXPECT_THROW((void)cli.get_double("count"), CliError);
+}
+
+TEST(Cli, NumericAccessors) {
+  CliParser cli = make_parser();
+  cli.parse({"--count", "7", "--from", "0.25", "in"});
+  EXPECT_EQ(cli.get_int("count"), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("from"), 0.25);
+}
+
+TEST(Cli, UsageMentionsEverything) {
+  const std::string usage = make_parser().usage();
+  EXPECT_NE(usage.find("--from"), std::string::npos);
+  EXPECT_NE(usage.find("--verbose"), std::string::npos);
+  EXPECT_NE(usage.find("<input>"), std::string::npos);
+  EXPECT_NE(usage.find("default: out.csv"), std::string::npos);
+}
+
+TEST(Report, RendersAllSections) {
+  core::PipelineReport report;
+  report.sweeps = 30;
+  report.sweep_rows = 123456;
+  report.dynamicity.total_slash24_seen = 100;
+  report.dynamicity.dynamic_count = 7;
+  core::SuffixStats stats;
+  stats.suffix = "leaky-university.edu";
+  stats.records = 80;
+  stats.unique_names = {"brian", "emma", "jacob"};
+  stats.identified = true;
+  report.leaks.suffixes["leaky-university.edu"] = stats;
+  report.leaks.identified = {"leaky-university.edu"};
+  report.leaks.matches_per_name["brian"] = 10;
+  report.leaks.filtered_matches_per_name["brian"] = 4;
+  report.types = core::classify_all(report.leaks.identified);
+  for (const auto& term : core::device_terms()) {
+    report.cooccurrence.all_matches[term] = term == std::string{"iphone"} ? 5u : 0u;
+    report.cooccurrence.filtered_matches[term] = term == std::string{"iphone"} ? 3u : 0u;
+  }
+  report.cooccurrence.total_filtered = 3;
+
+  const std::string md = core::render_markdown_report(report);
+  EXPECT_NE(md.find("| sweeps analyzed | 30 |"), std::string::npos);
+  EXPECT_NE(md.find("123,456"), std::string::npos);
+  EXPECT_NE(md.find("`leaky-university.edu`"), std::string::npos);
+  EXPECT_NE(md.find("academic 100.0%"), std::string::npos);
+  EXPECT_NE(md.find("**brian**: 4 (10)"), std::string::npos);
+  EXPECT_NE(md.find("| iphone | 3 | 5 |"), std::string::npos);
+  EXPECT_NE(md.find("Methodology"), std::string::npos);
+}
+
+TEST(Report, EmptyReportStillValid) {
+  core::PipelineReport report;
+  core::ReportOptions options;
+  options.include_methodology = false;
+  const std::string md = core::render_markdown_report(report, options);
+  EXPECT_NE(md.find("No network met the identification criteria"), std::string::npos);
+  EXPECT_EQ(md.find("Methodology"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rdns::util

@@ -1,0 +1,102 @@
+/// Tests for util/csv.hpp: RFC 4180 escaping, parsing, and streaming IO
+/// round trips (scanner output format).
+
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rdns::util {
+namespace {
+
+TEST(CsvEscape, PlainFieldsUnquoted) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, QuotesWhenNeeded) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvParseLine, SimpleFields) {
+  EXPECT_EQ(csv_parse_line("a,b,c"), (CsvRow{"a", "b", "c"}));
+  EXPECT_EQ(csv_parse_line(""), (CsvRow{""}));
+  EXPECT_EQ(csv_parse_line("a,,c"), (CsvRow{"a", "", "c"}));
+}
+
+TEST(CsvParseLine, QuotedFields) {
+  EXPECT_EQ(csv_parse_line("\"a,b\",c"), (CsvRow{"a,b", "c"}));
+  EXPECT_EQ(csv_parse_line("\"say \"\"hi\"\"\""), (CsvRow{"say \"hi\""}));
+}
+
+TEST(CsvParseLine, ToleratesCr) {
+  EXPECT_EQ(csv_parse_line("a,b\r"), (CsvRow{"a", "b"}));
+}
+
+TEST(CsvParseLine, UnterminatedQuoteThrows) {
+  EXPECT_THROW((void)csv_parse_line("\"oops"), std::invalid_argument);
+}
+
+/// Escape/parse round trip over awkward field contents.
+class CsvRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CsvRoundTrip, LineSurvives) {
+  const CsvRow row{GetParam(), "plain", "t,r\"icky"};
+  EXPECT_EQ(csv_parse_line(csv_line(row)), row);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fields, CsvRoundTrip,
+                         ::testing::Values("", "simple", "with,comma", "with\"quote",
+                                           "both,\"of\",them", "  spaced  ",
+                                           "93.184.216.34"));
+
+TEST(CsvWriter, WritesRows) {
+  std::ostringstream out;
+  CsvWriter writer{out};
+  writer.row("date", "ip", "ptr");
+  writer.row("2021-11-01", "10.0.0.1", "brians-iphone.x.edu");
+  writer.row(1, 2.5, "x");
+  EXPECT_EQ(writer.rows_written(), 3u);
+  EXPECT_EQ(out.str(),
+            "date,ip,ptr\n2021-11-01,10.0.0.1,brians-iphone.x.edu\n1,2.500000,x\n");
+}
+
+TEST(CsvReader, ReadsBack) {
+  std::istringstream in{"a,b\n\n\"multi\nline\",x\n"};
+  CsvReader reader{in};
+  CsvRow row;
+  ASSERT_TRUE(reader.next(row));
+  EXPECT_EQ(row, (CsvRow{"a", "b"}));
+  ASSERT_TRUE(reader.next(row));  // blank line skipped
+  EXPECT_EQ(row, (CsvRow{"multi\nline", "x"}));
+  EXPECT_FALSE(reader.next(row));
+}
+
+TEST(CsvParse, WholeDocument) {
+  const auto rows = csv_parse("h1,h2\nv1,v2\nv3,v4\n");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[2], (CsvRow{"v3", "v4"}));
+}
+
+TEST(CsvWriterReader, FullRoundTrip) {
+  std::stringstream stream;
+  CsvWriter writer{stream};
+  const std::vector<CsvRow> rows = {
+      {"2021-11-01", "10.10.128.1", "brians-mbp.housing.x.edu"},
+      {"with,comma", "with\"quote", "with\nnewline"},
+  };
+  for (const auto& row : rows) writer.write_row(row);
+  CsvReader reader{stream};
+  CsvRow row;
+  for (const auto& expected : rows) {
+    ASSERT_TRUE(reader.next(row));
+    EXPECT_EQ(row, expected);
+  }
+  EXPECT_FALSE(reader.next(row));
+}
+
+}  // namespace
+}  // namespace rdns::util

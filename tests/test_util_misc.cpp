@@ -1,0 +1,105 @@
+/// Tests for the token bucket (scanner rate limiting), ASCII chart
+/// rendering (bench output) and the logger.
+
+#include <gtest/gtest.h>
+
+#include "util/ascii_chart.hpp"
+#include "util/log.hpp"
+#include "util/token_bucket.hpp"
+
+namespace rdns::util {
+namespace {
+
+TEST(TokenBucket, StartsFullThenLimits) {
+  TokenBucket bucket{10.0, 5.0, 0};
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(bucket.try_acquire(0));
+  EXPECT_FALSE(bucket.try_acquire(0));
+}
+
+TEST(TokenBucket, RefillsOverTime) {
+  TokenBucket bucket{2.0, 2.0, 0};
+  EXPECT_TRUE(bucket.try_acquire(0));
+  EXPECT_TRUE(bucket.try_acquire(0));
+  EXPECT_FALSE(bucket.try_acquire(0));
+  EXPECT_TRUE(bucket.try_acquire(1));  // 2 tokens/s accrued
+}
+
+TEST(TokenBucket, BurstCapsAccumulation) {
+  TokenBucket bucket{100.0, 3.0, 0};
+  EXPECT_NEAR(bucket.tokens(1000), 3.0, 1e-9);
+}
+
+TEST(TokenBucket, NextAvailable) {
+  TokenBucket bucket{1.0, 1.0, 0};
+  EXPECT_TRUE(bucket.try_acquire(0));
+  const SimTime t = bucket.next_available(0);
+  EXPECT_GE(t, 1);
+  EXPECT_TRUE(bucket.try_acquire(t));
+}
+
+TEST(TokenBucket, MultiTokenAcquire) {
+  TokenBucket bucket{10.0, 10.0, 0};
+  EXPECT_TRUE(bucket.try_acquire(0, 8.0));
+  EXPECT_FALSE(bucket.try_acquire(0, 8.0));
+  EXPECT_TRUE(bucket.try_acquire(1, 8.0));  // 2 + 10 accrued, capped at 10
+}
+
+TEST(AsciiChart, LineChartContainsLegendAndGlyphs) {
+  Series s1{"icmp", {1, 5, 3, 8, 2}};
+  Series s2{"rdns", {2, 2, 2, 2, 2}};
+  ChartOptions opts;
+  opts.title = "activity";
+  const std::string out = render_line_chart({s1, s2}, opts);
+  EXPECT_NE(out.find("activity"), std::string::npos);
+  EXPECT_NE(out.find("icmp"), std::string::npos);
+  EXPECT_NE(out.find("rdns"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(AsciiChart, EmptyData) {
+  ChartOptions opts;
+  EXPECT_NE(render_line_chart({}, opts).find("(no data)"), std::string::npos);
+  EXPECT_NE(render_bar_chart({}, opts).find("(no data)"), std::string::npos);
+}
+
+TEST(AsciiChart, BarChartScalesToMax) {
+  ChartOptions opts;
+  opts.width = 20;
+  const std::string out =
+      render_bar_chart({{"big", 100.0}, {"half", 50.0}, {"zero", 0.0}}, opts);
+  // The big bar must be longer than the half bar.
+  const auto big_line = out.substr(0, out.find('\n'));
+  const auto half_line = out.substr(out.find('\n') + 1);
+  const auto count_hashes = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), '#');
+  };
+  EXPECT_GT(count_hashes(big_line), count_hashes(half_line.substr(0, half_line.find('\n'))));
+}
+
+TEST(AsciiChart, PresenceGridGlyphs) {
+  const std::string out = render_presence_grid({"brians-mbp", "brians-ipad"},
+                                               {{0, 1, 1, 0}, {2, 0, 0, 2}}, "week");
+  EXPECT_NE(out.find("brians-mbp"), std::string::npos);
+  EXPECT_NE(out.find('.'), std::string::npos);  // state 1 glyph
+  EXPECT_NE(out.find(':'), std::string::npos);  // state 2 glyph
+}
+
+TEST(AsciiChart, HistogramRendersCounts) {
+  const std::string out =
+      render_histogram({10, 0, 5}, 0.0, 5.0, ChartOptions{.title = "linger"});
+  EXPECT_NE(out.find("linger"), std::string::npos);
+  EXPECT_NE(out.find("10"), std::string::npos);
+}
+
+TEST(Log, LevelFiltering) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  log_debug("not shown");  // must not crash
+  log_error("shown");
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace rdns::util

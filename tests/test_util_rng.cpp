@@ -1,0 +1,165 @@
+/// Tests for util/rng.hpp: determinism, distribution sanity and the
+/// derived-stream machinery the simulator's reproducibility rests on.
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace rdns::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsIndependentOfParentStream) {
+  Rng parent{99};
+  Rng child1 = parent.fork(7);
+  const std::uint64_t next_parent = parent.next();
+  Rng parent2{99};
+  Rng child2 = parent2.fork(7);
+  EXPECT_EQ(child1.next(), child2.next());   // same fork -> same stream
+  EXPECT_EQ(parent2.next(), next_parent);    // forking did not consume parent state
+}
+
+TEST(Rng, ForkTagsSeparateStreams) {
+  Rng parent{99};
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+class UniformIntRange : public ::testing::TestWithParam<std::pair<std::int64_t, std::int64_t>> {
+};
+
+TEST_P(UniformIntRange, StaysInBounds) {
+  const auto [lo, hi] = GetParam();
+  Rng rng{42};
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(lo, hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, UniformIntRange,
+                         ::testing::Values(std::pair{0LL, 0LL}, std::pair{0LL, 1LL},
+                                           std::pair{-5LL, 5LL}, std::pair{0LL, 255LL},
+                                           std::pair{1000LL, 1000000LL}));
+
+TEST(Rng, UniformIntCoversSmallRange) {
+  Rng rng{7};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng{5};
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceEdges) {
+  Rng rng{11};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-1.0));
+    EXPECT_TRUE(rng.chance(2.0));
+  }
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng rng{13};
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.chance(0.25);
+  EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{17};
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.normal(10.0, 2.0));
+  double mean = 0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size());
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng{19};
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / 20000.0, 3.0, 0.15);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng{23};
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.4);
+}
+
+TEST(Rng, ShuffleCompatibility) {
+  Rng rng{29};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  std::shuffle(v.begin(), v.end(), rng);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Zipf, PopularRanksDominate) {
+  ZipfSampler zipf{50, 0.8};
+  Rng rng{31};
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[49]);
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  ZipfSampler zipf{20, 1.0};
+  double total = 0;
+  for (std::size_t i = 0; i < zipf.size(); ++i) total += zipf.pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(zipf.pmf(99), 0.0);
+}
+
+TEST(Zipf, RejectsEmpty) { EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument); }
+
+TEST(Mix64, StatelessAndSpreads) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_NE(mix64(1), mix64(2));
+  std::set<std::uint64_t> outs;
+  for (std::uint64_t i = 0; i < 1000; ++i) outs.insert(mix64(i));
+  EXPECT_EQ(outs.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace rdns::util

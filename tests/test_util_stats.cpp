@@ -1,0 +1,130 @@
+/// Tests for util/stats.hpp: counters, histograms (Fig. 7a machinery),
+/// empirical CDFs (Fig. 7b machinery) and moments.
+
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rdns::util {
+namespace {
+
+TEST(Counter, AddAndQuery) {
+  Counter c;
+  c.add("iphone");
+  c.add("iphone", 2);
+  c.add("ipad");
+  EXPECT_EQ(c.count("iphone"), 3);
+  EXPECT_EQ(c.count("ipad"), 1);
+  EXPECT_EQ(c.count("missing"), 0);
+  EXPECT_EQ(c.total(), 4);
+  EXPECT_EQ(c.distinct(), 2u);
+}
+
+TEST(Counter, MostCommonOrderAndLimit) {
+  Counter c;
+  c.add("a", 1);
+  c.add("b", 5);
+  c.add("c", 3);
+  const auto top = c.most_common();
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, "b");
+  EXPECT_EQ(top[1].first, "c");
+  EXPECT_EQ(top[2].first, "a");
+  EXPECT_EQ(c.most_common(1).size(), 1u);
+}
+
+TEST(Histogram, BinAssignment) {
+  Histogram h{0.0, 60.0, 10.0};
+  EXPECT_EQ(h.bin_count(), 6u);
+  h.add(0.0);
+  h.add(9.99);
+  h.add(10.0);
+  h.add(59.9);
+  EXPECT_EQ(h.bin(0), 2);
+  EXPECT_EQ(h.bin(1), 1);
+  EXPECT_EQ(h.bin(5), 1);
+  EXPECT_EQ(h.total(), 4);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h{10.0, 20.0, 5.0};
+  h.add(5.0);
+  h.add(25.0, 3);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 3);
+  EXPECT_EQ(h.total(), 4);
+}
+
+TEST(Histogram, ModeBin) {
+  Histogram h{0.0, 30.0, 10.0};
+  EXPECT_FALSE(h.mode_bin().has_value());
+  h.add(5.0);
+  h.add(15.0, 5);
+  h.add(25.0, 2);
+  ASSERT_TRUE(h.mode_bin().has_value());
+  EXPECT_EQ(*h.mode_bin(), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 10.0);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, FractionAtValues) {
+  EmpiricalCdf cdf;
+  cdf.add_all({5, 10, 15, 60});
+  EXPECT_DOUBLE_EQ(cdf.at(4), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(5), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(59), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.at(60), 1.0);
+  EXPECT_EQ(cdf.size(), 4u);
+}
+
+TEST(EmpiricalCdf, Percentiles) {
+  EmpiricalCdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(cdf.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(cdf.percentile(90), 90.0);
+  EXPECT_DOUBLE_EQ(cdf.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.percentile(100), 100.0);
+}
+
+TEST(EmpiricalCdf, EmptyBehaviour) {
+  EmpiricalCdf cdf;
+  EXPECT_DOUBLE_EQ(cdf.at(10), 0.0);
+  EXPECT_THROW((void)cdf.percentile(50), std::logic_error);
+}
+
+TEST(EmpiricalCdf, AddAfterQueryResorts) {
+  EmpiricalCdf cdf;
+  cdf.add(10);
+  EXPECT_DOUBLE_EQ(cdf.at(10), 1.0);
+  cdf.add(5);
+  EXPECT_DOUBLE_EQ(cdf.at(5), 0.5);
+}
+
+TEST(EmpiricalCdf, Evaluate) {
+  EmpiricalCdf cdf;
+  cdf.add_all({1, 2, 3, 4});
+  EXPECT_EQ(cdf.evaluate({0, 2, 5}), (std::vector<double>{0.0, 0.5, 1.0}));
+}
+
+TEST(Moments, MeanAndStddev) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({2, 4, 6}), 4.0);
+  EXPECT_DOUBLE_EQ(stddev({5}), 0.0);
+  EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0, 1e-9);
+}
+
+TEST(Correlation, PerfectAndUndefined) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  ASSERT_TRUE(correlation(xs, {2, 4, 6, 8}).has_value());
+  EXPECT_NEAR(*correlation(xs, {2, 4, 6, 8}), 1.0, 1e-9);
+  EXPECT_NEAR(*correlation(xs, {8, 6, 4, 2}), -1.0, 1e-9);
+  EXPECT_FALSE(correlation(xs, {1, 1, 1, 1}).has_value());  // zero variance
+  EXPECT_FALSE(correlation(xs, {1, 2}).has_value());        // size mismatch
+}
+
+}  // namespace
+}  // namespace rdns::util

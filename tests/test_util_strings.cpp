@@ -1,0 +1,87 @@
+/// Tests for util/strings.hpp — with particular attention to alpha_terms,
+/// the paper's Section 5.1 term-extraction primitive.
+
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rdns::util {
+namespace {
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("BrIaN's-iPhone"), "brian's-iphone");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(IEquals, CaseInsensitive) {
+  EXPECT_TRUE(iequals("ABC", "abc"));
+  EXPECT_TRUE(iequals("", ""));
+  EXPECT_FALSE(iequals("abc", "abd"));
+  EXPECT_FALSE(iequals("abc", "ab"));
+}
+
+TEST(Split, KeepsEmptyFields) {
+  EXPECT_EQ(split("a..b", '.'), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split("", '.'), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("x", '.'), (std::vector<std::string>{"x"}));
+  EXPECT_EQ(split(".a.", '.'), (std::vector<std::string>{"", "a", ""}));
+}
+
+TEST(SplitNonempty, DropsEmpties) {
+  EXPECT_EQ(split_nonempty("a..b.", '.'), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(split_nonempty("...", '.').empty());
+}
+
+TEST(Join, Inverse) {
+  EXPECT_EQ(join({"a", "b", "c"}, "."), "a.b.c");
+  EXPECT_EQ(join({}, "."), "");
+  EXPECT_EQ(join({"solo"}, ", "), "solo");
+}
+
+TEST(Trim, Whitespace) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\r\n"), "");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(Affixes, StartsEndsContains) {
+  EXPECT_TRUE(starts_with("hostname.example.edu", "hostname"));
+  EXPECT_FALSE(starts_with("abc", "abcd"));
+  EXPECT_TRUE(ends_with("hostname.example.edu", ".edu"));
+  EXPECT_FALSE(ends_with("edu", ".edu"));
+  EXPECT_TRUE(contains("brians-iphone", "iphone"));
+  EXPECT_FALSE(contains("brians-iphone", "ipad"));
+}
+
+/// alpha_terms is the §5.1 extraction regex: maximal alphabetic runs,
+/// lowercased.
+TEST(AlphaTerms, ExtractsAlphaRuns) {
+  EXPECT_EQ(alpha_terms("Brians-iPhone-12.cs.uni.edu"),
+            (std::vector<std::string>{"brians", "iphone", "cs", "uni", "edu"}));
+  EXPECT_EQ(alpha_terms("host-10-1-2-3"), (std::vector<std::string>{"host"}));
+  EXPECT_TRUE(alpha_terms("12345").empty());
+  EXPECT_TRUE(alpha_terms("").empty());
+  EXPECT_EQ(alpha_terms("a1b2c3"), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ReplaceAll, AllOccurrences) {
+  EXPECT_EQ(replace_all("a-b-c", "-", "_"), "a_b_c");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(replace_all("x", "", "y"), "x");
+}
+
+TEST(Format, PrintfStyle) {
+  EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(format("%.2f", 3.14159), "3.14");
+}
+
+TEST(WithCommas, Grouping) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(with_commas(-1234567), "-1,234,567");
+}
+
+}  // namespace
+}  // namespace rdns::util

@@ -1,0 +1,120 @@
+/// Tests for util/time.hpp: civil calendar math, formatting, weekday
+/// computation and the helpers the measurement pipeline depends on.
+
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rdns::util {
+namespace {
+
+TEST(CivilDate, EpochIsDayZero) {
+  EXPECT_EQ(days_from_civil({1970, 1, 1}), 0);
+  EXPECT_EQ(civil_from_days(0), (CivilDate{1970, 1, 1}));
+}
+
+TEST(CivilDate, KnownDates) {
+  // Start of the paper's study period.
+  EXPECT_EQ(days_from_civil({2019, 10, 1}), 18170);
+  // End of the study period.
+  EXPECT_EQ(days_from_civil({2021, 12, 31}), 18992);
+  EXPECT_EQ(civil_from_days(18992), (CivilDate{2021, 12, 31}));
+}
+
+TEST(CivilDate, LeapYearHandling) {
+  EXPECT_EQ(add_days({2020, 2, 28}, 1), (CivilDate{2020, 2, 29}));
+  EXPECT_EQ(add_days({2020, 2, 29}, 1), (CivilDate{2020, 3, 1}));
+  EXPECT_EQ(add_days({2021, 2, 28}, 1), (CivilDate{2021, 3, 1}));
+  EXPECT_EQ(add_days({2000, 2, 28}, 1), (CivilDate{2000, 2, 29}));  // 400-year rule
+  EXPECT_EQ(add_days({1900, 2, 28}, 1), (CivilDate{1900, 3, 1}));   // 100-year rule
+}
+
+/// Round-trip property over a broad sweep of days.
+class CivilRoundTrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(CivilRoundTrip, DaysToCivilAndBack) {
+  const std::int64_t day = GetParam();
+  const CivilDate d = civil_from_days(day);
+  EXPECT_EQ(days_from_civil(d), day);
+  EXPECT_GE(d.month, 1);
+  EXPECT_LE(d.month, 12);
+  EXPECT_GE(d.day, 1);
+  EXPECT_LE(d.day, 31);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CivilRoundTrip,
+                         ::testing::Range<std::int64_t>(17000, 19500, 37));
+
+TEST(Weekday, KnownWeekdays) {
+  EXPECT_EQ(weekday_of(CivilDate{1970, 1, 1}), Weekday::Thursday);
+  // Thanksgiving 2021 was Thursday 25 November.
+  EXPECT_EQ(weekday_of(CivilDate{2021, 11, 25}), Weekday::Thursday);
+  EXPECT_EQ(weekday_of(CivilDate{2021, 11, 29}), Weekday::Monday);  // Cyber Monday
+  EXPECT_TRUE(is_weekend(weekday_of(CivilDate{2021, 11, 27})));
+  EXPECT_FALSE(is_weekend(weekday_of(CivilDate{2021, 11, 26})));
+}
+
+TEST(Weekday, Names) {
+  EXPECT_STREQ(to_string(Weekday::Monday), "Monday");
+  EXPECT_STREQ(to_short_string(Weekday::Sunday), "Sun");
+}
+
+TEST(Thanksgiving, FourthThursdayOfNovember) {
+  EXPECT_EQ(thanksgiving(2021), (CivilDate{2021, 11, 25}));
+  EXPECT_EQ(thanksgiving(2020), (CivilDate{2020, 11, 26}));
+  EXPECT_EQ(thanksgiving(2019), (CivilDate{2019, 11, 28}));
+  EXPECT_EQ(thanksgiving(2022), (CivilDate{2022, 11, 24}));
+}
+
+TEST(SimTimeConversions, MidnightAndParts) {
+  const CivilDateTime dt{CivilDate{2021, 11, 1}, 13, 45, 30};
+  const SimTime t = to_sim_time(dt);
+  EXPECT_EQ(to_civil_date_time(t), dt);
+  EXPECT_EQ(to_civil_date(t), dt.date);
+  EXPECT_EQ(seconds_into_day(t), 13 * kHour + 45 * kMinute + 30);
+  EXPECT_EQ(start_of_day(t), to_sim_time(dt.date));
+}
+
+TEST(Truncate, FiveMinuteBuckets) {
+  // The supplemental measurement merges on 5-minute truncated timestamps.
+  EXPECT_EQ(truncate(301, 300), 300);
+  EXPECT_EQ(truncate(300, 300), 300);
+  EXPECT_EQ(truncate(599, 300), 300);
+  EXPECT_EQ(truncate(600, 300), 600);
+}
+
+TEST(Format, DateAndDateTime) {
+  EXPECT_EQ(format_date(CivilDate{2021, 3, 7}), "2021-03-07");
+  const SimTime t = to_sim_time(CivilDateTime{{2020, 12, 24}, 6, 5, 4});
+  EXPECT_EQ(format_date_time(t), "2020-12-24 06:05:04");
+}
+
+TEST(Parse, ValidDates) {
+  EXPECT_EQ(parse_date("2021-01-31"), (CivilDate{2021, 1, 31}));
+  EXPECT_EQ(parse_date_time("2021-01-31 23:59:59"),
+            to_sim_time(CivilDateTime{{2021, 1, 31}, 23, 59, 59}));
+}
+
+TEST(Parse, RejectsMalformed) {
+  EXPECT_THROW((void)parse_date("not-a-date"), std::invalid_argument);
+  EXPECT_THROW((void)parse_date("2021-13-01"), std::invalid_argument);
+  EXPECT_THROW((void)parse_date("2021-01-32"), std::invalid_argument);
+  EXPECT_THROW((void)parse_date_time("2021-01-01 25:00:00"), std::invalid_argument);
+  EXPECT_THROW((void)parse_date_time("2021-01-01"), std::invalid_argument);
+}
+
+TEST(DaysBetween, Directional) {
+  EXPECT_EQ(days_between({2021, 1, 1}, {2021, 1, 31}), 30);
+  EXPECT_EQ(days_between({2021, 1, 31}, {2021, 1, 1}), -30);
+  EXPECT_EQ(days_between({2020, 1, 1}, {2021, 1, 1}), 366);  // 2020 is a leap year
+}
+
+TEST(DurationHelpers, Constants) {
+  EXPECT_EQ(minutes(5), 300);
+  EXPECT_EQ(hours(2), 7200);
+  EXPECT_EQ(days(1), kDay);
+  EXPECT_EQ(kWeek, 7 * kDay);
+}
+
+}  // namespace
+}  // namespace rdns::util

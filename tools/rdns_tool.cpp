@@ -1,0 +1,327 @@
+/// \file rdns_tool.cpp
+/// The command-line face of the library — zdns/massdns-style tooling for
+/// the paper's pipeline. Subcommands:
+///
+///   sweep     simulate a synthetic Internet and record daily full-space
+///             PTR sweeps as (date,ip,ptr) CSV — a stand-in for downloading
+///             OpenINTEL/Rapid7 data
+///   analyze   run the §4/§5 identification pipeline over a sweep CSV and
+///             emit a markdown report
+///   audit     audit a reverse zone FILE (dig AXFR / IPAM export) for
+///             privacy leaks
+///   campaign  run the §6 supplemental measurement against the paper world
+///             and print the Table 3/4/5 summaries
+///   track     follow a given name through a campaign (the §7.1 case study)
+///
+/// Every subcommand prints usage with --help.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/mitigation.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "core/timing.hpp"
+#include "core/tracking.hpp"
+#include "dns/zonefile.hpp"
+#include "net/arpa.hpp"
+#include "scan/campaign.hpp"
+#include "scan/csv_replay.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace rdns;
+
+int cmd_sweep(const std::vector<std::string>& args) {
+  util::CliParser cli{"rdns_tool sweep",
+                      "simulate a synthetic Internet and record daily PTR sweeps as CSV"};
+  cli.option("orgs", "number of organizations", "24")
+      .option("seed", "world seed", "42")
+      .option("from", "first sweep date (YYYY-MM-DD)", "2021-01-02")
+      .option("to", "last sweep date (YYYY-MM-DD)", "2021-02-06")
+      .option("scale", "population scale factor", "0.4")
+      .positional("output", "output CSV path", "sweeps.csv");
+  if (std::find(args.begin(), args.end(), "--help") != args.end()) {
+    std::printf("%s", cli.usage().c_str());
+    return 0;
+  }
+  cli.parse(args);
+
+  const auto from = util::parse_date(cli.get("from"));
+  const auto to = util::parse_date(cli.get("to"));
+  core::WorldScale scale;
+  scale.population = cli.get_double("scale");
+  auto world = core::make_internet_world(static_cast<std::uint64_t>(cli.get_int("seed")),
+                                         cli.get_int("orgs"), scale);
+  world->start(util::add_days(from, -1), util::add_days(to, 1));
+
+  std::ofstream out{cli.get("output")};
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", cli.get("output").c_str());
+    return 2;
+  }
+  scan::CsvSnapshotSink sink{out};
+  scan::SweepDriver driver{*world, 14, 1, /*second_hour=*/21};
+  const auto stats = driver.run(from, to, sink);
+  std::printf("wrote %s rows over %llu sweeps to %s\n",
+              util::with_commas(static_cast<std::int64_t>(stats.total_rows)).c_str(),
+              static_cast<unsigned long long>(stats.sweeps), cli.get("output").c_str());
+  return 0;
+}
+
+int cmd_analyze(const std::vector<std::string>& args) {
+  util::CliParser cli{"rdns_tool analyze",
+                      "run the identification pipeline over a (date,ip,ptr) sweep CSV"};
+  cli.option("min-names", "unique given names required per suffix (paper: 50)", "20")
+      .option("min-ratio", "unique-names/records ratio required (paper: 0.1)", "0.1")
+      .option("min-days", "days over the 10% change threshold (paper: 7)", "5")
+      .option("report", "write a markdown report to this path", std::nullopt)
+      .positional("input", "sweep CSV path");
+  if (std::find(args.begin(), args.end(), "--help") != args.end()) {
+    std::printf("%s", cli.usage().c_str());
+    return 0;
+  }
+  cli.parse(args);
+
+  std::ifstream in{cli.get("input")};
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", cli.get("input").c_str());
+    return 2;
+  }
+
+  core::DynamicityDetector detector;
+  core::PtrCorpus corpus;
+  struct Tee final : scan::SnapshotSink {
+    std::vector<scan::SnapshotSink*> sinks;
+    void on_row(const util::CivilDate& d, net::Ipv4Addr a, const dns::DnsName& n) override {
+      for (auto* s : sinks) s->on_row(d, a, n);
+    }
+    void on_sweep_end(const util::CivilDate& d) override {
+      for (auto* s : sinks) s->on_sweep_end(d);
+    }
+  } tee;
+  tee.sinks = {&detector, &corpus};
+  const auto replay = scan::replay_csv(in, tee);
+  std::printf("replayed %s rows (%llu skipped) over %llu sweeps\n",
+              util::with_commas(static_cast<std::int64_t>(replay.rows)).c_str(),
+              static_cast<unsigned long long>(replay.skipped),
+              static_cast<unsigned long long>(replay.sweeps));
+
+  core::PipelineReport report;
+  report.sweep_rows = replay.rows;
+  report.sweeps = replay.sweeps;
+  core::DynamicityConfig dyn;
+  dyn.min_days_over = cli.get_int("min-days");
+  report.dynamicity = detector.analyze(dyn);
+
+  core::PtrCorpus dynamic_corpus;
+  dynamic_corpus.restrict_to(report.dynamicity.dynamic_blocks());
+  for (const auto& [hostname, entry] : corpus.entries()) dynamic_corpus.add_entry(entry);
+  core::LeakConfig leak;
+  leak.min_unique_names = static_cast<std::size_t>(cli.get_int("min-names"));
+  leak.min_ratio = cli.get_double("min-ratio");
+  report.leaks = core::identify_leaking_networks(dynamic_corpus, leak);
+  report.leaks.matches_per_name = core::count_name_matches(corpus);
+  report.cooccurrence = core::count_device_terms(dynamic_corpus, report.leaks.identified);
+  report.types = core::classify_all(report.leaks.identified);
+
+  std::printf("dynamic /24s: %zu of %zu; identified networks: %zu\n",
+              report.dynamicity.dynamic_count, report.dynamicity.total_slash24_seen,
+              report.leaks.identified.size());
+  for (const auto& suffix : report.leaks.identified) {
+    std::printf("  %-40s %s\n", suffix.c_str(),
+                core::to_string(core::classify_suffix(suffix)));
+  }
+
+  if (const auto path = cli.get_optional("report")) {
+    std::ofstream report_out{*path};
+    if (!report_out) {
+      std::fprintf(stderr, "cannot write %s\n", path->c_str());
+      return 2;
+    }
+    report_out << core::render_markdown_report(report);
+    std::printf("report written to %s\n", path->c_str());
+  }
+  return 0;
+}
+
+int cmd_audit(const std::vector<std::string>& args) {
+  util::CliParser cli{"rdns_tool audit",
+                      "audit a reverse zone file for privacy-sensitive PTR targets"};
+  cli.flag("quiet", "print counts only").positional("zonefile", "zone file path");
+  if (std::find(args.begin(), args.end(), "--help") != args.end()) {
+    std::printf("%s", cli.usage().c_str());
+    return 0;
+  }
+  cli.parse(args);
+
+  std::ifstream in{cli.get("zonefile")};
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", cli.get("zonefile").c_str());
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  dns::Zone zone = dns::parse_zone(buffer.str());
+
+  core::StreamAuditor auditor;
+  zone.for_each([&auditor](const dns::ResourceRecord& rr) {
+    if (const auto* ptr = std::get_if<dns::PtrRdata>(&rr.rdata)) {
+      if (const auto address = net::from_arpa(rr.name.to_string())) {
+        auditor.inspect(*address, ptr->ptrdname.to_canonical_string());
+      }
+    }
+  });
+  const auto& report = auditor.report();
+  std::printf("%s: %llu records, %zu findings (%llu owner names, %llu device models)\n",
+              zone.origin().to_canonical_string().c_str(),
+              static_cast<unsigned long long>(report.records_audited), report.findings.size(),
+              static_cast<unsigned long long>(report.owner_name_leaks),
+              static_cast<unsigned long long>(report.device_model_leaks));
+  if (!cli.get_flag("quiet")) {
+    for (const auto& finding : report.findings) {
+      std::printf("  [%-24s] %-16s %s\n", core::to_string(finding.severity),
+                  finding.address.to_string().c_str(), finding.hostname.c_str());
+    }
+  }
+  return report.clean() ? 0 : 1;
+}
+
+int cmd_campaign(const std::vector<std::string>& args) {
+  util::CliParser cli{"rdns_tool campaign",
+                      "run the supplemental measurement against the nine-network paper world"};
+  cli.option("seed", "world seed", "1")
+      .option("scale", "population scale factor", "0.3")
+      .option("from", "campaign start (YYYY-MM-DD)", "2021-10-25")
+      .option("to", "campaign end (YYYY-MM-DD)", "2021-11-07");
+  if (std::find(args.begin(), args.end(), "--help") != args.end()) {
+    std::printf("%s", cli.usage().c_str());
+    return 0;
+  }
+  cli.parse(args);
+
+  core::WorldScale scale;
+  scale.population = cli.get_double("scale");
+  auto world = core::make_paper_world(static_cast<std::uint64_t>(cli.get_int("seed")), scale);
+  const auto from = util::parse_date(cli.get("from"));
+  const auto to = util::parse_date(cli.get("to"));
+  world->start(util::add_days(from, -1), util::add_days(to, 1));
+  scan::SupplementalCampaign campaign{*world, scan::paper_targets(*world),
+                                      scan::CampaignWindow{from, to}};
+  campaign.run();
+
+  const auto totals = campaign.totals();
+  std::printf("ICMP: %s responses / %s unique IPs\n",
+              util::with_commas(static_cast<std::int64_t>(totals.icmp_responses)).c_str(),
+              util::with_commas(static_cast<std::int64_t>(totals.icmp_unique_ips)).c_str());
+  std::printf("rDNS: %s responses / %s unique IPs / %s unique PTRs\n",
+              util::with_commas(static_cast<std::int64_t>(totals.rdns_responses)).c_str(),
+              util::with_commas(static_cast<std::int64_t>(totals.rdns_unique_ips)).c_str(),
+              util::with_commas(static_cast<std::int64_t>(totals.rdns_unique_ptrs)).c_str());
+  for (const auto& row : campaign.network_rows()) {
+    std::printf("  %-14s %-11s observed %6llu (%5.1f%%)\n", row.name.c_str(), row.type.c_str(),
+                static_cast<unsigned long long>(row.addresses_observed), row.percent_observed);
+  }
+  const auto funnel = core::build_funnel(campaign.engine().groups());
+  std::printf("groups: %s all -> %s successful -> %s reverted -> %s reliable\n",
+              util::with_commas(static_cast<std::int64_t>(funnel.all_groups)).c_str(),
+              util::with_commas(static_cast<std::int64_t>(funnel.successful)).c_str(),
+              util::with_commas(static_cast<std::int64_t>(funnel.reverted)).c_str(),
+              util::with_commas(static_cast<std::int64_t>(funnel.reliable)).c_str());
+  const auto usable = core::usable_groups(campaign.engine().groups());
+  if (!usable.empty()) {
+    std::printf("PTR lingering: %.0f%% of usable groups revert within 60 minutes\n",
+                100.0 * core::fraction_within_minutes(usable, 60.0));
+  }
+  return 0;
+}
+
+int cmd_track(const std::vector<std::string>& args) {
+  util::CliParser cli{"rdns_tool track",
+                      "follow a given name's devices through a campaign (Life of Brian)"};
+  cli.option("network", "target network name", "Academic-A")
+      .option("seed", "world seed", "123")
+      .option("scale", "population scale factor", "0.25")
+      .option("weeks", "number of weeks to render", "2")
+      .positional("name", "given name to track", "brian");
+  if (std::find(args.begin(), args.end(), "--help") != args.end()) {
+    std::printf("%s", cli.usage().c_str());
+    return 0;
+  }
+  cli.parse(args);
+
+  core::WorldScale scale;
+  scale.population = cli.get_double("scale");
+  auto world = core::make_paper_world(static_cast<std::uint64_t>(cli.get_int("seed")), scale);
+  const util::CivilDate from{2021, 11, 15};
+  const int weeks = cli.get_int("weeks");
+  const util::CivilDate to = util::add_days(from, weeks * 7 - 1);
+  world->start(util::add_days(from, -1), util::add_days(to, 1));
+
+  const sim::Organization* target = world->org_by_name(cli.get("network"));
+  if (target == nullptr) {
+    std::fprintf(stderr, "unknown network %s\n", cli.get("network").c_str());
+    return 2;
+  }
+  scan::SupplementalCampaign campaign{
+      *world,
+      {{cli.get("network"), target->spec().measurement_targets}},
+      scan::CampaignWindow{from, to}};
+  campaign.run();
+
+  const auto segments = core::segments_matching(campaign.engine().groups(), cli.get("name"),
+                                                cli.get("network"));
+  std::printf("%zu presence periods for hostnames containing '%s' on %s\n", segments.size(),
+              cli.get("name").c_str(), cli.get("network").c_str());
+  for (const auto& [hostname, date] : core::first_seen_dates(segments)) {
+    std::printf("  %-28s first seen %s\n", hostname.c_str(),
+                util::format_date(date).c_str());
+  }
+  return 0;
+}
+
+void print_usage() {
+  std::printf(
+      "rdns_tool — reverse-DNS privacy measurement toolkit\n"
+      "subcommands:\n"
+      "  sweep     record daily PTR sweeps of a synthetic Internet to CSV\n"
+      "  analyze   identification pipeline over a sweep CSV (+ markdown report)\n"
+      "  audit     audit a reverse zone file for privacy leaks\n"
+      "  campaign  run the supplemental measurement (Tables 3/4/5 summary)\n"
+      "  track     follow a given name's devices (Life of Brian)\n"
+      "run `rdns_tool <subcommand> --help` for options\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+
+  try {
+    if (command == "sweep") return cmd_sweep(args);
+    if (command == "analyze") return cmd_analyze(args);
+    if (command == "audit") return cmd_audit(args);
+    if (command == "campaign") return cmd_campaign(args);
+    if (command == "track") return cmd_track(args);
+    print_usage();
+    return 2;
+  } catch (const util::CliError& e) {
+    std::fprintf(stderr, "error: %s (try `rdns_tool %s --help`)\n", e.what(),
+                 command.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
