@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_release.dir/bench_ablation_release.cpp.o"
+  "CMakeFiles/bench_ablation_release.dir/bench_ablation_release.cpp.o.d"
+  "bench_ablation_release"
+  "bench_ablation_release.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_release.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_heist.dir/bench_fig11_heist.cpp.o"
+  "CMakeFiles/bench_fig11_heist.dir/bench_fig11_heist.cpp.o.d"
+  "bench_fig11_heist"
+  "bench_fig11_heist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_heist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_given_names.dir/bench_fig2_given_names.cpp.o"
+  "CMakeFiles/bench_fig2_given_names.dir/bench_fig2_given_names.cpp.o.d"
+  "bench_fig2_given_names"
+  "bench_fig2_given_names.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_given_names.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_device_terms.dir/bench_fig3_device_terms.cpp.o"
+  "CMakeFiles/bench_fig3_device_terms.dir/bench_fig3_device_terms.cpp.o.d"
+  "bench_fig3_device_terms"
+  "bench_fig3_device_terms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_device_terms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

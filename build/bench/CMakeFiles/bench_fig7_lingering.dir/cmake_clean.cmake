@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_lingering.dir/bench_fig7_lingering.cpp.o"
+  "CMakeFiles/bench_fig7_lingering.dir/bench_fig7_lingering.cpp.o.d"
+  "bench_fig7_lingering"
+  "bench_fig7_lingering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_lingering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

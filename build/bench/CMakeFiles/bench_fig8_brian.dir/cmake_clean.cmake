@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_brian.dir/bench_fig8_brian.cpp.o"
+  "CMakeFiles/bench_fig8_brian.dir/bench_fig8_brian.cpp.o.d"
+  "bench_fig8_brian"
+  "bench_fig8_brian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_brian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_covid.dir/bench_fig9_covid.cpp.o"
+  "CMakeFiles/bench_fig9_covid.dir/bench_fig9_covid.cpp.o.d"
+  "bench_fig9_covid"
+  "bench_fig9_covid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_covid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_backoff.dir/bench_table2_backoff.cpp.o"
+  "CMakeFiles/bench_table2_backoff.dir/bench_table2_backoff.cpp.o.d"
+  "bench_table2_backoff"
+  "bench_table2_backoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_backoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_supplemental.dir/bench_table3_supplemental.cpp.o"
+  "CMakeFiles/bench_table3_supplemental.dir/bench_table3_supplemental.cpp.o.d"
+  "bench_table3_supplemental"
+  "bench_table3_supplemental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_supplemental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

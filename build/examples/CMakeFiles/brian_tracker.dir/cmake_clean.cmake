@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brian_tracker.dir/brian_tracker.cpp.o"
+  "CMakeFiles/brian_tracker.dir/brian_tracker.cpp.o.d"
+  "brian_tracker"
+  "brian_tracker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brian_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

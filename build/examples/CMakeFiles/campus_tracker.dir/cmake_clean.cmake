@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_tracker.dir/campus_tracker.cpp.o"
+  "CMakeFiles/campus_tracker.dir/campus_tracker.cpp.o.d"
+  "campus_tracker"
+  "campus_tracker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

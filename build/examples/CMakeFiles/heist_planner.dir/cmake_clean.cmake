@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heist_planner.dir/heist_planner.cpp.o"
+  "CMakeFiles/heist_planner.dir/heist_planner.cpp.o.d"
+  "heist_planner"
+  "heist_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heist_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

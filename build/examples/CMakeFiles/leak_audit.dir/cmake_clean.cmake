@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leak_audit.dir/leak_audit.cpp.o"
+  "CMakeFiles/leak_audit.dir/leak_audit.cpp.o.d"
+  "leak_audit"
+  "leak_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leak_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

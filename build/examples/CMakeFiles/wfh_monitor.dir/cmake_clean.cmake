@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfh_monitor.dir/wfh_monitor.cpp.o"
+  "CMakeFiles/wfh_monitor.dir/wfh_monitor.cpp.o.d"
+  "wfh_monitor"
+  "wfh_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfh_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zone_audit.dir/zone_audit.cpp.o"
+  "CMakeFiles/zone_audit.dir/zone_audit.cpp.o.d"
+  "zone_audit"
+  "zone_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zone_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classify.cpp" "src/CMakeFiles/rdns_core.dir/core/classify.cpp.o" "gcc" "src/CMakeFiles/rdns_core.dir/core/classify.cpp.o.d"
+  "/root/repo/src/core/cooccur.cpp" "src/CMakeFiles/rdns_core.dir/core/cooccur.cpp.o" "gcc" "src/CMakeFiles/rdns_core.dir/core/cooccur.cpp.o.d"
+  "/root/repo/src/core/dynamicity.cpp" "src/CMakeFiles/rdns_core.dir/core/dynamicity.cpp.o" "gcc" "src/CMakeFiles/rdns_core.dir/core/dynamicity.cpp.o.d"
+  "/root/repo/src/core/geotrack.cpp" "src/CMakeFiles/rdns_core.dir/core/geotrack.cpp.o" "gcc" "src/CMakeFiles/rdns_core.dir/core/geotrack.cpp.o.d"
+  "/root/repo/src/core/heist.cpp" "src/CMakeFiles/rdns_core.dir/core/heist.cpp.o" "gcc" "src/CMakeFiles/rdns_core.dir/core/heist.cpp.o.d"
+  "/root/repo/src/core/longitudinal.cpp" "src/CMakeFiles/rdns_core.dir/core/longitudinal.cpp.o" "gcc" "src/CMakeFiles/rdns_core.dir/core/longitudinal.cpp.o.d"
+  "/root/repo/src/core/mitigation.cpp" "src/CMakeFiles/rdns_core.dir/core/mitigation.cpp.o" "gcc" "src/CMakeFiles/rdns_core.dir/core/mitigation.cpp.o.d"
+  "/root/repo/src/core/names.cpp" "src/CMakeFiles/rdns_core.dir/core/names.cpp.o" "gcc" "src/CMakeFiles/rdns_core.dir/core/names.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/rdns_core.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/rdns_core.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/rdns_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/rdns_core.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/terms.cpp" "src/CMakeFiles/rdns_core.dir/core/terms.cpp.o" "gcc" "src/CMakeFiles/rdns_core.dir/core/terms.cpp.o.d"
+  "/root/repo/src/core/timing.cpp" "src/CMakeFiles/rdns_core.dir/core/timing.cpp.o" "gcc" "src/CMakeFiles/rdns_core.dir/core/timing.cpp.o.d"
+  "/root/repo/src/core/tracking.cpp" "src/CMakeFiles/rdns_core.dir/core/tracking.cpp.o" "gcc" "src/CMakeFiles/rdns_core.dir/core/tracking.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rdns_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdns_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdns_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdns_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdns_dhcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdns_dns.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

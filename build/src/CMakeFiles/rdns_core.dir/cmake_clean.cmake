@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdns_core.dir/core/classify.cpp.o"
+  "CMakeFiles/rdns_core.dir/core/classify.cpp.o.d"
+  "CMakeFiles/rdns_core.dir/core/cooccur.cpp.o"
+  "CMakeFiles/rdns_core.dir/core/cooccur.cpp.o.d"
+  "CMakeFiles/rdns_core.dir/core/dynamicity.cpp.o"
+  "CMakeFiles/rdns_core.dir/core/dynamicity.cpp.o.d"
+  "CMakeFiles/rdns_core.dir/core/geotrack.cpp.o"
+  "CMakeFiles/rdns_core.dir/core/geotrack.cpp.o.d"
+  "CMakeFiles/rdns_core.dir/core/heist.cpp.o"
+  "CMakeFiles/rdns_core.dir/core/heist.cpp.o.d"
+  "CMakeFiles/rdns_core.dir/core/longitudinal.cpp.o"
+  "CMakeFiles/rdns_core.dir/core/longitudinal.cpp.o.d"
+  "CMakeFiles/rdns_core.dir/core/mitigation.cpp.o"
+  "CMakeFiles/rdns_core.dir/core/mitigation.cpp.o.d"
+  "CMakeFiles/rdns_core.dir/core/names.cpp.o"
+  "CMakeFiles/rdns_core.dir/core/names.cpp.o.d"
+  "CMakeFiles/rdns_core.dir/core/pipeline.cpp.o"
+  "CMakeFiles/rdns_core.dir/core/pipeline.cpp.o.d"
+  "CMakeFiles/rdns_core.dir/core/report.cpp.o"
+  "CMakeFiles/rdns_core.dir/core/report.cpp.o.d"
+  "CMakeFiles/rdns_core.dir/core/terms.cpp.o"
+  "CMakeFiles/rdns_core.dir/core/terms.cpp.o.d"
+  "CMakeFiles/rdns_core.dir/core/timing.cpp.o"
+  "CMakeFiles/rdns_core.dir/core/timing.cpp.o.d"
+  "CMakeFiles/rdns_core.dir/core/tracking.cpp.o"
+  "CMakeFiles/rdns_core.dir/core/tracking.cpp.o.d"
+  "librdns_core.a"
+  "librdns_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdns_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

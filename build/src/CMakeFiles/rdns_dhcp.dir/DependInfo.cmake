@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dhcp/client.cpp" "src/CMakeFiles/rdns_dhcp.dir/dhcp/client.cpp.o" "gcc" "src/CMakeFiles/rdns_dhcp.dir/dhcp/client.cpp.o.d"
+  "/root/repo/src/dhcp/ddns.cpp" "src/CMakeFiles/rdns_dhcp.dir/dhcp/ddns.cpp.o" "gcc" "src/CMakeFiles/rdns_dhcp.dir/dhcp/ddns.cpp.o.d"
+  "/root/repo/src/dhcp/lease.cpp" "src/CMakeFiles/rdns_dhcp.dir/dhcp/lease.cpp.o" "gcc" "src/CMakeFiles/rdns_dhcp.dir/dhcp/lease.cpp.o.d"
+  "/root/repo/src/dhcp/message.cpp" "src/CMakeFiles/rdns_dhcp.dir/dhcp/message.cpp.o" "gcc" "src/CMakeFiles/rdns_dhcp.dir/dhcp/message.cpp.o.d"
+  "/root/repo/src/dhcp/options.cpp" "src/CMakeFiles/rdns_dhcp.dir/dhcp/options.cpp.o" "gcc" "src/CMakeFiles/rdns_dhcp.dir/dhcp/options.cpp.o.d"
+  "/root/repo/src/dhcp/pool.cpp" "src/CMakeFiles/rdns_dhcp.dir/dhcp/pool.cpp.o" "gcc" "src/CMakeFiles/rdns_dhcp.dir/dhcp/pool.cpp.o.d"
+  "/root/repo/src/dhcp/server.cpp" "src/CMakeFiles/rdns_dhcp.dir/dhcp/server.cpp.o" "gcc" "src/CMakeFiles/rdns_dhcp.dir/dhcp/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rdns_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdns_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

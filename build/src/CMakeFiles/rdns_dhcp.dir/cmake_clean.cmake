@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdns_dhcp.dir/dhcp/client.cpp.o"
+  "CMakeFiles/rdns_dhcp.dir/dhcp/client.cpp.o.d"
+  "CMakeFiles/rdns_dhcp.dir/dhcp/ddns.cpp.o"
+  "CMakeFiles/rdns_dhcp.dir/dhcp/ddns.cpp.o.d"
+  "CMakeFiles/rdns_dhcp.dir/dhcp/lease.cpp.o"
+  "CMakeFiles/rdns_dhcp.dir/dhcp/lease.cpp.o.d"
+  "CMakeFiles/rdns_dhcp.dir/dhcp/message.cpp.o"
+  "CMakeFiles/rdns_dhcp.dir/dhcp/message.cpp.o.d"
+  "CMakeFiles/rdns_dhcp.dir/dhcp/options.cpp.o"
+  "CMakeFiles/rdns_dhcp.dir/dhcp/options.cpp.o.d"
+  "CMakeFiles/rdns_dhcp.dir/dhcp/pool.cpp.o"
+  "CMakeFiles/rdns_dhcp.dir/dhcp/pool.cpp.o.d"
+  "CMakeFiles/rdns_dhcp.dir/dhcp/server.cpp.o"
+  "CMakeFiles/rdns_dhcp.dir/dhcp/server.cpp.o.d"
+  "librdns_dhcp.a"
+  "librdns_dhcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdns_dhcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

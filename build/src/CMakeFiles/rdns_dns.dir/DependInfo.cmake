@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/cache.cpp" "src/CMakeFiles/rdns_dns.dir/dns/cache.cpp.o" "gcc" "src/CMakeFiles/rdns_dns.dir/dns/cache.cpp.o.d"
+  "/root/repo/src/dns/message.cpp" "src/CMakeFiles/rdns_dns.dir/dns/message.cpp.o" "gcc" "src/CMakeFiles/rdns_dns.dir/dns/message.cpp.o.d"
+  "/root/repo/src/dns/name.cpp" "src/CMakeFiles/rdns_dns.dir/dns/name.cpp.o" "gcc" "src/CMakeFiles/rdns_dns.dir/dns/name.cpp.o.d"
+  "/root/repo/src/dns/resolver.cpp" "src/CMakeFiles/rdns_dns.dir/dns/resolver.cpp.o" "gcc" "src/CMakeFiles/rdns_dns.dir/dns/resolver.cpp.o.d"
+  "/root/repo/src/dns/rr.cpp" "src/CMakeFiles/rdns_dns.dir/dns/rr.cpp.o" "gcc" "src/CMakeFiles/rdns_dns.dir/dns/rr.cpp.o.d"
+  "/root/repo/src/dns/server.cpp" "src/CMakeFiles/rdns_dns.dir/dns/server.cpp.o" "gcc" "src/CMakeFiles/rdns_dns.dir/dns/server.cpp.o.d"
+  "/root/repo/src/dns/update.cpp" "src/CMakeFiles/rdns_dns.dir/dns/update.cpp.o" "gcc" "src/CMakeFiles/rdns_dns.dir/dns/update.cpp.o.d"
+  "/root/repo/src/dns/wire.cpp" "src/CMakeFiles/rdns_dns.dir/dns/wire.cpp.o" "gcc" "src/CMakeFiles/rdns_dns.dir/dns/wire.cpp.o.d"
+  "/root/repo/src/dns/zone.cpp" "src/CMakeFiles/rdns_dns.dir/dns/zone.cpp.o" "gcc" "src/CMakeFiles/rdns_dns.dir/dns/zone.cpp.o.d"
+  "/root/repo/src/dns/zonefile.cpp" "src/CMakeFiles/rdns_dns.dir/dns/zonefile.cpp.o" "gcc" "src/CMakeFiles/rdns_dns.dir/dns/zonefile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rdns_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

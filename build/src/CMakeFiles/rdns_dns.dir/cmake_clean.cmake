@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdns_dns.dir/dns/cache.cpp.o"
+  "CMakeFiles/rdns_dns.dir/dns/cache.cpp.o.d"
+  "CMakeFiles/rdns_dns.dir/dns/message.cpp.o"
+  "CMakeFiles/rdns_dns.dir/dns/message.cpp.o.d"
+  "CMakeFiles/rdns_dns.dir/dns/name.cpp.o"
+  "CMakeFiles/rdns_dns.dir/dns/name.cpp.o.d"
+  "CMakeFiles/rdns_dns.dir/dns/resolver.cpp.o"
+  "CMakeFiles/rdns_dns.dir/dns/resolver.cpp.o.d"
+  "CMakeFiles/rdns_dns.dir/dns/rr.cpp.o"
+  "CMakeFiles/rdns_dns.dir/dns/rr.cpp.o.d"
+  "CMakeFiles/rdns_dns.dir/dns/server.cpp.o"
+  "CMakeFiles/rdns_dns.dir/dns/server.cpp.o.d"
+  "CMakeFiles/rdns_dns.dir/dns/update.cpp.o"
+  "CMakeFiles/rdns_dns.dir/dns/update.cpp.o.d"
+  "CMakeFiles/rdns_dns.dir/dns/wire.cpp.o"
+  "CMakeFiles/rdns_dns.dir/dns/wire.cpp.o.d"
+  "CMakeFiles/rdns_dns.dir/dns/zone.cpp.o"
+  "CMakeFiles/rdns_dns.dir/dns/zone.cpp.o.d"
+  "CMakeFiles/rdns_dns.dir/dns/zonefile.cpp.o"
+  "CMakeFiles/rdns_dns.dir/dns/zonefile.cpp.o.d"
+  "librdns_dns.a"
+  "librdns_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdns_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

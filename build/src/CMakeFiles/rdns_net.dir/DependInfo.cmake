@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/arpa.cpp" "src/CMakeFiles/rdns_net.dir/net/arpa.cpp.o" "gcc" "src/CMakeFiles/rdns_net.dir/net/arpa.cpp.o.d"
+  "/root/repo/src/net/ipv4.cpp" "src/CMakeFiles/rdns_net.dir/net/ipv4.cpp.o" "gcc" "src/CMakeFiles/rdns_net.dir/net/ipv4.cpp.o.d"
+  "/root/repo/src/net/mac.cpp" "src/CMakeFiles/rdns_net.dir/net/mac.cpp.o" "gcc" "src/CMakeFiles/rdns_net.dir/net/mac.cpp.o.d"
+  "/root/repo/src/net/prefix.cpp" "src/CMakeFiles/rdns_net.dir/net/prefix.cpp.o" "gcc" "src/CMakeFiles/rdns_net.dir/net/prefix.cpp.o.d"
+  "/root/repo/src/net/prefix_set.cpp" "src/CMakeFiles/rdns_net.dir/net/prefix_set.cpp.o" "gcc" "src/CMakeFiles/rdns_net.dir/net/prefix_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rdns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

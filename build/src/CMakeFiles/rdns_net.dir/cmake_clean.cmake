@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdns_net.dir/net/arpa.cpp.o"
+  "CMakeFiles/rdns_net.dir/net/arpa.cpp.o.d"
+  "CMakeFiles/rdns_net.dir/net/ipv4.cpp.o"
+  "CMakeFiles/rdns_net.dir/net/ipv4.cpp.o.d"
+  "CMakeFiles/rdns_net.dir/net/mac.cpp.o"
+  "CMakeFiles/rdns_net.dir/net/mac.cpp.o.d"
+  "CMakeFiles/rdns_net.dir/net/prefix.cpp.o"
+  "CMakeFiles/rdns_net.dir/net/prefix.cpp.o.d"
+  "CMakeFiles/rdns_net.dir/net/prefix_set.cpp.o"
+  "CMakeFiles/rdns_net.dir/net/prefix_set.cpp.o.d"
+  "librdns_net.a"
+  "librdns_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdns_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

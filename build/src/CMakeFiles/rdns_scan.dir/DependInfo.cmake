@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scan/campaign.cpp" "src/CMakeFiles/rdns_scan.dir/scan/campaign.cpp.o" "gcc" "src/CMakeFiles/rdns_scan.dir/scan/campaign.cpp.o.d"
+  "/root/repo/src/scan/csv_replay.cpp" "src/CMakeFiles/rdns_scan.dir/scan/csv_replay.cpp.o" "gcc" "src/CMakeFiles/rdns_scan.dir/scan/csv_replay.cpp.o.d"
+  "/root/repo/src/scan/icmp.cpp" "src/CMakeFiles/rdns_scan.dir/scan/icmp.cpp.o" "gcc" "src/CMakeFiles/rdns_scan.dir/scan/icmp.cpp.o.d"
+  "/root/repo/src/scan/permutation.cpp" "src/CMakeFiles/rdns_scan.dir/scan/permutation.cpp.o" "gcc" "src/CMakeFiles/rdns_scan.dir/scan/permutation.cpp.o.d"
+  "/root/repo/src/scan/rdns_snapshot.cpp" "src/CMakeFiles/rdns_scan.dir/scan/rdns_snapshot.cpp.o" "gcc" "src/CMakeFiles/rdns_scan.dir/scan/rdns_snapshot.cpp.o.d"
+  "/root/repo/src/scan/reactive.cpp" "src/CMakeFiles/rdns_scan.dir/scan/reactive.cpp.o" "gcc" "src/CMakeFiles/rdns_scan.dir/scan/reactive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rdns_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdns_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdns_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdns_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdns_dhcp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdns_scan.dir/scan/campaign.cpp.o"
+  "CMakeFiles/rdns_scan.dir/scan/campaign.cpp.o.d"
+  "CMakeFiles/rdns_scan.dir/scan/csv_replay.cpp.o"
+  "CMakeFiles/rdns_scan.dir/scan/csv_replay.cpp.o.d"
+  "CMakeFiles/rdns_scan.dir/scan/icmp.cpp.o"
+  "CMakeFiles/rdns_scan.dir/scan/icmp.cpp.o.d"
+  "CMakeFiles/rdns_scan.dir/scan/permutation.cpp.o"
+  "CMakeFiles/rdns_scan.dir/scan/permutation.cpp.o.d"
+  "CMakeFiles/rdns_scan.dir/scan/rdns_snapshot.cpp.o"
+  "CMakeFiles/rdns_scan.dir/scan/rdns_snapshot.cpp.o.d"
+  "CMakeFiles/rdns_scan.dir/scan/reactive.cpp.o"
+  "CMakeFiles/rdns_scan.dir/scan/reactive.cpp.o.d"
+  "librdns_scan.a"
+  "librdns_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdns_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

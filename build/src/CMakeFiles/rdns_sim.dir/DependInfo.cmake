@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/device.cpp" "src/CMakeFiles/rdns_sim.dir/sim/device.cpp.o" "gcc" "src/CMakeFiles/rdns_sim.dir/sim/device.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/rdns_sim.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/rdns_sim.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/namegen.cpp" "src/CMakeFiles/rdns_sim.dir/sim/namegen.cpp.o" "gcc" "src/CMakeFiles/rdns_sim.dir/sim/namegen.cpp.o.d"
+  "/root/repo/src/sim/org.cpp" "src/CMakeFiles/rdns_sim.dir/sim/org.cpp.o" "gcc" "src/CMakeFiles/rdns_sim.dir/sim/org.cpp.o.d"
+  "/root/repo/src/sim/policy.cpp" "src/CMakeFiles/rdns_sim.dir/sim/policy.cpp.o" "gcc" "src/CMakeFiles/rdns_sim.dir/sim/policy.cpp.o.d"
+  "/root/repo/src/sim/schedule.cpp" "src/CMakeFiles/rdns_sim.dir/sim/schedule.cpp.o" "gcc" "src/CMakeFiles/rdns_sim.dir/sim/schedule.cpp.o.d"
+  "/root/repo/src/sim/world.cpp" "src/CMakeFiles/rdns_sim.dir/sim/world.cpp.o" "gcc" "src/CMakeFiles/rdns_sim.dir/sim/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rdns_dhcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdns_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdns_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdns_sim.dir/sim/device.cpp.o"
+  "CMakeFiles/rdns_sim.dir/sim/device.cpp.o.d"
+  "CMakeFiles/rdns_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/rdns_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/rdns_sim.dir/sim/namegen.cpp.o"
+  "CMakeFiles/rdns_sim.dir/sim/namegen.cpp.o.d"
+  "CMakeFiles/rdns_sim.dir/sim/org.cpp.o"
+  "CMakeFiles/rdns_sim.dir/sim/org.cpp.o.d"
+  "CMakeFiles/rdns_sim.dir/sim/policy.cpp.o"
+  "CMakeFiles/rdns_sim.dir/sim/policy.cpp.o.d"
+  "CMakeFiles/rdns_sim.dir/sim/schedule.cpp.o"
+  "CMakeFiles/rdns_sim.dir/sim/schedule.cpp.o.d"
+  "CMakeFiles/rdns_sim.dir/sim/world.cpp.o"
+  "CMakeFiles/rdns_sim.dir/sim/world.cpp.o.d"
+  "librdns_sim.a"
+  "librdns_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdns_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

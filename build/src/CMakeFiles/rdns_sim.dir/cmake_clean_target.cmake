@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librdns_sim.a"
+)

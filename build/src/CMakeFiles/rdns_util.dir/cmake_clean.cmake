@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdns_util.dir/util/ascii_chart.cpp.o"
+  "CMakeFiles/rdns_util.dir/util/ascii_chart.cpp.o.d"
+  "CMakeFiles/rdns_util.dir/util/cli.cpp.o"
+  "CMakeFiles/rdns_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/rdns_util.dir/util/csv.cpp.o"
+  "CMakeFiles/rdns_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/rdns_util.dir/util/log.cpp.o"
+  "CMakeFiles/rdns_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/rdns_util.dir/util/rng.cpp.o"
+  "CMakeFiles/rdns_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/rdns_util.dir/util/stats.cpp.o"
+  "CMakeFiles/rdns_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/rdns_util.dir/util/strings.cpp.o"
+  "CMakeFiles/rdns_util.dir/util/strings.cpp.o.d"
+  "CMakeFiles/rdns_util.dir/util/time.cpp.o"
+  "CMakeFiles/rdns_util.dir/util/time.cpp.o.d"
+  "CMakeFiles/rdns_util.dir/util/token_bucket.cpp.o"
+  "CMakeFiles/rdns_util.dir/util/token_bucket.cpp.o.d"
+  "librdns_util.a"
+  "librdns_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdns_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

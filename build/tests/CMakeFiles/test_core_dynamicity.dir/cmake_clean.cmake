@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_dynamicity.dir/test_core_dynamicity.cpp.o"
+  "CMakeFiles/test_core_dynamicity.dir/test_core_dynamicity.cpp.o.d"
+  "test_core_dynamicity"
+  "test_core_dynamicity.pdb"
+  "test_core_dynamicity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_dynamicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

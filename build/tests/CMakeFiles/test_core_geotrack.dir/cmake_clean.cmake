@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_geotrack.dir/test_core_geotrack.cpp.o"
+  "CMakeFiles/test_core_geotrack.dir/test_core_geotrack.cpp.o.d"
+  "test_core_geotrack"
+  "test_core_geotrack.pdb"
+  "test_core_geotrack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_geotrack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_names_terms.dir/test_core_names_terms.cpp.o"
+  "CMakeFiles/test_core_names_terms.dir/test_core_names_terms.cpp.o.d"
+  "test_core_names_terms"
+  "test_core_names_terms.pdb"
+  "test_core_names_terms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_names_terms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_timing_tracking.dir/test_core_timing_tracking.cpp.o"
+  "CMakeFiles/test_core_timing_tracking.dir/test_core_timing_tracking.cpp.o.d"
+  "test_core_timing_tracking"
+  "test_core_timing_tracking.pdb"
+  "test_core_timing_tracking[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_timing_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csv_replay.dir/test_csv_replay.cpp.o"
+  "CMakeFiles/test_csv_replay.dir/test_csv_replay.cpp.o.d"
+  "test_csv_replay"
+  "test_csv_replay.pdb"
+  "test_csv_replay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csv_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ddns.dir/test_ddns.cpp.o"
+  "CMakeFiles/test_ddns.dir/test_ddns.cpp.o.d"
+  "test_ddns"
+  "test_ddns.pdb"
+  "test_ddns[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ddns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

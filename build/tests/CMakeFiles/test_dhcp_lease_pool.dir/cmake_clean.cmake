@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dhcp_lease_pool.dir/test_dhcp_lease_pool.cpp.o"
+  "CMakeFiles/test_dhcp_lease_pool.dir/test_dhcp_lease_pool.cpp.o.d"
+  "test_dhcp_lease_pool"
+  "test_dhcp_lease_pool.pdb"
+  "test_dhcp_lease_pool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dhcp_lease_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dhcp_message.dir/test_dhcp_message.cpp.o"
+  "CMakeFiles/test_dhcp_message.dir/test_dhcp_message.cpp.o.d"
+  "test_dhcp_message"
+  "test_dhcp_message.pdb"
+  "test_dhcp_message[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dhcp_message.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

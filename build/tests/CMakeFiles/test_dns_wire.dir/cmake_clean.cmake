@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dns_wire.dir/test_dns_wire.cpp.o"
+  "CMakeFiles/test_dns_wire.dir/test_dns_wire.cpp.o.d"
+  "test_dns_wire"
+  "test_dns_wire.pdb"
+  "test_dns_wire[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dns_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dns_zone_server.dir/test_dns_zone_server.cpp.o"
+  "CMakeFiles/test_dns_zone_server.dir/test_dns_zone_server.cpp.o.d"
+  "test_dns_zone_server"
+  "test_dns_zone_server.pdb"
+  "test_dns_zone_server[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dns_zone_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

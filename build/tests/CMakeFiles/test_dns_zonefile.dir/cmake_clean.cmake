@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dns_zonefile.dir/test_dns_zonefile.cpp.o"
+  "CMakeFiles/test_dns_zonefile.dir/test_dns_zonefile.cpp.o.d"
+  "test_dns_zonefile"
+  "test_dns_zonefile.pdb"
+  "test_dns_zonefile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dns_zonefile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

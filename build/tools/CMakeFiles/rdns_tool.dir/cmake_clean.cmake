@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdns_tool.dir/rdns_tool.cpp.o"
+  "CMakeFiles/rdns_tool.dir/rdns_tool.cpp.o.d"
+  "rdns_tool"
+  "rdns_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdns_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
