@@ -10,19 +10,37 @@
 /// shape checks.
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "core/pipeline.hpp"
 #include "scan/campaign.hpp"
 #include "util/ascii_chart.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rdns::bench {
+
+/// Parse an optional `--threads N` argument (0 = auto) and size the global
+/// pool accordingly. Call from main() before any pipeline work; returns the
+/// effective worker count.
+inline unsigned configure_threads(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string{argv[i]} == "--threads") {
+      util::ThreadPool::set_global_size(
+          static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10)));
+      break;
+    }
+  }
+  return util::ThreadPool::global().size();
+}
 
 inline void heading(const std::string& id, const std::string& title) {
   std::printf("\n================================================================\n");
   std::printf("%s — %s\n", id.c_str(), title.c_str());
   std::printf("================================================================\n");
+  std::printf("threads:  %u (of %u hardware)\n", util::ThreadPool::global().size(),
+              std::thread::hardware_concurrency());
 }
 
 inline void paper_note(const std::string& text) {

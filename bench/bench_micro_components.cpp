@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <unordered_set>
+
 #include "core/names.hpp"
 #include "core/terms.hpp"
 #include "dhcp/client.hpp"
@@ -14,6 +16,7 @@
 #include "dns/update.hpp"
 #include "dns/wire.hpp"
 #include "net/arpa.hpp"
+#include "net/ip_bitset.hpp"
 #include "scan/permutation.hpp"
 #include "sim/world.hpp"
 
@@ -137,6 +140,42 @@ void BM_WorldPing(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WorldPing);
+
+/// Sweep-order address stream for the dedupe benches: dense /24 coverage
+/// across several /16s with every address seen twice (first pass inserts,
+/// second pass hits), mirroring UnionPass ingesting overlapping sweeps.
+std::vector<net::Ipv4Addr> dedupe_stream(std::uint32_t n) {
+  std::vector<net::Ipv4Addr> addresses;
+  addresses.reserve(2 * n);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint32_t i = 0; i < n; ++i) addresses.emplace_back(0x0A000000u + i);
+  }
+  return addresses;
+}
+
+void BM_DedupeUnorderedSet(benchmark::State& state) {
+  const auto addresses = dedupe_stream(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    std::unordered_set<net::Ipv4Addr> seen;
+    for (const auto a : addresses) seen.insert(a);
+    benchmark::DoNotOptimize(seen.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(addresses.size()));
+}
+BENCHMARK(BM_DedupeUnorderedSet)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_DedupeIpv4Bitset(benchmark::State& state) {
+  const auto addresses = dedupe_stream(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    net::Ipv4Bitset seen;
+    for (const auto a : addresses) seen.insert(a);
+    benchmark::DoNotOptimize(seen.count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(addresses.size()));
+}
+BENCHMARK(BM_DedupeIpv4Bitset)->Arg(1 << 16)->Arg(1 << 20);
 
 void BM_TermExtraction(benchmark::State& state) {
   const std::string hostname = "brians-galaxy-note9.housing.bayfield-university.edu";

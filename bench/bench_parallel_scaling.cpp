@@ -1,0 +1,265 @@
+/// Scaling + determinism harness for the parallel sweep & analysis engine.
+///
+/// Sweeps thread counts {1, 2, 4, auto} over each parallel stage — the
+/// wire-format full-space rDNS sweep, CSV replay parsing, the dynamicity
+/// heuristic, and term/name extraction — asserting that every parallel run
+/// produces output byte-identical to the serial run, and recording
+/// throughput into BENCH_parallel.json (rows/sec, speedup, per-stage
+/// breakdown).
+///
+/// The determinism checks are unconditional. The speedup shape check needs
+/// real hardware parallelism, so it only runs when the machine exposes at
+/// least 4 hardware threads; single-core CI boxes print a SKIP note
+/// instead of a vacuous failure.
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/dynamicity.hpp"
+#include "core/names.hpp"
+#include "core/terms.hpp"
+#include "scan/csv_replay.hpp"
+#include "scan/rdns_snapshot.hpp"
+
+namespace {
+
+using namespace rdns;
+
+struct StageRun {
+  unsigned threads = 1;
+  double seconds = 0.0;
+  bool identical = true;
+};
+
+struct StageReport {
+  std::string stage;
+  std::uint64_t rows = 0;
+  std::vector<StageRun> runs;
+
+  [[nodiscard]] double seconds_at(unsigned threads) const {
+    for (const auto& r : runs) {
+      if (r.threads == threads) return r.seconds;
+    }
+    return 0.0;
+  }
+  [[nodiscard]] double speedup_at(unsigned threads) const {
+    const double serial = seconds_at(1);
+    const double t = seconds_at(threads);
+    return t > 0.0 ? serial / t : 0.0;
+  }
+};
+
+/// Run `fn(pool)` once per thread count; fn returns (rows, fingerprint).
+/// The fingerprint of every run is compared against the serial (1-thread)
+/// run's.
+template <typename Fn>
+StageReport run_stage(const std::string& stage, const std::vector<unsigned>& thread_counts,
+                      Fn&& fn) {
+  StageReport report;
+  report.stage = stage;
+  std::string baseline;
+  for (const unsigned threads : thread_counts) {
+    util::ThreadPool pool{threads};
+    const auto t0 = std::chrono::steady_clock::now();
+    auto [rows, fingerprint] = fn(pool);
+    const auto t1 = std::chrono::steady_clock::now();
+    StageRun run;
+    run.threads = threads;
+    run.seconds = std::chrono::duration<double>(t1 - t0).count();
+    if (threads == thread_counts.front()) {
+      baseline = std::move(fingerprint);
+      report.rows = rows;
+    } else {
+      run.identical = fingerprint == baseline && rows == report.rows;
+    }
+    std::printf("  %-12s %2u thread(s)  %8.3fs  %12.0f rows/s  %s\n", stage.c_str(), threads,
+                run.seconds, run.seconds > 0 ? static_cast<double>(rows) / run.seconds : 0.0,
+                run.identical ? "output identical" : "OUTPUT DIVERGED");
+    report.runs.push_back(run);
+  }
+  return report;
+}
+
+std::string dynamicity_fingerprint(const core::DynamicityResult& result) {
+  std::ostringstream out;
+  out << result.total_slash24_seen << '|' << result.dynamic_count << '\n';
+  for (const auto& b : result.blocks) {
+    out << b.block.to_string() << ',' << b.max_daily << ',' << b.days_over_threshold << ','
+        << b.dynamic << '\n';
+  }
+  return out.str();
+}
+
+std::string analysis_fingerprint(const util::Counter& terms,
+                                 const std::map<std::string, std::uint64_t>& names,
+                                 const core::LeakResult& leaks) {
+  std::ostringstream out;
+  for (const auto& [term, count] : terms.items()) out << term << '=' << count << ';';
+  out << '\n';
+  for (const auto& [name, count] : names) out << name << '=' << count << ';';
+  out << '\n';
+  for (const auto& [suffix, stats] : leaks.suffixes) {
+    out << suffix << ':' << stats.records << ':' << stats.unique_names.size() << ':'
+        << stats.identified << ';';
+  }
+  out << '\n';
+  for (const auto& s : leaks.identified) out << s << ';';
+  out << '\n';
+  for (const auto& [name, count] : leaks.filtered_matches_per_name) {
+    out << name << '=' << count << ';';
+  }
+  return out.str();
+}
+
+void write_json(const std::string& path, unsigned hardware,
+                const std::vector<unsigned>& thread_counts,
+                const std::vector<StageReport>& stages) {
+  std::ofstream out{path};
+  out << "{\n  \"bench\": \"parallel_scaling\",\n";
+  out << "  \"hardware_threads\": " << hardware << ",\n";
+  out << "  \"thread_counts\": [";
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    out << (i ? ", " : "") << thread_counts[i];
+  }
+  out << "],\n  \"stages\": [\n";
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    const auto& stage = stages[s];
+    out << "    {\"stage\": \"" << stage.stage << "\", \"rows\": " << stage.rows
+        << ", \"runs\": [\n";
+    for (std::size_t r = 0; r < stage.runs.size(); ++r) {
+      const auto& run = stage.runs[r];
+      const double rps =
+          run.seconds > 0 ? static_cast<double>(stage.rows) / run.seconds : 0.0;
+      out << "      {\"threads\": " << run.threads << ", \"seconds\": " << run.seconds
+          << ", \"rows_per_sec\": " << rps << ", \"speedup\": " << stage.speedup_at(run.threads)
+          << ", \"identical_to_serial\": " << (run.identical ? "true" : "false") << '}'
+          << (r + 1 < stage.runs.size() ? "," : "") << '\n';
+    }
+    out << "    ]}" << (s + 1 < stages.size() ? "," : "") << '\n';
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using util::CivilDate;
+  rdns::bench::configure_threads(argc, argv);
+  rdns::bench::heading("PARALLEL", "thread-pool scaling of the sweep & analysis engine");
+
+  std::string json_path = "BENCH_parallel.json";
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string{argv[i]} == "--out") json_path = argv[i + 1];
+  }
+
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<unsigned> thread_counts{1, 2, 4, util::ThreadPool::default_size()};
+  std::sort(thread_counts.begin(), thread_counts.end());
+  thread_counts.erase(std::unique(thread_counts.begin(), thread_counts.end()),
+                      thread_counts.end());
+
+  // A synthetic-Internet world with transient DNS faults enabled, so the
+  // determinism checks also cover the hash-based fault injection path.
+  core::WorldScale scale;
+  scale.population = 0.4;
+  auto world = core::make_internet_world(7, /*org_count=*/4, scale);
+  for (auto& org : world->orgs()) {
+    org->dns().set_faults(dns::FaultPolicy{0.004, 0.002});
+  }
+  const CivilDate from{2021, 11, 1};
+  const CivilDate to{2021, 11, 10};
+  world->start(util::add_days(from, -1), util::add_days(to, 2));
+
+  // A serial bulk-path campaign provides the replay corpus (and advances
+  // the world day by day so populations exist when the wire sweep runs).
+  std::ostringstream campaign_csv;
+  {
+    scan::CsvSnapshotSink sink{campaign_csv};
+    scan::SweepDriver driver{*world, 14, 1, /*second_hour=*/21};
+    driver.run(from, to, sink);
+  }
+  const std::string csv_text = campaign_csv.str();
+  const CivilDate sweep_date = util::add_days(to, 1);
+  world->run_until(util::to_sim_time(sweep_date) + 14 * util::kHour);
+
+  std::vector<StageReport> stages;
+
+  // Stage 1: the full-space wire sweep (one PTR query per announced
+  // address, sharded per /24 with an ordered merge into the CSV sink).
+  stages.push_back(run_stage("sweep_wire", thread_counts, [&](util::ThreadPool& pool) {
+    std::ostringstream out;
+    scan::CsvSnapshotSink sink{out};
+    const auto rows = scan::sweep_wire(*world, sweep_date, sink, nullptr, &pool);
+    return std::pair{rows, out.str()};
+  }));
+
+  // Stage 2: CSV replay (chunked parallel parsing, serial in-order emit).
+  stages.push_back(run_stage("csv_replay", thread_counts, [&](util::ThreadPool& pool) {
+    std::ostringstream out;
+    scan::CsvSnapshotSink sink{out};
+    const auto stats = scan::replay_csv_text(csv_text, sink, &pool);
+    return std::pair{stats.rows, out.str()};
+  }));
+
+  // The analysis stages run over the campaign corpus (ingested serially
+  // once; ingest order is part of the replay stage above).
+  core::DynamicityDetector detector;
+  core::PtrCorpus corpus;
+  {
+    struct Tee final : scan::SnapshotSink {
+      std::vector<scan::SnapshotSink*> sinks;
+      void on_row(const CivilDate& d, net::Ipv4Addr a, const dns::DnsName& n) override {
+        for (auto* s : sinks) s->on_row(d, a, n);
+      }
+      void on_sweep_end(const CivilDate& d) override {
+        for (auto* s : sinks) s->on_sweep_end(d);
+      }
+    } tee;
+    tee.sinks = {&detector, &corpus};
+    scan::replay_csv_text(csv_text, tee);
+  }
+
+  // Stage 3: the Section 4 dynamicity heuristic (map-reduce over /24s).
+  stages.push_back(run_stage("dynamicity", thread_counts, [&](util::ThreadPool& pool) {
+    core::DynamicityConfig config;
+    config.min_days_over = 5;
+    const auto result = detector.analyze(config, &pool);
+    return std::pair{static_cast<std::uint64_t>(result.total_slash24_seen),
+                     dynamicity_fingerprint(result)};
+  }));
+
+  // Stage 4: Section 5 term extraction + given-name identification.
+  stages.push_back(run_stage("terms_names", thread_counts, [&](util::ThreadPool& pool) {
+    const auto terms = corpus.term_frequencies(&pool);
+    const auto names = core::count_name_matches(corpus, &pool);
+    core::LeakConfig leak;
+    leak.min_unique_names = 5;
+    const auto leaks = core::identify_leaking_networks(corpus, leak, &pool);
+    return std::pair{static_cast<std::uint64_t>(corpus.distinct_hostnames()),
+                     analysis_fingerprint(terms, names, leaks)};
+  }));
+
+  write_json(json_path, hardware, thread_counts, stages);
+  std::printf("\nwrote %s\n", json_path.c_str());
+
+  rdns::bench::ShapeChecks checks;
+  for (const auto& stage : stages) {
+    bool all_identical = true;
+    for (const auto& run : stage.runs) all_identical &= run.identical;
+    checks.expect(all_identical,
+                  stage.stage + " output identical to serial at every thread count");
+  }
+  if (hardware >= 4) {
+    checks.expect(stages.front().speedup_at(4) >= 2.5,
+                  "sweep_wire speedup at 4 threads >= 2.5x");
+  } else {
+    std::printf("  [SHAPE-SKIP] speedup check needs >= 4 hardware threads (have %u); "
+                "determinism checks above still ran at every pool size\n",
+                hardware);
+  }
+  return checks.exit_code();
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 namespace rdns::core {
 
@@ -20,35 +21,70 @@ void DynamicityDetector::on_sweep_end(const util::CivilDate& /*date*/) {
   ++days_;
 }
 
-DynamicityResult DynamicityDetector::analyze(const DynamicityConfig& config) const {
+namespace {
+
+/// Steps 1-3 for one /24 history. Returns nullopt for quiet blocks.
+std::optional<BlockStats> analyze_block(std::uint32_t block,
+                                        const std::vector<std::uint16_t>& counts_raw,
+                                        std::size_t days, const DynamicityConfig& config) {
+  // Pad trailing days (block disappeared before the last sweep).
+  std::vector<std::uint16_t> counts = counts_raw;
+  counts.resize(days, 0);
+
+  // Step 1: period max; discard quiet blocks.
+  std::uint32_t max_daily = 0;
+  for (const auto c : counts) max_daily = std::max<std::uint32_t>(max_daily, c);
+  if (max_daily <= static_cast<std::uint32_t>(config.min_daily_addresses)) return std::nullopt;
+
+  // Steps 2-3: day-by-day change percentage against the period max.
+  int days_over = 0;
+  for (std::size_t i = 1; i < counts.size(); ++i) {
+    const double diff = std::abs(static_cast<double>(counts[i]) - counts[i - 1]);
+    const double change_pct = 100.0 * diff / static_cast<double>(max_daily);
+    if (change_pct > config.change_threshold_pct) ++days_over;
+  }
+
+  BlockStats stats;
+  stats.block = net::Prefix{net::Ipv4Addr{block}, 24};
+  stats.max_daily = max_daily;
+  stats.days_over_threshold = days_over;
+  stats.dynamic = days_over >= config.min_days_over;
+  return stats;
+}
+
+}  // namespace
+
+DynamicityResult DynamicityDetector::analyze(const DynamicityConfig& config,
+                                             util::ThreadPool* pool_opt) const {
+  util::ThreadPool& pool = pool_opt != nullptr ? *pool_opt : util::ThreadPool::global();
   DynamicityResult result;
   result.total_slash24_seen = history_.size();
-  for (const auto& [block, counts_raw] : history_) {
-    // Pad trailing days (block disappeared before the last sweep).
-    std::vector<std::uint16_t> counts = counts_raw;
-    counts.resize(days_, 0);
 
-    // Step 1: period max; discard quiet blocks.
-    std::uint32_t max_daily = 0;
-    for (const auto c : counts) max_daily = std::max<std::uint32_t>(max_daily, c);
-    if (max_daily <= static_cast<std::uint32_t>(config.min_daily_addresses)) continue;
+  // Sharded map over a snapshot of the (unordered) history: per-block
+  // outcomes are independent, the final sort by block canonicalizes the
+  // order, and dynamic_count is a sum — identical at every thread count.
+  std::vector<const std::pair<const std::uint32_t, std::vector<std::uint16_t>>*> items;
+  items.reserve(history_.size());
+  for (const auto& entry : history_) items.push_back(&entry);
 
-    // Steps 2-3: day-by-day change percentage against the period max.
-    int days_over = 0;
-    for (std::size_t i = 1; i < counts.size(); ++i) {
-      const double diff = std::abs(static_cast<double>(counts[i]) - counts[i - 1]);
-      const double change_pct = 100.0 * diff / static_cast<double>(max_daily);
-      if (change_pct > config.change_threshold_pct) ++days_over;
-    }
+  util::map_reduce_chunks<std::vector<BlockStats>>(
+      pool, items.size(), /*chunk=*/256,
+      [&](std::size_t, std::uint64_t begin, std::uint64_t end) {
+        std::vector<BlockStats> partial;
+        for (std::uint64_t i = begin; i < end; ++i) {
+          if (auto stats = analyze_block(items[i]->first, items[i]->second, days_, config)) {
+            partial.push_back(*stats);
+          }
+        }
+        return partial;
+      },
+      [&](std::size_t, std::vector<BlockStats>&& partial) {
+        for (const auto& stats : partial) {
+          if (stats.dynamic) ++result.dynamic_count;
+          result.blocks.push_back(stats);
+        }
+      });
 
-    BlockStats stats;
-    stats.block = net::Prefix{net::Ipv4Addr{block}, 24};
-    stats.max_daily = max_daily;
-    stats.days_over_threshold = days_over;
-    stats.dynamic = days_over >= config.min_days_over;
-    if (stats.dynamic) ++result.dynamic_count;
-    result.blocks.push_back(stats);
-  }
   std::sort(result.blocks.begin(), result.blocks.end(),
             [](const BlockStats& a, const BlockStats& b) { return a.block < b.block; });
   return result;

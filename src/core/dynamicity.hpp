@@ -21,6 +21,7 @@
 #include "net/prefix.hpp"
 #include "net/prefix_set.hpp"
 #include "scan/rdns_snapshot.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rdns::core {
 
@@ -52,8 +53,12 @@ class DynamicityDetector final : public scan::SnapshotSink {
               const dns::DnsName& ptr) override;
   void on_sweep_end(const util::CivilDate& date) override;
 
-  /// Run the heuristic over everything ingested so far.
-  [[nodiscard]] DynamicityResult analyze(const DynamicityConfig& config = {}) const;
+  /// Run the heuristic over everything ingested so far. Per-/24 histories
+  /// are independent, so analysis shards across `pool` (nullptr = the
+  /// global pool); partials merge in chunk order and the result is sorted
+  /// by block, making the output identical at every thread count.
+  [[nodiscard]] DynamicityResult analyze(const DynamicityConfig& config = {},
+                                         util::ThreadPool* pool = nullptr) const;
 
   [[nodiscard]] std::size_t days_ingested() const noexcept { return days_; }
 

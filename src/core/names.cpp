@@ -40,39 +40,87 @@ std::vector<std::string> match_given_names(const std::vector<std::string>& terms
   return matched;
 }
 
-std::map<std::string, std::uint64_t> count_name_matches(const PtrCorpus& corpus) {
+namespace {
+
+/// Per-chunk partial for the identification map stage: step 2-4 outcomes
+/// for one slice of the corpus, merged by summation/set-union afterwards.
+struct LeakPartial {
+  std::map<std::string, SuffixStats> suffixes;
+  std::map<std::string, std::uint64_t> matches_per_name;
+};
+
+}  // namespace
+
+std::map<std::string, std::uint64_t> count_name_matches(const PtrCorpus& corpus,
+                                                        util::ThreadPool* pool_opt) {
   // Fig. 2 counts occurrences of matching PTR records, so popular names —
   // whose sanitized hostnames collide across many devices ("jacobs-iphone")
   // — are weighted by how often they were observed, not deduplicated.
+  util::ThreadPool& pool = pool_opt != nullptr ? *pool_opt : util::ThreadPool::global();
+  const auto items = corpus.entry_snapshot();
   std::map<std::string, std::uint64_t> counts;
-  for (const auto& [hostname, entry] : corpus.entries()) {
-    for (const auto& name : match_given_names(extract_terms(hostname))) {
-      counts[name] += entry.observations;
-    }
-  }
+  util::map_reduce_chunks<std::map<std::string, std::uint64_t>>(
+      pool, items.size(), /*chunk=*/512,
+      [&](std::size_t, std::uint64_t begin, std::uint64_t end) {
+        std::map<std::string, std::uint64_t> partial;
+        for (std::uint64_t i = begin; i < end; ++i) {
+          const PtrEntry& entry = *items[i];
+          for (const auto& name : match_given_names(extract_terms(entry.hostname))) {
+            partial[name] += entry.observations;
+          }
+        }
+        return partial;
+      },
+      [&](std::size_t, std::map<std::string, std::uint64_t>&& partial) {
+        for (const auto& [name, count] : partial) counts[name] += count;
+      });
   return counts;
 }
 
-LeakResult identify_leaking_networks(const PtrCorpus& corpus, const LeakConfig& config) {
+LeakResult identify_leaking_networks(const PtrCorpus& corpus, const LeakConfig& config,
+                                     util::ThreadPool* pool_opt) {
+  util::ThreadPool& pool = pool_opt != nullptr ? *pool_opt : util::ThreadPool::global();
+  const auto items = corpus.entry_snapshot();
   LeakResult result;
 
-  for (const auto& [hostname, entry] : corpus.entries()) {
-    const auto terms = extract_terms(hostname);
-    // Step 2: drop router-level records.
-    if (looks_router_level(terms)) continue;
-    // Step 3: given-name matching.
-    const auto matched = match_given_names(terms);
-    if (matched.empty()) continue;
+  // Steps 2-4, sharded: per-chunk suffix/name aggregates, merged into the
+  // ordered result maps. Record counts, observation sums and name-set
+  // unions all commute, so the merged aggregates match the serial loop.
+  util::map_reduce_chunks<LeakPartial>(
+      pool, items.size(), /*chunk=*/512,
+      [&](std::size_t, std::uint64_t begin, std::uint64_t end) {
+        LeakPartial partial;
+        for (std::uint64_t i = begin; i < end; ++i) {
+          const PtrEntry& entry = *items[i];
+          const auto terms = extract_terms(entry.hostname);
+          // Step 2: drop router-level records.
+          if (looks_router_level(terms)) continue;
+          // Step 3: given-name matching.
+          const auto matched = match_given_names(terms);
+          if (matched.empty()) continue;
 
-    // Step 4: per-suffix aggregation over matched records.
-    auto& stats = result.suffixes[entry.suffix];
-    stats.suffix = entry.suffix;
-    ++stats.records;
-    for (const auto& name : matched) {
-      stats.unique_names.insert(name);
-      result.matches_per_name[name] += entry.observations;
-    }
-  }
+          // Step 4: per-suffix aggregation over matched records.
+          auto& stats = partial.suffixes[entry.suffix];
+          stats.suffix = entry.suffix;
+          ++stats.records;
+          for (const auto& name : matched) {
+            stats.unique_names.insert(name);
+            partial.matches_per_name[name] += entry.observations;
+          }
+        }
+        return partial;
+      },
+      [&](std::size_t, LeakPartial&& partial) {
+        for (auto& [suffix, stats] : partial.suffixes) {
+          auto& merged = result.suffixes[suffix];
+          merged.suffix = suffix;
+          merged.records += stats.records;
+          merged.unique_names.merge(stats.unique_names);
+        }
+        for (const auto& [name, count] : partial.matches_per_name) {
+          result.matches_per_name[name] += count;
+        }
+      });
 
   // Steps 5-6: selection.
   for (auto& [suffix, stats] : result.suffixes) {
@@ -82,16 +130,28 @@ LeakResult identify_leaking_networks(const PtrCorpus& corpus, const LeakConfig& 
   }
 
   // Fig. 2 red bars: matches inside identified networks only.
-  std::unordered_set<std::string> identified_set(result.identified.begin(),
-                                                 result.identified.end());
-  for (const auto& [hostname, entry] : corpus.entries()) {
-    if (identified_set.count(entry.suffix) == 0) continue;
-    const auto terms = extract_terms(hostname);
-    if (looks_router_level(terms)) continue;
-    for (const auto& name : match_given_names(terms)) {
-      result.filtered_matches_per_name[name] += entry.observations;
-    }
-  }
+  const std::unordered_set<std::string> identified_set(result.identified.begin(),
+                                                       result.identified.end());
+  util::map_reduce_chunks<std::map<std::string, std::uint64_t>>(
+      pool, items.size(), /*chunk=*/512,
+      [&](std::size_t, std::uint64_t begin, std::uint64_t end) {
+        std::map<std::string, std::uint64_t> partial;
+        for (std::uint64_t i = begin; i < end; ++i) {
+          const PtrEntry& entry = *items[i];
+          if (identified_set.count(entry.suffix) == 0) continue;
+          const auto terms = extract_terms(entry.hostname);
+          if (looks_router_level(terms)) continue;
+          for (const auto& name : match_given_names(terms)) {
+            partial[name] += entry.observations;
+          }
+        }
+        return partial;
+      },
+      [&](std::size_t, std::map<std::string, std::uint64_t>&& partial) {
+        for (const auto& [name, count] : partial) {
+          result.filtered_matches_per_name[name] += count;
+        }
+      });
   return result;
 }
 

@@ -62,12 +62,18 @@ struct LeakResult {
 };
 
 /// Run steps 2-6 over a corpus (which should already be restricted to
-/// dynamic blocks for step 1).
+/// dynamic blocks for step 1). Term extraction and matching shard across
+/// `pool` (nullptr = the global pool); per-chunk partial maps merge into
+/// ordered containers by summation/union, so the result is identical at
+/// every thread count.
 [[nodiscard]] LeakResult identify_leaking_networks(const PtrCorpus& corpus,
-                                                   const LeakConfig& config = {});
+                                                   const LeakConfig& config = {},
+                                                   util::ThreadPool* pool = nullptr);
 
 /// Count name matches per given name over any corpus (Fig. 2 "all matches"
-/// baseline, computed over the unrestricted corpus).
-[[nodiscard]] std::map<std::string, std::uint64_t> count_name_matches(const PtrCorpus& corpus);
+/// baseline, computed over the unrestricted corpus). Sharded like
+/// identify_leaking_networks and equally thread-count independent.
+[[nodiscard]] std::map<std::string, std::uint64_t> count_name_matches(
+    const PtrCorpus& corpus, util::ThreadPool* pool = nullptr);
 
 }  // namespace rdns::core

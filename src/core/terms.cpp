@@ -65,11 +65,31 @@ void PtrCorpus::add_entry(const PtrEntry& entry) {
   entries_.emplace(entry.hostname, entry);
 }
 
-util::Counter PtrCorpus::term_frequencies() const {
+std::vector<const PtrEntry*> PtrCorpus::entry_snapshot() const {
+  std::vector<const PtrEntry*> items;
+  items.reserve(entries_.size());
+  for (const auto& [hostname, entry] : entries_) items.push_back(&entry);
+  return items;
+}
+
+util::Counter PtrCorpus::term_frequencies(util::ThreadPool* pool_opt) const {
+  util::ThreadPool& pool = pool_opt != nullptr ? *pool_opt : util::ThreadPool::global();
+  const auto items = entry_snapshot();
   util::Counter counter;
-  for (const auto& [hostname, entry] : entries_) {
-    for (const auto& term : extract_terms(hostname)) counter.add(term);
-  }
+  // Per-chunk partial counters folded in chunk order; additions commute,
+  // so the merged counts match the serial loop exactly.
+  util::map_reduce_chunks<util::Counter>(
+      pool, items.size(), /*chunk=*/512,
+      [&](std::size_t, std::uint64_t begin, std::uint64_t end) {
+        util::Counter partial;
+        for (std::uint64_t i = begin; i < end; ++i) {
+          for (const auto& term : extract_terms(items[i]->hostname)) partial.add(term);
+        }
+        return partial;
+      },
+      [&](std::size_t, util::Counter&& partial) {
+        for (const auto& [term, count] : partial.items()) counter.add(term, count);
+      });
   return counter;
 }
 

@@ -20,6 +20,7 @@
 #include "net/prefix_set.hpp"
 #include "scan/rdns_snapshot.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rdns::core {
 
@@ -68,8 +69,14 @@ class PtrCorpus final : public scan::SnapshotSink {
   [[nodiscard]] std::uint64_t total_observations() const noexcept { return observations_; }
 
   /// Term frequencies over distinct hostnames (the "Extracting Common
-  /// Terms" step).
-  [[nodiscard]] util::Counter term_frequencies() const;
+  /// Terms" step). Extraction shards across `pool` (nullptr = the global
+  /// pool); counts are sums keyed by an ordered map, so the result is
+  /// identical at every thread count.
+  [[nodiscard]] util::Counter term_frequencies(util::ThreadPool* pool = nullptr) const;
+
+  /// Stable snapshot of the entries for sharded map stages: pointers in
+  /// container order (arbitrary but fixed between mutations).
+  [[nodiscard]] std::vector<const PtrEntry*> entry_snapshot() const;
 
  private:
   bool filtered_ = false;

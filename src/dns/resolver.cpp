@@ -30,11 +30,14 @@ LookupResult StubResolver::lookup_ptr(net::Ipv4Addr address, util::SimTime now) 
 
 LookupResult StubResolver::lookup(const DnsName& qname, RrType qtype, util::SimTime now) {
   LookupResult result;
-  const std::uint16_t id = next_id_++;
-  const Message query = make_query(id, qname, qtype);
-  const auto query_wire = encode(query);
 
   for (int attempt = 0; attempt <= retries_; ++attempt) {
+    // A fresh transaction id per attempt (a retry is a new transaction),
+    // so stateless server-side fault decisions — which hash the id — stay
+    // independent across attempts just like independent RNG draws.
+    const std::uint16_t id = next_id_++;
+    const Message query = make_query(id, qname, qtype);
+    const auto query_wire = encode(query);
     ++result.attempts;
     ++stats_.queries_sent;
     const auto response_wire = transport_->exchange(query_wire, now);

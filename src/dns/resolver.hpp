@@ -39,7 +39,9 @@ struct LookupResult {
   int attempts = 0;
 };
 
-/// Resolver statistics, accumulated across lookups.
+/// Resolver statistics, accumulated across lookups. All fields are sums,
+/// so per-worker accumulators from a sharded sweep merge with operator+=
+/// in any order.
 struct ResolverStats {
   std::uint64_t queries_sent = 0;
   std::uint64_t ok = 0;
@@ -47,6 +49,16 @@ struct ResolverStats {
   std::uint64_t servfail = 0;
   std::uint64_t timeout = 0;
   std::uint64_t other = 0;
+
+  ResolverStats& operator+=(const ResolverStats& other_stats) noexcept {
+    queries_sent += other_stats.queries_sent;
+    ok += other_stats.ok;
+    nxdomain += other_stats.nxdomain;
+    servfail += other_stats.servfail;
+    timeout += other_stats.timeout;
+    other += other_stats.other;
+    return *this;
+  }
 };
 
 class StubResolver {

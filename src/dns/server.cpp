@@ -1,11 +1,24 @@
 #include "dns/server.hpp"
 
 #include "dns/wire.hpp"
+#include "util/rng.hpp"
 
 namespace rdns::dns {
 
+ServerStats& ServerStats::operator+=(const ServerStats& other) noexcept {
+  queries += other.queries;
+  answered += other.answered;
+  nxdomain += other.nxdomain;
+  nodata += other.nodata;
+  servfail_injected += other.servfail_injected;
+  timeouts_injected += other.timeouts_injected;
+  refused += other.refused;
+  updates += other.updates;
+  return *this;
+}
+
 AuthoritativeServer::AuthoritativeServer(FaultPolicy faults, std::uint64_t fault_seed)
-    : faults_(faults), fault_rng_(fault_seed) {}
+    : faults_(faults), fault_seed_(fault_seed) {}
 
 Zone& AuthoritativeServer::add_zone(DnsName origin, SoaRdata soa) {
   zones_.push_back(std::make_unique<Zone>(std::move(origin), std::move(soa)));
@@ -42,32 +55,76 @@ std::vector<const Zone*> AuthoritativeServer::zones() const {
   return out;
 }
 
+bool AuthoritativeServer::fault_hit(const Message& request, std::uint64_t salt,
+                                    double p) const noexcept {
+  // Stateless fault decision: a hash of (server seed, transaction id,
+  // lowercased qname). Unlike a shared RNG stream, the outcome for a given
+  // query does not depend on how many queries other threads issued first,
+  // which keeps parallel sweeps byte-identical at every thread count.
+  std::uint64_t h = fault_seed_ ^ salt;
+  h = util::mix64(h ^ request.id);
+  if (!request.questions.empty()) {
+    for (const auto& label : request.questions.front().qname.labels()) {
+      for (const char c : label) {
+        const auto lower =
+            static_cast<std::uint64_t>(c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c);
+        h = util::mix64(h ^ lower);
+      }
+      h = util::mix64(h ^ 0x2EULL);  // label separator
+    }
+  }
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < p;
+}
+
 std::optional<Message> AuthoritativeServer::handle(const Message& request) {
-  ++stats_.queries;
-  if (faults_.timeout_probability > 0 && fault_rng_.chance(faults_.timeout_probability)) {
-    ++stats_.timeouts_injected;
-    return std::nullopt;
-  }
-  if (faults_.servfail_probability > 0 && fault_rng_.chance(faults_.servfail_probability)) {
-    ++stats_.servfail_injected;
-    return make_response(request, Rcode::ServFail);
-  }
   if (request.flags.opcode == Opcode::Update) {
+    ++stats_.queries;
+    if (faults_.timeout_probability > 0 &&
+        fault_hit(request, 0x7E0ULL, faults_.timeout_probability)) {
+      ++stats_.timeouts_injected;
+      return std::nullopt;
+    }
+    if (faults_.servfail_probability > 0 &&
+        fault_hit(request, 0x5FA1ULL, faults_.servfail_probability)) {
+      ++stats_.servfail_injected;
+      return make_response(request, Rcode::ServFail);
+    }
     ++stats_.updates;
     return apply_update(request);
   }
-  return answer_query(request);
+  return handle_readonly(request, stats_);
 }
 
-Message AuthoritativeServer::answer_query(const Message& query) {
+std::optional<Message> AuthoritativeServer::handle_readonly(const Message& request,
+                                                            ServerStats& stats) const {
+  ++stats.queries;
+  if (faults_.timeout_probability > 0 &&
+      fault_hit(request, 0x7E0ULL, faults_.timeout_probability)) {
+    ++stats.timeouts_injected;
+    return std::nullopt;
+  }
+  if (faults_.servfail_probability > 0 &&
+      fault_hit(request, 0x5FA1ULL, faults_.servfail_probability)) {
+    ++stats.servfail_injected;
+    return make_response(request, Rcode::ServFail);
+  }
+  if (request.flags.opcode == Opcode::Update) {
+    // Mutation is not allowed on the concurrent read path.
+    ++stats.refused;
+    return make_response(request, Rcode::Refused, /*authoritative=*/false);
+  }
+  return answer_query(request, stats);
+}
+
+Message AuthoritativeServer::answer_query(const Message& query, ServerStats& stats) const {
   if (query.questions.size() != 1) {
-    ++stats_.refused;
+    ++stats.refused;
     return make_response(query, Rcode::FormErr, /*authoritative=*/false);
   }
   const Question& q = query.questions.front();
   const Zone* zone = find_zone(q.qname);
   if (zone == nullptr) {
-    ++stats_.refused;
+    ++stats.refused;
     return make_response(query, Rcode::Refused, /*authoritative=*/false);
   }
 
@@ -75,7 +132,7 @@ Message AuthoritativeServer::answer_query(const Message& query) {
   if (!answers.empty()) {
     Message response = make_response(query, Rcode::NoError);
     response.answers = std::move(answers);
-    ++stats_.answered;
+    ++stats.answered;
     return response;
   }
 
@@ -85,9 +142,9 @@ Message AuthoritativeServer::answer_query(const Message& query) {
   Message response = make_response(query, exists ? Rcode::NoError : Rcode::NxDomain);
   response.authority.push_back(make_soa(zone->origin(), zone->soa(), zone->soa().minimum));
   if (exists) {
-    ++stats_.nodata;
+    ++stats.nodata;
   } else {
-    ++stats_.nxdomain;
+    ++stats.nxdomain;
   }
   return response;
 }

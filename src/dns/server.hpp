@@ -15,7 +15,6 @@
 
 #include "dns/message.hpp"
 #include "dns/zone.hpp"
-#include "util/rng.hpp"
 #include "util/time.hpp"
 
 namespace rdns::dns {
@@ -28,7 +27,9 @@ struct FaultPolicy {
   [[nodiscard]] static FaultPolicy none() noexcept { return {}; }
 };
 
-/// Query-handling statistics (per server).
+/// Query-handling statistics (per server). Parallel sweeps accumulate
+/// these per worker and fold them back with operator+= — all fields are
+/// sums, so the merge is order-independent.
 struct ServerStats {
   std::uint64_t queries = 0;
   std::uint64_t answered = 0;
@@ -38,6 +39,8 @@ struct ServerStats {
   std::uint64_t timeouts_injected = 0;
   std::uint64_t refused = 0;
   std::uint64_t updates = 0;
+
+  ServerStats& operator+=(const ServerStats& other) noexcept;
 };
 
 /// Byte-level transport: what a UDP socket would be. The simulator wires a
@@ -68,8 +71,24 @@ class AuthoritativeServer {
   /// when fault injection decides this query is lost (timeout).
   [[nodiscard]] std::optional<Message> handle(const Message& request);
 
+  /// Const query path for concurrent scanners: answers a QUERY without
+  /// touching any server state; statistics land in the caller-supplied
+  /// accumulator (merge them back via merge_stats). Fault injection is a
+  /// pure hash of (fault seed, transaction id, qname), so the outcome of
+  /// every query is independent of query order and thread count — the
+  /// property the deterministic parallel sweep relies on. UPDATE messages
+  /// are refused here; mutation must go through handle().
+  ///
+  /// Thread safety: safe to call from many threads concurrently as long
+  /// as nothing mutates the hosted zones meanwhile (frozen sim clock).
+  [[nodiscard]] std::optional<Message> handle_readonly(const Message& request,
+                                                       ServerStats& stats) const;
+
   [[nodiscard]] const ServerStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
+
+  /// Fold a per-worker accumulator into the server's own counters.
+  void merge_stats(const ServerStats& delta) noexcept { stats_ += delta; }
 
   void set_faults(FaultPolicy faults) noexcept { faults_ = faults; }
   [[nodiscard]] const FaultPolicy& faults() const noexcept { return faults_; }
@@ -79,12 +98,14 @@ class AuthoritativeServer {
   [[nodiscard]] std::vector<const Zone*> zones() const;
 
  private:
-  [[nodiscard]] Message answer_query(const Message& query);
+  [[nodiscard]] Message answer_query(const Message& query, ServerStats& stats) const;
   [[nodiscard]] Message apply_update(const Message& update);
+  [[nodiscard]] bool fault_hit(const Message& request, std::uint64_t salt,
+                               double p) const noexcept;
 
   std::vector<std::unique_ptr<Zone>> zones_;
   FaultPolicy faults_;
-  util::Rng fault_rng_;
+  std::uint64_t fault_seed_;
   ServerStats stats_;
 };
 

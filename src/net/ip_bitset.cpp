@@ -1,0 +1,63 @@
+#include "net/ip_bitset.hpp"
+
+#include <bit>
+
+namespace rdns::net {
+
+Ipv4Bitset::Ipv4Bitset(const Ipv4Bitset& other) : count_(other.count_) {
+  blocks_.reserve(other.blocks_.size());
+  for (const auto& [key, block] : other.blocks_) {
+    blocks_.emplace(key, std::make_unique<Block>(*block));
+  }
+}
+
+Ipv4Bitset& Ipv4Bitset::operator=(const Ipv4Bitset& other) {
+  if (this == &other) return *this;
+  Ipv4Bitset copy{other};
+  *this = std::move(copy);
+  return *this;
+}
+
+bool Ipv4Bitset::insert(Ipv4Addr a) {
+  auto& block = blocks_[block_key(a)];
+  if (!block) block = std::make_unique<Block>(Block{});
+  const std::uint32_t low = a.value() & 0xFFFFu;
+  std::uint64_t& word = (*block)[low >> 6];
+  const std::uint64_t bit = 1ULL << (low & 63u);
+  if ((word & bit) != 0) return false;
+  word |= bit;
+  ++count_;
+  return true;
+}
+
+bool Ipv4Bitset::contains(Ipv4Addr a) const noexcept {
+  const auto it = blocks_.find(block_key(a));
+  if (it == blocks_.end()) return false;
+  const std::uint32_t low = a.value() & 0xFFFFu;
+  return ((*it->second)[low >> 6] & (1ULL << (low & 63u))) != 0;
+}
+
+void Ipv4Bitset::clear() noexcept {
+  blocks_.clear();
+  count_ = 0;
+}
+
+void Ipv4Bitset::merge(const Ipv4Bitset& other) {
+  for (const auto& [key, other_block] : other.blocks_) {
+    auto& block = blocks_[key];
+    if (!block) {
+      block = std::make_unique<Block>(*other_block);
+      for (const std::uint64_t word : *block) {
+        count_ += static_cast<std::uint64_t>(std::popcount(word));
+      }
+      continue;
+    }
+    for (std::size_t i = 0; i < kWordsPerBlock; ++i) {
+      const std::uint64_t added = (*other_block)[i] & ~(*block)[i];
+      (*block)[i] |= (*other_block)[i];
+      count_ += static_cast<std::uint64_t>(std::popcount(added));
+    }
+  }
+}
+
+}  // namespace rdns::net

@@ -1,0 +1,54 @@
+#pragma once
+/// \file ip_bitset.hpp
+/// Compact membership set over IPv4 addresses, used for sweep-time
+/// de-duplication. A full-space sweep touches millions of addresses;
+/// `std::unordered_set<Ipv4Addr>` costs ~30+ bytes and a hash probe per
+/// member, while announced space is dense — so we keep one 8 KiB bitmap
+/// per touched /16 (lazily allocated) and test/set single bits. Shards of
+/// a parallel sweep each fill their own bitset and union them at the end.
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "net/ipv4.hpp"
+
+namespace rdns::net {
+
+class Ipv4Bitset {
+ public:
+  Ipv4Bitset() = default;
+
+  Ipv4Bitset(const Ipv4Bitset& other);
+  Ipv4Bitset& operator=(const Ipv4Bitset& other);
+  Ipv4Bitset(Ipv4Bitset&&) noexcept = default;
+  Ipv4Bitset& operator=(Ipv4Bitset&&) noexcept = default;
+
+  /// Set the bit for `a`; returns true if it was not set before.
+  bool insert(Ipv4Addr a);
+
+  [[nodiscard]] bool contains(Ipv4Addr a) const noexcept;
+
+  /// Number of set bits.
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+  void clear() noexcept;
+
+  /// Set union: absorb every member of `other`.
+  void merge(const Ipv4Bitset& other);
+
+ private:
+  static constexpr std::size_t kWordsPerBlock = (1u << 16) / 64;  // one /16
+  using Block = std::array<std::uint64_t, kWordsPerBlock>;
+
+  [[nodiscard]] static std::uint32_t block_key(Ipv4Addr a) noexcept {
+    return a.value() >> 16;
+  }
+
+  std::unordered_map<std::uint32_t, std::unique_ptr<Block>> blocks_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace rdns::net

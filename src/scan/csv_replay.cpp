@@ -7,41 +7,117 @@
 
 namespace rdns::scan {
 
-ReplayStats replay_csv(std::istream& in, SnapshotSink& sink) {
+namespace {
+
+/// One parsed logical line, produced by a parallel map stage and emitted
+/// serially in input order.
+struct ParsedLine {
+  bool valid = false;
+  util::CivilDate date;
+  net::Ipv4Addr address;
+  dns::DnsName ptr;
+};
+
+/// True if the line is only whitespace (CsvReader semantics: skipped
+/// entirely, not counted as malformed).
+bool is_blank(const std::string& line) {
+  for (const char c : line) {
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;
+}
+
+/// Read the next logical CSV line: getline plus quote balancing, exactly
+/// as util::CsvReader does (a quoted field may span physical lines).
+bool next_logical_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    std::size_t quotes = 0;
+    for (const char c : line) quotes += (c == '"');
+    while (quotes % 2 == 1) {
+      std::string more;
+      if (!std::getline(in, more)) {
+        throw std::invalid_argument("replay_csv: unterminated quoted field at end of input");
+      }
+      line.push_back('\n');
+      line.append(more);
+      for (const char c : more) quotes += (c == '"');
+    }
+    if (is_blank(line)) continue;
+    return true;
+  }
+  return false;
+}
+
+/// Parse one logical line into a row; invalid rows keep valid == false.
+ParsedLine parse_line(const std::string& line) {
+  ParsedLine out;
+  const util::CsvRow row = util::csv_parse_line(line);
+  if (row.size() < 3) return out;
+  try {
+    out.date = util::parse_date(row[0]);
+  } catch (const std::invalid_argument&) {
+    // Tolerate a header row or malformed dates.
+    return out;
+  }
+  const auto address = net::Ipv4Addr::parse(row[1]);
+  const auto ptr = dns::DnsName::parse(row[2]);
+  if (!address || !ptr || ptr->is_root()) return out;
+  out.valid = true;
+  out.address = *address;
+  out.ptr = *ptr;
+  return out;
+}
+
+}  // namespace
+
+ReplayStats replay_csv(std::istream& in, SnapshotSink& sink, util::ThreadPool* pool_opt) {
+  util::ThreadPool& pool = pool_opt != nullptr ? *pool_opt : util::ThreadPool::global();
   ReplayStats stats;
-  util::CsvReader reader{in};
-  util::CsvRow row;
   bool have_date = false;
   util::CivilDate current_date;
 
-  while (reader.next(row)) {
-    if (row.size() < 3) {
-      ++stats.skipped;
-      continue;
+  // Batches bound memory: the reader thread accumulates a batch of logical
+  // lines, workers parse fixed chunks of it, and the batch is re-emitted
+  // in order before the next one is read.
+  constexpr std::size_t kChunkLines = 1024;
+  const std::size_t batch_lines = kChunkLines * std::max(1u, pool.size());
+  std::vector<std::string> batch;
+  std::vector<ParsedLine> parsed;
+  batch.reserve(batch_lines);
+
+  const auto emit_batch = [&] {
+    if (batch.empty()) return;
+    parsed.assign(batch.size(), ParsedLine{});
+    pool.parallel_for_chunks(batch.size(), kChunkLines,
+                             [&](std::size_t, std::uint64_t begin, std::uint64_t end) {
+                               for (std::uint64_t i = begin; i < end; ++i) {
+                                 parsed[i] = parse_line(batch[i]);
+                               }
+                             });
+    for (const ParsedLine& row : parsed) {
+      if (!row.valid) {
+        ++stats.skipped;
+        continue;
+      }
+      if (have_date && row.date != current_date) {
+        sink.on_sweep_end(current_date);
+        ++stats.sweeps;
+      }
+      current_date = row.date;
+      have_date = true;
+      sink.on_row(row.date, row.address, row.ptr);
+      ++stats.rows;
     }
-    util::CivilDate date;
-    try {
-      date = util::parse_date(row[0]);
-    } catch (const std::invalid_argument&) {
-      // Tolerate a header row or malformed dates.
-      ++stats.skipped;
-      continue;
-    }
-    const auto address = net::Ipv4Addr::parse(row[1]);
-    const auto ptr = dns::DnsName::parse(row[2]);
-    if (!address || !ptr || ptr->is_root()) {
-      ++stats.skipped;
-      continue;
-    }
-    if (have_date && date != current_date) {
-      sink.on_sweep_end(current_date);
-      ++stats.sweeps;
-    }
-    current_date = date;
-    have_date = true;
-    sink.on_row(date, *address, *ptr);
-    ++stats.rows;
+    batch.clear();
+  };
+
+  std::string line;
+  while (next_logical_line(in, line)) {
+    batch.push_back(std::move(line));
+    if (batch.size() >= batch_lines) emit_batch();
   }
+  emit_batch();
+
   if (have_date) {
     sink.on_sweep_end(current_date);
     ++stats.sweeps;
@@ -53,9 +129,10 @@ ReplayStats replay_csv(std::istream& in, SnapshotSink& sink) {
   return stats;
 }
 
-ReplayStats replay_csv_text(const std::string& text, SnapshotSink& sink) {
+ReplayStats replay_csv_text(const std::string& text, SnapshotSink& sink,
+                            util::ThreadPool* pool) {
   std::istringstream in{text};
-  return replay_csv(in, sink);
+  return replay_csv(in, sink, pool);
 }
 
 }  // namespace rdns::scan

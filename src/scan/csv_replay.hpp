@@ -10,6 +10,7 @@
 #include <string>
 
 #include "scan/rdns_snapshot.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rdns::scan {
 
@@ -24,9 +25,16 @@ struct ReplayStats {
 /// previous date. A trailing on_sweep_end is emitted at end of input.
 /// Rows that fail to parse are counted in `skipped` and dropped — real
 /// measurement data always contains junk.
-ReplayStats replay_csv(std::istream& in, SnapshotSink& sink);
+///
+/// Parsing is chunked map-reduce: batches of logical lines are split into
+/// fixed chunks, parsed in parallel on `pool` (nullptr = the global pool),
+/// and re-emitted to the sink strictly in input order — the sink sees the
+/// exact serial sequence at every thread count.
+ReplayStats replay_csv(std::istream& in, SnapshotSink& sink,
+                       util::ThreadPool* pool = nullptr);
 
 /// Convenience: replay from an in-memory document.
-ReplayStats replay_csv_text(const std::string& text, SnapshotSink& sink);
+ReplayStats replay_csv_text(const std::string& text, SnapshotSink& sink,
+                            util::ThreadPool* pool = nullptr);
 
 }  // namespace rdns::scan

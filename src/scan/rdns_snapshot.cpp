@@ -1,7 +1,9 @@
 #include "scan/rdns_snapshot.hpp"
 
-#include <unordered_set>
+#include <mutex>
 
+#include "net/ip_bitset.hpp"
+#include "util/rng.hpp"
 #include "util/strings.hpp"
 
 namespace rdns::scan {
@@ -22,23 +24,90 @@ std::uint64_t sweep_bulk(const sim::World& world, const util::CivilDate& date,
   return rows;
 }
 
-std::uint64_t sweep_wire(sim::World& world, const util::CivilDate& date, SnapshotSink& sink,
-                         dns::ResolverStats* stats_out) {
-  dns::StubResolver resolver{world, /*retries=*/1};
-  std::uint64_t rows = 0;
-  for (const auto& prefix : world.announced_prefixes()) {
-    for (std::uint64_t v = prefix.first().value(); v <= prefix.last().value(); ++v) {
-      const net::Ipv4Addr a{static_cast<std::uint32_t>(v)};
-      const auto result = resolver.lookup_ptr(a, world.now());
-      if (result.status == dns::LookupStatus::Ok && result.ptr) {
-        sink.on_row(date, a, *result.ptr);
-        ++rows;
-      }
+std::vector<SweepShard> shard_address_space(const std::vector<net::Prefix>& prefixes) {
+  std::vector<SweepShard> shards;
+  for (const auto& prefix : prefixes) {
+    const std::uint64_t first = prefix.first().value();
+    const std::uint64_t last = prefix.last().value();
+    for (std::uint64_t base = first; base <= last;) {
+      // Advance to the end of the covering /24 (or the prefix, whichever
+      // comes first) so shards never straddle a /24 boundary.
+      const std::uint64_t slash24_end = (base | 0xFFULL);
+      SweepShard shard;
+      shard.first = static_cast<std::uint32_t>(base);
+      shard.last = static_cast<std::uint32_t>(std::min(last, slash24_end));
+      shards.push_back(shard);
+      base = static_cast<std::uint64_t>(shard.last) + 1;
     }
   }
-  if (stats_out != nullptr) *stats_out = resolver.stats();
+  return shards;
+}
+
+std::uint64_t sweep_wire(sim::World& world, const util::CivilDate& date, SnapshotSink& sink,
+                         dns::ResolverStats* stats_out, util::ThreadPool* pool_opt) {
+  util::ThreadPool& pool = pool_opt != nullptr ? *pool_opt : util::ThreadPool::global();
+  const auto shards = shard_address_space(world.announced_prefixes());
+
+  // Per-shard result rows, funnelled through a bounded reorder buffer so
+  // the sink observes them in shard order — byte-identical to the serial
+  // walk — while workers run ahead by at most `capacity` shards.
+  struct ShardRows {
+    std::vector<std::pair<net::Ipv4Addr, dns::DnsName>> rows;
+  };
+  std::uint64_t rows_emitted = 0;
+  util::OrderedMergeBuffer<ShardRows> merge{
+      /*capacity=*/std::size_t{8} * pool.size(),
+      [&](std::size_t /*seq*/, ShardRows&& shard_rows) {
+        for (auto& [address, ptr] : shard_rows.rows) {
+          sink.on_row(date, address, ptr);
+          ++rows_emitted;
+        }
+      }};
+
+  // Retry/timeout counters and per-org server stats accumulate per shard
+  // and fold under a mutex; every field is a sum, so the totals are
+  // independent of merge order (and therefore of the thread count).
+  dns::ResolverStats resolver_totals;
+  std::vector<dns::ServerStats> server_totals(world.orgs().size());
+  std::mutex stats_mutex;
+  const util::SimTime now = world.now();
+  const sim::World& frozen = world;
+
+  pool.parallel_for_chunks(
+      shards.size(), /*chunk=*/1,
+      [&](std::size_t shard_index, std::uint64_t /*begin*/, std::uint64_t /*end*/) {
+        ShardRows out;
+        try {
+          const SweepShard& shard = shards[shard_index];
+          sim::FrozenDnsView view{frozen};
+          // One resolver per shard, transaction ids seeded by the shard
+          // index: the query stream of shard k is the same no matter which
+          // worker runs it.
+          dns::StubResolver resolver{view, /*retries=*/1,
+                                     0x1D5EEDULL ^ util::mix64(shard_index + 1)};
+          for (std::uint64_t v = shard.first; v <= shard.last; ++v) {
+            const net::Ipv4Addr a{static_cast<std::uint32_t>(v)};
+            const auto result = resolver.lookup_ptr(a, now);
+            if (result.status == dns::LookupStatus::Ok && result.ptr) {
+              out.rows.emplace_back(a, *result.ptr);
+            }
+          }
+          std::lock_guard lock{stats_mutex};
+          resolver_totals += resolver.stats();
+          view.merge_into(server_totals);
+        } catch (...) {
+          // The merge cursor must advance even for a failed shard, or
+          // producers behind it would block forever.
+          merge.put(shard_index, ShardRows{});
+          throw;
+        }
+        merge.put(shard_index, std::move(out));
+      });
+
+  world.merge_server_stats(server_totals);
+  if (stats_out != nullptr) *stats_out = resolver_totals;
   sink.on_sweep_end(date);
-  return rows;
+  return rows_emitted;
 }
 
 SweepDriver::SweepDriver(sim::World& world, int hour_of_day, int every_days, int second_hour)
@@ -50,14 +119,17 @@ SweepDriver::SweepDriver(sim::World& world, int hour_of_day, int every_days, int
 namespace {
 
 /// De-duplicates by address within one sweep (union-of-instants mode) and
-/// defers on_sweep_end to the driver.
+/// defers on_sweep_end to the driver. Announced space is dense, so the
+/// seen-set is a per-/16 bitmap (net::Ipv4Bitset) — one bit per address
+/// instead of a hash-set node; see bench_micro_components for the
+/// serial-path win.
 class UnionPass final : public SnapshotSink {
  public:
   UnionPass(SnapshotSink& inner) : inner_(&inner) {}
 
   void on_row(const util::CivilDate& date, net::Ipv4Addr address,
               const dns::DnsName& ptr) override {
-    if (!seen_.insert(address).second) return;
+    if (!seen_.insert(address)) return;
     inner_->on_row(date, address, ptr);
     ++rows_;
   }
@@ -71,7 +143,7 @@ class UnionPass final : public SnapshotSink {
 
  private:
   SnapshotSink* inner_;
-  std::unordered_set<net::Ipv4Addr> seen_;
+  net::Ipv4Bitset seen_;
   std::uint64_t rows_ = 0;
 };
 

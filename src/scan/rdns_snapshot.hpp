@@ -19,6 +19,7 @@
 #include "dns/resolver.hpp"
 #include "sim/world.hpp"
 #include "util/csv.hpp"
+#include "util/thread_pool.hpp"
 #include "util/time.hpp"
 
 namespace rdns::scan {
@@ -55,10 +56,32 @@ struct SweepStats {
 std::uint64_t sweep_bulk(const sim::World& world, const util::CivilDate& date,
                          SnapshotSink& sink);
 
+/// One shard of a wire sweep: a /24-aligned slice of an announced prefix.
+/// Shard boundaries depend only on the announced prefixes, never on the
+/// thread count, so each shard's query stream (resolver transaction ids
+/// included) is reproducible at any pool size.
+struct SweepShard {
+  std::uint32_t first = 0;       ///< first address value (inclusive)
+  std::uint32_t last = 0;        ///< last address value (inclusive)
+};
+
+/// Split announced prefixes into per-/24 shards (smaller prefixes become
+/// one shard each). Exposed for the scaling bench and tests.
+[[nodiscard]] std::vector<SweepShard> shard_address_space(
+    const std::vector<net::Prefix>& prefixes);
+
 /// Performs one full sweep by issuing a wire-format PTR query per address
 /// of every announced prefix. Returns rows emitted.
+///
+/// The address space is sharded per /24; each shard runs on the pool
+/// (`nullptr` = the global pool) with its own StubResolver over a
+/// read-only World view, and shard outputs funnel through a bounded
+/// ordered-merge buffer — so the rows reaching `sink` are byte-identical
+/// to the serial run at every thread count. Requires a frozen sim clock
+/// (no concurrent run_until), which is how scanners already operate.
 std::uint64_t sweep_wire(sim::World& world, const util::CivilDate& date, SnapshotSink& sink,
-                         dns::ResolverStats* stats_out = nullptr);
+                         dns::ResolverStats* stats_out = nullptr,
+                         util::ThreadPool* pool = nullptr);
 
 /// Drives a periodic sweep campaign: advances the world to `hour_of_day` on
 /// each sweep date and invokes the bulk sweep.

@@ -126,6 +126,7 @@ class Organization {
   [[nodiscard]] OrgType type() const noexcept { return spec_.type; }
 
   [[nodiscard]] dns::AuthoritativeServer& dns() noexcept { return dns_; }
+  [[nodiscard]] const dns::AuthoritativeServer& dns() const noexcept { return dns_; }
   [[nodiscard]] dns::Transport& dns_transport() noexcept { return transport_; }
 
   [[nodiscard]] std::vector<Segment>& segments() noexcept { return segments_; }

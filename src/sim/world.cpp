@@ -197,6 +197,19 @@ bool World::probe_hash_chance(net::Ipv4Addr a, util::SimTime t, double p) noexce
 
 std::optional<std::vector<std::uint8_t>> World::exchange(
     std::span<const std::uint8_t> query_wire, SimTime now) {
+  // The mutable transport is the read-only path plus an immediate fold of
+  // the statistics into the owning servers, so serial scans and parallel
+  // shards observe identical answers and identical final counters.
+  exchange_scratch_.assign(orgs_.size(), dns::ServerStats{});
+  auto response = exchange_readonly(query_wire, now, exchange_scratch_);
+  merge_server_stats(exchange_scratch_);
+  return response;
+}
+
+std::optional<std::vector<std::uint8_t>> World::exchange_readonly(
+    std::span<const std::uint8_t> query_wire, SimTime now,
+    std::vector<dns::ServerStats>& per_org_stats) const {
+  (void)now;
   // Route by QNAME. A real scanner resolves the delegation; our routing
   // table plays the role of the in-addr.arpa delegation tree.
   dns::Message query;
@@ -207,6 +220,7 @@ std::optional<std::vector<std::uint8_t>> World::exchange(
   }
   if (query.questions.size() != 1) return std::nullopt;
   const dns::DnsName& qname = query.questions.front().qname;
+  std::size_t index = npos;
   const auto address = net::from_arpa(qname.to_string());
   if (!address) {
     // Forward query: route by the registered-domain suffix of the qname.
@@ -214,14 +228,24 @@ std::optional<std::vector<std::uint8_t>> World::exchange(
     if (it == suffix_to_org_.end()) {
       return dns::encode(dns::make_response(query, dns::Rcode::Refused, false));
     }
-    return orgs_[it->second]->dns_transport().exchange(query_wire, now);
+    index = it->second;
+  } else {
+    index = org_index_of(*address);
+    if (index == npos) {
+      // Unannounced space: no authoritative server to ask -> timeout.
+      return std::nullopt;
+    }
   }
-  Organization* org = org_of(*address);
-  if (org == nullptr) {
-    // Unannounced space: no authoritative server to ask -> timeout.
-    return std::nullopt;
+  const auto response =
+      orgs_[index]->dns().handle_readonly(query, per_org_stats[index]);
+  if (!response) return std::nullopt;
+  return dns::encode(*response);
+}
+
+void World::merge_server_stats(const std::vector<dns::ServerStats>& per_org_stats) {
+  for (std::size_t i = 0; i < orgs_.size() && i < per_org_stats.size(); ++i) {
+    orgs_[i]->dns().merge_stats(per_org_stats[i]);
   }
-  return org->dns_transport().exchange(query_wire, now);
 }
 
 void World::snapshot_ptrs(
@@ -237,15 +261,20 @@ std::vector<net::Prefix> World::announced_prefixes() const {
   return out;
 }
 
-Organization* World::org_of(net::Ipv4Addr a) noexcept {
+std::size_t World::org_index_of(net::Ipv4Addr a) const noexcept {
   // Fast path: one hash lookup by /16 plus a short membership check.
   const auto it = slash16_to_org_.find(a.value() & 0xFFFF0000u);
-  if (it == slash16_to_org_.end()) return nullptr;
-  Organization* org = orgs_[it->second].get();
-  for (const auto& prefix : org->spec().announced) {
-    if (prefix.contains(a)) return org;
+  if (it == slash16_to_org_.end()) return npos;
+  const Organization& org = *orgs_[it->second];
+  for (const auto& prefix : org.spec().announced) {
+    if (prefix.contains(a)) return it->second;
   }
-  return nullptr;
+  return npos;
+}
+
+Organization* World::org_of(net::Ipv4Addr a) noexcept {
+  const std::size_t index = org_index_of(a);
+  return index == npos ? nullptr : orgs_[index].get();
 }
 
 const Organization* World::org_of(net::Ipv4Addr a) const noexcept {

@@ -76,6 +76,22 @@ class World final : public dns::Transport {
   [[nodiscard]] std::optional<std::vector<std::uint8_t>> exchange(
       std::span<const std::uint8_t> query_wire, util::SimTime now) override;
 
+  /// Const DNS read path for concurrent scanners. Identical routing and
+  /// answers to exchange(), but server statistics land in `per_org_stats`
+  /// (one slot per org, same order as orgs()) instead of the servers
+  /// themselves; fold them back with merge_server_stats(). Safe to call
+  /// from many threads while the sim clock is frozen (no run_until, no
+  /// zone mutation in flight). UPDATE messages are refused on this path.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> exchange_readonly(
+      std::span<const std::uint8_t> query_wire, util::SimTime now,
+      std::vector<dns::ServerStats>& per_org_stats) const;
+
+  /// Fold per-worker server-statistics accumulators (as filled by
+  /// exchange_readonly) into the orgs' authoritative servers. The merge is
+  /// a sum per org, so applying worker accumulators in any order yields
+  /// the same totals as the serial run.
+  void merge_server_stats(const std::vector<dns::ServerStats>& per_org_stats);
+
   /// Bulk PTR snapshot across all orgs (the full-address-space sweep fast
   /// path; equivalent to querying every address — see tests).
   void snapshot_ptrs(const std::function<void(net::Ipv4Addr, const dns::DnsName&)>& fn) const;
@@ -85,6 +101,9 @@ class World final : public dns::Transport {
 
   [[nodiscard]] Organization* org_of(net::Ipv4Addr a) noexcept;
   [[nodiscard]] const Organization* org_of(net::Ipv4Addr a) const noexcept;
+  /// Index into orgs() of the org announcing `a`, or npos.
+  [[nodiscard]] std::size_t org_index_of(net::Ipv4Addr a) const noexcept;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
   [[nodiscard]] std::vector<std::unique_ptr<Organization>>& orgs() noexcept { return orgs_; }
   [[nodiscard]] const std::vector<std::unique_ptr<Organization>>& orgs() const noexcept {
     return orgs_;
@@ -122,6 +141,40 @@ class World final : public dns::Transport {
   util::CivilDate last_day_{2100, 1, 1};
   bool started_ = false;
   WorldStats stats_;
+  // Scratch per-org stats for the non-const exchange() wrapper.
+  std::vector<dns::ServerStats> exchange_scratch_;
+};
+
+/// Per-worker read-only DNS transport over a frozen-clock World. Each
+/// sweep shard owns one view (plus its own StubResolver); queries route
+/// through World::exchange_readonly and statistics accumulate privately in
+/// the view. After the parallel region, fold them back with
+/// `world.merge_server_stats(view.per_org_stats())`.
+class FrozenDnsView final : public dns::Transport {
+ public:
+  explicit FrozenDnsView(const World& world)
+      : world_(&world), per_org_stats_(world.orgs().size()) {}
+
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> exchange(
+      std::span<const std::uint8_t> query_wire, util::SimTime now) override {
+    return world_->exchange_readonly(query_wire, now, per_org_stats_);
+  }
+
+  [[nodiscard]] const std::vector<dns::ServerStats>& per_org_stats() const noexcept {
+    return per_org_stats_;
+  }
+
+  /// Accumulate this view's stats into another per-org vector (for
+  /// chunk-level views folding into a sweep-level accumulator).
+  void merge_into(std::vector<dns::ServerStats>& acc) const {
+    for (std::size_t i = 0; i < per_org_stats_.size() && i < acc.size(); ++i) {
+      acc[i] += per_org_stats_[i];
+    }
+  }
+
+ private:
+  const World* world_;
+  std::vector<dns::ServerStats> per_org_stats_;
 };
 
 }  // namespace rdns::sim

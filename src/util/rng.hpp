@@ -27,8 +27,11 @@ namespace rdns::util {
   return splitmix64(s);
 }
 
-/// Deterministic RNG (xoshiro256**). Not cryptographic; not thread-safe —
-/// use one instance per logical stream.
+/// Deterministic RNG (xoshiro256**). Not cryptographic. An instance must
+/// not be shared across threads; the threading contract is one Rng per
+/// worker/shard, seeded deterministically from the shard index via
+/// SplitMix64 (`mix64`) so every shard's stream is reproducible regardless
+/// of which thread runs it — see scan::sweep_wire for the pattern.
 class Rng {
  public:
   using result_type = std::uint64_t;

@@ -1,0 +1,138 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace rdns::util {
+
+namespace {
+
+/// Set while the current thread executes chunks for some pool, so nested
+/// parallel_for_chunks calls degrade to the serial path instead of
+/// deadlocking on worker starvation.
+thread_local bool t_in_parallel_region = false;
+
+std::unique_ptr<ThreadPool>& global_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+std::mutex& global_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+unsigned ThreadPool::default_size() {
+  if (const char* env = std::getenv("RDNS_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<unsigned>(std::min<long>(v, 1024));
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard lock{global_mutex()};
+  auto& slot = global_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>(default_size());
+  return *slot;
+}
+
+void ThreadPool::set_global_size(unsigned size) {
+  std::lock_guard lock{global_mutex()};
+  auto& slot = global_slot();
+  const unsigned want = size == 0 ? default_size() : size;
+  if (slot && slot->size() == want) return;
+  slot = std::make_unique<ThreadPool>(want);
+}
+
+ThreadPool::ThreadPool(unsigned size) : size_(size == 0 ? default_size() : size) {
+  threads_.reserve(size_ - 1);
+  for (unsigned i = 0; i + 1 < size_; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock{m_};
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::parallel_for_chunks(std::uint64_t n, std::uint64_t chunk, const ChunkFn& fn) {
+  if (chunk == 0) throw std::invalid_argument("ThreadPool::parallel_for_chunks: chunk == 0");
+  if (n == 0) return;
+  const std::size_t n_chunks = chunk_count(n, chunk);
+
+  // Serial path: pool of one, nested call, or nothing to spread. This is
+  // the exact code a hand-written loop would run — no locks, no threads.
+  if (size_ == 1 || t_in_parallel_region || n_chunks == 1) {
+    for (std::size_t ci = 0; ci < n_chunks; ++ci) {
+      const std::uint64_t begin = static_cast<std::uint64_t>(ci) * chunk;
+      fn(ci, begin, std::min(n, begin + chunk));
+    }
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->n = n;
+  job->chunk = chunk;
+  job->n_chunks = n_chunks;
+  {
+    std::lock_guard lock{m_};
+    job_ = job;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  run_chunks(*job);  // the caller is worker #0
+
+  std::unique_lock lock{m_};
+  done_cv_.wait(lock, [&] { return job->done == job->n_chunks; });
+  if (job_ == job) job_.reset();
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+void ThreadPool::run_chunks(Job& job) {
+  t_in_parallel_region = true;
+  for (;;) {
+    const std::uint64_t ci = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (ci >= job.n_chunks) break;
+    const std::uint64_t begin = ci * job.chunk;
+    const std::uint64_t end = std::min(job.n, begin + job.chunk);
+    try {
+      (*job.fn)(static_cast<std::size_t>(ci), begin, end);
+    } catch (...) {
+      std::lock_guard lock{m_};
+      if (!job.error) job.error = std::current_exception();
+    }
+    std::lock_guard lock{m_};
+    if (++job.done == job.n_chunks) done_cv_.notify_all();
+  }
+  t_in_parallel_region = false;
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock lock{m_};
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    if (job) run_chunks(*job);
+  }
+}
+
+}  // namespace rdns::util

@@ -1,0 +1,163 @@
+#pragma once
+/// \file thread_pool.hpp
+/// Chunk-sharded data parallelism for the scan and analysis hot paths.
+///
+/// Real full-space scanners are embarrassingly parallel — bulkDNS runs one
+/// resolver state per pthread — and so are our map-reduce analysis stages.
+/// The primitives here keep that parallelism *deterministic*:
+///
+///   - `ThreadPool::parallel_for_chunks(n, chunk, fn)` divides [0, n) into
+///     fixed chunks and hands each chunk (with a stable chunk index) to a
+///     worker. Chunk boundaries depend only on (n, chunk), never on the
+///     thread count, so per-chunk state (resolver ids, RNG seeds) is
+///     reproducible at any pool size. A pool of size 1 spawns no threads
+///     and runs the exact serial code path on the calling thread.
+///
+///   - `OrderedMergeBuffer<T>` is a bounded reorder buffer: producers
+///     deliver per-chunk results tagged with their chunk index and the
+///     consume callback observes them in index order, so byte streams
+///     (CSV sinks) come out identical to a serial run.
+///
+///   - `map_reduce_chunks` collects one partial result per chunk and folds
+///     them in ascending chunk order — a deterministic reduce even when
+///     the fold operation is order-sensitive.
+///
+/// The pool size defaults to `RDNS_THREADS` (environment) or
+/// `std::thread::hardware_concurrency()`; `--threads N` in the tools maps
+/// onto `ThreadPool::set_global_size`.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rdns::util {
+
+/// Fixed-size worker pool. Construction with size N spawns N-1 worker
+/// threads (the calling thread participates in every parallel region);
+/// size 1 spawns none and every call degenerates to the serial loop.
+class ThreadPool {
+ public:
+  /// fn(chunk_index, begin, end) over a sub-range of [0, n).
+  using ChunkFn = std::function<void(std::size_t, std::uint64_t, std::uint64_t)>;
+
+  /// `size` = total workers including the caller; 0 means default_size().
+  explicit ThreadPool(unsigned size = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept { return size_; }
+
+  /// RDNS_THREADS environment override, else hardware_concurrency (min 1).
+  [[nodiscard]] static unsigned default_size();
+
+  /// Process-wide shared pool (lazily built at default_size()).
+  [[nodiscard]] static ThreadPool& global();
+
+  /// Rebuild the global pool at `size` (0 = default_size()). Must not be
+  /// called while a parallel region is running.
+  static void set_global_size(unsigned size);
+
+  /// Number of chunks parallel_for_chunks will produce.
+  [[nodiscard]] static std::size_t chunk_count(std::uint64_t n, std::uint64_t chunk) {
+    return chunk == 0 ? 0 : static_cast<std::size_t>((n + chunk - 1) / chunk);
+  }
+
+  /// Run fn over [0, n) in chunks of `chunk`. Blocks until every chunk
+  /// completed; the first exception thrown by any chunk is rethrown here
+  /// (remaining chunks still run to completion). Calls from inside a
+  /// worker run serially inline (no nested parallelism).
+  void parallel_for_chunks(std::uint64_t n, std::uint64_t chunk, const ChunkFn& fn);
+
+ private:
+  struct Job {
+    const ChunkFn* fn = nullptr;
+    std::uint64_t n = 0;
+    std::uint64_t chunk = 0;
+    std::size_t n_chunks = 0;
+    std::atomic<std::uint64_t> next{0};
+    std::size_t done = 0;            // guarded by pool mutex
+    std::exception_ptr error;        // first failure; guarded by pool mutex
+  };
+
+  void worker_loop();
+  void run_chunks(Job& job);
+
+  unsigned size_;
+  std::vector<std::thread> threads_;
+  std::mutex m_;
+  std::condition_variable work_cv_;  // workers: new job / shutdown
+  std::condition_variable done_cv_;  // caller: job completion
+  std::uint64_t generation_ = 0;
+  std::shared_ptr<Job> job_;         // current job; guarded by m_
+  bool stop_ = false;
+};
+
+/// Bounded reorder buffer: `put(seq, item)` may arrive in any order from
+/// any thread; `consume(seq, item)` fires in strictly ascending seq order
+/// (0, 1, 2, ...), executed under the buffer lock by whichever producer
+/// delivered the next needed item — downstream sinks need no locking of
+/// their own. A producer more than `capacity` chunks ahead of the merge
+/// cursor blocks until the gap closes, bounding memory.
+template <typename T>
+class OrderedMergeBuffer {
+ public:
+  using Consume = std::function<void(std::size_t, T&&)>;
+
+  OrderedMergeBuffer(std::size_t capacity, Consume consume)
+      : capacity_(capacity == 0 ? 1 : capacity), consume_(std::move(consume)) {}
+
+  void put(std::size_t seq, T&& item) {
+    std::unique_lock lock{m_};
+    cv_.wait(lock, [&] { return seq == next_ || pending_.size() < capacity_; });
+    pending_.emplace(seq, std::move(item));
+    // Flush the contiguous run starting at the cursor. The cursor advances
+    // *before* each consume so a throwing consumer cannot wedge the merge:
+    // later producers keep draining and the exception reaches the caller.
+    for (auto it = pending_.find(next_); it != pending_.end(); it = pending_.find(next_)) {
+      T value = std::move(it->second);
+      pending_.erase(it);
+      const std::size_t at = next_++;
+      cv_.notify_all();
+      consume_(at, std::move(value));
+    }
+  }
+
+  /// Sequence numbers consumed so far.
+  [[nodiscard]] std::size_t emitted() const {
+    std::lock_guard lock{m_};
+    return next_;
+  }
+
+ private:
+  std::size_t capacity_;
+  Consume consume_;
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  std::map<std::size_t, T> pending_;
+  std::size_t next_ = 0;
+};
+
+/// Deterministic map-reduce over [0, n): `map(chunk_index, begin, end)`
+/// produces one partial of type R per chunk (in parallel); `fold(index,
+/// partial)` runs on the calling thread in ascending chunk order.
+template <typename R, typename Map, typename Fold>
+void map_reduce_chunks(ThreadPool& pool, std::uint64_t n, std::uint64_t chunk, Map&& map,
+                       Fold&& fold) {
+  const std::size_t n_chunks = ThreadPool::chunk_count(n, chunk);
+  std::vector<R> partials(n_chunks);
+  pool.parallel_for_chunks(n, chunk,
+                           [&](std::size_t ci, std::uint64_t begin, std::uint64_t end) {
+                             partials[ci] = map(ci, begin, end);
+                           });
+  for (std::size_t ci = 0; ci < n_chunks; ++ci) fold(ci, std::move(partials[ci]));
+}
+
+}  // namespace rdns::util

@@ -1,0 +1,214 @@
+/// End-to-end determinism of the parallel engine: the wire sweep, CSV
+/// replay and the analysis stages must produce byte-identical output at
+/// every pool size. DNS faults are enabled so the hash-based (order- and
+/// thread-independent) fault injection path is exercised too.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/dynamicity.hpp"
+#include "core/names.hpp"
+#include "core/terms.hpp"
+#include "scan/csv_replay.hpp"
+#include "scan/rdns_snapshot.hpp"
+#include "sim/world.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rdns {
+namespace {
+
+using util::CivilDate;
+
+std::unique_ptr<sim::World> scan_world() {
+  auto world = std::make_unique<sim::World>();
+  sim::OrgSpec o;
+  o.name = "det-target";
+  o.type = sim::OrgType::Academic;
+  o.suffix = dns::DnsName::must_parse("det.edu");
+  o.announced = {net::Prefix::must_parse("10.90.0.0/20")};
+  sim::SegmentSpec wifi;
+  wifi.label = "wifi";
+  wifi.prefix = net::Prefix::must_parse("10.90.4.0/24");
+  wifi.schedule = sim::ScheduleKind::AlwaysOn;
+  wifi.user_count = 0;
+  wifi.always_on_count = 25;
+  sim::SegmentSpec lab;
+  lab.label = "lab";
+  lab.prefix = net::Prefix::must_parse("10.90.5.0/24");
+  lab.schedule = sim::ScheduleKind::AlwaysOn;
+  lab.user_count = 0;
+  lab.always_on_count = 10;
+  o.segments = {wifi, lab};
+  o.static_ranges = {{net::Prefix::must_parse("10.90.0.0/26"),
+                      sim::StaticRangeSpec::Style::GenericNames, 1.0, 1.0}};
+  o.seed = 4242;
+  world->add_org(std::move(o));
+  // Transient faults: decisions must hash (seed, id, qname), never shared
+  // RNG state, or parallel runs would diverge from serial ones.
+  world->orgs().front()->dns().set_faults(dns::FaultPolicy{0.01, 0.005});
+  world->start(CivilDate{2021, 11, 1}, CivilDate{2021, 11, 2});
+  world->run_until(util::to_sim_time(CivilDate{2021, 11, 1}) + 12 * util::kHour);
+  return world;
+}
+
+TEST(ParallelDeterminism, WireSweepIsByteIdenticalAcrossPoolSizes) {
+  auto world = scan_world();
+
+  std::string serial_csv;
+  std::uint64_t serial_rows = 0;
+  dns::ResolverStats serial_stats;
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    util::ThreadPool pool{threads};
+    std::ostringstream out;
+    scan::CsvSnapshotSink sink{out};
+    dns::ResolverStats stats;
+    const auto rows = scan::sweep_wire(*world, CivilDate{2021, 11, 1}, sink, &stats, &pool);
+    if (threads == 1) {
+      serial_csv = out.str();
+      serial_rows = rows;
+      serial_stats = stats;
+      EXPECT_GT(rows, 0u);
+      continue;
+    }
+    EXPECT_EQ(rows, serial_rows) << threads << " threads";
+    EXPECT_EQ(out.str(), serial_csv) << threads << " threads";
+    // Per-shard resolver streams are seeded by shard index, so even the
+    // aggregate query/outcome counters match the serial run exactly.
+    EXPECT_EQ(stats.queries_sent, serial_stats.queries_sent) << threads << " threads";
+    EXPECT_EQ(stats.ok, serial_stats.ok) << threads << " threads";
+    EXPECT_EQ(stats.nxdomain, serial_stats.nxdomain) << threads << " threads";
+    EXPECT_EQ(stats.servfail, serial_stats.servfail) << threads << " threads";
+    EXPECT_EQ(stats.timeout, serial_stats.timeout) << threads << " threads";
+  }
+}
+
+TEST(ParallelDeterminism, WireSweepAgreesWithBulkUnderParallelism) {
+  auto world = scan_world();
+  struct CollectSink final : scan::SnapshotSink {
+    std::map<std::string, std::string> rows;
+    void on_row(const CivilDate&, net::Ipv4Addr a, const dns::DnsName& ptr) override {
+      rows[a.to_string()] = ptr.to_canonical_string();
+    }
+  };
+  CollectSink bulk;
+  scan::sweep_bulk(*world, CivilDate{2021, 11, 1}, bulk);
+
+  util::ThreadPool pool{4};
+  CollectSink wire;
+  dns::ResolverStats stats;
+  scan::sweep_wire(*world, CivilDate{2021, 11, 1}, wire, &stats, &pool);
+  // Faults are enabled, so the wire path may miss a few records (timeouts
+  // after retries) but must never invent rows the zones do not hold.
+  EXPECT_LE(wire.rows.size(), bulk.rows.size());
+  EXPECT_GT(wire.rows.size(), bulk.rows.size() / 2);
+  for (const auto& [address, ptr] : wire.rows) {
+    ASSERT_TRUE(bulk.rows.count(address) > 0) << address;
+    EXPECT_EQ(bulk.rows.at(address), ptr) << address;
+  }
+}
+
+/// Synthetic multi-day CSV: a few /24s with varying daily coverage, plus
+/// hostname rows that exercise the term/name stages.
+std::string synthetic_campaign_csv() {
+  std::ostringstream csv;
+  const char* names[] = {"brians-iphone", "emmas-laptop", "static-gw", "core-rtr",
+                         "michaels-ipad"};
+  for (int day = 1; day <= 14; ++day) {
+    for (int block = 0; block < 6; ++block) {
+      // Coverage oscillates per block/day so some blocks cross the
+      // dynamicity thresholds and others stay quiet.
+      const int addresses = 4 + ((day * 7 + block * 13) % 40);
+      for (int host = 1; host <= addresses; ++host) {
+        csv << "2021-11-" << (day < 10 ? "0" : "") << day << ",10.7." << block << '.' << host
+            << ',' << names[(host + block) % 5] << '-' << host << ".pool" << block
+            << ".det.edu\n";
+      }
+    }
+  }
+  return csv.str();
+}
+
+TEST(ParallelDeterminism, CsvReplayIsByteIdenticalAcrossPoolSizes) {
+  const std::string csv = synthetic_campaign_csv();
+  std::string serial_out;
+  scan::ReplayStats serial_stats;
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    util::ThreadPool pool{threads};
+    std::ostringstream out;
+    scan::CsvSnapshotSink sink{out};
+    const auto stats = scan::replay_csv_text(csv, sink, &pool);
+    if (threads == 1) {
+      serial_out = out.str();
+      serial_stats = stats;
+      EXPECT_GT(stats.rows, 0u);
+      EXPECT_EQ(stats.sweeps, 14u);
+      continue;
+    }
+    EXPECT_EQ(out.str(), serial_out) << threads << " threads";
+    EXPECT_EQ(stats.rows, serial_stats.rows);
+    EXPECT_EQ(stats.sweeps, serial_stats.sweeps);
+    EXPECT_EQ(stats.skipped, serial_stats.skipped);
+  }
+}
+
+TEST(ParallelDeterminism, AnalysisStagesMatchSerialAcrossPoolSizes) {
+  core::DynamicityDetector detector;
+  core::PtrCorpus corpus;
+  struct Tee final : scan::SnapshotSink {
+    std::vector<scan::SnapshotSink*> sinks;
+    void on_row(const CivilDate& d, net::Ipv4Addr a, const dns::DnsName& n) override {
+      for (auto* s : sinks) s->on_row(d, a, n);
+    }
+    void on_sweep_end(const CivilDate& d) override {
+      for (auto* s : sinks) s->on_sweep_end(d);
+    }
+  } tee;
+  tee.sinks = {&detector, &corpus};
+  scan::replay_csv_text(synthetic_campaign_csv(), tee);
+
+  core::DynamicityConfig config;
+  config.min_days_over = 3;
+  core::LeakConfig leak;
+  leak.min_unique_names = 2;
+
+  util::ThreadPool serial{1};
+  const auto base_dyn = detector.analyze(config, &serial);
+  const auto base_terms = corpus.term_frequencies(&serial);
+  const auto base_names = core::count_name_matches(corpus, &serial);
+  const auto base_leaks = core::identify_leaking_networks(corpus, leak, &serial);
+  EXPECT_GT(base_dyn.blocks.size(), 0u);
+  EXPECT_GT(base_terms.total(), 0);
+
+  for (const unsigned threads : {2u, 4u}) {
+    util::ThreadPool pool{threads};
+
+    const auto dyn = detector.analyze(config, &pool);
+    EXPECT_EQ(dyn.dynamic_count, base_dyn.dynamic_count);
+    ASSERT_EQ(dyn.blocks.size(), base_dyn.blocks.size());
+    for (std::size_t i = 0; i < dyn.blocks.size(); ++i) {
+      EXPECT_EQ(dyn.blocks[i].block, base_dyn.blocks[i].block);
+      EXPECT_EQ(dyn.blocks[i].max_daily, base_dyn.blocks[i].max_daily);
+      EXPECT_EQ(dyn.blocks[i].days_over_threshold, base_dyn.blocks[i].days_over_threshold);
+      EXPECT_EQ(dyn.blocks[i].dynamic, base_dyn.blocks[i].dynamic);
+    }
+
+    EXPECT_EQ(corpus.term_frequencies(&pool).items(), base_terms.items());
+    EXPECT_EQ(core::count_name_matches(corpus, &pool), base_names);
+
+    const auto leaks = core::identify_leaking_networks(corpus, leak, &pool);
+    EXPECT_EQ(leaks.identified, base_leaks.identified);
+    EXPECT_EQ(leaks.matches_per_name, base_leaks.matches_per_name);
+    EXPECT_EQ(leaks.filtered_matches_per_name, base_leaks.filtered_matches_per_name);
+    ASSERT_EQ(leaks.suffixes.size(), base_leaks.suffixes.size());
+    for (const auto& [suffix, stats] : leaks.suffixes) {
+      const auto& base = base_leaks.suffixes.at(suffix);
+      EXPECT_EQ(stats.records, base.records);
+      EXPECT_EQ(stats.unique_names, base.unique_names);
+      EXPECT_EQ(stats.identified, base.identified);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rdns

@@ -1,0 +1,210 @@
+/// Tests for the deterministic parallelism primitives: chunk scheduling,
+/// the serial degenerate path, exception propagation, the ordered merge
+/// buffer, map-reduce folding, and the Ipv4Bitset dedupe structure.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "net/ip_bitset.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rdns::util {
+namespace {
+
+TEST(ThreadPool, ChunkBoundariesCoverRangeExactly) {
+  for (const unsigned size : {1u, 2u, 4u}) {
+    ThreadPool pool{size};
+    for (const std::uint64_t n : {0ull, 1ull, 7ull, 100ull, 1000ull}) {
+      for (const std::uint64_t chunk : {1ull, 3ull, 64ull, 1000ull, 5000ull}) {
+        std::mutex m;
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
+        std::set<std::size_t> chunk_indices;
+        pool.parallel_for_chunks(n, chunk,
+                                 [&](std::size_t ci, std::uint64_t begin, std::uint64_t end) {
+                                   std::lock_guard lock{m};
+                                   ranges.emplace_back(begin, end);
+                                   chunk_indices.insert(ci);
+                                 });
+        EXPECT_EQ(ranges.size(), ThreadPool::chunk_count(n, chunk));
+        EXPECT_EQ(chunk_indices.size(), ranges.size());
+        std::uint64_t covered = 0;
+        for (const auto& [begin, end] : ranges) {
+          EXPECT_LT(begin, end);
+          EXPECT_LE(end, n);
+          EXPECT_LE(end - begin, chunk);
+          covered += end - begin;
+        }
+        EXPECT_EQ(covered, n) << "size=" << size << " n=" << n << " chunk=" << chunk;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, ChunkIndexDeterminesRangeAtEveryPoolSize) {
+  // The (chunk index -> [begin, end)) mapping must not depend on the pool
+  // size — that is what makes per-chunk seeds reproducible.
+  const std::uint64_t n = 1000, chunk = 64;
+  std::map<std::size_t, std::pair<std::uint64_t, std::uint64_t>> serial;
+  {
+    ThreadPool pool{1};
+    pool.parallel_for_chunks(n, chunk,
+                             [&](std::size_t ci, std::uint64_t begin, std::uint64_t end) {
+                               serial[ci] = {begin, end};
+                             });
+  }
+  ThreadPool pool{4};
+  std::mutex m;
+  pool.parallel_for_chunks(n, chunk,
+                           [&](std::size_t ci, std::uint64_t begin, std::uint64_t end) {
+                             std::lock_guard lock{m};
+                             EXPECT_EQ(serial.at(ci), (std::pair{begin, end}));
+                           });
+}
+
+TEST(ThreadPool, PoolSizeOneRunsOnCallingThreadInOrder) {
+  ThreadPool pool{1};
+  EXPECT_EQ(pool.size(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  pool.parallel_for_chunks(100, 10, [&](std::size_t ci, std::uint64_t, std::uint64_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(ci);  // no lock needed: serial path
+  });
+  std::vector<std::size_t> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, PropagatesFirstExceptionAfterAllChunksRun) {
+  ThreadPool pool{4};
+  std::atomic<int> executed{0};
+  EXPECT_THROW(
+      pool.parallel_for_chunks(8, 1,
+                               [&](std::size_t ci, std::uint64_t, std::uint64_t) {
+                                 ++executed;
+                                 if (ci == 3) throw std::runtime_error("chunk 3 failed");
+                               }),
+      std::runtime_error);
+  // Remaining chunks still ran; the pool is reusable afterwards.
+  EXPECT_EQ(executed.load(), 8);
+  std::atomic<int> again{0};
+  pool.parallel_for_chunks(4, 1,
+                           [&](std::size_t, std::uint64_t, std::uint64_t) { ++again; });
+  EXPECT_EQ(again.load(), 4);
+}
+
+TEST(ThreadPool, NestedParallelismRunsSeriallyInline) {
+  ThreadPool pool{2};
+  std::atomic<int> inner_total{0};
+  pool.parallel_for_chunks(4, 1, [&](std::size_t, std::uint64_t, std::uint64_t) {
+    pool.parallel_for_chunks(3, 1,
+                             [&](std::size_t, std::uint64_t, std::uint64_t) { ++inner_total; });
+  });
+  EXPECT_EQ(inner_total.load(), 12);
+}
+
+TEST(ThreadPool, DefaultSizeHonoursEnvironment) {
+  // setenv/getenv without a running pool: safe to toggle here.
+  ASSERT_EQ(setenv("RDNS_THREADS", "3", 1), 0);
+  EXPECT_EQ(ThreadPool::default_size(), 3u);
+  ASSERT_EQ(setenv("RDNS_THREADS", "not-a-number", 1), 0);
+  EXPECT_GE(ThreadPool::default_size(), 1u);
+  ASSERT_EQ(unsetenv("RDNS_THREADS"), 0);
+  EXPECT_GE(ThreadPool::default_size(), 1u);
+}
+
+TEST(OrderedMergeBuffer, EmitsInSequenceOrderRegardlessOfArrival) {
+  std::vector<int> emitted;
+  OrderedMergeBuffer<int> merge{8, [&](std::size_t seq, int&& value) {
+                                  EXPECT_EQ(emitted.size(), seq);
+                                  emitted.push_back(value);
+                                }};
+  // Reverse arrival within capacity.
+  for (int seq = 4; seq >= 0; --seq) merge.put(static_cast<std::size_t>(seq), seq * 10);
+  EXPECT_EQ(emitted, (std::vector<int>{0, 10, 20, 30, 40}));
+  EXPECT_EQ(merge.emitted(), 5u);
+}
+
+TEST(OrderedMergeBuffer, ConcurrentProducersPreserveOrder) {
+  constexpr std::size_t kItems = 500;
+  std::vector<std::size_t> emitted;
+  OrderedMergeBuffer<std::size_t> merge{4, [&](std::size_t seq, std::size_t&& value) {
+                                          EXPECT_EQ(seq, value);
+                                          emitted.push_back(value);
+                                        }};
+  ThreadPool pool{4};
+  pool.parallel_for_chunks(kItems, 1, [&](std::size_t ci, std::uint64_t, std::uint64_t) {
+    merge.put(ci, std::size_t{ci});
+  });
+  ASSERT_EQ(emitted.size(), kItems);
+  for (std::size_t i = 0; i < kItems; ++i) EXPECT_EQ(emitted[i], i);
+}
+
+TEST(MapReduceChunks, FoldsPartialsInChunkOrder) {
+  ThreadPool pool{4};
+  std::vector<std::size_t> fold_order;
+  std::uint64_t sum = 0;
+  map_reduce_chunks<std::uint64_t>(
+      pool, 1000, 64,
+      [](std::size_t, std::uint64_t begin, std::uint64_t end) {
+        std::uint64_t partial = 0;
+        for (std::uint64_t i = begin; i < end; ++i) partial += i;
+        return partial;
+      },
+      [&](std::size_t ci, std::uint64_t&& partial) {
+        fold_order.push_back(ci);
+        sum += partial;
+      });
+  EXPECT_EQ(sum, 999ull * 1000 / 2);
+  std::vector<std::size_t> expected(ThreadPool::chunk_count(1000, 64));
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(fold_order, expected);
+}
+
+TEST(Ipv4Bitset, InsertContainsCountAndMerge) {
+  net::Ipv4Bitset set;
+  EXPECT_EQ(set.count(), 0u);
+  EXPECT_TRUE(set.insert(net::Ipv4Addr{0x0A000001u}));
+  EXPECT_FALSE(set.insert(net::Ipv4Addr{0x0A000001u}));  // duplicate
+  EXPECT_TRUE(set.insert(net::Ipv4Addr{0x0A010000u}));   // different /16 block
+  EXPECT_TRUE(set.insert(net::Ipv4Addr{0xFFFFFFFFu}));   // top of the space
+  EXPECT_EQ(set.count(), 3u);
+  EXPECT_TRUE(set.contains(net::Ipv4Addr{0x0A000001u}));
+  EXPECT_FALSE(set.contains(net::Ipv4Addr{0x0A000002u}));
+
+  net::Ipv4Bitset other;
+  other.insert(net::Ipv4Addr{0x0A000001u});  // overlaps
+  other.insert(net::Ipv4Addr{0x0B000007u});  // new
+  set.merge(other);
+  EXPECT_EQ(set.count(), 4u);
+  EXPECT_TRUE(set.contains(net::Ipv4Addr{0x0B000007u}));
+
+  set.clear();
+  EXPECT_EQ(set.count(), 0u);
+  EXPECT_FALSE(set.contains(net::Ipv4Addr{0x0A000001u}));
+}
+
+TEST(Ipv4Bitset, MatchesReferenceSetOverDenseAndSparseInput) {
+  net::Ipv4Bitset set;
+  std::set<std::uint32_t> reference;
+  std::uint64_t state = 42;
+  for (int i = 0; i < 20000; ++i) {
+    // Half dense (one /24), half scattered over the whole space.
+    const std::uint32_t value = (i % 2 == 0)
+                                    ? 0xC0A80000u + static_cast<std::uint32_t>(i % 256)
+                                    : static_cast<std::uint32_t>(splitmix64(state));
+    EXPECT_EQ(set.insert(net::Ipv4Addr{value}), reference.insert(value).second);
+  }
+  EXPECT_EQ(set.count(), reference.size());
+  for (const auto value : reference) {
+    EXPECT_TRUE(set.contains(net::Ipv4Addr{value}));
+  }
+}
+
+}  // namespace
+}  // namespace rdns::util

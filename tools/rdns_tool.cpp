@@ -32,10 +32,23 @@
 #include "scan/csv_replay.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
 using namespace rdns;
+
+/// Shared `--threads N` plumbing: 0 (the default) keeps the automatic size
+/// (RDNS_THREADS env override, else hardware concurrency).
+util::CliParser& add_threads_option(util::CliParser& cli) {
+  return cli.option("threads", "worker threads (0 = auto: RDNS_THREADS or hardware)", "0");
+}
+
+void apply_threads_option(const util::CliParser& cli) {
+  const int threads = cli.get_int("threads");
+  if (threads < 0) throw util::CliError{"--threads must be >= 0"};
+  util::ThreadPool::set_global_size(static_cast<unsigned>(threads));
+}
 
 int cmd_sweep(const std::vector<std::string>& args) {
   util::CliParser cli{"rdns_tool sweep",
@@ -46,11 +59,13 @@ int cmd_sweep(const std::vector<std::string>& args) {
       .option("to", "last sweep date (YYYY-MM-DD)", "2021-02-06")
       .option("scale", "population scale factor", "0.4")
       .positional("output", "output CSV path", "sweeps.csv");
+  add_threads_option(cli);
   if (std::find(args.begin(), args.end(), "--help") != args.end()) {
     std::printf("%s", cli.usage().c_str());
     return 0;
   }
   cli.parse(args);
+  apply_threads_option(cli);
 
   const auto from = util::parse_date(cli.get("from"));
   const auto to = util::parse_date(cli.get("to"));
@@ -82,11 +97,13 @@ int cmd_analyze(const std::vector<std::string>& args) {
       .option("min-days", "days over the 10% change threshold (paper: 7)", "5")
       .option("report", "write a markdown report to this path", std::nullopt)
       .positional("input", "sweep CSV path");
+  add_threads_option(cli);
   if (std::find(args.begin(), args.end(), "--help") != args.end()) {
     std::printf("%s", cli.usage().c_str());
     return 0;
   }
   cli.parse(args);
+  apply_threads_option(cli);
 
   std::ifstream in{cli.get("input")};
   if (!in) {
@@ -199,11 +216,13 @@ int cmd_campaign(const std::vector<std::string>& args) {
       .option("scale", "population scale factor", "0.3")
       .option("from", "campaign start (YYYY-MM-DD)", "2021-10-25")
       .option("to", "campaign end (YYYY-MM-DD)", "2021-11-07");
+  add_threads_option(cli);
   if (std::find(args.begin(), args.end(), "--help") != args.end()) {
     std::printf("%s", cli.usage().c_str());
     return 0;
   }
   cli.parse(args);
+  apply_threads_option(cli);
 
   core::WorldScale scale;
   scale.population = cli.get_double("scale");
@@ -249,11 +268,13 @@ int cmd_track(const std::vector<std::string>& args) {
       .option("scale", "population scale factor", "0.25")
       .option("weeks", "number of weeks to render", "2")
       .positional("name", "given name to track", "brian");
+  add_threads_option(cli);
   if (std::find(args.begin(), args.end(), "--help") != args.end()) {
     std::printf("%s", cli.usage().c_str());
     return 0;
   }
   cli.parse(args);
+  apply_threads_option(cli);
 
   core::WorldScale scale;
   scale.population = cli.get_double("scale");
