@@ -11,20 +11,26 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "core/pipeline.hpp"
 #include "scan/campaign.hpp"
 #include "util/ascii_chart.hpp"
+#include "util/metrics.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace rdns::bench {
 
 /// Parse an optional `--threads N` argument (0 = auto) and size the global
 /// pool accordingly. Call from main() before any pipeline work; returns the
-/// effective worker count.
+/// effective worker count. Benches always collect timing series (busy-time,
+/// chunk latency): they exist to measure, so the per-chunk clock reads are
+/// part of the workload being characterized.
 inline unsigned configure_threads(int argc, char** argv) {
+  util::metrics::set_collect_timing(true);
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::string{argv[i]} == "--threads") {
       util::ThreadPool::set_global_size(
@@ -33,6 +39,30 @@ inline unsigned configure_threads(int argc, char** argv) {
     }
   }
   return util::ThreadPool::global().size();
+}
+
+/// Dump the global metrics registry + span tree next to a bench's
+/// BENCH_*.json: `derive_metrics_path("BENCH_parallel.json")` names the
+/// sibling file `BENCH_parallel.metrics.json`.
+inline std::string derive_metrics_path(const std::string& results_path) {
+  const std::string suffix = ".json";
+  if (results_path.size() > suffix.size() &&
+      results_path.compare(results_path.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    return results_path.substr(0, results_path.size() - suffix.size()) + ".metrics.json";
+  }
+  return results_path + ".metrics.json";
+}
+
+inline void write_metrics_snapshot(const std::string& results_path) {
+  const std::string path = derive_metrics_path(results_path);
+  std::ofstream out{path};
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  util::trace::write_snapshot_json(out, util::metrics::Registry::global(),
+                                   util::trace::Tracer::global());
+  std::printf("wrote %s\n", path.c_str());
 }
 
 inline void heading(const std::string& id, const std::string& title) {

@@ -32,6 +32,11 @@ using namespace rdns;
 struct StageRun {
   unsigned threads = 1;
   double seconds = 0.0;
+  /// Summed worker-side chunk time (thread_pool.busy_ns delta) and the
+  /// effective parallelism it implies (busy / wall; ~= threads when the
+  /// stage scales, ~1 when chunking or merge costs dominate).
+  double busy_seconds = 0.0;
+  double parallelism = 0.0;
   bool identical = true;
 };
 
@@ -62,23 +67,28 @@ StageReport run_stage(const std::string& stage, const std::vector<unsigned>& thr
   StageReport report;
   report.stage = stage;
   std::string baseline;
+  util::metrics::Counter& busy = util::metrics::counter("thread_pool.busy_ns");
   for (const unsigned threads : thread_counts) {
     util::ThreadPool pool{threads};
+    const std::uint64_t busy0 = busy.value();
     const auto t0 = std::chrono::steady_clock::now();
     auto [rows, fingerprint] = fn(pool);
     const auto t1 = std::chrono::steady_clock::now();
     StageRun run;
     run.threads = threads;
     run.seconds = std::chrono::duration<double>(t1 - t0).count();
+    run.busy_seconds = static_cast<double>(busy.value() - busy0) / 1e9;
+    run.parallelism = run.seconds > 0 ? run.busy_seconds / run.seconds : 0.0;
     if (threads == thread_counts.front()) {
       baseline = std::move(fingerprint);
       report.rows = rows;
     } else {
       run.identical = fingerprint == baseline && rows == report.rows;
     }
-    std::printf("  %-12s %2u thread(s)  %8.3fs  %12.0f rows/s  %s\n", stage.c_str(), threads,
-                run.seconds, run.seconds > 0 ? static_cast<double>(rows) / run.seconds : 0.0,
-                run.identical ? "output identical" : "OUTPUT DIVERGED");
+    std::printf("  %-12s %2u thread(s)  %8.3fs  %12.0f rows/s  busy %7.3fs  eff-par %4.2fx  %s\n",
+                stage.c_str(), threads, run.seconds,
+                run.seconds > 0 ? static_cast<double>(rows) / run.seconds : 0.0, run.busy_seconds,
+                run.parallelism, run.identical ? "output identical" : "OUTPUT DIVERGED");
     report.runs.push_back(run);
   }
   return report;
@@ -136,6 +146,8 @@ void write_json(const std::string& path, unsigned hardware,
           run.seconds > 0 ? static_cast<double>(stage.rows) / run.seconds : 0.0;
       out << "      {\"threads\": " << run.threads << ", \"seconds\": " << run.seconds
           << ", \"rows_per_sec\": " << rps << ", \"speedup\": " << stage.speedup_at(run.threads)
+          << ", \"busy_seconds\": " << run.busy_seconds
+          << ", \"effective_parallelism\": " << run.parallelism
           << ", \"identical_to_serial\": " << (run.identical ? "true" : "false") << '}'
           << (r + 1 < stage.runs.size() ? "," : "") << '\n';
     }
@@ -245,6 +257,7 @@ int main(int argc, char** argv) {
 
   write_json(json_path, hardware, thread_counts, stages);
   std::printf("\nwrote %s\n", json_path.c_str());
+  rdns::bench::write_metrics_snapshot(json_path);
 
   rdns::bench::ShapeChecks checks;
   for (const auto& stage : stages) {

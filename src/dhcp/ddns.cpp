@@ -3,10 +3,39 @@
 #include "dns/update.hpp"
 #include "dns/wire.hpp"
 #include "net/arpa.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
+#include "util/trace.hpp"
 
 namespace rdns::dhcp {
+
+namespace {
+
+namespace metrics = rdns::util::metrics;
+
+/// DDNS add/remove traffic across every bridge instance. Counters are
+/// deterministic (driven by the simulation event order); update_us only
+/// ticks when metrics::collect_timing() is on since it needs two clock
+/// reads per RFC 2136 round-trip.
+struct DdnsMetrics {
+  metrics::Counter& ptr_added = metrics::counter("dhcp.ddns.ptr_added");
+  metrics::Counter& ptr_removed = metrics::counter("dhcp.ddns.ptr_removed");
+  metrics::Counter& ptr_reverted = metrics::counter("dhcp.ddns.ptr_reverted");
+  metrics::Counter& a_added = metrics::counter("dhcp.ddns.a_added");
+  metrics::Counter& a_removed = metrics::counter("dhcp.ddns.a_removed");
+  metrics::Counter& update_failures = metrics::counter("dhcp.ddns.update_failures");
+  metrics::Counter& suppressed = metrics::counter("dhcp.ddns.suppressed_by_client_flag");
+  metrics::Histogram& update_us = metrics::histogram(
+      "dhcp.ddns.update_us", metrics::Histogram::exponential_bounds(1, 4, 10));
+};
+
+DdnsMetrics& ddns_metrics() {
+  static DdnsMetrics m;
+  return m;
+}
+
+}  // namespace
 
 const char* to_string(DdnsPolicy p) noexcept {
   switch (p) {
@@ -75,17 +104,28 @@ std::optional<dns::DnsName> DdnsBridge::published_name(const Lease& lease) const
 }
 
 void DdnsBridge::send_update(const dns::Message& update) {
+  DdnsMetrics& m = ddns_metrics();
+  const bool timed = metrics::collect_timing();
+  const std::int64_t t0 = timed ? util::trace::wall_now_ns() : 0;
   const auto wire = dns::encode(update);
   const auto response_wire = transport_->exchange(wire, 0);
+  bool failed = false;
   if (!response_wire) {
-    ++stats_.update_failures;
-    return;
+    failed = true;
+  } else {
+    try {
+      const dns::Message response = dns::decode(*response_wire);
+      if (response.flags.rcode != dns::Rcode::NoError) failed = true;
+    } catch (const dns::WireError&) {
+      failed = true;
+    }
   }
-  try {
-    const dns::Message response = dns::decode(*response_wire);
-    if (response.flags.rcode != dns::Rcode::NoError) ++stats_.update_failures;
-  } catch (const dns::WireError&) {
+  if (failed) {
     ++stats_.update_failures;
+    m.update_failures.inc();
+  }
+  if (timed) {
+    m.update_us.observe(static_cast<double>(util::trace::wall_now_ns() - t0) / 1e3);
   }
 }
 
@@ -94,6 +134,7 @@ void DdnsBridge::on_lease_bound(const Lease& lease, util::SimTime /*now*/) {
     // Convention from the client layer: an empty Client FQDN string models
     // the N flag ("do not update DNS on my behalf").
     ++stats_.suppressed_by_client_flag;
+    ddns_metrics().suppressed.inc();
     return;
   }
   const auto name = published_name(lease);
@@ -101,12 +142,14 @@ void DdnsBridge::on_lease_bound(const Lease& lease, util::SimTime /*now*/) {
   send_update(dns::make_ptr_replace(next_id_++, config_.reverse_zone, lease.address, *name,
                                     config_.ttl));
   ++stats_.ptr_added;
+  ddns_metrics().ptr_added.inc();
   if (!config_.forward_zone.is_root()) {
     dns::UpdateBuilder builder{next_id_++, config_.forward_zone};
     builder.delete_rrset(*name, dns::RrType::A);
     builder.add(dns::make_a(*name, lease.address, config_.ttl));
     send_update(builder.build());
     ++stats_.a_added;
+    ddns_metrics().a_added.inc();
   }
 }
 
@@ -119,17 +162,20 @@ void DdnsBridge::on_lease_end(const Lease& lease, LeaseEndReason /*reason*/, uti
       builder.delete_rrset(*name, dns::RrType::A);
       send_update(builder.build());
       ++stats_.a_removed;
+      ddns_metrics().a_removed.inc();
     }
   }
   if (config_.removal == RemovalBehavior::RemovePtr) {
     send_update(dns::make_ptr_delete(next_id_++, config_.reverse_zone, lease.address));
     ++stats_.ptr_removed;
+    ddns_metrics().ptr_removed.inc();
   } else {
     const dns::DnsName generic =
         config_.generic_suffix.prepend(generic_label(lease.address));
     send_update(dns::make_ptr_replace(next_id_++, config_.reverse_zone, lease.address, generic,
                                       config_.ttl));
     ++stats_.ptr_reverted;
+    ddns_metrics().ptr_reverted.inc();
   }
 }
 

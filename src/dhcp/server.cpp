@@ -1,6 +1,38 @@
 #include "dhcp/server.hpp"
 
+#include "util/metrics.hpp"
+
 namespace rdns::dhcp {
+
+namespace {
+
+namespace metrics = rdns::util::metrics;
+
+/// Lease-churn accounting across all simulated DHCP servers. Deterministic:
+/// the simulation drives every server from the event queue in a fixed
+/// order, so these sums never depend on the analysis thread count.
+struct DhcpMetrics {
+  metrics::Counter& discovers = metrics::counter("dhcp.server.discovers");
+  metrics::Counter& offers = metrics::counter("dhcp.server.offers");
+  metrics::Counter& requests = metrics::counter("dhcp.server.requests");
+  metrics::Counter& acks = metrics::counter("dhcp.server.acks");
+  metrics::Counter& naks = metrics::counter("dhcp.server.naks");
+  metrics::Counter& releases = metrics::counter("dhcp.server.releases");
+  metrics::Counter& expirations = metrics::counter("dhcp.server.expirations");
+  metrics::Counter& pool_exhausted = metrics::counter("dhcp.server.pool_exhausted");
+  metrics::Counter& leases_bound = metrics::counter("dhcp.lease.bound");
+  metrics::Counter& leases_ended = metrics::counter("dhcp.lease.ended");
+  metrics::Histogram& bound_seconds = metrics::histogram(
+      "dhcp.lease.bound_seconds",
+      {60, 300, 900, 1800, 3600, 7200, 14400, 28800, 86400, 604800});
+};
+
+DhcpMetrics& dhcp_metrics() {
+  static DhcpMetrics m;
+  return m;
+}
+
+}  // namespace
 
 DhcpServer::DhcpServer(DhcpServerConfig config, AddressPool pool)
     : config_(config), pool_(std::move(pool)) {}
@@ -10,12 +42,20 @@ void DhcpServer::add_observer(LeaseObserver observer) {
 }
 
 void DhcpServer::notify_bound(const Lease& lease, util::SimTime now) {
+  dhcp_metrics().leases_bound.inc();
   for (const auto& obs : observers_) {
     if (obs.on_bound) obs.on_bound(lease, now);
   }
 }
 
 void DhcpServer::notify_end(const Lease& lease, LeaseEndReason reason, util::SimTime now) {
+  DhcpMetrics& m = dhcp_metrics();
+  m.leases_ended.inc();
+  if (now >= lease.start) {
+    // How long the binding was published in DNS before it went away — the
+    // paper's dynamicity signal seen from the DHCP side.
+    m.bound_seconds.observe(static_cast<double>(now - lease.start));
+  }
   for (const auto& obs : observers_) {
     if (obs.on_end) obs.on_end(lease, reason, now);
   }
@@ -54,12 +94,15 @@ std::optional<DhcpMessage> DhcpServer::handle(const DhcpMessage& request, util::
   switch (*type) {
     case MessageType::Discover:
       ++stats_.discovers;
+      dhcp_metrics().discovers.inc();
       return on_discover(request, now);
     case MessageType::Request:
       ++stats_.requests;
+      dhcp_metrics().requests.inc();
       return on_request(request, now);
     case MessageType::Release:
       ++stats_.releases;
+      dhcp_metrics().releases.inc();
       on_release(request, now);
       return std::nullopt;  // RELEASE is not answered (RFC 2131 §4.4.6)
     default:
@@ -85,12 +128,14 @@ std::optional<DhcpMessage> DhcpServer::on_discover(const DhcpMessage& m, util::S
   if (const Lease* existing = leases_.by_mac(m.chaddr);
       existing != nullptr && existing->state == LeaseState::Bound) {
     ++stats_.offers;
+    dhcp_metrics().offers.inc();
     return make_reply(m, MessageType::Offer, existing->address);
   }
 
   const auto address = pool_.allocate(m.chaddr, m.requested_ip());
   if (!address) {
     ++stats_.pool_exhausted;
+    dhcp_metrics().pool_exhausted.inc();
     return std::nullopt;  // silence; client will retry elsewhere
   }
   Lease lease;
@@ -102,6 +147,7 @@ std::optional<DhcpMessage> DhcpServer::on_discover(const DhcpMessage& m, util::S
   fill_identity(lease, m);
   leases_.upsert(lease);
   ++stats_.offers;
+  dhcp_metrics().offers.inc();
   return make_reply(m, MessageType::Offer, *address);
 }
 
@@ -111,10 +157,12 @@ std::optional<DhcpMessage> DhcpServer::on_request(const DhcpMessage& m, util::Si
     const Lease* lease = leases_.by_address(m.ciaddr);
     if (lease == nullptr || !(lease->mac == m.chaddr) || lease->state != LeaseState::Bound) {
       ++stats_.naks;
+      dhcp_metrics().naks.inc();
       return make_reply(m, MessageType::Nak, net::Ipv4Addr{});
     }
     leases_.renew(m.ciaddr, now + config_.lease_seconds);
     ++stats_.acks;
+    dhcp_metrics().acks.inc();
     // Renewal does not re-fire on_bound: the PTR is already in place.
     return make_reply(m, MessageType::Ack, m.ciaddr);
   }
@@ -124,11 +172,13 @@ std::optional<DhcpMessage> DhcpServer::on_request(const DhcpMessage& m, util::Si
   const auto requested = m.requested_ip();
   if (!requested || (server_id && !(*server_id == config_.server_id))) {
     ++stats_.naks;
+    dhcp_metrics().naks.inc();
     return make_reply(m, MessageType::Nak, net::Ipv4Addr{});
   }
   const Lease* offered = leases_.by_address(*requested);
   if (offered == nullptr || !(offered->mac == m.chaddr)) {
     ++stats_.naks;
+    dhcp_metrics().naks.inc();
     return make_reply(m, MessageType::Nak, net::Ipv4Addr{});
   }
   Lease updated = *offered;
@@ -138,6 +188,7 @@ std::optional<DhcpMessage> DhcpServer::on_request(const DhcpMessage& m, util::Si
   updated.expiry = now + config_.lease_seconds;
   leases_.upsert(updated);
   ++stats_.acks;
+  dhcp_metrics().acks.inc();
   notify_bound(updated, now);
   return make_reply(m, MessageType::Ack, *requested);
 }
@@ -159,6 +210,7 @@ void DhcpServer::tick(util::SimTime now) {
     // bound leases), so only bound leases fire the end event.
     if (lease.state == LeaseState::Bound) {
       ++stats_.expirations;
+      dhcp_metrics().expirations.inc();
       notify_end(lease, LeaseEndReason::Expiry, now);
     }
   }

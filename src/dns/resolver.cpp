@@ -2,9 +2,54 @@
 
 #include "dns/wire.hpp"
 #include "net/arpa.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace rdns::dns {
+
+namespace {
+
+namespace metrics = rdns::util::metrics;
+
+/// Process-wide lookup accounting across every resolver instance (sweeps
+/// run one resolver per shard; the per-instance split lives in
+/// ResolverStats). Pure relaxed-atomic sums: totals match at any thread
+/// count because chunk shapes — and therefore the set of lookups — do.
+struct ResolverMetrics {
+  metrics::Counter& queries_sent = metrics::counter("dns.resolver.queries_sent");
+  metrics::Counter& ok = metrics::counter("dns.resolver.ok");
+  metrics::Counter& nxdomain = metrics::counter("dns.resolver.nxdomain");
+  metrics::Counter& servfail = metrics::counter("dns.resolver.servfail");
+  metrics::Counter& timeout = metrics::counter("dns.resolver.timeout");
+  metrics::Counter& other = metrics::counter("dns.resolver.other");
+  metrics::Counter& retries = metrics::counter("dns.resolver.retries");
+  metrics::Histogram& attempts = metrics::histogram(
+      "dns.resolver.attempts", metrics::Histogram::linear_bounds(1, 1, 8));
+};
+
+ResolverMetrics& resolver_metrics() {
+  static ResolverMetrics m;
+  return m;
+}
+
+/// Records the finished lookup on every return path.
+struct LookupNote {
+  const LookupResult& result;
+  ~LookupNote() {
+    ResolverMetrics& m = resolver_metrics();
+    m.attempts.observe(static_cast<double>(result.attempts));
+    if (result.attempts > 1) m.retries.inc(static_cast<std::uint64_t>(result.attempts - 1));
+    switch (result.status) {
+      case LookupStatus::Ok: m.ok.inc(); break;
+      case LookupStatus::NxDomain: m.nxdomain.inc(); break;
+      case LookupStatus::ServFail: m.servfail.inc(); break;
+      case LookupStatus::Timeout: m.timeout.inc(); break;
+      default: m.other.inc(); break;
+    }
+  }
+};
+
+}  // namespace
 
 const char* to_string(LookupStatus s) noexcept {
   switch (s) {
@@ -30,6 +75,7 @@ LookupResult StubResolver::lookup_ptr(net::Ipv4Addr address, util::SimTime now) 
 
 LookupResult StubResolver::lookup(const DnsName& qname, RrType qtype, util::SimTime now) {
   LookupResult result;
+  const LookupNote note{result};
 
   for (int attempt = 0; attempt <= retries_; ++attempt) {
     // A fresh transaction id per attempt (a retry is a new transaction),
@@ -40,6 +86,7 @@ LookupResult StubResolver::lookup(const DnsName& qname, RrType qtype, util::SimT
     const auto query_wire = encode(query);
     ++result.attempts;
     ++stats_.queries_sent;
+    resolver_metrics().queries_sent.inc();
     const auto response_wire = transport_->exchange(query_wire, now);
     if (!response_wire) continue;  // timeout: retry
 

@@ -1,9 +1,53 @@
 #include "dns/server.hpp"
 
 #include "dns/wire.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace rdns::dns {
+
+namespace {
+
+namespace metrics = rdns::util::metrics;
+
+/// Process-wide query accounting, aggregated across every server instance
+/// (per-instance detail stays in ServerStats). All counters are relaxed
+/// atomics, safe on the concurrent handle_readonly path, and the totals
+/// are plain sums, so they come out identical at any thread count.
+struct ServerMetrics {
+  metrics::Counter& queries = metrics::counter("dns.server.queries");
+  metrics::Counter& answered = metrics::counter("dns.server.answered");
+  metrics::Counter& nxdomain = metrics::counter("dns.server.nxdomain");
+  metrics::Counter& nodata = metrics::counter("dns.server.nodata");
+  metrics::Counter& servfail_injected = metrics::counter("dns.server.servfail_injected");
+  metrics::Counter& timeouts_injected = metrics::counter("dns.server.timeouts_injected");
+  metrics::Counter& refused = metrics::counter("dns.server.refused");
+  metrics::Counter& updates = metrics::counter("dns.server.updates");
+  metrics::Counter& qtype_ptr = metrics::counter("dns.server.qtype.ptr");
+  metrics::Counter& qtype_a = metrics::counter("dns.server.qtype.a");
+  metrics::Counter& qtype_soa = metrics::counter("dns.server.qtype.soa");
+  metrics::Counter& qtype_other = metrics::counter("dns.server.qtype.other");
+  metrics::Histogram& update_rrs = metrics::histogram(
+      "dns.server.update_rrs", metrics::Histogram::exponential_bounds(1, 2, 8));
+};
+
+ServerMetrics& server_metrics() {
+  static ServerMetrics m;
+  return m;
+}
+
+void count_qtype(const Message& request) {
+  if (request.questions.empty()) return;
+  ServerMetrics& m = server_metrics();
+  switch (request.questions.front().qtype) {
+    case RrType::PTR: m.qtype_ptr.inc(); break;
+    case RrType::A: m.qtype_a.inc(); break;
+    case RrType::SOA: m.qtype_soa.inc(); break;
+    default: m.qtype_other.inc(); break;
+  }
+}
+
+}  // namespace
 
 ServerStats& ServerStats::operator+=(const ServerStats& other) noexcept {
   queries += other.queries;
@@ -78,18 +122,23 @@ bool AuthoritativeServer::fault_hit(const Message& request, std::uint64_t salt,
 
 std::optional<Message> AuthoritativeServer::handle(const Message& request) {
   if (request.flags.opcode == Opcode::Update) {
+    ServerMetrics& m = server_metrics();
     ++stats_.queries;
+    m.queries.inc();
     if (faults_.timeout_probability > 0 &&
         fault_hit(request, 0x7E0ULL, faults_.timeout_probability)) {
       ++stats_.timeouts_injected;
+      m.timeouts_injected.inc();
       return std::nullopt;
     }
     if (faults_.servfail_probability > 0 &&
         fault_hit(request, 0x5FA1ULL, faults_.servfail_probability)) {
       ++stats_.servfail_injected;
+      m.servfail_injected.inc();
       return make_response(request, Rcode::ServFail);
     }
     ++stats_.updates;
+    m.updates.inc();
     return apply_update(request);
   }
   return handle_readonly(request, stats_);
@@ -97,34 +146,43 @@ std::optional<Message> AuthoritativeServer::handle(const Message& request) {
 
 std::optional<Message> AuthoritativeServer::handle_readonly(const Message& request,
                                                             ServerStats& stats) const {
+  ServerMetrics& m = server_metrics();
   ++stats.queries;
+  m.queries.inc();
+  count_qtype(request);
   if (faults_.timeout_probability > 0 &&
       fault_hit(request, 0x7E0ULL, faults_.timeout_probability)) {
     ++stats.timeouts_injected;
+    m.timeouts_injected.inc();
     return std::nullopt;
   }
   if (faults_.servfail_probability > 0 &&
       fault_hit(request, 0x5FA1ULL, faults_.servfail_probability)) {
     ++stats.servfail_injected;
+    m.servfail_injected.inc();
     return make_response(request, Rcode::ServFail);
   }
   if (request.flags.opcode == Opcode::Update) {
     // Mutation is not allowed on the concurrent read path.
     ++stats.refused;
+    m.refused.inc();
     return make_response(request, Rcode::Refused, /*authoritative=*/false);
   }
   return answer_query(request, stats);
 }
 
 Message AuthoritativeServer::answer_query(const Message& query, ServerStats& stats) const {
+  ServerMetrics& m = server_metrics();
   if (query.questions.size() != 1) {
     ++stats.refused;
+    m.refused.inc();
     return make_response(query, Rcode::FormErr, /*authoritative=*/false);
   }
   const Question& q = query.questions.front();
   const Zone* zone = find_zone(q.qname);
   if (zone == nullptr) {
     ++stats.refused;
+    m.refused.inc();
     return make_response(query, Rcode::Refused, /*authoritative=*/false);
   }
 
@@ -133,6 +191,7 @@ Message AuthoritativeServer::answer_query(const Message& query, ServerStats& sta
     Message response = make_response(query, Rcode::NoError);
     response.answers = std::move(answers);
     ++stats.answered;
+    m.answered.inc();
     return response;
   }
 
@@ -143,13 +202,16 @@ Message AuthoritativeServer::answer_query(const Message& query, ServerStats& sta
   response.authority.push_back(make_soa(zone->origin(), zone->soa(), zone->soa().minimum));
   if (exists) {
     ++stats.nodata;
+    m.nodata.inc();
   } else {
     ++stats.nxdomain;
+    m.nxdomain.inc();
   }
   return response;
 }
 
 Message AuthoritativeServer::apply_update(const Message& update) {
+  server_metrics().update_rrs.observe(static_cast<double>(update.authority.size()));
   // RFC 2136 layout: question = zone (qtype SOA), authority = update RRs.
   if (update.questions.size() != 1 || update.questions.front().qtype != RrType::SOA) {
     return make_response(update, Rcode::FormErr);

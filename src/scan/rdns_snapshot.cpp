@@ -3,10 +3,37 @@
 #include <mutex>
 
 #include "net/ip_bitset.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
+#include "util/trace.hpp"
 
 namespace rdns::scan {
+
+namespace {
+
+namespace metrics = rdns::util::metrics;
+
+/// Sweep throughput accounting. Everything here is deterministic: rows and
+/// shard/org partitions depend only on the world and the sweep schedule,
+/// never on the thread count.
+struct SweepMetrics {
+  metrics::Counter& rows = metrics::counter("sweep.rows");
+  metrics::Counter& sweeps = metrics::counter("sweep.sweeps");
+  metrics::Counter& bulk_passes = metrics::counter("sweep.bulk_passes");
+  metrics::Counter& wire_shards = metrics::counter("sweep.wire_shards");
+  metrics::Histogram& org_rows = metrics::histogram(
+      "sweep.org_rows", metrics::Histogram::exponential_bounds(16, 4, 10));
+  metrics::Histogram& shard_rows = metrics::histogram(
+      "sweep.shard_rows", metrics::Histogram::linear_bounds(32, 32, 8));
+};
+
+SweepMetrics& sweep_metrics() {
+  static SweepMetrics m;
+  return m;
+}
+
+}  // namespace
 
 void CsvSnapshotSink::on_row(const util::CivilDate& date, net::Ipv4Addr address,
                              const dns::DnsName& ptr) {
@@ -14,12 +41,34 @@ void CsvSnapshotSink::on_row(const util::CivilDate& date, net::Ipv4Addr address,
 }
 
 std::uint64_t sweep_bulk(const sim::World& world, const util::CivilDate& date,
-                         SnapshotSink& sink) {
+                         SnapshotSink& sink, util::ThreadPool* pool_opt) {
+  const auto span = util::trace::Tracer::global().scope("bulk_pass");
+  util::ThreadPool& pool = pool_opt != nullptr ? *pool_opt : util::ThreadPool::global();
+  SweepMetrics& sm = sweep_metrics();
+  sm.bulk_passes.inc();
+
+  const auto& orgs = world.orgs();
+  using Rows = std::vector<std::pair<net::Ipv4Addr, dns::DnsName>>;
   std::uint64_t rows = 0;
-  world.snapshot_ptrs([&](net::Ipv4Addr a, const dns::DnsName& ptr) {
-    sink.on_row(date, a, ptr);
-    ++rows;
-  });
+  // One chunk per org: for_each_ptr only reads zone state, so orgs snapshot
+  // concurrently; the fold visits them in org order — the serial iteration
+  // order of World::snapshot_ptrs — keeping the byte stream identical.
+  util::map_reduce_chunks<Rows>(
+      pool, orgs.size(), /*chunk=*/1,
+      [&](std::size_t ci, std::uint64_t, std::uint64_t) {
+        Rows out;
+        orgs[ci]->for_each_ptr(
+            [&](net::Ipv4Addr a, const dns::DnsName& ptr) { out.emplace_back(a, ptr); });
+        return out;
+      },
+      [&](std::size_t, Rows&& org_rows) {
+        sm.org_rows.observe(static_cast<double>(org_rows.size()));
+        for (auto& [a, ptr] : org_rows) {
+          sink.on_row(date, a, ptr);
+          ++rows;
+        }
+      });
+  sm.rows.inc(rows);
   sink.on_sweep_end(date);
   return rows;
 }
@@ -45,8 +94,11 @@ std::vector<SweepShard> shard_address_space(const std::vector<net::Prefix>& pref
 
 std::uint64_t sweep_wire(sim::World& world, const util::CivilDate& date, SnapshotSink& sink,
                          dns::ResolverStats* stats_out, util::ThreadPool* pool_opt) {
+  const auto span = util::trace::Tracer::global().scope("wire_sweep");
   util::ThreadPool& pool = pool_opt != nullptr ? *pool_opt : util::ThreadPool::global();
+  SweepMetrics& sm = sweep_metrics();
   const auto shards = shard_address_space(world.announced_prefixes());
+  sm.wire_shards.inc(shards.size());
 
   // Per-shard result rows, funnelled through a bounded reorder buffer so
   // the sink observes them in shard order — byte-identical to the serial
@@ -92,6 +144,7 @@ std::uint64_t sweep_wire(sim::World& world, const util::CivilDate& date, Snapsho
               out.rows.emplace_back(a, *result.ptr);
             }
           }
+          sm.shard_rows.observe(static_cast<double>(out.rows.size()));
           std::lock_guard lock{stats_mutex};
           resolver_totals += resolver.stats();
           view.merge_into(server_totals);
@@ -106,6 +159,7 @@ std::uint64_t sweep_wire(sim::World& world, const util::CivilDate& date, Snapsho
 
   world.merge_server_stats(server_totals);
   if (stats_out != nullptr) *stats_out = resolver_totals;
+  sm.rows.inc(rows_emitted);
   sink.on_sweep_end(date);
   return rows_emitted;
 }
@@ -166,6 +220,7 @@ SweepStats SweepDriver::run(const util::CivilDate& from, const util::CivilDate& 
                             SnapshotSink& sink) {
   SweepStats stats;
   for (util::CivilDate date = from; !(to < date); date = util::add_days(date, every_days_)) {
+    const auto day_span = util::trace::Tracer::global().scope("day");
     const util::SimTime at = util::to_sim_time(date) + hour_of_day_ * util::kHour;
     if (at < world_->now()) continue;  // never rewind the clock
     world_->run_until(at);
@@ -182,6 +237,7 @@ SweepStats SweepDriver::run(const util::CivilDate& from, const util::CivilDate& 
       stats.total_rows += unioned.rows() - before;
     }
     ++stats.sweeps;
+    sweep_metrics().sweeps.inc();
   }
   return stats;
 }

@@ -53,8 +53,13 @@ struct SweepStats {
 };
 
 /// Performs one full sweep at the world's current time via the bulk path.
+///
+/// Orgs are read concurrently on the pool (`nullptr` = the global pool) —
+/// zone reads are const and independent per org — and each org's rows are
+/// folded into `sink` in org order, so the output byte stream is identical
+/// to the serial walk at every thread count.
 std::uint64_t sweep_bulk(const sim::World& world, const util::CivilDate& date,
-                         SnapshotSink& sink);
+                         SnapshotSink& sink, util::ThreadPool* pool = nullptr);
 
 /// One shard of a wire sweep: a /24-aligned slice of an announced prefix.
 /// Shard boundaries depend only on the announced prefixes, never on the

@@ -1,9 +1,39 @@
 #include "scan/reactive.hpp"
 
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
 namespace rdns::scan {
 
 using util::SimTime;
 using util::kMinute;
+
+namespace {
+
+namespace metrics = rdns::util::metrics;
+
+/// Campaign accounting (Fig. 5 reactive loop). The engine is a serial
+/// event loop, so every series is deterministic for a given config/seed.
+struct CampaignMetrics {
+  metrics::Counter& icmp_probes = metrics::counter("campaign.icmp_probes");
+  metrics::Counter& icmp_responses = metrics::counter("campaign.icmp_responses");
+  metrics::Counter& rdns_lookups = metrics::counter("campaign.rdns_lookups");
+  metrics::Counter& rdns_ok = metrics::counter("campaign.rdns_ok");
+  metrics::Counter& groups_opened = metrics::counter("campaign.groups_opened");
+  metrics::Counter& groups_closed = metrics::counter("campaign.groups_closed");
+  metrics::Counter& sweep_rounds = metrics::counter("campaign.sweep_rounds");
+  /// Which back-off slot each probe fired from: occupancy of the schedule
+  /// (12x5min, 6x10min, 3x20min, 2x30min, then hourly).
+  metrics::Histogram& backoff_probe_index = metrics::histogram(
+      "campaign.backoff_probe_index", {1, 3, 6, 12, 18, 21, 23, 36, 72});
+};
+
+CampaignMetrics& campaign_metrics() {
+  static CampaignMetrics m;
+  return m;
+}
+
+}  // namespace
 
 SimTime BackoffSchedule::interval_after(int probes_done) noexcept {
   if (probes_done < 12) return 5 * kMinute;   // 1st hour
@@ -40,6 +70,7 @@ void ReactiveEngine::schedule(SimTime t, ActionKind kind, net::Ipv4Addr address)
 }
 
 void ReactiveEngine::run(SimTime from, SimTime to) {
+  const auto span = util::trace::Tracer::global().scope("campaign");
   end_time_ = to;
   schedule(from, ActionKind::Sweep, net::Ipv4Addr{});
   while (!actions_.empty() && actions_.top().time <= to) {
@@ -93,6 +124,7 @@ void ReactiveEngine::open_group(net::Ipv4Addr address) {
   tracked.group_index = groups_.size();
   groups_.push_back(std::move(group));
   tracked_.emplace(address, tracked);
+  campaign_metrics().groups_opened.inc();
   networks_[groups_.back().network].groups += 1;
 
   // Spot rDNS lookup to record the PTR value (Fig. 5, phase 1), then the
@@ -102,11 +134,15 @@ void ReactiveEngine::open_group(net::Ipv4Addr address) {
 }
 
 void ReactiveEngine::do_sweep() {
+  const auto span = util::trace::Tracer::global().scope("sweep_round");
+  campaign_metrics().sweep_rounds.inc();
   const SimTime now = world_->now();
   for (const auto& target : targets_) {
     const IcmpSweepResult result = icmp_.sweep(target.prefixes);
     icmp_probes_ += result.probes_sent;
     icmp_responses_ += result.responsive.size();
+    campaign_metrics().icmp_probes.inc(result.probes_sent);
+    campaign_metrics().icmp_responses.inc(result.responsive.size());
     auto& obs = networks_[target.network];
     for (const net::Ipv4Addr addr : result.responsive) {
       obs.icmp_responsive.insert(addr);
@@ -131,11 +167,13 @@ dns::LookupResult ReactiveEngine::lookup(net::Ipv4Addr address, GroupSummary& gr
   }
   const auto result = resolver_.lookup_ptr(address, now);
   ++rdns_lookups_;
+  campaign_metrics().rdns_lookups.inc();
   auto& day = daily_errors_[util::day_index(now)];
   ++day.lookups;
   switch (result.status) {
     case dns::LookupStatus::Ok: {
       ++rdns_ok_;
+      campaign_metrics().rdns_ok.inc();
       ++group.rdns_ok;
       note_hourly(address, now, /*is_rdns=*/true);
       auto& obs = networks_[group.network];
@@ -182,6 +220,7 @@ void ReactiveEngine::do_spot_rdns(net::Ipv4Addr address) {
 }
 
 void ReactiveEngine::close_group(net::Ipv4Addr address, Tracked& tracked) {
+  campaign_metrics().groups_closed.inc();
   groups_[tracked.group_index].closed = true;
   tracked_.erase(address);
 }
@@ -202,10 +241,14 @@ void ReactiveEngine::do_probe(net::Ipv4Addr address) {
 
   const bool alive = world_->ping(address, now);
   ++icmp_probes_;
+  CampaignMetrics& cm = campaign_metrics();
+  cm.icmp_probes.inc();
+  cm.backoff_probe_index.observe(static_cast<double>(tracked.probes_in_phase));
 
   if (tracked.phase == Phase::Online) {
     if (alive) {
       ++icmp_responses_;
+      cm.icmp_responses.inc();
       ++group.icmp_ok;
       group.last_icmp_ok = now;
       note_hourly(address, now, /*is_rdns=*/false);
@@ -234,6 +277,7 @@ void ReactiveEngine::do_probe(net::Ipv4Addr address) {
     // the client and opens a fresh group. This is the main source of the
     // paper's inconclusive groups (Table 5: only 9.3% successful).
     ++icmp_responses_;
+    cm.icmp_responses.inc();
     note_hourly(address, now, /*is_rdns=*/false);
     close_group(address, tracked);
     return;

@@ -1,6 +1,7 @@
 #include "util/cli.hpp"
 
 #include <charconv>
+#include <cstdio>
 #include <sstream>
 
 namespace rdns::util {
@@ -78,6 +79,17 @@ void CliParser::parse(const std::vector<std::string>& args) {
       values_[name] = *spec.default_value;
     }
   }
+}
+
+bool CliParser::handle_help(const std::vector<std::string>& args) const {
+  for (const auto& arg : args) {
+    if (arg == "--") break;
+    if (arg == "--help") {
+      std::fputs(usage().c_str(), stdout);
+      return true;
+    }
+  }
+  return false;
 }
 
 std::string CliParser::get(const std::string& name) const {

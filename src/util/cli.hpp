@@ -38,6 +38,12 @@ class CliParser {
   /// option processing.
   void parse(const std::vector<std::string>& args);
 
+  /// If `args` asks for help (a "--help" before any "--" terminator),
+  /// print usage() to stdout and return true; callers should then exit
+  /// without parsing. Declared here once so every subcommand shares the
+  /// same help convention instead of hand-rolled std::find scans.
+  [[nodiscard]] bool handle_help(const std::vector<std::string>& args) const;
+
   [[nodiscard]] std::string get(const std::string& name) const;
   [[nodiscard]] std::optional<std::string> get_optional(const std::string& name) const;
   [[nodiscard]] bool get_flag(const std::string& name) const;

@@ -2,11 +2,20 @@
 
 #include <atomic>
 #include <cstdio>
+#include <ctime>
+#include <mutex>
+
+#include "util/time.hpp"
 
 namespace rdns::util {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+
+std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
 
 [[nodiscard]] const char* level_name(LogLevel level) noexcept {
   switch (level) {
@@ -24,9 +33,25 @@ void set_log_level(LogLevel level) noexcept { g_level.store(static_cast<int>(lev
 
 LogLevel log_level() noexcept { return static_cast<LogLevel>(g_level.load()); }
 
+std::string format_log_line(LogLevel level, const std::string& message,
+                            std::int64_t unix_seconds) {
+  const CivilDateTime dt = to_civil_date_time(unix_seconds);
+  char prefix[48];
+  std::snprintf(prefix, sizeof prefix, "%04d-%02d-%02dT%02d:%02d:%02dZ [%s] ", dt.date.year,
+                dt.date.month, dt.date.day, dt.hour, dt.minute, dt.second, level_name(level));
+  std::string line{prefix};
+  line += message;
+  line += '\n';
+  return line;
+}
+
 void log(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < g_level.load()) return;
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  const std::string line =
+      format_log_line(level, message, static_cast<std::int64_t>(std::time(nullptr)));
+  // One guarded fputs per line: concurrent workers cannot interleave bytes.
+  std::lock_guard lock{log_mutex()};
+  std::fputs(line.c_str(), stderr);
 }
 
 void log_debug(const std::string& message) { log(LogLevel::Debug, message); }

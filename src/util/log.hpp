@@ -3,7 +3,12 @@
 /// Tiny leveled logger. Library code logs sparingly (scanners note campaign
 /// milestones); benches and examples set the level they want. Default level
 /// is Warn so test output stays clean.
+///
+/// Thread-safe: each line is composed in full (ISO-8601 UTC timestamp +
+/// level prefix + message) and written with a single mutex-guarded fputs,
+/// so concurrent shard workers never interleave partial lines on stderr.
 
+#include <cstdint>
 #include <string>
 
 namespace rdns::util {
@@ -16,6 +21,11 @@ void set_log_level(LogLevel level) noexcept;
 
 /// Log a pre-formatted message (appends a newline) to stderr.
 void log(LogLevel level, const std::string& message);
+
+/// The exact line log() emits for `message` at `unix_seconds`:
+/// "2021-11-01T14:00:00Z [INFO] message\n". Exposed for tests.
+[[nodiscard]] std::string format_log_line(LogLevel level, const std::string& message,
+                                          std::int64_t unix_seconds);
 
 void log_debug(const std::string& message);
 void log_info(const std::string& message);

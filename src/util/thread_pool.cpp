@@ -5,6 +5,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
 namespace rdns::util {
 
 namespace {
@@ -21,6 +24,31 @@ std::unique_ptr<ThreadPool>& global_slot() {
 
 std::mutex& global_mutex() {
   static std::mutex m;
+  return m;
+}
+
+/// Pool instrumentation. Counters (relaxed atomics) are always on and
+/// deterministic across thread counts — chunk boundaries depend only on
+/// (n, chunk). Clock-based series (busy time, queue wait) only tick when
+/// metrics::collect_timing() is set.
+struct PoolMetrics {
+  metrics::Counter& regions = metrics::counter("thread_pool.regions");
+  metrics::Counter& chunks = metrics::counter("thread_pool.chunks");
+  metrics::Counter& busy_ns = metrics::counter("thread_pool.busy_ns");
+  metrics::Gauge& workers = metrics::gauge("thread_pool.workers");
+  metrics::Histogram& chunks_per_region = metrics::histogram(
+      "thread_pool.chunks_per_region", metrics::Histogram::exponential_bounds(1, 2, 17));
+  metrics::Histogram& chunk_us = metrics::histogram(
+      "thread_pool.chunk_us", metrics::Histogram::exponential_bounds(10, 4, 12));
+  metrics::Histogram& queue_wait_us = metrics::histogram(
+      "thread_pool.queue_wait_us", metrics::Histogram::exponential_bounds(1, 4, 12));
+  metrics::Histogram& parallelism_x100 = metrics::histogram(
+      "thread_pool.region_parallelism_x100",
+      metrics::Histogram::exponential_bounds(25, 2, 12));
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics m;
   return m;
 }
 
@@ -71,12 +99,32 @@ void ThreadPool::parallel_for_chunks(std::uint64_t n, std::uint64_t chunk, const
   if (n == 0) return;
   const std::size_t n_chunks = chunk_count(n, chunk);
 
+  PoolMetrics& pm = pool_metrics();
+  pm.regions.inc();
+  pm.chunks.inc(n_chunks);
+  pm.chunks_per_region.observe(static_cast<double>(n_chunks));
+  pm.workers.set(size_);
+  const bool timed = metrics::collect_timing();
+  const std::int64_t region_start = timed ? trace::wall_now_ns() : 0;
+
   // Serial path: pool of one, nested call, or nothing to spread. This is
   // the exact code a hand-written loop would run — no locks, no threads.
   if (size_ == 1 || t_in_parallel_region || n_chunks == 1) {
     for (std::size_t ci = 0; ci < n_chunks; ++ci) {
       const std::uint64_t begin = static_cast<std::uint64_t>(ci) * chunk;
-      fn(ci, begin, std::min(n, begin + chunk));
+      if (timed) {
+        const std::int64_t t0 = trace::wall_now_ns();
+        fn(ci, begin, std::min(n, begin + chunk));
+        const std::int64_t elapsed = trace::wall_now_ns() - t0;
+        pm.busy_ns.inc(static_cast<std::uint64_t>(elapsed));
+        pm.chunk_us.observe(static_cast<double>(elapsed) / 1e3);
+      } else {
+        fn(ci, begin, std::min(n, begin + chunk));
+      }
+    }
+    if (timed) {
+      const std::int64_t wall = trace::wall_now_ns() - region_start;
+      if (wall > 0) pm.parallelism_x100.observe(100.0);
     }
     return;
   }
@@ -86,6 +134,8 @@ void ThreadPool::parallel_for_chunks(std::uint64_t n, std::uint64_t chunk, const
   job->n = n;
   job->chunk = chunk;
   job->n_chunks = n_chunks;
+  job->timed = timed;
+  job->publish_ns = region_start;
   {
     std::lock_guard lock{m_};
     job_ = job;
@@ -99,20 +149,44 @@ void ThreadPool::parallel_for_chunks(std::uint64_t n, std::uint64_t chunk, const
   done_cv_.wait(lock, [&] { return job->done == job->n_chunks; });
   if (job_ == job) job_.reset();
   if (job->error) std::rethrow_exception(job->error);
+  lock.unlock();
+
+  if (timed) {
+    const std::int64_t wall = trace::wall_now_ns() - region_start;
+    const std::uint64_t busy = job->busy_ns.load(std::memory_order_relaxed);
+    pm.busy_ns.inc(busy);
+    if (wall > 0) {
+      pm.parallelism_x100.observe(100.0 * static_cast<double>(busy) /
+                                  static_cast<double>(wall));
+    }
+  }
 }
 
 void ThreadPool::run_chunks(Job& job) {
+  PoolMetrics& pm = pool_metrics();
   t_in_parallel_region = true;
+  bool first_chunk = true;
   for (;;) {
     const std::uint64_t ci = job.next.fetch_add(1, std::memory_order_relaxed);
     if (ci >= job.n_chunks) break;
     const std::uint64_t begin = ci * job.chunk;
     const std::uint64_t end = std::min(job.n, begin + job.chunk);
+    const std::int64_t t0 = job.timed ? trace::wall_now_ns() : 0;
+    if (job.timed && first_chunk) {
+      // Dispatch latency: publish -> this worker's first chunk start.
+      pm.queue_wait_us.observe(static_cast<double>(t0 - job.publish_ns) / 1e3);
+      first_chunk = false;
+    }
     try {
       (*job.fn)(static_cast<std::size_t>(ci), begin, end);
     } catch (...) {
       std::lock_guard lock{m_};
       if (!job.error) job.error = std::current_exception();
+    }
+    if (job.timed) {
+      const std::int64_t elapsed = trace::wall_now_ns() - t0;
+      job.busy_ns.fetch_add(static_cast<std::uint64_t>(elapsed), std::memory_order_relaxed);
+      pm.chunk_us.observe(static_cast<double>(elapsed) / 1e3);
     }
     std::lock_guard lock{m_};
     if (++job.done == job.n_chunks) done_cv_.notify_all();

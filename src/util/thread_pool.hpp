@@ -82,7 +82,10 @@ class ThreadPool {
     std::uint64_t n = 0;
     std::uint64_t chunk = 0;
     std::size_t n_chunks = 0;
+    bool timed = false;              // snapshot of metrics::collect_timing()
+    std::int64_t publish_ns = 0;     // wall clock when the job was posted
     std::atomic<std::uint64_t> next{0};
+    std::atomic<std::uint64_t> busy_ns{0};  // summed per-chunk wall time
     std::size_t done = 0;            // guarded by pool mutex
     std::exception_ptr error;        // first failure; guarded by pool mutex
   };

@@ -1,0 +1,198 @@
+#include "util/trace.hpp"
+
+#include <cstdio>
+#include <ctime>
+#include <ostream>
+#include <sstream>
+
+#include "util/metrics.hpp"
+
+namespace rdns::util::trace {
+
+namespace {
+
+/// The calling thread's innermost open span. Scopes form a stack per
+/// thread; worker threads (which never open scopes) always see nullptr and
+/// report through Scope::add_sample instead.
+thread_local SpanNode* t_active = nullptr;
+
+[[nodiscard]] std::int64_t clock_ns(clockid_t id) noexcept {
+  timespec ts{};
+  clock_gettime(id, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+}  // namespace
+
+std::int64_t wall_now_ns() noexcept { return clock_ns(CLOCK_MONOTONIC); }
+std::int64_t thread_cpu_now_ns() noexcept { return clock_ns(CLOCK_THREAD_CPUTIME_ID); }
+
+SpanNode& SpanNode::child(std::string_view child_name) {
+  for (const auto& c : children) {
+    if (c->name == child_name) return *c;
+  }
+  children.push_back(std::make_unique<SpanNode>());
+  children.back()->name = std::string{child_name};
+  return *children.back();
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::reset() {
+  std::lock_guard lock{m_};
+  root_.children.clear();
+  root_.count = 0;
+  root_.wall_ns = 0;
+  root_.cpu_ns = 0;
+}
+
+Tracer::Scope::Scope(Tracer& tracer, std::string_view name) : tracer_(&tracer) {
+  {
+    std::lock_guard lock{tracer.m_};
+    parent_ = t_active;
+    SpanNode& parent = parent_ != nullptr ? *parent_ : tracer.root_;
+    node_ = &parent.child(name);
+    ++node_->count;
+  }
+  t_active = node_;
+  wall_start_ = wall_now_ns();
+  cpu_start_ = thread_cpu_now_ns();
+}
+
+Tracer::Scope::Scope(Scope&& other) noexcept
+    : tracer_(other.tracer_),
+      node_(other.node_),
+      parent_(other.parent_),
+      wall_start_(other.wall_start_),
+      cpu_start_(other.cpu_start_) {
+  other.tracer_ = nullptr;
+  other.node_ = nullptr;
+}
+
+Tracer::Scope::~Scope() {
+  if (tracer_ == nullptr) return;
+  const std::int64_t wall = wall_now_ns() - wall_start_;
+  const std::int64_t cpu = thread_cpu_now_ns() - cpu_start_;
+  std::lock_guard lock{tracer_->m_};
+  node_->wall_ns += wall;
+  node_->cpu_ns += cpu;
+  t_active = parent_;
+}
+
+void Tracer::Scope::add_sample(std::string_view name, std::int64_t sample_wall_ns,
+                               std::int64_t sample_cpu_ns) const {
+  if (tracer_ == nullptr) return;
+  std::lock_guard lock{tracer_->m_};
+  SpanNode& child = node_->child(name);
+  ++child.count;
+  child.wall_ns += sample_wall_ns;
+  child.cpu_ns += sample_cpu_ns;
+}
+
+Tracer::Scope Tracer::scope(std::string_view name) {
+  if (!enabled()) return Scope{};
+  return Scope{*this, name};
+}
+
+bool Tracer::has_spans() const {
+  std::lock_guard lock{m_};
+  return !root_.children.empty();
+}
+
+std::int64_t Tracer::root_wall_ns() const {
+  std::lock_guard lock{m_};
+  std::int64_t total = 0;
+  for (const auto& c : root_.children) total += c->wall_ns;
+  return total;
+}
+
+namespace {
+
+void write_span_json(std::ostream& out, const SpanNode& node, const std::string& pad) {
+  std::string name;
+  metrics::append_json_escaped(name, node.name);
+  out << "{\"name\": \"" << name << "\", \"count\": " << node.count
+      << ", \"wall_ms\": " << metrics::json_number(static_cast<double>(node.wall_ns) / 1e6)
+      << ", \"cpu_ms\": " << metrics::json_number(static_cast<double>(node.cpu_ns) / 1e6)
+      << ", \"children\": [";
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    out << (i ? ",\n" : "\n") << pad << "  ";
+    write_span_json(out, *node.children[i], pad + "  ");
+  }
+  if (!node.children.empty()) out << '\n' << pad;
+  out << "]}";
+}
+
+void render_span_text(std::ostream& out, const SpanNode& node, int depth) {
+  out << "  ";
+  for (int i = 0; i < depth; ++i) out << "  ";
+  char line[160];
+  std::snprintf(line, sizeof line, "%-*s %9.3fs wall  %9.3fs cpu  x%llu",
+                36 - depth * 2, node.name.c_str(), static_cast<double>(node.wall_ns) / 1e9,
+                static_cast<double>(node.cpu_ns) / 1e9,
+                static_cast<unsigned long long>(node.count));
+  out << line << '\n';
+  for (const auto& c : node.children) render_span_text(out, *c, depth + 1);
+}
+
+}  // namespace
+
+void Tracer::write_json(std::ostream& out, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::lock_guard lock{m_};
+  // Render the synthetic root with wall/cpu equal to the sum of top-level
+  // spans — with the CLI's single root span that is ≈ process runtime.
+  SpanNode view;
+  view.name = root_.name;
+  view.count = 1;
+  for (const auto& c : root_.children) {
+    view.wall_ns += c->wall_ns;
+    view.cpu_ns += c->cpu_ns;
+  }
+  std::string name;
+  metrics::append_json_escaped(name, view.name);
+  out << "{\"name\": \"" << name << "\", \"count\": " << view.count
+      << ", \"wall_ms\": " << metrics::json_number(static_cast<double>(view.wall_ns) / 1e6)
+      << ", \"cpu_ms\": " << metrics::json_number(static_cast<double>(view.cpu_ns) / 1e6)
+      << ", \"children\": [";
+  for (std::size_t i = 0; i < root_.children.size(); ++i) {
+    out << (i ? ",\n" : "\n") << pad << "  ";
+    write_span_json(out, *root_.children[i], pad + "  ");
+  }
+  if (!root_.children.empty()) out << '\n' << pad;
+  out << "]}";
+}
+
+std::string Tracer::to_json(int indent) const {
+  std::ostringstream out;
+  write_json(out, indent);
+  return out.str();
+}
+
+std::string Tracer::render_text() const {
+  std::ostringstream out;
+  out << "phase timing (wall / cpu / count):\n";
+  std::lock_guard lock{m_};
+  if (root_.children.empty()) {
+    out << "  (no spans recorded)\n";
+    return out.str();
+  }
+  for (const auto& c : root_.children) render_span_text(out, *c, 0);
+  return out.str();
+}
+
+void write_snapshot_json(std::ostream& out, const metrics::Registry& registry,
+                         const Tracer& tracer) {
+  out << "{\n";
+  out << "  \"schema\": \"rdns.observability.v1\",\n";
+  out << "  \"generated_unix\": " << static_cast<long long>(std::time(nullptr)) << ",\n";
+  registry.write_json(out, 2);
+  out << ",\n  \"spans\": ";
+  tracer.write_json(out, 2);
+  out << "\n}\n";
+}
+
+}  // namespace rdns::util::trace

@@ -1,0 +1,130 @@
+#pragma once
+/// \file trace.hpp
+/// Scoped-span phase tracer. Instrumented phases open a Scope (RAII); the
+/// tracer records a phase tree with wall-clock and calling-thread CPU time
+/// per span. Repeated spans with the same name under the same parent merge
+/// into one node (count + summed times), so the tree is keyed by *structure*
+/// not timing: "sweep → day → org_snapshot" has the same shape at every
+/// thread count, and thousands of per-shard samples collapse into one child.
+///
+/// Worker threads don't open scopes of their own (their notion of "current
+/// span" would race); instead they report completed samples into a parent
+/// scope handle with Scope::add_sample — one mutex-guarded merge per sample,
+/// only taken when tracing is enabled.
+///
+/// Disabled (the default), scope() returns an inert handle after one relaxed
+/// atomic load — no clocks, no locks.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rdns::util::trace {
+
+/// Monotonic wall clock (ns).
+[[nodiscard]] std::int64_t wall_now_ns() noexcept;
+/// CPU time consumed by the calling thread (ns).
+[[nodiscard]] std::int64_t thread_cpu_now_ns() noexcept;
+
+/// One node of the phase tree. Children keep first-seen order (which is
+/// driven by the instrumented control flow, hence deterministic).
+struct SpanNode {
+  std::string name;
+  std::uint64_t count = 0;
+  std::int64_t wall_ns = 0;
+  std::int64_t cpu_ns = 0;
+  std::vector<std::unique_ptr<SpanNode>> children;
+
+  /// Find the child named `child_name`, creating it if absent.
+  [[nodiscard]] SpanNode& child(std::string_view child_name);
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  [[nodiscard]] static Tracer& global();
+
+  void set_enabled(bool on) noexcept { enabled_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  /// Drop all recorded spans (keeps the enabled flag).
+  void reset();
+
+  /// RAII span handle. Inert when default-constructed or when the tracer
+  /// was disabled at scope() time.
+  class Scope {
+   public:
+    Scope() = default;
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    Scope(Scope&& other) noexcept;
+    Scope& operator=(Scope&&) = delete;
+    ~Scope();
+
+    [[nodiscard]] bool active() const noexcept { return tracer_ != nullptr; }
+
+    /// Merge a completed child sample (e.g. one /24 shard measured on a
+    /// worker thread) under this span. Thread-safe; no-op when inert.
+    void add_sample(std::string_view name, std::int64_t sample_wall_ns,
+                    std::int64_t sample_cpu_ns) const;
+
+   private:
+    friend class Tracer;
+    Scope(Tracer& tracer, std::string_view name);
+
+    Tracer* tracer_ = nullptr;
+    SpanNode* node_ = nullptr;
+    SpanNode* parent_ = nullptr;  ///< thread-local active span to restore
+    std::int64_t wall_start_ = 0;
+    std::int64_t cpu_start_ = 0;
+  };
+
+  /// Open a span named `name` under the calling thread's active span (or
+  /// the root). Returns an inert handle when disabled.
+  [[nodiscard]] Scope scope(std::string_view name);
+
+  /// True if any span has been recorded.
+  [[nodiscard]] bool has_spans() const;
+
+  /// Total wall time across top-level spans (ns).
+  [[nodiscard]] std::int64_t root_wall_ns() const;
+
+  /// {"name": ..., "count": ..., "wall_ms": ..., "cpu_ms": ..., "children": [...]}
+  void write_json(std::ostream& out, int indent = 2) const;
+  [[nodiscard]] std::string to_json(int indent = 2) const;
+
+  /// Indented phase-timing summary (one line per node) for stderr.
+  [[nodiscard]] std::string render_text() const;
+
+ private:
+  friend class Scope;
+
+  mutable std::mutex m_;
+  std::atomic<bool> enabled_{false};
+  SpanNode root_{"total", 0, 0, 0, {}};
+};
+
+}  // namespace rdns::util::trace
+
+namespace rdns::util::metrics {
+class Registry;
+}
+
+namespace rdns::util::trace {
+
+/// The full observability snapshot — metrics registry + span tree — as one
+/// JSON document (schema "rdns.observability.v1"). This is what
+/// --metrics-out writes and what tools/check_metrics_schema.py validates.
+void write_snapshot_json(std::ostream& out, const metrics::Registry& registry,
+                         const Tracer& tracer);
+
+}  // namespace rdns::util::trace

@@ -5,8 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "core/pipeline.hpp"
 #include "core/mitigation.hpp"
+#include "scan/rdns_snapshot.hpp"
+#include "util/metrics.hpp"
+#include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace rdns::core {
 namespace {
@@ -207,6 +213,50 @@ TEST(InternetWorld, PolicyMixIsStratified) {
 TEST(InternetWorld, RejectsBadOrgCount) {
   EXPECT_THROW((void)make_internet_world(1, 0), std::invalid_argument);
   EXPECT_THROW((void)make_internet_world(1, 500), std::invalid_argument);
+}
+
+TEST(Observability, SweepCsvIsByteStableAcrossThreadsWithMetricsOn) {
+  // The --metrics-out/--trace configuration must never perturb analysis
+  // output: the same world swept at pool sizes 1 and 4 with full
+  // observability enabled produces byte-identical CSV.
+  util::metrics::set_collect_timing(true);
+  util::trace::Tracer::global().set_enabled(true);
+
+  const auto run_once = [](unsigned threads) {
+    util::ThreadPool::set_global_size(threads);
+    auto world = make_internet_world(7, 4, WorldScale{0.05});
+    const CivilDate from{2021, 1, 2};
+    const CivilDate to{2021, 1, 5};
+    world->start(util::add_days(from, -1), util::add_days(to, 1));
+    std::ostringstream csv;
+    scan::CsvSnapshotSink sink{csv};
+    scan::SweepDriver driver{*world, 14, 1, /*second_hour=*/21};
+    driver.run(from, to, sink);
+    return csv.str();
+  };
+  const std::string serial = run_once(1);
+  const std::string parallel = run_once(4);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+  util::ThreadPool::set_global_size(0);
+
+  // Driving a world end-to-end populates every instrumented subsystem; the
+  // combined snapshot document carries counters and histograms for each.
+  std::ostringstream snap;
+  util::trace::write_snapshot_json(snap, util::metrics::Registry::global(),
+                                   util::trace::Tracer::global());
+  const std::string doc = snap.str();
+  for (const char* needle :
+       {"\"schema\": \"rdns.observability.v1\"", "dns.server.queries",
+        "dns.server.update_rrs", "dhcp.server.acks", "dhcp.lease.bound_seconds",
+        "thread_pool.regions", "thread_pool.chunks_per_region", "sweep.rows",
+        "sweep.org_rows", "\"spans\"", "\"day\"", "\"bulk_pass\""}) {
+    EXPECT_NE(doc.find(needle), std::string::npos) << needle;
+  }
+
+  util::metrics::set_collect_timing(false);
+  util::trace::Tracer::global().set_enabled(false);
+  util::trace::Tracer::global().reset();
 }
 
 }  // namespace

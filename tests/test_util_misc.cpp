@@ -92,6 +92,13 @@ TEST(AsciiChart, HistogramRendersCounts) {
   EXPECT_NE(out.find("10"), std::string::npos);
 }
 
+TEST(Log, FormatLogLineIsIso8601WithLevelPrefix) {
+  EXPECT_EQ(format_log_line(LogLevel::Info, "hi", 0), "1970-01-01T00:00:00Z [INFO] hi\n");
+  EXPECT_EQ(format_log_line(LogLevel::Error, "boom", 1635775200),
+            "2021-11-01T14:00:00Z [ERROR] boom\n");
+  EXPECT_EQ(format_log_line(LogLevel::Debug, "", 86399), "1970-01-01T23:59:59Z [DEBUG] \n");
+}
+
 TEST(Log, LevelFiltering) {
   const LogLevel before = log_level();
   set_log_level(LogLevel::Error);

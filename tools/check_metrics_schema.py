@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Validate an rdns.observability.v1 metrics/trace snapshot.
+
+Usage:
+    check_metrics_schema.py SNAPSHOT.json [--require-subsystems dns,dhcp,...]
+
+Checks structural invariants that the C++ emitters promise:
+  * top-level keys: schema, generated_unix, counters, gauges, histograms, spans
+  * counters are non-negative integers, gauges are finite numbers
+  * histogram buckets have strictly increasing finite `le` bounds followed by
+    a final "+Inf" overflow bucket, and the bucket counts sum to `count`
+  * percentiles are ordered (p50 <= p90 <= p99) whenever the histogram is
+    non-empty
+  * the span tree (if present) carries name/count/wall_ms/cpu_ms/children at
+    every node
+
+With --require-subsystems, each named prefix must own at least one counter
+and at least one histogram — this is how CI asserts the sweep pipeline's
+instrumentation coverage (dns, dhcp, thread_pool, sweep).
+
+Exits 0 on success, 1 with a list of problems otherwise. Stdlib only.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+SCHEMA = "rdns.observability.v1"
+TOP_KEYS = {"schema", "generated_unix", "counters", "gauges", "histograms", "spans"}
+
+
+class Problems:
+    def __init__(self):
+        self.items = []
+
+    def add(self, message):
+        self.items.append(message)
+
+
+def check_counters(counters, problems):
+    if not isinstance(counters, dict):
+        problems.add("counters: expected an object")
+        return
+    for name, value in counters.items():
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            problems.add(f"counter {name!r}: expected a non-negative integer, got {value!r}")
+
+
+def check_gauges(gauges, problems):
+    if not isinstance(gauges, dict):
+        problems.add("gauges: expected an object")
+        return
+    for name, value in gauges.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)) or not math.isfinite(value):
+            problems.add(f"gauge {name!r}: expected a finite number, got {value!r}")
+
+
+def check_histogram(name, hist, problems):
+    for key in ("count", "sum", "p50", "p90", "p99", "buckets"):
+        if key not in hist:
+            problems.add(f"histogram {name!r}: missing key {key!r}")
+            return
+    count = hist["count"]
+    if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+        problems.add(f"histogram {name!r}: count must be a non-negative integer")
+        return
+    buckets = hist["buckets"]
+    if not isinstance(buckets, list) or len(buckets) < 2:
+        problems.add(f"histogram {name!r}: expected >= 2 buckets (bounds + overflow)")
+        return
+    total = 0
+    prev_le = None
+    for i, bucket in enumerate(buckets):
+        if not isinstance(bucket, dict) or "le" not in bucket or "count" not in bucket:
+            problems.add(f"histogram {name!r}: bucket {i} must carry le/count")
+            return
+        le = bucket["le"]
+        last = i == len(buckets) - 1
+        if last:
+            if le != "+Inf":
+                problems.add(f"histogram {name!r}: final bucket le must be \"+Inf\", got {le!r}")
+        else:
+            if isinstance(le, bool) or not isinstance(le, (int, float)) or not math.isfinite(le):
+                problems.add(f"histogram {name!r}: bucket {i} le must be a finite number")
+                return
+            if prev_le is not None and le <= prev_le:
+                problems.add(f"histogram {name!r}: bucket bounds must strictly increase "
+                             f"({prev_le} then {le})")
+            prev_le = le
+        bcount = bucket["count"]
+        if not isinstance(bcount, int) or isinstance(bcount, bool) or bcount < 0:
+            problems.add(f"histogram {name!r}: bucket {i} count must be a non-negative integer")
+            return
+        total += bcount
+    if total != count:
+        problems.add(f"histogram {name!r}: bucket counts sum to {total}, count says {count}")
+    if count > 0 and not (hist["p50"] <= hist["p90"] <= hist["p99"]):
+        problems.add(f"histogram {name!r}: percentiles are not ordered "
+                     f"(p50={hist['p50']}, p90={hist['p90']}, p99={hist['p99']})")
+
+
+def check_span(span, path, problems):
+    if not isinstance(span, dict):
+        problems.add(f"span {path}: expected an object")
+        return
+    for key in ("name", "count", "wall_ms", "cpu_ms", "children"):
+        if key not in span:
+            problems.add(f"span {path}: missing key {key!r}")
+            return
+    if not isinstance(span["name"], str):
+        problems.add(f"span {path}: name must be a string")
+    if not isinstance(span["count"], int) or span["count"] < 0:
+        problems.add(f"span {path}: count must be a non-negative integer")
+    for key in ("wall_ms", "cpu_ms"):
+        v = span[key]
+        if isinstance(v, bool) or not isinstance(v, (int, float)) or not math.isfinite(v) or v < 0:
+            problems.add(f"span {path}: {key} must be a non-negative finite number")
+    children = span["children"]
+    if not isinstance(children, list):
+        problems.add(f"span {path}: children must be a list")
+        return
+    for child in children:
+        name = child.get("name", "?") if isinstance(child, dict) else "?"
+        check_span(child, f"{path}/{name}", problems)
+
+
+def check_subsystems(doc, required, problems):
+    counters = doc.get("counters", {})
+    histograms = doc.get("histograms", {})
+    for prefix in required:
+        dot = prefix + "."
+        if not any(n.startswith(dot) for n in counters):
+            problems.add(f"subsystem {prefix!r}: no counter named {dot}*")
+        if not any(n.startswith(dot) for n in histograms):
+            problems.add(f"subsystem {prefix!r}: no histogram named {dot}*")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("snapshot", help="path to a --metrics-out JSON file")
+    parser.add_argument("--require-subsystems", default="",
+                        help="comma-separated metric-name prefixes that must each "
+                             "own a counter and a histogram")
+    args = parser.parse_args()
+
+    problems = Problems()
+    try:
+        with open(args.snapshot, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"FAIL: cannot parse {args.snapshot}: {err}", file=sys.stderr)
+        return 1
+
+    if not isinstance(doc, dict):
+        print("FAIL: snapshot root must be an object", file=sys.stderr)
+        return 1
+    for key in TOP_KEYS:
+        if key not in doc:
+            problems.add(f"top level: missing key {key!r}")
+    if doc.get("schema") != SCHEMA:
+        problems.add(f"schema: expected {SCHEMA!r}, got {doc.get('schema')!r}")
+    gen = doc.get("generated_unix")
+    if not isinstance(gen, int) or isinstance(gen, bool) or gen < 0:
+        problems.add("generated_unix: expected a non-negative integer")
+
+    check_counters(doc.get("counters", {}), problems)
+    check_gauges(doc.get("gauges", {}), problems)
+    histograms = doc.get("histograms", {})
+    if isinstance(histograms, dict):
+        for name, hist in histograms.items():
+            if isinstance(hist, dict):
+                check_histogram(name, hist, problems)
+            else:
+                problems.add(f"histogram {name!r}: expected an object")
+    else:
+        problems.add("histograms: expected an object")
+
+    spans = doc.get("spans")
+    if spans is not None:
+        check_span(spans, spans.get("name", "root") if isinstance(spans, dict) else "root",
+                   problems)
+
+    required = [s for s in args.require_subsystems.split(",") if s]
+    if required:
+        check_subsystems(doc, required, problems)
+
+    if problems.items:
+        for item in problems.items:
+            print(f"FAIL: {item}", file=sys.stderr)
+        return 1
+    n_series = (len(doc.get("counters", {})) + len(doc.get("gauges", {})) +
+                len(doc.get("histograms", {})))
+    print(f"OK: {args.snapshot}: {n_series} series, schema {SCHEMA}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

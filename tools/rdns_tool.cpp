@@ -31,20 +31,29 @@
 #include "scan/campaign.hpp"
 #include "scan/csv_replay.hpp"
 #include "util/cli.hpp"
+#include "util/metrics.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace {
 
 using namespace rdns;
 
-/// Shared `--threads N` plumbing: 0 (the default) keeps the automatic size
-/// (RDNS_THREADS env override, else hardware concurrency).
-util::CliParser& add_threads_option(util::CliParser& cli) {
-  return cli.option("threads", "worker threads (0 = auto: RDNS_THREADS or hardware)", "0");
+/// Options every subcommand shares, declared once: `--threads N` (0 = auto:
+/// RDNS_THREADS env override, else hardware concurrency) plus the
+/// observability surface (`--metrics-out FILE.json`, `--trace`). The
+/// metrics/trace flags are read ahead of dispatch in main() so collection
+/// is live before any subcommand work starts; they are declared here so
+/// parse() accepts them and --help documents them.
+util::CliParser& add_common_options(util::CliParser& cli) {
+  return cli.option("threads", "worker threads (0 = auto: RDNS_THREADS or hardware)", "0")
+      .option("metrics-out", "write a metrics + span-tree JSON snapshot to this path",
+              std::nullopt)
+      .flag("trace", "print a phase-timing summary to stderr at exit");
 }
 
-void apply_threads_option(const util::CliParser& cli) {
+void apply_common_options(const util::CliParser& cli) {
   const int threads = cli.get_int("threads");
   if (threads < 0) throw util::CliError{"--threads must be >= 0"};
   util::ThreadPool::set_global_size(static_cast<unsigned>(threads));
@@ -59,13 +68,10 @@ int cmd_sweep(const std::vector<std::string>& args) {
       .option("to", "last sweep date (YYYY-MM-DD)", "2021-02-06")
       .option("scale", "population scale factor", "0.4")
       .positional("output", "output CSV path", "sweeps.csv");
-  add_threads_option(cli);
-  if (std::find(args.begin(), args.end(), "--help") != args.end()) {
-    std::printf("%s", cli.usage().c_str());
-    return 0;
-  }
+  add_common_options(cli);
+  if (cli.handle_help(args)) return 0;
   cli.parse(args);
-  apply_threads_option(cli);
+  apply_common_options(cli);
 
   const auto from = util::parse_date(cli.get("from"));
   const auto to = util::parse_date(cli.get("to"));
@@ -97,13 +103,10 @@ int cmd_analyze(const std::vector<std::string>& args) {
       .option("min-days", "days over the 10% change threshold (paper: 7)", "5")
       .option("report", "write a markdown report to this path", std::nullopt)
       .positional("input", "sweep CSV path");
-  add_threads_option(cli);
-  if (std::find(args.begin(), args.end(), "--help") != args.end()) {
-    std::printf("%s", cli.usage().c_str());
-    return 0;
-  }
+  add_common_options(cli);
+  if (cli.handle_help(args)) return 0;
   cli.parse(args);
-  apply_threads_option(cli);
+  apply_common_options(cli);
 
   std::ifstream in{cli.get("input")};
   if (!in) {
@@ -123,7 +126,11 @@ int cmd_analyze(const std::vector<std::string>& args) {
     }
   } tee;
   tee.sinks = {&detector, &corpus};
-  const auto replay = scan::replay_csv(in, tee);
+  scan::ReplayStats replay;
+  {
+    const auto span = util::trace::Tracer::global().scope("parse");
+    replay = scan::replay_csv(in, tee);
+  }
   std::printf("replayed %s rows (%llu skipped) over %llu sweeps\n",
               util::with_commas(static_cast<std::int64_t>(replay.rows)).c_str(),
               static_cast<unsigned long long>(replay.skipped),
@@ -134,7 +141,10 @@ int cmd_analyze(const std::vector<std::string>& args) {
   report.sweeps = replay.sweeps;
   core::DynamicityConfig dyn;
   dyn.min_days_over = cli.get_int("min-days");
-  report.dynamicity = detector.analyze(dyn);
+  {
+    const auto span = util::trace::Tracer::global().scope("dynamicity");
+    report.dynamicity = detector.analyze(dyn);
+  }
 
   core::PtrCorpus dynamic_corpus;
   dynamic_corpus.restrict_to(report.dynamicity.dynamic_blocks());
@@ -142,10 +152,16 @@ int cmd_analyze(const std::vector<std::string>& args) {
   core::LeakConfig leak;
   leak.min_unique_names = static_cast<std::size_t>(cli.get_int("min-names"));
   leak.min_ratio = cli.get_double("min-ratio");
-  report.leaks = core::identify_leaking_networks(dynamic_corpus, leak);
-  report.leaks.matches_per_name = core::count_name_matches(corpus);
-  report.cooccurrence = core::count_device_terms(dynamic_corpus, report.leaks.identified);
-  report.types = core::classify_all(report.leaks.identified);
+  {
+    const auto span = util::trace::Tracer::global().scope("terms");
+    report.leaks = core::identify_leaking_networks(dynamic_corpus, leak);
+    report.cooccurrence = core::count_device_terms(dynamic_corpus, report.leaks.identified);
+    report.types = core::classify_all(report.leaks.identified);
+  }
+  {
+    const auto span = util::trace::Tracer::global().scope("names");
+    report.leaks.matches_per_name = core::count_name_matches(corpus);
+  }
 
   std::printf("dynamic /24s: %zu of %zu; identified networks: %zu\n",
               report.dynamicity.dynamic_count, report.dynamicity.total_slash24_seen,
@@ -171,11 +187,10 @@ int cmd_audit(const std::vector<std::string>& args) {
   util::CliParser cli{"rdns_tool audit",
                       "audit a reverse zone file for privacy-sensitive PTR targets"};
   cli.flag("quiet", "print counts only").positional("zonefile", "zone file path");
-  if (std::find(args.begin(), args.end(), "--help") != args.end()) {
-    std::printf("%s", cli.usage().c_str());
-    return 0;
-  }
+  add_common_options(cli);
+  if (cli.handle_help(args)) return 0;
   cli.parse(args);
+  apply_common_options(cli);
 
   std::ifstream in{cli.get("zonefile")};
   if (!in) {
@@ -216,13 +231,10 @@ int cmd_campaign(const std::vector<std::string>& args) {
       .option("scale", "population scale factor", "0.3")
       .option("from", "campaign start (YYYY-MM-DD)", "2021-10-25")
       .option("to", "campaign end (YYYY-MM-DD)", "2021-11-07");
-  add_threads_option(cli);
-  if (std::find(args.begin(), args.end(), "--help") != args.end()) {
-    std::printf("%s", cli.usage().c_str());
-    return 0;
-  }
+  add_common_options(cli);
+  if (cli.handle_help(args)) return 0;
   cli.parse(args);
-  apply_threads_option(cli);
+  apply_common_options(cli);
 
   core::WorldScale scale;
   scale.population = cli.get_double("scale");
@@ -268,13 +280,10 @@ int cmd_track(const std::vector<std::string>& args) {
       .option("scale", "population scale factor", "0.25")
       .option("weeks", "number of weeks to render", "2")
       .positional("name", "given name to track", "brian");
-  add_threads_option(cli);
-  if (std::find(args.begin(), args.end(), "--help") != args.end()) {
-    std::printf("%s", cli.usage().c_str());
-    return 0;
-  }
+  add_common_options(cli);
+  if (cli.handle_help(args)) return 0;
   cli.parse(args);
-  apply_threads_option(cli);
+  apply_common_options(cli);
 
   core::WorldScale scale;
   scale.population = cli.get_double("scale");
@@ -320,6 +329,40 @@ void print_usage() {
 
 }  // namespace
 
+namespace {
+
+int dispatch(const std::string& command, const std::vector<std::string>& args) {
+  if (command == "sweep") return cmd_sweep(args);
+  if (command == "analyze") return cmd_analyze(args);
+  if (command == "audit") return cmd_audit(args);
+  if (command == "campaign") return cmd_campaign(args);
+  if (command == "track") return cmd_track(args);
+  print_usage();
+  return 2;
+}
+
+/// Pre-parse scan for the observability options so collection is enabled
+/// before the subcommand builds its parser. Accepts both `--metrics-out
+/// PATH` and `--metrics-out=PATH`; stops at `--` like the real parser.
+struct ObservabilityOptions {
+  std::optional<std::string> metrics_out;
+  bool trace = false;
+};
+
+ObservabilityOptions scan_observability_options(const std::vector<std::string>& args) {
+  ObservabilityOptions opts;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--") break;
+    if (arg == "--trace") opts.trace = true;
+    if (arg == "--metrics-out" && i + 1 < args.size()) opts.metrics_out = args[i + 1];
+    if (arg.rfind("--metrics-out=", 0) == 0) opts.metrics_out = arg.substr(14);
+  }
+  return opts;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   if (argc < 2) {
     print_usage();
@@ -329,14 +372,18 @@ int main(int argc, char** argv) {
   std::vector<std::string> args;
   for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
 
+  const ObservabilityOptions obs = scan_observability_options(args);
+  if (obs.metrics_out || obs.trace) {
+    util::metrics::set_collect_timing(true);
+    util::trace::Tracer::global().set_enabled(true);
+  }
+
+  int exit_code = 2;
   try {
-    if (command == "sweep") return cmd_sweep(args);
-    if (command == "analyze") return cmd_analyze(args);
-    if (command == "audit") return cmd_audit(args);
-    if (command == "campaign") return cmd_campaign(args);
-    if (command == "track") return cmd_track(args);
-    print_usage();
-    return 2;
+    // One root span around the whole dispatch, so the span tree's total
+    // wall time tracks the process runtime.
+    const auto root = util::trace::Tracer::global().scope("rdns_tool." + command);
+    exit_code = dispatch(command, args);
   } catch (const util::CliError& e) {
     std::fprintf(stderr, "error: %s (try `rdns_tool %s --help`)\n", e.what(),
                  command.c_str());
@@ -345,4 +392,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
+
+  if (obs.trace) {
+    std::fputs(util::trace::Tracer::global().render_text().c_str(), stderr);
+  }
+  if (obs.metrics_out) {
+    std::ofstream out{*obs.metrics_out};
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", obs.metrics_out->c_str());
+      return 2;
+    }
+    util::trace::write_snapshot_json(out, util::metrics::Registry::global(),
+                                     util::trace::Tracer::global());
+  }
+  return exit_code;
 }
