@@ -17,12 +17,29 @@
 #include "core/pipeline.hpp"
 #include "scan/campaign.hpp"
 #include "util/ascii_chart.hpp"
+#include "util/journal.hpp"
 #include "util/metrics.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 #include "util/trace.hpp"
 
 namespace rdns::bench {
+
+/// Record run provenance for a bench: the manifest lands in the
+/// BENCH_*.metrics.json snapshot (via write_snapshot_json) and is available
+/// through manifest_json() for the bench's own BENCH_*.json document.
+inline util::journal::RunManifest record_bench_manifest(const std::string& bench,
+                                                        std::uint64_t seed,
+                                                        const sim::World* world = nullptr) {
+  util::journal::RunManifest manifest;
+  manifest.tool = "bench." + bench;
+  manifest.version = util::journal::version_string();
+  manifest.seed = seed;
+  manifest.world_digest = world != nullptr ? world->config_digest() : 0;
+  manifest.threads = util::ThreadPool::global().size();
+  util::journal::Journal::global().set_manifest(manifest);
+  return manifest;
+}
 
 /// Parse an optional `--threads N` argument (0 = auto) and size the global
 /// pool accordingly. Call from main() before any pipeline work; returns the
@@ -111,6 +128,7 @@ inline CampaignRun run_paper_campaign(std::uint64_t seed, double population_scal
   scale.population = population_scale;
   CampaignRun run;
   run.world = core::make_paper_world(seed, scale);
+  record_bench_manifest("paper_campaign", seed, run.world.get());
   if (with_dns_faults) {
     // Mild transient failures on every org's servers (Fig. 6 taxonomy).
     for (auto& org : run.world->orgs()) {

@@ -130,6 +130,9 @@ void write_json(const std::string& path, unsigned hardware,
                 const std::vector<StageReport>& stages) {
   std::ofstream out{path};
   out << "{\n  \"bench\": \"parallel_scaling\",\n";
+  if (const auto manifest = util::journal::Journal::global().manifest()) {
+    out << "  \"manifest\": " << util::journal::manifest_json(*manifest) << ",\n";
+  }
   out << "  \"hardware_threads\": " << hardware << ",\n";
   out << "  \"thread_counts\": [";
   for (std::size_t i = 0; i < thread_counts.size(); ++i) {
@@ -179,6 +182,7 @@ int main(int argc, char** argv) {
   core::WorldScale scale;
   scale.population = 0.4;
   auto world = core::make_internet_world(7, /*org_count=*/4, scale);
+  rdns::bench::record_bench_manifest("parallel_scaling", 7, world.get());
   for (auto& org : world->orgs()) {
     org->dns().set_faults(dns::FaultPolicy{0.004, 0.002});
   }

@@ -1,0 +1,489 @@
+#include "core/journal_audit.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/timing.hpp"
+#include "scan/reactive.hpp"
+#include "util/strings.hpp"
+
+namespace rdns::core {
+
+namespace journal = rdns::util::journal;
+using util::SimTime;
+
+namespace {
+
+const std::unordered_set<std::string>& known_event_types() {
+  static const std::unordered_set<std::string> types{
+      "manifest",           "dhcp.discover",   "dhcp.offer",     "dhcp.ack",
+      "dhcp.nak",           "dhcp.release",    "dhcp.expire",    "ddns.ptr_add",
+      "ddns.ptr_remove",    "dns.lookup",      "campaign.group_open",
+      "campaign.probe",     "campaign.backoff", "campaign.rdns",
+      "campaign.group_close", "sweep.org",     "sweep.pass",     "sweep.shard",
+  };
+  return types;
+}
+
+/// Replay state of one address's lease + PTR coupling.
+struct IpState {
+  bool bound = false;
+  std::string mac;
+  bool ptr_published = false;  ///< a lease-driven PTR is currently in the zone
+  bool removal_pending = false;
+  SimTime end_time = 0;        ///< lease end that armed the pending removal
+  std::size_t end_line = 0;
+};
+
+/// Reconstruction of one measurement group from raw campaign events,
+/// mirroring ReactiveEngine's own bookkeeping.
+struct GroupReplay {
+  std::uint64_t id = 0;
+  std::string ip;
+  SimTime opened = 0;
+  SimTime last_ok = 0;          ///< sweep detection, then online ok-probes
+  SimTime offline = 0;          ///< first failed online-phase probe
+  SimTime gone = 0;             ///< PTR observed removed/changed
+  bool spot_ok = false;
+  bool derived_reverted = false;
+  std::string last_ptr;
+  int ok_probes = 0;
+  // Outstanding back-off promise.
+  bool expecting_probe = false;
+  SimTime expected_at = 0;
+  std::size_t promise_line = 0;
+  bool closed = false;
+  // Flags carried by the group_close event (authoritative for the
+  // Table 5 funnel; cross-checked against the derived fields above).
+  bool close_reverted = false;
+  bool close_reliable = false;
+  bool close_successful = false;
+  SimTime close_last_ok = 0;
+  SimTime close_gone = 0;
+};
+
+class Auditor {
+ public:
+  Auditor(const AuditConfig& config, JournalAuditReport& report)
+      : config_(config), report_(report) {}
+
+  void consume(std::size_t line_no, const journal::JsonValue& e) {
+    const std::string type = e.get_string("type");
+    const SimTime t = e.get_int("t", -1);
+    ++report_.event_counts[type];
+
+    if (known_event_types().count(type) == 0) {
+      violate(line_no, "unknown-event-type", "type \"" + type + "\" not in rdns.events.v1");
+    }
+    if (t < 0) {
+      violate(line_no, "missing-timestamp", "event has no integer \"t\"");
+    } else if (t < last_t_) {
+      violate(line_no, "time-regression",
+              util::format("t=%lld after t=%lld", static_cast<long long>(t),
+                           static_cast<long long>(last_t_)));
+    } else {
+      last_t_ = t;
+    }
+
+    if (type == "dhcp.ack") {
+      on_ack(line_no, e, t);
+    } else if (type == "dhcp.release" || type == "dhcp.expire") {
+      on_lease_end(line_no, e, t);
+    } else if (type == "ddns.ptr_add") {
+      on_ptr_add(line_no, e);
+    } else if (type == "ddns.ptr_remove") {
+      on_ptr_remove(line_no, e, t);
+    } else if (type == "campaign.group_open") {
+      on_group_open(e, t);
+    } else if (type == "campaign.backoff") {
+      on_backoff(line_no, e, t);
+    } else if (type == "campaign.probe") {
+      on_probe(line_no, e, t);
+    } else if (type == "campaign.rdns") {
+      on_rdns(e, t);
+    } else if (type == "campaign.group_close") {
+      on_group_close(line_no, e, t);
+    }
+    if (type.rfind("campaign.", 0) == 0) last_campaign_t_ = t;
+  }
+
+  void finish() {
+    // Pending removals are only a violation once the stream demonstrably ran
+    // past the window; a journal that simply ends mid-window proves nothing.
+    for (const auto& [ip, st] : ips_) {
+      if (st.removal_pending && last_t_ > st.end_time + config_.removal_window) {
+        violate(st.end_line, "missing-ptr-remove",
+                "lease on " + ip + " ended but its PTR never left the zone");
+      }
+    }
+    // Same reasoning for promised probes: only flag promises whose deadline
+    // the campaign stream provably ran past.
+    for (const auto& [id, g] : groups_) {
+      if (!g.closed && g.expecting_probe &&
+          g.expected_at + config_.probe_tolerance < last_campaign_t_) {
+        violate(g.promise_line, "missing-probe",
+                util::format("group %llu promised a probe at t=%lld that never fired",
+                             static_cast<unsigned long long>(id),
+                             static_cast<long long>(g.expected_at)));
+      }
+    }
+    check_timing();
+  }
+
+ private:
+  void violate(std::size_t line_no, std::string invariant, std::string detail) {
+    report_.violations.push_back({line_no, std::move(invariant), std::move(detail)});
+  }
+
+  void on_ack(std::size_t line_no, const journal::JsonValue& e, SimTime t) {
+    const std::string ip = e.get_string("ip");
+    const std::string mac = e.get_string("mac");
+    IpState& st = ips_[ip];
+    if (e.get_bool("renew")) {
+      if (!st.bound) {
+        violate(line_no, "renew-without-lease", ip + " renewed but no lease is bound");
+      } else if (st.mac != mac) {
+        violate(line_no, "renew-wrong-client",
+                ip + " renewed by " + mac + " but bound to " + st.mac);
+      }
+      return;
+    }
+    ++report_.leases_started;
+    if (st.bound && st.mac != mac) {
+      violate(line_no, "overlapping-leases",
+              ip + " acked to " + mac + " while still bound to " + st.mac +
+                  util::format(" (t=%lld)", static_cast<long long>(t)));
+    }
+    st.bound = true;
+    st.mac = mac;
+  }
+
+  void on_lease_end(std::size_t line_no, const journal::JsonValue& e, SimTime t) {
+    const std::string ip = e.get_string("ip");
+    ++report_.leases_ended;
+    IpState& st = ips_[ip];
+    if (!st.bound) {
+      violate(line_no, "lease-end-without-lease", ip + " released/expired with no bound lease");
+      return;
+    }
+    st.bound = false;
+    if (st.ptr_published) {
+      // The bridge must now remove or revert the PTR; arm the deadline.
+      st.removal_pending = true;
+      st.end_time = t;
+      st.end_line = line_no;
+    }
+  }
+
+  void on_ptr_add(std::size_t line_no, const journal::JsonValue& e) {
+    const std::string ip = e.get_string("ip");
+    ++report_.ptr_added;
+    IpState& st = ips_[ip];
+    if (!st.bound) {
+      violate(line_no, "ptr-add-without-ack", ip + " got a PTR with no bound lease behind it");
+    }
+    if (st.removal_pending) {
+      violate(line_no, "ptr-add-before-remove",
+              ip + " re-published before the previous lease's PTR was removed");
+      st.removal_pending = false;
+    }
+    st.ptr_published = true;
+  }
+
+  void on_ptr_remove(std::size_t line_no, const journal::JsonValue& e, SimTime t) {
+    const std::string ip = e.get_string("ip");
+    ++report_.ptr_removed;
+    IpState& st = ips_[ip];
+    if (!st.ptr_published) {
+      violate(line_no, "ptr-remove-without-add", ip + " PTR removed but none was published");
+      return;
+    }
+    if (st.removal_pending) {
+      if (t > st.end_time + config_.removal_window) {
+        violate(line_no, "late-ptr-remove",
+                util::format("%s PTR removed %llds after lease end (window %llds)", ip.c_str(),
+                             static_cast<long long>(t - st.end_time),
+                             static_cast<long long>(config_.removal_window)));
+      }
+      st.removal_pending = false;
+    } else if (st.bound) {
+      violate(line_no, "ptr-remove-while-bound", ip + " PTR removed while its lease is live");
+    }
+    st.ptr_published = false;
+  }
+
+  void on_group_open(const journal::JsonValue& e, SimTime t) {
+    const auto id = static_cast<std::uint64_t>(e.get_int("group"));
+    GroupReplay& g = groups_[id];
+    g.id = id;
+    g.ip = e.get_string("ip");
+    g.opened = t;
+    // The detecting sweep response counts as the first ICMP ok (the engine
+    // seeds last_icmp_ok = started).
+    g.last_ok = t;
+    g.ok_probes = 1;
+  }
+
+  void on_backoff(std::size_t line_no, const journal::JsonValue& e, SimTime t) {
+    const auto id = static_cast<std::uint64_t>(e.get_int("group"));
+    const int n = static_cast<int>(e.get_int("n"));
+    const SimTime next_s = e.get_int("next_s");
+    const SimTime want = scan::BackoffSchedule::interval_after(n);
+    if (next_s != want) {
+      violate(line_no, "backoff-schedule-mismatch",
+              util::format("group %llu: %llds after %d probes, Table 2 says %llds",
+                           static_cast<unsigned long long>(id), static_cast<long long>(next_s), n,
+                           static_cast<long long>(want)));
+    }
+    GroupReplay& g = groups_[id];
+    g.expecting_probe = true;
+    g.expected_at = t + next_s;
+    g.promise_line = line_no;
+  }
+
+  void on_probe(std::size_t line_no, const journal::JsonValue& e, SimTime t) {
+    const auto id = static_cast<std::uint64_t>(e.get_int("group"));
+    GroupReplay& g = groups_[id];
+    if (g.expecting_probe) {
+      if (t < g.expected_at || t > g.expected_at + config_.probe_tolerance) {
+        violate(line_no, "probe-off-schedule",
+                util::format("group %llu probed at t=%lld, promised t=%lld",
+                             static_cast<unsigned long long>(id), static_cast<long long>(t),
+                             static_cast<long long>(g.expected_at)));
+      }
+      g.expecting_probe = false;
+    }
+    const bool ok = e.get_bool("ok");
+    const bool online = e.get_string("phase") == "online";
+    if (online && ok) {
+      g.last_ok = t;
+      ++g.ok_probes;
+    } else if (online && g.offline == 0) {
+      g.offline = t;
+    }
+  }
+
+  void on_rdns(const journal::JsonValue& e, SimTime t) {
+    const auto id = static_cast<std::uint64_t>(e.get_int("group"));
+    GroupReplay& g = groups_[id];
+    const std::string status = e.get_string("status");
+    const bool spot = e.get_string("kind") == "spot";
+    if (status == "OK") {
+      const std::string name = e.get_string("name");
+      if (spot) {
+        // Join-time capture (possibly retried) succeeded.
+        g.spot_ok = true;
+        g.last_ptr = name;
+      } else if (!g.last_ptr.empty() && name != g.last_ptr) {
+        // Follow phase saw the PTR change under us: reverted/reassigned.
+        if (g.gone == 0) {
+          g.gone = t;
+          g.derived_reverted = g.spot_ok;
+        }
+      } else {
+        g.last_ptr = name;
+      }
+    } else if (status == "NXDOMAIN" && !spot && g.spot_ok && g.gone == 0) {
+      g.gone = t;
+      g.derived_reverted = true;
+    }
+  }
+
+  void on_group_close(std::size_t line_no, const journal::JsonValue& e, SimTime /*t*/) {
+    const auto id = static_cast<std::uint64_t>(e.get_int("group"));
+    GroupReplay& g = groups_[id];
+    g.closed = true;
+    g.expecting_probe = false;
+    g.close_reverted = e.get_bool("reverted");
+    g.close_reliable = e.get_bool("reliable");
+    g.close_successful = e.get_bool("successful");
+    g.close_last_ok = e.get_int("last_ok");
+    g.close_gone = e.get_int("gone");
+    // The close event carries the engine's own summary; it must agree with
+    // the replay of the raw probe/rdns events.
+    if (g.close_last_ok != g.last_ok) {
+      violate(line_no, "group-close-mismatch",
+              util::format("group %llu last_ok: event %lld vs replay %lld",
+                           static_cast<unsigned long long>(id),
+                           static_cast<long long>(g.close_last_ok),
+                           static_cast<long long>(g.last_ok)));
+    }
+    if (g.close_gone != g.gone) {
+      violate(line_no, "group-close-mismatch",
+              util::format("group %llu gone: event %lld vs replay %lld",
+                           static_cast<unsigned long long>(id),
+                           static_cast<long long>(g.close_gone),
+                           static_cast<long long>(g.gone)));
+    }
+    if (g.close_reverted != g.derived_reverted) {
+      violate(line_no, "group-close-mismatch",
+              util::format("group %llu reverted flag: event %d vs replay %d",
+                           static_cast<unsigned long long>(id), g.close_reverted ? 1 : 0,
+                           g.derived_reverted ? 1 : 0));
+    }
+  }
+
+  /// Fig. 7 two ways: directly from the replayed raw events, and through
+  /// core/timing over GroupSummary objects rebuilt from group_close facts.
+  void check_timing() {
+    std::vector<scan::GroupSummary> summaries;
+    for (const auto& [id, g] : groups_) {
+      if (!g.closed) continue;
+      scan::GroupSummary s;
+      s.group_id = id;
+      s.closed = true;
+      s.started = g.opened;
+      s.last_icmp_ok = g.last_ok;
+      s.offline_detected = g.offline;
+      s.ptr_observed_gone = g.gone;
+      s.spot_rdns_ok = g.spot_ok;
+      s.icmp_ok = g.ok_probes;
+      s.reverted = g.close_reverted;
+      s.reliable = g.close_reliable;
+      summaries.push_back(s);
+      if (s.successful() && s.reverted && s.reliable) {
+        report_.timing.linger_minutes.push_back(
+            static_cast<double>(g.gone - g.last_ok) / 60.0);
+      }
+    }
+    std::sort(report_.timing.linger_minutes.begin(), report_.timing.linger_minutes.end());
+    report_.timing.usable_groups = report_.timing.linger_minutes.size();
+    if (!report_.timing.linger_minutes.empty()) {
+      const auto within =
+          std::count_if(report_.timing.linger_minutes.begin(),
+                        report_.timing.linger_minutes.end(), [](double m) { return m <= 60.0; });
+      report_.timing.fraction_within_60min =
+          static_cast<double>(within) / static_cast<double>(report_.timing.linger_minutes.size());
+    }
+    const auto usable = core::usable_groups(summaries);
+    if (usable.size() != report_.timing.usable_groups) {
+      violate(0, "timing-crosscheck",
+              util::format("usable groups: %zu from raw events vs %zu via core/timing",
+                           report_.timing.usable_groups, usable.size()));
+    }
+    report_.timing.summary_fraction_within_60min = core::fraction_within_minutes(usable, 60.0);
+    if (std::abs(report_.timing.summary_fraction_within_60min -
+                 report_.timing.fraction_within_60min) > 1e-9) {
+      violate(0, "timing-crosscheck",
+              util::format("fraction within 60 min: %.6f from raw events vs %.6f via core/timing",
+                           report_.timing.fraction_within_60min,
+                           report_.timing.summary_fraction_within_60min));
+    }
+  }
+
+  const AuditConfig& config_;
+  JournalAuditReport& report_;
+  SimTime last_t_ = 0;
+  SimTime last_campaign_t_ = 0;
+  std::unordered_map<std::string, IpState> ips_;
+  std::map<std::uint64_t, GroupReplay> groups_;
+};
+
+}  // namespace
+
+journal::RunManifest manifest_from_json(const journal::JsonValue& v) {
+  journal::RunManifest m;
+  m.tool = v.get_string("tool");
+  m.version = v.get_string("version");
+  m.seed = static_cast<std::uint64_t>(v.get_number("seed", 0.0));
+  m.world_digest = std::strtoull(v.get_string("world_digest", "0").c_str(), nullptr, 16);
+  m.threads = static_cast<unsigned>(v.get_int("threads", 0));
+  m.events_schema = v.get_string("events_schema");
+  m.observability_schema = v.get_string("observability_schema");
+  return m;
+}
+
+JournalAuditReport audit_journal_text(std::string_view text, const AuditConfig& config) {
+  JournalAuditReport report;
+  Auditor auditor{config, report};
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    std::string error;
+    const auto parsed = journal::parse_json(line, &error);
+    if (!parsed || parsed->kind != journal::JsonValue::Kind::Object) {
+      report.violations.push_back(
+          {line_no, "malformed-line", parsed ? "event is not a JSON object" : error});
+      continue;
+    }
+    if (line_no == 1) {
+      if (parsed->get_string("type") != "manifest") {
+        report.violations.push_back(
+            {line_no, "missing-manifest", "first event must be the run manifest"});
+      } else {
+        report.parsed = true;
+        report.manifest = manifest_from_json(*parsed);
+        if (report.manifest->events_schema != journal::kEventsSchema) {
+          report.violations.push_back(
+              {line_no, "schema-mismatch",
+               "events_schema \"" + report.manifest->events_schema + "\" != \"" +
+                   journal::kEventsSchema + "\""});
+        }
+      }
+    }
+    ++report.events;
+    auditor.consume(line_no, *parsed);
+  }
+  if (report.events == 0) {
+    report.violations.push_back({0, "empty-journal", "no events"});
+  }
+  auditor.finish();
+  return report;
+}
+
+JournalAuditReport audit_journal_file(const std::string& path, const AuditConfig& config) {
+  std::ifstream in{path};
+  if (!in) {
+    JournalAuditReport report;
+    report.violations.push_back({0, "io", "cannot open " + path});
+    return report;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return audit_journal_text(buffer.str(), config);
+}
+
+std::string render_audit_report(const JournalAuditReport& report) {
+  std::string out;
+  out += util::format("events: %zu\n", report.events);
+  if (report.manifest) {
+    out += util::format("manifest: tool=%s version=%s seed=%llu world=%016llx\n",
+                        report.manifest->tool.c_str(), report.manifest->version.c_str(),
+                        static_cast<unsigned long long>(report.manifest->seed),
+                        static_cast<unsigned long long>(report.manifest->world_digest));
+  }
+  out += util::format("leases: %llu started, %llu ended; ptr: %llu added, %llu removed\n",
+                      static_cast<unsigned long long>(report.leases_started),
+                      static_cast<unsigned long long>(report.leases_ended),
+                      static_cast<unsigned long long>(report.ptr_added),
+                      static_cast<unsigned long long>(report.ptr_removed));
+  out += util::format(
+      "timing: %zu usable groups, %.1f%% gone within 60 min (core/timing: %.1f%%)\n",
+      report.timing.usable_groups, report.timing.fraction_within_60min * 100.0,
+      report.timing.summary_fraction_within_60min * 100.0);
+  for (const auto& type_count : report.event_counts) {
+    out += util::format("  %-22s %llu\n", type_count.first.c_str(),
+                        static_cast<unsigned long long>(type_count.second));
+  }
+  if (report.violations.empty()) {
+    out += "verdict: OK — all invariants hold\n";
+  } else {
+    out += util::format("verdict: %zu violation(s)\n", report.violations.size());
+    for (const auto& v : report.violations) {
+      out += util::format("  line %zu: [%s] %s\n", v.line, v.invariant.c_str(), v.detail.c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace rdns::core

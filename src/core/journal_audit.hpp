@@ -1,0 +1,102 @@
+#pragma once
+/// \file journal_audit.hpp
+/// Invariant auditor over "rdns.events.v1" journals (`rdns_tool verify`).
+///
+/// The journal is the ground-truth record of what the simulated operators
+/// and scanners did; the auditor replays it and mechanically checks the
+/// claims the paper's analysis rests on:
+///
+///   - provenance: line 1 is a manifest event with a matching events schema
+///   - time: simulated timestamps never decrease
+///   - DHCP/DDNS coupling: every PTR add has a bound lease behind it
+///     (an ACK with no intervening lease end), and every lease end on a
+///     published address is followed by a PTR remove/revert within the
+///     removal window — the §6.2 "reverse zones follow lease churn" premise
+///   - lease exclusivity: no address holds two live leases at once
+///   - back-off: every campaign.backoff step matches the Table 2 schedule
+///     (BackoffSchedule::interval_after), and the promised probe fires
+///     within tolerance (or the group closes / the stream ends first)
+///   - Fig. 7 cross-check: the linger distribution recomputed from raw
+///     events alone agrees with the one computed by core/timing over the
+///     group summaries carried in campaign.group_close events
+///
+/// The replay is pure: it needs only the journal text, no world or
+/// simulation state, so a journal from any run (any thread count, any
+/// machine) can be audited anywhere.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/journal.hpp"
+
+namespace rdns::core {
+
+struct AuditConfig {
+  /// Max simulated seconds between a lease end and the matching PTR
+  /// remove/revert (the DHCP tick granularity bounds real bridges; the
+  /// default covers a 60 s tick with slack).
+  util::SimTime removal_window = 120;
+  /// Slack on back-off timing: the promised probe may fire this many
+  /// seconds late (rDNS rate-limiting can defer the engine's clock).
+  util::SimTime probe_tolerance = 60;
+};
+
+/// One invariant violation, anchored to the 1-based journal line.
+struct AuditViolation {
+  std::size_t line = 0;
+  std::string invariant;  ///< short slug, e.g. "ptr-add-without-ack"
+  std::string detail;
+};
+
+/// Fig. 7 numbers recomputed two independent ways (raw events vs the
+/// summaries carried in group_close), plus the reconstructed usable set.
+struct AuditTimingCheck {
+  std::size_t usable_groups = 0;
+  /// Fraction of usable groups whose PTR vanished within 60 minutes of the
+  /// last successful probe, recomputed from raw probe/rdns events.
+  double fraction_within_60min = 0.0;
+  /// Same figure via core::fraction_within_minutes over GroupSummary
+  /// objects reconstructed from group_close events.
+  double summary_fraction_within_60min = 0.0;
+  std::vector<double> linger_minutes;  ///< per usable group, event-derived
+};
+
+struct JournalAuditReport {
+  bool parsed = false;  ///< journal readable at all (manifest line present)
+  std::optional<util::journal::RunManifest> manifest;
+  std::size_t events = 0;
+  std::map<std::string, std::uint64_t> event_counts;
+  std::vector<AuditViolation> violations;
+
+  // Lifecycle tallies from the replay.
+  std::uint64_t leases_started = 0;   ///< dhcp.ack renew:false
+  std::uint64_t leases_ended = 0;     ///< dhcp.release + dhcp.expire
+  std::uint64_t ptr_added = 0;
+  std::uint64_t ptr_removed = 0;
+
+  AuditTimingCheck timing;
+
+  [[nodiscard]] bool ok() const noexcept { return parsed && violations.empty(); }
+};
+
+/// Rebuild a RunManifest from a parsed manifest JSON object (a journal
+/// header event or the "manifest" member of an observability snapshot).
+/// Missing fields default; world_digest is decoded from its hex form.
+[[nodiscard]] util::journal::RunManifest manifest_from_json(const util::journal::JsonValue& v);
+
+/// Replay a journal given as text (JSONL, one event per line).
+[[nodiscard]] JournalAuditReport audit_journal_text(std::string_view text,
+                                             const AuditConfig& config = {});
+
+/// Replay a journal file. A missing/unreadable file yields parsed=false
+/// with one "io" violation.
+[[nodiscard]] JournalAuditReport audit_journal_file(const std::string& path,
+                                             const AuditConfig& config = {});
+
+/// Human-readable report (multi-line, for `rdns_tool verify`).
+[[nodiscard]] std::string render_audit_report(const JournalAuditReport& report);
+
+}  // namespace rdns::core

@@ -3,6 +3,7 @@
 #include "dns/update.hpp"
 #include "dns/wire.hpp"
 #include "net/arpa.hpp"
+#include "util/journal.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
@@ -129,7 +130,7 @@ void DdnsBridge::send_update(const dns::Message& update) {
   }
 }
 
-void DdnsBridge::on_lease_bound(const Lease& lease, util::SimTime /*now*/) {
+void DdnsBridge::on_lease_bound(const Lease& lease, util::SimTime now) {
   if (config_.honor_no_update_flag && lease.client_fqdn && lease.client_fqdn->empty()) {
     // Convention from the client layer: an empty Client FQDN string models
     // the N flag ("do not update DNS on my behalf").
@@ -143,6 +144,22 @@ void DdnsBridge::on_lease_bound(const Lease& lease, util::SimTime /*now*/) {
                                     config_.ttl));
   ++stats_.ptr_added;
   ddns_metrics().ptr_added.inc();
+  if (auto* j = util::journal::active()) {
+    // src records whether the client-supplied Host Name was honored ("host"),
+    // replaced by the hashed mitigation ("hash"), or fell back to the
+    // fixed-form label because sanitization left nothing ("generic").
+    const char* src = "generic";
+    if (config_.policy == DdnsPolicy::HashedClientId) {
+      src = "hash";
+    } else if (config_.policy == DdnsPolicy::CarryOverClientId &&
+               !sanitize_hostname(lease.host_name).empty()) {
+      src = "host";
+    }
+    util::journal::Event e{"ddns.ptr_add", now};
+    e.str("ip", lease.address.to_string()).str("name", name->to_string()).str("src", src);
+    if (src[0] == 'h' && src[1] == 'o') e.str("host", lease.host_name);
+    j->emit(e);
+  }
   if (!config_.forward_zone.is_root()) {
     dns::UpdateBuilder builder{next_id_++, config_.forward_zone};
     builder.delete_rrset(*name, dns::RrType::A);
@@ -153,7 +170,7 @@ void DdnsBridge::on_lease_bound(const Lease& lease, util::SimTime /*now*/) {
   }
 }
 
-void DdnsBridge::on_lease_end(const Lease& lease, LeaseEndReason /*reason*/, util::SimTime /*now*/) {
+void DdnsBridge::on_lease_end(const Lease& lease, LeaseEndReason /*reason*/, util::SimTime now) {
   if (config_.policy == DdnsPolicy::None || config_.policy == DdnsPolicy::StaticGeneric) return;
   if (config_.honor_no_update_flag && lease.client_fqdn && lease.client_fqdn->empty()) return;
   if (!config_.forward_zone.is_root()) {
@@ -169,6 +186,11 @@ void DdnsBridge::on_lease_end(const Lease& lease, LeaseEndReason /*reason*/, uti
     send_update(dns::make_ptr_delete(next_id_++, config_.reverse_zone, lease.address));
     ++stats_.ptr_removed;
     ddns_metrics().ptr_removed.inc();
+    if (auto* j = util::journal::active()) {
+      util::journal::Event e{"ddns.ptr_remove", now};
+      e.str("ip", lease.address.to_string()).str("mode", "remove");
+      j->emit(e);
+    }
   } else {
     const dns::DnsName generic =
         config_.generic_suffix.prepend(generic_label(lease.address));
@@ -176,6 +198,11 @@ void DdnsBridge::on_lease_end(const Lease& lease, LeaseEndReason /*reason*/, uti
                                       config_.ttl));
     ++stats_.ptr_reverted;
     ddns_metrics().ptr_reverted.inc();
+    if (auto* j = util::journal::active()) {
+      util::journal::Event e{"ddns.ptr_remove", now};
+      e.str("ip", lease.address.to_string()).str("mode", "revert").str("name", generic.to_string());
+      j->emit(e);
+    }
   }
 }
 

@@ -1,5 +1,6 @@
 #include "dhcp/server.hpp"
 
+#include "util/journal.hpp"
 #include "util/metrics.hpp"
 
 namespace rdns::dhcp {
@@ -30,6 +31,18 @@ struct DhcpMetrics {
 DhcpMetrics& dhcp_metrics() {
   static DhcpMetrics m;
   return m;
+}
+
+namespace journal = rdns::util::journal;
+
+/// Journal a lease-state transition. The servers run serially on the sim
+/// thread, so emission order equals handling order.
+void journal_lease_event(const char* type, const Lease& lease, rdns::util::SimTime now) {
+  if (auto* j = journal::active()) {
+    journal::Event e{type, now};
+    e.str("ip", lease.address.to_string()).str("mac", lease.mac.to_string());
+    j->emit(e);
+  }
 }
 
 }  // namespace
@@ -95,6 +108,11 @@ std::optional<DhcpMessage> DhcpServer::handle(const DhcpMessage& request, util::
     case MessageType::Discover:
       ++stats_.discovers;
       dhcp_metrics().discovers.inc();
+      if (auto* j = util::journal::active()) {
+        util::journal::Event e{"dhcp.discover", now};
+        e.str("mac", request.chaddr.to_string());
+        j->emit(e);
+      }
       return on_discover(request, now);
     case MessageType::Request:
       ++stats_.requests;
@@ -129,6 +147,7 @@ std::optional<DhcpMessage> DhcpServer::on_discover(const DhcpMessage& m, util::S
       existing != nullptr && existing->state == LeaseState::Bound) {
     ++stats_.offers;
     dhcp_metrics().offers.inc();
+    journal_lease_event("dhcp.offer", *existing, now);
     return make_reply(m, MessageType::Offer, existing->address);
   }
 
@@ -148,6 +167,7 @@ std::optional<DhcpMessage> DhcpServer::on_discover(const DhcpMessage& m, util::S
   leases_.upsert(lease);
   ++stats_.offers;
   dhcp_metrics().offers.inc();
+  journal_lease_event("dhcp.offer", lease, now);
   return make_reply(m, MessageType::Offer, *address);
 }
 
@@ -158,11 +178,21 @@ std::optional<DhcpMessage> DhcpServer::on_request(const DhcpMessage& m, util::Si
     if (lease == nullptr || !(lease->mac == m.chaddr) || lease->state != LeaseState::Bound) {
       ++stats_.naks;
       dhcp_metrics().naks.inc();
+      if (auto* j = util::journal::active()) {
+        util::journal::Event e{"dhcp.nak", now};
+        e.str("mac", m.chaddr.to_string());
+        j->emit(e);
+      }
       return make_reply(m, MessageType::Nak, net::Ipv4Addr{});
     }
     leases_.renew(m.ciaddr, now + config_.lease_seconds);
     ++stats_.acks;
     dhcp_metrics().acks.inc();
+    if (auto* j = util::journal::active()) {
+      util::journal::Event e{"dhcp.ack", now};
+      e.str("ip", m.ciaddr.to_string()).str("mac", m.chaddr.to_string()).boolean("renew", true);
+      j->emit(e);
+    }
     // Renewal does not re-fire on_bound: the PTR is already in place.
     return make_reply(m, MessageType::Ack, m.ciaddr);
   }
@@ -173,12 +203,22 @@ std::optional<DhcpMessage> DhcpServer::on_request(const DhcpMessage& m, util::Si
   if (!requested || (server_id && !(*server_id == config_.server_id))) {
     ++stats_.naks;
     dhcp_metrics().naks.inc();
+    if (auto* j = util::journal::active()) {
+      util::journal::Event e{"dhcp.nak", now};
+      e.str("mac", m.chaddr.to_string());
+      j->emit(e);
+    }
     return make_reply(m, MessageType::Nak, net::Ipv4Addr{});
   }
   const Lease* offered = leases_.by_address(*requested);
   if (offered == nullptr || !(offered->mac == m.chaddr)) {
     ++stats_.naks;
     dhcp_metrics().naks.inc();
+    if (auto* j = util::journal::active()) {
+      util::journal::Event e{"dhcp.nak", now};
+      e.str("mac", m.chaddr.to_string());
+      j->emit(e);
+    }
     return make_reply(m, MessageType::Nak, net::Ipv4Addr{});
   }
   Lease updated = *offered;
@@ -189,6 +229,16 @@ std::optional<DhcpMessage> DhcpServer::on_request(const DhcpMessage& m, util::Si
   leases_.upsert(updated);
   ++stats_.acks;
   dhcp_metrics().acks.inc();
+  // The ACK event must precede the bridge's ddns.ptr_add (fired from
+  // notify_bound) so the auditor sees cause before effect.
+  if (auto* j = util::journal::active()) {
+    util::journal::Event e{"dhcp.ack", now};
+    e.str("ip", updated.address.to_string())
+        .str("mac", updated.mac.to_string())
+        .boolean("renew", false)
+        .str("host", updated.host_name);
+    j->emit(e);
+  }
   notify_bound(updated, now);
   return make_reply(m, MessageType::Ack, *requested);
 }
@@ -199,6 +249,7 @@ void DhcpServer::on_release(const DhcpMessage& m, util::SimTime now) {
   if (!released) return;
   pool_.release(released->address, released->mac);
   leases_.erase(released->address);
+  journal_lease_event("dhcp.release", *released, now);
   notify_end(*released, LeaseEndReason::Release, now);
 }
 
@@ -211,6 +262,7 @@ void DhcpServer::tick(util::SimTime now) {
     if (lease.state == LeaseState::Bound) {
       ++stats_.expirations;
       dhcp_metrics().expirations.inc();
+      journal_lease_event("dhcp.expire", lease, now);
       notify_end(lease, LeaseEndReason::Expiry, now);
     }
   }

@@ -2,6 +2,7 @@
 
 #include "dns/wire.hpp"
 #include "net/arpa.hpp"
+#include "util/journal.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
 
@@ -32,9 +33,13 @@ ResolverMetrics& resolver_metrics() {
   return m;
 }
 
-/// Records the finished lookup on every return path.
+/// Records the finished lookup on every return path (and journals it when
+/// the owning resolver has a sink attached).
 struct LookupNote {
   const LookupResult& result;
+  const DnsName& qname;
+  util::SimTime when;
+  util::journal::Sink* journal;
   ~LookupNote() {
     ResolverMetrics& m = resolver_metrics();
     m.attempts.observe(static_cast<double>(result.attempts));
@@ -45,6 +50,13 @@ struct LookupNote {
       case LookupStatus::ServFail: m.servfail.inc(); break;
       case LookupStatus::Timeout: m.timeout.inc(); break;
       default: m.other.inc(); break;
+    }
+    if (journal != nullptr) {
+      util::journal::Event e{"dns.lookup", when};
+      e.str("qname", qname.to_string()).str("status", to_string(result.status));
+      if (result.ptr) e.str("answer", result.ptr->to_string());
+      e.num("attempts", result.attempts);
+      journal->emit(e);
     }
   }
 };
@@ -75,7 +87,7 @@ LookupResult StubResolver::lookup_ptr(net::Ipv4Addr address, util::SimTime now) 
 
 LookupResult StubResolver::lookup(const DnsName& qname, RrType qtype, util::SimTime now) {
   LookupResult result;
-  const LookupNote note{result};
+  const LookupNote note{result, qname, now, journal_};
 
   for (int attempt = 0; attempt <= retries_; ++attempt) {
     // A fresh transaction id per attempt (a retry is a new transaction),

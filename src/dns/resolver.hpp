@@ -14,6 +14,10 @@
 #include "net/ipv4.hpp"
 #include "util/time.hpp"
 
+namespace rdns::util::journal {
+class Sink;
+}  // namespace rdns::util::journal
+
 namespace rdns::dns {
 
 /// Outcome classification (Fig. 6 taxonomy).
@@ -76,11 +80,18 @@ class StubResolver {
   [[nodiscard]] const ResolverStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
 
+  /// Attach a journal sink: every finished lookup emits a `dns.lookup`
+  /// event (qname, status, answer, attempts) into it. Opt-in per resolver
+  /// instance — the campaign engine attaches its serial resolver, while
+  /// bulk sweeps leave theirs detached to keep journal volume bounded.
+  void set_journal(util::journal::Sink* sink) noexcept { journal_ = sink; }
+
  private:
   Transport* transport_;
   int retries_;
   std::uint16_t next_id_;
   ResolverStats stats_;
+  util::journal::Sink* journal_ = nullptr;
 };
 
 }  // namespace rdns::dns

@@ -3,6 +3,7 @@
 #include <mutex>
 
 #include "net/ip_bitset.hpp"
+#include "util/journal.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
@@ -61,14 +62,26 @@ std::uint64_t sweep_bulk(const sim::World& world, const util::CivilDate& date,
             [&](net::Ipv4Addr a, const dns::DnsName& ptr) { out.emplace_back(a, ptr); });
         return out;
       },
-      [&](std::size_t, Rows&& org_rows) {
+      [&](std::size_t ci, Rows&& org_rows) {
         sm.org_rows.observe(static_cast<double>(org_rows.size()));
         for (auto& [a, ptr] : org_rows) {
           sink.on_row(date, a, ptr);
           ++rows;
         }
+        // The fold runs on the calling thread in org order, so these events
+        // land in the same order at any thread count.
+        if (auto* j = util::journal::active()) {
+          util::journal::Event e{"sweep.org", world.now()};
+          e.str("org", orgs[ci]->name()).unum("rows", org_rows.size());
+          j->emit(e);
+        }
       });
   sm.rows.inc(rows);
+  if (auto* j = util::journal::active()) {
+    util::journal::Event e{"sweep.pass", world.now()};
+    e.str("date", util::format_date(date)).unum("rows", rows);
+    j->emit(e);
+  }
   sink.on_sweep_end(date);
   return rows;
 }
@@ -105,7 +118,13 @@ std::uint64_t sweep_wire(sim::World& world, const util::CivilDate& date, Snapsho
   // walk — while workers run ahead by at most `capacity` shards.
   struct ShardRows {
     std::vector<std::pair<net::Ipv4Addr, dns::DnsName>> rows;
+    /// Pre-rendered journal events for this shard (empty when disabled).
+    /// Workers render into a per-shard buffer; the merge consumer appends
+    /// them in shard order, so the journal stream is thread-invariant.
+    std::string journal_lines;
   };
+  // Captured once: toggling the journal mid-sweep must not tear the stream.
+  util::journal::Journal* const jrn = util::journal::active();
   std::uint64_t rows_emitted = 0;
   util::OrderedMergeBuffer<ShardRows> merge{
       /*capacity=*/std::size_t{8} * pool.size(),
@@ -113,6 +132,9 @@ std::uint64_t sweep_wire(sim::World& world, const util::CivilDate& date, Snapsho
         for (auto& [address, ptr] : shard_rows.rows) {
           sink.on_row(date, address, ptr);
           ++rows_emitted;
+        }
+        if (jrn != nullptr && !shard_rows.journal_lines.empty()) {
+          jrn->append_raw(shard_rows.journal_lines);
         }
       }};
 
@@ -145,6 +167,20 @@ std::uint64_t sweep_wire(sim::World& world, const util::CivilDate& date, Snapsho
             }
           }
           sm.shard_rows.observe(static_cast<double>(out.rows.size()));
+          if (jrn != nullptr) {
+            const dns::ResolverStats& rs = resolver.stats();
+            util::journal::Buffer buf;
+            util::journal::Event e{"sweep.shard", now};
+            e.str("first", net::Ipv4Addr{shard.first}.to_string())
+                .str("last", net::Ipv4Addr{shard.last}.to_string())
+                .unum("rows", out.rows.size())
+                .unum("ok", rs.ok)
+                .unum("nxdomain", rs.nxdomain)
+                .unum("servfail", rs.servfail)
+                .unum("timeout", rs.timeout);
+            buf.emit(e);
+            out.journal_lines = buf.take();
+          }
           std::lock_guard lock{stats_mutex};
           resolver_totals += resolver.stats();
           view.merge_into(server_totals);
@@ -160,6 +196,11 @@ std::uint64_t sweep_wire(sim::World& world, const util::CivilDate& date, Snapsho
   world.merge_server_stats(server_totals);
   if (stats_out != nullptr) *stats_out = resolver_totals;
   sm.rows.inc(rows_emitted);
+  if (jrn != nullptr) {
+    util::journal::Event e{"sweep.pass", now};
+    e.str("date", util::format_date(date)).unum("rows", rows_emitted);
+    jrn->emit(e);
+  }
   sink.on_sweep_end(date);
   return rows_emitted;
 }

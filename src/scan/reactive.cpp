@@ -1,5 +1,6 @@
 #include "scan/reactive.hpp"
 
+#include "util/journal.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
 
@@ -31,6 +32,19 @@ struct CampaignMetrics {
 CampaignMetrics& campaign_metrics() {
   static CampaignMetrics m;
   return m;
+}
+
+namespace journal = rdns::util::journal;
+
+/// One back-off step: the engine committed to re-probing `group` after
+/// `next_s` seconds, having completed `probes_done` probes in the current
+/// phase. The auditor replays these against BackoffSchedule (Table 2).
+void journal_backoff(const GroupSummary& group, int probes_done, SimTime next_s, SimTime now) {
+  if (auto* j = journal::active()) {
+    journal::Event e{"campaign.backoff", now};
+    e.unum("group", group.group_id).num("n", probes_done).num("next_s", next_s);
+    j->emit(e);
+  }
 }
 
 }  // namespace
@@ -71,6 +85,9 @@ void ReactiveEngine::schedule(SimTime t, ActionKind kind, net::Ipv4Addr address)
 
 void ReactiveEngine::run(SimTime from, SimTime to) {
   const auto span = util::trace::Tracer::global().scope("campaign");
+  // The campaign resolver is serial, so its dns.lookup events interleave
+  // deterministically with the campaign.* stream.
+  resolver_.set_journal(util::journal::active());
   end_time_ = to;
   schedule(from, ActionKind::Sweep, net::Ipv4Addr{});
   while (!actions_.empty() && actions_.top().time <= to) {
@@ -126,11 +143,18 @@ void ReactiveEngine::open_group(net::Ipv4Addr address) {
   tracked_.emplace(address, tracked);
   campaign_metrics().groups_opened.inc();
   networks_[groups_.back().network].groups += 1;
+  if (auto* j = util::journal::active()) {
+    const GroupSummary& g = groups_.back();
+    util::journal::Event e{"campaign.group_open", world_->now()};
+    e.unum("group", g.group_id).str("ip", address.to_string()).str("network", g.network);
+    j->emit(e);
+  }
 
   // Spot rDNS lookup to record the PTR value (Fig. 5, phase 1), then the
   // first reactive ping five minutes in.
   schedule(world_->now(), ActionKind::SpotRdns, address);
   schedule(world_->now() + BackoffSchedule::interval_after(0), ActionKind::Probe, address);
+  journal_backoff(groups_.back(), 0, BackoffSchedule::interval_after(0), world_->now());
 }
 
 void ReactiveEngine::do_sweep() {
@@ -155,7 +179,8 @@ void ReactiveEngine::do_sweep() {
   }
 }
 
-dns::LookupResult ReactiveEngine::lookup(net::Ipv4Addr address, GroupSummary& group) {
+dns::LookupResult ReactiveEngine::lookup(net::Ipv4Addr address, GroupSummary& group,
+                                         const char* kind) {
   // Rate-limit lookups to the authoritative servers (§6.1). The bucket is
   // sized so back-off-paced probes essentially never wait, but bulk misuse
   // would.
@@ -197,6 +222,17 @@ dns::LookupResult ReactiveEngine::lookup(net::Ipv4Addr address, GroupSummary& gr
       ++day.servfail;  // fold rare outcomes into server failures
       break;
   }
+  if (auto* j = util::journal::active()) {
+    util::journal::Event e{"campaign.rdns", now};
+    e.unum("group", group.group_id)
+        .str("ip", address.to_string())
+        .str("kind", kind)
+        .str("status", dns::to_string(result.status));
+    if (result.status == dns::LookupStatus::Ok && result.ptr) {
+      e.str("name", result.ptr->to_canonical_string());
+    }
+    j->emit(e);
+  }
   return result;
 }
 
@@ -205,7 +241,7 @@ void ReactiveEngine::do_spot_rdns(net::Ipv4Addr address) {
   if (it == tracked_.end()) return;
   Tracked& tracked = it->second;
   GroupSummary& group = groups_[tracked.group_index];
-  const auto result = lookup(address, group);
+  const auto result = lookup(address, group, "spot");
   if (result.status == dns::LookupStatus::Ok && result.ptr) {
     group.first_ptr = result.ptr->to_canonical_string();
     group.last_ptr = group.first_ptr;
@@ -221,7 +257,20 @@ void ReactiveEngine::do_spot_rdns(net::Ipv4Addr address) {
 
 void ReactiveEngine::close_group(net::Ipv4Addr address, Tracked& tracked) {
   campaign_metrics().groups_closed.inc();
-  groups_[tracked.group_index].closed = true;
+  GroupSummary& group = groups_[tracked.group_index];
+  group.closed = true;
+  if (auto* j = util::journal::active()) {
+    util::journal::Event e{"campaign.group_close", world_->now()};
+    e.unum("group", group.group_id)
+        .str("ip", address.to_string())
+        .boolean("reverted", group.reverted)
+        .boolean("reliable", group.reliable)
+        .boolean("successful", group.successful())
+        .num("last_ok", group.last_icmp_ok)
+        .num("gone", group.ptr_observed_gone);
+    if (group.ptr_observed_gone != 0) e.real("linger_min", group.linger_minutes());
+    j->emit(e);
+  }
   tracked_.erase(address);
 }
 
@@ -244,6 +293,17 @@ void ReactiveEngine::do_probe(net::Ipv4Addr address) {
   CampaignMetrics& cm = campaign_metrics();
   cm.icmp_probes.inc();
   cm.backoff_probe_index.observe(static_cast<double>(tracked.probes_in_phase));
+  // Emitted before any follow-up lookup: the lookup can advance the sim
+  // clock past `now` (rate limiting), and the stream must stay monotonic.
+  if (auto* j = util::journal::active()) {
+    util::journal::Event e{"campaign.probe", now};
+    e.unum("group", group.group_id)
+        .str("ip", address.to_string())
+        .boolean("ok", alive)
+        .str("phase", tracked.phase == Phase::Online ? "online" : "follow")
+        .num("n", tracked.probes_in_phase);
+    j->emit(e);
+  }
 
   if (tracked.phase == Phase::Online) {
     if (alive) {
@@ -255,6 +315,8 @@ void ReactiveEngine::do_probe(net::Ipv4Addr address) {
       ++tracked.probes_in_phase;
       schedule(now + BackoffSchedule::interval_after(tracked.probes_in_phase), ActionKind::Probe,
                address);
+      journal_backoff(group, tracked.probes_in_phase,
+                      BackoffSchedule::interval_after(tracked.probes_in_phase), now);
     } else {
       ++group.icmp_fail;
       group.offline_detected = now;
@@ -288,7 +350,7 @@ void ReactiveEngine::do_probe(net::Ipv4Addr address) {
 
 void ReactiveEngine::do_follow_lookup(net::Ipv4Addr address, Tracked& tracked,
                                       GroupSummary& group) {
-  const auto result = lookup(address, group);
+  const auto result = lookup(address, group, "follow");
   const SimTime now = world_->now();
   if (result.status == dns::LookupStatus::Ok && result.ptr) {
     const std::string ptr = result.ptr->to_canonical_string();
@@ -312,6 +374,8 @@ void ReactiveEngine::do_follow_lookup(net::Ipv4Addr address, Tracked& tracked,
   ++tracked.probes_in_phase;
   schedule(now + BackoffSchedule::interval_after(tracked.probes_in_phase), ActionKind::Probe,
            address);
+  journal_backoff(group, tracked.probes_in_phase,
+                  BackoffSchedule::interval_after(tracked.probes_in_phase), now);
 }
 
 }  // namespace rdns::scan

@@ -171,7 +171,9 @@ class ReactiveEngine {
   void do_probe(net::Ipv4Addr address);
   void do_spot_rdns(net::Ipv4Addr address);
   /// Issue one rate-limited PTR lookup and update counters; returns result.
-  dns::LookupResult lookup(net::Ipv4Addr address, GroupSummary& group);
+  /// `kind` tags the journal event ("spot" join-time capture vs "follow"
+  /// reactive watch) so an auditor can replay spot_rdns_ok exactly.
+  dns::LookupResult lookup(net::Ipv4Addr address, GroupSummary& group, const char* kind);
   void open_group(net::Ipv4Addr address);
   void close_group(net::Ipv4Addr address, Tracked& tracked);
   /// Follow-phase rDNS step: watches for the PTR being removed/changed and

@@ -1,8 +1,12 @@
 #include "sim/world.hpp"
 
+#include <cstring>
+#include <string_view>
+
 #include "dns/wire.hpp"
 #include "net/arpa.hpp"
 #include "util/log.hpp"
+#include "util/rng.hpp"
 #include "util/strings.hpp"
 
 namespace rdns::sim {
@@ -291,6 +295,95 @@ Organization* World::org_by_name(const std::string& name) noexcept {
 const Device* World::device_at(net::Ipv4Addr a) const noexcept {
   const auto it = online_.find(a);
   return it == online_.end() ? nullptr : it->second;
+}
+
+namespace {
+
+/// Small order-sensitive fold helpers for config_digest. Doubles hash by
+/// bit pattern, so the digest is exact (no epsilon games).
+struct DigestFold {
+  std::uint64_t h = 0x5EED0D16E57ULL;
+
+  void word(std::uint64_t v) noexcept { h = util::mix64(h ^ v); }
+  void real(double d) noexcept {
+    std::uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof d);
+    std::memcpy(&bits, &d, sizeof bits);
+    word(bits);
+  }
+  void text(std::string_view s) noexcept {
+    // FNV-1a over the bytes, then folded: string content and length both
+    // perturb the digest.
+    std::uint64_t fnv = 0xCBF29CE484222325ULL;
+    for (const char c : s) {
+      fnv ^= static_cast<unsigned char>(c);
+      fnv *= 0x100000001B3ULL;
+    }
+    word(fnv ^ s.size());
+  }
+  void prefix(const net::Prefix& p) noexcept {
+    word((static_cast<std::uint64_t>(p.first().value()) << 8U) |
+         static_cast<std::uint64_t>(p.length()));
+  }
+};
+
+}  // namespace
+
+std::uint64_t World::config_digest() const noexcept {
+  DigestFold d;
+  d.word(config_.seed);
+  d.word(static_cast<std::uint64_t>(config_.dhcp_tick_seconds));
+  d.word(orgs_.size());
+  for (const auto& org : orgs_) {
+    const OrgSpec& spec = org->spec();
+    d.text(spec.name);
+    d.word(static_cast<std::uint64_t>(spec.type));
+    d.text(spec.suffix.to_canonical_string());
+    for (const auto& p : spec.announced) d.prefix(p);
+    for (const auto& p : spec.measurement_targets) d.prefix(p);
+    d.word(spec.segments.size());
+    for (const auto& seg : spec.segments) {
+      d.text(seg.label);
+      d.word(static_cast<std::uint64_t>(seg.venue));
+      d.prefix(seg.prefix);
+      d.word(static_cast<std::uint64_t>(seg.schedule));
+      d.word(static_cast<std::uint64_t>(seg.user_count));
+      d.word(static_cast<std::uint64_t>(seg.always_on_count));
+      d.word(static_cast<std::uint64_t>(seg.ddns_policy));
+      d.word(static_cast<std::uint64_t>(seg.removal));
+      d.word(seg.lease_seconds);
+      d.real(seg.named_device_frac);
+      d.real(seg.ping_response_scale);
+      d.real(seg.clean_release_override);
+    }
+    d.word(spec.static_ranges.size());
+    for (const auto& range : spec.static_ranges) {
+      d.prefix(range.prefix);
+      d.word(static_cast<std::uint64_t>(range.style));
+      d.real(range.fill);
+      d.real(range.pingable);
+    }
+    d.word(spec.scripted_users.size());
+    for (const auto& scripted : spec.scripted_users) {
+      d.text(scripted.given_name);
+      d.word(static_cast<std::uint64_t>(scripted.schedule));
+      d.word(scripted.segment);
+      d.word(scripted.devices.size());
+      for (const auto& dev : scripted.devices) {
+        d.word(static_cast<std::uint64_t>(dev.kind));
+        d.text(dev.host_name);
+        d.real(dev.participation);
+      }
+    }
+    d.word(static_cast<std::uint64_t>(spec.blocks_icmp));
+    for (const auto& a : spec.icmp_allowlist) d.word(a.value());
+    d.word(static_cast<std::uint64_t>(spec.forward_updates));
+    d.word(static_cast<std::uint64_t>(spec.students_roam));
+    d.real(spec.dns_faults.servfail_probability);
+    d.real(spec.dns_faults.timeout_probability);
+    d.word(spec.seed);
+  }
+  return d.h;
 }
 
 }  // namespace rdns::sim

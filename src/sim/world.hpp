@@ -112,6 +112,12 @@ class World final : public dns::Transport {
 
   [[nodiscard]] const WorldStats& stats() const noexcept { return stats_; }
 
+  /// Order-sensitive hash over the world config and every org spec (names,
+  /// prefixes, segments, policies, seeds). Two worlds with equal digests
+  /// were built from the same blueprint, so their event streams are
+  /// comparable — this is the `world_digest` of util::journal::RunManifest.
+  [[nodiscard]] std::uint64_t config_digest() const noexcept;
+
   /// Device currently bound to an address (nullptr if none) — ground truth
   /// for validating the heuristics, which the paper did not have.
   [[nodiscard]] const Device* device_at(net::Ipv4Addr a) const noexcept;

@@ -1,0 +1,405 @@
+#include "util/journal.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/metrics.hpp"
+#include "util/strings.hpp"
+
+namespace rdns::util::journal {
+
+namespace {
+
+/// Append `"key":` with the key escaped (keys here are compile-time ASCII,
+/// but escaping keeps the writer total).
+void append_key(std::string& out, std::string_view key) {
+  out += ",\"";
+  metrics::append_json_escaped(out, key);
+  out += "\":";
+}
+
+void append_manifest_fields(std::string& out, const RunManifest& m, bool include_threads) {
+  out += "\"tool\":\"";
+  metrics::append_json_escaped(out, m.tool);
+  out += "\",\"version\":\"";
+  metrics::append_json_escaped(out, m.version);
+  out += "\"";
+  out += format(",\"seed\":%llu", static_cast<unsigned long long>(m.seed));
+  // The digest is a full 64-bit hash: hex keeps it exact through JSON
+  // readers that store numbers as doubles.
+  out += format(",\"world_digest\":\"%016llx\"",
+                static_cast<unsigned long long>(m.world_digest));
+  if (include_threads) out += format(",\"threads\":%u", m.threads);
+  out += ",\"events_schema\":\"";
+  metrics::append_json_escaped(out, m.events_schema);
+  out += "\",\"observability_schema\":\"";
+  metrics::append_json_escaped(out, m.observability_schema);
+  out += "\"";
+}
+
+}  // namespace
+
+std::string version_string() {
+#ifdef RDNS_VERSION
+  return RDNS_VERSION;
+#else
+  return "0.0.0";
+#endif
+}
+
+std::string manifest_json(const RunManifest& m, bool include_threads) {
+  std::string out = "{";
+  append_manifest_fields(out, m, include_threads);
+  out += "}";
+  return out;
+}
+
+std::string manifest_event_line(const RunManifest& m) {
+  // The header is part of the byte-identical stream, so it omits the thread
+  // count (see manifest_json's contract) and pins t to 0: provenance fields
+  // only, no run-shape fields.
+  std::string out = "{\"t\":0,\"type\":\"manifest\",";
+  append_manifest_fields(out, m, /*include_threads=*/false);
+  out += "}\n";
+  return out;
+}
+
+bool manifests_compatible(const RunManifest& a, const RunManifest& b, std::string* why) {
+  const auto fail = [&](const char* field) {
+    if (why != nullptr) *why = field;
+    return false;
+  };
+  if (a.seed != b.seed) return fail("seed");
+  if (a.world_digest != b.world_digest) return fail("world_digest");
+  if (a.version != b.version) return fail("version");
+  if (a.events_schema != b.events_schema) return fail("events_schema");
+  if (a.observability_schema != b.observability_schema) return fail("observability_schema");
+  return true;
+}
+
+Event::Event(std::string_view type, SimTime t) {
+  body_ = format("{\"t\":%lld", static_cast<long long>(t));
+  append_key(body_, "type");
+  body_ += '"';
+  metrics::append_json_escaped(body_, type);
+  body_ += '"';
+}
+
+Event& Event::str(std::string_view key, std::string_view value) {
+  append_key(body_, key);
+  body_ += '"';
+  metrics::append_json_escaped(body_, value);
+  body_ += '"';
+  return *this;
+}
+
+Event& Event::num(std::string_view key, std::int64_t value) {
+  append_key(body_, key);
+  body_ += format("%lld", static_cast<long long>(value));
+  return *this;
+}
+
+Event& Event::unum(std::string_view key, std::uint64_t value) {
+  append_key(body_, key);
+  body_ += format("%llu", static_cast<unsigned long long>(value));
+  return *this;
+}
+
+Event& Event::real(std::string_view key, double value) {
+  append_key(body_, key);
+  body_ += metrics::json_number(value);
+  return *this;
+}
+
+Event& Event::boolean(std::string_view key, bool value) {
+  append_key(body_, key);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+std::string Event::line() const { return body_ + "}\n"; }
+
+Journal& Journal::global() {
+  static Journal j;
+  return j;
+}
+
+bool Journal::open(const std::string& path) {
+  std::lock_guard lock{m_};
+  if (out_.is_open()) out_.close();
+  out_.open(path, std::ios::out | std::ios::trunc);
+  header_written_ = false;
+  if (!out_) {
+    enabled_.store(false, std::memory_order_relaxed);
+    return false;
+  }
+  if (manifest_) {
+    out_ << manifest_event_line(*manifest_);
+    header_written_ = true;
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void Journal::close() {
+  std::lock_guard lock{m_};
+  enabled_.store(false, std::memory_order_relaxed);
+  if (out_.is_open()) out_.close();
+  header_written_ = false;
+}
+
+void Journal::emit(const Event& event) {
+  const std::string line = event.line();
+  std::lock_guard lock{m_};
+  if (out_.is_open()) out_ << line;
+}
+
+void Journal::append_raw(std::string_view lines) {
+  if (lines.empty()) return;
+  std::lock_guard lock{m_};
+  if (out_.is_open()) out_ << lines;
+}
+
+void Journal::set_manifest(const RunManifest& manifest) {
+  std::lock_guard lock{m_};
+  manifest_ = manifest;
+  if (out_.is_open() && !header_written_) {
+    out_ << manifest_event_line(manifest);
+    header_written_ = true;
+  }
+}
+
+std::optional<RunManifest> Journal::manifest() const {
+  std::lock_guard lock{m_};
+  return manifest_;
+}
+
+// -- JSON reader -------------------------------------------------------------
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  if (kind != Kind::Object) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string JsonValue::get_string(std::string_view key, std::string_view def) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->kind == Kind::String ? v->string : std::string{def};
+}
+
+std::int64_t JsonValue::get_int(std::string_view key, std::int64_t def) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->kind == Kind::Number ? static_cast<std::int64_t>(v->number) : def;
+}
+
+double JsonValue::get_number(std::string_view key, double def) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->kind == Kind::Number ? v->number : def;
+}
+
+bool JsonValue::get_bool(std::string_view key, bool def) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->kind == Kind::Bool ? v->boolean : def;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view cursor. Depth-capped so a
+/// hostile document cannot blow the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse(std::string* error) {
+    JsonValue value;
+    if (!parse_value(value, 0)) {
+      if (error != nullptr) *error = format("%s at offset %zu", error_, pos_);
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      if (error != nullptr) *error = format("trailing data at offset %zu", pos_);
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool fail(const char* what) {
+    error_ = what;
+    return false;
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(JsonValue& out, int depth) {  // NOLINT(misc-no-recursion)
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"':
+        out.kind = JsonValue::Kind::String;
+        return parse_string(out.string);
+      case 't':
+        if (text_.substr(pos_, 4) != "true") return fail("bad literal");
+        pos_ += 4;
+        out.kind = JsonValue::Kind::Bool;
+        out.boolean = true;
+        return true;
+      case 'f':
+        if (text_.substr(pos_, 5) != "false") return fail("bad literal");
+        pos_ += 5;
+        out.kind = JsonValue::Kind::Bool;
+        out.boolean = false;
+        return true;
+      case 'n':
+        if (text_.substr(pos_, 4) != "null") return fail("bad literal");
+        pos_ += 4;
+        out.kind = JsonValue::Kind::Null;
+        return true;
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out, int depth) {  // NOLINT(misc-no-recursion)
+    ++pos_;  // '{'
+    out.kind = JsonValue::Kind::Object;
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"') return fail("expected object key");
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':'");
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      out.object.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(JsonValue& out, int depth) {  // NOLINT(misc-no-recursion)
+    ++pos_;  // '['
+    out.kind = JsonValue::Kind::Array;
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      out.array.push_back(std::move(value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return true;
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return fail("dangling escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4U;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad \\u escape");
+          }
+          // The writers only escape control characters; decode BMP code
+          // points as UTF-8 (surrogate pairs are not produced by our side).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0U | (code >> 6U)));
+            out.push_back(static_cast<char>(0x80U | (code & 0x3FU)));
+          } else {
+            out.push_back(static_cast<char>(0xE0U | (code >> 12U)));
+            out.push_back(static_cast<char>(0x80U | ((code >> 6U) & 0x3FU)));
+            out.push_back(static_cast<char>(0x80U | (code & 0x3FU)));
+          }
+          break;
+        }
+        default: return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      const bool number_char = (c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+                               c == '+' || c == '-';
+      if (!number_char) break;
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected a value");
+    const std::string token{text_.substr(start, pos_ - start)};
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(v)) return fail("bad number");
+    out.kind = JsonValue::Kind::Number;
+    out.number = v;
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  const char* error_ = "parse error";
+};
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(std::string_view text, std::string* error) {
+  return JsonParser{text}.parse(error);
+}
+
+}  // namespace rdns::util::journal

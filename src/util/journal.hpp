@@ -1,0 +1,191 @@
+#pragma once
+/// \file journal.hpp
+/// Append-only structured event stream (JSONL, schema "rdns.events.v1"):
+/// the third leg of the observability stack (metrics + traces + events).
+/// Domain code emits typed lifecycle events — DHCP lease transitions, DDNS
+/// PTR add/remove, resolver query outcomes, reactive-campaign probe steps —
+/// that an auditor (core/journal_audit.hpp, `rdns_tool verify`) can replay
+/// to check the paper's timing claims mechanically.
+///
+/// Determinism contract. Events carry *simulated* time, never wall time,
+/// and every serial producer (the sim event loop, DHCP servers, bridges,
+/// the reactive engine) appends in call order. The only parallel producer —
+/// the per-/24-sharded wire sweep — writes into a per-shard Buffer that is
+/// folded through the existing OrderedMergeBuffer in shard order, so the
+/// journal is byte-identical at any thread count.
+///
+/// Cost model mirrors metrics::collect_timing(): journal::active() is one
+/// relaxed atomic load and returns nullptr unless --journal-out opened a
+/// file, so disabled call sites pay nothing else.
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace rdns::util::journal {
+
+inline constexpr const char* kEventsSchema = "rdns.events.v1";
+inline constexpr const char* kObservabilitySchema = "rdns.observability.v1";
+
+/// Binary version baked in by the build (RDNS_VERSION compile definition).
+[[nodiscard]] std::string version_string();
+
+/// Provenance of one run: enough to decide whether two artifacts (journals,
+/// metrics snapshots, BENCH_*.json results) are comparable. Embedded as the
+/// journal's header event, as the "manifest" object of observability
+/// snapshots, and in bench result documents.
+struct RunManifest {
+  std::string tool;                ///< e.g. "rdns_tool.campaign", "bench.fig7"
+  std::string version;             ///< version_string()
+  std::uint64_t seed = 0;          ///< world seed
+  std::uint64_t world_digest = 0;  ///< sim::World::config_digest() (0 = no world)
+  unsigned threads = 0;            ///< worker pool size of this run
+  std::string events_schema = kEventsSchema;
+  std::string observability_schema = kObservabilitySchema;
+};
+
+/// Single-line JSON object for snapshots and bench documents. The journal
+/// header omits the thread count (`include_threads = false`): the event
+/// stream is thread-invariant by construction, so the header only carries
+/// fields that determine the stream's content.
+[[nodiscard]] std::string manifest_json(const RunManifest& m, bool include_threads = true);
+
+/// The journal's first line: a "manifest" event at t=0 (ends with '\n').
+[[nodiscard]] std::string manifest_event_line(const RunManifest& m);
+
+/// Provenance compatibility: same seed, world digest, version and schemas.
+/// Thread counts are intentionally ignored — determinism across thread
+/// counts is the whole point. On mismatch, `why` (if non-null) names the
+/// first differing field.
+[[nodiscard]] bool manifests_compatible(const RunManifest& a, const RunManifest& b,
+                                        std::string* why = nullptr);
+
+/// One journal event, rendered eagerly into a single JSON line with
+/// insertion-ordered keys ("t" and "type" first), so the byte stream is a
+/// pure function of the emission sequence.
+class Event {
+ public:
+  Event(std::string_view type, SimTime t);
+
+  Event& str(std::string_view key, std::string_view value);
+  Event& num(std::string_view key, std::int64_t value);
+  Event& unum(std::string_view key, std::uint64_t value);
+  Event& real(std::string_view key, double value);
+  Event& boolean(std::string_view key, bool value);
+
+  /// The complete line including the closing brace and trailing '\n'.
+  [[nodiscard]] std::string line() const;
+
+ private:
+  std::string body_;  ///< '{' + fields, no closing brace
+};
+
+/// Destination for events. The global Journal and per-shard Buffers both
+/// implement it, so emitters (e.g. the stub resolver) don't care whether
+/// they write straight to the file or into a shard-ordered staging buffer.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void emit(const Event& event) = 0;
+};
+
+/// Local line accumulator for parallel shards: workers emit into their own
+/// Buffer, and the ordered merge appends take() output in shard order.
+class Buffer final : public Sink {
+ public:
+  void emit(const Event& event) override { lines_ += event.line(); }
+  [[nodiscard]] bool empty() const noexcept { return lines_.empty(); }
+  [[nodiscard]] std::string take() { return std::exchange(lines_, {}); }
+
+ private:
+  std::string lines_;
+};
+
+/// The process-wide journal. Disabled (the default), active() returns
+/// nullptr after one relaxed load; open() (driven by --journal-out) arms it.
+/// All writes are mutex-guarded appends to one ofstream.
+class Journal final : public Sink {
+ public:
+  Journal() = default;
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  [[nodiscard]] static Journal& global();
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Open (truncate) `path` and enable emission. If a manifest is already
+  /// set, the header event is written immediately. Returns false (journal
+  /// stays disabled) when the file cannot be created.
+  bool open(const std::string& path);
+
+  /// Flush + close the stream and disable emission. Idempotent.
+  void close();
+
+  void emit(const Event& event) override;
+
+  /// Append pre-rendered lines (a Buffer::take() result) verbatim.
+  void append_raw(std::string_view lines);
+
+  /// Record run provenance. Writes the header event if the journal is open
+  /// and none has been written yet; the manifest is also kept for snapshot
+  /// and bench writers regardless of whether a journal file is open.
+  void set_manifest(const RunManifest& manifest);
+
+  [[nodiscard]] std::optional<RunManifest> manifest() const;
+
+ private:
+  mutable std::mutex m_;
+  std::atomic<bool> enabled_{false};
+  std::ofstream out_;
+  std::optional<RunManifest> manifest_;
+  bool header_written_ = false;
+};
+
+/// The enabled global journal, or nullptr — the one-relaxed-load gate every
+/// instrumentation site goes through (mirrors metrics::collect_timing()).
+[[nodiscard]] inline Journal* active() noexcept {
+  Journal& j = Journal::global();
+  return j.enabled() ? &j : nullptr;
+}
+
+// -- minimal JSON reader (for the auditor's replay path) ---------------------
+
+/// A parsed JSON value. Objects preserve insertion order (journal lines are
+/// written with deliberate key order, and error messages read better when
+/// replayed in the same order).
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept;
+
+  /// Typed object-member getters with defaults (no-throw convenience).
+  [[nodiscard]] std::string get_string(std::string_view key, std::string_view def = "") const;
+  [[nodiscard]] std::int64_t get_int(std::string_view key, std::int64_t def = 0) const;
+  [[nodiscard]] double get_number(std::string_view key, double def = 0.0) const;
+  [[nodiscard]] bool get_bool(std::string_view key, bool def = false) const;
+  [[nodiscard]] bool has(std::string_view key) const noexcept { return find(key) != nullptr; }
+};
+
+/// Parse one JSON document (objects, arrays, strings with escapes, numbers,
+/// booleans, null). Returns nullopt and fills `error` on malformed input.
+[[nodiscard]] std::optional<JsonValue> parse_json(std::string_view text,
+                                                  std::string* error = nullptr);
+
+}  // namespace rdns::util::journal

@@ -33,6 +33,29 @@ void set_log_level(LogLevel level) noexcept { g_level.store(static_cast<int>(lev
 
 LogLevel log_level() noexcept { return static_cast<LogLevel>(g_level.load()); }
 
+std::optional<LogLevel> parse_log_level(std::string_view s) noexcept {
+  std::string lowered;
+  lowered.reserve(s.size());
+  for (char c : s) {
+    lowered.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c);
+  }
+  if (lowered == "debug") return LogLevel::Debug;
+  if (lowered == "info") return LogLevel::Info;
+  if (lowered == "warn" || lowered == "warning") return LogLevel::Warn;
+  if (lowered == "error") return LogLevel::Error;
+  if (lowered == "off") return LogLevel::Off;
+  return std::nullopt;
+}
+
+LogLevel resolve_log_level(bool verbose, bool quiet, const char* env_value) noexcept {
+  if (quiet) return LogLevel::Error;
+  if (verbose) return LogLevel::Info;
+  if (env_value != nullptr) {
+    if (const auto level = parse_log_level(env_value)) return *level;
+  }
+  return LogLevel::Warn;
+}
+
 std::string format_log_line(LogLevel level, const std::string& message,
                             std::int64_t unix_seconds) {
   const CivilDateTime dt = to_civil_date_time(unix_seconds);

@@ -9,7 +9,9 @@
 /// so concurrent shard workers never interleave partial lines on stderr.
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 
 namespace rdns::util {
 
@@ -18,6 +20,17 @@ enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 /// Process-wide minimum level.
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
+
+/// Parse "debug" / "info" / "warn" / "error" / "off" (case-insensitive;
+/// "warning" also accepted). nullopt on anything else.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(std::string_view s) noexcept;
+
+/// The level the shared CLI layer should apply, with precedence
+/// flag > env > default(Warn): --quiet maps to Error and beats --verbose
+/// (which maps to Info); otherwise `env_value` (the RDNS_LOG_LEVEL
+/// variable, may be null/unparsable) decides; otherwise Warn.
+[[nodiscard]] LogLevel resolve_log_level(bool verbose, bool quiet,
+                                         const char* env_value) noexcept;
 
 /// Log a pre-formatted message (appends a newline) to stderr.
 void log(LogLevel level, const std::string& message);

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "util/journal.hpp"
 #include "util/metrics.hpp"
 
 namespace rdns::util::trace {
@@ -189,6 +190,11 @@ void write_snapshot_json(std::ostream& out, const metrics::Registry& registry,
   out << "{\n";
   out << "  \"schema\": \"rdns.observability.v1\",\n";
   out << "  \"generated_unix\": " << static_cast<long long>(std::time(nullptr)) << ",\n";
+  // Run provenance, when the tool recorded it: ties this snapshot to the
+  // journal/bench artifacts of the same run (journal::manifests_compatible).
+  if (const auto manifest = journal::Journal::global().manifest()) {
+    out << "  \"manifest\": " << journal::manifest_json(*manifest) << ",\n";
+  }
   registry.write_json(out, 2);
   out << ",\n  \"spans\": ";
   tracer.write_json(out, 2);

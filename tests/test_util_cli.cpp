@@ -4,6 +4,7 @@
 
 #include "core/report.hpp"
 #include "util/cli.hpp"
+#include "util/log.hpp"
 
 namespace rdns::util {
 namespace {
@@ -70,6 +71,25 @@ TEST(Cli, UsageMentionsEverything) {
   EXPECT_NE(usage.find("--verbose"), std::string::npos);
   EXPECT_NE(usage.find("<input>"), std::string::npos);
   EXPECT_NE(usage.find("default: out.csv"), std::string::npos);
+}
+
+TEST(Cli, LogLevelPrecedence) {
+  // Flags beat the environment, the environment beats the Warn default,
+  // and --quiet beats --verbose when both are set.
+  EXPECT_EQ(resolve_log_level(false, false, nullptr), LogLevel::Warn);
+  EXPECT_EQ(resolve_log_level(true, false, nullptr), LogLevel::Info);
+  EXPECT_EQ(resolve_log_level(false, true, nullptr), LogLevel::Error);
+  EXPECT_EQ(resolve_log_level(true, true, nullptr), LogLevel::Error);
+  EXPECT_EQ(resolve_log_level(false, false, "debug"), LogLevel::Debug);
+  EXPECT_EQ(resolve_log_level(false, false, "OFF"), LogLevel::Off);
+  EXPECT_EQ(resolve_log_level(true, false, "debug"), LogLevel::Info);   // flag wins
+  EXPECT_EQ(resolve_log_level(false, true, "debug"), LogLevel::Error);  // flag wins
+  EXPECT_EQ(resolve_log_level(false, false, "garbage"), LogLevel::Warn);
+  EXPECT_EQ(resolve_log_level(false, false, ""), LogLevel::Warn);
+
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("Error"), LogLevel::Error);
+  EXPECT_EQ(parse_log_level("nope"), std::nullopt);
 }
 
 TEST(Report, RendersAllSections) {

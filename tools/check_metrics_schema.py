@@ -1,8 +1,11 @@
 #!/usr/bin/env python3
-"""Validate an rdns.observability.v1 metrics/trace snapshot.
+"""Validate an rdns.observability.v1 metrics/trace snapshot or an
+rdns.events.v1 event journal.
 
 Usage:
     check_metrics_schema.py SNAPSHOT.json [--require-subsystems dns,dhcp,...]
+                            [--require-manifest]
+    check_metrics_schema.py JOURNAL.jsonl --journal
 
 Checks structural invariants that the C++ emitters promise:
   * top-level keys: schema, generated_unix, counters, gauges, histograms, spans
@@ -18,6 +21,14 @@ With --require-subsystems, each named prefix must own at least one counter
 and at least one histogram — this is how CI asserts the sweep pipeline's
 instrumentation coverage (dns, dhcp, thread_pool, sweep).
 
+With --journal, the input is an rdns.events.v1 JSONL journal instead:
+every line must be an object with a non-negative integer `t` (non-decreasing
+across the stream) and a known `type`; line 1 must be the manifest header
+carrying tool/version/seed and the matching events_schema.
+
+With --require-manifest, the snapshot must embed a `manifest` object
+(run provenance); a present manifest is validated either way.
+
 Exits 0 on success, 1 with a list of problems otherwise. Stdlib only.
 """
 
@@ -27,7 +38,18 @@ import math
 import sys
 
 SCHEMA = "rdns.observability.v1"
+EVENTS_SCHEMA = "rdns.events.v1"
 TOP_KEYS = {"schema", "generated_unix", "counters", "gauges", "histograms", "spans"}
+
+EVENT_TYPES = {
+    "manifest",
+    "dhcp.discover", "dhcp.offer", "dhcp.ack", "dhcp.nak", "dhcp.release", "dhcp.expire",
+    "ddns.ptr_add", "ddns.ptr_remove",
+    "dns.lookup",
+    "campaign.group_open", "campaign.probe", "campaign.backoff", "campaign.rdns",
+    "campaign.group_close",
+    "sweep.org", "sweep.pass", "sweep.shard",
+}
 
 
 class Problems:
@@ -136,15 +158,86 @@ def check_subsystems(doc, required, problems):
             problems.add(f"subsystem {prefix!r}: no histogram named {dot}*")
 
 
+def check_manifest(manifest, where, problems):
+    if not isinstance(manifest, dict):
+        problems.add(f"{where}: manifest must be an object")
+        return
+    for key in ("tool", "version", "seed"):
+        if key not in manifest:
+            problems.add(f"{where}: manifest missing key {key!r}")
+    if not isinstance(manifest.get("tool", ""), str):
+        problems.add(f"{where}: manifest tool must be a string")
+    seed = manifest.get("seed", 0)
+    if not isinstance(seed, int) or isinstance(seed, bool) or seed < 0:
+        problems.add(f"{where}: manifest seed must be a non-negative integer")
+
+
+def check_journal(path, problems):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    except OSError as err:
+        problems.add(f"cannot read {path}: {err}")
+        return 0
+    if not lines:
+        problems.add("journal is empty")
+        return 0
+    events = 0
+    last_t = -1
+    for i, line in enumerate(lines, start=1):
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as err:
+            problems.add(f"line {i}: not valid JSON ({err})")
+            continue
+        if not isinstance(event, dict):
+            problems.add(f"line {i}: event must be an object")
+            continue
+        events += 1
+        t = event.get("t")
+        if not isinstance(t, int) or isinstance(t, bool) or t < 0:
+            problems.add(f"line {i}: t must be a non-negative integer")
+        elif t < last_t:
+            problems.add(f"line {i}: t={t} decreases (previous {last_t})")
+        else:
+            last_t = t
+        etype = event.get("type")
+        if etype not in EVENT_TYPES:
+            problems.add(f"line {i}: unknown event type {etype!r}")
+        if i == 1:
+            if etype != "manifest":
+                problems.add("line 1: first event must be the manifest header")
+            else:
+                check_manifest(event, "line 1", problems)
+                if event.get("events_schema") != EVENTS_SCHEMA:
+                    problems.add(f"line 1: events_schema must be {EVENTS_SCHEMA!r}, "
+                                 f"got {event.get('events_schema')!r}")
+    return events
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("snapshot", help="path to a --metrics-out JSON file")
     parser.add_argument("--require-subsystems", default="",
                         help="comma-separated metric-name prefixes that must each "
                              "own a counter and a histogram")
+    parser.add_argument("--journal", action="store_true",
+                        help="treat the input as an rdns.events.v1 JSONL journal")
+    parser.add_argument("--require-manifest", action="store_true",
+                        help="the snapshot must embed a manifest (run provenance)")
     args = parser.parse_args()
 
     problems = Problems()
+    if args.journal:
+        events = check_journal(args.snapshot, problems)
+        if problems.items:
+            for item in problems.items:
+                print(f"FAIL: {item}", file=sys.stderr)
+            return 1
+        print(f"OK: {args.snapshot}: {events} events, schema {EVENTS_SCHEMA}")
+        return 0
     try:
         with open(args.snapshot, "r", encoding="utf-8") as fh:
             doc = json.load(fh)
@@ -180,6 +273,12 @@ def main():
     if spans is not None:
         check_span(spans, spans.get("name", "root") if isinstance(spans, dict) else "root",
                    problems)
+
+    manifest = doc.get("manifest")
+    if manifest is not None:
+        check_manifest(manifest, "manifest", problems)
+    elif args.require_manifest:
+        problems.add("top level: missing key 'manifest' (--require-manifest)")
 
     required = [s for s in args.require_subsystems.split(",") if s]
     if required:

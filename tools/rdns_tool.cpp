@@ -17,10 +17,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "core/journal_audit.hpp"
 #include "core/mitigation.hpp"
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
@@ -31,6 +33,8 @@
 #include "scan/campaign.hpp"
 #include "scan/csv_replay.hpp"
 #include "util/cli.hpp"
+#include "util/journal.hpp"
+#include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
@@ -50,13 +54,37 @@ util::CliParser& add_common_options(util::CliParser& cli) {
   return cli.option("threads", "worker threads (0 = auto: RDNS_THREADS or hardware)", "0")
       .option("metrics-out", "write a metrics + span-tree JSON snapshot to this path",
               std::nullopt)
-      .flag("trace", "print a phase-timing summary to stderr at exit");
+      .option("journal-out", "append the rdns.events.v1 event journal to this path (JSONL)",
+              std::nullopt)
+      .flag("trace", "print a phase-timing summary to stderr at exit")
+      .flag("verbose", "log at info level (flag beats RDNS_LOG_LEVEL)")
+      .flag("quiet", "log errors only (beats --verbose)");
 }
 
 void apply_common_options(const util::CliParser& cli) {
   const int threads = cli.get_int("threads");
   if (threads < 0) throw util::CliError{"--threads must be >= 0"};
   util::ThreadPool::set_global_size(static_cast<unsigned>(threads));
+  util::set_log_level(util::resolve_log_level(cli.get_flag("verbose"), cli.get_flag("quiet"),
+                                              std::getenv("RDNS_LOG_LEVEL")));
+  if (const auto path = cli.get_optional("journal-out")) {
+    if (!util::journal::Journal::global().open(*path)) {
+      throw util::CliError{"cannot write journal to " + *path};
+    }
+  }
+}
+
+/// Record run provenance once the world (if any) is built: the manifest
+/// heads the journal and is embedded in metrics snapshots.
+void record_run_manifest(const std::string& tool, std::uint64_t seed,
+                         const sim::World* world) {
+  util::journal::RunManifest manifest;
+  manifest.tool = tool;
+  manifest.version = util::journal::version_string();
+  manifest.seed = seed;
+  manifest.world_digest = world != nullptr ? world->config_digest() : 0;
+  manifest.threads = util::ThreadPool::global().size();
+  util::journal::Journal::global().set_manifest(manifest);
 }
 
 int cmd_sweep(const std::vector<std::string>& args) {
@@ -79,6 +107,8 @@ int cmd_sweep(const std::vector<std::string>& args) {
   scale.population = cli.get_double("scale");
   auto world = core::make_internet_world(static_cast<std::uint64_t>(cli.get_int("seed")),
                                          cli.get_int("orgs"), scale);
+  record_run_manifest("rdns_tool.sweep", static_cast<std::uint64_t>(cli.get_int("seed")),
+                      world.get());
   world->start(util::add_days(from, -1), util::add_days(to, 1));
 
   std::ofstream out{cli.get("output")};
@@ -107,6 +137,7 @@ int cmd_analyze(const std::vector<std::string>& args) {
   if (cli.handle_help(args)) return 0;
   cli.parse(args);
   apply_common_options(cli);
+  record_run_manifest("rdns_tool.analyze", 0, nullptr);
 
   std::ifstream in{cli.get("input")};
   if (!in) {
@@ -191,6 +222,7 @@ int cmd_audit(const std::vector<std::string>& args) {
   if (cli.handle_help(args)) return 0;
   cli.parse(args);
   apply_common_options(cli);
+  record_run_manifest("rdns_tool.audit", 0, nullptr);
 
   std::ifstream in{cli.get("zonefile")};
   if (!in) {
@@ -239,6 +271,8 @@ int cmd_campaign(const std::vector<std::string>& args) {
   core::WorldScale scale;
   scale.population = cli.get_double("scale");
   auto world = core::make_paper_world(static_cast<std::uint64_t>(cli.get_int("seed")), scale);
+  record_run_manifest("rdns_tool.campaign", static_cast<std::uint64_t>(cli.get_int("seed")),
+                      world.get());
   const auto from = util::parse_date(cli.get("from"));
   const auto to = util::parse_date(cli.get("to"));
   world->start(util::add_days(from, -1), util::add_days(to, 1));
@@ -288,6 +322,8 @@ int cmd_track(const std::vector<std::string>& args) {
   core::WorldScale scale;
   scale.population = cli.get_double("scale");
   auto world = core::make_paper_world(static_cast<std::uint64_t>(cli.get_int("seed")), scale);
+  record_run_manifest("rdns_tool.track", static_cast<std::uint64_t>(cli.get_int("seed")),
+                      world.get());
   const util::CivilDate from{2021, 11, 15};
   const int weeks = cli.get_int("weeks");
   const util::CivilDate to = util::add_days(from, weeks * 7 - 1);
@@ -315,6 +351,59 @@ int cmd_track(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_verify(const std::vector<std::string>& args) {
+  util::CliParser cli{"rdns_tool verify",
+                      "replay an event journal and audit the invariants it must satisfy"};
+  cli.option("window", "max simulated seconds between lease end and PTR removal", "120")
+      .option("tolerance", "slack (seconds) on promised back-off probe times", "60")
+      .option("snapshot", "cross-check provenance against this metrics snapshot JSON",
+              std::nullopt)
+      .positional("journal", "event journal path (.jsonl)");
+  add_common_options(cli);
+  if (cli.handle_help(args)) return 0;
+  cli.parse(args);
+  apply_common_options(cli);
+  record_run_manifest("rdns_tool.verify", 0, nullptr);
+
+  core::AuditConfig config;
+  config.removal_window = cli.get_int("window");
+  config.probe_tolerance = cli.get_int("tolerance");
+  const core::JournalAuditReport report = core::audit_journal_file(cli.get("journal"), config);
+  std::fputs(core::render_audit_report(report).c_str(), stdout);
+  if (!report.parsed) return 2;
+
+  if (const auto snapshot_path = cli.get_optional("snapshot")) {
+    std::ifstream in{*snapshot_path};
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", snapshot_path->c_str());
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string error;
+    const auto doc = util::journal::parse_json(buffer.str(), &error);
+    if (!doc) {
+      std::fprintf(stderr, "cannot parse %s: %s\n", snapshot_path->c_str(), error.c_str());
+      return 2;
+    }
+    const util::journal::JsonValue* embedded = doc->find("manifest");
+    if (embedded == nullptr) {
+      std::printf("provenance: %s carries no manifest\n", snapshot_path->c_str());
+      return 1;
+    }
+    std::string why;
+    if (!util::journal::manifests_compatible(*report.manifest,
+                                             core::manifest_from_json(*embedded), &why)) {
+      std::printf("provenance: %s is from a DIFFERENT run (%s differs)\n",
+                  snapshot_path->c_str(), why.c_str());
+      return 1;
+    }
+    std::printf("provenance: %s matches the journal (same seed/world/version)\n",
+                snapshot_path->c_str());
+  }
+  return report.ok() ? 0 : 1;
+}
+
 void print_usage() {
   std::printf(
       "rdns_tool — reverse-DNS privacy measurement toolkit\n"
@@ -324,6 +413,7 @@ void print_usage() {
       "  audit     audit a reverse zone file for privacy leaks\n"
       "  campaign  run the supplemental measurement (Tables 3/4/5 summary)\n"
       "  track     follow a given name's devices (Life of Brian)\n"
+      "  verify    replay an event journal (--journal-out) and audit invariants\n"
       "run `rdns_tool <subcommand> --help` for options\n");
 }
 
@@ -337,6 +427,7 @@ int dispatch(const std::string& command, const std::vector<std::string>& args) {
   if (command == "audit") return cmd_audit(args);
   if (command == "campaign") return cmd_campaign(args);
   if (command == "track") return cmd_track(args);
+  if (command == "verify") return cmd_verify(args);
   print_usage();
   return 2;
 }
@@ -393,6 +484,9 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Flush the journal before the process reports success, so chained
+  // tooling (ctest fixtures, `verify`) reads a complete stream.
+  util::journal::Journal::global().close();
   if (obs.trace) {
     std::fputs(util::trace::Tracer::global().render_text().c_str(), stderr);
   }
