@@ -1,0 +1,153 @@
+/// Overhead of the fault-injection gate (util::faults) on the hot sweep
+/// path. The design claim: disabled (the default), should_fail() is one
+/// relaxed atomic load and a branch, so arming-capable builds pay nothing
+/// measurable when chaos is off.
+///
+/// Three measurements, each the minimum over several full wire sweeps
+/// (min is the classic noise-robust wall-time estimator: every source of
+/// interference only ever adds time):
+///   A. injector disabled — the shipping default;
+///   B. injector armed with a vanishingly small probability — the gate and
+///      per-site probability load are exercised on every query, but no
+///      fault ever fires (isolates gate cost from fault handling);
+///   C. the flaky-dns profile — what a chaos run actually costs
+///      (informational: retries and backoff accounting dominate).
+/// Plus a direct microbench of the disabled gate (ns per should_fail call).
+///
+/// Results land in BENCH_faults.json. The shape check asserts B stays
+/// within 5% of A: the architectural target is <1%, but a shared 1-core
+/// container cannot resolve 1% of a sub-second sweep reliably, so the
+/// gate is held to a lenient bound here and to the ns/op microbench.
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "scan/rdns_snapshot.hpp"
+#include "util/faults.hpp"
+
+namespace {
+
+using namespace rdns;
+
+double best(const std::vector<double>& xs) {
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+/// One timed wire sweep of `world` at `date` (wall seconds).
+double timed_sweep(sim::World& world, const util::CivilDate& date, std::uint64_t* rows_out) {
+  std::ostringstream csv;
+  scan::CsvSnapshotSink sink{csv};
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto rows = scan::sweep_wire(world, date, sink);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (rows_out != nullptr) *rows_out = rows;
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using util::CivilDate;
+  using util::faults::Injector;
+  using util::faults::Site;
+  rdns::bench::configure_threads(argc, argv);
+  rdns::bench::heading("FAULTS", "fault-injection gate overhead on the wire sweep");
+
+  std::string json_path = "BENCH_faults.json";
+  int reps = 7;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string{argv[i]} == "--out") json_path = argv[i + 1];
+    if (std::string{argv[i]} == "--reps") reps = std::atoi(argv[i + 1]);
+  }
+
+  core::WorldScale scale;
+  scale.population = 0.4;
+  auto world = core::make_internet_world(7, /*org_count=*/2, scale);
+  rdns::bench::record_bench_manifest("fault_overhead", 7, world.get());
+  const CivilDate date{2021, 11, 3};
+  world->start(util::add_days(date, -2), util::add_days(date, 1));
+  world->run_until(util::to_sim_time(date) + 14 * util::kHour);
+
+  // B's profile: armed but inert — every query consults the gate and the
+  // per-site probability, no fault ever fires (p ~ 2^-60 per decision).
+  util::faults::Profile inert;
+  inert.name = "bench-inert";
+  inert.probability[static_cast<std::size_t>(Site::DnsTimeout)] = 1e-18;
+
+  // The three configurations are interleaved per round (A,B,C, A,B,C, ...)
+  // rather than timed in blocks: on a shared 1-core container the clock
+  // drifts over the run, and block timing would charge that drift to
+  // whichever configuration ran last. One unmeasured warm-up sweep first.
+  std::uint64_t rows = 0;
+  Injector::global().disable();
+  (void)timed_sweep(*world, date, &rows);
+  std::vector<double> disabled_times, armed_times, flaky_times;
+  for (int rep = 0; rep < reps; ++rep) {
+    Injector::global().disable();
+    disabled_times.push_back(timed_sweep(*world, date, nullptr));
+    Injector::global().configure(inert);
+    armed_times.push_back(timed_sweep(*world, date, nullptr));
+    Injector::global().configure(*util::faults::find_profile("flaky-dns"));
+    flaky_times.push_back(timed_sweep(*world, date, nullptr));
+  }
+  Injector::global().disable();
+  const double disabled_s = best(disabled_times);
+  const double armed_s = best(armed_times);
+  const double flaky_s = best(flaky_times);
+
+  // Microbench: the disabled gate itself. Entities vary so the optimizer
+  // cannot hoist the call; the result feeds a sink to keep it live.
+  constexpr std::uint64_t kCalls = 20'000'000;
+  std::uint64_t sink = 0;
+  const auto g0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < kCalls; ++i) {
+    sink += Injector::global().should_fail(Site::DnsTimeout, i) ? 1 : 0;
+  }
+  const auto g1 = std::chrono::steady_clock::now();
+  const double gate_ns =
+      std::chrono::duration<double, std::nano>(g1 - g0).count() / static_cast<double>(kCalls);
+
+  const double armed_overhead_pct =
+      disabled_s > 0 ? (armed_s - disabled_s) / disabled_s * 100.0 : 0.0;
+  const double flaky_cost_pct =
+      disabled_s > 0 ? (flaky_s - disabled_s) / disabled_s * 100.0 : 0.0;
+
+  rdns::bench::paper_note("supplemental scans ran against a lossy Internet; the harness "
+                          "must afford fault hooks everywhere without taxing clean runs");
+  rdns::bench::measured_note(util::format(
+      "sweep %llu rows: disabled %.3fs, armed-inert %.3fs (%+.2f%%), flaky-dns %.3fs "
+      "(%+.1f%%), disabled gate %.2f ns/call (+%llu)",
+      static_cast<unsigned long long>(rows), disabled_s, armed_s, armed_overhead_pct, flaky_s,
+      flaky_cost_pct, gate_ns, static_cast<unsigned long long>(sink)));
+
+  {
+    std::ofstream out{json_path};
+    out << "{\n  \"bench\": \"fault_overhead\",\n";
+    if (const auto manifest = util::journal::Journal::global().manifest()) {
+      out << "  \"manifest\": " << util::journal::manifest_json(*manifest) << ",\n";
+    }
+    out << "  \"reps\": " << reps << ",\n"
+        << "  \"sweep_rows\": " << rows << ",\n"
+        << "  \"disabled_seconds\": " << disabled_s << ",\n"
+        << "  \"armed_inert_seconds\": " << armed_s << ",\n"
+        << "  \"flaky_dns_seconds\": " << flaky_s << ",\n"
+        << "  \"armed_inert_overhead_pct\": " << armed_overhead_pct << ",\n"
+        << "  \"flaky_dns_cost_pct\": " << flaky_cost_pct << ",\n"
+        << "  \"disabled_gate_ns_per_call\": " << gate_ns << "\n}\n";
+  }
+  std::printf("\nwrote %s\n", json_path.c_str());
+  rdns::bench::write_metrics_snapshot(json_path);
+
+  rdns::bench::ShapeChecks checks;
+  // Architectural target <1%; asserted at 5% because a loaded 1-core
+  // container cannot resolve finer differences over sub-second sweeps.
+  checks.expect(armed_overhead_pct < 5.0,
+                "armed-but-inert sweep within 5% of disabled (target <1%)");
+  checks.expect(gate_ns < 10.0, "disabled should_fail() under 10 ns/call");
+  checks.expect(sink == 0, "inert/disabled gate never fired");
+  return checks.exit_code();
+}

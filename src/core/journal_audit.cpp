@@ -25,6 +25,8 @@ const std::unordered_set<std::string>& known_event_types() {
       "ddns.ptr_remove",    "dns.lookup",      "campaign.group_open",
       "campaign.probe",     "campaign.backoff", "campaign.rdns",
       "campaign.group_close", "sweep.org",     "sweep.pass",     "sweep.shard",
+      "fault.inject",       "dns.retry",       "campaign.recheck",
+      "sweep.shard_degraded", "sweep.checkpoint",
   };
   return types;
 }
@@ -37,6 +39,23 @@ struct IpState {
   bool removal_pending = false;
   SimTime end_time = 0;        ///< lease end that armed the pending removal
   std::size_t end_line = 0;
+};
+
+/// Replay state of one resolver back-off chain, keyed by qname. A chain is
+/// opened by `dns.retry` n=1 and must double its base each step; the chain
+/// closes when the lookup completes (`dns.lookup`) or a new chain opens.
+struct RetryChain {
+  int last_n = 0;
+  std::uint64_t last_base = 0;
+};
+
+/// Per-shard resilience state within one wire-sweep pass, keyed by the
+/// shard's "first" address. Validated and cleared at sweep.pass.
+struct ShardReplay {
+  int max_attempt = -1;        ///< highest sweep.shard "attempt" seen (-1 = plain)
+  bool exhausted[2] = {false, false};
+  bool degraded = false;       ///< sweep.shard_degraded seen
+  std::size_t line = 0;        ///< last event line, for violation anchors
 };
 
 /// Reconstruction of one measurement group from raw campaign events,
@@ -107,6 +126,19 @@ class Auditor {
       on_rdns(e, t);
     } else if (type == "campaign.group_close") {
       on_group_close(line_no, e, t);
+    } else if (type == "fault.inject") {
+      on_fault(e);
+    } else if (type == "dns.retry") {
+      on_retry(line_no, e);
+    } else if (type == "dns.lookup") {
+      // A completed lookup closes any open back-off chain on its qname.
+      retry_chains_.erase(e.get_string("qname"));
+    } else if (type == "sweep.shard") {
+      on_shard(line_no, e);
+    } else if (type == "sweep.shard_degraded") {
+      on_shard_degraded(line_no, e);
+    } else if (type == "sweep.pass") {
+      on_sweep_pass();
     }
     if (type.rfind("campaign.", 0) == 0) last_campaign_t_ = t;
   }
@@ -262,9 +294,115 @@ class Auditor {
     if (online && ok) {
       g.last_ok = t;
       ++g.ok_probes;
+      // Mirrors the engine: a response clears pending offline suspicion —
+      // the earlier miss was probe loss, not departure.
+      g.offline = 0;
     } else if (online && g.offline == 0) {
       g.offline = t;
     }
+  }
+
+  void on_fault(const journal::JsonValue& e) {
+    ++report_.faults_injected;
+    const std::string site = e.get_string("site");
+    if (site == "ddns.remove") {
+      // The removal this lease end was owed got lost: the PTR really does
+      // linger in the zone (the Fig. 7 failure tail). An observation to
+      // tally, not a bridge violation to flag.
+      ++report_.stale_ptrs;
+      IpState& st = ips_[e.get_string("ip")];
+      st.removal_pending = false;
+    }
+  }
+
+  void on_retry(std::size_t line_no, const journal::JsonValue& e) {
+    ++report_.dns_retries;
+    const std::string qname = e.get_string("qname");
+    const int n = static_cast<int>(e.get_int("n"));
+    const auto base = static_cast<std::uint64_t>(e.get_int("base_s"));
+    const auto delay = static_cast<std::uint64_t>(e.get_int("delay_s"));
+    if (n < 1 || base < 1) {
+      violate(line_no, "retry-backoff-mismatch",
+              util::format("%s retry has n=%d base_s=%llu (want n>=1, base>=1)", qname.c_str(),
+                           n, static_cast<unsigned long long>(base)));
+      return;
+    }
+    if (delay < base || delay >= 2 * base) {
+      violate(line_no, "retry-backoff-mismatch",
+              util::format("%s retry %d: delay %llus outside [%llus, %llus)", qname.c_str(), n,
+                           static_cast<unsigned long long>(delay),
+                           static_cast<unsigned long long>(base),
+                           static_cast<unsigned long long>(2 * base)));
+    }
+    if (n == 1) {
+      retry_chains_[qname] = RetryChain{1, base};
+      return;
+    }
+    const auto it = retry_chains_.find(qname);
+    if (it == retry_chains_.end() || it->second.last_n != n - 1) {
+      violate(line_no, "retry-chain-broken",
+              util::format("%s retry %d has no preceding retry %d", qname.c_str(), n, n - 1));
+      retry_chains_[qname] = RetryChain{n, base};
+      return;
+    }
+    // The resolver doubles the base each step (capped at attempt 20).
+    const bool capped = n - 1 > 20 && base == it->second.last_base;
+    if (base != it->second.last_base * 2 && !capped) {
+      violate(line_no, "retry-backoff-mismatch",
+              util::format("%s retry %d: base %llus after %llus, expected doubling",
+                           qname.c_str(), n, static_cast<unsigned long long>(base),
+                           static_cast<unsigned long long>(it->second.last_base)));
+    }
+    it->second = RetryChain{n, base};
+  }
+
+  void on_shard(std::size_t line_no, const journal::JsonValue& e) {
+    // Budget fields only appear when a chaos profile armed a shard retry
+    // budget; plain sweeps carry no per-shard resilience state to check.
+    if (!e.has("attempt")) return;
+    const std::string key = e.get_string("first");
+    const int attempt = static_cast<int>(e.get_int("attempt"));
+    const bool exhausted = e.get_bool("exhausted");
+    ShardReplay& sh = shards_[key];
+    sh.line = line_no;
+    if (attempt < 0 || attempt > 1) {
+      violate(line_no, "shard-attempt-out-of-range",
+              util::format("shard %s attempt %d (sweeps re-run a shard at most once)",
+                           key.c_str(), attempt));
+      return;
+    }
+    if (attempt == 1 && !(sh.max_attempt == 0 && sh.exhausted[0])) {
+      violate(line_no, "shard-rerun-without-exhaustion",
+              "shard " + key + " re-ran without its first attempt exhausting the retry budget");
+    }
+    sh.max_attempt = std::max(sh.max_attempt, attempt);
+    sh.exhausted[attempt] = exhausted;
+  }
+
+  void on_shard_degraded(std::size_t line_no, const journal::JsonValue& e) {
+    ++report_.degraded_shards;
+    const std::string key = e.get_string("first");
+    ShardReplay& sh = shards_[key];
+    sh.line = line_no;
+    if (sh.max_attempt < 0 || !sh.exhausted[sh.max_attempt]) {
+      violate(line_no, "degraded-without-exhaustion",
+              "shard " + key + " recorded degraded but its last attempt kept budget in hand");
+    }
+    sh.degraded = true;
+  }
+
+  void on_sweep_pass() {
+    // Degraded ⟺ exhausted, checked at the pass boundary (a journal that
+    // simply truncates mid-pass proves nothing): every shard whose final
+    // attempt exhausted the budget must have been recorded degraded.
+    for (const auto& [key, sh] : shards_) {
+      if (sh.max_attempt >= 0 && sh.exhausted[sh.max_attempt] && !sh.degraded) {
+        violate(sh.line, "exhausted-not-degraded",
+                "shard " + key +
+                    " exhausted its final retry attempt but was not recorded degraded");
+      }
+    }
+    shards_.clear();
   }
 
   void on_rdns(const journal::JsonValue& e, SimTime t) {
@@ -381,6 +519,8 @@ class Auditor {
   SimTime last_campaign_t_ = 0;
   std::unordered_map<std::string, IpState> ips_;
   std::map<std::uint64_t, GroupReplay> groups_;
+  std::unordered_map<std::string, RetryChain> retry_chains_;
+  std::map<std::string, ShardReplay> shards_;
 };
 
 }  // namespace
@@ -391,6 +531,7 @@ journal::RunManifest manifest_from_json(const journal::JsonValue& v) {
   m.version = v.get_string("version");
   m.seed = static_cast<std::uint64_t>(v.get_number("seed", 0.0));
   m.world_digest = std::strtoull(v.get_string("world_digest", "0").c_str(), nullptr, 16);
+  m.faults = v.get_string("faults", "none");
   m.threads = static_cast<unsigned>(v.get_int("threads", 0));
   m.events_schema = v.get_string("events_schema");
   m.observability_schema = v.get_string("observability_schema");
@@ -457,16 +598,25 @@ std::string render_audit_report(const JournalAuditReport& report) {
   std::string out;
   out += util::format("events: %zu\n", report.events);
   if (report.manifest) {
-    out += util::format("manifest: tool=%s version=%s seed=%llu world=%016llx\n",
+    out += util::format("manifest: tool=%s version=%s seed=%llu world=%016llx faults=%s\n",
                         report.manifest->tool.c_str(), report.manifest->version.c_str(),
                         static_cast<unsigned long long>(report.manifest->seed),
-                        static_cast<unsigned long long>(report.manifest->world_digest));
+                        static_cast<unsigned long long>(report.manifest->world_digest),
+                        report.manifest->faults.c_str());
   }
   out += util::format("leases: %llu started, %llu ended; ptr: %llu added, %llu removed\n",
                       static_cast<unsigned long long>(report.leases_started),
                       static_cast<unsigned long long>(report.leases_ended),
                       static_cast<unsigned long long>(report.ptr_added),
                       static_cast<unsigned long long>(report.ptr_removed));
+  if (report.faults_injected > 0 || report.dns_retries > 0 || report.degraded_shards > 0) {
+    out += util::format(
+        "faults: %llu injected, %llu retries, %llu stale PTRs, %llu degraded shards\n",
+        static_cast<unsigned long long>(report.faults_injected),
+        static_cast<unsigned long long>(report.dns_retries),
+        static_cast<unsigned long long>(report.stale_ptrs),
+        static_cast<unsigned long long>(report.degraded_shards));
+  }
   out += util::format(
       "timing: %zu usable groups, %.1f%% gone within 60 min (core/timing: %.1f%%)\n",
       report.timing.usable_groups, report.timing.fraction_within_60min * 100.0,

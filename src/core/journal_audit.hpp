@@ -16,6 +16,15 @@
 ///   - back-off: every campaign.backoff step matches the Table 2 schedule
 ///     (BackoffSchedule::interval_after), and the promised probe fires
 ///     within tolerance (or the group closes / the stream ends first)
+///   - fault excusal: a `fault.inject` event (site ddns.remove) explains a
+///     missing PTR removal — the record is stale, not a protocol violation;
+///     it is tallied separately (the Fig. 7 failure tail)
+///   - resolver back-off: `dns.retry` chains double their base per step
+///     (base ≤ delay < 2·base, deterministic jitter), reset by a completed
+///     lookup or a fresh chain
+///   - degradation: a sweep shard is re-run only after exhausting its retry
+///     budget, and is marked degraded iff the re-run exhausted it too —
+///     checked per sweep pass from sweep.shard / sweep.shard_degraded
 ///   - Fig. 7 cross-check: the linger distribution recomputed from raw
 ///     events alone agrees with the one computed by core/timing over the
 ///     group summaries carried in campaign.group_close events
@@ -76,6 +85,12 @@ struct JournalAuditReport {
   std::uint64_t leases_ended = 0;     ///< dhcp.release + dhcp.expire
   std::uint64_t ptr_added = 0;
   std::uint64_t ptr_removed = 0;
+
+  // Fault/resilience tallies (all zero on a fault-free journal).
+  std::uint64_t faults_injected = 0;  ///< fault.inject events
+  std::uint64_t dns_retries = 0;      ///< dns.retry events
+  std::uint64_t stale_ptrs = 0;       ///< lost DynDNS removals (Fig. 7 failure tail)
+  std::uint64_t degraded_shards = 0;  ///< sweep shards given up on
 
   AuditTimingCheck timing;
 

@@ -48,4 +48,29 @@ double fraction_within_minutes(const std::vector<const scan::GroupSummary*>& usa
   return static_cast<double>(within) / static_cast<double>(usable.size());
 }
 
+std::vector<const scan::GroupSummary*> stale_groups(
+    const std::vector<scan::GroupSummary>& groups) {
+  std::vector<const scan::GroupSummary*> stale;
+  for (const auto& g : groups) {
+    // Lifecycle resolved, PTR captured at join, departure detected — but
+    // the follow phase gave up without ever seeing the PTR disappear.
+    if (g.closed && g.spot_rdns_ok && g.offline_detected != 0 && g.ptr_observed_gone == 0) {
+      stale.push_back(&g);
+    }
+  }
+  return stale;
+}
+
+double fraction_removed_within(const std::vector<const scan::GroupSummary*>& usable,
+                               const std::vector<const scan::GroupSummary*>& stale,
+                               double minutes) {
+  const std::size_t denom = usable.size() + stale.size();
+  if (denom == 0) return 0.0;
+  std::size_t within = 0;
+  for (const auto* g : usable) {
+    if (g->linger_minutes() <= minutes) ++within;
+  }
+  return static_cast<double>(within) / static_cast<double>(denom);
+}
+
 }  // namespace rdns::core

@@ -53,4 +53,23 @@ struct FunnelCounts {
 [[nodiscard]] double fraction_within_minutes(
     const std::vector<const scan::GroupSummary*>& usable, double minutes);
 
+/// The Fig. 7 failure tail: groups whose client left (offline detected)
+/// but whose join-time PTR was never observed gone before the group
+/// closed — a stale record lingering in the reverse zone. On a clean
+/// network the tail comes from operators with slow removal; under a
+/// broken-ddns chaos profile, lost DynDNS removals land here too. These
+/// are *observations*, not measurement errors: they must not be counted
+/// as protocol violations by the auditor, only surface as the CDF's
+/// unreached tail.
+[[nodiscard]] std::vector<const scan::GroupSummary*> stale_groups(
+    const std::vector<scan::GroupSummary>& groups);
+
+/// Fraction of departed clients whose PTR was observed removed within
+/// `minutes` — like fraction_within_minutes, but with stale (never
+/// removed) groups in the denominator, so a broken-ddns run drags the
+/// whole CDF down instead of silently dropping its failures.
+[[nodiscard]] double fraction_removed_within(
+    const std::vector<const scan::GroupSummary*>& usable,
+    const std::vector<const scan::GroupSummary*>& stale, double minutes);
+
 }  // namespace rdns::core

@@ -3,6 +3,7 @@
 #include "dns/update.hpp"
 #include "dns/wire.hpp"
 #include "net/arpa.hpp"
+#include "util/faults.hpp"
 #include "util/journal.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
@@ -27,6 +28,7 @@ struct DdnsMetrics {
   metrics::Counter& a_removed = metrics::counter("dhcp.ddns.a_removed");
   metrics::Counter& update_failures = metrics::counter("dhcp.ddns.update_failures");
   metrics::Counter& suppressed = metrics::counter("dhcp.ddns.suppressed_by_client_flag");
+  metrics::Counter& stale_ptrs = metrics::counter("dhcp.ddns.stale_ptrs");
   metrics::Histogram& update_us = metrics::histogram(
       "dhcp.ddns.update_us", metrics::Histogram::exponential_bounds(1, 4, 10));
 };
@@ -140,8 +142,23 @@ void DdnsBridge::on_lease_bound(const Lease& lease, util::SimTime now) {
   }
   const auto name = published_name(lease);
   if (!name) return;
+  // Chaos profile: the add update is lost in transit. No PTR reaches the
+  // zone, so the matching lease-end removal is suppressed too (published_
+  // gate below) — the address simply never resolves for this lease.
+  if (auto* inj = util::faults::active();
+      inj != nullptr &&
+      inj->should_fail(util::faults::Site::DdnsAddFail,
+                       util::mix64(lease.address.value()) ^ static_cast<std::uint64_t>(now))) {
+    ++stats_.add_faults;
+    ++stats_.update_failures;
+    ddns_metrics().update_failures.inc();
+    util::faults::journal_fault(util::faults::Site::DdnsAddFail, "ip",
+                                lease.address.to_string(), now);
+    return;
+  }
   send_update(dns::make_ptr_replace(next_id_++, config_.reverse_zone, lease.address, *name,
                                     config_.ttl));
+  published_.insert(lease.address.value());
   ++stats_.ptr_added;
   ddns_metrics().ptr_added.inc();
   if (auto* j = util::journal::active()) {
@@ -173,6 +190,25 @@ void DdnsBridge::on_lease_bound(const Lease& lease, util::SimTime now) {
 void DdnsBridge::on_lease_end(const Lease& lease, LeaseEndReason /*reason*/, util::SimTime now) {
   if (config_.policy == DdnsPolicy::None || config_.policy == DdnsPolicy::StaticGeneric) return;
   if (config_.honor_no_update_flag && lease.client_fqdn && lease.client_fqdn->empty()) return;
+  // Nothing to remove if the add never reached the zone (DdnsAddFail).
+  if (published_.find(lease.address.value()) == published_.end()) return;
+  // Chaos profile: the removal update is lost — the PTR stays in the zone
+  // past the lease, reproducing the Fig. 7 lingering tail ("approximately
+  // 1 in 10" removals never land). published_ keeps the address: the stale
+  // record is really there and a future lease's replace will overwrite it.
+  if (auto* inj = util::faults::active();
+      inj != nullptr &&
+      inj->should_fail(util::faults::Site::DdnsRemoveFail,
+                       util::mix64(lease.address.value()) ^ static_cast<std::uint64_t>(now))) {
+    ++stats_.stale_ptrs;
+    ++stats_.update_failures;
+    DdnsMetrics& m = ddns_metrics();
+    m.stale_ptrs.inc();
+    m.update_failures.inc();
+    util::faults::journal_fault(util::faults::Site::DdnsRemoveFail, "ip",
+                                lease.address.to_string(), now);
+    return;
+  }
   if (!config_.forward_zone.is_root()) {
     if (const auto name = published_name(lease)) {
       dns::UpdateBuilder builder{next_id_++, config_.forward_zone};
@@ -204,6 +240,7 @@ void DdnsBridge::on_lease_end(const Lease& lease, LeaseEndReason /*reason*/, uti
       j->emit(e);
     }
   }
+  published_.erase(lease.address.value());
 }
 
 void DdnsBridge::populate_static(net::Ipv4Addr first, net::Ipv4Addr last, util::SimTime /*now*/) {

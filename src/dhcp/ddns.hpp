@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_set>
 
 #include "dhcp/lease.hpp"
 #include "dns/name.hpp"
@@ -75,6 +76,11 @@ struct DdnsStats {
   std::uint64_t a_removed = 0;
   std::uint64_t suppressed_by_client_flag = 0;
   std::uint64_t update_failures = 0;
+  /// Injected add/remove faults (util::faults): lost updates.
+  std::uint64_t add_faults = 0;
+  /// Removals that never happened — PTRs left lingering in the zone, the
+  /// Fig. 7 failure tail.
+  std::uint64_t stale_ptrs = 0;
 };
 
 /// Sanitize a DHCP Host Name into a DNS label, the way DHCP servers and
@@ -118,6 +124,11 @@ class DdnsBridge {
   dns::Transport* transport_;
   std::uint16_t next_id_;
   DdnsStats stats_;
+  /// Addresses whose dynamic PTR actually reached the zone. Lease-end
+  /// removal is gated on membership so a lost add (DdnsAddFail) does not
+  /// trigger a removal of a record that was never published. Without
+  /// faults, adds always precede ends, so behaviour is unchanged.
+  std::unordered_set<std::uint32_t> published_;
 };
 
 }  // namespace rdns::dhcp

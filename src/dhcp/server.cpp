@@ -1,7 +1,9 @@
 #include "dhcp/server.hpp"
 
+#include "util/faults.hpp"
 #include "util/journal.hpp"
 #include "util/metrics.hpp"
+#include "util/rng.hpp"
 
 namespace rdns::dhcp {
 
@@ -104,6 +106,26 @@ std::optional<DhcpMessage> DhcpServer::handle(const DhcpMessage& request, util::
   tick(now);  // fold due expirations into the request path
   const auto type = request.message_type();
   if (!type) return std::nullopt;  // option 53 is mandatory
+  // Chaos-profile datagram loss: a dropped DISCOVER/REQUEST never reaches
+  // the server, so it is neither counted nor journalled as handled — the
+  // client sees a clean join failure and the world tallies it.
+  if (auto* inj = util::faults::active()) {
+    namespace faults = util::faults;
+    const std::uint64_t entity =
+        util::mix64(request.chaddr.key()) ^ static_cast<std::uint64_t>(now);
+    if (*type == MessageType::Discover &&
+        inj->should_fail(faults::Site::DhcpDropDiscover, entity)) {
+      faults::journal_fault(faults::Site::DhcpDropDiscover, "mac",
+                            request.chaddr.to_string(), now);
+      return std::nullopt;
+    }
+    if (*type == MessageType::Request &&
+        inj->should_fail(faults::Site::DhcpDropRequest, entity)) {
+      faults::journal_fault(faults::Site::DhcpDropRequest, "mac",
+                            request.chaddr.to_string(), now);
+      return std::nullopt;
+    }
+  }
   switch (*type) {
     case MessageType::Discover:
       ++stats_.discovers;
@@ -240,6 +262,25 @@ std::optional<DhcpMessage> DhcpServer::on_request(const DhcpMessage& m, util::Si
     j->emit(e);
   }
   notify_bound(updated, now);
+  // Chaos profile: the ACK datagram delivered twice. The lease layer is
+  // re-notified and the DDNS bridge re-sends an idempotent PTR replace —
+  // downstream consumers (and the auditor) must tolerate the repeat.
+  if (auto* inj = util::faults::active();
+      inj != nullptr &&
+      inj->should_fail(util::faults::Site::DhcpDuplicateAck,
+                       util::mix64(updated.mac.key()) ^ static_cast<std::uint64_t>(now))) {
+    util::faults::journal_fault(util::faults::Site::DhcpDuplicateAck, "mac",
+                                updated.mac.to_string(), now);
+    if (auto* j = util::journal::active()) {
+      util::journal::Event e{"dhcp.ack", now};
+      e.str("ip", updated.address.to_string())
+          .str("mac", updated.mac.to_string())
+          .boolean("renew", false)
+          .str("host", updated.host_name);
+      j->emit(e);
+    }
+    notify_bound(updated, now);
+  }
   return make_reply(m, MessageType::Ack, *requested);
 }
 

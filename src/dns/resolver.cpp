@@ -1,5 +1,7 @@
 #include "dns/resolver.hpp"
 
+#include <algorithm>
+
 #include "dns/wire.hpp"
 #include "net/arpa.hpp"
 #include "util/journal.hpp"
@@ -79,7 +81,8 @@ const char* to_string(LookupStatus s) noexcept {
 StubResolver::StubResolver(Transport& transport, int retries, std::uint64_t id_seed)
     : transport_(&transport),
       retries_(retries),
-      next_id_(static_cast<std::uint16_t>(util::mix64(id_seed))) {}
+      next_id_(static_cast<std::uint16_t>(util::mix64(id_seed))),
+      jitter_seed_(util::mix64(id_seed ^ 0xBACC0FFULL)) {}
 
 LookupResult StubResolver::lookup_ptr(net::Ipv4Addr address, util::SimTime now) {
   return lookup(DnsName::must_parse(net::to_arpa(address)), RrType::PTR, now);
@@ -87,9 +90,9 @@ LookupResult StubResolver::lookup_ptr(net::Ipv4Addr address, util::SimTime now) 
 
 LookupResult StubResolver::lookup(const DnsName& qname, RrType qtype, util::SimTime now) {
   LookupResult result;
-  const LookupNote note{result, qname, now, journal_};
+  const LookupNote note{result, qname, now, journal_lookups_ ? journal_ : nullptr};
 
-  for (int attempt = 0; attempt <= retries_; ++attempt) {
+  for (int attempt = 0;; ++attempt) {
     // A fresh transaction id per attempt (a retry is a new transaction),
     // so stateless server-side fault decisions — which hash the id — stay
     // independent across attempts just like independent RNG draws.
@@ -100,53 +103,87 @@ LookupResult StubResolver::lookup(const DnsName& qname, RrType qtype, util::SimT
     ++stats_.queries_sent;
     resolver_metrics().queries_sent.inc();
     const auto response_wire = transport_->exchange(query_wire, now);
-    if (!response_wire) continue;  // timeout: retry
 
-    Message response;
-    try {
-      response = decode(*response_wire);
-    } catch (const WireError&) {
-      result.status = LookupStatus::Malformed;
-      ++stats_.other;
-      return result;
-    }
-    if (response.id != id || !response.flags.qr) {
-      // Mismatched transaction: treat as lost and retry.
-      continue;
-    }
-    switch (response.flags.rcode) {
-      case Rcode::NoError:
-        if (response.answers.empty()) {
-          result.status = LookupStatus::NoData;
-          ++stats_.other;
-        } else {
-          result.status = LookupStatus::Ok;
-          result.answers = response.answers;
-          for (const auto& rr : response.answers) {
-            if (const auto* ptr = std::get_if<PtrRdata>(&rr.rdata)) {
-              result.ptr = ptr->ptrdname;
-              break;
-            }
-          }
-          ++stats_.ok;
-        }
-        return result;
-      case Rcode::NxDomain:
-        result.status = LookupStatus::NxDomain;
-        ++stats_.nxdomain;
-        return result;
-      case Rcode::ServFail:
-        result.status = LookupStatus::ServFail;
-        ++stats_.servfail;
-        return result;
-      case Rcode::Refused:
-        result.status = LookupStatus::Refused;
-        ++stats_.other;
-        return result;
-      default:
+    // Outcomes that end the lookup return directly; the fallthrough below
+    // is the retryable set: timeout, mismatched transaction, truncation.
+    if (response_wire) {
+      Message response;
+      try {
+        response = decode(*response_wire);
+      } catch (const WireError&) {
         result.status = LookupStatus::Malformed;
         ++stats_.other;
         return result;
+      }
+      if (response.id != id || !response.flags.qr) {
+        // Mismatched transaction: treat as lost and retry.
+      } else if (response.flags.tc) {
+        // Truncated: retry (a real stub re-asks over TCP).
+        ++stats_.truncated;
+      } else {
+        switch (response.flags.rcode) {
+          case Rcode::NoError:
+            if (response.answers.empty()) {
+              result.status = LookupStatus::NoData;
+              ++stats_.other;
+            } else {
+              result.status = LookupStatus::Ok;
+              result.answers = response.answers;
+              for (const auto& rr : response.answers) {
+                if (const auto* ptr = std::get_if<PtrRdata>(&rr.rdata)) {
+                  result.ptr = ptr->ptrdname;
+                  break;
+                }
+              }
+              ++stats_.ok;
+            }
+            return result;
+          case Rcode::NxDomain:
+            result.status = LookupStatus::NxDomain;
+            ++stats_.nxdomain;
+            return result;
+          case Rcode::ServFail:
+            result.status = LookupStatus::ServFail;
+            ++stats_.servfail;
+            return result;
+          case Rcode::Refused:
+            result.status = LookupStatus::Refused;
+            ++stats_.other;
+            return result;
+          default:
+            result.status = LookupStatus::Malformed;
+            ++stats_.other;
+            return result;
+        }
+      }
+    }
+
+    if (attempt >= retries_) break;
+    if (budget_ == 0) {
+      // Retry denied: the shard's budget is spent. The caller (sweep)
+      // decides whether to re-run or degrade the shard.
+      budget_exhausted_ = true;
+      break;
+    }
+    if (budget_ != RetryPolicy::kNoBudgetLimit) --budget_;
+
+    // Virtual exponential backoff with deterministic jitter: the n-th
+    // retry waits base<<(n-1) plus a hash-derived jitter in [0, base).
+    // Accounted, not slept — sweep observations are instantaneous — but
+    // journalled so `verify` can audit the schedule.
+    const std::uint64_t base = backoff_base_
+                               << static_cast<unsigned>(std::min(attempt, 20));
+    const std::uint64_t jitter = base > 1 ? util::mix64(jitter_seed_ ^ id) % base : 0;
+    const std::uint64_t delay = base + jitter;
+    ++stats_.retries;
+    stats_.backoff_s += delay;
+    if (journal_ != nullptr) {
+      util::journal::Event e{"dns.retry", now};
+      e.str("qname", qname.to_string())
+          .num("n", attempt + 1)
+          .unum("base_s", base)
+          .unum("delay_s", delay);
+      journal_->emit(e);
     }
   }
   result.status = LookupStatus::Timeout;

@@ -53,6 +53,9 @@ struct ResolverStats {
   std::uint64_t servfail = 0;
   std::uint64_t timeout = 0;
   std::uint64_t other = 0;
+  std::uint64_t retries = 0;    ///< re-sent queries (timeout/mismatch/TC)
+  std::uint64_t truncated = 0;  ///< TC responses received
+  std::uint64_t backoff_s = 0;  ///< total virtual backoff delay accrued
 
   ResolverStats& operator+=(const ResolverStats& other_stats) noexcept {
     queries_sent += other_stats.queries_sent;
@@ -61,8 +64,27 @@ struct ResolverStats {
     servfail += other_stats.servfail;
     timeout += other_stats.timeout;
     other += other_stats.other;
+    retries += other_stats.retries;
+    truncated += other_stats.truncated;
+    backoff_s += other_stats.backoff_s;
     return *this;
   }
+};
+
+/// Retry behaviour for lost/truncated exchanges. The backoff is *virtual*:
+/// sweeps observe the world at a frozen instant, so delays are accounted
+/// (stats, `dns.retry` journal events) rather than advancing the clock.
+/// Backoff for the n-th retry is `backoff_base_s << (n-1)` plus a
+/// deterministic jitter in [0, base) hashed from the transaction id, so
+/// the full schedule is reproducible at any thread count.
+struct RetryPolicy {
+  static constexpr std::uint64_t kNoBudgetLimit = ~0ULL;
+
+  int max_retries = 1;               ///< extra attempts after the first
+  std::uint64_t backoff_base_s = 1;  ///< first retry delay (seconds)
+  /// Total retries this resolver may spend across all lookups before it
+  /// reports budget_exhausted() — the sweep's per-shard budget.
+  std::uint64_t retry_budget = kNoBudgetLimit;
 };
 
 class StubResolver {
@@ -84,12 +106,40 @@ class StubResolver {
   /// event (qname, status, answer, attempts) into it. Opt-in per resolver
   /// instance — the campaign engine attaches its serial resolver, while
   /// bulk sweeps leave theirs detached to keep journal volume bounded.
-  void set_journal(util::journal::Sink* sink) noexcept { journal_ = sink; }
+  void set_journal(util::journal::Sink* sink) noexcept {
+    journal_ = sink;
+    journal_lookups_ = true;
+  }
+
+  /// Attach a sink that receives only `dns.retry` events (no per-lookup
+  /// `dns.lookup` volume) — what the sharded sweep uses so retry chains
+  /// are auditable without journalling every address.
+  void set_retry_journal(util::journal::Sink* sink) noexcept {
+    journal_ = sink;
+    journal_lookups_ = false;
+  }
+
+  /// Override retry count / backoff / budget (see RetryPolicy).
+  void set_retry_policy(const RetryPolicy& policy) noexcept {
+    retries_ = policy.max_retries;
+    backoff_base_ = policy.backoff_base_s > 0 ? policy.backoff_base_s : 1;
+    budget_ = policy.retry_budget;
+    budget_exhausted_ = false;
+  }
+
+  /// True once a retry was denied because the budget hit zero. Sticky
+  /// until the next set_retry_policy().
+  [[nodiscard]] bool budget_exhausted() const noexcept { return budget_exhausted_; }
 
  private:
   Transport* transport_;
   int retries_;
   std::uint16_t next_id_;
+  std::uint64_t jitter_seed_;
+  std::uint64_t backoff_base_ = 1;
+  std::uint64_t budget_ = RetryPolicy::kNoBudgetLimit;
+  bool budget_exhausted_ = false;
+  bool journal_lookups_ = true;
   ResolverStats stats_;
   util::journal::Sink* journal_ = nullptr;
 };

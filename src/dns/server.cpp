@@ -1,6 +1,7 @@
 #include "dns/server.hpp"
 
 #include "dns/wire.hpp"
+#include "util/faults.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
 
@@ -21,6 +22,7 @@ struct ServerMetrics {
   metrics::Counter& nodata = metrics::counter("dns.server.nodata");
   metrics::Counter& servfail_injected = metrics::counter("dns.server.servfail_injected");
   metrics::Counter& timeouts_injected = metrics::counter("dns.server.timeouts_injected");
+  metrics::Counter& truncations_injected = metrics::counter("dns.server.truncations_injected");
   metrics::Counter& refused = metrics::counter("dns.server.refused");
   metrics::Counter& updates = metrics::counter("dns.server.updates");
   metrics::Counter& qtype_ptr = metrics::counter("dns.server.qtype.ptr");
@@ -47,6 +49,24 @@ void count_qtype(const Message& request) {
   }
 }
 
+/// Entity key for util::faults decisions: transaction id + lowercased
+/// qname, mirroring fault_hit()'s inputs so injected outcomes are a pure
+/// function of the query regardless of thread count or issue order.
+std::uint64_t request_entity(const Message& request) noexcept {
+  std::uint64_t h = util::mix64(request.id);
+  if (!request.questions.empty()) {
+    for (const auto& label : request.questions.front().qname.labels()) {
+      for (const char c : label) {
+        const auto lower =
+            static_cast<std::uint64_t>(c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c);
+        h = util::mix64(h ^ lower);
+      }
+      h = util::mix64(h ^ 0x2EULL);  // label separator
+    }
+  }
+  return h;
+}
+
 }  // namespace
 
 ServerStats& ServerStats::operator+=(const ServerStats& other) noexcept {
@@ -56,6 +76,7 @@ ServerStats& ServerStats::operator+=(const ServerStats& other) noexcept {
   nodata += other.nodata;
   servfail_injected += other.servfail_injected;
   timeouts_injected += other.timeouts_injected;
+  truncations_injected += other.truncations_injected;
   refused += other.refused;
   updates += other.updates;
   return *this;
@@ -167,6 +188,33 @@ std::optional<Message> AuthoritativeServer::handle_readonly(const Message& reque
     ++stats.refused;
     m.refused.inc();
     return make_response(request, Rcode::Refused, /*authoritative=*/false);
+  }
+  // Chaos-profile faults (util::faults) on top of the per-server policy:
+  // same stateless-hash determinism, but driven by the process-wide
+  // profile so `--faults flaky-dns` degrades every server at once. No
+  // journal emission here — this path runs concurrently; the per-shard
+  // aggregates ride in the sweep.shard events.
+  if (auto* inj = util::faults::active()) {
+    const std::uint64_t entity = request_entity(request);
+    if (inj->should_fail(util::faults::Site::DnsTimeout, entity)) {
+      ++stats.timeouts_injected;
+      m.timeouts_injected.inc();
+      return std::nullopt;
+    }
+    if (inj->should_fail(util::faults::Site::DnsServfail, entity)) {
+      ++stats.servfail_injected;
+      m.servfail_injected.inc();
+      return make_response(request, Rcode::ServFail);
+    }
+    if (inj->should_fail(util::faults::Site::DnsTruncate, entity)) {
+      // UDP truncation: TC bit set, no answers. The stub retries (a real
+      // one would fall back to TCP).
+      ++stats.truncations_injected;
+      m.truncations_injected.inc();
+      Message response = make_response(request, Rcode::NoError);
+      response.flags.tc = true;
+      return response;
+    }
   }
   return answer_query(request, stats);
 }

@@ -37,6 +37,7 @@ struct ServerStats {
   std::uint64_t nodata = 0;
   std::uint64_t servfail_injected = 0;
   std::uint64_t timeouts_injected = 0;
+  std::uint64_t truncations_injected = 0;
   std::uint64_t refused = 0;
   std::uint64_t updates = 0;
 

@@ -1,0 +1,187 @@
+#include "scan/checkpoint.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/metrics.hpp"
+#include "util/strings.hpp"
+
+namespace rdns::scan {
+
+namespace {
+
+namespace journal = rdns::util::journal;
+
+void append_string_field(std::string& out, const char* key, const std::string& value) {
+  out += ",\"";
+  out += key;
+  out += "\":\"";
+  util::metrics::append_json_escaped(out, value);
+  out += "\"";
+}
+
+/// Inverse of the manifest writer for the two fields it encodes specially:
+/// world_digest travels as a 16-digit hex string (exact through JSON
+/// readers that store numbers as doubles).
+std::uint64_t parse_hex_u64(const std::string& text) {
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    value <<= 4U;
+    if (c >= '0' && c <= '9') value |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') value |= static_cast<std::uint64_t>(c - 'A' + 10);
+    else return 0;
+  }
+  return value;
+}
+
+journal::RunManifest manifest_from_object(const journal::JsonValue& v) {
+  journal::RunManifest m;
+  m.tool = v.get_string("tool");
+  m.version = v.get_string("version");
+  m.seed = static_cast<std::uint64_t>(v.get_int("seed"));
+  m.world_digest = parse_hex_u64(v.get_string("world_digest"));
+  m.faults = v.get_string("faults", "none");
+  m.threads = static_cast<unsigned>(v.get_int("threads"));
+  m.events_schema = v.get_string("events_schema");
+  m.observability_schema = v.get_string("observability_schema");
+  return m;
+}
+
+bool io_fail(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+}  // namespace
+
+bool save_checkpoint(const std::string& path, const SweepCheckpoint& checkpoint,
+                     std::string* error) {
+  const SweepCheckpointConfig& cfg = checkpoint.config;
+  const SweepProgress& p = checkpoint.progress;
+
+  std::string header = "{\"schema\":\"";
+  header += kCheckpointSchema;
+  header += "\"";
+  append_string_field(header, "mode", cfg.mode);
+  append_string_field(header, "from", cfg.from);
+  append_string_field(header, "to", cfg.to);
+  header += util::format(",\"every_days\":%d,\"hour\":%d", cfg.every_days, cfg.hour);
+  header += ",\"manifest\":";
+  header += journal::manifest_json(cfg.manifest, /*include_threads=*/false);
+  header += "}\n";
+
+  std::string progress = "{\"";
+  progress += "day\":\"";
+  util::metrics::append_json_escaped(progress, p.day);
+  progress += "\"";
+  progress += util::format(
+      ",\"day_ordinal\":%llu,\"shards_done\":%llu,\"shards_total\":%llu",
+      static_cast<unsigned long long>(p.day_ordinal),
+      static_cast<unsigned long long>(p.shards_done),
+      static_cast<unsigned long long>(p.shards_total));
+  progress += p.day_complete ? ",\"day_complete\":true" : ",\"day_complete\":false";
+  progress += util::format(",\"csv_bytes\":%llu,\"rows\":%llu",
+                           static_cast<unsigned long long>(p.csv_bytes),
+                           static_cast<unsigned long long>(p.rows));
+  progress += "}\n";
+
+  // Write-then-rename: a crash mid-save leaves the previous checkpoint
+  // intact, never a torn file.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out{tmp, std::ios::out | std::ios::trunc};
+    if (!out) return io_fail(error, "cannot write " + tmp);
+    out << header << progress;
+    out.flush();
+    if (!out) return io_fail(error, "write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return io_fail(error, "cannot rename " + tmp + " to " + path);
+  }
+  return true;
+}
+
+std::optional<SweepCheckpoint> load_checkpoint(const std::string& path, std::string* error) {
+  const auto fail = [&](std::string message) -> std::optional<SweepCheckpoint> {
+    if (error != nullptr) *error = std::move(message);
+    return std::nullopt;
+  };
+
+  std::ifstream in{path};
+  if (!in) return fail("cannot open checkpoint " + path);
+  std::string header_line;
+  std::string progress_line;
+  if (!std::getline(in, header_line) || header_line.empty()) {
+    return fail("checkpoint " + path + " is empty or truncated");
+  }
+  // Accept (and take the last of) multiple progress records so an
+  // append-style writer would also load; the canonical file has one.
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) progress_line = line;
+  }
+  if (progress_line.empty()) {
+    return fail("checkpoint " + path + " has no progress record");
+  }
+
+  std::string parse_error;
+  const auto header = journal::parse_json(header_line, &parse_error);
+  if (!header || header->kind != journal::JsonValue::Kind::Object) {
+    return fail("checkpoint " + path + " header is not valid JSON: " + parse_error);
+  }
+  const std::string schema = header->get_string("schema");
+  if (schema != kCheckpointSchema) {
+    return fail("checkpoint " + path + " has schema \"" + schema + "\", expected \"" +
+                kCheckpointSchema + "\"");
+  }
+  const auto progress = journal::parse_json(progress_line, &parse_error);
+  if (!progress || progress->kind != journal::JsonValue::Kind::Object) {
+    return fail("checkpoint " + path + " progress record is not valid JSON: " + parse_error);
+  }
+
+  SweepCheckpoint cp;
+  cp.config.mode = header->get_string("mode", "wire");
+  cp.config.from = header->get_string("from");
+  cp.config.to = header->get_string("to");
+  cp.config.every_days = static_cast<int>(header->get_int("every_days", 1));
+  cp.config.hour = static_cast<int>(header->get_int("hour", 9));
+  const journal::JsonValue* manifest = header->find("manifest");
+  if (manifest == nullptr || manifest->kind != journal::JsonValue::Kind::Object) {
+    return fail("checkpoint " + path + " header has no manifest object");
+  }
+  cp.config.manifest = manifest_from_object(*manifest);
+
+  cp.progress.day = progress->get_string("day");
+  cp.progress.day_ordinal = static_cast<std::uint64_t>(progress->get_int("day_ordinal"));
+  cp.progress.shards_done = static_cast<std::uint64_t>(progress->get_int("shards_done"));
+  cp.progress.shards_total = static_cast<std::uint64_t>(progress->get_int("shards_total"));
+  cp.progress.day_complete = progress->get_bool("day_complete");
+  cp.progress.csv_bytes = static_cast<std::uint64_t>(progress->get_int("csv_bytes"));
+  cp.progress.rows = static_cast<std::uint64_t>(progress->get_int("rows"));
+  if (cp.progress.day.empty()) {
+    return fail("checkpoint " + path + " progress record has no day");
+  }
+  if (cp.progress.shards_done > cp.progress.shards_total) {
+    return fail("checkpoint " + path + " progress is inconsistent (shards_done > shards_total)");
+  }
+  return cp;
+}
+
+bool checkpoints_compatible(const SweepCheckpointConfig& saved,
+                            const SweepCheckpointConfig& current, std::string* why) {
+  const auto fail = [&](const char* field) {
+    if (why != nullptr) *why = field;
+    return false;
+  };
+  if (saved.mode != current.mode) return fail("mode");
+  if (saved.from != current.from) return fail("from");
+  if (saved.to != current.to) return fail("to");
+  if (saved.every_days != current.every_days) return fail("every_days");
+  if (saved.hour != current.hour) return fail("hour");
+  return journal::manifests_compatible(saved.manifest, current.manifest, why);
+}
+
+}  // namespace rdns::scan

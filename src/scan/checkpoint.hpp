@@ -1,0 +1,83 @@
+#pragma once
+/// \file checkpoint.hpp
+/// Checkpoint/resume for long wire sweeps ("rdns.checkpoint.v1").
+///
+/// A full-address-space sweep is hours of work; a crash near the end used
+/// to mean starting over. The wire sweep commits its output in shard order
+/// (OrderedMergeBuffer), so at any instant the CSV is a *prefix* of the
+/// final artifact plus possibly an uncommitted tail. A checkpoint records
+/// that committed prefix: which day of the schedule is in flight, how many
+/// shards of it have reached the sink, and the CSV byte offset at that
+/// point. Resume truncates the CSV back to the recorded offset, rebuilds
+/// the world from the same seed (sweeps are read-only observations, so
+/// world evolution is observation-independent), fast-forwards to the
+/// checkpointed day, and re-runs the sweep with the completed shards
+/// skipped — producing a byte-identical final CSV at any thread count.
+///
+/// The file is two JSON lines, rewritten atomically (tmp + rename) on
+/// every save: a header carrying the schema, the sweep configuration and
+/// the RunManifest (seed, world digest, chaos profile, version), then one
+/// progress record. Loading verifies the schema and rejects malformed
+/// files with an error message instead of undefined state.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/journal.hpp"
+
+namespace rdns::scan {
+
+inline constexpr const char* kCheckpointSchema = "rdns.checkpoint.v1";
+
+/// Everything that determines the sweep's output byte stream. Two runs may
+/// hand off through a checkpoint only if all of this matches (see
+/// checkpoints_compatible); the manifest covers seed/world/faults/version,
+/// the rest pins the sweep schedule itself.
+struct SweepCheckpointConfig {
+  util::journal::RunManifest manifest;
+  std::string mode = "wire";   ///< sweep mode ("wire"; bulk is cheap enough to re-run)
+  std::string from;            ///< first sweep date, "YYYY-MM-DD"
+  std::string to;              ///< last sweep date, "YYYY-MM-DD"
+  int every_days = 1;
+  int hour = 9;                ///< hour-of-day each sweep runs at
+};
+
+/// The committed prefix: everything up to (day_ordinal, shards_done) has
+/// reached the CSV, which was `csv_bytes` long at that point.
+struct SweepProgress {
+  std::string day;                  ///< date of the sweep in flight, "YYYY-MM-DD"
+  std::uint64_t day_ordinal = 0;    ///< 0-based index of that day in the schedule
+  std::uint64_t shards_done = 0;    ///< shards of `day` committed to the sink
+  std::uint64_t shards_total = 0;
+  bool day_complete = false;        ///< `day` finished (resume starts the next day)
+  std::uint64_t csv_bytes = 0;      ///< CSV stream offset after the committed prefix
+  std::uint64_t rows = 0;           ///< cumulative rows across completed work
+};
+
+struct SweepCheckpoint {
+  SweepCheckpointConfig config;
+  SweepProgress progress;
+};
+
+/// Atomically (write tmp, rename over) persist the checkpoint. Returns
+/// false and fills `error` when the file cannot be written.
+bool save_checkpoint(const std::string& path, const SweepCheckpoint& checkpoint,
+                     std::string* error = nullptr);
+
+/// Load and validate a checkpoint file. Returns nullopt and fills `error`
+/// on a missing, truncated or malformed file — callers exit cleanly, they
+/// never resume from garbage.
+[[nodiscard]] std::optional<SweepCheckpoint> load_checkpoint(const std::string& path,
+                                                             std::string* error = nullptr);
+
+/// True when a run configured as `current` may resume from a checkpoint
+/// written by `saved`: identical schedule fields and compatible manifests
+/// (seed, world digest, chaos profile, version, schemas — thread counts
+/// are ignored, determinism across them is the point). On mismatch `why`
+/// names the first differing field.
+[[nodiscard]] bool checkpoints_compatible(const SweepCheckpointConfig& saved,
+                                          const SweepCheckpointConfig& current,
+                                          std::string* why = nullptr);
+
+}  // namespace rdns::scan

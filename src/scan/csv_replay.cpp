@@ -13,6 +13,7 @@ namespace {
 /// serially in input order.
 struct ParsedLine {
   bool valid = false;
+  bool degraded = false;  ///< kDegradedSentinel row: counted, not emitted
   util::CivilDate date;
   net::Ipv4Addr address;
   dns::DnsName ptr;
@@ -64,6 +65,13 @@ ParsedLine parse_line(const std::string& line) {
   if (!address || !ptr || ptr->is_root()) return out;
   out.valid = true;
   out.address = *address;
+  if (row[2] == kDegradedSentinel) {
+    // A shard the recording sweep degraded on: a gap in coverage, not a
+    // PTR observation. Keep the date (it belongs to that sweep) but do
+    // not feed the sentinel into the analysis pipeline.
+    out.degraded = true;
+    return out;
+  }
   out.ptr = *ptr;
   return out;
 }
@@ -105,6 +113,10 @@ ReplayStats replay_csv(std::istream& in, SnapshotSink& sink, util::ThreadPool* p
       }
       current_date = row.date;
       have_date = true;
+      if (row.degraded) {
+        ++stats.degraded;
+        continue;
+      }
       sink.on_row(row.date, row.address, row.ptr);
       ++stats.rows;
     }

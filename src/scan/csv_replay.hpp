@@ -16,8 +16,9 @@ namespace rdns::scan {
 
 struct ReplayStats {
   std::uint64_t rows = 0;
-  std::uint64_t skipped = 0;  ///< malformed rows (logged, not fatal)
-  std::uint64_t sweeps = 0;   ///< distinct dates seen (in order)
+  std::uint64_t skipped = 0;   ///< malformed rows (logged, not fatal)
+  std::uint64_t degraded = 0;  ///< kDegradedSentinel rows (shards a faulty sweep gave up on)
+  std::uint64_t sweeps = 0;    ///< distinct dates seen (in order)
 };
 
 /// Stream CSV rows into `sink`. Rows must be ordered by date (as the

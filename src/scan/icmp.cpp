@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "scan/permutation.hpp"
+#include "util/faults.hpp"
+#include "util/rng.hpp"
 
 namespace rdns::scan {
 
@@ -40,7 +42,17 @@ IcmpSweepResult IcmpScanner::sweep(const std::vector<net::Prefix>& targets) {
       continue;
     }
     ++result.probes_sent;
-    if (world_->ping(addr, now)) result.responsive.push_back(addr);
+    bool alive = world_->ping(addr, now);
+    // Chaos profile: the echo reply is lost on our side — the host looks
+    // down for this probe even though it answered. Decided per (addr, t),
+    // so the outcome is identical however the sweep is ordered.
+    if (alive && util::faults::active() != nullptr &&
+        util::faults::Injector::global().should_fail(
+            util::faults::Site::IcmpProbeLoss,
+            util::mix64(addr.value()) ^ static_cast<std::uint64_t>(now))) {
+      alive = false;
+    }
+    if (alive) result.responsive.push_back(addr);
   }
   result.duration =
       static_cast<util::SimTime>(std::ceil(static_cast<double>(result.probes_sent) /

@@ -3,6 +3,7 @@
 #include <mutex>
 
 #include "net/ip_bitset.hpp"
+#include "util/faults.hpp"
 #include "util/journal.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
@@ -23,6 +24,8 @@ struct SweepMetrics {
   metrics::Counter& sweeps = metrics::counter("sweep.sweeps");
   metrics::Counter& bulk_passes = metrics::counter("sweep.bulk_passes");
   metrics::Counter& wire_shards = metrics::counter("sweep.wire_shards");
+  metrics::Counter& shard_reruns = metrics::counter("sweep.shard_reruns");
+  metrics::Counter& degraded_shards = metrics::counter("sweep.degraded_shards");
   metrics::Histogram& org_rows = metrics::histogram(
       "sweep.org_rows", metrics::Histogram::exponential_bounds(16, 4, 10));
   metrics::Histogram& shard_rows = metrics::histogram(
@@ -39,6 +42,11 @@ SweepMetrics& sweep_metrics() {
 void CsvSnapshotSink::on_row(const util::CivilDate& date, net::Ipv4Addr address,
                              const dns::DnsName& ptr) {
   writer_.row(util::format_date(date), address.to_string(), ptr.to_canonical_string());
+}
+
+void CsvSnapshotSink::on_shard_degraded(const util::CivilDate& date, net::Ipv4Addr first,
+                                        net::Ipv4Addr /*last*/) {
+  writer_.row(util::format_date(date), first.to_string(), kDegradedSentinel);
 }
 
 std::uint64_t sweep_bulk(const sim::World& world, const util::CivilDate& date,
@@ -106,7 +114,8 @@ std::vector<SweepShard> shard_address_space(const std::vector<net::Prefix>& pref
 }
 
 std::uint64_t sweep_wire(sim::World& world, const util::CivilDate& date, SnapshotSink& sink,
-                         dns::ResolverStats* stats_out, util::ThreadPool* pool_opt) {
+                         dns::ResolverStats* stats_out, util::ThreadPool* pool_opt,
+                         const WireSweepOptions& options) {
   const auto span = util::trace::Tracer::global().scope("wire_sweep");
   util::ThreadPool& pool = pool_opt != nullptr ? *pool_opt : util::ThreadPool::global();
   SweepMetrics& sm = sweep_metrics();
@@ -122,19 +131,33 @@ std::uint64_t sweep_wire(sim::World& world, const util::CivilDate& date, Snapsho
     /// Workers render into a per-shard buffer; the merge consumer appends
     /// them in shard order, so the journal stream is thread-invariant.
     std::string journal_lines;
+    /// Both attempts exhausted the retry budget: no rows, one sentinel.
+    bool degraded = false;
+    /// Already emitted by a checkpointed predecessor run (resume path).
+    bool skipped = false;
   };
   // Captured once: toggling the journal mid-sweep must not tear the stream.
   util::journal::Journal* const jrn = util::journal::active();
   std::uint64_t rows_emitted = 0;
+  std::size_t shards_done = 0;
   util::OrderedMergeBuffer<ShardRows> merge{
       /*capacity=*/std::size_t{8} * pool.size(),
-      [&](std::size_t /*seq*/, ShardRows&& shard_rows) {
-        for (auto& [address, ptr] : shard_rows.rows) {
-          sink.on_row(date, address, ptr);
-          ++rows_emitted;
+      [&](std::size_t seq, ShardRows&& shard_rows) {
+        if (shard_rows.degraded) {
+          sink.on_shard_degraded(date, net::Ipv4Addr{shards[seq].first},
+                                 net::Ipv4Addr{shards[seq].last});
+        } else {
+          for (auto& [address, ptr] : shard_rows.rows) {
+            sink.on_row(date, address, ptr);
+            ++rows_emitted;
+          }
         }
         if (jrn != nullptr && !shard_rows.journal_lines.empty()) {
           jrn->append_raw(shard_rows.journal_lines);
+        }
+        ++shards_done;
+        if (options.on_shard_done && !shard_rows.skipped) {
+          options.on_shard_done(shards_done, shards.size(), rows_emitted);
         }
       }};
 
@@ -147,42 +170,91 @@ std::uint64_t sweep_wire(sim::World& world, const util::CivilDate& date, Snapsho
   const util::SimTime now = world.now();
   const sim::World& frozen = world;
 
+  // Shard retry budget from the armed chaos profile (0 = unlimited, the
+  // fault-free fast path: one attempt, no budget accounting).
+  const util::faults::Injector* const inj = util::faults::active();
+  const std::uint64_t budget = inj != nullptr ? inj->profile().shard_retry_budget : 0;
+  const int max_attempts = budget > 0 ? 2 : 1;
+
   pool.parallel_for_chunks(
       shards.size(), /*chunk=*/1,
       [&](std::size_t shard_index, std::uint64_t /*begin*/, std::uint64_t /*end*/) {
+        if (shard_index < options.skip_shards) {
+          ShardRows done;
+          done.skipped = true;
+          merge.put(shard_index, std::move(done));
+          return;
+        }
         ShardRows out;
         try {
           const SweepShard& shard = shards[shard_index];
           sim::FrozenDnsView view{frozen};
-          // One resolver per shard, transaction ids seeded by the shard
-          // index: the query stream of shard k is the same no matter which
-          // worker runs it.
-          dns::StubResolver resolver{view, /*retries=*/1,
-                                     0x1D5EEDULL ^ util::mix64(shard_index + 1)};
-          for (std::uint64_t v = shard.first; v <= shard.last; ++v) {
-            const net::Ipv4Addr a{static_cast<std::uint32_t>(v)};
-            const auto result = resolver.lookup_ptr(a, now);
-            if (result.status == dns::LookupStatus::Ok && result.ptr) {
-              out.rows.emplace_back(a, *result.ptr);
+          dns::ResolverStats shard_stats;
+          util::journal::Buffer buf;
+          bool exhausted = false;
+          for (int attempt = 0; attempt < max_attempts; ++attempt) {
+            out.rows.clear();
+            // One resolver per shard attempt, transaction ids seeded by the
+            // shard index (re-run attempts perturb the seed so their query
+            // stream differs): the stream of shard k / attempt a is the
+            // same no matter which worker runs it.
+            const std::uint64_t id_seed =
+                0x1D5EEDULL ^ util::mix64(shard_index + 1) ^
+                (attempt == 0 ? 0ULL
+                              : util::mix64(0xFA117EDULL + static_cast<std::uint64_t>(attempt)));
+            dns::StubResolver resolver{view, /*retries=*/1, id_seed};
+            if (budget > 0) {
+              dns::RetryPolicy policy;
+              policy.retry_budget = budget;
+              resolver.set_retry_policy(policy);
+            }
+            if (jrn != nullptr) resolver.set_retry_journal(&buf);
+            for (std::uint64_t v = shard.first; v <= shard.last; ++v) {
+              const net::Ipv4Addr a{static_cast<std::uint32_t>(v)};
+              const auto result = resolver.lookup_ptr(a, now);
+              if (result.status == dns::LookupStatus::Ok && result.ptr) {
+                out.rows.emplace_back(a, *result.ptr);
+              }
+            }
+            shard_stats += resolver.stats();
+            exhausted = resolver.budget_exhausted();
+            if (jrn != nullptr) {
+              const dns::ResolverStats& rs = resolver.stats();
+              util::journal::Event e{"sweep.shard", now};
+              e.str("first", net::Ipv4Addr{shard.first}.to_string())
+                  .str("last", net::Ipv4Addr{shard.last}.to_string())
+                  .unum("rows", out.rows.size())
+                  .unum("ok", rs.ok)
+                  .unum("nxdomain", rs.nxdomain)
+                  .unum("servfail", rs.servfail)
+                  .unum("timeout", rs.timeout);
+              if (max_attempts > 1) {
+                e.unum("attempt", static_cast<std::uint64_t>(attempt))
+                    .boolean("exhausted", exhausted);
+              }
+              buf.emit(e);
+            }
+            if (!exhausted) break;
+            if (attempt + 1 < max_attempts) sm.shard_reruns.inc();
+          }
+          if (exhausted) {
+            // Graceful degradation: both attempts burned their budget, so
+            // the shard's rows are untrustworthy — drop them, record the
+            // gap. The sweep keeps going.
+            out.rows.clear();
+            out.degraded = true;
+            sm.degraded_shards.inc();
+            if (jrn != nullptr) {
+              util::journal::Event e{"sweep.shard_degraded", now};
+              e.str("first", net::Ipv4Addr{shard.first}.to_string())
+                  .str("last", net::Ipv4Addr{shard.last}.to_string());
+              buf.emit(e);
             }
           }
           sm.shard_rows.observe(static_cast<double>(out.rows.size()));
-          if (jrn != nullptr) {
-            const dns::ResolverStats& rs = resolver.stats();
-            util::journal::Buffer buf;
-            util::journal::Event e{"sweep.shard", now};
-            e.str("first", net::Ipv4Addr{shard.first}.to_string())
-                .str("last", net::Ipv4Addr{shard.last}.to_string())
-                .unum("rows", out.rows.size())
-                .unum("ok", rs.ok)
-                .unum("nxdomain", rs.nxdomain)
-                .unum("servfail", rs.servfail)
-                .unum("timeout", rs.timeout);
-            buf.emit(e);
-            out.journal_lines = buf.take();
-          }
+          if (jrn != nullptr) out.journal_lines = buf.take();
           std::lock_guard lock{stats_mutex};
-          resolver_totals += resolver.stats();
+          resolver_totals += shard_stats;
           view.merge_into(server_totals);
         } catch (...) {
           // The merge cursor must advance even for a failed shard, or

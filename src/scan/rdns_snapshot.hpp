@@ -24,22 +24,36 @@
 
 namespace rdns::scan {
 
+/// Sentinel PTR value recorded for a /24 shard whose retry budget was
+/// exhausted on every attempt (graceful degradation instead of aborting
+/// the sweep). A valid DNS name under the reserved "invalid." TLD, so CSV
+/// rows stay parseable; csv_replay skips and counts these rows.
+inline constexpr const char* kDegradedSentinel = "degraded.invalid.";
+
 /// Receives sweep output. `on_row` is called once per (address, PTR) pair;
-/// `on_sweep_end` once per completed sweep.
+/// `on_sweep_end` once per completed sweep; `on_shard_degraded` once per
+/// /24 shard the wire sweep gave up on (both attempts exhausted their
+/// retry budget under an armed chaos profile).
 class SnapshotSink {
  public:
   virtual ~SnapshotSink() = default;
   virtual void on_row(const util::CivilDate& date, net::Ipv4Addr address,
                       const dns::DnsName& ptr) = 0;
   virtual void on_sweep_end(const util::CivilDate& /*date*/) {}
+  virtual void on_shard_degraded(const util::CivilDate& /*date*/, net::Ipv4Addr /*first*/,
+                                 net::Ipv4Addr /*last*/) {}
 };
 
 /// Forwards rows to a CSV stream (date, ip, ptr) — the on-disk format.
+/// Degraded shards become one sentinel row (date, first, kDegradedSentinel)
+/// so the gap is visible in the artifact itself.
 class CsvSnapshotSink final : public SnapshotSink {
  public:
   explicit CsvSnapshotSink(std::ostream& out) : writer_(out) {}
   void on_row(const util::CivilDate& date, net::Ipv4Addr address,
               const dns::DnsName& ptr) override;
+  void on_shard_degraded(const util::CivilDate& date, net::Ipv4Addr first,
+                         net::Ipv4Addr last) override;
 
  private:
   util::CsvWriter writer_;
@@ -75,6 +89,22 @@ struct SweepShard {
 [[nodiscard]] std::vector<SweepShard> shard_address_space(
     const std::vector<net::Prefix>& prefixes);
 
+/// Tuning for one wire sweep, used by checkpoint/resume.
+struct WireSweepOptions {
+  /// Shards [0, skip_shards) were already emitted by a previous
+  /// (checkpointed) run: they are neither queried nor re-emitted, so the
+  /// remaining output byte stream continues exactly where the previous
+  /// run's committed prefix ended.
+  std::size_t skip_shards = 0;
+  /// Fired in shard order after each shard's output reached the sink;
+  /// shards skipped via `skip_shards` advance the count but do not fire
+  /// (they were committed by the previous run). `rows_so_far` counts rows
+  /// emitted by THIS call. This is the checkpoint hook: when it fires,
+  /// everything up to `shards_done` is a committed prefix.
+  std::function<void(std::size_t shards_done, std::size_t shards_total,
+                     std::uint64_t rows_so_far)> on_shard_done;
+};
+
 /// Performs one full sweep by issuing a wire-format PTR query per address
 /// of every announced prefix. Returns rows emitted.
 ///
@@ -84,9 +114,16 @@ struct SweepShard {
 /// ordered-merge buffer — so the rows reaching `sink` are byte-identical
 /// to the serial run at every thread count. Requires a frozen sim clock
 /// (no concurrent run_until), which is how scanners already operate.
+///
+/// Resilience: when a chaos profile with a shard retry budget is armed,
+/// each shard's resolver runs under that budget; a shard that exhausts it
+/// is re-run once with a fresh resolver, and if the retry also exhausts,
+/// the shard is recorded as degraded (sink.on_shard_degraded + journal
+/// sweep.shard_degraded) instead of aborting the sweep.
 std::uint64_t sweep_wire(sim::World& world, const util::CivilDate& date, SnapshotSink& sink,
                          dns::ResolverStats* stats_out = nullptr,
-                         util::ThreadPool* pool = nullptr);
+                         util::ThreadPool* pool = nullptr,
+                         const WireSweepOptions& options = {});
 
 /// Drives a periodic sweep campaign: advances the world to `hour_of_day` on
 /// each sweep date and invokes the bulk sweep.

@@ -1,7 +1,9 @@
 #include "scan/reactive.hpp"
 
+#include "util/faults.hpp"
 #include "util/journal.hpp"
 #include "util/metrics.hpp"
+#include "util/rng.hpp"
 #include "util/trace.hpp"
 
 namespace rdns::scan {
@@ -76,6 +78,23 @@ ReactiveEngine::ReactiveEngine(sim::World& world, std::vector<Target> targets, C
   for (const auto& target : targets_) {
     auto& obs = networks_[target.network];
     for (const auto& p : target.prefixes) obs.target_addresses += p.size();
+  }
+  // Resilience against an armed chaos profile. Lossy ICMP: require a
+  // second failed probe (re-checked at the same Table 2 slot) before
+  // inferring departure, so probe loss is not booked as a client leaving.
+  // Flaky DNS: let the serial resolver retry lost/truncated exchanges once
+  // with its deterministic backoff. Both knobs are no-ops without faults,
+  // keeping fault-free journals byte-identical to earlier runs.
+  if (const auto* inj = util::faults::active()) {
+    if (inj->profile().p(util::faults::Site::IcmpProbeLoss) > 0 &&
+        config_.offline_confirm_probes < 2) {
+      config_.offline_confirm_probes = 2;
+    }
+    const auto& p = inj->profile();
+    if (p.p(util::faults::Site::DnsTimeout) > 0 || p.p(util::faults::Site::DnsServfail) > 0 ||
+        p.p(util::faults::Site::DnsTruncate) > 0) {
+      resolver_.set_retry_policy(dns::RetryPolicy{});
+    }
   }
 }
 
@@ -288,7 +307,15 @@ void ReactiveEngine::do_probe(net::Ipv4Addr address) {
     return;
   }
 
-  const bool alive = world_->ping(address, now);
+  bool alive = world_->ping(address, now);
+  // Chaos profile: the echo reply is lost scanner-side. Same (addr, t)
+  // entity as IcmpScanner so both probers see one consistent network.
+  if (alive && util::faults::active() != nullptr &&
+      util::faults::Injector::global().should_fail(
+          util::faults::Site::IcmpProbeLoss,
+          util::mix64(address.value()) ^ static_cast<std::uint64_t>(now))) {
+    alive = false;
+  }
   ++icmp_probes_;
   CampaignMetrics& cm = campaign_metrics();
   cm.icmp_probes.inc();
@@ -311,6 +338,10 @@ void ReactiveEngine::do_probe(net::Ipv4Addr address) {
       cm.icmp_responses.inc();
       ++group.icmp_ok;
       group.last_icmp_ok = now;
+      // A response clears any pending offline suspicion: the earlier miss
+      // was probe loss (or a blip), not departure.
+      tracked.online_fails = 0;
+      tracked.first_fail = 0;
       note_hourly(address, now, /*is_rdns=*/false);
       ++tracked.probes_in_phase;
       schedule(now + BackoffSchedule::interval_after(tracked.probes_in_phase), ActionKind::Probe,
@@ -319,7 +350,29 @@ void ReactiveEngine::do_probe(net::Ipv4Addr address) {
                       BackoffSchedule::interval_after(tracked.probes_in_phase), now);
     } else {
       ++group.icmp_fail;
-      group.offline_detected = now;
+      ++tracked.online_fails;
+      if (tracked.first_fail == 0) tracked.first_fail = now;
+      if (tracked.online_fails < config_.offline_confirm_probes) {
+        // A single miss could be injected probe loss. Distinguish loss
+        // from departure by re-probing at the SAME Table 2 slot (n does
+        // not advance), and only treat a consecutive miss as offline.
+        if (auto* j = util::journal::active()) {
+          util::journal::Event e{"campaign.recheck", now};
+          e.unum("group", group.group_id)
+              .str("ip", address.to_string())
+              .num("n", tracked.probes_in_phase)
+              .num("fails", tracked.online_fails);
+          j->emit(e);
+        }
+        schedule(now + BackoffSchedule::interval_after(tracked.probes_in_phase), ActionKind::Probe,
+                 address);
+        journal_backoff(group, tracked.probes_in_phase,
+                        BackoffSchedule::interval_after(tracked.probes_in_phase), now);
+        return;
+      }
+      // Departure is dated to the first miss of the confirmed run — that
+      // is when the client actually stopped answering.
+      group.offline_detected = tracked.first_fail;
       // The gap that detected the disappearance bounds the timing error.
       group.reliable =
           BackoffSchedule::interval_after(tracked.probes_in_phase) <= config_.reliable_gap;

@@ -119,6 +119,12 @@ class ReactiveEngine {
     util::SimTime max_follow = 6 * util::kHour;  ///< give up on a group after this
     int spot_retries = 2;            ///< extra join-time PTR attempts
     util::SimTime reliable_gap = 30 * util::kMinute;
+    /// Consecutive failed online-phase probes required before the client
+    /// is declared offline. 1 = first miss wins (the paper's behaviour on
+    /// a clean network). When a chaos profile injects ICMP probe loss the
+    /// engine raises this to 2 so a single lost echo reply is re-checked
+    /// at the same Table 2 slot instead of being mistaken for departure.
+    int offline_confirm_probes = 1;
     std::uint64_t seed = 0xF00D5EED;
   };
 
@@ -152,6 +158,8 @@ class ReactiveEngine {
     Phase phase = Phase::Online;
     int probes_in_phase = 0;
     int spot_attempts = 0;
+    int online_fails = 0;        ///< consecutive failed online probes
+    util::SimTime first_fail = 0;  ///< time of the first of those fails
   };
   enum class ActionKind { Sweep, Probe, SpotRdns };
   struct Action {

@@ -1,0 +1,173 @@
+#include "util/faults.hpp"
+
+#include "util/journal.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace rdns::util::faults {
+
+namespace {
+
+namespace metrics = rdns::util::metrics;
+
+/// Relaxed-atomic accounting for injected faults, keyed by site slug so
+/// `check_metrics_schema.py --require-subsystems faults` can assert the
+/// whole family is present.
+struct FaultMetrics {
+  metrics::Counter& injected = metrics::counter("faults.injected");
+  std::array<metrics::Counter*, kSiteCount> per_site{};
+  metrics::Histogram& site_index = metrics::histogram(
+      "faults.site_index", metrics::Histogram::linear_bounds(0, 1, kSiteCount));
+
+  FaultMetrics() {
+    for (std::size_t i = 0; i < kSiteCount; ++i) {
+      per_site[i] = &metrics::counter(std::string{"faults.injected."} +
+                                      to_string(static_cast<Site>(i)));
+    }
+  }
+};
+
+FaultMetrics& fault_metrics() {
+  static FaultMetrics m;
+  return m;
+}
+
+constexpr std::size_t idx(Site s) noexcept { return static_cast<std::size_t>(s); }
+
+/// Profile table. Probabilities are per-decision; budgets are per sweep
+/// shard (one /24 = 256 queries plus retries). Numbers are tuned so the
+/// chaos is visible but runs still complete: `degraded` in particular sets
+/// a budget low enough that a small tail of shards exhausts it and lands
+/// in the degraded-rows path.
+constexpr std::array<Profile, 5> make_profiles() {
+  std::array<Profile, 5> out{};
+
+  out[0].name = "none";
+
+  Profile& flaky = out[1];
+  flaky.name = "flaky-dns";
+  flaky.probability[idx(Site::DnsServfail)] = 0.02;
+  flaky.probability[idx(Site::DnsTimeout)] = 0.02;
+  flaky.probability[idx(Site::DnsTruncate)] = 0.005;
+  flaky.shard_retry_budget = 64;
+
+  Profile& lossy = out[2];
+  lossy.name = "lossy-net";
+  lossy.probability[idx(Site::IcmpProbeLoss)] = 0.05;
+  lossy.probability[idx(Site::DhcpDropDiscover)] = 0.02;
+  lossy.probability[idx(Site::DhcpDropRequest)] = 0.01;
+  lossy.probability[idx(Site::DhcpDuplicateAck)] = 0.005;
+  lossy.probability[idx(Site::DnsTimeout)] = 0.01;
+  lossy.shard_retry_budget = 64;
+
+  // Fig. 7: "approximately 1 in 10" removals fail to land within an hour.
+  Profile& broken = out[3];
+  broken.name = "broken-ddns";
+  broken.probability[idx(Site::DdnsRemoveFail)] = 0.10;
+  broken.probability[idx(Site::DdnsAddFail)] = 0.02;
+
+  Profile& degraded = out[4];
+  degraded.name = "degraded";
+  degraded.probability[idx(Site::DnsServfail)] = 0.03;
+  degraded.probability[idx(Site::DnsTimeout)] = 0.06;
+  degraded.probability[idx(Site::DnsTruncate)] = 0.01;
+  degraded.probability[idx(Site::IcmpProbeLoss)] = 0.03;
+  degraded.probability[idx(Site::DhcpDropDiscover)] = 0.01;
+  degraded.probability[idx(Site::DhcpDropRequest)] = 0.005;
+  degraded.probability[idx(Site::DhcpDuplicateAck)] = 0.002;
+  degraded.probability[idx(Site::DdnsAddFail)] = 0.01;
+  degraded.probability[idx(Site::DdnsRemoveFail)] = 0.05;
+  degraded.shard_retry_budget = 24;
+
+  return out;
+}
+
+const std::array<Profile, 5>& profiles() {
+  static const std::array<Profile, 5> table = make_profiles();
+  return table;
+}
+
+}  // namespace
+
+const char* to_string(Site site) noexcept {
+  switch (site) {
+    case Site::DnsServfail: return "dns.servfail";
+    case Site::DnsTimeout: return "dns.timeout";
+    case Site::DnsTruncate: return "dns.truncate";
+    case Site::DhcpDropDiscover: return "dhcp.drop_discover";
+    case Site::DhcpDropRequest: return "dhcp.drop_request";
+    case Site::DhcpDuplicateAck: return "dhcp.dup_ack";
+    case Site::DdnsAddFail: return "ddns.add";
+    case Site::DdnsRemoveFail: return "ddns.remove";
+    case Site::IcmpProbeLoss: return "icmp.loss";
+  }
+  return "?";
+}
+
+const Profile* find_profile(std::string_view name) noexcept {
+  for (const Profile& p : profiles()) {
+    if (name == p.name) return &p;
+  }
+  return nullptr;
+}
+
+std::string profile_names() {
+  std::string out;
+  for (const Profile& p : profiles()) {
+    if (!out.empty()) out += ", ";
+    out += p.name;
+  }
+  return out;
+}
+
+bool roll(std::uint64_t seed, Site site, std::uint64_t entity, std::uint64_t attempt,
+          double probability) noexcept {
+  if (probability <= 0.0) return false;
+  // Same chained-mix + 53-bit-mantissa threshold idiom as the sweep's
+  // server-side FaultPolicy hash: decisions behave like independent
+  // Bernoulli draws but depend only on the arguments.
+  std::uint64_t h = seed;
+  h = mix64(h ^ (static_cast<std::uint64_t>(site) + 1));
+  h = mix64(h ^ entity);
+  h = mix64(h ^ (attempt + 0x9E3779B97F4A7C15ULL));
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < probability;
+}
+
+Injector& Injector::global() {
+  static Injector inj;
+  return inj;
+}
+
+void Injector::configure(const Profile& profile, std::uint64_t seed) {
+  profile_ = profile;
+  seed_ = seed;
+  const bool arm = profile.any();
+  if (arm) (void)fault_metrics();  // register the metric family up front
+  enabled_.store(arm, std::memory_order_relaxed);
+}
+
+const Profile& Injector::profile() const noexcept {
+  static const Profile none{};
+  return enabled() ? profile_ : none;
+}
+
+bool Injector::should_fail(Site site, std::uint64_t entity, std::uint64_t attempt) const noexcept {
+  if (!enabled()) return false;
+  const double p = profile_.p(site);
+  if (!roll(seed_, site, entity, attempt, p)) return false;
+  FaultMetrics& m = fault_metrics();
+  m.injected.inc();
+  m.per_site[static_cast<std::size_t>(site)]->inc();
+  m.site_index.observe(static_cast<double>(static_cast<std::size_t>(site)));
+  return true;
+}
+
+void journal_fault(Site site, std::string_view key, std::string_view value, SimTime now) {
+  if (auto* j = journal::active()) {
+    journal::Event e{"fault.inject", now};
+    e.str("site", to_string(site)).str(key, value);
+    j->emit(e);
+  }
+}
+
+}  // namespace rdns::util::faults

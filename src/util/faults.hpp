@@ -1,0 +1,136 @@
+#pragma once
+/// \file faults.hpp
+/// Seed-deterministic fault injection across every layer of the pipeline.
+///
+/// The paper's supplemental measurement ran against a lossy real Internet
+/// ("name server failures, timeouts, and NXDOMAIN responses", §6.1) and
+/// Fig. 7 shows ~1 in 10 PTR removals never landing. To reproduce those
+/// operational conditions — and to prove the measurement stack survives
+/// them — every layer exposes named injection Sites that consult one
+/// process-wide Injector.
+///
+/// Determinism contract. A fault decision is a pure hash of
+/// `(seed, site, entity, attempt)` — no RNG stream, no shared state — so
+/// outcomes are independent of thread count, query order and interleaving,
+/// exactly like the sweep's existing server-side fault hash
+/// (dns::AuthoritativeServer::FaultPolicy). Two runs with the same profile
+/// and seed inject the same faults at the same places.
+///
+/// Cost model. Disabled (the default), should_fail() is one relaxed atomic
+/// load and a branch; enabled sites with probability 0 pay one extra load.
+/// Callers on parallel paths must not journal per-decision (metrics only);
+/// serial sites use journal_fault() to emit `fault.inject` events.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/time.hpp"
+
+namespace rdns::util::faults {
+
+/// Every place the pipeline can inject a failure. The enumerator order is
+/// frozen: it feeds the decision hash and the metrics/journal slugs.
+enum class Site : std::uint8_t {
+  DnsServfail = 0,    ///< authoritative server answers SERVFAIL
+  DnsTimeout,         ///< query or response datagram lost
+  DnsTruncate,        ///< response flagged TC, no answers (UDP truncation)
+  DhcpDropDiscover,   ///< DISCOVER datagram lost before the server
+  DhcpDropRequest,    ///< REQUEST datagram lost before the server
+  DhcpDuplicateAck,   ///< ACK delivered twice (lease layer re-notified)
+  DdnsAddFail,        ///< dynamic PTR add update lost
+  DdnsRemoveFail,     ///< PTR removal lost — the Fig. 7 lingering tail
+  IcmpProbeLoss,      ///< echo reply lost on the scanner side
+};
+
+inline constexpr std::size_t kSiteCount = 9;
+
+/// Stable slug, e.g. "dns.servfail", "ddns.remove" — used for journal
+/// `fault.inject` events and `faults.injected.<slug>` counters.
+[[nodiscard]] const char* to_string(Site site) noexcept;
+
+/// A chaos profile: per-site probabilities plus the resilience knob the
+/// sweep derives its per-shard retry budget from.
+struct Profile {
+  const char* name = "none";
+  std::array<double, kSiteCount> probability{};
+  /// Total resolver retries a sweep shard may spend before it is declared
+  /// exhausted (0 = unlimited).
+  std::uint64_t shard_retry_budget = 0;
+
+  [[nodiscard]] double p(Site site) const noexcept {
+    return probability[static_cast<std::size_t>(site)];
+  }
+  [[nodiscard]] bool any() const noexcept {
+    for (const double v : probability) {
+      if (v > 0.0) return true;
+    }
+    return false;
+  }
+};
+
+/// The named profiles selectable via `--faults` / RDNS_FAULTS. Returns
+/// nullptr for unknown names.
+[[nodiscard]] const Profile* find_profile(std::string_view name) noexcept;
+
+/// "none, flaky-dns, ..." — for CLI error messages.
+[[nodiscard]] std::string profile_names();
+
+/// The pure decision function: true iff the fault fires. `entity`
+/// identifies what the decision is about (a hashed qname, a MAC, an
+/// address⊕time) and `attempt` decorrelates retries of the same entity.
+[[nodiscard]] bool roll(std::uint64_t seed, Site site, std::uint64_t entity,
+                        std::uint64_t attempt, double probability) noexcept;
+
+/// Process-wide injector. configure() is called once at startup (before
+/// worker threads exist); should_fail() is safe from any thread.
+class Injector {
+ public:
+  static constexpr std::uint64_t kDefaultSeed = 0xC4A05'5EEDULL;
+
+  [[nodiscard]] static Injector& global();
+
+  /// Install a profile. Arms the injector iff any probability is non-zero.
+  /// Not thread-safe against concurrent should_fail() — call before work
+  /// starts (mirrors Journal::open / metrics enablement).
+  void configure(const Profile& profile, std::uint64_t seed = kDefaultSeed);
+
+  /// Disarm (back to the zero-cost disabled path).
+  void disable() noexcept { enabled_.store(false, std::memory_order_relaxed); }
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// The active profile ("none" when disarmed).
+  [[nodiscard]] const Profile& profile() const noexcept;
+  [[nodiscard]] const char* profile_name() const noexcept { return profile().name; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Hot path: false after one relaxed load when disabled. On a hit, bumps
+  /// the `faults.*` metrics (relaxed atomics — safe on parallel paths).
+  [[nodiscard]] bool should_fail(Site site, std::uint64_t entity,
+                                 std::uint64_t attempt = 0) const noexcept;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  Profile profile_{};
+  std::uint64_t seed_ = kDefaultSeed;
+};
+
+/// The armed global injector, or nullptr — the one-relaxed-load gate every
+/// site goes through (mirrors journal::active()).
+[[nodiscard]] inline Injector* active() noexcept {
+  Injector& inj = Injector::global();
+  return inj.enabled() ? &inj : nullptr;
+}
+
+/// Serial-site helper: emit a `fault.inject` journal event
+/// {site, <key>: value} if the global journal is open. Parallel sites
+/// (the sharded DNS query path) must NOT call this — their aggregates ride
+/// in the sweep.shard events instead.
+void journal_fault(Site site, std::string_view key, std::string_view value, SimTime now);
+
+}  // namespace rdns::util::faults

@@ -29,6 +29,9 @@ void append_manifest_fields(std::string& out, const RunManifest& m, bool include
   // readers that store numbers as doubles.
   out += format(",\"world_digest\":\"%016llx\"",
                 static_cast<unsigned long long>(m.world_digest));
+  out += ",\"faults\":\"";
+  metrics::append_json_escaped(out, m.faults);
+  out += "\"";
   if (include_threads) out += format(",\"threads\":%u", m.threads);
   out += ",\"events_schema\":\"";
   metrics::append_json_escaped(out, m.events_schema);
@@ -71,6 +74,7 @@ bool manifests_compatible(const RunManifest& a, const RunManifest& b, std::strin
   };
   if (a.seed != b.seed) return fail("seed");
   if (a.world_digest != b.world_digest) return fail("world_digest");
+  if (a.faults != b.faults) return fail("faults");
   if (a.version != b.version) return fail("version");
   if (a.events_schema != b.events_schema) return fail("events_schema");
   if (a.observability_schema != b.observability_schema) return fail("observability_schema");

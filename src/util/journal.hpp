@@ -47,6 +47,7 @@ struct RunManifest {
   std::string version;             ///< version_string()
   std::uint64_t seed = 0;          ///< world seed
   std::uint64_t world_digest = 0;  ///< sim::World::config_digest() (0 = no world)
+  std::string faults = "none";     ///< chaos profile name (util::faults)
   unsigned threads = 0;            ///< worker pool size of this run
   std::string events_schema = kEventsSchema;
   std::string observability_schema = kObservabilitySchema;

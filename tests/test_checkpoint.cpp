@@ -1,0 +1,179 @@
+/// scan/checkpoint unit coverage: rdns.checkpoint.v1 round-trips losslessly,
+/// malformed files are rejected with a message (never resumed from), and the
+/// compatibility gate catches every way a checkpoint can belong to a
+/// different run.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "scan/checkpoint.hpp"
+
+namespace rdns {
+namespace {
+
+using scan::SweepCheckpoint;
+using scan::SweepCheckpointConfig;
+
+/// Deletes the file when the test exits, pass or fail.
+struct TempFile {
+  explicit TempFile(std::string p) : path(std::move(p)) {}
+  ~TempFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+SweepCheckpoint sample_checkpoint() {
+  SweepCheckpoint cp;
+  cp.config.manifest.tool = "rdns_tool sweep";
+  cp.config.manifest.version = "1.2.3";
+  cp.config.manifest.seed = 42;
+  cp.config.manifest.world_digest = 0xDEADBEEFCAFEF00DULL;
+  cp.config.manifest.faults = "flaky-dns";
+  cp.config.mode = "wire";
+  cp.config.from = "2021-01-02";
+  cp.config.to = "2021-02-06";
+  cp.config.every_days = 1;
+  cp.config.hour = 14;
+  cp.progress.day = "2021-01-17";
+  cp.progress.day_ordinal = 15;
+  cp.progress.shards_done = 96;
+  cp.progress.shards_total = 256;
+  cp.progress.day_complete = false;
+  cp.progress.csv_bytes = 1234567;
+  cp.progress.rows = 54321;
+  return cp;
+}
+
+TEST(Checkpoint, SaveLoadRoundTrip) {
+  TempFile f{"test_checkpoint_roundtrip.jsonl"};
+  const SweepCheckpoint cp = sample_checkpoint();
+  std::string error;
+  ASSERT_TRUE(scan::save_checkpoint(f.path, cp, &error)) << error;
+
+  const auto loaded = scan::load_checkpoint(f.path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->config.mode, "wire");
+  EXPECT_EQ(loaded->config.from, "2021-01-02");
+  EXPECT_EQ(loaded->config.to, "2021-02-06");
+  EXPECT_EQ(loaded->config.every_days, 1);
+  EXPECT_EQ(loaded->config.hour, 14);
+  EXPECT_EQ(loaded->config.manifest.seed, 42u);
+  EXPECT_EQ(loaded->config.manifest.world_digest, 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(loaded->config.manifest.faults, "flaky-dns");
+  EXPECT_EQ(loaded->config.manifest.version, "1.2.3");
+  EXPECT_EQ(loaded->progress.day, "2021-01-17");
+  EXPECT_EQ(loaded->progress.day_ordinal, 15u);
+  EXPECT_EQ(loaded->progress.shards_done, 96u);
+  EXPECT_EQ(loaded->progress.shards_total, 256u);
+  EXPECT_FALSE(loaded->progress.day_complete);
+  EXPECT_EQ(loaded->progress.csv_bytes, 1234567u);
+  EXPECT_EQ(loaded->progress.rows, 54321u);
+
+  // Saves are whole-file rewrites: a later save fully supersedes.
+  SweepCheckpoint later = cp;
+  later.progress.shards_done = 256;
+  later.progress.day_complete = true;
+  later.progress.csv_bytes = 2222222;
+  ASSERT_TRUE(scan::save_checkpoint(f.path, later, &error)) << error;
+  const auto reloaded = scan::load_checkpoint(f.path, &error);
+  ASSERT_TRUE(reloaded.has_value()) << error;
+  EXPECT_EQ(reloaded->progress.shards_done, 256u);
+  EXPECT_TRUE(reloaded->progress.day_complete);
+}
+
+TEST(Checkpoint, MissingFileIsAnError) {
+  std::string error;
+  const auto loaded = scan::load_checkpoint("no_such_checkpoint.jsonl", &error);
+  EXPECT_FALSE(loaded.has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Checkpoint, MalformedFilesAreRejectedWithAMessage) {
+  const struct {
+    const char* label;
+    const char* content;
+  } cases[] = {
+      {"empty", ""},
+      {"not JSON", "this is not a checkpoint\n"},
+      {"wrong schema", "{\"schema\":\"rdns.checkpoint.v99\"}\n{\"day\":\"2021-01-02\"}\n"},
+      {"header only (progress line lost mid-write)",
+       "{\"schema\":\"rdns.checkpoint.v1\",\"mode\":\"wire\",\"from\":\"2021-01-02\","
+       "\"to\":\"2021-01-03\",\"every_days\":1,\"hour\":14,\"manifest\":{\"seed\":1}}\n"},
+      {"progress not JSON",
+       "{\"schema\":\"rdns.checkpoint.v1\",\"mode\":\"wire\",\"from\":\"2021-01-02\","
+       "\"to\":\"2021-01-03\",\"every_days\":1,\"hour\":14,\"manifest\":{\"seed\":1}}\n"
+       "garbage progress\n"},
+      {"done exceeds total",
+       "{\"schema\":\"rdns.checkpoint.v1\",\"mode\":\"wire\",\"from\":\"2021-01-02\","
+       "\"to\":\"2021-01-03\",\"every_days\":1,\"hour\":14,\"manifest\":{\"seed\":1}}\n"
+       "{\"day\":\"2021-01-02\",\"day_ordinal\":0,\"shards_done\":9,\"shards_total\":4,"
+       "\"day_complete\":false,\"csv_bytes\":0,\"rows\":0}\n"},
+  };
+  for (const auto& c : cases) {
+    TempFile f{"test_checkpoint_malformed.jsonl"};
+    std::ofstream out{f.path, std::ios::binary};
+    out << c.content;
+    out.close();
+    std::string error;
+    const auto loaded = scan::load_checkpoint(f.path, &error);
+    EXPECT_FALSE(loaded.has_value()) << c.label;
+    EXPECT_FALSE(error.empty()) << c.label;
+  }
+}
+
+TEST(Checkpoint, LastProgressLineWins) {
+  // Crash-during-save leaves the previous progress line intact; an append
+  // that completed adds a newer one. The newest non-empty line is truth.
+  TempFile f{"test_checkpoint_lastline.jsonl"};
+  const SweepCheckpoint cp = sample_checkpoint();
+  std::string error;
+  ASSERT_TRUE(scan::save_checkpoint(f.path, cp, &error)) << error;
+  {
+    std::ofstream out{f.path, std::ios::binary | std::ios::app};
+    out << "{\"day\":\"2021-01-18\",\"day_ordinal\":16,\"shards_done\":8,"
+           "\"shards_total\":256,\"day_complete\":false,\"csv_bytes\":1300000,"
+           "\"rows\":60000}\n";
+  }
+  const auto loaded = scan::load_checkpoint(f.path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->progress.day, "2021-01-18");
+  EXPECT_EQ(loaded->progress.csv_bytes, 1300000u);
+}
+
+TEST(Checkpoint, CompatibilityGate) {
+  const SweepCheckpointConfig base = sample_checkpoint().config;
+  std::string why;
+  EXPECT_TRUE(scan::checkpoints_compatible(base, base, &why)) << why;
+
+  // Thread count is deliberately NOT part of the contract: resuming on a
+  // different pool size must be allowed (and produce identical bytes).
+  SweepCheckpointConfig threads = base;
+  threads.manifest.threads = 8;
+  EXPECT_TRUE(scan::checkpoints_compatible(base, threads, &why)) << why;
+
+  const struct {
+    const char* label;
+    void (*mutate)(SweepCheckpointConfig&);
+  } mismatches[] = {
+      {"mode", [](SweepCheckpointConfig& c) { c.mode = "bulk"; }},
+      {"from", [](SweepCheckpointConfig& c) { c.from = "2021-01-03"; }},
+      {"to", [](SweepCheckpointConfig& c) { c.to = "2021-03-01"; }},
+      {"every_days", [](SweepCheckpointConfig& c) { c.every_days = 7; }},
+      {"hour", [](SweepCheckpointConfig& c) { c.hour = 9; }},
+      {"seed", [](SweepCheckpointConfig& c) { c.manifest.seed = 43; }},
+      {"world", [](SweepCheckpointConfig& c) { c.manifest.world_digest = 1; }},
+      {"faults", [](SweepCheckpointConfig& c) { c.manifest.faults = "none"; }},
+  };
+  for (const auto& m : mismatches) {
+    SweepCheckpointConfig other = base;
+    m.mutate(other);
+    why.clear();
+    EXPECT_FALSE(scan::checkpoints_compatible(base, other, &why)) << m.label;
+    EXPECT_FALSE(why.empty()) << m.label;
+  }
+}
+
+}  // namespace
+}  // namespace rdns

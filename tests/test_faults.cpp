@@ -1,0 +1,350 @@
+/// util::faults unit coverage plus end-to-end resilience guarantees: the
+/// decision hash is pure and probability-faithful, chaos-profile sweeps are
+/// byte-identical at every pool size (CSV and journal), the invariant
+/// auditor accepts real faulted journals but catches hand-forged back-off
+/// violations, broken-ddns departures surface as excused stale PTRs (the
+/// Fig. 7 failure tail), and a blackout profile drives shards through the
+/// budget-exhaustion → re-run → degraded-row path.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/journal_audit.hpp"
+#include "core/timing.hpp"
+#include "scan/csv_replay.hpp"
+#include "scan/rdns_snapshot.hpp"
+#include "scan/reactive.hpp"
+#include "sim/world.hpp"
+#include "util/faults.hpp"
+#include "util/journal.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rdns {
+namespace {
+
+using util::CivilDate;
+using util::faults::Injector;
+using util::faults::Profile;
+using util::faults::Site;
+using util::faults::roll;
+
+/// Restores the zero-cost disabled state no matter how a test exits.
+struct InjectorGuard {
+  InjectorGuard() = default;
+  ~InjectorGuard() { Injector::global().disable(); }
+};
+
+TEST(FaultRoll, IsPureAndEdgeExact) {
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_TRUE(roll(7, Site::DnsTimeout, 42, 0, 0.5) ==
+                roll(7, Site::DnsTimeout, 42, 0, 0.5));
+  }
+  EXPECT_FALSE(roll(7, Site::DnsTimeout, 42, 0, 0.0));
+  EXPECT_FALSE(roll(7, Site::DnsTimeout, 42, 0, -1.0));
+  EXPECT_TRUE(roll(7, Site::DnsTimeout, 42, 0, 1.0));
+}
+
+TEST(FaultRoll, FrequencyTracksProbability) {
+  constexpr int kDraws = 100000;
+  for (const double p : {0.02, 0.1, 0.5}) {
+    int hits = 0;
+    for (std::uint64_t entity = 0; entity < kDraws; ++entity) {
+      hits += roll(0xC0FFEE, Site::DnsServfail, entity, 0, p) ? 1 : 0;
+    }
+    const double rate = static_cast<double>(hits) / kDraws;
+    // 100k Bernoulli draws: 6 sigma is well under 0.01 for these p.
+    EXPECT_NEAR(rate, p, 0.01) << "p=" << p;
+  }
+}
+
+TEST(FaultRoll, ArgumentsDecorrelate) {
+  // Flipping any one argument must change some outcomes: if seed, site or
+  // attempt were ignored, the two streams would agree everywhere.
+  int seed_diff = 0, site_diff = 0, attempt_diff = 0;
+  for (std::uint64_t entity = 0; entity < 2000; ++entity) {
+    seed_diff += roll(1, Site::DnsTimeout, entity, 0, 0.5) !=
+                 roll(2, Site::DnsTimeout, entity, 0, 0.5);
+    site_diff += roll(1, Site::DnsTimeout, entity, 0, 0.5) !=
+                 roll(1, Site::DnsServfail, entity, 0, 0.5);
+    attempt_diff += roll(1, Site::DnsTimeout, entity, 0, 0.5) !=
+                    roll(1, Site::DnsTimeout, entity, 1, 0.5);
+  }
+  EXPECT_GT(seed_diff, 500);
+  EXPECT_GT(site_diff, 500);
+  EXPECT_GT(attempt_diff, 500);
+}
+
+TEST(FaultProfiles, LookupAndNames) {
+  const Profile* none = util::faults::find_profile("none");
+  ASSERT_NE(none, nullptr);
+  EXPECT_FALSE(none->any());
+  for (const char* name : {"flaky-dns", "lossy-net", "broken-ddns", "degraded"}) {
+    const Profile* p = util::faults::find_profile(name);
+    ASSERT_NE(p, nullptr) << name;
+    EXPECT_TRUE(p->any()) << name;
+    EXPECT_NE(util::faults::profile_names().find(name), std::string::npos);
+  }
+  EXPECT_EQ(util::faults::find_profile("chaotic-evil"), nullptr);
+}
+
+TEST(FaultInjector, ArmsIffProfileHasProbability) {
+  InjectorGuard guard;
+  Injector& inj = Injector::global();
+  inj.disable();
+  EXPECT_EQ(util::faults::active(), nullptr);
+  EXPECT_STREQ(inj.profile_name(), "none");
+
+  inj.configure(*util::faults::find_profile("flaky-dns"));
+  ASSERT_EQ(util::faults::active(), &inj);
+  EXPECT_STREQ(inj.profile_name(), "flaky-dns");
+  EXPECT_EQ(inj.profile().shard_retry_budget, 64u);
+
+  // The all-zero profile disarms: configure() arms iff any() — and a
+  // disarmed injector reports "none" whatever was installed last.
+  inj.configure(*util::faults::find_profile("none"));
+  EXPECT_EQ(util::faults::active(), nullptr);
+  EXPECT_STREQ(inj.profile_name(), "none");
+  EXPECT_FALSE(inj.should_fail(Site::DnsTimeout, 1));
+}
+
+/// Same single-org recipe as the journal-determinism tests.
+sim::OrgSpec office_org() {
+  sim::OrgSpec o;
+  o.name = "Academic-T";
+  o.type = sim::OrgType::Academic;
+  o.suffix = dns::DnsName::must_parse("faults-test.edu");
+  o.announced = {net::Prefix::must_parse("10.93.0.0/16")};
+  o.measurement_targets = {net::Prefix::must_parse("10.93.64.0/24")};
+  sim::SegmentSpec seg;
+  seg.label = "wifi";
+  seg.prefix = net::Prefix::must_parse("10.93.64.0/24");
+  seg.schedule = sim::ScheduleKind::OfficeWorker;
+  seg.user_count = 25;
+  seg.lease_seconds = 3600;
+  o.segments = {seg};
+  o.seed = 4242;
+  return o;
+}
+
+struct FaultedRun {
+  std::string journal;
+  std::string csv;
+};
+
+/// World evolved to mid-afternoon with the profile armed, then one wire
+/// sweep on `threads` workers; returns journal + CSV bytes.
+FaultedRun faulted_sweep(unsigned threads, const Profile& profile, const std::string& path) {
+  Injector::global().configure(profile);
+  auto& journal = util::journal::Journal::global();
+  util::journal::RunManifest manifest;
+  manifest.tool = "test.faults";
+  manifest.version = util::journal::version_string();
+  manifest.seed = 99;
+  manifest.faults = Injector::global().profile_name();
+  manifest.threads = threads;
+  journal.set_manifest(manifest);
+  EXPECT_TRUE(journal.open(path));
+
+  auto world = std::make_unique<sim::World>();
+  world->add_org(office_org());
+  world->start(CivilDate{2021, 11, 1}, CivilDate{2021, 11, 5});
+  world->run_until(util::to_sim_time(CivilDate{2021, 11, 3}) + 14 * util::kHour);
+
+  util::ThreadPool pool{threads};
+  std::ostringstream csv;
+  scan::CsvSnapshotSink sink{csv};
+  scan::sweep_wire(*world, CivilDate{2021, 11, 3}, sink, nullptr, &pool);
+
+  journal.close();
+  Injector::global().disable();
+  std::ifstream in{path, std::ios::binary};
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::remove(path.c_str());
+  return {text.str(), csv.str()};
+}
+
+TEST(FaultedSweep, ByteIdenticalAcrossPoolSizesUnderFlakyDns) {
+  InjectorGuard guard;
+  const Profile& flaky = *util::faults::find_profile("flaky-dns");
+  const FaultedRun baseline = faulted_sweep(1, flaky, "test_faults_t1.events.jsonl");
+  ASSERT_FALSE(baseline.journal.empty());
+  EXPECT_NE(baseline.journal.find("\"type\":\"dns.retry\""), std::string::npos)
+      << "flaky-dns sweep produced no retries — injection not reaching the resolver?";
+  for (const unsigned threads : {4u, 8u}) {
+    const std::string path = "test_faults_t" + std::to_string(threads) + ".events.jsonl";
+    const FaultedRun run = faulted_sweep(threads, flaky, path);
+    EXPECT_EQ(run.journal, baseline.journal) << threads << " threads";
+    EXPECT_EQ(run.csv, baseline.csv) << threads << " threads";
+  }
+}
+
+TEST(FaultedSweep, RealFaultedJournalPassesAudit) {
+  InjectorGuard guard;
+  const FaultedRun run = faulted_sweep(1, *util::faults::find_profile("flaky-dns"),
+                                       "test_faults_audit.events.jsonl");
+  const auto report = core::audit_journal_text(run.journal);
+  EXPECT_TRUE(report.parsed);
+  for (const auto& v : report.violations) {
+    ADD_FAILURE() << "line " << v.line << ": " << v.invariant << ": " << v.detail;
+  }
+  EXPECT_GT(report.dns_retries, 0u);
+  ASSERT_TRUE(report.manifest.has_value());
+  EXPECT_EQ(report.manifest->faults, "flaky-dns");
+}
+
+/// Replace the value of `"key":<digits>` inside the first line containing
+/// `marker`; returns false if absent.
+bool tamper_number(std::string& text, const std::string& marker, const std::string& key,
+                   const std::string& replacement) {
+  const std::size_t at = text.find(marker);
+  if (at == std::string::npos) return false;
+  const std::size_t field = text.find("\"" + key + "\":", at);
+  if (field == std::string::npos) return false;
+  std::size_t start = field + key.size() + 3;
+  std::size_t end = start;
+  while (end < text.size() && (std::isdigit(static_cast<unsigned char>(text[end])) != 0)) ++end;
+  text.replace(start, end - start, replacement);
+  return true;
+}
+
+TEST(FaultedSweep, AuditCatchesForgedBackoffSchedule) {
+  InjectorGuard guard;
+  const FaultedRun run = faulted_sweep(1, *util::faults::find_profile("flaky-dns"),
+                                       "test_faults_forge.events.jsonl");
+
+  // A delay outside [base, 2*base) breaks the deterministic-jitter contract.
+  std::string slow = run.journal;
+  ASSERT_TRUE(tamper_number(slow, "\"type\":\"dns.retry\"", "delay_s", "999999"));
+  auto report = core::audit_journal_text(slow);
+  bool mismatch = false;
+  for (const auto& v : report.violations) mismatch |= v.invariant == "retry-backoff-mismatch";
+  EXPECT_TRUE(mismatch) << render_audit_report(report);
+
+  // A chain entering at n=5 has no n=4 predecessor: the ladder is forged.
+  std::string forged = run.journal;
+  const std::size_t first = forged.find("\"type\":\"dns.retry\"");
+  ASSERT_NE(first, std::string::npos);
+  const std::size_t n_at = forged.find("\"n\":1", first);
+  ASSERT_NE(n_at, std::string::npos);
+  forged.replace(n_at, 5, "\"n\":5");
+  report = core::audit_journal_text(forged);
+  bool broken = false;
+  for (const auto& v : report.violations) broken |= v.invariant == "retry-chain-broken";
+  EXPECT_TRUE(broken) << render_audit_report(report);
+
+  // Claiming exhaustion on a shard that was never re-run or degraded must
+  // trip the degradation invariant at the sweep.pass boundary.
+  std::string exhausted = run.journal;
+  const std::size_t flag = exhausted.find("\"exhausted\":false");
+  ASSERT_NE(flag, std::string::npos);
+  exhausted.replace(flag, 17, "\"exhausted\":true ");
+  report = core::audit_journal_text(exhausted);
+  bool undegraded = false;
+  for (const auto& v : report.violations) undegraded |= v.invariant == "exhausted-not-degraded";
+  EXPECT_TRUE(undegraded) << render_audit_report(report);
+}
+
+TEST(FaultedCampaign, BrokenDdnsLeavesExcusedStalePtrs) {
+  InjectorGuard guard;
+  Injector::global().configure(*util::faults::find_profile("broken-ddns"));
+  auto& journal = util::journal::Journal::global();
+  util::journal::RunManifest manifest;
+  manifest.tool = "test.faults";
+  manifest.version = util::journal::version_string();
+  manifest.seed = 99;
+  manifest.faults = "broken-ddns";
+  manifest.threads = 1;
+  journal.set_manifest(manifest);
+  const std::string path = "test_faults_ddns.events.jsonl";
+  ASSERT_TRUE(journal.open(path));
+
+  auto world = std::make_unique<sim::World>();
+  world->add_org(office_org());
+  world->start(CivilDate{2021, 11, 1}, CivilDate{2021, 11, 5});
+  scan::ReactiveEngine::Config config;
+  config.seed = 99;
+  scan::ReactiveEngine engine{
+      *world, {{"Academic-T", {net::Prefix::must_parse("10.93.64.0/24")}}}, config};
+  engine.run(util::to_sim_time(CivilDate{2021, 11, 1}),
+             util::to_sim_time(CivilDate{2021, 11, 4}));
+
+  journal.close();
+  Injector::global().disable();
+  std::ifstream in{path, std::ios::binary};
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::remove(path.c_str());
+
+  // Lost removals are excused and tallied — never "missing-ptr-remove".
+  const auto report = core::audit_journal_text(text.str());
+  for (const auto& v : report.violations) {
+    ADD_FAILURE() << "line " << v.line << ": " << v.invariant << ": " << v.detail;
+  }
+  EXPECT_GT(report.faults_injected, 0u);
+  EXPECT_GT(report.stale_ptrs, 0u);
+
+  // The scanner side sees the same tail: departures whose PTR never left.
+  const auto stale = core::stale_groups(engine.groups());
+  EXPECT_FALSE(stale.empty());
+  const auto usable = core::usable_groups(engine.groups());
+  const double clean = core::fraction_within_minutes(usable, 60.0);
+  const double with_tail = core::fraction_removed_within(usable, stale, 60.0);
+  EXPECT_LT(with_tail, clean);  // the failure tail can only drag the CDF down
+  EXPECT_GE(with_tail, 0.0);
+}
+
+TEST(FaultedSweep, BlackoutProfileDegradesShardsGracefully) {
+  InjectorGuard guard;
+  // Not a named profile: timeouts so dense and a budget so small that
+  // every shard exhausts both attempts and lands in the degraded path.
+  Profile blackout;
+  blackout.name = "test-blackout";
+  blackout.probability[static_cast<std::size_t>(Site::DnsTimeout)] = 0.9;
+  blackout.shard_retry_budget = 4;
+
+  const FaultedRun run = faulted_sweep(1, blackout, "test_faults_blackout.events.jsonl");
+  EXPECT_NE(run.csv.find(scan::kDegradedSentinel), std::string::npos)
+      << "no degraded sentinel rows in CSV";
+  EXPECT_NE(run.journal.find("\"type\":\"sweep.shard_degraded\""), std::string::npos);
+
+  // The auditor accepts the journal and tallies the degradation.
+  const auto report = core::audit_journal_text(run.journal);
+  for (const auto& v : report.violations) {
+    ADD_FAILURE() << "line " << v.line << ": " << v.invariant << ": " << v.detail;
+  }
+  EXPECT_GT(report.degraded_shards, 0u);
+
+  // Replay skips sentinel rows but accounts for them.
+  struct NullSink final : scan::SnapshotSink {
+    void on_row(const util::CivilDate&, net::Ipv4Addr, const dns::DnsName&) override {}
+  } null_sink;
+  const auto stats = scan::replay_csv_text(run.csv, null_sink);
+  EXPECT_EQ(stats.degraded, report.degraded_shards);
+  EXPECT_EQ(stats.skipped, 0u);
+}
+
+TEST(AuditRobustness, UnreadableAndTruncatedJournalsFailCleanly) {
+  // Satellite bugfix regression: garbage inputs yield a named violation and
+  // a non-ok report (rdns_tool verify exits 2), never a crash.
+  const auto missing = core::audit_journal_file("no_such_journal.events.jsonl");
+  EXPECT_FALSE(missing.parsed);
+  EXPECT_FALSE(missing.ok());
+  ASSERT_FALSE(missing.violations.empty());
+  EXPECT_EQ(missing.violations.front().invariant, "io");
+
+  const auto truncated = core::audit_journal_text("garbage\n{\"t\":1,\"type\":\"dns.look");
+  EXPECT_FALSE(truncated.ok());
+  bool malformed = false;
+  for (const auto& v : truncated.violations) malformed |= v.invariant == "malformed-line";
+  EXPECT_TRUE(malformed);
+}
+
+}  // namespace
+}  // namespace rdns

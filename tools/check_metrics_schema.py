@@ -45,11 +45,59 @@ EVENT_TYPES = {
     "manifest",
     "dhcp.discover", "dhcp.offer", "dhcp.ack", "dhcp.nak", "dhcp.release", "dhcp.expire",
     "ddns.ptr_add", "ddns.ptr_remove",
-    "dns.lookup",
+    "dns.lookup", "dns.retry",
     "campaign.group_open", "campaign.probe", "campaign.backoff", "campaign.rdns",
-    "campaign.group_close",
-    "sweep.org", "sweep.pass", "sweep.shard",
+    "campaign.recheck", "campaign.group_close",
+    "sweep.org", "sweep.pass", "sweep.shard", "sweep.shard_degraded", "sweep.checkpoint",
+    "fault.inject",
 }
+
+
+def _uint(event, key):
+    value = event.get(key)
+    if isinstance(value, int) and not isinstance(value, bool) and value >= 0:
+        return value
+    return None
+
+
+def check_event_fields(event, i, problems):
+    """Per-type field contracts for the fault/resilience events."""
+    etype = event.get("type")
+    if etype == "fault.inject":
+        site = event.get("site")
+        if not isinstance(site, str) or not site:
+            problems.add(f"line {i}: fault.inject must carry a non-empty site")
+    elif etype == "dns.retry":
+        n = _uint(event, "n")
+        base = _uint(event, "base_s")
+        delay = _uint(event, "delay_s")
+        if n is None or n < 1:
+            problems.add(f"line {i}: dns.retry n must be an integer >= 1")
+        if base is None or base < 1:
+            problems.add(f"line {i}: dns.retry base_s must be an integer >= 1")
+        elif delay is None or not base <= delay < 2 * base:
+            problems.add(f"line {i}: dns.retry delay_s must satisfy base_s <= delay_s < 2*base_s")
+    elif etype == "campaign.recheck":
+        if _uint(event, "fails") is None or _uint(event, "fails") < 1:
+            problems.add(f"line {i}: campaign.recheck fails must be an integer >= 1")
+    elif etype == "sweep.shard_degraded":
+        for key in ("first", "last"):
+            if not isinstance(event.get(key), str) or not event.get(key):
+                problems.add(f"line {i}: sweep.shard_degraded must carry {key!r}")
+    elif etype == "sweep.checkpoint":
+        done = _uint(event, "shards_done")
+        total = _uint(event, "shards_total")
+        if done is None or total is None or done > total:
+            problems.add(f"line {i}: sweep.checkpoint needs shards_done <= shards_total")
+        if _uint(event, "csv_bytes") is None:
+            problems.add(f"line {i}: sweep.checkpoint csv_bytes must be a non-negative integer")
+    elif etype == "sweep.shard":
+        # Budget fields are optional (fault-free sweeps omit them) but must
+        # come as a pair when present.
+        if ("attempt" in event) != ("exhausted" in event):
+            problems.add(f"line {i}: sweep.shard attempt/exhausted must appear together")
+        if "attempt" in event and _uint(event, "attempt") not in (0, 1):
+            problems.add(f"line {i}: sweep.shard attempt must be 0 or 1")
 
 
 class Problems:
@@ -206,6 +254,8 @@ def check_journal(path, problems):
         etype = event.get("type")
         if etype not in EVENT_TYPES:
             problems.add(f"line {i}: unknown event type {etype!r}")
+        else:
+            check_event_fields(event, i, problems)
         if i == 1:
             if etype != "manifest":
                 problems.add("line 1: first event must be the manifest header")

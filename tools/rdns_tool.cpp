@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -31,8 +32,10 @@
 #include "dns/zonefile.hpp"
 #include "net/arpa.hpp"
 #include "scan/campaign.hpp"
+#include "scan/checkpoint.hpp"
 #include "scan/csv_replay.hpp"
 #include "util/cli.hpp"
+#include "util/faults.hpp"
 #include "util/journal.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
@@ -56,6 +59,8 @@ util::CliParser& add_common_options(util::CliParser& cli) {
               std::nullopt)
       .option("journal-out", "append the rdns.events.v1 event journal to this path (JSONL)",
               std::nullopt)
+      .option("faults", "chaos profile to arm (flag beats RDNS_FAULTS; default none)",
+              std::nullopt)
       .flag("trace", "print a phase-timing summary to stderr at exit")
       .flag("verbose", "log at info level (flag beats RDNS_LOG_LEVEL)")
       .flag("quiet", "log errors only (beats --verbose)");
@@ -67,6 +72,18 @@ void apply_common_options(const util::CliParser& cli) {
   util::ThreadPool::set_global_size(static_cast<unsigned>(threads));
   util::set_log_level(util::resolve_log_level(cli.get_flag("verbose"), cli.get_flag("quiet"),
                                               std::getenv("RDNS_LOG_LEVEL")));
+  std::string faults_name = "none";
+  if (const auto opt = cli.get_optional("faults")) {
+    faults_name = *opt;
+  } else if (const char* env = std::getenv("RDNS_FAULTS")) {
+    faults_name = env;
+  }
+  const util::faults::Profile* profile = util::faults::find_profile(faults_name);
+  if (profile == nullptr) {
+    throw util::CliError{"unknown chaos profile \"" + faults_name +
+                         "\" (known: " + util::faults::profile_names() + ")"};
+  }
+  util::faults::Injector::global().configure(*profile);
   if (const auto path = cli.get_optional("journal-out")) {
     if (!util::journal::Journal::global().open(*path)) {
       throw util::CliError{"cannot write journal to " + *path};
@@ -83,8 +100,132 @@ void record_run_manifest(const std::string& tool, std::uint64_t seed,
   manifest.version = util::journal::version_string();
   manifest.seed = seed;
   manifest.world_digest = world != nullptr ? world->config_digest() : 0;
+  manifest.faults = util::faults::Injector::global().profile_name();
   manifest.threads = util::ThreadPool::global().size();
   util::journal::Journal::global().set_manifest(manifest);
+}
+
+/// Wire-mode sweep loop with optional checkpoint/resume. Factored out of
+/// cmd_sweep so the bulk path stays the simple SweepDriver call.
+int run_wire_sweep(sim::World& world, const util::CivilDate& from, const util::CivilDate& to,
+                   const std::string& output, const std::optional<std::string>& checkpoint_path,
+                   bool resume, long fail_after_shards) {
+  constexpr int kHourOfDay = 14;
+
+  scan::SweepCheckpointConfig ckcfg;
+  if (const auto manifest = util::journal::Journal::global().manifest()) {
+    ckcfg.manifest = *manifest;
+  }
+  ckcfg.mode = "wire";
+  ckcfg.from = util::format_date(from);
+  ckcfg.to = util::format_date(to);
+  ckcfg.every_days = 1;
+  ckcfg.hour = kHourOfDay;
+
+  scan::SweepProgress done;  // committed prefix of a previous run (zero = fresh)
+  if (resume) {
+    std::string error;
+    const auto loaded = scan::load_checkpoint(*checkpoint_path, &error);
+    if (!loaded) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+    std::string why;
+    if (!scan::checkpoints_compatible(loaded->config, ckcfg, &why)) {
+      std::fprintf(stderr, "error: checkpoint %s is from a different run (%s differs)\n",
+                   checkpoint_path->c_str(), why.c_str());
+      return 2;
+    }
+    done = loaded->progress;
+    // Roll the CSV back to the committed prefix: bytes past the last
+    // checkpoint were written but never promised.
+    std::error_code ec;
+    std::filesystem::resize_file(output, done.csv_bytes, ec);
+    if (ec) {
+      std::fprintf(stderr, "error: cannot truncate %s to %llu bytes: %s\n", output.c_str(),
+                   static_cast<unsigned long long>(done.csv_bytes), ec.message().c_str());
+      return 2;
+    }
+  }
+
+  std::fstream out;
+  if (resume) {
+    out.open(output, std::ios::in | std::ios::out);
+    if (out) out.seekp(static_cast<std::streamoff>(done.csv_bytes));
+  } else {
+    out.open(output, std::ios::out | std::ios::trunc);
+  }
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", output.c_str());
+    return 2;
+  }
+
+  scan::CsvSnapshotSink sink{out};
+  std::uint64_t total_rows = done.rows;
+  std::uint64_t sweeps = 0;
+  std::uint64_t day_ordinal = 0;
+  long shards_committed_here = 0;  // by THIS process, drives --fail-after-shards
+  for (util::CivilDate date = from; !(to < date);
+       date = util::add_days(date, 1), ++day_ordinal) {
+    if (resume) {
+      if (day_ordinal < done.day_ordinal) continue;
+      if (day_ordinal == done.day_ordinal && done.day_complete) continue;
+    }
+    const util::SimTime at = util::to_sim_time(date) + kHourOfDay * util::kHour;
+    if (at < world.now()) continue;
+    world.run_until(at);
+
+    scan::WireSweepOptions options;
+    if (resume && day_ordinal == done.day_ordinal && !done.day_complete) {
+      options.skip_shards = static_cast<std::size_t>(done.shards_done);
+    }
+    if (checkpoint_path) {
+      options.on_shard_done = [&](std::size_t shards_done, std::size_t shards_total,
+                                  std::uint64_t rows_so_far) {
+        ++shards_committed_here;
+        const bool forced =
+            fail_after_shards > 0 && shards_committed_here >= fail_after_shards;
+        // Every 16 shards plus the day boundary keeps save cost negligible
+        // against thousands of PTR queries per shard.
+        if (!forced && shards_done % 16 != 0 && shards_done != shards_total) return;
+        out.flush();  // the checkpoint may only promise bytes that are on disk
+        scan::SweepCheckpoint cp;
+        cp.config = ckcfg;
+        cp.progress.day = util::format_date(date);
+        cp.progress.day_ordinal = day_ordinal;
+        cp.progress.shards_done = shards_done;
+        cp.progress.shards_total = shards_total;
+        cp.progress.day_complete = shards_done == shards_total;
+        cp.progress.csv_bytes = static_cast<std::uint64_t>(out.tellp());
+        cp.progress.rows = total_rows + rows_so_far;
+        std::string error;
+        if (!scan::save_checkpoint(*checkpoint_path, cp, &error)) {
+          util::log_warn("sweep: " + error);
+        }
+        if (auto* j = util::journal::active()) {
+          util::journal::Event e{"sweep.checkpoint", world.now()};
+          e.str("day", cp.progress.day)
+              .unum("shards_done", cp.progress.shards_done)
+              .unum("shards_total", cp.progress.shards_total)
+              .unum("csv_bytes", cp.progress.csv_bytes);
+          j->emit(e);
+        }
+        if (forced) {
+          // Simulated kill for the resume tests: the checkpoint is written,
+          // the process dies without unwinding (as a real crash would).
+          std::_Exit(3);
+        }
+      };
+    }
+    total_rows += scan::sweep_wire(world, date, sink, nullptr, nullptr, options);
+    ++sweeps;
+  }
+  out.flush();
+  std::printf("wrote %s rows over %llu sweeps to %s%s\n",
+              util::with_commas(static_cast<std::int64_t>(total_rows)).c_str(),
+              static_cast<unsigned long long>(sweeps), output.c_str(),
+              resume ? " (resumed)" : "");
+  return 0;
 }
 
 int cmd_sweep(const std::vector<std::string>& args) {
@@ -95,11 +236,30 @@ int cmd_sweep(const std::vector<std::string>& args) {
       .option("from", "first sweep date (YYYY-MM-DD)", "2021-01-02")
       .option("to", "last sweep date (YYYY-MM-DD)", "2021-02-06")
       .option("scale", "population scale factor", "0.4")
+      .option("mode", "bulk (zone reads, two-instant union) or wire (per-address PTR queries)",
+              "bulk")
+      .option("checkpoint", "wire mode: persist resume state to this file as shards commit",
+              std::nullopt)
+      .option("fail-after-shards", "testing: die (exit 3) after committing N shards", "0")
+      .flag("resume", "continue from --checkpoint instead of starting over")
       .positional("output", "output CSV path", "sweeps.csv");
   add_common_options(cli);
   if (cli.handle_help(args)) return 0;
   cli.parse(args);
   apply_common_options(cli);
+
+  const std::string mode = cli.get("mode");
+  if (mode != "bulk" && mode != "wire") {
+    throw util::CliError{"--mode must be bulk or wire"};
+  }
+  const auto checkpoint_path = cli.get_optional("checkpoint");
+  const bool resume = cli.get_flag("resume");
+  if ((checkpoint_path || resume) && mode != "wire") {
+    throw util::CliError{"--checkpoint/--resume require --mode wire"};
+  }
+  if (resume && !checkpoint_path) {
+    throw util::CliError{"--resume requires --checkpoint"};
+  }
 
   const auto from = util::parse_date(cli.get("from"));
   const auto to = util::parse_date(cli.get("to"));
@@ -110,6 +270,11 @@ int cmd_sweep(const std::vector<std::string>& args) {
   record_run_manifest("rdns_tool.sweep", static_cast<std::uint64_t>(cli.get_int("seed")),
                       world.get());
   world->start(util::add_days(from, -1), util::add_days(to, 1));
+
+  if (mode == "wire") {
+    return run_wire_sweep(*world, from, to, cli.get("output"), checkpoint_path, resume,
+                          cli.get_int("fail-after-shards"));
+  }
 
   std::ofstream out{cli.get("output")};
   if (!out) {
@@ -302,6 +467,16 @@ int cmd_campaign(const std::vector<std::string>& args) {
   if (!usable.empty()) {
     std::printf("PTR lingering: %.0f%% of usable groups revert within 60 minutes\n",
                 100.0 * core::fraction_within_minutes(usable, 60.0));
+  }
+  // The Fig. 7 failure tail: departed clients whose PTR was never seen
+  // leaving the zone before the back-off schedule gave up — slow
+  // operators on a clean network, plus lost DynDNS removals under
+  // --faults broken-ddns.
+  const auto stale = core::stale_groups(campaign.engine().groups());
+  if (!stale.empty()) {
+    std::printf("stale PTRs: %zu departed clients whose record was never seen leaving the zone "
+                "(%.0f%% of departures cleaned within 60 minutes)\n",
+                stale.size(), 100.0 * core::fraction_removed_within(usable, stale, 60.0));
   }
   return 0;
 }
