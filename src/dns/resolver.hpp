@@ -1,9 +1,13 @@
 #pragma once
 /// \file resolver.hpp
 /// Stub resolver used by the measurement tooling. Mirrors the paper's
-/// custom dnspython wrapper (Section 6.1): queries the authoritative server
-/// for the address directly (no cache), classifies outcomes into the error
-/// taxonomy of Fig. 6, and rate limiting is left to the caller (scanners).
+/// custom dnspython wrapper (Section 6.1): it queries the authoritative
+/// side directly and is itself cache-free — caching is a separate opt-in
+/// layer (dns/cache.hpp) whose distortion bench_ablation_cache quantifies.
+/// Answers arrive through the Transport interface, so the same resolver
+/// runs against the in-process server (deterministic reference) or a real
+/// UDP socket (dns/udp_transport.hpp). Outcomes classify into the error
+/// taxonomy of Fig. 6; rate limiting is left to the caller (scanners).
 
 #include <cstdint>
 #include <optional>

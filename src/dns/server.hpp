@@ -1,7 +1,14 @@
 #pragma once
 /// \file server.hpp
-/// Authoritative name server hosting one or more zones, plus the in-process
-/// transport the resolver speaks to it through.
+/// Authoritative name server hosting one or more zones, plus the Transport
+/// interface the resolver speaks wire format through.
+///
+/// Transport has two implementations with one contract: the in-process
+/// path here (function call instead of a socket — the deterministic
+/// reference every other path is byte-compared against) and the real UDP
+/// client in dns/udp_transport.hpp aimed at a dns::UdpServerLoop hosting
+/// these same zones on a live port. Caching sits above this layer as an
+/// explicit opt-in (dns/cache.hpp), never inside it.
 ///
 /// Fault injection models the failure modes the paper observed during its
 /// supplemental measurement (Fig. 6): next to normal answers, "name server

@@ -1,0 +1,232 @@
+#include "dns/udp_server.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#else
+#include <fcntl.h>
+#endif
+
+#include <atomic>
+#include <cstring>
+
+#include "util/log.hpp"
+#include "util/metrics.hpp"
+
+namespace rdns::dns {
+
+namespace {
+
+namespace metrics = rdns::util::metrics;
+
+/// Serving-path accounting, shared by every worker (relaxed counters, so
+/// concurrent increments cost one RMW each — the registry's concurrency
+/// model). The latency histogram is timing-gated like every other clocked
+/// series.
+struct ServeMetrics {
+  metrics::Counter& received = metrics::counter("serve.datagrams_received");
+  metrics::Counter& sent = metrics::counter("serve.responses_sent");
+  metrics::Counter& dropped = metrics::counter("serve.dropped_no_answer");
+  metrics::Counter& truncated = metrics::counter("serve.truncated_queries");
+  metrics::Counter& send_failures = metrics::counter("serve.send_failures");
+  metrics::Histogram& batch_size = metrics::histogram(
+      "serve.recv_batch_size", metrics::Histogram::linear_bounds(1, 4, 16));
+};
+
+ServeMetrics& serve_metrics() {
+  static ServeMetrics m;
+  return m;
+}
+
+}  // namespace
+
+UdpServeStats& UdpServeStats::operator+=(const UdpServeStats& other) noexcept {
+  datagrams_received += other.datagrams_received;
+  responses_sent += other.responses_sent;
+  dropped_no_answer += other.dropped_no_answer;
+  truncated_queries += other.truncated_queries;
+  send_failures += other.send_failures;
+  recv_batches += other.recv_batches;
+  return *this;
+}
+
+struct UdpServerLoop::Worker {
+  net::UdpSocket socket;
+  WireHandler handler;
+  UdpServeStats stats;
+  std::atomic<bool> stop{false};
+};
+
+UdpServerLoop::UdpServerLoop(UdpServeOptions options, HandlerFactory factory)
+    : options_(std::move(options)), factory_(std::move(factory)) {
+  if (options_.threads == 0) options_.threads = 1;
+  if (options_.batch == 0) options_.batch = 1;
+}
+
+UdpServerLoop::~UdpServerLoop() { stop(); }
+
+bool UdpServerLoop::start(std::string* error) {
+  if (running_) return true;
+
+  // The wake fd interrupts epoll_wait/poll so stop() never has to wait for
+  // a datagram: eventfd on Linux, a self-pipe elsewhere.
+#if defined(__linux__)
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  wake_write_fd_ = wake_fd_;
+  if (wake_fd_ < 0) {
+    if (error != nullptr) *error = std::string{"eventfd: "} + std::strerror(errno);
+    return false;
+  }
+#else
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    if (error != nullptr) *error = std::string{"pipe: "} + std::strerror(errno);
+    return false;
+  }
+  ::fcntl(pipe_fds[0], F_SETFL, ::fcntl(pipe_fds[0], F_GETFL, 0) | O_NONBLOCK);
+  wake_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+#endif
+
+  // One SO_REUSEPORT socket per worker on the same endpoint: the kernel
+  // hashes flows across them. The first bind resolves port 0; the rest
+  // bind the resolved port so they actually share it.
+  net::UdpEndpoint target = options_.endpoint;
+  const bool reuse = options_.threads > 1;
+  for (unsigned i = 0; i < options_.threads; ++i) {
+    auto socket = net::UdpSocket::bind(target, reuse, error);
+    if (!socket) {
+      workers_.clear();
+      return false;
+    }
+    if (i == 0) {
+      const auto bound = socket->local_endpoint();
+      if (!bound) {
+        if (error != nullptr) *error = "getsockname failed on the first worker socket";
+        workers_.clear();
+        return false;
+      }
+      bound_ = *bound;
+      target = bound_;
+    }
+    auto worker = std::make_unique<Worker>();
+    worker->socket = std::move(*socket);
+    worker->handler = factory_(i);
+    workers_.push_back(std::move(worker));
+  }
+
+  running_ = true;
+  threads_.reserve(workers_.size());
+  for (unsigned i = 0; i < workers_.size(); ++i) {
+    threads_.emplace_back([this, i] { run_worker(*workers_[i], i); });
+  }
+  util::log_info("serve: listening on " + bound_.to_string() + " with " +
+                 std::to_string(workers_.size()) + " worker(s)");
+  return true;
+}
+
+void UdpServerLoop::stop() {
+  if (!running_) return;
+  for (auto& worker : workers_) worker->stop.store(true, std::memory_order_relaxed);
+  if (wake_write_fd_ >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const auto n = ::write(wake_write_fd_, &one, sizeof(one));
+  }
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  threads_.clear();
+  totals_ = {};
+  for (auto& worker : workers_) totals_ += worker->stats;
+  workers_.clear();
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (wake_write_fd_ >= 0 && wake_write_fd_ != wake_fd_) ::close(wake_write_fd_);
+  wake_fd_ = wake_write_fd_ = -1;
+  running_ = false;
+}
+
+void UdpServerLoop::run_worker(Worker& worker, unsigned index) {
+  (void)index;
+  ServeMetrics& sm = serve_metrics();
+  std::vector<net::UdpDatagram> inbound;
+  std::vector<net::UdpDatagram> outbound;
+  inbound.reserve(options_.batch);
+  outbound.reserve(options_.batch);
+
+#if defined(__linux__)
+  const int ep = ::epoll_create1(EPOLL_CLOEXEC);
+  if (ep < 0) return;
+  epoll_event socket_event{};
+  socket_event.events = EPOLLIN;
+  socket_event.data.fd = worker.socket.fd();
+  ::epoll_ctl(ep, EPOLL_CTL_ADD, worker.socket.fd(), &socket_event);
+  epoll_event wake_event{};
+  wake_event.events = EPOLLIN;
+  wake_event.data.fd = wake_fd_;
+  ::epoll_ctl(ep, EPOLL_CTL_ADD, wake_fd_, &wake_event);
+#endif
+
+  while (!worker.stop.load(std::memory_order_relaxed)) {
+#if defined(__linux__)
+    epoll_event events[2];
+    const int ready = ::epoll_wait(ep, events, 2, /*timeout_ms=*/250);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    // The wake fd is never drained: once stop is signalled it stays
+    // readable, so every worker's epoll_wait returns immediately.
+#else
+    if (!worker.socket.wait_readable(/*timeout_ms=*/250)) continue;
+#endif
+    // Drain the socket: keep pulling batches until the queue is dry, so a
+    // burst costs one epoll wakeup, not one per datagram.
+    for (;;) {
+      inbound.clear();
+      const std::size_t got =
+          worker.socket.recv_batch(inbound, options_.batch, options_.payload_cap);
+      if (got == 0) break;
+      ++worker.stats.recv_batches;
+      sm.batch_size.observe(static_cast<double>(got));
+      worker.stats.datagrams_received += got;
+      sm.received.inc(got);
+      outbound.clear();
+      for (net::UdpDatagram& query : inbound) {
+        if (query.truncated) {
+          // Over-long datagram: the payload is a cut-off prefix, so any
+          // parse would misfire. Drop it; a real resolver's retry covers.
+          ++worker.stats.truncated_queries;
+          sm.truncated.inc();
+          continue;
+        }
+        auto response = worker.handler(query.payload);
+        if (!response) {
+          ++worker.stats.dropped_no_answer;  // injected timeout: stay silent
+          sm.dropped.inc();
+          continue;
+        }
+        net::UdpDatagram reply;
+        reply.payload = std::move(*response);
+        reply.peer = query.peer;
+        outbound.push_back(std::move(reply));
+      }
+      if (!outbound.empty()) {
+        const std::size_t sent = worker.socket.send_batch(outbound.data(), outbound.size());
+        worker.stats.responses_sent += sent;
+        sm.sent.inc(sent);
+        if (sent < outbound.size()) {
+          const std::uint64_t lost = outbound.size() - sent;
+          worker.stats.send_failures += lost;
+          sm.send_failures.inc(lost);
+        }
+      }
+    }
+  }
+
+#if defined(__linux__)
+  ::close(ep);
+#endif
+}
+
+}  // namespace rdns::dns

@@ -1,0 +1,104 @@
+#pragma once
+/// \file udp_server.hpp
+/// Real UDP serving loop for the authoritative DNS surface: N worker
+/// threads, each with its own SO_REUSEPORT socket on the shared port and an
+/// epoll-driven drain loop (recvmmsg in, sendmmsg out). The kernel hashes
+/// inbound flows across the worker sockets, so the serving path scales
+/// without a user-space dispatcher — the same sharding move the parallel
+/// sweep makes with per-/24 resolvers, applied at the socket layer.
+///
+/// The loop is handler-agnostic: each worker owns one WireHandler (built by
+/// a factory at start), which maps query bytes to response bytes. The
+/// rdns_tool `serve` command plugs in a per-worker sim::FrozenDnsView, so
+/// the answers over real UDP are byte-identical to the in-process
+/// transport; a handler returning nullopt models an injected timeout and
+/// the datagram is simply dropped — a genuinely lossy medium for the
+/// Fig. 6 error taxonomy.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/udp.hpp"
+
+namespace rdns::dns {
+
+/// Per-worker serving statistics; all fields are sums, so worker
+/// accumulators fold in any order (the ServerStats merge argument).
+struct UdpServeStats {
+  std::uint64_t datagrams_received = 0;
+  std::uint64_t responses_sent = 0;
+  std::uint64_t dropped_no_answer = 0;   ///< handler returned nullopt (timeout)
+  std::uint64_t truncated_queries = 0;   ///< inbound datagram over the cap
+  std::uint64_t send_failures = 0;       ///< kernel back-pressure, dropped
+  std::uint64_t recv_batches = 0;        ///< recvmmsg calls that returned data
+
+  UdpServeStats& operator+=(const UdpServeStats& other) noexcept;
+};
+
+struct UdpServeOptions {
+  /// Bind endpoint; port 0 = kernel-assigned (read back via endpoint()).
+  net::UdpEndpoint endpoint{/*address=*/0x7F000001u, /*port=*/0};
+  unsigned threads = 1;                 ///< worker sockets/threads (min 1)
+  std::size_t batch = 32;               ///< max datagrams per recvmmsg
+  std::size_t payload_cap = net::UdpSocket::kDefaultPayloadCap;
+};
+
+class UdpServerLoop {
+ public:
+  /// Maps one query datagram to a response; nullopt = drop (timeout).
+  using WireHandler =
+      std::function<std::optional<std::vector<std::uint8_t>>(std::span<const std::uint8_t>)>;
+  /// Called once per worker at start(); each worker owns its handler, so
+  /// handlers may carry per-worker state (e.g. read-only world views with
+  /// private statistics) without locking.
+  using HandlerFactory = std::function<WireHandler(unsigned worker_index)>;
+
+  UdpServerLoop(UdpServeOptions options, HandlerFactory factory);
+  ~UdpServerLoop();
+
+  UdpServerLoop(const UdpServerLoop&) = delete;
+  UdpServerLoop& operator=(const UdpServerLoop&) = delete;
+
+  /// Bind the worker sockets and launch the worker threads. Returns false
+  /// (and fills `error`) when a socket cannot be bound.
+  [[nodiscard]] bool start(std::string* error = nullptr);
+
+  /// Signal the workers, join them, and fold per-worker stats into
+  /// stats(). Idempotent; the destructor calls it.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+  /// The actually bound endpoint (resolves port 0). Valid after start().
+  [[nodiscard]] net::UdpEndpoint endpoint() const noexcept { return bound_; }
+
+  [[nodiscard]] unsigned threads() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Merged per-worker totals. Stable only after stop(); while the loop
+  /// runs, watch the `serve.*` counters in util::metrics instead.
+  [[nodiscard]] const UdpServeStats& stats() const noexcept { return totals_; }
+
+ private:
+  struct Worker;
+  void run_worker(Worker& worker, unsigned index);
+
+  UdpServeOptions options_;
+  HandlerFactory factory_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  net::UdpEndpoint bound_;
+  int wake_fd_ = -1;  ///< eventfd (Linux) or pipe read-end wakes the epoll
+  int wake_write_fd_ = -1;
+  bool running_ = false;
+  UdpServeStats totals_;
+};
+
+}  // namespace rdns::dns

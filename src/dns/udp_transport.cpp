@@ -1,0 +1,96 @@
+#include "dns/udp_transport.hpp"
+
+#include <chrono>
+
+#include "util/metrics.hpp"
+
+namespace rdns::dns {
+
+namespace {
+
+namespace metrics = rdns::util::metrics;
+
+struct TransportMetrics {
+  metrics::Counter& exchanges = metrics::counter("dns.transport.udp.exchanges");
+  metrics::Counter& timeouts = metrics::counter("dns.transport.udp.timeouts");
+  metrics::Counter& send_failures = metrics::counter("dns.transport.udp.send_failures");
+  metrics::Counter& stale_drops = metrics::counter("dns.transport.udp.stale_drops");
+  metrics::Histogram& rtt_us = metrics::histogram(
+      "dns.transport.udp.rtt_us", metrics::Histogram::exponential_bounds(8, 2, 14));
+};
+
+TransportMetrics& transport_metrics() {
+  static TransportMetrics m;
+  return m;
+}
+
+}  // namespace
+
+UdpTransport::UdpTransport(Options options) : options_(options) {
+  auto socket = net::UdpSocket::open(&error_);
+  if (!socket) return;
+  socket_ = std::move(*socket);
+  // connect() pins the peer: plain send()/recv() after this, and the
+  // kernel filters inbound datagrams to the server's address.
+  if (!socket_.connect(options_.server, &error_)) return;
+  ok_ = true;
+}
+
+std::optional<std::vector<std::uint8_t>> UdpTransport::exchange(
+    std::span<const std::uint8_t> query_wire, util::SimTime /*now*/) {
+  TransportMetrics& tm = transport_metrics();
+  tm.exchanges.inc();
+  if (!ok_) {
+    tm.timeouts.inc();
+    return std::nullopt;
+  }
+  if (!socket_.send(query_wire)) {
+    tm.send_failures.inc();
+    return std::nullopt;
+  }
+  const bool timing = metrics::collect_timing();
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline = t0 + std::chrono::milliseconds(options_.timeout_ms);
+  // Accept only the reply whose transaction id matches this query, draining
+  // anything else until the deadline. A reply that arrives after its
+  // attempt timed out would otherwise sit in the socket buffer and be
+  // handed to the *next* exchange — which then mismatches too, leaving the
+  // socket permanently one reply behind (every lookup a timeout).
+  const std::uint16_t query_id =
+      query_wire.size() >= 2
+          ? static_cast<std::uint16_t>((query_wire[0] << 8) | query_wire[1])
+          : 0;
+  std::vector<std::uint8_t> buffer;
+  for (;;) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0 ||
+        !socket_.wait_readable(static_cast<int>(remaining.count()))) {
+      tm.timeouts.inc();
+      return std::nullopt;
+    }
+    buffer.assign(net::UdpSocket::kDefaultPayloadCap, 0);
+    const auto got = socket_.recv(buffer);
+    if (!got) continue;  // spurious readiness
+    buffer.resize(std::min(*got, buffer.size()));
+    if (buffer.size() >= 2 &&
+        static_cast<std::uint16_t>((buffer[0] << 8) | buffer[1]) == query_id) {
+      break;
+    }
+    tm.stale_drops.inc();
+  }
+  if (timing) {
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    tm.rtt_us.observe(std::chrono::duration<double, std::micro>(dt).count());
+  }
+  return buffer;
+}
+
+std::optional<net::UdpEndpoint> UdpTransport::parse_uri(const std::string& uri) {
+  constexpr const char* kScheme = "udp://";
+  std::string rest = uri;
+  if (rest.rfind(kScheme, 0) == 0) rest = rest.substr(6);
+  return net::UdpEndpoint::parse(rest);
+}
+
+}  // namespace rdns::dns

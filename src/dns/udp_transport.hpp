@@ -1,0 +1,55 @@
+#pragma once
+/// \file udp_transport.hpp
+/// Socket-backed implementation of dns::Transport: sends the query datagram
+/// to a real server endpoint and polls for the reply within a deadline.
+/// Plugs into StubResolver unchanged, so the retry/backoff/budget machinery
+/// built for the in-process transport exercises genuine packet loss and
+/// genuine timeouts — nullopt here is a real elapsed deadline, not a hash
+/// decision. The in-process transport remains the deterministic reference;
+/// this one is the measurement instrument.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dns/server.hpp"
+#include "net/udp.hpp"
+
+namespace rdns::dns {
+
+class UdpTransport final : public Transport {
+ public:
+  struct Options {
+    net::UdpEndpoint server;
+    /// Reply deadline per exchange; an attempt with no id-matching reply
+    /// inside it reports a timeout (the resolver then retries with
+    /// backoff). Replies for earlier, already-timed-out attempts are
+    /// drained and dropped — never surfaced as the current answer.
+    int timeout_ms = 1000;
+  };
+
+  explicit UdpTransport(Options options);
+
+  /// False when the socket could not be opened/connected; exchange() then
+  /// always reports a timeout. `error()` carries the reason.
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  /// Send the query and wait up to the deadline for a reply. `now` (sim
+  /// time) is unused: this transport lives on the wall clock.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> exchange(
+      std::span<const std::uint8_t> query_wire, util::SimTime now) override;
+
+  /// Parse "udp://a.b.c.d:port" (or bare "a.b.c.d:port") into an endpoint.
+  [[nodiscard]] static std::optional<net::UdpEndpoint> parse_uri(const std::string& uri);
+
+ private:
+  Options options_;
+  net::UdpSocket socket_;
+  bool ok_ = false;
+  std::string error_;
+};
+
+}  // namespace rdns::dns

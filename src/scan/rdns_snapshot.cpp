@@ -188,7 +188,19 @@ std::uint64_t sweep_wire(sim::World& world, const util::CivilDate& date, Snapsho
         ShardRows out;
         try {
           const SweepShard& shard = shards[shard_index];
-          sim::FrozenDnsView view{frozen};
+          // Transport per shard: the in-process frozen view by default, or
+          // a caller-supplied socket transport (UDP sweeps). Only the
+          // in-process view carries per-org server stats to fold back.
+          std::unique_ptr<dns::Transport> owned_transport;
+          sim::FrozenDnsView* view = nullptr;
+          if (options.make_transport) {
+            owned_transport = options.make_transport();
+          } else {
+            auto frozen_view = std::make_unique<sim::FrozenDnsView>(frozen);
+            view = frozen_view.get();
+            owned_transport = std::move(frozen_view);
+          }
+          dns::Transport& transport = *owned_transport;
           dns::ResolverStats shard_stats;
           util::journal::Buffer buf;
           bool exhausted = false;
@@ -202,7 +214,7 @@ std::uint64_t sweep_wire(sim::World& world, const util::CivilDate& date, Snapsho
                 0x1D5EEDULL ^ util::mix64(shard_index + 1) ^
                 (attempt == 0 ? 0ULL
                               : util::mix64(0xFA117EDULL + static_cast<std::uint64_t>(attempt)));
-            dns::StubResolver resolver{view, /*retries=*/1, id_seed};
+            dns::StubResolver resolver{transport, /*retries=*/1, id_seed};
             if (budget > 0) {
               dns::RetryPolicy policy;
               policy.retry_budget = budget;
@@ -255,7 +267,7 @@ std::uint64_t sweep_wire(sim::World& world, const util::CivilDate& date, Snapsho
           if (jrn != nullptr) out.journal_lines = buf.take();
           std::lock_guard lock{stats_mutex};
           resolver_totals += shard_stats;
-          view.merge_into(server_totals);
+          if (view != nullptr) view->merge_into(server_totals);
         } catch (...) {
           // The merge cursor must advance even for a failed shard, or
           // producers behind it would block forever.

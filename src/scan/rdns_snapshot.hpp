@@ -13,6 +13,7 @@
 ///     agree, and short sweeps can afford it.
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -103,6 +104,15 @@ struct WireSweepOptions {
   /// everything up to `shards_done` is a committed prefix.
   std::function<void(std::size_t shards_done, std::size_t shards_total,
                      std::uint64_t rows_so_far)> on_shard_done;
+  /// When set, each shard resolves through a transport built here (one per
+  /// shard, owned by the worker) instead of the in-process FrozenDnsView —
+  /// e.g. a dns::UdpTransport aimed at a live `rdns_tool serve` instance.
+  /// Per-org server statistics then stay on the serving side; resolver
+  /// statistics accumulate as usual. The world is still consulted for the
+  /// announced prefixes (shard layout) and the sweep schedule, so a UDP
+  /// sweep against a server built from the same seed/scale reproduces the
+  /// in-process CSV byte for byte (faults disarmed).
+  std::function<std::unique_ptr<dns::Transport>()> make_transport;
 };
 
 /// Performs one full sweep by issuing a wire-format PTR query per address

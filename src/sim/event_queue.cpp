@@ -4,6 +4,22 @@
 #include <stdexcept>
 
 namespace rdns::sim {
+namespace {
+
+// Self-rescheduling tick for schedule_repeating. The body lives in a
+// shared_ptr owned by the queued entry (never by itself — a lambda that
+// captured its own shared_ptr would be a reference cycle and leak); when a
+// tick declines to reschedule, the last owner dies with the entry.
+void schedule_tick(EventQueue& queue, util::SimTime at, util::SimTime interval,
+                   const std::shared_ptr<std::function<bool()>>& body) {
+  // Capturing the queue by reference is safe: it owns the entry and
+  // outlives every callback it runs.
+  queue.schedule(at, [&queue, interval, body] {
+    if ((*body)()) schedule_tick(queue, queue.now() + interval, interval, body);
+  });
+}
+
+}  // namespace
 
 void EventQueue::schedule(util::SimTime t, Callback cb) {
   if (t < now_) throw std::logic_error("EventQueue::schedule: time is in the past");
@@ -13,13 +29,8 @@ void EventQueue::schedule(util::SimTime t, Callback cb) {
 void EventQueue::schedule_repeating(util::SimTime first, util::SimTime interval,
                                     std::function<bool()> cb) {
   if (interval <= 0) throw std::invalid_argument("schedule_repeating: interval must be > 0");
-  // Self-rescheduling wrapper; captures *this via pointer, safe because the
-  // queue owns the callback and outlives it.
-  auto wrapper = std::make_shared<std::function<void()>>();
-  *wrapper = [this, interval, cb = std::move(cb), wrapper]() {
-    if (cb()) schedule(now_ + interval, *wrapper);
-  };
-  schedule(first, *wrapper);
+  schedule_tick(*this, first, interval,
+                std::make_shared<std::function<bool()>>(std::move(cb)));
 }
 
 void EventQueue::run_until(util::SimTime t) {

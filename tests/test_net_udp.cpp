@@ -1,0 +1,198 @@
+// net::UdpSocket — the socket layer under the serving loop and the UDP
+// transport. Everything here runs over loopback with kernel-assigned ports
+// so tests stay parallel-safe and never touch a real network.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/udp.hpp"
+
+namespace rdns::net {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::initializer_list<std::uint8_t> values) {
+  return std::vector<std::uint8_t>{values};
+}
+
+UdpSocket must_bind_loopback() {
+  auto socket = UdpSocket::bind(UdpEndpoint{0x7f000001, 0}, /*reuse_port=*/false);
+  EXPECT_TRUE(socket.has_value());
+  return std::move(*socket);
+}
+
+TEST(UdpEndpoint, ParsesAndFormats) {
+  const auto ep = UdpEndpoint::parse("127.0.0.1:5533");
+  ASSERT_TRUE(ep.has_value());
+  EXPECT_EQ(ep->address, 0x7f000001u);
+  EXPECT_EQ(ep->port, 5533);
+  EXPECT_EQ(ep->to_string(), "127.0.0.1:5533");
+
+  EXPECT_FALSE(UdpEndpoint::parse("127.0.0.1").has_value());
+  EXPECT_FALSE(UdpEndpoint::parse("127.0.0.1:").has_value());
+  EXPECT_FALSE(UdpEndpoint::parse("127.0.0.1:99999").has_value());
+  EXPECT_FALSE(UdpEndpoint::parse("not-an-ip:53").has_value());
+  EXPECT_FALSE(UdpEndpoint::parse("").has_value());
+}
+
+TEST(UdpSocket, BindResolvesKernelAssignedPort) {
+  auto socket = must_bind_loopback();
+  const auto local = socket.local_endpoint();
+  ASSERT_TRUE(local.has_value());
+  EXPECT_EQ(local->address, 0x7f000001u);
+  EXPECT_NE(local->port, 0);
+}
+
+TEST(UdpSocket, RoundTripSingleDatagram) {
+  auto server = must_bind_loopback();
+  auto client = UdpSocket::open();
+  ASSERT_TRUE(client.has_value());
+  const auto server_ep = server.local_endpoint();
+  ASSERT_TRUE(server_ep.has_value());
+
+  const auto payload = bytes({0xde, 0xad, 0xbe, 0xef});
+  ASSERT_TRUE(client->send(payload, *server_ep));
+
+  ASSERT_TRUE(server.wait_readable(2000));
+  std::vector<std::uint8_t> buffer(64);
+  UdpEndpoint peer{};
+  const auto got = server.recv(buffer, &peer);
+  ASSERT_TRUE(got.has_value());
+  ASSERT_EQ(*got, payload.size());
+  buffer.resize(*got);
+  EXPECT_EQ(buffer, payload);
+  EXPECT_EQ(peer.address, 0x7f000001u);
+
+  // Reply to the observed source: the client sees its own payload echoed.
+  ASSERT_TRUE(server.send(buffer, peer));
+  ASSERT_TRUE(client->wait_readable(2000));
+  std::vector<std::uint8_t> echo(64);
+  const auto echoed = client->recv(echo);
+  ASSERT_TRUE(echoed.has_value());
+  EXPECT_EQ(*echoed, payload.size());
+}
+
+TEST(UdpSocket, ConnectedSendAndFilteredRecv) {
+  auto server = must_bind_loopback();
+  auto client = UdpSocket::open();
+  ASSERT_TRUE(client.has_value());
+  ASSERT_TRUE(client->connect(*server.local_endpoint()));
+
+  const auto payload = bytes({1, 2, 3});
+  ASSERT_TRUE(client->send(payload));
+  ASSERT_TRUE(server.wait_readable(2000));
+  std::vector<std::uint8_t> buffer(16);
+  UdpEndpoint peer{};
+  const auto got = server.recv(buffer, &peer);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, payload.size());
+  ASSERT_TRUE(server.send(std::span<const std::uint8_t>{buffer.data(), *got}, peer));
+  ASSERT_TRUE(client->wait_readable(2000));
+  std::vector<std::uint8_t> reply(16);
+  EXPECT_TRUE(client->recv(reply).has_value());
+}
+
+TEST(UdpSocket, RecvReportsTrueLengthOnTruncation) {
+  auto server = must_bind_loopback();
+  auto client = UdpSocket::open();
+  ASSERT_TRUE(client.has_value());
+
+  std::vector<std::uint8_t> big(512, 0xab);
+  ASSERT_TRUE(client->send(big, *server.local_endpoint()));
+  ASSERT_TRUE(server.wait_readable(2000));
+
+  std::vector<std::uint8_t> small(16);
+  const auto got = server.recv(small);
+  ASSERT_TRUE(got.has_value());
+  // True wire length, not the clamped buffer size (MSG_TRUNC semantics):
+  // callers compare against buffer.size() to detect truncation.
+  EXPECT_EQ(*got, big.size());
+  EXPECT_TRUE(std::all_of(small.begin(), small.end(),
+                          [](std::uint8_t b) { return b == 0xab; }));
+}
+
+TEST(UdpSocket, BatchSendAndBatchRecv) {
+  auto server = must_bind_loopback();
+  auto client = UdpSocket::open();
+  ASSERT_TRUE(client.has_value());
+  const auto server_ep = *server.local_endpoint();
+
+  constexpr std::size_t kCount = 10;
+  std::vector<UdpDatagram> outbound(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    outbound[i].payload = bytes({static_cast<std::uint8_t>(i), 0x55});
+    outbound[i].peer = server_ep;
+  }
+  EXPECT_EQ(client->send_batch(outbound.data(), outbound.size()), kCount);
+
+  std::vector<UdpDatagram> inbound;
+  std::size_t received = 0;
+  while (received < kCount && server.wait_readable(2000)) {
+    received += server.recv_batch(inbound, kCount - received);
+  }
+  ASSERT_EQ(received, kCount);
+  // Loopback preserves order, so the batch arrives as sent.
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(inbound[i].payload.size(), 2u);
+    EXPECT_EQ(inbound[i].payload[0], static_cast<std::uint8_t>(i));
+    EXPECT_FALSE(inbound[i].truncated);
+  }
+}
+
+TEST(UdpSocket, BatchRecvMarksTruncatedDatagrams) {
+  auto server = must_bind_loopback();
+  auto client = UdpSocket::open();
+  ASSERT_TRUE(client.has_value());
+  const auto server_ep = *server.local_endpoint();
+
+  std::vector<std::uint8_t> big(256, 0xcd);
+  ASSERT_TRUE(client->send(big, server_ep));
+  ASSERT_TRUE(client->send(bytes({0x01}), server_ep));
+  ASSERT_TRUE(server.wait_readable(2000));
+
+  std::vector<UdpDatagram> inbound;
+  std::size_t received = 0;
+  while (received < 2 && server.wait_readable(2000)) {
+    received += server.recv_batch(inbound, 2, /*max_payload=*/32);
+  }
+  ASSERT_EQ(received, 2u);
+  EXPECT_TRUE(inbound[0].truncated);
+  EXPECT_EQ(inbound[0].payload.size(), 32u);
+  EXPECT_FALSE(inbound[1].truncated);
+  EXPECT_EQ(inbound[1].payload.size(), 1u);
+}
+
+TEST(UdpSocket, ReusePortAllowsTwoBindsOnOnePort) {
+  auto first = UdpSocket::bind(UdpEndpoint{0x7f000001, 0}, /*reuse_port=*/true);
+  ASSERT_TRUE(first.has_value());
+  const auto ep = *first->local_endpoint();
+  auto second = UdpSocket::bind(ep, /*reuse_port=*/true);
+  EXPECT_TRUE(second.has_value());
+  // Without SO_REUSEPORT the same bind must fail.
+  std::string error;
+  auto third = UdpSocket::bind(ep, /*reuse_port=*/false, &error);
+  EXPECT_FALSE(third.has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(UdpSocket, RecvOnEmptySocketReturnsNulloptNotBlock) {
+  auto socket = must_bind_loopback();
+  std::vector<std::uint8_t> buffer(16);
+  EXPECT_FALSE(socket.recv(buffer).has_value());
+  EXPECT_FALSE(socket.wait_readable(0));
+}
+
+TEST(UdpSocket, MoveTransfersOwnership) {
+  auto socket = must_bind_loopback();
+  const int fd = socket.fd();
+  UdpSocket moved{std::move(socket)};
+  EXPECT_EQ(moved.fd(), fd);
+  EXPECT_FALSE(socket.valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(moved.valid());
+}
+
+}  // namespace
+}  // namespace rdns::net

@@ -86,8 +86,9 @@ TEST(AsciiChart, PresenceGridGlyphs) {
 }
 
 TEST(AsciiChart, HistogramRendersCounts) {
-  const std::string out =
-      render_histogram({10, 0, 5}, 0.0, 5.0, ChartOptions{.title = "linger"});
+  ChartOptions options;
+  options.title = "linger";
+  const std::string out = render_histogram({10, 0, 5}, 0.0, 5.0, options);
   EXPECT_NE(out.find("linger"), std::string::npos);
   EXPECT_NE(out.find("10"), std::string::npos);
 }

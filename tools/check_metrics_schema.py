@@ -50,6 +50,7 @@ EVENT_TYPES = {
     "campaign.recheck", "campaign.group_close",
     "sweep.org", "sweep.pass", "sweep.shard", "sweep.shard_degraded", "sweep.checkpoint",
     "fault.inject",
+    "serve.start", "serve.stop",
 }
 
 
@@ -98,6 +99,17 @@ def check_event_fields(event, i, problems):
             problems.add(f"line {i}: sweep.shard attempt/exhausted must appear together")
         if "attempt" in event and _uint(event, "attempt") not in (0, 1):
             problems.add(f"line {i}: sweep.shard attempt must be 0 or 1")
+    elif etype == "serve.start":
+        if not isinstance(event.get("endpoint"), str) or not event.get("endpoint"):
+            problems.add(f"line {i}: serve.start must carry a non-empty endpoint")
+        workers = _uint(event, "workers")
+        if workers is None or workers < 1:
+            problems.add(f"line {i}: serve.start workers must be an integer >= 1")
+    elif etype == "serve.stop":
+        received = _uint(event, "datagrams_received")
+        sent = _uint(event, "responses_sent")
+        if received is None or sent is None or sent > received:
+            problems.add(f"line {i}: serve.stop needs responses_sent <= datagrams_received")
 
 
 class Problems:

@@ -12,16 +12,21 @@
 ///   campaign  run the §6 supplemental measurement against the paper world
 ///             and print the Table 3/4/5 summaries
 ///   track     follow a given name through a campaign (the §7.1 case study)
+///   serve     host a frozen world's reverse zones on a real UDP port
 ///
 /// Every subcommand prints usage with --help.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
 
 #include "core/journal_audit.hpp"
 #include "core/mitigation.hpp"
@@ -29,6 +34,8 @@
 #include "core/report.hpp"
 #include "core/timing.hpp"
 #include "core/tracking.hpp"
+#include "dns/udp_server.hpp"
+#include "dns/udp_transport.hpp"
 #include "dns/zonefile.hpp"
 #include "net/arpa.hpp"
 #include "scan/campaign.hpp"
@@ -106,10 +113,13 @@ void record_run_manifest(const std::string& tool, std::uint64_t seed,
 }
 
 /// Wire-mode sweep loop with optional checkpoint/resume. Factored out of
-/// cmd_sweep so the bulk path stays the simple SweepDriver call.
+/// cmd_sweep so the bulk path stays the simple SweepDriver call. When
+/// `make_transport` is set, every shard resolves through it (UDP mode)
+/// instead of the in-process frozen view.
 int run_wire_sweep(sim::World& world, const util::CivilDate& from, const util::CivilDate& to,
                    const std::string& output, const std::optional<std::string>& checkpoint_path,
-                   bool resume, long fail_after_shards) {
+                   bool resume, long fail_after_shards,
+                   std::function<std::unique_ptr<dns::Transport>()> make_transport = {}) {
   constexpr int kHourOfDay = 14;
 
   scan::SweepCheckpointConfig ckcfg;
@@ -176,6 +186,7 @@ int run_wire_sweep(sim::World& world, const util::CivilDate& from, const util::C
     world.run_until(at);
 
     scan::WireSweepOptions options;
+    options.make_transport = make_transport;
     if (resume && day_ordinal == done.day_ordinal && !done.day_complete) {
       options.skip_shards = static_cast<std::size_t>(done.shards_done);
     }
@@ -241,6 +252,9 @@ int cmd_sweep(const std::vector<std::string>& args) {
       .option("checkpoint", "wire mode: persist resume state to this file as shards commit",
               std::nullopt)
       .option("fail-after-shards", "testing: die (exit 3) after committing N shards", "0")
+      .option("transport", "wire mode: inproc (deterministic reference) or udp://host:port "
+              "(a live `rdns_tool serve` instance)", "inproc")
+      .option("udp-timeout", "udp transport: per-attempt reply deadline (ms)", "1000")
       .flag("resume", "continue from --checkpoint instead of starting over")
       .positional("output", "output CSV path", "sweeps.csv");
   add_common_options(cli);
@@ -261,6 +275,25 @@ int cmd_sweep(const std::vector<std::string>& args) {
     throw util::CliError{"--resume requires --checkpoint"};
   }
 
+  std::function<std::unique_ptr<dns::Transport>()> make_transport;
+  const std::string transport = cli.get("transport");
+  if (transport != "inproc") {
+    if (mode != "wire") throw util::CliError{"--transport requires --mode wire"};
+    const auto endpoint = dns::UdpTransport::parse_uri(transport);
+    if (!endpoint) {
+      throw util::CliError{"--transport must be inproc or udp://a.b.c.d:port, got \"" +
+                           transport + "\""};
+    }
+    const int timeout_ms = cli.get_int("udp-timeout");
+    if (timeout_ms <= 0) throw util::CliError{"--udp-timeout must be > 0"};
+    make_transport = [endpoint, timeout_ms]() -> std::unique_ptr<dns::Transport> {
+      dns::UdpTransport::Options options;
+      options.server = *endpoint;
+      options.timeout_ms = timeout_ms;
+      return std::make_unique<dns::UdpTransport>(options);
+    };
+  }
+
   const auto from = util::parse_date(cli.get("from"));
   const auto to = util::parse_date(cli.get("to"));
   core::WorldScale scale;
@@ -273,7 +306,7 @@ int cmd_sweep(const std::vector<std::string>& args) {
 
   if (mode == "wire") {
     return run_wire_sweep(*world, from, to, cli.get("output"), checkpoint_path, resume,
-                          cli.get_int("fail-after-shards"));
+                          cli.get_int("fail-after-shards"), std::move(make_transport));
   }
 
   std::ofstream out{cli.get("output")};
@@ -526,6 +559,114 @@ int cmd_track(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// SIGINT/SIGTERM set this; the serve loop polls it. sig_atomic_t because
+/// it is written from a signal handler.
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void handle_serve_signal(int) { g_serve_stop = 1; }
+
+int cmd_serve(const std::vector<std::string>& args) {
+  util::CliParser cli{"rdns_tool serve",
+                      "host a frozen world's reverse zones on a real UDP port"};
+  cli.option("orgs", "number of organizations", "24")
+      .option("seed", "world seed", "42")
+      .option("scale", "population scale factor", "0.4")
+      .option("date", "freeze the world at this date (YYYY-MM-DD)", "2021-01-02")
+      .option("hour", "freeze hour of day (matches the sweep instant)", "14")
+      .option("bind", "address to bind", "127.0.0.1")
+      .option("port", "UDP port (0 = kernel-assigned, printed at startup)", "5533")
+      .option("duration", "seconds to serve (0 = until SIGINT/SIGTERM)", "0")
+      .option("batch", "max datagrams per recvmmsg/sendmmsg batch", "32");
+  add_common_options(cli);
+  if (cli.handle_help(args)) return 0;
+  cli.parse(args);
+  apply_common_options(cli);
+
+  const auto bind_addr = net::Ipv4Addr::parse(cli.get("bind"));
+  if (!bind_addr) throw util::CliError{"--bind must be an IPv4 address"};
+  const int port = cli.get_int("port");
+  if (port < 0 || port > 65535) throw util::CliError{"--port must be in [0, 65535]"};
+  const int duration_s = cli.get_int("duration");
+  if (duration_s < 0) throw util::CliError{"--duration must be >= 0"};
+
+  core::WorldScale scale;
+  scale.population = cli.get_double("scale");
+  auto world = core::make_internet_world(static_cast<std::uint64_t>(cli.get_int("seed")),
+                                         cli.get_int("orgs"), scale);
+  record_run_manifest("rdns_tool.serve", static_cast<std::uint64_t>(cli.get_int("seed")),
+                      world.get());
+  const auto date = util::parse_date(cli.get("date"));
+  world->start(util::add_days(date, -1), util::add_days(date, 1));
+  world->run_until(util::to_sim_time(date) + cli.get_int("hour") * util::kHour);
+
+  // One read-only view per worker: each owns its per-org statistics, so
+  // the hot path takes no locks; they fold back into the world at stop.
+  // The factory runs sequentially inside start(), before any worker thread
+  // exists, so the plain vector needs no synchronization.
+  std::vector<std::unique_ptr<sim::FrozenDnsView>> views;
+  const sim::World& frozen = *world;
+  const util::SimTime frozen_now = world->now();
+
+  dns::UdpServeOptions options;
+  options.endpoint.address = bind_addr->value();
+  options.endpoint.port = static_cast<std::uint16_t>(port);
+  options.threads = util::ThreadPool::global().size();
+  options.batch = static_cast<std::size_t>(std::max(1, cli.get_int("batch")));
+  dns::UdpServerLoop loop{options, [&](unsigned) -> dns::UdpServerLoop::WireHandler {
+    views.push_back(std::make_unique<sim::FrozenDnsView>(frozen));
+    sim::FrozenDnsView* view = views.back().get();
+    return [view, frozen_now](std::span<const std::uint8_t> query) {
+      return view->exchange(query, frozen_now);
+    };
+  }};
+  std::string error;
+  if (!loop.start(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  // The harnesses (pytest e2e, load bench) parse this line for the port.
+  std::printf("serving on %s with %u workers (world frozen at %s %02d:00)\n",
+              loop.endpoint().to_string().c_str(), loop.threads(),
+              util::format_date(date).c_str(), cli.get_int("hour"));
+  std::fflush(stdout);
+  if (auto* j = util::journal::active()) {
+    util::journal::Event e{"serve.start", frozen_now};
+    e.str("endpoint", loop.endpoint().to_string())
+        .unum("workers", loop.threads())
+        .unum("port", loop.endpoint().port);
+    j->emit(e);
+  }
+
+  std::signal(SIGINT, handle_serve_signal);
+  std::signal(SIGTERM, handle_serve_signal);
+  const auto started = std::chrono::steady_clock::now();
+  while (g_serve_stop == 0) {
+    if (duration_s > 0 &&
+        std::chrono::steady_clock::now() - started >= std::chrono::seconds(duration_s)) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  loop.stop();
+
+  for (const auto& view : views) world->merge_server_stats(view->per_org_stats());
+  const dns::UdpServeStats& totals = loop.stats();
+  if (auto* j = util::journal::active()) {
+    util::journal::Event e{"serve.stop", frozen_now};
+    e.unum("datagrams_received", totals.datagrams_received)
+        .unum("responses_sent", totals.responses_sent)
+        .unum("dropped_no_answer", totals.dropped_no_answer)
+        .unum("send_failures", totals.send_failures);
+    j->emit(e);
+  }
+  std::printf("served %s datagrams (%s answered, %llu dropped, %llu send failures)\n",
+              util::with_commas(static_cast<std::int64_t>(totals.datagrams_received)).c_str(),
+              util::with_commas(static_cast<std::int64_t>(totals.responses_sent)).c_str(),
+              static_cast<unsigned long long>(totals.dropped_no_answer),
+              static_cast<unsigned long long>(totals.send_failures));
+  return 0;
+}
+
 int cmd_verify(const std::vector<std::string>& args) {
   util::CliParser cli{"rdns_tool verify",
                       "replay an event journal and audit the invariants it must satisfy"};
@@ -588,6 +729,7 @@ void print_usage() {
       "  audit     audit a reverse zone file for privacy leaks\n"
       "  campaign  run the supplemental measurement (Tables 3/4/5 summary)\n"
       "  track     follow a given name's devices (Life of Brian)\n"
+      "  serve     host a frozen world's reverse zones on a real UDP port\n"
       "  verify    replay an event journal (--journal-out) and audit invariants\n"
       "run `rdns_tool <subcommand> --help` for options\n");
 }
@@ -602,6 +744,7 @@ int dispatch(const std::string& command, const std::vector<std::string>& args) {
   if (command == "audit") return cmd_audit(args);
   if (command == "campaign") return cmd_campaign(args);
   if (command == "track") return cmd_track(args);
+  if (command == "serve") return cmd_serve(args);
   if (command == "verify") return cmd_verify(args);
   print_usage();
   return 2;

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""End-to-end test for the real UDP serving path.
+
+Drives two copies of the real binary:
+
+  1. `rdns_tool serve --port 0` hosts a small frozen world's reverse zones
+     on a kernel-assigned loopback port (the port is parsed from stdout);
+  2. `rdns_tool sweep --mode wire --transport udp://...` sweeps one day
+     against that live server;
+  3. the same sweep run in-process (the deterministic reference) must
+     produce a byte-identical CSV — the wire format, the serving loop and
+     the socket transport may not change a single row;
+  4. SIGTERM must shut the server down cleanly (exit 0) with a summary
+     that accounts for every datagram the sweep sent.
+
+Stdlib only; invoked by ctest with the rdns_tool path as argv[1].
+"""
+
+import argparse
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+
+WORLD_ARGS = ["--orgs", "3", "--seed", "11", "--scale", "0.05"]
+DATE = "2021-01-02"
+SERVE_BANNER = re.compile(r"^serving on 127\.0\.0\.1:(\d+) with (\d+) workers")
+
+
+def fail(message):
+    sys.stderr.write(f"FAIL: {message}\n")
+    sys.exit(1)
+
+
+def run_sweep(tool, csv_path, extra):
+    args = ([tool, "sweep", "--mode", "wire"] + WORLD_ARGS +
+            ["--from", DATE, "--to", DATE, "--threads", "2"] + extra + [csv_path])
+    proc = subprocess.run(args, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                          text=True, timeout=600)
+    if proc.returncode != 0:
+        fail(f"sweep exited {proc.returncode}: {proc.stdout}")
+    return proc.stdout
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("tool", help="path to the rdns_tool binary")
+    opts = parser.parse_args()
+
+    with tempfile.TemporaryDirectory(dir=os.getcwd()) as work:
+        ref_csv = os.path.join(work, "inproc.csv")
+        udp_csv = os.path.join(work, "udp.csv")
+
+        # Reference: the in-process deterministic path.
+        run_sweep(opts.tool, ref_csv, extra=[])
+
+        # Live server over the same world (same seed/scale/date/hour).
+        server = subprocess.Popen(
+            [opts.tool, "serve"] + WORLD_ARGS +
+            ["--date", DATE, "--hour", "14", "--port", "0", "--threads", "2"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        try:
+            banner = server.stdout.readline()
+            match = SERVE_BANNER.match(banner)
+            if not match:
+                server.kill()
+                fail(f"unparseable serve banner: {banner!r}")
+            port = match.group(1)
+
+            run_sweep(opts.tool, udp_csv,
+                      extra=["--transport", f"udp://127.0.0.1:{port}"])
+
+            with open(ref_csv, "rb") as f:
+                ref = f.read()
+            with open(udp_csv, "rb") as f:
+                udp = f.read()
+            if not ref:
+                fail("reference sweep produced an empty CSV")
+            if ref != udp:
+                fail(f"UDP sweep CSV differs from in-process reference "
+                     f"({len(udp)} vs {len(ref)} bytes)")
+
+            # Clean shutdown on SIGTERM, with a datagram accounting line.
+            server.send_signal(signal.SIGTERM)
+            out, _ = server.communicate(timeout=30)
+        except Exception:
+            server.kill()
+            raise
+        if server.returncode != 0:
+            fail(f"server exited {server.returncode} on SIGTERM: {out}")
+        summary = next((l for l in out.splitlines() if l.startswith("served ")), None)
+        if summary is None:
+            fail(f"server printed no summary line: {out!r}")
+        served = int(re.match(r"served ([\d,]+) datagrams", summary)
+                     .group(1).replace(",", ""))
+        rows = ref.count(b"\n") - 1  # minus the CSV header
+        if served < rows:
+            fail(f"server answered {served} datagrams but the sweep has {rows} rows")
+
+    print(f"OK: UDP sweep reproduced the in-process CSV byte-for-byte "
+          f"({rows} rows, {served} datagrams served)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
