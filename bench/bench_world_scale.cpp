@@ -1,0 +1,299 @@
+/// Internet-scale world bench: how big a simulated Internet fits in memory,
+/// how fast it builds, and how fast the streaming bulk sweep drains it.
+///
+/// Two parts:
+///
+///   1. A/B representation comparison at --compare-devices (default 1M
+///      published PTRs): build + sweep the same make_scale_world() twice,
+///      first with the compact zone storage (interned names + per-/16
+///      offset stores), then with Zone::set_default_storage(Legacy) — the
+///      pre-interning std::map-of-ResourceRecord representation. Reports
+///      peak RSS (VmHWM) and build-RSS deltas for both, the reduction
+///      ratios, and asserts the sweep CSV byte stream is hash-identical
+///      across representations. The compact pass runs FIRST because VmHWM
+///      is monotonic per process.
+///
+///   2. Scaling tiers 10k → --devices (default 1M, 10M+ supported): per
+///      tier, build time, build RSS delta, streaming sweep throughput
+///      (rows/s) at --threads workers, plus a single-thread sweep whose
+///      CSV hash must match the multi-threaded one (the ordered-merge
+///      byte-identity guarantee). The tiers also assert the lazy-population
+///      invariant: building + sweeping a world must never materialize a
+///      user population.
+///
+/// Results land in BENCH_world.json (+ .metrics.json with the mem.* gauge);
+/// tools/check_bench_world.py validates the schema and thresholds in CI.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dns/zone.hpp"
+#include "scan/rdns_snapshot.hpp"
+#include "util/mem.hpp"
+
+namespace {
+
+using namespace rdns;
+using Clock = std::chrono::steady_clock;
+
+/// Hashes the sweep byte stream (FNV-1a) without retaining it. In raw mode
+/// it consumes pre-rendered blocks (the streaming path); otherwise it
+/// renders each on_row callback through the shared append_snapshot_row
+/// renderer, so equal hashes mean byte-identical CSV artifacts.
+class HashingSink final : public scan::SnapshotSink {
+ public:
+  explicit HashingSink(bool raw) : raw_(raw) {}
+
+  void on_row(const util::CivilDate& date, net::Ipv4Addr address,
+              const dns::DnsName& ptr) override {
+    line_.clear();
+    scan::append_snapshot_row(line_, util::format_date(date), address, ptr.to_string());
+    mix(line_);
+    ++rows_;
+  }
+  [[nodiscard]] bool wants_raw_rows() const noexcept override { return raw_; }
+  void on_raw_rows(std::string_view bytes, std::uint64_t rows) override {
+    mix(bytes);
+    rows_ += rows;
+  }
+
+  [[nodiscard]] std::uint64_t hash() const noexcept { return h_; }
+  [[nodiscard]] std::uint64_t rows() const noexcept { return rows_; }
+
+ private:
+  void mix(std::string_view bytes) noexcept {
+    for (const char c : bytes) {
+      h_ ^= static_cast<unsigned char>(c);
+      h_ *= 0x100000001b3ULL;
+    }
+  }
+
+  bool raw_;
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+  std::uint64_t rows_ = 0;
+  std::string line_;
+};
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::uint64_t world_ptr_count(const sim::World& world) {
+  std::uint64_t n = 0;
+  for (const auto& org : world.orgs()) n += org->ptr_count();
+  return n;
+}
+
+bool any_population_materialized(const sim::World& world) {
+  for (const auto& org : world.orgs()) {
+    if (org->population_materialized()) return true;
+  }
+  return false;
+}
+
+std::string hex64(std::uint64_t v) { return util::format("%016llx", (unsigned long long)v); }
+
+/// One build + raw-mode sweep of make_scale_world(seed, devices),
+/// instrumented for RSS and wall time.
+struct BuildSweep {
+  std::uint64_t devices = 0;
+  std::uint64_t ptrs = 0;
+  double build_seconds = 0.0;
+  std::uint64_t build_rss_delta = 0;
+  double sweep_seconds = 0.0;
+  std::uint64_t rows = 0;
+  std::uint64_t hash = 0;
+  std::uint64_t peak_rss_after = 0;
+  bool lazy_ok = false;
+};
+
+BuildSweep run_build_sweep(std::uint64_t seed, std::uint64_t devices, util::ThreadPool* pool,
+                           const util::CivilDate& date) {
+  BuildSweep r;
+  r.devices = devices;
+  util::mem::release_freed_memory();
+  const std::uint64_t rss0 = util::mem::current_rss_bytes();
+  const auto t0 = Clock::now();
+  auto world = core::make_scale_world(seed, devices);
+  r.build_seconds = seconds_since(t0);
+  const std::uint64_t rss1 = util::mem::current_rss_bytes();
+  r.build_rss_delta = rss1 > rss0 ? rss1 - rss0 : 0;
+  r.ptrs = world_ptr_count(*world);
+
+  HashingSink sink{/*raw=*/true};
+  const auto s0 = Clock::now();
+  scan::sweep_bulk(*world, date, sink, pool);
+  r.sweep_seconds = seconds_since(s0);
+  r.rows = sink.rows();
+  r.hash = sink.hash();
+  r.lazy_ok = !any_population_materialized(*world);
+  r.peak_rss_after = util::mem::peak_rss_bytes();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned pool_threads = rdns::bench::configure_threads(argc, argv);
+  rdns::bench::heading("WORLD-SCALE",
+                       "internet-scale worlds: footprint, build time, sweep throughput");
+
+  std::string json_path = "BENCH_world.json";
+  std::uint64_t devices = 1'000'000;
+  std::uint64_t compare_devices = 1'000'000;
+  double min_ratio = 5.0;
+  double max_rss_mb = 0.0;  // 0 = no ceiling check
+  std::uint64_t seed = 11;
+  for (int i = 1; i + 1 < argc; ++i) {
+    const std::string arg{argv[i]};
+    if (arg == "--out") json_path = argv[i + 1];
+    if (arg == "--devices") devices = std::strtoull(argv[i + 1], nullptr, 10);
+    if (arg == "--compare-devices") compare_devices = std::strtoull(argv[i + 1], nullptr, 10);
+    if (arg == "--min-ratio") min_ratio = std::atof(argv[i + 1]);
+    if (arg == "--max-rss-mb") max_rss_mb = std::atof(argv[i + 1]);
+    if (arg == "--seed") seed = std::strtoull(argv[i + 1], nullptr, 10);
+  }
+  if (devices < 10'000) devices = 10'000;
+  if (compare_devices > devices) compare_devices = devices;
+  const util::CivilDate date{2021, 10, 27};
+  util::ThreadPool serial_pool{1};
+
+  rdns::bench::ShapeChecks checks;
+
+  // ---- Part 1: compact vs legacy at compare_devices (compact first:
+  // VmHWM never decreases, so the smaller configuration must set the
+  // first high-water mark).
+  rdns::bench::paper_note(
+      "a full IPv4 rDNS data set is ~1.2G records/day (Table 1); holding a meaningful "
+      "fraction of that in one process requires a compact PTR representation");
+  dns::Zone::set_default_storage(dns::ZoneStorage::Compact);
+  BuildSweep compact = run_build_sweep(seed, compare_devices, nullptr, date);
+  const std::uint64_t compact_peak = compact.peak_rss_after;
+
+  // Cross-check the raw streaming path against the per-row object path on
+  // the compact world (same renderer, same fold order => same hash).
+  std::uint64_t object_path_hash = 0;
+  {
+    auto world = core::make_scale_world(seed, compare_devices);
+    HashingSink object_sink{/*raw=*/false};
+    scan::sweep_bulk(*world, date, object_sink, &serial_pool);
+    object_path_hash = object_sink.hash();
+  }
+
+  dns::Zone::set_default_storage(dns::ZoneStorage::Legacy);
+  BuildSweep legacy = run_build_sweep(seed, compare_devices, nullptr, date);
+  const std::uint64_t legacy_peak = legacy.peak_rss_after;
+  dns::Zone::set_default_storage(dns::ZoneStorage::Compact);
+
+  const double peak_ratio = compact_peak > 0 && legacy_peak > 0
+                                ? static_cast<double>(legacy_peak) / static_cast<double>(compact_peak)
+                                : 0.0;
+  const double delta_ratio =
+      compact.build_rss_delta > 0
+          ? static_cast<double>(legacy.build_rss_delta) / static_cast<double>(compact.build_rss_delta)
+          : 0.0;
+
+  rdns::bench::measured_note(util::format(
+      "A/B at %llu PTRs: compact build %.2fs, +%.1f MiB RSS, peak %.1f MiB; "
+      "legacy build %.2fs, +%.1f MiB RSS, peak %.1f MiB; peak ratio %.1fx, delta ratio %.1fx",
+      (unsigned long long)compare_devices, compact.build_seconds,
+      compact.build_rss_delta / 1048576.0, compact_peak / 1048576.0, legacy.build_seconds,
+      legacy.build_rss_delta / 1048576.0, legacy_peak / 1048576.0, peak_ratio, delta_ratio));
+
+  checks.expect(compact.rows == compact.ptrs && compact.rows > 0,
+                "sweep emitted one row per published PTR");
+  checks.expect(compact.hash == legacy.hash,
+                "sweep CSV byte-identical across compact/legacy storage");
+  checks.expect(compact.hash == object_path_hash,
+                "raw streaming sink matches the per-row object sink byte for byte");
+  if (compact_peak > 0 && legacy_peak > 0) {
+    checks.expect(peak_ratio >= min_ratio,
+                  util::format("peak RSS reduced >= %.1fx by compact storage (measured %.1fx)",
+                               min_ratio, peak_ratio));
+  } else {
+    std::printf("  [SHAPE-SKIP] no RSS source on this platform; ratio check skipped\n");
+  }
+
+  // ---- Part 2: scaling tiers (compact representation).
+  std::vector<BuildSweep> tiers;
+  std::vector<std::uint64_t> serial_hashes;
+  for (const std::uint64_t tier :
+       std::vector<std::uint64_t>{10'000, 100'000, 1'000'000, 10'000'000}) {
+    if (tier > devices) break;
+    BuildSweep t = run_build_sweep(seed, tier, nullptr, date);
+    // Ordered-merge guarantee: the single-thread byte stream is the
+    // reference; the multi-thread hash above must equal it.
+    auto world = core::make_scale_world(seed, tier);
+    HashingSink serial_sink{/*raw=*/true};
+    scan::sweep_bulk(*world, date, serial_sink, &serial_pool);
+    serial_hashes.push_back(serial_sink.hash());
+    checks.expect(t.hash == serial_sink.hash(),
+                  util::format("tier %llu: CSV hash identical at 1 and %u threads",
+                               (unsigned long long)tier, pool_threads));
+    checks.expect(t.lazy_ok, util::format("tier %llu: no user population materialized",
+                                          (unsigned long long)tier));
+    rdns::bench::measured_note(util::format(
+        "tier %8llu PTRs: build %6.2fs (+%7.1f MiB), sweep %6.2fs = %9.0f rows/s @ %u threads",
+        (unsigned long long)t.ptrs, t.build_seconds, t.build_rss_delta / 1048576.0,
+        t.sweep_seconds, t.sweep_seconds > 0 ? t.rows / t.sweep_seconds : 0.0, pool_threads));
+    tiers.push_back(t);
+  }
+  checks.expect(!tiers.empty(), "at least one scaling tier ran");
+
+  const std::uint64_t final_peak = util::mem::update_peak_rss_gauge();
+  if (max_rss_mb > 0 && final_peak > 0) {
+    checks.expect(final_peak / 1048576.0 <= max_rss_mb,
+                  util::format("process peak RSS %.1f MiB under the %.0f MiB ceiling",
+                               final_peak / 1048576.0, max_rss_mb));
+  }
+
+  {
+    auto world = core::make_scale_world(seed, 10'000);
+    rdns::bench::record_bench_manifest("world_scale", seed, world.get());
+  }
+  {
+    std::ofstream out{json_path};
+    out << "{\n  \"bench\": \"world_scale\",\n";
+    if (const auto manifest = util::journal::Journal::global().manifest()) {
+      out << "  \"manifest\": " << util::journal::manifest_json(*manifest) << ",\n";
+    }
+    out << "  \"threads\": " << pool_threads << ",\n"
+        << "  \"seed\": " << seed << ",\n"
+        << "  \"compare\": {\n"
+        << "    \"devices\": " << compare_devices << ",\n"
+        << "    \"compact\": {\"build_seconds\": " << compact.build_seconds
+        << ", \"build_rss_delta_bytes\": " << compact.build_rss_delta
+        << ", \"peak_rss_bytes\": " << compact_peak << ", \"rows\": " << compact.rows
+        << ", \"csv_hash\": \"" << hex64(compact.hash) << "\"},\n"
+        << "    \"legacy\": {\"build_seconds\": " << legacy.build_seconds
+        << ", \"build_rss_delta_bytes\": " << legacy.build_rss_delta
+        << ", \"peak_rss_bytes\": " << legacy_peak << ", \"rows\": " << legacy.rows
+        << ", \"csv_hash\": \"" << hex64(legacy.hash) << "\"},\n"
+        << "    \"peak_ratio\": " << peak_ratio << ",\n"
+        << "    \"build_rss_delta_ratio\": " << delta_ratio << ",\n"
+        << "    \"byte_identical\": " << (compact.hash == legacy.hash ? "true" : "false")
+        << "\n  },\n"
+        << "  \"tiers\": [\n";
+    for (std::size_t i = 0; i < tiers.size(); ++i) {
+      const BuildSweep& t = tiers[i];
+      out << "    {\"devices\": " << t.devices << ", \"ptr_records\": " << t.ptrs
+          << ", \"build_seconds\": " << t.build_seconds
+          << ", \"build_rss_delta_bytes\": " << t.build_rss_delta
+          << ", \"sweep_seconds\": " << t.sweep_seconds << ", \"rows\": " << t.rows
+          << ", \"rows_per_sec\": " << (t.sweep_seconds > 0 ? t.rows / t.sweep_seconds : 0.0)
+          << ", \"csv_hash\": \"" << hex64(t.hash) << "\", \"csv_hash_serial\": \""
+          << hex64(serial_hashes[i]) << "\", \"lazy_population\": "
+          << (t.lazy_ok ? "true" : "false") << "}" << (i + 1 < tiers.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n"
+        << "  \"peak_rss_bytes\": " << final_peak << "\n}\n";
+  }
+  std::printf("\nwrote %s\n", json_path.c_str());
+  rdns::bench::write_metrics_snapshot(json_path);
+  return checks.exit_code();
+}

@@ -1,6 +1,8 @@
 #include "core/pipeline.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "scan/rdns_snapshot.hpp"
 
@@ -475,6 +477,58 @@ std::unique_ptr<sim::World> make_internet_world(std::uint64_t seed, int org_coun
         break;
       }
     }
+    world->add_org(std::move(o));
+  }
+  return world;
+}
+
+// ---------------------------------------------------------- scale world --
+
+std::unique_ptr<sim::World> make_scale_world(std::uint64_t seed, std::uint64_t device_target) {
+  // Fixed per-org PTR budget: StaticGeneric /17 pool (32766 names) plus a
+  // fully numbered static /18 (16382 names). The /19 dynamic segment
+  // publishes nothing until the world is simulated.
+  constexpr std::uint64_t kPtrsPerOrg = 32766 + 16382;
+  const std::uint64_t org_count =
+      std::max<std::uint64_t>(1, (device_target + kPtrsPerOrg - 1) / kPtrsPerOrg);
+  if (org_count > 256) {
+    throw std::invalid_argument(
+        "make_scale_world: device_target needs more than 256 /16 slots");
+  }
+  sim::WorldConfig config;
+  config.seed = seed;
+  auto world = std::make_unique<sim::World>(config);
+  util::Rng rng{util::mix64(seed ^ 0x5CA1ED)};
+  for (std::uint64_t i = 0; i < org_count; ++i) {
+    const std::string stem = "scale-" + std::to_string(i);
+    const std::string base = "10." + std::to_string(i) + ".";
+    OrgSpec o;
+    o.name = stem;
+    o.type = OrgType::Isp;
+    o.suffix = dns::DnsName::must_parse(stem + "-broadband.net");
+    o.announced = {Prefix::must_parse(base + "0.0/16")};
+
+    SegmentSpec pool;
+    pool.label = "pool";
+    pool.venue = PresenceVenue::Home;
+    pool.prefix = Prefix::must_parse(base + "0.0/17");
+    pool.schedule = ScheduleKind::HomeResident;
+    pool.user_count = 0;
+    pool.ddns_policy = DdnsPolicy::StaticGeneric;
+
+    SegmentSpec dyn;
+    dyn.label = "dyn";
+    dyn.venue = PresenceVenue::Home;
+    dyn.prefix = Prefix::must_parse(base + "192.0/19");
+    dyn.schedule = ScheduleKind::HomeResident;
+    dyn.user_count = 500;
+    dyn.ddns_policy = DdnsPolicy::CarryOverClientId;
+
+    o.segments = {pool, dyn};
+    o.static_ranges = {{Prefix::must_parse(base + "128.0/18"),
+                        StaticRangeSpec::Style::GenericNames, /*fill=*/1.0,
+                        /*pingable=*/0.0}};
+    o.seed = rng.next();
     world->add_org(std::move(o));
   }
   return world;

@@ -49,6 +49,17 @@ struct WorldScale {
                                                               WorldScale scale = {},
                                                               util::SimTime dhcp_tick = 300);
 
+/// A memory-lean synthetic Internet sized to hold `device_target` published
+/// PTR records, for the scale benches. Each org owns one 10.<i>.0.0/16 and
+/// contributes a fixed PTR budget: a StaticGeneric /17 pool (32766 names
+/// through the bulk fill), a fully numbered static /18 (16382 names) and a
+/// small dynamic /19 whose user population stays unmaterialized unless the
+/// world is simulated — so building + sweeping the world never allocates
+/// per-device state. Throws std::invalid_argument when `device_target`
+/// needs more than 256 /16 slots (~12.5M records).
+[[nodiscard]] std::unique_ptr<sim::World> make_scale_world(std::uint64_t seed,
+                                                           std::uint64_t device_target);
+
 /// One-stop identification pipeline over a date window: daily sweeps feed
 /// the dynamicity detector and the PTR corpus; then the Section 4 heuristic
 /// and Section 5 filtering run.

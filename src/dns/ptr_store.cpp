@@ -1,0 +1,340 @@
+#include "dns/ptr_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace rdns::dns {
+
+namespace {
+
+/// "host-a-b-c-d" for an address, written into a stack buffer. Must stay
+/// byte-compatible with dhcp::generic_label (asserted by test_ptr_store) —
+/// if the formats ever diverge the store silently falls back to interning
+/// the full name, which is correct but larger.
+struct GenericLabel {
+  char text[24];
+  int len;
+};
+
+[[nodiscard]] GenericLabel generic_label_of(net::Ipv4Addr a) noexcept {
+  GenericLabel out;
+  out.len = std::snprintf(out.text, sizeof out.text, "host-%u-%u-%u-%u", a.octet(0), a.octet(1),
+                          a.octet(2), a.octet(3));
+  return out;
+}
+
+[[nodiscard]] bool key_less(const std::pair<std::uint16_t, std::uint32_t>&,
+                            const std::pair<std::uint16_t, std::uint32_t>&) = delete;
+
+struct KeyLess {
+  template <typename Pair>
+  bool operator()(const Pair& a, std::uint16_t key) const noexcept {
+    return a.first < key;
+  }
+  template <typename Pair>
+  bool operator()(std::uint16_t key, const Pair& a) const noexcept {
+    return key < a.first;
+  }
+};
+
+}  // namespace
+
+const std::array<std::uint8_t, 256>& CompactPtrStore::octet_rank() noexcept {
+  static const std::array<std::uint8_t, 256> table = [] {
+    std::array<std::uint16_t, 256> order{};
+    for (std::uint16_t i = 0; i < 256; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [](std::uint16_t a, std::uint16_t b) {
+      return std::to_string(a) < std::to_string(b);
+    });
+    std::array<std::uint8_t, 256> rank{};
+    for (std::uint16_t r = 0; r < 256; ++r) rank[order[r]] = static_cast<std::uint8_t>(r);
+    return rank;
+  }();
+  return table;
+}
+
+const std::array<std::uint8_t, 256>& CompactPtrStore::octet_at_rank() noexcept {
+  static const std::array<std::uint8_t, 256> table = [] {
+    const auto& rank = octet_rank();
+    std::array<std::uint8_t, 256> inverse{};
+    for (std::uint16_t i = 0; i < 256; ++i) inverse[rank[i]] = static_cast<std::uint8_t>(i);
+    return inverse;
+  }();
+  return table;
+}
+
+std::uint16_t CompactPtrStore::ckey_of(std::uint16_t offset) noexcept {
+  const auto& rank = octet_rank();
+  return static_cast<std::uint16_t>((rank[offset >> 8] << 8) | rank[offset & 0xFF]);
+}
+
+std::uint16_t CompactPtrStore::offset_of_ckey(std::uint16_t ckey) noexcept {
+  const auto& octet = octet_at_rank();
+  return static_cast<std::uint16_t>((octet[ckey >> 8] << 8) | octet[ckey & 0xFF]);
+}
+
+std::string_view CompactPtrStore::resolve(std::uint16_t offset, Entry entry,
+                                          std::string& scratch) const {
+  if ((entry.name_ref & kGenericBit) == 0) return pool_->view(entry.name_ref);
+  const GenericLabel label = generic_label_of(address_of(offset));
+  scratch.assign(label.text, static_cast<std::size_t>(label.len));
+  const std::string_view suffix = pool_->view(entry.name_ref & ~kGenericBit);
+  if (!suffix.empty()) {
+    scratch.push_back('.');
+    scratch.append(suffix);
+  }
+  return scratch;
+}
+
+std::uint32_t CompactPtrStore::encode_target(std::uint16_t offset, const DnsName& target,
+                                             const std::string& text) {
+  const auto& labels = target.labels();
+  if (!labels.empty()) {
+    const GenericLabel expect = generic_label_of(address_of(offset));
+    const std::string& first = labels.front();
+    if (first.size() == static_cast<std::size_t>(expect.len) &&
+        first.compare(0, first.size(), expect.text, static_cast<std::size_t>(expect.len)) == 0) {
+      // Synthesizable: store only the suffix ("" when the label is the
+      // whole name). Reconstruction is byte-exact because the match above
+      // is case-sensitive against the canonical lowercase form.
+      const std::string_view suffix =
+          text.size() > first.size() ? std::string_view{text}.substr(first.size() + 1)
+                                     : std::string_view{};
+      return kGenericBit | pool_->intern(suffix);
+    }
+  }
+  return pool_->intern(text);
+}
+
+bool CompactPtrStore::entry_matches(std::uint16_t offset, Entry entry, std::string_view text,
+                                    std::uint32_t ttl, std::string& scratch) const {
+  if (entry.ttl != ttl) return false;
+  return util::iequals(resolve(offset, entry, scratch), text);
+}
+
+void CompactPtrStore::densify() {
+  slots_.assign(65536, Entry{});
+  overflow_.clear();
+  for (const auto& [ckey, entry] : sparse_) {
+    Entry& slot = slots_[offset_of_ckey(ckey)];
+    if (slot.name_ref == kEmptyRef) {
+      slot = entry;
+    } else {
+      overflow_.emplace_back(ckey, entry);  // sparse_ is key-sorted already
+    }
+  }
+  sparse_.clear();
+  sparse_.shrink_to_fit();
+  dense_ = true;
+}
+
+bool CompactPtrStore::add(std::uint16_t offset, const DnsName& target, std::uint32_t ttl) {
+  const std::string text = target.to_string();
+  const std::uint16_t ckey = ckey_of(offset);
+  std::string scratch;
+  if (dense_) {
+    Entry& slot = slots_[offset];
+    if (slot.name_ref == kEmptyRef) {
+      slot.name_ref = encode_target(offset, target, text);
+      slot.ttl = ttl;
+      ++count_;
+      ++owners_;
+      return true;
+    }
+    if (entry_matches(offset, slot, text, ttl, scratch)) return false;
+    const auto range = std::equal_range(overflow_.begin(), overflow_.end(), ckey, KeyLess{});
+    for (auto it = range.first; it != range.second; ++it) {
+      if (entry_matches(offset, it->second, text, ttl, scratch)) return false;
+    }
+    Entry entry{encode_target(offset, target, text), ttl};
+    overflow_.emplace(range.second, ckey, entry);
+    ++count_;
+    return true;
+  }
+  const auto range = std::equal_range(sparse_.begin(), sparse_.end(), ckey, KeyLess{});
+  for (auto it = range.first; it != range.second; ++it) {
+    if (entry_matches(offset, it->second, text, ttl, scratch)) return false;
+  }
+  Entry entry{encode_target(offset, target, text), ttl};
+  const bool new_owner = range.first == range.second;
+  sparse_.emplace(range.second, ckey, entry);
+  ++count_;
+  if (new_owner) ++owners_;
+  if (sparse_.size() > kDenseThreshold) densify();
+  return true;
+}
+
+std::size_t CompactPtrStore::add_generic_range(std::uint16_t first, std::uint16_t last,
+                                               std::string_view suffix_text, std::uint32_t ttl) {
+  const std::size_t span = static_cast<std::size_t>(last) - first + 1;
+  if (!dense_ && count_ + span > kDenseThreshold) densify();
+  const std::uint32_t ref = kGenericBit | pool_->intern(suffix_text);
+  std::size_t inserted = 0;
+  std::string scratch;
+  if (dense_) {
+    for (std::uint32_t offset = first; offset <= last; ++offset) {
+      Entry& slot = slots_[offset];
+      if (slot.name_ref == kEmptyRef) {
+        slot.name_ref = ref;
+        slot.ttl = ttl;
+        ++count_;
+        ++owners_;
+        ++inserted;
+        continue;
+      }
+      // Occupied owner: fall back to the general path (dup check against
+      // the synthesized text, overflow placement). Rare in bulk fills.
+      const DnsName target = DnsName::must_parse(
+          resolve(static_cast<std::uint16_t>(offset), Entry{ref, ttl}, scratch));
+      if (add(static_cast<std::uint16_t>(offset), target, ttl)) ++inserted;
+    }
+    return inserted;
+  }
+  for (std::uint32_t offset = first; offset <= last; ++offset) {
+    const DnsName target = DnsName::must_parse(
+        resolve(static_cast<std::uint16_t>(offset), Entry{ref, ttl}, scratch));
+    if (add(static_cast<std::uint16_t>(offset), target, ttl)) ++inserted;
+  }
+  return inserted;
+}
+
+std::size_t CompactPtrStore::remove_owner(std::uint16_t offset) {
+  const std::uint16_t ckey = ckey_of(offset);
+  std::size_t removed = 0;
+  if (dense_) {
+    Entry& slot = slots_[offset];
+    if (slot.name_ref == kEmptyRef) return 0;
+    slot = Entry{};
+    ++removed;
+    const auto range = std::equal_range(overflow_.begin(), overflow_.end(), ckey, KeyLess{});
+    removed += static_cast<std::size_t>(range.second - range.first);
+    overflow_.erase(range.first, range.second);
+  } else {
+    const auto range = std::equal_range(sparse_.begin(), sparse_.end(), ckey, KeyLess{});
+    removed = static_cast<std::size_t>(range.second - range.first);
+    if (removed == 0) return 0;
+    sparse_.erase(range.first, range.second);
+  }
+  count_ -= removed;
+  --owners_;
+  return removed;
+}
+
+bool CompactPtrStore::remove_exact(std::uint16_t offset, const DnsName& target,
+                                   std::uint32_t ttl) {
+  const std::string text = target.to_string();
+  const std::uint16_t ckey = ckey_of(offset);
+  std::string scratch;
+  if (dense_) {
+    Entry& slot = slots_[offset];
+    if (slot.name_ref == kEmptyRef) return false;
+    const auto range = std::equal_range(overflow_.begin(), overflow_.end(), ckey, KeyLess{});
+    if (entry_matches(offset, slot, text, ttl, scratch)) {
+      if (range.first != range.second) {
+        // Promote the next record in insertion order so slot-then-overflow
+        // remains the owner's insertion order.
+        slot = range.first->second;
+        overflow_.erase(range.first);
+      } else {
+        slot = Entry{};
+        --owners_;
+      }
+      --count_;
+      return true;
+    }
+    for (auto it = range.first; it != range.second; ++it) {
+      if (entry_matches(offset, it->second, text, ttl, scratch)) {
+        overflow_.erase(it);
+        --count_;
+        return true;
+      }
+    }
+    return false;
+  }
+  const auto range = std::equal_range(sparse_.begin(), sparse_.end(), ckey, KeyLess{});
+  for (auto it = range.first; it != range.second; ++it) {
+    if (entry_matches(offset, it->second, text, ttl, scratch)) {
+      const bool last_at_owner = range.second - range.first == 1;
+      sparse_.erase(it);
+      --count_;
+      if (last_at_owner) --owners_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CompactPtrStore::has(std::uint16_t offset) const noexcept {
+  if (dense_) return slots_[offset].name_ref != kEmptyRef;
+  const std::uint16_t ckey = ckey_of(offset);
+  return std::binary_search(sparse_.begin(), sparse_.end(), ckey, KeyLess{});
+}
+
+void CompactPtrStore::find(std::uint16_t offset, std::vector<Found>& out) const {
+  std::string scratch;
+  const std::uint16_t ckey = ckey_of(offset);
+  if (dense_) {
+    const Entry slot = slots_[offset];
+    if (slot.name_ref == kEmptyRef) return;
+    out.push_back(Found{std::string{resolve(offset, slot, scratch)}, slot.ttl});
+    const auto range = std::equal_range(overflow_.begin(), overflow_.end(), ckey, KeyLess{});
+    for (auto it = range.first; it != range.second; ++it) {
+      out.push_back(Found{std::string{resolve(offset, it->second, scratch)}, it->second.ttl});
+    }
+    return;
+  }
+  const auto range = std::equal_range(sparse_.begin(), sparse_.end(), ckey, KeyLess{});
+  for (auto it = range.first; it != range.second; ++it) {
+    out.push_back(Found{std::string{resolve(offset, it->second, scratch)}, it->second.ttl});
+  }
+}
+
+bool CompactPtrStore::Cursor::next() {
+  const CompactPtrStore& store = *store_;
+  if (store.dense_) {
+    if (pending_overflow_ > 0) {
+      const auto& [ckey, entry] = store.overflow_[overflow_i_];
+      offset_ = offset_of_ckey(ckey);
+      ttl_ = entry.ttl;
+      target_ = store.resolve(offset_, entry, scratch_);
+      ++overflow_i_;
+      --pending_overflow_;
+      return true;
+    }
+    while (ckey_ < 65536) {
+      const std::uint16_t ckey = static_cast<std::uint16_t>(ckey_++);
+      const std::uint16_t offset = offset_of_ckey(ckey);
+      const Entry slot = store.slots_[offset];
+      std::size_t run = 0;
+      while (overflow_i_ + run < store.overflow_.size() &&
+             store.overflow_[overflow_i_ + run].first == ckey) {
+        ++run;
+      }
+      if (slot.name_ref == kEmptyRef) {
+        overflow_i_ += run;  // unreachable with slot-promotion, but stay safe
+        continue;
+      }
+      pending_overflow_ = run;
+      offset_ = offset;
+      ttl_ = slot.ttl;
+      target_ = store.resolve(offset, slot, scratch_);
+      return true;
+    }
+    return false;
+  }
+  if (sparse_i_ >= store.sparse_.size()) return false;
+  const auto& [ckey, entry] = store.sparse_[sparse_i_++];
+  offset_ = offset_of_ckey(ckey);
+  ttl_ = entry.ttl;
+  target_ = store.resolve(offset_, entry, scratch_);
+  return true;
+}
+
+std::size_t CompactPtrStore::footprint_bytes() const noexcept {
+  return sparse_.capacity() * sizeof(sparse_[0]) + slots_.capacity() * sizeof(Entry) +
+         overflow_.capacity() * sizeof(overflow_[0]);
+}
+
+}  // namespace rdns::dns

@@ -1,0 +1,172 @@
+#pragma once
+/// \file ptr_store.hpp
+/// Compact storage for the PTR records of one /16 reverse zone.
+///
+/// A reverse /16 zone's owner space is exactly the 65536 addresses under
+/// its origin, so a PTR record needs no owner DnsName at all: 16 bits of
+/// offset identify the owner, and the target hostname is an interned
+/// util::NamePool id. Fixed-form generic targets ("host-a-b-c-d.<suffix>",
+/// the DHCP bridge's StaticGeneric/revert vocabulary) compress further:
+/// the first label is derivable from the owner address, so the entry only
+/// references the interned suffix and the label is synthesized on read.
+/// Net effect: ~8 bytes per record against the ~600 bytes of the
+/// std::map<DnsName, vector<ResourceRecord>> representation.
+///
+/// Iteration yields records in the zone's canonical owner order (DNSSEC
+/// ordering: label-wise from the right). For 4-octet arpa owners under one
+/// /16 origin that order is the lexicographic order of the (third octet,
+/// fourth octet) decimal strings, which is a fixed permutation of the
+/// numeric offsets — precomputed once as a rank table, so lookups stay
+/// O(1) array indexing while dumps/sweeps stay byte-identical to the
+/// std::map walk.
+///
+/// Storage is adaptive: a sorted array of (canonical key, entry) pairs for
+/// sparse zones, switching to a 65536-slot direct-index array (plus a tiny
+/// overflow list for the rare owner with several PTRs) once the zone is
+/// dense enough that sorted-insert churn would dominate. Both shapes
+/// iterate in the same canonical order.
+///
+/// Thread safety follows the zone contract: mutation is single-threaded on
+/// the sim clock; concurrent reads (find/cursor) are safe while frozen.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dns/name.hpp"
+#include "net/ipv4.hpp"
+#include "util/name_pool.hpp"
+
+namespace rdns::dns {
+
+class CompactPtrStore {
+ public:
+  /// `pool` must outlive the store; `base` is the /16 network address
+  /// (A.B.0.0) whose low 16 bits the offsets index.
+  CompactPtrStore(util::NamePool* pool, std::uint32_t base) noexcept
+      : pool_(pool), base_(base) {}
+
+  CompactPtrStore(const CompactPtrStore&) = delete;
+  CompactPtrStore& operator=(const CompactPtrStore&) = delete;
+
+  /// Add a PTR at `offset`; returns false for an exact duplicate
+  /// (same target, case-insensitively, and same TTL — RR equality).
+  bool add(std::uint16_t offset, const DnsName& target, std::uint32_t ttl);
+
+  /// Bulk add of fixed-form generic names host-a-b-c-d.<suffix> at every
+  /// offset in [first, last] (inclusive; suffix text without trailing dot,
+  /// empty for none). Equivalent to repeated add(); returns records
+  /// actually inserted (duplicates skipped).
+  std::size_t add_generic_range(std::uint16_t first, std::uint16_t last,
+                                std::string_view suffix_text, std::uint32_t ttl);
+
+  /// Remove every PTR at `offset`; returns removed count.
+  std::size_t remove_owner(std::uint16_t offset);
+
+  /// Remove the first PTR at `offset` matching target (case-insensitive)
+  /// and ttl; returns whether one was removed.
+  bool remove_exact(std::uint16_t offset, const DnsName& target, std::uint32_t ttl);
+
+  [[nodiscard]] bool has(std::uint16_t offset) const noexcept;
+
+  /// Materialized record at an owner (query path).
+  struct Found {
+    std::string target;  ///< presentation text, case-preserved, no trailing dot
+    std::uint32_t ttl = 0;
+  };
+  /// Append all PTRs at `offset` to `out` in insertion order.
+  void find(std::uint16_t offset, std::vector<Found>& out) const;
+
+  [[nodiscard]] std::size_t record_count() const noexcept { return count_; }
+  [[nodiscard]] std::size_t owner_count() const noexcept { return owners_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+  [[nodiscard]] net::Ipv4Addr address_of(std::uint16_t offset) const noexcept {
+    return net::Ipv4Addr{base_ | offset};
+  }
+
+  /// Streaming iterator over all records in canonical owner order. The
+  /// target view is valid until the next call to next() on this cursor.
+  /// Independent cursors are safe concurrently (reads only).
+  class Cursor {
+   public:
+    /// Advance to the next record; false when exhausted.
+    bool next();
+
+    [[nodiscard]] std::uint16_t offset() const noexcept { return offset_; }
+    [[nodiscard]] std::string_view target() const noexcept { return target_; }
+    [[nodiscard]] std::uint32_t ttl() const noexcept { return ttl_; }
+
+   private:
+    friend class CompactPtrStore;
+    explicit Cursor(const CompactPtrStore& store) noexcept : store_(&store) {}
+
+    const CompactPtrStore* store_;
+    std::size_t sparse_i_ = 0;
+    std::uint32_t ckey_ = 0;           ///< dense mode: next canonical key
+    std::size_t overflow_i_ = 0;
+    std::size_t pending_overflow_ = 0;  ///< overflow entries left at current key
+    std::uint16_t offset_ = 0;
+    std::uint32_t ttl_ = 0;
+    std::string_view target_;
+    std::string scratch_;
+  };
+
+  [[nodiscard]] Cursor cursor() const noexcept { return Cursor{*this}; }
+
+  /// Canonical rank of each octet's decimal string ("0" < "1" < "10" < ...)
+  /// and its inverse. Exposed for tests.
+  [[nodiscard]] static const std::array<std::uint8_t, 256>& octet_rank() noexcept;
+  [[nodiscard]] static const std::array<std::uint8_t, 256>& octet_at_rank() noexcept;
+
+  /// Approximate heap footprint of the store's own tables (bench accounting;
+  /// excludes the shared name pool).
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept;
+
+ private:
+  struct Entry {
+    std::uint32_t name_ref = kEmptyRef;  ///< pool id, or kGenericBit | suffix id
+    std::uint32_t ttl = 0;
+  };
+
+  static constexpr std::uint32_t kEmptyRef = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kGenericBit = 0x80000000u;
+  /// Sorted-array size beyond which sorted-insert memmove traffic loses to
+  /// the 512 KiB direct-index array.
+  static constexpr std::size_t kDenseThreshold = 4096;
+
+  [[nodiscard]] static std::uint16_t ckey_of(std::uint16_t offset) noexcept;
+  [[nodiscard]] static std::uint16_t offset_of_ckey(std::uint16_t ckey) noexcept;
+
+  /// Encode a target into an entry ref, interning as needed. `text` must be
+  /// target.to_string().
+  [[nodiscard]] std::uint32_t encode_target(std::uint16_t offset, const DnsName& target,
+                                            const std::string& text);
+
+  /// Resolve an entry's target text (synthesizing generic labels into
+  /// `scratch` when needed).
+  [[nodiscard]] std::string_view resolve(std::uint16_t offset, Entry entry,
+                                         std::string& scratch) const;
+
+  [[nodiscard]] bool entry_matches(std::uint16_t offset, Entry entry, std::string_view text,
+                                   std::uint32_t ttl, std::string& scratch) const;
+
+  void densify();
+
+  util::NamePool* pool_;
+  std::uint32_t base_;
+  bool dense_ = false;
+  /// Sparse shape: sorted by canonical key; equal-key runs keep insertion
+  /// order (multiple PTRs at one owner).
+  std::vector<std::pair<std::uint16_t, Entry>> sparse_;
+  /// Dense shape: one slot per offset (first record at the owner) ...
+  std::vector<Entry> slots_;
+  /// ... plus later records at the same owner, sorted by canonical key.
+  std::vector<std::pair<std::uint16_t, Entry>> overflow_;
+  std::size_t count_ = 0;
+  std::size_t owners_ = 0;
+};
+
+}  // namespace rdns::dns

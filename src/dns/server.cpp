@@ -1,6 +1,10 @@
 #include "dns/server.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
 #include "dns/wire.hpp"
+#include "net/arpa.hpp"
 #include "util/faults.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
@@ -86,8 +90,40 @@ AuthoritativeServer::AuthoritativeServer(FaultPolicy faults, std::uint64_t fault
     : faults_(faults), fault_seed_(fault_seed) {}
 
 Zone& AuthoritativeServer::add_zone(DnsName origin, SoaRdata soa) {
-  zones_.push_back(std::make_unique<Zone>(std::move(origin), std::move(soa)));
+  zones_.push_back(std::make_unique<Zone>(std::move(origin), std::move(soa), &pool_));
   return *zones_.back();
+}
+
+std::size_t AuthoritativeServer::populate_generic(net::Ipv4Addr first, net::Ipv4Addr last,
+                                                  const DnsName& suffix, std::uint32_t ttl) {
+  std::size_t inserted = 0;
+  std::uint64_t total = 0;
+  // Chunk on /16 boundaries: each chunk lands in one reverse zone.
+  std::uint64_t v = first.value();
+  const std::uint64_t end = last.value();
+  while (v <= end) {
+    const std::uint64_t chunk_end = std::min<std::uint64_t>(end, v | 0xFFFFu);
+    const net::Ipv4Addr chunk_first{static_cast<std::uint32_t>(v)};
+    const net::Ipv4Addr chunk_last{static_cast<std::uint32_t>(chunk_end)};
+    Zone* zone = find_zone(DnsName::must_parse(net::to_arpa(chunk_first)));
+    if (zone == nullptr) {
+      throw std::invalid_argument("populate_generic: no zone for " + chunk_first.to_string());
+    }
+    inserted += zone->populate_generic(chunk_first, chunk_last, suffix, ttl);
+    total += chunk_end - v + 1;
+    v = chunk_end + 1;
+  }
+  // Advance statistics exactly as `total` replace-updates through handle()
+  // would have on a fault-free server: each update is one query, one
+  // applied update, and one update_rrs observation of its 2 authority RRs
+  // (delete-RRset + add).
+  ServerMetrics& m = server_metrics();
+  stats_.queries += total;
+  stats_.updates += total;
+  m.queries.inc(total);
+  m.updates.inc(total);
+  for (std::uint64_t i = 0; i < total; ++i) m.update_rrs.observe(2.0);
+  return inserted;
 }
 
 Zone* AuthoritativeServer::find_zone(const DnsName& name) noexcept {

@@ -22,6 +22,7 @@
 
 #include "dns/message.hpp"
 #include "dns/zone.hpp"
+#include "util/name_pool.hpp"
 #include "util/time.hpp"
 
 namespace rdns::dns {
@@ -68,8 +69,19 @@ class AuthoritativeServer {
                                std::uint64_t fault_seed = 0xFA017);
 
   /// Host a zone; returns a stable reference for later mutation. The server
-  /// owns the zone.
+  /// owns the zone. Compact-eligible zones share the server's name pool,
+  /// so one hostname interned in any zone costs its bytes once.
   Zone& add_zone(DnsName origin, SoaRdata soa);
+
+  /// Bulk-install generic PTRs host-a-b-c-d.<suffix> for every address in
+  /// [first, last], observably equivalent to sending one RFC 2136
+  /// replace-update per address through handle() against a fault-free
+  /// server with no pre-existing records in the range: zone contents,
+  /// serials, ServerStats and the dns.server.* counters all advance as the
+  /// wire path would. Must not be used when fault injection is configured
+  /// (the wire path would then drop some updates). Returns PTRs inserted.
+  std::size_t populate_generic(net::Ipv4Addr first, net::Ipv4Addr last, const DnsName& suffix,
+                               std::uint32_t ttl);
 
   /// Zone whose origin best matches (longest suffix of) `name`.
   [[nodiscard]] Zone* find_zone(const DnsName& name) noexcept;
@@ -111,6 +123,7 @@ class AuthoritativeServer {
   [[nodiscard]] bool fault_hit(const Message& request, std::uint64_t salt,
                                double p) const noexcept;
 
+  util::NamePool pool_;  ///< declared before zones_: zones borrow it
   std::vector<std::unique_ptr<Zone>> zones_;
   FaultPolicy faults_;
   std::uint64_t fault_seed_;

@@ -1,5 +1,6 @@
 #include "scan/rdns_snapshot.hpp"
 
+#include <cstdio>
 #include <mutex>
 
 #include "net/ip_bitset.hpp"
@@ -39,14 +40,48 @@ SweepMetrics& sweep_metrics() {
 
 }  // namespace
 
+void append_snapshot_row(std::string& out, std::string_view date_text, net::Ipv4Addr address,
+                         std::string_view ptr_text) {
+  out.append(date_text);  // "YYYY-MM-DD": never needs quoting
+  out.push_back(',');
+  char quad[16];
+  const int quad_len = std::snprintf(quad, sizeof quad, "%u.%u.%u.%u", address.octet(0),
+                                     address.octet(1), address.octet(2), address.octet(3));
+  out.append(quad, static_cast<std::size_t>(quad_len));
+  out.push_back(',');
+  const std::size_t field_start = out.size();
+  bool needs_quoting = false;
+  for (char c : ptr_text) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    needs_quoting |= (c == ',' || c == '"' || c == '\r' || c == '\n');
+    out.push_back(c);
+  }
+  if (needs_quoting) {
+    // Unreachable for valid hostnames; redo through csv_escape so the
+    // bytes match util::CsvWriter exactly even for hostile inputs.
+    const std::string field = out.substr(field_start);
+    out.resize(field_start);
+    out.append(util::csv_escape(field));
+  }
+  out.push_back('\n');
+}
+
 void CsvSnapshotSink::on_row(const util::CivilDate& date, net::Ipv4Addr address,
                              const dns::DnsName& ptr) {
-  writer_.row(util::format_date(date), address.to_string(), ptr.to_canonical_string());
+  line_.clear();
+  append_snapshot_row(line_, util::format_date(date), address, ptr.to_string());
+  out_->write(line_.data(), static_cast<std::streamsize>(line_.size()));
+}
+
+void CsvSnapshotSink::on_raw_rows(std::string_view bytes, std::uint64_t /*rows*/) {
+  out_->write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
 }
 
 void CsvSnapshotSink::on_shard_degraded(const util::CivilDate& date, net::Ipv4Addr first,
                                         net::Ipv4Addr /*last*/) {
-  writer_.row(util::format_date(date), first.to_string(), kDegradedSentinel);
+  line_.clear();
+  append_snapshot_row(line_, util::format_date(date), first, kDegradedSentinel);
+  out_->write(line_.data(), static_cast<std::streamsize>(line_.size()));
 }
 
 std::uint64_t sweep_bulk(const sim::World& world, const util::CivilDate& date,
@@ -57,8 +92,49 @@ std::uint64_t sweep_bulk(const sim::World& world, const util::CivilDate& date,
   sm.bulk_passes.inc();
 
   const auto& orgs = world.orgs();
-  using Rows = std::vector<std::pair<net::Ipv4Addr, dns::DnsName>>;
   std::uint64_t rows = 0;
+  if (sink.wants_raw_rows()) {
+    // Streaming path: workers render each org's rows straight to CSV bytes
+    // (no DnsName or row-vector materialization — the 10M-device sweeps
+    // would otherwise copy every hostname twice); the fold hands the
+    // blocks to the sink in org order, so the byte stream is identical to
+    // the per-row path below.
+    struct OrgBlob {
+      std::string bytes;
+      std::uint64_t rows = 0;
+    };
+    const std::string date_text = util::format_date(date);
+    util::map_reduce_chunks<OrgBlob>(
+        pool, orgs.size(), /*chunk=*/1,
+        [&](std::size_t ci, std::uint64_t, std::uint64_t) {
+          OrgBlob out;
+          orgs[ci]->for_each_ptr_text(
+              [&](net::Ipv4Addr a, std::string_view target, std::uint32_t /*ttl*/) {
+                append_snapshot_row(out.bytes, date_text, a, target);
+                ++out.rows;
+              });
+          return out;
+        },
+        [&](std::size_t ci, OrgBlob&& blob) {
+          sm.org_rows.observe(static_cast<double>(blob.rows));
+          sink.on_raw_rows(blob.bytes, blob.rows);
+          rows += blob.rows;
+          if (auto* j = util::journal::active()) {
+            util::journal::Event e{"sweep.org", world.now()};
+            e.str("org", orgs[ci]->name()).unum("rows", blob.rows);
+            j->emit(e);
+          }
+        });
+    sm.rows.inc(rows);
+    if (auto* j = util::journal::active()) {
+      util::journal::Event e{"sweep.pass", world.now()};
+      e.str("date", util::format_date(date)).unum("rows", rows);
+      j->emit(e);
+    }
+    sink.on_sweep_end(date);
+    return rows;
+  }
+  using Rows = std::vector<std::pair<net::Ipv4Addr, dns::DnsName>>;
   // One chunk per org: for_each_ptr only reads zone state, so orgs snapshot
   // concurrently; the fold visits them in org order — the serial iteration
   // order of World::snapshot_ptrs — keeping the byte stream identical.
@@ -127,6 +203,10 @@ std::uint64_t sweep_wire(sim::World& world, const util::CivilDate& date, Snapsho
   // walk — while workers run ahead by at most `capacity` shards.
   struct ShardRows {
     std::vector<std::pair<net::Ipv4Addr, dns::DnsName>> rows;
+    /// Raw-sink path: rows pre-rendered to CSV bytes in the worker
+    /// (append_snapshot_row); `rows` stays empty and row_count counts.
+    std::string bytes;
+    std::uint64_t row_count = 0;
     /// Pre-rendered journal events for this shard (empty when disabled).
     /// Workers render into a per-shard buffer; the merge consumer appends
     /// them in shard order, so the journal stream is thread-invariant.
@@ -138,6 +218,8 @@ std::uint64_t sweep_wire(sim::World& world, const util::CivilDate& date, Snapsho
   };
   // Captured once: toggling the journal mid-sweep must not tear the stream.
   util::journal::Journal* const jrn = util::journal::active();
+  const bool raw = sink.wants_raw_rows();
+  const std::string date_text = util::format_date(date);
   std::uint64_t rows_emitted = 0;
   std::size_t shards_done = 0;
   util::OrderedMergeBuffer<ShardRows> merge{
@@ -146,6 +228,9 @@ std::uint64_t sweep_wire(sim::World& world, const util::CivilDate& date, Snapsho
         if (shard_rows.degraded) {
           sink.on_shard_degraded(date, net::Ipv4Addr{shards[seq].first},
                                  net::Ipv4Addr{shards[seq].last});
+        } else if (raw) {
+          sink.on_raw_rows(shard_rows.bytes, shard_rows.row_count);
+          rows_emitted += shard_rows.row_count;
         } else {
           for (auto& [address, ptr] : shard_rows.rows) {
             sink.on_row(date, address, ptr);
@@ -206,6 +291,8 @@ std::uint64_t sweep_wire(sim::World& world, const util::CivilDate& date, Snapsho
           bool exhausted = false;
           for (int attempt = 0; attempt < max_attempts; ++attempt) {
             out.rows.clear();
+            out.bytes.clear();
+            out.row_count = 0;
             // One resolver per shard attempt, transaction ids seeded by the
             // shard index (re-run attempts perturb the seed so their query
             // stream differs): the stream of shard k / attempt a is the
@@ -225,7 +312,12 @@ std::uint64_t sweep_wire(sim::World& world, const util::CivilDate& date, Snapsho
               const net::Ipv4Addr a{static_cast<std::uint32_t>(v)};
               const auto result = resolver.lookup_ptr(a, now);
               if (result.status == dns::LookupStatus::Ok && result.ptr) {
-                out.rows.emplace_back(a, *result.ptr);
+                if (raw) {
+                  append_snapshot_row(out.bytes, date_text, a, result.ptr->to_string());
+                } else {
+                  out.rows.emplace_back(a, *result.ptr);
+                }
+                ++out.row_count;
               }
             }
             shard_stats += resolver.stats();
@@ -235,7 +327,7 @@ std::uint64_t sweep_wire(sim::World& world, const util::CivilDate& date, Snapsho
               util::journal::Event e{"sweep.shard", now};
               e.str("first", net::Ipv4Addr{shard.first}.to_string())
                   .str("last", net::Ipv4Addr{shard.last}.to_string())
-                  .unum("rows", out.rows.size())
+                  .unum("rows", out.row_count)
                   .unum("ok", rs.ok)
                   .unum("nxdomain", rs.nxdomain)
                   .unum("servfail", rs.servfail)
@@ -254,6 +346,8 @@ std::uint64_t sweep_wire(sim::World& world, const util::CivilDate& date, Snapsho
             // the shard's rows are untrustworthy — drop them, record the
             // gap. The sweep keeps going.
             out.rows.clear();
+            out.bytes.clear();
+            out.row_count = 0;
             out.degraded = true;
             sm.degraded_shards.inc();
             if (jrn != nullptr) {
@@ -263,7 +357,7 @@ std::uint64_t sweep_wire(sim::World& world, const util::CivilDate& date, Snapsho
               buf.emit(e);
             }
           }
-          sm.shard_rows.observe(static_cast<double>(out.rows.size()));
+          sm.shard_rows.observe(static_cast<double>(out.row_count));
           if (jrn != nullptr) out.journal_lines = buf.take();
           std::lock_guard lock{stats_mutex};
           resolver_totals += shard_stats;

@@ -15,6 +15,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "dns/resolver.hpp"
@@ -43,21 +44,46 @@ class SnapshotSink {
   virtual void on_sweep_end(const util::CivilDate& /*date*/) {}
   virtual void on_shard_degraded(const util::CivilDate& /*date*/, net::Ipv4Addr /*first*/,
                                  net::Ipv4Addr /*last*/) {}
+
+  /// Streaming opt-in: a sink returning true receives its rows as blocks
+  /// of pre-rendered CSV bytes via on_raw_rows instead of per-row on_row
+  /// calls. Sweeps then render rows with append_snapshot_row inside the
+  /// worker threads — no DnsName materialization, no per-row virtual
+  /// dispatch — while the block order (and therefore the byte stream)
+  /// stays identical to the on_row path at every thread count.
+  [[nodiscard]] virtual bool wants_raw_rows() const noexcept { return false; }
+  /// `bytes` holds `rows` rows rendered by append_snapshot_row. Only
+  /// called when wants_raw_rows() is true; on_sweep_end/on_shard_degraded
+  /// fire as usual.
+  virtual void on_raw_rows(std::string_view /*bytes*/, std::uint64_t /*rows*/) {}
 };
+
+/// Append one "date,address,ptr\n" CSV row to `out`, byte-for-byte what
+/// CsvSnapshotSink's on_row path writes through util::CsvWriter: `ptr_text`
+/// (presentation form, no trailing dot) is lowercased while copying, and a
+/// field that would need RFC 4180 quoting — impossible for valid dates,
+/// addresses and LDH hostnames, but kept for safety — is escaped exactly
+/// like util::csv_escape. The shared renderer is what guarantees the raw
+/// and per-row sink paths produce identical artifacts.
+void append_snapshot_row(std::string& out, std::string_view date_text, net::Ipv4Addr address,
+                         std::string_view ptr_text);
 
 /// Forwards rows to a CSV stream (date, ip, ptr) — the on-disk format.
 /// Degraded shards become one sentinel row (date, first, kDegradedSentinel)
 /// so the gap is visible in the artifact itself.
 class CsvSnapshotSink final : public SnapshotSink {
  public:
-  explicit CsvSnapshotSink(std::ostream& out) : writer_(out) {}
+  explicit CsvSnapshotSink(std::ostream& out) : out_(&out) {}
   void on_row(const util::CivilDate& date, net::Ipv4Addr address,
               const dns::DnsName& ptr) override;
   void on_shard_degraded(const util::CivilDate& date, net::Ipv4Addr first,
                          net::Ipv4Addr last) override;
+  [[nodiscard]] bool wants_raw_rows() const noexcept override { return true; }
+  void on_raw_rows(std::string_view bytes, std::uint64_t rows) override;
 
  private:
-  util::CsvWriter writer_;
+  std::ostream* out_;
+  std::string line_;  ///< reused row buffer for the per-row path
 };
 
 /// Summary statistics across sweeps (Table 1 columns).

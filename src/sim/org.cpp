@@ -52,7 +52,13 @@ Organization::Organization(OrgSpec spec)
   build_zones();
   build_segments();
   build_static_ranges();
-  build_population();
+  // Fail fast on bad scripted-user references even though the population
+  // itself is built lazily (first users() touch).
+  for (const auto& su : spec_.scripted_users) {
+    if (su.segment >= segments_.size()) {
+      throw std::invalid_argument("Organization: scripted user references missing segment");
+    }
+  }
 }
 
 void Organization::build_zones() {
@@ -112,9 +118,20 @@ void Organization::build_segments() {
 
     // StaticGeneric segments publish their fixed-form names up front (the
     // "dynamic DHCP but static rDNS" configuration from the §4.1
-    // validation).
+    // validation). On a fault-free server the bulk fill is observably
+    // identical to the per-address RFC 2136 wire path but O(1) memory per
+    // record; with faults configured some updates must be lost, so the
+    // real wire path stays in charge.
     if (seg_spec.ddns_policy == dhcp::DdnsPolicy::StaticGeneric) {
-      segment.bridge->populate_static(seg_spec.prefix.first() + 1, seg_spec.prefix.last() - 1, 0);
+      const bool faultless = spec_.dns_faults.servfail_probability == 0.0 &&
+                             spec_.dns_faults.timeout_probability == 0.0;
+      if (faultless) {
+        dns_.populate_generic(seg_spec.prefix.first() + 1, seg_spec.prefix.last() - 1,
+                              ddns.generic_suffix, ddns.ttl);
+      } else {
+        segment.bridge->populate_static(seg_spec.prefix.first() + 1, seg_spec.prefix.last() - 1,
+                                        0);
+      }
     }
 
     segments_.push_back(std::move(segment));
@@ -145,13 +162,11 @@ void Organization::build_static_ranges() {
   }
 }
 
-void Organization::build_population() {
+void Organization::build_population() const {
+  population_built_ = true;
   // Scripted users first so their device ids (and MAC/seed streams) are
   // stable regardless of population sizes.
   for (const auto& su : spec_.scripted_users) {
-    if (su.segment >= segments_.size()) {
-      throw std::invalid_argument("Organization: scripted user references missing segment");
-    }
     User user;
     user.given_name = su.given_name;
     user.schedule = su.schedule;
@@ -217,9 +232,9 @@ void Organization::build_population() {
   }
 }
 
-std::size_t Organization::device_count() const noexcept {
+std::size_t Organization::device_count() const {
   std::size_t n = 0;
-  for (const auto& user : users_) n += user.devices.size();
+  for (const auto& user : users()) n += user.devices.size();
   return n;
 }
 
@@ -234,11 +249,16 @@ bool Organization::icmp_reaches(net::Ipv4Addr a) const noexcept {
 void Organization::for_each_ptr(
     const std::function<void(net::Ipv4Addr, const dns::DnsName&)>& fn) const {
   for (const dns::Zone* zone : static_cast<const dns::AuthoritativeServer&>(dns_).zones()) {
-    zone->for_each([&fn](const dns::ResourceRecord& rr) {
-      if (const auto* ptr = std::get_if<dns::PtrRdata>(&rr.rdata)) {
-        if (const auto a = net::from_arpa(rr.name.to_string())) fn(*a, ptr->ptrdname);
-      }
+    zone->for_each_ptr([&fn](net::Ipv4Addr a, std::string_view target, std::uint32_t /*ttl*/) {
+      fn(a, dns::DnsName::must_parse(target));
     });
+  }
+}
+
+void Organization::for_each_ptr_text(
+    const std::function<void(net::Ipv4Addr, std::string_view, std::uint32_t)>& fn) const {
+  for (const dns::Zone* zone : static_cast<const dns::AuthoritativeServer&>(dns_).zones()) {
+    zone->for_each_ptr(fn);
   }
 }
 
@@ -254,9 +274,7 @@ void Organization::for_each_a(
 std::size_t Organization::ptr_count() const noexcept {
   std::size_t n = 0;
   for (const dns::Zone* zone : static_cast<const dns::AuthoritativeServer&>(dns_).zones()) {
-    zone->for_each([&n](const dns::ResourceRecord& rr) {
-      if (rr.type() == dns::RrType::PTR) ++n;
-    });
+    n += zone->ptr_count();
   }
   return n;
 }

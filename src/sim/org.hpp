@@ -130,11 +130,28 @@ class Organization {
   [[nodiscard]] dns::Transport& dns_transport() noexcept { return transport_; }
 
   [[nodiscard]] std::vector<Segment>& segments() noexcept { return segments_; }
-  [[nodiscard]] std::vector<User>& users() noexcept { return users_; }
-  [[nodiscard]] const std::vector<User>& users() const noexcept { return users_; }
 
-  /// Total devices across all users.
-  [[nodiscard]] std::size_t device_count() const noexcept;
+  /// The user population. Materialized lazily on first touch: a freshly
+  /// built org holds only its zones and DHCP plumbing, so worlds that are
+  /// swept but never simulated (the internet-scale benches) skip the
+  /// per-user device allocations entirely. The population built on demand
+  /// is byte-identical to the eagerly built one — nothing consumes the
+  /// org's RNG between construction and this call.
+  [[nodiscard]] std::vector<User>& users() {
+    ensure_population();
+    return users_;
+  }
+  [[nodiscard]] const std::vector<User>& users() const {
+    ensure_population();
+    return users_;
+  }
+
+  /// True once the user population has been materialized (observability
+  /// for the lazy-build invariant; sweeps alone must not flip this).
+  [[nodiscard]] bool population_materialized() const noexcept { return population_built_; }
+
+  /// Total devices across all users (materializes the population).
+  [[nodiscard]] std::size_t device_count() const;
 
   /// ICMP ingress policy: can probes reach `a` at all?
   [[nodiscard]] bool icmp_reaches(net::Ipv4Addr a) const noexcept;
@@ -148,6 +165,12 @@ class Organization {
   /// (bulk-snapshot path used by the full-space sweeps).
   void for_each_ptr(const std::function<void(net::Ipv4Addr, const dns::DnsName&)>& fn) const;
 
+  /// Allocation-free variant: target names arrive as presentation text
+  /// (case-preserved, no trailing dot) valid only during the callback.
+  /// Same records in the same order as for_each_ptr. The sweep hot path.
+  void for_each_ptr_text(
+      const std::function<void(net::Ipv4Addr, std::string_view, std::uint32_t)>& fn) const;
+
   /// Apply `fn` to every forward A record (owner name, address) — present
   /// only when the org maintains a forward zone (spec().forward_updates).
   void for_each_a(const std::function<void(const dns::DnsName&, net::Ipv4Addr)>& fn) const;
@@ -159,16 +182,20 @@ class Organization {
   void build_zones();
   void build_segments();
   void build_static_ranges();
-  void build_population();
+  void build_population() const;
+  void ensure_population() const {
+    if (!population_built_) build_population();
+  }
 
   OrgSpec spec_;
-  util::Rng rng_;
+  mutable util::Rng rng_;  ///< consumed by the deferred population build
   dns::AuthoritativeServer dns_;
   dns::LoopbackTransport transport_{dns_};
   std::vector<Segment> segments_;
-  std::vector<User> users_;
+  mutable std::vector<User> users_;
   std::unordered_set<net::Ipv4Addr> static_pingable_;
-  std::uint64_t next_device_id_ = 1;
+  mutable std::uint64_t next_device_id_ = 1;
+  mutable bool population_built_ = false;
 };
 
 }  // namespace rdns::sim

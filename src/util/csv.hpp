@@ -55,6 +55,7 @@ class CsvWriter {
 
   std::ostream& out_;
   std::size_t rows_ = 0;
+  std::string line_;  ///< reused per-row buffer (write_row)
 };
 
 /// Streaming reader over any std::istream.

@@ -1,0 +1,75 @@
+#include "util/mem.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/metrics.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+namespace rdns::util::mem {
+
+namespace {
+
+/// Read a "Key:  <n> kB" line from /proc/self/status; 0 if absent.
+[[nodiscard]] std::uint64_t proc_status_kb(const char* key) noexcept {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  const std::size_t key_len = std::strlen(key);
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      unsigned long long value = 0;
+      if (std::sscanf(line + key_len + 1, "%llu", &value) == 1) kb = value;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+[[nodiscard]] std::uint64_t rusage_peak_bytes() noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
+
+std::uint64_t peak_rss_bytes() noexcept {
+  if (const std::uint64_t kb = proc_status_kb("VmHWM"); kb > 0) return kb * 1024;
+  return rusage_peak_bytes();
+}
+
+std::uint64_t current_rss_bytes() noexcept {
+  if (const std::uint64_t kb = proc_status_kb("VmRSS"); kb > 0) return kb * 1024;
+  return rusage_peak_bytes();
+}
+
+void release_freed_memory() noexcept {
+#if defined(__GLIBC__)
+  malloc_trim(0);
+#endif
+}
+
+std::uint64_t update_peak_rss_gauge() {
+  const std::uint64_t peak = peak_rss_bytes();
+  metrics::gauge("mem.peak_rss_bytes").set(static_cast<std::int64_t>(peak));
+  return peak;
+}
+
+}  // namespace rdns::util::mem

@@ -1,0 +1,33 @@
+#pragma once
+/// \file mem.hpp
+/// Process memory accounting for the scale benches: peak RSS (VmHWM) and
+/// current RSS (VmRSS) from /proc/self/status, with a getrusage fallback on
+/// platforms without procfs. bench_world_scale uses these to prove the
+/// compact world representation's footprint; the value is also exported as
+/// the `mem.peak_rss_bytes` gauge so every metrics snapshot records how big
+/// the process got.
+
+#include <cstdint>
+
+namespace rdns::util::mem {
+
+/// High-water-mark resident set size in bytes (monotonic per process —
+/// never decreases, so A/B comparisons must measure the smaller
+/// configuration first). 0 if unavailable.
+[[nodiscard]] std::uint64_t peak_rss_bytes() noexcept;
+
+/// Current resident set size in bytes; falls back to peak_rss_bytes() on
+/// platforms without /proc (so it still never reads 0 where getrusage
+/// works). Deltas of this around a build isolate that build's footprint.
+[[nodiscard]] std::uint64_t current_rss_bytes() noexcept;
+
+/// Ask the allocator to return freed arenas to the OS (glibc malloc_trim;
+/// no-op elsewhere) so current_rss_bytes() deltas around consecutive
+/// builds don't count the previous build's cached free lists.
+void release_freed_memory() noexcept;
+
+/// Refresh the `mem.peak_rss_bytes` gauge in the global metrics registry
+/// and return the value written.
+std::uint64_t update_peak_rss_gauge();
+
+}  // namespace rdns::util::mem

@@ -1,0 +1,49 @@
+#include "util/name_pool.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace rdns::util {
+
+const char* NamePool::store(std::string_view s) {
+  if (s.empty()) return "";
+  if (s.size() > chunk_cap_ - chunk_used_ || chunks_.empty()) {
+    const std::size_t cap = s.size() > kChunkBytes ? s.size() : kChunkBytes;
+    chunks_.push_back(std::make_unique<char[]>(cap));
+    chunk_cap_ = cap;
+    chunk_used_ = 0;
+  }
+  char* dst = chunks_.back().get() + chunk_used_;
+  std::memcpy(dst, s.data(), s.size());
+  chunk_used_ += s.size();
+  char_bytes_ += s.size();
+  return dst;
+}
+
+NamePool::Id NamePool::intern(std::string_view s) {
+  const auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  if (s.size() > 0xFFFFFFFFu) throw std::invalid_argument("NamePool::intern: string too long");
+  if (entries_.size() >= 0x7FFFFFFFu) {
+    // The top id bit is reserved by CompactPtrStore's synthetic-name tag.
+    throw std::length_error("NamePool::intern: pool id space exhausted");
+  }
+  const Id id = static_cast<Id>(entries_.size());
+  Ref ref;
+  ref.data = store(s);
+  ref.size = static_cast<std::uint32_t>(s.size());
+  entries_.push_back(ref);
+  index_.emplace(std::string_view{ref.data, ref.size}, id);
+  return id;
+}
+
+std::size_t NamePool::footprint_bytes() const noexcept {
+  std::size_t bytes = chunks_.size() * kChunkBytes;
+  bytes += entries_.capacity() * sizeof(Ref);
+  // unordered_map: one node (~48B with allocator overhead) per entry plus
+  // the bucket array — close enough for bench accounting.
+  bytes += index_.size() * 48 + index_.bucket_count() * sizeof(void*);
+  return bytes;
+}
+
+}  // namespace rdns::util

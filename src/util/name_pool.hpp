@@ -1,0 +1,82 @@
+#pragma once
+/// \file name_pool.hpp
+/// Arena-backed string interning for hostnames and zone labels.
+///
+/// Internet-scale worlds publish millions of PTR targets whose text is
+/// drawn from a much smaller vocabulary (fixed-form generic names share one
+/// suffix per org; client-derived names repeat across leases). Storing each
+/// occurrence as its own std::string costs 32+ heap bytes before the first
+/// character; interning stores every distinct string once in a chunked
+/// arena and hands out a 32-bit id, so a record can reference its name for
+/// 4 bytes (see dns::CompactPtrStore).
+///
+/// Lifetime: the pool only grows — interned text is never freed or moved,
+/// so returned string_views stay valid for the pool's lifetime. Chunks are
+/// fixed-size allocations (oversized strings get a dedicated chunk), which
+/// keeps growth O(1) amortized without realloc copies.
+///
+/// Thread safety: intern() mutates and must be externally serialized (zone
+/// mutation is single-threaded on the sim clock); view() is safe from many
+/// threads concurrently with other view() calls — the frozen-clock contract
+/// the parallel sweeps already rely on.
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rdns::util {
+
+class NamePool {
+ public:
+  /// Interned-string handle. 32 bits: the scale target (10M devices) is
+  /// far below 2^31 distinct names, and dns::CompactPtrStore steals the
+  /// top bit for its synthetic-name encoding.
+  using Id = std::uint32_t;
+
+  NamePool() = default;
+  NamePool(const NamePool&) = delete;
+  NamePool& operator=(const NamePool&) = delete;
+
+  /// Return the id of `s`, interning it on first sight. Ids are dense,
+  /// assigned in first-intern order, and stable forever.
+  [[nodiscard]] Id intern(std::string_view s);
+
+  /// The text behind an id (valid for the pool's lifetime). `id` must have
+  /// been returned by intern() on this pool.
+  [[nodiscard]] std::string_view view(Id id) const noexcept {
+    const Ref& ref = entries_[id];
+    return {ref.data, ref.size};
+  }
+
+  /// Distinct strings interned.
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Characters stored in the arena (deduplicated text only).
+  [[nodiscard]] std::size_t arena_bytes() const noexcept { return char_bytes_; }
+
+  /// Approximate total heap footprint: arena chunks plus the id table and
+  /// the dedup index (for memory accounting in benches).
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept;
+
+ private:
+  struct Ref {
+    const char* data = nullptr;
+    std::uint32_t size = 0;
+  };
+
+  static constexpr std::size_t kChunkBytes = std::size_t{1} << 20;
+
+  /// Copy `s` into arena storage and return its stable address.
+  [[nodiscard]] const char* store(std::string_view s);
+
+  std::vector<Ref> entries_;
+  std::unordered_map<std::string_view, Id> index_;
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  std::size_t chunk_used_ = 0;   ///< bytes used in chunks_.back()
+  std::size_t chunk_cap_ = 0;    ///< capacity of chunks_.back()
+  std::size_t char_bytes_ = 0;
+};
+
+}  // namespace rdns::util

@@ -52,6 +52,9 @@ std::vector<std::string> split_nonempty(std::string_view s, char delim) {
 
 std::string join(const std::vector<std::string>& parts, std::string_view delim) {
   std::string out;
+  std::size_t total = parts.empty() ? 0 : (parts.size() - 1) * delim.size();
+  for (const auto& part : parts) total += part.size();
+  out.reserve(total);
   for (std::size_t i = 0; i < parts.size(); ++i) {
     if (i > 0) out.append(delim);
     out.append(parts[i]);

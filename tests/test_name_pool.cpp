@@ -1,0 +1,68 @@
+/// Tests for the arena-backed string interner behind the compact PTR
+/// stores: dense stable ids, dedup, view stability across chunk growth.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/name_pool.hpp"
+
+namespace rdns::util {
+namespace {
+
+TEST(NamePool, DenseIdsAndDedup) {
+  NamePool pool;
+  const auto a = pool.intern("host-10-1-2-3.dynamic.example.net");
+  const auto b = pool.intern("static.example.net");
+  const auto a2 = pool.intern("host-10-1-2-3.dynamic.example.net");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(a2, a);
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.view(a), "host-10-1-2-3.dynamic.example.net");
+  EXPECT_EQ(pool.view(b), "static.example.net");
+}
+
+TEST(NamePool, EmptyStringInternable) {
+  NamePool pool;
+  const auto id = pool.intern("");
+  EXPECT_EQ(pool.view(id), "");
+  EXPECT_EQ(pool.intern(""), id);
+}
+
+TEST(NamePool, ViewsStableAcrossChunkGrowth) {
+  NamePool pool;
+  // Force several 1 MiB chunks; early views must not move.
+  std::vector<NamePool::Id> ids;
+  std::vector<std::string> texts;
+  for (int i = 0; i < 8000; ++i) {
+    texts.push_back("name-" + std::to_string(i) + std::string(500, 'x'));
+    ids.push_back(pool.intern(texts.back()));
+  }
+  EXPECT_GT(pool.arena_bytes(), std::size_t{3} << 20);  // > 3 chunks' worth
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(pool.view(ids[i]), texts[i]);
+  }
+}
+
+TEST(NamePool, OversizedStringGetsDedicatedChunk) {
+  NamePool pool;
+  const std::string big(3u << 20, 'b');
+  const auto small_id = pool.intern("small");
+  const auto big_id = pool.intern(big);
+  const auto after = pool.intern("after");
+  EXPECT_EQ(pool.view(big_id), big);
+  EXPECT_EQ(pool.view(small_id), "small");
+  EXPECT_EQ(pool.view(after), "after");
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(NamePool, FootprintCoversArena) {
+  NamePool pool;
+  for (int i = 0; i < 100; ++i) (void)pool.intern("n" + std::to_string(i));
+  EXPECT_GE(pool.footprint_bytes(), pool.arena_bytes());
+}
+
+}  // namespace
+}  // namespace rdns::util

@@ -1,0 +1,339 @@
+/// Tests for the compact PTR store and the two-tier zone storage built on
+/// it: canonical-order rank tables, sparse/dense shapes, generic-name
+/// compression, and — the load-bearing guarantee — observable equivalence
+/// between compact and legacy zone representations, up to byte-identical
+/// sweep CSV output at any thread count.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "dns/ptr_store.hpp"
+#include "dns/zone.hpp"
+#include "net/arpa.hpp"
+#include "scan/rdns_snapshot.hpp"
+#include "util/name_pool.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rdns::dns {
+namespace {
+
+/// Restores the process-wide zone storage default on scope exit (tests in
+/// this binary share the process).
+struct StorageGuard {
+  ZoneStorage saved = Zone::default_storage();
+  ~StorageGuard() { Zone::set_default_storage(saved); }
+};
+
+SoaRdata test_soa() {
+  SoaRdata soa;
+  soa.mname = DnsName::must_parse("ns1.x.edu");
+  soa.rname = DnsName::must_parse("hostmaster.x.edu");
+  soa.serial = 100;
+  return soa;
+}
+
+DnsName arpa_of(const char* ip) {
+  return DnsName::must_parse(net::to_arpa(net::Ipv4Addr::must_parse(ip)));
+}
+
+// ------------------------------------------------------------ rank tables --
+
+TEST(PtrStoreRank, TablesAreInverseBijections) {
+  const auto& rank = CompactPtrStore::octet_rank();
+  const auto& at = CompactPtrStore::octet_at_rank();
+  for (int v = 0; v < 256; ++v) {
+    EXPECT_EQ(at[rank[v]], v);
+    EXPECT_EQ(rank[at[v]], v);
+  }
+}
+
+TEST(PtrStoreRank, RankOrderIsDecimalStringOrder) {
+  const auto& at = CompactPtrStore::octet_at_rank();
+  for (int r = 0; r + 1 < 256; ++r) {
+    EXPECT_LT(std::to_string(at[r]), std::to_string(at[r + 1]))
+        << "rank " << r << " -> " << int(at[r]) << ", rank " << r + 1 << " -> " << int(at[r + 1]);
+  }
+}
+
+// ------------------------------------------------------------------ store --
+
+TEST(PtrStore, AddFindRemove) {
+  util::NamePool pool;
+  CompactPtrStore store{&pool, net::Ipv4Addr::must_parse("10.128.0.0").value()};
+  const DnsName target = DnsName::must_parse("Brians-iPad.x.edu");
+  EXPECT_TRUE(store.add(0x0107, target, 3600));
+  EXPECT_TRUE(store.has(0x0107));
+  std::vector<CompactPtrStore::Found> found;
+  store.find(0x0107, found);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].target, "Brians-iPad.x.edu");  // case preserved
+  EXPECT_EQ(found[0].ttl, 3600u);
+  // Duplicate (case-insensitive target, same ttl) is rejected ...
+  EXPECT_FALSE(store.add(0x0107, DnsName::must_parse("brians-ipad.x.edu"), 3600));
+  // ... but a different ttl is a distinct record (RR equality).
+  EXPECT_TRUE(store.add(0x0107, target, 7200));
+  EXPECT_EQ(store.record_count(), 2u);
+  EXPECT_EQ(store.owner_count(), 1u);
+  EXPECT_TRUE(store.remove_exact(0x0107, target, 7200));
+  EXPECT_FALSE(store.remove_exact(0x0107, target, 7200));
+  EXPECT_EQ(store.remove_owner(0x0107), 1u);
+  EXPECT_FALSE(store.has(0x0107));
+  EXPECT_TRUE(store.empty());
+}
+
+TEST(PtrStore, GenericNamesInternOnlyTheSuffix) {
+  util::NamePool pool;
+  CompactPtrStore store{&pool, net::Ipv4Addr::must_parse("10.3.0.0").value()};
+  const std::size_t added = store.add_generic_range(1, 2000, "dynamic.example.net", 300);
+  EXPECT_EQ(added, 2000u);
+  EXPECT_EQ(store.record_count(), 2000u);
+  // 2000 distinct target strings, one interned suffix.
+  EXPECT_LE(pool.size(), 1u);
+  std::vector<CompactPtrStore::Found> found;
+  store.find(0x0102, found);  // 10.3.1.2
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].target, "host-10-3-1-2.dynamic.example.net");
+  EXPECT_EQ(found[0].ttl, 300u);
+  // A generic-form add through the slow path dedups against the range fill.
+  EXPECT_FALSE(store.add(0x0102, DnsName::must_parse("host-10-3-1-2.dynamic.example.net"), 300));
+  // Same shape but wrong address octets is NOT generic for this owner.
+  EXPECT_TRUE(store.add(0x0102, DnsName::must_parse("host-10-3-9-9.dynamic.example.net"), 300));
+  store.find(0x0102, found);
+  EXPECT_EQ(found.size(), 3u);  // find() appends
+}
+
+TEST(PtrStore, CursorWalksCanonicalOwnerOrder) {
+  util::NamePool pool;
+  CompactPtrStore store{&pool, net::Ipv4Addr::must_parse("10.7.0.0").value()};
+  const std::vector<std::uint16_t> offsets = {0x0000, 0x00FF, 0x0A0A, 0x1400, 0x0107,
+                                              0x6400, 0x0B02, 0xFF01, 0x0201, 0x1E1E};
+  for (const auto off : offsets) {
+    EXPECT_TRUE(store.add(off, DnsName::must_parse("h" + std::to_string(off) + ".x.edu"), 60));
+  }
+  // Reference order: lexicographic (third octet string, fourth octet string).
+  auto sorted = offsets;
+  std::sort(sorted.begin(), sorted.end(), [](std::uint16_t a, std::uint16_t b) {
+    const auto ka = std::make_pair(std::to_string(a >> 8), std::to_string(a & 0xFF));
+    const auto kb = std::make_pair(std::to_string(b >> 8), std::to_string(b & 0xFF));
+    return ka < kb;
+  });
+  std::vector<std::uint16_t> walked;
+  auto cur = store.cursor();
+  while (cur.next()) walked.push_back(cur.offset());
+  EXPECT_EQ(walked, sorted);
+}
+
+TEST(PtrStore, DenseCrossoverPreservesEverything) {
+  util::NamePool pool;
+  CompactPtrStore store{&pool, net::Ipv4Addr::must_parse("10.9.0.0").value()};
+  // 6000 owners crosses the 4096 sorted-array threshold mid-loop.
+  for (std::uint32_t off = 0; off < 6000; ++off) {
+    EXPECT_TRUE(store.add(static_cast<std::uint16_t>(off),
+                          DnsName::must_parse("n" + std::to_string(off) + ".x.edu"), 60));
+  }
+  // Second record at one owner exercises the dense overflow list.
+  EXPECT_TRUE(store.add(17, DnsName::must_parse("extra.x.edu"), 60));
+  EXPECT_EQ(store.record_count(), 6001u);
+  EXPECT_EQ(store.owner_count(), 6000u);
+  std::vector<CompactPtrStore::Found> found;
+  store.find(17, found);
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_EQ(found[0].target, "n17.x.edu");  // insertion order within owner
+  EXPECT_EQ(found[1].target, "extra.x.edu");
+  // Cursor yields exactly record_count() rows, in nondecreasing canonical
+  // key order.
+  std::size_t rows = 0;
+  int last_key = -1;
+  const auto& rank = CompactPtrStore::octet_rank();
+  auto cur = store.cursor();
+  while (cur.next()) {
+    const int key = (rank[cur.offset() >> 8] << 8) | rank[cur.offset() & 0xFF];
+    EXPECT_GE(key, last_key);
+    last_key = key;
+    ++rows;
+  }
+  EXPECT_EQ(rows, 6001u);
+  EXPECT_TRUE(store.remove_exact(17, DnsName::must_parse("N17.X.EDU"), 60));
+  store.find(17, found);
+  EXPECT_EQ(found.size(), 3u);  // 2 from before + the remaining record
+  EXPECT_EQ(found[2].target, "extra.x.edu");
+}
+
+// ------------------------------------------- compact/legacy zone parity --
+
+/// Apply the same mutation script to a compact and a legacy zone and
+/// assert every observable agrees.
+void expect_zones_agree(const Zone& a, const Zone& b) {
+  EXPECT_EQ(a.serial(), b.serial());
+  EXPECT_EQ(a.record_count(), b.record_count());
+  EXPECT_EQ(a.name_count(), b.name_count());
+  EXPECT_EQ(a.ptr_count(), b.ptr_count());
+  const auto da = a.dump();
+  const auto db = b.dump();
+  ASSERT_EQ(da.size(), db.size());
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    EXPECT_EQ(da[i], db[i]) << "dump row " << i;
+    // RR equality is case-insensitive; targets must also match byte-wise.
+    EXPECT_EQ(da[i].name.to_string(), db[i].name.to_string()) << "dump row " << i;
+  }
+}
+
+template <typename Fn>
+void run_on_both(Fn&& mutate, const std::function<void(const Zone&, const Zone&)>& check =
+                                  expect_zones_agree) {
+  StorageGuard guard;
+  Zone::set_default_storage(ZoneStorage::Compact);
+  Zone compact{DnsName::must_parse("128.10.in-addr.arpa"), test_soa()};
+  ASSERT_TRUE(compact.compact());
+  Zone::set_default_storage(ZoneStorage::Legacy);
+  Zone legacy{DnsName::must_parse("128.10.in-addr.arpa"), test_soa()};
+  ASSERT_FALSE(legacy.compact());
+  mutate(compact);
+  mutate(legacy);
+  check(compact, legacy);
+}
+
+TEST(ZoneParity, MixedAddsDump) {
+  run_on_both([](Zone& z) {
+    z.add(make_ptr(arpa_of("10.128.1.7"), DnsName::must_parse("Brians-iPad.x.edu")));
+    z.add(make_ptr(arpa_of("10.128.1.7"), DnsName::must_parse("second.x.edu")));
+    z.add(make_ptr(arpa_of("10.128.0.1"), DnsName::must_parse("host-10-128-0-1.dyn.x.edu"), 300));
+    z.add(make_ptr(arpa_of("10.128.255.255"), DnsName::must_parse("edge.x.edu")));
+    z.add(make_ptr(arpa_of("10.128.10.2"), DnsName::must_parse("mid.x.edu")));
+    // Non-PTR at a PTR owner, and non-address owners: both stay in the map
+    // and must interleave identically.
+    z.add(make_txt(arpa_of("10.128.1.7"), {"marker"}));
+    z.add(make_txt(DnsName::must_parse("_meta.128.10.in-addr.arpa"), {"zone-note"}));
+    // Leading-zero octet label: a different owner name than 7.1.*, must not
+    // be folded into the compact store.
+    z.add(make_ptr(DnsName::must_parse("07.1.128.10.in-addr.arpa"),
+                   DnsName::must_parse("zeropad.x.edu")));
+  });
+}
+
+TEST(ZoneParity, SerialAndRemovalSemantics) {
+  run_on_both([](Zone& z) {
+    const auto rr = make_ptr(arpa_of("10.128.3.9"), DnsName::must_parse("a.x.edu"));
+    z.add(rr);
+    z.add(rr);  // dup: no serial bump
+    z.add(make_ptr(arpa_of("10.128.3.9"), DnsName::must_parse("b.x.edu")));
+    z.add(make_ptr(arpa_of("10.128.4.1"), DnsName::must_parse("c.x.edu")));
+    EXPECT_TRUE(z.remove_exact(rr));
+    EXPECT_FALSE(z.remove_exact(rr));
+    EXPECT_EQ(z.remove(arpa_of("10.128.4.1"), RrType::PTR), 1u);
+    EXPECT_EQ(z.remove_all(arpa_of("10.128.3.9")), 1u);
+  });
+}
+
+TEST(ZoneParity, FindAndNegativeAnswers) {
+  run_on_both(
+      [](Zone& z) {
+        z.add(make_ptr(arpa_of("10.128.1.7"), DnsName::must_parse("CasePreserved.X.edu")));
+        z.add(make_txt(arpa_of("10.128.1.7"), {"t"}));
+      },
+      [](const Zone& a, const Zone& b) {
+        expect_zones_agree(a, b);
+        const auto owner = arpa_of("10.128.1.7");
+        for (const Zone* z : {&a, &b}) {
+          const auto ptrs = z->find(owner, RrType::PTR);
+          ASSERT_EQ(ptrs.size(), 1u);
+          EXPECT_EQ(std::get<PtrRdata>(ptrs[0].rdata).ptrdname.to_string(),
+                    "CasePreserved.X.edu");
+          EXPECT_EQ(z->find(owner, RrType::ANY).size(), 2u);
+          EXPECT_TRUE(z->find(arpa_of("10.128.1.8"), RrType::PTR).empty());
+          EXPECT_TRUE(z->has_name(owner));
+          EXPECT_FALSE(z->has_name(arpa_of("10.128.1.8")));
+          // Query by a differently-cased owner still matches.
+          EXPECT_TRUE(z->has_name(DnsName::must_parse("7.1.128.10.IN-ADDR.ARPA")));
+        }
+      });
+}
+
+TEST(ZoneParity, PopulateGenericMatchesPerRecordAdds) {
+  run_on_both([](Zone& z) {
+    const auto inserted =
+        z.populate_generic(net::Ipv4Addr::must_parse("10.128.2.1"),
+                           net::Ipv4Addr::must_parse("10.128.3.50"),
+                           DnsName::must_parse("dynamic.x.edu"), 300);
+    EXPECT_EQ(inserted, 306u);  // 2.1..2.255 (255) + 3.0..3.50 (51)
+    // Overlapping re-populate inserts nothing and bumps nothing.
+    const auto serial = z.serial();
+    EXPECT_EQ(z.populate_generic(net::Ipv4Addr::must_parse("10.128.2.10"),
+                                 net::Ipv4Addr::must_parse("10.128.2.20"),
+                                 DnsName::must_parse("dynamic.x.edu"), 300),
+              0u);
+    EXPECT_EQ(z.serial(), serial);
+  });
+}
+
+TEST(ZoneParity, ForEachPtrTextMatchesDump) {
+  run_on_both(
+      [](Zone& z) {
+        z.populate_generic(net::Ipv4Addr::must_parse("10.128.9.1"),
+                           net::Ipv4Addr::must_parse("10.128.9.40"),
+                           DnsName::must_parse("dyn.x.edu"), 300);
+        z.add(make_ptr(arpa_of("10.128.9.5"), DnsName::must_parse("Named-Device.x.edu")));
+      },
+      [](const Zone& a, const Zone& b) {
+        expect_zones_agree(a, b);
+        for (const Zone* z : {&a, &b}) {
+          std::vector<std::string> walked;
+          z->for_each_ptr([&](net::Ipv4Addr addr, std::string_view target, std::uint32_t ttl) {
+            walked.push_back(addr.to_string() + " " + std::string{target} + " " +
+                             std::to_string(ttl));
+          });
+          std::vector<std::string> dumped;
+          for (const auto& rr : z->dump()) {
+            if (rr.type() != RrType::PTR) continue;
+            dumped.push_back(net::from_arpa(rr.name.to_string())->to_string() + " " +
+                             std::get<PtrRdata>(rr.rdata).ptrdname.to_string() + " " +
+                             std::to_string(rr.ttl));
+          }
+          EXPECT_EQ(walked, dumped);
+        }
+      });
+}
+
+// ----------------------------------------------- world-level sweep parity --
+
+TEST(WorldParity, SweepCsvByteIdenticalAcrossStorageAndThreads) {
+  StorageGuard guard;
+  const util::CivilDate date{2021, 10, 27};
+  auto sweep_csv = [&](ZoneStorage mode, unsigned threads) {
+    Zone::set_default_storage(mode);
+    auto world = core::make_scale_world(/*seed=*/3, /*device_target=*/1);
+    std::ostringstream out;
+    scan::CsvSnapshotSink sink{out};
+    util::ThreadPool pool{threads};
+    scan::sweep_bulk(*world, date, sink, &pool);
+    for (const auto& org : world->orgs()) {
+      EXPECT_FALSE(org->population_materialized());
+    }
+    return out.str();
+  };
+  const std::string compact1 = sweep_csv(ZoneStorage::Compact, 1);
+  const std::string compact4 = sweep_csv(ZoneStorage::Compact, 4);
+  const std::string legacy1 = sweep_csv(ZoneStorage::Legacy, 1);
+  EXPECT_GT(compact1.size(), 0u);
+  EXPECT_EQ(compact1, compact4);
+  EXPECT_EQ(compact1, legacy1);
+}
+
+TEST(WorldParity, LazyPopulationMaterializesOnDemand) {
+  StorageGuard guard;
+  Zone::set_default_storage(ZoneStorage::Compact);
+  auto world = core::make_scale_world(/*seed=*/5, /*device_target=*/1);
+  auto& org = *world->orgs().front();
+  EXPECT_FALSE(org.population_materialized());
+  const auto devices = org.device_count();  // touches users()
+  EXPECT_TRUE(org.population_materialized());
+  EXPECT_GT(devices, 0u);
+}
+
+}  // namespace
+}  // namespace rdns::dns

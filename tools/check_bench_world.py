@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_world.json document from bench_world_scale.
+
+Usage:
+    check_bench_world.py BENCH_world.json [--min-ratio 5.0]
+                         [--max-rss-mb 0] [--min-rows-per-sec 0]
+
+Checks the schema (compare block with compact/legacy sub-objects, tier
+list) and the claims CI relies on:
+  * the sweep CSV hash is identical across compact/legacy storage and
+    across thread counts (per tier),
+  * no tier materialized a user population (the lazy-build invariant),
+  * peak-RSS reduction ratio of the compact representation meets
+    --min-ratio (skipped when the platform reported no RSS, ratio 0),
+  * with --max-rss-mb > 0, the process peak RSS stays under the ceiling,
+  * with --min-rows-per-sec > 0, every tier's sweep throughput floor.
+
+Exits 0 on success, 1 with a list of problems otherwise. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+REP_KEYS = ("build_seconds", "build_rss_delta_bytes", "peak_rss_bytes", "rows", "csv_hash")
+TIER_KEYS = ("devices", "ptr_records", "build_seconds", "build_rss_delta_bytes",
+             "sweep_seconds", "rows", "rows_per_sec", "csv_hash", "csv_hash_serial",
+             "lazy_population")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("path")
+    parser.add_argument("--min-ratio", type=float, default=5.0)
+    parser.add_argument("--max-rss-mb", type=float, default=0.0)
+    parser.add_argument("--min-rows-per-sec", type=float, default=0.0)
+    args = parser.parse_args()
+
+    with open(args.path, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    problems = []
+
+    def expect(ok, what):
+        if not ok:
+            problems.append(what)
+
+    expect(doc.get("bench") == "world_scale", "bench != world_scale")
+    expect(isinstance(doc.get("manifest"), dict), "missing run manifest")
+    expect(isinstance(doc.get("peak_rss_bytes"), int), "missing peak_rss_bytes")
+
+    compare = doc.get("compare")
+    if not isinstance(compare, dict):
+        problems.append("missing compare block")
+    else:
+        for rep in ("compact", "legacy"):
+            block = compare.get(rep)
+            if not isinstance(block, dict):
+                problems.append(f"compare.{rep} missing")
+                continue
+            for key in REP_KEYS:
+                expect(key in block, f"compare.{rep}.{key} missing")
+            expect(block.get("rows", 0) > 0, f"compare.{rep} swept no rows")
+        expect(compare.get("byte_identical") is True,
+               "compact/legacy sweep CSV not byte-identical")
+        if isinstance(compare.get("compact"), dict) and isinstance(compare.get("legacy"), dict):
+            expect(compare["compact"].get("csv_hash") == compare["legacy"].get("csv_hash"),
+                   "compare csv_hash mismatch despite byte_identical flag")
+        ratio = compare.get("peak_ratio", 0)
+        if ratio > 0:  # 0 = no RSS source on the platform; the bench said so
+            expect(ratio >= args.min_ratio,
+                   f"peak RSS ratio {ratio:.2f} below required {args.min_ratio}")
+
+    tiers = doc.get("tiers")
+    if not isinstance(tiers, list) or not tiers:
+        problems.append("missing or empty tiers list")
+    else:
+        for i, tier in enumerate(tiers):
+            for key in TIER_KEYS:
+                expect(key in tier, f"tiers[{i}].{key} missing")
+            expect(tier.get("rows", 0) > 0, f"tiers[{i}] swept no rows")
+            expect(tier.get("rows") == tier.get("ptr_records"),
+                   f"tiers[{i}] rows != published PTR records")
+            expect(tier.get("csv_hash") == tier.get("csv_hash_serial"),
+                   f"tiers[{i}] CSV differs between serial and threaded sweeps")
+            expect(tier.get("lazy_population") is True,
+                   f"tiers[{i}] materialized a user population")
+            if args.min_rows_per_sec > 0:
+                expect(tier.get("rows_per_sec", 0) >= args.min_rows_per_sec,
+                       f"tiers[{i}] rows/s {tier.get('rows_per_sec')} below floor")
+
+    if args.max_rss_mb > 0 and doc.get("peak_rss_bytes", 0) > 0:
+        peak_mb = doc["peak_rss_bytes"] / (1024 * 1024)
+        expect(peak_mb <= args.max_rss_mb,
+               f"peak RSS {peak_mb:.1f} MiB over the {args.max_rss_mb:.0f} MiB ceiling")
+
+    if problems:
+        for p in problems:
+            print(f"FAIL {args.path}: {p}", file=sys.stderr)
+        return 1
+    print(f"OK {args.path}: compare ratio "
+          f"{doc.get('compare', {}).get('peak_ratio', 0):.2f}x, "
+          f"{len(doc.get('tiers', []))} tier(s) validated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
