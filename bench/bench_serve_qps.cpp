@@ -14,9 +14,18 @@
 /// instant, so it includes kernel queueing on both sides — the quantity a
 /// remote scanner would observe.
 ///
+/// Alternating runs A/B the live introspection plane (DESIGN.md §12):
+/// baseline runs serve bare, admin-on runs arm the full plane — sampled
+/// tracing, heavy-hitter sketches, the seqlock snapshot pipeline, the HTTP
+/// admin endpoint being scraped mid-run. Best-of-N per mode filters
+/// scheduler noise; the result document records the QPS delta against the
+/// < 2% acceptance budget. The admin-on run's /metrics scrape is saved
+/// next to the JSON (.prom) so CI can lint the Prometheus exposition.
+///
 /// Results land in BENCH_serve.json (+ .metrics.json with the serve.*
-/// counters). Shape checks: ≥ --min-qps sustained, sub-millisecond median
-/// over loopback, and bounded loss.
+/// counters), including a per-250ms window series of QPS and latency.
+/// Shape checks: ≥ --min-qps sustained, sub-millisecond median over
+/// loopback, bounded loss, and bounded admin-plane overhead.
 
 #include <algorithm>
 #include <atomic>
@@ -26,9 +35,11 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "dns/admin.hpp"
 #include "dns/message.hpp"
 #include "dns/udp_server.hpp"
 #include "dns/wire.hpp"
+#include "net/admin_http.hpp"
 #include "net/arpa.hpp"
 #include "net/udp.hpp"
 #include "sim/world.hpp"
@@ -42,6 +53,21 @@ struct ClientResult {
   std::uint64_t sent = 0;
   std::uint64_t received = 0;
   std::vector<double> latencies_us;
+  std::vector<double> at_s;  ///< reply time offsets from run start (same order)
+};
+
+struct LoadResult {
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::vector<double> latencies_us;  ///< sorted
+  std::vector<double> lat_by_arrival;  ///< unsorted, paired with at_s
+  std::vector<double> at_s;            ///< reply arrival offsets from run start
+  double qps = 0;
+  double p50 = 0, p90 = 0, p99 = 0;
+  double loss_pct = 0;
+  dns::UdpServeStats server_stats;
+  std::string prom_text;    ///< admin-on runs: the mid-run /metrics scrape
+  std::string stats_json;   ///< admin-on runs: the mid-run /stats.json body
 };
 
 double percentile_sorted(const std::vector<double>& sorted, double p) {
@@ -53,87 +79,58 @@ double percentile_sorted(const std::vector<double>& sorted, double p) {
   return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const unsigned pool_threads = rdns::bench::configure_threads(argc, argv);
-  rdns::bench::heading("SERVE", "UDP serving path: sustained QPS and reply latency");
-
-  std::string json_path = "BENCH_serve.json";
-  double seconds = 3.0;
-  // On a single core, extra server workers only add context switches; give
-  // the server a second worker once there are spare cores to run it on.
-  unsigned server_threads = std::thread::hardware_concurrency() >= 4 ? 2 : 1;
-  unsigned client_threads = std::max(1u, pool_threads);
-  std::size_t window = 64;
-  double min_qps = 100'000.0;
-  for (int i = 1; i + 1 < argc; ++i) {
-    const std::string arg{argv[i]};
-    if (arg == "--out") json_path = argv[i + 1];
-    if (arg == "--seconds") seconds = std::atof(argv[i + 1]);
-    if (arg == "--server-threads") server_threads = static_cast<unsigned>(std::atoi(argv[i + 1]));
-    if (arg == "--clients") client_threads = static_cast<unsigned>(std::atoi(argv[i + 1]));
-    if (arg == "--window") window = static_cast<std::size_t>(std::atoi(argv[i + 1]));
-    if (arg == "--min-qps") min_qps = std::atof(argv[i + 1]);
-  }
-  if (seconds <= 0) seconds = 0.5;
-  if (window == 0) window = 1;
-
-  // A small world keeps zone lookups cache-hot: the bench measures the
-  // serving path (codec + socket + loop), not zone-size scaling.
-  core::WorldScale scale;
-  scale.population = 0.2;
-  auto world = core::make_internet_world(7, /*org_count=*/2, scale);
-  rdns::bench::record_bench_manifest("serve_qps", 7, world.get());
-  const util::CivilDate date{2021, 1, 4};
-  world->start(util::add_days(date, -1), util::add_days(date, 1));
-  world->run_until(util::to_sim_time(date) + 14 * util::kHour);
-  const util::SimTime frozen_now = world->now();
-  const sim::World& frozen = *world;
+/// One full load run against a fresh serving loop over `world`. With
+/// `admin_on`, the complete introspection plane is armed and the admin
+/// endpoint is scraped once mid-run (the realistic worst case: aggregation
+/// and a scrape land while the loop is saturated).
+LoadResult run_load(const sim::World& frozen, util::SimTime frozen_now, bool admin_on,
+                    double seconds, unsigned server_threads, unsigned client_threads,
+                    std::size_t window,
+                    const std::vector<std::vector<std::uint8_t>>& query_pool) {
+  LoadResult out;
 
   std::vector<std::unique_ptr<sim::FrozenDnsView>> views;
   dns::UdpServeOptions serve_options;
   serve_options.threads = server_threads;
+
+  dns::ServeAdminConfig admin_cfg;
+  admin_cfg.sample_every = 8;
+  admin_cfg.top_k = 32;
+  std::unique_ptr<dns::ServeIntrospection> introspection;
+  if (admin_on) {
+    introspection = std::make_unique<dns::ServeIntrospection>(server_threads, admin_cfg);
+    serve_options.introspection = introspection.get();
+  }
+
   dns::UdpServerLoop loop{serve_options, [&](unsigned) -> dns::UdpServerLoop::WireHandler {
     views.push_back(std::make_unique<sim::FrozenDnsView>(frozen));
     sim::FrozenDnsView* view = views.back().get();
-    return [view, frozen_now](std::span<const std::uint8_t> query) {
+    dns::UdpServerLoop::WireHandler inner = [view,
+                                             frozen_now](std::span<const std::uint8_t> query) {
       return view->exchange(query, frozen_now);
     };
+    return introspection ? introspection->wrap_chaos(std::move(inner)) : std::move(inner);
   }};
   std::string error;
   if (!loop.start(&error)) {
     std::fprintf(stderr, "cannot start server: %s\n", error.c_str());
-    return 1;
+    return out;
   }
-  const net::UdpEndpoint server = loop.endpoint();
-
-  // Pre-encoded query pool cycling through the announced space: encoding
-  // cost stays off the timed path, ids vary per slot so server-side fault
-  // hashes (disarmed here) would still see distinct transactions.
-  std::vector<std::vector<std::uint8_t>> query_pool;
-  {
-    const auto prefixes = world->announced_prefixes();
-    std::uint16_t id = 1;
-    for (const auto& prefix : prefixes) {
-      for (std::uint64_t v = prefix.first().value();
-           v <= prefix.last().value() && query_pool.size() < 4096; ++v) {
-        const auto qname =
-            dns::DnsName::must_parse(net::to_arpa(net::Ipv4Addr{static_cast<std::uint32_t>(v)}));
-        query_pool.push_back(dns::encode(dns::make_query(id++, qname, dns::RrType::PTR)));
-      }
-      if (query_pool.size() >= 4096) break;
+  net::AdminHttpServer admin;
+  if (introspection) {
+    introspection->start();
+    introspection->install_http_routes(admin);
+    if (!admin.start(net::UdpEndpoint{0x7F000001u, 0}, &error)) {
+      std::fprintf(stderr, "cannot start admin endpoint: %s\n", error.c_str());
     }
   }
-  if (query_pool.empty()) {
-    std::fprintf(stderr, "no announced prefixes to query\n");
-    return 1;
-  }
+  const net::UdpEndpoint server = loop.endpoint();
 
   std::atomic<bool> stop{false};
   std::vector<ClientResult> results(client_threads);
   std::vector<std::thread> clients;
   clients.reserve(client_threads);
+  const auto run_start = Clock::now();
   for (unsigned c = 0; c < client_threads; ++c) {
     clients.emplace_back([&, c] {
       ClientResult& r = results[c];
@@ -161,8 +158,13 @@ int main(int argc, char** argv) {
           replies.clear();
           const std::size_t n = socket->recv_batch(replies, window - got);
           if (n == 0) continue;
-          const double us = std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
-          for (std::size_t i = 0; i < n; ++i) r.latencies_us.push_back(us);
+          const auto now = Clock::now();
+          const double us = std::chrono::duration<double, std::micro>(now - t0).count();
+          const double at = std::chrono::duration<double>(now - run_start).count();
+          for (std::size_t i = 0; i < n; ++i) {
+            r.latencies_us.push_back(us);
+            r.at_s.push_back(at);
+          }
           got += n;
         }
         r.received += got;
@@ -170,35 +172,143 @@ int main(int argc, char** argv) {
     });
   }
 
-  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  if (introspection && admin.running()) {
+    // Scrape mid-run so the aggregation + render cost lands under load.
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds / 2));
+    if (const auto prom = net::http_get(admin.endpoint(), "/metrics")) out.prom_text = *prom;
+    if (const auto stats = net::http_get(admin.endpoint(), "/stats.json")) {
+      out.stats_json = *stats;
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds / 2));
+  } else {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
   stop.store(true, std::memory_order_relaxed);
   for (auto& t : clients) t.join();
+  admin.stop();
   loop.stop();
+  if (introspection) introspection->stop();
 
-  std::uint64_t sent = 0;
-  std::uint64_t received = 0;
-  std::vector<double> latencies;
   for (auto& r : results) {
-    sent += r.sent;
-    received += r.received;
-    latencies.insert(latencies.end(), r.latencies_us.begin(), r.latencies_us.end());
+    out.sent += r.sent;
+    out.received += r.received;
+    out.latencies_us.insert(out.latencies_us.end(), r.latencies_us.begin(),
+                            r.latencies_us.end());
+    out.at_s.insert(out.at_s.end(), r.at_s.begin(), r.at_s.end());
   }
-  std::sort(latencies.begin(), latencies.end());
-  const double qps = static_cast<double>(received) / seconds;
-  const double p50 = percentile_sorted(latencies, 50);
-  const double p90 = percentile_sorted(latencies, 90);
-  const double p99 = percentile_sorted(latencies, 99);
-  const double loss_pct =
-      sent > 0 ? 100.0 * static_cast<double>(sent - received) / static_cast<double>(sent) : 0.0;
-  const dns::UdpServeStats& ss = loop.stats();
+  out.lat_by_arrival = out.latencies_us;
+  std::sort(out.latencies_us.begin(), out.latencies_us.end());
+  out.qps = static_cast<double>(out.received) / seconds;
+  out.p50 = percentile_sorted(out.latencies_us, 50);
+  out.p90 = percentile_sorted(out.latencies_us, 90);
+  out.p99 = percentile_sorted(out.latencies_us, 99);
+  out.loss_pct = out.sent > 0 ? 100.0 *
+                                    static_cast<double>(out.sent - out.received) /
+                                    static_cast<double>(out.sent)
+                              : 0.0;
+  out.server_stats = loop.stats();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned pool_threads = rdns::bench::configure_threads(argc, argv);
+  rdns::bench::heading("SERVE", "UDP serving path: sustained QPS and reply latency");
+
+  std::string json_path = "BENCH_serve.json";
+  double seconds = 3.0;
+  // On a single core, extra server workers only add context switches; give
+  // the server a second worker once there are spare cores to run it on.
+  unsigned server_threads = std::thread::hardware_concurrency() >= 4 ? 2 : 1;
+  unsigned client_threads = std::max(1u, pool_threads);
+  std::size_t window = 64;
+  double min_qps = 100'000.0;
+  // CI regression bound, not the design budget. The budget is 2% and holds
+  // when the server has a quiet core; 1–2 core shared runners cannot
+  // resolve 2% (run-to-run A/B noise is ±10%+ there), so the default bound
+  // is set to catch order-of-magnitude mistakes — e.g. tracing every query
+  // instead of 1-in-N — without flaking on scheduler jitter.
+  double max_overhead_pct = 25.0;
+  for (int i = 1; i + 1 < argc; ++i) {
+    const std::string arg{argv[i]};
+    if (arg == "--out") json_path = argv[i + 1];
+    if (arg == "--seconds") seconds = std::atof(argv[i + 1]);
+    if (arg == "--server-threads") server_threads = static_cast<unsigned>(std::atoi(argv[i + 1]));
+    if (arg == "--clients") client_threads = static_cast<unsigned>(std::atoi(argv[i + 1]));
+    if (arg == "--window") window = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+    if (arg == "--min-qps") min_qps = std::atof(argv[i + 1]);
+    if (arg == "--max-overhead-pct") max_overhead_pct = std::atof(argv[i + 1]);
+  }
+  if (seconds <= 0) seconds = 0.5;
+  if (window == 0) window = 1;
+  if (server_threads == 0) server_threads = 1;
+
+  // A small world keeps zone lookups cache-hot: the bench measures the
+  // serving path (codec + socket + loop), not zone-size scaling.
+  core::WorldScale scale;
+  scale.population = 0.2;
+  auto world = core::make_internet_world(7, /*org_count=*/2, scale);
+  rdns::bench::record_bench_manifest("serve_qps", 7, world.get());
+  const util::CivilDate date{2021, 1, 4};
+  world->start(util::add_days(date, -1), util::add_days(date, 1));
+  world->run_until(util::to_sim_time(date) + 14 * util::kHour);
+  const util::SimTime frozen_now = world->now();
+  const sim::World& frozen = *world;
+
+  // Pre-encoded query pool cycling through the announced space: encoding
+  // cost stays off the timed path, ids vary per slot so server-side fault
+  // hashes (disarmed here) would still see distinct transactions.
+  std::vector<std::vector<std::uint8_t>> query_pool;
+  {
+    const auto prefixes = world->announced_prefixes();
+    std::uint16_t id = 1;
+    for (const auto& prefix : prefixes) {
+      for (std::uint64_t v = prefix.first().value();
+           v <= prefix.last().value() && query_pool.size() < 4096; ++v) {
+        const auto qname =
+            dns::DnsName::must_parse(net::to_arpa(net::Ipv4Addr{static_cast<std::uint32_t>(v)}));
+        query_pool.push_back(dns::encode(dns::make_query(id++, qname, dns::RrType::PTR)));
+      }
+      if (query_pool.size() >= 4096) break;
+    }
+  }
+  if (query_pool.empty()) {
+    std::fprintf(stderr, "no announced prefixes to query\n");
+    return 1;
+  }
+
+  // A/B the admin plane with alternating runs, best-of-N per mode: on a
+  // shared/1-core box the run-to-run scheduler noise is larger than the
+  // 2% budget, and peak throughput is the stabler estimator under
+  // interference. The admin-on keeper still carries a mid-run scrape.
+  constexpr int kReps = 3;
+  LoadResult base, admin;
+  for (int rep = 0; rep < kReps; ++rep) {
+    LoadResult off = run_load(frozen, frozen_now, /*admin_on=*/false, seconds,
+                              server_threads, client_threads, window, query_pool);
+    if (off.qps > base.qps) base = std::move(off);
+    LoadResult on = run_load(frozen, frozen_now, /*admin_on=*/true, seconds,
+                             server_threads, client_threads, window, query_pool);
+    if (on.qps > admin.qps) admin = std::move(on);
+  }
+  const double overhead_pct =
+      base.qps > 0 ? 100.0 * (base.qps - admin.qps) / base.qps : 0.0;
+
+  // Per-250ms window series from the baseline run: reply counts bucketed by
+  // arrival offset — the data behind a live `rdns_tool top` view.
+  constexpr double kWindowS = 0.25;
+  const std::size_t n_windows = static_cast<std::size_t>(seconds / kWindowS + 0.5);
 
   rdns::bench::paper_note("authoritative rDNS servers answer full-space PTR sweeps over UDP; "
                           "the serving side must sustain scanner-grade query rates");
   rdns::bench::measured_note(util::format(
       "%llu replies in %.1fs = %.0f QPS (%u server / %u client threads, window %zu); "
-      "latency p50 %.0fus p90 %.0fus p99 %.0fus; loss %.3f%%",
-      static_cast<unsigned long long>(received), seconds, qps, server_threads, client_threads,
-      window, p50, p90, p99, loss_pct));
+      "latency p50 %.0fus p90 %.0fus p99 %.0fus; loss %.3f%%; admin plane on: %.0f QPS "
+      "(%+.2f%% vs off, budget 2%%)",
+      static_cast<unsigned long long>(base.received), seconds, base.qps, server_threads,
+      client_threads, window, base.p50, base.p90, base.p99, base.loss_pct, admin.qps,
+      -overhead_pct));
 
   {
     std::ofstream out{json_path};
@@ -210,26 +320,71 @@ int main(int argc, char** argv) {
         << "  \"server_threads\": " << server_threads << ",\n"
         << "  \"client_threads\": " << client_threads << ",\n"
         << "  \"window\": " << window << ",\n"
-        << "  \"queries_sent\": " << sent << ",\n"
-        << "  \"replies_received\": " << received << ",\n"
-        << "  \"qps\": " << qps << ",\n"
-        << "  \"latency_p50_us\": " << p50 << ",\n"
-        << "  \"latency_p90_us\": " << p90 << ",\n"
-        << "  \"latency_p99_us\": " << p99 << ",\n"
-        << "  \"loss_pct\": " << loss_pct << ",\n"
-        << "  \"server_datagrams_received\": " << ss.datagrams_received << ",\n"
-        << "  \"server_responses_sent\": " << ss.responses_sent << ",\n"
-        << "  \"server_send_failures\": " << ss.send_failures << "\n}\n";
+        << "  \"queries_sent\": " << base.sent << ",\n"
+        << "  \"replies_received\": " << base.received << ",\n"
+        << "  \"qps\": " << base.qps << ",\n"
+        << "  \"latency_p50_us\": " << base.p50 << ",\n"
+        << "  \"latency_p90_us\": " << base.p90 << ",\n"
+        << "  \"latency_p99_us\": " << base.p99 << ",\n"
+        << "  \"loss_pct\": " << base.loss_pct << ",\n"
+        << "  \"windows\": [";
+    bool first = true;
+    std::vector<std::vector<double>> window_lat(n_windows);
+    for (std::size_t i = 0; i < base.at_s.size(); ++i) {
+      const std::size_t w = static_cast<std::size_t>(base.at_s[i] / kWindowS);
+      if (w < n_windows) window_lat[w].push_back(base.lat_by_arrival[i]);
+    }
+    for (std::size_t w = 0; w < n_windows; ++w) {
+      if (!first) out << ",";
+      first = false;
+      auto& lat = window_lat[w];
+      std::sort(lat.begin(), lat.end());
+      out << "\n    {\"t_s\": " << (static_cast<double>(w + 1) * kWindowS)
+          << ", \"qps\": " << (static_cast<double>(lat.size()) / kWindowS)
+          << ", \"p50_us\": " << percentile_sorted(lat, 50)
+          << ", \"p99_us\": " << percentile_sorted(lat, 99) << "}";
+    }
+    out << "\n  ],\n"
+        << "  \"serve_observability_overhead\": {\n"
+        << "    \"qps_off\": " << base.qps << ",\n"
+        << "    \"qps_on\": " << admin.qps << ",\n"
+        << "    \"p99_off_us\": " << base.p99 << ",\n"
+        << "    \"p99_on_us\": " << admin.p99 << ",\n"
+        << "    \"delta_pct\": " << overhead_pct << ",\n"
+        << "    \"acceptance_pct\": 2.0,\n"
+        << "    \"admin_scraped\": " << (admin.prom_text.empty() ? "false" : "true") << "\n"
+        << "  },\n"
+        << "  \"server_datagrams_received\": " << base.server_stats.datagrams_received << ",\n"
+        << "  \"server_responses_sent\": " << base.server_stats.responses_sent << ",\n"
+        << "  \"server_send_failures\": " << base.server_stats.send_failures << "\n}\n";
   }
   std::printf("\nwrote %s\n", json_path.c_str());
+
+  // The admin-on run's exposition, for the CI Prometheus lint.
+  std::string prom_path = json_path;
+  const std::size_t dot = prom_path.rfind('.');
+  prom_path = (dot == std::string::npos ? prom_path : prom_path.substr(0, dot)) + ".prom";
+  {
+    std::ofstream prom{prom_path};
+    prom << admin.prom_text;
+  }
+  std::printf("wrote %s\n", prom_path.c_str());
   rdns::bench::write_metrics_snapshot(json_path);
 
   rdns::bench::ShapeChecks checks;
-  checks.expect(received > 0, "server answered at least one query");
-  checks.expect(qps >= min_qps,
-                util::format("sustained >= %.0f QPS over loopback (measured %.0f)", min_qps, qps));
-  checks.expect(latencies.empty() || p50 < 10'000.0,
+  checks.expect(base.received > 0, "server answered at least one query");
+  checks.expect(base.qps >= min_qps,
+                util::format("sustained >= %.0f QPS over loopback (measured %.0f)", min_qps,
+                             base.qps));
+  checks.expect(base.latencies_us.empty() || base.p50 < 10'000.0,
                 "median loopback latency under 10 ms");
-  checks.expect(loss_pct < 5.0, "datagram loss under 5% on clean loopback");
+  checks.expect(base.loss_pct < 5.0, "datagram loss under 5% on clean loopback");
+  checks.expect(admin.received > 0, "admin-plane run answered queries");
+  checks.expect(!admin.prom_text.empty(), "mid-run /metrics scrape returned an exposition");
+  checks.expect(!admin.stats_json.empty(), "mid-run /stats.json scrape returned a document");
+  checks.expect(overhead_pct <= max_overhead_pct,
+                util::format("admin-plane overhead %.2f%% within the %.0f%% regression "
+                             "bound (design budget 2%% on a quiet core)",
+                             overhead_pct, max_overhead_pct));
   return checks.exit_code();
 }

@@ -1,0 +1,559 @@
+#include "dns/admin.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "dns/message.hpp"
+#include "dns/wire.hpp"
+#include "net/admin_http.hpp"
+#include "util/journal.hpp"
+#include "util/log.hpp"
+#include "util/metrics.hpp"
+
+namespace rdns::dns {
+
+namespace metrics = util::metrics;
+
+namespace {
+
+/// Latency bucket upper bounds: 1us * 2^i.
+[[nodiscard]] double bucket_bound(std::size_t i) noexcept {
+  return static_cast<double>(std::uint64_t{1} << i);
+}
+
+/// splitmix64 finalizer: spreads the (often sequential) transaction ids so
+/// "1 in N by txid hash" selects an unbiased but reproducible subset.
+[[nodiscard]] std::uint64_t mix_txid(std::uint64_t txid) noexcept {
+  std::uint64_t x = txid + 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+[[nodiscard]] std::string format_double(double v, int decimals = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, std::isfinite(v) ? v : 0.0);
+  return buf;
+}
+
+}  // namespace
+
+// -- RateWindows --------------------------------------------------------------
+
+void RateWindows::add_sample(double at_s, std::uint64_t cumulative) {
+  if (!samples_.empty() && at_s < samples_.back().at_s) return;  // clock went backwards
+  samples_.push_back(Sample{at_s, cumulative});
+  while (samples_.size() > max_samples_) samples_.pop_front();
+}
+
+double RateWindows::rate(double window_s) const {
+  if (samples_.size() < 2) return 0.0;
+  const Sample& last = samples_.back();
+  const double boundary = last.at_s - window_s;
+  // Newest sample at or before the window boundary; falls back to the
+  // oldest retained sample, clamping the window to the observed span.
+  const Sample* base = &samples_.front();
+  for (const Sample& s : samples_) {
+    if (s.at_s > boundary) break;
+    base = &s;
+  }
+  if (base == &last) base = &samples_[samples_.size() - 2];
+  const double span = last.at_s - base->at_s;
+  if (span <= 0.0) return 0.0;
+  return static_cast<double>(last.cumulative - base->cumulative) / span;
+}
+
+// -- ServeLatencySnapshot -----------------------------------------------------
+
+double ServeLatencySnapshot::percentile(double p) const noexcept {
+  if (count == 0) return 0.0;
+  const double rank = (std::clamp(p, 0.0, 100.0) / 100.0) * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i <= kServeLatencyBuckets; ++i) {
+    const std::uint64_t c = buckets[i];
+    if (c == 0) continue;
+    if (static_cast<double>(seen) + static_cast<double>(c) >= rank) {
+      if (i == kServeLatencyBuckets) return bucket_bound(kServeLatencyBuckets - 1);
+      const double lower = i == 0 ? 0.0 : bucket_bound(i - 1);
+      const double upper = bucket_bound(i);
+      const double within = (rank - static_cast<double>(seen)) / static_cast<double>(c);
+      return lower + (upper - lower) * std::clamp(within, 0.0, 1.0);
+    }
+    seen += c;
+  }
+  return bucket_bound(kServeLatencyBuckets - 1);
+}
+
+ServeLatencySnapshot& ServeLatencySnapshot::operator+=(const ServeLatencySnapshot& other) noexcept {
+  for (std::size_t i = 0; i < buckets.size(); ++i) buckets[i] += other.buckets[i];
+  count += other.count;
+  sum_us += other.sum_us;
+  return *this;
+}
+
+// -- WorkerProbe --------------------------------------------------------------
+
+bool ServeIntrospection::WorkerProbe::should_sample(
+    std::span<const std::uint8_t> query) const noexcept {
+  const unsigned n = owner_->config_.sample_every;
+  if (n == 0 || query.size() < 2) return false;
+  if (n == 1) return true;
+  const std::uint64_t txid = (std::uint64_t{query[0]} << 8) | query[1];
+  return mix_txid(txid) % n == 0;
+}
+
+void ServeIntrospection::WorkerProbe::note_client(std::uint32_t address) {
+  client_buf_.push_back(address);
+}
+
+void ServeIntrospection::WorkerProbe::on_sampled(
+    std::span<const std::uint8_t> query, const std::optional<std::vector<std::uint8_t>>& response,
+    double latency_us, const net::UdpEndpoint& client) {
+  ++sampled_;
+  std::size_t bucket = kServeLatencyBuckets;
+  for (std::size_t i = 0; i < kServeLatencyBuckets; ++i) {
+    if (latency_us <= bucket_bound(i)) {
+      bucket = i;
+      break;
+    }
+  }
+  ++latency_.buckets[bucket];
+  ++latency_.count;
+  latency_.sum_us += latency_us;
+
+  std::uint16_t qtype = 0;
+  std::uint16_t qclass = 0;
+  std::string qname;
+  const bool parsed = peek_question(query, &qtype, &qclass, &qname);
+  if (parsed) qname_buf_.push_back(qname);
+
+  if (latency_us >= owner_->config_.slowlog_threshold_us) {
+    ++slowlog_;
+    if (util::journal::Journal* j = util::journal::active()) {
+      const char* rcode = "drop";  // handler returned nullopt: injected timeout
+      if (response.has_value() && response->size() >= 4) {
+        rcode = to_string(static_cast<Rcode>((*response)[3] & 0x0F));
+      }
+      util::journal::Event event{"serve.slowlog", owner_->config_.sim_time};
+      event.str("qname", parsed ? qname : "<malformed>")
+          .str("client", client.to_string())
+          .unum("latency_us", static_cast<std::uint64_t>(std::llround(latency_us)))
+          .str("rcode", rcode)
+          .unum("worker", index_);
+      j->emit(event);
+    }
+  }
+}
+
+void ServeIntrospection::WorkerProbe::publish(const UdpServeStats& stats) {
+  if (!client_buf_.empty() || !qname_buf_.empty()) {
+    WorkerSketches& sk = *owner_->sketches_[index_];
+    const std::lock_guard<std::mutex> lock(sk.mu);
+    // Sorting first bounds the sketch work at one offer per *distinct*
+    // client in this drain, independent of how the kernel interleaved them.
+    std::sort(client_buf_.begin(), client_buf_.end());
+    std::size_t i = 0;
+    while (i < client_buf_.size()) {
+      std::size_t j = i + 1;
+      while (j < client_buf_.size() && client_buf_[j] == client_buf_[i]) ++j;
+      sk.clients.offer(util::ipv4_sketch_key(client_buf_[i]), j - i);
+      i = j;
+    }
+    for (const std::string& q : qname_buf_) sk.qnames.offer(q);
+    client_buf_.clear();
+    qname_buf_.clear();
+  }
+
+  // Seqlock publish (Boehm-style fences): odd epoch = write in progress.
+  Slot& slot = *owner_->slots_[index_];
+  const std::uint64_t e = slot.epoch.load(std::memory_order_relaxed);
+  slot.epoch.store(e + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  std::size_t w = 0;
+  const auto put = [&](std::uint64_t v) {
+    slot.words[w++].store(v, std::memory_order_relaxed);
+  };
+  put(stats.datagrams_received);
+  put(stats.responses_sent);
+  put(stats.dropped_no_answer);
+  put(stats.truncated_queries);
+  put(stats.send_failures);
+  put(stats.recv_batches);
+  for (const std::uint64_t b : latency_.buckets) put(b);
+  put(latency_.count);
+  std::uint64_t sum_bits = 0;
+  std::memcpy(&sum_bits, &latency_.sum_us, sizeof sum_bits);
+  put(sum_bits);
+  put(sampled_);
+  put(slowlog_);
+  slot.epoch.store(e + 2, std::memory_order_release);
+}
+
+// -- ServeIntrospection -------------------------------------------------------
+
+ServeIntrospection::ServeIntrospection(unsigned workers, ServeAdminConfig config)
+    : config_(config), started_(std::chrono::steady_clock::now()) {
+  if (workers == 0) workers = 1;
+  if (config_.top_k == 0) config_.top_k = 1;
+  if (config_.aggregate_interval_ms == 0) config_.aggregate_interval_ms = 250;
+  probes_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    probes_.emplace_back(std::unique_ptr<WorkerProbe>(new WorkerProbe(this, i)));
+    slots_.emplace_back(std::make_unique<Slot>());
+    sketches_.emplace_back(std::make_unique<WorkerSketches>(config_.top_k));
+  }
+}
+
+ServeIntrospection::~ServeIntrospection() { stop(); }
+
+void ServeIntrospection::start() {
+  if (running_) return;
+  running_ = true;
+  {
+    const std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_requested_ = false;
+  }
+  aggregator_ = std::thread([this] {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(wake_mu_);
+        if (wake_cv_.wait_for(lock, std::chrono::milliseconds(config_.aggregate_interval_ms),
+                              [this] { return stop_requested_; })) {
+          break;
+        }
+      }
+      aggregate_pass();
+    }
+    aggregate_pass();  // leave a final fresh aggregate behind
+  });
+}
+
+void ServeIntrospection::stop() {
+  if (!running_) return;
+  {
+    const std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_requested_ = true;
+  }
+  wake_cv_.notify_all();
+  if (aggregator_.joinable()) aggregator_.join();
+  running_ = false;
+}
+
+void ServeIntrospection::aggregate_now() { aggregate_pass(); }
+
+ServeIntrospection::Aggregate ServeIntrospection::aggregate() const {
+  const std::lock_guard<std::mutex> lock(agg_mu_);
+  return latest_;
+}
+
+bool ServeIntrospection::read_slot(const Slot& slot, UdpServeStats& stats,
+                                   ServeLatencySnapshot& latency, std::uint64_t& sampled,
+                                   std::uint64_t& slowlog) {
+  std::array<std::uint64_t, Slot::kWords> copy{};
+  bool consistent = false;
+  for (int attempt = 0; attempt < 64 && !consistent; ++attempt) {
+    const std::uint64_t e1 = slot.epoch.load(std::memory_order_acquire);
+    if ((e1 & 1u) != 0) continue;
+    for (std::size_t i = 0; i < Slot::kWords; ++i) {
+      copy[i] = slot.words[i].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    consistent = slot.epoch.load(std::memory_order_relaxed) == e1;
+  }
+  // After exhausting retries the last copy is used anyway: a torn monitoring
+  // sample beats a monitoring stall while a worker publishes continuously.
+  std::size_t w = 0;
+  const auto get = [&] { return copy[w++]; };
+  stats.datagrams_received = get();
+  stats.responses_sent = get();
+  stats.dropped_no_answer = get();
+  stats.truncated_queries = get();
+  stats.send_failures = get();
+  stats.recv_batches = get();
+  for (std::uint64_t& b : latency.buckets) b = get();
+  latency.count = get();
+  const std::uint64_t sum_bits = get();
+  std::memcpy(&latency.sum_us, &sum_bits, sizeof latency.sum_us);
+  sampled = get();
+  slowlog = get();
+  return consistent;
+}
+
+void ServeIntrospection::aggregate_pass() {
+  const std::lock_guard<std::mutex> pass_lock(pass_mu_);
+  Aggregate agg;
+  util::SpaceSaving clients{config_.top_k};
+  util::SpaceSaving qnames{config_.top_k};
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    UdpServeStats stats;
+    ServeLatencySnapshot lat;
+    std::uint64_t sampled = 0;
+    std::uint64_t slow = 0;
+    if (!read_slot(*slots_[i], stats, lat, sampled, slow)) {
+      metrics::counter("serve.admin_torn_reads").inc();
+    }
+    agg.totals += stats;
+    agg.latency += lat;
+    agg.sampled += sampled;
+    agg.slowlog += slow;
+    {
+      WorkerSketches& sk = *sketches_[i];
+      const std::lock_guard<std::mutex> lock(sk.mu);
+      clients.merge_from(sk.clients);
+      qnames.merge_from(sk.qnames);
+    }
+  }
+
+  const double now_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started_).count();
+  agg.uptime_s = now_s;
+  received_rate_.add_sample(now_s, agg.totals.datagrams_received);
+  sent_rate_.add_sample(now_s, agg.totals.responses_sent);
+  agg.qps_1s = received_rate_.rate(1.0);
+  agg.qps_10s = received_rate_.rate(10.0);
+  agg.qps_60s = received_rate_.rate(60.0);
+  agg.top_clients = clients.top(config_.top_k);
+  agg.top_qnames = qnames.top(config_.top_k);
+
+  // Mirror the folded view into the global registry so the Prometheus
+  // exposition and the --metrics-interval JSONL stream carry it too.
+  metrics::gauge("serve.qps_1s").set(std::llround(agg.qps_1s));
+  metrics::gauge("serve.qps_10s").set(std::llround(agg.qps_10s));
+  metrics::gauge("serve.qps_60s").set(std::llround(agg.qps_60s));
+  metrics::gauge("serve.rps_1s").set(std::llround(sent_rate_.rate(1.0)));
+  metrics::gauge("serve.latency_p50_us").set(std::llround(agg.latency.percentile(50)));
+  metrics::gauge("serve.latency_p90_us").set(std::llround(agg.latency.percentile(90)));
+  metrics::gauge("serve.latency_p99_us").set(std::llround(agg.latency.percentile(99)));
+  metrics::gauge("serve.sampled_queries").set(static_cast<std::int64_t>(agg.sampled));
+  metrics::gauge("serve.slowlog_events").set(static_cast<std::int64_t>(agg.slowlog));
+  metrics::gauge("serve.uptime_s").set(std::llround(agg.uptime_s));
+  metrics::gauge("serve.log_level").set(static_cast<std::int64_t>(util::log_level()));
+
+  const std::lock_guard<std::mutex> lock(agg_mu_);
+  latest_ = std::move(agg);
+}
+
+// -- admin surfaces -----------------------------------------------------------
+
+std::optional<std::vector<std::string>> ServeIntrospection::chaos_txt_strings(
+    const std::string& qname) {
+  if (qname == "version.rdns" || qname == "version.bind") {
+    return std::vector<std::string>{util::journal::version_string()};
+  }
+  if (qname == "loglevel.rdns") {
+    return std::vector<std::string>{util::to_string(util::log_level())};
+  }
+  const bool want_stats = qname == "stats.rdns";
+  const bool want_clients = qname == "top.clients.rdns";
+  const bool want_qnames = qname == "top.qnames.rdns";
+  if (!want_stats && !want_clients && !want_qnames) return std::nullopt;
+
+  aggregate_now();
+  const Aggregate agg = aggregate();
+  std::vector<std::string> out;
+  if (want_stats) {
+    out.push_back("received=" + std::to_string(agg.totals.datagrams_received));
+    out.push_back("answered=" + std::to_string(agg.totals.responses_sent));
+    out.push_back("dropped=" + std::to_string(agg.totals.dropped_no_answer));
+    out.push_back("qps1s=" + format_double(agg.qps_1s));
+    out.push_back("qps10s=" + format_double(agg.qps_10s));
+    out.push_back("qps60s=" + format_double(agg.qps_60s));
+    out.push_back("p50us=" + format_double(agg.latency.percentile(50)));
+    out.push_back("p99us=" + format_double(agg.latency.percentile(99)));
+    out.push_back("sampled=" + std::to_string(agg.sampled));
+    out.push_back("slowlog=" + std::to_string(agg.slowlog));
+    out.push_back("uptime_s=" + format_double(agg.uptime_s));
+    return out;
+  }
+  const auto& entries = want_clients ? agg.top_clients : agg.top_qnames;
+  for (const auto& e : entries) {
+    out.push_back(e.key + "=" + std::to_string(e.count));
+    if (out.size() >= 16) break;  // keep the reply inside a 512-byte datagram
+  }
+  if (out.empty()) out.emplace_back("empty");
+  return out;
+}
+
+UdpServerLoop::WireHandler ServeIntrospection::wrap_chaos(UdpServerLoop::WireHandler inner) {
+  return [this, inner = std::move(inner)](std::span<const std::uint8_t> query)
+             -> std::optional<std::vector<std::uint8_t>> {
+    // Fast path: classify without materializing the qname (the label walk
+    // is allocation-free); only a CH TXT query pays for the string.
+    std::uint16_t qtype = 0;
+    std::uint16_t qclass = 0;
+    if (!peek_question(query, &qtype, &qclass, nullptr) ||
+        qclass != static_cast<std::uint16_t>(RrClass::CH) ||
+        qtype != static_cast<std::uint16_t>(RrType::TXT)) {
+      return inner(query);
+    }
+    std::string qname;
+    if (!peek_question(query, &qtype, &qclass, &qname)) return inner(query);
+    metrics::counter("serve.chaos_queries").inc();
+    Message parsed;
+    try {
+      parsed = decode(query);
+    } catch (const WireError&) {
+      return inner(query);
+    }
+    if (parsed.questions.size() != 1) return inner(query);
+    const auto strings = chaos_txt_strings(qname);
+    Message response =
+        make_response(parsed, strings.has_value() ? Rcode::NoError : Rcode::NxDomain);
+    if (strings.has_value()) {
+      ResourceRecord rr = make_txt(parsed.questions.front().qname, *strings, /*ttl=*/0);
+      rr.klass = RrClass::CH;
+      response.answers.push_back(std::move(rr));
+    }
+    return encode(response);
+  };
+}
+
+std::string ServeIntrospection::render_prometheus() {
+  aggregate_now();
+  const Aggregate agg = aggregate();
+  std::ostringstream out;
+  metrics::Registry::global().write_prometheus(out);
+
+  const auto manifest = util::journal::Journal::global().manifest();
+  out << "# TYPE rdns_build_info gauge\n";
+  out << "rdns_build_info{version=\""
+      << metrics::prometheus_label_value(util::journal::version_string()) << "\",tool=\""
+      << metrics::prometheus_label_value(manifest.has_value() ? manifest->tool : "serve")
+      << "\"} 1\n";
+
+  out << "# TYPE rdns_serve_qps gauge\n";
+  out << "rdns_serve_qps{window=\"1s\"} " << metrics::json_number(agg.qps_1s) << "\n";
+  out << "rdns_serve_qps{window=\"10s\"} " << metrics::json_number(agg.qps_10s) << "\n";
+  out << "rdns_serve_qps{window=\"60s\"} " << metrics::json_number(agg.qps_60s) << "\n";
+
+  if (!agg.top_clients.empty()) {
+    out << "# TYPE rdns_serve_top_client gauge\n";
+    for (const auto& e : agg.top_clients) {
+      out << "rdns_serve_top_client{client=\"" << metrics::prometheus_label_value(e.key)
+          << "\"} " << e.count << "\n";
+    }
+  }
+  if (!agg.top_qnames.empty()) {
+    out << "# TYPE rdns_serve_top_qname gauge\n";
+    for (const auto& e : agg.top_qnames) {
+      out << "rdns_serve_top_qname{qname=\"" << metrics::prometheus_label_value(e.key) << "\"} "
+          << e.count << "\n";
+    }
+  }
+  return out.str();
+}
+
+namespace {
+
+void append_top_entries(std::string& out, const std::vector<util::SpaceSaving::Entry>& entries) {
+  out += '[';
+  bool first = true;
+  for (const auto& e : entries) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"key\":\"";
+    metrics::append_json_escaped(out, e.key);
+    out += "\",\"count\":" + std::to_string(e.count);
+    out += ",\"error\":" + std::to_string(e.error) + "}";
+  }
+  out += ']';
+}
+
+}  // namespace
+
+std::string ServeIntrospection::render_stats_json() {
+  aggregate_now();
+  const Aggregate agg = aggregate();
+  std::string out = "{\"schema\":\"rdns.serve-stats.v1\"";
+  out += ",\"uptime_s\":" + metrics::json_number(agg.uptime_s);
+  out += ",\"workers\":" + std::to_string(workers());
+  out += ",\"qps\":{\"1s\":" + metrics::json_number(agg.qps_1s);
+  out += ",\"10s\":" + metrics::json_number(agg.qps_10s);
+  out += ",\"60s\":" + metrics::json_number(agg.qps_60s) + "}";
+  out += ",\"latency_us\":{\"p50\":" + metrics::json_number(agg.latency.percentile(50));
+  out += ",\"p90\":" + metrics::json_number(agg.latency.percentile(90));
+  out += ",\"p99\":" + metrics::json_number(agg.latency.percentile(99));
+  out += ",\"count\":" + std::to_string(agg.latency.count) + "}";
+  out += ",\"totals\":{\"received\":" + std::to_string(agg.totals.datagrams_received);
+  out += ",\"answered\":" + std::to_string(agg.totals.responses_sent);
+  out += ",\"dropped\":" + std::to_string(agg.totals.dropped_no_answer);
+  out += ",\"truncated\":" + std::to_string(agg.totals.truncated_queries);
+  out += ",\"send_failures\":" + std::to_string(agg.totals.send_failures);
+  out += ",\"recv_batches\":" + std::to_string(agg.totals.recv_batches) + "}";
+  out += ",\"sampled\":" + std::to_string(agg.sampled);
+  out += ",\"slowlog\":" + std::to_string(agg.slowlog);
+  out += ",\"sample_every\":" + std::to_string(config_.sample_every);
+  out += ",\"log_level\":\"";
+  metrics::append_json_escaped(out, util::to_string(util::log_level()));
+  out += "\",\"top_clients\":";
+  append_top_entries(out, agg.top_clients);
+  out += ",\"top_qnames\":";
+  append_top_entries(out, agg.top_qnames);
+  out += "}";
+  return out;
+}
+
+void ServeIntrospection::install_http_routes(net::AdminHttpServer& http) {
+  http.route("/metrics", [this](const std::string&) {
+    return net::HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                             render_prometheus()};
+  });
+  http.route("/stats.json", [this](const std::string&) {
+    return net::HttpResponse{200, "application/json", render_stats_json()};
+  });
+  http.route("/", [](const std::string&) {
+    return net::HttpResponse{200, "text/plain; charset=utf-8",
+                             "rdns admin plane\nroutes: /metrics /stats.json\n"};
+  });
+}
+
+// -- question peek ------------------------------------------------------------
+
+bool peek_question(std::span<const std::uint8_t> payload, std::uint16_t* qtype,
+                   std::uint16_t* qclass, std::string* qname_out) {
+  if (payload.size() < 12) return false;
+  const std::uint16_t qdcount =
+      static_cast<std::uint16_t>((payload[4] << 8) | payload[5]);
+  if (qdcount == 0) return false;
+  std::size_t pos = 12;
+  std::size_t name_len = 0;
+  std::string name;
+  for (;;) {
+    if (pos >= payload.size()) return false;
+    const std::uint8_t len = payload[pos];
+    if (len == 0) {
+      ++pos;
+      break;
+    }
+    if (len > 63) return false;  // compression pointer or reserved label type
+    if (pos + 1 + len > payload.size()) return false;
+    name_len += (name_len > 0 ? 1 : 0) + len;
+    if (name_len > 255) return false;
+    if (qname_out != nullptr) {
+      // Only materialize (and lowercase) the name when the caller wants it;
+      // the per-query classification path passes nullptr and stays
+      // allocation-free.
+      if (!name.empty()) name.push_back('.');
+      for (std::size_t i = 0; i < len; ++i) {
+        char c = static_cast<char>(payload[pos + 1 + i]);
+        if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+        name.push_back(c);
+      }
+    }
+    pos += 1 + static_cast<std::size_t>(len);
+  }
+  if (pos + 4 > payload.size()) return false;
+  if (qtype != nullptr) *qtype = static_cast<std::uint16_t>((payload[pos] << 8) | payload[pos + 1]);
+  if (qclass != nullptr) {
+    *qclass = static_cast<std::uint16_t>((payload[pos + 2] << 8) | payload[pos + 3]);
+  }
+  if (qname_out != nullptr) *qname_out = name.empty() ? "." : std::move(name);
+  return true;
+}
+
+}  // namespace rdns::dns

@@ -1,0 +1,249 @@
+#pragma once
+/// \file admin.hpp
+/// Live introspection plane for the UDP serving loop. While `rdns_tool
+/// serve` is under load, an operator can watch it through three windows,
+/// none of which perturbs the hot path:
+///
+///   - an HTTP admin endpoint (net::AdminHttpServer) exposing the whole
+///     util::metrics registry as Prometheus text plus a stats.json document
+///     with rolling 1s/10s/60s QPS windows, latency percentiles and
+///     heavy-hitter top-K tables;
+///   - a DNS-native CHAOS TXT interface on the serving port itself
+///     (`dig +short CH TXT stats.rdns @server`) — zero extra dependencies,
+///     the classic BIND `version.bind` idiom;
+///   - sampled per-query tracing: a deterministic 1-in-N subset of queries
+///     (chosen by transaction-id hash, so the subset is reproducible) is
+///     clocked through the handler, feeds per-worker latency histograms and
+///     qname heavy-hitter sketches, and emits `serve.slowlog` journal
+///     events above a latency threshold.
+///
+/// Concurrency model (the snapshot pipeline of DESIGN.md §12). Each worker
+/// owns a WorkerProbe: plain local accumulators plus two Space-Saving
+/// sketches behind a per-worker mutex that only the aggregator ever
+/// contends. After every socket drain the worker publishes its counters and
+/// latency buckets into an epoch-versioned slot (a seqlock over relaxed
+/// atomic words: bump epoch odd, store words, bump epoch even). An
+/// aggregation thread folds all slots every `aggregate_interval_ms` into a
+/// single Aggregate — rate windows, percentiles, merged sketches — that the
+/// admin surfaces render. Workers never block on the admin plane, and a
+/// disabled plane costs the serving loop one pointer test per query.
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dns/udp_server.hpp"
+#include "util/sketch.hpp"
+#include "util/time.hpp"
+
+namespace rdns::net {
+class AdminHttpServer;
+}
+
+namespace rdns::dns {
+
+/// Rolling event-rate estimator over (timestamp, cumulative-count) samples:
+/// the aggregator appends one sample per pass and rate(w) differences the
+/// newest sample against the one at (or just before) the window boundary.
+class RateWindows {
+ public:
+  explicit RateWindows(std::size_t max_samples = 512) : max_samples_(max_samples) {}
+
+  void add_sample(double at_s, std::uint64_t cumulative);
+
+  /// Average events/second over the trailing `window_s` (clamped to the
+  /// observed span); 0 before two samples exist.
+  [[nodiscard]] double rate(double window_s) const;
+
+ private:
+  struct Sample {
+    double at_s = 0;
+    std::uint64_t cumulative = 0;
+  };
+  std::size_t max_samples_;
+  std::deque<Sample> samples_;
+};
+
+struct ServeAdminConfig {
+  /// Sampled tracing: clock 1 query in `sample_every` (deterministic by
+  /// txid hash). 0 disables sampling (and with it slowlog + qname top-K).
+  unsigned sample_every = 8;
+  /// A sampled query slower than this emits a serve.slowlog journal event.
+  double slowlog_threshold_us = 1000.0;
+  /// Capacity of the client/qname Space-Saving sketches.
+  std::size_t top_k = 64;
+  /// Aggregation cadence of the admin thread.
+  unsigned aggregate_interval_ms = 250;
+  /// Simulated timestamp stamped on serve.slowlog journal events (the
+  /// frozen world instant — serving does not advance simulated time).
+  util::SimTime sim_time = 0;
+};
+
+/// Fixed latency bucketing for the per-worker histograms: upper bounds
+/// 1us * 2^i, i = 0..kLatencyBuckets-1, plus an overflow bucket.
+inline constexpr std::size_t kServeLatencyBuckets = 24;
+
+/// One worker's published view, and the fold of all of them.
+struct ServeLatencySnapshot {
+  std::array<std::uint64_t, kServeLatencyBuckets + 1> buckets{};
+  std::uint64_t count = 0;
+  double sum_us = 0;
+
+  [[nodiscard]] double percentile(double p) const noexcept;
+  ServeLatencySnapshot& operator+=(const ServeLatencySnapshot& other) noexcept;
+};
+
+class ServeIntrospection {
+ public:
+  /// The aggregator's folded view of the whole serving loop.
+  struct Aggregate {
+    UdpServeStats totals;
+    ServeLatencySnapshot latency;
+    double qps_1s = 0, qps_10s = 0, qps_60s = 0;  ///< responses/s windows
+    std::uint64_t sampled = 0;                    ///< queries clocked so far
+    std::uint64_t slowlog = 0;                    ///< slowlog events emitted
+    std::vector<util::SpaceSaving::Entry> top_clients;
+    std::vector<util::SpaceSaving::Entry> top_qnames;
+    double uptime_s = 0;
+  };
+
+  /// Per-worker hot-path hooks. All methods are called by exactly one
+  /// worker thread; publish() is the only synchronization point.
+  class WorkerProbe {
+   public:
+    /// Deterministic 1-in-N gate by transaction-id hash (payload bytes
+    /// 0..1). False when sampling is off or the payload is headerless.
+    [[nodiscard]] bool should_sample(std::span<const std::uint8_t> query) const noexcept;
+
+    /// Record a client address (host order) for the heavy-hitter sketch;
+    /// buffered locally, folded at publish().
+    void note_client(std::uint32_t address);
+
+    /// Record a sampled query: latency histogram, qname sketch, slowlog.
+    void on_sampled(std::span<const std::uint8_t> query,
+                    const std::optional<std::vector<std::uint8_t>>& response, double latency_us,
+                    const net::UdpEndpoint& client);
+
+    /// Seqlock-publish the worker's stats + latency view and flush the
+    /// sketch buffers. Called once per socket drain.
+    void publish(const UdpServeStats& stats);
+
+   private:
+    friend class ServeIntrospection;
+    WorkerProbe(ServeIntrospection* owner, unsigned index)
+        : owner_(owner), index_(index) {}
+
+    ServeIntrospection* owner_;
+    unsigned index_;
+    ServeLatencySnapshot latency_;
+    std::uint64_t sampled_ = 0;
+    std::uint64_t slowlog_ = 0;
+    std::vector<std::uint32_t> client_buf_;
+    std::vector<std::string> qname_buf_;
+  };
+
+  ServeIntrospection(unsigned workers, ServeAdminConfig config);
+  ~ServeIntrospection();
+
+  ServeIntrospection(const ServeIntrospection&) = delete;
+  ServeIntrospection& operator=(const ServeIntrospection&) = delete;
+
+  [[nodiscard]] WorkerProbe& probe(unsigned worker) { return *probes_[worker]; }
+  [[nodiscard]] unsigned workers() const noexcept {
+    return static_cast<unsigned>(probes_.size());
+  }
+  [[nodiscard]] const ServeAdminConfig& config() const noexcept { return config_; }
+
+  /// Launch the aggregation thread (idempotent). stop() joins it; the
+  /// destructor calls stop().
+  void start();
+  void stop();
+
+  /// One synchronous aggregation pass (the admin surfaces call this before
+  /// rendering so scrapes are fresh; tests drive it directly).
+  void aggregate_now();
+
+  /// Copy of the latest aggregate.
+  [[nodiscard]] Aggregate aggregate() const;
+
+  /// Wrap a serving handler with the CHAOS-class TXT stats interface:
+  /// queries with QCLASS=CH and QTYPE=TXT for stats.rdns / version.rdns /
+  /// top.clients.rdns / top.qnames.rdns / loglevel.rdns (plus the
+  /// version.bind alias) are answered from the introspection plane; every
+  /// other datagram goes to `inner` untouched.
+  [[nodiscard]] UdpServerLoop::WireHandler wrap_chaos(UdpServerLoop::WireHandler inner);
+
+  /// Prometheus text exposition: the whole global metrics registry plus
+  /// build info, QPS windows, latency percentiles and top-K tables.
+  [[nodiscard]] std::string render_prometheus();
+
+  /// Compact JSON stats document (schema rdns.serve-stats.v1) — what
+  /// `rdns_tool top` polls.
+  [[nodiscard]] std::string render_stats_json();
+
+  /// Register /metrics, /stats.json and / on an admin HTTP server.
+  void install_http_routes(net::AdminHttpServer& http);
+
+ private:
+  /// Epoch-versioned publication slot: a seqlock over relaxed atomic words
+  /// (TSan-clean — every racing cell is an atomic; the epoch only decides
+  /// whether the reader's copy is a consistent snapshot).
+  struct Slot {
+    static constexpr std::size_t kWords =
+        6 /*UdpServeStats*/ + (kServeLatencyBuckets + 1) + 2 /*count,sum*/ + 2 /*sampled,slow*/;
+    std::atomic<std::uint64_t> epoch{0};
+    std::array<std::atomic<std::uint64_t>, kWords> words{};
+  };
+
+  struct WorkerSketches {
+    std::mutex mu;
+    util::SpaceSaving clients;
+    util::SpaceSaving qnames;
+    WorkerSketches(std::size_t k) : clients(k), qnames(k) {}
+  };
+
+  /// True when the slot yielded a consistent snapshot.
+  static bool read_slot(const Slot& slot, UdpServeStats& stats, ServeLatencySnapshot& latency,
+                        std::uint64_t& sampled, std::uint64_t& slowlog);
+
+  void aggregate_pass();
+  [[nodiscard]] std::optional<std::vector<std::string>> chaos_txt_strings(
+      const std::string& qname);
+
+  ServeAdminConfig config_;
+  std::vector<std::unique_ptr<WorkerProbe>> probes_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<std::unique_ptr<WorkerSketches>> sketches_;
+  std::chrono::steady_clock::time_point started_;
+
+  std::mutex pass_mu_;  ///< serializes aggregate_pass (thread + on-demand)
+  RateWindows received_rate_;
+  RateWindows sent_rate_;
+
+  mutable std::mutex agg_mu_;
+  Aggregate latest_;
+
+  std::thread aggregator_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+};
+
+/// Fast, allocation-light peek at the first question of a query datagram:
+/// walks the qname labels (rejecting compression) and reads QTYPE/QCLASS.
+/// Returns false on anything malformed. `qname_out` (optional) receives the
+/// lowercased dotted name without trailing dot ("stats.rdns").
+[[nodiscard]] bool peek_question(std::span<const std::uint8_t> payload, std::uint16_t* qtype,
+                                 std::uint16_t* qclass, std::string* qname_out);
+
+}  // namespace rdns::dns

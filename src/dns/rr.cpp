@@ -21,6 +21,7 @@ const char* to_string(RrType t) noexcept {
 const char* to_string(RrClass c) noexcept {
   switch (c) {
     case RrClass::IN: return "IN";
+    case RrClass::CH: return "CH";
     case RrClass::NONE: return "NONE";
     case RrClass::ANY: return "ANY";
   }

@@ -26,9 +26,11 @@ enum class RrType : std::uint16_t {
   ANY = 255,  ///< QTYPE only
 };
 
-/// CLASS codes. NONE and ANY appear in dynamic updates (RFC 2136).
+/// CLASS codes. NONE and ANY appear in dynamic updates (RFC 2136); CH
+/// carries the server's TXT stats interface (the `version.bind` idiom).
 enum class RrClass : std::uint16_t {
   IN = 1,
+  CH = 3,
   NONE = 254,
   ANY = 255,
 };

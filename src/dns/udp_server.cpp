@@ -11,8 +11,10 @@
 #endif
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 
+#include "dns/admin.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
 
@@ -149,8 +151,11 @@ void UdpServerLoop::stop() {
 }
 
 void UdpServerLoop::run_worker(Worker& worker, unsigned index) {
-  (void)index;
   ServeMetrics& sm = serve_metrics();
+  ServeIntrospection::WorkerProbe* probe =
+      options_.introspection != nullptr && index < options_.introspection->workers()
+          ? &options_.introspection->probe(index)
+          : nullptr;
   std::vector<net::UdpDatagram> inbound;
   std::vector<net::UdpDatagram> outbound;
   inbound.reserve(options_.batch);
@@ -200,7 +205,20 @@ void UdpServerLoop::run_worker(Worker& worker, unsigned index) {
           sm.truncated.inc();
           continue;
         }
+        // Introspection is off the fast path by construction: one pointer
+        // test when disabled; when enabled, clocks only tick for the
+        // deterministic 1-in-N sampled subset.
+        const bool sampled = probe != nullptr && probe->should_sample(query.payload);
+        std::chrono::steady_clock::time_point t0{};
+        if (sampled) t0 = std::chrono::steady_clock::now();
         auto response = worker.handler(query.payload);
+        if (sampled) {
+          const double latency_us = std::chrono::duration<double, std::micro>(
+                                        std::chrono::steady_clock::now() - t0)
+                                        .count();
+          probe->on_sampled(query.payload, response, latency_us, query.peer);
+        }
+        if (probe != nullptr) probe->note_client(query.peer.address);
         if (!response) {
           ++worker.stats.dropped_no_answer;  // injected timeout: stay silent
           sm.dropped.inc();
@@ -221,6 +239,9 @@ void UdpServerLoop::run_worker(Worker& worker, unsigned index) {
           sm.send_failures.inc(lost);
         }
       }
+      // Publish once per batch: the aggregator reads a consistent snapshot
+      // without ever touching the worker's cache lines mid-datagram.
+      if (probe != nullptr) probe->publish(worker.stats);
     }
   }
 

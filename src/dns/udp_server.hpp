@@ -28,6 +28,8 @@
 
 namespace rdns::dns {
 
+class ServeIntrospection;  // dns/admin.hpp
+
 /// Per-worker serving statistics; all fields are sums, so worker
 /// accumulators fold in any order (the ServerStats merge argument).
 struct UdpServeStats {
@@ -47,6 +49,11 @@ struct UdpServeOptions {
   unsigned threads = 1;                 ///< worker sockets/threads (min 1)
   std::size_t batch = 32;               ///< max datagrams per recvmmsg
   std::size_t payload_cap = net::UdpSocket::kDefaultPayloadCap;
+  /// Optional live introspection plane (dns/admin.hpp): when set (and
+  /// sized for >= `threads` workers), each worker feeds its probe — sampled
+  /// latency, heavy-hitter sketches, seqlock stat slots. When null the
+  /// serving loop pays exactly one pointer test per query.
+  ServeIntrospection* introspection = nullptr;
 };
 
 class UdpServerLoop {

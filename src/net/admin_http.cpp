@@ -1,0 +1,269 @@
+#include "net/admin_http.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+namespace rdns::net {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 4096;
+constexpr int kIoTimeoutMs = 2000;
+
+void fill_sockaddr(const UdpEndpoint& ep, sockaddr_in& sa) {
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(ep.address);
+  sa.sin_port = htons(ep.port);
+}
+
+[[nodiscard]] const char* status_text(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Error";
+  }
+}
+
+/// Write all of `data` with a poll-guarded loop (the fd is non-blocking).
+bool write_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd, POLLOUT, 0};
+      if (::poll(&pfd, 1, kIoTimeoutMs) <= 0) return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+void set_nonblocking(int fd) { ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK); }
+
+}  // namespace
+
+AdminHttpServer::~AdminHttpServer() { stop(); }
+
+void AdminHttpServer::route(std::string path, Handler handler) {
+  routes_[std::move(path)] = std::move(handler);
+}
+
+bool AdminHttpServer::start(const UdpEndpoint& endpoint, std::string* error) {
+  if (running_) return true;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) *error = std::string{"socket: "} + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sa{};
+  fill_sockaddr(endpoint, sa);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    if (error != nullptr) {
+      *error = "bind " + endpoint.to_string() + ": " + std::strerror(errno);
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    bound_.address = ntohl(bound.sin_addr.s_addr);
+    bound_.port = ntohs(bound.sin_port);
+  }
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    if (error != nullptr) *error = std::string{"pipe: "} + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  wake_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  set_nonblocking(listen_fd_);
+  stop_.store(false, std::memory_order_relaxed);
+  running_ = true;
+  thread_ = std::thread([this] { run(); });
+  return true;
+}
+
+void AdminHttpServer::stop() {
+  if (!running_) return;
+  stop_.store(true, std::memory_order_relaxed);
+  const char byte = 1;
+  [[maybe_unused]] const auto n = ::write(wake_write_fd_, &byte, 1);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  ::close(wake_fd_);
+  ::close(wake_write_fd_);
+  listen_fd_ = wake_fd_ = wake_write_fd_ = -1;
+  running_ = false;
+}
+
+void AdminHttpServer::run() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfds[2] = {{listen_fd_, POLLIN, 0}, {wake_fd_, POLLIN, 0}};
+    const int ready = ::poll(pfds, 2, 250);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0 || (pfds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    set_nonblocking(fd);
+    // Admin traffic is one scrape at a time; handling connections serially
+    // on the accept thread keeps the plane single-threaded and unable to
+    // amplify load against the serving workers.
+    serve_connection(fd);
+    ::close(fd);
+  }
+}
+
+void AdminHttpServer::serve_connection(int fd) {
+  std::string request;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(kIoTimeoutMs);
+  char buf[1024];
+  while (request.find("\r\n") == std::string::npos && request.size() < kMaxRequestBytes) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      request.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) break;
+    if (errno != EAGAIN && errno != EWOULDBLOCK) return;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) return;
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, static_cast<int>(left.count())) <= 0) return;
+  }
+
+  // Request line: METHOD SP PATH SP VERSION. Anything else is a 400.
+  HttpResponse response;
+  const std::size_t line_end = request.find("\r\n");
+  const std::string line = request.substr(0, line_end == std::string::npos ? 0 : line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) {
+    response = HttpResponse{400, "text/plain; charset=utf-8", "bad request\n"};
+  } else if (line.substr(0, sp1) != "GET") {
+    response = HttpResponse{405, "text/plain; charset=utf-8", "only GET is supported\n"};
+  } else {
+    std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::size_t query = path.find('?');
+    if (query != std::string::npos) path.resize(query);
+    const auto it = routes_.find(path);
+    if (it == routes_.end()) {
+      std::string known = "not found; routes:";
+      for (const auto& [route, handler] : routes_) known += " " + route;
+      response = HttpResponse{404, "text/plain; charset=utf-8", known + "\n"};
+    } else {
+      response = it->second(path);
+    }
+  }
+
+  std::string head = "HTTP/1.0 " + std::to_string(response.status) + " " +
+                     status_text(response.status) + "\r\nContent-Type: " +
+                     response.content_type + "\r\nContent-Length: " +
+                     std::to_string(response.body.size()) + "\r\nConnection: close\r\n\r\n";
+  if (write_all(fd, head)) (void)write_all(fd, response.body);
+}
+
+std::optional<std::string> http_get(const UdpEndpoint& server, const std::string& path,
+                                    std::string* error, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::string{"socket: "} + std::strerror(errno);
+    return std::nullopt;
+  }
+  struct Closer {
+    int fd;
+    ~Closer() { ::close(fd); }
+  } closer{fd};
+  set_nonblocking(fd);
+  sockaddr_in sa{};
+  fill_sockaddr(server, sa);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+    if (errno != EINPROGRESS) {
+      if (error != nullptr) *error = "connect: " + std::string{std::strerror(errno)};
+      return std::nullopt;
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    if (::poll(&pfd, 1, timeout_ms) <= 0) {
+      if (error != nullptr) *error = "connect timeout to " + server.to_string();
+      return std::nullopt;
+    }
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+    if (soerr != 0) {
+      if (error != nullptr) *error = "connect: " + std::string{std::strerror(soerr)};
+      return std::nullopt;
+    }
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\nHost: " + server.to_string() +
+                              "\r\nConnection: close\r\n\r\n";
+  if (!write_all(fd, request)) {
+    if (error != nullptr) *error = "send failed";
+    return std::nullopt;
+  }
+  std::string reply;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      reply.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) break;  // peer closed: response complete (HTTP/1.0)
+    if (errno != EAGAIN && errno != EWOULDBLOCK) {
+      if (error != nullptr) *error = std::string{"recv: "} + std::strerror(errno);
+      return std::nullopt;
+    }
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) {
+      if (error != nullptr) *error = "response timeout";
+      return std::nullopt;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, static_cast<int>(left.count())) < 0) {
+      if (error != nullptr) *error = "poll failed";
+      return std::nullopt;
+    }
+  }
+  const std::size_t header_end = reply.find("\r\n\r\n");
+  if (header_end == std::string::npos || reply.rfind("HTTP/", 0) != 0) {
+    if (error != nullptr) *error = "malformed HTTP response";
+    return std::nullopt;
+  }
+  const std::size_t status_at = reply.find(' ');
+  const int status = status_at == std::string::npos ? 0 : std::atoi(reply.c_str() + status_at + 1);
+  if (status != 200) {
+    if (error != nullptr) *error = "HTTP status " + std::to_string(status);
+    return std::nullopt;
+  }
+  return reply.substr(header_end + 4);
+}
+
+}  // namespace rdns::net

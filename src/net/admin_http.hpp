@@ -1,0 +1,79 @@
+#pragma once
+/// \file admin_http.hpp
+/// Minimal HTTP/1.0 admin listener for the live introspection plane: one
+/// accept thread, exact-path GET routes, Connection: close. This is an
+/// operator endpoint (a Prometheus scrape, `rdns_tool top`, curl) on the
+/// loopback/management interface — deliberately not a general web server:
+/// no keep-alive, no chunking, no TLS, requests capped at 4 KiB.
+///
+/// Endpoints reuse net::UdpEndpoint as the generic (address, port) pair —
+/// the name says UDP for historical reasons, the struct is transport-free.
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "net/udp.hpp"
+
+namespace rdns::net {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class AdminHttpServer {
+ public:
+  /// Handles one GET; the argument is the request path including any query
+  /// string ("/stats.json?x=1").
+  using Handler = std::function<HttpResponse(const std::string& path)>;
+
+  AdminHttpServer() = default;
+  ~AdminHttpServer();
+
+  AdminHttpServer(const AdminHttpServer&) = delete;
+  AdminHttpServer& operator=(const AdminHttpServer&) = delete;
+
+  /// Register an exact-match route ("/metrics"). Query strings are stripped
+  /// before matching. Must be called before start().
+  void route(std::string path, Handler handler);
+
+  /// Bind + listen on `endpoint` (port 0 = kernel-assigned) and launch the
+  /// accept thread. Returns false and fills `error` on failure.
+  [[nodiscard]] bool start(const UdpEndpoint& endpoint, std::string* error = nullptr);
+
+  /// Stop the accept thread and close the listener. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+  /// The actually bound endpoint (resolves port 0). Valid after start().
+  [[nodiscard]] UdpEndpoint endpoint() const noexcept { return bound_; }
+
+ private:
+  void run();
+  void serve_connection(int fd);
+
+  std::map<std::string, Handler> routes_;
+  std::thread thread_;
+  UdpEndpoint bound_;
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;        ///< pipe read end: interrupts the accept poll
+  int wake_write_fd_ = -1;  ///< pipe write end
+  std::atomic<bool> stop_{false};
+  bool running_ = false;
+};
+
+/// Blocking HTTP/1.0 GET against `server`; returns the response body on a
+/// 200, nullopt otherwise (error, non-200, timeout). The client side of the
+/// admin plane: `rdns_tool top` and the bench A/B scrape use it.
+[[nodiscard]] std::optional<std::string> http_get(const UdpEndpoint& server,
+                                                  const std::string& path,
+                                                  std::string* error = nullptr,
+                                                  int timeout_ms = 2000);
+
+}  // namespace rdns::net

@@ -47,6 +47,28 @@ std::optional<LogLevel> parse_log_level(std::string_view s) noexcept {
   return std::nullopt;
 }
 
+const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "?";
+}
+
+LogLevel cycle_log_level(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Debug: return LogLevel::Info;
+    case LogLevel::Info: return LogLevel::Warn;
+    case LogLevel::Warn: return LogLevel::Error;
+    case LogLevel::Error: return LogLevel::Debug;
+    case LogLevel::Off: return LogLevel::Debug;
+  }
+  return LogLevel::Debug;
+}
+
 LogLevel resolve_log_level(bool verbose, bool quiet, const char* env_value) noexcept {
   if (quiet) return LogLevel::Error;
   if (verbose) return LogLevel::Info;

@@ -25,6 +25,15 @@ void set_log_level(LogLevel level) noexcept;
 /// "warning" also accepted). nullopt on anything else.
 [[nodiscard]] std::optional<LogLevel> parse_log_level(std::string_view s) noexcept;
 
+/// Lowercase level name ("debug" ... "off") — the inverse of
+/// parse_log_level, for admin surfaces that report the live level.
+[[nodiscard]] const char* to_string(LogLevel level) noexcept;
+
+/// The next level in the SIGUSR1 cycle Debug -> Info -> Warn -> Error ->
+/// Debug. Off is not in the cycle (it maps back to Debug), so an operator
+/// can always kick a silent process into logging again.
+[[nodiscard]] LogLevel cycle_log_level(LogLevel level) noexcept;
+
 /// The level the shared CLI layer should apply, with precedence
 /// flag > env > default(Warn): --quiet maps to Error and beats --verbose
 /// (which maps to Info); otherwise `env_value` (the RDNS_LOG_LEVEL

@@ -290,4 +290,104 @@ std::string Registry::to_json(int indent) const {
   return out.str();
 }
 
+void Registry::append_json_compact(std::string& out) const {
+  std::lock_guard lock{m_};
+  out += "\"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ", ";
+    out += '"';
+    append_json_escaped(out, name);
+    out += "\": " + std::to_string(c->value());
+    first = false;
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ", ";
+    out += '"';
+    append_json_escaped(out, name);
+    out += "\": " + std::to_string(g->value());
+    first = false;
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ", ";
+    out += '"';
+    append_json_escaped(out, name);
+    out += "\": {\"count\": " + std::to_string(h->count());
+    out += ", \"sum\": " + json_number(h->sum());
+    out += ", \"p50\": " + json_number(h->percentile(50));
+    out += ", \"p90\": " + json_number(h->percentile(90));
+    out += ", \"p99\": " + json_number(h->percentile(99));
+    out += ", \"buckets\": [";
+    const auto& bounds = h->bounds();
+    for (std::size_t i = 0; i <= bounds.size(); ++i) {
+      if (i) out += ", ";
+      out += "{\"le\": ";
+      out += i == bounds.size() ? "\"+Inf\"" : json_number(bounds[i]);
+      out += ", \"count\": " + std::to_string(h->bucket_count(i)) + '}';
+    }
+    out += "]}";
+    first = false;
+  }
+  out += '}';
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && out.front() >= '0' && out.front() <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string prometheus_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void Registry::write_prometheus(std::ostream& out, const std::string& prefix) const {
+  std::lock_guard lock{m_};
+  for (const auto& [name, c] : counters_) {
+    const std::string metric = prefix + prometheus_name(name) + "_total";
+    out << "# TYPE " << metric << " counter\n" << metric << ' ' << c->value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string metric = prefix + prometheus_name(name);
+    out << "# TYPE " << metric << " gauge\n" << metric << ' ' << g->value() << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string metric = prefix + prometheus_name(name);
+    out << "# TYPE " << metric << " histogram\n";
+    const auto& bounds = h->bounds();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += h->bucket_count(i);
+      out << metric << "_bucket{le=\"" << json_number(bounds[i]) << "\"} " << cumulative << '\n';
+    }
+    cumulative += h->bucket_count(bounds.size());
+    out << metric << "_bucket{le=\"+Inf\"} " << cumulative << '\n';
+    out << metric << "_sum " << json_number(h->sum()) << '\n';
+    out << metric << "_count " << h->count() << '\n';
+  }
+}
+
 }  // namespace rdns::util::metrics

@@ -151,6 +151,20 @@ class Registry {
   void write_json(std::ostream& out, int indent = 2) const;
   [[nodiscard]] std::string to_json(int indent = 2) const;
 
+  /// The same three fragments as one compact single-line JSON fragment
+  /// (`"counters": {...}, "gauges": {...}, "histograms": {...}`) — the
+  /// building block of the `--metrics-interval` JSONL snapshot stream,
+  /// where one snapshot per line keeps the file greppable and appendable.
+  void append_json_compact(std::string& out) const;
+
+  /// Prometheus text exposition (format version 0.0.4) of every series.
+  /// Dotted names are sanitized (`serve.datagrams_received` becomes
+  /// `<prefix>serve_datagrams_received`), counters gain the conventional
+  /// `_total` suffix, and histograms render cumulative `_bucket{le=...}`
+  /// series plus `_sum`/`_count`. Entries come out in name order, so the
+  /// exposition is byte-stable for a given set of values.
+  void write_prometheus(std::ostream& out, const std::string& prefix = "rdns_") const;
+
  private:
   mutable std::mutex m_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
@@ -173,5 +187,12 @@ class Registry {
 void append_json_escaped(std::string& out, std::string_view s);
 /// Render a finite double as a JSON number (non-finite values clamp to 0).
 [[nodiscard]] std::string json_number(double v);
+
+/// Sanitize a dotted metric name into the Prometheus charset
+/// [a-zA-Z_:][a-zA-Z0-9_:]* — '.', '-' and other invalid characters map to
+/// '_'; a leading digit gains a '_' prefix.
+[[nodiscard]] std::string prometheus_name(std::string_view name);
+/// Escape a Prometheus label value (backslash, double quote, newline).
+[[nodiscard]] std::string prometheus_label_value(std::string_view value);
 
 }  // namespace rdns::util::metrics

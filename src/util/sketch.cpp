@@ -1,0 +1,128 @@
+#include "util/sketch.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rdns::util {
+
+SpaceSaving::SpaceSaving(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  slots_.reserve(capacity_);
+  index_.reserve(capacity_ * 2);
+}
+
+std::size_t SpaceSaving::min_slot() const noexcept {
+  // Linear argmin over <= K slots. K is small (64 by default) and the scan
+  // is branch-predictable, so this stays cheap without the stream-summary
+  // bucket structure of the original paper. Ties break toward the lowest
+  // index, which is itself a pure function of the offer history.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < slots_.size(); ++i) {
+    if (slots_[i].count < slots_[best].count) best = i;
+  }
+  return best;
+}
+
+void SpaceSaving::offer(std::string_view key, std::uint64_t weight) {
+  if (weight == 0) return;
+  total_ += weight;
+  if (const auto it = index_.find(std::string{key}); it != index_.end()) {
+    slots_[it->second].count += weight;
+    return;
+  }
+  if (slots_.size() < capacity_) {
+    index_.emplace(std::string{key}, slots_.size());
+    slots_.push_back(Slot{std::string{key}, weight, 0});
+    return;
+  }
+  // Evict the current minimum: the newcomer inherits its count as the
+  // (over)estimate floor, recorded as error — the Space-Saving move.
+  const std::size_t victim = min_slot();
+  Slot& slot = slots_[victim];
+  index_.erase(slot.key);
+  const std::uint64_t floor = slot.count;
+  slot.key = std::string{key};
+  slot.error = floor;
+  slot.count = floor + weight;
+  index_.emplace(slot.key, victim);
+}
+
+std::uint64_t SpaceSaving::estimate(std::string_view key) const noexcept {
+  const auto it = index_.find(std::string{key});
+  return it == index_.end() ? 0 : slots_[it->second].count;
+}
+
+std::uint64_t SpaceSaving::min_count() const noexcept {
+  if (slots_.size() < capacity_) return 0;
+  return slots_[min_slot()].count;
+}
+
+std::vector<SpaceSaving::Entry> SpaceSaving::top(std::size_t n) const {
+  std::vector<Entry> out;
+  out.reserve(slots_.size());
+  for (const Slot& slot : slots_) out.push_back(Entry{slot.key, slot.count, slot.error});
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.key < b.key;
+  });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+void SpaceSaving::merge_from(const SpaceSaving& other) {
+  const std::uint64_t my_floor = min_count();
+  const std::uint64_t other_floor = other.min_count();
+
+  // Union with summed counts/errors; a key absent from one side may have
+  // occurred up to that side's eviction floor there, so the floor joins
+  // both the estimate and the error term (keeps over-estimation sound).
+  std::unordered_map<std::string, Entry> merged;
+  merged.reserve(slots_.size() + other.slots_.size());
+  for (const Slot& slot : slots_) {
+    merged.emplace(slot.key, Entry{slot.key, slot.count + other_floor, slot.error + other_floor});
+  }
+  for (const Slot& slot : other.slots_) {
+    auto [it, fresh] = merged.emplace(slot.key, Entry{slot.key, slot.count + my_floor,
+                                                      slot.error + my_floor});
+    if (!fresh) {
+      // Shared key: undo the absent-side floor added above, then fold the
+      // other side's true values (add before subtract — errors can be
+      // smaller than the floor, counts cannot).
+      it->second.count += slot.count;
+      it->second.count -= other_floor;
+      it->second.error += slot.error;
+      it->second.error -= other_floor;
+    }
+  }
+
+  std::vector<Entry> ranked;
+  ranked.reserve(merged.size());
+  for (auto& [key, entry] : merged) ranked.push_back(std::move(entry));
+  std::sort(ranked.begin(), ranked.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.key < b.key;
+  });
+  if (ranked.size() > capacity_) ranked.resize(capacity_);
+
+  total_ += other.total_;
+  slots_.clear();
+  index_.clear();
+  for (const Entry& entry : ranked) {
+    index_.emplace(entry.key, slots_.size());
+    slots_.push_back(Slot{entry.key, entry.count, entry.error});
+  }
+}
+
+void SpaceSaving::clear() {
+  slots_.clear();
+  index_.clear();
+  total_ = 0;
+}
+
+std::string ipv4_sketch_key(std::uint32_t address) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (address >> 24) & 0xFF, (address >> 16) & 0xFF,
+                (address >> 8) & 0xFF, address & 0xFF);
+  return buf;
+}
+
+}  // namespace rdns::util

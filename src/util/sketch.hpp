@@ -1,0 +1,93 @@
+#pragma once
+/// \file sketch.hpp
+/// Space-Saving heavy-hitter sketch (Metwally, Agrawal, El Abbadi 2005):
+/// track the top-K most frequent items of a stream in O(K) memory. The
+/// serving loop feeds one sketch with client addresses and one with query
+/// names, so an operator can see *who* is sweeping the reverse zones — the
+/// paper's tracking attack, observed from the defender's side.
+///
+/// Guarantees (capacity K, stream weight N):
+///   - every item with true count > N / K is present in the sketch;
+///   - for a tracked item, estimate() >= true count >= estimate() - error();
+///   - error() <= N / K for every tracked item.
+///
+/// Determinism. offer() is a pure function of the offer sequence; top() and
+/// merge_from() break count ties by key (ascending), so rendered rankings
+/// and merged sketches are byte-stable regardless of hash-map iteration
+/// order — the same order-independence contract as the metrics registry.
+///
+/// Concurrency: none. Each serving worker owns private sketches and the
+/// aggregation thread merges copies, mirroring the per-shard
+/// ServerStats/Registry fold.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rdns::util {
+
+class SpaceSaving {
+ public:
+  /// One tracked item: `count` is the overestimate, `error` the maximum
+  /// overcount (count - error is a guaranteed lower bound).
+  struct Entry {
+    std::string key;
+    std::uint64_t count = 0;
+    std::uint64_t error = 0;
+  };
+
+  /// `capacity` = K, the number of counters kept (min 1).
+  explicit SpaceSaving(std::size_t capacity);
+
+  /// Count `weight` occurrences of `key`.
+  void offer(std::string_view key, std::uint64_t weight = 1);
+
+  /// Total stream weight offered (sum of all weights, exact).
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+
+  /// Estimated count for `key`: the tracked overestimate, or 0 when the
+  /// key is not tracked (its true count is then <= min_count()).
+  [[nodiscard]] std::uint64_t estimate(std::string_view key) const noexcept;
+
+  /// Smallest tracked count (the eviction floor); 0 while not full.
+  [[nodiscard]] std::uint64_t min_count() const noexcept;
+
+  /// The top `n` entries ordered by (count desc, key asc) — deterministic
+  /// for a given offer/merge history.
+  [[nodiscard]] std::vector<Entry> top(std::size_t n) const;
+
+  /// Fold another sketch into this one. Shared keys add counts and errors;
+  /// keys tracked on only one side are assumed to have occurred up to the
+  /// other side's min_count() times there (added to the error term), which
+  /// preserves the overestimate and error-bound guarantees. The union is
+  /// then re-trimmed to capacity by (count desc, key asc), so
+  /// merge(a, b) == merge(b, a) entry for entry.
+  void merge_from(const SpaceSaving& other);
+
+  void clear();
+
+ private:
+  struct Slot {
+    std::string key;
+    std::uint64_t count = 0;
+    std::uint64_t error = 0;
+  };
+
+  [[nodiscard]] std::size_t min_slot() const noexcept;
+
+  std::size_t capacity_;
+  std::uint64_t total_ = 0;
+  std::vector<Slot> slots_;                            // <= capacity_
+  std::unordered_map<std::string, std::size_t> index_; // key -> slot
+};
+
+/// Render an IPv4 host-order address as the dotted-quad sketch key (the
+/// serving loop offers client addresses without building net::Ipv4Addr).
+[[nodiscard]] std::string ipv4_sketch_key(std::uint32_t host_order_address);
+
+}  // namespace rdns::util

@@ -1,0 +1,184 @@
+// util::SpaceSaving — the heavy-hitter sketch behind the serve-path
+// top-K tables. The tests pin the Metwally guarantees (frequent items are
+// always tracked, estimates bracket the truth) and the determinism
+// contract (tie-breaks and merges are byte-stable), because the admin
+// plane renders these rankings verbatim.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/sketch.hpp"
+
+namespace rdns::util {
+namespace {
+
+TEST(SpaceSaving, ExactBelowCapacity) {
+  SpaceSaving sk{8};
+  sk.offer("a", 5);
+  sk.offer("b", 3);
+  sk.offer("a", 2);
+  sk.offer("c");
+
+  EXPECT_EQ(sk.total(), 11u);
+  EXPECT_EQ(sk.size(), 3u);
+  EXPECT_EQ(sk.estimate("a"), 7u);
+  EXPECT_EQ(sk.estimate("b"), 3u);
+  EXPECT_EQ(sk.estimate("c"), 1u);
+  EXPECT_EQ(sk.estimate("missing"), 0u);
+  EXPECT_EQ(sk.min_count(), 0u);  // floor stays 0 until capacity is hit
+
+  const auto top = sk.top(10);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].key, "a");
+  EXPECT_EQ(top[0].count, 7u);
+  EXPECT_EQ(top[0].error, 0u);  // never evicted: exact
+}
+
+TEST(SpaceSaving, TopBreaksCountTiesByKeyAscending) {
+  SpaceSaving sk{8};
+  sk.offer("zeta", 4);
+  sk.offer("alpha", 4);
+  sk.offer("mid", 4);
+
+  const auto top = sk.top(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].key, "alpha");
+  EXPECT_EQ(top[1].key, "mid");
+  EXPECT_EQ(top[2].key, "zeta");
+}
+
+TEST(SpaceSaving, HeavyHitterSurvivesEvictionChurn) {
+  // One genuinely frequent key in a stream of singletons much wider than
+  // the sketch: Space-Saving must keep it, and its estimate must bracket
+  // the true count within error().
+  SpaceSaving sk{16};
+  const std::uint64_t kHeavy = 400;
+  std::uint64_t offered = 0;
+  for (std::uint64_t i = 0; i < kHeavy; ++i) {
+    sk.offer("heavy");
+    ++offered;
+    for (int j = 0; j < 4; ++j) {
+      sk.offer("noise-" + std::to_string(i * 4 + j));
+      ++offered;
+    }
+  }
+  EXPECT_EQ(sk.total(), offered);
+  EXPECT_EQ(sk.size(), 16u);
+
+  const auto top = sk.top(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].key, "heavy");
+  // Overestimate >= truth >= overestimate - error.
+  EXPECT_GE(top[0].count, kHeavy);
+  EXPECT_LE(top[0].count - top[0].error, kHeavy);
+  // Error bound: <= N / K for every tracked item.
+  for (const auto& entry : sk.top(16)) {
+    EXPECT_LE(entry.error, sk.total() / sk.capacity());
+  }
+}
+
+TEST(SpaceSaving, GuaranteesOnZipfStream) {
+  // Randomized stream, deterministic seed: every key with true count
+  // > N/K must be tracked and correctly bounded.
+  SpaceSaving sk{32};
+  std::map<std::string, std::uint64_t> truth;
+  Rng rng{0x5eedu};
+  for (int i = 0; i < 20'000; ++i) {
+    // Skewed support: low ids vastly more likely (approximate Zipf).
+    const auto u = rng.uniform_int(1, 1 << 16);
+    const auto id = static_cast<std::uint64_t>((1 << 16) / u);
+    const std::string key = "k" + std::to_string(id);
+    sk.offer(key);
+    ++truth[key];
+  }
+  const std::uint64_t floor = sk.total() / sk.capacity();
+  for (const auto& [key, count] : truth) {
+    if (count > floor) {
+      const auto est = sk.estimate(key);
+      EXPECT_GE(est, count) << key;
+    }
+  }
+}
+
+TEST(SpaceSaving, MergeIsDeterministicAndOrderIndependent) {
+  SpaceSaving a{8}, b{8};
+  for (int i = 0; i < 300; ++i) {
+    a.offer("shared");
+    a.offer("left-" + std::to_string(i % 20));
+    b.offer("shared", 2);
+    b.offer("right-" + std::to_string(i % 20));
+  }
+
+  SpaceSaving ab{8};
+  ab.merge_from(a);
+  ab.merge_from(b);
+  SpaceSaving ba{8};
+  ba.merge_from(b);
+  ba.merge_from(a);
+
+  EXPECT_EQ(ab.total(), a.total() + b.total());
+  EXPECT_EQ(ab.total(), ba.total());
+  const auto top_ab = ab.top(8);
+  const auto top_ba = ba.top(8);
+  ASSERT_EQ(top_ab.size(), top_ba.size());
+  for (std::size_t i = 0; i < top_ab.size(); ++i) {
+    EXPECT_EQ(top_ab[i].key, top_ba[i].key) << i;
+    EXPECT_EQ(top_ab[i].count, top_ba[i].count) << i;
+    EXPECT_EQ(top_ab[i].error, top_ba[i].error) << i;
+  }
+  // The shared heavy key dominates both sides and must survive the merge
+  // with at least the sum of both exact counts.
+  EXPECT_EQ(top_ab[0].key, "shared");
+  EXPECT_GE(top_ab[0].count, 900u);
+}
+
+TEST(SpaceSaving, MergePreservesOverestimateGuarantee) {
+  // Keys tracked on only one side pick up the other side's floor as
+  // error; estimates must stay overestimates of the true counts.
+  SpaceSaving a{4}, b{4};
+  std::map<std::string, std::uint64_t> truth;
+  auto feed = [&truth](SpaceSaving& sk, const std::string& key, std::uint64_t n) {
+    sk.offer(key, n);
+    truth[key] += n;
+  };
+  feed(a, "alpha", 50);
+  feed(a, "beta", 20);
+  feed(a, "gamma", 5);
+  feed(a, "delta", 4);
+  feed(a, "epsilon", 3);  // forces eviction in a
+  feed(b, "alpha", 10);
+  feed(b, "zeta", 30);
+
+  SpaceSaving merged{4};
+  merged.merge_from(a);
+  merged.merge_from(b);
+  for (const auto& entry : merged.top(4)) {
+    const auto it = truth.find(entry.key);
+    ASSERT_NE(it, truth.end());
+    EXPECT_GE(entry.count, it->second) << entry.key;
+  }
+}
+
+TEST(SpaceSaving, ClearResets) {
+  SpaceSaving sk{4};
+  sk.offer("x", 10);
+  sk.clear();
+  EXPECT_EQ(sk.total(), 0u);
+  EXPECT_EQ(sk.size(), 0u);
+  EXPECT_EQ(sk.estimate("x"), 0u);
+}
+
+TEST(SpaceSaving, Ipv4SketchKey) {
+  EXPECT_EQ(ipv4_sketch_key(0x7f000001u), "127.0.0.1");
+  EXPECT_EQ(ipv4_sketch_key(0xc0a80164u), "192.168.1.100");
+  EXPECT_EQ(ipv4_sketch_key(0u), "0.0.0.0");
+  EXPECT_EQ(ipv4_sketch_key(0xffffffffu), "255.255.255.255");
+}
+
+}  // namespace
+}  // namespace rdns::util

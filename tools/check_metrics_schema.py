@@ -6,6 +6,8 @@ Usage:
     check_metrics_schema.py SNAPSHOT.json [--require-subsystems dns,dhcp,...]
                             [--require-manifest]
     check_metrics_schema.py JOURNAL.jsonl --journal
+    check_metrics_schema.py STREAM.jsonl --snapshots
+    check_metrics_schema.py METRICS.prom --exposition
 
 Checks structural invariants that the C++ emitters promise:
   * top-level keys: schema, generated_unix, counters, gauges, histograms, spans
@@ -29,12 +31,24 @@ carrying tool/version/seed and the matching events_schema.
 With --require-manifest, the snapshot must embed a `manifest` object
 (run provenance); a present manifest is validated either way.
 
+With --snapshots, the input is a JSONL stream of observability snapshots
+(what `rdns_tool serve --metrics-interval N` appends): every line must be
+a full rdns.observability.v1 document and `generated_unix` must be
+non-decreasing across the stream.
+
+With --exposition, the input is a Prometheus text exposition (0.0.4) as
+served by the /metrics admin endpoint: every sample line's metric name
+must be covered by a preceding `# TYPE` declaration, names and label
+syntax must be well-formed, and every value must parse as a finite float
+(or +Inf in histogram `le` labels).
+
 Exits 0 on success, 1 with a list of problems otherwise. Stdlib only.
 """
 
 import argparse
 import json
 import math
+import re
 import sys
 
 SCHEMA = "rdns.observability.v1"
@@ -50,7 +64,7 @@ EVENT_TYPES = {
     "campaign.recheck", "campaign.group_close",
     "sweep.org", "sweep.pass", "sweep.shard", "sweep.shard_degraded", "sweep.checkpoint",
     "fault.inject",
-    "serve.start", "serve.stop",
+    "serve.start", "serve.stop", "serve.slowlog",
 }
 
 
@@ -110,6 +124,14 @@ def check_event_fields(event, i, problems):
         sent = _uint(event, "responses_sent")
         if received is None or sent is None or sent > received:
             problems.add(f"line {i}: serve.stop needs responses_sent <= datagrams_received")
+    elif etype == "serve.slowlog":
+        for key in ("qname", "client", "rcode"):
+            if not isinstance(event.get(key), str) or not event.get(key):
+                problems.add(f"line {i}: serve.slowlog must carry a non-empty {key!r}")
+        if _uint(event, "latency_us") is None:
+            problems.add(f"line {i}: serve.slowlog latency_us must be a non-negative integer")
+        if _uint(event, "worker") is None:
+            problems.add(f"line {i}: serve.slowlog worker must be a non-negative integer")
 
 
 class Problems:
@@ -279,6 +301,175 @@ def check_journal(path, problems):
     return events
 
 
+def check_snapshot_doc(doc, problems, where="", require_manifest=False, required=()):
+    """Validate one rdns.observability.v1 document (dict already parsed)."""
+    prefix = f"{where}: " if where else ""
+    if not isinstance(doc, dict):
+        problems.add(f"{prefix}snapshot root must be an object")
+        return
+    for key in TOP_KEYS:
+        if key not in doc:
+            problems.add(f"{prefix}top level: missing key {key!r}")
+    if doc.get("schema") != SCHEMA:
+        problems.add(f"{prefix}schema: expected {SCHEMA!r}, got {doc.get('schema')!r}")
+    gen = doc.get("generated_unix")
+    if not isinstance(gen, int) or isinstance(gen, bool) or gen < 0:
+        problems.add(f"{prefix}generated_unix: expected a non-negative integer")
+
+    check_counters(doc.get("counters", {}), problems)
+    check_gauges(doc.get("gauges", {}), problems)
+    histograms = doc.get("histograms", {})
+    if isinstance(histograms, dict):
+        for name, hist in histograms.items():
+            if isinstance(hist, dict):
+                check_histogram(name, hist, problems)
+            else:
+                problems.add(f"{prefix}histogram {name!r}: expected an object")
+    else:
+        problems.add(f"{prefix}histograms: expected an object")
+
+    spans = doc.get("spans")
+    if spans is not None:
+        check_span(spans, spans.get("name", "root") if isinstance(spans, dict) else "root",
+                   problems)
+
+    manifest = doc.get("manifest")
+    if manifest is not None:
+        check_manifest(manifest, prefix + "manifest", problems)
+    elif require_manifest:
+        problems.add(f"{prefix}top level: missing key 'manifest' (--require-manifest)")
+
+    if required:
+        check_subsystems(doc, required, problems)
+
+
+def check_snapshot_stream(path, problems, require_manifest, required):
+    """JSONL stream of snapshots (serve --metrics-interval output)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    except OSError as err:
+        problems.add(f"cannot read {path}: {err}")
+        return 0
+    snapshots = 0
+    last_gen = -1
+    for i, line in enumerate(lines, start=1):
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as err:
+            problems.add(f"line {i}: not valid JSON ({err})")
+            continue
+        snapshots += 1
+        check_snapshot_doc(doc, problems, where=f"line {i}",
+                           require_manifest=require_manifest, required=required)
+        gen = doc.get("generated_unix") if isinstance(doc, dict) else None
+        if isinstance(gen, int) and not isinstance(gen, bool):
+            if gen < last_gen:
+                problems.add(f"line {i}: generated_unix={gen} decreases (previous {last_gen})")
+            else:
+                last_gen = gen
+    if snapshots == 0:
+        problems.add("snapshot stream is empty")
+    return snapshots
+
+
+# Prometheus text format: metric names and label names per the 0.0.4 spec.
+_PROM_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+
+
+def check_exposition(path, problems):
+    """Lint a Prometheus text exposition (the /metrics admin endpoint)."""
+    sample_re = re.compile(
+        rf"^({_PROM_NAME})(?:\{{(.*)\}})?\s+(\S+)(?:\s+-?\d+)?$")
+    label_re = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    except OSError as err:
+        problems.add(f"cannot read {path}: {err}")
+        return 0
+    typed = {}      # base metric name -> declared type
+    samples = 0
+    for i, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                name, kind = parts[2], parts[3]
+                if not re.fullmatch(_PROM_NAME, name):
+                    problems.add(f"line {i}: invalid metric name {name!r} in TYPE")
+                if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                    problems.add(f"line {i}: unknown metric type {kind!r}")
+                if name in typed:
+                    problems.add(f"line {i}: duplicate TYPE for {name!r}")
+                typed[name] = kind
+            continue
+        match = sample_re.match(line)
+        if not match:
+            problems.add(f"line {i}: not a valid sample line: {line!r}")
+            continue
+        samples += 1
+        name, labels, value = match.group(1), match.group(2), match.group(3)
+        # Histogram series reuse the declared base name with a suffix.
+        base = name
+        for suffix in ("_bucket", "_sum", "_count", "_total"):
+            if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                base = name[: -len(suffix)]
+                break
+        if base not in typed:
+            problems.add(f"line {i}: sample {name!r} has no preceding # TYPE")
+        if labels:
+            depth = 0
+            for pair in _split_labels(labels):
+                if not label_re.match(pair):
+                    problems.add(f"line {i}: malformed label {pair!r}")
+                depth += 1
+            if depth == 0:
+                problems.add(f"line {i}: empty label braces")
+        try:
+            parsed = float(value)
+        except ValueError:
+            problems.add(f"line {i}: value {value!r} is not a float")
+            continue
+        if math.isnan(parsed):
+            problems.add(f"line {i}: value is NaN")
+        if math.isinf(parsed):
+            problems.add(f"line {i}: value is infinite")
+    if samples == 0:
+        problems.add("exposition has no samples")
+    return samples
+
+
+def _split_labels(labels):
+    """Split 'a="x",b="y,z"' on commas outside quoted values."""
+    out, current, in_quotes, escaped = [], "", False, False
+    for c in labels:
+        if escaped:
+            current += c
+            escaped = False
+            continue
+        if c == "\\":
+            current += c
+            escaped = True
+            continue
+        if c == '"':
+            in_quotes = not in_quotes
+            current += c
+            continue
+        if c == "," and not in_quotes:
+            if current:
+                out.append(current)
+            current = ""
+            continue
+        current += c
+    if current:
+        out.append(current)
+    return out
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("snapshot", help="path to a --metrics-out JSON file")
@@ -287,11 +478,21 @@ def main():
                              "own a counter and a histogram")
     parser.add_argument("--journal", action="store_true",
                         help="treat the input as an rdns.events.v1 JSONL journal")
+    parser.add_argument("--snapshots", action="store_true",
+                        help="treat the input as a JSONL stream of snapshots "
+                             "(serve --metrics-interval output)")
+    parser.add_argument("--exposition", action="store_true",
+                        help="treat the input as Prometheus text exposition "
+                             "(the /metrics admin endpoint)")
     parser.add_argument("--require-manifest", action="store_true",
                         help="the snapshot must embed a manifest (run provenance)")
     args = parser.parse_args()
 
+    if sum((args.journal, args.snapshots, args.exposition)) > 1:
+        parser.error("--journal, --snapshots and --exposition are mutually exclusive")
+
     problems = Problems()
+    required = tuple(s for s in args.require_subsystems.split(",") if s)
     if args.journal:
         events = check_journal(args.snapshot, problems)
         if problems.items:
@@ -299,6 +500,23 @@ def main():
                 print(f"FAIL: {item}", file=sys.stderr)
             return 1
         print(f"OK: {args.snapshot}: {events} events, schema {EVENTS_SCHEMA}")
+        return 0
+    if args.snapshots:
+        snapshots = check_snapshot_stream(args.snapshot, problems,
+                                          args.require_manifest, required)
+        if problems.items:
+            for item in problems.items:
+                print(f"FAIL: {item}", file=sys.stderr)
+            return 1
+        print(f"OK: {args.snapshot}: {snapshots} snapshots, schema {SCHEMA}")
+        return 0
+    if args.exposition:
+        samples = check_exposition(args.snapshot, problems)
+        if problems.items:
+            for item in problems.items:
+                print(f"FAIL: {item}", file=sys.stderr)
+            return 1
+        print(f"OK: {args.snapshot}: {samples} samples, Prometheus text 0.0.4")
         return 0
     try:
         with open(args.snapshot, "r", encoding="utf-8") as fh:
@@ -310,41 +528,8 @@ def main():
     if not isinstance(doc, dict):
         print("FAIL: snapshot root must be an object", file=sys.stderr)
         return 1
-    for key in TOP_KEYS:
-        if key not in doc:
-            problems.add(f"top level: missing key {key!r}")
-    if doc.get("schema") != SCHEMA:
-        problems.add(f"schema: expected {SCHEMA!r}, got {doc.get('schema')!r}")
-    gen = doc.get("generated_unix")
-    if not isinstance(gen, int) or isinstance(gen, bool) or gen < 0:
-        problems.add("generated_unix: expected a non-negative integer")
-
-    check_counters(doc.get("counters", {}), problems)
-    check_gauges(doc.get("gauges", {}), problems)
-    histograms = doc.get("histograms", {})
-    if isinstance(histograms, dict):
-        for name, hist in histograms.items():
-            if isinstance(hist, dict):
-                check_histogram(name, hist, problems)
-            else:
-                problems.add(f"histogram {name!r}: expected an object")
-    else:
-        problems.add("histograms: expected an object")
-
-    spans = doc.get("spans")
-    if spans is not None:
-        check_span(spans, spans.get("name", "root") if isinstance(spans, dict) else "root",
-                   problems)
-
-    manifest = doc.get("manifest")
-    if manifest is not None:
-        check_manifest(manifest, "manifest", problems)
-    elif args.require_manifest:
-        problems.add("top level: missing key 'manifest' (--require-manifest)")
-
-    required = [s for s in args.require_subsystems.split(",") if s]
-    if required:
-        check_subsystems(doc, required, problems)
+    check_snapshot_doc(doc, problems, require_manifest=args.require_manifest,
+                       required=required)
 
     if problems.items:
         for item in problems.items:

@@ -13,6 +13,7 @@
 ///             and print the Table 3/4/5 summaries
 ///   track     follow a given name through a campaign (the §7.1 case study)
 ///   serve     host a frozen world's reverse zones on a real UDP port
+///   top       live terminal monitor polling a serve admin endpoint
 ///
 /// Every subcommand prints usage with --help.
 
@@ -22,6 +23,8 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
+#include <deque>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -34,13 +37,16 @@
 #include "core/report.hpp"
 #include "core/timing.hpp"
 #include "core/tracking.hpp"
+#include "dns/admin.hpp"
 #include "dns/udp_server.hpp"
 #include "dns/udp_transport.hpp"
 #include "dns/zonefile.hpp"
+#include "net/admin_http.hpp"
 #include "net/arpa.hpp"
 #include "scan/campaign.hpp"
 #include "scan/checkpoint.hpp"
 #include "scan/csv_replay.hpp"
+#include "util/ascii_chart.hpp"
 #include "util/cli.hpp"
 #include "util/faults.hpp"
 #include "util/journal.hpp"
@@ -565,6 +571,26 @@ volatile std::sig_atomic_t g_serve_stop = 0;
 
 void handle_serve_signal(int) { g_serve_stop = 1; }
 
+/// SIGUSR1 requests a log-level cycle; the serve loop applies it.
+volatile std::sig_atomic_t g_serve_cycle_log = 0;
+
+void handle_serve_cycle_log(int) { g_serve_cycle_log = 1; }
+
+/// One rdns.observability.v1 snapshot as a single JSONL line — the
+/// streaming cousin of trace::write_snapshot_json, appended every
+/// --metrics-interval seconds while serving.
+void append_metrics_snapshot_line(std::ostream& out) {
+  std::string line = "{\"schema\":\"rdns.observability.v1\",\"generated_unix\":" +
+                     std::to_string(static_cast<long long>(std::time(nullptr))) + ",";
+  if (const auto manifest = util::journal::Journal::global().manifest()) {
+    line += "\"manifest\":" + util::journal::manifest_json(*manifest) + ",";
+  }
+  util::metrics::Registry::global().append_json_compact(line);
+  line += ",\"spans\":null}\n";
+  out << line;
+  out.flush();
+}
+
 int cmd_serve(const std::vector<std::string>& args) {
   util::CliParser cli{"rdns_tool serve",
                       "host a frozen world's reverse zones on a real UDP port"};
@@ -576,7 +602,15 @@ int cmd_serve(const std::vector<std::string>& args) {
       .option("bind", "address to bind", "127.0.0.1")
       .option("port", "UDP port (0 = kernel-assigned, printed at startup)", "5533")
       .option("duration", "seconds to serve (0 = until SIGINT/SIGTERM)", "0")
-      .option("batch", "max datagrams per recvmmsg/sendmmsg batch", "32");
+      .option("batch", "max datagrams per recvmmsg/sendmmsg batch", "32")
+      .option("admin-port", "enable the HTTP admin endpoint on this port (0 = kernel-assigned)",
+              std::nullopt)
+      .option("sample", "sampled tracing: clock 1 query in N by txid hash (0 = off)", "8")
+      .option("slowlog-us",
+              "sampled queries slower than this emit serve.slowlog journal events", "1000")
+      .option("top-k", "heavy-hitter sketch capacity (client IPs and qnames)", "64")
+      .option("metrics-interval",
+              "append a metrics snapshot line to --metrics-out every N seconds (0 = off)", "0");
   add_common_options(cli);
   if (cli.handle_help(args)) return 0;
   cli.parse(args);
@@ -588,6 +622,25 @@ int cmd_serve(const std::vector<std::string>& args) {
   if (port < 0 || port > 65535) throw util::CliError{"--port must be in [0, 65535]"};
   const int duration_s = cli.get_int("duration");
   if (duration_s < 0) throw util::CliError{"--duration must be >= 0"};
+  const int sample_every = cli.get_int("sample");
+  if (sample_every < 0) throw util::CliError{"--sample must be >= 0"};
+  const int slowlog_us = cli.get_int("slowlog-us");
+  if (slowlog_us < 0) throw util::CliError{"--slowlog-us must be >= 0"};
+  const int top_k = cli.get_int("top-k");
+  if (top_k < 1) throw util::CliError{"--top-k must be >= 1"};
+  const double metrics_interval_s = cli.get_double("metrics-interval");
+  if (metrics_interval_s < 0) throw util::CliError{"--metrics-interval must be >= 0"};
+  const auto metrics_out = cli.get_optional("metrics-out");
+  if (metrics_interval_s > 0 && !metrics_out) {
+    throw util::CliError{"--metrics-interval needs --metrics-out PATH for the JSONL stream"};
+  }
+  std::optional<int> admin_port;
+  if (const auto opt = cli.get_optional("admin-port")) {
+    admin_port = std::atoi(opt->c_str());
+    if (*admin_port < 0 || *admin_port > 65535) {
+      throw util::CliError{"--admin-port must be in [0, 65535]"};
+    }
+  }
 
   core::WorldScale scale;
   scale.population = cli.get_double("scale");
@@ -610,24 +663,53 @@ int cmd_serve(const std::vector<std::string>& args) {
   dns::UdpServeOptions options;
   options.endpoint.address = bind_addr->value();
   options.endpoint.port = static_cast<std::uint16_t>(port);
-  options.threads = util::ThreadPool::global().size();
+  options.threads = std::max(1u, util::ThreadPool::global().size());
   options.batch = static_cast<std::size_t>(std::max(1, cli.get_int("batch")));
+
+  // The introspection plane is always armed (its disabled-path cost is one
+  // pointer test per query): sampled latency + slowlog, heavy-hitter
+  // sketches, the CHAOS TXT interface, and — with --admin-port — HTTP.
+  dns::ServeAdminConfig admin_cfg;
+  admin_cfg.sample_every = static_cast<unsigned>(sample_every);
+  admin_cfg.slowlog_threshold_us = static_cast<double>(slowlog_us);
+  admin_cfg.top_k = static_cast<std::size_t>(top_k);
+  admin_cfg.sim_time = frozen_now;
+  dns::ServeIntrospection introspection{options.threads, admin_cfg};
+  options.introspection = &introspection;
+
   dns::UdpServerLoop loop{options, [&](unsigned) -> dns::UdpServerLoop::WireHandler {
     views.push_back(std::make_unique<sim::FrozenDnsView>(frozen));
     sim::FrozenDnsView* view = views.back().get();
-    return [view, frozen_now](std::span<const std::uint8_t> query) {
+    return introspection.wrap_chaos([view, frozen_now](std::span<const std::uint8_t> query) {
       return view->exchange(query, frozen_now);
-    };
+    });
   }};
   std::string error;
   if (!loop.start(&error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 2;
   }
-  // The harnesses (pytest e2e, load bench) parse this line for the port.
+  introspection.start();
+
+  net::AdminHttpServer admin;
+  if (admin_port) {
+    introspection.install_http_routes(admin);
+    net::UdpEndpoint admin_endpoint{bind_addr->value(), static_cast<std::uint16_t>(*admin_port)};
+    if (!admin.start(admin_endpoint, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      loop.stop();
+      return 2;
+    }
+  }
+
+  // The harnesses (pytest e2e, load bench, `rdns_tool top`) parse these
+  // lines for the ports.
   std::printf("serving on %s with %u workers (world frozen at %s %02d:00)\n",
               loop.endpoint().to_string().c_str(), loop.threads(),
               util::format_date(date).c_str(), cli.get_int("hour"));
+  if (admin.running()) {
+    std::printf("admin on %s\n", admin.endpoint().to_string().c_str());
+  }
   std::fflush(stdout);
   if (auto* j = util::journal::active()) {
     util::journal::Event e{"serve.start", frozen_now};
@@ -637,17 +719,48 @@ int cmd_serve(const std::vector<std::string>& args) {
     j->emit(e);
   }
 
+  std::ofstream metrics_stream;
+  if (metrics_interval_s > 0) {
+    metrics_stream.open(*metrics_out);
+    if (!metrics_stream) throw util::CliError{"cannot write " + *metrics_out};
+  }
+
   std::signal(SIGINT, handle_serve_signal);
   std::signal(SIGTERM, handle_serve_signal);
+  std::signal(SIGUSR1, handle_serve_cycle_log);
   const auto started = std::chrono::steady_clock::now();
+  auto next_snapshot =
+      started + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(metrics_interval_s));
   while (g_serve_stop == 0) {
-    if (duration_s > 0 &&
-        std::chrono::steady_clock::now() - started >= std::chrono::seconds(duration_s)) {
-      break;
+    const auto now = std::chrono::steady_clock::now();
+    if (duration_s > 0 && now - started >= std::chrono::seconds(duration_s)) break;
+    if (g_serve_cycle_log != 0) {
+      g_serve_cycle_log = 0;
+      const util::LogLevel next = util::cycle_log_level(util::log_level());
+      util::set_log_level(next);
+      // Always visible regardless of the (possibly raised) level: the whole
+      // point of the SIGUSR1 cycle is to confirm where the knob landed.
+      std::fprintf(stderr, "serve: log level now %s (SIGUSR1)\n", util::to_string(next));
+      introspection.aggregate_now();  // refresh the serve.log_level gauge
+    }
+    if (metrics_stream.is_open() && now >= next_snapshot) {
+      introspection.aggregate_now();
+      append_metrics_snapshot_line(metrics_stream);
+      next_snapshot = now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                                std::chrono::duration<double>(metrics_interval_s));
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
+  admin.stop();
   loop.stop();
+  introspection.stop();
+  if (metrics_stream.is_open()) {
+    // Final snapshot so even sub-interval runs leave at least one line.
+    introspection.aggregate_now();
+    append_metrics_snapshot_line(metrics_stream);
+    metrics_stream.close();
+  }
 
   for (const auto& view : views) world->merge_server_stats(view->per_org_stats());
   const dns::UdpServeStats& totals = loop.stats();
@@ -664,6 +777,122 @@ int cmd_serve(const std::vector<std::string>& args) {
               util::with_commas(static_cast<std::int64_t>(totals.responses_sent)).c_str(),
               static_cast<unsigned long long>(totals.dropped_no_answer),
               static_cast<unsigned long long>(totals.send_failures));
+  return 0;
+}
+
+/// One rendered frame of `rdns_tool top`: headline numbers, a QPS
+/// sparkline over the recent polls, and the heavy-hitter tables.
+std::string render_top_frame(const util::journal::JsonValue& doc,
+                             const std::deque<double>& qps_history) {
+  std::string out;
+  char line[256];
+  const util::journal::JsonValue* qps = doc.find("qps");
+  const util::journal::JsonValue* latency = doc.find("latency_us");
+  const util::journal::JsonValue* totals = doc.find("totals");
+  std::snprintf(line, sizeof line, "rdns top — up %.0fs, %lld workers, log %s\n",
+                doc.get_number("uptime_s"),
+                static_cast<long long>(doc.get_int("workers")),
+                doc.get_string("log_level", "?").c_str());
+  out += line;
+  std::snprintf(line, sizeof line,
+                "qps 1s/10s/60s: %.0f / %.0f / %.0f    latency us p50/p90/p99: "
+                "%.0f / %.0f / %.0f\n",
+                qps != nullptr ? qps->get_number("1s") : 0.0,
+                qps != nullptr ? qps->get_number("10s") : 0.0,
+                qps != nullptr ? qps->get_number("60s") : 0.0,
+                latency != nullptr ? latency->get_number("p50") : 0.0,
+                latency != nullptr ? latency->get_number("p90") : 0.0,
+                latency != nullptr ? latency->get_number("p99") : 0.0);
+  out += line;
+  std::snprintf(line, sizeof line,
+                "received %lld  answered %lld  dropped %lld  sampled %lld  slowlog %lld\n",
+                static_cast<long long>(totals != nullptr ? totals->get_int("received") : 0),
+                static_cast<long long>(totals != nullptr ? totals->get_int("answered") : 0),
+                static_cast<long long>(totals != nullptr ? totals->get_int("dropped") : 0),
+                static_cast<long long>(doc.get_int("sampled")),
+                static_cast<long long>(doc.get_int("slowlog")));
+  out += line;
+
+  if (qps_history.size() >= 2) {
+    util::Series series;
+    series.label = "qps(1s)";
+    series.values.assign(qps_history.begin(), qps_history.end());
+    util::ChartOptions chart;
+    chart.width = 60;
+    chart.height = 8;
+    chart.title = "QPS (1s window, one point per poll)";
+    out += util::render_line_chart({series}, chart);
+  }
+
+  const auto render_table = [&out](const util::journal::JsonValue* entries,
+                                   const char* heading) {
+    if (entries == nullptr || entries->array.empty()) return;
+    out += heading;
+    out += '\n';
+    std::size_t shown = 0;
+    for (const util::journal::JsonValue& entry : entries->array) {
+      char row[160];
+      std::snprintf(row, sizeof row, "  %-40s %10lld (±%lld)\n",
+                    entry.get_string("key", "?").c_str(),
+                    static_cast<long long>(entry.get_int("count")),
+                    static_cast<long long>(entry.get_int("error")));
+      out += row;
+      if (++shown >= 10) break;
+    }
+  };
+  render_table(doc.find("top_clients"), "top clients:");
+  render_table(doc.find("top_qnames"), "top qnames:");
+  return out;
+}
+
+int cmd_top(const std::vector<std::string>& args) {
+  util::CliParser cli{"rdns_tool top",
+                      "live terminal monitor polling a serve admin endpoint"};
+  cli.option("interval", "poll/refresh interval in milliseconds", "1000")
+      .option("frames", "frames to render before exiting (0 = until SIGINT)", "0")
+      .flag("no-clear", "do not clear the terminal between frames (append frames)")
+      .positional("endpoint", "admin endpoint to poll (host:port — the `admin on` line)");
+  add_common_options(cli);
+  if (cli.handle_help(args)) return 0;
+  cli.parse(args);
+  apply_common_options(cli);
+
+  const auto endpoint = net::UdpEndpoint::parse(cli.get("endpoint"));
+  if (!endpoint) throw util::CliError{"endpoint must be host:port (e.g. 127.0.0.1:9053)"};
+  const int interval_ms = std::max(50, cli.get_int("interval"));
+  const int frames = std::max(0, cli.get_int("frames"));
+  const bool clear = !cli.get_flag("no-clear");
+
+  std::signal(SIGINT, handle_serve_signal);
+  std::signal(SIGTERM, handle_serve_signal);
+  std::deque<double> qps_history;
+  int rendered = 0;
+  while (g_serve_stop == 0) {
+    std::string error;
+    const auto body = net::http_get(*endpoint, "/stats.json", &error);
+    if (!body) {
+      std::fprintf(stderr, "error: cannot poll %s/stats.json: %s\n",
+                   endpoint->to_string().c_str(), error.c_str());
+      return 2;
+    }
+    const auto doc = util::journal::parse_json(*body, &error);
+    if (!doc) {
+      std::fprintf(stderr, "error: bad stats.json from %s: %s\n",
+                   endpoint->to_string().c_str(), error.c_str());
+      return 2;
+    }
+    const util::journal::JsonValue* qps = doc->find("qps");
+    qps_history.push_back(qps != nullptr ? qps->get_number("1s") : 0.0);
+    while (qps_history.size() > 60) qps_history.pop_front();
+
+    if (clear && rendered > 0) std::fputs("\x1b[H\x1b[2J", stdout);
+    std::fputs(render_top_frame(*doc, qps_history).c_str(), stdout);
+    std::fflush(stdout);
+    if (++rendered >= frames && frames > 0) break;
+    for (int slept = 0; slept < interval_ms && g_serve_stop == 0; slept += 50) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
   return 0;
 }
 
@@ -730,6 +959,7 @@ void print_usage() {
       "  campaign  run the supplemental measurement (Tables 3/4/5 summary)\n"
       "  track     follow a given name's devices (Life of Brian)\n"
       "  serve     host a frozen world's reverse zones on a real UDP port\n"
+      "  top       live terminal monitor polling a serve admin endpoint\n"
       "  verify    replay an event journal (--journal-out) and audit invariants\n"
       "run `rdns_tool <subcommand> --help` for options\n");
 }
@@ -745,6 +975,7 @@ int dispatch(const std::string& command, const std::vector<std::string>& args) {
   if (command == "campaign") return cmd_campaign(args);
   if (command == "track") return cmd_track(args);
   if (command == "serve") return cmd_serve(args);
+  if (command == "top") return cmd_top(args);
   if (command == "verify") return cmd_verify(args);
   print_usage();
   return 2;
@@ -756,17 +987,24 @@ int dispatch(const std::string& command, const std::vector<std::string>& args) {
 struct ObservabilityOptions {
   std::optional<std::string> metrics_out;
   bool trace = false;
+  /// True when `serve --metrics-interval N` (N > 0) streams JSONL snapshots
+  /// itself — main() must not overwrite the stream with a final document.
+  bool metrics_streamed = false;
 };
 
 ObservabilityOptions scan_observability_options(const std::vector<std::string>& args) {
   ObservabilityOptions opts;
+  std::string interval;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     if (arg == "--") break;
     if (arg == "--trace") opts.trace = true;
     if (arg == "--metrics-out" && i + 1 < args.size()) opts.metrics_out = args[i + 1];
     if (arg.rfind("--metrics-out=", 0) == 0) opts.metrics_out = arg.substr(14);
+    if (arg == "--metrics-interval" && i + 1 < args.size()) interval = args[i + 1];
+    if (arg.rfind("--metrics-interval=", 0) == 0) interval = arg.substr(19);
   }
+  opts.metrics_streamed = !interval.empty() && std::atof(interval.c_str()) > 0;
   return opts;
 }
 
@@ -808,7 +1046,7 @@ int main(int argc, char** argv) {
   if (obs.trace) {
     std::fputs(util::trace::Tracer::global().render_text().c_str(), stderr);
   }
-  if (obs.metrics_out) {
+  if (obs.metrics_out && !obs.metrics_streamed) {
     std::ofstream out{*obs.metrics_out};
     if (!out) {
       std::fprintf(stderr, "cannot write %s\n", obs.metrics_out->c_str());

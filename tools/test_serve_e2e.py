@@ -1,25 +1,38 @@
 #!/usr/bin/env python3
-"""End-to-end test for the real UDP serving path.
+"""End-to-end test for the real UDP serving path and its admin plane.
 
 Drives two copies of the real binary:
 
   1. `rdns_tool serve --port 0` hosts a small frozen world's reverse zones
-     on a kernel-assigned loopback port (the port is parsed from stdout);
+     on a kernel-assigned loopback port (the port is parsed from stdout),
+     with the live introspection plane armed: HTTP admin endpoint, sampled
+     tracing with slowlog, JSONL metrics streaming and an event journal;
   2. `rdns_tool sweep --mode wire --transport udp://...` sweeps one day
      against that live server;
   3. the same sweep run in-process (the deterministic reference) must
      produce a byte-identical CSV — the wire format, the serving loop and
      the socket transport may not change a single row;
-  4. SIGTERM must shut the server down cleanly (exit 0) with a summary
-     that accounts for every datagram the sweep sent.
+  4. while the server is still up, the admin plane is scraped end to end:
+     /metrics (Prometheus text), /stats.json (rdns.serve-stats.v1 with
+     heavy-hitter tables), a CHAOS-class TXT query over the serving port
+     itself, and one rendered `rdns_tool top` frame;
+  5. SIGTERM must shut the server down cleanly (exit 0) with a summary
+     that accounts for every datagram the sweep sent;
+  6. the artifacts are validated with check_metrics_schema.py: the journal
+     (serve.start / serve.slowlog / serve.stop), the metrics JSONL stream,
+     and the saved exposition.
 
 Stdlib only; invoked by ctest with the rdns_tool path as argv[1].
 """
 
 import argparse
+import http.client
+import json
 import os
 import re
 import signal
+import socket
+import struct
 import subprocess
 import sys
 import tempfile
@@ -27,6 +40,9 @@ import tempfile
 WORLD_ARGS = ["--orgs", "3", "--seed", "11", "--scale", "0.05"]
 DATE = "2021-01-02"
 SERVE_BANNER = re.compile(r"^serving on 127\.0\.0\.1:(\d+) with (\d+) workers")
+ADMIN_BANNER = re.compile(r"^admin on 127\.0\.0\.1:(\d+)")
+CHECKER = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                       "check_metrics_schema.py")
 
 
 def fail(message):
@@ -44,6 +60,50 @@ def run_sweep(tool, csv_path, extra):
     return proc.stdout
 
 
+def http_get(port, path):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.request("GET", path)
+        resp = conn.getresponse()
+        return resp.status, resp.read().decode("utf-8", "replace")
+    finally:
+        conn.close()
+
+
+def encode_qname(name):
+    wire = b""
+    for label in name.split("."):
+        raw = label.encode("ascii")
+        wire += struct.pack("B", len(raw)) + raw
+    return wire + b"\x00"
+
+
+def chaos_txt_query(port, qname):
+    """Raw CH TXT query against the serving port; returns (rcode, ancount)."""
+    header = struct.pack(">HHHHHH", 0x5EED, 0x0100, 1, 0, 0, 0)
+    question = encode_qname(qname) + struct.pack(">HH", 16, 3)  # TXT, CH
+    with socket.socket(socket.AF_INET, socket.SOCK_DGRAM) as sock:
+        sock.settimeout(10)
+        sock.sendto(header + question, ("127.0.0.1", port))
+        reply, _ = sock.recvfrom(4096)
+    if len(reply) < 12:
+        fail(f"CHAOS reply too short ({len(reply)} bytes)")
+    rid, flags, _, ancount, _, _ = struct.unpack(">HHHHHH", reply[:12])
+    if rid != 0x5EED:
+        fail(f"CHAOS reply id mismatch: {rid:#x}")
+    if not flags & 0x8000:
+        fail("CHAOS reply is not a response (QR=0)")
+    return flags & 0x000F, ancount
+
+
+def run_checker(path, *flags):
+    proc = subprocess.run([sys.executable, CHECKER, path, *flags],
+                          stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                          text=True, timeout=120)
+    if proc.returncode != 0:
+        fail(f"check_metrics_schema.py {' '.join(flags)} {path}: {proc.stdout}")
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("tool", help="path to the rdns_tool binary")
@@ -52,14 +112,22 @@ def main():
     with tempfile.TemporaryDirectory(dir=os.getcwd()) as work:
         ref_csv = os.path.join(work, "inproc.csv")
         udp_csv = os.path.join(work, "udp.csv")
+        journal = os.path.join(work, "journal.jsonl")
+        metrics_jsonl = os.path.join(work, "metrics.jsonl")
+        exposition = os.path.join(work, "metrics.prom")
 
         # Reference: the in-process deterministic path.
         run_sweep(opts.tool, ref_csv, extra=[])
 
-        # Live server over the same world (same seed/scale/date/hour).
+        # Live server over the same world (same seed/scale/date/hour), with
+        # the whole admin plane armed. --slowlog-us 0 turns every sampled
+        # query into a slowlog event, so the journal contract gets exercised.
         server = subprocess.Popen(
             [opts.tool, "serve"] + WORLD_ARGS +
-            ["--date", DATE, "--hour", "14", "--port", "0", "--threads", "2"],
+            ["--date", DATE, "--hour", "14", "--port", "0", "--threads", "2",
+             "--admin-port", "0", "--sample", "8", "--slowlog-us", "0",
+             "--metrics-interval", "0.5", "--metrics-out", metrics_jsonl,
+             "--journal-out", journal],
             stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
         try:
             banner = server.stdout.readline()
@@ -67,7 +135,13 @@ def main():
             if not match:
                 server.kill()
                 fail(f"unparseable serve banner: {banner!r}")
-            port = match.group(1)
+            port = int(match.group(1))
+            admin_line = server.stdout.readline()
+            admin_match = ADMIN_BANNER.match(admin_line)
+            if not admin_match:
+                server.kill()
+                fail(f"unparseable admin banner: {admin_line!r}")
+            admin_port = int(admin_match.group(1))
 
             run_sweep(opts.tool, udp_csv,
                       extra=["--transport", f"udp://127.0.0.1:{port}"])
@@ -81,6 +155,54 @@ def main():
             if ref != udp:
                 fail(f"UDP sweep CSV differs from in-process reference "
                      f"({len(udp)} vs {len(ref)} bytes)")
+
+            # -- admin plane, scraped while the server is live ---------------
+            status, prom = http_get(admin_port, "/metrics")
+            if status != 200 or "# TYPE" not in prom:
+                fail(f"/metrics scrape failed (status {status})")
+            if "rdns_serve_qps" not in prom:
+                fail("/metrics exposition is missing rdns_serve_qps")
+            with open(exposition, "w", encoding="utf-8") as f:
+                f.write(prom)
+
+            status, body = http_get(admin_port, "/stats.json")
+            if status != 200:
+                fail(f"/stats.json scrape failed (status {status})")
+            stats = json.loads(body)
+            if stats.get("schema") != "rdns.serve-stats.v1":
+                fail(f"stats.json schema: {stats.get('schema')!r}")
+            if stats.get("totals", {}).get("received", 0) <= 0:
+                fail("stats.json saw no datagrams after a full sweep")
+            clients = stats.get("top_clients", [])
+            if not clients or clients[0].get("key") != "127.0.0.1":
+                fail(f"top_clients should lead with 127.0.0.1: {clients[:2]!r}")
+            if stats.get("sampled", 0) <= 0:
+                fail("sampled tracing recorded no queries")
+            if stats.get("slowlog", 0) <= 0:
+                fail("slowlog (threshold 0us) recorded no events")
+
+            status, _ = http_get(admin_port, "/no-such-route")
+            if status != 404:
+                fail(f"unknown admin route returned {status}, want 404")
+
+            # CHAOS TXT over the serving port itself.
+            rcode, ancount = chaos_txt_query(port, "stats.rdns")
+            if rcode != 0 or ancount < 1:
+                fail(f"CH TXT stats.rdns: rcode={rcode} ancount={ancount}")
+            rcode, _ = chaos_txt_query(port, "no.such.rdns")
+            if rcode != 3:
+                fail(f"CH TXT unknown name: rcode={rcode}, want NXDOMAIN(3)")
+
+            # One rendered `rdns_tool top` frame against the admin endpoint.
+            top = subprocess.run(
+                [opts.tool, "top", f"127.0.0.1:{admin_port}",
+                 "--frames", "1", "--interval", "100", "--no-clear"],
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                text=True, timeout=60)
+            if top.returncode != 0:
+                fail(f"rdns_tool top exited {top.returncode}: {top.stdout}")
+            if "qps 1s/10s/60s" not in top.stdout or "top clients:" not in top.stdout:
+                fail(f"top frame missing headline/tables: {top.stdout!r}")
 
             # Clean shutdown on SIGTERM, with a datagram accounting line.
             server.send_signal(signal.SIGTERM)
@@ -99,8 +221,19 @@ def main():
         if served < rows:
             fail(f"server answered {served} datagrams but the sweep has {rows} rows")
 
+        # -- artifact validation ------------------------------------------
+        run_checker(journal, "--journal")
+        with open(journal, "r", encoding="utf-8") as f:
+            types = [json.loads(l).get("type") for l in f if l.strip()]
+        for expected in ("manifest", "serve.start", "serve.slowlog", "serve.stop"):
+            if expected not in types:
+                fail(f"journal is missing a {expected} event")
+        run_checker(metrics_jsonl, "--snapshots", "--require-manifest")
+        run_checker(exposition, "--exposition")
+
     print(f"OK: UDP sweep reproduced the in-process CSV byte-for-byte "
-          f"({rows} rows, {served} datagrams served)")
+          f"({rows} rows, {served} datagrams served); admin plane scraped, "
+          f"CHAOS TXT answered, top rendered, artifacts schema-valid")
     return 0
 
 
