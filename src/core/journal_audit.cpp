@@ -26,7 +26,7 @@ const std::unordered_set<std::string>& known_event_types() {
       "campaign.probe",     "campaign.backoff", "campaign.rdns",
       "campaign.group_close", "sweep.org",     "sweep.pass",     "sweep.shard",
       "fault.inject",       "dns.retry",       "campaign.recheck",
-      "sweep.shard_degraded", "sweep.checkpoint",
+      "sweep.shard_degraded", "sweep.checkpoint", "sweep.progress",
   };
   return types;
 }

@@ -1,0 +1,426 @@
+#include "core/run_report.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/metrics.hpp"
+#include "util/strings.hpp"
+
+namespace rdns::core {
+
+namespace journal = rdns::util::journal;
+namespace metrics = rdns::util::metrics;
+
+namespace {
+
+bool read_file(const std::string& path, std::string* out, std::string* error) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+/// Re-emit a parsed JsonValue as compact JSON. Numbers that round-trip as
+/// integers are printed without a decimal point (counter values survive).
+void append_json(std::string& out, const journal::JsonValue& v) {
+  using Kind = journal::JsonValue::Kind;
+  switch (v.kind) {
+    case Kind::Null: out += "null"; return;
+    case Kind::Bool: out += v.boolean ? "true" : "false"; return;
+    case Kind::Number: {
+      const double d = v.number;
+      if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+        out += util::format("%lld", static_cast<long long>(d));
+      } else {
+        out += metrics::json_number(d);
+      }
+      return;
+    }
+    case Kind::String:
+      out += '"';
+      metrics::append_json_escaped(out, v.string);
+      out += '"';
+      return;
+    case Kind::Array: {
+      out += '[';
+      for (std::size_t i = 0; i < v.array.size(); ++i) {
+        if (i != 0) out += ", ";
+        append_json(out, v.array[i]);
+      }
+      out += ']';
+      return;
+    }
+    case Kind::Object: {
+      out += '{';
+      for (std::size_t i = 0; i < v.object.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += '"';
+        metrics::append_json_escaped(out, v.object[i].first);
+        out += "\": ";
+        append_json(out, v.object[i].second);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+/// Second replay pass over the journal: retry chains + sweep.progress.
+/// (journal_audit checks the *invariants*; this pass only aggregates.)
+void scan_journal_lines(std::string_view text, RetryChainStats* retries,
+                        SweepProgressSummary* progress) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) continue;
+    // Cheap pre-filter: only two event types matter here.
+    const bool is_retry = line.find("\"dns.retry\"") != std::string_view::npos;
+    const bool is_progress = line.find("\"sweep.progress\"") != std::string_view::npos;
+    if (!is_retry && !is_progress) continue;
+    const auto parsed = journal::parse_json(line);
+    if (!parsed || parsed->kind != journal::JsonValue::Kind::Object) continue;
+    const std::string type = parsed->get_string("type");
+    if (is_retry && type == "dns.retry") {
+      const auto n = static_cast<std::uint64_t>(std::max<std::int64_t>(0, parsed->get_int("n")));
+      ++retries->retries;
+      if (n == 1) ++retries->chains;
+      retries->longest = std::max(retries->longest, n);
+      retries->total_backoff_s +=
+          static_cast<std::uint64_t>(std::max<std::int64_t>(0, parsed->get_int("delay_s")));
+    } else if (is_progress && type == "sweep.progress") {
+      ++progress->events;
+      progress->last_rows =
+          static_cast<std::uint64_t>(std::max<std::int64_t>(0, parsed->get_int("rows")));
+      progress->last_shards_done =
+          static_cast<std::uint64_t>(std::max<std::int64_t>(0, parsed->get_int("shards_done")));
+      progress->last_shards_total =
+          static_cast<std::uint64_t>(std::max<std::int64_t>(0, parsed->get_int("shards_total")));
+      progress->last_rows_per_s = parsed->get_number("rows_per_s");
+      progress->last_percent = parsed->get_number("percent");
+      const std::string day = parsed->get_string("day");
+      if (!day.empty() &&
+          std::find(progress->days.begin(), progress->days.end(), day) == progress->days.end()) {
+        progress->days.push_back(day);
+      }
+    }
+  }
+}
+
+void scan_flight_dump(std::string_view text, FlightSummary* flight) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) continue;
+    const auto parsed = journal::parse_json(line);
+    if (!parsed || parsed->kind != journal::JsonValue::Kind::Object) continue;
+    if (parsed->has("schema")) {  // segment header
+      ++flight->segments;
+      flight->dropped +=
+          static_cast<std::uint64_t>(std::max<std::int64_t>(0, parsed->get_int("dropped")));
+      continue;
+    }
+    if (!parsed->has("kind")) continue;
+    ++flight->events;
+    ++flight->kind_counts[parsed->get_string("kind", "?")];
+  }
+  flight->present = true;
+}
+
+void append_u64_map_json(std::string& out, const std::map<std::string, std::uint64_t>& m,
+                         const std::string& pad) {
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : m) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += pad + "  \"";
+    metrics::append_json_escaped(out, k);
+    out += util::format("\": %" PRIu64, v);
+  }
+  if (!first) out += '\n' + pad;
+  out += '}';
+}
+
+/// Render one span node (and children, depth-limited) as markdown bullets.
+void render_phase_markdown(std::string& out, const journal::JsonValue& node, int depth) {
+  if (node.kind != journal::JsonValue::Kind::Object) return;
+  out += std::string(static_cast<std::size_t>(depth) * 2, ' ');
+  out += util::format("- `%s`: %.1f ms wall, %.1f ms cpu (x%lld)\n",
+                      node.get_string("name", "?").c_str(), node.get_number("wall_ms"),
+                      node.get_number("cpu_ms"), static_cast<long long>(node.get_int("count", 1)));
+  if (depth >= 3) return;
+  if (const auto* children = node.find("children");
+      children != nullptr && children->kind == journal::JsonValue::Kind::Array) {
+    for (const auto& child : children->array) render_phase_markdown(out, child, depth + 1);
+  }
+}
+
+}  // namespace
+
+RunReport build_run_report(const std::string& journal_path, const std::string& snapshot_path,
+                           const std::string& flight_path, const RunReportOptions& options) {
+  RunReport report;
+  report.title = options.title;
+  report.journal_path = journal_path;
+
+  report.audit = audit_journal_file(journal_path, options.audit);
+  std::string journal_text;
+  if (read_file(journal_path, &journal_text, nullptr)) {
+    scan_journal_lines(journal_text, &report.retries, &report.progress);
+  }
+
+  if (!snapshot_path.empty()) {
+    std::string text;
+    std::string error;
+    if (!read_file(snapshot_path, &text, &error)) {
+      report.errors.push_back("snapshot: " + error);
+    } else if (auto parsed = journal::parse_json(text, &error); !parsed) {
+      report.errors.push_back("snapshot: parse error: " + error);
+    } else if (parsed->get_string("schema") != journal::kObservabilitySchema) {
+      report.errors.push_back("snapshot: unexpected schema \"" + parsed->get_string("schema") +
+                              "\"");
+    } else {
+      report.snapshot_present = true;
+      if (const auto* m = parsed->find("manifest")) {
+        report.snapshot_manifest = manifest_from_json(*m);
+        if (report.audit.manifest) {
+          std::string why;
+          if (!journal::manifests_compatible(*report.audit.manifest, *report.snapshot_manifest,
+                                             &why)) {
+            report.manifest_mismatch = why;
+          }
+        }
+      }
+      if (const auto* counters = parsed->find("counters");
+          counters != nullptr && counters->kind == journal::JsonValue::Kind::Object) {
+        for (const auto& [name, value] : counters->object) {
+          if (value.kind == journal::JsonValue::Kind::Number && value.number >= 0) {
+            report.snapshot_counters[name] = static_cast<std::uint64_t>(value.number);
+          }
+        }
+      }
+      if (const auto* spans = parsed->find("spans")) report.phases = *spans;
+    }
+  }
+
+  if (!flight_path.empty()) {
+    std::string text;
+    std::string error;
+    if (!read_file(flight_path, &text, &error)) {
+      report.errors.push_back("flight: " + error);
+    } else {
+      scan_flight_dump(text, &report.flight);
+      if (report.flight.segments == 0) {
+        report.errors.push_back("flight: no rdns.flight.v1 segment header in " + flight_path);
+      }
+    }
+  }
+
+  return report;
+}
+
+std::string render_run_report_json(const RunReport& report) {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": \"" + std::string(kReportSchema) + "\",\n";
+  out += "  \"title\": \"";
+  metrics::append_json_escaped(out, report.title);
+  out += "\",\n";
+  out += util::format("  \"ok\": %s,\n", report.ok() ? "true" : "false");
+  if (report.audit.manifest) {
+    out += "  \"manifest\": " + journal::manifest_json(*report.audit.manifest) + ",\n";
+  }
+
+  const auto& a = report.audit;
+  out += "  \"audit\": {\n";
+  out += util::format("    \"ok\": %s,\n    \"parsed\": %s,\n", a.ok() ? "true" : "false",
+                      a.parsed ? "true" : "false");
+  out += util::format("    \"events\": %zu,\n    \"violations\": %zu,\n", a.events,
+                      a.violations.size());
+  out += util::format("    \"leases_started\": %" PRIu64 ",\n    \"leases_ended\": %" PRIu64
+                      ",\n    \"ptr_added\": %" PRIu64 ",\n    \"ptr_removed\": %" PRIu64 ",\n",
+                      a.leases_started, a.leases_ended, a.ptr_added, a.ptr_removed);
+  out += util::format("    \"faults_injected\": %" PRIu64 ",\n    \"dns_retries\": %" PRIu64
+                      ",\n    \"stale_ptrs\": %" PRIu64 ",\n    \"degraded_shards\": %" PRIu64
+                      ",\n",
+                      a.faults_injected, a.dns_retries, a.stale_ptrs, a.degraded_shards);
+  out += "    \"violation_samples\": [";
+  const std::size_t sample_count = std::min<std::size_t>(a.violations.size(), 10);
+  for (std::size_t i = 0; i < sample_count; ++i) {
+    const auto& v = a.violations[i];
+    out += i != 0 ? ",\n      " : "\n      ";
+    out += util::format("{\"line\": %zu, \"invariant\": \"", v.line);
+    metrics::append_json_escaped(out, v.invariant);
+    out += "\", \"detail\": \"";
+    metrics::append_json_escaped(out, v.detail);
+    out += "\"}";
+  }
+  out += sample_count != 0 ? "\n    ]\n" : "]\n";
+  out += "  },\n";
+
+  out += "  \"event_counts\": ";
+  append_u64_map_json(out, a.event_counts, "  ");
+  out += ",\n";
+
+  out += util::format("  \"retry_chains\": {\"chains\": %" PRIu64 ", \"retries\": %" PRIu64
+                      ", \"longest\": %" PRIu64 ", \"total_backoff_s\": %" PRIu64 "},\n",
+                      report.retries.chains, report.retries.retries, report.retries.longest,
+                      report.retries.total_backoff_s);
+
+  const auto& p = report.progress;
+  out += util::format("  \"sweep_progress\": {\"events\": %" PRIu64 ", \"rows\": %" PRIu64
+                      ", \"shards_done\": %" PRIu64 ", \"shards_total\": %" PRIu64
+                      ", \"rows_per_s\": %s, \"percent\": %s, \"days\": [",
+                      p.events, p.last_rows, p.last_shards_done, p.last_shards_total,
+                      metrics::json_number(p.last_rows_per_s).c_str(),
+                      metrics::json_number(p.last_percent).c_str());
+  for (std::size_t i = 0; i < p.days.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += '"';
+    metrics::append_json_escaped(out, p.days[i]);
+    out += '"';
+  }
+  out += "]},\n";
+
+  const auto& f = report.flight;
+  out += util::format("  \"flight\": {\"present\": %s, \"segments\": %" PRIu64
+                      ", \"events\": %" PRIu64 ", \"dropped\": %" PRIu64 ", \"kinds\": ",
+                      f.present ? "true" : "false", f.segments, f.events, f.dropped);
+  append_u64_map_json(out, f.kind_counts, "  ");
+  out += "},\n";
+
+  out += "  \"phases\": ";
+  append_json(out, report.phases);
+  out += ",\n";
+
+  if (!report.manifest_mismatch.empty()) {
+    out += "  \"manifest_mismatch\": \"";
+    metrics::append_json_escaped(out, report.manifest_mismatch);
+    out += "\",\n";
+  }
+  out += "  \"errors\": [";
+  for (std::size_t i = 0; i < report.errors.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += '"';
+    metrics::append_json_escaped(out, report.errors[i]);
+    out += '"';
+  }
+  out += "]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string render_run_report_markdown(const RunReport& report) {
+  std::string out;
+  out += "# " + report.title + "\n\n";
+
+  if (report.audit.manifest) {
+    const auto& m = *report.audit.manifest;
+    out += util::format(
+        "Run: tool `%s`, version `%s`, seed %" PRIu64 ", faults `%s`, world digest %016" PRIx64
+        ".\n\n",
+        m.tool.c_str(), m.version.c_str(), m.seed, m.faults.c_str(), m.world_digest);
+  }
+  if (!report.manifest_mismatch.empty()) {
+    out += "> **Warning**: snapshot provenance differs from the journal (" +
+           report.manifest_mismatch + ").\n\n";
+  }
+
+  const auto& a = report.audit;
+  out += "## Audit\n\n";
+  if (!a.parsed) {
+    out += "Journal unreadable: `" + report.journal_path + "`.\n\n";
+  } else {
+    out += util::format("%s — %zu events replayed, %zu invariant violation(s).\n\n",
+                        a.ok() ? "**PASS**" : "**FAIL**", a.events, a.violations.size());
+    for (std::size_t i = 0; i < std::min<std::size_t>(a.violations.size(), 10); ++i) {
+      const auto& v = a.violations[i];
+      out += util::format("- line %zu `%s`: %s\n", v.line, v.invariant.c_str(), v.detail.c_str());
+    }
+    if (a.violations.size() > 10) {
+      out += util::format("- … %zu more\n", a.violations.size() - 10);
+    }
+    if (!a.violations.empty()) out += "\n";
+    out += "| lifecycle | count |\n|---|---|\n";
+    out += util::format("| leases started | %" PRIu64 " |\n", a.leases_started);
+    out += util::format("| leases ended | %" PRIu64 " |\n", a.leases_ended);
+    out += util::format("| PTR added | %" PRIu64 " |\n", a.ptr_added);
+    out += util::format("| PTR removed | %" PRIu64 " |\n", a.ptr_removed);
+    out += "\n";
+  }
+
+  out += "## Faults and resilience\n\n";
+  out += util::format("%" PRIu64 " fault(s) injected; %" PRIu64
+                      " stale PTR(s) excused by lost DynDNS removals; %" PRIu64
+                      " sweep shard(s) degraded.\n\n",
+                      a.faults_injected, a.stale_ptrs, a.degraded_shards);
+  const auto& r = report.retries;
+  out += util::format("Resolver retries: %" PRIu64 " chain(s), %" PRIu64
+                      " retry event(s), longest chain %" PRIu64 ", %" PRIu64
+                      " s total simulated back-off.\n\n",
+                      r.chains, r.retries, r.longest, r.total_backoff_s);
+
+  const auto& p = report.progress;
+  out += "## Sweep progress\n\n";
+  if (p.events == 0) {
+    out += "No sweep.progress events (progress plane not armed).\n\n";
+  } else {
+    out += util::format("%" PRIu64 " progress sample(s); last: %" PRIu64 "/%" PRIu64
+                        " shards (%.1f%%), %" PRIu64 " rows, %.0f rows/s.\n",
+                        p.events, p.last_shards_done, p.last_shards_total, p.last_percent,
+                        p.last_rows, p.last_rows_per_s);
+    if (!p.days.empty()) {
+      out += "Days:";
+      for (const auto& d : p.days) out += " " + d;
+      out += "\n";
+    }
+    out += "\n";
+  }
+
+  const auto& f = report.flight;
+  out += "## Flight recorder\n\n";
+  if (!f.present) {
+    out += "No flight dump supplied.\n\n";
+  } else {
+    out += util::format("%" PRIu64 " event(s) across %" PRIu64 " segment(s), %" PRIu64
+                        " dropped by ring wrap.\n\n",
+                        f.events, f.segments, f.dropped);
+    if (!f.kind_counts.empty()) {
+      out += "| kind | events |\n|---|---|\n";
+      for (const auto& [kind, count] : f.kind_counts) {
+        out += util::format("| `%s` | %" PRIu64 " |\n", kind.c_str(), count);
+      }
+      out += "\n";
+    }
+  }
+
+  out += "## Phase timing\n\n";
+  if (report.phases.kind != journal::JsonValue::Kind::Object) {
+    out += "No span tree (run without --metrics-out, or tracing disabled).\n";
+  } else {
+    render_phase_markdown(out, report.phases, 0);
+  }
+
+  if (!report.errors.empty()) {
+    out += "\n## Input problems\n\n";
+    for (const auto& e : report.errors) out += "- " + e + "\n";
+  }
+  return out;
+}
+
+}  // namespace rdns::core

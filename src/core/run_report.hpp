@@ -1,0 +1,115 @@
+#pragma once
+/// \file run_report.hpp
+/// Unified run report (`rdns_tool report`): folds the observability
+/// artifacts one run leaves behind — the journal, an optional metrics
+/// snapshot (rdns.observability.v1) and an optional flight-recorder dump
+/// (rdns.flight.v1) — into a single schema-versioned `rdns.report.v1`
+/// JSON document plus a markdown narrative.
+///
+/// The report is derived entirely from the artifact files, never from
+/// in-process state, so a report can be produced on any machine for a run
+/// performed anywhere (the same property journal_audit has). On top of the
+/// auditor's invariant replay it adds the aggregations a human asks for
+/// first:
+///
+///   - retry-chain statistics: how many dns.retry chains ran, the longest
+///     chain, total simulated back-off spent;
+///   - fault-excusal accounting: injected faults vs the stale PTRs and
+///     degraded shards they excuse (journal_audit's Fig. 7 failure tail);
+///   - sweep progress: the last sweep.progress sample per run plus the
+///     set of sweep days covered;
+///   - flight-recorder summary: events per kind, drops, segments;
+///   - per-phase timing from the snapshot's span tree.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/journal_audit.hpp"
+#include "util/journal.hpp"
+
+namespace rdns::core {
+
+inline constexpr const char* kReportSchema = "rdns.report.v1";
+
+struct RunReportOptions {
+  std::string title = "rdns run report";
+  AuditConfig audit;
+};
+
+/// dns.retry chain statistics replayed from the journal. A chain starts at
+/// an `n == 1` retry event and grows while `n` increments for the same
+/// qname (the journal is shard-ordered, so per-qname events are
+/// consecutive).
+struct RetryChainStats {
+  std::uint64_t chains = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t longest = 0;          ///< max n observed
+  std::uint64_t total_backoff_s = 0;  ///< sum of delay_s
+};
+
+/// Folded view of the sweep.progress event stream (empty when the run did
+/// not arm the progress plane).
+struct SweepProgressSummary {
+  std::uint64_t events = 0;
+  std::uint64_t last_rows = 0;
+  std::uint64_t last_shards_done = 0;
+  std::uint64_t last_shards_total = 0;
+  double last_rows_per_s = 0;
+  double last_percent = 0;
+  std::vector<std::string> days;  ///< distinct sweep days, in first-seen order
+};
+
+/// Folded view of an rdns.flight.v1 dump (all segments).
+struct FlightSummary {
+  bool present = false;
+  std::uint64_t segments = 0;
+  std::uint64_t events = 0;
+  std::uint64_t dropped = 0;
+  std::map<std::string, std::uint64_t> kind_counts;
+};
+
+struct RunReport {
+  std::string title;
+  std::string journal_path;
+
+  JournalAuditReport audit;
+  RetryChainStats retries;
+  SweepProgressSummary progress;
+  FlightSummary flight;
+
+  bool snapshot_present = false;
+  /// The snapshot's "spans" subtree, re-emitted verbatim as the report's
+  /// "phases" member (Kind::Null when no snapshot / no spans).
+  util::journal::JsonValue phases;
+  /// Counter map lifted from the snapshot (name -> value), for the
+  /// markdown headline numbers.
+  std::map<std::string, std::uint64_t> snapshot_counters;
+  std::optional<util::journal::RunManifest> snapshot_manifest;
+  /// Non-empty when the snapshot's manifest is not provenance-compatible
+  /// with the journal's (journal::manifests_compatible).
+  std::string manifest_mismatch;
+
+  /// I/O or parse problems with the *optional* inputs (snapshot, flight).
+  /// A broken journal surfaces through audit.parsed instead.
+  std::vector<std::string> errors;
+
+  [[nodiscard]] bool ok() const noexcept { return audit.ok() && errors.empty(); }
+};
+
+/// Build the report. `snapshot_path` / `flight_path` may be empty (those
+/// sections are then marked absent rather than erroring).
+[[nodiscard]] RunReport build_run_report(const std::string& journal_path,
+                                         const std::string& snapshot_path = {},
+                                         const std::string& flight_path = {},
+                                         const RunReportOptions& options = {});
+
+/// The `rdns.report.v1` JSON document (pretty-printed, trailing newline).
+[[nodiscard]] std::string render_run_report_json(const RunReport& report);
+
+/// Markdown narrative of the same report.
+[[nodiscard]] std::string render_run_report_markdown(const RunReport& report);
+
+}  // namespace rdns::core

@@ -417,14 +417,9 @@ std::string ServeIntrospection::render_prometheus() {
   aggregate_now();
   const Aggregate agg = aggregate();
   std::ostringstream out;
-  metrics::Registry::global().write_prometheus(out);
-
-  const auto manifest = util::journal::Journal::global().manifest();
-  out << "# TYPE rdns_build_info gauge\n";
-  out << "rdns_build_info{version=\""
-      << metrics::prometheus_label_value(util::journal::version_string()) << "\",tool=\""
-      << metrics::prometheus_label_value(manifest.has_value() ? manifest->tool : "serve")
-      << "\"} 1\n";
+  // Shared admin-plane prefix (registry + rdns_build_info), then the
+  // serve-specific gauges.
+  out << net::prometheus_registry_page("serve");
 
   out << "# TYPE rdns_serve_qps gauge\n";
   out << "rdns_serve_qps{window=\"1s\"} " << metrics::json_number(agg.qps_1s) << "\n";
@@ -499,16 +494,10 @@ std::string ServeIntrospection::render_stats_json() {
 }
 
 void ServeIntrospection::install_http_routes(net::AdminHttpServer& http) {
-  http.route("/metrics", [this](const std::string&) {
-    return net::HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
-                             render_prometheus()};
-  });
+  net::install_admin_routes(http, "rdns admin plane\nroutes: /metrics /stats.json\n",
+                            [this] { return render_prometheus(); });
   http.route("/stats.json", [this](const std::string&) {
     return net::HttpResponse{200, "application/json", render_stats_json()};
-  });
-  http.route("/", [](const std::string&) {
-    return net::HttpResponse{200, "text/plain; charset=utf-8",
-                             "rdns admin plane\nroutes: /metrics /stats.json\n"};
   });
 }
 

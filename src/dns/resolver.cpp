@@ -4,6 +4,7 @@
 
 #include "dns/wire.hpp"
 #include "net/arpa.hpp"
+#include "util/flight.hpp"
 #include "util/journal.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
@@ -60,6 +61,9 @@ struct LookupNote {
       e.num("attempts", result.attempts);
       journal->emit(e);
     }
+    util::flight::record(util::flight::Kind::QueryDone,
+                         static_cast<std::uint64_t>(result.attempts),
+                         static_cast<std::uint64_t>(result.status));
   }
 };
 
@@ -102,7 +106,15 @@ LookupResult StubResolver::lookup(const DnsName& qname, RrType qtype, util::SimT
     ++result.attempts;
     ++stats_.queries_sent;
     resolver_metrics().queries_sent.inc();
+    util::flight::record(util::flight::Kind::QueryIssue, id,
+                         static_cast<std::uint64_t>(attempt));
     const auto response_wire = transport_->exchange(query_wire, now);
+    if (!response_wire) {
+      // Covers both the in-process injected timeout and a UDP transport
+      // whose poll deadline expired — the transports share this seam.
+      util::flight::record(util::flight::Kind::Timeout, id,
+                           static_cast<std::uint64_t>(attempt));
+    }
 
     // Outcomes that end the lookup return directly; the fallthrough below
     // is the retryable set: timeout, mismatched transaction, truncation.
@@ -177,6 +189,9 @@ LookupResult StubResolver::lookup(const DnsName& qname, RrType qtype, util::SimT
     const std::uint64_t delay = base + jitter;
     ++stats_.retries;
     stats_.backoff_s += delay;
+    util::flight::record(util::flight::Kind::Retry, id,
+                         static_cast<std::uint64_t>(attempt));
+    util::flight::record(util::flight::Kind::Backoff, delay, base);
     if (journal_ != nullptr) {
       util::journal::Event e{"dns.retry", now};
       e.str("qname", qname.to_string())

@@ -11,7 +11,11 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
 #include <string_view>
+
+#include "util/journal.hpp"
+#include "util/metrics.hpp"
 
 namespace rdns::net {
 
@@ -264,6 +268,29 @@ std::optional<std::string> http_get(const UdpEndpoint& server, const std::string
     return std::nullopt;
   }
   return reply.substr(header_end + 4);
+}
+
+std::string prometheus_registry_page(const std::string& default_tool) {
+  namespace metrics = util::metrics;
+  std::ostringstream out;
+  metrics::Registry::global().write_prometheus(out);
+  const auto manifest = util::journal::Journal::global().manifest();
+  out << "# TYPE rdns_build_info gauge\n";
+  out << "rdns_build_info{version=\""
+      << metrics::prometheus_label_value(util::journal::version_string()) << "\",tool=\""
+      << metrics::prometheus_label_value(manifest.has_value() ? manifest->tool : default_tool)
+      << "\"} 1\n";
+  return out.str();
+}
+
+void install_admin_routes(AdminHttpServer& http, std::string index_body,
+                          std::function<std::string()> metrics_page) {
+  http.route("/metrics", [page = std::move(metrics_page)](const std::string&) {
+    return HttpResponse{200, kPrometheusContentType, page()};
+  });
+  http.route("/", [body = std::move(index_body)](const std::string&) {
+    return HttpResponse{200, "text/plain; charset=utf-8", body};
+  });
 }
 
 }  // namespace rdns::net

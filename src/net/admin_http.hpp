@@ -76,4 +76,23 @@ class AdminHttpServer {
                                                   std::string* error = nullptr,
                                                   int timeout_ms = 2000);
 
+/// Prometheus text content type (exposition format 0.0.4).
+inline constexpr const char* kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+/// The page every admin plane serves at /metrics: the global metrics
+/// registry in Prometheus text plus an `rdns_build_info` line carrying the
+/// binary version and the RunManifest tool name (`default_tool` when no
+/// manifest was recorded). Plane-specific gauges are appended by the
+/// caller's metrics renderer.
+[[nodiscard]] std::string prometheus_registry_page(const std::string& default_tool);
+
+/// Install the routes shared by every admin plane — "/" (a plain-text
+/// index, conventionally listing the registered routes) and "/metrics"
+/// (rendered by `metrics_page`, served with kPrometheusContentType) — on
+/// a not-yet-started server. serve and sweep both build their planes on
+/// this plus their own JSON route (/stats.json, /progress.json).
+void install_admin_routes(AdminHttpServer& http, std::string index_body,
+                          std::function<std::string()> metrics_page);
+
 }  // namespace rdns::net

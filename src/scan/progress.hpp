@@ -1,0 +1,207 @@
+#pragma once
+/// \file progress.hpp
+/// Live progress plane for wire sweeps — the scan-side sibling of
+/// dns::ServeIntrospection (PR 7), built on the same seqlock probe
+/// design:
+///
+///   sweep workers --> ShardProbe (per-lease seqlock slot, relaxed words)
+///                         |
+///                  aggregation thread (~250 ms): fold slots -> totals,
+///                  RateWindows rows/s + shards/s, ETA, peak RSS, and
+///                  sweep.* gauges in the metrics registry
+///                         |
+///        +----------------+--------------------+
+///        |                |                    |
+///   --progress TTY    sweep.progress       /progress.json + /metrics
+///   status line       journal events       (net::AdminHttpServer)
+///   (sparkline)       (sim-time stamped)
+///
+/// Probes are leased, not thread-bound: a worker acquires one per shard
+/// task and releases it when the shard ends, so each slot always has
+/// exactly one writer (the seqlock invariant) while the pool is free to
+/// run shards on any thread. Probe counters are cumulative; a released
+/// probe carries its totals to the next lease-holder.
+///
+/// Determinism contract: the plane only *observes*. Shard order, resolver
+/// id seeds and the ordered-merge consumer are untouched, so the sweep
+/// CSV stays byte-identical at any thread count with the plane armed.
+/// `sweep.progress` journal events are stamped with the frozen sim clock
+/// (non-decreasing `t` holds) but their interleaving with worker-emitted
+/// shard events depends on wall time — which is why the plane is opt-in
+/// (--progress / --admin-port) and byte-identity is promised for the CSV,
+/// not the journal, when armed.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace rdns::net {
+class AdminHttpServer;
+}  // namespace rdns::net
+
+namespace rdns::scan {
+
+class SweepProgressPlane {
+ public:
+  struct Options {
+    unsigned aggregate_interval_ms = 250;
+    /// Render a `\r` status line (with a rows/s sparkline) to stderr on
+    /// every aggregation pass.
+    bool tty_status = false;
+    /// Emit a `sweep.progress` journal event every N aggregation passes
+    /// (0 = never). Default 4 passes = roughly one event per second.
+    unsigned journal_every = 4;
+  };
+
+  /// One aggregated view of the sweep, atomic as a whole (copied out of
+  /// the aggregator under a mutex, like ServeIntrospection::Aggregate).
+  struct Snapshot {
+    std::uint64_t shards_done = 0;   ///< includes checkpoint-skipped shards
+    std::uint64_t shards_total = 0;
+    std::uint64_t rows = 0;
+    std::uint64_t queries = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t reruns = 0;
+    double rows_per_s_1s = 0;
+    double rows_per_s_10s = 0;
+    double rows_per_s_60s = 0;
+    double shards_per_s_10s = 0;
+    double percent = 0;     ///< shards done / total, 0..100
+    double eta_s = -1;      ///< wall-clock estimate; < 0 = unknown yet
+    double uptime_s = 0;
+    std::uint64_t peak_rss_bytes = 0;
+    std::size_t probes = 0;
+    std::string day;        ///< civil date of the active sweep pass
+  };
+
+  /// Per-lease seqlock probe: the owning worker accumulates plain local
+  /// counters and publish() writes them into an epoch-versioned slot of
+  /// relaxed atomics (write side of dns::ServeIntrospection's protocol).
+  class ShardProbe {
+   public:
+    /// Publish current totals so a freshly leased probe becomes visible
+    /// to the aggregator before its first shard completes.
+    void on_shard_start() noexcept { publish(); }
+    void on_shard_finish(std::uint64_t rows, std::uint64_t queries, std::uint64_t retries,
+                         bool degraded, std::uint64_t reruns) noexcept;
+    /// Publish the cumulative counters (seqlock write protocol).
+    void publish() noexcept;
+
+   private:
+    friend class SweepProgressPlane;
+    static constexpr std::size_t kWords = 6;
+
+    struct Slot {
+      std::atomic<std::uint64_t> epoch{0};
+      std::atomic<std::uint64_t> words[kWords] = {};
+    };
+
+    std::uint64_t done_ = 0;
+    std::uint64_t rows_ = 0;
+    std::uint64_t queries_ = 0;
+    std::uint64_t retries_ = 0;
+    std::uint64_t degraded_ = 0;
+    std::uint64_t reruns_ = 0;
+    Slot slot_;
+  };
+
+  SweepProgressPlane();
+  explicit SweepProgressPlane(const Options& options);
+  ~SweepProgressPlane();
+
+  SweepProgressPlane(const SweepProgressPlane&) = delete;
+  SweepProgressPlane& operator=(const SweepProgressPlane&) = delete;
+
+  /// Launch the aggregation thread. Idempotent.
+  void start();
+  /// Final aggregation pass, stop the thread, finish the TTY line.
+  void stop();
+
+  /// Announce one sweep pass (sweep_wire calls this before sharding).
+  /// `skipped` shards were committed by a checkpointed predecessor and
+  /// count as done immediately; `now` stamps this pass's journal events.
+  void begin_pass(std::size_t shards_total, std::size_t skipped, std::string day,
+                  util::SimTime now);
+
+  /// Lease a probe for one shard task (creates one if all are leased; the
+  /// pool bounds concurrency, so the pool size bounds the probe count).
+  ShardProbe* acquire_probe();
+  void release_probe(ShardProbe* probe);
+
+  /// Fold the probe slots now (also runs every aggregate_interval_ms on
+  /// the plane thread).
+  void aggregate_now();
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// `rdns.sweep-progress.v1` JSON document for /progress.json.
+  [[nodiscard]] std::string render_progress_json() const;
+  /// The --progress TTY line (no trailing newline or carriage return).
+  [[nodiscard]] std::string render_status_line() const;
+  /// /metrics page: shared registry prefix + rdns_sweep_* gauges.
+  [[nodiscard]] std::string render_prometheus() const;
+  /// Register /progress.json plus the shared "/" and /metrics routes.
+  void install_http_routes(net::AdminHttpServer& http);
+
+ private:
+  void fold_totals(std::uint64_t (&totals)[ShardProbe::kWords], std::size_t* probe_count) const;
+  void aggregate_pass();
+  void run();
+
+  Options options_;
+
+  mutable std::mutex probes_mu_;  ///< guards probes_ and free_
+  std::vector<std::unique_ptr<ShardProbe>> probes_;
+  std::vector<ShardProbe*> free_;
+
+  std::atomic<std::uint64_t> pass_total_{0};
+  std::atomic<std::uint64_t> pass_base_done_{0};  ///< probe shards done when the pass began
+  std::atomic<std::uint64_t> pass_skipped_{0};
+  std::atomic<std::uint64_t> sim_now_{0};
+  mutable std::mutex day_mu_;
+  std::string day_;
+
+  mutable std::mutex agg_mu_;  ///< guards latest_
+  Snapshot latest_;
+
+  mutable std::mutex pass_mu_;  ///< serializes aggregate passes + their state below
+  std::unique_ptr<struct ProgressRates> rates_;  ///< RateWindows live in the .cpp
+  std::deque<double> rate_history_;
+  unsigned passes_ = 0;
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  bool running_ = false;
+  std::chrono::steady_clock::time_point started_at_{};
+};
+
+/// RAII lease used by sweep_wire workers; tolerates a null plane.
+class ProgressProbeLease {
+ public:
+  explicit ProgressProbeLease(SweepProgressPlane* plane)
+      : plane_(plane), probe_(plane != nullptr ? plane->acquire_probe() : nullptr) {}
+  ~ProgressProbeLease() {
+    if (probe_ != nullptr) plane_->release_probe(probe_);
+  }
+  ProgressProbeLease(const ProgressProbeLease&) = delete;
+  ProgressProbeLease& operator=(const ProgressProbeLease&) = delete;
+
+  [[nodiscard]] SweepProgressPlane::ShardProbe* probe() const noexcept { return probe_; }
+
+ private:
+  SweepProgressPlane* plane_;
+  SweepProgressPlane::ShardProbe* probe_;
+};
+
+}  // namespace rdns::scan

@@ -4,7 +4,9 @@
 #include <mutex>
 
 #include "net/ip_bitset.hpp"
+#include "scan/progress.hpp"
 #include "util/faults.hpp"
+#include "util/flight.hpp"
 #include "util/journal.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
@@ -261,6 +263,10 @@ std::uint64_t sweep_wire(sim::World& world, const util::CivilDate& date, Snapsho
   const std::uint64_t budget = inj != nullptr ? inj->profile().shard_retry_budget : 0;
   const int max_attempts = budget > 0 ? 2 : 1;
 
+  if (options.progress != nullptr) {
+    options.progress->begin_pass(shards.size(), options.skip_shards, date_text, now);
+  }
+
   pool.parallel_for_chunks(
       shards.size(), /*chunk=*/1,
       [&](std::size_t shard_index, std::uint64_t /*begin*/, std::uint64_t /*end*/) {
@@ -271,8 +277,11 @@ std::uint64_t sweep_wire(sim::World& world, const util::CivilDate& date, Snapsho
           return;
         }
         ShardRows out;
+        const ProgressProbeLease lease{options.progress};
         try {
           const SweepShard& shard = shards[shard_index];
+          util::flight::record(util::flight::Kind::ShardStart, shard.first, shard_index);
+          if (lease.probe() != nullptr) lease.probe()->on_shard_start();
           // Transport per shard: the in-process frozen view by default, or
           // a caller-supplied socket transport (UDP sweeps). Only the
           // in-process view carries per-org server stats to fold back.
@@ -289,6 +298,7 @@ std::uint64_t sweep_wire(sim::World& world, const util::CivilDate& date, Snapsho
           dns::ResolverStats shard_stats;
           util::journal::Buffer buf;
           bool exhausted = false;
+          std::uint64_t reruns = 0;
           for (int attempt = 0; attempt < max_attempts; ++attempt) {
             out.rows.clear();
             out.bytes.clear();
@@ -339,7 +349,10 @@ std::uint64_t sweep_wire(sim::World& world, const util::CivilDate& date, Snapsho
               buf.emit(e);
             }
             if (!exhausted) break;
-            if (attempt + 1 < max_attempts) sm.shard_reruns.inc();
+            if (attempt + 1 < max_attempts) {
+              sm.shard_reruns.inc();
+              ++reruns;
+            }
           }
           if (exhausted) {
             // Graceful degradation: both attempts burned their budget, so
@@ -356,6 +369,15 @@ std::uint64_t sweep_wire(sim::World& world, const util::CivilDate& date, Snapsho
                   .str("last", net::Ipv4Addr{shard.last}.to_string());
               buf.emit(e);
             }
+          }
+          if (out.degraded) {
+            util::flight::record(util::flight::Kind::ShardDegrade, shard.first, shard_index);
+          } else {
+            util::flight::record(util::flight::Kind::ShardFinish, out.row_count, shard_index);
+          }
+          if (lease.probe() != nullptr) {
+            lease.probe()->on_shard_finish(out.row_count, shard_stats.queries_sent,
+                                           shard_stats.retries, out.degraded, reruns);
           }
           sm.shard_rows.observe(static_cast<double>(out.row_count));
           if (jrn != nullptr) out.journal_lines = buf.take();

@@ -26,6 +26,8 @@
 
 namespace rdns::scan {
 
+class SweepProgressPlane;
+
 /// Sentinel PTR value recorded for a /24 shard whose retry budget was
 /// exhausted on every attempt (graceful degradation instead of aborting
 /// the sweep). A valid DNS name under the reserved "invalid." TLD, so CSV
@@ -139,6 +141,10 @@ struct WireSweepOptions {
   /// sweep against a server built from the same seed/scale reproduces the
   /// in-process CSV byte for byte (faults disarmed).
   std::function<std::unique_ptr<dns::Transport>()> make_transport;
+  /// Live progress plane (scan/progress.hpp). Observe-only: workers lease
+  /// a seqlock probe per shard and the plane aggregates on its own
+  /// thread, so arming it never changes the CSV byte stream. Null = off.
+  SweepProgressPlane* progress = nullptr;
 };
 
 /// Performs one full sweep by issuing a wire-format PTR query per address

@@ -1,6 +1,7 @@
 #include "scan/reactive.hpp"
 
 #include "util/faults.hpp"
+#include "util/flight.hpp"
 #include "util/journal.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
@@ -42,6 +43,8 @@ namespace journal = rdns::util::journal;
 /// `next_s` seconds, having completed `probes_done` probes in the current
 /// phase. The auditor replays these against BackoffSchedule (Table 2).
 void journal_backoff(const GroupSummary& group, int probes_done, SimTime next_s, SimTime now) {
+  util::flight::record(util::flight::Kind::CampaignBackoff, static_cast<std::uint64_t>(next_s),
+                       static_cast<std::uint32_t>(probes_done));
   if (auto* j = journal::active()) {
     journal::Event e{"campaign.backoff", now};
     e.unum("group", group.group_id).num("n", probes_done).num("next_s", next_s);
@@ -320,6 +323,8 @@ void ReactiveEngine::do_probe(net::Ipv4Addr address) {
   CampaignMetrics& cm = campaign_metrics();
   cm.icmp_probes.inc();
   cm.backoff_probe_index.observe(static_cast<double>(tracked.probes_in_phase));
+  util::flight::record(util::flight::Kind::ProbeSent, address.value(),
+                       static_cast<std::uint32_t>(tracked.probes_in_phase));
   // Emitted before any follow-up lookup: the lookup can advance the sim
   // clock past `now` (rate limiting), and the stream must stay monotonic.
   if (auto* j = util::journal::active()) {

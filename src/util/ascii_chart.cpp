@@ -188,4 +188,28 @@ std::string render_histogram(const std::vector<std::int64_t>& bins, double bin_l
   return out;
 }
 
+std::string render_sparkline(const std::vector<double>& values, int width) {
+  static constexpr char kRamp[] = " .:-=+*#@";
+  constexpr int kLevels = static_cast<int>(sizeof(kRamp) - 2);  // index of '@'
+  if (values.empty() || width <= 0) return {};
+  const std::size_t take = std::min(values.size(), static_cast<std::size_t>(width));
+  const std::size_t from = values.size() - take;
+  double lo = values[from];
+  double hi = values[from];
+  for (std::size_t i = from; i < values.size(); ++i) {
+    lo = std::min(lo, values[i]);
+    hi = std::max(hi, values[i]);
+  }
+  std::string out;
+  out.reserve(take);
+  for (std::size_t i = from; i < values.size(); ++i) {
+    int level = kLevels;  // flat series renders at full intensity
+    if (hi > lo) {
+      level = static_cast<int>(std::llround((values[i] - lo) / (hi - lo) * kLevels));
+    }
+    out.push_back(kRamp[std::clamp(level, 0, kLevels)]);
+  }
+  return out;
+}
+
 }  // namespace rdns::util

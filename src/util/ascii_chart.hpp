@@ -50,4 +50,10 @@ struct ChartOptions {
 [[nodiscard]] std::string render_histogram(const std::vector<std::int64_t>& bins, double bin_lo,
                                            double bin_width, const ChartOptions& opts);
 
+/// Render a one-line sparkline of `values` (newest last), at most `width`
+/// characters wide (older values are dropped). Pure ASCII — intensity
+/// ramp " .:-=+*#@" scaled to the visible min/max — so it embeds safely
+/// in \r status lines and logs. Empty input renders an empty string.
+[[nodiscard]] std::string render_sparkline(const std::vector<double>& values, int width = 32);
+
 }  // namespace rdns::util

@@ -1,5 +1,6 @@
 #include "util/faults.hpp"
 
+#include "util/flight.hpp"
 #include "util/journal.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
@@ -159,6 +160,8 @@ bool Injector::should_fail(Site site, std::uint64_t entity, std::uint64_t attemp
   m.injected.inc();
   m.per_site[static_cast<std::size_t>(site)]->inc();
   m.site_index.observe(static_cast<double>(static_cast<std::size_t>(site)));
+  flight::record(flight::Kind::FaultHit, entity,
+                 static_cast<std::uint64_t>(site));
   return true;
 }
 

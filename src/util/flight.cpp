@@ -1,0 +1,266 @@
+#include "util/flight.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+
+#include "util/journal.hpp"
+#include "util/metrics.hpp"
+
+namespace rdns::util::flight {
+
+namespace {
+
+constexpr std::size_t kWordsPerSlot = 3;
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t c = 1;
+  while (c < n) c <<= 1;
+  return c;
+}
+
+/// Instance ids disambiguate the per-thread ring cache: comparing cached
+/// owner *pointers* would misfire if a test recorder were destroyed and a
+/// new one allocated at the same address.
+std::atomic<std::uint64_t> g_instance_ids{1};
+
+}  // namespace
+
+const char* to_string(Kind kind) noexcept {
+  switch (kind) {
+    case Kind::QueryIssue: return "query.issue";
+    case Kind::QueryDone: return "query.done";
+    case Kind::Retry: return "query.retry";
+    case Kind::Backoff: return "query.backoff";
+    case Kind::Timeout: return "query.timeout";
+    case Kind::FaultHit: return "fault.hit";
+    case Kind::ShardStart: return "shard.start";
+    case Kind::ShardFinish: return "shard.finish";
+    case Kind::ShardDegrade: return "shard.degrade";
+    case Kind::ProbeSent: return "probe.sent";
+    case Kind::CampaignBackoff: return "campaign.backoff";
+    case Kind::kCount: break;
+  }
+  return "?";
+}
+
+/// One ring per recording thread. Exactly one writer (the owning thread);
+/// `head` counts events ever recorded and is published with release so a
+/// drain that acquires it sees fully written slots. Payload cells are
+/// relaxed atomics: a wrap during a drain reuses cells the drain may be
+/// copying, which is a value race the drain detects (and drops), never a
+/// data race.
+struct FlightRecorder::ThreadRing {
+  ThreadRing(std::uint16_t index, std::size_t capacity)
+      : index(index),
+        capacity(capacity),
+        words(new std::atomic<std::uint64_t>[capacity * kWordsPerSlot]()) {}
+
+  const std::uint16_t index;
+  const std::size_t capacity;  ///< power of two
+  std::atomic<std::uint64_t> head{0};
+  std::uint64_t drained = 0;  ///< consumed prefix; guarded by FlightRecorder::mu_
+  std::unique_ptr<std::atomic<std::uint64_t>[]> words;
+};
+
+FlightRecorder::FlightRecorder()
+    : instance_id_(g_instance_ids.fetch_add(1, std::memory_order_relaxed)) {}
+
+FlightRecorder::~FlightRecorder() = default;
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::arm(std::size_t capacity_per_thread) {
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    capacity_ = capacity_per_thread == 0 ? 1 : capacity_per_thread;
+  }
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FlightRecorder::disarm() { armed_.store(false, std::memory_order_relaxed); }
+
+void FlightRecorder::record(Kind kind, std::uint64_t a, std::uint64_t b) noexcept {
+  if (!armed()) return;
+  ThreadRing* ring = ring_for_this_thread();
+  if (ring == nullptr) return;
+  const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+  std::atomic<std::uint64_t>* slot =
+      &ring->words[(head & (ring->capacity - 1)) * kWordsPerSlot];
+  slot[0].store(seq, std::memory_order_relaxed);
+  slot[1].store(a, std::memory_order_relaxed);
+  slot[2].store(((b & 0xFFFFFFFFULL) << 32) |
+                    (static_cast<std::uint64_t>(kind) << 16) | ring->index,
+                std::memory_order_relaxed);
+  ring->head.store(head + 1, std::memory_order_release);
+}
+
+FlightRecorder::ThreadRing* FlightRecorder::ring_for_this_thread() {
+  struct Cache {
+    std::uint64_t owner = 0;
+    ThreadRing* ring = nullptr;
+  };
+  thread_local Cache cache;
+  if (cache.owner == instance_id_) return cache.ring;
+  std::lock_guard<std::mutex> lock{mu_};
+  ThreadRing*& registered = by_thread_[std::this_thread::get_id()];
+  if (registered == nullptr) {
+    if (rings_.size() > 0xFFFF) return nullptr;  // thread index is packed in 16 bits
+    rings_.push_back(std::make_unique<ThreadRing>(
+        static_cast<std::uint16_t>(rings_.size()), round_up_pow2(capacity_)));
+    registered = rings_.back().get();
+  }
+  cache.owner = instance_id_;
+  cache.ring = registered;
+  return registered;
+}
+
+FlightRecorder::DrainStats FlightRecorder::drain(std::vector<Event>& out) {
+  DrainStats stats;
+  const std::size_t base = out.size();
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    stats.threads = rings_.size();
+    for (const auto& ring_ptr : rings_) {
+      ThreadRing& ring = *ring_ptr;
+      const std::uint64_t head = ring.head.load(std::memory_order_acquire);
+      std::uint64_t from = ring.drained;
+      if (head > ring.capacity && from < head - ring.capacity) {
+        stats.dropped += (head - ring.capacity) - from;  // lapped before this drain
+        from = head - ring.capacity;
+      }
+      const std::size_t first = out.size();
+      for (std::uint64_t i = from; i < head; ++i) {
+        const std::atomic<std::uint64_t>* slot =
+            &ring.words[(i & (ring.capacity - 1)) * kWordsPerSlot];
+        Event event;
+        event.seq = slot[0].load(std::memory_order_relaxed);
+        event.a = slot[1].load(std::memory_order_relaxed);
+        const std::uint64_t packed = slot[2].load(std::memory_order_relaxed);
+        event.b = static_cast<std::uint32_t>(packed >> 32);
+        event.kind = static_cast<std::uint16_t>((packed >> 16) & 0xFFFF);
+        event.thread = static_cast<std::uint16_t>(packed & 0xFFFF);
+        out.push_back(event);
+      }
+      // The writer may have lapped part of [from, head) while we copied:
+      // those cells were reused, so the copies hold torn or duplicate
+      // values. Re-reading the head bounds exactly which indices are
+      // suspect; dropping them keeps every surviving event exactly-once
+      // (the overwriting events are still in the ring for the next drain).
+      const std::uint64_t head_after = ring.head.load(std::memory_order_acquire);
+      const std::uint64_t safe_from =
+          head_after > ring.capacity ? head_after - ring.capacity : 0;
+      if (safe_from > from) {
+        const std::uint64_t overtaken = std::min(safe_from, head) - from;
+        out.erase(out.begin() + static_cast<std::ptrdiff_t>(first),
+                  out.begin() + static_cast<std::ptrdiff_t>(first + overtaken));
+        stats.dropped += overtaken;
+      }
+      ring.drained = head;
+    }
+  }
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(base), out.end(),
+            [](const Event& x, const Event& y) { return x.seq < y.seq; });
+  stats.events = out.size() - base;
+  metrics::counter("flight.events").inc(stats.events);
+  metrics::counter("flight.dropped").inc(stats.dropped);
+  return stats;
+}
+
+FlightRecorder::DrainStats FlightRecorder::drain_jsonl(std::ostream& out) {
+  std::vector<Event> events;
+  const DrainStats stats = drain(events);
+  std::uint64_t segment = 0;
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    segment = ++segments_;
+  }
+  std::string line;
+  line += "{\"schema\":\"rdns.flight.v1\",\"segment\":";
+  line += std::to_string(segment);
+  line += ",\"events\":";
+  line += std::to_string(stats.events);
+  line += ",\"dropped\":";
+  line += std::to_string(stats.dropped);
+  line += ",\"threads\":";
+  line += std::to_string(stats.threads);
+  if (const auto manifest = journal::Journal::global().manifest()) {
+    line += ",\"manifest\":";
+    line += journal::manifest_json(*manifest);
+  }
+  line += "}\n";
+  out << line;
+  for (const Event& event : events) {
+    line.clear();
+    line += "{\"seq\":";
+    line += std::to_string(event.seq);
+    line += ",\"kind\":\"";
+    line += to_string(event.kind < kKindCount ? static_cast<Kind>(event.kind)
+                                              : Kind::kCount);
+    line += "\",\"t\":";
+    line += std::to_string(event.thread);
+    line += ",\"a\":";
+    line += std::to_string(event.a);
+    line += ",\"b\":";
+    line += std::to_string(event.b);
+    line += "}\n";
+    out << line;
+  }
+  out.flush();
+  return stats;
+}
+
+bool FlightRecorder::set_dump_path(const std::string& path) {
+  bool register_atexit = false;
+  bool writable = false;
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    std::ofstream truncate{path, std::ios::trunc};  // start a fresh dump file
+    writable = static_cast<bool>(truncate);
+    if (!writable) return false;
+    dump_path_ = path;
+    if (!atexit_registered_) {
+      atexit_registered_ = true;
+      register_atexit = true;
+    }
+  }
+  // Only the global recorder outlives atexit handlers; test instances
+  // must drain explicitly.
+  if (register_atexit && this == &global()) {
+    std::atexit([] { (void)FlightRecorder::global().dump_now(); });
+  }
+  return true;
+}
+
+std::string FlightRecorder::dump_path() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return dump_path_;
+}
+
+bool FlightRecorder::dump_now(std::string* error) {
+  const std::string path = dump_path();
+  if (path.empty()) {
+    if (error != nullptr) *error = "no flight dump path configured";
+    return false;
+  }
+  std::ofstream out{path, std::ios::app};
+  if (!out) {
+    if (error != nullptr) *error = "cannot open flight dump file: " + path;
+    return false;
+  }
+  drain_jsonl(out);
+  if (!out && error != nullptr) *error = "short write to flight dump file: " + path;
+  return static_cast<bool>(out);
+}
+
+std::size_t FlightRecorder::ring_capacity() const noexcept {
+  std::lock_guard<std::mutex> lock{mu_};
+  return round_up_pow2(capacity_);
+}
+
+}  // namespace rdns::util::flight

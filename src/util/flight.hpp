@@ -1,0 +1,173 @@
+#pragma once
+/// \file flight.hpp
+/// util::flight — a per-thread lock-free flight recorder for the scan path.
+///
+/// Long sweeps are a black box until the CSV and journal land: the journal
+/// is deliberately deterministic and therefore cannot carry high-volume
+/// per-query telemetry, and metrics are aggregates with no per-event
+/// ordering. The flight recorder fills that gap: every thread records
+/// compact 24-byte events (query issue/done, retry, backoff, timeout,
+/// fault hits, shard lifecycle) into its own fixed-capacity ring buffer,
+/// and a drain — on demand, on SIGUSR2, or at exit — merges the rings
+/// into a schema-versioned `rdns.flight.v1` JSONL dump ordered by a
+/// global sequence number.
+///
+/// Cost model (mirrors util::journal::active() and util::faults::active()):
+///   - disarmed (the default): one relaxed atomic load per record() call;
+///   - armed: one relaxed fetch_add (global sequence), three relaxed
+///     stores and one release store into the calling thread's own ring —
+///     no locks, no allocation, no syscalls on the hot path.
+///
+/// Memory model: each ring has exactly one writer (its owning thread) and
+/// stores its payload in relaxed std::atomic<u64> cells, so a concurrent
+/// drain never races bytes (TSan-clean by construction, same discipline
+/// as dns::ServeIntrospection's seqlock slots). The ring is bounded: when
+/// a thread outruns the drain, the oldest events are overwritten and
+/// accounted as `dropped` — recording never blocks the sweep.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace rdns::util::flight {
+
+/// Event kinds, frozen for the `rdns.flight.v1` schema (append-only; the
+/// slugs in to_string() are part of the dump format). The two payload
+/// words `a` (64-bit) and `b` (32-bit) are kind-specific:
+///   query.issue    a = transaction id        b = attempt index (0-based)
+///   query.done     a = attempts used         b = LookupStatus value
+///   query.retry    a = transaction id        b = attempt index being retried
+///   query.backoff  a = virtual delay (s)     b = backoff base (s)
+///   query.timeout  a = transaction id        b = attempt index
+///   fault.hit      a = entity key            b = faults::Site value
+///   shard.start    a = first address value   b = shard index
+///   shard.finish   a = rows emitted          b = shard index
+///   shard.degrade  a = first address value   b = shard index
+///   probe.sent     a = address value         b = probes sent in this phase
+///   campaign.backoff a = next delay (s)      b = probes done so far
+enum class Kind : std::uint16_t {
+  QueryIssue = 0,
+  QueryDone,
+  Retry,
+  Backoff,
+  Timeout,
+  FaultHit,
+  ShardStart,
+  ShardFinish,
+  ShardDegrade,
+  ProbeSent,
+  CampaignBackoff,
+  kCount,
+};
+
+inline constexpr std::size_t kKindCount = static_cast<std::size_t>(Kind::kCount);
+
+/// Stable dump slug ("query.issue", "shard.degrade", ...).
+[[nodiscard]] const char* to_string(Kind kind) noexcept;
+
+/// A drained event (the in-ring form is three packed u64 words).
+struct Event {
+  std::uint64_t seq = 0;      ///< global record order across all threads
+  std::uint64_t a = 0;        ///< first payload word (kind-specific)
+  std::uint32_t b = 0;        ///< second payload word (kind-specific)
+  std::uint16_t kind = 0;     ///< Kind value
+  std::uint16_t thread = 0;   ///< ring registration index of the writer
+};
+
+class FlightRecorder {
+ public:
+  /// Per-thread ring capacity in events (rounded up to a power of two).
+  /// 16384 events * 24 B = 384 KiB per recording thread.
+  static constexpr std::size_t kDefaultCapacity = 1 << 14;
+
+  FlightRecorder();
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Process-wide instance used by the instrumented subsystems.
+  static FlightRecorder& global();
+
+  /// Arm recording. Idempotent; rings already registered keep their
+  /// capacity, new threads get `capacity_per_thread` slots.
+  void arm(std::size_t capacity_per_thread = kDefaultCapacity);
+  void disarm();
+  [[nodiscard]] bool armed() const noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  /// Record one event into the calling thread's ring. Callers should gate
+  /// through util::flight::active() / record() below so the disarmed cost
+  /// stays at one relaxed load.
+  void record(Kind kind, std::uint64_t a, std::uint64_t b) noexcept;
+
+  struct DrainStats {
+    std::uint64_t events = 0;   ///< events appended by this drain
+    std::uint64_t dropped = 0;  ///< events lost to ring wrap since last drain
+    std::size_t threads = 0;    ///< rings registered so far
+  };
+
+  /// Move every event recorded since the last drain into `out`, ordered
+  /// by global sequence number. Safe to call while other threads keep
+  /// recording: events overwritten mid-copy are counted as dropped, and
+  /// events recorded after the drain began are left for the next drain.
+  DrainStats drain(std::vector<Event>& out);
+
+  /// Drain as one `rdns.flight.v1` JSONL segment: a header line (schema,
+  /// segment index, event/drop accounting, RunManifest when the journal
+  /// has one) followed by one line per event.
+  DrainStats drain_jsonl(std::ostream& out);
+
+  /// Set the dump file (truncates it) and register a process-exit drain.
+  /// SIGUSR2 handling in the tool calls dump_now() on the same path; each
+  /// call appends one segment, so a dump file is a sequence of segments.
+  /// Returns false (path unset) when the file cannot be created.
+  bool set_dump_path(const std::string& path);
+  [[nodiscard]] std::string dump_path() const;
+
+  /// Append one segment to the configured dump path. Returns false (with
+  /// `error`) when no path is configured or the file cannot be opened.
+  bool dump_now(std::string* error = nullptr);
+
+  /// Test hooks.
+  [[nodiscard]] std::size_t ring_capacity() const noexcept;
+  [[nodiscard]] std::uint64_t sequence() const noexcept {
+    return seq_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct ThreadRing;
+
+  ThreadRing* ring_for_this_thread();
+
+  std::atomic<bool> armed_{false};
+  std::atomic<std::uint64_t> seq_{0};
+  const std::uint64_t instance_id_;
+
+  mutable std::mutex mu_;  ///< guards rings_, by_thread_, drain bookkeeping, dump path
+  std::vector<std::unique_ptr<ThreadRing>> rings_;
+  std::unordered_map<std::thread::id, ThreadRing*> by_thread_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::string dump_path_;
+  std::uint64_t segments_ = 0;
+  bool atexit_registered_ = false;
+};
+
+/// One-relaxed-load gate: nullptr while disarmed.
+[[nodiscard]] inline FlightRecorder* active() noexcept {
+  FlightRecorder& recorder = FlightRecorder::global();
+  return recorder.armed() ? &recorder : nullptr;
+}
+
+/// Convenience for instrumentation sites: record iff armed.
+inline void record(Kind kind, std::uint64_t a, std::uint64_t b) noexcept {
+  if (FlightRecorder* recorder = active()) recorder->record(kind, a, b);
+}
+
+}  // namespace rdns::util::flight

@@ -8,6 +8,8 @@ Usage:
     check_metrics_schema.py JOURNAL.jsonl --journal
     check_metrics_schema.py STREAM.jsonl --snapshots
     check_metrics_schema.py METRICS.prom --exposition
+    check_metrics_schema.py FLIGHT.jsonl --flight
+    check_metrics_schema.py REPORT.json --report
 
 Checks structural invariants that the C++ emitters promise:
   * top-level keys: schema, generated_unix, counters, gauges, histograms, spans
@@ -42,6 +44,18 @@ must be covered by a preceding `# TYPE` declaration, names and label
 syntax must be well-formed, and every value must parse as a finite float
 (or +Inf in histogram `le` labels).
 
+With --flight, the input is an rdns.flight.v1 flight-recorder dump:
+a sequence of segments, each a header line (schema, segment index,
+event/drop accounting) followed by its event lines; segment indices
+strictly increase from 1, event `seq` numbers strictly increase within a
+segment, every `kind` is a known slug, and all counters are non-negative
+integers.
+
+With --report, the input is an rdns.report.v1 unified run report
+(`rdns_tool report`): schema + audit block with integer tallies,
+retry-chain statistics, sweep-progress and flight summaries, and a
+recursively valid `phases` span tree.
+
 Exits 0 on success, 1 with a list of problems otherwise. Stdlib only.
 """
 
@@ -63,8 +77,20 @@ EVENT_TYPES = {
     "campaign.group_open", "campaign.probe", "campaign.backoff", "campaign.rdns",
     "campaign.recheck", "campaign.group_close",
     "sweep.org", "sweep.pass", "sweep.shard", "sweep.shard_degraded", "sweep.checkpoint",
+    "sweep.progress",
     "fault.inject",
     "serve.start", "serve.stop", "serve.slowlog",
+}
+
+FLIGHT_SCHEMA = "rdns.flight.v1"
+REPORT_SCHEMA = "rdns.report.v1"
+
+# Kind slugs frozen by util::flight (append-only, mirrors Kind in flight.hpp).
+FLIGHT_KINDS = {
+    "query.issue", "query.done", "query.retry", "query.backoff", "query.timeout",
+    "fault.hit",
+    "shard.start", "shard.finish", "shard.degrade",
+    "probe.sent", "campaign.backoff",
 }
 
 
@@ -113,6 +139,25 @@ def check_event_fields(event, i, problems):
             problems.add(f"line {i}: sweep.shard attempt/exhausted must appear together")
         if "attempt" in event and _uint(event, "attempt") not in (0, 1):
             problems.add(f"line {i}: sweep.shard attempt must be 0 or 1")
+    elif etype == "sweep.progress":
+        done = _uint(event, "shards_done")
+        total = _uint(event, "shards_total")
+        if done is None or total is None or done > total:
+            problems.add(f"line {i}: sweep.progress needs shards_done <= shards_total")
+        if _uint(event, "rows") is None:
+            problems.add(f"line {i}: sweep.progress rows must be a non-negative integer")
+        if not isinstance(event.get("day"), str) or not event.get("day"):
+            problems.add(f"line {i}: sweep.progress must carry a non-empty day")
+        for key in ("rows_per_s", "percent"):
+            value = event.get(key)
+            if isinstance(value, bool) or not isinstance(value, (int, float)) \
+                    or not math.isfinite(value) or value < 0:
+                problems.add(f"line {i}: sweep.progress {key} must be a non-negative "
+                             f"finite number")
+        percent = event.get("percent")
+        if isinstance(percent, (int, float)) and not isinstance(percent, bool) \
+                and percent > 100.0:
+            problems.add(f"line {i}: sweep.progress percent must be <= 100")
     elif etype == "serve.start":
         if not isinstance(event.get("endpoint"), str) or not event.get("endpoint"):
             problems.add(f"line {i}: serve.start must carry a non-empty endpoint")
@@ -375,6 +420,180 @@ def check_snapshot_stream(path, problems, require_manifest, required):
     return snapshots
 
 
+def check_flight(path, problems):
+    """Validate an rdns.flight.v1 flight-recorder dump (one or more segments)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    except OSError as err:
+        problems.add(f"cannot read {path}: {err}")
+        return 0, 0
+    segments = 0
+    events = 0
+    declared_events = 0   # header accounting for the current segment
+    seen_in_segment = 0
+    last_segment = 0
+    last_seq = -1
+    header_line = 0
+    for i, line in enumerate(lines, start=1):
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as err:
+            problems.add(f"line {i}: not valid JSON ({err})")
+            continue
+        if not isinstance(doc, dict):
+            problems.add(f"line {i}: expected an object")
+            continue
+        if "schema" in doc:  # segment header
+            if segments > 0 and seen_in_segment != declared_events:
+                problems.add(f"line {header_line}: segment {last_segment} declared "
+                             f"{declared_events} events but {seen_in_segment} followed")
+            if doc.get("schema") != FLIGHT_SCHEMA:
+                problems.add(f"line {i}: schema must be {FLIGHT_SCHEMA!r}, "
+                             f"got {doc.get('schema')!r}")
+            segment = _uint(doc, "segment")
+            if segment is None or segment != last_segment + 1:
+                problems.add(f"line {i}: segment index must be {last_segment + 1}, "
+                             f"got {doc.get('segment')!r}")
+            last_segment = segment if segment is not None else last_segment + 1
+            for key in ("events", "dropped", "threads"):
+                if _uint(doc, key) is None:
+                    problems.add(f"line {i}: header {key} must be a non-negative integer")
+            if "manifest" in doc:
+                check_manifest(doc["manifest"], f"line {i}", problems)
+            declared_events = _uint(doc, "events") or 0
+            seen_in_segment = 0
+            header_line = i
+            segments += 1
+            continue
+        if segments == 0:
+            problems.add(f"line {i}: event before the first segment header")
+            continue
+        events += 1
+        seen_in_segment += 1
+        seq = _uint(doc, "seq")
+        if seq is None:
+            problems.add(f"line {i}: seq must be a non-negative integer")
+        elif seq <= last_seq:
+            problems.add(f"line {i}: seq={seq} does not increase (previous {last_seq})")
+        else:
+            last_seq = seq
+        kind = doc.get("kind")
+        if kind not in FLIGHT_KINDS:
+            problems.add(f"line {i}: unknown flight kind {kind!r}")
+        for key in ("t", "a", "b"):
+            if _uint(doc, key) is None:
+                problems.add(f"line {i}: {key} must be a non-negative integer")
+    if segments == 0:
+        problems.add("flight dump has no segment header")
+    elif seen_in_segment != declared_events:
+        problems.add(f"line {header_line}: segment {last_segment} declared "
+                     f"{declared_events} events but {seen_in_segment} followed")
+    return segments, events
+
+
+def _report_uints(obj, where, keys, problems):
+    for key in keys:
+        if _uint(obj, key) is None:
+            problems.add(f"{where}: {key} must be a non-negative integer")
+
+
+def check_report(path, problems):
+    """Validate an rdns.report.v1 unified run report."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        problems.add(f"cannot parse {path}: {err}")
+        return
+    if not isinstance(doc, dict):
+        problems.add("report root must be an object")
+        return
+    if doc.get("schema") != REPORT_SCHEMA:
+        problems.add(f"schema: expected {REPORT_SCHEMA!r}, got {doc.get('schema')!r}")
+    for key in ("title", "ok", "audit", "event_counts", "retry_chains",
+                "sweep_progress", "flight", "errors"):
+        if key not in doc:
+            problems.add(f"top level: missing key {key!r}")
+    if not isinstance(doc.get("ok"), bool):
+        problems.add("ok must be a boolean")
+    if "manifest" in doc:
+        check_manifest(doc["manifest"], "manifest", problems)
+
+    audit = doc.get("audit")
+    if isinstance(audit, dict):
+        for key in ("ok", "parsed"):
+            if not isinstance(audit.get(key), bool):
+                problems.add(f"audit: {key} must be a boolean")
+        _report_uints(audit, "audit",
+                      ("events", "violations", "leases_started", "leases_ended",
+                       "ptr_added", "ptr_removed", "faults_injected", "dns_retries",
+                       "stale_ptrs", "degraded_shards"), problems)
+        samples = audit.get("violation_samples")
+        if not isinstance(samples, list):
+            problems.add("audit: violation_samples must be a list")
+        elif isinstance(audit.get("violations"), int) and len(samples) > audit["violations"]:
+            problems.add("audit: more violation_samples than violations")
+        if audit.get("ok") is True and audit.get("violations") not in (0, None):
+            problems.add("audit: ok=true contradicts violations > 0")
+    else:
+        problems.add("audit must be an object")
+
+    counts = doc.get("event_counts")
+    if isinstance(counts, dict):
+        for name, value in counts.items():
+            if _uint({"v": value}, "v") is None:
+                problems.add(f"event_counts[{name!r}] must be a non-negative integer")
+    else:
+        problems.add("event_counts must be an object")
+
+    chains = doc.get("retry_chains")
+    if isinstance(chains, dict):
+        _report_uints(chains, "retry_chains",
+                      ("chains", "retries", "longest", "total_backoff_s"), problems)
+        if isinstance(chains.get("longest"), int) and isinstance(chains.get("retries"), int):
+            if chains["longest"] > chains["retries"]:
+                problems.add("retry_chains: longest chain exceeds total retries")
+    else:
+        problems.add("retry_chains must be an object")
+
+    progress = doc.get("sweep_progress")
+    if isinstance(progress, dict):
+        _report_uints(progress, "sweep_progress",
+                      ("events", "rows", "shards_done", "shards_total"), problems)
+        if not isinstance(progress.get("days"), list):
+            problems.add("sweep_progress: days must be a list")
+    else:
+        problems.add("sweep_progress must be an object")
+
+    flight = doc.get("flight")
+    if isinstance(flight, dict):
+        if not isinstance(flight.get("present"), bool):
+            problems.add("flight: present must be a boolean")
+        if flight.get("present"):
+            _report_uints(flight, "flight", ("segments", "events", "dropped"), problems)
+            kinds = flight.get("kinds")
+            if not isinstance(kinds, dict):
+                problems.add("flight: kinds must be an object")
+            else:
+                for kind in kinds:
+                    if kind not in FLIGHT_KINDS:
+                        problems.add(f"flight: unknown kind {kind!r}")
+    else:
+        problems.add("flight must be an object")
+
+    phases = doc.get("phases")
+    if isinstance(phases, dict):
+        check_span(phases, phases.get("name", "phases"), problems)
+    elif phases is not None:
+        problems.add("phases must be a span object or absent")
+
+    if not isinstance(doc.get("errors"), list):
+        problems.add("errors must be a list")
+
+
 # Prometheus text format: metric names and label names per the 0.0.4 spec.
 _PROM_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
 
@@ -484,12 +703,17 @@ def main():
     parser.add_argument("--exposition", action="store_true",
                         help="treat the input as Prometheus text exposition "
                              "(the /metrics admin endpoint)")
+    parser.add_argument("--flight", action="store_true",
+                        help="treat the input as an rdns.flight.v1 flight-recorder dump")
+    parser.add_argument("--report", action="store_true",
+                        help="treat the input as an rdns.report.v1 unified run report")
     parser.add_argument("--require-manifest", action="store_true",
                         help="the snapshot must embed a manifest (run provenance)")
     args = parser.parse_args()
 
-    if sum((args.journal, args.snapshots, args.exposition)) > 1:
-        parser.error("--journal, --snapshots and --exposition are mutually exclusive")
+    if sum((args.journal, args.snapshots, args.exposition, args.flight, args.report)) > 1:
+        parser.error("--journal, --snapshots, --exposition, --flight and --report "
+                     "are mutually exclusive")
 
     problems = Problems()
     required = tuple(s for s in args.require_subsystems.split(",") if s)
@@ -509,6 +733,23 @@ def main():
                 print(f"FAIL: {item}", file=sys.stderr)
             return 1
         print(f"OK: {args.snapshot}: {snapshots} snapshots, schema {SCHEMA}")
+        return 0
+    if args.flight:
+        segments, flight_events = check_flight(args.snapshot, problems)
+        if problems.items:
+            for item in problems.items:
+                print(f"FAIL: {item}", file=sys.stderr)
+            return 1
+        print(f"OK: {args.snapshot}: {flight_events} events in {segments} segment(s), "
+              f"schema {FLIGHT_SCHEMA}")
+        return 0
+    if args.report:
+        check_report(args.snapshot, problems)
+        if problems.items:
+            for item in problems.items:
+                print(f"FAIL: {item}", file=sys.stderr)
+            return 1
+        print(f"OK: {args.snapshot}: schema {REPORT_SCHEMA}")
         return 0
     if args.exposition:
         samples = check_exposition(args.snapshot, problems)

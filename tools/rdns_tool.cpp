@@ -35,6 +35,7 @@
 #include "core/mitigation.hpp"
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
+#include "core/run_report.hpp"
 #include "core/timing.hpp"
 #include "core/tracking.hpp"
 #include "dns/admin.hpp"
@@ -46,9 +47,11 @@
 #include "scan/campaign.hpp"
 #include "scan/checkpoint.hpp"
 #include "scan/csv_replay.hpp"
+#include "scan/progress.hpp"
 #include "util/ascii_chart.hpp"
 #include "util/cli.hpp"
 #include "util/faults.hpp"
+#include "util/flight.hpp"
 #include "util/journal.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
@@ -73,6 +76,9 @@ util::CliParser& add_common_options(util::CliParser& cli) {
       .option("journal-out", "append the rdns.events.v1 event journal to this path (JSONL)",
               std::nullopt)
       .option("faults", "chaos profile to arm (flag beats RDNS_FAULTS; default none)",
+              std::nullopt)
+      .option("flight-out",
+              "arm the flight recorder; dump rdns.flight.v1 JSONL here (also on SIGUSR2)",
               std::nullopt)
       .flag("trace", "print a phase-timing summary to stderr at exit")
       .flag("verbose", "log at info level (flag beats RDNS_LOG_LEVEL)")
@@ -102,6 +108,13 @@ void apply_common_options(const util::CliParser& cli) {
       throw util::CliError{"cannot write journal to " + *path};
     }
   }
+  if (const auto path = cli.get_optional("flight-out")) {
+    auto& recorder = util::flight::FlightRecorder::global();
+    if (!recorder.set_dump_path(*path)) {
+      throw util::CliError{"cannot write flight dump to " + *path};
+    }
+    recorder.arm();
+  }
 }
 
 /// Record run provenance once the world (if any) is built: the manifest
@@ -118,13 +131,83 @@ void record_run_manifest(const std::string& tool, std::uint64_t seed,
   util::journal::Journal::global().set_manifest(manifest);
 }
 
+/// SIGUSR1 asks for a log-level cycle, SIGUSR2 for a flight-recorder dump
+/// segment. sig_atomic_t because they are written from signal handlers;
+/// shared by the serve loop (which polls inline) and SignalWatcher (which
+/// polls on a helper thread for the batch subcommands).
+volatile std::sig_atomic_t g_cycle_log_request = 0;
+volatile std::sig_atomic_t g_flight_dump_request = 0;
+
+void handle_cycle_log_signal(int) { g_cycle_log_request = 1; }
+void handle_flight_dump_signal(int) { g_flight_dump_request = 1; }
+
+/// Apply any pending SIGUSR1/SIGUSR2 request. Runs outside signal context.
+void poll_operator_signals(const char* tool) {
+  if (g_cycle_log_request != 0) {
+    g_cycle_log_request = 0;
+    const util::LogLevel next = util::cycle_log_level(util::log_level());
+    util::set_log_level(next);
+    // Always visible regardless of the (possibly raised) level: the whole
+    // point of the SIGUSR1 cycle is to confirm where the knob landed.
+    std::fprintf(stderr, "%s: log level now %s (SIGUSR1)\n", tool, util::to_string(next));
+  }
+  if (g_flight_dump_request != 0) {
+    g_flight_dump_request = 0;
+    auto& recorder = util::flight::FlightRecorder::global();
+    std::string error;
+    if (recorder.dump_now(&error)) {
+      std::fprintf(stderr, "%s: flight segment appended to %s (SIGUSR2)\n", tool,
+                   recorder.dump_path().c_str());
+    } else {
+      std::fprintf(stderr, "%s: flight dump failed: %s (SIGUSR2)\n", tool, error.c_str());
+    }
+  }
+}
+
+/// Propagates the serve plane's operator signals to the batch subcommands
+/// (sweep, campaign, track): a helper thread polls the handler flags every
+/// 100 ms for the lifetime of the subcommand, so a multi-hour sweep can
+/// have its log level cycled (SIGUSR1) or its flight recorder drained
+/// (SIGUSR2) without stopping.
+class SignalWatcher {
+ public:
+  explicit SignalWatcher(std::string tool) : tool_(std::move(tool)) {
+    std::signal(SIGUSR1, handle_cycle_log_signal);
+    std::signal(SIGUSR2, handle_flight_dump_signal);
+    thread_ = std::thread([this] { run(); });
+  }
+  ~SignalWatcher() {
+    stop_.store(true, std::memory_order_relaxed);
+    thread_.join();
+    std::signal(SIGUSR1, SIG_DFL);
+    std::signal(SIGUSR2, SIG_DFL);
+  }
+  SignalWatcher(const SignalWatcher&) = delete;
+  SignalWatcher& operator=(const SignalWatcher&) = delete;
+
+ private:
+  void run() {
+    while (!stop_.load(std::memory_order_relaxed)) {
+      poll_operator_signals(tool_.c_str());
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    poll_operator_signals(tool_.c_str());  // apply a request that raced shutdown
+  }
+
+  std::string tool_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
 /// Wire-mode sweep loop with optional checkpoint/resume. Factored out of
 /// cmd_sweep so the bulk path stays the simple SweepDriver call. When
 /// `make_transport` is set, every shard resolves through it (UDP mode)
-/// instead of the in-process frozen view.
+/// instead of the in-process frozen view. `progress_tty`/`admin_port` arm
+/// the live progress plane (scan/progress.hpp).
 int run_wire_sweep(sim::World& world, const util::CivilDate& from, const util::CivilDate& to,
                    const std::string& output, const std::optional<std::string>& checkpoint_path,
-                   bool resume, long fail_after_shards,
+                   bool resume, long fail_after_shards, bool progress_tty,
+                   std::optional<int> admin_port,
                    std::function<std::unique_ptr<dns::Transport>()> make_transport = {}) {
   constexpr int kHourOfDay = 14;
 
@@ -177,6 +260,32 @@ int run_wire_sweep(sim::World& world, const util::CivilDate& from, const util::C
   }
 
   scan::CsvSnapshotSink sink{out};
+
+  // The progress plane is observe-only (the CSV stays byte-identical when
+  // armed); it lives across the whole day loop so rows/s rates span the run.
+  std::optional<scan::SweepProgressPlane> plane;
+  net::AdminHttpServer admin;
+  if (progress_tty || admin_port) {
+    scan::SweepProgressPlane::Options popt;
+    popt.tty_status = progress_tty;
+    plane.emplace(popt);
+    if (admin_port) {
+      plane->install_http_routes(admin);
+      std::string error;
+      const net::UdpEndpoint admin_endpoint{0x7f000001u,
+                                            static_cast<std::uint16_t>(*admin_port)};
+      if (!admin.start(admin_endpoint, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 2;
+      }
+      // Same parseable banner shape as `rdns_tool serve` — the e2e harness
+      // and `rdns_tool top` read the port from this line.
+      std::printf("admin on %s\n", admin.endpoint().to_string().c_str());
+      std::fflush(stdout);
+    }
+    plane->start();
+  }
+
   std::uint64_t total_rows = done.rows;
   std::uint64_t sweeps = 0;
   std::uint64_t day_ordinal = 0;
@@ -193,6 +302,7 @@ int run_wire_sweep(sim::World& world, const util::CivilDate& from, const util::C
 
     scan::WireSweepOptions options;
     options.make_transport = make_transport;
+    options.progress = plane ? &*plane : nullptr;
     if (resume && day_ordinal == done.day_ordinal && !done.day_complete) {
       options.skip_shards = static_cast<std::size_t>(done.shards_done);
     }
@@ -238,6 +348,8 @@ int run_wire_sweep(sim::World& world, const util::CivilDate& from, const util::C
     ++sweeps;
   }
   out.flush();
+  admin.stop();
+  if (plane) plane->stop();
   std::printf("wrote %s rows over %llu sweeps to %s%s\n",
               util::with_commas(static_cast<std::int64_t>(total_rows)).c_str(),
               static_cast<unsigned long long>(sweeps), output.c_str(),
@@ -261,6 +373,11 @@ int cmd_sweep(const std::vector<std::string>& args) {
       .option("transport", "wire mode: inproc (deterministic reference) or udp://host:port "
               "(a live `rdns_tool serve` instance)", "inproc")
       .option("udp-timeout", "udp transport: per-attempt reply deadline (ms)", "1000")
+      .option("admin-port",
+              "wire mode: serve /progress.json + /metrics over HTTP on this port "
+              "(0 = kernel-assigned, printed as `admin on ...`)",
+              std::nullopt)
+      .flag("progress", "wire mode: live TTY status line (rows/s sparkline) on stderr")
       .flag("resume", "continue from --checkpoint instead of starting over")
       .positional("output", "output CSV path", "sweeps.csv");
   add_common_options(cli);
@@ -279,6 +396,17 @@ int cmd_sweep(const std::vector<std::string>& args) {
   }
   if (resume && !checkpoint_path) {
     throw util::CliError{"--resume requires --checkpoint"};
+  }
+  const bool progress_tty = cli.get_flag("progress");
+  std::optional<int> admin_port;
+  if (const auto opt = cli.get_optional("admin-port")) {
+    admin_port = std::atoi(opt->c_str());
+    if (*admin_port < 0 || *admin_port > 65535) {
+      throw util::CliError{"--admin-port must be in [0, 65535]"};
+    }
+  }
+  if ((progress_tty || admin_port) && mode != "wire") {
+    throw util::CliError{"--progress/--admin-port require --mode wire"};
   }
 
   std::function<std::unique_ptr<dns::Transport>()> make_transport;
@@ -310,9 +438,11 @@ int cmd_sweep(const std::vector<std::string>& args) {
                       world.get());
   world->start(util::add_days(from, -1), util::add_days(to, 1));
 
+  const SignalWatcher signals{"sweep"};
   if (mode == "wire") {
     return run_wire_sweep(*world, from, to, cli.get("output"), checkpoint_path, resume,
-                          cli.get_int("fail-after-shards"), std::move(make_transport));
+                          cli.get_int("fail-after-shards"), progress_tty, admin_port,
+                          std::move(make_transport));
   }
 
   std::ofstream out{cli.get("output")};
@@ -482,7 +612,10 @@ int cmd_campaign(const std::vector<std::string>& args) {
   world->start(util::add_days(from, -1), util::add_days(to, 1));
   scan::SupplementalCampaign campaign{*world, scan::paper_targets(*world),
                                       scan::CampaignWindow{from, to}};
-  campaign.run();
+  {
+    const SignalWatcher signals{"campaign"};
+    campaign.run();
+  }
 
   const auto totals = campaign.totals();
   std::printf("ICMP: %s responses / %s unique IPs\n",
@@ -552,7 +685,10 @@ int cmd_track(const std::vector<std::string>& args) {
       *world,
       {{cli.get("network"), target->spec().measurement_targets}},
       scan::CampaignWindow{from, to}};
-  campaign.run();
+  {
+    const SignalWatcher signals{"track"};
+    campaign.run();
+  }
 
   const auto segments = core::segments_matching(campaign.engine().groups(), cli.get("name"),
                                                 cli.get("network"));
@@ -570,11 +706,6 @@ int cmd_track(const std::vector<std::string>& args) {
 volatile std::sig_atomic_t g_serve_stop = 0;
 
 void handle_serve_signal(int) { g_serve_stop = 1; }
-
-/// SIGUSR1 requests a log-level cycle; the serve loop applies it.
-volatile std::sig_atomic_t g_serve_cycle_log = 0;
-
-void handle_serve_cycle_log(int) { g_serve_cycle_log = 1; }
 
 /// One rdns.observability.v1 snapshot as a single JSONL line — the
 /// streaming cousin of trace::write_snapshot_json, appended every
@@ -727,7 +858,8 @@ int cmd_serve(const std::vector<std::string>& args) {
 
   std::signal(SIGINT, handle_serve_signal);
   std::signal(SIGTERM, handle_serve_signal);
-  std::signal(SIGUSR1, handle_serve_cycle_log);
+  std::signal(SIGUSR1, handle_cycle_log_signal);
+  std::signal(SIGUSR2, handle_flight_dump_signal);
   const auto started = std::chrono::steady_clock::now();
   auto next_snapshot =
       started + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
@@ -735,14 +867,10 @@ int cmd_serve(const std::vector<std::string>& args) {
   while (g_serve_stop == 0) {
     const auto now = std::chrono::steady_clock::now();
     if (duration_s > 0 && now - started >= std::chrono::seconds(duration_s)) break;
-    if (g_serve_cycle_log != 0) {
-      g_serve_cycle_log = 0;
-      const util::LogLevel next = util::cycle_log_level(util::log_level());
-      util::set_log_level(next);
-      // Always visible regardless of the (possibly raised) level: the whole
-      // point of the SIGUSR1 cycle is to confirm where the knob landed.
-      std::fprintf(stderr, "serve: log level now %s (SIGUSR1)\n", util::to_string(next));
-      introspection.aggregate_now();  // refresh the serve.log_level gauge
+    if (g_cycle_log_request != 0 || g_flight_dump_request != 0) {
+      const bool cycled = g_cycle_log_request != 0;
+      poll_operator_signals("serve");
+      if (cycled) introspection.aggregate_now();  // refresh the serve.log_level gauge
     }
     if (metrics_stream.is_open() && now >= next_snapshot) {
       introspection.aggregate_now();
@@ -845,12 +973,51 @@ std::string render_top_frame(const util::journal::JsonValue& doc,
   return out;
 }
 
+/// One rendered frame of `rdns_tool top` against a *sweep* progress plane
+/// (/progress.json, schema rdns.sweep-progress.v1) instead of a serve
+/// endpoint: shard completion, rows/s windows, ETA, and a rate sparkline.
+std::string render_sweep_frame(const util::journal::JsonValue& doc,
+                               const std::deque<double>& rate_history) {
+  std::string out;
+  char line[256];
+  const util::journal::JsonValue* shards = doc.find("shards");
+  const util::journal::JsonValue* rates = doc.find("rows_per_s");
+  std::snprintf(line, sizeof line, "rdns sweep — up %.0fs, day %s\n", doc.get_number("uptime_s"),
+                doc.get_string("day", "?").c_str());
+  out += line;
+  const double eta = doc.get_number("eta_s", -1);
+  std::snprintf(line, sizeof line,
+                "shards %lld/%lld (%.1f%%)   rows %lld   eta %s\n",
+                static_cast<long long>(shards != nullptr ? shards->get_int("done") : 0),
+                static_cast<long long>(shards != nullptr ? shards->get_int("total") : 0),
+                doc.get_number("percent"),
+                static_cast<long long>(doc.get_int("rows")),
+                eta >= 0 ? (util::format("%.0fs", eta).c_str()) : "?");
+  out += line;
+  std::snprintf(line, sizeof line,
+                "rows/s 1s/10s/60s: %.0f / %.0f / %.0f   retries %lld   degraded %lld   "
+                "reruns %lld\n",
+                rates != nullptr ? rates->get_number("1s") : 0.0,
+                rates != nullptr ? rates->get_number("10s") : 0.0,
+                rates != nullptr ? rates->get_number("60s") : 0.0,
+                static_cast<long long>(doc.get_int("retries")),
+                static_cast<long long>(shards != nullptr ? shards->get_int("degraded") : 0),
+                static_cast<long long>(shards != nullptr ? shards->get_int("reruns") : 0));
+  out += line;
+  if (rate_history.size() >= 2) {
+    out += "rows/s: [" +
+           util::render_sparkline({rate_history.begin(), rate_history.end()}, 60) + "]\n";
+  }
+  return out;
+}
+
 int cmd_top(const std::vector<std::string>& args) {
   util::CliParser cli{"rdns_tool top",
-                      "live terminal monitor polling a serve admin endpoint"};
+                      "live terminal monitor polling a serve or sweep admin endpoint"};
   cli.option("interval", "poll/refresh interval in milliseconds", "1000")
       .option("frames", "frames to render before exiting (0 = until SIGINT)", "0")
       .flag("no-clear", "do not clear the terminal between frames (append frames)")
+      .flag("once", "poll one document and print it raw (machine-readable), then exit")
       .positional("endpoint", "admin endpoint to poll (host:port — the `admin on` line)");
   add_common_options(cli);
   if (cli.handle_help(args)) return 0;
@@ -863,30 +1030,60 @@ int cmd_top(const std::vector<std::string>& args) {
   const int frames = std::max(0, cli.get_int("frames"));
   const bool clear = !cli.get_flag("no-clear");
 
+  // A serve plane answers /stats.json, a sweep plane /progress.json; probe
+  // once so both kinds of endpoint work with the same invocation.
+  std::string path = "/stats.json";
+  {
+    std::string probe_error;
+    if (!net::http_get(*endpoint, path, &probe_error)) path = "/progress.json";
+  }
+
+  if (cli.get_flag("once")) {
+    std::string error;
+    const auto body = net::http_get(*endpoint, path, &error);
+    if (!body) {
+      std::fprintf(stderr, "error: cannot poll %s%s: %s\n", endpoint->to_string().c_str(),
+                   path.c_str(), error.c_str());
+      return 2;
+    }
+    std::fputs(body->c_str(), stdout);
+    if (!body->empty() && body->back() != '\n') std::fputc('\n', stdout);
+    return 0;
+  }
+
   std::signal(SIGINT, handle_serve_signal);
   std::signal(SIGTERM, handle_serve_signal);
-  std::deque<double> qps_history;
+  std::deque<double> rate_history;
   int rendered = 0;
   while (g_serve_stop == 0) {
     std::string error;
-    const auto body = net::http_get(*endpoint, "/stats.json", &error);
+    const auto body = net::http_get(*endpoint, path, &error);
     if (!body) {
-      std::fprintf(stderr, "error: cannot poll %s/stats.json: %s\n",
-                   endpoint->to_string().c_str(), error.c_str());
+      std::fprintf(stderr, "error: cannot poll %s%s: %s\n", endpoint->to_string().c_str(),
+                   path.c_str(), error.c_str());
       return 2;
     }
     const auto doc = util::journal::parse_json(*body, &error);
     if (!doc) {
-      std::fprintf(stderr, "error: bad stats.json from %s: %s\n",
+      std::fprintf(stderr, "error: bad %s from %s: %s\n", path.c_str(),
                    endpoint->to_string().c_str(), error.c_str());
       return 2;
     }
-    const util::journal::JsonValue* qps = doc->find("qps");
-    qps_history.push_back(qps != nullptr ? qps->get_number("1s") : 0.0);
-    while (qps_history.size() > 60) qps_history.pop_front();
+    const bool sweep_doc = doc->get_string("schema") == "rdns.sweep-progress.v1";
+    if (sweep_doc) {
+      const util::journal::JsonValue* rates = doc->find("rows_per_s");
+      rate_history.push_back(rates != nullptr ? rates->get_number("1s") : 0.0);
+    } else {
+      const util::journal::JsonValue* qps = doc->find("qps");
+      rate_history.push_back(qps != nullptr ? qps->get_number("1s") : 0.0);
+    }
+    while (rate_history.size() > 60) rate_history.pop_front();
 
     if (clear && rendered > 0) std::fputs("\x1b[H\x1b[2J", stdout);
-    std::fputs(render_top_frame(*doc, qps_history).c_str(), stdout);
+    std::fputs((sweep_doc ? render_sweep_frame(*doc, rate_history)
+                          : render_top_frame(*doc, rate_history))
+                   .c_str(),
+               stdout);
     std::fflush(stdout);
     if (++rendered >= frames && frames > 0) break;
     for (int slept = 0; slept < interval_ms && g_serve_stop == 0; slept += 50) {
@@ -949,6 +1146,63 @@ int cmd_verify(const std::vector<std::string>& args) {
   return report.ok() ? 0 : 1;
 }
 
+int cmd_report(const std::vector<std::string>& args) {
+  util::CliParser cli{"rdns_tool report",
+                      "fold a run's journal, metrics snapshot and flight dump into one "
+                      "rdns.report.v1 document"};
+  cli.option("snapshot", "metrics snapshot JSON from the same run (--metrics-out)",
+             std::nullopt)
+      .option("flight", "flight-recorder JSONL dump from the same run (--flight-out)",
+              std::nullopt)
+      .option("out", "write the rdns.report.v1 JSON here instead of stdout", std::nullopt)
+      .option("markdown", "also write a markdown narrative to this path", std::nullopt)
+      .option("title", "report title", "rdns run report")
+      .option("window", "max simulated seconds between lease end and PTR removal", "120")
+      .option("tolerance", "slack (seconds) on promised back-off probe times", "60")
+      .positional("journal", "event journal path (.jsonl)");
+  add_common_options(cli);
+  if (cli.handle_help(args)) return 0;
+  cli.parse(args);
+  apply_common_options(cli);
+  record_run_manifest("rdns_tool.report", 0, nullptr);
+
+  core::RunReportOptions options;
+  options.title = cli.get("title");
+  options.audit.removal_window = cli.get_int("window");
+  options.audit.probe_tolerance = cli.get_int("tolerance");
+  const core::RunReport report =
+      core::build_run_report(cli.get("journal"), cli.get_optional("snapshot").value_or(""),
+                             cli.get_optional("flight").value_or(""), options);
+  if (!report.audit.parsed) {
+    std::fprintf(stderr, "error: cannot replay journal %s\n", cli.get("journal").c_str());
+    return 2;
+  }
+
+  const std::string json = core::render_run_report_json(report);
+  if (const auto out_path = cli.get_optional("out")) {
+    std::ofstream out{*out_path, std::ios::trunc};
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path->c_str());
+      return 2;
+    }
+    out << json;
+  } else {
+    std::fputs(json.c_str(), stdout);
+  }
+  if (const auto md_path = cli.get_optional("markdown")) {
+    std::ofstream out{*md_path, std::ios::trunc};
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", md_path->c_str());
+      return 2;
+    }
+    out << core::render_run_report_markdown(report);
+  }
+  for (const auto& problem : report.errors) {
+    std::fprintf(stderr, "warning: %s\n", problem.c_str());
+  }
+  return report.ok() ? 0 : 1;
+}
+
 void print_usage() {
   std::printf(
       "rdns_tool — reverse-DNS privacy measurement toolkit\n"
@@ -959,8 +1213,9 @@ void print_usage() {
       "  campaign  run the supplemental measurement (Tables 3/4/5 summary)\n"
       "  track     follow a given name's devices (Life of Brian)\n"
       "  serve     host a frozen world's reverse zones on a real UDP port\n"
-      "  top       live terminal monitor polling a serve admin endpoint\n"
+      "  top       live terminal monitor polling a serve or sweep admin endpoint\n"
       "  verify    replay an event journal (--journal-out) and audit invariants\n"
+      "  report    fold journal + metrics snapshot + flight dump into rdns.report.v1\n"
       "run `rdns_tool <subcommand> --help` for options\n");
 }
 
@@ -977,6 +1232,7 @@ int dispatch(const std::string& command, const std::vector<std::string>& args) {
   if (command == "serve") return cmd_serve(args);
   if (command == "top") return cmd_top(args);
   if (command == "verify") return cmd_verify(args);
+  if (command == "report") return cmd_report(args);
   print_usage();
   return 2;
 }

@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""End-to-end test for the scan-side observability plane.
+
+Drives the real binary through one observed, faulted wire sweep:
+
+  1. a baseline sweep (single thread, no observability at all) records the
+     reference CSV;
+  2. the same sweep runs again with everything armed — two worker threads,
+     `--admin-port 0` (live progress plane over HTTP), `--flight-out`
+     (flight recorder), `--journal-out` and `--metrics-out`;
+  3. while the sweep is still running, /progress.json is scraped and must
+     be a live rdns.sweep-progress.v1 document (shards advancing), the
+     /metrics exposition must carry the sweep gauges, and one
+     `rdns_tool top --once` poll must print the same document raw;
+  4. the armed sweep's CSV must be byte-identical to the baseline — the
+     whole observability plane is observe-only;
+  5. the journal must carry sweep.progress events, and `rdns_tool report`
+     must fold journal + snapshot + flight dump into an rdns.report.v1
+     document (exit 0 = all invariants hold);
+  6. every artifact is validated with check_metrics_schema.py: the journal
+     (--journal), the flight dump (--flight), the report (--report) and
+     the saved exposition (--exposition).
+
+Stdlib only; invoked by ctest with the rdns_tool path as argv[1].
+"""
+
+import argparse
+import http.client
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+
+WORLD_ARGS = ["--orgs", "6", "--seed", "11", "--scale", "0.2",
+              "--from", "2021-01-02", "--to", "2021-01-05",
+              "--faults", "flaky-dns"]
+ADMIN_BANNER = re.compile(r"^admin on 127\.0\.0\.1:(\d+)")
+CHECKER = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                       "check_metrics_schema.py")
+
+
+def fail(message):
+    sys.stderr.write(f"FAIL: {message}\n")
+    sys.exit(1)
+
+
+def http_get(port, path, timeout=5):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        conn.request("GET", path)
+        resp = conn.getresponse()
+        return resp.status, resp.read().decode("utf-8", "replace")
+    finally:
+        conn.close()
+
+
+def run_checker(path, *flags):
+    proc = subprocess.run([sys.executable, CHECKER, path, *flags],
+                          stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                          text=True, timeout=120)
+    if proc.returncode != 0:
+        fail(f"check_metrics_schema.py {' '.join(flags)} {path}: {proc.stdout}")
+
+
+def scrape_live_plane(sweep, admin_port, tool):
+    """Poll /progress.json until the sweep shows forward progress (or ends).
+
+    Returns (midrun_doc_or_None, exposition_text_or_None, top_output_or_None).
+    """
+    midrun = None
+    exposition = None
+    top_out = None
+    deadline = time.monotonic() + 120
+    while sweep.poll() is None and time.monotonic() < deadline:
+        try:
+            status, body = http_get(admin_port, "/progress.json")
+        except OSError:
+            time.sleep(0.05)
+            continue
+        if status != 200:
+            fail(f"/progress.json returned status {status}")
+        doc = json.loads(body)
+        if doc.get("schema") != "rdns.sweep-progress.v1":
+            fail(f"progress.json schema: {doc.get('schema')!r}")
+        if doc.get("shards", {}).get("done", 0) > 0:
+            midrun = doc
+            try:
+                status, exposition = http_get(admin_port, "/metrics")
+                if status != 200:
+                    exposition = None
+            except OSError:
+                pass
+            try:
+                top = subprocess.run(
+                    [tool, "top", f"127.0.0.1:{admin_port}", "--once"],
+                    stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                    text=True, timeout=30)
+                if top.returncode == 0:
+                    top_out = top.stdout
+            except subprocess.TimeoutExpired:
+                pass
+            break
+        time.sleep(0.02)
+    return midrun, exposition, top_out
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("tool", help="path to the rdns_tool binary")
+    opts = parser.parse_args()
+
+    with tempfile.TemporaryDirectory(dir=os.getcwd()) as work:
+        base_csv = os.path.join(work, "baseline.csv")
+        armed_csv = os.path.join(work, "armed.csv")
+        journal = os.path.join(work, "journal.jsonl")
+        metrics = os.path.join(work, "metrics.json")
+        flight = os.path.join(work, "flight.jsonl")
+        report = os.path.join(work, "report.json")
+        markdown = os.path.join(work, "report.md")
+        exposition_path = os.path.join(work, "metrics.prom")
+
+        # Baseline: one thread, nothing armed.
+        proc = subprocess.run(
+            [opts.tool, "sweep", "--mode", "wire", "--threads", "1"]
+            + WORLD_ARGS + [base_csv],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            timeout=600)
+        if proc.returncode != 0:
+            fail(f"baseline sweep exited {proc.returncode}: {proc.stdout}")
+
+        # Armed run: two threads, progress plane + flight recorder + journal
+        # + metrics snapshot, scraped live over HTTP.
+        sweep = subprocess.Popen(
+            [opts.tool, "sweep", "--mode", "wire", "--threads", "2",
+             "--admin-port", "0",
+             "--flight-out", flight,
+             "--journal-out", journal,
+             "--metrics-out", metrics]
+            + WORLD_ARGS + [armed_csv],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
+        try:
+            banner = sweep.stdout.readline()
+            match = ADMIN_BANNER.match(banner)
+            if not match:
+                sweep.kill()
+                fail(f"unparseable admin banner: {banner!r}")
+            admin_port = int(match.group(1))
+            midrun, exposition, top_out = scrape_live_plane(
+                sweep, admin_port, opts.tool)
+            out, _ = sweep.communicate(timeout=600)
+        except Exception:
+            sweep.kill()
+            raise
+        if sweep.returncode != 0:
+            fail(f"armed sweep exited {sweep.returncode}: {out}")
+
+        # -- live-scrape assertions ---------------------------------------
+        if midrun is None:
+            fail("never scraped a mid-run /progress.json with shards done > 0")
+        shards = midrun["shards"]
+        if not 0 < shards["done"] <= shards["total"]:
+            fail(f"mid-run shard counters out of range: {shards!r}")
+        for key in ("rows", "queries", "uptime_s", "rows_per_s", "percent"):
+            if key not in midrun:
+                fail(f"mid-run progress.json is missing {key!r}")
+        if exposition is None:
+            fail("/metrics was not scrapeable while the sweep ran")
+        for needle in ("rdns_build_info", "rdns_sweep_percent",
+                       "rdns_sweep_rows_per_s"):
+            if needle not in exposition:
+                fail(f"/metrics exposition is missing {needle}")
+        with open(exposition_path, "w", encoding="utf-8") as f:
+            f.write(exposition)
+        if top_out is None:
+            fail("rdns_tool top --once failed against the live sweep")
+        top_doc = json.loads(top_out)
+        if top_doc.get("schema") != "rdns.sweep-progress.v1":
+            fail(f"top --once printed schema {top_doc.get('schema')!r}")
+
+        # -- determinism: the armed 2-thread CSV equals the bare 1-thread one
+        with open(base_csv, "rb") as f:
+            base = f.read()
+        with open(armed_csv, "rb") as f:
+            armed = f.read()
+        if not base:
+            fail("baseline sweep produced an empty CSV")
+        if base != armed:
+            fail(f"armed sweep CSV differs from baseline "
+                 f"({len(armed)} vs {len(base)} bytes)")
+
+        # -- artifacts ----------------------------------------------------
+        run_checker(journal, "--journal")
+        run_checker(flight, "--flight")
+        run_checker(exposition_path, "--exposition")
+        with open(journal, "r", encoding="utf-8") as f:
+            types = [json.loads(l).get("type") for l in f if l.strip()]
+        if "sweep.progress" not in types:
+            fail("journal carries no sweep.progress events")
+
+        # -- unified report -----------------------------------------------
+        rep = subprocess.run(
+            [opts.tool, "report", journal, "--snapshot", metrics,
+             "--flight", flight, "--out", report, "--markdown", markdown],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            timeout=600)
+        if rep.returncode != 0:
+            fail(f"rdns_tool report exited {rep.returncode}: {rep.stdout}")
+        run_checker(report, "--report")
+        with open(report, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+        if not doc.get("ok"):
+            fail(f"report says the run violated invariants: {doc.get('audit')}")
+        if doc.get("sweep_progress", {}).get("events", 0) < 1:
+            fail("report folded no sweep.progress events")
+        if not doc.get("flight", {}).get("present"):
+            fail("report did not fold the flight dump")
+        if doc.get("retry_chains", {}).get("retries", 0) < 1:
+            fail("flaky-dns run reported no resolver retries")
+        with open(markdown, "r", encoding="utf-8") as f:
+            narrative = f.read()
+        for heading in ("## Audit", "## Sweep progress", "## Flight recorder"):
+            if heading not in narrative:
+                fail(f"markdown narrative is missing {heading!r}")
+
+        rows = base.count(b"\n") - 1
+    print(f"OK: armed sweep reproduced the baseline CSV byte-for-byte "
+          f"({rows} rows); /progress.json scraped live at "
+          f"{shards['done']}/{shards['total']} shards; report + flight dump "
+          f"schema-valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
