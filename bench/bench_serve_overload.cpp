@@ -1,0 +1,280 @@
+/// Flood bench for the hardened serving path (ISSUE 9 / DESIGN.md §15):
+/// does the per-/24 RRL + shed defense actually protect a well-behaved
+/// client when one abusive /24 floods the server over loopback?
+///
+/// Method: one UdpServerLoop (2 workers, guard + RRL armed) serves a small
+/// frozen world. Phase A measures the *unloaded* goodput of a paced,
+/// closed-loop "good" client bound to 127.0.0.1 — fraction of its paced
+/// queries answered within a per-window deadline. Phase B repeats the same
+/// paced run while open-loop flooder threads bound to 127.0.1.x (a
+/// different /24, so RRL isolates them) blast PTR queries and never read a
+/// reply. The defense earns its keep when the good client's goodput under
+/// flood stays >= 90% of its unloaded goodput while the flooders' answers
+/// are throttled to the RRL budget.
+///
+/// The shed ladder's L3 (answer shedding) is left disabled here: L3 is the
+/// aggregate-overload fuse that deliberately trades goodput for stability,
+/// which is the opposite of what this bench measures (targeted abuse
+/// absorbed *without* taxing bystanders). L1/L2 stay armed.
+///
+/// Results land in BENCH_overload.json (+ .metrics.json). Shape checks:
+/// unloaded goodput near-perfect, flood goodput retention >= --min-retained,
+/// RRL visibly engaged (rrl_dropped > 0), accounting partition intact.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dns/message.hpp"
+#include "dns/udp_server.hpp"
+#include "dns/wire.hpp"
+#include "net/arpa.hpp"
+#include "net/udp.hpp"
+#include "sim/world.hpp"
+
+namespace {
+
+using namespace rdns;
+using Clock = std::chrono::steady_clock;
+
+struct GoodputResult {
+  std::uint64_t sent = 0;
+  std::uint64_t answered = 0;
+  [[nodiscard]] double goodput() const {
+    return sent > 0 ? static_cast<double>(answered) / static_cast<double>(sent) : 0.0;
+  }
+};
+
+/// Paced closed-loop client: `rate` windows of `window` queries per second,
+/// each window given a generous deadline to be answered. Missing the
+/// deadline counts against goodput — exactly what a sweeping scanner sees.
+GoodputResult run_good_client(const net::UdpEndpoint& server, double seconds, double qps,
+                              const std::vector<std::vector<std::uint8_t>>& pool) {
+  GoodputResult r;
+  auto socket = net::UdpSocket::bind(net::UdpEndpoint{0x7F000001u, 0}, /*reuse_port=*/false);
+  if (!socket || !socket->connect(server)) return r;
+
+  constexpr std::size_t kWindow = 8;
+  const auto window_interval =
+      std::chrono::duration<double>(static_cast<double>(kWindow) / qps);
+  std::vector<net::UdpDatagram> outbound(kWindow);
+  for (auto& d : outbound) d.peer = server;
+  std::vector<net::UdpDatagram> replies;
+  replies.reserve(kWindow);
+
+  std::size_t cursor = 0;
+  const auto t_end = Clock::now() + std::chrono::duration<double>(seconds);
+  auto next_window = Clock::now();
+  while (Clock::now() < t_end) {
+    for (auto& d : outbound) {
+      d.payload = pool[cursor];
+      cursor = (cursor + 1) % pool.size();
+    }
+    const std::size_t sent = socket->send_batch(outbound.data(), outbound.size());
+    r.sent += sent;
+    std::size_t got = 0;
+    const auto deadline = Clock::now() + std::chrono::milliseconds(50);
+    while (got < sent && Clock::now() < deadline) {
+      if (!socket->wait_readable(1)) continue;
+      replies.clear();
+      got += socket->recv_batch(replies, kWindow - got);
+    }
+    r.answered += got;
+    next_window += std::chrono::duration_cast<Clock::duration>(window_interval);
+    std::this_thread::sleep_until(next_window);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)rdns::bench::configure_threads(argc, argv);
+  rdns::bench::heading("OVERLOAD", "serve path under flood: RRL shields the well-behaved");
+
+  std::string json_path = "BENCH_overload.json";
+  double seconds = 2.0;
+  double good_qps = 1000.0;
+  double rrl_rate = 4000.0;
+  unsigned flooders = 2;
+  double min_retained_pct = 90.0;
+  for (int i = 1; i + 1 < argc; ++i) {
+    const std::string arg{argv[i]};
+    if (arg == "--out") json_path = argv[i + 1];
+    if (arg == "--seconds") seconds = std::atof(argv[i + 1]);
+    if (arg == "--good-qps") good_qps = std::atof(argv[i + 1]);
+    if (arg == "--rrl-rate") rrl_rate = std::atof(argv[i + 1]);
+    if (arg == "--flooders") flooders = static_cast<unsigned>(std::atoi(argv[i + 1]));
+    if (arg == "--min-retained-pct") min_retained_pct = std::atof(argv[i + 1]);
+  }
+  if (seconds <= 0) seconds = 0.5;
+  if (good_qps < 100.0) good_qps = 100.0;
+  if (flooders == 0) flooders = 1;
+
+  // Same small cache-hot world as bench_serve_qps: the subject is the
+  // defense, not zone-size scaling.
+  core::WorldScale scale;
+  scale.population = 0.2;
+  auto world = core::make_internet_world(7, /*org_count=*/2, scale);
+  rdns::bench::record_bench_manifest("serve_overload", 7, world.get());
+  const util::CivilDate date{2021, 1, 4};
+  world->start(util::add_days(date, -1), util::add_days(date, 1));
+  world->run_until(util::to_sim_time(date) + 14 * util::kHour);
+  const util::SimTime frozen_now = world->now();
+  const sim::World& frozen = *world;
+
+  std::vector<std::vector<std::uint8_t>> pool;
+  {
+    const auto prefixes = world->announced_prefixes();
+    std::uint16_t id = 1;
+    for (const auto& prefix : prefixes) {
+      for (std::uint64_t v = prefix.first().value();
+           v <= prefix.last().value() && pool.size() < 4096; ++v) {
+        const auto qname =
+            dns::DnsName::must_parse(net::to_arpa(net::Ipv4Addr{static_cast<std::uint32_t>(v)}));
+        pool.push_back(dns::encode(dns::make_query(id++, qname, dns::RrType::PTR)));
+      }
+      if (pool.size() >= 4096) break;
+    }
+  }
+  if (pool.empty()) {
+    std::fprintf(stderr, "no announced prefixes to query\n");
+    return 1;
+  }
+
+  std::vector<std::unique_ptr<sim::FrozenDnsView>> views;
+  dns::UdpServeOptions options;
+  options.threads = 2;
+  options.hardening.guard = true;
+  options.hardening.rrl_rate = rrl_rate;
+  options.hardening.rrl_burst = rrl_rate;
+  options.hardening.shed_l3_batches = 0;  // see the header comment
+  dns::UdpServerLoop loop{options, [&](unsigned) -> dns::UdpServerLoop::WireHandler {
+    views.push_back(std::make_unique<sim::FrozenDnsView>(frozen));
+    sim::FrozenDnsView* view = views.back().get();
+    return [view, frozen_now](std::span<const std::uint8_t> query) {
+      return view->exchange(query, frozen_now);
+    };
+  }};
+  std::string error;
+  if (!loop.start(&error)) {
+    std::fprintf(stderr, "cannot start server: %s\n", error.c_str());
+    return 1;
+  }
+  const net::UdpEndpoint server = loop.endpoint();
+
+  // Phase A: unloaded goodput of the paced client.
+  const GoodputResult unloaded = run_good_client(server, seconds, good_qps, pool);
+
+  // Phase B: same client, now sharing the server with an abusive /24.
+  std::atomic<bool> flood_stop{false};
+  std::atomic<std::uint64_t> flood_sent{0};
+  std::vector<std::thread> flood_threads;
+  flood_threads.reserve(flooders);
+  for (unsigned f = 0; f < flooders; ++f) {
+    flood_threads.emplace_back([&, f] {
+      // 127.0.1.x: one abusive /24, distinct from the good client's.
+      auto socket = net::UdpSocket::bind(net::UdpEndpoint{0x7F000100u + 1 + f, 0},
+                                         /*reuse_port=*/false);
+      if (!socket || !socket->connect(server)) return;
+      std::vector<net::UdpDatagram> burst(64);
+      for (auto& d : burst) d.peer = server;
+      std::size_t cursor = (f + 1) * 131;
+      std::uint64_t sent = 0;
+      while (!flood_stop.load(std::memory_order_relaxed)) {
+        for (auto& d : burst) {
+          d.payload = pool[cursor % pool.size()];
+          ++cursor;
+        }
+        sent += socket->send_batch(burst.data(), burst.size());
+        // Open loop: never read a reply. A short breather keeps the blast
+        // at "abusive client" scale rather than "kernel saturation" scale —
+        // the defense under test is RRL, not the NIC queue.
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+      flood_sent.fetch_add(sent, std::memory_order_relaxed);
+    });
+  }
+  const GoodputResult flooded = run_good_client(server, seconds, good_qps, pool);
+  flood_stop.store(true, std::memory_order_relaxed);
+  for (auto& t : flood_threads) t.join();
+  loop.stop();
+  const dns::UdpServeStats& stats = loop.stats();
+
+  const double retained_pct = unloaded.goodput() > 0
+                                  ? 100.0 * flooded.goodput() / unloaded.goodput()
+                                  : 0.0;
+  const bool partition_ok =
+      stats.datagrams_received == stats.responses_sent + stats.send_failures +
+                                      stats.truncated_queries + stats.dropped_total();
+
+  rdns::bench::paper_note("an authoritative rDNS server facing a full-space sweep must "
+                          "absorb abusive query sources without starving legitimate "
+                          "resolvers of PTR answers");
+  rdns::bench::measured_note(util::format(
+      "unloaded goodput %.1f%% (%llu/%llu); under flood %.1f%% (%llu/%llu) = %.1f%% "
+      "retained; flood sent %llu, server rrl-dropped %llu, rrl-slipped %llu, shed %llu",
+      100.0 * unloaded.goodput(), static_cast<unsigned long long>(unloaded.answered),
+      static_cast<unsigned long long>(unloaded.sent), 100.0 * flooded.goodput(),
+      static_cast<unsigned long long>(flooded.answered),
+      static_cast<unsigned long long>(flooded.sent), retained_pct,
+      static_cast<unsigned long long>(flood_sent.load()),
+      static_cast<unsigned long long>(stats.rrl_dropped),
+      static_cast<unsigned long long>(stats.rrl_slipped),
+      static_cast<unsigned long long>(stats.shed_errors + stats.shed_answers)));
+
+  {
+    std::ofstream out{json_path};
+    out << "{\n  \"bench\": \"serve_overload\",\n";
+    if (const auto manifest = util::journal::Journal::global().manifest()) {
+      out << "  \"manifest\": " << util::journal::manifest_json(*manifest) << ",\n";
+    }
+    out << "  \"seconds_per_phase\": " << seconds << ",\n"
+        << "  \"good_qps\": " << good_qps << ",\n"
+        << "  \"rrl_rate\": " << rrl_rate << ",\n"
+        << "  \"flooders\": " << flooders << ",\n"
+        << "  \"unloaded\": {\"sent\": " << unloaded.sent
+        << ", \"answered\": " << unloaded.answered
+        << ", \"goodput_pct\": " << 100.0 * unloaded.goodput() << "},\n"
+        << "  \"flooded\": {\"sent\": " << flooded.sent
+        << ", \"answered\": " << flooded.answered
+        << ", \"goodput_pct\": " << 100.0 * flooded.goodput() << "},\n"
+        << "  \"retained_pct\": " << retained_pct << ",\n"
+        << "  \"acceptance_retained_pct\": " << min_retained_pct << ",\n"
+        << "  \"flood_sent\": " << flood_sent.load() << ",\n"
+        << "  \"server\": {\n"
+        << "    \"datagrams_received\": " << stats.datagrams_received << ",\n"
+        << "    \"responses_sent\": " << stats.responses_sent << ",\n"
+        << "    \"rrl_dropped\": " << stats.rrl_dropped << ",\n"
+        << "    \"rrl_slipped\": " << stats.rrl_slipped << ",\n"
+        << "    \"shed_errors\": " << stats.shed_errors << ",\n"
+        << "    \"shed_answers\": " << stats.shed_answers << ",\n"
+        << "    \"dropped_policy\": " << stats.dropped_policy << ",\n"
+        << "    \"send_failures\": " << stats.send_failures << ",\n"
+        << "    \"accounting_partition_ok\": " << (partition_ok ? "true" : "false") << "\n"
+        << "  }\n}\n";
+  }
+  std::printf("\nwrote %s\n", json_path.c_str());
+  rdns::bench::write_metrics_snapshot(json_path);
+
+  rdns::bench::ShapeChecks checks;
+  checks.expect(unloaded.sent > 0 && flooded.sent > 0, "both phases generated load");
+  checks.expect(unloaded.goodput() >= 0.95,
+                util::format("unloaded goodput >= 95%% on clean loopback (measured %.1f%%)",
+                             100.0 * unloaded.goodput()));
+  checks.expect(stats.rrl_dropped > 0, "RRL engaged against the flooding /24");
+  checks.expect(retained_pct >= min_retained_pct,
+                util::format("good client retained >= %.0f%% of unloaded goodput under "
+                             "flood (measured %.1f%%)",
+                             min_retained_pct, retained_pct));
+  checks.expect(partition_ok, "serve accounting partition held under flood");
+  return checks.exit_code();
+}

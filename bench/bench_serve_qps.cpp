@@ -22,10 +22,16 @@
 /// < 2% acceptance budget. The admin-on run's /metrics scrape is saved
 /// next to the JSON (.prom) so CI can lint the Prometheus exposition.
 ///
+/// A third alternating mode arms the serve-guard front-end with an RRL
+/// budget the offered load never reaches (DESIGN.md §15): armed-but-idle,
+/// isolating the per-query gating cost (wire classification + token-bucket
+/// probe) against the same 2% design budget.
+///
 /// Results land in BENCH_serve.json (+ .metrics.json with the serve.*
 /// counters), including a per-250ms window series of QPS and latency.
 /// Shape checks: ≥ --min-qps sustained, sub-millisecond median over
-/// loopback, bounded loss, and bounded admin-plane overhead.
+/// loopback, bounded loss, and bounded admin-plane and serve-guard
+/// overhead.
 
 #include <algorithm>
 #include <atomic>
@@ -82,16 +88,30 @@ double percentile_sorted(const std::vector<double>& sorted, double p) {
 /// One full load run against a fresh serving loop over `world`. With
 /// `admin_on`, the complete introspection plane is armed and the admin
 /// endpoint is scraped once mid-run (the realistic worst case: aggregation
-/// and a scrape land while the loop is saturated).
+/// and a scrape land while the loop is saturated). With `rrl_on`, the
+/// serve-guard front-end and RRL are armed with a budget far above the
+/// offered load — armed-but-idle, measuring the pure gating cost
+/// (classification + bucket probe) every answer now pays.
 LoadResult run_load(const sim::World& frozen, util::SimTime frozen_now, bool admin_on,
-                    double seconds, unsigned server_threads, unsigned client_threads,
-                    std::size_t window,
+                    bool rrl_on, double seconds, unsigned server_threads,
+                    unsigned client_threads, std::size_t window,
                     const std::vector<std::vector<std::uint8_t>>& query_pool) {
   LoadResult out;
 
   std::vector<std::unique_ptr<sim::FrozenDnsView>> views;
   dns::UdpServeOptions serve_options;
   serve_options.threads = server_threads;
+  if (rrl_on) {
+    serve_options.hardening.guard = true;
+    serve_options.hardening.rrl_rate = 1e9;  // never reached: idle, not engaged
+    serve_options.hardening.rrl_burst = 1e9;
+    // A closed-loop saturating generator keeps every recv batch full — the
+    // exact signal the shed ladder treats as overload — so leaving shed
+    // armed here would measure deliberate policy drops, not gating cost.
+    serve_options.hardening.shed_l1_batches = 0;
+    serve_options.hardening.shed_l2_batches = 0;
+    serve_options.hardening.shed_l3_batches = 0;
+  }
 
   dns::ServeAdminConfig admin_cfg;
   admin_cfg.sample_every = 8;
@@ -283,17 +303,22 @@ int main(int argc, char** argv) {
   // 2% budget, and peak throughput is the stabler estimator under
   // interference. The admin-on keeper still carries a mid-run scrape.
   constexpr int kReps = 3;
-  LoadResult base, admin;
+  LoadResult base, admin, rrl;
   for (int rep = 0; rep < kReps; ++rep) {
-    LoadResult off = run_load(frozen, frozen_now, /*admin_on=*/false, seconds,
-                              server_threads, client_threads, window, query_pool);
+    LoadResult off = run_load(frozen, frozen_now, /*admin_on=*/false, /*rrl_on=*/false,
+                              seconds, server_threads, client_threads, window, query_pool);
     if (off.qps > base.qps) base = std::move(off);
-    LoadResult on = run_load(frozen, frozen_now, /*admin_on=*/true, seconds,
-                             server_threads, client_threads, window, query_pool);
+    LoadResult on = run_load(frozen, frozen_now, /*admin_on=*/true, /*rrl_on=*/false,
+                             seconds, server_threads, client_threads, window, query_pool);
     if (on.qps > admin.qps) admin = std::move(on);
+    LoadResult armed = run_load(frozen, frozen_now, /*admin_on=*/false, /*rrl_on=*/true,
+                                seconds, server_threads, client_threads, window, query_pool);
+    if (armed.qps > rrl.qps) rrl = std::move(armed);
   }
   const double overhead_pct =
       base.qps > 0 ? 100.0 * (base.qps - admin.qps) / base.qps : 0.0;
+  const double rrl_overhead_pct =
+      base.qps > 0 ? 100.0 * (base.qps - rrl.qps) / base.qps : 0.0;
 
   // Per-250ms window series from the baseline run: reply counts bucketed by
   // arrival offset — the data behind a live `rdns_tool top` view.
@@ -309,6 +334,10 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(base.received), seconds, base.qps, server_threads,
       client_threads, window, base.p50, base.p90, base.p99, base.loss_pct, admin.qps,
       -overhead_pct));
+  rdns::bench::measured_note(util::format(
+      "serve-guard armed but idle (RRL budget never reached): %.0f QPS (%+.2f%% vs "
+      "unguarded, budget 2%%)",
+      rrl.qps, -rrl_overhead_pct));
 
   {
     std::ofstream out{json_path};
@@ -354,6 +383,14 @@ int main(int argc, char** argv) {
         << "    \"acceptance_pct\": 2.0,\n"
         << "    \"admin_scraped\": " << (admin.prom_text.empty() ? "false" : "true") << "\n"
         << "  },\n"
+        << "  \"rrl_overhead\": {\n"
+        << "    \"qps_off\": " << base.qps << ",\n"
+        << "    \"qps_armed_idle\": " << rrl.qps << ",\n"
+        << "    \"p99_off_us\": " << base.p99 << ",\n"
+        << "    \"p99_armed_idle_us\": " << rrl.p99 << ",\n"
+        << "    \"delta_pct\": " << rrl_overhead_pct << ",\n"
+        << "    \"acceptance_pct\": 2.0\n"
+        << "  },\n"
         << "  \"server_datagrams_received\": " << base.server_stats.datagrams_received << ",\n"
         << "  \"server_responses_sent\": " << base.server_stats.responses_sent << ",\n"
         << "  \"server_send_failures\": " << base.server_stats.send_failures << "\n}\n";
@@ -386,5 +423,10 @@ int main(int argc, char** argv) {
                 util::format("admin-plane overhead %.2f%% within the %.0f%% regression "
                              "bound (design budget 2%% on a quiet core)",
                              overhead_pct, max_overhead_pct));
+  checks.expect(rrl.received > 0, "guard-armed run answered queries");
+  checks.expect(rrl_overhead_pct <= max_overhead_pct,
+                util::format("armed-but-idle serve-guard overhead %.2f%% within the "
+                             "%.0f%% regression bound (design budget 2%% on a quiet core)",
+                             rrl_overhead_pct, max_overhead_pct));
   return checks.exit_code();
 }

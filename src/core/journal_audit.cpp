@@ -27,6 +27,8 @@ const std::unordered_set<std::string>& known_event_types() {
       "campaign.group_close", "sweep.org",     "sweep.pass",     "sweep.shard",
       "fault.inject",       "dns.retry",       "campaign.recheck",
       "sweep.shard_degraded", "sweep.checkpoint", "sweep.progress",
+      "serve.start",        "serve.stop",      "serve.slowlog",
+      "serve.drain",        "serve.reload",
   };
   return types;
 }
@@ -345,13 +347,21 @@ class Auditor {
       retry_chains_[qname] = RetryChain{n, base};
       return;
     }
-    // The resolver doubles the base each step (capped at attempt 20).
-    const bool capped = n - 1 > 20 && base == it->second.last_base;
-    if (base != it->second.last_base * 2 && !capped) {
+    // The resolver doubles the base each ordinary step and quadruples it
+    // on a REFUSED retry (the "reason" field; absent in pre-hardening
+    // journals, where every step doubles). The exponent saturates at 20,
+    // so a repeated base is legitimate once it is at least 2^20 * the
+    // smallest base.
+    const std::string reason = e.get_string("reason");
+    const std::uint64_t factor = reason == "refused" ? 4 : 2;
+    const bool capped = base == it->second.last_base && base >= (1ULL << 20);
+    if (base != it->second.last_base * factor && !capped) {
       violate(line_no, "retry-backoff-mismatch",
-              util::format("%s retry %d: base %llus after %llus, expected doubling",
-                           qname.c_str(), n, static_cast<unsigned long long>(base),
-                           static_cast<unsigned long long>(it->second.last_base)));
+              util::format("%s retry %d (%s): base %llus after %llus, expected x%llu",
+                           qname.c_str(), n, reason.empty() ? "timeout" : reason.c_str(),
+                           static_cast<unsigned long long>(base),
+                           static_cast<unsigned long long>(it->second.last_base),
+                           static_cast<unsigned long long>(factor)));
     }
     it->second = RetryChain{n, base};
   }

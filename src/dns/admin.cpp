@@ -180,10 +180,19 @@ void ServeIntrospection::WorkerProbe::publish(const UdpServeStats& stats) {
   };
   put(stats.datagrams_received);
   put(stats.responses_sent);
-  put(stats.dropped_no_answer);
+  put(stats.dropped_malformed);
+  put(stats.dropped_timeout_fault);
+  put(stats.dropped_policy);
   put(stats.truncated_queries);
   put(stats.send_failures);
   put(stats.recv_batches);
+  put(stats.formerr_sent);
+  put(stats.notimp_sent);
+  put(stats.refused_sent);
+  put(stats.rrl_dropped);
+  put(stats.rrl_slipped);
+  put(stats.shed_errors);
+  put(stats.shed_answers);
   for (const std::uint64_t b : latency_.buckets) put(b);
   put(latency_.count);
   std::uint64_t sum_bits = 0;
@@ -271,10 +280,19 @@ bool ServeIntrospection::read_slot(const Slot& slot, UdpServeStats& stats,
   const auto get = [&] { return copy[w++]; };
   stats.datagrams_received = get();
   stats.responses_sent = get();
-  stats.dropped_no_answer = get();
+  stats.dropped_malformed = get();
+  stats.dropped_timeout_fault = get();
+  stats.dropped_policy = get();
   stats.truncated_queries = get();
   stats.send_failures = get();
   stats.recv_batches = get();
+  stats.formerr_sent = get();
+  stats.notimp_sent = get();
+  stats.refused_sent = get();
+  stats.rrl_dropped = get();
+  stats.rrl_slipped = get();
+  stats.shed_errors = get();
+  stats.shed_answers = get();
   for (std::uint64_t& b : latency.buckets) b = get();
   latency.count = get();
   const std::uint64_t sum_bits = get();
@@ -359,7 +377,9 @@ std::optional<std::vector<std::string>> ServeIntrospection::chaos_txt_strings(
   if (want_stats) {
     out.push_back("received=" + std::to_string(agg.totals.datagrams_received));
     out.push_back("answered=" + std::to_string(agg.totals.responses_sent));
-    out.push_back("dropped=" + std::to_string(agg.totals.dropped_no_answer));
+    out.push_back("dropped=" + std::to_string(agg.totals.dropped_total()));
+    out.push_back("rrl_dropped=" + std::to_string(agg.totals.rrl_dropped));
+    out.push_back("shed=" + std::to_string(agg.totals.shed_errors + agg.totals.shed_answers));
     out.push_back("qps1s=" + format_double(agg.qps_1s));
     out.push_back("qps10s=" + format_double(agg.qps_10s));
     out.push_back("qps60s=" + format_double(agg.qps_60s));
@@ -476,10 +496,20 @@ std::string ServeIntrospection::render_stats_json() {
   out += ",\"count\":" + std::to_string(agg.latency.count) + "}";
   out += ",\"totals\":{\"received\":" + std::to_string(agg.totals.datagrams_received);
   out += ",\"answered\":" + std::to_string(agg.totals.responses_sent);
-  out += ",\"dropped\":" + std::to_string(agg.totals.dropped_no_answer);
+  out += ",\"dropped\":" + std::to_string(agg.totals.dropped_total());
+  out += ",\"dropped_malformed\":" + std::to_string(agg.totals.dropped_malformed);
+  out += ",\"dropped_timeout_fault\":" + std::to_string(agg.totals.dropped_timeout_fault);
+  out += ",\"dropped_policy\":" + std::to_string(agg.totals.dropped_policy);
   out += ",\"truncated\":" + std::to_string(agg.totals.truncated_queries);
   out += ",\"send_failures\":" + std::to_string(agg.totals.send_failures);
   out += ",\"recv_batches\":" + std::to_string(agg.totals.recv_batches) + "}";
+  out += ",\"guard\":{\"formerr_sent\":" + std::to_string(agg.totals.formerr_sent);
+  out += ",\"notimp_sent\":" + std::to_string(agg.totals.notimp_sent);
+  out += ",\"refused_sent\":" + std::to_string(agg.totals.refused_sent);
+  out += ",\"rrl_dropped\":" + std::to_string(agg.totals.rrl_dropped);
+  out += ",\"rrl_slipped\":" + std::to_string(agg.totals.rrl_slipped);
+  out += ",\"shed_errors\":" + std::to_string(agg.totals.shed_errors);
+  out += ",\"shed_answers\":" + std::to_string(agg.totals.shed_answers) + "}";
   out += ",\"sampled\":" + std::to_string(agg.sampled);
   out += ",\"slowlog\":" + std::to_string(agg.slowlog);
   out += ",\"sample_every\":" + std::to_string(config_.sample_every);

@@ -198,8 +198,9 @@ class ServeIntrospection {
   /// (TSan-clean — every racing cell is an atomic; the epoch only decides
   /// whether the reader's copy is a consistent snapshot).
   struct Slot {
-    static constexpr std::size_t kWords =
-        6 /*UdpServeStats*/ + (kServeLatencyBuckets + 1) + 2 /*count,sum*/ + 2 /*sampled,slow*/;
+    static constexpr std::size_t kWords = UdpServeStats::kFieldCount +
+                                          (kServeLatencyBuckets + 1) + 2 /*count,sum*/ +
+                                          2 /*sampled,slow*/;
     std::atomic<std::uint64_t> epoch{0};
     std::array<std::atomic<std::uint64_t>, kWords> words{};
   };

@@ -25,8 +25,10 @@ struct ResolverMetrics {
   metrics::Counter& nxdomain = metrics::counter("dns.resolver.nxdomain");
   metrics::Counter& servfail = metrics::counter("dns.resolver.servfail");
   metrics::Counter& timeout = metrics::counter("dns.resolver.timeout");
+  metrics::Counter& refused = metrics::counter("dns.resolver.refused");
   metrics::Counter& other = metrics::counter("dns.resolver.other");
   metrics::Counter& retries = metrics::counter("dns.resolver.retries");
+  metrics::Counter& rrl_throttled = metrics::counter("dns.resolver.rrl_throttled");
   metrics::Histogram& attempts = metrics::histogram(
       "dns.resolver.attempts", metrics::Histogram::linear_bounds(1, 1, 8));
 };
@@ -52,6 +54,7 @@ struct LookupNote {
       case LookupStatus::NxDomain: m.nxdomain.inc(); break;
       case LookupStatus::ServFail: m.servfail.inc(); break;
       case LookupStatus::Timeout: m.timeout.inc(); break;
+      case LookupStatus::Refused: m.refused.inc(); break;
       default: m.other.inc(); break;
     }
     if (journal != nullptr) {
@@ -96,6 +99,13 @@ LookupResult StubResolver::lookup(const DnsName& qname, RrType qtype, util::SimT
   LookupResult result;
   const LookupNote note{result, qname, now, journal_lookups_ ? journal_ : nullptr};
 
+  // Retry-schedule state: the exponent advances one step per ordinary
+  // retry and two per REFUSED retry (see RetryPolicy); `exhaust_status`
+  // remembers the most recent retryable signal so a lookup that keeps
+  // getting REFUSED ends REFUSED, not TIMEOUT.
+  unsigned exponent = 0;
+  LookupStatus exhaust_status = LookupStatus::Timeout;
+
   for (int attempt = 0;; ++attempt) {
     // A fresh transaction id per attempt (a retry is a new transaction),
     // so stateless server-side fault decisions — which hash the id — stay
@@ -117,7 +127,10 @@ LookupResult StubResolver::lookup(const DnsName& qname, RrType qtype, util::SimT
     }
 
     // Outcomes that end the lookup return directly; the fallthrough below
-    // is the retryable set: timeout, mismatched transaction, truncation.
+    // is the retryable set: timeout, mismatched transaction, truncation,
+    // and REFUSED (a defended server's RRL slip or shed policy).
+    exhaust_status = LookupStatus::Timeout;
+    const char* retry_reason = "timeout";
     if (response_wire) {
       Message response;
       try {
@@ -130,8 +143,13 @@ LookupResult StubResolver::lookup(const DnsName& qname, RrType qtype, util::SimT
       if (response.id != id || !response.flags.qr) {
         // Mismatched transaction: treat as lost and retry.
       } else if (response.flags.tc) {
-        // Truncated: retry (a real stub re-asks over TCP).
+        // Truncated: retry (a real stub re-asks over TCP). Against our
+        // hardened serve path a TC=1 empty answer is specifically the RRL
+        // slip — count it so sweeps can report server-side throttling.
         ++stats_.truncated;
+        ++stats_.rrl_throttled;
+        resolver_metrics().rrl_throttled.inc();
+        retry_reason = "tc";
       } else {
         switch (response.flags.rcode) {
           case Rcode::NoError:
@@ -159,9 +177,13 @@ LookupResult StubResolver::lookup(const DnsName& qname, RrType qtype, util::SimT
             ++stats_.servfail;
             return result;
           case Rcode::Refused:
-            result.status = LookupStatus::Refused;
-            ++stats_.other;
-            return result;
+            // Retryable, but with the hardest backoff: a defended server
+            // says REFUSED both for policy (permanent) and under shed
+            // pressure (transient), and the stub cannot tell which. If
+            // every attempt stays refused the lookup ends REFUSED.
+            exhaust_status = LookupStatus::Refused;
+            retry_reason = "refused";
+            break;
           default:
             result.status = LookupStatus::Malformed;
             ++stats_.other;
@@ -179,12 +201,13 @@ LookupResult StubResolver::lookup(const DnsName& qname, RrType qtype, util::SimT
     }
     if (budget_ != RetryPolicy::kNoBudgetLimit) --budget_;
 
-    // Virtual exponential backoff with deterministic jitter: the n-th
-    // retry waits base<<(n-1) plus a hash-derived jitter in [0, base).
-    // Accounted, not slept — sweep observations are instantaneous — but
-    // journalled so `verify` can audit the schedule.
-    const std::uint64_t base = backoff_base_
-                               << static_cast<unsigned>(std::min(attempt, 20));
+    // Virtual exponential backoff with deterministic jitter: the exponent
+    // advances one step per ordinary retry (base doubles) and two per
+    // REFUSED retry (base quadruples), plus a hash-derived jitter in
+    // [0, base). Accounted, not slept — sweep observations are
+    // instantaneous — but journalled so `verify` can audit the schedule.
+    exponent += exhaust_status == LookupStatus::Refused ? 2u : 1u;  // REFUSED backs off harder
+    const std::uint64_t base = backoff_base_ << std::min(exponent - 1, 20u);
     const std::uint64_t jitter = base > 1 ? util::mix64(jitter_seed_ ^ id) % base : 0;
     const std::uint64_t delay = base + jitter;
     ++stats_.retries;
@@ -197,12 +220,17 @@ LookupResult StubResolver::lookup(const DnsName& qname, RrType qtype, util::SimT
       e.str("qname", qname.to_string())
           .num("n", attempt + 1)
           .unum("base_s", base)
-          .unum("delay_s", delay);
+          .unum("delay_s", delay)
+          .str("reason", retry_reason);
       journal_->emit(e);
     }
   }
-  result.status = LookupStatus::Timeout;
-  ++stats_.timeout;
+  result.status = exhaust_status;
+  if (exhaust_status == LookupStatus::Refused) {
+    ++stats_.refused;
+  } else {
+    ++stats_.timeout;
+  }
   return result;
 }
 

@@ -56,10 +56,12 @@ struct ResolverStats {
   std::uint64_t nxdomain = 0;
   std::uint64_t servfail = 0;
   std::uint64_t timeout = 0;
+  std::uint64_t refused = 0;       ///< lookups that ended REFUSED after retries
   std::uint64_t other = 0;
-  std::uint64_t retries = 0;    ///< re-sent queries (timeout/mismatch/TC)
-  std::uint64_t truncated = 0;  ///< TC responses received
-  std::uint64_t backoff_s = 0;  ///< total virtual backoff delay accrued
+  std::uint64_t retries = 0;       ///< re-sent queries (timeout/mismatch/TC/REFUSED)
+  std::uint64_t truncated = 0;     ///< TC responses received
+  std::uint64_t rrl_throttled = 0; ///< TC slips, the server-side RRL signal
+  std::uint64_t backoff_s = 0;     ///< total virtual backoff delay accrued
 
   ResolverStats& operator+=(const ResolverStats& other_stats) noexcept {
     queries_sent += other_stats.queries_sent;
@@ -67,20 +69,25 @@ struct ResolverStats {
     nxdomain += other_stats.nxdomain;
     servfail += other_stats.servfail;
     timeout += other_stats.timeout;
+    refused += other_stats.refused;
     other += other_stats.other;
     retries += other_stats.retries;
     truncated += other_stats.truncated;
+    rrl_throttled += other_stats.rrl_throttled;
     backoff_s += other_stats.backoff_s;
     return *this;
   }
 };
 
-/// Retry behaviour for lost/truncated exchanges. The backoff is *virtual*:
-/// sweeps observe the world at a frozen instant, so delays are accounted
-/// (stats, `dns.retry` journal events) rather than advancing the clock.
-/// Backoff for the n-th retry is `backoff_base_s << (n-1)` plus a
-/// deterministic jitter in [0, base) hashed from the transaction id, so
-/// the full schedule is reproducible at any thread count.
+/// Retry behaviour for lost/truncated/refused exchanges. The backoff is
+/// *virtual*: sweeps observe the world at a frozen instant, so delays are
+/// accounted (stats, `dns.retry` journal events) rather than advancing the
+/// clock. The backoff exponent advances one step per timeout/mismatch/TC
+/// retry (base doubles) and two steps per REFUSED retry (base quadruples —
+/// REFUSED from a defended server means "back off hard", per its RRL/shed
+/// policy), plus a deterministic jitter in [0, base) hashed from the
+/// transaction id, so the full schedule is reproducible at any thread
+/// count.
 struct RetryPolicy {
   static constexpr std::uint64_t kNoBudgetLimit = ~0ULL;
 

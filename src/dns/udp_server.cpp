@@ -15,6 +15,7 @@
 #include <cstring>
 
 #include "dns/admin.hpp"
+#include "util/flight.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
 
@@ -23,6 +24,7 @@ namespace rdns::dns {
 namespace {
 
 namespace metrics = rdns::util::metrics;
+namespace flight = rdns::util::flight;
 
 /// Serving-path accounting, shared by every worker (relaxed counters, so
 /// concurrent increments cost one RMW each — the registry's concurrency
@@ -31,9 +33,20 @@ namespace metrics = rdns::util::metrics;
 struct ServeMetrics {
   metrics::Counter& received = metrics::counter("serve.datagrams_received");
   metrics::Counter& sent = metrics::counter("serve.responses_sent");
-  metrics::Counter& dropped = metrics::counter("serve.dropped_no_answer");
+  metrics::Counter& dropped_malformed = metrics::counter("serve.dropped_malformed");
+  metrics::Counter& dropped_timeout_fault = metrics::counter("serve.dropped_timeout_fault");
+  metrics::Counter& dropped_policy = metrics::counter("serve.dropped_policy");
   metrics::Counter& truncated = metrics::counter("serve.truncated_queries");
   metrics::Counter& send_failures = metrics::counter("serve.send_failures");
+  metrics::Counter& formerr_sent = metrics::counter("serve.formerr_sent");
+  metrics::Counter& notimp_sent = metrics::counter("serve.notimp_sent");
+  metrics::Counter& refused_sent = metrics::counter("serve.refused_sent");
+  metrics::Counter& rrl_dropped = metrics::counter("serve.rrl_dropped");
+  metrics::Counter& rrl_slipped = metrics::counter("serve.rrl_slipped");
+  metrics::Counter& rrl_table_flushes = metrics::counter("serve.rrl_table_flushes");
+  metrics::Counter& shed_errors = metrics::counter("serve.shed_errors");
+  metrics::Counter& shed_answers = metrics::counter("serve.shed_answers");
+  metrics::Gauge& shed_level = metrics::gauge("serve.shed_level");
   metrics::Histogram& batch_size = metrics::histogram(
       "serve.recv_batch_size", metrics::Histogram::linear_bounds(1, 4, 16));
 };
@@ -48,18 +61,31 @@ ServeMetrics& serve_metrics() {
 UdpServeStats& UdpServeStats::operator+=(const UdpServeStats& other) noexcept {
   datagrams_received += other.datagrams_received;
   responses_sent += other.responses_sent;
-  dropped_no_answer += other.dropped_no_answer;
+  dropped_malformed += other.dropped_malformed;
+  dropped_timeout_fault += other.dropped_timeout_fault;
+  dropped_policy += other.dropped_policy;
   truncated_queries += other.truncated_queries;
   send_failures += other.send_failures;
   recv_batches += other.recv_batches;
+  formerr_sent += other.formerr_sent;
+  notimp_sent += other.notimp_sent;
+  refused_sent += other.refused_sent;
+  rrl_dropped += other.rrl_dropped;
+  rrl_slipped += other.rrl_slipped;
+  shed_errors += other.shed_errors;
+  shed_answers += other.shed_answers;
   return *this;
 }
 
 struct UdpServerLoop::Worker {
+  explicit Worker(const ServeHardeningOptions& hardening) : guard(hardening) {}
+
   net::UdpSocket socket;
   WireHandler handler;
   UdpServeStats stats;
+  ServeGuard guard;
   std::atomic<bool> stop{false};
+  std::atomic<bool> drain{false};
 };
 
 UdpServerLoop::UdpServerLoop(UdpServeOptions options, HandlerFactory factory)
@@ -114,7 +140,7 @@ bool UdpServerLoop::start(std::string* error) {
       bound_ = *bound;
       target = bound_;
     }
-    auto worker = std::make_unique<Worker>();
+    auto worker = std::make_unique<Worker>(options_.hardening);
     worker->socket = std::move(*socket);
     worker->handler = factory_(i);
     workers_.push_back(std::move(worker));
@@ -128,6 +154,23 @@ bool UdpServerLoop::start(std::string* error) {
   util::log_info("serve: listening on " + bound_.to_string() + " with " +
                  std::to_string(workers_.size()) + " worker(s)");
   return true;
+}
+
+void UdpServerLoop::request_drain() {
+  if (!running_) return;
+  for (auto& worker : workers_) worker->drain.store(true, std::memory_order_relaxed);
+  if (wake_write_fd_ >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const auto n = ::write(wake_write_fd_, &one, sizeof(one));
+  }
+  // Join here rather than in stop(): stop() raises the hard-stop flag,
+  // which workers honor between batches — if it raced the drain, a worker
+  // could exit with backlog still queued. Each worker's drain loop is
+  // bounded by drain_deadline_ms, so this join is too.
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  threads_.clear();
 }
 
 void UdpServerLoop::stop() {
@@ -151,11 +194,19 @@ void UdpServerLoop::stop() {
 }
 
 void UdpServerLoop::run_worker(Worker& worker, unsigned index) {
+  using Clock = std::chrono::steady_clock;
   ServeMetrics& sm = serve_metrics();
   ServeIntrospection::WorkerProbe* probe =
       options_.introspection != nullptr && index < options_.introspection->workers()
           ? &options_.introspection->probe(index)
           : nullptr;
+  ServeGuard& guard = worker.guard;
+  const bool guard_on = guard.options().guard;
+  const bool rrl_on = guard_on && guard.rrl_armed();
+  const bool restrict_ptr = guard.options().restrict_ptr;
+  const Clock::time_point epoch = Clock::now();
+  unsigned last_shed_level = 0;
+  std::uint64_t last_table_flushes = 0;
   std::vector<net::UdpDatagram> inbound;
   std::vector<net::UdpDatagram> outbound;
   inbound.reserve(options_.batch);
@@ -174,28 +225,63 @@ void UdpServerLoop::run_worker(Worker& worker, unsigned index) {
   ::epoll_ctl(ep, EPOLL_CTL_ADD, wake_fd_, &wake_event);
 #endif
 
-  while (!worker.stop.load(std::memory_order_relaxed)) {
+  // Drain state: once `worker.drain` is observed, the worker stops waiting
+  // for new input, consumes whatever the kernel has already queued (bounded
+  // by the deadline — a flood would keep the queue fed forever), flushes
+  // its final sends/publish, and exits.
+  bool draining = false;
+  Clock::time_point drain_deadline{};
+  bool exiting = false;
+
+  while (!worker.stop.load(std::memory_order_relaxed) && !exiting) {
+    if (!draining && worker.drain.load(std::memory_order_relaxed)) {
+      draining = true;
+      drain_deadline = Clock::now() + std::chrono::milliseconds(options_.drain_deadline_ms);
+    }
+    if (!draining) {
 #if defined(__linux__)
-    epoll_event events[2];
-    const int ready = ::epoll_wait(ep, events, 2, /*timeout_ms=*/250);
-    if (ready < 0 && errno != EINTR) break;
-    if (ready <= 0) continue;
-    // The wake fd is never drained: once stop is signalled it stays
-    // readable, so every worker's epoll_wait returns immediately.
+      epoll_event events[2];
+      const int ready = ::epoll_wait(ep, events, 2, /*timeout_ms=*/250);
+      if (ready < 0 && errno != EINTR) break;
+      if (ready <= 0) continue;
+      // The wake fd is never drained: once stop/drain is signalled it
+      // stays readable, so every worker's epoll_wait returns immediately.
 #else
-    if (!worker.socket.wait_readable(/*timeout_ms=*/250)) continue;
+      if (!worker.socket.wait_readable(/*timeout_ms=*/250)) continue;
 #endif
+    }
     // Drain the socket: keep pulling batches until the queue is dry, so a
     // burst costs one epoll wakeup, not one per datagram.
     for (;;) {
       inbound.clear();
       const std::size_t got =
           worker.socket.recv_batch(inbound, options_.batch, options_.payload_cap);
-      if (got == 0) break;
+      if (got == 0) {
+        if (draining) exiting = true;  // backlog consumed: done
+        break;
+      }
       ++worker.stats.recv_batches;
       sm.batch_size.observe(static_cast<double>(got));
       worker.stats.datagrams_received += got;
       sm.received.inc(got);
+
+      // Wall-clock second for the RRL buckets, computed once per batch
+      // (BIND-style one-second windows don't need finer resolution).
+      std::int64_t now_s = 0;
+      if (rrl_on) {
+        now_s = std::chrono::duration_cast<std::chrono::seconds>(Clock::now() - epoch).count();
+      }
+      // Backlog monitor: a full batch means the queue is outrunning us.
+      unsigned shed = 0;
+      if (guard_on) {
+        shed = guard.on_batch(got == options_.batch);
+        if (shed != last_shed_level) {
+          sm.shed_level.set(static_cast<std::int64_t>(shed));
+          flight::record(flight::Kind::ShedLevel, shed, index);
+          last_shed_level = shed;
+        }
+      }
+
       outbound.clear();
       for (net::UdpDatagram& query : inbound) {
         if (query.truncated) {
@@ -204,6 +290,86 @@ void UdpServerLoop::run_worker(Worker& worker, unsigned index) {
           ++worker.stats.truncated_queries;
           sm.truncated.inc();
           continue;
+        }
+        if (probe != nullptr) probe->note_client(query.peer.address);
+        Classified verdict{WireVerdict::Answer, 0, false};
+        if (guard_on) {
+          verdict = classify_query(query.payload, restrict_ptr);
+          if (verdict.verdict == WireVerdict::SilentDrop) {
+            ++worker.stats.dropped_malformed;
+            sm.dropped_malformed.inc();
+            continue;
+          }
+          if (verdict.verdict != WireVerdict::Answer) {
+            // Error response (FORMERR/NOTIMP/REFUSED) — the first work the
+            // shed ladder dumps: at L1+ the sender gets silence instead.
+            if (shed >= 1) {
+              ++worker.stats.shed_errors;
+              ++worker.stats.dropped_policy;
+              sm.shed_errors.inc();
+              sm.dropped_policy.inc();
+              continue;
+            }
+            Rcode rcode = Rcode::Refused;
+            if (verdict.verdict == WireVerdict::FormErr) {
+              rcode = Rcode::FormErr;
+              ++worker.stats.formerr_sent;
+              sm.formerr_sent.inc();
+            } else if (verdict.verdict == WireVerdict::NotImp) {
+              rcode = Rcode::NotImp;
+              ++worker.stats.notimp_sent;
+              sm.notimp_sent.inc();
+            } else {
+              ++worker.stats.refused_sent;
+              sm.refused_sent.inc();
+            }
+            net::UdpDatagram reply;
+            reply.payload =
+                make_guard_response(query.payload, verdict.question_end, rcode, /*tc=*/false);
+            reply.peer = query.peer;
+            outbound.push_back(std::move(reply));
+            continue;
+          }
+          // In-policy query: RRL then the L3 answer shed. CH TXT chaos
+          // queries bypass both so introspection survives a flood.
+          if (!verdict.chaos) {
+            if (rrl_on) {
+              const auto decision = guard.rrl_check(query.peer.address, now_s);
+              // At L2+ the slip escape hatch closes too: over-limit
+              // traffic gets pure silence.
+              if (decision == ServeGuard::RrlDecision::Drop ||
+                  (decision == ServeGuard::RrlDecision::Slip && shed >= 2)) {
+                ++worker.stats.rrl_dropped;
+                ++worker.stats.dropped_policy;
+                sm.rrl_dropped.inc();
+                sm.dropped_policy.inc();
+                flight::record(flight::Kind::RrlDrop, query.peer.address, index);
+                continue;
+              }
+              if (decision == ServeGuard::RrlDecision::Slip) {
+                ++worker.stats.rrl_slipped;
+                sm.rrl_slipped.inc();
+                flight::record(flight::Kind::RrlSlip, query.peer.address, index);
+                net::UdpDatagram reply;
+                reply.payload = make_guard_response(query.payload, verdict.question_end,
+                                                    Rcode::NoError, /*tc=*/true);
+                reply.peer = query.peer;
+                outbound.push_back(std::move(reply));
+                continue;
+              }
+              if (guard.table_flushes() != last_table_flushes) {
+                sm.rrl_table_flushes.inc(guard.table_flushes() - last_table_flushes);
+                last_table_flushes = guard.table_flushes();
+              }
+            }
+            if (shed >= 3 && guard.shed_answer()) {
+              ++worker.stats.shed_answers;
+              ++worker.stats.dropped_policy;
+              sm.shed_answers.inc();
+              sm.dropped_policy.inc();
+              continue;
+            }
+          }
         }
         // Introspection is off the fast path by construction: one pointer
         // test when disabled; when enabled, clocks only tick for the
@@ -218,10 +384,10 @@ void UdpServerLoop::run_worker(Worker& worker, unsigned index) {
                                         .count();
           probe->on_sampled(query.payload, response, latency_us, query.peer);
         }
-        if (probe != nullptr) probe->note_client(query.peer.address);
         if (!response) {
-          ++worker.stats.dropped_no_answer;  // injected timeout: stay silent
-          sm.dropped.inc();
+          // Injected timeout (or, unguarded, undecodable input): silence.
+          ++worker.stats.dropped_timeout_fault;
+          sm.dropped_timeout_fault.inc();
           continue;
         }
         net::UdpDatagram reply;
@@ -242,8 +408,28 @@ void UdpServerLoop::run_worker(Worker& worker, unsigned index) {
       // Publish once per batch: the aggregator reads a consistent snapshot
       // without ever touching the worker's cache lines mid-datagram.
       if (probe != nullptr) probe->publish(worker.stats);
+
+      // A sustained flood keeps this inner loop fed forever, so stop and
+      // drain must be observable between batches, not just between epoll
+      // wakeups.
+      if (worker.stop.load(std::memory_order_relaxed)) {
+        exiting = true;
+        break;
+      }
+      if (!draining && worker.drain.load(std::memory_order_relaxed)) {
+        draining = true;
+        drain_deadline = Clock::now() + std::chrono::milliseconds(options_.drain_deadline_ms);
+      }
+      if (draining && Clock::now() >= drain_deadline) {
+        exiting = true;
+        break;
+      }
     }
   }
+
+  // Final publish so the introspection plane sees the drained totals even
+  // when the last batch raced the aggregator.
+  if (probe != nullptr) probe->publish(worker.stats);
 
 #if defined(__linux__)
   ::close(ep);

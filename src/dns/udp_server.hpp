@@ -14,6 +14,15 @@
 /// transport; a handler returning nullopt models an injected timeout and
 /// the datagram is simply dropped — a genuinely lossy medium for the
 /// Fig. 6 error taxonomy.
+///
+/// With `UdpServeOptions.hardening.guard` armed, every datagram passes the
+/// serve-guard front-end (dns/serve_guard.hpp) before the handler: garbage
+/// is dropped or answered with FORMERR/NOTIMP/REFUSED, per-/24 RRL gates
+/// answers with slip-to-TC, and a backlog-driven shed ladder dumps the
+/// lowest-value work first under flood. `request_drain()` implements the
+/// SIGTERM half of lifecycle robustness: workers stop waiting for new
+/// input, drain what the kernel already accepted (bounded by
+/// `drain_deadline_ms`), flush their final sendmmsg batches, and exit.
 
 #include <cstdint>
 #include <functional>
@@ -24,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "dns/serve_guard.hpp"
 #include "net/udp.hpp"
 
 namespace rdns::dns {
@@ -32,13 +42,38 @@ class ServeIntrospection;  // dns/admin.hpp
 
 /// Per-worker serving statistics; all fields are sums, so worker
 /// accumulators fold in any order (the ServerStats merge argument).
+///
+/// Every received datagram lands in exactly one of: responses_sent,
+/// send_failures, truncated_queries, dropped_malformed,
+/// dropped_timeout_fault, or dropped_policy — `datagrams_received` always
+/// equals their sum (the schema checker enforces this on serve.stop).
+/// The remaining counters are overlays: formerr/notimp/refused_sent and
+/// rrl_slipped classify enqueued responses, rrl_dropped/shed_* classify
+/// policy drops.
 struct UdpServeStats {
   std::uint64_t datagrams_received = 0;
   std::uint64_t responses_sent = 0;
-  std::uint64_t dropped_no_answer = 0;   ///< handler returned nullopt (timeout)
-  std::uint64_t truncated_queries = 0;   ///< inbound datagram over the cap
-  std::uint64_t send_failures = 0;       ///< kernel back-pressure, dropped
-  std::uint64_t recv_batches = 0;        ///< recvmmsg calls that returned data
+  std::uint64_t dropped_malformed = 0;      ///< undecodable garbage, silent
+  std::uint64_t dropped_timeout_fault = 0;  ///< handler returned nullopt (timeout)
+  std::uint64_t dropped_policy = 0;         ///< RRL drop or shed decision
+  std::uint64_t truncated_queries = 0;      ///< inbound datagram over the cap
+  std::uint64_t send_failures = 0;          ///< kernel back-pressure, dropped
+  std::uint64_t recv_batches = 0;           ///< recvmmsg calls that returned data
+  std::uint64_t formerr_sent = 0;           ///< FORMERR error responses enqueued
+  std::uint64_t notimp_sent = 0;            ///< NOTIMP error responses enqueued
+  std::uint64_t refused_sent = 0;           ///< REFUSED error responses enqueued
+  std::uint64_t rrl_dropped = 0;            ///< over-limit, silently dropped
+  std::uint64_t rrl_slipped = 0;            ///< over-limit, answered with TC=1
+  std::uint64_t shed_errors = 0;            ///< error responses shed at L1+
+  std::uint64_t shed_answers = 0;           ///< answers shed at L3
+  /// Number of stat words a seqlock slot needs (dns/admin.hpp).
+  static constexpr std::size_t kFieldCount = 15;
+
+  /// Silent drops across all three causes (the pre-split
+  /// `dropped_no_answer` aggregate, kept for summaries).
+  [[nodiscard]] std::uint64_t dropped_total() const noexcept {
+    return dropped_malformed + dropped_timeout_fault + dropped_policy;
+  }
 
   UdpServeStats& operator+=(const UdpServeStats& other) noexcept;
 };
@@ -49,6 +84,12 @@ struct UdpServeOptions {
   unsigned threads = 1;                 ///< worker sockets/threads (min 1)
   std::size_t batch = 32;               ///< max datagrams per recvmmsg
   std::size_t payload_cap = net::UdpSocket::kDefaultPayloadCap;
+  /// Abuse defense (wire classification, RRL, shed ladder); defaults off.
+  ServeHardeningOptions hardening;
+  /// Upper bound on how long a draining worker keeps consuming the
+  /// kernel's already-accepted backlog before exiting (a flood would
+  /// otherwise keep the drain loop fed forever).
+  unsigned drain_deadline_ms = 2000;
   /// Optional live introspection plane (dns/admin.hpp): when set (and
   /// sized for >= `threads` workers), each worker feeds its probe — sampled
   /// latency, heavy-hitter sketches, seqlock stat slots. When null the
@@ -75,6 +116,14 @@ class UdpServerLoop {
   /// Bind the worker sockets and launch the worker threads. Returns false
   /// (and fills `error`) when a socket cannot be bound.
   [[nodiscard]] bool start(std::string* error = nullptr);
+
+  /// Graceful drain: workers stop waiting for new datagrams, consume the
+  /// backlog the kernel has already accepted (bounded by
+  /// `drain_deadline_ms`), flush their outbound batches and final probe
+  /// publish, then exit. Blocks until every worker has drained (so the
+  /// wait itself is bounded by the deadline); follow with stop() to fold
+  /// stats and release sockets. Idempotent; no-op when not running.
+  void request_drain();
 
   /// Signal the workers, join them, and fold per-worker stats into
   /// stats(). Idempotent; the destructor calls it.

@@ -21,8 +21,7 @@ namespace rdns::net {
 
 namespace {
 
-constexpr std::size_t kMaxRequestBytes = 4096;
-constexpr int kIoTimeoutMs = 2000;
+using Clock = std::chrono::steady_clock;
 
 void fill_sockaddr(const UdpEndpoint& ep, sockaddr_in& sa) {
   sa.sin_family = AF_INET;
@@ -36,12 +35,23 @@ void fill_sockaddr(const UdpEndpoint& ep, sockaddr_in& sa) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 431: return "Request Header Fields Too Large";
     default: return "Error";
   }
 }
 
-/// Write all of `data` with a poll-guarded loop (the fd is non-blocking).
-bool write_all(int fd, std::string_view data) {
+/// Milliseconds left until `deadline`, clamped at 0.
+[[nodiscard]] int ms_until(Clock::time_point deadline) noexcept {
+  const auto left =
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now()).count();
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+/// Write all of `data` with a poll-guarded loop (the fd is non-blocking),
+/// giving up when `deadline` passes — a peer that reads one byte per poll
+/// window cannot hold the connection open past its overall budget.
+bool write_all(int fd, std::string_view data, Clock::time_point deadline) {
   std::size_t off = 0;
   while (off < data.size()) {
     const ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
@@ -50,8 +60,10 @@ bool write_all(int fd, std::string_view data) {
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const int left = ms_until(deadline);
+      if (left <= 0) return false;
       pollfd pfd{fd, POLLOUT, 0};
-      if (::poll(&pfd, 1, kIoTimeoutMs) <= 0) return false;
+      if (::poll(&pfd, 1, left) <= 0) return false;
       continue;
     }
     return false;
@@ -143,10 +155,17 @@ void AdminHttpServer::run() {
 
 void AdminHttpServer::serve_connection(int fd) {
   std::string request;
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::milliseconds(kIoTimeoutMs);
+  const auto deadline = Clock::now() + std::chrono::milliseconds(io_timeout_ms_);
+  bool timed_out = false;
   char buf[1024];
-  while (request.find("\r\n") == std::string::npos && request.size() < kMaxRequestBytes) {
+  while (request.find("\r\n") == std::string::npos && request.size() < max_request_bytes_) {
+    // Deadline checked every iteration — including after a successful recv —
+    // so a drip-feeding client (slowloris) is bounded by the connection
+    // budget no matter how it paces its bytes.
+    if (ms_until(deadline) <= 0) {
+      timed_out = true;
+      break;
+    }
     const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
     if (n > 0) {
       request.append(buf, static_cast<std::size_t>(n));
@@ -154,16 +173,34 @@ void AdminHttpServer::serve_connection(int fd) {
     }
     if (n == 0) break;
     if (errno != EAGAIN && errno != EWOULDBLOCK) return;
-    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-        deadline - std::chrono::steady_clock::now());
-    if (left.count() <= 0) return;
     pollfd pfd{fd, POLLIN, 0};
-    if (::poll(&pfd, 1, static_cast<int>(left.count())) <= 0) return;
+    if (::poll(&pfd, 1, ms_until(deadline)) < 0) return;
   }
 
   // Request line: METHOD SP PATH SP VERSION. Anything else is a 400.
   HttpResponse response;
   const std::size_t line_end = request.find("\r\n");
+  if (timed_out && line_end == std::string::npos) {
+    response = HttpResponse{408, "text/plain; charset=utf-8", "request timeout\n"};
+    const std::string head = "HTTP/1.0 408 Request Timeout\r\nContent-Type: " +
+                             response.content_type + "\r\nContent-Length: " +
+                             std::to_string(response.body.size()) + "\r\nConnection: close\r\n\r\n";
+    // Best-effort notice with a short grace window; the deadline has passed.
+    (void)write_all(fd, head + response.body, Clock::now() + std::chrono::milliseconds(100));
+    return;
+  }
+  if (line_end == std::string::npos && request.size() >= max_request_bytes_) {
+    // Oversize request line: refuse explicitly rather than trying to parse
+    // a truncated line (the cap exists so a hostile client cannot make the
+    // single-threaded plane buffer unbounded input).
+    response = HttpResponse{431, "text/plain; charset=utf-8", "request line too large\n"};
+    const std::string head = "HTTP/1.0 431 " + std::string{status_text(431)} +
+                             "\r\nContent-Type: " + response.content_type +
+                             "\r\nContent-Length: " + std::to_string(response.body.size()) +
+                             "\r\nConnection: close\r\n\r\n";
+    (void)write_all(fd, head + response.body, deadline);
+    return;
+  }
   const std::string line = request.substr(0, line_end == std::string::npos ? 0 : line_end);
   const std::size_t sp1 = line.find(' ');
   const std::size_t sp2 = line.rfind(' ');
@@ -189,7 +226,7 @@ void AdminHttpServer::serve_connection(int fd) {
                      status_text(response.status) + "\r\nContent-Type: " +
                      response.content_type + "\r\nContent-Length: " +
                      std::to_string(response.body.size()) + "\r\nConnection: close\r\n\r\n";
-  if (write_all(fd, head)) (void)write_all(fd, response.body);
+  if (write_all(fd, head, deadline)) (void)write_all(fd, response.body, deadline);
 }
 
 std::optional<std::string> http_get(const UdpEndpoint& server, const std::string& path,
@@ -224,14 +261,14 @@ std::optional<std::string> http_get(const UdpEndpoint& server, const std::string
       return std::nullopt;
     }
   }
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
   const std::string request = "GET " + path + " HTTP/1.0\r\nHost: " + server.to_string() +
                               "\r\nConnection: close\r\n\r\n";
-  if (!write_all(fd, request)) {
+  if (!write_all(fd, request, deadline)) {
     if (error != nullptr) *error = "send failed";
     return std::nullopt;
   }
   std::string reply;
-  const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
   char buf[4096];
   for (;;) {
     const ssize_t n = ::recv(fd, buf, sizeof buf, 0);

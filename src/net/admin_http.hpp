@@ -54,6 +54,23 @@ class AdminHttpServer {
   /// The actually bound endpoint (resolves port 0). Valid after start().
   [[nodiscard]] UdpEndpoint endpoint() const noexcept { return bound_; }
 
+  /// Per-connection wall-clock budget covering the whole exchange (read
+  /// *and* write). A client that drips bytes — the slowloris pattern — is
+  /// cut off when the budget expires, even if every individual recv makes
+  /// progress. Must be set before start().
+  void set_io_timeout_ms(int timeout_ms) noexcept {
+    if (timeout_ms > 0) io_timeout_ms_ = timeout_ms;
+  }
+  [[nodiscard]] int io_timeout_ms() const noexcept { return io_timeout_ms_; }
+
+  /// Request-size cap; a request that reaches it without completing its
+  /// request line is answered 431 and the connection closed. Must be set
+  /// before start().
+  void set_max_request_bytes(std::size_t bytes) noexcept {
+    if (bytes >= 16) max_request_bytes_ = bytes;
+  }
+  [[nodiscard]] std::size_t max_request_bytes() const noexcept { return max_request_bytes_; }
+
  private:
   void run();
   void serve_connection(int fd);
@@ -66,6 +83,8 @@ class AdminHttpServer {
   int wake_write_fd_ = -1;  ///< pipe write end
   std::atomic<bool> stop_{false};
   bool running_ = false;
+  int io_timeout_ms_ = 2000;
+  std::size_t max_request_bytes_ = 4096;
 };
 
 /// Blocking HTTP/1.0 GET against `server`; returns the response body on a

@@ -29,6 +29,8 @@ struct SweepMetrics {
   metrics::Counter& wire_shards = metrics::counter("sweep.wire_shards");
   metrics::Counter& shard_reruns = metrics::counter("sweep.shard_reruns");
   metrics::Counter& degraded_shards = metrics::counter("sweep.degraded_shards");
+  metrics::Counter& rrl_throttled = metrics::counter("sweep.rrl_throttled");
+  metrics::Counter& refused = metrics::counter("sweep.refused");
   metrics::Histogram& org_rows = metrics::histogram(
       "sweep.org_rows", metrics::Histogram::exponential_bounds(16, 4, 10));
   metrics::Histogram& shard_rows = metrics::histogram(
@@ -396,6 +398,10 @@ std::uint64_t sweep_wire(sim::World& world, const util::CivilDate& date, Snapsho
   world.merge_server_stats(server_totals);
   if (stats_out != nullptr) *stats_out = resolver_totals;
   sm.rows.inc(rows_emitted);
+  // Server-side defense signals folded from the per-shard resolvers: TC
+  // slips (RRL throttling) and REFUSED outcomes from a defended target.
+  if (resolver_totals.rrl_throttled > 0) sm.rrl_throttled.inc(resolver_totals.rrl_throttled);
+  if (resolver_totals.refused > 0) sm.refused.inc(resolver_totals.refused);
   if (jrn != nullptr) {
     util::journal::Event e{"sweep.pass", now};
     e.str("date", util::format_date(date)).unum("rows", rows_emitted);

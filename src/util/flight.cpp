@@ -40,6 +40,9 @@ const char* to_string(Kind kind) noexcept {
     case Kind::ShardDegrade: return "shard.degrade";
     case Kind::ProbeSent: return "probe.sent";
     case Kind::CampaignBackoff: return "campaign.backoff";
+    case Kind::RrlDrop: return "rrl.drop";
+    case Kind::RrlSlip: return "rrl.slip";
+    case Kind::ShedLevel: return "shed.level";
     case Kind::kCount: break;
   }
   return "?";

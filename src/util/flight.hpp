@@ -51,6 +51,9 @@ namespace rdns::util::flight {
 ///   shard.degrade  a = first address value   b = shard index
 ///   probe.sent     a = address value         b = probes sent in this phase
 ///   campaign.backoff a = next delay (s)      b = probes done so far
+///   rrl.drop       a = client address        b = worker index
+///   rrl.slip       a = client address        b = worker index
+///   shed.level     a = new shed level        b = worker index
 enum class Kind : std::uint16_t {
   QueryIssue = 0,
   QueryDone,
@@ -63,6 +66,9 @@ enum class Kind : std::uint16_t {
   ShardDegrade,
   ProbeSent,
   CampaignBackoff,
+  RrlDrop,
+  RrlSlip,
+  ShedLevel,
   kCount,
 };
 

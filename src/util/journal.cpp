@@ -153,6 +153,7 @@ void Journal::close() {
 }
 
 void Journal::emit(const Event& event) {
+  if (suspended_.load(std::memory_order_relaxed) != 0) return;
   const std::string line = event.line();
   std::lock_guard lock{m_};
   if (out_.is_open()) out_ << line;

@@ -122,8 +122,16 @@ class Journal final : public Sink {
   [[nodiscard]] static Journal& global();
 
   [[nodiscard]] bool enabled() const noexcept {
-    return enabled_.load(std::memory_order_relaxed);
+    return enabled_.load(std::memory_order_relaxed) &&
+           suspended_.load(std::memory_order_relaxed) == 0;
   }
+
+  /// Nestable suspension: while the count is non-zero, active() returns
+  /// nullptr and emit() drops events, but the stream stays open. Used by
+  /// hot zone reload, whose world rebuild would replay day-one events with
+  /// backwards timestamps into an otherwise monotone journal.
+  void suspend() noexcept { suspended_.fetch_add(1, std::memory_order_relaxed); }
+  void resume() noexcept { suspended_.fetch_sub(1, std::memory_order_relaxed); }
 
   /// Open (truncate) `path` and enable emission. If a manifest is already
   /// set, the header event is written immediately. Returns false (journal
@@ -148,9 +156,19 @@ class Journal final : public Sink {
  private:
   mutable std::mutex m_;
   std::atomic<bool> enabled_{false};
+  std::atomic<int> suspended_{0};
   std::ofstream out_;
   std::optional<RunManifest> manifest_;
   bool header_written_ = false;
+};
+
+/// RAII form of Journal::suspend()/resume() on the global journal.
+class ScopedSuspend {
+ public:
+  ScopedSuspend() noexcept { Journal::global().suspend(); }
+  ~ScopedSuspend() { Journal::global().resume(); }
+  ScopedSuspend(const ScopedSuspend&) = delete;
+  ScopedSuspend& operator=(const ScopedSuspend&) = delete;
 };
 
 /// The enabled global journal, or nullptr — the one-relaxed-load gate every

@@ -6,10 +6,18 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
+#include <thread>
 #include <variant>
 #include <vector>
 
@@ -106,7 +114,9 @@ TEST(ServeIntrospection, PublishAggregateRoundTrip) {
   UdpServeStats s0;
   s0.datagrams_received = 100;
   s0.responses_sent = 90;
-  s0.dropped_no_answer = 10;
+  s0.dropped_timeout_fault = 6;
+  s0.dropped_malformed = 3;
+  s0.dropped_policy = 1;
   p0.note_client(0x7f000001u);
   p0.note_client(0x7f000001u);
   p0.note_client(0x0a000001u);
@@ -122,7 +132,10 @@ TEST(ServeIntrospection, PublishAggregateRoundTrip) {
   const auto agg = plane.aggregate();
   EXPECT_EQ(agg.totals.datagrams_received, 150u);
   EXPECT_EQ(agg.totals.responses_sent, 140u);
-  EXPECT_EQ(agg.totals.dropped_no_answer, 10u);
+  EXPECT_EQ(agg.totals.dropped_timeout_fault, 6u);
+  EXPECT_EQ(agg.totals.dropped_malformed, 3u);
+  EXPECT_EQ(agg.totals.dropped_policy, 1u);
+  EXPECT_EQ(agg.totals.dropped_total(), 10u);
   ASSERT_FALSE(agg.top_clients.empty());
   EXPECT_EQ(agg.top_clients.front().key, "127.0.0.1");
   EXPECT_EQ(agg.top_clients.front().count, 3u);
@@ -291,6 +304,114 @@ TEST(AdminHttpServer, ServesRoutesOverLoopback) {
 
   http.stop();
   EXPECT_FALSE(http.running());
+}
+
+/// Raw TCP client for the abuse tests below: http_get is too well-behaved
+/// to drip bytes or omit the CRLF.
+struct RawTcpClient {
+  int fd = -1;
+
+  explicit RawTcpClient(const net::UdpEndpoint& server) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(server.address);
+    addr.sin_port = htons(server.port);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  ~RawTcpClient() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  bool send_bytes(const std::string& bytes) const {
+    return fd >= 0 &&
+           ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL) ==
+               static_cast<ssize_t>(bytes.size());
+  }
+
+  /// Read until the peer closes (bounded by `budget_ms`); returns whatever
+  /// arrived. An empty result means the server closed without replying.
+  std::string read_to_close(int budget_ms) const {
+    std::string out;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(budget_ms);
+    char buffer[512];
+    while (std::chrono::steady_clock::now() < deadline) {
+      timeval tv{0, 50 * 1000};
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+      if (n > 0) {
+        out.append(buffer, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) break;  // orderly close
+      if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) break;
+    }
+    return out;
+  }
+};
+
+TEST(AdminHttpServer, SlowlorisDripIsCutOffWith408) {
+  net::AdminHttpServer http;
+  http.set_io_timeout_ms(300);
+  http.route("/ping", [](const std::string&) { return net::HttpResponse{200, "text/plain", "pong"}; });
+  ASSERT_TRUE(http.start(net::UdpEndpoint{0x7f000001u, 0}));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  RawTcpClient drip{http.endpoint()};
+  ASSERT_GE(drip.fd, 0);
+  // Drip one byte at a time, never sending the terminating CRLF: every
+  // recv makes progress, so only the overall deadline can stop this.
+  const std::string tease = "GET /ping";
+  for (char c : tease) {
+    if (!drip.send_bytes(std::string(1, c))) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  const std::string response = drip.read_to_close(3000);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_NE(response.find("408"), std::string::npos) << response;
+  // The connection must die near the configured budget, not hang.
+  EXPECT_LT(elapsed, 2500);
+
+  // The listener is single-threaded: having shed the slow client, it must
+  // still serve a well-behaved one promptly.
+  const auto ok = net::http_get(http.endpoint(), "/ping");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(*ok, "pong");
+  http.stop();
+}
+
+TEST(AdminHttpServer, OversizedHeaderlessRequestGets431) {
+  net::AdminHttpServer http;
+  http.set_io_timeout_ms(2000);
+  http.set_max_request_bytes(128);
+  ASSERT_TRUE(http.start(net::UdpEndpoint{0x7f000001u, 0}));
+
+  RawTcpClient hog{http.endpoint()};
+  ASSERT_GE(hog.fd, 0);
+  // 4x the cap without ever finishing the request line.
+  ASSERT_TRUE(hog.send_bytes("GET /" + std::string(512, 'a')));
+  const std::string response = hog.read_to_close(3000);
+  EXPECT_NE(response.find("431"), std::string::npos) << response;
+  http.stop();
+}
+
+TEST(AdminHttpServer, TimeoutAndSizeKnobsHaveFloors) {
+  net::AdminHttpServer http;
+  http.set_io_timeout_ms(0);  // ignored: non-positive
+  EXPECT_EQ(http.io_timeout_ms(), 2000);
+  http.set_io_timeout_ms(750);
+  EXPECT_EQ(http.io_timeout_ms(), 750);
+  http.set_max_request_bytes(1);  // ignored: below the floor
+  EXPECT_EQ(http.max_request_bytes(), 4096u);
+  http.set_max_request_bytes(64);
+  EXPECT_EQ(http.max_request_bytes(), 64u);
 }
 
 }  // namespace

@@ -79,7 +79,7 @@ EVENT_TYPES = {
     "sweep.org", "sweep.pass", "sweep.shard", "sweep.shard_degraded", "sweep.checkpoint",
     "sweep.progress",
     "fault.inject",
-    "serve.start", "serve.stop", "serve.slowlog",
+    "serve.start", "serve.stop", "serve.slowlog", "serve.drain", "serve.reload",
 }
 
 FLIGHT_SCHEMA = "rdns.flight.v1"
@@ -91,7 +91,11 @@ FLIGHT_KINDS = {
     "fault.hit",
     "shard.start", "shard.finish", "shard.degrade",
     "probe.sent", "campaign.backoff",
+    "rrl.drop", "rrl.slip", "shed.level",
 }
+
+# dns.retry reasons frozen by the resolver's retryable set.
+RETRY_REASONS = {"timeout", "tc", "refused"}
 
 
 def _uint(event, key):
@@ -118,6 +122,9 @@ def check_event_fields(event, i, problems):
             problems.add(f"line {i}: dns.retry base_s must be an integer >= 1")
         elif delay is None or not base <= delay < 2 * base:
             problems.add(f"line {i}: dns.retry delay_s must satisfy base_s <= delay_s < 2*base_s")
+        if "reason" in event and event.get("reason") not in RETRY_REASONS:
+            problems.add(f"line {i}: dns.retry reason must be one of "
+                         f"{sorted(RETRY_REASONS)}, got {event.get('reason')!r}")
     elif etype == "campaign.recheck":
         if _uint(event, "fails") is None or _uint(event, "fails") < 1:
             problems.add(f"line {i}: campaign.recheck fails must be an integer >= 1")
@@ -169,6 +176,38 @@ def check_event_fields(event, i, problems):
         sent = _uint(event, "responses_sent")
         if received is None or sent is None or sent > received:
             problems.add(f"line {i}: serve.stop needs responses_sent <= datagrams_received")
+        # The hardened serve path partitions every received datagram into
+        # exactly one disposition; when the split fields are present the sum
+        # must reconcile (the C++ side promises this at worker exit).
+        split = ("dropped_malformed", "dropped_timeout_fault", "dropped_policy",
+                 "truncated_queries", "send_failures")
+        if received is not None and sent is not None and all(k in event for k in split):
+            parts = [_uint(event, k) for k in split]
+            if any(p is None for p in parts):
+                problems.add(f"line {i}: serve.stop drop-split fields must be "
+                             f"non-negative integers")
+            elif sent + sum(parts) != received:
+                problems.add(f"line {i}: serve.stop accounting broken: "
+                             f"{sent} sent + {sum(parts)} dropped/failed != "
+                             f"{received} received")
+        # Overlay counters never exceed what they classify (slips are
+        # enqueued responses, so they bound by sent + send failures).
+        rrl_slipped = _uint(event, "rrl_slipped")
+        failures = _uint(event, "send_failures")
+        if rrl_slipped is not None and sent is not None and failures is not None \
+                and rrl_slipped > sent + failures:
+            problems.add(f"line {i}: serve.stop rrl_slipped exceeds enqueued responses")
+    elif etype == "serve.drain":
+        if _uint(event, "deadline_ms") is None:
+            problems.add(f"line {i}: serve.drain deadline_ms must be a non-negative integer")
+        if _uint(event, "drain_ms") is None:
+            problems.add(f"line {i}: serve.drain drain_ms must be a non-negative integer")
+    elif etype == "serve.reload":
+        epoch = _uint(event, "epoch")
+        if epoch is None or epoch < 1:
+            problems.add(f"line {i}: serve.reload epoch must be an integer >= 1")
+        if _uint(event, "build_ms") is None:
+            problems.add(f"line {i}: serve.reload build_ms must be a non-negative integer")
     elif etype == "serve.slowlog":
         for key in ("qname", "client", "rcode"):
             if not isinstance(event.get(key), str) or not event.get(key):

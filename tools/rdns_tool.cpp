@@ -28,6 +28,8 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <thread>
 
@@ -707,6 +709,72 @@ volatile std::sig_atomic_t g_serve_stop = 0;
 
 void handle_serve_signal(int) { g_serve_stop = 1; }
 
+/// SIGHUP asks for a hot zone reload; the serve loop polls it (the /reload
+/// admin route sets its own atomic — see cmd_serve).
+volatile std::sig_atomic_t g_serve_reload = 0;
+
+void handle_serve_reload_signal(int) { g_serve_reload = 1; }
+
+/// RCU-style zone generation plumbing for hot reload (SIGHUP or GET
+/// /reload): the main thread builds a fresh frozen world and publishes it
+/// under the mutex with an epoch bump; each worker's handler notices the
+/// epoch change *between* queries, folds its per-org stats into the
+/// outgoing generation, and re-anchors its read-only view on the new one.
+/// No query is ever dropped by a reload — the swap happens between
+/// datagrams, and the old world stays alive (shared_ptr) until the last
+/// worker lets go of it.
+struct ZoneSwitchboard {
+  struct Generation {
+    std::shared_ptr<sim::World> world;
+    util::SimTime frozen_now = 0;
+  };
+  /// Per-worker handler state. Stable address: slots are created
+  /// sequentially by the handler factory before any worker thread runs,
+  /// and each slot is touched only by its own worker thereafter.
+  struct Slot {
+    std::uint64_t seen_epoch = 0;
+    Generation gen;
+    std::unique_ptr<sim::FrozenDnsView> view;
+  };
+
+  std::atomic<std::uint64_t> epoch{0};
+  std::mutex mu;       ///< guards `current` and every per-org stats merge
+  Generation current;  ///< guarded by mu
+  std::vector<std::unique_ptr<Slot>> slots;
+
+  /// A handler noticed `epoch` moved: retire the slot's generation
+  /// (merging its view stats under the mutex) and adopt the current one.
+  void adopt(Slot& slot) {
+    std::lock_guard<std::mutex> lock{mu};
+    if (slot.view != nullptr) {
+      slot.gen.world->merge_server_stats(slot.view->per_org_stats());
+    }
+    slot.gen = current;
+    slot.seen_epoch = epoch.load(std::memory_order_relaxed);
+    slot.view = std::make_unique<sim::FrozenDnsView>(*slot.gen.world);
+  }
+
+  /// Publish a new generation; returns the new epoch value.
+  std::uint64_t publish(std::shared_ptr<sim::World> world, util::SimTime frozen_now) {
+    std::lock_guard<std::mutex> lock{mu};
+    current.world = std::move(world);
+    current.frozen_now = frozen_now;
+    return epoch.fetch_add(1, std::memory_order_release) + 1;
+  }
+
+  /// Final fold at shutdown (workers already joined, so the slots are
+  /// quiescent; the mutex still serializes against a racing publish).
+  void merge_all() {
+    std::lock_guard<std::mutex> lock{mu};
+    for (auto& slot : slots) {
+      if (slot->view != nullptr) {
+        slot->gen.world->merge_server_stats(slot->view->per_org_stats());
+        slot->view.reset();
+      }
+    }
+  }
+};
+
 /// One rdns.observability.v1 snapshot as a single JSONL line — the
 /// streaming cousin of trace::write_snapshot_json, appended every
 /// --metrics-interval seconds while serving.
@@ -741,7 +809,17 @@ int cmd_serve(const std::vector<std::string>& args) {
               "sampled queries slower than this emit serve.slowlog journal events", "1000")
       .option("top-k", "heavy-hitter sketch capacity (client IPs and qnames)", "64")
       .option("metrics-interval",
-              "append a metrics snapshot line to --metrics-out every N seconds (0 = off)", "0");
+              "append a metrics snapshot line to --metrics-out every N seconds (0 = off)", "0")
+      .flag("no-guard", "disable the serve-guard front-end (wire defense, RRL, shed)")
+      .option("rrl-rate", "per-/24 response rate limit in responses/s (0 = RRL off)", "0")
+      .option("rrl-burst", "RRL token-bucket burst (0 = same as --rrl-rate)", "0")
+      .option("rrl-slip", "answer every Nth over-limit query with TC=1 instead of dropping",
+              "2")
+      .option("shed-l1", "full-batch streak that arms shed level 1 (0 = never)", "8")
+      .option("shed-l2", "full-batch streak that arms shed level 2 (0 = never)", "32")
+      .option("shed-l3", "full-batch streak that arms shed level 3 (0 = never)", "128")
+      .option("drain-deadline-ms",
+              "max time a draining worker keeps consuming backlog at shutdown", "2000");
   add_common_options(cli);
   if (cli.handle_help(args)) return 0;
   cli.parse(args);
@@ -772,30 +850,58 @@ int cmd_serve(const std::vector<std::string>& args) {
       throw util::CliError{"--admin-port must be in [0, 65535]"};
     }
   }
+  const double rrl_rate = cli.get_double("rrl-rate");
+  if (rrl_rate < 0) throw util::CliError{"--rrl-rate must be >= 0"};
+  const double rrl_burst = cli.get_double("rrl-burst");
+  if (rrl_burst < 0) throw util::CliError{"--rrl-burst must be >= 0"};
+  const int rrl_slip = cli.get_int("rrl-slip");
+  if (rrl_slip < 1) throw util::CliError{"--rrl-slip must be >= 1"};
+  const int drain_deadline_ms = cli.get_int("drain-deadline-ms");
+  if (drain_deadline_ms < 0) throw util::CliError{"--drain-deadline-ms must be >= 0"};
 
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const int orgs = cli.get_int("orgs");
+  const int hour = cli.get_int("hour");
   core::WorldScale scale;
   scale.population = cli.get_double("scale");
-  auto world = core::make_internet_world(static_cast<std::uint64_t>(cli.get_int("seed")),
-                                         cli.get_int("orgs"), scale);
-  record_run_manifest("rdns_tool.serve", static_cast<std::uint64_t>(cli.get_int("seed")),
-                      world.get());
   const auto date = util::parse_date(cli.get("date"));
-  world->start(util::add_days(date, -1), util::add_days(date, 1));
-  world->run_until(util::to_sim_time(date) + cli.get_int("hour") * util::kHour);
 
-  // One read-only view per worker: each owns its per-org statistics, so
-  // the hot path takes no locks; they fold back into the world at stop.
-  // The factory runs sequentially inside start(), before any worker thread
-  // exists, so the plain vector needs no synchronization.
-  std::vector<std::unique_ptr<sim::FrozenDnsView>> views;
-  const sim::World& frozen = *world;
+  // The world build is a named closure because hot reload (SIGHUP or GET
+  // /reload) runs it again: an identically-parameterized rebuild freezes at
+  // the same instant, so answers stay byte-identical across generations.
+  // The first build heads the journal with the run manifest and journals
+  // its dhcp/ddns history; rebuilds replay that same history, so they run
+  // with the journal suspended (its timestamps would go backwards).
+  const auto build_world = [&](bool first) -> std::shared_ptr<sim::World> {
+    std::optional<util::journal::ScopedSuspend> mute;
+    if (!first) mute.emplace();
+    std::shared_ptr<sim::World> w = core::make_internet_world(seed, orgs, scale);
+    if (first) record_run_manifest("rdns_tool.serve", seed, w.get());
+    w->start(util::add_days(date, -1), util::add_days(date, 1));
+    w->run_until(util::to_sim_time(date) + hour * util::kHour);
+    return w;
+  };
+  std::shared_ptr<sim::World> world = build_world(/*first=*/true);
   const util::SimTime frozen_now = world->now();
+
+  // Zone generations live on the switchboard; each worker's handler slot
+  // re-anchors between queries when the epoch moves (see ZoneSwitchboard).
+  ZoneSwitchboard board;
+  board.publish(world, frozen_now);
 
   dns::UdpServeOptions options;
   options.endpoint.address = bind_addr->value();
   options.endpoint.port = static_cast<std::uint16_t>(port);
   options.threads = std::max(1u, util::ThreadPool::global().size());
   options.batch = static_cast<std::size_t>(std::max(1, cli.get_int("batch")));
+  options.drain_deadline_ms = static_cast<unsigned>(drain_deadline_ms);
+  options.hardening.guard = !cli.get_flag("no-guard");
+  options.hardening.rrl_rate = rrl_rate;
+  options.hardening.rrl_burst = rrl_burst;
+  options.hardening.rrl_slip = static_cast<unsigned>(rrl_slip);
+  options.hardening.shed_l1_batches = static_cast<unsigned>(std::max(0, cli.get_int("shed-l1")));
+  options.hardening.shed_l2_batches = static_cast<unsigned>(std::max(0, cli.get_int("shed-l2")));
+  options.hardening.shed_l3_batches = static_cast<unsigned>(std::max(0, cli.get_int("shed-l3")));
 
   // The introspection plane is always armed (its disabled-path cost is one
   // pointer test per query): sampled latency + slowlog, heavy-hitter
@@ -808,11 +914,19 @@ int cmd_serve(const std::vector<std::string>& args) {
   dns::ServeIntrospection introspection{options.threads, admin_cfg};
   options.introspection = &introspection;
 
+  // One read-only view per worker: each owns its per-org statistics, so
+  // the hot path takes no locks; they fold back into their generation's
+  // world at adopt/shutdown. The factory runs sequentially inside start(),
+  // before any worker thread exists, so the slot vector needs no
+  // synchronization.
   dns::UdpServerLoop loop{options, [&](unsigned) -> dns::UdpServerLoop::WireHandler {
-    views.push_back(std::make_unique<sim::FrozenDnsView>(frozen));
-    sim::FrozenDnsView* view = views.back().get();
-    return introspection.wrap_chaos([view, frozen_now](std::span<const std::uint8_t> query) {
-      return view->exchange(query, frozen_now);
+    board.slots.push_back(std::make_unique<ZoneSwitchboard::Slot>());
+    ZoneSwitchboard::Slot* slot = board.slots.back().get();
+    board.adopt(*slot);
+    ZoneSwitchboard* b = &board;
+    return introspection.wrap_chaos([slot, b](std::span<const std::uint8_t> query) {
+      if (b->epoch.load(std::memory_order_acquire) != slot->seen_epoch) b->adopt(*slot);
+      return slot->view->exchange(query, slot->gen.frozen_now);
     });
   }};
   std::string error;
@@ -823,8 +937,15 @@ int cmd_serve(const std::vector<std::string>& args) {
   introspection.start();
 
   net::AdminHttpServer admin;
+  std::atomic<bool> http_reload{false};
   if (admin_port) {
     introspection.install_http_routes(admin);
+    // GET /reload schedules a hot zone reload; the main loop performs the
+    // (seconds-long) world rebuild so the admin plane stays responsive.
+    admin.route("/reload", [&http_reload](const std::string&) {
+      http_reload.store(true, std::memory_order_relaxed);
+      return net::HttpResponse{200, "text/plain; charset=utf-8", "zone reload scheduled\n"};
+    });
     net::UdpEndpoint admin_endpoint{bind_addr->value(), static_cast<std::uint16_t>(*admin_port)};
     if (!admin.start(admin_endpoint, &error)) {
       std::fprintf(stderr, "error: %s\n", error.c_str());
@@ -846,7 +967,9 @@ int cmd_serve(const std::vector<std::string>& args) {
     util::journal::Event e{"serve.start", frozen_now};
     e.str("endpoint", loop.endpoint().to_string())
         .unum("workers", loop.threads())
-        .unum("port", loop.endpoint().port);
+        .unum("port", loop.endpoint().port)
+        .unum("guard", options.hardening.guard ? 1 : 0)
+        .unum("rrl_rate", static_cast<std::uint64_t>(options.hardening.rrl_rate));
     j->emit(e);
   }
 
@@ -858,8 +981,11 @@ int cmd_serve(const std::vector<std::string>& args) {
 
   std::signal(SIGINT, handle_serve_signal);
   std::signal(SIGTERM, handle_serve_signal);
+  std::signal(SIGHUP, handle_serve_reload_signal);
   std::signal(SIGUSR1, handle_cycle_log_signal);
   std::signal(SIGUSR2, handle_flight_dump_signal);
+  g_serve_reload = 0;
+  std::uint64_t reloads_done = 0;
   const auto started = std::chrono::steady_clock::now();
   auto next_snapshot =
       started + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
@@ -872,6 +998,29 @@ int cmd_serve(const std::vector<std::string>& args) {
       poll_operator_signals("serve");
       if (cycled) introspection.aggregate_now();  // refresh the serve.log_level gauge
     }
+    if (g_serve_reload != 0 || http_reload.load(std::memory_order_relaxed)) {
+      g_serve_reload = 0;
+      http_reload.store(false, std::memory_order_relaxed);
+      const auto build_t0 = std::chrono::steady_clock::now();
+      std::shared_ptr<sim::World> next_world = build_world(/*first=*/false);
+      const util::SimTime next_now = next_world->now();
+      const auto build_ms = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - build_t0)
+              .count());
+      const std::uint64_t new_epoch = board.publish(std::move(next_world), next_now);
+      ++reloads_done;
+      util::metrics::counter("serve.zone_reloads").inc();
+      if (auto* j = util::journal::active()) {
+        util::journal::Event e{"serve.reload", frozen_now};
+        e.unum("epoch", new_epoch).unum("build_ms", build_ms);
+        j->emit(e);
+      }
+      std::printf("zone reload #%llu complete in %llu ms\n",
+                  static_cast<unsigned long long>(reloads_done),
+                  static_cast<unsigned long long>(build_ms));
+      std::fflush(stdout);
+    }
     if (metrics_stream.is_open() && now >= next_snapshot) {
       introspection.aggregate_now();
       append_metrics_snapshot_line(metrics_stream);
@@ -880,8 +1029,26 @@ int cmd_serve(const std::vector<std::string>& args) {
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
-  admin.stop();
+  std::signal(SIGHUP, SIG_DFL);
+
+  // Graceful drain: workers stop waiting for new datagrams, consume what
+  // the kernel already accepted (bounded by --drain-deadline-ms), flush
+  // their final sendmmsg batches, then exit; stop() joins and folds stats.
+  const auto drain_t0 = std::chrono::steady_clock::now();
+  loop.request_drain();
   loop.stop();
+  const auto drain_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(std::chrono::steady_clock::now() -
+                                                            drain_t0)
+          .count());
+  if (auto* j = util::journal::active()) {
+    util::journal::Event e{"serve.drain", frozen_now};
+    e.unum("deadline_ms", static_cast<std::uint64_t>(drain_deadline_ms))
+        .unum("drain_ms", drain_ms)
+        .unum("reloads", reloads_done);
+    j->emit(e);
+  }
+  admin.stop();
   introspection.stop();
   if (metrics_stream.is_open()) {
     // Final snapshot so even sub-interval runs leave at least one line.
@@ -890,21 +1057,38 @@ int cmd_serve(const std::vector<std::string>& args) {
     metrics_stream.close();
   }
 
-  for (const auto& view : views) world->merge_server_stats(view->per_org_stats());
+  board.merge_all();
   const dns::UdpServeStats& totals = loop.stats();
   if (auto* j = util::journal::active()) {
     util::journal::Event e{"serve.stop", frozen_now};
     e.unum("datagrams_received", totals.datagrams_received)
         .unum("responses_sent", totals.responses_sent)
-        .unum("dropped_no_answer", totals.dropped_no_answer)
-        .unum("send_failures", totals.send_failures);
+        .unum("dropped_malformed", totals.dropped_malformed)
+        .unum("dropped_timeout_fault", totals.dropped_timeout_fault)
+        .unum("dropped_policy", totals.dropped_policy)
+        .unum("truncated_queries", totals.truncated_queries)
+        .unum("send_failures", totals.send_failures)
+        .unum("formerr_sent", totals.formerr_sent)
+        .unum("notimp_sent", totals.notimp_sent)
+        .unum("refused_sent", totals.refused_sent)
+        .unum("rrl_dropped", totals.rrl_dropped)
+        .unum("rrl_slipped", totals.rrl_slipped)
+        .unum("shed_errors", totals.shed_errors)
+        .unum("shed_answers", totals.shed_answers);
     j->emit(e);
   }
-  std::printf("served %s datagrams (%s answered, %llu dropped, %llu send failures)\n",
-              util::with_commas(static_cast<std::int64_t>(totals.datagrams_received)).c_str(),
-              util::with_commas(static_cast<std::int64_t>(totals.responses_sent)).c_str(),
-              static_cast<unsigned long long>(totals.dropped_no_answer),
-              static_cast<unsigned long long>(totals.send_failures));
+  std::printf(
+      "served %s datagrams (%s answered, %llu dropped, %llu send failures)\n"
+      "  drops: %llu malformed, %llu timeout-fault, %llu policy (%llu rrl, %llu shed)\n",
+      util::with_commas(static_cast<std::int64_t>(totals.datagrams_received)).c_str(),
+      util::with_commas(static_cast<std::int64_t>(totals.responses_sent)).c_str(),
+      static_cast<unsigned long long>(totals.dropped_total()),
+      static_cast<unsigned long long>(totals.send_failures),
+      static_cast<unsigned long long>(totals.dropped_malformed),
+      static_cast<unsigned long long>(totals.dropped_timeout_fault),
+      static_cast<unsigned long long>(totals.dropped_policy),
+      static_cast<unsigned long long>(totals.rrl_dropped),
+      static_cast<unsigned long long>(totals.shed_errors + totals.shed_answers));
   return 0;
 }
 
