@@ -42,6 +42,7 @@
 
 #include "bench_common.hpp"
 #include "dns/admin.hpp"
+#include "dns/answer_cache.hpp"
 #include "dns/message.hpp"
 #include "dns/udp_server.hpp"
 #include "dns/wire.hpp"
@@ -95,12 +96,18 @@ double percentile_sorted(const std::vector<double>& sorted, double p) {
 LoadResult run_load(const sim::World& frozen, util::SimTime frozen_now, bool admin_on,
                     bool rrl_on, double seconds, unsigned server_threads,
                     unsigned client_threads, std::size_t window,
-                    const std::vector<std::vector<std::uint8_t>>& query_pool) {
+                    const std::vector<std::vector<std::uint8_t>>& query_pool,
+                    std::shared_ptr<const dns::AnswerCache> cache = nullptr) {
   LoadResult out;
 
   std::vector<std::unique_ptr<sim::FrozenDnsView>> views;
   dns::UdpServeOptions serve_options;
   serve_options.threads = server_threads;
+  if (cache != nullptr) {
+    // The zone is frozen for the whole run, so the provider returns the
+    // same image forever and no epoch pointer is needed.
+    serve_options.answer_cache = [cache]() { return cache; };
+  }
   if (rrl_on) {
     serve_options.hardening.guard = true;
     serve_options.hardening.rrl_rate = 1e9;  // never reached: idle, not engaged
@@ -250,6 +257,12 @@ int main(int argc, char** argv) {
   // is set to catch order-of-magnitude mistakes — e.g. tracing every query
   // instead of 1-in-N — without flaking on scheduler jitter.
   double max_overhead_pct = 25.0;
+  // Floor on the answer-cache speedup (cached QPS / codec-path QPS). The
+  // cache removes the Message build + codec + allocation from every reply,
+  // which measures well above 2x on a quiet core; the default bound leaves
+  // room for shared-runner noise while still catching a cache that silently
+  // stopped hitting.
+  double min_cache_speedup = 2.0;
   for (int i = 1; i + 1 < argc; ++i) {
     const std::string arg{argv[i]};
     if (arg == "--out") json_path = argv[i + 1];
@@ -259,6 +272,7 @@ int main(int argc, char** argv) {
     if (arg == "--window") window = static_cast<std::size_t>(std::atoi(argv[i + 1]));
     if (arg == "--min-qps") min_qps = std::atof(argv[i + 1]);
     if (arg == "--max-overhead-pct") max_overhead_pct = std::atof(argv[i + 1]);
+    if (arg == "--min-cache-speedup") min_cache_speedup = std::atof(argv[i + 1]);
   }
   if (seconds <= 0) seconds = 0.5;
   if (window == 0) window = 1;
@@ -298,12 +312,25 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Pre-serialized answer images for the cache-on runs, built once from the
+  // same frozen world every mode serves.
+  std::shared_ptr<const dns::AnswerCache> answer_cache;
+  {
+    std::vector<dns::AnswerCache::Source> sources;
+    for (const auto& org : frozen.orgs()) {
+      for (const auto& prefix : org->spec().announced) {
+        sources.push_back({&org->dns(), prefix.first(), prefix.last()});
+      }
+    }
+    answer_cache = dns::AnswerCache::build(sources);
+  }
+
   // A/B the admin plane with alternating runs, best-of-N per mode: on a
   // shared/1-core box the run-to-run scheduler noise is larger than the
   // 2% budget, and peak throughput is the stabler estimator under
   // interference. The admin-on keeper still carries a mid-run scrape.
   constexpr int kReps = 3;
-  LoadResult base, admin, rrl;
+  LoadResult base, admin, rrl, cached;
   for (int rep = 0; rep < kReps; ++rep) {
     LoadResult off = run_load(frozen, frozen_now, /*admin_on=*/false, /*rrl_on=*/false,
                               seconds, server_threads, client_threads, window, query_pool);
@@ -314,11 +341,35 @@ int main(int argc, char** argv) {
     LoadResult armed = run_load(frozen, frozen_now, /*admin_on=*/false, /*rrl_on=*/true,
                                 seconds, server_threads, client_threads, window, query_pool);
     if (armed.qps > rrl.qps) rrl = std::move(armed);
+    LoadResult hot = run_load(frozen, frozen_now, /*admin_on=*/false, /*rrl_on=*/false,
+                              seconds, server_threads, client_threads, window, query_pool,
+                              answer_cache);
+    if (hot.qps > cached.qps) cached = std::move(hot);
   }
   const double overhead_pct =
       base.qps > 0 ? 100.0 * (base.qps - admin.qps) / base.qps : 0.0;
   const double rrl_overhead_pct =
       base.qps > 0 ? 100.0 * (base.qps - rrl.qps) / base.qps : 0.0;
+  const double cache_speedup = base.qps > 0 ? cached.qps / base.qps : 0.0;
+
+  // Worker-count sweep with the cache on: one run per thread count (not
+  // best-of-N — this charts scaling shape, the A/B above carries the gate).
+  struct WorkerPoint {
+    unsigned threads;
+    double qps, qps_per_core, p99;
+  };
+  std::vector<WorkerPoint> worker_points;
+  {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    std::vector<unsigned> counts{1};
+    if (hw >= 2) counts.push_back(2);
+    if (hw >= 4) counts.push_back(4);
+    for (const unsigned t : counts) {
+      LoadResult r = run_load(frozen, frozen_now, /*admin_on=*/false, /*rrl_on=*/false,
+                              seconds, t, client_threads, window, query_pool, answer_cache);
+      worker_points.push_back({t, r.qps, r.qps / static_cast<double>(t), r.p99});
+    }
+  }
 
   // Per-250ms window series from the baseline run: reply counts bucketed by
   // arrival offset — the data behind a live `rdns_tool top` view.
@@ -338,6 +389,17 @@ int main(int argc, char** argv) {
       "serve-guard armed but idle (RRL budget never reached): %.0f QPS (%+.2f%% vs "
       "unguarded, budget 2%%)",
       rrl.qps, -rrl_overhead_pct));
+  rdns::bench::measured_note(util::format(
+      "answer cache on: %.0f QPS (%.2fx the codec path, floor %.1fx); p99 %.0fus vs %.0fus; "
+      "%llu hits / %llu misses",
+      cached.qps, cache_speedup, min_cache_speedup, cached.p99, base.p99,
+      static_cast<unsigned long long>(cached.server_stats.cache_hits),
+      static_cast<unsigned long long>(cached.server_stats.cache_misses)));
+  for (const auto& wp : worker_points) {
+    rdns::bench::measured_note(util::format(
+        "  cached, %u worker%s: %.0f QPS (%.0f QPS/core), p99 %.0fus", wp.threads,
+        wp.threads == 1 ? "" : "s", wp.qps, wp.qps_per_core, wp.p99));
+  }
 
   {
     std::ofstream out{json_path};
@@ -391,6 +453,26 @@ int main(int argc, char** argv) {
         << "    \"delta_pct\": " << rrl_overhead_pct << ",\n"
         << "    \"acceptance_pct\": 2.0\n"
         << "  },\n"
+        << "  \"answer_cache\": {\n"
+        << "    \"qps_off\": " << base.qps << ",\n"
+        << "    \"qps_on\": " << cached.qps << ",\n"
+        << "    \"p99_off_us\": " << base.p99 << ",\n"
+        << "    \"p99_on_us\": " << cached.p99 << ",\n"
+        << "    \"speedup\": " << cache_speedup << ",\n"
+        << "    \"min_speedup\": " << min_cache_speedup << ",\n"
+        << "    \"cache_hits\": " << cached.server_stats.cache_hits << ",\n"
+        << "    \"cache_misses\": " << cached.server_stats.cache_misses << ",\n"
+        << "    \"entries\": " << answer_cache->entry_count() << ",\n"
+        << "    \"bytes\": " << answer_cache->bytes() << "\n"
+        << "  },\n"
+        << "  \"workers\": [";
+    for (std::size_t i = 0; i < worker_points.size(); ++i) {
+      const auto& wp = worker_points[i];
+      out << (i == 0 ? "" : ",") << "\n    {\"threads\": " << wp.threads
+          << ", \"qps\": " << wp.qps << ", \"qps_per_core\": " << wp.qps_per_core
+          << ", \"p99_us\": " << wp.p99 << "}";
+    }
+    out << "\n  ],\n"
         << "  \"server_datagrams_received\": " << base.server_stats.datagrams_received << ",\n"
         << "  \"server_responses_sent\": " << base.server_stats.responses_sent << ",\n"
         << "  \"server_send_failures\": " << base.server_stats.send_failures << "\n}\n";
@@ -428,5 +510,12 @@ int main(int argc, char** argv) {
                 util::format("armed-but-idle serve-guard overhead %.2f%% within the "
                              "%.0f%% regression bound (design budget 2%% on a quiet core)",
                              rrl_overhead_pct, max_overhead_pct));
+  checks.expect(cached.received > 0, "cache-on run answered queries");
+  checks.expect(cached.server_stats.cache_hits > 0 &&
+                    cached.server_stats.cache_misses == 0,
+                "every pooled query hit the answer cache (pool covers announced space only)");
+  checks.expect(cache_speedup >= min_cache_speedup,
+                util::format("answer cache speedup %.2fx >= %.1fx floor", cache_speedup,
+                             min_cache_speedup));
   return checks.exit_code();
 }

@@ -193,6 +193,10 @@ void ServeIntrospection::WorkerProbe::publish(const UdpServeStats& stats) {
   put(stats.rrl_slipped);
   put(stats.shed_errors);
   put(stats.shed_answers);
+  put(stats.cache_hits);
+  put(stats.cache_misses);
+  put(stats.edns_queries);
+  put(stats.tc_responses);
   for (const std::uint64_t b : latency_.buckets) put(b);
   put(latency_.count);
   std::uint64_t sum_bits = 0;
@@ -293,6 +297,10 @@ bool ServeIntrospection::read_slot(const Slot& slot, UdpServeStats& stats,
   stats.rrl_slipped = get();
   stats.shed_errors = get();
   stats.shed_answers = get();
+  stats.cache_hits = get();
+  stats.cache_misses = get();
+  stats.edns_queries = get();
+  stats.tc_responses = get();
   for (std::uint64_t& b : latency.buckets) b = get();
   latency.count = get();
   const std::uint64_t sum_bits = get();
@@ -510,6 +518,10 @@ std::string ServeIntrospection::render_stats_json() {
   out += ",\"rrl_slipped\":" + std::to_string(agg.totals.rrl_slipped);
   out += ",\"shed_errors\":" + std::to_string(agg.totals.shed_errors);
   out += ",\"shed_answers\":" + std::to_string(agg.totals.shed_answers) + "}";
+  out += ",\"cache\":{\"hits\":" + std::to_string(agg.totals.cache_hits);
+  out += ",\"misses\":" + std::to_string(agg.totals.cache_misses);
+  out += ",\"edns_queries\":" + std::to_string(agg.totals.edns_queries);
+  out += ",\"tc_responses\":" + std::to_string(agg.totals.tc_responses) + "}";
   out += ",\"sampled\":" + std::to_string(agg.sampled);
   out += ",\"slowlog\":" + std::to_string(agg.slowlog);
   out += ",\"sample_every\":" + std::to_string(config_.sample_every);

@@ -1,0 +1,324 @@
+#include "dns/answer_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "dns/server.hpp"
+#include "dns/wire.hpp"
+#include "dns/zone.hpp"
+#include "util/metrics.hpp"
+
+namespace rdns::dns {
+
+namespace {
+
+namespace metrics = rdns::util::metrics;
+
+/// The dns.server.* counters a cache hit keeps honest. Same registry cells
+/// as server.cpp's ServerMetrics — the registry is keyed by name.
+struct HitMetrics {
+  metrics::Counter& queries = metrics::counter("dns.server.queries");
+  metrics::Counter& qtype_ptr = metrics::counter("dns.server.qtype.ptr");
+  metrics::Counter& answered = metrics::counter("dns.server.answered");
+  metrics::Counter& nxdomain = metrics::counter("dns.server.nxdomain");
+  metrics::Counter& nodata = metrics::counter("dns.server.nodata");
+};
+
+HitMetrics& hit_metrics() {
+  static HitMetrics m;
+  return m;
+}
+
+void put_u16(std::uint8_t* p, std::uint16_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v & 0xFF);
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+/// Parse a canonical decimal octet label (1..3 digits, no leading zero,
+/// value <= 255). Non-canonical spellings miss the cache on purpose: the
+/// handler resolves them through the same zone lookup, so behavior is
+/// identical, just slower — and real PTR floods use canonical names.
+bool parse_octet(const std::uint8_t* p, std::size_t len, std::uint32_t& out) noexcept {
+  if (len == 0 || len > 3) return false;
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    if (p[i] < '0' || p[i] > '9') return false;
+    v = v * 10 + static_cast<std::uint32_t>(p[i] - '0');
+  }
+  if (len > 1 && p[0] == '0') return false;
+  if (v > 255) return false;
+  out = v;
+  return true;
+}
+
+bool label_eq_ci(const std::uint8_t* p, std::size_t len, const char* lit) noexcept {
+  for (std::size_t i = 0; i < len; ++i) {
+    const char c = static_cast<char>(p[i] | 0x20);  // ASCII lowercase
+    if (c != lit[i]) return false;
+  }
+  return lit[len] == '\0';
+}
+
+}  // namespace
+
+const AnswerCache::Shard* AnswerCache::shard_for(std::uint32_t base) const noexcept {
+  auto it = std::lower_bound(shards_.begin(), shards_.end(), base,
+                             [](const Shard& s, std::uint32_t b) { return s.base < b; });
+  if (it == shards_.end() || it->base != base) return nullptr;
+  return &*it;
+}
+
+std::size_t AnswerCache::bytes() const noexcept {
+  std::size_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.blob.size() + s.offsets.size() * sizeof(std::uint32_t);
+  }
+  return total;
+}
+
+std::shared_ptr<const AnswerCache> AnswerCache::build(const std::vector<Source>& sources) {
+  // Group the announced ranges by /16; first source listed wins overlaps.
+  struct Range {
+    std::uint32_t lo, hi;  // host parts, inclusive
+    const AuthoritativeServer* server;
+  };
+  std::map<std::uint32_t, std::vector<Range>> by_base;
+  for (const Source& src : sources) {
+    if (src.server == nullptr || src.first.value() > src.last.value()) continue;
+    for (std::uint32_t base = src.first.value() >> 16; base <= (src.last.value() >> 16);
+         ++base) {
+      const std::uint32_t lo =
+          (base == src.first.value() >> 16) ? (src.first.value() & 0xFFFF) : 0;
+      const std::uint32_t hi =
+          (base == src.last.value() >> 16) ? (src.last.value() & 0xFFFF) : 0xFFFF;
+      by_base[base].push_back(Range{lo, hi, src.server});
+    }
+  }
+
+  auto cache = std::shared_ptr<AnswerCache>(new AnswerCache());
+  for (auto& [base, ranges] : by_base) {
+    Shard shard;
+    shard.base = base;
+    shard.offsets.resize(0x10000 + 1, 0);
+    for (std::uint32_t host = 0; host < 0x10000; ++host) {
+      shard.offsets[host] = static_cast<std::uint32_t>(shard.blob.size());
+      const Range* covering = nullptr;
+      for (const Range& r : ranges) {
+        if (host >= r.lo && host <= r.hi) {
+          covering = &r;
+          break;
+        }
+      }
+      if (covering == nullptr) continue;
+
+      // Replicate answer_query through the reference codec, without the
+      // stats/metrics/fault side effects of handle_readonly. The live
+      // path's verdict for this address is a pure function of the frozen
+      // zone, so the pre-encoded tail is exact.
+      const net::Ipv4Addr addr{(base << 16) | host};
+      const Message query = make_ptr_query(0, addr);
+      const Question& q = query.questions.front();
+      const Zone* zone = covering->server->find_zone(q.qname);
+      if (zone == nullptr) continue;  // handler would refuse; leave uncached
+
+      Message response;
+      auto answers = zone->find(q.qname, RrType::PTR);
+      if (!answers.empty()) {
+        response = make_response(query, Rcode::NoError);
+        response.answers = std::move(answers);
+      } else {
+        const bool exists = zone->has_name(q.qname);
+        response = make_response(query, exists ? Rcode::NoError : Rcode::NxDomain);
+        response.authority.push_back(
+            make_soa(zone->origin(), zone->soa(), zone->soa().minimum));
+      }
+
+      const std::vector<std::uint8_t> wire = encode(response);
+      const std::size_t question_end = 12 + q.qname.wire_length() + 4;
+      shard.blob.push_back(static_cast<std::uint8_t>(response.flags.rcode));
+      shard.blob.push_back(static_cast<std::uint8_t>(response.answers.size() >> 8));
+      shard.blob.push_back(static_cast<std::uint8_t>(response.answers.size() & 0xFF));
+      shard.blob.push_back(static_cast<std::uint8_t>(response.authority.size()));
+      shard.blob.insert(shard.blob.end(), wire.begin() + static_cast<std::ptrdiff_t>(question_end),
+                        wire.end());
+      ++cache->entries_;
+    }
+    shard.offsets[0x10000] = static_cast<std::uint32_t>(shard.blob.size());
+    shard.blob.shrink_to_fit();
+    cache->shards_.push_back(std::move(shard));
+  }
+  // std::map iteration is ordered, so shards_ is sorted by base already.
+  return cache;
+}
+
+std::size_t AnswerCache::scan_question_end(std::span<const std::uint8_t> msg) noexcept {
+  if (msg.size() < 12) return 0;
+  const std::uint16_t qd = get_u16(msg.data() + 4);
+  if (qd == 0) return 12;
+  if (qd != 1) return 0;
+  std::size_t pos = 12;
+  while (true) {
+    if (pos >= msg.size()) return 0;
+    const std::uint8_t len = msg[pos];
+    if (len == 0) {
+      ++pos;
+      break;
+    }
+    if ((len & 0xC0) != 0) return 0;  // compressed/reserved: cannot scan
+    pos += 1 + len;
+    if (pos - 12 > 255) return 0;
+  }
+  if (pos + 4 > msg.size()) return 0;
+  return pos + 4;
+}
+
+AnswerCache::Probe AnswerCache::probe(std::span<const std::uint8_t> query) const noexcept {
+  Probe p;
+  if (query.size() < 12) return p;
+  const std::uint8_t* d = query.data();
+  // QR=0, opcode=0; AA/TC/RD bits are tolerated (the codec clears them).
+  if ((d[2] & 0xF8) != 0) return p;
+  const std::uint16_t qd = get_u16(d + 4);
+  const std::uint16_t an = get_u16(d + 6);
+  const std::uint16_t ns = get_u16(d + 8);
+  const std::uint16_t ar = get_u16(d + 10);
+  if (qd != 1) return p;
+
+  // Scan the (uncompressed) qname, keeping the up-to-6 labels a PTR arpa
+  // name has. More labels: keep scanning for question_end, drop the cache.
+  struct LabelView {
+    const std::uint8_t* ptr;
+    std::size_t len;
+  };
+  LabelView labels[6];
+  std::size_t label_count = 0;
+  bool too_many = false;
+  std::size_t pos = 12;
+  while (true) {
+    if (pos >= query.size()) return p;
+    const std::uint8_t len = d[pos];
+    if (len == 0) {
+      ++pos;
+      break;
+    }
+    if ((len & 0xC0) != 0) return p;
+    if (pos + 1 + len > query.size()) return p;
+    if (label_count < 6) {
+      labels[label_count] = LabelView{d + pos + 1, len};
+    } else {
+      too_many = true;
+    }
+    ++label_count;
+    pos += 1 + len;
+    if (pos - 12 > 255) return p;
+  }
+  if (pos + 4 > query.size()) return p;
+  const std::uint16_t qtype = get_u16(d + pos);
+  const std::uint16_t qclass = get_u16(d + pos + 2);
+  p.question_end = pos + 4;
+  if (qclass == 3) {  // CHAOS: introspection plane; exempt from EDNS/TC
+    p.chaos = true;
+    return p;
+  }
+
+  // A single well-formed OPT RR directly after the question (queries carry
+  // no answer/authority RRs). Anything else — including trailing bytes —
+  // misses so the handler's full decoder stays authoritative.
+  if (an != 0 || ns != 0 || ar > 1) return p;
+  if (ar == 1) {
+    const std::size_t o = p.question_end;
+    if (o + 11 > query.size()) return p;
+    if (d[o] != 0x00 || get_u16(d + o + 1) != 41) return p;
+    const std::uint16_t rdlen = get_u16(d + o + 9);
+    if (o + 11 + rdlen != query.size()) return p;  // RDLEN must cover the rest exactly
+    p.edns = true;
+    p.edns_udp_size = get_u16(d + o + 3);
+  }
+
+  if (too_many || label_count != 6) return p;
+  if (qtype != 12 || qclass != 1) return p;  // PTR IN only
+  if (!label_eq_ci(labels[4].ptr, labels[4].len, "in-addr") ||
+      !label_eq_ci(labels[5].ptr, labels[5].len, "arpa")) {
+    return p;
+  }
+  std::uint32_t octets[4];
+  for (int i = 0; i < 4; ++i) {
+    if (!parse_octet(labels[i].ptr, labels[i].len, octets[i])) return p;
+  }
+  // d.c.b.a.in-addr.arpa <-> a.b.c.d
+  const std::uint32_t addr =
+      (octets[3] << 24) | (octets[2] << 16) | (octets[1] << 8) | octets[0];
+  p.cacheable = true;
+
+  const Shard* shard = shard_for(addr >> 16);
+  if (shard == nullptr) return p;
+  const std::uint32_t host = addr & 0xFFFF;
+  const std::uint32_t off = shard->offsets[host];
+  const std::uint32_t end = shard->offsets[host + 1];
+  if (off == end) return p;
+
+  p.hit = true;
+  p.rcode = static_cast<Rcode>(shard->blob[off]);
+  p.ancount = get_u16(shard->blob.data() + off + 1);
+  p.nscount = shard->blob[off + 3];
+  p.tail = std::span<const std::uint8_t>(shard->blob.data() + off + 4, end - off - 4);
+  return p;
+}
+
+std::size_t AnswerCache::assemble(const Probe& p, std::span<const std::uint8_t> query,
+                                  std::uint8_t* out) noexcept {
+  // Client header + question verbatim (case echo included), then patch the
+  // header to exactly what encode(make_response(...)) emits: QR|AA set, RD
+  // echoed, opcode 0, TC/RA/Z cleared, rcode + section counts ours.
+  std::memcpy(out, query.data(), p.question_end);
+  out[2] = static_cast<std::uint8_t>(0x84 | (query[2] & 0x01));
+  out[3] = static_cast<std::uint8_t>(p.rcode);
+  put_u16(out + 4, 1);
+  put_u16(out + 6, p.ancount);
+  put_u16(out + 8, p.nscount);
+  put_u16(out + 10, 0);
+  std::memcpy(out + p.question_end, p.tail.data(), p.tail.size());
+
+  HitMetrics& m = hit_metrics();
+  m.queries.inc();
+  m.qtype_ptr.inc();
+  if (p.ancount > 0) {
+    m.answered.inc();
+  } else if (p.rcode == Rcode::NxDomain) {
+    m.nxdomain.inc();
+  } else {
+    m.nodata.inc();
+  }
+  return p.question_end + p.tail.size();
+}
+
+std::size_t AnswerCache::append_opt(std::uint8_t* reply, std::size_t len,
+                                    std::uint16_t udp_size) noexcept {
+  std::uint8_t* o = reply + len;
+  o[0] = 0x00;            // root owner
+  put_u16(o + 1, 41);     // TYPE = OPT
+  put_u16(o + 3, udp_size);
+  o[5] = o[6] = o[7] = o[8] = 0;  // extended RCODE/version/flags
+  put_u16(o + 9, 0);      // RDLEN
+  put_u16(reply + 10, static_cast<std::uint16_t>(get_u16(reply + 10) + 1));
+  return len + 11;
+}
+
+std::size_t AnswerCache::truncate_to_tc(std::uint8_t* reply, std::size_t question_end,
+                                        std::uint16_t opt_udp_size) noexcept {
+  reply[2] |= 0x02;  // TC
+  put_u16(reply + 6, 0);
+  put_u16(reply + 8, 0);
+  put_u16(reply + 10, 0);
+  std::size_t len = question_end;
+  if (opt_udp_size != 0) len = append_opt(reply, len, opt_udp_size);
+  return len;
+}
+
+}  // namespace rdns::dns

@@ -29,6 +29,7 @@ struct ResolverMetrics {
   metrics::Counter& other = metrics::counter("dns.resolver.other");
   metrics::Counter& retries = metrics::counter("dns.resolver.retries");
   metrics::Counter& rrl_throttled = metrics::counter("dns.resolver.rrl_throttled");
+  metrics::Counter& tcp_fallbacks = metrics::counter("dns.resolver.tcp_fallbacks");
   metrics::Histogram& attempts = metrics::histogram(
       "dns.resolver.attempts", metrics::Histogram::linear_bounds(1, 1, 8));
 };
@@ -140,17 +141,38 @@ LookupResult StubResolver::lookup(const DnsName& qname, RrType qtype, util::SimT
         ++stats_.other;
         return result;
       }
+      bool truncated = false;
       if (response.id != id || !response.flags.qr) {
-        // Mismatched transaction: treat as lost and retry.
+        // Mismatched transaction: treat as lost and retry (the id/qr guard
+        // below keeps it out of the rcode switch).
       } else if (response.flags.tc) {
-        // Truncated: retry (a real stub re-asks over TCP). Against our
+        // Truncated: re-ask over TCP when the transport has a stream
+        // fallback (RFC 1035 §4.2.2); a full answer replaces the TC one
+        // and classifies normally below. Without a fallback — or when the
+        // stream attempt fails — retry over UDP as before. Against our
         // hardened serve path a TC=1 empty answer is specifically the RRL
-        // slip — count it so sweeps can report server-side throttling.
+        // slip — count it either way so sweeps can report server-side
+        // throttling.
+        truncated = true;
         ++stats_.truncated;
         ++stats_.rrl_throttled;
         resolver_metrics().rrl_throttled.inc();
         retry_reason = "tc";
-      } else {
+        if (auto stream_wire = transport_->exchange_stream(query_wire, now)) {
+          try {
+            Message full = decode(*stream_wire);
+            if (full.id == id && full.flags.qr && !full.flags.tc) {
+              response = std::move(full);
+              truncated = false;
+              ++stats_.tcp_fallbacks;
+              resolver_metrics().tcp_fallbacks.inc();
+            }
+          } catch (const WireError&) {
+            // Undecodable stream reply: fall back to the UDP retry ladder.
+          }
+        }
+      }
+      if (response.id == id && response.flags.qr && !truncated) {
         switch (response.flags.rcode) {
           case Rcode::NoError:
             if (response.answers.empty()) {

@@ -61,6 +61,7 @@ struct ResolverStats {
   std::uint64_t retries = 0;       ///< re-sent queries (timeout/mismatch/TC/REFUSED)
   std::uint64_t truncated = 0;     ///< TC responses received
   std::uint64_t rrl_throttled = 0; ///< TC slips, the server-side RRL signal
+  std::uint64_t tcp_fallbacks = 0; ///< TC answers completed over the stream transport
   std::uint64_t backoff_s = 0;     ///< total virtual backoff delay accrued
 
   ResolverStats& operator+=(const ResolverStats& other_stats) noexcept {
@@ -74,6 +75,7 @@ struct ResolverStats {
     retries += other_stats.retries;
     truncated += other_stats.truncated;
     rrl_throttled += other_stats.rrl_throttled;
+    tcp_fallbacks += other_stats.tcp_fallbacks;
     backoff_s += other_stats.backoff_s;
     return *this;
   }

@@ -116,10 +116,21 @@ Classified classify_query(std::span<const std::uint8_t> payload, bool restrict_p
   const std::uint16_t qclass = read_u16(payload, pos + 2);
   const std::size_t question_end = pos + 4;
 
-  // Extra sections in a query are suspicious but decodable shapes exist
-  // (e.g. EDNS-ish additional records); verify them with the real decoder
-  // so the verdict matches what the handler would see.
+  // Extra sections in a query are suspicious but decodable shapes exist;
+  // verify them with the real decoder so the verdict matches what the
+  // handler would see. One exception stays on the fast path: a single
+  // well-formed EDNS0 OPT RR in the additional section (RFC 6891 — root
+  // owner, type 41, RDLEN covering the remaining bytes exactly), the shape
+  // every EDNS-speaking client sends. Anything else — OPT with trailing
+  // junk, a lying RDLEN, answer/authority RRs — takes the slow path.
   if (an != 0 || ns != 0 || ar != 0) {
+    if (an == 0 && ns == 0 && ar == 1 && question_end + 11 <= payload.size() &&
+        payload[question_end] == 0x00 && read_u16(payload, question_end + 1) == 41 &&
+        question_end + 11 + read_u16(payload, question_end + 9) == payload.size()) {
+      return {policy_verdict(qtype, qclass, restrict_ptr), question_end,
+              qclass == static_cast<std::uint16_t>(RrClass::CH) &&
+                  qtype == static_cast<std::uint16_t>(RrType::TXT)};
+    }
     Classified c = classify_slow(payload, restrict_ptr, /*compressed_qname=*/false);
     if (c.verdict == WireVerdict::FormErr && c.question_end == 0) c.question_end = question_end;
     return c;

@@ -61,6 +61,18 @@ class Transport {
   /// Send a query; nullopt models a timeout / dropped datagram.
   [[nodiscard]] virtual std::optional<std::vector<std::uint8_t>> exchange(
       std::span<const std::uint8_t> query_wire, util::SimTime now) = 0;
+
+  /// Stream (TCP) retry for TC=1 answers. The default is "no stream
+  /// transport" — the resolver treats nullopt as an unavailable fallback
+  /// and keeps its UDP retry ladder, so transports that never opt in (the
+  /// in-process reference path, the deterministic sweep) are byte-for-byte
+  /// unaffected. UdpTransport overrides this when a TCP port is configured.
+  [[nodiscard]] virtual std::optional<std::vector<std::uint8_t>> exchange_stream(
+      std::span<const std::uint8_t> query_wire, util::SimTime now) {
+    (void)query_wire;
+    (void)now;
+    return std::nullopt;
+  }
 };
 
 class AuthoritativeServer {

@@ -1,0 +1,351 @@
+#include "dns/tcp_server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#endif
+
+#include <chrono>
+#include <cstring>
+
+#include "util/log.hpp"
+#include "util/metrics.hpp"
+
+namespace rdns::dns {
+
+namespace {
+
+namespace metrics = rdns::util::metrics;
+using Clock = std::chrono::steady_clock;
+
+struct TcpMetrics {
+  metrics::Counter& accepted = metrics::counter("serve.tcp.accepted");
+  metrics::Counter& rejected = metrics::counter("serve.tcp.rejected");
+  metrics::Counter& queries = metrics::counter("serve.tcp.queries");
+  metrics::Counter& responses = metrics::counter("serve.tcp.responses");
+  metrics::Counter& timeouts = metrics::counter("serve.tcp.timeouts");
+  metrics::Counter& errors = metrics::counter("serve.tcp.errors");
+};
+
+TcpMetrics& tcp_metrics() {
+  static TcpMetrics m;
+  return m;
+}
+
+void set_nonblocking(int fd) { ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK); }
+
+}  // namespace
+
+/// One connection's state machine: accumulate framed queries in `in`,
+/// stage framed replies in `out`, drain `out` before reading more.
+struct DnsTcpServer::Conn {
+  int fd = -1;
+  std::vector<std::uint8_t> in;
+  std::vector<std::uint8_t> out;
+  std::size_t out_off = 0;
+  Clock::time_point deadline{};
+};
+
+DnsTcpServer::DnsTcpServer(Options options, WireHandler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {
+  if (options_.io_timeout_ms == 0) options_.io_timeout_ms = 2000;
+  if (options_.max_connections == 0) options_.max_connections = 1;
+}
+
+DnsTcpServer::~DnsTcpServer() { stop(); }
+
+bool DnsTcpServer::start(std::string* error) {
+  if (running_) return true;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) *error = std::string{"socket: "} + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(options_.endpoint.address);
+  sa.sin_port = htons(options_.endpoint.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    if (error != nullptr) {
+      *error = "bind " + options_.endpoint.to_string() + ": " + std::strerror(errno);
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    bound_.address = ntohl(bound.sin_addr.s_addr);
+    bound_.port = ntohs(bound.sin_port);
+  }
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    if (error != nullptr) *error = std::string{"pipe: "} + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  wake_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  set_nonblocking(listen_fd_);
+  set_nonblocking(wake_fd_);
+  stop_.store(false, std::memory_order_relaxed);
+  running_ = true;
+  thread_ = std::thread([this] { run(); });
+  util::log_info("serve: TCP listener on " + bound_.to_string());
+  return true;
+}
+
+void DnsTcpServer::stop() {
+  if (!running_) return;
+  stop_.store(true, std::memory_order_relaxed);
+  const char byte = 1;
+  [[maybe_unused]] const auto n = ::write(wake_write_fd_, &byte, 1);
+  if (thread_.joinable()) thread_.join();
+  for (auto& c : conns_) {
+    if (c->fd >= 0) ::close(c->fd);
+  }
+  conns_.clear();
+  ::close(listen_fd_);
+  ::close(wake_fd_);
+  ::close(wake_write_fd_);
+  listen_fd_ = wake_fd_ = wake_write_fd_ = -1;
+  running_ = false;
+}
+
+void DnsTcpServer::set_handler(WireHandler handler) {
+  const std::lock_guard<std::mutex> lock(handler_mu_);
+  pending_handler_ = std::move(handler);
+  handler_swap_.store(true, std::memory_order_release);
+}
+
+void DnsTcpServer::close_conn(std::size_t i) {
+  ::close(conns_[i]->fd);
+  conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
+}
+
+/// Pump one connection: flush pending output first, then consume complete
+/// frames from the input buffer. Returns false when the connection must be
+/// closed (EOF, error, oversize frame, handler-modelled timeout).
+bool DnsTcpServer::service_conn(std::size_t i) {
+  TcpMetrics& m = tcp_metrics();
+  Conn& c = *conns_[i];
+
+  while (c.out_off < c.out.size()) {
+    const ssize_t n = ::send(c.fd, c.out.data() + c.out_off, c.out.size() - c.out_off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;  // wait for POLLOUT
+    m.errors.inc();
+    return false;
+  }
+  if (!c.out.empty() && c.out_off == c.out.size()) {
+    c.out.clear();
+    c.out_off = 0;
+    // A full reply went out: the peer earned a fresh exchange budget.
+    c.deadline = Clock::now() + std::chrono::milliseconds(options_.io_timeout_ms);
+  }
+
+  for (;;) {
+    std::uint8_t buf[4096];
+    const ssize_t n = ::recv(c.fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      c.in.insert(c.in.end(), buf, buf + n);
+      if (c.in.size() > options_.max_message_bytes + 2) {
+        m.errors.inc();
+        return false;
+      }
+      continue;
+    }
+    if (n == 0) return false;  // peer closed
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    m.errors.inc();
+    return false;
+  }
+
+  // Consume every complete frame (RFC 1035 §4.2.2 two-byte length prefix);
+  // pipelined queries are answered in order.
+  while (c.in.size() >= 2) {
+    const std::size_t msg_len = (static_cast<std::size_t>(c.in[0]) << 8) | c.in[1];
+    if (msg_len > options_.max_message_bytes) {
+      m.errors.inc();
+      return false;
+    }
+    if (c.in.size() < 2 + msg_len) break;
+    m.queries.inc();
+    // Adopt a pending handler swap here, between messages: a reload
+    // published before this frame arrived must answer it (the in-flight
+    // check at the loop top alone would lag one epoll wakeup behind).
+    if (handler_swap_.load(std::memory_order_acquire)) {
+      const std::lock_guard<std::mutex> lock(handler_mu_);
+      handler_ = std::move(pending_handler_);
+      handler_swap_.store(false, std::memory_order_relaxed);
+    }
+    auto response = handler_(std::span<const std::uint8_t>(c.in.data() + 2, msg_len));
+    c.in.erase(c.in.begin(), c.in.begin() + static_cast<std::ptrdiff_t>(2 + msg_len));
+    if (!response) {
+      // The stream analogue of a dropped datagram: hang up so the client's
+      // own deadline fires, exactly like a UDP timeout.
+      return false;
+    }
+    if (response->size() > 0xFFFF) {
+      m.errors.inc();
+      return false;
+    }
+    c.out.push_back(static_cast<std::uint8_t>(response->size() >> 8));
+    c.out.push_back(static_cast<std::uint8_t>(response->size() & 0xFF));
+    c.out.insert(c.out.end(), response->begin(), response->end());
+    m.responses.inc();
+  }
+
+  while (c.out_off < c.out.size()) {
+    const ssize_t n = ::send(c.fd, c.out.data() + c.out_off, c.out.size() - c.out_off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    m.errors.inc();
+    return false;
+  }
+  if (!c.out.empty() && c.out_off == c.out.size()) {
+    c.out.clear();
+    c.out_off = 0;
+    c.deadline = Clock::now() + std::chrono::milliseconds(options_.io_timeout_ms);
+  }
+  return true;
+}
+
+void DnsTcpServer::run() {
+  TcpMetrics& m = tcp_metrics();
+#if defined(__linux__)
+  const int ep = ::epoll_create1(EPOLL_CLOEXEC);
+  if (ep < 0) return;
+  auto arm = [&](int fd, std::uint32_t events, int op) {
+    epoll_event e{};
+    e.events = events;
+    e.data.fd = fd;
+    ::epoll_ctl(ep, op, fd, &e);
+  };
+  arm(listen_fd_, EPOLLIN, EPOLL_CTL_ADD);
+  arm(wake_fd_, EPOLLIN, EPOLL_CTL_ADD);
+#else
+  std::vector<pollfd> pfds;
+#endif
+
+  auto accept_new = [&] {
+    for (;;) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) break;
+      if (conns_.size() >= options_.max_connections) {
+        m.rejected.inc();
+        ::close(fd);
+        continue;
+      }
+      set_nonblocking(fd);
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      auto conn = std::make_unique<Conn>();
+      conn->fd = fd;
+      conn->deadline = Clock::now() + std::chrono::milliseconds(options_.io_timeout_ms);
+#if defined(__linux__)
+      arm(fd, EPOLLIN, EPOLL_CTL_ADD);
+#endif
+      conns_.push_back(std::move(conn));
+      m.accepted.inc();
+    }
+  };
+  auto service_or_close = [&](int fd) {
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+      if (conns_[i]->fd != fd) continue;
+      if (!service_conn(i)) {
+        close_conn(i);  // close() drops the fd from the epoll set too
+      }
+#if defined(__linux__)
+      else {
+        // Level-triggered: ask for POLLOUT only while output is pending,
+        // so an idle writable socket never spins the loop.
+        Conn& c = *conns_[i];
+        arm(c.fd, c.out_off < c.out.size() ? (EPOLLIN | EPOLLOUT) : EPOLLIN, EPOLL_CTL_MOD);
+      }
+#endif
+      break;
+    }
+  };
+  auto sweep_deadlines = [&] {
+    // Slowloris bound: close every connection whose exchange budget lapsed
+    // — checked on every wakeup including timeouts.
+    const Clock::time_point now = Clock::now();
+    for (std::size_t i = conns_.size(); i-- > 0;) {
+      if (now >= conns_[i]->deadline) {
+        m.timeouts.inc();
+        close_conn(i);
+      }
+    }
+  };
+
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (handler_swap_.load(std::memory_order_acquire)) {
+      const std::lock_guard<std::mutex> lock(handler_mu_);
+      handler_ = std::move(pending_handler_);
+      handler_swap_.store(false, std::memory_order_relaxed);
+    }
+#if defined(__linux__)
+    epoll_event events[64];
+    const int ready = ::epoll_wait(ep, events, 64, 250);
+    if (ready < 0 && errno != EINTR) break;
+    sweep_deadlines();
+    if (ready <= 0) continue;
+    bool accept_ready = false;
+    for (int i = 0; i < ready; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        accept_ready = true;
+      } else if (fd != wake_fd_) {
+        service_or_close(fd);
+      }
+    }
+    if (accept_ready) accept_new();
+#else
+    pfds.clear();
+    pfds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    pfds.push_back(pollfd{wake_fd_, POLLIN, 0});
+    for (const auto& c : conns_) {
+      const short want =
+          static_cast<short>(c->out_off < c->out.size() ? (POLLIN | POLLOUT) : POLLIN);
+      pfds.push_back(pollfd{c->fd, want, 0});
+    }
+    const int ready = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 250);
+    if (ready < 0 && errno != EINTR) break;
+    sweep_deadlines();
+    if (ready <= 0) continue;
+    for (std::size_t p = 2; p < pfds.size(); ++p) {
+      if ((pfds[p].revents & (POLLIN | POLLOUT | POLLERR | POLLHUP)) != 0) {
+        service_or_close(pfds[p].fd);
+      }
+    }
+    if ((pfds[0].revents & POLLIN) != 0) accept_new();
+#endif
+  }
+
+#if defined(__linux__)
+  ::close(ep);
+#endif
+}
+
+}  // namespace rdns::dns

@@ -1,0 +1,97 @@
+#pragma once
+/// \file tcp_server.hpp
+/// Minimal DNS-over-TCP listener (RFC 1035 §4.2.2): the transport of last
+/// resort behind TC=1. UDP replies that exceed the negotiated payload size
+/// are truncated by the serve loop; clients retry here and read the full
+/// answer over a two-byte length-prefixed stream.
+///
+/// Shape: one event-loop thread (epoll on Linux, poll elsewhere) owning a
+/// non-blocking listener plus a bounded set of connection state machines —
+/// read the length prefix, read the message, run the handler, write the
+/// framed reply, repeat (pipelining works). Per-connection wall-clock
+/// deadlines reuse the AdminHttpServer slowloris discipline: a peer that
+/// drips one byte per poll window is closed when its exchange budget
+/// lapses, and the deadline re-arms only after a fully written response.
+/// TCP traffic is the slow path by design — the single thread cannot be
+/// amplified into load against the UDP workers.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/udp.hpp"
+
+namespace rdns::dns {
+
+class DnsTcpServer {
+ public:
+  /// Same contract as UdpServerLoop::WireHandler; nullopt closes the
+  /// connection (the stream analogue of a dropped datagram).
+  using WireHandler =
+      std::function<std::optional<std::vector<std::uint8_t>>(std::span<const std::uint8_t>)>;
+
+  struct Options {
+    /// Bind endpoint; port 0 = kernel-assigned (read back via endpoint()).
+    net::UdpEndpoint endpoint{/*address=*/0x7F000001u, /*port=*/0};
+    /// Per-exchange wall-clock budget (connect-to-reply, then re-armed per
+    /// message) — the slowloris bound.
+    unsigned io_timeout_ms = 2000;
+    /// Hard cap on one framed query (the prefix allows 65535).
+    std::size_t max_message_bytes = 65535;
+    /// Bound on simultaneously open connections; accepts beyond it are
+    /// closed immediately.
+    std::size_t max_connections = 64;
+  };
+
+  DnsTcpServer(Options options, WireHandler handler);
+  ~DnsTcpServer();
+
+  DnsTcpServer(const DnsTcpServer&) = delete;
+  DnsTcpServer& operator=(const DnsTcpServer&) = delete;
+
+  /// Bind + listen + launch the event-loop thread. Returns false (and
+  /// fills `error`) when the listener cannot be bound.
+  [[nodiscard]] bool start(std::string* error = nullptr);
+
+  /// Signal the loop, join it, close every connection. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+  /// The actually bound endpoint (resolves port 0). Valid after start().
+  [[nodiscard]] net::UdpEndpoint endpoint() const noexcept { return bound_; }
+
+  /// Replace the handler for subsequent exchanges (hot reload). The swap
+  /// happens on the event-loop thread between messages, so in-flight
+  /// exchanges finish against the handler they started with.
+  void set_handler(WireHandler handler);
+
+ private:
+  struct Conn;
+  void run();
+  void close_conn(std::size_t i);
+  bool service_conn(std::size_t i);
+
+  Options options_;
+  WireHandler handler_;
+  WireHandler pending_handler_;
+  std::atomic<bool> handler_swap_{false};
+  std::mutex handler_mu_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::thread thread_;
+  net::UdpEndpoint bound_;
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  bool running_ = false;
+};
+
+}  // namespace rdns::dns

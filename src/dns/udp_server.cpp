@@ -10,11 +10,13 @@
 #include <fcntl.h>
 #endif
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstring>
 
 #include "dns/admin.hpp"
+#include "dns/answer_cache.hpp"
 #include "util/flight.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
@@ -46,6 +48,10 @@ struct ServeMetrics {
   metrics::Counter& rrl_table_flushes = metrics::counter("serve.rrl_table_flushes");
   metrics::Counter& shed_errors = metrics::counter("serve.shed_errors");
   metrics::Counter& shed_answers = metrics::counter("serve.shed_answers");
+  metrics::Counter& cache_hits = metrics::counter("serve.cache_hits");
+  metrics::Counter& cache_misses = metrics::counter("serve.cache_misses");
+  metrics::Counter& edns_queries = metrics::counter("serve.edns_queries");
+  metrics::Counter& tc_responses = metrics::counter("serve.tc_responses");
   metrics::Gauge& shed_level = metrics::gauge("serve.shed_level");
   metrics::Histogram& batch_size = metrics::histogram(
       "serve.recv_batch_size", metrics::Histogram::linear_bounds(1, 4, 16));
@@ -74,6 +80,10 @@ UdpServeStats& UdpServeStats::operator+=(const UdpServeStats& other) noexcept {
   rrl_slipped += other.rrl_slipped;
   shed_errors += other.shed_errors;
   shed_answers += other.shed_answers;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  edns_queries += other.edns_queries;
+  tc_responses += other.tc_responses;
   return *this;
 }
 
@@ -212,6 +222,69 @@ void UdpServerLoop::run_worker(Worker& worker, unsigned index) {
   inbound.reserve(options_.batch);
   outbound.reserve(options_.batch);
 
+  // Answer-cache fast path: with a cache armed, every reply of a batch is
+  // assembled into one reused slab and flushed through a single
+  // sendmmsg over borrowed iovecs — no per-reply vector, no allocation
+  // after warm-up. Replies are addressed by (offset, len) so slab growth
+  // never invalidates them. When no cache is configured the legacy
+  // vector path below runs unchanged.
+  const bool cache_armed = static_cast<bool>(options_.answer_cache);
+  std::shared_ptr<const AnswerCache> cache;
+  std::uint64_t cache_epoch_seen = 0;
+  struct SlabReply {
+    std::size_t offset;
+    std::size_t len;
+    net::UdpEndpoint peer;
+  };
+  std::vector<std::uint8_t> slab;
+  std::vector<SlabReply> slab_replies;
+  std::vector<net::UdpSendView> views;
+  if (cache_armed) {
+    cache = options_.answer_cache();
+    if (options_.answer_cache_epoch != nullptr) {
+      cache_epoch_seen = options_.answer_cache_epoch->load(std::memory_order_acquire);
+    }
+    slab.reserve(options_.batch * (options_.payload_cap + 16));
+    slab_replies.reserve(options_.batch);
+    views.reserve(options_.batch);
+  }
+  // Route a fully built reply to the right outbound plumbing.
+  auto emit = [&](std::vector<std::uint8_t>&& payload, const net::UdpEndpoint& peer) {
+    if (cache_armed) {
+      const std::size_t off = slab.size();
+      slab.insert(slab.end(), payload.begin(), payload.end());
+      slab_replies.push_back(SlabReply{off, payload.size(), peer});
+    } else {
+      net::UdpDatagram reply;
+      reply.payload = std::move(payload);
+      reply.peer = peer;
+      outbound.push_back(std::move(reply));
+    }
+  };
+  // EDNS0/TC post-step for answers in the slab at [off, off+len): append
+  // our OPT for EDNS clients, then truncate to TC=1 when the reply exceeds
+  // the client's advertised size (non-EDNS: the classic 512). The caller
+  // guarantees 11 spare slab bytes past `len`. Returns the final length.
+  auto postprocess = [&](std::size_t off, std::size_t len, const AnswerCache::Probe& pr) {
+    std::uint8_t* reply = slab.data() + off;
+    const std::size_t limit =
+        pr.edns ? std::clamp<std::size_t>(pr.edns_udp_size, 512,
+                                          std::max<std::size_t>(512, options_.payload_cap))
+                : 512;
+    if (pr.edns) len = AnswerCache::append_opt(reply, len, options_.edns_udp_size);
+    if (len > limit) {
+      const std::size_t qe = pr.question_end != 0
+                                 ? pr.question_end
+                                 : AnswerCache::scan_question_end({reply, len});
+      if (qe != 0) {
+        len = AnswerCache::truncate_to_tc(reply, qe, pr.edns ? options_.edns_udp_size : 0);
+        ++worker.stats.tc_responses;
+        sm.tc_responses.inc();
+      }
+    }
+    return len;
+  };
+
 #if defined(__linux__)
   const int ep = ::epoll_create1(EPOLL_CLOEXEC);
   if (ep < 0) return;
@@ -264,6 +337,17 @@ void UdpServerLoop::run_worker(Worker& worker, unsigned index) {
       sm.batch_size.observe(static_cast<double>(got));
       worker.stats.datagrams_received += got;
       sm.received.inc(got);
+
+      // Hot-reload invalidation: the switchboard bumps the epoch after
+      // publishing a new generation; one acquire load per batch keeps the
+      // worker's cache image in step with its zone view.
+      if (cache_armed && options_.answer_cache_epoch != nullptr) {
+        const std::uint64_t e = options_.answer_cache_epoch->load(std::memory_order_acquire);
+        if (e != cache_epoch_seen) {
+          cache = options_.answer_cache();
+          cache_epoch_seen = e;
+        }
+      }
 
       // Wall-clock second for the RRL buckets, computed once per batch
       // (BIND-style one-second windows don't need finer resolution).
@@ -323,11 +407,8 @@ void UdpServerLoop::run_worker(Worker& worker, unsigned index) {
               ++worker.stats.refused_sent;
               sm.refused_sent.inc();
             }
-            net::UdpDatagram reply;
-            reply.payload =
-                make_guard_response(query.payload, verdict.question_end, rcode, /*tc=*/false);
-            reply.peer = query.peer;
-            outbound.push_back(std::move(reply));
+            emit(make_guard_response(query.payload, verdict.question_end, rcode, /*tc=*/false),
+                 query.peer);
             continue;
           }
           // In-policy query: RRL then the L3 answer shed. CH TXT chaos
@@ -350,11 +431,9 @@ void UdpServerLoop::run_worker(Worker& worker, unsigned index) {
                 ++worker.stats.rrl_slipped;
                 sm.rrl_slipped.inc();
                 flight::record(flight::Kind::RrlSlip, query.peer.address, index);
-                net::UdpDatagram reply;
-                reply.payload = make_guard_response(query.payload, verdict.question_end,
-                                                    Rcode::NoError, /*tc=*/true);
-                reply.peer = query.peer;
-                outbound.push_back(std::move(reply));
+                emit(make_guard_response(query.payload, verdict.question_end, Rcode::NoError,
+                                         /*tc=*/true),
+                     query.peer);
                 continue;
               }
               if (guard.table_flushes() != last_table_flushes) {
@@ -377,6 +456,43 @@ void UdpServerLoop::run_worker(Worker& worker, unsigned index) {
         const bool sampled = probe != nullptr && probe->should_sample(query.payload);
         std::chrono::steady_clock::time_point t0{};
         if (sampled) t0 = std::chrono::steady_clock::now();
+
+        // Answer-cache probe: canonical IN PTR questions for pre-encoded
+        // addresses skip the handler entirely — header+question memcpy,
+        // four-byte patch, cached tail. Everything else (chaos, forward
+        // names, unannounced space, non-canonical spellings) is a miss and
+        // takes the handler exactly as before.
+        AnswerCache::Probe pr;
+        if (cache_armed && cache != nullptr) {
+          pr = cache->probe(query.payload);
+          if (pr.edns) {
+            ++worker.stats.edns_queries;
+            sm.edns_queries.inc();
+          }
+          if (pr.hit) {
+            ++worker.stats.cache_hits;
+            sm.cache_hits.inc();
+            const std::size_t off = slab.size();
+            slab.resize(off + AnswerCache::reply_size(pr) + 11);
+            std::size_t len = AnswerCache::assemble(pr, query.payload, slab.data() + off);
+            len = postprocess(off, len, pr);
+            slab.resize(off + len);
+            slab_replies.push_back(SlabReply{off, len, query.peer});
+            if (sampled) {
+              const double latency_us = std::chrono::duration<double, std::micro>(
+                                            std::chrono::steady_clock::now() - t0)
+                                            .count();
+              std::optional<std::vector<std::uint8_t>> copy{
+                  std::vector<std::uint8_t>(slab.begin() + static_cast<std::ptrdiff_t>(off),
+                                            slab.end())};
+              probe->on_sampled(query.payload, copy, latency_us, query.peer);
+            }
+            continue;
+          }
+          ++worker.stats.cache_misses;
+          sm.cache_misses.inc();
+        }
+
         auto response = worker.handler(query.payload);
         if (sampled) {
           const double latency_us = std::chrono::duration<double, std::micro>(
@@ -390,10 +506,42 @@ void UdpServerLoop::run_worker(Worker& worker, unsigned index) {
           sm.dropped_timeout_fault.inc();
           continue;
         }
+        if (cache_armed) {
+          // Handler replies share the slab so EDNS negotiation and the TC
+          // size limit apply uniformly; chaos replies are exempt (the
+          // introspection plane's TXT payloads are the point).
+          const std::size_t off = slab.size();
+          slab.resize(off + response->size() + 11);
+          std::memcpy(slab.data() + off, response->data(), response->size());
+          std::size_t len = response->size();
+          if (!pr.chaos && !verdict.chaos) len = postprocess(off, len, pr);
+          slab.resize(off + len);
+          slab_replies.push_back(SlabReply{off, len, query.peer});
+          continue;
+        }
         net::UdpDatagram reply;
         reply.payload = std::move(*response);
         reply.peer = query.peer;
         outbound.push_back(std::move(reply));
+      }
+      if (!slab_replies.empty()) {
+        // Slab flush: iovecs borrow straight from the slab — one sendmmsg,
+        // zero owning copies.
+        views.clear();
+        for (const SlabReply& r : slab_replies) {
+          views.push_back(net::UdpSendView{
+              std::span<const std::uint8_t>(slab.data() + r.offset, r.len), r.peer});
+        }
+        const std::size_t sent = worker.socket.send_batch(views.data(), views.size());
+        worker.stats.responses_sent += sent;
+        sm.sent.inc(sent);
+        if (sent < views.size()) {
+          const std::uint64_t lost = views.size() - sent;
+          worker.stats.send_failures += lost;
+          sm.send_failures.inc(lost);
+        }
+        slab.clear();
+        slab_replies.clear();
       }
       if (!outbound.empty()) {
         const std::size_t sent = worker.socket.send_batch(outbound.data(), outbound.size());

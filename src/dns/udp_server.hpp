@@ -33,11 +33,14 @@
 #include <thread>
 #include <vector>
 
+#include <atomic>
+
 #include "dns/serve_guard.hpp"
 #include "net/udp.hpp"
 
 namespace rdns::dns {
 
+class AnswerCache;         // dns/answer_cache.hpp
 class ServeIntrospection;  // dns/admin.hpp
 
 /// Per-worker serving statistics; all fields are sums, so worker
@@ -49,7 +52,8 @@ class ServeIntrospection;  // dns/admin.hpp
 /// equals their sum (the schema checker enforces this on serve.stop).
 /// The remaining counters are overlays: formerr/notimp/refused_sent and
 /// rrl_slipped classify enqueued responses, rrl_dropped/shed_* classify
-/// policy drops.
+/// policy drops, and cache_hits/cache_misses/edns_queries/tc_responses
+/// classify how answers were produced on the cache path.
 struct UdpServeStats {
   std::uint64_t datagrams_received = 0;
   std::uint64_t responses_sent = 0;
@@ -66,8 +70,12 @@ struct UdpServeStats {
   std::uint64_t rrl_slipped = 0;            ///< over-limit, answered with TC=1
   std::uint64_t shed_errors = 0;            ///< error responses shed at L1+
   std::uint64_t shed_answers = 0;           ///< answers shed at L3
+  std::uint64_t cache_hits = 0;             ///< replies assembled from the answer cache
+  std::uint64_t cache_misses = 0;           ///< cache armed but the handler answered
+  std::uint64_t edns_queries = 0;           ///< queries carrying a well-formed OPT RR
+  std::uint64_t tc_responses = 0;           ///< replies truncated to TC=1 (size limit)
   /// Number of stat words a seqlock slot needs (dns/admin.hpp).
-  static constexpr std::size_t kFieldCount = 15;
+  static constexpr std::size_t kFieldCount = 19;
 
   /// Silent drops across all three causes (the pre-split
   /// `dropped_no_answer` aggregate, kept for summaries).
@@ -95,6 +103,21 @@ struct UdpServeOptions {
   /// latency, heavy-hitter sketches, seqlock stat slots. When null the
   /// serving loop pays exactly one pointer test per query.
   ServeIntrospection* introspection = nullptr;
+  /// Pre-serialized answer cache (dns/answer_cache.hpp). When set, each
+  /// worker fetches the current cache at start and assembles cache hits
+  /// zero-copy in a per-batch reply slab flushed through one sendmmsg;
+  /// misses fall through to the handler. Null (default) keeps the legacy
+  /// per-reply-vector path byte-for-byte unchanged.
+  std::function<std::shared_ptr<const AnswerCache>()> answer_cache;
+  /// Generation epoch watched between batches: when it moves (hot reload)
+  /// the worker re-fetches the cache through `answer_cache` — whole-cache
+  /// invalidation for the price of one relaxed load per batch.
+  const std::atomic<std::uint64_t>* answer_cache_epoch = nullptr;
+  /// EDNS0 (RFC 6891): payload size advertised in the OPT we attach to
+  /// replies for EDNS queries on the cache path. Replies over the
+  /// *client's* advertised size (clamped to [512, payload_cap]) — or over
+  /// 512 for non-EDNS queries — are truncated to TC=1.
+  std::uint16_t edns_udp_size = 1232;
 };
 
 class UdpServerLoop {

@@ -1,6 +1,15 @@
 #include "dns/udp_transport.hpp"
 
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <chrono>
+#include <cstring>
 
 #include "util/metrics.hpp"
 
@@ -17,6 +26,9 @@ struct TransportMetrics {
   metrics::Counter& stale_drops = metrics::counter("dns.transport.udp.stale_drops");
   metrics::Histogram& rtt_us = metrics::histogram(
       "dns.transport.udp.rtt_us", metrics::Histogram::exponential_bounds(8, 2, 14));
+  metrics::Counter& tcp_exchanges = metrics::counter("dns.transport.tcp.exchanges");
+  metrics::Counter& tcp_timeouts = metrics::counter("dns.transport.tcp.timeouts");
+  metrics::Counter& tcp_errors = metrics::counter("dns.transport.tcp.errors");
 };
 
 TransportMetrics& transport_metrics() {
@@ -84,6 +96,119 @@ std::optional<std::vector<std::uint8_t>> UdpTransport::exchange(
     tm.rtt_us.observe(std::chrono::duration<double, std::micro>(dt).count());
   }
   return buffer;
+}
+
+std::optional<std::vector<std::uint8_t>> UdpTransport::exchange_stream(
+    std::span<const std::uint8_t> query_wire, util::SimTime /*now*/) {
+  if (options_.tcp_port == 0 || query_wire.size() > 0xFFFF) return std::nullopt;
+  TransportMetrics& tm = transport_metrics();
+  tm.tcp_exchanges.inc();
+
+  // Fresh connection per call: the fallback fires once per TC answer, so
+  // connection reuse buys nothing and per-call teardown keeps the client
+  // stateless (and the server's slowloris accounting simple).
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    tm.tcp_errors.inc();
+    return std::nullopt;
+  }
+  struct Closer {
+    int fd;
+    ~Closer() { ::close(fd); }
+  } closer{fd};
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  using Clock = std::chrono::steady_clock;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(options_.timeout_ms);
+  auto ms_left = [&]() -> int {
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now()).count();
+    return left > 0 ? static_cast<int>(left) : 0;
+  };
+
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(options_.server.address);
+  sa.sin_port = htons(options_.tcp_port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+    if (errno != EINPROGRESS) {
+      tm.tcp_errors.inc();
+      return std::nullopt;
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    if (::poll(&pfd, 1, ms_left()) <= 0) {
+      tm.tcp_timeouts.inc();
+      return std::nullopt;
+    }
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+    if (soerr != 0) {
+      tm.tcp_errors.inc();
+      return std::nullopt;
+    }
+  }
+
+  // Framed write: 2-byte length prefix + query, poll-guarded to deadline.
+  std::vector<std::uint8_t> framed(2 + query_wire.size());
+  framed[0] = static_cast<std::uint8_t>(query_wire.size() >> 8);
+  framed[1] = static_cast<std::uint8_t>(query_wire.size() & 0xFF);
+  std::memcpy(framed.data() + 2, query_wire.data(), query_wire.size());
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n = ::send(fd, framed.data() + off, framed.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const int left = ms_left();
+      pollfd pfd{fd, POLLOUT, 0};
+      if (left <= 0 || ::poll(&pfd, 1, left) <= 0) {
+        tm.tcp_timeouts.inc();
+        return std::nullopt;
+      }
+      continue;
+    }
+    tm.tcp_errors.inc();
+    return std::nullopt;
+  }
+
+  // Framed read: length prefix, then exactly that many reply bytes.
+  std::vector<std::uint8_t> reply;
+  std::size_t want = 2;  // prefix first
+  bool have_len = false;
+  while (reply.size() < want) {
+    std::uint8_t buf[4096];
+    const std::size_t chunk = std::min(sizeof buf, want - reply.size());
+    const ssize_t n = ::recv(fd, buf, chunk, 0);
+    if (n > 0) {
+      reply.insert(reply.end(), buf, buf + n);
+      if (!have_len && reply.size() >= 2) {
+        want = 2 + ((static_cast<std::size_t>(reply[0]) << 8) | reply[1]);
+        have_len = true;
+      }
+      continue;
+    }
+    if (n == 0) {
+      tm.tcp_errors.inc();
+      return std::nullopt;  // peer closed mid-frame
+    }
+    if (errno != EAGAIN && errno != EWOULDBLOCK) {
+      tm.tcp_errors.inc();
+      return std::nullopt;
+    }
+    const int left = ms_left();
+    pollfd pfd{fd, POLLIN, 0};
+    if (left <= 0 || ::poll(&pfd, 1, left) <= 0) {
+      tm.tcp_timeouts.inc();
+      return std::nullopt;
+    }
+  }
+  reply.erase(reply.begin(), reply.begin() + 2);
+  return reply;
 }
 
 std::optional<net::UdpEndpoint> UdpTransport::parse_uri(const std::string& uri) {

@@ -28,6 +28,11 @@ class UdpTransport final : public Transport {
     /// backoff). Replies for earlier, already-timed-out attempts are
     /// drained and dropped — never surfaced as the current answer.
     int timeout_ms = 1000;
+    /// TCP port for the retry-on-TC stream fallback (RFC 1035 §4.2.2,
+    /// 2-byte length-prefixed framing); 0 = fallback disabled, so
+    /// exchange_stream() keeps the base-class "no stream" answer and the
+    /// resolver's behavior is unchanged.
+    std::uint16_t tcp_port = 0;
   };
 
   explicit UdpTransport(Options options);
@@ -40,6 +45,12 @@ class UdpTransport final : public Transport {
   /// Send the query and wait up to the deadline for a reply. `now` (sim
   /// time) is unused: this transport lives on the wall clock.
   [[nodiscard]] std::optional<std::vector<std::uint8_t>> exchange(
+      std::span<const std::uint8_t> query_wire, util::SimTime now) override;
+
+  /// Retry the query over TCP (fresh connection per call, framed per
+  /// RFC 1035 §4.2.2, same wall-clock deadline). nullopt when the fallback
+  /// is disabled, the connection fails, or the deadline lapses.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> exchange_stream(
       std::span<const std::uint8_t> query_wire, util::SimTime now) override;
 
   /// Parse "udp://a.b.c.d:port" (or bare "a.b.c.d:port") into an endpoint.

@@ -264,6 +264,43 @@ std::size_t UdpSocket::send_batch(const UdpDatagram* first, std::size_t count) {
 #endif
 }
 
+std::size_t UdpSocket::send_batch(const UdpSendView* first, std::size_t count) {
+  if (count == 0) return 0;
+#if defined(__linux__)
+  constexpr std::size_t kMaxVecs = 64;
+  std::size_t sent_total = 0;
+  while (sent_total < count) {
+    const std::size_t batch = std::min(count - sent_total, kMaxVecs);
+    mmsghdr headers[kMaxVecs];
+    iovec iovecs[kMaxVecs];
+    sockaddr_in dests[kMaxVecs];
+    std::memset(headers, 0, sizeof(mmsghdr) * batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      const UdpSendView& v = first[sent_total + i];
+      iovecs[i].iov_base = const_cast<std::uint8_t*>(v.payload.data());
+      iovecs[i].iov_len = v.payload.size();
+      fill_sockaddr(v.peer, dests[i]);
+      headers[i].msg_hdr.msg_iov = &iovecs[i];
+      headers[i].msg_hdr.msg_iovlen = 1;
+      headers[i].msg_hdr.msg_name = &dests[i];
+      headers[i].msg_hdr.msg_namelen = sizeof(dests[i]);
+    }
+    const int sent = ::sendmmsg(fd_, headers, static_cast<unsigned>(batch), MSG_DONTWAIT);
+    if (sent <= 0) break;
+    sent_total += static_cast<std::size_t>(sent);
+    if (static_cast<std::size_t>(sent) < batch) break;  // back-pressure
+  }
+  return sent_total;
+#else
+  std::size_t sent_total = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!send(first[i].payload, first[i].peer)) break;
+    ++sent_total;
+  }
+  return sent_total;
+#endif
+}
+
 bool UdpSocket::wait_readable(int timeout_ms) const { return poll_one(fd_, POLLIN, timeout_ms); }
 
 bool UdpSocket::wait_writable(int timeout_ms) const { return poll_one(fd_, POLLOUT, timeout_ms); }

@@ -47,6 +47,14 @@ struct UdpDatagram {
   bool truncated = false;
 };
 
+/// A borrowed-payload datagram for zero-copy batched sends: points into a
+/// caller-owned buffer (e.g. the serve loop's per-batch reply slab) that
+/// must stay alive across the send_batch call.
+struct UdpSendView {
+  std::span<const std::uint8_t> payload;
+  UdpEndpoint peer;
+};
+
 /// Non-blocking IPv4/UDP socket. Move-only; the fd closes on destruction.
 class UdpSocket {
  public:
@@ -102,6 +110,11 @@ class UdpSocket {
   /// to the kernel (short counts happen under back-pressure; callers
   /// treat unsent datagrams as dropped — UDP semantics).
   std::size_t send_batch(const UdpDatagram* first, std::size_t count);
+
+  /// Same batched send over borrowed payload views — the iovecs reference
+  /// the caller's buffers directly, so assembled replies go from slab to
+  /// kernel without an owning copy per datagram.
+  std::size_t send_batch(const UdpSendView* first, std::size_t count);
 
   /// Block up to `timeout_ms` for readability/writability (poll). Returns
   /// true when ready, false on timeout. Negative timeout = wait forever.

@@ -47,6 +47,27 @@ struct SplitMix64 {
 constexpr std::uint64_t kSeed = 0x52444E5346555A41ULL;  // "RDNSFUZA"
 constexpr int kMutations = 12000;
 
+/// Append a minimal EDNS0 OPT RR (RFC 6891): root owner, type 41, the
+/// advertised UDP payload size in the class field, zero TTL, `rdlen`
+/// declared (the caller controls whether it matches the bytes appended).
+void append_opt(std::vector<std::uint8_t>& wire, std::uint16_t udp_size,
+                std::uint16_t rdlen, std::size_t actual_rdata = SIZE_MAX) {
+  const std::uint16_t ar = static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(wire[10]) << 8 | wire[11]) + 1);
+  wire[10] = static_cast<std::uint8_t>(ar >> 8);
+  wire[11] = static_cast<std::uint8_t>(ar);
+  wire.push_back(0x00);  // root owner
+  wire.push_back(0x00);
+  wire.push_back(41);  // TYPE = OPT
+  wire.push_back(static_cast<std::uint8_t>(udp_size >> 8));
+  wire.push_back(static_cast<std::uint8_t>(udp_size));
+  for (int i = 0; i < 4; ++i) wire.push_back(0x00);  // TTL = ext-rcode/flags
+  wire.push_back(static_cast<std::uint8_t>(rdlen >> 8));
+  wire.push_back(static_cast<std::uint8_t>(rdlen));
+  const std::size_t pad = actual_rdata == SIZE_MAX ? rdlen : actual_rdata;
+  for (std::size_t i = 0; i < pad; ++i) wire.push_back(0x00);
+}
+
 std::vector<std::vector<std::uint8_t>> base_corpus() {
   std::vector<std::vector<std::uint8_t>> corpus;
   corpus.push_back(encode(make_ptr_query(0x0001, net::Ipv4Addr{10, 1, 2, 3})));
@@ -67,6 +88,20 @@ std::vector<std::vector<std::uint8_t>> base_corpus() {
     extra.additional.push_back(rr);
     corpus.push_back(encode(extra));
   }
+  {
+    // EDNS PTR query with a minimal well-formed OPT — the serve_guard
+    // inline fast path's exact shape (RFC 6891).
+    auto edns = encode(make_ptr_query(0x0004, net::Ipv4Addr{10, 80, 1, 7}));
+    append_opt(edns, 1232, 0);
+    corpus.push_back(std::move(edns));
+  }
+  {
+    // EDNS with a non-empty RDATA (an option blob) and an absurd payload
+    // size — still well-formed, still fast-path eligible.
+    auto edns = encode(make_ptr_query(0x0005, net::Ipv4Addr{100, 64, 3, 2}));
+    append_opt(edns, 0xFFFF, 8);
+    corpus.push_back(std::move(edns));
+  }
   return corpus;
 }
 
@@ -74,7 +109,7 @@ std::vector<std::vector<std::uint8_t>> base_corpus() {
 /// shapes the classifier's branches care about.
 std::vector<std::uint8_t> mutate(const std::vector<std::uint8_t>& base, SplitMix64& rng) {
   std::vector<std::uint8_t> m = base;
-  switch (rng.below(9)) {
+  switch (rng.below(10)) {
     case 0:  // truncation: cut anywhere, including mid-header
       m.resize(rng.below(m.size() + 1));
       break;
@@ -129,9 +164,29 @@ std::vector<std::uint8_t> mutate(const std::vector<std::uint8_t>& base, SplitMix
       for (std::uint64_t i = 0; i < add; ++i) m.push_back(static_cast<std::uint8_t>(rng.next()));
       break;
     }
-    default: {  // qtype/qclass corruption at the question's tail
+    case 8: {  // qtype/qclass corruption at the question's tail
       if (m.size() >= 4) {
         m[m.size() - 4 + rng.below(4)] = static_cast<std::uint8_t>(rng.next());
+      }
+      break;
+    }
+    default: {  // EDNS OPT abuse: bolt a (possibly lying) OPT onto the tail
+      switch (rng.below(4)) {
+        case 0:  // lying RDLEN: declared length != bytes actually present
+          append_opt(m, 1232, static_cast<std::uint16_t>(rng.below(0x10000)),
+                     rng.below(16));
+          break;
+        case 1:  // absurd advertised payload sizes (0, 1, 0xFFFF, ...)
+          append_opt(m, static_cast<std::uint16_t>(rng.below(0x10000)), 0);
+          break;
+        case 2:  // duplicate OPT records (RFC 6891 forbids more than one)
+          append_opt(m, 512, 0);
+          append_opt(m, 4096, 0);
+          break;
+        default:  // non-root owner: OPT must sit at the root name
+          append_opt(m, 1232, 0);
+          m[m.size() - 11] = static_cast<std::uint8_t>(1 + rng.below(63));
+          break;
       }
       break;
     }
@@ -194,6 +249,97 @@ TEST(FuzzWire, ClassifierAndCodecSurviveSeededMutations) {
   EXPECT_GT(verdicts[static_cast<std::size_t>(WireVerdict::FormErr)], 0u);
   EXPECT_GT(verdicts[static_cast<std::size_t>(WireVerdict::NotImp)], 0u);
   EXPECT_GT(verdicts[static_cast<std::size_t>(WireVerdict::Refused)], 0u);
+}
+
+TEST(FuzzWire, EdnsOptFastPathAgreesWithTheDecoder) {
+  // serve_guard keeps one EDNS shape on the allocation-free fast path: a
+  // single well-formed OPT (root owner, type 41, RDLEN covering the tail
+  // exactly). Everything else routes through the full decoder. The
+  // equivalence contract for a PTR/IN question is therefore exact:
+  // classify says Answer if and only if decode() succeeds — the fast path
+  // may never accept a shape the codec rejects, nor reject one it accepts.
+  const auto check = [](const std::vector<std::uint8_t>& wire, const char* what) {
+    Classified c;
+    ASSERT_NO_THROW(c = classify_query(wire, /*restrict_ptr=*/true)) << what;
+    bool decodable = false;
+    try {
+      (void)decode(wire);
+      decodable = true;
+    } catch (const WireError&) {
+    }
+    if (decodable) {
+      EXPECT_EQ(c.verdict, WireVerdict::Answer) << what;
+    } else {
+      EXPECT_NE(c.verdict, WireVerdict::Answer) << what;
+    }
+  };
+
+  const auto base = encode(make_ptr_query(0x4242, net::Ipv4Addr{10, 80, 0, 7}));
+
+  {  // Well-formed minimal OPT: the fast path must answer it inline.
+    auto wire = base;
+    append_opt(wire, 1232, 0);
+    const Classified c = classify_query(wire, true);
+    EXPECT_EQ(c.verdict, WireVerdict::Answer);
+    // The verdict must match the bare question's (policy equivalence:
+    // a valid OPT never changes what the policy layer sees).
+    EXPECT_EQ(c.verdict, classify_query(base, true).verdict);
+    EXPECT_EQ(c.question_end, classify_query(base, true).question_end);
+    check(wire, "minimal OPT");
+  }
+  {  // Non-empty RDATA with a matching RDLEN is still well-formed.
+    auto wire = base;
+    append_opt(wire, 4096, 12);
+    check(wire, "OPT with 12-byte rdata");
+  }
+  {  // Absurd advertised payload sizes are legal class values.
+    for (const std::uint16_t size : {std::uint16_t{0}, std::uint16_t{1},
+                                     std::uint16_t{512}, std::uint16_t{0xFFFF}}) {
+      auto wire = base;
+      append_opt(wire, size, 0);
+      check(wire, "absurd payload size");
+    }
+  }
+  {  // Lying RDLEN: declares 100 bytes, carries none. Must not be Answer.
+    auto wire = base;
+    append_opt(wire, 1232, 100, /*actual_rdata=*/0);
+    check(wire, "RDLEN overruns the message");
+    EXPECT_NE(classify_query(wire, true).verdict, WireVerdict::Answer);
+  }
+  {  // RDLEN under-declares: 4 trailing bytes the OPT does not cover.
+    auto wire = base;
+    append_opt(wire, 1232, 0, /*actual_rdata=*/4);
+    check(wire, "trailing junk past the OPT");
+  }
+  {  // Duplicate OPT (ar=2): never fast-path; verdict must track decode().
+    auto wire = base;
+    append_opt(wire, 512, 0);
+    append_opt(wire, 4096, 0);
+    check(wire, "duplicate OPT");
+  }
+  {  // Non-root owner: OPT must sit at the root name.
+    auto wire = base;
+    append_opt(wire, 1232, 0);
+    wire[wire.size() - 11] = 3;
+    check(wire, "OPT with a non-root owner");
+  }
+
+  // Randomized sweep: arbitrary OPT trailers on a valid PTR/IN question.
+  // The classify⇔decode equivalence must hold for every one of them.
+  SplitMix64 rng{kSeed ^ 0x4544'4E53'304F'5054ULL};
+  for (int iteration = 0; iteration < 2000; ++iteration) {
+    auto wire = base;
+    const auto rdlen = static_cast<std::uint16_t>(rng.below(64));
+    const std::size_t actual = rng.below(64);
+    append_opt(wire, static_cast<std::uint16_t>(rng.below(0x10000)), rdlen, actual);
+    // Sometimes scribble over the OPT fixed fields too.
+    if (rng.below(3) == 0 && wire.size() > base.size()) {
+      wire[base.size() + rng.below(wire.size() - base.size())] =
+          static_cast<std::uint8_t>(rng.next());
+    }
+    SCOPED_TRACE(::testing::Message() << "iteration " << iteration);
+    check(wire, "random OPT trailer");
+  }
 }
 
 TEST(FuzzWire, SlipResponsesAlwaysDecode) {

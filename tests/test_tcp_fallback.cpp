@@ -1,0 +1,312 @@
+/// DNS-over-TCP: the DnsTcpServer framed exchange (RFC 1035 §4.2.2),
+/// pipelining, per-exchange deadlines (slowloris bound), hot handler swap,
+/// and the full TC=1 fallback loop — a UDP answer too large for the
+/// negotiated payload size arrives truncated, and the resolver retries it
+/// over the stream transport to retrieve the complete record set.
+
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dns/answer_cache.hpp"
+#include "dns/message.hpp"
+#include "dns/resolver.hpp"
+#include "dns/server.hpp"
+#include "dns/tcp_server.hpp"
+#include "dns/udp_server.hpp"
+#include "dns/udp_transport.hpp"
+#include "dns/wire.hpp"
+#include "net/ipv4.hpp"
+#include "net/udp.hpp"
+
+namespace rdns::dns {
+namespace {
+
+SoaRdata test_soa() {
+  SoaRdata soa;
+  soa.mname = DnsName::must_parse("ns1.x.edu");
+  soa.rname = DnsName::must_parse("hostmaster.x.edu");
+  soa.serial = 100;
+  return soa;
+}
+
+/// A zone whose single owner holds enough PTRs that the reply exceeds the
+/// 512-byte classic UDP limit.
+std::unique_ptr<AuthoritativeServer> make_fat_server(int records = 24) {
+  auto server = std::make_unique<AuthoritativeServer>();
+  Zone& zone = server->add_zone(DnsName::must_parse("80.10.in-addr.arpa"), test_soa());
+  const DnsName owner = DnsName::must_parse("1.1.80.10.in-addr.arpa");
+  for (int i = 0; i < records; ++i) {
+    zone.add(make_ptr(owner, DnsName::must_parse(
+                                 "very-long-hostname-number-" + std::to_string(i) +
+                                 ".some-deep.subdomain.example-university.edu")));
+  }
+  return server;
+}
+
+DnsTcpServer::WireHandler handler_for(const AuthoritativeServer& server) {
+  return [&server](std::span<const std::uint8_t> query)
+             -> std::optional<std::vector<std::uint8_t>> {
+    ServerStats scratch;
+    const auto response = server.handle_readonly(decode(query), scratch);
+    if (!response) return std::nullopt;
+    return encode(*response);
+  };
+}
+
+/// Blocking TCP client with a receive timeout, for driving the server
+/// below the framing layer (partial frames, pipelining).
+struct RawTcpClient {
+  int fd = -1;
+
+  explicit RawTcpClient(const net::UdpEndpoint& server) {
+    fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    timeval tv{2, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_addr.s_addr = htonl(server.address);
+    sa.sin_port = htons(server.port);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  ~RawTcpClient() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  bool send_raw(const std::vector<std::uint8_t>& bytes) const {
+    return ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL) ==
+           static_cast<ssize_t>(bytes.size());
+  }
+
+  bool send_framed(const std::vector<std::uint8_t>& wire) const {
+    std::vector<std::uint8_t> framed(2 + wire.size());
+    framed[0] = static_cast<std::uint8_t>(wire.size() >> 8);
+    framed[1] = static_cast<std::uint8_t>(wire.size() & 0xFF);
+    std::memcpy(framed.data() + 2, wire.data(), wire.size());
+    return send_raw(framed);
+  }
+
+  /// Read one framed reply; nullopt on timeout or peer close.
+  std::optional<std::vector<std::uint8_t>> recv_framed() const {
+    std::vector<std::uint8_t> buf;
+    std::size_t want = 2;
+    bool have_len = false;
+    while (buf.size() < want) {
+      std::uint8_t chunk[4096];
+      const ssize_t n = ::recv(fd, chunk, std::min(sizeof chunk, want - buf.size()), 0);
+      if (n <= 0) return std::nullopt;
+      buf.insert(buf.end(), chunk, chunk + n);
+      if (!have_len && buf.size() >= 2) {
+        want = 2 + ((static_cast<std::size_t>(buf[0]) << 8) | buf[1]);
+        have_len = true;
+      }
+    }
+    buf.erase(buf.begin(), buf.begin() + 2);
+    return buf;
+  }
+
+  /// True once the server has closed the connection (recv returns 0).
+  bool closed_by_peer() const {
+    std::uint8_t b;
+    return ::recv(fd, &b, 1, 0) == 0;
+  }
+};
+
+// -- DnsTcpServer framing ------------------------------------------------
+
+TEST(DnsTcpServer, AnswersFramedQueriesAndPipelines) {
+  const auto server = make_fat_server(4);
+  DnsTcpServer tcp{DnsTcpServer::Options{}, handler_for(*server)};
+  ASSERT_TRUE(tcp.start());
+
+  RawTcpClient client{tcp.endpoint()};
+  ASSERT_GE(client.fd, 0);
+
+  // Two queries written back to back in one stream segment: both must be
+  // answered, in order (RFC 7766 pipelining).
+  const auto q1 = encode(make_ptr_query(0x0101, net::Ipv4Addr::must_parse("10.80.1.1")));
+  const auto q2 = encode(make_ptr_query(0x0202, net::Ipv4Addr::must_parse("10.80.9.9")));
+  std::vector<std::uint8_t> both;
+  for (const auto* q : {&q1, &q2}) {
+    both.push_back(static_cast<std::uint8_t>(q->size() >> 8));
+    both.push_back(static_cast<std::uint8_t>(q->size() & 0xFF));
+    both.insert(both.end(), q->begin(), q->end());
+  }
+  ASSERT_TRUE(client.send_raw(both));
+
+  const auto r1 = client.recv_framed();
+  ASSERT_TRUE(r1.has_value());
+  const Message m1 = decode(*r1);
+  EXPECT_EQ(m1.id, 0x0101);
+  EXPECT_EQ(m1.flags.rcode, Rcode::NoError);
+  EXPECT_EQ(m1.answers.size(), 4u);
+  EXPECT_FALSE(m1.flags.tc);  // no size limit on the stream
+
+  const auto r2 = client.recv_framed();
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(decode(*r2).id, 0x0202);
+  EXPECT_EQ(decode(*r2).flags.rcode, Rcode::NxDomain);
+
+  tcp.stop();
+}
+
+TEST(DnsTcpServer, SlowClientIsClosedAtTheDeadline) {
+  const auto server = make_fat_server(1);
+  DnsTcpServer::Options options;
+  options.io_timeout_ms = 200;
+  DnsTcpServer tcp{options, handler_for(*server)};
+  ASSERT_TRUE(tcp.start());
+
+  RawTcpClient client{tcp.endpoint()};
+  ASSERT_GE(client.fd, 0);
+  // One byte of the length prefix, then silence: a slowloris drip. The
+  // server must cut the connection at the deadline, not hold state forever.
+  ASSERT_TRUE(client.send_raw({0x00}));
+  EXPECT_TRUE(client.closed_by_peer());  // SO_RCVTIMEO bounds the wait at 2s
+  tcp.stop();
+}
+
+TEST(DnsTcpServer, SetHandlerSwapsBetweenExchanges) {
+  const auto server_a = make_fat_server(1);
+  const auto server_b = make_fat_server(2);
+  DnsTcpServer tcp{DnsTcpServer::Options{}, handler_for(*server_a)};
+  ASSERT_TRUE(tcp.start());
+
+  RawTcpClient client{tcp.endpoint()};
+  const auto query = encode(make_ptr_query(1, net::Ipv4Addr::must_parse("10.80.1.1")));
+  ASSERT_TRUE(client.send_framed(query));
+  auto reply = client.recv_framed();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(decode(*reply).answers.size(), 1u);
+
+  tcp.set_handler(handler_for(*server_b));
+  ASSERT_TRUE(client.send_framed(query));
+  reply = client.recv_framed();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(decode(*reply).answers.size(), 2u);
+  tcp.stop();
+}
+
+// -- UdpTransport stream client ------------------------------------------
+
+TEST(UdpTransportStream, ExchangeStreamRoundTripsAFrame) {
+  const auto server = make_fat_server(24);
+  DnsTcpServer tcp{DnsTcpServer::Options{}, handler_for(*server)};
+  ASSERT_TRUE(tcp.start());
+
+  UdpTransport::Options options;
+  options.server = {0x7F000001u, 1};  // UDP side unused in this test
+  options.tcp_port = tcp.endpoint().port;
+  UdpTransport transport{options};
+  const auto query = encode(make_ptr_query(7, net::Ipv4Addr::must_parse("10.80.1.1")));
+  const auto reply = transport.exchange_stream(query, 0);
+  ASSERT_TRUE(reply.has_value());
+  const Message m = decode(*reply);
+  EXPECT_EQ(m.id, 7);
+  EXPECT_EQ(m.answers.size(), 24u);
+  tcp.stop();
+}
+
+TEST(UdpTransportStream, DisabledWithoutTcpPort) {
+  UdpTransport::Options options;
+  options.server = {0x7F000001u, 1};
+  UdpTransport transport{options};
+  const auto query = encode(make_ptr_query(7, net::Ipv4Addr::must_parse("10.80.1.1")));
+  EXPECT_FALSE(transport.exchange_stream(query, 0).has_value());
+}
+
+// -- end to end: TC over UDP, full answer over TCP -----------------------
+
+TEST(TcpFallback, TruncatedUdpAnswerIsRetrievedInFullOverTcp) {
+  const auto server = make_fat_server(24);
+  const auto cache = AnswerCache::build({{server.get(),
+                                          net::Ipv4Addr::must_parse("10.80.0.0"),
+                                          net::Ipv4Addr::must_parse("10.80.255.255")}});
+
+  // UDP side: cache armed, so oversize answers truncate to TC=1.
+  UdpServeOptions udp_options;
+  udp_options.threads = 1;
+  udp_options.answer_cache = [cache]() { return cache; };
+  UdpServerLoop loop{udp_options, [&](unsigned) -> UdpServerLoop::WireHandler {
+    return [&](std::span<const std::uint8_t> query)
+               -> std::optional<std::vector<std::uint8_t>> {
+      ServerStats scratch;
+      const auto response = server->handle_readonly(decode(query), scratch);
+      if (!response) return std::nullopt;
+      return encode(*response);
+    };
+  }};
+  ASSERT_TRUE(loop.start());
+
+  // TCP side on its own kernel-assigned port.
+  DnsTcpServer tcp{DnsTcpServer::Options{}, handler_for(*server)};
+  ASSERT_TRUE(tcp.start());
+
+  UdpTransport::Options transport_options;
+  transport_options.server = loop.endpoint();
+  transport_options.tcp_port = tcp.endpoint().port;
+  UdpTransport transport{transport_options};
+  ASSERT_TRUE(transport.ok());
+
+  StubResolver resolver{transport};
+  const auto result =
+      resolver.lookup_ptr(net::Ipv4Addr::must_parse("10.80.1.1"), 0);
+  EXPECT_EQ(result.status, LookupStatus::Ok);
+  EXPECT_EQ(result.answers.size(), 24u);
+  EXPECT_EQ(resolver.stats().truncated, 1u);
+  EXPECT_EQ(resolver.stats().tcp_fallbacks, 1u);
+  EXPECT_EQ(resolver.stats().retries, 0u);  // the stream answered; no UDP re-ask
+
+  tcp.stop();
+  loop.stop();
+  EXPECT_EQ(loop.stats().tc_responses, 1u);
+}
+
+TEST(TcpFallback, WithoutStreamTransportTcStaysOnTheUdpRetryLadder) {
+  const auto server = make_fat_server(24);
+  const auto cache = AnswerCache::build({{server.get(),
+                                          net::Ipv4Addr::must_parse("10.80.0.0"),
+                                          net::Ipv4Addr::must_parse("10.80.255.255")}});
+  UdpServeOptions udp_options;
+  udp_options.threads = 1;
+  udp_options.answer_cache = [cache]() { return cache; };
+  UdpServerLoop loop{udp_options, [&](unsigned) -> UdpServerLoop::WireHandler {
+    return [&](std::span<const std::uint8_t> query)
+               -> std::optional<std::vector<std::uint8_t>> {
+      ServerStats scratch;
+      const auto response = server->handle_readonly(decode(query), scratch);
+      if (!response) return std::nullopt;
+      return encode(*response);
+    };
+  }};
+  ASSERT_TRUE(loop.start());
+
+  UdpTransport::Options transport_options;
+  transport_options.server = loop.endpoint();  // tcp_port stays 0
+  UdpTransport transport{transport_options};
+  StubResolver resolver{transport, /*retries=*/1};
+  const auto result =
+      resolver.lookup_ptr(net::Ipv4Addr::must_parse("10.80.1.1"), 0);
+  // Every attempt comes back truncated and there is no stream to complete
+  // it: the lookup exhausts its retries.
+  EXPECT_EQ(result.status, LookupStatus::Timeout);
+  EXPECT_EQ(resolver.stats().truncated, 2u);
+  EXPECT_EQ(resolver.stats().tcp_fallbacks, 0u);
+  loop.stop();
+}
+
+}  // namespace
+}  // namespace rdns::dns

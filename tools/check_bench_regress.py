@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Gate bench results against a committed baseline (BENCH_baseline.json).
+
+Usage:
+    check_bench_regress.py BENCH_baseline.json [--dir build]
+                           [--tolerance-scale 1.0] [--summary PATH]
+
+The baseline maps bench output files to dotted metric paths, each with the
+recorded value, a direction, and a tolerance:
+
+    {
+      "schema": "rdns.bench.baseline.v1",
+      "files": {
+        "BENCH_serve.json": {
+          "qps": {"value": 90304, "direction": "higher", "tolerance_pct": 30},
+          "latency_p99_us": {"value": 1264, "direction": "lower", "tolerance_pct": 30}
+        }
+      }
+    }
+
+A "higher"-direction metric regresses when the current value drops more
+than tolerance_pct below the baseline; a "lower" one when it rises more
+than tolerance_pct above it. Improvements never fail the gate — the point
+is to catch the QPS cliff or the p99 blow-up a refactor smuggles in, not
+to freeze the numbers. Ratio metrics (speedups, retained-goodput
+percentages) are machine-relative and carry most of the signal; absolute
+QPS/latency entries get the wide tolerances shared runners need.
+
+--tolerance-scale multiplies every tolerance (CI can loosen the gate on
+known-noisy runners without editing the committed baseline). A markdown
+delta table is printed, and appended to $GITHUB_STEP_SUMMARY when that
+variable is set (or to --summary PATH). Exits 0 when every metric holds,
+1 otherwise. Stdlib only.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def resolve(doc, dotted):
+    """Walk a dotted path through nested dicts; None when any hop misses."""
+    node = doc
+    for key in dotted.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("--dir", default=".", help="directory holding the BENCH_*.json outputs")
+    parser.add_argument("--tolerance-scale", type=float, default=1.0,
+                        help="multiply every baseline tolerance (loosen noisy runners)")
+    parser.add_argument("--summary", default=None,
+                        help="also append the markdown table to this file "
+                             "(defaults to $GITHUB_STEP_SUMMARY when set)")
+    args = parser.parse_args()
+
+    with open(args.baseline, encoding="utf-8") as f:
+        baseline = json.load(f)
+    if baseline.get("schema") != "rdns.bench.baseline.v1":
+        print(f"FAIL {args.baseline}: unknown schema {baseline.get('schema')!r}",
+              file=sys.stderr)
+        return 1
+
+    rows = []       # (metric, base, current, delta_pct, bound_str, status)
+    problems = []
+
+    for filename, metrics in baseline.get("files", {}).items():
+        path = os.path.join(args.dir, filename)
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as error:
+            problems.append(f"{filename}: unreadable ({error})")
+            for dotted in metrics:
+                rows.append((f"{filename}:{dotted}", None, None, None, "", "missing"))
+            continue
+
+        for dotted, spec in metrics.items():
+            label = f"{filename}:{dotted}"
+            base = spec.get("value")
+            direction = spec.get("direction")
+            tolerance = spec.get("tolerance_pct", 30.0) * args.tolerance_scale
+            if direction not in ("higher", "lower") or not isinstance(base, (int, float)):
+                problems.append(f"{label}: malformed baseline entry")
+                rows.append((label, base, None, None, "", "bad-entry"))
+                continue
+            current = resolve(doc, dotted)
+            if not isinstance(current, (int, float)) or isinstance(current, bool):
+                problems.append(f"{label}: metric missing from bench output")
+                rows.append((label, base, None, None, "", "missing"))
+                continue
+
+            delta_pct = (current - base) / base * 100.0 if base != 0 else 0.0
+            if direction == "higher":
+                bound = base * (1.0 - tolerance / 100.0)
+                ok = current >= bound
+                bound_str = f">= {bound:g}"
+            else:
+                bound = base * (1.0 + tolerance / 100.0)
+                ok = current <= bound
+                bound_str = f"<= {bound:g}"
+            status = "ok" if ok else "REGRESSED"
+            if not ok:
+                problems.append(
+                    f"{label}: {current:g} vs baseline {base:g} "
+                    f"({delta_pct:+.1f}%, allowed {bound_str})")
+            rows.append((label, base, current, delta_pct, bound_str, status))
+
+    lines = ["### Bench regression gate", "",
+             "| metric | baseline | current | delta | bound | status |",
+             "|---|---:|---:|---:|---:|---|"]
+    for label, base, current, delta_pct, bound_str, status in rows:
+        base_s = f"{base:g}" if isinstance(base, (int, float)) else "—"
+        cur_s = f"{current:g}" if isinstance(current, (int, float)) else "—"
+        delta_s = f"{delta_pct:+.1f}%" if isinstance(delta_pct, float) else "—"
+        mark = "✅" if status == "ok" else "❌"
+        lines.append(f"| `{label}` | {base_s} | {cur_s} | {delta_s} "
+                     f"| {bound_str or '—'} | {mark} {status} |")
+    if args.tolerance_scale != 1.0:
+        lines += ["", f"_tolerances scaled ×{args.tolerance_scale:g}_"]
+    table = "\n".join(lines)
+    print(table)
+
+    summary_path = args.summary or os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as f:
+            f.write(table + "\n\n")
+
+    if problems:
+        print(file=sys.stderr)
+        for p in problems:
+            print(f"FAIL bench-regress: {p}", file=sys.stderr)
+        return 1
+    print(f"\nOK bench-regress: {len(rows)} metric(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,6 +41,8 @@
 #include "core/timing.hpp"
 #include "core/tracking.hpp"
 #include "dns/admin.hpp"
+#include "dns/answer_cache.hpp"
+#include "dns/tcp_server.hpp"
 #include "dns/udp_server.hpp"
 #include "dns/udp_transport.hpp"
 #include "dns/zonefile.hpp"
@@ -375,6 +377,9 @@ int cmd_sweep(const std::vector<std::string>& args) {
       .option("transport", "wire mode: inproc (deterministic reference) or udp://host:port "
               "(a live `rdns_tool serve` instance)", "inproc")
       .option("udp-timeout", "udp transport: per-attempt reply deadline (ms)", "1000")
+      .flag("tcp-fallback",
+            "udp transport: retry TC=1 answers over TCP on the same port "
+            "(pair with `rdns_tool serve --tcp`)")
       .option("admin-port",
               "wire mode: serve /progress.json + /metrics over HTTP on this port "
               "(0 = kernel-assigned, printed as `admin on ...`)",
@@ -422,12 +427,16 @@ int cmd_sweep(const std::vector<std::string>& args) {
     }
     const int timeout_ms = cli.get_int("udp-timeout");
     if (timeout_ms <= 0) throw util::CliError{"--udp-timeout must be > 0"};
-    make_transport = [endpoint, timeout_ms]() -> std::unique_ptr<dns::Transport> {
+    const bool tcp_fallback = cli.get_flag("tcp-fallback");
+    make_transport = [endpoint, timeout_ms, tcp_fallback]() -> std::unique_ptr<dns::Transport> {
       dns::UdpTransport::Options options;
       options.server = *endpoint;
       options.timeout_ms = timeout_ms;
+      if (tcp_fallback) options.tcp_port = endpoint->port;
       return std::make_unique<dns::UdpTransport>(options);
     };
+  } else if (cli.get_flag("tcp-fallback")) {
+    throw util::CliError{"--tcp-fallback requires --transport udp://..."};
   }
 
   const auto from = util::parse_date(cli.get("from"));
@@ -727,6 +736,10 @@ struct ZoneSwitchboard {
   struct Generation {
     std::shared_ptr<sim::World> world;
     util::SimTime frozen_now = 0;
+    /// Pre-serialized answer images for this generation's zones (null when
+    /// the cache is disabled). Swapped atomically with the world, so a
+    /// cached tail can never outlive the zone it encodes.
+    std::shared_ptr<const dns::AnswerCache> cache;
   };
   /// Per-worker handler state. Stable address: slots are created
   /// sequentially by the handler factory before any worker thread runs,
@@ -755,11 +768,20 @@ struct ZoneSwitchboard {
   }
 
   /// Publish a new generation; returns the new epoch value.
-  std::uint64_t publish(std::shared_ptr<sim::World> world, util::SimTime frozen_now) {
+  std::uint64_t publish(std::shared_ptr<sim::World> world, util::SimTime frozen_now,
+                        std::shared_ptr<const dns::AnswerCache> cache = nullptr) {
     std::lock_guard<std::mutex> lock{mu};
     current.world = std::move(world);
     current.frozen_now = frozen_now;
+    current.cache = std::move(cache);
     return epoch.fetch_add(1, std::memory_order_release) + 1;
+  }
+
+  /// Snapshot the current generation's answer cache (the serve loop's
+  /// `answer_cache` provider; called once per epoch change, not per query).
+  [[nodiscard]] std::shared_ptr<const dns::AnswerCache> current_cache() {
+    std::lock_guard<std::mutex> lock{mu};
+    return current.cache;
   }
 
   /// Final fold at shutdown (workers already joined, so the slots are
@@ -819,7 +841,13 @@ int cmd_serve(const std::vector<std::string>& args) {
       .option("shed-l2", "full-batch streak that arms shed level 2 (0 = never)", "32")
       .option("shed-l3", "full-batch streak that arms shed level 3 (0 = never)", "128")
       .option("drain-deadline-ms",
-              "max time a draining worker keeps consuming backlog at shutdown", "2000");
+              "max time a draining worker keeps consuming backlog at shutdown", "2000")
+      .flag("no-answer-cache",
+            "disable the pre-serialized answer cache (always disabled under fault injection)")
+      .flag("tcp", "also listen for DNS-over-TCP on the same port (TC=1 fallback)")
+      .option("edns-udp-size",
+              "EDNS payload size advertised in OPT replies (RFC 6891; clamp floor 512)",
+              "1232");
   add_common_options(cli);
   if (cli.handle_help(args)) return 0;
   cli.parse(args);
@@ -858,6 +886,11 @@ int cmd_serve(const std::vector<std::string>& args) {
   if (rrl_slip < 1) throw util::CliError{"--rrl-slip must be >= 1"};
   const int drain_deadline_ms = cli.get_int("drain-deadline-ms");
   if (drain_deadline_ms < 0) throw util::CliError{"--drain-deadline-ms must be >= 0"};
+  const int edns_udp_size = cli.get_int("edns-udp-size");
+  if (edns_udp_size < 512 || edns_udp_size > 65535) {
+    throw util::CliError{"--edns-udp-size must be in [512, 65535]"};
+  }
+  const bool want_tcp = cli.get_flag("tcp");
 
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const int orgs = cli.get_int("orgs");
@@ -884,10 +917,43 @@ int cmd_serve(const std::vector<std::string>& args) {
   std::shared_ptr<sim::World> world = build_world(/*first=*/true);
   const util::SimTime frozen_now = world->now();
 
+  // Answer cache: pre-serialize every PTR answer in the announced ranges so
+  // the hot path is two memcpys + a header patch (see dns/answer_cache.hpp).
+  // A cache hit bypasses the deterministic fault sites, so any active fault
+  // injection — global injector or a per-org FaultPolicy — force-disables it.
+  bool cache_enabled = !cli.get_flag("no-answer-cache");
+  const char* cache_disabled_why = nullptr;
+  if (cache_enabled && util::faults::active() != nullptr) {
+    cache_enabled = false;
+    cache_disabled_why = "fault injection active (--faults)";
+  }
+  if (cache_enabled) {
+    for (const auto& org : world->orgs()) {
+      const dns::FaultPolicy& f = org->dns().faults();
+      if (f.servfail_probability > 0 || f.timeout_probability > 0) {
+        cache_enabled = false;
+        cache_disabled_why = "per-org DNS fault policy active";
+        break;
+      }
+    }
+  }
+  const auto build_cache =
+      [&](sim::World& w) -> std::shared_ptr<const dns::AnswerCache> {
+    if (!cache_enabled) return nullptr;
+    std::vector<dns::AnswerCache::Source> sources;
+    for (const auto& org : w.orgs()) {
+      for (const auto& prefix : org->spec().announced) {
+        sources.push_back({&org->dns(), prefix.first(), prefix.last()});
+      }
+    }
+    return dns::AnswerCache::build(sources);
+  };
+  std::shared_ptr<const dns::AnswerCache> cache = build_cache(*world);
+
   // Zone generations live on the switchboard; each worker's handler slot
   // re-anchors between queries when the epoch moves (see ZoneSwitchboard).
   ZoneSwitchboard board;
-  board.publish(world, frozen_now);
+  board.publish(world, frozen_now, cache);
 
   dns::UdpServeOptions options;
   options.endpoint.address = bind_addr->value();
@@ -902,6 +968,11 @@ int cmd_serve(const std::vector<std::string>& args) {
   options.hardening.shed_l1_batches = static_cast<unsigned>(std::max(0, cli.get_int("shed-l1")));
   options.hardening.shed_l2_batches = static_cast<unsigned>(std::max(0, cli.get_int("shed-l2")));
   options.hardening.shed_l3_batches = static_cast<unsigned>(std::max(0, cli.get_int("shed-l3")));
+  options.edns_udp_size = static_cast<std::uint16_t>(edns_udp_size);
+  if (cache_enabled) {
+    options.answer_cache = [&board]() { return board.current_cache(); };
+    options.answer_cache_epoch = &board.epoch;
+  }
 
   // The introspection plane is always armed (its disabled-path cost is one
   // pointer test per query): sampled latency + slowlog, heavy-hitter
@@ -936,6 +1007,33 @@ int cmd_serve(const std::vector<std::string>& args) {
   }
   introspection.start();
 
+  // DNS-over-TCP companion listener on the same port number: answers that
+  // the UDP path truncates (TC=1) are retrievable in full here. One extra
+  // switchboard slot, owned by the TCP event-loop thread; its handler
+  // re-anchors on epoch moves exactly like a UDP worker's, so reloads need
+  // no handler swap. Safe to append the slot here: workers hold their own
+  // Slot* and never touch the vector.
+  std::unique_ptr<dns::DnsTcpServer> tcp;
+  if (want_tcp) {
+    board.slots.push_back(std::make_unique<ZoneSwitchboard::Slot>());
+    ZoneSwitchboard::Slot* slot = board.slots.back().get();
+    board.adopt(*slot);
+    ZoneSwitchboard* b = &board;
+    dns::DnsTcpServer::Options tcp_options;
+    tcp_options.endpoint = {bind_addr->value(), loop.endpoint().port};
+    tcp = std::make_unique<dns::DnsTcpServer>(
+        tcp_options, [slot, b](std::span<const std::uint8_t> query) {
+          if (b->epoch.load(std::memory_order_acquire) != slot->seen_epoch) b->adopt(*slot);
+          return slot->view->exchange(query, slot->gen.frozen_now);
+        });
+    if (!tcp->start(&error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      loop.stop();
+      introspection.stop();
+      return 2;
+    }
+  }
+
   net::AdminHttpServer admin;
   std::atomic<bool> http_reload{false};
   if (admin_port) {
@@ -959,8 +1057,20 @@ int cmd_serve(const std::vector<std::string>& args) {
   std::printf("serving on %s with %u workers (world frozen at %s %02d:00)\n",
               loop.endpoint().to_string().c_str(), loop.threads(),
               util::format_date(date).c_str(), cli.get_int("hour"));
+  // The harnesses read `admin on` as the line right after the serve
+  // banner; the informational tcp/cache lines must print after it.
   if (admin.running()) {
     std::printf("admin on %s\n", admin.endpoint().to_string().c_str());
+  }
+  if (tcp != nullptr && tcp->running()) {
+    std::printf("tcp on %s\n", tcp->endpoint().to_string().c_str());
+  }
+  if (cache != nullptr) {
+    std::printf("answer cache: %s entries, %s bytes\n",
+                util::with_commas(static_cast<std::int64_t>(cache->entry_count())).c_str(),
+                util::with_commas(static_cast<std::int64_t>(cache->bytes())).c_str());
+  } else if (cache_disabled_why != nullptr) {
+    std::printf("answer cache disabled: %s\n", cache_disabled_why);
   }
   std::fflush(stdout);
   if (auto* j = util::journal::active()) {
@@ -1004,11 +1114,15 @@ int cmd_serve(const std::vector<std::string>& args) {
       const auto build_t0 = std::chrono::steady_clock::now();
       std::shared_ptr<sim::World> next_world = build_world(/*first=*/false);
       const util::SimTime next_now = next_world->now();
+      // Rebuild the answer cache against the new generation before the
+      // epoch bump: workers notice the bump and swap world + cache as one.
+      std::shared_ptr<const dns::AnswerCache> next_cache = build_cache(*next_world);
       const auto build_ms = static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::milliseconds>(
               std::chrono::steady_clock::now() - build_t0)
               .count());
-      const std::uint64_t new_epoch = board.publish(std::move(next_world), next_now);
+      const std::uint64_t new_epoch =
+          board.publish(std::move(next_world), next_now, std::move(next_cache));
       ++reloads_done;
       util::metrics::counter("serve.zone_reloads").inc();
       if (auto* j = util::journal::active()) {
@@ -1048,6 +1162,7 @@ int cmd_serve(const std::vector<std::string>& args) {
         .unum("reloads", reloads_done);
     j->emit(e);
   }
+  if (tcp != nullptr) tcp->stop();
   admin.stop();
   introspection.stop();
   if (metrics_stream.is_open()) {
@@ -1074,12 +1189,17 @@ int cmd_serve(const std::vector<std::string>& args) {
         .unum("rrl_dropped", totals.rrl_dropped)
         .unum("rrl_slipped", totals.rrl_slipped)
         .unum("shed_errors", totals.shed_errors)
-        .unum("shed_answers", totals.shed_answers);
+        .unum("shed_answers", totals.shed_answers)
+        .unum("cache_hits", totals.cache_hits)
+        .unum("cache_misses", totals.cache_misses)
+        .unum("edns_queries", totals.edns_queries)
+        .unum("tc_responses", totals.tc_responses);
     j->emit(e);
   }
   std::printf(
       "served %s datagrams (%s answered, %llu dropped, %llu send failures)\n"
-      "  drops: %llu malformed, %llu timeout-fault, %llu policy (%llu rrl, %llu shed)\n",
+      "  drops: %llu malformed, %llu timeout-fault, %llu policy (%llu rrl, %llu shed)\n"
+      "  cache: %s hits, %s misses; %llu edns queries, %llu tc responses\n",
       util::with_commas(static_cast<std::int64_t>(totals.datagrams_received)).c_str(),
       util::with_commas(static_cast<std::int64_t>(totals.responses_sent)).c_str(),
       static_cast<unsigned long long>(totals.dropped_total()),
@@ -1088,7 +1208,11 @@ int cmd_serve(const std::vector<std::string>& args) {
       static_cast<unsigned long long>(totals.dropped_timeout_fault),
       static_cast<unsigned long long>(totals.dropped_policy),
       static_cast<unsigned long long>(totals.rrl_dropped),
-      static_cast<unsigned long long>(totals.shed_errors + totals.shed_answers));
+      static_cast<unsigned long long>(totals.shed_errors + totals.shed_answers),
+      util::with_commas(static_cast<std::int64_t>(totals.cache_hits)).c_str(),
+      util::with_commas(static_cast<std::int64_t>(totals.cache_misses)).c_str(),
+      static_cast<unsigned long long>(totals.edns_queries),
+      static_cast<unsigned long long>(totals.tc_responses));
   return 0;
 }
 
